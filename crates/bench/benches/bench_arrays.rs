@@ -1,0 +1,124 @@
+//! E16/E17 timing: chunked range queries and extendible-array appends;
+//! plus the B+tree primitives both depend on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use statcube_storage::btree::BPlusTree;
+use statcube_storage::chunked::ChunkedArray;
+use statcube_storage::cubetree::CubeTree;
+use statcube_storage::extendible::ExtendibleArray;
+
+fn filled_chunked(side: usize) -> ChunkedArray {
+    let mut a = ChunkedArray::symmetric(&[512, 512], side, 4096).expect("chunked");
+    for i in (0..512).step_by(2) {
+        for j in (0..512).step_by(2) {
+            a.set(&[i, j], (i * 512 + j) as f64).expect("set");
+        }
+    }
+    a
+}
+
+fn bench_chunked(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chunked_range_query_64x64");
+    g.sample_size(20);
+    for side in [512usize, 64, 16] {
+        let a = filled_chunked(side);
+        g.bench_with_input(BenchmarkId::new("chunk_side", side), &a, |b, a| {
+            b.iter(|| black_box(a.range_sum(&[100, 100], &[164, 164]).expect("range")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_extendible(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extendible_array");
+    g.sample_size(10);
+    g.bench_function("append_day_2000_products", |b| {
+        b.iter_with_setup(
+            || ExtendibleArray::new(&[2000, 4], 4096).expect("array"),
+            |mut a| {
+                a.extend(1, 1).expect("extend");
+                black_box(a)
+            },
+        )
+    });
+    g.bench_function("point_get_after_30_appends", |b| {
+        let mut a = ExtendibleArray::new(&[2000, 1], 4096).expect("array");
+        for _ in 0..30 {
+            a.extend(1, 1).expect("extend");
+        }
+        a.set(&[1234, 17], 5.0).expect("set");
+        b.iter(|| black_box(a.get(&[1234, 17]).expect("get")))
+    });
+    g.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut t = BPlusTree::new();
+    for k in 0..100_000u64 {
+        t.insert(k * 3, k);
+    }
+    let mut g = c.benchmark_group("bplustree_100k");
+    g.bench_function("get", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7919) % 300_000;
+            black_box(t.get(k))
+        })
+    });
+    g.bench_function("last_le", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7919) % 300_000;
+            black_box(t.last_le(k))
+        })
+    });
+    g.bench_function("insert_1k", |b| {
+        b.iter_with_setup(BPlusTree::new, |mut t| {
+            for k in 0..1000u64 {
+                t.insert(k * 2654435761 % 1_000_000, k);
+            }
+            black_box(t)
+        })
+    });
+    g.finish();
+}
+
+fn bench_cubetree(c: &mut Criterion) {
+    let points = |n: usize, seed: u64| -> Vec<(Vec<u32>, f64)> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (vec![(x % 1000) as u32, ((x >> 9) % 1000) as u32], (x % 100) as f64)
+            })
+            .collect()
+    };
+    let base = points(100_000, 1);
+    let tree = CubeTree::bulk_load(base.clone(), 2, 4096).expect("bulk load");
+    let mut g = c.benchmark_group("cubetree_100k");
+    g.sample_size(10);
+    g.bench_function("bulk_load", |b| {
+        b.iter(|| black_box(CubeTree::bulk_load(base.clone(), 2, 4096).expect("load")))
+    });
+    g.bench_function("bulk_update_5k", |b| {
+        let batch = points(5_000, 7);
+        b.iter_with_setup(
+            || CubeTree::bulk_load(base.clone(), 2, 4096).expect("load"),
+            |mut t| {
+                t.bulk_update(batch.clone()).expect("update");
+                black_box(t)
+            },
+        )
+    });
+    g.bench_function("range_query_50x50", |b| {
+        b.iter(|| black_box(tree.range_sum(&[100, 100], &[150, 150]).expect("range")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_chunked, bench_extendible, bench_btree, bench_cubetree);
+criterion_main!(benches);

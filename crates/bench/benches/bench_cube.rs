@@ -1,0 +1,43 @@
+//! E08 timing: CUBE strategies (naive union-of-group-bys vs shared lattice
+//! derivation vs ROLLUP) over retail facts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use statcube_cube::cube_op;
+use statcube_cube::input::FactInput;
+use statcube_workload::retail::{generate, RetailConfig};
+
+fn facts(rows: usize) -> FactInput {
+    let retail = generate(&RetailConfig {
+        products: 40,
+        categories: 8,
+        cities: 4,
+        stores_per_city: 3,
+        days: 50,
+        rows,
+        seed: 8,
+    });
+    FactInput::from_object(&retail.object).expect("facts")
+}
+
+fn bench_cube(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cube_operator");
+    g.sample_size(10);
+    for rows in [5_000usize, 50_000] {
+        let input = facts(rows);
+        g.bench_with_input(BenchmarkId::new("naive_2n_groupbys", rows), &input, |b, i| {
+            b.iter(|| black_box(cube_op::compute_naive(i)))
+        });
+        g.bench_with_input(BenchmarkId::new("shared_cube", rows), &input, |b, i| {
+            b.iter(|| black_box(cube_op::compute_shared(i)))
+        });
+        g.bench_with_input(BenchmarkId::new("rollup", rows), &input, |b, i| {
+            b.iter(|| black_box(cube_op::compute_rollup(i, &[0, 1, 2]).expect("rollup")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cube);
+criterion_main!(benches);

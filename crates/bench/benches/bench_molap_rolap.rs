@@ -1,0 +1,47 @@
+//! E18 timing: MOLAP vs ROLAP full-cube computation across density.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use statcube_cube::input::FactInput;
+use statcube_cube::{cube_op, molap, rolap};
+
+fn make_input(rows: usize) -> FactInput {
+    let cards = [32usize, 32, 32];
+    let mut input = FactInput::new(&cards).expect("input");
+    let mut x = 43u64;
+    for _ in 0..rows {
+        let coords: Vec<u32> = cards
+            .iter()
+            .map(|&c| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % c as u64) as u32
+            })
+            .collect();
+        input.push(&coords, (x % 1000) as f64).expect("push");
+    }
+    input
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cube_engines_32x32x32");
+    g.sample_size(10);
+    for rows in [1_000usize, 30_000, 300_000] {
+        let input = make_input(rows);
+        g.bench_with_input(BenchmarkId::new("molap_array", rows), &input, |b, i| {
+            b.iter(|| black_box(molap::compute_molap(i).expect("molap")))
+        });
+        g.bench_with_input(BenchmarkId::new("rolap_sort", rows), &input, |b, i| {
+            b.iter(|| black_box(rolap::compute_rolap(i)))
+        });
+        g.bench_with_input(BenchmarkId::new("rolap_hash", rows), &input, |b, i| {
+            b.iter(|| black_box(cube_op::compute_shared(i)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Core operator-algebra timing: S-select / S-project / S-aggregation /
+//! automatic aggregation on retail-sized statistical objects, plus E15
+//! view-store routing and E20 sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use statcube_core::auto_agg::{execute, Query};
+use statcube_core::ops;
+use statcube_core::stats::reservoir_sample;
+use statcube_cube::input::FactInput;
+use statcube_cube::materialize::greedy_select;
+use statcube_cube::lattice::Lattice;
+use statcube_cube::query::ViewStore;
+use statcube_workload::retail::{generate, Retail, RetailConfig};
+
+fn retail() -> Retail {
+    generate(&RetailConfig {
+        products: 100,
+        categories: 10,
+        cities: 5,
+        stores_per_city: 4,
+        days: 60,
+        rows: 50_000,
+        seed: 21,
+    })
+}
+
+fn bench_algebra(c: &mut Criterion) {
+    let r = retail();
+    let mut g = c.benchmark_group("statistical_algebra_50k_cells");
+    g.sample_size(20);
+    g.bench_function("s_select_10_products", |b| {
+        let keep: Vec<&str> = r.products[..10].iter().map(String::as_str).collect();
+        b.iter(|| black_box(ops::s_select(&r.object, "product", &keep).expect("select")))
+    });
+    g.bench_function("s_project_day", |b| {
+        b.iter(|| black_box(ops::s_project(&r.object, "day").expect("project")))
+    });
+    g.bench_function("roll_up_product_to_category", |b| {
+        b.iter(|| black_box(ops::s_aggregate(&r.object, "product", "category").expect("agg")))
+    });
+    g.bench_function("auto_aggregation_fig13_style", |b| {
+        let q = Query::new()
+            .at_level("product", "category", "cat00")
+            .members("store", [r.stores[0].as_str()]);
+        b.iter(|| black_box(execute(&r.object, &q).expect("auto agg")))
+    });
+    g.finish();
+}
+
+fn bench_views(c: &mut Criterion) {
+    let r = retail();
+    let facts = FactInput::from_object(&r.object).expect("facts");
+    let lattice = Lattice::new(facts.cards(), facts.len() as u64).expect("lattice");
+    let greedy = greedy_select(&lattice, 3).expect("greedy");
+    let with_views = ViewStore::build(&facts, &greedy.selected).expect("views");
+    let base_only = ViewStore::build(&facts, &[]).expect("base");
+    let mut g = c.benchmark_group("view_store_query");
+    g.sample_size(20);
+    g.bench_function("base_only", |b| {
+        b.iter(|| black_box(base_only.answer(0b001).expect("answer")))
+    });
+    g.bench_function("greedy_3_views", |b| {
+        b.iter(|| black_box(with_views.answer(0b001).expect("answer")))
+    });
+    g.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let values: Vec<f64> = (0..1_000_000).map(|i| (i as f64).sin() * 100.0).collect();
+    let mut g = c.benchmark_group("sampling_1m");
+    g.sample_size(20);
+    g.bench_function("reservoir_1pct", |b| {
+        b.iter(|| black_box(reservoir_sample(values.iter().copied(), 10_000, 9)))
+    });
+    g.bench_function("extract_then_sample", |b| {
+        b.iter(|| {
+            // The external-package path: copy everything out first.
+            let copy: Vec<f64> = values.clone();
+            black_box(reservoir_sample(copy, 10_000, 9))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_algebra, bench_views, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! E11/E12/E14 timing: transposed vs row scans, bit-sliced predicate
+//! evaluation, and header-compressed probes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use statcube_storage::bittransposed::BitSlicedColumn;
+use statcube_storage::column::TransposedStore;
+use statcube_storage::header::HeaderCompressed;
+use statcube_storage::io_stats::IoStats;
+use statcube_storage::relation::Relation;
+use statcube_storage::row::RowStore;
+use statcube_workload::census::{generate, CensusConfig};
+
+fn census_relation(rows: usize) -> Relation {
+    let census = generate(&CensusConfig { rows, ..CensusConfig::default() });
+    Relation::from_micro(&census.micro).expect("relation")
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let rel = census_relation(100_000);
+    let row = RowStore::new(rel.clone(), 4096);
+    let col = TransposedStore::new(rel.clone(), 4096);
+    let preds = row.predicates(&[("sex", "male")]).expect("preds");
+    let mut g = c.benchmark_group("summary_scan_100k");
+    g.bench_function("row_store", |b| b.iter(|| black_box(row.sum_where(&preds, 0))));
+    g.bench_function("transposed", |b| b.iter(|| black_box(col.sum_where(&preds, 0))));
+    g.finish();
+}
+
+fn bench_bitsliced(c: &mut Criterion) {
+    let rel = census_relation(100_000);
+    let codes = rel.cat_column(rel.cat_index("county").expect("col")).to_vec();
+    let sliced = BitSlicedColumn::build(&codes, 7).expect("sliced");
+    let io = IoStats::new(4096);
+    let mut g = c.benchmark_group("eq_scan_100k");
+    g.bench_function("naive_u32", |b| {
+        b.iter(|| black_box(codes.iter().filter(|&&x| x == 3).count()))
+    });
+    g.bench_function("bit_sliced", |b| {
+        b.iter(|| black_box(BitSlicedColumn::count_ones(&sliced.eq_scan(3, &io))))
+    });
+    g.finish();
+}
+
+fn bench_header(c: &mut Criterion) {
+    let mut dense = vec![f64::NAN; 1_000_000];
+    for i in (0..1_000_000).step_by(100) {
+        dense[i] = i as f64;
+    }
+    let h = HeaderCompressed::from_dense(&dense);
+    let mut g = c.benchmark_group("header_compressed_1m");
+    g.bench_function("point_get", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % 1_000_000;
+            black_box(h.get(i))
+        })
+    });
+    g.bench_function("range_sum_10k", |b| b.iter(|| black_box(h.range_sum(200_000, 210_000))));
+    g.bench_function("dense_scan_10k", |b| {
+        b.iter(|| {
+            black_box(
+                dense[200_000..210_000].iter().filter(|v| !v.is_nan()).sum::<f64>(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scans, bench_bitsliced, bench_header);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Runs the paper-reproduction experiments.
+//!
+//! ```text
+//! cargo run -p statcube-bench --release --bin experiments -- all
+//! cargo run -p statcube-bench --release --bin experiments -- exp15 exp18
+//! cargo run -p statcube-bench --release --bin experiments          # lists
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = statcube_bench::all_experiments();
+    if args.is_empty() {
+        eprintln!("usage: experiments <all | expNN ...>\n\navailable:");
+        for (id, title, _) in &experiments {
+            eprintln!("  {id}  {title}");
+        }
+        std::process::exit(2);
+    }
+    let run_all = args.iter().any(|a| a == "all");
+    let mut ran = 0;
+    for (id, _, runner) in &experiments {
+        if run_all || args.iter().any(|a| a == id) {
+            println!("{}", runner());
+            println!();
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched {args:?}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,77 @@
+//! E02 — Fig 2: the retail data cube.
+
+use statcube_workload::retail::{generate, RetailConfig};
+
+use crate::report::{f, Table};
+
+/// Builds the Fig 2 `quantity sold` cube from synthetic retail data,
+/// exercises point lookups, slices, and the three classification
+/// hierarchies.
+pub fn run() -> String {
+    let retail = generate(&RetailConfig::default());
+    let obj = &retail.object;
+    let mut out = String::new();
+    out.push_str("=== E02: the retail data cube (Fig 2) ===\n\n");
+
+    let mut t = Table::new("cube shape", &["property", "value"]);
+    t.row(["dimensions", &format!("{:?}", obj.schema().cardinalities())]);
+    t.row(["cross product cells", &obj.schema().cross_product_size().to_string()]);
+    t.row(["populated cells", &obj.cell_count().to_string()]);
+    t.row(["density", &f(obj.density())]);
+    t.row(["grand total ($)", &f(obj.grand_total(0).unwrap_or(0.0))]);
+    out.push_str(&t.render());
+
+    // Point lookup (the "56" cell of Fig 2), slice, dice, roll-ups.
+    let p = &retail.products[0];
+    let s = &retail.stores[0];
+    let d = &retail.days[0];
+    let cell = obj.get(&[p, s, d]).expect("valid coords");
+    out.push_str(&format!("\npoint lookup ({p}, {s}, {d}): {cell:?}\n"));
+
+    let slice = obj.slice("day", d).expect("slice");
+    out.push_str(&format!(
+        "slice day={d}: {} cells, total {}\n",
+        slice.cell_count(),
+        f(slice.grand_total(0).unwrap_or(0.0))
+    ));
+
+    let by_city = obj.roll_up("store", "city").expect("roll-up store→city");
+    let by_cat = by_city.roll_up("product", "category").expect("roll-up product→category");
+    let by_month = by_cat.roll_up("day", "month").expect("roll-up day→month");
+    let mut t2 = Table::new("roll-ups preserve totals", &["level", "cells", "total"]);
+    for (name, o) in [
+        ("base (product,store,day)", obj),
+        ("store→city", &by_city),
+        ("product→category", &by_cat),
+        ("day→month", &by_month),
+    ] {
+        t2.row([
+            name.to_owned(),
+            o.cell_count().to_string(),
+            f(o.grand_total(0).unwrap_or(0.0)),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&t2.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn totals_are_preserved_across_rollups() {
+        let s = super::run();
+        let totals: Vec<&str> = s
+            .lines()
+            .filter(|l| {
+                l.contains("base (")
+                    || l.contains("store→city")
+                    || l.contains("product→category")
+                    || l.contains("day→month")
+            })
+            .map(|l| l.split_whitespace().last().unwrap())
+            .collect();
+        assert_eq!(totals.len(), 4);
+        assert!(totals.windows(2).all(|w| w[0] == w[1]), "totals differ: {totals:?}");
+    }
+}

@@ -1,0 +1,131 @@
+//! E04 — Fig 8 / §3.3.2: the summarizability verdict table.
+
+use statcube_core::dimension::Dimension;
+use statcube_core::hierarchy::Hierarchy;
+use statcube_core::measure::{MeasureKind, SummaryAttribute, SummaryFunction};
+use statcube_core::schema::Schema;
+use statcube_core::summarizability::{check_aggregate, check_project, Verdict};
+
+use crate::report::Table;
+
+fn verdict_str(v: &Verdict) -> String {
+    match v {
+        Verdict::Summarizable => "OK".to_owned(),
+        Verdict::NotSummarizable(vs) => format!(
+            "REJECTED ({})",
+            vs.iter()
+                .map(|v| match v {
+                    statcube_core::error::Violation::NonStrictHierarchy { .. } => "non-strict",
+                    statcube_core::error::Violation::IncompleteHierarchy { .. } => "incomplete",
+                    statcube_core::error::Violation::UncoveredMember { .. } => "uncovered",
+                    statcube_core::error::Violation::TemporalStock { .. } => "stock-over-time",
+                    statcube_core::error::Violation::NonAdditiveMeasure { .. } => "non-additive",
+                })
+                .collect::<Vec<_>>()
+                .join("+")
+        ),
+    }
+}
+
+/// Tabulates every summarizability scenario of §3.3.2 / \[LS97\] against
+/// every summary function.
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("=== E04: summarizability verdicts (Fig 8, §3.3.2, [LS97]) ===\n\n");
+    let mut t = Table::new(
+        "scenario × function",
+        &["scenario", "sum", "count", "avg", "min", "max"],
+    );
+
+    // Scenario rows: (name, closure producing a verdict per function).
+    type Case = (&'static str, Box<dyn Fn(SummaryFunction) -> Verdict>);
+    let strict_geo = Hierarchy::builder("geo")
+        .level("city")
+        .level("state")
+        .edge("sf", "ca")
+        .edge("la", "ca")
+        .build()
+        .unwrap();
+    let incomplete_geo = Hierarchy::builder("geo")
+        .level("city")
+        .level("state")
+        .edge("sf", "ca")
+        .declare_incomplete()
+        .build()
+        .unwrap();
+    let nonstrict = Hierarchy::builder("disease")
+        .level("disease")
+        .level("category")
+        .edge("lung cancer", "cancer")
+        .edge("lung cancer", "respiratory")
+        .edge("flu", "respiratory")
+        .build()
+        .unwrap();
+
+    let agg_case = |h: Hierarchy, kind: MeasureKind| {
+        move |f: SummaryFunction| -> Verdict {
+            let schema = Schema::builder("t")
+                .dimension(Dimension::classified("d", h.clone()))
+                .measure(SummaryAttribute::new("m", kind))
+                .function(f)
+                .build()
+                .unwrap();
+            Verdict::from_violations(check_aggregate(&schema, 0, &h, 1))
+        }
+    };
+    let proj_case = |role_temporal: bool, kind: MeasureKind| {
+        move |f: SummaryFunction| -> Verdict {
+            let dim = if role_temporal {
+                Dimension::temporal("d", ["a", "b"])
+            } else {
+                Dimension::categorical("d", ["a", "b"])
+            };
+            let schema = Schema::builder("t")
+                .dimension(dim)
+                .measure(SummaryAttribute::new("m", kind))
+                .function(f)
+                .build()
+                .unwrap();
+            Verdict::from_violations(check_project(&schema, 0))
+        }
+    };
+
+    let cases: Vec<Case> = vec![
+        ("strict complete hierarchy, flow", Box::new(agg_case(strict_geo.clone(), MeasureKind::Flow))),
+        ("incomplete hierarchy (cities⊂state)", Box::new(agg_case(incomplete_geo, MeasureKind::Stock))),
+        ("non-strict hierarchy (lung cancer)", Box::new(agg_case(nonstrict, MeasureKind::Flow))),
+        ("flow over time (accident counts)", Box::new(proj_case(true, MeasureKind::Flow))),
+        ("stock over time (population)", Box::new(proj_case(true, MeasureKind::Stock))),
+        ("stock over space (population)", Box::new(proj_case(false, MeasureKind::Stock))),
+        ("value-per-unit (avg income)", Box::new(proj_case(false, MeasureKind::ValuePerUnit))),
+    ];
+
+    for (name, case) in &cases {
+        let mut row = vec![(*name).to_owned()];
+        for f in SummaryFunction::ALL {
+            row.push(verdict_str(&case(f)));
+        }
+        t.row(row);
+    }
+    out.push_str(&t.render());
+    out.push_str("\nnote: min/max survive non-strict hierarchies (duplicate-insensitive); avg\nof a stock over time is meaningful while its sum is not — both as in [LS97].\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn key_verdicts_present() {
+        let s = super::run();
+        // Stock over time: sum rejected, avg OK.
+        let stock_line = s.lines().find(|l| l.contains("stock over time")).unwrap();
+        assert!(stock_line.contains("stock-over-time"));
+        assert!(stock_line.matches("REJECTED").count() == 1);
+        // Non-strict: sum/count/avg rejected, min/max OK.
+        let ns = s.lines().find(|l| l.contains("non-strict hierarchy")).unwrap();
+        assert_eq!(ns.matches("non-strict").count(), 4); // name + 3 rejections
+        // Strict complete flow: everything OK.
+        let ok = s.lines().find(|l| l.contains("strict complete")).unwrap();
+        assert!(!ok.contains("REJECTED"));
+    }
+}

@@ -1,0 +1,117 @@
+//! E05 — Figs 10 & 11: flat relation vs star schema.
+
+use statcube_storage::relation::Relation;
+use statcube_storage::row::RowStore;
+use statcube_storage::star::{DimensionTable, StarSchema};
+use statcube_workload::census::{generate, CensusConfig, AGE_GROUPS, RACES, SEXES};
+
+use crate::report::{ratio, Table};
+
+/// Builds the same census summary data as a flat Fig 10 relation and as a
+/// Fig 11 star schema, comparing storage bytes and query page counts.
+pub fn run() -> String {
+    let census = generate(&CensusConfig { rows: 50_000, ..CensusConfig::default() });
+    let micro = &census.micro;
+
+    // Flat Fig 10 relation: all category attributes inline per row.
+    let rel = Relation::from_micro(micro).expect("relation");
+    let flat = RowStore::new(rel, 4096);
+
+    // Fig 11 star schema: a geography dimension table (county, state) plus
+    // demographics tables; the fact table holds fks + income.
+    let mut geo = DimensionTable::new("geography", &["county", "state"]);
+    let mut geo_pk = std::collections::HashMap::new();
+    for county in &census.counties {
+        let state = &county[..3];
+        let pk = geo.push(&[county, state]).expect("geo row");
+        geo_pk.insert(county.clone(), pk);
+    }
+    let mut person = DimensionTable::new("demographics", &["race", "sex", "age_group"]);
+    let mut person_pk = std::collections::HashMap::new();
+    for r in RACES {
+        for s in SEXES {
+            for a in AGE_GROUPS {
+                let pk = person.push(&[r, s, a]).expect("person row");
+                person_pk.insert((r, s, a), pk);
+            }
+        }
+    }
+    let mut star = StarSchema::new(vec![geo, person], &["income"], 4096);
+    for row in 0..micro.len() {
+        let county = micro.cat_value("county", row).expect("col");
+        let race = micro.cat_value("race", row).expect("col");
+        let sex = micro.cat_value("sex", row).expect("col");
+        let age = micro.cat_value("age_group", row).expect("col");
+        let income = micro.num_value("income", row).expect("col");
+        let g = geo_pk[county];
+        let p = person_pk[&(
+            RACES.iter().find(|x| **x == race).copied().unwrap(),
+            SEXES.iter().find(|x| **x == sex).copied().unwrap(),
+            AGE_GROUPS.iter().find(|x| **x == age).copied().unwrap(),
+        )];
+        star.push_fact(&[g, p], &[income]).expect("fact");
+    }
+
+    let mut out = String::new();
+    out.push_str("=== E05: flat relation (Fig 10) vs star schema (Fig 11) ===\n\n");
+    let mut t = Table::new("storage", &["layout", "bytes", "vs flat"]);
+    let flat_bytes = flat.size_bytes();
+    t.row(["flat relation (dictionary codes)", &flat_bytes.to_string(), "x1.00"]);
+    t.row([
+        "star: fact table",
+        &star.fact_bytes().to_string(),
+        &ratio(star.fact_bytes() as f64 / flat_bytes as f64),
+    ]);
+    t.row([
+        "star: total (fact + dims)",
+        &star.size_bytes().to_string(),
+        &ratio(star.size_bytes() as f64 / flat_bytes as f64),
+    ]);
+    t.row([
+        "denormalized (strings inline)",
+        &star.denormalized_bytes().to_string(),
+        &ratio(star.denormalized_bytes() as f64 / flat_bytes as f64),
+    ]);
+    out.push_str(&t.render());
+
+    // Query: total income of one state, via star vs flat scan.
+    let state = &census.states[0];
+    let (ssum, scount) = star.query_sum("geography", "state", state, "income").expect("query");
+    let star_pages = star.io().pages_read();
+    let preds = flat.predicates(&[("state", state)]).expect("preds");
+    let (fsum, fcount) = flat.sum_where(&preds, 0);
+    let flat_pages = flat.io().pages_read();
+    let mut t2 = Table::new(
+        format!("query: SUM(income) WHERE state = {state}"),
+        &["layout", "answer", "rows", "pages read"],
+    );
+    t2.row(["star (dim scan + fact scan)", &format!("{ssum:.0}"), &scount.to_string(), &star_pages.to_string()]);
+    t2.row(["flat relation full scan", &format!("{fsum:.0}"), &fcount.to_string(), &flat_pages.to_string()]);
+    out.push('\n');
+    out.push_str(&t2.render());
+    out.push_str(&format!(
+        "\nanswers agree: {} — the star reads {} of the flat scan's pages\n",
+        (ssum - fsum).abs() < 1e-6 && scount == fcount,
+        ratio(star_pages as f64 / flat_pages as f64),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn star_and_flat_agree_and_star_is_smaller() {
+        let s = super::run();
+        assert!(s.contains("answers agree: true"));
+        // Fact table smaller than the flat relation (2 fks vs 5 codes).
+        let fact_line = s.lines().find(|l| l.contains("star: fact table")).unwrap();
+        let r: f64 = fact_line
+            .split('x')
+            .next_back()
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!(r < 1.0, "fact/flat ratio {r}");
+    }
+}

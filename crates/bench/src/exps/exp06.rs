@@ -1,0 +1,87 @@
+//! E06 — Figs 12 & 14: terminology and operator correspondence.
+
+use statcube_core::ops::{self, olap};
+use statcube_workload::retail::{generate, RetailConfig};
+
+use crate::report::Table;
+
+/// Prints the Fig 12 terminology table and verifies the Fig 14 operator
+/// correspondence by running each OLAP operator and its SDB equivalent on
+/// the same object and comparing results.
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("=== E06: SDB ↔ OLAP correspondence (Figs 12, 14) ===\n\n");
+
+    let mut terms = Table::new("Fig 12: terminology", &["OLAP", "Statistical DB"]);
+    for (o, s) in [
+        ("Dimension", "Category Attribute"),
+        ("Dimension Hierarchy (Table)", "Category Hierarchy"),
+        ("Measures (fact column)", "Summary Attribute"),
+        ("Data Cube (fact table)", "Statistical Object"),
+        ("Multidimensionality", "Cross Product"),
+        ("Dimension Value", "Category Value"),
+        ("Table / Data Cube", "Summary Table"),
+    ] {
+        terms.row([o, s]);
+    }
+    out.push_str(&terms.render());
+
+    let retail = generate(&RetailConfig {
+        products: 30,
+        categories: 5,
+        cities: 3,
+        stores_per_city: 2,
+        days: 40,
+        rows: 5_000,
+        seed: 14,
+    });
+    let obj = &retail.object;
+
+    let mut t = Table::new(
+        "Fig 14: operators, executed and compared",
+        &["OLAP operator", "SDB operator", "results equal"],
+    );
+    // Slice (summarize interpretation) ≡ S-projection.
+    let a = olap::slice_sum(obj, "store").expect("slice");
+    let b = ops::s_project(obj, "store").expect("project");
+    t.row(["Slice (summarize)", "S-projection", &(a == b).to_string()]);
+    // Dice ≡ S-selection.
+    let keep: Vec<&str> = retail.products[..5].iter().map(String::as_str).collect();
+    let a = olap::dice(obj, &[("product", &keep)]).expect("dice");
+    let b = ops::s_select(obj, "product", &keep).expect("select");
+    t.row(["Dice", "S-selection", &(a == b).to_string()]);
+    // Roll up ≡ S-aggregation.
+    let a = olap::roll_up(obj, "store", "city").expect("roll up");
+    let b = ops::s_aggregate(obj, "store", "city").expect("aggregate");
+    t.row(["Roll up (consolidation)", "S-aggregation", &(a == b).to_string()]);
+    // Drill down ≡ S-disaggregation: roll up, then drill back via the
+    // retained base (Navigator) and compare to the original.
+    let mut nav = ops::navigator::Navigator::new(obj.clone());
+    nav.roll_up("store").expect("nav up");
+    nav.drill_down("store").expect("nav down");
+    let restored = nav.view().expect("view");
+    t.row(["Drill down", "S-disaggregation", &(restored == *obj).to_string()]);
+    // S-union has no OLAP counterpart in Fig 14 ("---").
+    let left = ops::s_select(obj, "store", &["city00/s0"]).expect("left");
+    let right = ops::s_select(obj, "store", &["city01/s0"]).expect("right");
+    let u = ops::s_union(&left, &right, ops::UnionPolicy::MergeStates).expect("union");
+    t.row([
+        "---".to_owned(),
+        "S-union".to_owned(),
+        format!("(combines {} + {} = {} cells)", left.cell_count(), right.cell_count(), u.cell_count()),
+    ]);
+    out.push('\n');
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_correspondences_hold() {
+        let s = super::run();
+        assert_eq!(s.matches("true").count(), 4, "{s}");
+        assert!(!s.contains("false"));
+        assert!(s.contains("Statistical Object"));
+    }
+}

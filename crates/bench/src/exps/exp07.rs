@@ -1,0 +1,98 @@
+//! E07 — Fig 13 / §5.1: automatic aggregation.
+
+use statcube_core::auto_agg::{execute, Query};
+use statcube_core::dimension::Dimension;
+use statcube_core::hierarchy::Hierarchy;
+use statcube_core::measure::{MeasureKind, SummaryAttribute, SummaryFunction};
+use statcube_core::object::StatisticalObject;
+use statcube_core::schema::Schema;
+
+/// Reruns the paper's Fig 13 query — "find the average income of engineers
+/// in 1980" expressed as just two circled nodes — and prints the inference
+/// trace the engine derived.
+pub fn run() -> String {
+    let profession = Hierarchy::builder("profession")
+        .level("profession")
+        .level("professional class")
+        .edge("chemical engineer", "engineer")
+        .edge("civil engineer", "engineer")
+        .edge("junior secretary", "secretary")
+        .edge("executive secretary", "secretary")
+        .build()
+        .expect("hierarchy");
+    let schema = Schema::builder("average income of professionals")
+        .dimension(Dimension::categorical("sex", ["M", "F"]))
+        .dimension(Dimension::temporal("year", ["80", "87", "88"]))
+        .dimension(Dimension::classified("profession", profession))
+        .measure(SummaryAttribute::new("income", MeasureKind::ValuePerUnit).with_unit("dollars"))
+        .function(SummaryFunction::Avg)
+        .build()
+        .expect("schema");
+    let mut obj = StatisticalObject::empty(schema);
+    let data: &[(&str, &str, &str, f64)] = &[
+        ("M", "80", "chemical engineer", 31_000.0),
+        ("M", "80", "civil engineer", 35_000.0),
+        ("F", "80", "chemical engineer", 29_000.0),
+        ("F", "80", "civil engineer", 33_000.0),
+        ("M", "80", "junior secretary", 18_000.0),
+        ("M", "87", "civil engineer", 42_000.0),
+        ("F", "87", "junior secretary", 21_000.0),
+    ];
+    for (s, y, p, v) in data {
+        obj.insert(&[s, y, p], *v).expect("cell");
+    }
+
+    let mut out = String::new();
+    out.push_str("=== E07: automatic aggregation (Fig 13, [S82]) ===\n\n");
+    out.push_str("query as circled on the schema graph: {year = 80},\n");
+    out.push_str("{professional class = engineer} — nothing else.\n\n");
+    let q = Query::new()
+        .members("year", ["80"])
+        .at_level("profession", "professional class", "engineer");
+    let r = execute(&obj, &q).expect("query");
+    out.push_str("inferred steps:\n");
+    for (i, step) in r.inference.iter().enumerate() {
+        out.push_str(&format!("  {}. {step}\n", i + 1));
+    }
+    out.push_str(&format!(
+        "\nanswer: average income of engineers in 1980 = {:?} dollars\n",
+        r.scalar()
+    ));
+    out.push_str(&format!(
+        "(expected by hand: (31000+35000+29000+33000)/4 = {})\n",
+        (31_000.0 + 35_000.0 + 29_000.0 + 33_000.0) / 4.0
+    ));
+
+    // And the failure path: an automatic query that would silently be
+    // wrong is refused.
+    let bad_schema = Schema::builder("population")
+        .dimension(Dimension::temporal("year", ["80", "81"]))
+        .dimension(Dimension::spatial("state", ["CA", "NV"]))
+        .measure(SummaryAttribute::new("population", MeasureKind::Stock))
+        .build()
+        .expect("schema");
+    let mut pop = StatisticalObject::empty(bad_schema);
+    pop.insert(&["80", "CA"], 100.0).expect("cell");
+    pop.insert(&["81", "CA"], 110.0).expect("cell");
+    let q = Query::new().members("state", ["CA"]);
+    match execute(&pop, &q) {
+        Err(e) => out.push_str(&format!(
+            "\nguard: query {{state = CA}} over a stock refused rather than\nsilently summing populations over years:\n  {e}\n"
+        )),
+        Ok(_) => out.push_str("\nguard FAILED: stock-over-time query was answered\n"),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig13_answer_and_guard() {
+        let s = super::run();
+        assert!(s.contains("Some(32000.0)"));
+        assert!(s.contains("S-aggregation"));
+        assert!(s.contains("not selected"));
+        assert!(s.contains("refused"));
+        assert!(!s.contains("guard FAILED"));
+    }
+}

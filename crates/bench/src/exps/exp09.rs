@@ -1,0 +1,104 @@
+//! E09 — Fig 16 / §5.5: the completeness homomorphism.
+
+use statcube_core::hierarchy::Hierarchy;
+use statcube_core::measure::SummaryFunction;
+use statcube_core::microdata::{
+    homomorphism_aggregate, homomorphism_project, homomorphism_select, homomorphism_union,
+};
+use statcube_workload::census::{generate, CensusConfig};
+
+use crate::report::Table;
+
+/// Checks the Fig 16 square — relational algebra on micro-data followed by
+/// summarization equals statistical algebra on macro-data — for
+/// select/project/union across all five summary functions on census data.
+pub fn run() -> String {
+    let census = generate(&CensusConfig { rows: 8_000, ..CensusConfig::default() });
+    let micro = &census.micro;
+    let a = micro.select_eq("state", "s00").expect("subset a");
+    let b = micro.select_eq("state", "s01").expect("subset b");
+
+    let mut out = String::new();
+    out.push_str("=== E09: completeness homomorphism (Fig 16, [MRS92]) ===\n\n");
+    out.push_str("square checked: summarize(RA-op(micro)) == S-op(summarize(micro))\n\n");
+    let mut t = Table::new(
+        "commutes?",
+        &["RA op / S-op", "sum", "count", "avg", "min", "max"],
+    );
+    let group = ["state", "sex", "race"];
+    let mut all_ok = true;
+    {
+        let mut row = vec!["select σ(sex=female) / S-select".to_owned()];
+        for f in SummaryFunction::ALL {
+            let ok = homomorphism_select(micro, &group, Some("income"), f, "sex", "female")
+                .expect("select square");
+            all_ok &= ok;
+            row.push(ok.to_string());
+        }
+        t.row(row);
+    }
+    {
+        let mut row = vec!["project π(drop race) / S-project".to_owned()];
+        for f in SummaryFunction::ALL {
+            let ok = homomorphism_project(micro, &group, Some("income"), f, "race")
+                .expect("project square");
+            all_ok &= ok;
+            row.push(ok.to_string());
+        }
+        t.row(row);
+    }
+    {
+        let mut row = vec!["union (s00 ∪ s01) / S-union".to_owned()];
+        for f in SummaryFunction::ALL {
+            let ok = homomorphism_union(&a, &b, &group, Some("income"), f)
+                .expect("union square");
+            all_ok &= ok;
+            row.push(ok.to_string());
+        }
+        t.row(row);
+    }
+    {
+        // Count-measure variant (no numeric column).
+        let mut row = vec!["select, COUNT(*) measure".to_owned()];
+        for f in SummaryFunction::ALL {
+            let ok = homomorphism_select(micro, &group, None, f, "race", "asian")
+                .expect("count square");
+            all_ok &= ok;
+            row.push(ok.to_string());
+        }
+        t.row(row);
+    }
+    {
+        // Roll-up square: reclassify micro to regions vs S-aggregate macro.
+        let mut geo = Hierarchy::builder("geo").level("state").level("region");
+        for s in 0..10 {
+            geo = geo.edge(&format!("s{s:02}"), if s < 5 { "east" } else { "west" });
+        }
+        let geo = geo.build().expect("geo hierarchy");
+        let mut row = vec!["roll-up (states→regions) / S-aggregation".to_owned()];
+        for f in SummaryFunction::ALL {
+            let ok =
+                homomorphism_aggregate(micro, &group, Some("income"), f, "state", &geo)
+                    .expect("aggregate square");
+            all_ok &= ok;
+            row.push(ok.to_string());
+        }
+        t.row(row);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nall {} squares commute: {all_ok}\n",
+        5 * SummaryFunction::ALL.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn every_square_commutes() {
+        let s = super::run();
+        assert!(s.contains("all 25 squares commute: true"));
+        assert!(!s.contains("false"));
+    }
+}

@@ -1,0 +1,99 @@
+//! E11 — Fig 18 / §6.1: transposed files vs the row store.
+
+use statcube_storage::column::TransposedStore;
+use statcube_storage::relation::Relation;
+use statcube_storage::row::RowStore;
+use statcube_workload::census::{generate, CensusConfig};
+
+use crate::report::{ratio, Table};
+
+/// Reproduces the \[THC79\] trade-off: summary queries read only the needed
+/// column files (big win, growing with table width), while full-row
+/// retrieval pays one page per column file (the penalty).
+pub fn run() -> String {
+    let census = generate(&CensusConfig { rows: 100_000, ..CensusConfig::default() });
+    let rel = Relation::from_micro(&census.micro).expect("relation");
+
+    let mut out = String::new();
+    out.push_str("=== E11: transposed files vs row store (Fig 18, [THC79]) ===\n\n");
+    let mut t = Table::new(
+        "summary query SUM(income) GROUP-style, by predicate width",
+        &["predicate columns", "row store pages", "transposed pages", "transposed win"],
+    );
+    let preds_sets: [&[(&str, &str)]; 3] = [
+        &[("sex", "male")],
+        &[("sex", "male"), ("race", "white")],
+        &[("sex", "male"), ("race", "white"), ("state", "s00")],
+    ];
+    for preds in preds_sets {
+        let row = RowStore::new(rel.clone(), 4096);
+        let col = TransposedStore::new(rel.clone(), 4096);
+        let p = row.predicates(preds).expect("preds");
+        let (rs, rc) = row.sum_where(&p, 0);
+        let (cs, cc) = col.sum_where(&p, 0);
+        assert!((rs - cs).abs() < 1e-6 && rc == cc, "stores disagree");
+        t.row([
+            preds.len().to_string(),
+            row.io().pages_read().to_string(),
+            col.io().pages_read().to_string(),
+            ratio(row.io().pages_read() as f64 / col.io().pages_read() as f64),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    let row = RowStore::new(rel.clone(), 4096);
+    let col = TransposedStore::new(rel, 4096);
+    row.fetch_row(54_321);
+    col.fetch_row(54_321);
+    let mut t2 = Table::new(
+        "full-row retrieval (the transposition penalty)",
+        &["layout", "pages read"],
+    );
+    t2.row(["row store", &row.io().pages_read().to_string()]);
+    t2.row(["transposed (one page per column file)", &col.io().pages_read().to_string()]);
+    out.push('\n');
+    out.push_str(&t2.render());
+    out.push_str(
+        "\nshape as in §6.1: transposition wins summary queries by the ratio of\n\
+         table width to touched-column width, and loses full-row fetches by a\n\
+         factor of the column count.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn transposed_wins_summaries_loses_row_fetch() {
+        let s = super::run();
+        // Every summary-query win factor is > 1.
+        for line in s.lines().filter(|l| l.trim_start().starts_with(['1', '2', '3'])) {
+            if let Some(r) = line.split('x').nth(1) {
+                let v: f64 = r.trim().parse().unwrap();
+                assert!(v > 1.0, "expected transposed win, got x{v}");
+            }
+        }
+        // Row-fetch penalty: transposed pages > row pages.
+        let idx = s.find("full-row retrieval").unwrap();
+        let tail = &s[idx..];
+        let row_pages: u64 = tail
+            .lines()
+            .find(|l| l.contains("row store"))
+            .unwrap()
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .parse()
+            .unwrap();
+        let col_pages: u64 = tail
+            .lines()
+            .find(|l| l.contains("transposed ("))
+            .unwrap()
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(col_pages > row_pages);
+    }
+}

@@ -1,0 +1,91 @@
+//! E12 — Fig 19 / §6.1: encoding, RLE, and bit-transposed files.
+
+use statcube_storage::bittransposed::BitSlicedColumn;
+use statcube_storage::encoding::EncodedColumn;
+use statcube_storage::io_stats::IoStats;
+use statcube_storage::rle::Rle;
+use statcube_workload::census::{generate, CensusConfig};
+
+use crate::report::{ratio, Table};
+
+/// Reproduces the \[WL+85\] simulation shape: per category column, storage
+/// bytes and equality-scan pages for raw `u32` codes, bit-packed codes,
+/// RLE over the sorted column, and bit-sliced planes.
+pub fn run() -> String {
+    let census = generate(&CensusConfig { rows: 200_000, ..CensusConfig::default() });
+    let micro = &census.micro;
+    let mut out = String::new();
+    out.push_str("=== E12: encoding + RLE + bit-transposed files (Fig 19, [WL+85]) ===\n\n");
+
+    let mut t = Table::new(
+        "per-column storage (bytes) — 200k rows",
+        &["column", "card", "bits", "raw u32", "bit-packed", "RLE (sorted)", "bit-sliced"],
+    );
+    let mut scan = Table::new(
+        "equality-scan pages (4 KiB pages)",
+        &["column", "raw u32", "bit-sliced planes", "win"],
+    );
+    for col in ["sex", "race", "age_group", "county"] {
+        let dict = micro.dictionary(col).expect("column");
+        let codes: Vec<u32> = (0..micro.len())
+            .map(|r| dict.id_of(micro.cat_value(col, r).expect("value")).expect("id"))
+            .collect();
+        let bits = dict.code_bits();
+        let packed = EncodedColumn::pack(&codes, bits).expect("pack");
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        let rle = Rle::encode(&sorted);
+        let sliced = BitSlicedColumn::build(&codes, bits).expect("slice");
+        t.row([
+            col.to_owned(),
+            dict.len().to_string(),
+            bits.to_string(),
+            (codes.len() * 4).to_string(),
+            packed.size_bytes().to_string(),
+            rle.size_bytes(4).to_string(),
+            sliced.size_bytes().to_string(),
+        ]);
+
+        let io = IoStats::new(4096);
+        let bm = sliced.eq_scan(0, &io);
+        let _ = BitSlicedColumn::count_ones(&bm);
+        let raw_pages = io.pages_of(codes.len() * 4);
+        scan.row([
+            col.to_owned(),
+            raw_pages.to_string(),
+            io.pages_read().to_string(),
+            ratio(raw_pages as f64 / io.pages_read() as f64),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    out.push_str(&scan.render());
+    out.push_str(
+        "\nshape as in [WL+85]: low-cardinality columns compress dramatically\n\
+         (sex: 32x under bit-packing, far more under sorted RLE), and equality\n\
+         scans touch only `code_bits` planes instead of 32-bit words.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn compression_and_scan_wins() {
+        let s = super::run();
+        // The sex row: raw 800000, packed 100000-ish (1 bit → 25000 B).
+        let sex = s.lines().find(|l| l.trim_start().starts_with("sex")).unwrap();
+        let cells: Vec<&str> = sex.split_whitespace().collect();
+        let raw: usize = cells[3].parse().unwrap();
+        let packed: usize = cells[4].parse().unwrap();
+        assert!(raw >= 30 * packed, "raw {raw} packed {packed}");
+        // Every scan win is > 1.
+        for line in s.lines().filter(|l| l.contains('x') && l.contains('.')) {
+            if let Some(r) = line.rsplit('x').next() {
+                if let Ok(v) = r.trim().parse::<f64>() {
+                    assert!(v >= 1.0, "scan win {v} in {line}");
+                }
+            }
+        }
+    }
+}

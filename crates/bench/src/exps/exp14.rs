@@ -1,0 +1,110 @@
+//! E14 — Fig 21 / §6.2: header compression.
+
+use statcube_storage::header::HeaderCompressed;
+use statcube_storage::io_stats::IoStats;
+use statcube_storage::lzw;
+
+use crate::report::{f, ratio, Table};
+
+fn clustered(total: usize, density: f64, cluster: usize) -> Vec<f64> {
+    // Non-null values appear in runs of `cluster` (the [EOA81] regime:
+    // non-producing counties yield long null stretches).
+    let mut v = vec![f64::NAN; total];
+    let filled = (total as f64 * density) as usize;
+    let clusters = filled / cluster.max(1);
+    let spacing = total / clusters.max(1);
+    let mut written = 0;
+    for c in 0..clusters {
+        let start = c * spacing;
+        for k in 0..cluster {
+            if start + k < total && written < filled {
+                v[start + k] = (start + k) as f64;
+                written += 1;
+            }
+        }
+    }
+    v
+}
+
+/// Reproduces the \[EOA81\] claims: compression ratio grows with null
+/// density *and* null clustering; forward and inverse mappings both run in
+/// a handful of page probes through the B-tree over the accumulated
+/// header.
+pub fn run() -> String {
+    const TOTAL: usize = 1_000_000;
+    let mut out = String::new();
+    out.push_str("=== E14: header compression (Fig 21, [EOA81]) ===\n\n");
+    let mut t = Table::new(
+        "compression vs density and clustering (1M logical cells)",
+        &["density", "cluster len", "runs", "stored bytes", "ratio vs dense", "LZW ratio", "probe pages"],
+    );
+    for &density in &[0.5f64, 0.1, 0.01, 0.001] {
+        for &cluster in &[1000usize, 10] {
+            let dense = clustered(TOTAL, density, cluster);
+            let h = HeaderCompressed::from_dense(&dense);
+            let io = IoStats::new(4096);
+            let _ = h.get_with_io(TOTAL / 2, &io);
+            // §6.2's "other compression methods … such as the well known
+            // LZW" as the general-purpose comparison (sampled prefix to
+            // keep the harness quick; LZW ratio is length-stable here).
+            let lzw_ratio =
+                lzw::compression_ratio(&lzw::dense_to_bytes(&dense[..TOTAL / 10]));
+            t.row([
+                f(density),
+                cluster.to_string(),
+                h.run_count().to_string(),
+                h.size_bytes().to_string(),
+                ratio(h.compression_ratio()),
+                ratio(lzw_ratio),
+                io.pages_read().to_string(),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nLZW compresses the null bytes too, but a point lookup would have to\n\
+         decompress the stream; header compression keeps O(log) random access.\n",
+    );
+
+    // Forward/inverse round trip on one instance.
+    let dense = clustered(TOTAL, 0.01, 100);
+    let h = HeaderCompressed::from_dense(&dense);
+    let mut ok = true;
+    for p in (0..h.value_count()).step_by(997) {
+        let logical = h.logical_of(p).expect("inverse");
+        ok &= h.get(logical) == Some(dense[logical]);
+    }
+    out.push_str(&format!(
+        "\nforward(inverse(p)) round-trips for sampled physical positions: {ok}\n"
+    ));
+    out.push_str(
+        "shape as in [EOA81]: the sparser and more clustered the nulls, the more\n\
+         dramatic the reduction; lookups stay at B-tree-height page probes.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ratios_grow_with_sparsity_and_clustering() {
+        let s = super::run();
+        assert!(s.contains("round-trips for sampled physical positions: true"));
+        let ratios: Vec<f64> = s
+            .lines()
+            .filter(|l| l.contains("x") && (l.trim_start().starts_with("0.") || l.trim_start().starts_with("0 ")))
+            .filter_map(|l| {
+                l.split_whitespace()
+                    .find(|c| c.starts_with('x'))
+                    .and_then(|c| c[1..].parse::<f64>().ok())
+            })
+            .collect();
+        assert!(ratios.len() >= 8, "parsed {ratios:?}");
+        // Clustered 0.001-density beats clustered 0.5-density.
+        assert!(ratios[ratios.len() - 2] > ratios[0]);
+        // Within each density, clustered (first) ≥ scattered (second).
+        for pair in ratios.chunks(2) {
+            assert!(pair[0] >= pair[1] * 0.99, "{pair:?}");
+        }
+    }
+}

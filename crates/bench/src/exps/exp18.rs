@@ -1,0 +1,118 @@
+//! E18 — §6.6: MOLAP vs ROLAP across density.
+
+use std::time::Instant;
+
+use statcube_cube::input::FactInput;
+use statcube_cube::{cube_op, molap, rolap};
+
+use crate::report::{f, Table};
+
+fn make_input(cards: &[usize], rows: usize, seed: u64) -> FactInput {
+    let mut input = FactInput::new(cards).expect("input");
+    let mut x = seed | 1;
+    for _ in 0..rows {
+        let coords: Vec<u32> = cards
+            .iter()
+            .map(|&c| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % c as u64) as u32
+            })
+            .collect();
+        input.push(&coords, (x % 1000) as f64).expect("push");
+    }
+    input
+}
+
+/// Reproduces the §6.6 / \[ZDN97\] shape: dense-array MOLAP beats the
+/// relational engines when the cube is dense, loses when it is sparse, and
+/// the crossover sits in between.
+pub fn run() -> String {
+    let cards = [32usize, 32, 32]; // 32k-cell cross product
+    let space: usize = cards.iter().product();
+    let mut out = String::new();
+    out.push_str("=== E18: MOLAP vs ROLAP cube computation (§6.6, [ZDN97]) ===\n\n");
+    let mut t = Table::new(
+        "full-cube computation time (ms) over a 32x32x32 space",
+        &["facts", "density", "MOLAP (array)", "ROLAP (sort)", "ROLAP (hash)", "winner"],
+    );
+    let mut dense_winner = String::new();
+    let mut sparse_winner = String::new();
+    for &rows in &[100usize, 1_000, 10_000, 100_000, 400_000] {
+        let input = make_input(&cards, rows, 42);
+        let reps = if rows <= 1_000 { 20 } else { 3 };
+        let time = |f: &dyn Fn()| -> f64 {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            t0.elapsed().as_secs_f64() * 1000.0 / reps as f64
+        };
+        let m = time(&|| {
+            molap::compute_molap(&input).expect("molap");
+        });
+        let rs = time(&|| {
+            rolap::compute_rolap(&input);
+        });
+        let rh = time(&|| {
+            cube_op::compute_shared(&input);
+        });
+        let winner = if m < rs.min(rh) { "MOLAP" } else { "ROLAP" };
+        let density = rows as f64 / space as f64;
+        if density >= 3.0 {
+            dense_winner = winner.to_owned();
+        }
+        if density <= 0.01 {
+            sparse_winner = winner.to_owned();
+        }
+        t.row([
+            rows.to_string(),
+            f(density),
+            format!("{m:.2}"),
+            format!("{rs:.2}"),
+            format!("{rh:.2}"),
+            winner.to_owned(),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    // Correctness cross-check on one mid-density input.
+    let input = make_input(&cards, 10_000, 7);
+    let m = molap::compute_molap(&input).expect("molap").to_cube_result();
+    let r = rolap::compute_rolap(&input).to_cube_result();
+    let h = cube_op::compute_shared(&input);
+    let agree = h.masks().iter().all(|&mask| {
+        let hc = h.cuboid(mask).unwrap();
+        [m.cuboid(mask).unwrap(), r.cuboid(mask).unwrap()].iter().all(|c| {
+            c.len() == hc.len()
+                && hc.iter().all(|(k, s)| {
+                    c.get(k)
+                        .map(|x| (x.sum - s.sum).abs() < 1e-6 && x.count == s.count)
+                        .unwrap_or(false)
+                })
+        })
+    });
+    out.push_str(&format!("\nall three engines agree on every cuboid: {agree}\n"));
+    out.push_str(&format!(
+        "observed: sparse end won by {sparse_winner}, dense end won by {dense_winner} —\n\
+         the §6.6 claim ('MOLAP performs better', substantiated by [ZDN97] on\n\
+         dense data) with the sparse caveat ROLAP proponents raise.\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn engines_agree() {
+        let s = super::run();
+        assert!(s.contains("all three engines agree on every cuboid: true"));
+    }
+
+    #[test]
+    fn dense_end_prefers_molap() {
+        let s = super::run();
+        assert!(s.contains("dense end won by MOLAP"), "{s}");
+    }
+}

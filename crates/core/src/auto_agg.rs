@@ -1,0 +1,286 @@
+//! Automatic aggregation (§5.1, Fig 13, \[S82\]).
+//!
+//! Given the well-defined semantics of a statistical object, a query can
+//! state a *minimum* number of conditions and the system infers the rest:
+//! circling "engineer" and "1980" on the schema graph means *sum over all
+//! engineer professions, over all sexes, of the 1980 values* — no explicit
+//! `GROUP BY`/aggregation expression needed. This module implements that
+//! inference and reports, step by step, what was inferred (the E07 harness
+//! prints it).
+
+use crate::error::{Error, Result};
+use crate::object::StatisticalObject;
+use crate::ops;
+
+/// What the user circled on one dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Selection {
+    /// Leaf member(s) circled: keep exactly these, stay at leaf level.
+    Members(Vec<String>),
+    /// A member of a *non-leaf* level circled ("engineer"): aggregate to
+    /// that level and keep these members.
+    AtLevel {
+        /// Level name within the dimension's default hierarchy.
+        level: String,
+        /// Members kept at that level.
+        members: Vec<String>,
+    },
+    /// Nothing circled: summarize over all elements of the dimension
+    /// (inference rule (ii) of §5.1).
+    All,
+}
+
+/// A minimal query: selections for *some* dimensions; omitted dimensions
+/// default to [`Selection::All`].
+#[derive(Debug, Clone, Default)]
+pub struct Query {
+    selections: Vec<(String, Selection)>,
+}
+
+impl Query {
+    /// An empty query (grand total over everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Circles leaf members of a dimension.
+    pub fn members<I, S>(mut self, dim: &str, members: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.selections.push((
+            dim.to_owned(),
+            Selection::Members(members.into_iter().map(Into::into).collect()),
+        ));
+        self
+    }
+
+    /// Circles a single member at a (possibly non-leaf) hierarchy level.
+    pub fn at_level(mut self, dim: &str, level: &str, member: &str) -> Self {
+        self.selections.push((
+            dim.to_owned(),
+            Selection::AtLevel { level: level.to_owned(), members: vec![member.to_owned()] },
+        ));
+        self
+    }
+
+    /// The explicit selections.
+    pub fn selections(&self) -> &[(String, Selection)] {
+        &self.selections
+    }
+}
+
+/// The inferred, fully-resolved query and its result.
+#[derive(Debug, Clone)]
+pub struct AutoAggResult {
+    /// The resulting statistical object (one dimension per explicit
+    /// selection; omitted dimensions summarized away).
+    pub object: StatisticalObject,
+    /// Human-readable inference trace, one line per inferred step.
+    pub inference: Vec<String>,
+}
+
+impl AutoAggResult {
+    /// If the result is a single cell, its value (single-measure objects).
+    pub fn scalar(&self) -> Option<f64> {
+        if self.object.cell_count() == 1 && self.object.schema().measures().len() == 1 {
+            let (coords, _) = self.object.cells().next()?;
+            self.object.eval(coords, 0, self.object.schema().function(0))
+        } else {
+            None
+        }
+    }
+}
+
+/// Executes a minimal query against a statistical object, inferring the
+/// full aggregation. Summarizability is enforced on every inferred
+/// summarization — an automatic query cannot silently produce a wrong
+/// total.
+pub fn execute(obj: &StatisticalObject, query: &Query) -> Result<AutoAggResult> {
+    let mut inference = Vec::new();
+    let mut cur = obj.clone();
+
+    // Validate the query mentions real dimensions, and each at most once.
+    for (i, (dim, _)) in query.selections.iter().enumerate() {
+        obj.schema().dim_index(dim)?;
+        if query.selections[..i].iter().any(|(d, _)| d == dim) {
+            return Err(Error::InvalidSchema(format!(
+                "dimension `{dim}` selected more than once"
+            )));
+        }
+    }
+
+    // Pass 1: aggregate dimensions whose selection is at a non-leaf level.
+    for (dim, sel) in &query.selections {
+        if let Selection::AtLevel { level, .. } = sel {
+            let d = cur.schema().dim_index(dim)?;
+            let leaf = cur.schema().dimensions()[d]
+                .default_hierarchy()
+                .map(|h| h.leaf().name().to_owned());
+            if leaf.as_deref() != Some(level.as_str()) {
+                inference.push(format!(
+                    "`{dim}` circled at non-leaf level `{level}`: summarize over all its \
+                     descendants (S-aggregation)"
+                ));
+                cur = ops::s_aggregate(&cur, dim, level)?;
+            }
+        }
+    }
+
+    // Pass 2: filter to the circled members.
+    for (dim, sel) in &query.selections {
+        let members: &[String] = match sel {
+            Selection::Members(m) => m,
+            Selection::AtLevel { members, .. } => members,
+            Selection::All => continue,
+        };
+        let refs: Vec<&str> = members.iter().map(String::as_str).collect();
+        inference.push(format!("`{dim}`: keep {{{}}} (S-selection)", members.join(", ")));
+        cur = ops::s_select(&cur, dim, &refs)?;
+    }
+
+    // Pass 3: summarize over every dimension not mentioned (or marked All)
+    // — inference rule (ii): "leaving out any selection … implies
+    // summarization over all elements of that dimension".
+    let unmentioned: Vec<String> = cur
+        .schema()
+        .dimensions()
+        .iter()
+        .map(|d| d.name().to_owned())
+        .filter(|name| {
+            !query
+                .selections
+                .iter()
+                .any(|(dim, sel)| dim == name && !matches!(sel, Selection::All))
+        })
+        .collect();
+    for dim in unmentioned {
+        inference.push(format!(
+            "`{dim}` not selected: summarize over all its elements (S-projection)"
+        ));
+        cur = ops::s_project(&cur, &dim)?;
+    }
+
+    inference.push(format!(
+        "summary measure `{}` and function `{}` inferred from the statistical object",
+        cur.schema().measures()[0].name(),
+        cur.schema().function(0)
+    ));
+    Ok(AutoAggResult { object: cur, inference })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::Dimension;
+    use crate::hierarchy::Hierarchy;
+    use crate::measure::{MeasureKind, SummaryAttribute, SummaryFunction};
+    use crate::schema::Schema;
+
+    /// The Fig 13 object: average income by sex by year by profession.
+    fn fig13() -> StatisticalObject {
+        let profession = Hierarchy::builder("profession")
+            .level("profession")
+            .level("professional class")
+            .edge("chemical engineer", "engineer")
+            .edge("civil engineer", "engineer")
+            .edge("junior secretary", "secretary")
+            .build()
+            .unwrap();
+        let schema = Schema::builder("average income")
+            .dimension(Dimension::categorical("sex", ["M", "F"]))
+            .dimension(Dimension::temporal("year", ["80", "87"]))
+            .dimension(Dimension::classified("profession", profession))
+            .measure(SummaryAttribute::new("income", MeasureKind::ValuePerUnit))
+            .function(SummaryFunction::Avg)
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        // Each insert is one micro observation; avg composes from sum/count.
+        o.insert(&["M", "80", "chemical engineer"], 30_000.0).unwrap();
+        o.insert(&["M", "80", "civil engineer"], 34_000.0).unwrap();
+        o.insert(&["F", "80", "civil engineer"], 32_000.0).unwrap();
+        o.insert(&["F", "80", "junior secretary"], 20_000.0).unwrap();
+        o.insert(&["M", "87", "civil engineer"], 40_000.0).unwrap();
+        o
+    }
+
+    #[test]
+    fn fig13_engineers_in_1980() {
+        // Circle year=80 and professional class=engineer: the paper's
+        // example query "find the average income of engineers in 1980".
+        let q = Query::new()
+            .members("year", ["80"])
+            .at_level("profession", "professional class", "engineer");
+        let r = execute(&fig13(), &q).unwrap();
+        // Engineers in 1980: 30k, 34k, 32k over both sexes → avg 32k.
+        assert_eq!(r.scalar(), Some(32_000.0));
+        // The inference trace mentions every inferred step.
+        let trace = r.inference.join("\n");
+        assert!(trace.contains("S-aggregation"));
+        assert!(trace.contains("`sex` not selected"));
+        assert!(trace.contains("avg"));
+    }
+
+    #[test]
+    fn empty_query_yields_grand_total() {
+        let q = Query::new();
+        let r = execute(&fig13(), &q).unwrap();
+        assert_eq!(r.scalar(), Some((30.0 + 34.0 + 32.0 + 20.0 + 40.0) * 1000.0 / 5.0));
+    }
+
+    #[test]
+    fn leaf_member_selection_keeps_level() {
+        let q = Query::new().members("profession", ["civil engineer"]);
+        let r = execute(&fig13(), &q).unwrap();
+        assert_eq!(r.object.schema().dim_count(), 1);
+        assert_eq!(r.scalar(), Some((34_000.0 + 32_000.0 + 40_000.0) / 3.0));
+    }
+
+    #[test]
+    fn multi_member_result_is_not_scalar() {
+        let q = Query::new().members("sex", ["M", "F"]).members("year", ["80"]);
+        let r = execute(&fig13(), &q).unwrap();
+        assert_eq!(r.scalar(), None);
+        assert_eq!(r.object.cell_count(), 2);
+        assert_eq!(r.object.get(&["F", "80"]).unwrap(), Some(26_000.0));
+    }
+
+    #[test]
+    fn duplicate_dimension_rejected() {
+        let q = Query::new().members("sex", ["M"]).members("sex", ["F"]);
+        assert!(execute(&fig13(), &q).is_err());
+    }
+
+    #[test]
+    fn unknown_dimension_or_member_rejected() {
+        assert!(execute(&fig13(), &Query::new().members("planet", ["earth"])).is_err());
+        assert!(execute(&fig13(), &Query::new().members("sex", ["X"])).is_err());
+        assert!(execute(
+            &fig13(),
+            &Query::new().at_level("profession", "galaxy", "engineer")
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn summarizability_is_enforced_on_inferred_steps() {
+        // A SUM of a stock over time: the inferred projection over `year`
+        // must fail rather than silently add populations over months.
+        let schema = Schema::builder("population")
+            .dimension(Dimension::temporal("year", ["80", "81"]))
+            .dimension(Dimension::spatial("state", ["CA"]))
+            .measure(SummaryAttribute::new("population", MeasureKind::Stock))
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        o.insert(&["80", "CA"], 100.0).unwrap();
+        o.insert(&["81", "CA"], 110.0).unwrap();
+        let q = Query::new().members("state", ["CA"]);
+        assert!(matches!(execute(&o, &q), Err(Error::Summarizability(_))));
+        // Selecting a single year makes it fine.
+        let q = Query::new().members("state", ["CA"]).members("year", ["81"]);
+        assert_eq!(execute(&o, &q).unwrap().scalar(), Some(110.0));
+    }
+}

@@ -1,0 +1,278 @@
+//! A subject directory of statistical objects (\[CS81\]: *"SUBJECT: A
+//! Directory driven System for Organizing and Accessing Large Statistical
+//! Databases"*, cited in §4.1 as the origin of the graph model).
+//!
+//! Statistical agencies hold thousands of summary datasets; SUBJECT's idea
+//! was a *directory-driven* organization — a tree of subject areas whose
+//! leaves are the datasets — plus search over the datasets' category and
+//! summary attributes. [`Catalog`] is that directory for
+//! [`StatisticalObject`]s.
+
+use std::collections::BTreeMap;
+
+use crate::error::{Error, Result};
+use crate::object::StatisticalObject;
+
+#[derive(Debug, Clone, Default)]
+struct SubjectNode {
+    children: BTreeMap<String, SubjectNode>,
+    datasets: BTreeMap<String, StatisticalObject>,
+}
+
+/// A directory tree of subject areas holding statistical objects.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    root: SubjectNode,
+}
+
+/// A search hit: the dataset's subject path and name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hit {
+    /// Subject path, root-first.
+    pub path: Vec<String>,
+    /// Dataset name within its subject.
+    pub name: String,
+}
+
+impl Hit {
+    /// Renders as `economy/energy/oil production`.
+    pub fn to_path_string(&self) -> String {
+        let mut parts = self.path.clone();
+        parts.push(self.name.clone());
+        parts.join("/")
+    }
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn node_mut(&mut self, path: &[&str]) -> &mut SubjectNode {
+        let mut cur = &mut self.root;
+        for p in path {
+            cur = cur.children.entry((*p).to_owned()).or_default();
+        }
+        cur
+    }
+
+    fn node(&self, path: &[&str]) -> Result<&SubjectNode> {
+        let mut cur = &self.root;
+        for p in path {
+            cur = cur
+                .children
+                .get(*p)
+                .ok_or_else(|| Error::ColumnError(format!("no subject `{p}` in catalog")))?;
+        }
+        Ok(cur)
+    }
+
+    /// Files a dataset under a subject path (intermediate subjects are
+    /// created). Replacing an existing dataset of the same name is an
+    /// error — directories are curated, not clobbered.
+    pub fn insert(
+        &mut self,
+        path: &[&str],
+        name: impl Into<String>,
+        object: StatisticalObject,
+    ) -> Result<()> {
+        let name = name.into();
+        let node = self.node_mut(path);
+        if node.datasets.contains_key(&name) {
+            return Err(Error::InvalidSchema(format!(
+                "dataset `{name}` already filed under {path:?}"
+            )));
+        }
+        node.datasets.insert(name, object);
+        Ok(())
+    }
+
+    /// Fetches a dataset by subject path and name.
+    pub fn get(&self, path: &[&str], name: &str) -> Result<&StatisticalObject> {
+        self.node(path)?
+            .datasets
+            .get(name)
+            .ok_or_else(|| Error::ColumnError(format!("no dataset `{name}` under {path:?}")))
+    }
+
+    /// Lists a subject's child subjects and datasets (both sorted).
+    pub fn list(&self, path: &[&str]) -> Result<(Vec<&str>, Vec<&str>)> {
+        let node = self.node(path)?;
+        Ok((
+            node.children.keys().map(String::as_str).collect(),
+            node.datasets.keys().map(String::as_str).collect(),
+        ))
+    }
+
+    /// Number of datasets in the whole catalog.
+    pub fn len(&self) -> usize {
+        fn count(n: &SubjectNode) -> usize {
+            n.datasets.len() + n.children.values().map(count).sum::<usize>()
+        }
+        count(&self.root)
+    }
+
+    /// True if no dataset is filed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn search(&self, pred: impl Fn(&StatisticalObject) -> bool) -> Vec<Hit> {
+        fn rec(
+            node: &SubjectNode,
+            path: &mut Vec<String>,
+            pred: &impl Fn(&StatisticalObject) -> bool,
+            out: &mut Vec<Hit>,
+        ) {
+            for (name, obj) in &node.datasets {
+                if pred(obj) {
+                    out.push(Hit { path: path.clone(), name: name.clone() });
+                }
+            }
+            for (name, child) in &node.children {
+                path.push(name.clone());
+                rec(child, path, pred, out);
+                path.pop();
+            }
+        }
+        let mut out = Vec::new();
+        rec(&self.root, &mut Vec::new(), &pred, &mut out);
+        out
+    }
+
+    /// Finds datasets having a dimension (category attribute) of the given
+    /// name — the directory-driven access path: "which datasets break down
+    /// by `sex`?"
+    pub fn find_by_category(&self, dimension: &str) -> Vec<Hit> {
+        self.search(|o| o.schema().dimensions().iter().any(|d| d.name() == dimension))
+    }
+
+    /// Finds datasets having a summary attribute of the given name.
+    pub fn find_by_measure(&self, measure: &str) -> Vec<Hit> {
+        self.search(|o| o.schema().measures().iter().any(|m| m.name() == measure))
+    }
+
+    /// Finds datasets whose title contains `keyword` (case-insensitive).
+    pub fn find_by_keyword(&self, keyword: &str) -> Vec<Hit> {
+        let kw = keyword.to_lowercase();
+        self.search(|o| o.schema().name().to_lowercase().contains(&kw))
+    }
+
+    /// Renders the directory as an indented tree.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        fn rec(node: &SubjectNode, depth: usize, out: &mut String) {
+            let pad = "  ".repeat(depth);
+            for (name, obj) in &node.datasets {
+                let dims: Vec<&str> =
+                    obj.schema().dimensions().iter().map(|d| d.name()).collect();
+                let _ = writeln!(out, "{pad}· {name} [{}]", dims.join(" × "));
+            }
+            for (name, child) in &node.children {
+                let _ = writeln!(out, "{pad}{name}/");
+                rec(child, depth + 1, out);
+            }
+        }
+        let mut s = String::new();
+        rec(&self.root, 0, &mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::Dimension;
+    use crate::measure::{MeasureKind, SummaryAttribute};
+    use crate::schema::Schema;
+
+    fn obj(title: &str, dims: &[&str], measure: &str) -> StatisticalObject {
+        let mut b = Schema::builder(title);
+        for d in dims {
+            b = b.dimension(Dimension::categorical(*d, ["a", "b"]));
+        }
+        let schema =
+            b.measure(SummaryAttribute::new(measure, MeasureKind::Flow)).build().unwrap();
+        StatisticalObject::empty(schema)
+    }
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.insert(
+            &["socio-economic", "census"],
+            "employment",
+            obj("Employment in California", &["sex", "year", "profession"], "employment"),
+        )
+        .unwrap();
+        c.insert(
+            &["socio-economic", "census"],
+            "income",
+            obj("Average income", &["sex", "race", "state"], "income"),
+        )
+        .unwrap();
+        c.insert(
+            &["economy", "energy"],
+            "oil production",
+            obj("Crude oil production", &["product", "county", "month"], "barrels"),
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn insert_get_list() {
+        let c = catalog();
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        let o = c.get(&["socio-economic", "census"], "employment").unwrap();
+        assert_eq!(o.schema().name(), "Employment in California");
+        let (subjects, datasets) = c.list(&["socio-economic"]).unwrap();
+        assert_eq!(subjects, vec!["census"]);
+        assert!(datasets.is_empty());
+        let (_, datasets) = c.list(&["socio-economic", "census"]).unwrap();
+        assert_eq!(datasets, vec!["employment", "income"]);
+        assert!(c.get(&["nope"], "x").is_err());
+        assert!(c.get(&["economy"], "x").is_err());
+    }
+
+    #[test]
+    fn duplicate_filing_rejected() {
+        let mut c = catalog();
+        assert!(c
+            .insert(&["socio-economic", "census"], "employment", obj("dup", &["d"], "m"))
+            .is_err());
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn directory_driven_search() {
+        let c = catalog();
+        let by_sex = c.find_by_category("sex");
+        assert_eq!(by_sex.len(), 2);
+        assert!(by_sex.iter().all(|h| h.path[0] == "socio-economic"));
+        let by_barrels = c.find_by_measure("barrels");
+        assert_eq!(by_barrels.len(), 1);
+        assert_eq!(by_barrels[0].to_path_string(), "economy/energy/oil production");
+        let by_kw = c.find_by_keyword("CALIFORNIA");
+        assert_eq!(by_kw.len(), 1);
+        assert!(c.find_by_category("planet").is_empty());
+    }
+
+    #[test]
+    fn render_shows_tree() {
+        let s = catalog().render();
+        assert!(s.contains("socio-economic/"));
+        assert!(s.contains("  census/"));
+        assert!(s.contains("· employment [sex × year × profession]"));
+    }
+
+    #[test]
+    fn empty_catalog() {
+        let c = Catalog::new();
+        assert!(c.is_empty());
+        assert!(c.find_by_category("x").is_empty());
+        let (s, d) = c.list(&[]).unwrap();
+        assert!(s.is_empty() && d.is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! Dictionary encoding of category values.
+//!
+//! Every category attribute (dimension level) has a finite set of *category
+//! values* ("male", "civil engineer", "Alabama", …). The engine never carries
+//! those strings through the hot paths; each level maintains a [`Dictionary`]
+//! that interns values to dense `u32` ids, mirroring the encoding step of
+//! paper Fig. 19 (\[WL+85\]).
+
+use std::collections::HashMap;
+
+/// A dense, insertion-ordered mapping between category-value strings and
+/// `u32` ids.
+///
+/// Ids are assigned `0, 1, 2, …` in insertion order, so they double as array
+/// indices everywhere (hierarchy edge tables, linearized arrays, bit-packed
+/// columns).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dictionary {
+    values: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a dictionary pre-populated with `values`, in order.
+    /// Duplicate values collapse to the first occurrence.
+    pub fn from_values<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut d = Self::new();
+        for v in values {
+            d.intern(v.as_ref());
+        }
+        d
+    }
+
+    /// Returns the id of `value`, interning it if not yet present.
+    pub fn intern(&mut self, value: &str) -> u32 {
+        if let Some(&id) = self.index.get(value) {
+            return id;
+        }
+        let id = self.values.len() as u32;
+        self.values.push(value.to_owned());
+        self.index.insert(value.to_owned(), id);
+        id
+    }
+
+    /// Returns the id of `value` if it has been interned.
+    pub fn id_of(&self, value: &str) -> Option<u32> {
+        self.index.get(value).copied()
+    }
+
+    /// Returns the value for `id`, or `None` if out of range.
+    pub fn value_of(&self, id: u32) -> Option<&str> {
+        self.values.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct values (the *cardinality* of the category
+    /// attribute).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no value has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(id, value)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.values.iter().enumerate().map(|(i, v)| (i as u32, v.as_str()))
+    }
+
+    /// All values in id order.
+    pub fn values(&self) -> impl Iterator<Item = &str> {
+        self.values.iter().map(String::as_str)
+    }
+
+    /// Number of bits needed to encode any id of this dictionary
+    /// (`ceil(log2(len))`, minimum 1) — the code width of Fig. 19.
+    pub fn code_bits(&self) -> u32 {
+        let n = self.values.len().max(1) as u64;
+        if n <= 1 {
+            1
+        } else {
+            64 - (n - 1).leading_zeros()
+        }
+    }
+
+    /// True if both dictionaries contain the same values in the same order
+    /// (so ids are interchangeable).
+    pub fn same_coding(&self, other: &Dictionary) -> bool {
+        self.values == other.values
+    }
+}
+
+impl<S: AsRef<str>> FromIterator<S> for Dictionary {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        Self::from_values(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("male");
+        let b = d.intern("female");
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(d.intern("male"), 0);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn lookup_round_trips() {
+        let d = Dictionary::from_values(["white", "black", "asian"]);
+        for (id, v) in d.iter() {
+            assert_eq!(d.id_of(v), Some(id));
+            assert_eq!(d.value_of(id), Some(v));
+        }
+        assert_eq!(d.id_of("martian"), None);
+        assert_eq!(d.value_of(99), None);
+    }
+
+    #[test]
+    fn from_values_collapses_duplicates() {
+        let d = Dictionary::from_values(["a", "b", "a", "c", "b"]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.id_of("c"), Some(2));
+    }
+
+    #[test]
+    fn code_bits_matches_cardinality() {
+        assert_eq!(Dictionary::from_values(["x"]).code_bits(), 1);
+        assert_eq!(Dictionary::from_values(["m", "f"]).code_bits(), 1);
+        assert_eq!(Dictionary::from_values(["a", "b", "c"]).code_bits(), 2);
+        assert_eq!(Dictionary::from_values((0..8).map(|i| i.to_string())).code_bits(), 3);
+        assert_eq!(Dictionary::from_values((0..9).map(|i| i.to_string())).code_bits(), 4);
+        // 50 states fit in 6 bits, as in the paper's encoding example.
+        assert_eq!(Dictionary::from_values((0..50).map(|i| i.to_string())).code_bits(), 6);
+    }
+
+    #[test]
+    fn same_coding_requires_order() {
+        let a = Dictionary::from_values(["x", "y"]);
+        let b = Dictionary::from_values(["y", "x"]);
+        let c = Dictionary::from_values(["x", "y"]);
+        assert!(!a.same_coding(&b));
+        assert!(a.same_coding(&c));
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d = Dictionary::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.code_bits(), 1);
+    }
+}

@@ -1,0 +1,293 @@
+//! Dimensions (the paper's *category attributes*).
+//!
+//! A [`Dimension`] names one axis of the multidimensional space, carries its
+//! leaf member dictionary, a semantic [`DimensionRole`] (temporal dimensions
+//! interact with measure kinds in the summarizability rules), and zero or
+//! more classification hierarchies. §3.2(i) observes that products can be
+//! classified "in many different ways, such as by type … or by price range";
+//! we support such *multiple classifications over the same dimension* by
+//! letting each extra hierarchy carry its own leaf-id remapping.
+
+use crate::dictionary::Dictionary;
+use crate::error::{Error, Result};
+use crate::hierarchy::Hierarchy;
+
+/// Semantic role of a dimension, used by the summarizability checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DimensionRole {
+    /// Ordinary categorical axis (sex, race, product).
+    Categorical,
+    /// Time axis (year, day). Stocks are not additive over it.
+    Temporal,
+    /// Geographic axis (state, county). Treated as categorical for
+    /// summarizability, tagged for the modeling layer.
+    Spatial,
+}
+
+/// One axis of a statistical object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dimension {
+    name: String,
+    role: DimensionRole,
+    leaf: Dictionary,
+    /// Hierarchies over this dimension. Each pairs the hierarchy with a map
+    /// from dimension leaf id → hierarchy level-0 id.
+    hierarchies: Vec<(Hierarchy, Vec<u32>)>,
+}
+
+impl Dimension {
+    /// A flat categorical dimension.
+    pub fn categorical<I, S>(name: impl Into<String>, members: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        Self {
+            name: name.into(),
+            role: DimensionRole::Categorical,
+            leaf: Dictionary::from_values(members),
+            hierarchies: Vec::new(),
+        }
+    }
+
+    /// A flat temporal dimension.
+    pub fn temporal<I, S>(name: impl Into<String>, members: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        Self { role: DimensionRole::Temporal, ..Self::categorical(name, members) }
+    }
+
+    /// A flat spatial dimension.
+    pub fn spatial<I, S>(name: impl Into<String>, members: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        Self { role: DimensionRole::Spatial, ..Self::categorical(name, members) }
+    }
+
+    /// A dimension classified by `hierarchy`: the dimension's members are
+    /// the hierarchy's leaf members, in the same id order.
+    pub fn classified(name: impl Into<String>, hierarchy: Hierarchy) -> Self {
+        let leaf = hierarchy.leaf().members().clone();
+        let identity: Vec<u32> = (0..leaf.len() as u32).collect();
+        Self {
+            name: name.into(),
+            role: DimensionRole::Categorical,
+            leaf,
+            hierarchies: vec![(hierarchy, identity)],
+        }
+    }
+
+    /// Like [`Dimension::classified`] with a temporal role (the
+    /// year→month→day ID-dependent hierarchy of §2.2(ii)).
+    pub fn classified_temporal(name: impl Into<String>, hierarchy: Hierarchy) -> Self {
+        Self { role: DimensionRole::Temporal, ..Self::classified(name, hierarchy) }
+    }
+
+    /// Overrides the role.
+    pub fn with_role(mut self, role: DimensionRole) -> Self {
+        self.role = role;
+        self
+    }
+
+    /// Attaches an *additional* classification over the same members
+    /// (§3.2(i): classify products by type **and** by price range). The
+    /// hierarchy's leaf member set must equal the dimension's member set
+    /// (order may differ; ids are remapped).
+    pub fn with_extra_hierarchy(mut self, hierarchy: Hierarchy) -> Result<Self> {
+        let hleaf = hierarchy.leaf().members();
+        if hleaf.len() != self.leaf.len() {
+            return Err(Error::InvalidSchema(format!(
+                "hierarchy `{}` classifies {} members, dimension `{}` has {}",
+                hierarchy.name(),
+                hleaf.len(),
+                self.name,
+                self.leaf.len()
+            )));
+        }
+        let mut map = Vec::with_capacity(self.leaf.len());
+        for v in self.leaf.values() {
+            match hleaf.id_of(v) {
+                Some(id) => map.push(id),
+                None => {
+                    return Err(Error::InvalidSchema(format!(
+                        "hierarchy `{}` does not classify member `{}` of dimension `{}`",
+                        hierarchy.name(),
+                        v,
+                        self.name
+                    )))
+                }
+            }
+        }
+        self.hierarchies.push((hierarchy, map));
+        Ok(self)
+    }
+
+    /// The dimension's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The dimension's semantic role.
+    pub fn role(&self) -> DimensionRole {
+        self.role
+    }
+
+    /// The leaf member dictionary.
+    pub fn members(&self) -> &Dictionary {
+        &self.leaf
+    }
+
+    /// Cardinality of the dimension.
+    pub fn cardinality(&self) -> usize {
+        self.leaf.len()
+    }
+
+    /// All hierarchies over this dimension.
+    pub fn hierarchies(&self) -> impl Iterator<Item = &Hierarchy> {
+        self.hierarchies.iter().map(|(h, _)| h)
+    }
+
+    /// The default (first) hierarchy, if any.
+    pub fn default_hierarchy(&self) -> Option<&Hierarchy> {
+        self.hierarchies.first().map(|(h, _)| h)
+    }
+
+    /// Finds a hierarchy by name.
+    pub fn hierarchy(&self, name: &str) -> Result<&Hierarchy> {
+        self.hierarchies
+            .iter()
+            .map(|(h, _)| h)
+            .find(|h| h.name() == name)
+            .ok_or_else(|| Error::HierarchyNotFound {
+                dimension: self.name.clone(),
+                hierarchy: name.to_owned(),
+            })
+    }
+
+    /// Maps a dimension leaf id into hierarchy `h_idx`'s level-0 id space.
+    pub fn leaf_to_hierarchy(&self, h_idx: usize, leaf_id: u32) -> u32 {
+        self.hierarchies[h_idx].1[leaf_id as usize]
+    }
+
+    /// Finds the index of a hierarchy by name, or the default hierarchy for
+    /// `None`.
+    pub fn hierarchy_index(&self, name: Option<&str>) -> Result<usize> {
+        match name {
+            None if !self.hierarchies.is_empty() => Ok(0),
+            None => Err(Error::HierarchyNotFound {
+                dimension: self.name.clone(),
+                hierarchy: "<default>".to_owned(),
+            }),
+            Some(n) => self
+                .hierarchies
+                .iter()
+                .position(|(h, _)| h.name() == n)
+                .ok_or_else(|| Error::HierarchyNotFound {
+                    dimension: self.name.clone(),
+                    hierarchy: n.to_owned(),
+                }),
+        }
+    }
+
+    /// Resolves a member name to its id.
+    pub fn member_id(&self, member: &str) -> Result<u32> {
+        self.leaf.id_of(member).ok_or_else(|| Error::UnknownMember {
+            dimension: self.name.clone(),
+            member: member.to_owned(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_dimensions() {
+        let d = Dimension::categorical("sex", ["male", "female"]);
+        assert_eq!(d.cardinality(), 2);
+        assert_eq!(d.role(), DimensionRole::Categorical);
+        assert!(d.default_hierarchy().is_none());
+        assert_eq!(d.member_id("female").unwrap(), 1);
+        assert!(d.member_id("other").is_err());
+
+        let t = Dimension::temporal("year", ["1990", "1991"]);
+        assert_eq!(t.role(), DimensionRole::Temporal);
+    }
+
+    #[test]
+    fn classified_dimension_shares_leaf_ids() {
+        let h = Hierarchy::builder("geo")
+            .level("city")
+            .level("state")
+            .edge("sf", "ca")
+            .edge("la", "ca")
+            .edge("reno", "nv")
+            .build()
+            .unwrap();
+        let d = Dimension::classified("location", h);
+        assert_eq!(d.cardinality(), 3);
+        let sf = d.member_id("sf").unwrap();
+        assert_eq!(d.leaf_to_hierarchy(0, sf), sf);
+    }
+
+    #[test]
+    fn multiple_classifications_remap() {
+        // Products classified by type AND by price range (§3.2(i)).
+        let by_type = Hierarchy::builder("by type")
+            .level("product")
+            .level("type")
+            .edge("banana", "produce")
+            .edge("milk", "dairy")
+            .edge("cheese", "dairy")
+            .build()
+            .unwrap();
+        // Deliberately different leaf insertion order.
+        let by_price = Hierarchy::builder("by price")
+            .level("product")
+            .level("price range")
+            .edge("cheese", "premium")
+            .edge("banana", "budget")
+            .edge("milk", "budget")
+            .build()
+            .unwrap();
+        let d = Dimension::classified("product", by_type).with_extra_hierarchy(by_price).unwrap();
+        assert_eq!(d.hierarchies().count(), 2);
+        let cheese = d.member_id("cheese").unwrap();
+        let h_idx = d.hierarchy_index(Some("by price")).unwrap();
+        let hier_cheese = d.leaf_to_hierarchy(h_idx, cheese);
+        let h = d.hierarchy("by price").unwrap();
+        assert_eq!(h.leaf().members().value_of(hier_cheese), Some("cheese"));
+        let premium = h.level(1).members().id_of("premium").unwrap();
+        assert_eq!(h.parent(0, hier_cheese), Some(premium));
+    }
+
+    #[test]
+    fn extra_hierarchy_must_cover_members() {
+        let by_type = Hierarchy::builder("by type")
+            .level("product")
+            .level("type")
+            .edge("banana", "produce")
+            .build()
+            .unwrap();
+        let wrong = Hierarchy::builder("wrong")
+            .level("product")
+            .level("x")
+            .edge("not-banana", "y")
+            .build()
+            .unwrap();
+        let d = Dimension::classified("product", by_type);
+        assert!(d.with_extra_hierarchy(wrong).is_err());
+    }
+
+    #[test]
+    fn hierarchy_lookup_errors() {
+        let d = Dimension::categorical("sex", ["m", "f"]);
+        assert!(d.hierarchy("nope").is_err());
+        assert!(d.hierarchy_index(None).is_err());
+    }
+}

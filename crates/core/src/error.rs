@@ -1,0 +1,225 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Why an aggregation would produce statistically wrong results if carried
+/// out (the *summarizability* conditions of §3.3.2 / \[LS97\]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A member of the classification hierarchy has more than one parent
+    /// (e.g. a physician with two specialties), so additive aggregation
+    /// would double-count it.
+    NonStrictHierarchy {
+        /// Dimension whose hierarchy is non-strict.
+        dimension: String,
+        /// Lower level of the offending edge set.
+        level: String,
+        /// A witness member that has multiple parents.
+        member: String,
+    },
+    /// The hierarchy edge set was declared incomplete relative to the
+    /// measure (e.g. cities do not cover the whole state population), so
+    /// parent totals derived from children would under-report.
+    IncompleteHierarchy {
+        /// Dimension whose hierarchy is incomplete.
+        dimension: String,
+        /// Lower level of the incomplete edge set.
+        level: String,
+    },
+    /// A member of the lower level has no parent at all, so it would be
+    /// silently dropped by a roll-up.
+    UncoveredMember {
+        /// Dimension whose hierarchy fails to cover.
+        dimension: String,
+        /// Lower level of the offending edge set.
+        level: String,
+        /// A witness member with no parent.
+        member: String,
+    },
+    /// Summing a *stock* measure (population, inventory level) over a
+    /// temporal dimension is meaningless ("adding populations over months").
+    TemporalStock {
+        /// The stock measure.
+        measure: String,
+        /// The temporal dimension being aggregated away.
+        dimension: String,
+    },
+    /// A value-per-unit measure (price, rate) is not additive over any
+    /// dimension.
+    NonAdditiveMeasure {
+        /// The value-per-unit measure.
+        measure: String,
+        /// The dimension being aggregated away.
+        dimension: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::NonStrictHierarchy { dimension, level, member } => write!(
+                f,
+                "non-strict hierarchy on dimension `{dimension}`: member `{member}` at level \
+                 `{level}` has multiple parents (additive aggregation would double-count)"
+            ),
+            Violation::IncompleteHierarchy { dimension, level } => write!(
+                f,
+                "hierarchy on dimension `{dimension}` is declared incomplete above level \
+                 `{level}` (parent totals would under-report)"
+            ),
+            Violation::UncoveredMember { dimension, level, member } => write!(
+                f,
+                "member `{member}` at level `{level}` of dimension `{dimension}` has no parent \
+                 (it would be dropped by a roll-up)"
+            ),
+            Violation::TemporalStock { measure, dimension } => write!(
+                f,
+                "measure `{measure}` is a stock; summing it over temporal dimension \
+                 `{dimension}` is not meaningful"
+            ),
+            Violation::NonAdditiveMeasure { measure, dimension } => write!(
+                f,
+                "measure `{measure}` is a value-per-unit; it is not additive over dimension \
+                 `{dimension}`"
+            ),
+        }
+    }
+}
+
+/// Errors produced by the statistical object model and operator algebra.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A named dimension does not exist in the schema.
+    DimensionNotFound(String),
+    /// A named hierarchy level does not exist.
+    LevelNotFound {
+        /// Hierarchy searched.
+        hierarchy: String,
+        /// Missing level name.
+        level: String,
+    },
+    /// A named classification hierarchy does not exist on the dimension.
+    HierarchyNotFound {
+        /// Dimension searched.
+        dimension: String,
+        /// Missing hierarchy name.
+        hierarchy: String,
+    },
+    /// A category value is not a member of the dimension's domain.
+    UnknownMember {
+        /// Dimension searched.
+        dimension: String,
+        /// The unknown category value.
+        member: String,
+    },
+    /// A named summary measure does not exist in the schema.
+    MeasureNotFound(String),
+    /// A coordinate or value vector had the wrong arity.
+    ArityMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// Two objects cannot be combined because their schemas differ.
+    SchemaMismatch(String),
+    /// The requested aggregation would violate summarizability; each
+    /// violation explains one independent reason.
+    Summarizability(Vec<Violation>),
+    /// Overlapping cells disagreed during an `S-union` with the
+    /// `ErrorOnConflict` policy.
+    UnionConflict {
+        /// Rendered member names of the conflicting cell.
+        coordinates: String,
+    },
+    /// A schema or hierarchy was structurally invalid at build time.
+    InvalidSchema(String),
+    /// An operation needed a single-measure object but got several.
+    MultipleMeasures(usize),
+    /// Disaggregation weights were missing or did not normalize.
+    InvalidProxy(String),
+    /// A micro-data operation referenced a missing or mistyped column.
+    ColumnError(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionNotFound(d) => write!(f, "dimension `{d}` not found"),
+            Error::LevelNotFound { hierarchy, level } => {
+                write!(f, "level `{level}` not found in hierarchy `{hierarchy}`")
+            }
+            Error::HierarchyNotFound { dimension, hierarchy } => {
+                write!(f, "hierarchy `{hierarchy}` not found on dimension `{dimension}`")
+            }
+            Error::UnknownMember { dimension, member } => {
+                write!(f, "`{member}` is not a member of dimension `{dimension}`")
+            }
+            Error::MeasureNotFound(m) => write!(f, "measure `{m}` not found"),
+            Error::ArityMismatch { expected, got } => {
+                write!(f, "expected {expected} values, got {got}")
+            }
+            Error::SchemaMismatch(why) => write!(f, "schema mismatch: {why}"),
+            Error::Summarizability(vs) => {
+                write!(f, "aggregation is not summarizable: ")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                Ok(())
+            }
+            Error::UnionConflict { coordinates } => {
+                write!(f, "S-union conflict at {coordinates}")
+            }
+            Error::InvalidSchema(why) => write!(f, "invalid schema: {why}"),
+            Error::MultipleMeasures(n) => {
+                write!(f, "operation requires a single measure but the object has {n}")
+            }
+            Error::InvalidProxy(why) => write!(f, "invalid disaggregation proxy: {why}"),
+            Error::ColumnError(why) => write!(f, "column error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_display_mentions_witness() {
+        let v = Violation::NonStrictHierarchy {
+            dimension: "specialty".into(),
+            level: "specialty".into(),
+            member: "dr. smith".into(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("specialty"));
+        assert!(s.contains("dr. smith"));
+        assert!(s.contains("double-count"));
+    }
+
+    #[test]
+    fn error_display_joins_violations() {
+        let e = Error::Summarizability(vec![
+            Violation::IncompleteHierarchy { dimension: "geo".into(), level: "city".into() },
+            Violation::TemporalStock { measure: "population".into(), dimension: "year".into() },
+        ]);
+        let s = e.to_string();
+        assert!(s.contains("geo"));
+        assert!(s.contains("population"));
+        assert!(s.contains("; "));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::DimensionNotFound("x".into()));
+    }
+}

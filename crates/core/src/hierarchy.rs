@@ -1,0 +1,623 @@
+//! Classification hierarchies (the paper's *category hierarchies*, OLAP's
+//! *dimension hierarchies*).
+//!
+//! A [`Hierarchy`] is an ordered stack of levels — level 0 is the finest
+//! (leaf) level — with an edge set between each adjacent pair mapping every
+//! lower member to its parent(s). The model deliberately supports everything
+//! §4.2 / Fig. 8 calls out:
+//!
+//! * **non-strict** structures (a member with several parents, like "lung
+//!   cancer" under both "cancer" and "respiratory") — children keep a *list*
+//!   of parents and strictness is *checked*, never assumed;
+//! * **incomplete** structures (cities that don't cover the state) — an edge
+//!   set can be declared incomplete relative to the measure;
+//! * **ID dependency** ("store #1" only unique within "seattle") — flagged
+//!   per level so user interfaces can concatenate identifiers;
+//! * members with **properties** (the ISA example: brand, sound system) that
+//!   queries can filter on.
+
+use std::collections::HashMap;
+
+use crate::dictionary::Dictionary;
+use crate::error::{Error, Result};
+
+/// One level of a classification hierarchy: a named category attribute plus
+/// the dictionary of its category values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Level {
+    name: String,
+    members: Dictionary,
+    /// True if members are only identified relative to their parent
+    /// (§2.2(i): store numbers within cities; days within months).
+    id_dependent: bool,
+}
+
+impl Level {
+    /// The level's name (the *category attribute*).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The level's category values.
+    pub fn members(&self) -> &Dictionary {
+        &self.members
+    }
+
+    /// True if member identity depends on the parent member.
+    pub fn is_id_dependent(&self) -> bool {
+        self.id_dependent
+    }
+}
+
+/// A multi-level classification structure over one dimension.
+///
+/// Built with [`Hierarchy::builder`]; immutable afterwards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hierarchy {
+    name: String,
+    levels: Vec<Level>,
+    /// `edges[i][child_id]` = parent ids at level `i+1` (sorted, deduped).
+    edges: Vec<Vec<Vec<u32>>>,
+    /// Declared completeness of each edge set relative to the measure.
+    complete: Vec<bool>,
+    /// Optional per-member properties: `properties[level][member] -> kv`.
+    properties: Vec<HashMap<u32, HashMap<String, String>>>,
+}
+
+impl Hierarchy {
+    /// Starts building a hierarchy. Declare levels finest-first with
+    /// [`HierarchyBuilder::level`], then connect adjacent levels with
+    /// [`HierarchyBuilder::edge`].
+    pub fn builder(name: impl Into<String>) -> HierarchyBuilder {
+        HierarchyBuilder {
+            name: name.into(),
+            levels: Vec::new(),
+            edges: Vec::new(),
+            complete: Vec::new(),
+            properties: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Builds a single-level "hierarchy" holding just a flat category
+    /// attribute — what a plain dimension uses internally.
+    pub fn flat<I, S>(name: impl Into<String>, members: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let name = name.into();
+        Hierarchy {
+            levels: vec![Level {
+                name: name.clone(),
+                members: Dictionary::from_values(members),
+                id_dependent: false,
+            }],
+            name,
+            edges: Vec::new(),
+            complete: Vec::new(),
+            properties: vec![HashMap::new()],
+        }
+    }
+
+    /// The hierarchy's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of levels (≥ 1).
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The levels, finest first.
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// Looks up a level index by name.
+    pub fn level_index(&self, level: &str) -> Result<usize> {
+        self.levels.iter().position(|l| l.name == level).ok_or_else(|| Error::LevelNotFound {
+            hierarchy: self.name.clone(),
+            level: level.to_owned(),
+        })
+    }
+
+    /// The level at `idx`.
+    pub fn level(&self, idx: usize) -> &Level {
+        &self.levels[idx]
+    }
+
+    /// The leaf (finest) level.
+    pub fn leaf(&self) -> &Level {
+        &self.levels[0]
+    }
+
+    /// Parent ids of `member` (a level-`level` id) at level `level + 1`.
+    /// Empty slice if the member has no parent (uncovered) or `level` is the
+    /// root level.
+    pub fn parents(&self, level: usize, member: u32) -> &[u32] {
+        match self.edges.get(level) {
+            Some(e) => e.get(member as usize).map(Vec::as_slice).unwrap_or(&[]),
+            None => &[],
+        }
+    }
+
+    /// The unique parent of `member`, if the edge is strict there.
+    pub fn parent(&self, level: usize, member: u32) -> Option<u32> {
+        match self.parents(level, member) {
+            [p] => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// All ancestors of a leaf member at `level` (transitive closure of
+    /// `parents`). Deduplicated, unsorted. For a strict path this is a
+    /// single id.
+    pub fn ancestors_at(&self, leaf_member: u32, level: usize) -> Vec<u32> {
+        let mut current = vec![leaf_member];
+        for l in 0..level {
+            let mut next: Vec<u32> = Vec::new();
+            for m in current {
+                for &p in self.parents(l, m) {
+                    if !next.contains(&p) {
+                        next.push(p);
+                    }
+                }
+            }
+            current = next;
+        }
+        current
+    }
+
+    /// True if every member of `level` has exactly one parent — the
+    /// *strictness* condition for additive summarizability (§3.3.2).
+    pub fn is_strict_at(&self, level: usize) -> bool {
+        self.strictness_witness(level).is_none()
+    }
+
+    /// Returns a member of `level` with ≠ 1 parents, if any (the witness the
+    /// summarizability checker reports).
+    pub fn strictness_witness(&self, level: usize) -> Option<u32> {
+        let edges = self.edges.get(level)?;
+        edges.iter().position(|p| p.len() > 1).map(|i| i as u32)
+    }
+
+    /// Returns a member of `level` with no parent, if any.
+    pub fn coverage_witness(&self, level: usize) -> Option<u32> {
+        let edges = self.edges.get(level)?;
+        let n = self.levels[level].members.len();
+        (0..n).find(|&i| edges.get(i).map(Vec::is_empty).unwrap_or(true)).map(|i| i as u32)
+    }
+
+    /// True if the hierarchy is strict on every edge set.
+    pub fn is_strict(&self) -> bool {
+        (0..self.edges.len()).all(|l| self.is_strict_at(l))
+    }
+
+    /// Declared completeness of the edge set above `level` (semantic:
+    /// "do the children account for the whole parent, relative to the
+    /// measure?" — the museums-are-only-in-cities example of §4.2).
+    pub fn is_declared_complete_at(&self, level: usize) -> bool {
+        self.complete.get(level).copied().unwrap_or(true)
+    }
+
+    /// Children of `member` (a level-`level` id) at level `level - 1`.
+    pub fn children(&self, level: usize, member: u32) -> Vec<u32> {
+        if level == 0 || level > self.edges.len() {
+            return Vec::new();
+        }
+        let edge = &self.edges[level - 1];
+        edge.iter()
+            .enumerate()
+            .filter(|(_, ps)| ps.contains(&member))
+            .map(|(c, _)| c as u32)
+            .collect()
+    }
+
+    /// Leaf descendants of `member` at `level` (transitive children).
+    pub fn leaf_descendants(&self, level: usize, member: u32) -> Vec<u32> {
+        let mut current = vec![member];
+        for l in (1..=level).rev() {
+            let mut next = Vec::new();
+            for m in current {
+                for c in self.children(l, m) {
+                    if !next.contains(&c) {
+                        next.push(c);
+                    }
+                }
+            }
+            current = next;
+        }
+        current
+    }
+
+    /// A property attached to a member (\[LRT96\]-style feature extension).
+    pub fn property(&self, level: usize, member: u32, key: &str) -> Option<&str> {
+        self.properties.get(level)?.get(&member)?.get(key).map(String::as_str)
+    }
+
+    /// Drops all levels below `level`, producing the hierarchy an object
+    /// rolled up to `level` carries. Level `level` becomes the new leaf.
+    pub fn truncate_below(&self, level: usize) -> Hierarchy {
+        Hierarchy {
+            name: self.name.clone(),
+            levels: self.levels[level..].to_vec(),
+            edges: self.edges.get(level..).map(|e| e.to_vec()).unwrap_or_default(),
+            complete: self.complete.get(level..).map(|c| c.to_vec()).unwrap_or_default(),
+            properties: self.properties[level..].to_vec(),
+        }
+    }
+
+    /// Checks every structural invariant; builders call this, tests may too.
+    pub fn validate(&self) -> Result<()> {
+        if self.levels.is_empty() {
+            return Err(Error::InvalidSchema(format!("hierarchy `{}` has no levels", self.name)));
+        }
+        if self.edges.len() + 1 != self.levels.len() {
+            return Err(Error::InvalidSchema(format!(
+                "hierarchy `{}` has {} levels but {} edge sets",
+                self.name,
+                self.levels.len(),
+                self.edges.len()
+            )));
+        }
+        for (l, edge) in self.edges.iter().enumerate() {
+            if edge.len() != self.levels[l].members.len() {
+                return Err(Error::InvalidSchema(format!(
+                    "hierarchy `{}`: edge set at level {} covers {} members, level has {}",
+                    self.name,
+                    l,
+                    edge.len(),
+                    self.levels[l].members.len()
+                )));
+            }
+            let parent_card = self.levels[l + 1].members.len() as u32;
+            for parents in edge {
+                if parents.iter().any(|&p| p >= parent_card) {
+                    return Err(Error::InvalidSchema(format!(
+                        "hierarchy `{}`: dangling parent id at level {}",
+                        self.name, l
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Hierarchy`]. Methods record the first error and report it
+/// from [`HierarchyBuilder::build`], so calls can be chained without
+/// intermediate `?`.
+#[derive(Debug)]
+pub struct HierarchyBuilder {
+    name: String,
+    levels: Vec<Level>,
+    edges: Vec<Vec<Vec<u32>>>,
+    complete: Vec<bool>,
+    properties: Vec<HashMap<u32, HashMap<String, String>>>,
+    error: Option<Error>,
+}
+
+impl HierarchyBuilder {
+    /// Declares the next level, finest first (`day`, then `month`, then
+    /// `year`).
+    pub fn level(mut self, name: impl Into<String>) -> Self {
+        self.levels.push(Level { name: name.into(), members: Dictionary::new(), id_dependent: false });
+        if self.levels.len() > 1 {
+            self.edges.push(Vec::new());
+            self.complete.push(true);
+        }
+        self.properties.push(HashMap::new());
+        self
+    }
+
+    /// Marks the most recently declared level as ID-dependent on its parent.
+    pub fn id_dependent(mut self) -> Self {
+        match self.levels.last_mut() {
+            Some(l) => l.id_dependent = true,
+            None => self.record(Error::InvalidSchema("id_dependent before any level".into())),
+        }
+        self
+    }
+
+    /// Declares the edge set between the two most recently declared levels
+    /// incomplete relative to the measure.
+    pub fn declare_incomplete(mut self) -> Self {
+        match self.complete.last_mut() {
+            Some(c) => *c = false,
+            None => self.record(Error::InvalidSchema("declare_incomplete before two levels".into())),
+        }
+        self
+    }
+
+    /// Adds an edge between the two most recently declared levels: `child`
+    /// (interned at the second-to-last level) is classified under `parent`
+    /// (interned at the last level). Call repeatedly; a child mentioned with
+    /// several parents yields a non-strict structure.
+    pub fn edge(self, child: &str, parent: &str) -> Self {
+        let lower = match self.levels.len().checked_sub(2) {
+            Some(l) => l,
+            None => {
+                let mut s = self;
+                s.record(Error::InvalidSchema("edge() requires two levels".into()));
+                return s;
+            }
+        };
+        self.edge_at(lower, child, parent)
+    }
+
+    /// Adds an edge between explicit adjacent levels: `child` at
+    /// `lower_level`, `parent` at `lower_level + 1`.
+    pub fn edge_at(mut self, lower_level: usize, child: &str, parent: &str) -> Self {
+        if lower_level + 1 >= self.levels.len() {
+            self.record(Error::InvalidSchema(format!(
+                "edge_at({lower_level}) out of range for {} levels",
+                self.levels.len()
+            )));
+            return self;
+        }
+        let child_id = self.levels[lower_level].members.intern(child) as usize;
+        let parent_id = self.levels[lower_level + 1].members.intern(parent);
+        let edge = &mut self.edges[lower_level];
+        if edge.len() <= child_id {
+            edge.resize(child_id + 1, Vec::new());
+        }
+        if !edge[child_id].contains(&parent_id) {
+            edge[child_id].push(parent_id);
+            edge[child_id].sort_unstable();
+        }
+        self
+    }
+
+    /// Interns a member at the most recent level without connecting it (used
+    /// to model uncovered members, or root-level members with no children
+    /// yet).
+    pub fn member(mut self, value: &str) -> Self {
+        match self.levels.last_mut() {
+            Some(l) => {
+                l.members.intern(value);
+            }
+            None => self.record(Error::InvalidSchema("member() before any level".into())),
+        }
+        self
+    }
+
+    /// Attaches a key/value property to a member of the most recent level
+    /// (the \[LRT96\] feature extension: `brand=Sanyo`).
+    pub fn property(mut self, member: &str, key: &str, value: &str) -> Self {
+        let level = self.levels.len().saturating_sub(1);
+        match self.levels.last_mut() {
+            Some(l) => {
+                let id = l.members.intern(member);
+                self.properties[level].entry(id).or_default().insert(key.into(), value.into());
+            }
+            None => self.record(Error::InvalidSchema("property() before any level".into())),
+        }
+        self
+    }
+
+    fn record(&mut self, e: Error) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    /// Finishes the hierarchy, validating structure.
+    pub fn build(mut self) -> Result<Hierarchy> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        // Pad edge vectors so every member has an (possibly empty) entry.
+        for (l, edge) in self.edges.iter_mut().enumerate() {
+            edge.resize(self.levels[l].members.len(), Vec::new());
+        }
+        let h = Hierarchy {
+            name: self.name,
+            levels: self.levels,
+            edges: self.edges,
+            complete: self.complete,
+            properties: self.properties,
+        };
+        h.validate()?;
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profession() -> Hierarchy {
+        Hierarchy::builder("profession")
+            .level("profession")
+            .level("professional class")
+            .edge("chemical engineer", "engineer")
+            .edge("civil engineer", "engineer")
+            .edge("junior secretary", "secretary")
+            .edge("executive secretary", "secretary")
+            .edge("elementary teacher", "teacher")
+            .edge("high school teacher", "teacher")
+            .build()
+            .unwrap()
+    }
+
+    fn time3() -> Hierarchy {
+        Hierarchy::builder("time")
+            .level("day")
+            .level("month")
+            .edge("1996-11-13", "1996-11")
+            .edge("1996-11-14", "1996-11")
+            .edge("1996-12-01", "1996-12")
+            .level("year")
+            .edge_at(1, "1996-11", "1996")
+            .edge_at(1, "1996-12", "1996")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn two_level_structure() {
+        let h = profession();
+        assert_eq!(h.level_count(), 2);
+        assert_eq!(h.leaf().members().len(), 6);
+        assert_eq!(h.level(1).members().len(), 3);
+        assert!(h.is_strict());
+        let civil = h.leaf().members().id_of("civil engineer").unwrap();
+        let engineer = h.level(1).members().id_of("engineer").unwrap();
+        assert_eq!(h.parent(0, civil), Some(engineer));
+    }
+
+    #[test]
+    fn three_level_ancestors_and_descendants() {
+        let h = time3();
+        let day = h.leaf().members().id_of("1996-11-13").unwrap();
+        let year = h.level_index("year").unwrap();
+        let y1996 = h.level(year).members().id_of("1996").unwrap();
+        assert_eq!(h.ancestors_at(day, year), vec![y1996]);
+        let mut leaves = h.leaf_descendants(year, y1996);
+        leaves.sort_unstable();
+        assert_eq!(leaves.len(), 3);
+    }
+
+    #[test]
+    fn non_strict_hierarchy_detected() {
+        // HMO example (§3.2): lung cancer under both cancer and respiratory.
+        let h = Hierarchy::builder("disease")
+            .level("disease")
+            .level("category")
+            .edge("lung cancer", "cancer")
+            .edge("lung cancer", "respiratory")
+            .edge("asthma", "respiratory")
+            .build()
+            .unwrap();
+        assert!(!h.is_strict());
+        let lung = h.leaf().members().id_of("lung cancer").unwrap();
+        assert_eq!(h.strictness_witness(0), Some(lung));
+        assert_eq!(h.parents(0, lung).len(), 2);
+        assert_eq!(h.parent(0, lung), None);
+        // Minneapolis-St. Paul style ancestors: both categories reachable.
+        assert_eq!(h.ancestors_at(lung, 1).len(), 2);
+    }
+
+    #[test]
+    fn uncovered_member_detected() {
+        let h = Hierarchy::builder("geo")
+            .level("city")
+            .level("state")
+            .edge("fresno", "california")
+            .member("orphanville")
+            .build();
+        // member() applies to the *last* level (state); intern at city level
+        // instead via a second builder:
+        let h2 = Hierarchy::builder("geo")
+            .level("city")
+            .member("orphanville")
+            .level("state")
+            .edge("fresno", "california")
+            .build()
+            .unwrap();
+        let orphan = h2.leaf().members().id_of("orphanville").unwrap();
+        assert_eq!(h2.coverage_witness(0), Some(orphan));
+        assert!(h.is_ok()); // the first shape is legal too, just different
+    }
+
+    #[test]
+    fn incomplete_declaration() {
+        let h = Hierarchy::builder("geo")
+            .level("city")
+            .level("state")
+            .edge("san francisco", "california")
+            .edge("los angeles", "california")
+            .declare_incomplete()
+            .build()
+            .unwrap();
+        assert!(!h.is_declared_complete_at(0));
+    }
+
+    #[test]
+    fn id_dependency_flag() {
+        let h = Hierarchy::builder("store location")
+            .level("store")
+            .id_dependent()
+            .level("city")
+            .edge("seattle/s#1", "seattle")
+            .build()
+            .unwrap();
+        assert!(h.leaf().is_id_dependent());
+        assert!(!h.level(1).is_id_dependent());
+    }
+
+    #[test]
+    fn member_properties() {
+        // Fig. 8 middle: video products with ISA-style properties.
+        let h = Hierarchy::builder("product")
+            .level("product")
+            .property("vcr-100", "brand", "Sanyo")
+            .property("vcr-100", "sound", "stereo")
+            .level("category")
+            .edge("vcr-100", "home VCR")
+            .build()
+            .unwrap();
+        let id = h.leaf().members().id_of("vcr-100").unwrap();
+        assert_eq!(h.property(0, id, "brand"), Some("Sanyo"));
+        assert_eq!(h.property(0, id, "missing"), None);
+    }
+
+    #[test]
+    fn truncate_below_reroots() {
+        let h = time3();
+        let month = h.truncate_below(1);
+        assert_eq!(month.level_count(), 2);
+        assert_eq!(month.leaf().name(), "month");
+        let nov = month.leaf().members().id_of("1996-11").unwrap();
+        let y = month.level(1).members().id_of("1996").unwrap();
+        assert_eq!(month.parent(0, nov), Some(y));
+    }
+
+    #[test]
+    fn children_inverse_of_parents() {
+        let h = profession();
+        let engineer = h.level(1).members().id_of("engineer").unwrap();
+        let kids = h.children(1, engineer);
+        assert_eq!(kids.len(), 2);
+        for k in kids {
+            assert_eq!(h.parent(0, k), Some(engineer));
+        }
+    }
+
+    #[test]
+    fn flat_hierarchy() {
+        let h = Hierarchy::flat("sex", ["male", "female"]);
+        assert_eq!(h.level_count(), 1);
+        assert!(h.is_strict());
+        assert_eq!(h.parents(0, 0), &[] as &[u32]);
+    }
+
+    #[test]
+    fn builder_error_reported_at_build() {
+        let err = Hierarchy::builder("bad").edge("a", "b").build();
+        assert!(matches!(err, Err(Error::InvalidSchema(_))));
+        let err2 = Hierarchy::builder("bad2").level("x").edge_at(3, "a", "b").build();
+        assert!(matches!(err2, Err(Error::InvalidSchema(_))));
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let h = Hierarchy::builder("h")
+            .level("c")
+            .level("p")
+            .edge("a", "x")
+            .edge("a", "x")
+            .build()
+            .unwrap();
+        assert_eq!(h.parents(0, 0), &[0]);
+    }
+
+    #[test]
+    fn validate_rejects_dangling_parent() {
+        let mut h = profession();
+        h.edges[0][0] = vec![99];
+        assert!(h.validate().is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! # statcube-core
+//!
+//! The **Statistical Object** data type of Shoshani, *"OLAP and Statistical
+//! Databases: Similarities and Differences"* (PODS 1997) — the paper's
+//! conclusion argues this type should be supported natively by extensible
+//! database systems, and this crate is that implementation.
+//!
+//! A statistical object (SDB term; OLAP: *data cube* / fact table) is:
+//!
+//! * one or more **summary measures** ([`measure::SummaryAttribute`]) with
+//!   **summary functions** ([`measure::SummaryFunction`]),
+//! * a set of **dimensions** ([`dimension::Dimension`]; SDB: *category
+//!   attributes*),
+//! * zero or more **classification hierarchies**
+//!   ([`hierarchy::Hierarchy`]; OLAP: *dimension hierarchies*), and
+//! * the macro-data cells over the cross product
+//!   ([`object::StatisticalObject`]).
+//!
+//! On top of the model sit the operator algebra ([`ops`]), summarizability
+//! enforcement ([`summarizability`]), STORM schema graphs
+//! ([`schema_graph`]), automatic aggregation ([`auto_agg`]), 2-D statistical
+//! tables with marginals ([`table2d`]), micro-data summarization and the
+//! completeness homomorphism ([`microdata`]), classification matching
+//! ([`matching`]), and higher-level statistics ([`stats`]).
+
+#![warn(missing_docs)]
+
+pub mod auto_agg;
+pub mod catalog;
+pub mod dictionary;
+pub mod dimension;
+pub mod error;
+pub mod hierarchy;
+pub mod matching;
+pub mod measure;
+pub mod microdata;
+pub mod object;
+pub mod ops;
+pub mod schema;
+pub mod schema_graph;
+pub mod stats;
+pub mod summarizability;
+pub mod table2d;
+pub mod timeseries;
+
+/// The most commonly used types, for glob import.
+pub mod prelude {
+    pub use crate::auto_agg::{Query, Selection};
+    pub use crate::catalog::Catalog;
+    pub use crate::dictionary::Dictionary;
+    pub use crate::dimension::{Dimension, DimensionRole};
+    pub use crate::error::{Error, Result, Violation};
+    pub use crate::hierarchy::{Hierarchy, HierarchyBuilder, Level};
+    pub use crate::measure::{AggState, MeasureKind, SummaryAttribute, SummaryFunction};
+    pub use crate::microdata::MicroTable;
+    pub use crate::object::StatisticalObject;
+    pub use crate::ops::navigator::Navigator;
+    pub use crate::ops::{
+        disaggregate_by_proxy, s_aggregate, s_project, s_select, s_union, UnionPolicy,
+    };
+    pub use crate::schema::{Schema, SchemaBuilder};
+    pub use crate::schema_graph::SchemaGraph;
+    pub use crate::summarizability::Verdict;
+    pub use crate::table2d::Table2D;
+}

@@ -1,0 +1,414 @@
+//! Classification matching (§5.7, Fig 17).
+//!
+//! Merging statistical results from different sources fails when their
+//! category schemes disagree. The paper shows two shapes:
+//!
+//! * **non-overlapping granularities** — two age-group classifications with
+//!   different bin boundaries; analysts interpolate "in a way that is not
+//!   documented". [`IntervalClassification`] makes the interpolation a
+//!   first-class, *documented* operation: [`realign`] reapportions an
+//!   interval-classified dimension onto another boundary set under an
+//!   explicit uniform-within-bin assumption and returns the method record
+//!   with the data.
+//! * **time-varying categories** — the industry list gains "internet" in
+//!   1991. [`VersionedClassification`] tracks category sets per version and
+//!   [`VersionedClassification::diff`] reports exactly which categories are
+//!   comparable across versions.
+
+use std::collections::BTreeMap;
+
+use crate::dimension::Dimension;
+use crate::error::{Error, Result};
+use crate::measure::AggState;
+use crate::object::StatisticalObject;
+
+/// A classification of a numeric axis into labeled half-open intervals
+/// `[lo, hi)`, e.g. age groups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalClassification {
+    name: String,
+    /// `(lo, hi, label)`, sorted by `lo`, non-overlapping.
+    bins: Vec<(f64, f64, String)>,
+}
+
+impl IntervalClassification {
+    /// Builds a classification from `(lo, hi, label)` bins. Bins must be
+    /// non-empty, non-overlapping, and sorted ascending.
+    pub fn new(
+        name: impl Into<String>,
+        bins: impl IntoIterator<Item = (f64, f64, String)>,
+    ) -> Result<Self> {
+        let bins: Vec<(f64, f64, String)> = bins.into_iter().collect();
+        if bins.is_empty() {
+            return Err(Error::InvalidSchema("interval classification needs bins".into()));
+        }
+        for w in bins.windows(2) {
+            if w[0].1 > w[1].0 {
+                return Err(Error::InvalidSchema(format!(
+                    "bins `{}` and `{}` overlap",
+                    w[0].2, w[1].2
+                )));
+            }
+        }
+        for (lo, hi, label) in &bins {
+            if lo >= hi {
+                return Err(Error::InvalidSchema(format!("bin `{label}` is empty")));
+            }
+        }
+        Ok(Self { name: name.into(), bins })
+    }
+
+    /// Convenience: consecutive bins from boundary points
+    /// (`[b0,b1), [b1,b2), …`) labeled `"lo-hi"`.
+    pub fn from_boundaries(name: impl Into<String>, bounds: &[f64]) -> Result<Self> {
+        if bounds.len() < 2 {
+            return Err(Error::InvalidSchema("need at least two boundaries".into()));
+        }
+        let bins = bounds
+            .windows(2)
+            .map(|w| (w[0], w[1], format!("{}-{}", w[0], w[1])))
+            .collect::<Vec<_>>();
+        Self::new(name, bins)
+    }
+
+    /// The classification's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The bins, in order.
+    pub fn bins(&self) -> &[(f64, f64, String)] {
+        &self.bins
+    }
+
+    /// Bin labels, in order.
+    pub fn labels(&self) -> Vec<&str> {
+        self.bins.iter().map(|(_, _, l)| l.as_str()).collect()
+    }
+
+    /// The *combined* classification of Fig 17: bins split at the union of
+    /// both boundary sets, so each result bin lies inside exactly one bin of
+    /// each input.
+    pub fn combine(&self, other: &IntervalClassification) -> Result<IntervalClassification> {
+        let mut bounds: Vec<f64> = Vec::new();
+        for (lo, hi, _) in self.bins.iter().chain(&other.bins) {
+            bounds.push(*lo);
+            bounds.push(*hi);
+        }
+        bounds.sort_by(f64::total_cmp);
+        bounds.dedup();
+        let bins = bounds
+            .windows(2)
+            .filter(|w| {
+                // Keep only spans covered by at least one input.
+                let mid = (w[0] + w[1]) / 2.0;
+                self.bins.iter().chain(&other.bins).any(|(lo, hi, _)| *lo <= mid && mid < *hi)
+            })
+            .map(|w| (w[0], w[1], format!("{}-{}", w[0], w[1])))
+            .collect::<Vec<_>>();
+        IntervalClassification::new(format!("{} ∩ {}", self.name, other.name), bins)
+    }
+
+    /// Fractional overlap of `self`'s bin `i` with `other`'s bin `j`,
+    /// relative to the width of bin `i` (the uniform-density assumption).
+    pub fn overlap_fraction(&self, i: usize, other: &IntervalClassification, j: usize) -> f64 {
+        let (alo, ahi, _) = &self.bins[i];
+        let (blo, bhi, _) = &other.bins[j];
+        let lo = alo.max(*blo);
+        let hi = ahi.min(*bhi);
+        if hi <= lo {
+            0.0
+        } else {
+            (hi - lo) / (ahi - alo)
+        }
+    }
+}
+
+/// Documentation of how a realignment was computed — the "metadata of the
+/// methods used" the paper insists must be kept with the database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RealignReport {
+    /// Source classification name.
+    pub from: String,
+    /// Target classification name.
+    pub to: String,
+    /// The interpolation assumption applied.
+    pub method: String,
+    /// Per-target-bin provenance: `(target label, Vec<(source label,
+    /// fraction)>)`.
+    pub provenance: Vec<(String, Vec<(String, f64)>)>,
+}
+
+/// Reapportions dimension `dim` of `obj` — whose members must be exactly
+/// `from`'s bin labels — onto the bins of `to`, assuming values are
+/// uniformly distributed within each source bin. Returns the realigned
+/// object and a [`RealignReport`] documenting the interpolation.
+pub fn realign(
+    obj: &StatisticalObject,
+    dim: &str,
+    from: &IntervalClassification,
+    to: &IntervalClassification,
+) -> Result<(StatisticalObject, RealignReport)> {
+    let d = obj.schema().dim_index(dim)?;
+    let dim_ref = &obj.schema().dimensions()[d];
+    // Map dimension member id -> `from` bin index.
+    let mut member_bin = Vec::with_capacity(dim_ref.cardinality());
+    for v in dim_ref.members().values() {
+        match from.bins.iter().position(|(_, _, l)| l == v) {
+            Some(i) => member_bin.push(i),
+            None => {
+                return Err(Error::UnknownMember {
+                    dimension: format!("{dim} (classification {})", from.name),
+                    member: v.to_owned(),
+                })
+            }
+        }
+    }
+    // fractions[i][j]: share of from-bin i flowing into to-bin j.
+    let fractions: Vec<Vec<f64>> = (0..from.bins.len())
+        .map(|i| (0..to.bins.len()).map(|j| from.overlap_fraction(i, to, j)).collect())
+        .collect();
+
+    let new_dim = Dimension::categorical(dim_ref.name(), to.labels()).with_role(dim_ref.role());
+    let mut dims = obj.schema().dimensions().to_vec();
+    dims[d] = new_dim;
+    let schema = obj.schema().with_dimensions(dims);
+    let mut out = StatisticalObject::empty(schema);
+    for (coords, states) in obj.cells() {
+        let i = member_bin[coords[d] as usize];
+        for (j, &w) in fractions[i].iter().enumerate() {
+            if w <= 0.0 {
+                continue;
+            }
+            let mut key = coords.to_vec();
+            key[d] = j as u32;
+            let estimated: Vec<AggState> = states
+                .iter()
+                .map(|s| AggState::from_sum_count(s.sum * w, (s.count as f64 * w).round() as u64))
+                .collect();
+            out.merge_states(&key, &estimated)?;
+        }
+    }
+
+    let provenance = to
+        .bins
+        .iter()
+        .enumerate()
+        .map(|(j, (_, _, tl))| {
+            let sources = from
+                .bins
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| fractions[*i][j] > 0.0)
+                .map(|(i, (_, _, sl))| (sl.clone(), fractions[i][j]))
+                .collect();
+            (tl.clone(), sources)
+        })
+        .collect();
+    let report = RealignReport {
+        from: from.name.clone(),
+        to: to.name.clone(),
+        method: "uniform-within-bin linear interpolation".to_owned(),
+        provenance,
+    };
+    Ok((out, report))
+}
+
+/// The difference between two category versions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionDiff {
+    /// Categories present in both versions (directly comparable).
+    pub retained: Vec<String>,
+    /// Categories only in the later version (e.g. "internet" in 1991).
+    pub added: Vec<String>,
+    /// Categories only in the earlier version.
+    pub removed: Vec<String>,
+}
+
+/// A classification whose category set varies over time (Fig 17, bottom).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VersionedClassification {
+    /// version key (e.g. year) → ordered category list.
+    versions: BTreeMap<String, Vec<String>>,
+}
+
+impl VersionedClassification {
+    /// An empty versioned classification.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the category list of one version.
+    pub fn add_version<I, S>(&mut self, version: impl Into<String>, categories: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.versions
+            .insert(version.into(), categories.into_iter().map(Into::into).collect());
+    }
+
+    /// Version keys, ascending.
+    pub fn versions(&self) -> impl Iterator<Item = &str> {
+        self.versions.keys().map(String::as_str)
+    }
+
+    /// The categories of a version.
+    pub fn categories(&self, version: &str) -> Result<&[String]> {
+        self.versions
+            .get(version)
+            .map(Vec::as_slice)
+            .ok_or_else(|| Error::ColumnError(format!("no version `{version}`")))
+    }
+
+    /// Compares two versions.
+    pub fn diff(&self, earlier: &str, later: &str) -> Result<VersionDiff> {
+        let a = self.categories(earlier)?;
+        let b = self.categories(later)?;
+        Ok(VersionDiff {
+            retained: a.iter().filter(|c| b.contains(c)).cloned().collect(),
+            added: b.iter().filter(|c| !a.contains(c)).cloned().collect(),
+            removed: a.iter().filter(|c| !b.contains(c)).cloned().collect(),
+        })
+    }
+
+    /// The union of all versions' categories (ordered by first appearance
+    /// across ascending versions) — the domain a cross-version summary must
+    /// use.
+    pub fn union_categories(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for cats in self.versions.values() {
+            for c in cats {
+                if !out.contains(c) {
+                    out.push(c.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// True if `category` existed in `version` — summaries must not treat a
+    /// missing category as a zero observation.
+    pub fn existed(&self, category: &str, version: &str) -> bool {
+        self.versions.get(version).map(|c| c.iter().any(|x| x == category)).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::Dimension;
+    use crate::measure::{MeasureKind, SummaryAttribute};
+    use crate::schema::Schema;
+
+    fn db1() -> IntervalClassification {
+        // Fig 17 left: 0-5, 6-10, 11-15, 16-20 → model as [0,6),[6,11),[11,16),[16,21)
+        IntervalClassification::from_boundaries("db1 age groups", &[0.0, 6.0, 11.0, 16.0, 21.0])
+            .unwrap()
+    }
+
+    fn db2() -> IntervalClassification {
+        // Fig 17 right: 0-1, 2-10, 11-20 → [0,2),[2,11),[11,21)
+        IntervalClassification::from_boundaries("db2 age groups", &[0.0, 2.0, 11.0, 21.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(IntervalClassification::from_boundaries("x", &[0.0]).is_err());
+        assert!(IntervalClassification::new(
+            "x",
+            [(0.0, 5.0, "a".to_owned()), (3.0, 8.0, "b".to_owned())]
+        )
+        .is_err());
+        assert!(IntervalClassification::new("x", [(5.0, 5.0, "empty".to_owned())]).is_err());
+        assert!(IntervalClassification::new("x", Vec::new()).is_err());
+    }
+
+    #[test]
+    fn combine_splits_at_all_boundaries() {
+        let c = db1().combine(&db2()).unwrap();
+        let labels = c.labels();
+        // Boundaries: 0,2,6,11,16,21 → 5 bins.
+        assert_eq!(labels, vec!["0-2", "2-6", "6-11", "11-16", "16-21"]);
+    }
+
+    #[test]
+    fn overlap_fractions_partition_unity() {
+        let a = db1();
+        let b = db2();
+        for i in 0..a.bins().len() {
+            let total: f64 = (0..b.bins().len()).map(|j| a.overlap_fraction(i, &b, j)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "bin {i} fractions sum to {total}");
+        }
+    }
+
+    fn age_object(classes: &IntervalClassification, values: &[f64]) -> StatisticalObject {
+        let schema = Schema::builder("population by age group")
+            .dimension(Dimension::categorical("age group", classes.labels()))
+            .measure(SummaryAttribute::new("population", MeasureKind::Stock))
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        for (label, &v) in classes.labels().iter().zip(values) {
+            o.insert(&[label], v).unwrap();
+        }
+        o
+    }
+
+    #[test]
+    fn realign_preserves_totals_and_documents_method() {
+        let from = db1();
+        let to = db2();
+        let o = age_object(&from, &[600.0, 500.0, 500.0, 500.0]);
+        let (aligned, report) = realign(&o, "age group", &from, &to).unwrap();
+        // Total population is conserved by reapportioning.
+        assert!((aligned.grand_total(0).unwrap() - 2100.0).abs() < 1e-9);
+        // [0,2) gets 2/6 of the [0,6) bin = 200.
+        assert!((aligned.get(&["0-2"]).unwrap().unwrap() - 200.0).abs() < 1e-9);
+        // [2,11): 4/6 of [0,6) = 400, plus all of [6,11) = 500 → 900.
+        assert!((aligned.get(&["2-11"]).unwrap().unwrap() - 900.0).abs() < 1e-9);
+        // [11,21): 500 + 500 = 1000.
+        assert!((aligned.get(&["11-21"]).unwrap().unwrap() - 1000.0).abs() < 1e-9);
+        assert_eq!(report.method, "uniform-within-bin linear interpolation");
+        let (label, sources) = &report.provenance[1];
+        assert_eq!(label, "2-11");
+        assert_eq!(sources.len(), 2);
+    }
+
+    #[test]
+    fn realign_identity_is_noop() {
+        let c = db1();
+        let o = age_object(&c, &[1.0, 2.0, 3.0, 4.0]);
+        let (aligned, _) = realign(&o, "age group", &c, &c).unwrap();
+        for l in c.labels() {
+            assert_eq!(aligned.get(&[l]).unwrap(), o.get(&[l]).unwrap());
+        }
+    }
+
+    #[test]
+    fn realign_rejects_unknown_members() {
+        let schema = Schema::builder("x")
+            .dimension(Dimension::categorical("age group", ["weird"]))
+            .measure(SummaryAttribute::new("population", MeasureKind::Stock))
+            .build()
+            .unwrap();
+        let o = StatisticalObject::empty(schema);
+        assert!(realign(&o, "age group", &db1(), &db2()).is_err());
+    }
+
+    #[test]
+    fn versioned_classification_diff() {
+        // Fig 17 bottom: internet added in 1991.
+        let mut v = VersionedClassification::new();
+        v.add_version("1990", ["agriculture", "automobiles"]);
+        v.add_version("1991", ["agriculture", "automobiles", "internet"]);
+        let d = v.diff("1990", "1991").unwrap();
+        assert_eq!(d.added, vec!["internet"]);
+        assert!(d.removed.is_empty());
+        assert_eq!(d.retained.len(), 2);
+        assert!(v.existed("internet", "1991"));
+        assert!(!v.existed("internet", "1990"));
+        assert_eq!(v.union_categories(), vec!["agriculture", "automobiles", "internet"]);
+        assert!(v.diff("1990", "2050").is_err());
+    }
+}

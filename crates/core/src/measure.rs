@@ -1,0 +1,295 @@
+//! Summary attributes (measures), summary functions, and aggregation states.
+//!
+//! A statistical object carries one or more *summary attributes* (the paper's
+//! "summary measure" / OLAP "measure" / fact column) each with a *summary
+//! function*. The measure's [`MeasureKind`] drives the temporal
+//! summarizability rules of §3.3.2 / \[LS97\]: flows add over time, stocks do
+//! not, and value-per-unit measures never add.
+
+use std::fmt;
+
+/// Semantic type of a summary measure, following \[LS97\].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeasureKind {
+    /// Events accumulated over an interval (sales, accident counts, births).
+    /// Additive over every dimension, including time.
+    Flow,
+    /// A level observed at an instant (population, inventory, water level).
+    /// Additive over non-temporal dimensions only.
+    Stock,
+    /// A ratio or rate (price, average income, exchange rate). Never
+    /// additive; only order statistics and averages are meaningful.
+    ValuePerUnit,
+}
+
+impl fmt::Display for MeasureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MeasureKind::Flow => "flow",
+            MeasureKind::Stock => "stock",
+            MeasureKind::ValuePerUnit => "value-per-unit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A summary attribute: the paper's "summary measure" (SDB: *summary
+/// attribute*, OLAP: *measure* / fact column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummaryAttribute {
+    name: String,
+    kind: MeasureKind,
+    unit: Option<String>,
+}
+
+impl SummaryAttribute {
+    /// Creates a measure of the given semantic kind with no unit.
+    pub fn new(name: impl Into<String>, kind: MeasureKind) -> Self {
+        Self { name: name.into(), kind, unit: None }
+    }
+
+    /// Attaches a unit (e.g. "dollars" for `quantity sold`, §2.2(iii)).
+    pub fn with_unit(mut self, unit: impl Into<String>) -> Self {
+        self.unit = Some(unit.into());
+        self
+    }
+
+    /// The measure's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The measure's semantic kind.
+    pub fn kind(&self) -> MeasureKind {
+        self.kind
+    }
+
+    /// The measure's unit, if any. Measures born of a `count` summarization
+    /// have none (§2.2(iii)).
+    pub fn unit(&self) -> Option<&str> {
+        self.unit.as_deref()
+    }
+}
+
+/// The summary function attached to a statistical object (§2.1(iv)).
+///
+/// Databases traditionally provide exactly these five (§5.6); richer
+/// statistics (stddev, percentiles, trimmed means) live in [`crate::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SummaryFunction {
+    /// Total of the underlying values.
+    Sum,
+    /// Number of underlying micro units.
+    Count,
+    /// Mean of the underlying values (maintained as sum/count so it
+    /// composes under roll-up, §5.1(iv)).
+    Avg,
+    /// Minimum of the underlying values.
+    Min,
+    /// Maximum of the underlying values.
+    Max,
+}
+
+impl SummaryFunction {
+    /// All five functions, handy for exhaustive tests.
+    pub const ALL: [SummaryFunction; 5] = [
+        SummaryFunction::Sum,
+        SummaryFunction::Count,
+        SummaryFunction::Avg,
+        SummaryFunction::Min,
+        SummaryFunction::Max,
+    ];
+
+    /// True if the function is *additive* — i.e. double-counting an input
+    /// changes the result. `Min`/`Max` are duplicate-insensitive, so they
+    /// survive non-strict hierarchies that break `Sum`/`Count`/`Avg`.
+    pub fn is_duplicate_sensitive(self) -> bool {
+        matches!(self, SummaryFunction::Sum | SummaryFunction::Count | SummaryFunction::Avg)
+    }
+}
+
+impl fmt::Display for SummaryFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SummaryFunction::Sum => "sum",
+            SummaryFunction::Count => "count",
+            SummaryFunction::Avg => "avg",
+            SummaryFunction::Min => "min",
+            SummaryFunction::Max => "max",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The composable aggregation state of one cell.
+///
+/// Carrying `(sum, count, min, max)` lets every [`SummaryFunction`] be
+/// evaluated from the same state *and* lets states merge losslessly under
+/// roll-up — the paper notes that to support `average` one maintains the
+/// `sum` and `count` of each cell (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggState {
+    /// Sum of merged values.
+    pub sum: f64,
+    /// Number of merged micro units.
+    pub count: u64,
+    /// Minimum merged value (`+inf` when empty).
+    pub min: f64,
+    /// Maximum merged value (`-inf` when empty).
+    pub max: f64,
+}
+
+impl Default for AggState {
+    fn default() -> Self {
+        Self::EMPTY
+    }
+}
+
+impl AggState {
+    /// The identity state: merging it into anything is a no-op.
+    pub const EMPTY: AggState =
+        AggState { sum: 0.0, count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY };
+
+    /// State representing a single observed value.
+    pub fn from_value(v: f64) -> Self {
+        AggState { sum: v, count: 1, min: v, max: v }
+    }
+
+    /// State representing a pre-aggregated `(sum, count)` pair, e.g. a
+    /// published macro-data cell whose min/max are unknown.
+    pub fn from_sum_count(sum: f64, count: u64) -> Self {
+        AggState { sum, count, min: f64::NAN, max: f64::NAN }
+    }
+
+    /// Merges another state into this one.
+    pub fn merge(&mut self, other: &AggState) {
+        self.sum += other.sum;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Returns the merge of two states.
+    #[must_use]
+    pub fn merged(mut self, other: &AggState) -> Self {
+        self.merge(other);
+        self
+    }
+
+    /// True if no value has been merged.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0 && self.sum == 0.0
+    }
+
+    /// Evaluates the state under a summary function. Returns `None` for
+    /// `Avg` of an empty state and for `Min`/`Max` of empty or
+    /// min/max-less states.
+    pub fn value(&self, f: SummaryFunction) -> Option<f64> {
+        match f {
+            SummaryFunction::Sum => Some(self.sum),
+            SummaryFunction::Count => Some(self.count as f64),
+            SummaryFunction::Avg => {
+                if self.count == 0 {
+                    None
+                } else {
+                    Some(self.sum / self.count as f64)
+                }
+            }
+            SummaryFunction::Min => {
+                if self.min.is_finite() {
+                    Some(self.min)
+                } else {
+                    None
+                }
+            }
+            SummaryFunction::Max => {
+                if self.max.is_finite() {
+                    Some(self.max)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let a = AggState::from_value(1.0);
+        let b = AggState::from_value(5.0);
+        let c = AggState::from_value(-2.0);
+        let ab_c = a.merged(&b).merged(&c);
+        let a_bc = a.merged(&b.merged(&c));
+        let c_ba = c.merged(&b).merged(&a);
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab_c, c_ba);
+    }
+
+    #[test]
+    fn empty_is_identity() {
+        let a = AggState::from_value(7.5);
+        assert_eq!(a.merged(&AggState::EMPTY), a);
+        assert_eq!(AggState::EMPTY.merged(&a), a);
+    }
+
+    #[test]
+    fn all_functions_evaluate() {
+        let s = AggState::from_value(2.0).merged(&AggState::from_value(4.0));
+        assert_eq!(s.value(SummaryFunction::Sum), Some(6.0));
+        assert_eq!(s.value(SummaryFunction::Count), Some(2.0));
+        assert_eq!(s.value(SummaryFunction::Avg), Some(3.0));
+        assert_eq!(s.value(SummaryFunction::Min), Some(2.0));
+        assert_eq!(s.value(SummaryFunction::Max), Some(4.0));
+    }
+
+    #[test]
+    fn empty_state_values() {
+        let e = AggState::EMPTY;
+        assert_eq!(e.value(SummaryFunction::Sum), Some(0.0));
+        assert_eq!(e.value(SummaryFunction::Count), Some(0.0));
+        assert_eq!(e.value(SummaryFunction::Avg), None);
+        assert_eq!(e.value(SummaryFunction::Min), None);
+        assert_eq!(e.value(SummaryFunction::Max), None);
+    }
+
+    #[test]
+    fn avg_composes_under_merge() {
+        // avg of {1,2,3} merged with avg of {10} must be exact 4.0,
+        // which naive avg-of-avgs would get wrong.
+        let left = AggState::from_value(1.0)
+            .merged(&AggState::from_value(2.0))
+            .merged(&AggState::from_value(3.0));
+        let right = AggState::from_value(10.0);
+        assert_eq!(left.merged(&right).value(SummaryFunction::Avg), Some(4.0));
+    }
+
+    #[test]
+    fn sum_count_state_has_no_order_statistics() {
+        let s = AggState::from_sum_count(100.0, 4);
+        assert_eq!(s.value(SummaryFunction::Avg), Some(25.0));
+        assert_eq!(s.value(SummaryFunction::Min), None);
+        assert_eq!(s.value(SummaryFunction::Max), None);
+    }
+
+    #[test]
+    fn duplicate_sensitivity_classification() {
+        assert!(SummaryFunction::Sum.is_duplicate_sensitive());
+        assert!(SummaryFunction::Count.is_duplicate_sensitive());
+        assert!(SummaryFunction::Avg.is_duplicate_sensitive());
+        assert!(!SummaryFunction::Min.is_duplicate_sensitive());
+        assert!(!SummaryFunction::Max.is_duplicate_sensitive());
+    }
+
+    #[test]
+    fn measure_units() {
+        let m = SummaryAttribute::new("quantity sold", MeasureKind::Flow).with_unit("dollars");
+        assert_eq!(m.unit(), Some("dollars"));
+        let c = SummaryAttribute::new("employment", MeasureKind::Stock);
+        assert_eq!(c.unit(), None);
+        assert_eq!(c.kind(), MeasureKind::Stock);
+    }
+}

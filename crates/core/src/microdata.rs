@@ -1,0 +1,623 @@
+//! Micro-data, macro-data, and the completeness homomorphism (§3.3.3, §5.5,
+//! Fig 16, \[MRS92\]).
+//!
+//! The SDB literature calls the base records about individuals the
+//! **micro-data** and a summarized dataset the **macro-data**. A
+//! [`MicroTable`] holds micro-data in columnar form; [`MicroTable::summarize`]
+//! derives a [`StatisticalObject`] (macro-data).
+//!
+//! §5.5's completeness argument is a *homomorphism* (Fig 16): for every
+//! relational-algebra operation on micro-data, some statistical-algebra
+//! operation on the macro-data yields the same result as re-summarizing.
+//! The `homomorphism_*` functions check the square commutes for
+//! select/project/union against S-select/S-project/S-union; the E09 harness
+//! and property tests exercise them over generated data.
+
+use std::collections::HashMap;
+
+use crate::dictionary::Dictionary;
+use crate::dimension::{Dimension, DimensionRole};
+use crate::error::{Error, Result};
+use crate::measure::{MeasureKind, SummaryAttribute, SummaryFunction};
+use crate::object::StatisticalObject;
+use crate::ops;
+use crate::schema::Schema;
+
+/// Columnar micro-data: categorical columns (dictionary-encoded) plus
+/// numeric columns, all of equal length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroTable {
+    cat_names: Vec<String>,
+    cat_dicts: Vec<Dictionary>,
+    cat_data: Vec<Vec<u32>>,
+    num_names: Vec<String>,
+    num_data: Vec<Vec<f64>>,
+    len: usize,
+}
+
+impl MicroTable {
+    /// Creates an empty table with the given categorical and numeric column
+    /// names.
+    pub fn new(categorical: &[&str], numeric: &[&str]) -> Self {
+        Self {
+            cat_names: categorical.iter().map(|s| (*s).to_owned()).collect(),
+            cat_dicts: vec![Dictionary::new(); categorical.len()],
+            cat_data: vec![Vec::new(); categorical.len()],
+            num_names: numeric.iter().map(|s| (*s).to_owned()).collect(),
+            num_data: vec![Vec::new(); numeric.len()],
+            len: 0,
+        }
+    }
+
+    /// Appends one micro record.
+    pub fn push(&mut self, cats: &[&str], nums: &[f64]) -> Result<()> {
+        if cats.len() != self.cat_names.len() || nums.len() != self.num_names.len() {
+            return Err(Error::ArityMismatch {
+                expected: self.cat_names.len() + self.num_names.len(),
+                got: cats.len() + nums.len(),
+            });
+        }
+        for (i, c) in cats.iter().enumerate() {
+            let id = self.cat_dicts[i].intern(c);
+            self.cat_data[i].push(id);
+        }
+        for (i, &v) in nums.iter().enumerate() {
+            self.num_data[i].push(v);
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Number of micro records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the table has no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Categorical column names.
+    pub fn categorical_names(&self) -> &[String] {
+        &self.cat_names
+    }
+
+    /// Numeric column names.
+    pub fn numeric_names(&self) -> &[String] {
+        &self.num_names
+    }
+
+    fn cat_index(&self, name: &str) -> Result<usize> {
+        self.cat_names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| Error::ColumnError(format!("no categorical column `{name}`")))
+    }
+
+    fn num_index(&self, name: &str) -> Result<usize> {
+        self.num_names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| Error::ColumnError(format!("no numeric column `{name}`")))
+    }
+
+    /// The dictionary of a categorical column.
+    pub fn dictionary(&self, name: &str) -> Result<&Dictionary> {
+        Ok(&self.cat_dicts[self.cat_index(name)?])
+    }
+
+    /// The categorical value of column `name` at `row`.
+    pub fn cat_value(&self, name: &str, row: usize) -> Result<&str> {
+        let c = self.cat_index(name)?;
+        self.cat_dicts[c]
+            .value_of(self.cat_data[c][row])
+            .ok_or_else(|| Error::ColumnError(format!("row {row} out of range")))
+    }
+
+    /// The numeric value of column `name` at `row`.
+    pub fn num_value(&self, name: &str, row: usize) -> Result<f64> {
+        let c = self.num_index(name)?;
+        self.num_data[c]
+            .get(row)
+            .copied()
+            .ok_or_else(|| Error::ColumnError(format!("row {row} out of range")))
+    }
+
+    fn keep_rows(&self, keep: &[bool]) -> MicroTable {
+        let mut out = MicroTable {
+            cat_names: self.cat_names.clone(),
+            cat_dicts: self.cat_dicts.clone(), // keep dictionaries stable
+            cat_data: vec![Vec::new(); self.cat_names.len()],
+            num_names: self.num_names.clone(),
+            num_data: vec![Vec::new(); self.num_names.len()],
+            len: 0,
+        };
+        for row in 0..self.len {
+            if keep[row] {
+                for (i, col) in self.cat_data.iter().enumerate() {
+                    out.cat_data[i].push(col[row]);
+                }
+                for (i, col) in self.num_data.iter().enumerate() {
+                    out.num_data[i].push(col[row]);
+                }
+                out.len += 1;
+            }
+        }
+        out
+    }
+
+    /// Relational `SELECT` (restriction): rows where `column == value`.
+    /// Dictionaries are kept stable so derived macro-data stays comparable.
+    pub fn select_eq(&self, column: &str, value: &str) -> Result<MicroTable> {
+        let c = self.cat_index(column)?;
+        let id = self.cat_dicts[c].id_of(value);
+        let keep: Vec<bool> = match id {
+            Some(id) => self.cat_data[c].iter().map(|&x| x == id).collect(),
+            None => vec![false; self.len],
+        };
+        Ok(self.keep_rows(&keep))
+    }
+
+    /// Relational `SELECT` with an arbitrary predicate over a numeric
+    /// column.
+    pub fn select_num(&self, column: &str, pred: impl Fn(f64) -> bool) -> Result<MicroTable> {
+        let c = self.num_index(column)?;
+        let keep: Vec<bool> = self.num_data[c].iter().map(|&v| pred(v)).collect();
+        Ok(self.keep_rows(&keep))
+    }
+
+    /// Relational `UNION` (bag semantics: concatenation). Schemas must
+    /// match by name; categorical ids are remapped into `self`'s
+    /// dictionaries.
+    pub fn union(&self, other: &MicroTable) -> Result<MicroTable> {
+        if self.cat_names != other.cat_names || self.num_names != other.num_names {
+            return Err(Error::SchemaMismatch("micro tables differ in columns".into()));
+        }
+        let mut out = self.clone();
+        for row in 0..other.len {
+            for (i, col) in other.cat_data.iter().enumerate() {
+                let v = other.cat_dicts[i].value_of(col[row]).expect("valid id");
+                let id = out.cat_dicts[i].intern(v);
+                out.cat_data[i].push(id);
+            }
+            for (i, col) in other.num_data.iter().enumerate() {
+                out.num_data[i].push(col[row]);
+            }
+            out.len += 1;
+        }
+        Ok(out)
+    }
+
+    /// Summarizes the micro-data into macro-data: groups by the given
+    /// categorical columns and aggregates `measure` (a numeric column, or
+    /// `None` to count records) under `function`.
+    ///
+    /// The resulting dimensions use the micro columns' full dictionaries,
+    /// so objects summarized from subsets of the same table are
+    /// cell-comparable — which is what makes the Fig 16 square checkable.
+    pub fn summarize(
+        &self,
+        group_by: &[&str],
+        measure: Option<&str>,
+        function: SummaryFunction,
+        kind: MeasureKind,
+    ) -> Result<StatisticalObject> {
+        if group_by.is_empty() {
+            return Err(Error::InvalidSchema("summarize needs at least one group column".into()));
+        }
+        let group_idx: Vec<usize> =
+            group_by.iter().map(|g| self.cat_index(g)).collect::<Result<_>>()?;
+        let measure_idx = match measure {
+            Some(m) => Some(self.num_index(m)?),
+            None => None,
+        };
+        let mut builder = Schema::builder(format!(
+            "{} by {}",
+            measure.unwrap_or("count"),
+            group_by.join(" by ")
+        ));
+        for (&gi, name) in group_idx.iter().zip(group_by) {
+            let dict = &self.cat_dicts[gi];
+            builder = builder.dimension(
+                Dimension::categorical(*name, dict.values()).with_role(DimensionRole::Categorical),
+            );
+        }
+        let schema = builder
+            .measure(SummaryAttribute::new(measure.unwrap_or("count"), kind))
+            .function(function)
+            .build()?;
+        let mut obj = StatisticalObject::empty(schema);
+        let mut coords = vec![0u32; group_idx.len()];
+        for row in 0..self.len {
+            for (k, &gi) in group_idx.iter().enumerate() {
+                coords[k] = self.cat_data[gi][row];
+            }
+            let v = match measure_idx {
+                Some(mi) => self.num_data[mi][row],
+                None => 1.0,
+            };
+            obj.insert_ids(&coords, &[v])?;
+        }
+        Ok(obj)
+    }
+}
+
+/// Checks the Fig 16 square for relational **select** vs `S-select`:
+/// `summarize(σ_{col=v}(micro))` must equal `S-select(summarize(micro))`.
+pub fn homomorphism_select(
+    micro: &MicroTable,
+    group_by: &[&str],
+    measure: Option<&str>,
+    function: SummaryFunction,
+    column: &str,
+    value: &str,
+) -> Result<bool> {
+    let kind = MeasureKind::Flow;
+    let left = micro.select_eq(column, value)?.summarize(group_by, measure, function, kind)?;
+    let macro_data = micro.summarize(group_by, measure, function, kind)?;
+    let right = ops::s_select(&macro_data, column, &[value]).or_else(|e| match e {
+        // Value absent from the data: selection keeps nothing.
+        Error::UnknownMember { .. } => {
+            ops::s_select_ids(&macro_data, macro_data.schema().dim_index(column)?, &[])
+        }
+        other => Err(other),
+    })?;
+    Ok(objects_agree(&left, &right))
+}
+
+/// Checks the Fig 16 square for relational **project** (dropping a grouping
+/// column before summarizing) vs `S-project`.
+pub fn homomorphism_project(
+    micro: &MicroTable,
+    group_by: &[&str],
+    measure: Option<&str>,
+    function: SummaryFunction,
+    drop: &str,
+) -> Result<bool> {
+    let kind = MeasureKind::Flow;
+    let remaining: Vec<&str> = group_by.iter().copied().filter(|g| g != &drop).collect();
+    let left = micro.summarize(&remaining, measure, function, kind)?;
+    let macro_data = micro.summarize(group_by, measure, function, kind)?;
+    let right = ops::s_project(&macro_data, drop)?;
+    Ok(objects_agree(&left, &right))
+}
+
+/// Checks the Fig 16 square for relational **union** (bag) vs
+/// `S-union(MergeStates)`.
+pub fn homomorphism_union(
+    a: &MicroTable,
+    b: &MicroTable,
+    group_by: &[&str],
+    measure: Option<&str>,
+    function: SummaryFunction,
+) -> Result<bool> {
+    let kind = MeasureKind::Flow;
+    let left = a.union(b)?.summarize(group_by, measure, function, kind)?;
+    let right = ops::s_union(
+        &a.summarize(group_by, measure, function, kind)?,
+        &b.summarize(group_by, measure, function, kind)?,
+        ops::UnionPolicy::MergeStates,
+    )?;
+    Ok(objects_agree(&left, &right))
+}
+
+impl MicroTable {
+    /// Relational "update": returns a copy with every value of categorical
+    /// `column` replaced by `f(value)` — how micro-data is reclassified to
+    /// a coarser category before summarizing (the left path of the roll-up
+    /// homomorphism square).
+    pub fn map_column(&self, column: &str, f: impl Fn(&str) -> String) -> Result<MicroTable> {
+        let c = self.cat_index(column)?;
+        let mut out = MicroTable {
+            cat_names: self.cat_names.clone(),
+            cat_dicts: self.cat_dicts.clone(),
+            cat_data: self.cat_data.clone(),
+            num_names: self.num_names.clone(),
+            num_data: self.num_data.clone(),
+            len: self.len,
+        };
+        let mut dict = Dictionary::new();
+        let mapped: Vec<u32> = self.cat_data[c]
+            .iter()
+            .map(|&id| {
+                let v = self.cat_dicts[c].value_of(id).expect("valid id");
+                dict.intern(&f(v))
+            })
+            .collect();
+        out.cat_dicts[c] = dict;
+        out.cat_data[c] = mapped;
+        Ok(out)
+    }
+}
+
+/// Checks the Fig 16 square for **roll-up**: reclassifying the micro-data
+/// to the hierarchy's parent level and summarizing must equal
+/// `S-aggregation` of the macro-data through the same hierarchy.
+///
+/// `hierarchy` must be a two-level hierarchy classifying every value the
+/// micro-data's `column` carries.
+pub fn homomorphism_aggregate(
+    micro: &MicroTable,
+    group_by: &[&str],
+    measure: Option<&str>,
+    function: SummaryFunction,
+    column: &str,
+    hierarchy: &crate::hierarchy::Hierarchy,
+) -> Result<bool> {
+    use crate::hierarchy::Hierarchy;
+
+    let kind = MeasureKind::Flow;
+    let parent_of = |v: &str| -> Result<String> {
+        let leaf = hierarchy.leaf().members().id_of(v).ok_or_else(|| Error::UnknownMember {
+            dimension: column.to_owned(),
+            member: v.to_owned(),
+        })?;
+        let p = hierarchy.parent(0, leaf).ok_or_else(|| {
+            Error::InvalidSchema(format!("`{v}` lacks a unique parent (non-strict?)"))
+        })?;
+        Ok(hierarchy.level(1).members().value_of(p).expect("valid parent").to_owned())
+    };
+
+    // Left path: reclassify micro-data, then summarize. Pre-resolve every
+    // dictionary value so an uncovered member is a clean error, not a
+    // panic inside the mapping closure.
+    let c_dict = micro.dictionary(column)?;
+    let parent_names: Vec<String> =
+        c_dict.values().map(parent_of).collect::<Result<_>>()?;
+    let mapped = micro.map_column(column, |v| {
+        parent_names[c_dict.id_of(v).expect("dictionary value") as usize].clone()
+    })?;
+    let left = mapped.summarize(group_by, measure, function, kind)?;
+
+    // Right path: summarize, then S-aggregate the macro-data. The macro
+    // object's dimension is flat, so rebuild it classified by a hierarchy
+    // whose leaf order matches the macro dictionary.
+    let macro_obj = micro.summarize(group_by, measure, function, kind)?;
+    let d = macro_obj.schema().dim_index(column)?;
+    let macro_dim = &macro_obj.schema().dimensions()[d];
+    let parent_level_name = hierarchy.level(1).name().to_owned();
+    let mut b = Hierarchy::builder(hierarchy.name())
+        .level(hierarchy.leaf().name())
+        .level(&parent_level_name);
+    for v in macro_dim.members().values() {
+        let p = parent_of(v)?;
+        b = b.edge(v, &p);
+    }
+    let classified = Dimension::classified(column, b.build()?).with_role(macro_dim.role());
+    let mut dims = macro_obj.schema().dimensions().to_vec();
+    dims[d] = classified;
+    let schema = Schema::builder(macro_obj.schema().name());
+    let mut schema = dims.into_iter().fold(schema, |s, dim| s.dimension(dim));
+    for (m, f) in macro_obj.schema().measures().iter().zip(macro_obj.schema().functions()) {
+        schema = schema.measure(m.clone()).function(*f);
+    }
+    let mut rebuilt = StatisticalObject::empty(schema.build()?);
+    for (coords, states) in macro_obj.cells() {
+        rebuilt.merge_states(coords, states)?;
+    }
+    let right = ops::s_aggregate(&rebuilt, column, &parent_level_name)?;
+    Ok(objects_agree(&left, &right))
+}
+
+/// Compares two statistical objects cell-wise *by member names* and
+/// evaluated summary values (their dictionaries may order members
+/// differently).
+pub fn objects_agree(a: &StatisticalObject, b: &StatisticalObject) -> bool {
+    let functions = a.schema().functions();
+    if functions != b.schema().functions() {
+        return false;
+    }
+    let key_of = |o: &StatisticalObject, coords: &[u32]| -> Option<Vec<String>> {
+        o.schema().names_of(coords).ok().map(|ns| ns.iter().map(|s| (*s).to_owned()).collect())
+    };
+    let close = |x: f64, y: f64| (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0);
+    let collect = |o: &StatisticalObject| -> Option<HashMap<Vec<String>, Vec<Option<f64>>>> {
+        let mut m = HashMap::new();
+        for (coords, states) in o.cells() {
+            let vals: Vec<Option<f64>> =
+                states.iter().zip(functions).map(|(s, &f)| s.value(f)).collect();
+            m.insert(key_of(o, coords)?, vals);
+        }
+        Some(m)
+    };
+    let (Some(ma), Some(mb)) = (collect(a), collect(b)) else { return false };
+    if ma.len() != mb.len() {
+        return false;
+    }
+    for (k, va) in &ma {
+        match mb.get(k) {
+            Some(vb) => {
+                for (x, y) in va.iter().zip(vb) {
+                    match (x, y) {
+                        (Some(x), Some(y)) if close(*x, *y) => {}
+                        (None, None) => {}
+                        _ => return false,
+                    }
+                }
+            }
+            None => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn census() -> MicroTable {
+        let mut t = MicroTable::new(&["state", "sex", "race"], &["income"]);
+        let rows: &[(&str, &str, &str, f64)] = &[
+            ("AL", "male", "white", 30_000.0),
+            ("AL", "male", "black", 28_000.0),
+            ("AL", "female", "white", 27_000.0),
+            ("CA", "male", "white", 45_000.0),
+            ("CA", "female", "white", 44_000.0),
+            ("CA", "female", "black", 41_000.0),
+            ("CA", "female", "black", 39_000.0),
+        ];
+        for (s, x, r, v) in rows {
+            t.push(&[s, x, r], &[*v]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn push_and_access() {
+        let t = census();
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.cat_value("state", 3).unwrap(), "CA");
+        assert_eq!(t.num_value("income", 0).unwrap(), 30_000.0);
+        assert!(t.cat_value("planet", 0).is_err());
+        assert!(t.num_value("age", 0).is_err());
+    }
+
+    #[test]
+    fn summarize_count_and_sum() {
+        let t = census();
+        let counts =
+            t.summarize(&["state"], None, SummaryFunction::Count, MeasureKind::Flow).unwrap();
+        assert_eq!(counts.get(&["AL"]).unwrap(), Some(3.0));
+        assert_eq!(counts.get(&["CA"]).unwrap(), Some(4.0));
+
+        let sums = t
+            .summarize(&["state", "sex"], Some("income"), SummaryFunction::Sum, MeasureKind::Flow)
+            .unwrap();
+        assert_eq!(sums.get(&["CA", "female"]).unwrap(), Some(124_000.0));
+    }
+
+    #[test]
+    fn select_filters_micro_rows() {
+        let t = census();
+        let ca = t.select_eq("state", "CA").unwrap();
+        assert_eq!(ca.len(), 4);
+        // Dictionaries stay stable: "AL" still has an id in the filtered
+        // table even though no row carries it.
+        assert!(ca.dictionary("state").unwrap().id_of("AL").is_some());
+        let rich = t.select_num("income", |v| v > 40_000.0).unwrap();
+        assert_eq!(rich.len(), 3);
+        assert!(t.select_eq("state", "XX").unwrap().is_empty());
+    }
+
+    #[test]
+    fn union_remaps_dictionaries() {
+        let mut a = MicroTable::new(&["state"], &["income"]);
+        a.push(&["AL"], &[1.0]).unwrap();
+        let mut b = MicroTable::new(&["state"], &["income"]);
+        b.push(&["CA"], &[2.0]).unwrap();
+        b.push(&["AL"], &[3.0]).unwrap();
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.cat_value("state", 1).unwrap(), "CA");
+        assert_eq!(u.cat_value("state", 2).unwrap(), "AL");
+
+        let mismatched = MicroTable::new(&["county"], &["income"]);
+        assert!(a.union(&mismatched).is_err());
+    }
+
+    #[test]
+    fn fig16_select_square_commutes() {
+        let t = census();
+        for f in SummaryFunction::ALL {
+            assert!(
+                homomorphism_select(&t, &["state", "sex"], Some("income"), f, "sex", "female")
+                    .unwrap(),
+                "select square failed for {f}"
+            );
+        }
+        // Selecting an absent value also commutes (empty results).
+        assert!(homomorphism_select(
+            &t,
+            &["state"],
+            Some("income"),
+            SummaryFunction::Sum,
+            "state",
+            "TX"
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn fig16_project_square_commutes() {
+        let t = census();
+        for f in SummaryFunction::ALL {
+            assert!(
+                homomorphism_project(&t, &["state", "sex", "race"], Some("income"), f, "race")
+                    .unwrap(),
+                "project square failed for {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig16_union_square_commutes() {
+        let t = census();
+        let a = t.select_eq("state", "AL").unwrap();
+        let b = t.select_eq("state", "CA").unwrap();
+        for f in SummaryFunction::ALL {
+            assert!(
+                homomorphism_union(&a, &b, &["state", "sex"], Some("income"), f).unwrap(),
+                "union square failed for {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn map_column_reclassifies() {
+        let t = census();
+        let mapped = t.map_column("state", |s| format!("region-{s}")).unwrap();
+        assert_eq!(mapped.len(), t.len());
+        assert_eq!(mapped.cat_value("state", 0).unwrap(), "region-AL");
+        // Other columns untouched.
+        assert_eq!(mapped.cat_value("sex", 0).unwrap(), t.cat_value("sex", 0).unwrap());
+        assert!(t.map_column("planet", |s| s.to_owned()).is_err());
+    }
+
+    #[test]
+    fn fig16_aggregate_square_commutes() {
+        use crate::hierarchy::Hierarchy;
+        let t = census();
+        let geo = Hierarchy::builder("geo")
+            .level("state")
+            .level("region")
+            .edge("AL", "south")
+            .edge("CA", "west")
+            .build()
+            .unwrap();
+        for f in SummaryFunction::ALL {
+            assert!(
+                homomorphism_aggregate(&t, &["state", "sex"], Some("income"), f, "state", &geo)
+                    .unwrap(),
+                "aggregate square failed for {f}"
+            );
+        }
+        // A hierarchy not covering a member errors rather than mis-counts.
+        let partial = Hierarchy::builder("geo")
+            .level("state")
+            .level("region")
+            .edge("AL", "south")
+            .build()
+            .unwrap();
+        assert!(homomorphism_aggregate(
+            &t,
+            &["state"],
+            Some("income"),
+            SummaryFunction::Sum,
+            "state",
+            &partial
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn objects_agree_detects_differences() {
+        let t = census();
+        let a = t.summarize(&["state"], Some("income"), SummaryFunction::Sum, MeasureKind::Flow)
+            .unwrap();
+        let mut b = a.clone();
+        b.insert(&["AL"], 1.0).unwrap();
+        assert!(objects_agree(&a, &a));
+        assert!(!objects_agree(&a, &b));
+    }
+}

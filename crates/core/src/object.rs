@@ -1,0 +1,277 @@
+//! The Statistical Object: macro-data cells over a multidimensional space.
+//!
+//! This is the data type the paper's conclusion argues systems should
+//! support natively. Cells are stored sparsely (coordinate vector →
+//! aggregation states, one per measure); the dense physical organizations of
+//! §6 live in `statcube-storage` and convert to/from this logical form.
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+use crate::measure::{AggState, SummaryFunction};
+use crate::schema::Schema;
+
+/// A statistical object: a [`Schema`] plus sparse macro-data cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatisticalObject {
+    schema: Schema,
+    cells: HashMap<Box<[u32]>, Vec<AggState>>,
+}
+
+impl StatisticalObject {
+    /// An object with no cells yet.
+    pub fn empty(schema: Schema) -> Self {
+        Self { schema, cells: HashMap::new() }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of populated cells (not the cross-product size).
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if no cell is populated.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Density of the object: populated cells / cross-product size.
+    pub fn density(&self) -> f64 {
+        let total = self.schema.cross_product_size();
+        if total == 0 {
+            0.0
+        } else {
+            self.cells.len() as f64 / total as f64
+        }
+    }
+
+    /// Inserts (merges) a single observation for a single-measure object,
+    /// addressed by member names.
+    pub fn insert(&mut self, members: &[&str], value: f64) -> Result<()> {
+        self.insert_row(members, &[value])
+    }
+
+    /// Inserts (merges) one observation per measure, addressed by member
+    /// names.
+    pub fn insert_row(&mut self, members: &[&str], values: &[f64]) -> Result<()> {
+        let coords = self.schema.coords_of(members)?;
+        self.insert_ids(&coords, values)
+    }
+
+    /// Inserts (merges) one observation per measure, addressed by
+    /// coordinate ids. The fast path used by bulk loaders.
+    pub fn insert_ids(&mut self, coords: &[u32], values: &[f64]) -> Result<()> {
+        if values.len() != self.schema.measures().len() {
+            return Err(Error::ArityMismatch {
+                expected: self.schema.measures().len(),
+                got: values.len(),
+            });
+        }
+        self.check_coords(coords)?;
+        let states = self
+            .cells
+            .entry(coords.into())
+            .or_insert_with(|| vec![AggState::EMPTY; values.len()]);
+        for (s, &v) in states.iter_mut().zip(values) {
+            s.merge(&AggState::from_value(v));
+        }
+        Ok(())
+    }
+
+    /// Merges pre-built aggregation states into a cell (used by operators
+    /// and storage loaders).
+    pub fn merge_states(&mut self, coords: &[u32], states: &[AggState]) -> Result<()> {
+        if states.len() != self.schema.measures().len() {
+            return Err(Error::ArityMismatch {
+                expected: self.schema.measures().len(),
+                got: states.len(),
+            });
+        }
+        self.check_coords(coords)?;
+        let slot = self
+            .cells
+            .entry(coords.into())
+            .or_insert_with(|| vec![AggState::EMPTY; states.len()]);
+        for (dst, src) in slot.iter_mut().zip(states) {
+            dst.merge(src);
+        }
+        Ok(())
+    }
+
+    fn check_coords(&self, coords: &[u32]) -> Result<()> {
+        if coords.len() != self.schema.dim_count() {
+            return Err(Error::ArityMismatch {
+                expected: self.schema.dim_count(),
+                got: coords.len(),
+            });
+        }
+        for (c, d) in coords.iter().zip(self.schema.dimensions()) {
+            if *c as usize >= d.cardinality() {
+                return Err(Error::UnknownMember {
+                    dimension: d.name().to_owned(),
+                    member: format!("#{c}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a cell's summary value (single-measure convenience), evaluated
+    /// under the schema's summary function. `Ok(None)` if the cell is
+    /// unpopulated.
+    pub fn get(&self, members: &[&str]) -> Result<Option<f64>> {
+        if self.schema.measures().len() != 1 {
+            return Err(Error::MultipleMeasures(self.schema.measures().len()));
+        }
+        self.get_measure(members, 0)
+    }
+
+    /// Reads measure `m` of a cell, evaluated under its summary function.
+    pub fn get_measure(&self, members: &[&str], m: usize) -> Result<Option<f64>> {
+        let coords = self.schema.coords_of(members)?;
+        Ok(self
+            .cells
+            .get(coords.as_slice())
+            .and_then(|states| states[m].value(self.schema.function(m))))
+    }
+
+    /// Reads the raw aggregation states of a cell by coordinates.
+    pub fn states_at(&self, coords: &[u32]) -> Option<&[AggState]> {
+        self.cells.get(coords).map(Vec::as_slice)
+    }
+
+    /// Iterates over `(coordinates, states)` for all populated cells, in
+    /// unspecified order.
+    pub fn cells(&self) -> impl Iterator<Item = (&[u32], &[AggState])> {
+        self.cells.iter().map(|(k, v)| (&**k, v.as_slice()))
+    }
+
+    /// Iterates over cells in coordinate-sorted order (deterministic output
+    /// for rendering and tests).
+    pub fn cells_sorted(&self) -> Vec<(&[u32], &[AggState])> {
+        let mut v: Vec<_> = self.cells().collect();
+        v.sort_by(|a, b| a.0.cmp(b.0));
+        v
+    }
+
+    /// Total of measure `m` over all cells, under its summary function
+    /// composition (sum of sums, merge of all states).
+    pub fn grand_total(&self, m: usize) -> Option<f64> {
+        let f = self.schema.function(m);
+        let mut acc = AggState::EMPTY;
+        for (_, states) in self.cells() {
+            acc.merge(&states[m]);
+        }
+        acc.value(f)
+    }
+
+    /// Evaluates one cell's state under an explicit function (for marginals
+    /// rendered with a different function, used by `table2d`).
+    pub fn eval(&self, coords: &[u32], m: usize, f: SummaryFunction) -> Option<f64> {
+        self.cells.get(coords).and_then(|s| s[m].value(f))
+    }
+
+    pub(crate) fn from_parts(
+        schema: Schema,
+        cells: HashMap<Box<[u32]>, Vec<AggState>>,
+    ) -> Self {
+        Self { schema, cells }
+    }
+
+    pub(crate) fn cells_mut(&mut self) -> &mut HashMap<Box<[u32]>, Vec<AggState>> {
+        &mut self.cells
+    }
+
+    pub(crate) fn schema_mut(&mut self) -> &mut Schema {
+        &mut self.schema
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::Dimension;
+    use crate::measure::{MeasureKind, SummaryAttribute};
+
+    fn obj() -> StatisticalObject {
+        let schema = Schema::builder("t")
+            .dimension(Dimension::categorical("sex", ["male", "female"]))
+            .dimension(Dimension::categorical("year", ["1991", "1992"]))
+            .measure(SummaryAttribute::new("employment", MeasureKind::Stock))
+            .build()
+            .unwrap();
+        StatisticalObject::empty(schema)
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut o = obj();
+        o.insert(&["male", "1991"], 100.0).unwrap();
+        o.insert(&["female", "1992"], 50.0).unwrap();
+        assert_eq!(o.get(&["male", "1991"]).unwrap(), Some(100.0));
+        assert_eq!(o.get(&["male", "1992"]).unwrap(), None);
+        assert_eq!(o.cell_count(), 2);
+        assert_eq!(o.density(), 0.5);
+    }
+
+    #[test]
+    fn insert_merges() {
+        let mut o = obj();
+        o.insert(&["male", "1991"], 100.0).unwrap();
+        o.insert(&["male", "1991"], 25.0).unwrap();
+        assert_eq!(o.get(&["male", "1991"]).unwrap(), Some(125.0));
+        let coords = o.schema().coords_of(&["male", "1991"]).unwrap();
+        assert_eq!(o.states_at(&coords).unwrap()[0].count, 2);
+    }
+
+    #[test]
+    fn arity_and_membership_errors() {
+        let mut o = obj();
+        assert!(o.insert(&["male"], 1.0).is_err());
+        assert!(o.insert(&["alien", "1991"], 1.0).is_err());
+        assert!(o.insert_row(&["male", "1991"], &[1.0, 2.0]).is_err());
+        assert!(o.insert_ids(&[0, 9], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn grand_total_and_eval() {
+        let mut o = obj();
+        o.insert(&["male", "1991"], 10.0).unwrap();
+        o.insert(&["female", "1991"], 30.0).unwrap();
+        assert_eq!(o.grand_total(0), Some(40.0));
+        let coords = o.schema().coords_of(&["female", "1991"]).unwrap();
+        assert_eq!(o.eval(&coords, 0, SummaryFunction::Count), Some(1.0));
+        assert_eq!(o.eval(&coords, 0, SummaryFunction::Avg), Some(30.0));
+    }
+
+    #[test]
+    fn multi_measure_get_requires_index() {
+        let schema = Schema::builder("t")
+            .dimension(Dimension::categorical("state", ["AL"]))
+            .measure(SummaryAttribute::new("pop", MeasureKind::Stock))
+            .measure(SummaryAttribute::new("income", MeasureKind::ValuePerUnit))
+            .function(SummaryFunction::Avg)
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        o.insert_row(&["AL"], &[1000.0, 35_000.0]).unwrap();
+        assert!(o.get(&["AL"]).is_err());
+        assert_eq!(o.get_measure(&["AL"], 0).unwrap(), Some(1000.0));
+        assert_eq!(o.get_measure(&["AL"], 1).unwrap(), Some(35_000.0));
+    }
+
+    #[test]
+    fn cells_sorted_is_deterministic() {
+        let mut o = obj();
+        o.insert(&["female", "1992"], 1.0).unwrap();
+        o.insert(&["male", "1991"], 2.0).unwrap();
+        o.insert(&["male", "1992"], 3.0).unwrap();
+        let sorted = o.cells_sorted();
+        let keys: Vec<&[u32]> = sorted.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![&[0u32, 0][..], &[0, 1], &[1, 1]]);
+    }
+}

@@ -1,0 +1,624 @@
+//! The statistical operator algebra (§5.2, \[MRS92\]) and its OLAP aliases.
+//!
+//! | OLAP (§5.3) | SDB | function here |
+//! |---|---|---|
+//! | Slice | S-projection | [`s_project`] / [`slice_at`](crate::ops::olap::slice_at) |
+//! | Dice | S-selection | [`s_select`] |
+//! | Roll up (consolidation) | S-aggregation | [`s_aggregate`] |
+//! | Drill down | S-disaggregation | [`disaggregate_by_proxy`], [`Navigator`](crate::ops::navigator::Navigator) |
+//! | — | S-union | [`s_union`] |
+
+pub mod navigator;
+pub mod olap;
+
+use std::collections::HashMap;
+
+use crate::dimension::Dimension;
+use crate::error::{Error, Result};
+use crate::hierarchy::Hierarchy;
+use crate::measure::AggState;
+use crate::object::StatisticalObject;
+use crate::summarizability;
+
+/// `S-select`: keeps only cells whose member of `dim` is in `keep`. The
+/// dimension's domain is unchanged — per \[MRS92\], selection "does not reduce
+/// the cardinality of the multidimensional space".
+pub fn s_select(obj: &StatisticalObject, dim: &str, keep: &[&str]) -> Result<StatisticalObject> {
+    let d = obj.schema().dim_index(dim)?;
+    let dim_ref = &obj.schema().dimensions()[d];
+    let mut ids = Vec::with_capacity(keep.len());
+    for k in keep {
+        ids.push(dim_ref.member_id(k)?);
+    }
+    s_select_ids(obj, d, &ids)
+}
+
+/// `S-select` by predicate over member names.
+pub fn s_select_by(
+    obj: &StatisticalObject,
+    dim: &str,
+    pred: impl Fn(&str) -> bool,
+) -> Result<StatisticalObject> {
+    let d = obj.schema().dim_index(dim)?;
+    let dim_ref = &obj.schema().dimensions()[d];
+    let ids: Vec<u32> =
+        dim_ref.members().iter().filter(|(_, v)| pred(v)).map(|(id, _)| id).collect();
+    s_select_ids(obj, d, &ids)
+}
+
+/// `S-select` by member ids on dimension index `d`.
+pub fn s_select_ids(
+    obj: &StatisticalObject,
+    d: usize,
+    keep: &[u32],
+) -> Result<StatisticalObject> {
+    let mut out = StatisticalObject::empty(obj.schema().clone());
+    for (coords, states) in obj.cells() {
+        if keep.contains(&coords[d]) {
+            out.merge_states(coords, states)?;
+        }
+    }
+    Ok(out)
+}
+
+/// `S-select` on member properties (\[LRT96\]: "selecting only Sanyo products
+/// for summarization"). Keeps cells whose member, in the named (or default)
+/// hierarchy, has `key == value` at the leaf level.
+pub fn s_select_property(
+    obj: &StatisticalObject,
+    dim: &str,
+    hierarchy: Option<&str>,
+    key: &str,
+    value: &str,
+) -> Result<StatisticalObject> {
+    let d = obj.schema().dim_index(dim)?;
+    let dim_ref = &obj.schema().dimensions()[d];
+    let h_idx = dim_ref.hierarchy_index(hierarchy)?;
+    let h = dim_ref.hierarchies().nth(h_idx).expect("index from hierarchy_index");
+    let ids: Vec<u32> = dim_ref
+        .members()
+        .iter()
+        .filter(|(leaf_id, _)| {
+            let hid = dim_ref.leaf_to_hierarchy(h_idx, *leaf_id);
+            h.property(0, hid, key) == Some(value)
+        })
+        .map(|(id, _)| id)
+        .collect();
+    s_select_ids(obj, d, &ids)
+}
+
+/// `S-project`: summarizes over *all* values of `dim`, removing it from the
+/// schema — reduces the dimensionality by one (\[MRS92\]). Fails if the
+/// summarization is not summarizable (stock over time, value-per-unit sums).
+pub fn s_project(obj: &StatisticalObject, dim: &str) -> Result<StatisticalObject> {
+    let d = obj.schema().dim_index(dim)?;
+    let violations = summarizability::check_project(obj.schema(), d);
+    if !violations.is_empty() {
+        return Err(Error::Summarizability(violations));
+    }
+    Ok(project_impl(obj, d))
+}
+
+/// `S-project` skipping summarizability checks — the caller asserts the
+/// semantics are fine.
+pub fn s_project_unchecked(obj: &StatisticalObject, dim: &str) -> Result<StatisticalObject> {
+    let d = obj.schema().dim_index(dim)?;
+    Ok(project_impl(obj, d))
+}
+
+fn project_impl(obj: &StatisticalObject, d: usize) -> StatisticalObject {
+    let dims: Vec<Dimension> = obj
+        .schema()
+        .dimensions()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != d)
+        .map(|(_, dim)| dim.clone())
+        .collect();
+    let schema = obj.schema().with_dimensions(dims);
+    let mut cells: HashMap<Box<[u32]>, Vec<AggState>> = HashMap::new();
+    for (coords, states) in obj.cells() {
+        let mut key: Vec<u32> = Vec::with_capacity(coords.len() - 1);
+        key.extend(coords.iter().enumerate().filter(|(i, _)| *i != d).map(|(_, &c)| c));
+        let slot = cells
+            .entry(key.into_boxed_slice())
+            .or_insert_with(|| vec![AggState::EMPTY; states.len()]);
+        for (dst, src) in slot.iter_mut().zip(states) {
+            dst.merge(src);
+        }
+    }
+    StatisticalObject::from_parts(schema, cells)
+}
+
+/// `S-aggregation`: rolls dimension `dim` up to `level` of its default
+/// hierarchy. The dimension's members become the level's members; the
+/// hierarchy above the level is retained for further roll-ups. Cardinality
+/// of the space (number of dimensions) is unchanged (\[MRS92\]).
+pub fn s_aggregate(
+    obj: &StatisticalObject,
+    dim: &str,
+    level: &str,
+) -> Result<StatisticalObject> {
+    s_aggregate_in(obj, dim, None, level, true)
+}
+
+/// `S-aggregation` in a *named* hierarchy (multiple classifications over the
+/// same dimension, §3.2(i)), with `checked` summarizability enforcement.
+pub fn s_aggregate_in(
+    obj: &StatisticalObject,
+    dim: &str,
+    hierarchy: Option<&str>,
+    level: &str,
+    checked: bool,
+) -> Result<StatisticalObject> {
+    let d = obj.schema().dim_index(dim)?;
+    let dim_ref = &obj.schema().dimensions()[d];
+    let h_idx = dim_ref.hierarchy_index(hierarchy)?;
+    let h = dim_ref.hierarchies().nth(h_idx).expect("index from hierarchy_index").clone();
+    let to_level = h.level_index(level)?;
+    if checked {
+        let violations = summarizability::check_aggregate(obj.schema(), d, &h, to_level);
+        if !violations.is_empty() {
+            return Err(Error::Summarizability(violations));
+        }
+    }
+
+    // Precompute leaf → ancestor mapping (possibly one-to-many if the
+    // structure is non-strict and the caller opted out of checks).
+    let card = dim_ref.cardinality();
+    let mut up: Vec<Vec<u32>> = Vec::with_capacity(card);
+    for leaf in 0..card as u32 {
+        let hid = dim_ref.leaf_to_hierarchy(h_idx, leaf);
+        up.push(h.ancestors_at(hid, to_level));
+    }
+
+    let new_hier = h.truncate_below(to_level);
+    let new_dim = Dimension::classified(dim_ref.name(), new_hier).with_role(dim_ref.role());
+    let mut dims = obj.schema().dimensions().to_vec();
+    dims[d] = new_dim;
+    let schema = obj.schema().with_dimensions(dims);
+
+    let mut out = StatisticalObject::empty(schema);
+    for (coords, states) in obj.cells() {
+        for &ancestor in &up[coords[d] as usize] {
+            let mut key = coords.to_vec();
+            key[d] = ancestor;
+            out.merge_states(&key, states)?;
+        }
+    }
+    Ok(out)
+}
+
+/// How [`s_union`] treats a cell populated in both inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnionPolicy {
+    /// Overlapping cells must agree (same sum and count); disagreement is an
+    /// error. Use when both sources report the *same* underlying facts.
+    ErrorOnConflict,
+    /// Keep the first object's cell.
+    PreferFirst,
+    /// Keep the second object's cell.
+    PreferSecond,
+    /// Merge aggregation states. Use when the sources cover *disjoint*
+    /// micro populations that happen to share category values.
+    MergeStates,
+}
+
+/// `S-union`: combines two statistical objects with overlapping (or
+/// partially overlapping) category values (\[MRS92\]). Dimension domains are
+/// unioned; `policy` resolves cells present in both.
+pub fn s_union(
+    a: &StatisticalObject,
+    b: &StatisticalObject,
+    policy: UnionPolicy,
+) -> Result<StatisticalObject> {
+    if !a.schema().union_compatible(b.schema()) {
+        return Err(Error::SchemaMismatch(format!(
+            "`{}` and `{}` are not union-compatible",
+            a.schema().name(),
+            b.schema().name()
+        )));
+    }
+    // Union the member domains dimension-wise, keeping a's ids stable.
+    let mut dims: Vec<Dimension> = Vec::with_capacity(a.schema().dim_count());
+    let mut remap_b: Vec<Vec<u32>> = Vec::with_capacity(a.schema().dim_count());
+    for (da, db) in a.schema().dimensions().iter().zip(b.schema().dimensions()) {
+        let mut members: Vec<String> = da.members().values().map(str::to_owned).collect();
+        let mut map_b = Vec::with_capacity(db.cardinality());
+        for v in db.members().values() {
+            match members.iter().position(|m| m == v) {
+                Some(i) => map_b.push(i as u32),
+                None => {
+                    members.push(v.to_owned());
+                    map_b.push((members.len() - 1) as u32);
+                }
+            }
+        }
+        // Hierarchies are dropped in the union result: the sources may
+        // classify the unioned domain differently (§5.7 is the cure).
+        let dim = Dimension::categorical(da.name(), members).with_role(da.role());
+        dims.push(dim);
+        remap_b.push(map_b);
+    }
+    let schema = a.schema().with_dimensions(dims);
+    let mut out = StatisticalObject::empty(schema);
+    for (coords, states) in a.cells() {
+        out.merge_states(coords, states)?;
+    }
+    for (coords, states) in b.cells() {
+        let key: Vec<u32> =
+            coords.iter().enumerate().map(|(i, &c)| remap_b[i][c as usize]).collect();
+        match (out.states_at(&key).is_some(), policy) {
+            (false, _) | (true, UnionPolicy::MergeStates) => out.merge_states(&key, states)?,
+            (true, UnionPolicy::PreferFirst) => {}
+            (true, UnionPolicy::PreferSecond) => {
+                out.cells_mut().insert(key.into_boxed_slice(), states.to_vec());
+            }
+            (true, UnionPolicy::ErrorOnConflict) => {
+                let existing = out.states_at(&key).expect("checked present");
+                let agrees = existing.iter().zip(states).all(|(x, y)| {
+                    (x.sum - y.sum).abs() <= 1e-9 * x.sum.abs().max(1.0) && x.count == y.count
+                });
+                if !agrees {
+                    let names = out.schema().names_of(&key)?.join(", ");
+                    return Err(Error::UnionConflict { coordinates: format!("({names})") });
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `S-disaggregation` *by proxy* (§5.3): splits each cell of `dim` (whose
+/// members must be `hierarchy`'s **upper**-level members) down to the
+/// hierarchy's leaf members, apportioning sums by the normalized proxy
+/// weight of each leaf ("use county areas to estimate county populations
+/// from state populations").
+///
+/// The produced states are estimates: `sum` and `count` are apportioned,
+/// order statistics are unknown (`min`/`max` are NaN).
+pub fn disaggregate_by_proxy(
+    obj: &StatisticalObject,
+    dim: &str,
+    hierarchy: &Hierarchy,
+    proxy: &HashMap<String, f64>,
+) -> Result<StatisticalObject> {
+    if hierarchy.level_count() < 2 {
+        return Err(Error::InvalidProxy("hierarchy needs at least two levels".into()));
+    }
+    let d = obj.schema().dim_index(dim)?;
+    let dim_ref = &obj.schema().dimensions()[d];
+    let top = hierarchy.level_count() - 1;
+    // Validate the coarse members line up with the hierarchy's top level.
+    let top_members = hierarchy.level(top).members();
+    let mut coarse_to_top: Vec<u32> = Vec::with_capacity(dim_ref.cardinality());
+    for v in dim_ref.members().values() {
+        match top_members.id_of(v) {
+            Some(id) => coarse_to_top.push(id),
+            None => {
+                return Err(Error::InvalidProxy(format!(
+                    "member `{v}` of `{dim}` is not a top-level member of hierarchy `{}`",
+                    hierarchy.name()
+                )))
+            }
+        }
+    }
+    // Per-leaf weights, grouped and normalized per top-level ancestor.
+    let leaf = hierarchy.leaf().members();
+    let mut weights: Vec<f64> = Vec::with_capacity(leaf.len());
+    for (_, name) in leaf.iter() {
+        match proxy.get(name) {
+            Some(&w) if w >= 0.0 && w.is_finite() => weights.push(w),
+            Some(_) => {
+                return Err(Error::InvalidProxy(format!("negative or non-finite weight for `{name}`")))
+            }
+            None => return Err(Error::InvalidProxy(format!("missing weight for `{name}`"))),
+        }
+    }
+    let mut group_total: HashMap<u32, f64> = HashMap::new();
+    for (leaf_id, _) in leaf.iter() {
+        for &anc in &hierarchy.ancestors_at(leaf_id, top) {
+            *group_total.entry(anc).or_insert(0.0) += weights[leaf_id as usize];
+        }
+    }
+
+    let fine_dim =
+        Dimension::classified(dim_ref.name(), hierarchy.clone()).with_role(dim_ref.role());
+    let mut dims = obj.schema().dimensions().to_vec();
+    dims[d] = fine_dim;
+    let schema = obj.schema().with_dimensions(dims);
+    let mut out = StatisticalObject::empty(schema);
+
+    for (coords, states) in obj.cells() {
+        let top_id = coarse_to_top[coords[d] as usize];
+        let children = hierarchy.leaf_descendants(top, top_id);
+        let total = group_total.get(&top_id).copied().unwrap_or(0.0);
+        if total <= 0.0 {
+            return Err(Error::InvalidProxy(format!(
+                "zero total proxy weight under `{}`",
+                top_members.value_of(top_id).unwrap_or("?")
+            )));
+        }
+        for child in children {
+            let w = weights[child as usize] / total;
+            if w == 0.0 {
+                continue;
+            }
+            let mut key = coords.to_vec();
+            key[d] = child;
+            let estimated: Vec<AggState> = states
+                .iter()
+                .map(|s| AggState::from_sum_count(s.sum * w, (s.count as f64 * w).round() as u64))
+                .collect();
+            out.merge_states(&key, &estimated)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::Dimension;
+    use crate::measure::{MeasureKind, SummaryAttribute};
+    use crate::schema::Schema;
+
+    fn employment() -> StatisticalObject {
+        let profession = Hierarchy::builder("profession")
+            .level("profession")
+            .level("professional class")
+            .edge("chemical engineer", "engineer")
+            .edge("civil engineer", "engineer")
+            .edge("junior secretary", "secretary")
+            .edge("executive secretary", "secretary")
+            .build()
+            .unwrap();
+        let schema = Schema::builder("Employment in California")
+            .dimension(Dimension::categorical("sex", ["male", "female"]))
+            .dimension(Dimension::temporal("year", ["1991", "1992"]))
+            .dimension(Dimension::classified("profession", profession))
+            .measure(SummaryAttribute::new("employment", MeasureKind::Stock))
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        // Figures from paper Fig. 1 (fictitious numbers).
+        o.insert(&["male", "1991", "chemical engineer"], 197_700.0).unwrap();
+        o.insert(&["male", "1991", "civil engineer"], 241_100.0).unwrap();
+        o.insert(&["male", "1992", "chemical engineer"], 209_900.0).unwrap();
+        o.insert(&["male", "1992", "civil engineer"], 278_000.0).unwrap();
+        o.insert(&["female", "1991", "junior secretary"], 667_300.0).unwrap();
+        o.insert(&["female", "1992", "junior secretary"], 692_500.0).unwrap();
+        o
+    }
+
+    #[test]
+    fn select_filters_cells_not_domain() {
+        let o = employment();
+        let males = s_select(&o, "sex", &["male"]).unwrap();
+        assert_eq!(males.cell_count(), 4);
+        assert_eq!(males.schema().dimension("sex").unwrap().cardinality(), 2);
+        assert_eq!(males.get(&["female", "1991", "junior secretary"]).unwrap(), None);
+    }
+
+    #[test]
+    fn select_by_predicate() {
+        let o = employment();
+        let engineers = s_select_by(&o, "profession", |p| p.contains("engineer")).unwrap();
+        assert_eq!(engineers.cell_count(), 4);
+    }
+
+    #[test]
+    fn project_removes_dimension() {
+        let o = employment();
+        let by_year_prof = s_project(&o, "sex").unwrap();
+        assert_eq!(by_year_prof.schema().dim_count(), 2);
+        assert_eq!(
+            by_year_prof.get(&["1991", "chemical engineer"]).unwrap(),
+            Some(197_700.0)
+        );
+    }
+
+    #[test]
+    fn project_stock_over_time_rejected_but_unchecked_works() {
+        let o = employment();
+        let err = s_project(&o, "year");
+        assert!(matches!(err, Err(Error::Summarizability(_))));
+        let forced = s_project_unchecked(&o, "year").unwrap();
+        assert_eq!(
+            forced.get(&["male", "chemical engineer"]).unwrap(),
+            Some(197_700.0 + 209_900.0)
+        );
+    }
+
+    #[test]
+    fn aggregate_rolls_up_and_retains_hierarchy() {
+        let o = employment();
+        let by_class = s_aggregate(&o, "profession", "professional class").unwrap();
+        assert_eq!(
+            by_class.get(&["male", "1991", "engineer"]).unwrap(),
+            Some(197_700.0 + 241_100.0)
+        );
+        // The new dimension's hierarchy is the truncated (single-level) one.
+        let d = by_class.schema().dimension("profession").unwrap();
+        assert_eq!(d.cardinality(), 2); // engineer, secretary
+        assert_eq!(d.default_hierarchy().unwrap().level_count(), 1);
+    }
+
+    #[test]
+    fn aggregate_three_levels_stepwise_equals_direct() {
+        let time = Hierarchy::builder("time")
+            .level("day")
+            .level("month")
+            .edge("d1", "jan")
+            .edge("d2", "jan")
+            .edge("d3", "feb")
+            .level("year")
+            .edge_at(1, "jan", "1996")
+            .edge_at(1, "feb", "1996")
+            .build()
+            .unwrap();
+        let schema = Schema::builder("sales")
+            .dimension(Dimension::classified_temporal("day", time))
+            .measure(SummaryAttribute::new("qty", MeasureKind::Flow))
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        o.insert(&["d1"], 1.0).unwrap();
+        o.insert(&["d2"], 2.0).unwrap();
+        o.insert(&["d3"], 4.0).unwrap();
+        let direct = s_aggregate(&o, "day", "year").unwrap();
+        let stepwise = s_aggregate(&s_aggregate(&o, "day", "month").unwrap(), "day", "year")
+            .unwrap();
+        assert_eq!(direct.get(&["1996"]).unwrap(), Some(7.0));
+        assert_eq!(stepwise.get(&["1996"]).unwrap(), Some(7.0));
+    }
+
+    #[test]
+    fn non_strict_aggregate_rejected_then_double_counts_unchecked() {
+        let h = Hierarchy::builder("disease")
+            .level("disease")
+            .level("category")
+            .edge("lung cancer", "cancer")
+            .edge("lung cancer", "respiratory")
+            .edge("flu", "respiratory")
+            .build()
+            .unwrap();
+        let schema = Schema::builder("hmo")
+            .dimension(Dimension::classified("disease", h))
+            .measure(SummaryAttribute::new("cost", MeasureKind::Flow))
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        o.insert(&["lung cancer"], 100.0).unwrap();
+        o.insert(&["flu"], 10.0).unwrap();
+        assert!(matches!(
+            s_aggregate(&o, "disease", "category"),
+            Err(Error::Summarizability(_))
+        ));
+        // Unchecked: lung cancer is counted under BOTH categories — the
+        // erroneous result the paper warns about (total 210 ≠ 110).
+        let forced = s_aggregate_in(&o, "disease", None, "category", false).unwrap();
+        assert_eq!(forced.get(&["cancer"]).unwrap(), Some(100.0));
+        assert_eq!(forced.get(&["respiratory"]).unwrap(), Some(110.0));
+        assert_eq!(forced.grand_total(0), Some(210.0));
+    }
+
+    #[test]
+    fn union_disjoint_and_overlapping() {
+        let mk = |states: &[(&str, f64)]| {
+            let schema = Schema::builder("pop")
+                .dimension(Dimension::spatial(
+                    "state",
+                    states.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+                ))
+                .measure(SummaryAttribute::new("population", MeasureKind::Stock))
+                .build()
+                .unwrap();
+            let mut o = StatisticalObject::empty(schema);
+            for (s, v) in states {
+                o.insert(&[s], *v).unwrap();
+            }
+            o
+        };
+        let a = mk(&[("AL", 10.0), ("CA", 30.0)]);
+        let b = mk(&[("CA", 30.0), ("NV", 2.0)]);
+        let u = s_union(&a, &b, UnionPolicy::ErrorOnConflict).unwrap();
+        assert_eq!(u.cell_count(), 3);
+        assert_eq!(u.get(&["NV"]).unwrap(), Some(2.0));
+        assert_eq!(u.get(&["CA"]).unwrap(), Some(30.0));
+
+        let conflict = mk(&[("CA", 31.0)]);
+        assert!(matches!(
+            s_union(&a, &conflict, UnionPolicy::ErrorOnConflict),
+            Err(Error::UnionConflict { .. })
+        ));
+        let kept = s_union(&a, &conflict, UnionPolicy::PreferFirst).unwrap();
+        assert_eq!(kept.get(&["CA"]).unwrap(), Some(30.0));
+        let replaced = s_union(&a, &conflict, UnionPolicy::PreferSecond).unwrap();
+        assert_eq!(replaced.get(&["CA"]).unwrap(), Some(31.0));
+        let merged = s_union(&a, &conflict, UnionPolicy::MergeStates).unwrap();
+        assert_eq!(merged.get(&["CA"]).unwrap(), Some(61.0));
+    }
+
+    #[test]
+    fn union_requires_compatible_schema() {
+        let a = employment();
+        let schema = Schema::builder("other")
+            .dimension(Dimension::categorical("x", ["1"]))
+            .measure(SummaryAttribute::new("m", MeasureKind::Flow))
+            .build()
+            .unwrap();
+        let b = StatisticalObject::empty(schema);
+        assert!(s_union(&a, &b, UnionPolicy::MergeStates).is_err());
+    }
+
+    #[test]
+    fn disaggregation_by_proxy_splits_sums() {
+        // Population known at state level; county area as proxy (§5.3).
+        let geo = Hierarchy::builder("geo")
+            .level("county")
+            .level("state")
+            .edge("alameda", "CA")
+            .edge("fresno", "CA")
+            .edge("washoe", "NV")
+            .build()
+            .unwrap();
+        let schema = Schema::builder("pop")
+            .dimension(Dimension::spatial("state", ["CA", "NV"]))
+            .measure(SummaryAttribute::new("population", MeasureKind::Stock))
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        o.insert(&["CA"], 3000.0).unwrap();
+        o.insert(&["NV"], 100.0).unwrap();
+        let proxy: HashMap<String, f64> = [
+            ("alameda".to_owned(), 1.0),
+            ("fresno".to_owned(), 2.0),
+            ("washoe".to_owned(), 5.0),
+        ]
+        .into();
+        let fine = disaggregate_by_proxy(&o, "state", &geo, &proxy).unwrap();
+        assert_eq!(fine.get(&["alameda"]).unwrap(), Some(1000.0));
+        assert_eq!(fine.get(&["fresno"]).unwrap(), Some(2000.0));
+        assert_eq!(fine.get(&["washoe"]).unwrap(), Some(100.0));
+        // Disaggregation then re-aggregation round-trips the totals.
+        let back = s_aggregate(&fine, "state", "state").unwrap();
+        assert_eq!(back.get(&["CA"]).unwrap(), Some(3000.0));
+    }
+
+    #[test]
+    fn disaggregation_errors() {
+        let geo = Hierarchy::builder("geo")
+            .level("county")
+            .level("state")
+            .edge("alameda", "CA")
+            .build()
+            .unwrap();
+        let schema = Schema::builder("pop")
+            .dimension(Dimension::spatial("state", ["CA"]))
+            .measure(SummaryAttribute::new("population", MeasureKind::Stock))
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        o.insert(&["CA"], 10.0).unwrap();
+        // Missing weight.
+        assert!(disaggregate_by_proxy(&o, "state", &geo, &HashMap::new()).is_err());
+        // Zero total weight.
+        let zero: HashMap<String, f64> = [("alameda".to_owned(), 0.0)].into();
+        assert!(disaggregate_by_proxy(&o, "state", &geo, &zero).is_err());
+        // Negative weight.
+        let neg: HashMap<String, f64> = [("alameda".to_owned(), -1.0)].into();
+        assert!(disaggregate_by_proxy(&o, "state", &geo, &neg).is_err());
+    }
+
+    #[test]
+    fn select_then_project_commutes_with_project_then_select() {
+        // On independent dimensions the operators commute.
+        let o = employment();
+        let a = s_project(&s_select(&o, "sex", &["male"]).unwrap(), "profession");
+        let b = s_select(&s_project(&o, "profession").unwrap(), "sex", &["male"]);
+        // profession is Stock-over-categorical: fine to project.
+        let (a, b) = (a.unwrap(), b.unwrap());
+        assert_eq!(a.get(&["male", "1991"]).unwrap(), b.get(&["male", "1991"]).unwrap());
+    }
+}

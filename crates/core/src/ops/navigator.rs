@@ -1,0 +1,146 @@
+//! Drill-down navigation (§5.3).
+//!
+//! "Drill down" is the inverse of roll-up: going from "cancer" back to the
+//! individual cancer diseases. It is only *exactly* invertible when the
+//! finer data is still available, so a [`Navigator`] keeps the base
+//! (finest-level) object and recomputes views as the per-dimension level
+//! cursor moves. (When the finer data is gone, estimate it with
+//! [`crate::ops::disaggregate_by_proxy`] instead.)
+
+use crate::error::{Error, Result};
+use crate::object::StatisticalObject;
+use crate::ops;
+
+/// An interactive roll-up / drill-down cursor over a statistical object.
+#[derive(Debug, Clone)]
+pub struct Navigator {
+    base: StatisticalObject,
+    /// Current hierarchy level per dimension (0 = leaf).
+    levels: Vec<usize>,
+}
+
+impl Navigator {
+    /// Starts navigation at the finest level of every dimension.
+    pub fn new(base: StatisticalObject) -> Self {
+        let levels = vec![0; base.schema().dim_count()];
+        Self { base, levels }
+    }
+
+    /// The base object.
+    pub fn base(&self) -> &StatisticalObject {
+        &self.base
+    }
+
+    /// The current level index of `dim`.
+    pub fn level_of(&self, dim: &str) -> Result<usize> {
+        Ok(self.levels[self.base.schema().dim_index(dim)?])
+    }
+
+    /// Rolls `dim` up one level. Errors at the top of the hierarchy.
+    pub fn roll_up(&mut self, dim: &str) -> Result<()> {
+        let d = self.base.schema().dim_index(dim)?;
+        let dim_ref = &self.base.schema().dimensions()[d];
+        let h = dim_ref.default_hierarchy().ok_or_else(|| Error::HierarchyNotFound {
+            dimension: dim.to_owned(),
+            hierarchy: "<default>".to_owned(),
+        })?;
+        if self.levels[d] + 1 >= h.level_count() {
+            return Err(Error::LevelNotFound {
+                hierarchy: h.name().to_owned(),
+                level: format!("above {}", h.level(self.levels[d]).name()),
+            });
+        }
+        self.levels[d] += 1;
+        Ok(())
+    }
+
+    /// Drills `dim` down one level — always possible because the base data
+    /// is retained. Errors at the leaf.
+    pub fn drill_down(&mut self, dim: &str) -> Result<()> {
+        let d = self.base.schema().dim_index(dim)?;
+        if self.levels[d] == 0 {
+            return Err(Error::LevelNotFound {
+                hierarchy: dim.to_owned(),
+                level: "below leaf".to_owned(),
+            });
+        }
+        self.levels[d] -= 1;
+        Ok(())
+    }
+
+    /// Materializes the current view by re-aggregating the base object to
+    /// the cursor levels.
+    pub fn view(&self) -> Result<StatisticalObject> {
+        let mut cur = self.base.clone();
+        for (d, &lvl) in self.levels.iter().enumerate() {
+            if lvl == 0 {
+                continue;
+            }
+            let dim = &self.base.schema().dimensions()[d];
+            let name = dim.name().to_owned();
+            let h = dim.default_hierarchy().expect("level > 0 implies hierarchy");
+            let level_name = h.level(lvl).name().to_owned();
+            cur = ops::s_aggregate(&cur, &name, &level_name)?;
+        }
+        Ok(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::Dimension;
+    use crate::hierarchy::Hierarchy;
+    use crate::measure::{MeasureKind, SummaryAttribute};
+    use crate::schema::Schema;
+
+    fn base() -> StatisticalObject {
+        let disease = Hierarchy::builder("disease")
+            .level("disease")
+            .level("category")
+            .edge("breast cancer", "cancer")
+            .edge("skin cancer", "cancer")
+            .edge("flu", "respiratory")
+            .build()
+            .unwrap();
+        let schema = Schema::builder("hmo costs")
+            .dimension(Dimension::classified("disease", disease))
+            .dimension(Dimension::categorical("hospital", ["h1", "h2"]))
+            .measure(SummaryAttribute::new("cost", MeasureKind::Flow))
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        o.insert(&["breast cancer", "h1"], 10.0).unwrap();
+        o.insert(&["skin cancer", "h1"], 5.0).unwrap();
+        o.insert(&["flu", "h2"], 1.0).unwrap();
+        o
+    }
+
+    #[test]
+    fn roll_up_then_drill_down_restores_view() {
+        let mut nav = Navigator::new(base());
+        let before = nav.view().unwrap();
+        nav.roll_up("disease").unwrap();
+        let coarse = nav.view().unwrap();
+        assert_eq!(coarse.get(&["cancer", "h1"]).unwrap(), Some(15.0));
+        nav.drill_down("disease").unwrap();
+        let after = nav.view().unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut nav = Navigator::new(base());
+        assert!(nav.drill_down("disease").is_err());
+        nav.roll_up("disease").unwrap();
+        assert!(nav.roll_up("disease").is_err());
+        assert!(nav.roll_up("hospital").is_err()); // flat dimension
+        assert_eq!(nav.level_of("disease").unwrap(), 1);
+    }
+
+    #[test]
+    fn view_at_leaf_is_base() {
+        let nav = Navigator::new(base());
+        assert_eq!(nav.view().unwrap(), *nav.base());
+    }
+}

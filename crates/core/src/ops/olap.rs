@@ -1,0 +1,180 @@
+//! OLAP operator vocabulary (§5.3, Fig. 14) as thin aliases over the
+//! statistical algebra, plus convenience methods on
+//! [`StatisticalObject`].
+//!
+//! The paper notes the OLAP terms are "descriptive rather than formal" and
+//! admit multiple interpretations — e.g. *slice* sometimes means fixing one
+//! value of a dimension and sometimes summarizing over all of them. Both
+//! interpretations are provided, with distinct names.
+
+use crate::error::Result;
+use crate::object::StatisticalObject;
+use crate::ops;
+
+/// *Slice* (fix interpretation): cuts through the cube at `dim = member`,
+/// dropping the dimension and recording `dim = member` in the schema's
+/// singleton context — exactly how "Employment in California" carries
+/// `state = California` (§2.1(iii)).
+pub fn slice_at(obj: &StatisticalObject, dim: &str, member: &str) -> Result<StatisticalObject> {
+    let d = obj.schema().dim_index(dim)?;
+    let id = obj.schema().dimensions()[d].member_id(member)?;
+    let filtered = ops::s_select_ids(obj, d, &[id])?;
+    // The singleton dimension collapses away without aggregation across
+    // members, so no summarizability check is needed.
+    let mut out = ops::s_project_unchecked(&filtered, dim)?;
+    out.schema_mut().push_context(dim.to_owned(), member.to_owned());
+    Ok(out)
+}
+
+/// *Slice* (summarize interpretation): summarizes over all values of `dim` —
+/// identical to `S-projection`.
+pub fn slice_sum(obj: &StatisticalObject, dim: &str) -> Result<StatisticalObject> {
+    ops::s_project(obj, dim)
+}
+
+/// *Dice*: selects ranges over several dimensions at once — repeated
+/// `S-selection`.
+pub fn dice(
+    obj: &StatisticalObject,
+    selections: &[(&str, &[&str])],
+) -> Result<StatisticalObject> {
+    let mut cur = obj.clone();
+    for (dim, keep) in selections {
+        cur = ops::s_select(&cur, dim, keep)?;
+    }
+    Ok(cur)
+}
+
+/// *Roll up* (a.k.a. *consolidation*): summarizes over one or more levels of
+/// the classification hierarchy — identical to `S-aggregation`.
+pub fn roll_up(obj: &StatisticalObject, dim: &str, level: &str) -> Result<StatisticalObject> {
+    ops::s_aggregate(obj, dim, level)
+}
+
+impl StatisticalObject {
+    /// [`ops::s_select`] as a method.
+    pub fn select(&self, dim: &str, keep: &[&str]) -> Result<StatisticalObject> {
+        ops::s_select(self, dim, keep)
+    }
+
+    /// [`ops::s_project`] as a method.
+    pub fn project(&self, dim: &str) -> Result<StatisticalObject> {
+        ops::s_project(self, dim)
+    }
+
+    /// [`roll_up`] as a method.
+    pub fn roll_up(&self, dim: &str, level: &str) -> Result<StatisticalObject> {
+        ops::s_aggregate(self, dim, level)
+    }
+
+    /// [`slice_at`] as a method.
+    pub fn slice(&self, dim: &str, member: &str) -> Result<StatisticalObject> {
+        slice_at(self, dim, member)
+    }
+
+    /// [`dice`] as a method.
+    pub fn dice(&self, selections: &[(&str, &[&str])]) -> Result<StatisticalObject> {
+        dice(self, selections)
+    }
+
+    /// [`ops::s_union`] as a method.
+    pub fn union_with(
+        &self,
+        other: &StatisticalObject,
+        policy: ops::UnionPolicy,
+    ) -> Result<StatisticalObject> {
+        ops::s_union(self, other, policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::Dimension;
+    use crate::hierarchy::Hierarchy;
+    use crate::measure::{MeasureKind, SummaryAttribute};
+    use crate::schema::Schema;
+
+    fn retail() -> StatisticalObject {
+        let location = Hierarchy::builder("store location")
+            .level("store")
+            .level("city")
+            .edge("seattle/s#1", "seattle")
+            .edge("seattle/s#2", "seattle")
+            .edge("portland/s#1", "portland")
+            .build()
+            .unwrap();
+        let schema = Schema::builder("Quantity Sold")
+            .dimension(Dimension::categorical("product", ["banana", "milk"]))
+            .dimension(Dimension::classified("store", location))
+            .dimension(Dimension::temporal("day", ["nov-13", "nov-14"]))
+            .measure(SummaryAttribute::new("quantity sold", MeasureKind::Flow).with_unit("dollars"))
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        o.insert(&["banana", "seattle/s#1", "nov-13"], 56.0).unwrap();
+        o.insert(&["banana", "seattle/s#2", "nov-13"], 44.0).unwrap();
+        o.insert(&["milk", "seattle/s#1", "nov-14"], 10.0).unwrap();
+        o.insert(&["milk", "portland/s#1", "nov-13"], 7.0).unwrap();
+        o
+    }
+
+    #[test]
+    fn slice_fix_drops_dimension_and_records_context() {
+        let o = retail();
+        let bananas = slice_at(&o, "product", "banana").unwrap();
+        assert_eq!(bananas.schema().dim_count(), 2);
+        assert_eq!(
+            bananas.schema().context(),
+            &[("product".to_owned(), "banana".to_owned())]
+        );
+        assert_eq!(bananas.get(&["seattle/s#1", "nov-13"]).unwrap(), Some(56.0));
+        assert_eq!(bananas.grand_total(0), Some(100.0));
+    }
+
+    #[test]
+    fn slice_sum_equals_s_project() {
+        let o = retail();
+        let a = slice_sum(&o, "product").unwrap();
+        let b = ops::s_project(&o, "product").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dice_selects_subranges() {
+        let o = retail();
+        let d = dice(
+            &o,
+            &[("product", &["milk"][..]), ("day", &["nov-13", "nov-14"][..])],
+        )
+        .unwrap();
+        assert_eq!(d.cell_count(), 2);
+        assert_eq!(d.grand_total(0), Some(17.0));
+    }
+
+    #[test]
+    fn roll_up_to_city() {
+        let o = retail();
+        let by_city = roll_up(&o, "store", "city").unwrap();
+        assert_eq!(by_city.get(&["banana", "seattle", "nov-13"]).unwrap(), Some(100.0));
+        assert_eq!(by_city.get(&["milk", "portland", "nov-13"]).unwrap(), Some(7.0));
+    }
+
+    #[test]
+    fn methods_mirror_free_functions() {
+        let o = retail();
+        assert_eq!(o.select("product", &["milk"]).unwrap().cell_count(), 2);
+        assert_eq!(o.roll_up("store", "city").unwrap(), roll_up(&o, "store", "city").unwrap());
+        assert_eq!(o.slice("day", "nov-13").unwrap().schema().dim_count(), 2);
+        assert_eq!(o.project("product").unwrap().schema().dim_count(), 2);
+    }
+
+    #[test]
+    fn successive_slices_accumulate_context() {
+        let o = retail();
+        let s = o.slice("product", "banana").unwrap().slice("day", "nov-13").unwrap();
+        assert_eq!(s.schema().context().len(), 2);
+        assert_eq!(s.schema().dim_count(), 1);
+        assert_eq!(s.grand_total(0), Some(100.0));
+    }
+}

@@ -1,0 +1,340 @@
+//! The schema of a statistical object.
+//!
+//! §2 distills both the SDB and OLAP examples to the same four components —
+//! *summary measure(s)*, *summary function*, *dimensions*, *classification
+//! hierarchies* — plus singleton context such as `state = California`. A
+//! [`Schema`] is exactly that record; a *complex statistical object* (several
+//! measures over the same dimensions, §2.2) is a schema with several
+//! measures.
+
+use crate::dimension::Dimension;
+use crate::error::{Error, Result};
+use crate::measure::{SummaryAttribute, SummaryFunction};
+
+/// The schema of a [`crate::object::StatisticalObject`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    name: String,
+    dimensions: Vec<Dimension>,
+    measures: Vec<SummaryAttribute>,
+    functions: Vec<SummaryFunction>,
+    /// Singleton context: dimensions fixed to one value and dropped from the
+    /// cross product ("Employment **in California**", §2.1(iii)). Slicing
+    /// appends here.
+    context: Vec<(String, String)>,
+}
+
+impl Schema {
+    /// Starts building a schema.
+    pub fn builder(name: impl Into<String>) -> SchemaBuilder {
+        SchemaBuilder {
+            schema: Schema {
+                name: name.into(),
+                dimensions: Vec::new(),
+                measures: Vec::new(),
+                functions: Vec::new(),
+                context: Vec::new(),
+            },
+            error: None,
+        }
+    }
+
+    /// The dataset's title.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The dimensions, in declaration order.
+    pub fn dimensions(&self) -> &[Dimension] {
+        &self.dimensions
+    }
+
+    /// Number of dimensions.
+    pub fn dim_count(&self) -> usize {
+        self.dimensions.len()
+    }
+
+    /// Dimension cardinalities, in order — the shape of the cross product.
+    pub fn cardinalities(&self) -> Vec<usize> {
+        self.dimensions.iter().map(Dimension::cardinality).collect()
+    }
+
+    /// Size of the full cross-product space (§4.3's storage concern).
+    pub fn cross_product_size(&self) -> usize {
+        self.dimensions.iter().map(Dimension::cardinality).product()
+    }
+
+    /// Looks up a dimension index by name.
+    pub fn dim_index(&self, name: &str) -> Result<usize> {
+        self.dimensions
+            .iter()
+            .position(|d| d.name() == name)
+            .ok_or_else(|| Error::DimensionNotFound(name.to_owned()))
+    }
+
+    /// The dimension with the given name.
+    pub fn dimension(&self, name: &str) -> Result<&Dimension> {
+        Ok(&self.dimensions[self.dim_index(name)?])
+    }
+
+    /// The summary measures.
+    pub fn measures(&self) -> &[SummaryAttribute] {
+        &self.measures
+    }
+
+    /// The summary function for measure `i`.
+    pub fn function(&self, i: usize) -> SummaryFunction {
+        self.functions[i]
+    }
+
+    /// All summary functions, parallel to [`Schema::measures`].
+    pub fn functions(&self) -> &[SummaryFunction] {
+        &self.functions
+    }
+
+    /// Looks up a measure index by name.
+    pub fn measure_index(&self, name: &str) -> Result<usize> {
+        self.measures
+            .iter()
+            .position(|m| m.name() == name)
+            .ok_or_else(|| Error::MeasureNotFound(name.to_owned()))
+    }
+
+    /// The singleton context (fixed dimensions like `state = California`).
+    pub fn context(&self) -> &[(String, String)] {
+        &self.context
+    }
+
+    /// Converts member names to a coordinate id vector.
+    pub fn coords_of(&self, members: &[&str]) -> Result<Vec<u32>> {
+        if members.len() != self.dimensions.len() {
+            return Err(Error::ArityMismatch {
+                expected: self.dimensions.len(),
+                got: members.len(),
+            });
+        }
+        members
+            .iter()
+            .zip(&self.dimensions)
+            .map(|(m, d)| d.member_id(m))
+            .collect()
+    }
+
+    /// Converts a coordinate id vector back to member names.
+    pub fn names_of(&self, coords: &[u32]) -> Result<Vec<&str>> {
+        if coords.len() != self.dimensions.len() {
+            return Err(Error::ArityMismatch { expected: self.dimensions.len(), got: coords.len() });
+        }
+        coords
+            .iter()
+            .zip(&self.dimensions)
+            .map(|(&c, d)| {
+                d.members().value_of(c).ok_or_else(|| Error::UnknownMember {
+                    dimension: d.name().to_owned(),
+                    member: format!("#{c}"),
+                })
+            })
+            .collect()
+    }
+
+    /// True if two schemas are compatible for `S-union`: same dimensions
+    /// (names, roles) and same measures/functions. Member sets may differ —
+    /// that is the point of the union.
+    pub fn union_compatible(&self, other: &Schema) -> bool {
+        self.dimensions.len() == other.dimensions.len()
+            && self
+                .dimensions
+                .iter()
+                .zip(&other.dimensions)
+                .all(|(a, b)| a.name() == b.name() && a.role() == b.role())
+            && self.measures == other.measures
+            && self.functions == other.functions
+    }
+
+    pub(crate) fn with_dimensions(&self, dimensions: Vec<Dimension>) -> Schema {
+        Schema {
+            name: self.name.clone(),
+            dimensions,
+            measures: self.measures.clone(),
+            functions: self.functions.clone(),
+            context: self.context.clone(),
+        }
+    }
+
+    pub(crate) fn push_context(&mut self, dim: String, member: String) {
+        self.context.push((dim, member));
+    }
+
+    /// Renames the dataset (useful after derivations).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+}
+
+/// Builder for [`Schema`].
+#[derive(Debug)]
+pub struct SchemaBuilder {
+    schema: Schema,
+    error: Option<Error>,
+}
+
+impl SchemaBuilder {
+    /// Adds a dimension.
+    pub fn dimension(mut self, d: Dimension) -> Self {
+        if self.schema.dimensions.iter().any(|x| x.name() == d.name()) {
+            self.record(Error::InvalidSchema(format!("duplicate dimension `{}`", d.name())));
+        } else {
+            self.schema.dimensions.push(d);
+        }
+        self
+    }
+
+    /// Adds a summary measure with default function `Sum`.
+    pub fn measure(mut self, m: SummaryAttribute) -> Self {
+        if self.schema.measures.iter().any(|x| x.name() == m.name()) {
+            self.record(Error::InvalidSchema(format!("duplicate measure `{}`", m.name())));
+        } else {
+            self.schema.measures.push(m);
+            self.schema.functions.push(SummaryFunction::Sum);
+        }
+        self
+    }
+
+    /// Sets the summary function of the most recently added measure.
+    pub fn function(mut self, f: SummaryFunction) -> Self {
+        match self.schema.functions.last_mut() {
+            Some(slot) => *slot = f,
+            None => self.record(Error::InvalidSchema("function() before any measure".into())),
+        }
+        self
+    }
+
+    /// Records singleton context, e.g. `.context("state", "California")`.
+    pub fn context(mut self, dim: impl Into<String>, member: impl Into<String>) -> Self {
+        self.schema.context.push((dim.into(), member.into()));
+        self
+    }
+
+    fn record(&mut self, e: Error) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    /// Finishes the schema, validating it has at least one dimension and one
+    /// measure and that no dimension is empty.
+    pub fn build(mut self) -> Result<Schema> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        if self.schema.dimensions.is_empty() {
+            return Err(Error::InvalidSchema("schema needs at least one dimension".into()));
+        }
+        if self.schema.measures.is_empty() {
+            return Err(Error::InvalidSchema("schema needs at least one measure".into()));
+        }
+        for d in &self.schema.dimensions {
+            if d.cardinality() == 0 {
+                return Err(Error::InvalidSchema(format!("dimension `{}` has no members", d.name())));
+            }
+        }
+        Ok(self.schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::MeasureKind;
+
+    fn schema() -> Schema {
+        Schema::builder("Employment in California")
+            .dimension(Dimension::categorical("sex", ["male", "female"]))
+            .dimension(Dimension::temporal("year", ["1991", "1992"]))
+            .measure(SummaryAttribute::new("employment", MeasureKind::Stock))
+            .function(SummaryFunction::Sum)
+            .context("state", "California")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn basic_lookups() {
+        let s = schema();
+        assert_eq!(s.dim_count(), 2);
+        assert_eq!(s.cardinalities(), vec![2, 2]);
+        assert_eq!(s.cross_product_size(), 4);
+        assert_eq!(s.dim_index("year").unwrap(), 1);
+        assert!(s.dim_index("race").is_err());
+        assert_eq!(s.measure_index("employment").unwrap(), 0);
+        assert_eq!(s.function(0), SummaryFunction::Sum);
+        assert_eq!(s.context(), &[("state".to_owned(), "California".to_owned())]);
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let s = schema();
+        let c = s.coords_of(&["female", "1992"]).unwrap();
+        assert_eq!(c, vec![1, 1]);
+        assert_eq!(s.names_of(&c).unwrap(), vec!["female", "1992"]);
+        assert!(s.coords_of(&["female"]).is_err());
+        assert!(s.coords_of(&["female", "1890"]).is_err());
+    }
+
+    #[test]
+    fn union_compatibility() {
+        let a = schema();
+        let b = schema();
+        assert!(a.union_compatible(&b));
+        let c = Schema::builder("other")
+            .dimension(Dimension::categorical("sex", ["male", "female"]))
+            .dimension(Dimension::categorical("year", ["1991"])) // role differs
+            .measure(SummaryAttribute::new("employment", MeasureKind::Stock))
+            .build()
+            .unwrap();
+        assert!(!a.union_compatible(&c));
+    }
+
+    #[test]
+    fn builder_rejects_duplicates_and_empties() {
+        let dup = Schema::builder("x")
+            .dimension(Dimension::categorical("a", ["1"]))
+            .dimension(Dimension::categorical("a", ["2"]))
+            .measure(SummaryAttribute::new("m", MeasureKind::Flow))
+            .build();
+        assert!(dup.is_err());
+
+        let nodim = Schema::builder("x")
+            .measure(SummaryAttribute::new("m", MeasureKind::Flow))
+            .build();
+        assert!(nodim.is_err());
+
+        let nomeasure =
+            Schema::builder("x").dimension(Dimension::categorical("a", ["1"])).build();
+        assert!(nomeasure.is_err());
+
+        let empty = Schema::builder("x")
+            .dimension(Dimension::categorical("a", Vec::<String>::new()))
+            .measure(SummaryAttribute::new("m", MeasureKind::Flow))
+            .build();
+        assert!(empty.is_err());
+    }
+
+    #[test]
+    fn complex_statistical_object_schema() {
+        // Several measures over the same dimensions (§2.2).
+        let s = Schema::builder("population and avg income")
+            .dimension(Dimension::spatial("state", ["AL", "CA"]))
+            .measure(SummaryAttribute::new("population", MeasureKind::Stock))
+            .function(SummaryFunction::Sum)
+            .measure(
+                SummaryAttribute::new("avg income", MeasureKind::ValuePerUnit)
+                    .with_unit("dollars"),
+            )
+            .function(SummaryFunction::Avg)
+            .build()
+            .unwrap();
+        assert_eq!(s.measures().len(), 2);
+        assert_eq!(s.function(1), SummaryFunction::Avg);
+    }
+}

@@ -1,0 +1,467 @@
+//! STORM schema graphs (§4.1, Figs 3–7, \[RS90\], \[CS81\]).
+//!
+//! The graph model represents a statistical object's *schema* with three
+//! node kinds: **S** (summary attribute), **X** (cross product), and **C**
+//! (category attribute). Its advantages over 2-D tables, per the paper:
+//! dimensions need not be split into rows/columns, the representation is
+//! insensitive to node permutation, and classification hierarchies are
+//! explicit so a higher-level category attribute cannot be confused with a
+//! dimension.
+//!
+//! Also implemented here:
+//!
+//! * **X-node grouping** (Fig 5): partitioning dimensions into semantic
+//!   subject groups via nested X nodes;
+//! * the **Fig 6 equivalence**: nested X nodes flatten away, so grouping is
+//!   presentation, not semantics — [`SchemaGraph::flatten`] +
+//!   [`SchemaGraph::equivalent`] make that a checkable property;
+//! * **Fig 7 layout capture**: ordered `rows`/`columns` X nodes that record
+//!   a legacy 2-D layout.
+
+use std::fmt::Write as _;
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+
+/// A node of a STORM schema graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// S-node: the summary attribute. Root of the graph; its single child
+    /// is the cross-product node.
+    Summary {
+        /// Summary attribute name(s), e.g. "Average Income in California".
+        name: String,
+        /// The cross-product child.
+        child: Box<Node>,
+    },
+    /// X-node: a cross product of the children. A nested X groups
+    /// dimensions for semantic clarity (Fig 5) or layout (Fig 7).
+    Cross {
+        /// Optional subject-group label ("Socio-Economic Categories") or
+        /// layout role ("rows"/"columns").
+        label: Option<String>,
+        /// Whether child order is semantically meaningful (true only for
+        /// layout capture; plain X nodes are permutation-insensitive).
+        ordered: bool,
+        /// Grouped dimensions or nested groups.
+        children: Vec<Node>,
+    },
+    /// C-node: a category attribute. A chain of C nodes is a classification
+    /// hierarchy, coarsest at the top ("Professional class" above
+    /// "Profession", Fig 4).
+    Category {
+        /// The category attribute's name.
+        name: String,
+        /// The next finer category attribute, if any.
+        child: Option<Box<Node>>,
+    },
+}
+
+impl Node {
+    /// Convenience constructor for a C chain, coarsest first.
+    pub fn category_chain(names: &[&str]) -> Node {
+        let mut node: Option<Box<Node>> = None;
+        for name in names.iter().rev() {
+            node = Some(Box::new(Node::Category { name: (*name).to_owned(), child: node }));
+        }
+        *node.expect("category_chain needs at least one name")
+    }
+
+    fn sort_key(&self) -> String {
+        match self {
+            Node::Summary { name, .. } => format!("S:{name}"),
+            Node::Cross { label, .. } => format!("X:{}", label.as_deref().unwrap_or("")),
+            Node::Category { name, child } => match child {
+                Some(c) => format!("C:{name}/{}", c.sort_key()),
+                None => format!("C:{name}"),
+            },
+        }
+    }
+}
+
+/// A STORM schema graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaGraph {
+    root: Node,
+}
+
+impl SchemaGraph {
+    /// Wraps an explicit root node. The root must be an S node whose child
+    /// is an X node.
+    pub fn new(root: Node) -> Result<Self> {
+        match &root {
+            Node::Summary { child, .. } if matches!(**child, Node::Cross { .. }) => {
+                Ok(Self { root })
+            }
+            _ => Err(Error::InvalidSchema(
+                "schema graph root must be S(name, X(...))".into(),
+            )),
+        }
+    }
+
+    /// Derives the graph of a [`Schema`] (Fig 4): one C chain per
+    /// dimension, coarsest category attribute at the top.
+    pub fn from_schema(schema: &Schema) -> Self {
+        let mut children = Vec::with_capacity(schema.dim_count());
+        for dim in schema.dimensions() {
+            let node = match dim.default_hierarchy() {
+                Some(h) => {
+                    let names: Vec<&str> =
+                        h.levels().iter().rev().map(|l| l.name()).collect();
+                    Node::category_chain(&names)
+                }
+                None => Node::Category { name: dim.name().to_owned(), child: None },
+            };
+            children.push(node);
+        }
+        let mut name = schema
+            .measures()
+            .iter()
+            .map(|m| m.name())
+            .collect::<Vec<_>>()
+            .join(", ");
+        for (dim, member) in schema.context() {
+            let _ = write!(name, " [{dim}={member}]");
+        }
+        Self {
+            root: Node::Summary {
+                name,
+                child: Box::new(Node::Cross { label: None, ordered: false, children }),
+            },
+        }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// Groups the dimensions whose *top* category attribute is named in
+    /// `dims` under a nested X node labeled `label` (Fig 5). Dimensions not
+    /// found are an error.
+    pub fn group(&self, label: &str, dims: &[&str]) -> Result<SchemaGraph> {
+        let Node::Summary { name, child } = &self.root else { unreachable!() };
+        let Node::Cross { label: xl, ordered, children } = child.as_ref() else { unreachable!() };
+        let mut grouped = Vec::new();
+        let mut rest = Vec::new();
+        for c in children {
+            let top = match c {
+                Node::Category { name, .. } => name.as_str(),
+                Node::Cross { label, .. } => label.as_deref().unwrap_or(""),
+                Node::Summary { .. } => "",
+            };
+            if dims.contains(&top) {
+                grouped.push(c.clone());
+            } else {
+                rest.push(c.clone());
+            }
+        }
+        if grouped.len() != dims.len() {
+            return Err(Error::InvalidSchema(format!(
+                "group `{label}`: found {} of {} dimensions",
+                grouped.len(),
+                dims.len()
+            )));
+        }
+        rest.push(Node::Cross { label: Some(label.to_owned()), ordered: false, children: grouped });
+        Ok(SchemaGraph {
+            root: Node::Summary {
+                name: name.clone(),
+                child: Box::new(Node::Cross { label: xl.clone(), ordered: *ordered, children: rest }),
+            },
+        })
+    }
+
+    /// Captures a legacy 2-D layout (Fig 7): ordered `rows` and `columns`
+    /// groups. The named dimensions keep the given order.
+    pub fn two_d_layout(&self, rows: &[&str], cols: &[&str]) -> Result<SchemaGraph> {
+        let Node::Summary { name, child } = &self.root else { unreachable!() };
+        let Node::Cross { children, .. } = child.as_ref() else { unreachable!() };
+        // A dimension is matched by its leaf level name or its chain-top
+        // name (classified dimensions render as the coarse attribute).
+        fn chain_matches(node: &Node, dim: &str) -> bool {
+            match node {
+                Node::Category { name, child } => {
+                    name == dim || child.as_deref().map(|c| chain_matches(c, dim)).unwrap_or(false)
+                }
+                _ => false,
+            }
+        }
+        let find = |dim: &str| -> Result<Node> {
+            children
+                .iter()
+                .find(|c| chain_matches(c, dim))
+                .cloned()
+                .ok_or_else(|| Error::DimensionNotFound(dim.to_owned()))
+        };
+        let row_nodes: Vec<Node> = rows.iter().map(|d| find(d)).collect::<Result<_>>()?;
+        let col_nodes: Vec<Node> = cols.iter().map(|d| find(d)).collect::<Result<_>>()?;
+        if row_nodes.len() + col_nodes.len() != children.len() {
+            return Err(Error::InvalidSchema(
+                "2-D layout must mention every dimension exactly once".into(),
+            ));
+        }
+        Ok(SchemaGraph {
+            root: Node::Summary {
+                name: name.clone(),
+                child: Box::new(Node::Cross {
+                    label: None,
+                    ordered: true,
+                    children: vec![
+                        Node::Cross {
+                            label: Some("rows".into()),
+                            ordered: true,
+                            children: row_nodes,
+                        },
+                        Node::Cross {
+                            label: Some("columns".into()),
+                            ordered: true,
+                            children: col_nodes,
+                        },
+                    ],
+                }),
+            },
+        })
+    }
+
+    /// Flattens nested unordered X nodes (the Fig 6 equivalence): grouping
+    /// is presentation only, so `X(a, X(b, c)) ≡ X(a, b, c)`.
+    pub fn flatten(&self) -> SchemaGraph {
+        fn flatten_node(n: &Node) -> Node {
+            match n {
+                Node::Summary { name, child } => Node::Summary {
+                    name: name.clone(),
+                    child: Box::new(flatten_node(child)),
+                },
+                Node::Cross { label, ordered, children } => {
+                    let mut out = Vec::new();
+                    for c in children {
+                        match flatten_node(c) {
+                            Node::Cross { ordered: false, children: inner, .. } => {
+                                out.extend(inner)
+                            }
+                            other => out.push(other),
+                        }
+                    }
+                    Node::Cross { label: label.clone(), ordered: *ordered, children: out }
+                }
+                c @ Node::Category { .. } => c.clone(),
+            }
+        }
+        let root = match flatten_node(&self.root) {
+            // The top-level X keeps its identity even if it was the only
+            // child; re-wrap if flattening dissolved it entirely.
+            Node::Summary { name, child } => {
+                let child = match *child {
+                    x @ Node::Cross { .. } => x,
+                    other => Node::Cross { label: None, ordered: false, children: vec![other] },
+                };
+                Node::Summary { name, child: Box::new(child) }
+            }
+            other => other,
+        };
+        SchemaGraph { root }
+    }
+
+    /// Canonical form: flattened, with unordered X children sorted — the
+    /// permutation-insensitivity advantage (§4.1(ii)).
+    pub fn canonical(&self) -> SchemaGraph {
+        fn canon(n: &Node) -> Node {
+            match n {
+                Node::Summary { name, child } => {
+                    Node::Summary { name: name.clone(), child: Box::new(canon(child)) }
+                }
+                Node::Cross { label, ordered, children } => {
+                    let mut kids: Vec<Node> = children.iter().map(canon).collect();
+                    if !*ordered {
+                        kids.sort_by_key(Node::sort_key);
+                    }
+                    Node::Cross { label: label.clone(), ordered: *ordered, children: kids }
+                }
+                c @ Node::Category { .. } => c.clone(),
+            }
+        }
+        let flat = self.flatten();
+        SchemaGraph { root: canon(&flat.root) }
+    }
+
+    /// True if two graphs denote the same multidimensional schema — equal
+    /// up to X-node grouping and child permutation.
+    pub fn equivalent(&self, other: &SchemaGraph) -> bool {
+        self.canonical() == other.canonical()
+    }
+
+    /// Renders the graph as an indented ASCII tree.
+    pub fn render(&self) -> String {
+        fn rec(n: &Node, depth: usize, out: &mut String) {
+            let pad = "  ".repeat(depth);
+            match n {
+                Node::Summary { name, child } => {
+                    let _ = writeln!(out, "{pad}S: {name}");
+                    rec(child, depth + 1, out);
+                }
+                Node::Cross { label, ordered, children } => {
+                    let tag = if *ordered { "X (ordered)" } else { "X" };
+                    match label {
+                        Some(l) => {
+                            let _ = writeln!(out, "{pad}{tag}: {l}");
+                        }
+                        None => {
+                            let _ = writeln!(out, "{pad}{tag}");
+                        }
+                    }
+                    for c in children {
+                        rec(c, depth + 1, out);
+                    }
+                }
+                Node::Category { name, child } => {
+                    let _ = writeln!(out, "{pad}C: {name}");
+                    if let Some(c) = child {
+                        rec(c, depth + 1, out);
+                    }
+                }
+            }
+        }
+        let mut s = String::new();
+        rec(&self.root, 0, &mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::Dimension;
+    use crate::hierarchy::Hierarchy;
+    use crate::measure::{MeasureKind, SummaryAttribute};
+    use crate::schema::Schema;
+
+    fn fig4_schema() -> Schema {
+        let profession = Hierarchy::builder("profession")
+            .level("Profession")
+            .level("Professional class")
+            .edge("civil engineer", "engineer")
+            .build()
+            .unwrap();
+        Schema::builder("Average Income in California")
+            .dimension(Dimension::categorical("Sex", ["M", "F"]))
+            .dimension(Dimension::temporal("Year", ["88"]))
+            .dimension(Dimension::classified("Profession", profession))
+            .measure(SummaryAttribute::new("Average Income", MeasureKind::ValuePerUnit))
+            .context("state", "California")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn from_schema_builds_fig4_shape() {
+        let g = SchemaGraph::from_schema(&fig4_schema());
+        let rendered = g.render();
+        assert!(rendered.contains("S: Average Income [state=California]"));
+        assert!(rendered.contains("C: Professional class"));
+        // Professional class sits ABOVE Profession in the chain.
+        let pc = rendered.find("Professional class").unwrap();
+        let p = rendered.find("C: Profession\n").unwrap();
+        assert!(pc < p);
+    }
+
+    #[test]
+    fn fig6_grouping_equivalence() {
+        let g = SchemaGraph::from_schema(&fig4_schema());
+        let grouped = g.group("Socio-Economic Categories", &["Sex", "Year"]).unwrap();
+        assert_ne!(g, grouped);
+        assert!(g.equivalent(&grouped));
+        // Iterated grouping stays equivalent too.
+        let twice = grouped.group("Outer", &["Socio-Economic Categories"]).unwrap();
+        assert!(g.equivalent(&twice));
+    }
+
+    #[test]
+    fn permutation_insensitivity() {
+        let a = SchemaGraph::new(Node::Summary {
+            name: "m".into(),
+            child: Box::new(Node::Cross {
+                label: None,
+                ordered: false,
+                children: vec![
+                    Node::category_chain(&["a"]),
+                    Node::category_chain(&["b"]),
+                ],
+            }),
+        })
+        .unwrap();
+        let b = SchemaGraph::new(Node::Summary {
+            name: "m".into(),
+            child: Box::new(Node::Cross {
+                label: None,
+                ordered: false,
+                children: vec![
+                    Node::category_chain(&["b"]),
+                    Node::category_chain(&["a"]),
+                ],
+            }),
+        })
+        .unwrap();
+        assert!(a.equivalent(&b));
+    }
+
+    #[test]
+    fn different_hierarchies_not_equivalent() {
+        let a = SchemaGraph::new(Node::Summary {
+            name: "m".into(),
+            child: Box::new(Node::Cross {
+                label: None,
+                ordered: false,
+                children: vec![Node::category_chain(&["class", "profession"])],
+            }),
+        })
+        .unwrap();
+        let b = SchemaGraph::new(Node::Summary {
+            name: "m".into(),
+            child: Box::new(Node::Cross {
+                label: None,
+                ordered: false,
+                children: vec![
+                    Node::category_chain(&["class"]),
+                    Node::category_chain(&["profession"]),
+                ],
+            }),
+        })
+        .unwrap();
+        // A hierarchy is NOT the same as two dimensions — the confusion the
+        // graph model exists to prevent (§4.1(iii)).
+        assert!(!a.equivalent(&b));
+    }
+
+    #[test]
+    fn two_d_layout_is_ordered_and_not_equivalent_to_unordered() {
+        let g = SchemaGraph::from_schema(&fig4_schema());
+        let layout = g.two_d_layout(&["Sex", "Year"], &["Profession"]).unwrap();
+        let rendered = layout.render();
+        assert!(rendered.contains("X (ordered): rows"));
+        assert!(rendered.contains("X (ordered): columns"));
+        // Ordered layout nodes do not flatten away.
+        assert!(!g.equivalent(&layout));
+        // Swapping row order changes the layout.
+        let layout2 = g.two_d_layout(&["Year", "Sex"], &["Profession"]).unwrap();
+        assert_ne!(layout.canonical(), layout2.canonical());
+    }
+
+    #[test]
+    fn two_d_layout_must_cover_all_dims() {
+        let g = SchemaGraph::from_schema(&fig4_schema());
+        assert!(g.two_d_layout(&["Sex"], &["Profession"]).is_err());
+        assert!(g.two_d_layout(&["Sex", "Year"], &["Nope"]).is_err());
+    }
+
+    #[test]
+    fn group_unknown_dimension_fails() {
+        let g = SchemaGraph::from_schema(&fig4_schema());
+        assert!(g.group("g", &["Sex", "Nope"]).is_err());
+    }
+
+    #[test]
+    fn root_must_be_s_over_x() {
+        assert!(SchemaGraph::new(Node::category_chain(&["a"])).is_err());
+    }
+}

@@ -1,0 +1,287 @@
+//! Higher-level statistical operations (§5.6, \[OR95\]).
+//!
+//! Database systems traditionally provide only count/sum/avg/min/max; for
+//! standard deviation, percentiles, trimmed means, and sampling one had to
+//! ship the data to an external statistical package. The paper argues the
+//! only compelling reason to push such functions *into* the database is
+//! efficiency — sampling being the flagship example, since extracting a
+//! large collection only to sample it outside is wasteful. These
+//! implementations are what the engine offers in-process; experiment E20
+//! measures the in-engine vs. extract-then-sample difference.
+
+/// Streaming mean/variance accumulator (Welford's algorithm): numerically
+/// stable single-pass standard deviation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Population variance (divide by n).
+    pub fn variance_population(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.m2 / self.n as f64)
+    }
+
+    /// Sample variance (divide by n−1).
+    pub fn variance_sample(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev_sample(&self) -> Option<f64> {
+        self.variance_sample().map(f64::sqrt)
+    }
+
+    /// Population standard deviation.
+    pub fn stddev_population(&self) -> Option<f64> {
+        self.variance_population().map(f64::sqrt)
+    }
+
+    /// Merges another accumulator (parallel/Chan et al. combination).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        *self = Welford { n, mean, m2 };
+    }
+}
+
+/// Linear-interpolation percentile (the common "type 7" estimator).
+/// `p` in `[0, 100]`. Returns `None` for empty input or out-of-range `p`.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(v[lo] + (v[hi] - v[lo]) * frac)
+}
+
+/// Median (50th percentile).
+pub fn median(values: &[f64]) -> Option<f64> {
+    percentile(values, 50.0)
+}
+
+/// Trimmed mean: mean after discarding the lowest and highest `trim`
+/// fraction of observations (`trim` in `[0, 0.5)`). The paper's example of
+/// a statistic databases should hand off or support ("find the trimmed
+/// means over a sample of the data").
+pub fn trimmed_mean(values: &[f64], trim: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..0.5).contains(&trim) {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    let cut = (v.len() as f64 * trim).floor() as usize;
+    let kept = &v[cut..v.len() - cut];
+    if kept.is_empty() {
+        return None;
+    }
+    Some(kept.iter().sum::<f64>() / kept.len() as f64)
+}
+
+/// A small deterministic PRNG (SplitMix64) so core stays dependency-free
+/// while sampling remains reproducible under a caller-supplied seed.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        // Rejection-free modulo is fine here: n is far below 2^64 in all
+        // engine uses, so bias is negligible for simulation purposes.
+        self.next_u64() % n.max(1)
+    }
+}
+
+/// Reservoir sampling (Algorithm R, \[OR95\]'s simple-random-sample workhorse):
+/// a uniform `k`-sample from a stream of unknown length, in one pass.
+pub fn reservoir_sample<T, I>(items: I, k: usize, seed: u64) -> Vec<T>
+where
+    I: IntoIterator<Item = T>,
+{
+    let mut rng = SplitMix64::new(seed);
+    let mut reservoir: Vec<T> = Vec::with_capacity(k);
+    if k == 0 {
+        return reservoir;
+    }
+    for (i, item) in items.into_iter().enumerate() {
+        if i < k {
+            reservoir.push(item);
+        } else {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            if j < k {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((w.stddev_population().unwrap() - 2.0).abs() < 1e-12);
+        let sample_var = xs.iter().map(|x| (x - 5.0f64).powi(2)).sum::<f64>() / 7.0;
+        assert!((w.variance_sample().unwrap() - sample_var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), None);
+        assert_eq!(w.variance_sample(), None);
+        let mut w1 = Welford::new();
+        w1.push(3.0);
+        assert_eq!(w1.mean(), Some(3.0));
+        assert_eq!(w1.variance_population(), Some(0.0));
+        assert_eq!(w1.variance_sample(), None);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-9);
+        assert!((a.m2 - whole.m2).abs() < 1e-6);
+        // Merging an empty accumulator is a no-op in both directions.
+        let mut e = Welford::new();
+        e.merge(&whole);
+        assert!((e.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-12);
+        whole.merge(&Welford::new());
+        assert_eq!(whole.count(), 100);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(4.0));
+        assert_eq!(percentile(&xs, 50.0), Some(2.5));
+        assert_eq!(median(&xs), Some(2.5));
+        assert_eq!(percentile(&xs, 25.0), Some(1.75));
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&xs, 101.0), None);
+        assert_eq!(median(&[7.0]), Some(7.0));
+    }
+
+    #[test]
+    fn trimmed_mean_discards_tails() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 100.0];
+        // 20% trim drops one value from each end.
+        assert_eq!(trimmed_mean(&xs, 0.2), Some(3.0));
+        // 0 trim is the plain mean.
+        assert_eq!(trimmed_mean(&xs, 0.0), Some(22.0));
+        assert_eq!(trimmed_mean(&[], 0.1), None);
+        assert_eq!(trimmed_mean(&xs, 0.5), None);
+    }
+
+    #[test]
+    fn reservoir_is_right_size_and_deterministic() {
+        let s1 = reservoir_sample(0..1000, 10, 42);
+        let s2 = reservoir_sample(0..1000, 10, 42);
+        let s3 = reservoir_sample(0..1000, 10, 43);
+        assert_eq!(s1.len(), 10);
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+        // Stream shorter than k: everything kept.
+        assert_eq!(reservoir_sample(0..3, 10, 1).len(), 3);
+        assert!(reservoir_sample(0..100, 0, 1).is_empty());
+    }
+
+    #[test]
+    fn reservoir_is_roughly_uniform() {
+        // Each of 100 items should appear in a 10-sample with p = 0.1;
+        // over 2000 trials every item lands between loose bounds.
+        let mut hits = [0u32; 100];
+        for trial in 0..2000u64 {
+            for &x in &reservoir_sample(0..100u32, 10, trial) {
+                hits[x as usize] += 1;
+            }
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            assert!((120..=280).contains(&h), "item {i} drawn {h} times");
+        }
+    }
+}

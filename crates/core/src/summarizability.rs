@@ -1,0 +1,257 @@
+//! Summarizability checking (§3.3.2, \[LS97\], \[RS90\]).
+//!
+//! The paper stresses that OLAP literature "largely ignored" the conditions
+//! under which aggregation produces correct results, while in the SDB
+//! literature it is a major issue. Three independent conditions are checked
+//! before any aggregation:
+//!
+//! 1. **Strictness** — a classification member with several parents (the
+//!    physician-with-multiple-specialties example) breaks every
+//!    duplicate-sensitive function (`Sum`, `Count`, `Avg`).
+//! 2. **Completeness** — children that do not account for the whole parent
+//!    (cities vs. state population) make derived parent totals wrong; a
+//!    member with *no* parent would silently vanish.
+//! 3. **Type compatibility** — stock measures do not add over time
+//!    ("meaningless to add populations over months"), and value-per-unit
+//!    measures do not add over anything.
+//!
+//! Checks return *all* violations, not just the first, so callers can report
+//! everything wrong with a query at once.
+
+use crate::dimension::DimensionRole;
+use crate::error::Violation;
+use crate::hierarchy::Hierarchy;
+use crate::measure::{MeasureKind, SummaryFunction};
+use crate::schema::Schema;
+
+/// Checks whether summarizing measure-kind `kind` with `function` *over*
+/// (i.e. collapsing) a dimension of `role` is meaningful.
+pub fn check_type(
+    measure: &str,
+    kind: MeasureKind,
+    function: SummaryFunction,
+    dimension: &str,
+    role: DimensionRole,
+) -> Option<Violation> {
+    match (kind, function) {
+        (MeasureKind::ValuePerUnit, SummaryFunction::Sum) => Some(Violation::NonAdditiveMeasure {
+            measure: measure.to_owned(),
+            dimension: dimension.to_owned(),
+        }),
+        (MeasureKind::Stock, SummaryFunction::Sum) if role == DimensionRole::Temporal => {
+            Some(Violation::TemporalStock {
+                measure: measure.to_owned(),
+                dimension: dimension.to_owned(),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Checks all measures of `schema` for collapsing dimension `dim_idx`
+/// entirely (the `S-projection` / summarize-over-all case).
+pub fn check_project(schema: &Schema, dim_idx: usize) -> Vec<Violation> {
+    let dim = &schema.dimensions()[dim_idx];
+    let mut out = Vec::new();
+    for (i, m) in schema.measures().iter().enumerate() {
+        if let Some(v) = check_type(m.name(), m.kind(), schema.function(i), dim.name(), dim.role())
+        {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Checks rolling dimension `dim_idx` up through `hierarchy` to `to_level`
+/// (the `S-aggregation` / roll-up case): type compatibility plus the
+/// structural conditions on every edge set being collapsed.
+pub fn check_aggregate(
+    schema: &Schema,
+    dim_idx: usize,
+    hierarchy: &Hierarchy,
+    to_level: usize,
+) -> Vec<Violation> {
+    let dim = &schema.dimensions()[dim_idx];
+    let mut out = check_project(schema, dim_idx);
+    let any_duplicate_sensitive =
+        schema.functions().iter().any(|f| f.is_duplicate_sensitive());
+    for level in 0..to_level {
+        if any_duplicate_sensitive {
+            if let Some(w) = hierarchy.strictness_witness(level) {
+                out.push(Violation::NonStrictHierarchy {
+                    dimension: dim.name().to_owned(),
+                    level: hierarchy.level(level).name().to_owned(),
+                    member: hierarchy
+                        .level(level)
+                        .members()
+                        .value_of(w)
+                        .unwrap_or("?")
+                        .to_owned(),
+                });
+            }
+        }
+        if let Some(w) = hierarchy.coverage_witness(level) {
+            out.push(Violation::UncoveredMember {
+                dimension: dim.name().to_owned(),
+                level: hierarchy.level(level).name().to_owned(),
+                member: hierarchy.level(level).members().value_of(w).unwrap_or("?").to_owned(),
+            });
+        }
+        if !hierarchy.is_declared_complete_at(level) {
+            out.push(Violation::IncompleteHierarchy {
+                dimension: dim.name().to_owned(),
+                level: hierarchy.level(level).name().to_owned(),
+            });
+        }
+    }
+    out
+}
+
+/// A one-line verdict for reporting tables (experiment E04).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Aggregation is safe.
+    Summarizable,
+    /// Aggregation would be wrong, for these reasons.
+    NotSummarizable(Vec<Violation>),
+}
+
+impl Verdict {
+    /// Builds a verdict from a violation list.
+    pub fn from_violations(vs: Vec<Violation>) -> Self {
+        if vs.is_empty() {
+            Verdict::Summarizable
+        } else {
+            Verdict::NotSummarizable(vs)
+        }
+    }
+
+    /// True if summarizable.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Verdict::Summarizable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::Dimension;
+    use crate::measure::SummaryAttribute;
+    use crate::schema::Schema;
+
+    fn schema_with(kind: MeasureKind, f: SummaryFunction) -> Schema {
+        Schema::builder("t")
+            .dimension(Dimension::temporal("month", ["jan", "feb"]))
+            .dimension(Dimension::spatial("state", ["AL", "CA"]))
+            .measure(SummaryAttribute::new("m", kind))
+            .function(f)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn stock_over_time_is_rejected() {
+        let s = schema_with(MeasureKind::Stock, SummaryFunction::Sum);
+        let vs = check_project(&s, 0);
+        assert_eq!(vs.len(), 1);
+        assert!(matches!(vs[0], Violation::TemporalStock { .. }));
+        // ... but over space it is fine.
+        assert!(check_project(&s, 1).is_empty());
+    }
+
+    #[test]
+    fn flow_over_time_is_fine() {
+        // "it makes sense to add accident counts over time" (§3.3.2)
+        let s = schema_with(MeasureKind::Flow, SummaryFunction::Sum);
+        assert!(check_project(&s, 0).is_empty());
+    }
+
+    #[test]
+    fn stock_avg_over_time_is_fine() {
+        let s = schema_with(MeasureKind::Stock, SummaryFunction::Avg);
+        assert!(check_project(&s, 0).is_empty());
+    }
+
+    #[test]
+    fn value_per_unit_never_sums() {
+        let s = schema_with(MeasureKind::ValuePerUnit, SummaryFunction::Sum);
+        assert!(!check_project(&s, 0).is_empty());
+        assert!(!check_project(&s, 1).is_empty());
+        let avg = schema_with(MeasureKind::ValuePerUnit, SummaryFunction::Avg);
+        assert!(check_project(&avg, 0).is_empty());
+    }
+
+    fn nonstrict() -> Hierarchy {
+        Hierarchy::builder("disease")
+            .level("disease")
+            .level("category")
+            .edge("lung cancer", "cancer")
+            .edge("lung cancer", "respiratory")
+            .edge("flu", "respiratory")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn non_strict_breaks_sum_but_not_max() {
+        let h = nonstrict();
+        let sum_schema = Schema::builder("t")
+            .dimension(Dimension::classified("disease", h.clone()))
+            .measure(SummaryAttribute::new("cost", MeasureKind::Flow))
+            .function(SummaryFunction::Sum)
+            .build()
+            .unwrap();
+        let vs = check_aggregate(&sum_schema, 0, &h, 1);
+        assert!(vs.iter().any(|v| matches!(v, Violation::NonStrictHierarchy { .. })));
+
+        let max_schema = Schema::builder("t")
+            .dimension(Dimension::classified("disease", h.clone()))
+            .measure(SummaryAttribute::new("cost", MeasureKind::Flow))
+            .function(SummaryFunction::Max)
+            .build()
+            .unwrap();
+        let vs = check_aggregate(&max_schema, 0, &h, 1);
+        assert!(vs.is_empty(), "max is duplicate-insensitive: {vs:?}");
+    }
+
+    #[test]
+    fn incomplete_and_uncovered_reported() {
+        let h = Hierarchy::builder("geo")
+            .level("city")
+            .member("nowhere") // interned with no parent
+            .level("state")
+            .edge("fresno", "california")
+            .declare_incomplete()
+            .build()
+            .unwrap();
+        let s = Schema::builder("t")
+            .dimension(Dimension::classified("geo", h.clone()))
+            .measure(SummaryAttribute::new("population", MeasureKind::Stock))
+            .build()
+            .unwrap();
+        let vs = check_aggregate(&s, 0, &h, 1);
+        assert!(vs.iter().any(|v| matches!(v, Violation::IncompleteHierarchy { .. })));
+        assert!(vs.iter().any(|v| matches!(v, Violation::UncoveredMember { .. })));
+    }
+
+    #[test]
+    fn verdict_round_trip() {
+        assert!(Verdict::from_violations(vec![]).is_ok());
+        let v = Verdict::from_violations(vec![Violation::TemporalStock {
+            measure: "m".into(),
+            dimension: "d".into(),
+        }]);
+        assert!(!v.is_ok());
+    }
+
+    #[test]
+    fn aggregate_to_level_zero_checks_nothing_structural() {
+        let h = nonstrict();
+        let s = Schema::builder("t")
+            .dimension(Dimension::classified("disease", h.clone()))
+            .measure(SummaryAttribute::new("cost", MeasureKind::Flow))
+            .build()
+            .unwrap();
+        assert!(check_aggregate(&s, 0, &h, 0).is_empty());
+    }
+}

@@ -1,0 +1,505 @@
+//! 2-D statistical tables with marginals (§2.1 Fig 1, §4.3 Fig 9, \[OOM85\]).
+//!
+//! The traditional statistics representation: dimensions are partitioned
+//! (in an arbitrary, *ordered* way) into rows and columns, and summary
+//! totals — the statisticians' **marginals** — appear on the margins.
+//! [`Table2D`] lays a [`StatisticalObject`] out this way, computes marginals
+//! from the cell states (or reports where stored marginals would be
+//! required, §4.3), and supports the `attribute split`/`attribute merge`
+//! operators of \[OOM85\] that move a category attribute between rows and
+//! columns.
+
+use std::fmt::Write as _;
+
+use crate::error::{Error, Result};
+use crate::measure::AggState;
+use crate::object::StatisticalObject;
+
+/// A 2-D layout of a statistical object.
+#[derive(Debug, Clone)]
+pub struct Table2D {
+    obj: StatisticalObject,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    measure: usize,
+    marginals: bool,
+}
+
+impl Table2D {
+    /// Lays out `obj` with the named dimensions on rows and columns (each
+    /// dimension exactly once, order meaningful — §2.1(i)).
+    pub fn layout(obj: &StatisticalObject, rows: &[&str], cols: &[&str]) -> Result<Table2D> {
+        let mut row_idx = Vec::with_capacity(rows.len());
+        for r in rows {
+            row_idx.push(obj.schema().dim_index(r)?);
+        }
+        let mut col_idx = Vec::with_capacity(cols.len());
+        for c in cols {
+            col_idx.push(obj.schema().dim_index(c)?);
+        }
+        let mut seen: Vec<usize> = row_idx.iter().chain(&col_idx).copied().collect();
+        seen.sort_unstable();
+        seen.dedup();
+        if seen.len() != obj.schema().dim_count() || rows.len() + cols.len() != seen.len() {
+            return Err(Error::InvalidSchema(
+                "2-D layout must mention every dimension exactly once".into(),
+            ));
+        }
+        Ok(Table2D { obj: obj.clone(), rows: row_idx, cols: col_idx, measure: 0, marginals: true })
+    }
+
+    /// Selects which measure the table shows (default 0).
+    pub fn with_measure(mut self, m: usize) -> Result<Self> {
+        if m >= self.obj.schema().measures().len() {
+            return Err(Error::MeasureNotFound(format!("#{m}")));
+        }
+        self.measure = m;
+        Ok(self)
+    }
+
+    /// Enables/disables marginal rows and columns (default on).
+    pub fn with_marginals(mut self, on: bool) -> Self {
+        self.marginals = on;
+        self
+    }
+
+    /// Names of the row dimensions, in order.
+    pub fn row_dims(&self) -> Vec<&str> {
+        self.rows.iter().map(|&d| self.obj.schema().dimensions()[d].name()).collect()
+    }
+
+    /// Names of the column dimensions, in order.
+    pub fn col_dims(&self) -> Vec<&str> {
+        self.cols.iter().map(|&d| self.obj.schema().dimensions()[d].name()).collect()
+    }
+
+    fn keys(&self, dims: &[usize]) -> Vec<Vec<u32>> {
+        let mut out: Vec<Vec<u32>> = vec![Vec::new()];
+        for &d in dims {
+            let card = self.obj.schema().dimensions()[d].cardinality() as u32;
+            let mut next = Vec::with_capacity(out.len() * card as usize);
+            for prefix in &out {
+                for m in 0..card {
+                    let mut k = prefix.clone();
+                    k.push(m);
+                    next.push(k);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+
+    /// Cartesian product of row-dimension member ids, in row order.
+    pub fn row_keys(&self) -> Vec<Vec<u32>> {
+        self.keys(&self.rows)
+    }
+
+    /// Cartesian product of column-dimension member ids, in column order.
+    pub fn col_keys(&self) -> Vec<Vec<u32>> {
+        self.keys(&self.cols)
+    }
+
+    fn full_coords(&self, row_key: &[u32], col_key: &[u32]) -> Vec<u32> {
+        let mut coords = vec![0u32; self.obj.schema().dim_count()];
+        for (i, &d) in self.rows.iter().enumerate() {
+            coords[d] = row_key[i];
+        }
+        for (i, &d) in self.cols.iter().enumerate() {
+            coords[d] = col_key[i];
+        }
+        coords
+    }
+
+    /// The cell value at `(row_key, col_key)` under the measure's summary
+    /// function.
+    pub fn value(&self, row_key: &[u32], col_key: &[u32]) -> Option<f64> {
+        let coords = self.full_coords(row_key, col_key);
+        self.obj.eval(&coords, self.measure, self.obj.schema().function(self.measure))
+    }
+
+    fn merge_over_cols(&self, row_key: &[u32]) -> AggState {
+        let mut acc = AggState::EMPTY;
+        for ck in self.col_keys() {
+            let coords = self.full_coords(row_key, &ck);
+            if let Some(states) = self.obj.states_at(&coords) {
+                acc.merge(&states[self.measure]);
+            }
+        }
+        acc
+    }
+
+    fn merge_over_rows(&self, col_key: &[u32]) -> AggState {
+        let mut acc = AggState::EMPTY;
+        for rk in self.row_keys() {
+            let coords = self.full_coords(&rk, col_key);
+            if let Some(states) = self.obj.states_at(&coords) {
+                acc.merge(&states[self.measure]);
+            }
+        }
+        acc
+    }
+
+    /// Row marginal ("total" column of Fig 9).
+    pub fn row_total(&self, row_key: &[u32]) -> Option<f64> {
+        self.merge_over_cols(row_key).value(self.obj.schema().function(self.measure))
+    }
+
+    /// Column marginal (bottom "total" row).
+    pub fn col_total(&self, col_key: &[u32]) -> Option<f64> {
+        self.merge_over_rows(col_key).value(self.obj.schema().function(self.measure))
+    }
+
+    /// Grand total over the whole table.
+    pub fn grand_total(&self) -> Option<f64> {
+        self.obj.grand_total(self.measure)
+    }
+
+    /// Verifies marginal consistency: the sum of row marginals, the sum of
+    /// column marginals, and the grand total must agree (for the additive
+    /// part of the state this is exact up to float tolerance). This is the
+    /// invariant that breaks when summarizability fails, which is why
+    /// non-derivable marginals must be stored (§4.3).
+    pub fn marginals_consistent(&self) -> bool {
+        let grand = {
+            let mut acc = AggState::EMPTY;
+            for rk in self.row_keys() {
+                acc.merge(&self.merge_over_cols(&rk));
+            }
+            acc
+        };
+        let grand2 = {
+            let mut acc = AggState::EMPTY;
+            for ck in self.col_keys() {
+                acc.merge(&self.merge_over_rows(&ck));
+            }
+            acc
+        };
+        let direct: AggState = {
+            let mut acc = AggState::EMPTY;
+            for (_, states) in self.obj.cells() {
+                acc.merge(&states[self.measure]);
+            }
+            acc
+        };
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
+        close(grand.sum, direct.sum)
+            && close(grand2.sum, direct.sum)
+            && grand.count == direct.count
+            && grand2.count == direct.count
+    }
+
+    /// *Attribute split/merge* (\[OOM85\]): moves a dimension from columns to
+    /// the end of the rows.
+    pub fn move_to_rows(&self, dim: &str) -> Result<Table2D> {
+        let d = self.obj.schema().dim_index(dim)?;
+        let pos = self
+            .cols
+            .iter()
+            .position(|&x| x == d)
+            .ok_or_else(|| Error::DimensionNotFound(format!("{dim} (not on columns)")))?;
+        let mut t = self.clone();
+        t.cols.remove(pos);
+        t.rows.push(d);
+        Ok(t)
+    }
+
+    /// *Attribute split/merge* (\[OOM85\]): moves a dimension from rows to
+    /// the end of the columns.
+    pub fn move_to_cols(&self, dim: &str) -> Result<Table2D> {
+        let d = self.obj.schema().dim_index(dim)?;
+        let pos = self
+            .rows
+            .iter()
+            .position(|&x| x == d)
+            .ok_or_else(|| Error::DimensionNotFound(format!("{dim} (not on rows)")))?;
+        let mut t = self.clone();
+        t.rows.remove(pos);
+        t.cols.push(d);
+        Ok(t)
+    }
+
+    fn label(&self, d: usize, id: u32) -> String {
+        self.obj.schema().dimensions()[d]
+            .members()
+            .value_of(id)
+            .unwrap_or("?")
+            .to_owned()
+    }
+
+    /// Renders the table as fixed-width text: one header line per column
+    /// dimension, one label column per row dimension, and (if enabled)
+    /// marginal "total" column/row — the shape of paper Fig 9.
+    pub fn render(&self) -> String {
+        const W: usize = 14;
+        let row_keys = self.row_keys();
+        let col_keys = self.col_keys();
+        let label_cols = self.rows.len().max(1);
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.obj.schema().name());
+
+        // Header lines: for each column dimension, first any classification
+        // levels above the leaf (coarsest first — Fig 1 shows
+        // "professional class" spanning above "profession"), then the leaf
+        // members themselves.
+        for (ci, &d) in self.cols.iter().enumerate() {
+            let dim = &self.obj.schema().dimensions()[d];
+            let mut header_rows: Vec<Vec<String>> = Vec::new();
+            if let Some(h) = dim.default_hierarchy() {
+                for level in (1..h.level_count()).rev() {
+                    let row: Vec<String> = col_keys
+                        .iter()
+                        .map(|ck| {
+                            let hid = dim.leaf_to_hierarchy(0, ck[ci]);
+                            let ancestors = h.ancestors_at(hid, level);
+                            match ancestors.as_slice() {
+                                [a] => h
+                                    .level(level)
+                                    .members()
+                                    .value_of(*a)
+                                    .unwrap_or("?")
+                                    .to_owned(),
+                                [] => String::new(),
+                                _ => "(multiple)".to_owned(),
+                            }
+                        })
+                        .collect();
+                    header_rows.push(row);
+                }
+            }
+            header_rows
+                .push(col_keys.iter().map(|ck| self.label(d, ck[ci])).collect());
+            for (hi, row) in header_rows.iter().enumerate() {
+                for _ in 0..label_cols {
+                    let _ = write!(out, "{:>W$}", "", W = W);
+                }
+                // Blank out repeats so a parent appears once per span, as
+                // in the paper's tables.
+                let mut prev: Option<&str> = None;
+                let is_leaf_row = hi + 1 == header_rows.len();
+                for cell in row {
+                    let shown = if !is_leaf_row && prev == Some(cell.as_str()) {
+                        ""
+                    } else {
+                        cell.as_str()
+                    };
+                    let _ = write!(out, "{:>W$}", shown, W = W);
+                    prev = Some(cell.as_str());
+                }
+                if self.marginals && ci == 0 && is_leaf_row {
+                    let _ = write!(out, "{:>W$}", "total", W = W);
+                }
+                let _ = writeln!(out);
+            }
+        }
+
+        // Data rows.
+        for rk in &row_keys {
+            for (ri, &d) in self.rows.iter().enumerate() {
+                let _ = write!(out, "{:>W$}", self.label(d, rk[ri]), W = W);
+            }
+            if self.rows.is_empty() {
+                let _ = write!(out, "{:>W$}", "", W = W);
+            }
+            for ck in &col_keys {
+                match self.value(rk, ck) {
+                    Some(v) => {
+                        let _ = write!(out, "{:>W$.1}", v, W = W);
+                    }
+                    None => {
+                        let _ = write!(out, "{:>W$}", ".", W = W);
+                    }
+                }
+            }
+            if self.marginals {
+                match self.row_total(rk) {
+                    Some(v) => {
+                        let _ = write!(out, "{:>W$.1}", v, W = W);
+                    }
+                    None => {
+                        let _ = write!(out, "{:>W$}", ".", W = W);
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+
+        // Marginal bottom row.
+        if self.marginals {
+            let _ = write!(out, "{:>W$}", "total", W = W);
+            for _ in 1..label_cols {
+                let _ = write!(out, "{:>W$}", "", W = W);
+            }
+            for ck in &col_keys {
+                match self.col_total(ck) {
+                    Some(v) => {
+                        let _ = write!(out, "{:>W$.1}", v, W = W);
+                    }
+                    None => {
+                        let _ = write!(out, "{:>W$}", ".", W = W);
+                    }
+                }
+            }
+            match self.grand_total() {
+                Some(v) => {
+                    let _ = write!(out, "{:>W$.1}", v, W = W);
+                }
+                None => {
+                    let _ = write!(out, "{:>W$}", ".", W = W);
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::Dimension;
+    use crate::measure::{MeasureKind, SummaryAttribute, SummaryFunction};
+    use crate::schema::Schema;
+
+    fn employment() -> StatisticalObject {
+        let schema = Schema::builder("Employment in California")
+            .dimension(Dimension::categorical("sex", ["male", "female"]))
+            .dimension(Dimension::temporal("year", ["91", "92"]))
+            .dimension(Dimension::categorical(
+                "profession",
+                ["chemical engineer", "civil engineer", "junior secretary"],
+            ))
+            .measure(SummaryAttribute::new("employment", MeasureKind::Stock))
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        o.insert(&["male", "91", "chemical engineer"], 197_700.0).unwrap();
+        o.insert(&["male", "91", "civil engineer"], 241_100.0).unwrap();
+        o.insert(&["male", "92", "chemical engineer"], 209_900.0).unwrap();
+        o.insert(&["female", "91", "junior secretary"], 667_300.0).unwrap();
+        o.insert(&["female", "92", "junior secretary"], 692_500.0).unwrap();
+        o
+    }
+
+    #[test]
+    fn fig1_layout() {
+        let o = employment();
+        let t = Table2D::layout(&o, &["sex", "year"], &["profession"]).unwrap();
+        assert_eq!(t.row_dims(), vec!["sex", "year"]);
+        assert_eq!(t.row_keys().len(), 4);
+        assert_eq!(t.col_keys().len(), 3);
+        // male, 91, civil engineer
+        assert_eq!(t.value(&[0, 0], &[1]), Some(241_100.0));
+        assert_eq!(t.value(&[1, 0], &[1]), None);
+    }
+
+    #[test]
+    fn marginals_match_fig9() {
+        let o = employment();
+        let t = Table2D::layout(&o, &["sex", "year"], &["profession"]).unwrap();
+        // Row total for (male, 91): 197700 + 241100.
+        assert_eq!(t.row_total(&[0, 0]), Some(438_800.0));
+        // Column total for junior secretary across all rows.
+        assert_eq!(t.col_total(&[2]), Some(667_300.0 + 692_500.0));
+        assert_eq!(t.grand_total(), Some(2_008_500.0));
+        assert!(t.marginals_consistent());
+    }
+
+    #[test]
+    fn attribute_split_and_merge_preserve_content() {
+        let o = employment();
+        let t = Table2D::layout(&o, &["sex", "year"], &["profession"]).unwrap();
+        let t2 = t.move_to_rows("profession").unwrap().move_to_cols("year").unwrap();
+        assert_eq!(t2.row_dims(), vec!["sex", "profession"]);
+        assert_eq!(t2.col_dims(), vec!["year"]);
+        // Same cell, new coordinates: (male, chemical engineer) x (91).
+        assert_eq!(t2.value(&[0, 0], &[0]), Some(197_700.0));
+        assert_eq!(t2.grand_total(), t.grand_total());
+        assert!(t2.marginals_consistent());
+    }
+
+    #[test]
+    fn move_errors_when_dimension_not_on_that_side() {
+        let o = employment();
+        let t = Table2D::layout(&o, &["sex", "year"], &["profession"]).unwrap();
+        assert!(t.move_to_rows("sex").is_err());
+        assert!(t.move_to_cols("profession").is_err());
+    }
+
+    #[test]
+    fn layout_must_partition_dimensions() {
+        let o = employment();
+        assert!(Table2D::layout(&o, &["sex"], &["profession"]).is_err());
+        assert!(Table2D::layout(&o, &["sex", "year"], &["profession", "sex"]).is_err());
+        assert!(Table2D::layout(&o, &["sex", "year", "profession"], &[]).is_ok());
+    }
+
+    #[test]
+    fn render_contains_headers_cells_and_totals() {
+        let o = employment();
+        let t = Table2D::layout(&o, &["sex", "year"], &["profession"]).unwrap();
+        let s = t.render();
+        assert!(s.contains("Employment in California"));
+        assert!(s.contains("civil engineer"));
+        assert!(s.contains("male"));
+        assert!(s.contains("241100.0"));
+        assert!(s.contains("total"));
+        assert!(s.contains("2008500.0"));
+        // Unpopulated cells render as '.'.
+        assert!(s.contains('.'));
+    }
+
+    #[test]
+    fn hierarchy_column_headers_span_like_fig1() {
+        use crate::hierarchy::Hierarchy;
+        let profession = Hierarchy::builder("profession")
+            .level("profession")
+            .level("professional class")
+            .edge("chemical engineer", "engineer")
+            .edge("civil engineer", "engineer")
+            .edge("junior secretary", "secretary")
+            .build()
+            .unwrap();
+        let schema = Schema::builder("Employment")
+            .dimension(Dimension::categorical("sex", ["male", "female"]))
+            .dimension(Dimension::classified("profession", profession))
+            .measure(SummaryAttribute::new("employment", MeasureKind::Stock))
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        o.insert(&["male", "civil engineer"], 10.0).unwrap();
+        o.insert(&["male", "junior secretary"], 20.0).unwrap();
+        let t = Table2D::layout(&o, &["sex"], &["profession"]).unwrap();
+        let s = t.render();
+        // The class header row sits above the profession row, each parent
+        // shown once per span.
+        let class_line = s.lines().find(|l| l.contains("engineer") && !l.contains("civil"))
+            .expect("class header row");
+        assert!(class_line.contains("secretary"));
+        assert_eq!(class_line.matches("engineer").count(), 1, "{class_line}");
+        let leaf_line_idx = s.lines().position(|l| l.contains("civil engineer")).unwrap();
+        let class_line_idx = s.lines().position(|l| l == class_line).unwrap();
+        assert!(class_line_idx < leaf_line_idx);
+        assert!(t.marginals_consistent());
+    }
+
+    #[test]
+    fn avg_table_marginals_compose_correctly() {
+        let schema = Schema::builder("avg income")
+            .dimension(Dimension::categorical("sex", ["m", "f"]))
+            .dimension(Dimension::categorical("year", ["91"]))
+            .measure(SummaryAttribute::new("income", MeasureKind::ValuePerUnit))
+            .function(SummaryFunction::Avg)
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        o.insert(&["m", "91"], 10.0).unwrap();
+        o.insert(&["m", "91"], 20.0).unwrap();
+        o.insert(&["f", "91"], 60.0).unwrap();
+        let t = Table2D::layout(&o, &["sex"], &["year"]).unwrap();
+        // The marginal avg is the avg of the underlying values (30), not the
+        // avg of cell averages (37.5) — exactly why states carry counts.
+        assert_eq!(t.col_total(&[0]), Some(30.0));
+        assert!(t.marginals_consistent());
+    }
+}

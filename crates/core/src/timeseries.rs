@@ -1,0 +1,214 @@
+//! Time-series support (§3.2(ii)).
+//!
+//! "The most obvious feature of a stock market database is its temporal
+//! dimension. It is usually represented as a time series … A classification
+//! hierarchy over time may exist such as for generating weekly or monthly
+//! averages, highs and lows." Weekly averages/highs/lows come free from
+//! [`crate::ops::s_aggregate`] because cells carry full
+//! [`AggState`](crate::measure::AggState)s; this module adds what roll-up
+//! cannot express: series extraction along the temporal axis, moving
+//! windows, and period-over-period change.
+
+use crate::dimension::DimensionRole;
+use crate::error::{Error, Result};
+use crate::measure::SummaryFunction;
+use crate::object::StatisticalObject;
+
+/// Extracts the series of measure `m` along temporal dimension `dim`, with
+/// every other dimension fixed by `fixed` (`(dimension, member)` pairs).
+/// The order is the dimension's member (insertion) order — the time order
+/// for generated and loaded calendars. Missing observations are `None`.
+pub fn series(
+    obj: &StatisticalObject,
+    dim: &str,
+    fixed: &[(&str, &str)],
+    m: usize,
+    f: SummaryFunction,
+) -> Result<Vec<Option<f64>>> {
+    let d = obj.schema().dim_index(dim)?;
+    if obj.schema().dimensions()[d].role() != DimensionRole::Temporal {
+        return Err(Error::InvalidSchema(format!("dimension `{dim}` is not temporal")));
+    }
+    if fixed.len() + 1 != obj.schema().dim_count() {
+        return Err(Error::InvalidSchema(
+            "series() needs every non-temporal dimension fixed".into(),
+        ));
+    }
+    let mut coords = vec![0u32; obj.schema().dim_count()];
+    for (fd, member) in fixed {
+        let fi = obj.schema().dim_index(fd)?;
+        if fi == d {
+            return Err(Error::InvalidSchema(format!("`{dim}` is the series axis")));
+        }
+        coords[fi] = obj.schema().dimensions()[fi].member_id(member)?;
+    }
+    let card = obj.schema().dimensions()[d].cardinality();
+    let mut out = Vec::with_capacity(card);
+    for t in 0..card as u32 {
+        coords[d] = t;
+        out.push(obj.eval(&coords, m, f));
+    }
+    Ok(out)
+}
+
+/// Simple moving average over a window of `window` observations (trailing,
+/// missing values skipped; `None` until at least one observation is in the
+/// window).
+pub fn moving_average(series: &[Option<f64>], window: usize) -> Result<Vec<Option<f64>>> {
+    if window == 0 {
+        return Err(Error::InvalidSchema("window must be at least 1".into()));
+    }
+    let mut out = Vec::with_capacity(series.len());
+    for t in 0..series.len() {
+        let lo = t.saturating_sub(window - 1);
+        let vals: Vec<f64> = series[lo..=t].iter().flatten().copied().collect();
+        out.push(if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        });
+    }
+    Ok(out)
+}
+
+/// Trailing rolling minimum ("lows") over `window` observations.
+pub fn rolling_min(series: &[Option<f64>], window: usize) -> Result<Vec<Option<f64>>> {
+    rolling(series, window, |vals| vals.iter().copied().fold(f64::INFINITY, f64::min))
+}
+
+/// Trailing rolling maximum ("highs") over `window` observations.
+pub fn rolling_max(series: &[Option<f64>], window: usize) -> Result<Vec<Option<f64>>> {
+    rolling(series, window, |vals| vals.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+}
+
+fn rolling(
+    series: &[Option<f64>],
+    window: usize,
+    f: impl Fn(&[f64]) -> f64,
+) -> Result<Vec<Option<f64>>> {
+    if window == 0 {
+        return Err(Error::InvalidSchema("window must be at least 1".into()));
+    }
+    let mut out = Vec::with_capacity(series.len());
+    for t in 0..series.len() {
+        let lo = t.saturating_sub(window - 1);
+        let vals: Vec<f64> = series[lo..=t].iter().flatten().copied().collect();
+        out.push(if vals.is_empty() { None } else { Some(f(&vals)) });
+    }
+    Ok(out)
+}
+
+/// Period-over-period relative change (`(x_t − x_{t−1}) / x_{t−1}`), `None`
+/// where either side is missing or the base is zero.
+pub fn returns(series: &[Option<f64>]) -> Vec<Option<f64>> {
+    let mut out = vec![None];
+    for w in series.windows(2) {
+        out.push(match (w[0], w[1]) {
+            (Some(a), Some(b)) if a != 0.0 => Some((b - a) / a),
+            _ => None,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::Dimension;
+    use crate::measure::{MeasureKind, SummaryAttribute};
+    use crate::schema::Schema;
+
+    fn prices() -> StatisticalObject {
+        let schema = Schema::builder("prices")
+            .dimension(Dimension::categorical("stock", ["aa", "bb"]))
+            .dimension(Dimension::temporal("day", ["d0", "d1", "d2", "d3", "d4"]))
+            .measure(SummaryAttribute::new("price", MeasureKind::ValuePerUnit))
+            .function(SummaryFunction::Avg)
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        for (d, v) in [("d0", 10.0), ("d1", 12.0), ("d2", 11.0), ("d4", 14.0)] {
+            o.insert(&["aa", d], v).unwrap();
+        }
+        o.insert(&["bb", "d0"], 100.0).unwrap();
+        o
+    }
+
+    #[test]
+    fn series_extraction_preserves_time_order_and_gaps() {
+        let o = prices();
+        let s = series(&o, "day", &[("stock", "aa")], 0, SummaryFunction::Avg).unwrap();
+        assert_eq!(s, vec![Some(10.0), Some(12.0), Some(11.0), None, Some(14.0)]);
+        // Validation paths.
+        assert!(series(&o, "stock", &[("day", "d0")], 0, SummaryFunction::Avg).is_err());
+        assert!(series(&o, "day", &[], 0, SummaryFunction::Avg).is_err());
+        assert!(series(&o, "day", &[("stock", "zz")], 0, SummaryFunction::Avg).is_err());
+        assert!(series(&o, "day", &[("day", "d0")], 0, SummaryFunction::Avg).is_err());
+    }
+
+    #[test]
+    fn moving_average_skips_gaps() {
+        let s = vec![Some(10.0), Some(12.0), Some(11.0), None, Some(14.0)];
+        let ma = moving_average(&s, 2).unwrap();
+        assert_eq!(ma[0], Some(10.0));
+        assert_eq!(ma[1], Some(11.0));
+        assert_eq!(ma[2], Some(11.5));
+        assert_eq!(ma[3], Some(11.0)); // only d2 in window
+        assert_eq!(ma[4], Some(14.0)); // only d4 in window
+        assert!(moving_average(&s, 0).is_err());
+        // Window 1 is the identity on present values.
+        assert_eq!(moving_average(&s, 1).unwrap(), s);
+    }
+
+    #[test]
+    fn highs_and_lows() {
+        let s = vec![Some(10.0), Some(12.0), Some(11.0), Some(9.0)];
+        assert_eq!(
+            rolling_max(&s, 3).unwrap(),
+            vec![Some(10.0), Some(12.0), Some(12.0), Some(12.0)]
+        );
+        assert_eq!(
+            rolling_min(&s, 3).unwrap(),
+            vec![Some(10.0), Some(10.0), Some(10.0), Some(9.0)]
+        );
+        let empty: Vec<Option<f64>> = vec![None, None];
+        assert_eq!(rolling_max(&empty, 2).unwrap(), vec![None, None]);
+    }
+
+    #[test]
+    fn returns_handle_gaps_and_zero_base() {
+        let s = vec![Some(10.0), Some(12.0), None, Some(14.0), Some(0.0), Some(7.0)];
+        let r = returns(&s);
+        assert_eq!(r.len(), s.len());
+        assert_eq!(r[0], None);
+        assert!((r[1].unwrap() - 0.2).abs() < 1e-12);
+        assert_eq!(r[2], None);
+        assert_eq!(r[3], None);
+        assert_eq!(r[5], None); // base 0.0
+    }
+
+    #[test]
+    fn weekly_high_low_via_rollup_matches_rolling() {
+        // The paper's "weekly averages, highs and lows" via S-aggregation.
+        use crate::hierarchy::Hierarchy;
+        let mut cal = Hierarchy::builder("cal").level("day").level("week");
+        for d in 0..10 {
+            cal = cal.edge(&format!("d{d}"), &format!("w{}", d / 5));
+        }
+        let cal = cal.build().unwrap();
+        let schema = Schema::builder("p")
+            .dimension(Dimension::classified_temporal("day", cal))
+            .measure(SummaryAttribute::new("price", MeasureKind::ValuePerUnit))
+            .function(SummaryFunction::Max)
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        for d in 0..10 {
+            o.insert(&[&format!("d{d}")], (d * d % 7) as f64).unwrap();
+        }
+        let weekly = o.roll_up("day", "week").unwrap();
+        let w0_high = weekly.get(&["w0"]).unwrap().unwrap();
+        let expected = (0..5).map(|d| (d * d % 7) as f64).fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(w0_high, expected);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests on the core model: dictionaries, hierarchies, aggregation
+//! states, and 2-D table marginals.
+
+use proptest::prelude::*;
+
+use statcube_core::dictionary::Dictionary;
+use statcube_core::dimension::Dimension;
+use statcube_core::hierarchy::Hierarchy;
+use statcube_core::measure::{AggState, MeasureKind, SummaryAttribute, SummaryFunction};
+use statcube_core::object::StatisticalObject;
+use statcube_core::schema::Schema;
+use statcube_core::stats::{percentile, trimmed_mean, Welford};
+use statcube_core::table2d::Table2D;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dictionary_ids_are_dense_and_stable(values in proptest::collection::vec("[a-z]{1,6}", 0..60)) {
+        let mut d = Dictionary::new();
+        let ids: Vec<u32> = values.iter().map(|v| d.intern(v)).collect();
+        // Ids are dense 0..len.
+        prop_assert!(d.len() <= values.len());
+        for (v, id) in values.iter().zip(&ids) {
+            prop_assert_eq!(d.id_of(v), Some(*id));
+            prop_assert_eq!(d.value_of(*id), Some(v.as_str()));
+        }
+        // Re-interning never changes an id.
+        for (v, id) in values.iter().zip(&ids) {
+            prop_assert_eq!(d.intern(v), *id);
+        }
+    }
+
+    #[test]
+    fn hierarchy_parents_and_children_are_inverse(
+        edges in proptest::collection::vec((0u8..20, 0u8..5), 1..60)
+    ) {
+        let mut b = Hierarchy::builder("h").level("leaf").level("top");
+        for (c, p) in &edges {
+            b = b.edge(&format!("c{c}"), &format!("p{p}"));
+        }
+        let h = b.build().unwrap();
+        prop_assert!(h.validate().is_ok());
+        for leaf in 0..h.leaf().members().len() as u32 {
+            for &parent in h.parents(0, leaf) {
+                prop_assert!(h.children(1, parent).contains(&leaf));
+            }
+        }
+        for parent in 0..h.level(1).members().len() as u32 {
+            for child in h.children(1, parent) {
+                prop_assert!(h.parents(0, child).contains(&parent));
+            }
+        }
+        // Strictness holds iff no leaf has 2+ parents.
+        let any_multi = (0..h.leaf().members().len() as u32)
+            .any(|l| h.parents(0, l).len() > 1);
+        prop_assert_eq!(h.is_strict(), !any_multi);
+    }
+
+    #[test]
+    fn agg_state_merge_matches_direct_computation(values in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let mut acc = AggState::EMPTY;
+        for &v in &values {
+            acc.merge(&AggState::from_value(v));
+        }
+        let sum: f64 = values.iter().sum();
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((acc.value(SummaryFunction::Sum).unwrap() - sum).abs() < 1e-6);
+        prop_assert_eq!(acc.value(SummaryFunction::Count), Some(values.len() as f64));
+        prop_assert_eq!(acc.value(SummaryFunction::Min), Some(min));
+        prop_assert_eq!(acc.value(SummaryFunction::Max), Some(max));
+        let avg = acc.value(SummaryFunction::Avg).unwrap();
+        prop_assert!((avg - sum / values.len() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn table2d_marginals_always_consistent(
+        cells in proptest::collection::vec((0u32..4, 0u32..3, 0u32..3, -100i64..100), 0..80)
+    ) {
+        let schema = Schema::builder("t")
+            .dimension(Dimension::categorical("a", ["a0", "a1", "a2", "a3"]))
+            .dimension(Dimension::categorical("b", ["b0", "b1", "b2"]))
+            .dimension(Dimension::categorical("c", ["c0", "c1", "c2"]))
+            .measure(SummaryAttribute::new("m", MeasureKind::Flow))
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        for (a, b, c, v) in &cells {
+            o.insert_ids(&[*a, *b, *c], &[*v as f64]).unwrap();
+        }
+        let t = Table2D::layout(&o, &["a", "b"], &["c"]).unwrap();
+        prop_assert!(t.marginals_consistent());
+        // Attribute split/merge preserves marginal consistency and totals.
+        let t2 = t.move_to_rows("c").unwrap().move_to_cols("b").unwrap();
+        prop_assert!(t2.marginals_consistent());
+        prop_assert_eq!(t.grand_total(), t2.grand_total());
+    }
+
+    #[test]
+    fn welford_is_translation_invariant(values in proptest::collection::vec(-1e3f64..1e3, 2..60), shift in -1e3f64..1e3) {
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &v in &values {
+            a.push(v);
+            b.push(v + shift);
+        }
+        // Variance is invariant under translation; mean shifts by `shift`.
+        prop_assert!((a.variance_sample().unwrap() - b.variance_sample().unwrap()).abs() < 1e-6);
+        prop_assert!((b.mean().unwrap() - a.mean().unwrap() - shift).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded(values in proptest::collection::vec(-1e3f64..1e3, 1..60)) {
+        let p25 = percentile(&values, 25.0).unwrap();
+        let p50 = percentile(&values, 50.0).unwrap();
+        let p75 = percentile(&values, 75.0).unwrap();
+        prop_assert!(p25 <= p50 && p50 <= p75);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p25 >= min && p75 <= max);
+        // Trimmed mean lies within [min, max] too.
+        if let Some(tm) = trimmed_mean(&values, 0.1) {
+            prop_assert!(tm >= min - 1e-9 && tm <= max + 1e-9);
+        }
+    }
+
+    #[test]
+    fn truncate_below_preserves_upper_structure(
+        edges in proptest::collection::vec((0u8..12, 0u8..4, 0u8..2), 1..40)
+    ) {
+        // Three levels: leaf -> mid -> top.
+        let mut b = Hierarchy::builder("h").level("leaf").level("mid");
+        for (l, m, _) in &edges {
+            b = b.edge(&format!("l{l}"), &format!("m{m}"));
+        }
+        b = b.level("top");
+        for (_, m, t) in &edges {
+            b = b.edge_at(1, &format!("m{m}"), &format!("t{t}"));
+        }
+        let h = b.build().unwrap();
+        let truncated = h.truncate_below(1);
+        prop_assert_eq!(truncated.level_count(), 2);
+        prop_assert_eq!(truncated.leaf().name(), "mid");
+        for m in 0..h.level(1).members().len() as u32 {
+            prop_assert_eq!(h.parents(1, m), truncated.parents(0, m));
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! The CUBE operator (§5.4, Fig 15, \[GB+96\]).
+//!
+//! `GROUP BY CUBE(d1, …, dn)` produces all `2^n` groupings at once, with
+//! the reserved value `ALL` standing for "summarized over this dimension".
+//! Two computation strategies are provided:
+//!
+//! * [`compute_naive`] — the SQL-without-CUBE baseline the paper calls
+//!   "awkward and verbose": one independent `GROUP BY` scan per grouping,
+//!   `2^n` scans of the base data;
+//! * [`compute_shared`] — each cuboid derived from its **smallest** already
+//!   computed ancestor in the lattice, the sharing that motivated the
+//!   operator.
+//!
+//! `ROLLUP` (the classification-hierarchy prefix groupings) is
+//! [`compute_rollup`]. [`CubeResult::to_rows_with_all`] renders the Fig 15
+//! relation with literal `ALL` markers.
+
+use std::collections::HashMap;
+
+use statcube_core::error::{Error, Result};
+use statcube_core::measure::{AggState, SummaryFunction};
+
+use crate::groupby::{self, Cuboid};
+use crate::input::FactInput;
+
+/// All computed cuboids of one CUBE (or ROLLUP) invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CubeResult {
+    n_dims: usize,
+    cuboids: HashMap<u32, Cuboid>,
+}
+
+impl CubeResult {
+    pub(crate) fn from_parts(n_dims: usize, cuboids: HashMap<u32, Cuboid>) -> Self {
+        Self { n_dims, cuboids }
+    }
+
+    /// Number of dimensions of the underlying facts.
+    pub fn dim_count(&self) -> usize {
+        self.n_dims
+    }
+
+    /// The computed grouping masks.
+    pub fn masks(&self) -> Vec<u32> {
+        let mut m: Vec<u32> = self.cuboids.keys().copied().collect();
+        m.sort_unstable();
+        m
+    }
+
+    /// One cuboid by mask.
+    pub fn cuboid(&self, mask: u32) -> Option<&Cuboid> {
+        self.cuboids.get(&mask)
+    }
+
+    /// A cell: `key` holds the kept dimensions' coordinates in dimension
+    /// order.
+    pub fn get(&self, mask: u32, key: &[u32]) -> Option<&AggState> {
+        self.cuboids.get(&mask)?.get(key)
+    }
+
+    /// Looks a cell up by full coordinates with `None` = `ALL`.
+    pub fn get_all(&self, pattern: &[Option<u32>]) -> Option<&AggState> {
+        let mut mask = 0u32;
+        let mut key = Vec::new();
+        for (d, p) in pattern.iter().enumerate() {
+            if let Some(c) = p {
+                mask |= 1 << d;
+                key.push(*c);
+            }
+        }
+        self.get(mask, &key)
+    }
+
+    /// Total number of cells across all cuboids (the cube's size).
+    pub fn total_cells(&self) -> usize {
+        self.cuboids.values().map(Cuboid::len).sum()
+    }
+
+    /// Renders all cells as rows of member labels with literal `"ALL"` for
+    /// summarized dimensions plus the evaluated value — the Fig 15
+    /// relation. `labels[d]` are dimension `d`'s member names; rows are
+    /// sorted for deterministic output.
+    pub fn to_rows_with_all(
+        &self,
+        labels: &[Vec<String>],
+        f: SummaryFunction,
+    ) -> Result<Vec<(Vec<String>, f64)>> {
+        if labels.len() != self.n_dims {
+            return Err(Error::ArityMismatch { expected: self.n_dims, got: labels.len() });
+        }
+        let mut out = Vec::with_capacity(self.total_cells());
+        for (&mask, cuboid) in &self.cuboids {
+            for (key, state) in cuboid {
+                let mut row = Vec::with_capacity(self.n_dims);
+                let mut ki = 0;
+                for (d, dim_labels) in labels.iter().enumerate() {
+                    if mask & (1 << d) != 0 {
+                        let id = key[ki] as usize;
+                        ki += 1;
+                        let label = dim_labels.get(id).ok_or_else(|| {
+                            Error::InvalidSchema(format!("no label for member {id} of dim {d}"))
+                        })?;
+                        row.push(label.clone());
+                    } else {
+                        row.push("ALL".to_owned());
+                    }
+                }
+                if let Some(v) = state.value(f) {
+                    out.push((row, v));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        Ok(out)
+    }
+}
+
+/// The naive baseline: `2^n` independent scans of the base facts.
+pub fn compute_naive(input: &FactInput) -> CubeResult {
+    let n = input.dim_count();
+    let mut cuboids = HashMap::with_capacity(1 << n);
+    for mask in 0..(1u32 << n) {
+        cuboids.insert(mask, groupby::from_facts(input, mask));
+    }
+    CubeResult { n_dims: n, cuboids }
+}
+
+/// The shared (lattice-derivation) CUBE: computes the finest cuboid from
+/// the facts, then derives each coarser cuboid from its smallest computed
+/// ancestor.
+pub fn compute_shared(input: &FactInput) -> CubeResult {
+    let n = input.dim_count();
+    let full = (1u32 << n) - 1;
+    let mut cuboids: HashMap<u32, Cuboid> = HashMap::with_capacity(1 << n);
+    cuboids.insert(full, groupby::from_facts(input, full));
+    // Visit masks by decreasing popcount so every one-bit-larger ancestor
+    // exists when needed.
+    let mut masks: Vec<u32> = (0..full).collect();
+    masks.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
+    for mask in masks {
+        // Candidate parents: mask with one additional bit set.
+        let mut best: Option<(u32, usize)> = None;
+        for d in 0..n {
+            let bit = 1u32 << d;
+            if mask & bit != 0 {
+                continue;
+            }
+            let parent = mask | bit;
+            if let Some(p) = cuboids.get(&parent) {
+                let size = p.len();
+                if best.map(|(_, s)| size < s).unwrap_or(true) {
+                    best = Some((parent, size));
+                }
+            }
+        }
+        let (parent_mask, _) = best.expect("ancestor exists by construction");
+        let derived = {
+            let parent = &cuboids[&parent_mask];
+            groupby::from_parent(parent, parent_mask, mask)
+        };
+        cuboids.insert(mask, derived);
+    }
+    CubeResult { n_dims: n, cuboids }
+}
+
+/// `ROLLUP(d0, d1, …)`: only the prefix groupings
+/// `{}, {d0}, {d0,d1}, …` — the classification-hierarchy special case.
+pub fn compute_rollup(input: &FactInput, order: &[usize]) -> Result<CubeResult> {
+    let n = input.dim_count();
+    if order.len() != n || {
+        let mut o = order.to_vec();
+        o.sort_unstable();
+        o != (0..n).collect::<Vec<_>>()
+    } {
+        return Err(Error::InvalidSchema("rollup order must permute all dimensions".into()));
+    }
+    let mut cuboids = HashMap::with_capacity(n + 1);
+    let mut mask = 0u32;
+    cuboids.insert(0, groupby::from_facts(input, 0));
+    for &d in order {
+        mask |= 1 << d;
+        cuboids.insert(mask, groupby::from_facts(input, mask));
+    }
+    Ok(CubeResult { n_dims: n, cuboids })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input() -> FactInput {
+        // state × sex with a few facts.
+        let mut f = FactInput::new(&[2, 2]).unwrap();
+        f.push(&[0, 0], 10.0).unwrap(); // AL male
+        f.push(&[0, 1], 20.0).unwrap(); // AL female
+        f.push(&[1, 0], 40.0).unwrap(); // CA male
+        f.push(&[1, 0], 5.0).unwrap(); // CA male again
+        f
+    }
+
+    #[test]
+    fn cube_produces_all_groupings() {
+        let c = compute_shared(&input());
+        assert_eq!(c.masks(), vec![0, 1, 2, 3]);
+        // Grand total (ALL, ALL).
+        assert_eq!(c.get_all(&[None, None]).unwrap().sum, 75.0);
+        // (CA, ALL).
+        assert_eq!(c.get_all(&[Some(1), None]).unwrap().sum, 45.0);
+        // (ALL, male).
+        assert_eq!(c.get_all(&[None, Some(0)]).unwrap().sum, 55.0);
+        // (AL, female).
+        assert_eq!(c.get_all(&[Some(0), Some(1)]).unwrap().sum, 20.0);
+        assert_eq!(c.get_all(&[Some(1), Some(1)]), None);
+    }
+
+    #[test]
+    fn naive_and_shared_agree() {
+        let mut f = FactInput::new(&[3, 4, 2]).unwrap();
+        for i in 0..60u32 {
+            f.push(&[i % 3, (i / 3) % 4, (i / 12) % 2], (i as f64).sin() * 10.0).unwrap();
+        }
+        let naive = compute_naive(&f);
+        let shared = compute_shared(&f);
+        assert_eq!(naive.masks(), shared.masks());
+        for mask in naive.masks() {
+            let a = naive.cuboid(mask).unwrap();
+            let b = shared.cuboid(mask).unwrap();
+            assert_eq!(a.len(), b.len(), "mask {mask:03b}");
+            for (key, sa) in a {
+                let sb = &b[key];
+                // Merge order differs between the engines, so sums agree
+                // only up to float associativity.
+                assert!((sa.sum - sb.sum).abs() < 1e-9, "mask {mask:03b}");
+                assert_eq!(sa.count, sb.count);
+                assert_eq!(sa.min, sb.min);
+                assert_eq!(sa.max, sb.max);
+            }
+        }
+    }
+
+    #[test]
+    fn counts_compose_too() {
+        let c = compute_shared(&input());
+        let total = c.get_all(&[None, None]).unwrap();
+        assert_eq!(total.count, 4);
+        let ca_male = c.get_all(&[Some(1), Some(0)]).unwrap();
+        assert_eq!(ca_male.count, 2);
+    }
+
+    #[test]
+    fn fig15_all_rows() {
+        let c = compute_shared(&input());
+        let labels = vec![
+            vec!["Alabama".to_owned(), "California".to_owned()],
+            vec!["male".to_owned(), "female".to_owned()],
+        ];
+        let rows = c.to_rows_with_all(&labels, SummaryFunction::Sum).unwrap();
+        // 4 base cells exist? only 3 distinct + 2 per-state + 2 per-sex + 1 grand.
+        assert_eq!(rows.len(), 3 + 2 + 2 + 1);
+        assert!(rows.contains(&(vec!["ALL".to_owned(), "ALL".to_owned()], 75.0)));
+        assert!(rows.contains(&(vec!["California".to_owned(), "ALL".to_owned()], 45.0)));
+        assert!(rows.contains(&(vec!["ALL".to_owned(), "male".to_owned()], 55.0)));
+        // Mismatched labels error.
+        assert!(c.to_rows_with_all(&labels[..1], SummaryFunction::Sum).is_err());
+    }
+
+    #[test]
+    fn rollup_produces_prefix_groupings_only() {
+        let r = compute_rollup(&input(), &[0, 1]).unwrap();
+        assert_eq!(r.masks(), vec![0b00, 0b01, 0b11]);
+        assert_eq!(r.get_all(&[Some(1), None]).unwrap().sum, 45.0);
+        assert_eq!(r.get_all(&[None, Some(0)]), None); // not a prefix grouping
+        let r2 = compute_rollup(&input(), &[1, 0]).unwrap();
+        assert_eq!(r2.masks(), vec![0b00, 0b10, 0b11]);
+        assert!(compute_rollup(&input(), &[0]).is_err());
+        assert!(compute_rollup(&input(), &[0, 0]).is_err());
+    }
+
+    #[test]
+    fn total_cells() {
+        let c = compute_shared(&input());
+        assert_eq!(c.total_cells(), 8);
+    }
+}

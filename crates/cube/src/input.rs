@@ -1,0 +1,156 @@
+//! Fact input shared by every cube-computation engine.
+//!
+//! A [`FactInput`] is the dictionary-encoded fact table the CUBE operator
+//! (\[GB+96\]) and the MOLAP/ROLAP engines (\[ZDN97\], §6.6) all consume: one
+//! `u32` code column per dimension plus one measure column. Engines are
+//! compared on *identical* inputs (DESIGN.md, §6.6 substitution).
+
+use statcube_core::error::{Error, Result};
+use statcube_core::object::StatisticalObject;
+
+/// Column-major fact tuples with known dimension cardinalities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactInput {
+    cards: Vec<usize>,
+    dims: Vec<Vec<u32>>,
+    measure: Vec<f64>,
+}
+
+impl FactInput {
+    /// An empty input over dimensions of the given cardinalities.
+    pub fn new(cards: &[usize]) -> Result<Self> {
+        if cards.is_empty() || cards.contains(&0) {
+            return Err(Error::InvalidSchema("need non-zero dimension cardinalities".into()));
+        }
+        if cards.len() > 16 {
+            return Err(Error::InvalidSchema(
+                "cube computation supports at most 16 dimensions".into(),
+            ));
+        }
+        Ok(Self { cards: cards.to_vec(), dims: vec![Vec::new(); cards.len()], measure: Vec::new() })
+    }
+
+    /// Imports the populated cells of a single-measure statistical object
+    /// (each cell's `sum` becomes one fact).
+    pub fn from_object(obj: &StatisticalObject) -> Result<Self> {
+        if obj.schema().measures().len() != 1 {
+            return Err(Error::MultipleMeasures(obj.schema().measures().len()));
+        }
+        let mut input = Self::new(&obj.schema().cardinalities())?;
+        for (coords, states) in obj.cells() {
+            input.push(coords, states[0].sum)?;
+        }
+        Ok(input)
+    }
+
+    /// Appends one fact tuple.
+    pub fn push(&mut self, coords: &[u32], value: f64) -> Result<()> {
+        if coords.len() != self.cards.len() {
+            return Err(Error::ArityMismatch { expected: self.cards.len(), got: coords.len() });
+        }
+        for (d, (&c, &card)) in coords.iter().zip(&self.cards).enumerate() {
+            if c as usize >= card {
+                return Err(Error::InvalidSchema(format!(
+                    "coordinate {c} out of range {card} in dimension {d}"
+                )));
+            }
+        }
+        for (col, &c) in self.dims.iter_mut().zip(coords) {
+            col.push(c);
+        }
+        self.measure.push(value);
+        Ok(())
+    }
+
+    /// Number of dimensions.
+    pub fn dim_count(&self) -> usize {
+        self.cards.len()
+    }
+
+    /// Dimension cardinalities.
+    pub fn cards(&self) -> &[usize] {
+        &self.cards
+    }
+
+    /// Number of fact tuples.
+    pub fn len(&self) -> usize {
+        self.measure.len()
+    }
+
+    /// True if no tuple was loaded.
+    pub fn is_empty(&self) -> bool {
+        self.measure.is_empty()
+    }
+
+    /// Dimension column `d`.
+    pub fn dim(&self, d: usize) -> &[u32] {
+        &self.dims[d]
+    }
+
+    /// The measure column.
+    pub fn measure(&self) -> &[f64] {
+        &self.measure
+    }
+
+    /// The coordinates of tuple `row`.
+    pub fn coords(&self, row: usize) -> Vec<u32> {
+        self.dims.iter().map(|c| c[row]).collect()
+    }
+
+    /// Size of the full cross product.
+    pub fn cross_product_size(&self) -> usize {
+        self.cards.iter().product()
+    }
+
+    /// Density: distinct populated coordinates / cross-product size. (Counts
+    /// tuples, so duplicate coordinates overstate slightly; engines
+    /// deduplicate on aggregation.)
+    pub fn density(&self) -> f64 {
+        self.len() as f64 / self.cross_product_size().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statcube_core::dimension::Dimension;
+    use statcube_core::measure::{MeasureKind, SummaryAttribute};
+    use statcube_core::schema::Schema;
+
+    #[test]
+    fn push_validates() {
+        let mut f = FactInput::new(&[2, 3]).unwrap();
+        f.push(&[0, 2], 1.0).unwrap();
+        assert!(f.push(&[0], 1.0).is_err());
+        assert!(f.push(&[2, 0], 1.0).is_err());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.dim(1), &[2]);
+        assert_eq!(f.coords(0), vec![0, 2]);
+    }
+
+    #[test]
+    fn construction_limits() {
+        assert!(FactInput::new(&[]).is_err());
+        assert!(FactInput::new(&[2, 0]).is_err());
+        assert!(FactInput::new(&[2; 17]).is_err());
+        assert!(FactInput::new(&[2; 16]).is_ok());
+    }
+
+    #[test]
+    fn from_object() {
+        let schema = Schema::builder("t")
+            .dimension(Dimension::categorical("a", ["x", "y"]))
+            .dimension(Dimension::categorical("b", ["p", "q"]))
+            .measure(SummaryAttribute::new("m", MeasureKind::Flow))
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        o.insert(&["x", "q"], 3.0).unwrap();
+        o.insert(&["y", "p"], 4.0).unwrap();
+        let f = FactInput::from_object(&o).unwrap();
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.cards(), &[2, 2]);
+        assert_eq!(f.cross_product_size(), 4);
+        assert!((f.density() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,220 @@
+//! The cuboid lattice (§6.3, Fig 22, \[HUR96\]).
+//!
+//! Every subset of the dimensions is a candidate summarization; an edge
+//! runs from each cuboid to the cuboids it can be derived from. The lattice
+//! carries the **estimated size** of each cuboid — the inputs the greedy
+//! view-selection algorithm of [`crate::materialize`] needs. Size
+//! estimation uses the standard independence bound: a cuboid holds at most
+//! `min(Π cards of kept dims, base row count)` cells.
+
+use statcube_core::error::{Error, Result};
+
+/// The lattice of the `2^n` cuboids over `n` dimensions.
+#[derive(Debug, Clone)]
+pub struct Lattice {
+    cards: Vec<u64>,
+    base_rows: u64,
+    sizes: Vec<u64>,
+}
+
+impl Lattice {
+    /// Builds the lattice for dimensions of the given cardinalities and a
+    /// base fact count.
+    pub fn new(cards: &[usize], base_rows: u64) -> Result<Self> {
+        if cards.is_empty() || cards.contains(&0) {
+            return Err(Error::InvalidSchema("need non-zero dimension cardinalities".into()));
+        }
+        if cards.len() > 20 {
+            return Err(Error::InvalidSchema("lattice supports at most 20 dimensions".into()));
+        }
+        let cards: Vec<u64> = cards.iter().map(|&c| c as u64).collect();
+        let n = cards.len();
+        let mut sizes = vec![0u64; 1 << n];
+        for (mask, size) in sizes.iter_mut().enumerate() {
+            let mut prod: u64 = 1;
+            for (d, &card) in cards.iter().enumerate() {
+                if mask & (1 << d) != 0 {
+                    prod = prod.saturating_mul(card);
+                }
+            }
+            *size = prod.min(base_rows.max(1));
+        }
+        Ok(Self { cards, base_rows, sizes })
+    }
+
+    /// Replaces estimated sizes with measured ones (e.g. from an actual
+    /// [`crate::cube_op::CubeResult`]).
+    pub fn with_measured_sizes(mut self, sizes: &[(u32, u64)]) -> Self {
+        for &(mask, size) in sizes {
+            if (mask as usize) < self.sizes.len() {
+                self.sizes[mask as usize] = size.max(1);
+            }
+        }
+        self
+    }
+
+    /// Number of dimensions.
+    pub fn dim_count(&self) -> usize {
+        self.cards.len()
+    }
+
+    /// The dimension cardinalities.
+    pub fn cards(&self) -> Vec<usize> {
+        self.cards.iter().map(|&c| c as usize).collect()
+    }
+
+    /// Number of cuboids (`2^n`).
+    pub fn cuboid_count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// The mask of the base (finest) cuboid.
+    pub fn top(&self) -> u32 {
+        (self.sizes.len() - 1) as u32
+    }
+
+    /// Base fact count.
+    pub fn base_rows(&self) -> u64 {
+        self.base_rows
+    }
+
+    /// Estimated cell count of cuboid `mask`.
+    pub fn size(&self, mask: u32) -> u64 {
+        self.sizes[mask as usize]
+    }
+
+    /// True if cuboid `a` can be answered from cuboid `b` (`a`'s grouping
+    /// set ⊆ `b`'s) — the derivability ("≼") relation of Fig 22.
+    pub fn derivable_from(&self, a: u32, b: u32) -> bool {
+        a & !b == 0
+    }
+
+    /// The direct parents of `mask` (one more dimension kept).
+    pub fn parents(&self, mask: u32) -> Vec<u32> {
+        (0..self.cards.len())
+            .filter_map(|d| {
+                let bit = 1u32 << d;
+                if mask & bit == 0 {
+                    Some(mask | bit)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// The direct children of `mask` (one fewer dimension kept).
+    pub fn children(&self, mask: u32) -> Vec<u32> {
+        (0..self.cards.len())
+            .filter_map(|d| {
+                let bit = 1u32 << d;
+                if mask & bit != 0 {
+                    Some(mask & !bit)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// All cuboids derivable from `mask` (its descendants, including
+    /// itself).
+    pub fn descendants(&self, mask: u32) -> Vec<u32> {
+        // Enumerate submasks of `mask`.
+        let mut out = Vec::new();
+        let mut sub = mask;
+        loop {
+            out.push(sub);
+            if sub == 0 {
+                break;
+            }
+            sub = (sub - 1) & mask;
+        }
+        out
+    }
+
+    /// Renders the Fig 22 diagram for small lattices: one line per level,
+    /// cuboids named by the kept dimension names.
+    pub fn render(&self, dim_names: &[&str]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for level in (0..=self.cards.len()).rev() {
+            let mut names: Vec<String> = Vec::new();
+            for mask in 0..self.sizes.len() as u32 {
+                if mask.count_ones() as usize != level {
+                    continue;
+                }
+                let name: Vec<&str> = (0..self.cards.len())
+                    .filter(|d| mask & (1 << d) != 0)
+                    .map(|d| dim_names.get(d).copied().unwrap_or("?"))
+                    .collect();
+                let label = if name.is_empty() { "(apex)".to_owned() } else { name.join(", ") };
+                names.push(format!("{{{label}}}={}", self.size(mask)));
+            }
+            let _ = writeln!(out, "level {level}: {}", names.join("  "));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig 22 example: product, location, day.
+    fn fig22() -> Lattice {
+        Lattice::new(&[1000, 50, 365], 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn sizes_follow_independence_bound() {
+        let l = fig22();
+        assert_eq!(l.cuboid_count(), 8);
+        assert_eq!(l.size(0), 1); // apex
+        assert_eq!(l.size(0b001), 1000); // product
+        assert_eq!(l.size(0b010), 50); // location
+        assert_eq!(l.size(0b011), 50_000); // product, location
+        // product × location × day = 18.25e6 > 1e6 base rows → clamped.
+        assert_eq!(l.size(l.top()), 1_000_000);
+    }
+
+    #[test]
+    fn derivability_and_structure() {
+        let l = fig22();
+        // "location can be derived from location,day or product,location".
+        assert!(l.derivable_from(0b010, 0b110));
+        assert!(l.derivable_from(0b010, 0b011));
+        assert!(!l.derivable_from(0b011, 0b010));
+        assert_eq!(l.parents(0b010).len(), 2);
+        assert_eq!(l.children(0b111).len(), 3);
+        assert_eq!(l.children(0), Vec::<u32>::new());
+        let mut d = l.descendants(0b011);
+        d.sort_unstable();
+        assert_eq!(d, vec![0b000, 0b001, 0b010, 0b011]);
+        assert_eq!(l.descendants(l.top()).len(), 8);
+    }
+
+    #[test]
+    fn measured_sizes_override() {
+        let l = fig22().with_measured_sizes(&[(0b011, 42_123)]);
+        assert_eq!(l.size(0b011), 42_123);
+        assert_eq!(l.size(0b001), 1000);
+    }
+
+    #[test]
+    fn render_shows_all_levels() {
+        let l = fig22();
+        let s = l.render(&["product", "location", "day"]);
+        assert!(s.contains("{product, location, day}=1000000"));
+        assert!(s.contains("{(apex)}=1"));
+        assert!(s.contains("level 3"));
+        assert!(s.contains("level 0"));
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert!(Lattice::new(&[], 10).is_err());
+        assert!(Lattice::new(&[5, 0], 10).is_err());
+        assert!(Lattice::new(&[2; 21], 10).is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! # statcube-cube
+//!
+//! The OLAP computation layer of the reproduction: the CUBE operator of
+//! \[GB+96\] (§5.4, Fig 15), the cuboid lattice and greedy view
+//! materialization of \[HUR96\] (§6.3, Fig 22), query answering from
+//! materialized views, and the two cube-computation engines whose contest
+//! §6.6 describes — dense-array MOLAP (\[ZDN97\]) and sort-based ROLAP.
+//!
+//! * [`input`] — the shared dictionary-encoded fact table;
+//! * [`groupby`] — single-cuboid hash aggregation and lattice derivation;
+//! * [`cube_op`] — `CUBE` (naive and shared) and `ROLLUP`, with `ALL` rows;
+//! * [`lattice`] — the `2^n` cuboid lattice with size estimation;
+//! * [`materialize`] — the HRU greedy view-selection algorithm;
+//! * [`query`] — smallest-materialized-ancestor query answering;
+//! * [`molap`] / [`rolap`] — the §6.6 contestants.
+
+#![warn(missing_docs)]
+
+pub mod cube_op;
+pub mod groupby;
+pub mod input;
+pub mod lattice;
+pub mod materialize;
+pub mod molap;
+pub mod query;
+pub mod rolap;
+
+/// The most commonly used types, for glob import.
+pub mod prelude {
+    pub use crate::cube_op::{compute_naive, compute_rollup, compute_shared, CubeResult};
+    pub use crate::input::FactInput;
+    pub use crate::lattice::Lattice;
+    pub use crate::materialize::{greedy_select, GreedySelection};
+    pub use crate::molap::{compute_molap, MolapCube};
+    pub use crate::query::ViewStore;
+    pub use crate::rolap::{compute_rolap, RolapCube};
+}

@@ -1,0 +1,316 @@
+//! MOLAP cube computation: array-based simultaneous aggregation (§6.6,
+//! \[ZDN97\]).
+//!
+//! The multidimensional engine never hashes: each cuboid is a dense
+//! linearized array, the base cuboid is filled by offset arithmetic, and
+//! every coarser cuboid is swept out of its smallest dense parent. On dense
+//! inputs this wins big — no hash probes, perfect locality; on sparse
+//! inputs the arrays are mostly empty cells and the relational engines
+//! ([`crate::rolap`], [`crate::cube_op::compute_shared`]) win. Experiment
+//! E18 locates that crossover.
+
+use std::collections::HashMap;
+
+use statcube_core::error::{Error, Result};
+use statcube_core::measure::AggState;
+
+use crate::cube_op::CubeResult;
+use crate::groupby::Cuboid;
+use crate::input::FactInput;
+
+/// Guard against accidentally allocating absurd dense cubes.
+const MAX_TOTAL_CELLS: usize = 1 << 27;
+
+/// One dense cuboid: kept-dimension cardinalities plus parallel sum/count
+/// arrays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseCuboid {
+    dims: Vec<usize>,
+    sum: Vec<f64>,
+    count: Vec<u64>,
+}
+
+impl DenseCuboid {
+    fn new(dims: Vec<usize>) -> Self {
+        let n: usize = dims.iter().product::<usize>().max(1);
+        Self { dims, sum: vec![0.0; n], count: vec![0u64; n] }
+    }
+
+    fn offset(&self, key: &[u32]) -> usize {
+        let mut off = 0;
+        for (d, &k) in key.iter().enumerate() {
+            off = off * self.dims[d] + k as usize;
+        }
+        off
+    }
+
+    /// Kept-dimension cardinalities.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// `(sum, count)` of the cell at `key` (kept coordinates in dimension
+    /// order); `None` if never touched.
+    pub fn get(&self, key: &[u32]) -> Option<(f64, u64)> {
+        if key.len() != self.dims.len()
+            || key.iter().zip(&self.dims).any(|(&k, &d)| k as usize >= d)
+        {
+            return None;
+        }
+        let off = self.offset(key);
+        if self.count[off] == 0 {
+            None
+        } else {
+            Some((self.sum[off], self.count[off]))
+        }
+    }
+
+    /// Number of populated cells.
+    pub fn populated(&self) -> usize {
+        self.count.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Allocated cells (the dense footprint).
+    pub fn allocated(&self) -> usize {
+        self.sum.len()
+    }
+}
+
+/// A fully computed MOLAP cube: one dense cuboid per mask.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MolapCube {
+    cards: Vec<usize>,
+    cuboids: HashMap<u32, DenseCuboid>,
+}
+
+impl MolapCube {
+    /// The cuboid for `mask`.
+    pub fn cuboid(&self, mask: u32) -> Option<&DenseCuboid> {
+        self.cuboids.get(&mask)
+    }
+
+    /// `(sum, count)` lookup with full coordinates and `None` = `ALL`.
+    pub fn get_all(&self, pattern: &[Option<u32>]) -> Option<(f64, u64)> {
+        let mut mask = 0u32;
+        let mut key = Vec::new();
+        for (d, p) in pattern.iter().enumerate() {
+            if let Some(c) = p {
+                mask |= 1 << d;
+                key.push(*c);
+            }
+        }
+        self.cuboids.get(&mask)?.get(&key)
+    }
+
+    /// Total allocated cells across all cuboids (the MOLAP memory bill).
+    pub fn allocated_cells(&self) -> usize {
+        self.cuboids.values().map(DenseCuboid::allocated).sum()
+    }
+
+    /// Converts to the hash-based [`CubeResult`] for cross-engine equality
+    /// tests. Order statistics are not tracked by the dense engine, so the
+    /// states carry sum/count only.
+    pub fn to_cube_result(&self) -> CubeResult {
+        let mut cuboids: HashMap<u32, Cuboid> = HashMap::with_capacity(self.cuboids.len());
+        for (&mask, dense) in &self.cuboids {
+            let mut c: Cuboid = HashMap::with_capacity(dense.populated());
+            let n_dims = dense.dims.len();
+            let mut key = vec![0u32; n_dims];
+            for off in 0..dense.sum.len() {
+                if dense.count[off] == 0 {
+                    continue;
+                }
+                let mut rem = off;
+                for d in (0..n_dims).rev() {
+                    key[d] = (rem % dense.dims[d]) as u32;
+                    rem /= dense.dims[d];
+                }
+                c.insert(
+                    key.clone().into_boxed_slice(),
+                    AggState::from_sum_count(dense.sum[off], dense.count[off]),
+                );
+            }
+            cuboids.insert(mask, c);
+        }
+        CubeResult::from_parts(self.cards.len(), cuboids)
+    }
+}
+
+/// Computes the full cube with dense arrays.
+#[allow(clippy::needless_range_loop)] // offset arithmetic over parallel arrays
+pub fn compute_molap(input: &FactInput) -> Result<MolapCube> {
+    let n = input.dim_count();
+    let cards = input.cards().to_vec();
+    // Pre-flight the allocation bill.
+    let mut total_cells = 0usize;
+    for mask in 0..(1u32 << n) {
+        let mut prod = 1usize;
+        for (d, &card) in cards.iter().enumerate() {
+            if mask & (1 << d) != 0 {
+                prod = prod.saturating_mul(card);
+            }
+        }
+        total_cells = total_cells.saturating_add(prod);
+    }
+    if total_cells > MAX_TOTAL_CELLS {
+        return Err(Error::InvalidSchema(format!(
+            "MOLAP cube would allocate {total_cells} cells (limit {MAX_TOTAL_CELLS})"
+        )));
+    }
+
+    let full = (1u32 << n) - 1;
+    let mut cuboids: HashMap<u32, DenseCuboid> = HashMap::with_capacity(1 << n);
+
+    // Base pass: offset arithmetic, no hashing.
+    let mut base = DenseCuboid::new(cards.clone());
+    for row in 0..input.len() {
+        let mut off = 0usize;
+        for d in 0..n {
+            off = off * cards[d] + input.dim(d)[row] as usize;
+        }
+        base.sum[off] += input.measure()[row];
+        base.count[off] += 1;
+    }
+    cuboids.insert(full, base);
+
+    // Derive each coarser cuboid from its smallest computed parent by a
+    // single array sweep.
+    let mut masks: Vec<u32> = (0..full).collect();
+    masks.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
+    for mask in masks {
+        let mut best: Option<(u32, usize)> = None;
+        for d in 0..n {
+            let bit = 1u32 << d;
+            if mask & bit != 0 {
+                continue;
+            }
+            let parent = mask | bit;
+            if let Some(p) = cuboids.get(&parent) {
+                let size = p.allocated();
+                if best.map(|(_, s)| size < s).unwrap_or(true) {
+                    best = Some((parent, size));
+                }
+            }
+        }
+        let (pmask, _) = best.expect("ancestor exists");
+        let child_dims: Vec<usize> = (0..n)
+            .filter(|d| mask & (1 << d) != 0)
+            .map(|d| cards[d])
+            .collect();
+        let mut child = DenseCuboid::new(child_dims);
+        {
+            let parent = &cuboids[&pmask];
+            // For each parent axis, whether the child keeps it.
+            let kept: Vec<bool> = (0..n)
+                .filter(|d| pmask & (1 << d) != 0)
+                .map(|d| mask & (1 << d) != 0)
+                .collect();
+            let pdims = parent.dims.clone();
+            let mut pcoords = vec![0usize; pdims.len()];
+            for poff in 0..parent.sum.len() {
+                if parent.count[poff] != 0 {
+                    let mut coff = 0usize;
+                    let mut ci = 0;
+                    for (d, &keep) in kept.iter().enumerate() {
+                        if keep {
+                            coff = coff * child.dims[ci] + pcoords[d];
+                            ci += 1;
+                        }
+                    }
+                    child.sum[coff] += parent.sum[poff];
+                    child.count[coff] += parent.count[poff];
+                }
+                // Odometer-increment parent coordinates.
+                for d in (0..pdims.len()).rev() {
+                    pcoords[d] += 1;
+                    if pcoords[d] < pdims[d] {
+                        break;
+                    }
+                    pcoords[d] = 0;
+                }
+            }
+        }
+        cuboids.insert(mask, child);
+    }
+    Ok(MolapCube { cards, cuboids })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube_op;
+
+    fn input(cards: &[usize], rows: usize, seed: u64) -> FactInput {
+        let mut f = FactInput::new(cards).unwrap();
+        let mut x = seed.max(1);
+        for _ in 0..rows {
+            let coords: Vec<u32> = cards
+                .iter()
+                .map(|&c| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    (x % c as u64) as u32
+                })
+                .collect();
+            f.push(&coords, (x % 100) as f64).unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn molap_matches_hash_cube() {
+        let f = input(&[4, 5, 3], 200, 7);
+        let molap = compute_molap(&f).unwrap();
+        let hash = cube_op::compute_shared(&f);
+        let converted = molap.to_cube_result();
+        assert_eq!(converted.masks(), hash.masks());
+        for mask in hash.masks() {
+            let hc = hash.cuboid(mask).unwrap();
+            let mc = converted.cuboid(mask).unwrap();
+            assert_eq!(hc.len(), mc.len(), "mask {mask:b}");
+            for (key, state) in hc {
+                let m = &mc[key];
+                assert!((state.sum - m.sum).abs() < 1e-9);
+                assert_eq!(state.count, m.count);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_lookup() {
+        let mut f = FactInput::new(&[2, 2]).unwrap();
+        f.push(&[0, 1], 3.0).unwrap();
+        f.push(&[1, 0], 4.0).unwrap();
+        f.push(&[1, 0], 5.0).unwrap();
+        let m = compute_molap(&f).unwrap();
+        assert_eq!(m.get_all(&[Some(1), Some(0)]), Some((9.0, 2)));
+        assert_eq!(m.get_all(&[Some(0), Some(0)]), None);
+        assert_eq!(m.get_all(&[None, None]), Some((12.0, 3)));
+        assert_eq!(m.get_all(&[None, Some(0)]), Some((9.0, 2)));
+        // Out-of-range key.
+        assert_eq!(m.cuboid(0b11).unwrap().get(&[5, 0]), None);
+    }
+
+    #[test]
+    fn allocation_bill_is_product_sum() {
+        let f = input(&[3, 4], 10, 1);
+        let m = compute_molap(&f).unwrap();
+        // 12 + 3 + 4 + 1 = 20 cells.
+        assert_eq!(m.allocated_cells(), 20);
+    }
+
+    #[test]
+    fn allocation_guard_trips() {
+        let f = FactInput::new(&[2048, 2048, 64]).unwrap();
+        assert!(compute_molap(&f).is_err());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_cuboids() {
+        let f = FactInput::new(&[2, 2]).unwrap();
+        let m = compute_molap(&f).unwrap();
+        assert_eq!(m.cuboid(0b11).unwrap().populated(), 0);
+        assert_eq!(m.get_all(&[None, None]), None);
+    }
+}

@@ -1,0 +1,266 @@
+//! Answering group-by queries from a set of materialized views (§6.3).
+//!
+//! Once [`crate::materialize::greedy_select`] has chosen which
+//! summarizations to pre-compute, a query for any cuboid is answered by
+//! aggregating down from the **smallest materialized ancestor** — the
+//! \[HUR96\] linear cost model, realized. [`ViewStore::answer`] reports the
+//! cells scanned so experiments can verify the model.
+
+use std::collections::HashMap;
+
+use statcube_core::error::{Error, Result};
+
+use crate::cube_op::CubeResult;
+use crate::groupby::{self, Cuboid};
+use crate::input::FactInput;
+use crate::lattice::Lattice;
+
+/// A set of materialized cuboids plus the lattice metadata to route
+/// queries.
+#[derive(Debug)]
+pub struct ViewStore {
+    lattice: Lattice,
+    views: HashMap<u32, Cuboid>,
+}
+
+/// The answer to a cuboid query, with its measured cost.
+#[derive(Debug)]
+pub struct Answer {
+    /// The cells of the requested cuboid.
+    pub cuboid: Cuboid,
+    /// The materialized view the answer was derived from.
+    pub source: u32,
+    /// Cells scanned in the source view (the \[HUR96\] cost).
+    pub cells_scanned: u64,
+}
+
+impl ViewStore {
+    /// Materializes the selected masks (plus, always, the base cuboid) by
+    /// computing them from the facts.
+    pub fn build(input: &FactInput, selected: &[u32]) -> Result<Self> {
+        let lattice = Lattice::new(input.cards(), input.len() as u64)?;
+        let top = lattice.top();
+        let mut views = HashMap::new();
+        views.insert(top, groupby::from_facts(input, top));
+        for &mask in selected {
+            if mask > top {
+                return Err(Error::InvalidSchema(format!("mask {mask:b} out of range")));
+            }
+            views.entry(mask).or_insert_with(|| groupby::from_facts(input, mask));
+        }
+        // Refresh the lattice with measured sizes for accurate routing.
+        let measured: Vec<(u32, u64)> =
+            views.iter().map(|(&m, c)| (m, c.len() as u64)).collect();
+        let lattice = lattice.with_measured_sizes(&measured);
+        Ok(Self { lattice, views })
+    }
+
+    /// Materializes views out of an already computed [`CubeResult`].
+    pub fn from_cube(cube: &CubeResult, cards: &[usize], selected: &[u32]) -> Result<Self> {
+        let lattice = Lattice::new(cards, u64::MAX)?;
+        let top = lattice.top();
+        let mut views = HashMap::new();
+        for &mask in selected.iter().chain(std::iter::once(&top)) {
+            let cuboid = cube
+                .cuboid(mask)
+                .ok_or_else(|| Error::InvalidSchema(format!("cube lacks mask {mask:b}")))?;
+            views.insert(mask, cuboid.clone());
+        }
+        let measured: Vec<(u32, u64)> =
+            views.iter().map(|(&m, c)| (m, c.len() as u64)).collect();
+        Ok(Self { lattice: lattice.with_measured_sizes(&measured), views })
+    }
+
+    /// The materialized masks.
+    pub fn materialized(&self) -> Vec<u32> {
+        let mut m: Vec<u32> = self.views.keys().copied().collect();
+        m.sort_unstable();
+        m
+    }
+
+    /// Total cells stored.
+    pub fn stored_cells(&self) -> u64 {
+        self.views.values().map(|c| c.len() as u64).sum()
+    }
+
+    /// Incrementally maintains the materialized views against an append
+    /// batch (§6.5: "it is very common to append to the data cube over
+    /// time … daily appends"): each view absorbs the delta's aggregation at
+    /// its own mask, so no view is recomputed from scratch. The delta's
+    /// dimension cardinalities must match the store's.
+    pub fn apply_delta(&mut self, delta: &FactInput) -> Result<()> {
+        if delta.dim_count() != self.lattice.dim_count() {
+            return Err(Error::ArityMismatch {
+                expected: self.lattice.dim_count(),
+                got: delta.dim_count(),
+            });
+        }
+        for (&mask, cuboid) in self.views.iter_mut() {
+            let partial = groupby::from_facts(delta, mask);
+            for (key, state) in partial {
+                cuboid.entry(key).or_insert(statcube_core::measure::AggState::EMPTY).merge(&state);
+            }
+        }
+        // Sizes may have grown; refresh the routing lattice.
+        let measured: Vec<(u32, u64)> =
+            self.views.iter().map(|(&m, c)| (m, c.len() as u64)).collect();
+        self.lattice = Lattice::new(
+            &self.lattice.cards(),
+            self.lattice.base_rows().saturating_add(delta.len() as u64),
+        )?
+        .with_measured_sizes(&measured);
+        Ok(())
+    }
+
+    /// Answers the query for cuboid `mask` from the smallest materialized
+    /// ancestor.
+    pub fn answer(&self, mask: u32) -> Result<Answer> {
+        if mask > self.lattice.top() {
+            return Err(Error::InvalidSchema(format!("mask {mask:b} out of range")));
+        }
+        let source = self
+            .views
+            .iter()
+            .filter(|(&v, _)| self.lattice.derivable_from(mask, v))
+            .min_by_key(|(_, c)| c.len())
+            .map(|(&v, _)| v)
+            .ok_or_else(|| Error::InvalidSchema("no ancestor materialized".into()))?;
+        let src = &self.views[&source];
+        let cells_scanned = src.len() as u64;
+        let cuboid = if source == mask {
+            src.clone()
+        } else {
+            groupby::from_parent(src, source, mask)
+        };
+        Ok(Answer { cuboid, source, cells_scanned })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube_op;
+    use crate::materialize;
+
+    fn input() -> FactInput {
+        let mut f = FactInput::new(&[8, 4, 2]).unwrap();
+        let mut x = 99u64;
+        for _ in 0..500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            f.push(
+                &[(x % 8) as u32, ((x >> 8) % 4) as u32, ((x >> 16) % 2) as u32],
+                (x % 10) as f64,
+            )
+            .unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn answers_match_direct_computation() {
+        let f = input();
+        let store = ViewStore::build(&f, &[0b011, 0b100]).unwrap();
+        for mask in 0..8u32 {
+            let ans = store.answer(mask).unwrap();
+            let direct = groupby::from_facts(&f, mask);
+            assert_eq!(ans.cuboid, direct, "mask {mask:03b}");
+        }
+    }
+
+    #[test]
+    fn routing_prefers_smallest_ancestor() {
+        let f = input();
+        let store = ViewStore::build(&f, &[0b011]).unwrap();
+        // Query {dim0}: derivable from 0b011 (small) or base (large).
+        let ans = store.answer(0b001).unwrap();
+        assert_eq!(ans.source, 0b011);
+        // Query {dim2}: only the base covers it.
+        let ans2 = store.answer(0b100).unwrap();
+        assert_eq!(ans2.source, 0b111);
+        assert!(ans.cells_scanned < ans2.cells_scanned);
+        // An exactly materialized view answers itself.
+        let ans3 = store.answer(0b011).unwrap();
+        assert_eq!(ans3.source, 0b011);
+    }
+
+    #[test]
+    fn greedy_views_reduce_measured_cost() {
+        let f = input();
+        let lattice = Lattice::new(f.cards(), f.len() as u64).unwrap();
+        let greedy = materialize::greedy_select(&lattice, 3).unwrap();
+        let with_views = ViewStore::build(&f, &greedy.selected).unwrap();
+        let base_only = ViewStore::build(&f, &[]).unwrap();
+        let cost = |s: &ViewStore| -> u64 {
+            (0..8u32).map(|m| s.answer(m).unwrap().cells_scanned).sum()
+        };
+        assert!(cost(&with_views) < cost(&base_only));
+    }
+
+    #[test]
+    fn from_cube_reuses_computed_cuboids() {
+        let f = input();
+        let cube = cube_op::compute_shared(&f);
+        let store = ViewStore::from_cube(&cube, f.cards(), &[0b101]).unwrap();
+        assert_eq!(store.materialized(), vec![0b101, 0b111]);
+        let ans = store.answer(0b001).unwrap();
+        assert_eq!(ans.source, 0b101);
+        assert_eq!(&ans.cuboid, cube.cuboid(0b001).unwrap());
+        assert!(store.stored_cells() > 0);
+    }
+
+    #[test]
+    fn apply_delta_equals_rebuild() {
+        let f = input();
+        let mut store = ViewStore::build(&f, &[0b011, 0b100]).unwrap();
+        // A nightly append batch.
+        let mut delta = FactInput::new(f.cards()).unwrap();
+        let mut x = 5u64;
+        for _ in 0..200 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            delta
+                .push(
+                    &[(x % 8) as u32, ((x >> 8) % 4) as u32, ((x >> 16) % 2) as u32],
+                    (x % 10) as f64,
+                )
+                .unwrap();
+        }
+        store.apply_delta(&delta).unwrap();
+        // Rebuild from the concatenated facts and compare every cuboid.
+        let mut combined = FactInput::new(f.cards()).unwrap();
+        for row in 0..f.len() {
+            combined.push(&f.coords(row), f.measure()[row]).unwrap();
+        }
+        for row in 0..delta.len() {
+            combined.push(&delta.coords(row), delta.measure()[row]).unwrap();
+        }
+        let rebuilt = ViewStore::build(&combined, &[0b011, 0b100]).unwrap();
+        for mask in 0..8u32 {
+            let a = store.answer(mask).unwrap().cuboid;
+            let b = rebuilt.answer(mask).unwrap().cuboid;
+            assert_eq!(a.len(), b.len(), "mask {mask:03b}");
+            for (k, s) in &b {
+                let got = &a[k];
+                assert!((got.sum - s.sum).abs() < 1e-9);
+                assert_eq!(got.count, s.count);
+            }
+        }
+        // Mismatched delta arity is rejected.
+        let bad = FactInput::new(&[2, 2]).unwrap();
+        assert!(store.apply_delta(&bad).is_err());
+    }
+
+    #[test]
+    fn errors() {
+        let f = input();
+        let store = ViewStore::build(&f, &[]).unwrap();
+        assert!(store.answer(0b1000).is_err());
+        assert!(ViewStore::build(&f, &[0b11111]).is_err());
+        let cube = cube_op::compute_rollup(&f, &[0, 1, 2]).unwrap();
+        // A rollup result lacks most masks.
+        assert!(ViewStore::from_cube(&cube, f.cards(), &[0b010]).is_err());
+    }
+}

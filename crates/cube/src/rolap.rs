@@ -1,0 +1,237 @@
+//! ROLAP cube computation: sort-based aggregation over tuples (§6.6).
+//!
+//! The relational engine works on `(key, sum, count)` tuples: the base
+//! cuboid is produced by sorting the fact tuples and merging equal-key
+//! runs; every coarser cuboid is derived from its smallest computed parent
+//! by projecting keys, re-sorting, and merging runs. No dense allocation —
+//! cost scales with *populated* cells, which is why ROLAP wins on sparse
+//! cubes and loses to [`crate::molap`] on dense ones.
+
+use std::collections::HashMap;
+
+use statcube_core::measure::AggState;
+
+use crate::cube_op::CubeResult;
+use crate::groupby::Cuboid;
+use crate::input::FactInput;
+
+/// One sorted cuboid: `(key, sum, count)` tuples in ascending key order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortedCuboid {
+    rows: Vec<(Box<[u32]>, f64, u64)>,
+}
+
+impl SortedCuboid {
+    /// The sorted tuples.
+    pub fn rows(&self) -> &[(Box<[u32]>, f64, u64)] {
+        &self.rows
+    }
+
+    /// Number of populated cells.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no cell is populated.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Binary-search lookup.
+    pub fn get(&self, key: &[u32]) -> Option<(f64, u64)> {
+        self.rows
+            .binary_search_by(|(k, _, _)| (**k).cmp(key))
+            .ok()
+            .map(|i| (self.rows[i].1, self.rows[i].2))
+    }
+
+    fn from_unsorted(mut rows: Vec<(Box<[u32]>, f64, u64)>) -> Self {
+        rows.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut merged: Vec<(Box<[u32]>, f64, u64)> = Vec::with_capacity(rows.len());
+        for (key, sum, count) in rows {
+            match merged.last_mut() {
+                Some((k, s, c)) if **k == *key => {
+                    *s += sum;
+                    *c += count;
+                }
+                _ => merged.push((key, sum, count)),
+            }
+        }
+        Self { rows: merged }
+    }
+}
+
+/// A fully computed sort-based ROLAP cube.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RolapCube {
+    n_dims: usize,
+    cuboids: HashMap<u32, SortedCuboid>,
+}
+
+impl RolapCube {
+    /// The cuboid for `mask`.
+    pub fn cuboid(&self, mask: u32) -> Option<&SortedCuboid> {
+        self.cuboids.get(&mask)
+    }
+
+    /// `(sum, count)` lookup with full coordinates and `None` = `ALL`.
+    pub fn get_all(&self, pattern: &[Option<u32>]) -> Option<(f64, u64)> {
+        let mut mask = 0u32;
+        let mut key = Vec::new();
+        for (d, p) in pattern.iter().enumerate() {
+            if let Some(c) = p {
+                mask |= 1 << d;
+                key.push(*c);
+            }
+        }
+        self.cuboids.get(&mask)?.get(&key)
+    }
+
+    /// Total populated cells across all cuboids.
+    pub fn total_cells(&self) -> usize {
+        self.cuboids.values().map(SortedCuboid::len).sum()
+    }
+
+    /// Converts to the hash-based [`CubeResult`] for cross-engine equality
+    /// tests (sum/count states).
+    pub fn to_cube_result(&self) -> CubeResult {
+        let mut out: HashMap<u32, Cuboid> = HashMap::with_capacity(self.cuboids.len());
+        for (&mask, cuboid) in &self.cuboids {
+            let mut c: Cuboid = HashMap::with_capacity(cuboid.len());
+            for (key, sum, count) in &cuboid.rows {
+                c.insert(key.clone(), AggState::from_sum_count(*sum, *count));
+            }
+            out.insert(mask, c);
+        }
+        CubeResult::from_parts(self.n_dims, out)
+    }
+}
+
+/// Computes the full cube sort-based.
+pub fn compute_rolap(input: &FactInput) -> RolapCube {
+    let n = input.dim_count();
+    let full = (1u32 << n) - 1;
+    let mut cuboids: HashMap<u32, SortedCuboid> = HashMap::with_capacity(1 << n);
+
+    // Base cuboid: sort the raw facts.
+    let base_rows: Vec<(Box<[u32]>, f64, u64)> = (0..input.len())
+        .map(|row| (input.coords(row).into_boxed_slice(), input.measure()[row], 1u64))
+        .collect();
+    cuboids.insert(full, SortedCuboid::from_unsorted(base_rows));
+
+    let mut masks: Vec<u32> = (0..full).collect();
+    masks.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
+    for mask in masks {
+        let mut best: Option<(u32, usize)> = None;
+        for d in 0..n {
+            let bit = 1u32 << d;
+            if mask & bit != 0 {
+                continue;
+            }
+            let parent = mask | bit;
+            if let Some(p) = cuboids.get(&parent) {
+                if best.map(|(_, s)| p.len() < s).unwrap_or(true) {
+                    best = Some((parent, p.len()));
+                }
+            }
+        }
+        let (pmask, _) = best.expect("ancestor exists");
+        let parent = &cuboids[&pmask];
+        // Positions within the parent key that the child keeps.
+        let mut keep = Vec::new();
+        let mut pos = 0;
+        for d in 0..n {
+            if pmask & (1 << d) != 0 {
+                if mask & (1 << d) != 0 {
+                    keep.push(pos);
+                }
+                pos += 1;
+            }
+        }
+        let projected: Vec<(Box<[u32]>, f64, u64)> = parent
+            .rows
+            .iter()
+            .map(|(k, s, c)| {
+                let key: Box<[u32]> = keep.iter().map(|&p| k[p]).collect();
+                (key, *s, *c)
+            })
+            .collect();
+        cuboids.insert(mask, SortedCuboid::from_unsorted(projected));
+    }
+    RolapCube { n_dims: n, cuboids }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube_op;
+
+    fn input(cards: &[usize], rows: usize, seed: u64) -> FactInput {
+        let mut f = FactInput::new(cards).unwrap();
+        let mut x = seed.max(1);
+        for _ in 0..rows {
+            let coords: Vec<u32> = cards
+                .iter()
+                .map(|&c| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    (x % c as u64) as u32
+                })
+                .collect();
+            f.push(&coords, (x % 100) as f64).unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn rolap_matches_hash_cube() {
+        let f = input(&[5, 3, 4], 300, 11);
+        let rolap = compute_rolap(&f).to_cube_result();
+        let hash = cube_op::compute_shared(&f);
+        assert_eq!(rolap.masks(), hash.masks());
+        for mask in hash.masks() {
+            let hc = hash.cuboid(mask).unwrap();
+            let rc = rolap.cuboid(mask).unwrap();
+            assert_eq!(hc.len(), rc.len(), "mask {mask:b}");
+            for (key, state) in hc {
+                let r = &rc[key];
+                assert!((state.sum - r.sum).abs() < 1e-9);
+                assert_eq!(state.count, r.count);
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_lookup() {
+        let mut f = FactInput::new(&[2, 3]).unwrap();
+        f.push(&[1, 2], 5.0).unwrap();
+        f.push(&[1, 2], 6.0).unwrap();
+        f.push(&[0, 0], 1.0).unwrap();
+        let r = compute_rolap(&f);
+        assert_eq!(r.get_all(&[Some(1), Some(2)]), Some((11.0, 2)));
+        assert_eq!(r.get_all(&[Some(0), Some(2)]), None);
+        assert_eq!(r.get_all(&[None, None]), Some((12.0, 3)));
+        let base = r.cuboid(0b11).unwrap();
+        assert_eq!(base.len(), 2);
+        // Rows come out key-sorted.
+        assert!(base.rows()[0].0 < base.rows()[1].0);
+    }
+
+    #[test]
+    fn cells_scale_with_population_not_cross_product() {
+        // Huge cross product, 50 facts: ROLAP touches ~50·2^n tuples.
+        let f = input(&[1000, 1000, 1000], 50, 3);
+        let r = compute_rolap(&f);
+        assert!(r.total_cells() <= 50 * 8);
+        assert!(!r.cuboid(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_input() {
+        let f = FactInput::new(&[2, 2]).unwrap();
+        let r = compute_rolap(&f);
+        assert_eq!(r.total_cells(), 0);
+        assert_eq!(r.get_all(&[None, None]), None);
+    }
+}

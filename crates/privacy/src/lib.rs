@@ -1,0 +1,37 @@
+//! # statcube-privacy
+//!
+//! Statistical inference control (§7 of Shoshani, PODS 1997): the privacy
+//! problem the SDB community studied extensively and the OLAP literature
+//! ignored. All of §7's mechanisms are here, attacks included, because the
+//! section's point is a negative result — restriction alone is always
+//! beatable (\[DS80\]) — and every proposed remedy has a cost:
+//!
+//! * [`restrict`] — query-set-size restriction, the baseline defense;
+//! * [`tracker`] — the \[DS80\] individual tracker and the 65-year-old
+//!   difference attack, defeating the baseline with only legal queries;
+//! * [`overlap`] — query-set overlap auditing (blocks trackers, eventually
+//!   refuses everything);
+//! * [`suppress`] — cell suppression with complementary protection (the
+//!   census practice);
+//! * [`sample`] — random-sample answers (\[OR95\]);
+//! * [`perturb`] — input and output perturbation.
+
+#![warn(missing_docs)]
+
+pub mod overlap;
+pub mod perturb;
+pub mod restrict;
+pub mod sample;
+pub mod suppress;
+pub mod tracker;
+
+/// The most commonly used types, for glob import.
+pub mod prelude {
+    pub use crate::overlap::OverlapAuditedDatabase;
+    pub use crate::perturb::{input_perturb, OutputPerturbedDatabase};
+    pub use crate::restrict::{Cmp, Pred, PrivacyError, ProtectedDatabase};
+    pub use crate::sample::SampledDatabase;
+    pub use crate::suppress::{apply_suppression, plan_suppression, SuppressionPlan};
+    pub use crate::restrict::negate_conjunction;
+    pub use crate::tracker::{difference_attack, general_tracker, individual_tracker, Compromise};
+}

@@ -1,0 +1,118 @@
+//! Query-set overlap control (§7, approach (i)).
+//!
+//! "Limiting the query set intersection … requires keeping track of all
+//! query sets, and making sure that a new query set does not intersect
+//! with previous ones" beyond a permitted size. This blocks the subtraction
+//! step of a tracker (whose padded set overlaps the broad set almost
+//! entirely), at the cost the paper names: for small databases the auditor
+//! eventually refuses everything.
+
+use std::collections::HashSet;
+
+use crate::restrict::{Pred, PrivacyError, ProtectedDatabase};
+
+/// A [`ProtectedDatabase`] wrapped with an overlap auditor: a query is
+/// answered only if its set's intersection with every previously answered
+/// set has at most `max_overlap` members (and the size restriction holds).
+#[derive(Debug)]
+pub struct OverlapAuditedDatabase {
+    db: ProtectedDatabase,
+    max_overlap: usize,
+    answered: Vec<HashSet<usize>>,
+}
+
+impl OverlapAuditedDatabase {
+    /// Wraps `db` with overlap limit `max_overlap`.
+    pub fn new(db: ProtectedDatabase, max_overlap: usize) -> Self {
+        Self { db, max_overlap, answered: Vec::new() }
+    }
+
+    /// Number of queries answered so far (the audit log's size — the
+    /// paper's scalability complaint made visible).
+    pub fn answered_count(&self) -> usize {
+        self.answered.len()
+    }
+
+    fn admit(&mut self, preds: &[Pred]) -> Result<HashSet<usize>, PrivacyError> {
+        let set: HashSet<usize> = self.db.query_set(preds)?.into_iter().collect();
+        for prev in &self.answered {
+            let overlap = prev.intersection(&set).count();
+            if overlap > self.max_overlap {
+                return Err(PrivacyError::OverlapDenied {
+                    overlap,
+                    max_overlap: self.max_overlap,
+                });
+            }
+        }
+        Ok(set)
+    }
+
+    /// `COUNT` under restriction + overlap control.
+    pub fn count(&mut self, preds: &[Pred]) -> Result<u64, PrivacyError> {
+        let set = self.admit(preds)?;
+        let n = self.db.count(preds)?;
+        self.answered.push(set);
+        Ok(n)
+    }
+
+    /// `SUM` under restriction + overlap control.
+    pub fn sum(&mut self, preds: &[Pred], measure: &str) -> Result<f64, PrivacyError> {
+        let set = self.admit(preds)?;
+        let v = self.db.sum(preds, measure)?;
+        self.answered.push(set);
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::restrict::demo_database;
+
+    #[test]
+    fn tracker_subtraction_is_blocked() {
+        let db = ProtectedDatabase::new(demo_database(), 3).lower_bound_only();
+        let mut audited = OverlapAuditedDatabase::new(db, 2);
+        // Broad query answered.
+        assert!(audited.sum(&[], "salary").is_ok());
+        // The padded tracker query overlaps the broad set in 11 members —
+        // refused, so the subtraction cannot complete.
+        let err = audited.sum(&[Pred::ne("age_group", "65")], "salary").unwrap_err();
+        assert!(matches!(err, PrivacyError::OverlapDenied { overlap: 11, .. }));
+    }
+
+    #[test]
+    fn disjoint_queries_keep_flowing() {
+        let db = ProtectedDatabase::new(demo_database(), 3).lower_bound_only();
+        let mut audited = OverlapAuditedDatabase::new(db, 0);
+        assert!(audited.count(&[Pred::eq("dept", "eng")]).is_ok());
+        assert!(audited.count(&[Pred::eq("dept", "sales")]).is_ok());
+        // hr has 3 members, disjoint from both: fine.
+        assert!(audited.count(&[Pred::eq("dept", "hr")]).is_ok());
+        assert_eq!(audited.answered_count(), 3);
+        // Any overlapping query is now dead — the exhaustion the paper
+        // warns about.
+        assert!(audited.count(&[Pred::eq("age_group", "30-39")]).is_err());
+    }
+
+    #[test]
+    fn denied_queries_do_not_pollute_the_log() {
+        let db = ProtectedDatabase::new(demo_database(), 3).lower_bound_only();
+        let mut audited = OverlapAuditedDatabase::new(db, 2);
+        assert!(audited.sum(&[], "salary").is_ok());
+        assert!(audited.sum(&[Pred::ne("age_group", "65")], "salary").is_err());
+        assert_eq!(audited.answered_count(), 1);
+        // Size restriction still applies underneath.
+        assert!(audited.count(&[Pred::eq("age_group", "65")]).is_err());
+        assert_eq!(audited.answered_count(), 1);
+    }
+
+    #[test]
+    fn partial_overlap_within_limit_is_answered() {
+        let db = ProtectedDatabase::new(demo_database(), 3).lower_bound_only();
+        let mut audited = OverlapAuditedDatabase::new(db, 2);
+        assert!(audited.count(&[Pred::eq("dept", "eng")]).is_ok()); // 5 members
+        // age 30-39 ∩ eng = {alice, carol}: overlap 2 ≤ 2, answered.
+        assert!(audited.count(&[Pred::eq("age_group", "30-39")]).is_ok());
+    }
+}

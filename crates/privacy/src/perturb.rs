@@ -1,0 +1,179 @@
+//! Data perturbation (§7, approaches (iv) and (v)).
+//!
+//! * **Input perturbation** — store "statistically correct, but perturbed
+//!   data for general consumption": each individual's value is noised once
+//!   at load time, so no sequence of queries ever reaches the true value.
+//! * **Output perturbation** — answer each query with bounded noise added
+//!   to the true statistic.
+//!
+//! Both trade accuracy for privacy; [`accuracy_report`] quantifies the
+//! trade the E19 harness tabulates. Noise is zero-mean uniform on
+//! `[-magnitude, +magnitude]`, seeded for reproducibility.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use statcube_core::microdata::MicroTable;
+
+use crate::restrict::{Pred, PrivacyError, ProtectedDatabase};
+
+/// Builds an input-perturbed copy of `micro`: every value of `measure`
+/// gets independent uniform noise in `[-magnitude, +magnitude]`.
+pub fn input_perturb(
+    micro: &MicroTable,
+    measure: &str,
+    magnitude: f64,
+    seed: u64,
+) -> Result<MicroTable, PrivacyError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cat_names: Vec<&str> = micro.categorical_names().iter().map(String::as_str).collect();
+    let num_names: Vec<&str> = micro.numeric_names().iter().map(String::as_str).collect();
+    let mut out = MicroTable::new(&cat_names, &num_names);
+    for row in 0..micro.len() {
+        let cats: Vec<&str> =
+            cat_names.iter().map(|c| micro.cat_value(c, row)).collect::<Result<_, _>>()?;
+        let nums: Vec<f64> = num_names
+            .iter()
+            .map(|n| {
+                let v = micro.num_value(n, row)?;
+                Ok(if *n == measure { v + rng.random_range(-magnitude..=magnitude) } else { v })
+            })
+            .collect::<Result<_, PrivacyError>>()?;
+        out.push(&cats, &nums)?;
+    }
+    Ok(out)
+}
+
+/// A [`ProtectedDatabase`] adding fresh uniform noise to every answer
+/// (output perturbation).
+#[derive(Debug)]
+pub struct OutputPerturbedDatabase {
+    db: ProtectedDatabase,
+    magnitude: f64,
+    rng: StdRng,
+}
+
+impl OutputPerturbedDatabase {
+    /// Wraps `db` with noise magnitude `magnitude`.
+    pub fn new(db: ProtectedDatabase, magnitude: f64, seed: u64) -> Self {
+        Self { db, magnitude, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Noised `SUM`.
+    pub fn sum(&mut self, preds: &[Pred], measure: &str) -> Result<f64, PrivacyError> {
+        let v = self.db.sum(preds, measure)?;
+        Ok(v + self.rng.random_range(-self.magnitude..=self.magnitude))
+    }
+
+    /// Noised `AVG`.
+    pub fn avg(&mut self, preds: &[Pred], measure: &str) -> Result<f64, PrivacyError> {
+        let v = self.db.avg(preds, measure)?;
+        Ok(v + self.rng.random_range(-self.magnitude..=self.magnitude))
+    }
+
+    /// Noised `COUNT` (rounded, clamped at zero).
+    pub fn count(&mut self, preds: &[Pred]) -> Result<u64, PrivacyError> {
+        let v = self.db.count(preds)? as f64;
+        let noised = v + self.rng.random_range(-self.magnitude..=self.magnitude);
+        Ok(noised.round().max(0.0) as u64)
+    }
+}
+
+/// Accuracy of a perturbed answer stream vs. the truth: mean error (bias)
+/// and root-mean-square error.
+pub fn accuracy_report(truth: &[f64], answers: &[f64]) -> (f64, f64) {
+    assert_eq!(truth.len(), answers.len());
+    if truth.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = truth.len() as f64;
+    let bias = truth.iter().zip(answers).map(|(t, a)| a - t).sum::<f64>() / n;
+    let rmse =
+        (truth.iter().zip(answers).map(|(t, a)| (a - t) * (a - t)).sum::<f64>() / n).sqrt();
+    (bias, rmse)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::restrict::demo_database;
+
+    #[test]
+    fn input_perturbation_changes_values_but_not_structure() {
+        let micro = demo_database();
+        let noised = input_perturb(&micro, "salary", 5_000.0, 42).unwrap();
+        assert_eq!(noised.len(), micro.len());
+        let mut any_changed = false;
+        for row in 0..micro.len() {
+            assert_eq!(
+                micro.cat_value("name", row).unwrap(),
+                noised.cat_value("name", row).unwrap()
+            );
+            let t = micro.num_value("salary", row).unwrap();
+            let p = noised.num_value("salary", row).unwrap();
+            assert!((t - p).abs() <= 5_000.0);
+            any_changed |= t != p;
+        }
+        assert!(any_changed);
+    }
+
+    #[test]
+    fn input_perturbation_defeats_exact_trackers() {
+        let micro = demo_database();
+        let noised = input_perturb(&micro, "salary", 5_000.0, 7).unwrap();
+        let db = ProtectedDatabase::new(noised, 3).lower_bound_only();
+        let c = crate::tracker::difference_attack(
+            &db,
+            &[],
+            &Pred::eq("age_group", "65"),
+            "salary",
+        )
+        .unwrap();
+        // The attack still "works" mechanically, but the recovered value is
+        // only an approximation of the true 180k.
+        assert!(c.value != 180_000.0);
+        assert!((c.value - 180_000.0).abs() <= 5_000.0);
+    }
+
+    #[test]
+    fn output_perturbation_bounds_error() {
+        let db = ProtectedDatabase::new(demo_database(), 3).lower_bound_only();
+        let truth = db.avg(&[Pred::eq("dept", "sales")], "salary").unwrap();
+        let mut noisy = OutputPerturbedDatabase::new(db, 1_000.0, 3);
+        for _ in 0..20 {
+            let a = noisy.avg(&[Pred::eq("dept", "sales")], "salary").unwrap();
+            assert!((a - truth).abs() <= 1_000.0);
+        }
+    }
+
+    #[test]
+    fn output_perturbation_varies_per_query() {
+        let db = ProtectedDatabase::new(demo_database(), 3).lower_bound_only();
+        let mut noisy = OutputPerturbedDatabase::new(db, 1_000.0, 3);
+        let a = noisy.sum(&[Pred::eq("dept", "eng")], "salary").unwrap();
+        let b = noisy.sum(&[Pred::eq("dept", "eng")], "salary").unwrap();
+        // Fresh noise per answer: averaging attacks need many queries,
+        // which the auditor (overlap control) would flag.
+        assert_ne!(a, b);
+        let c = noisy.count(&[Pred::eq("dept", "eng")]).unwrap();
+        assert!(c <= 5 + 1_000);
+    }
+
+    #[test]
+    fn restriction_enforced_under_perturbation() {
+        let db = ProtectedDatabase::new(demo_database(), 3).lower_bound_only();
+        let mut noisy = OutputPerturbedDatabase::new(db, 100.0, 1);
+        assert!(noisy.sum(&[Pred::eq("age_group", "65")], "salary").is_err());
+    }
+
+    #[test]
+    fn accuracy_report_math() {
+        let (bias, rmse) = accuracy_report(&[10.0, 20.0], &[11.0, 19.0]);
+        assert_eq!(bias, 0.0);
+        assert!((rmse - 1.0).abs() < 1e-12);
+        let (bias, rmse) = accuracy_report(&[0.0], &[3.0]);
+        assert_eq!(bias, 3.0);
+        assert_eq!(rmse, 3.0);
+        assert_eq!(accuracy_report(&[], &[]), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,313 @@
+//! Query-set-size restriction (§7).
+//!
+//! The first line of defense: answer a statistical query only if its
+//! *query set* (the individuals it summarizes) is neither too small nor —
+//! per \[DS80\] — too large (the complement of a small set is equally
+//! revealing). The paper is blunt that this alone is insufficient;
+//! [`crate::tracker`] demonstrates why and [`crate::overlap`],
+//! [`crate::suppress`], [`crate::sample`], [`crate::perturb`] implement the
+//! stronger responses.
+
+use statcube_core::error::Error as CoreError;
+use statcube_core::microdata::MicroTable;
+use std::fmt;
+
+/// Comparison operator of a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// Keep rows where the column equals the value.
+    Eq,
+    /// Keep rows where the column differs from the value.
+    Ne,
+}
+
+/// One predicate of a characteristic formula (conjunctions only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pred {
+    /// Categorical column name.
+    pub column: String,
+    /// Value compared against.
+    pub value: String,
+    /// Comparison.
+    pub cmp: Cmp,
+}
+
+impl Pred {
+    /// `column == value`.
+    pub fn eq(column: &str, value: &str) -> Self {
+        Pred { column: column.into(), value: value.into(), cmp: Cmp::Eq }
+    }
+
+    /// `column != value`.
+    pub fn ne(column: &str, value: &str) -> Self {
+        Pred { column: column.into(), value: value.into(), cmp: Cmp::Ne }
+    }
+}
+
+/// Why a protected query was not answered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrivacyError {
+    /// The query set was smaller than `k` or larger than `n − k`.
+    Denied {
+        /// The (undisclosed-to-attackers, disclosed-to-tests) set size.
+        size: usize,
+        /// The enforced minimum.
+        min: usize,
+        /// The enforced maximum.
+        max: usize,
+    },
+    /// The overlap auditor refused the query (see [`crate::overlap`]).
+    OverlapDenied {
+        /// Size of the offending intersection.
+        overlap: usize,
+        /// The enforced maximum overlap.
+        max_overlap: usize,
+    },
+    /// An underlying schema/column error.
+    Core(CoreError),
+}
+
+impl fmt::Display for PrivacyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrivacyError::Denied { size, min, max } => {
+                write!(f, "query denied: set size {size} outside [{min}, {max}]")
+            }
+            PrivacyError::OverlapDenied { overlap, max_overlap } => {
+                write!(f, "query denied: overlap {overlap} exceeds {max_overlap}")
+            }
+            PrivacyError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PrivacyError {}
+
+impl From<CoreError> for PrivacyError {
+    fn from(e: CoreError) -> Self {
+        PrivacyError::Core(e)
+    }
+}
+
+/// A micro database answering statistical queries under query-set-size
+/// restriction with parameter `k`: answers only when
+/// `k ≤ |query set| ≤ n − k`.
+#[derive(Debug, Clone)]
+pub struct ProtectedDatabase {
+    micro: MicroTable,
+    k: usize,
+    upper: bool,
+}
+
+impl ProtectedDatabase {
+    /// Protects `micro` with restriction parameter `k` (both bounds, per
+    /// \[DS80\]).
+    pub fn new(micro: MicroTable, k: usize) -> Self {
+        Self { micro, k, upper: true }
+    }
+
+    /// Drops the upper bound, leaving only `|query set| ≥ k` — the naive
+    /// restriction of the paper's 65-year-old example, under which
+    /// whole-population queries are answered.
+    pub fn lower_bound_only(mut self) -> Self {
+        self.upper = false;
+        self
+    }
+
+    /// The restriction parameter.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of individuals.
+    pub fn population(&self) -> usize {
+        self.micro.len()
+    }
+
+    /// The row ids matching a conjunction of predicates. Internal — a real
+    /// deployment never exposes this; tests and the tracker demonstration
+    /// use it to verify ground truth.
+    pub fn query_set(&self, preds: &[Pred]) -> Result<Vec<usize>, PrivacyError> {
+        let mut out = Vec::new();
+        'rows: for row in 0..self.micro.len() {
+            for p in preds {
+                let v = self.micro.cat_value(&p.column, row)?;
+                let hit = v == p.value;
+                match p.cmp {
+                    Cmp::Eq if !hit => continue 'rows,
+                    Cmp::Ne if hit => continue 'rows,
+                    _ => {}
+                }
+            }
+            out.push(row);
+        }
+        Ok(out)
+    }
+
+    fn admit(&self, set: &[usize]) -> Result<(), PrivacyError> {
+        let n = self.micro.len();
+        let max = if self.upper { n.saturating_sub(self.k) } else { n };
+        if set.len() < self.k || set.len() > max {
+            return Err(PrivacyError::Denied { size: set.len(), min: self.k, max });
+        }
+        Ok(())
+    }
+
+    /// `COUNT` under restriction.
+    pub fn count(&self, preds: &[Pred]) -> Result<u64, PrivacyError> {
+        let set = self.query_set(preds)?;
+        self.admit(&set)?;
+        Ok(set.len() as u64)
+    }
+
+    /// `SUM(measure)` under restriction.
+    pub fn sum(&self, preds: &[Pred], measure: &str) -> Result<f64, PrivacyError> {
+        let set = self.query_set(preds)?;
+        self.admit(&set)?;
+        let mut s = 0.0;
+        for &row in &set {
+            s += self.micro.num_value(measure, row)?;
+        }
+        Ok(s)
+    }
+
+    /// `AVG(measure)` under restriction.
+    pub fn avg(&self, preds: &[Pred], measure: &str) -> Result<f64, PrivacyError> {
+        let set = self.query_set(preds)?;
+        self.admit(&set)?;
+        let mut s = 0.0;
+        for &row in &set {
+            s += self.micro.num_value(measure, row)?;
+        }
+        Ok(s / set.len() as f64)
+    }
+
+    /// The protected micro data (for the defense layers built on top).
+    pub fn micro(&self) -> &MicroTable {
+        &self.micro
+    }
+
+    /// The row ids matching a DNF formula (a union of conjunctions) —
+    /// the formula class the [DS80] *general tracker* needs.
+    pub fn query_set_formula(&self, dnf: &[Vec<Pred>]) -> Result<Vec<usize>, PrivacyError> {
+        let mut hit = vec![false; self.micro.len()];
+        for conj in dnf {
+            for row in self.query_set(conj)? {
+                hit[row] = true;
+            }
+        }
+        Ok(hit.iter().enumerate().filter(|(_, &h)| h).map(|(i, _)| i).collect())
+    }
+
+    /// `COUNT` of a DNF formula under restriction.
+    pub fn count_formula(&self, dnf: &[Vec<Pred>]) -> Result<u64, PrivacyError> {
+        let set = self.query_set_formula(dnf)?;
+        self.admit(&set)?;
+        Ok(set.len() as u64)
+    }
+
+    /// `SUM(measure)` of a DNF formula under restriction.
+    pub fn sum_formula(&self, dnf: &[Vec<Pred>], measure: &str) -> Result<f64, PrivacyError> {
+        let set = self.query_set_formula(dnf)?;
+        self.admit(&set)?;
+        let mut s = 0.0;
+        for &row in &set {
+            s += self.micro.num_value(measure, row)?;
+        }
+        Ok(s)
+    }
+}
+
+/// The negation of a conjunction, as DNF (De Morgan): `¬(p1 ∧ … ∧ pn)` =
+/// `¬p1 ∨ … ∨ ¬pn`.
+pub fn negate_conjunction(conj: &[Pred]) -> Vec<Vec<Pred>> {
+    conj.iter()
+        .map(|p| {
+            vec![Pred {
+                column: p.column.clone(),
+                value: p.value.clone(),
+                cmp: match p.cmp {
+                    Cmp::Eq => Cmp::Ne,
+                    Cmp::Ne => Cmp::Eq,
+                },
+            }]
+        })
+        .collect()
+}
+
+/// A small employee database used across the privacy modules' tests and
+/// the E19 harness — one employee ("dorothy") is the unique 65-year-old,
+/// mirroring the paper's example.
+pub fn demo_database() -> MicroTable {
+    let mut t = MicroTable::new(&["name", "dept", "age_group", "senior"], &["salary"]);
+    let rows: &[(&str, &str, &str, &str, f64)] = &[
+        ("alice", "eng", "30-39", "no", 95_000.0),
+        ("bob", "eng", "40-49", "no", 105_000.0),
+        ("carol", "eng", "30-39", "no", 98_000.0),
+        ("dave", "eng", "50-59", "no", 120_000.0),
+        ("dorothy", "eng", "65", "yes", 180_000.0),
+        ("erin", "sales", "30-39", "no", 70_000.0),
+        ("frank", "sales", "40-49", "no", 75_000.0),
+        ("grace", "sales", "50-59", "no", 82_000.0),
+        ("heidi", "sales", "30-39", "no", 68_000.0),
+        ("ivan", "hr", "40-49", "no", 60_000.0),
+        ("judy", "hr", "50-59", "no", 66_000.0),
+        ("mallory", "hr", "30-39", "no", 58_000.0),
+    ];
+    for (name, dept, age, senior, salary) in rows {
+        t.push(&[name, dept, age, senior], &[*salary]).unwrap();
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sets_denied_large_sets_denied() {
+        let db = ProtectedDatabase::new(demo_database(), 3);
+        // The unique 65-year-old: denied.
+        let err = db.count(&[Pred::eq("age_group", "65")]).unwrap_err();
+        assert!(matches!(err, PrivacyError::Denied { size: 1, .. }));
+        // The complement (everyone but her): 11 of 12 > n−k = 9 — denied.
+        let err = db.count(&[Pred::ne("age_group", "65")]).unwrap_err();
+        assert!(matches!(err, PrivacyError::Denied { size: 11, .. }));
+        // A mid-size set: answered.
+        assert_eq!(db.count(&[Pred::eq("dept", "eng")]).unwrap(), 5);
+    }
+
+    #[test]
+    fn sum_and_avg_answerable_sets() {
+        let db = ProtectedDatabase::new(demo_database(), 3);
+        let sales_sum = db.sum(&[Pred::eq("dept", "sales")], "salary").unwrap();
+        assert_eq!(sales_sum, 70_000.0 + 75_000.0 + 82_000.0 + 68_000.0);
+        let sales_avg = db.avg(&[Pred::eq("dept", "sales")], "salary").unwrap();
+        assert_eq!(sales_avg, sales_sum / 4.0);
+        assert!(db.sum(&[Pred::eq("age_group", "65")], "salary").is_err());
+    }
+
+    #[test]
+    fn conjunction_and_negation_predicates() {
+        let db = ProtectedDatabase::new(demo_database(), 1);
+        let set = db
+            .query_set(&[Pred::eq("dept", "eng"), Pred::ne("age_group", "65")])
+            .unwrap();
+        assert_eq!(set.len(), 4);
+        assert!(db.query_set(&[Pred::eq("planet", "mars")]).is_err());
+    }
+
+    #[test]
+    fn k_zero_answers_everything() {
+        let db = ProtectedDatabase::new(demo_database(), 0);
+        assert_eq!(db.count(&[Pred::eq("age_group", "65")]).unwrap(), 1);
+        // With no restriction the snooper reads the salary directly.
+        assert_eq!(db.sum(&[Pred::eq("age_group", "65")], "salary").unwrap(), 180_000.0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = PrivacyError::Denied { size: 1, min: 3, max: 9 };
+        assert!(e.to_string().contains("[3, 9]"));
+    }
+}

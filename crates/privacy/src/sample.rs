@@ -1,0 +1,150 @@
+//! Random-sample queries (§7, approach (ii); \[OR95\]).
+//!
+//! "Random sample from a query set … is useful for very large datasets,
+//! when the typical query set is large": instead of the exact statistic,
+//! answer with the statistic of a random subsample, so repeated
+//! intersection attacks estimate rather than determine an individual's
+//! value. The sample is drawn *inside* the engine (the efficiency argument
+//! of §5.6).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::restrict::{Pred, PrivacyError, ProtectedDatabase};
+
+/// A [`ProtectedDatabase`] whose answers are computed over a random sample
+/// of each query set.
+#[derive(Debug)]
+pub struct SampledDatabase {
+    db: ProtectedDatabase,
+    sample_size: usize,
+    rng: StdRng,
+}
+
+impl SampledDatabase {
+    /// Wraps `db`, answering from samples of at most `sample_size`
+    /// individuals, seeded for reproducibility.
+    pub fn new(db: ProtectedDatabase, sample_size: usize, seed: u64) -> Self {
+        Self { db, sample_size, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Estimated `AVG(measure)`: the exact average of a fresh random
+    /// subsample of the query set.
+    pub fn avg(&mut self, preds: &[Pred], measure: &str) -> Result<f64, PrivacyError> {
+        let set = self.admitted_set(preds)?;
+        let sample = self.draw(&set);
+        let mut s = 0.0;
+        for &row in &sample {
+            s += self.db.micro().num_value(measure, row)?;
+        }
+        Ok(s / sample.len() as f64)
+    }
+
+    /// Estimated `SUM(measure)`: subsample mean scaled to the (exact) set
+    /// size — a Horvitz–Thompson style estimator.
+    pub fn sum(&mut self, preds: &[Pred], measure: &str) -> Result<f64, PrivacyError> {
+        let set = self.admitted_set(preds)?;
+        let n = set.len();
+        let sample = self.draw(&set);
+        let mut s = 0.0;
+        for &row in &sample {
+            s += self.db.micro().num_value(measure, row)?;
+        }
+        Ok(s / sample.len() as f64 * n as f64)
+    }
+
+    fn admitted_set(&self, preds: &[Pred]) -> Result<Vec<usize>, PrivacyError> {
+        let set = self.db.query_set(preds)?;
+        // Reuse the underlying size restriction by issuing the count.
+        self.db.count(preds)?;
+        Ok(set)
+    }
+
+    fn draw(&mut self, set: &[usize]) -> Vec<usize> {
+        if set.len() <= self.sample_size {
+            return set.to_vec();
+        }
+        let mut pool = set.to_vec();
+        pool.shuffle(&mut self.rng);
+        pool.truncate(self.sample_size);
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::restrict::demo_database;
+
+    fn big_db(n: usize) -> ProtectedDatabase {
+        let mut t = statcube_core::microdata::MicroTable::new(&["group"], &["v"]);
+        for i in 0..n {
+            let g = if i % 2 == 0 { "a" } else { "b" };
+            t.push(&[g], &[(i % 100) as f64]).unwrap();
+        }
+        ProtectedDatabase::new(t, 5).lower_bound_only()
+    }
+
+    #[test]
+    fn small_sets_pass_through_exactly() {
+        let db = ProtectedDatabase::new(demo_database(), 3).lower_bound_only();
+        let mut s = SampledDatabase::new(db.clone(), 100, 1);
+        // Sample size exceeds every set: answers are exact.
+        let exact = db.avg(&[Pred::eq("dept", "sales")], "salary").unwrap();
+        assert_eq!(s.avg(&[Pred::eq("dept", "sales")], "salary").unwrap(), exact);
+    }
+
+    #[test]
+    fn estimates_are_near_but_not_equal() {
+        let db = big_db(10_000);
+        let exact = db.avg(&[Pred::eq("group", "a")], "v").unwrap();
+        let mut s = SampledDatabase::new(db, 500, 42);
+        let est = s.avg(&[Pred::eq("group", "a")], "v").unwrap();
+        assert!((est - exact).abs() < 10.0, "estimate {est} vs exact {exact}");
+        assert_ne!(est, exact);
+        // Repeated queries see different samples.
+        let est2 = s.avg(&[Pred::eq("group", "a")], "v").unwrap();
+        assert_ne!(est, est2);
+    }
+
+    #[test]
+    fn sum_estimator_is_unbiased_in_expectation() {
+        let db = big_db(2_000);
+        let exact = db.sum(&[Pred::eq("group", "b")], "v").unwrap();
+        let mut s = SampledDatabase::new(db, 200, 7);
+        let mut total = 0.0;
+        let trials = 50;
+        for _ in 0..trials {
+            total += s.sum(&[Pred::eq("group", "b")], "v").unwrap();
+        }
+        let mean = total / trials as f64;
+        assert!(
+            (mean - exact).abs() / exact < 0.05,
+            "mean of estimates {mean} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn restriction_still_enforced() {
+        let db = ProtectedDatabase::new(demo_database(), 3).lower_bound_only();
+        let mut s = SampledDatabase::new(db, 100, 1);
+        assert!(s.avg(&[Pred::eq("age_group", "65")], "salary").is_err());
+    }
+
+    #[test]
+    fn tracker_against_samples_only_estimates() {
+        // The difference attack still runs, but its answer is now noisy:
+        // the attacker cannot pin the individual's exact salary.
+        let db = big_db(10_000);
+        let exact_total = db.sum(&[], "v").unwrap();
+        let mut s = SampledDatabase::new(db, 500, 9);
+        let broad = s.sum(&[], "v").unwrap();
+        let rest = s.sum(&[Pred::eq("group", "a")], "v").unwrap();
+        // broad − rest should be the "b" total, but sampling error is large
+        // relative to any single individual's value (≤ 99).
+        let inferred_b = broad - rest;
+        let exact_b = exact_total - (0..10_000).filter(|i| i % 2 == 0).map(|i| (i % 100) as f64).sum::<f64>();
+        assert!((inferred_b - exact_b).abs() > 100.0, "sampling noise should swamp an individual");
+    }
+}

@@ -1,0 +1,214 @@
+//! Cell suppression (§7, approach (iii); §3.1's census practice).
+//!
+//! "Pre-partition the dataset into cells, and give responses that involve
+//! whole cells only … requires *cell suppression* (cells that contain too
+//! few individuals cannot be reported)." Suppressing only the sensitive
+//! cells is not enough when marginals are published: a row with exactly one
+//! suppressed cell lets anyone subtract it back out. So after **primary**
+//! suppression, **complementary** suppression removes additional cells
+//! until no row or column can be inverted, iterating to a fixpoint.
+
+use std::collections::HashSet;
+
+/// The outcome of planning suppression for a 2-D count table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuppressionPlan {
+    /// Cells suppressed because their count is below the threshold.
+    pub primary: HashSet<(usize, usize)>,
+    /// Cells additionally suppressed to protect the primary ones.
+    pub complementary: HashSet<(usize, usize)>,
+}
+
+impl SuppressionPlan {
+    /// All suppressed cells.
+    pub fn all(&self) -> HashSet<(usize, usize)> {
+        self.primary.union(&self.complementary).copied().collect()
+    }
+
+    /// True if cell `(r, c)` is suppressed.
+    pub fn is_suppressed(&self, r: usize, c: usize) -> bool {
+        self.primary.contains(&(r, c)) || self.complementary.contains(&(r, c))
+    }
+}
+
+/// Plans suppression for `table[r][c]` of counts: primary-suppress every
+/// non-zero cell with count < `threshold`, then complementary-suppress (the
+/// smallest eligible cell in the offending row/column) until every row and
+/// column contains zero or at least two suppressed cells.
+#[allow(clippy::needless_range_loop)] // row/column line scans by index
+pub fn plan_suppression(table: &[Vec<u64>], threshold: u64) -> SuppressionPlan {
+    let rows = table.len();
+    let cols = table.first().map(Vec::len).unwrap_or(0);
+    let mut primary = HashSet::new();
+    for (r, row) in table.iter().enumerate() {
+        for (c, &v) in row.iter().enumerate() {
+            if v > 0 && v < threshold {
+                primary.insert((r, c));
+            }
+        }
+    }
+    let mut all: HashSet<(usize, usize)> = primary.clone();
+    // Iterate to fixpoint: any line (row or column) with exactly one
+    // suppressed cell is invertible from its marginal.
+    loop {
+        let mut changed = false;
+        for r in 0..rows {
+            let in_row: Vec<usize> =
+                (0..cols).filter(|&c| all.contains(&(r, c))).collect();
+            if in_row.len() == 1 {
+                // Suppress the smallest other non-zero cell in the row;
+                // fall back to any other cell (zero cells reveal nothing,
+                // but a row of zeros needs no protection anyway).
+                let pick = (0..cols)
+                    .filter(|&c| !all.contains(&(r, c)))
+                    .min_by_key(|&c| (table[r][c] == 0, table[r][c]));
+                if let Some(c) = pick {
+                    all.insert((r, c));
+                    changed = true;
+                }
+            }
+        }
+        for c in 0..cols {
+            let in_col: Vec<usize> =
+                (0..rows).filter(|&r| all.contains(&(r, c))).collect();
+            if in_col.len() == 1 {
+                let pick = (0..rows)
+                    .filter(|&r| !all.contains(&(r, c)))
+                    .min_by_key(|&r| (table[r][c] == 0, table[r][c]));
+                if let Some(r) = pick {
+                    all.insert((r, c));
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let complementary = all.difference(&primary).copied().collect();
+    SuppressionPlan { primary, complementary }
+}
+
+/// A published table: cells (`None` = suppressed), row totals, column
+/// totals, grand total.
+pub type PublishedTable = (Vec<Vec<Option<u64>>>, Vec<u64>, Vec<u64>, u64);
+
+/// Applies a plan: suppressed cells become `None`, the rest keep their
+/// counts. Marginals (row/column/grand totals) are computed over the
+/// *original* data, as published tables do.
+pub fn apply_suppression(table: &[Vec<u64>], plan: &SuppressionPlan) -> PublishedTable {
+    let rows = table.len();
+    let cols = table.first().map(Vec::len).unwrap_or(0);
+    let mut out = vec![vec![None; cols]; rows];
+    let mut row_totals = vec![0u64; rows];
+    let mut col_totals = vec![0u64; cols];
+    let mut grand = 0u64;
+    for (r, row) in table.iter().enumerate() {
+        for (c, &v) in row.iter().enumerate() {
+            row_totals[r] += v;
+            col_totals[c] += v;
+            grand += v;
+            if !plan.is_suppressed(r, c) {
+                out[r][c] = Some(v);
+            }
+        }
+    }
+    (out, row_totals, col_totals, grand)
+}
+
+/// Checks that no suppressed cell is recoverable by simple line
+/// subtraction: every row and column has zero or ≥ 2 suppressed cells.
+pub fn line_safe(table: &[Vec<u64>], plan: &SuppressionPlan) -> bool {
+    let rows = table.len();
+    let cols = table.first().map(Vec::len).unwrap_or(0);
+    for r in 0..rows {
+        let n = (0..cols).filter(|&c| plan.is_suppressed(r, c)).count();
+        if n == 1 {
+            return false;
+        }
+    }
+    for c in 0..cols {
+        let n = (0..rows).filter(|&r| plan.is_suppressed(r, c)).count();
+        if n == 1 {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_sensitive_cells_no_suppression() {
+        let t = vec![vec![10, 20], vec![30, 40]];
+        let plan = plan_suppression(&t, 5);
+        assert!(plan.primary.is_empty());
+        assert!(plan.complementary.is_empty());
+        assert!(line_safe(&t, &plan));
+    }
+
+    #[test]
+    fn primary_plus_complementary_protects_lines() {
+        // One sensitive cell: its row and column each need a partner.
+        let t = vec![vec![2, 20, 30], vec![15, 25, 35], vec![40, 45, 50]];
+        let plan = plan_suppression(&t, 5);
+        assert_eq!(plan.primary, HashSet::from([(0, 0)]));
+        assert!(!plan.complementary.is_empty());
+        assert!(line_safe(&t, &plan));
+        // The sensitive cell itself is suppressed in the output.
+        let (published, row_totals, _, grand) = apply_suppression(&t, &plan);
+        assert_eq!(published[0][0], None);
+        assert_eq!(row_totals[0], 52);
+        assert_eq!(grand, 262);
+        // Unsuppressed cells are published verbatim.
+        assert_eq!(published[2][2], Some(50));
+    }
+
+    #[test]
+    fn single_subtraction_attack_fails_after_planning() {
+        let t = vec![vec![1, 9, 10], vec![8, 2, 10], vec![10, 10, 10]];
+        let plan = plan_suppression(&t, 5);
+        assert_eq!(plan.primary.len(), 2);
+        assert!(line_safe(&t, &plan));
+        // Attack simulation: for every suppressed cell, try to recover it
+        // as row_total − (sum of published cells in the row). It must be
+        // impossible (another suppressed cell blocks the subtraction).
+        let (published, row_totals, _, _) = apply_suppression(&t, &plan);
+        for &(r, c) in &plan.all() {
+            let known: u64 = published[r].iter().flatten().sum();
+            let residual = row_totals[r] - known;
+            let unknown_cells = published[r].iter().filter(|v| v.is_none()).count();
+            assert!(
+                unknown_cells >= 2 || residual != t[r][c],
+                "cell ({r},{c}) recoverable"
+            );
+        }
+    }
+
+    #[test]
+    fn zeros_are_not_sensitive() {
+        let t = vec![vec![0, 10], vec![10, 10]];
+        let plan = plan_suppression(&t, 5);
+        assert!(plan.primary.is_empty());
+    }
+
+    #[test]
+    fn heavily_sensitive_table() {
+        // Everything below threshold: primary suppression already covers
+        // whole lines, so no complementary cells are needed.
+        let t = vec![vec![1, 2], vec![3, 4]];
+        let plan = plan_suppression(&t, 5);
+        assert_eq!(plan.primary.len(), 4);
+        assert!(plan.complementary.is_empty());
+        assert!(line_safe(&t, &plan));
+    }
+
+    #[test]
+    fn empty_table() {
+        let plan = plan_suppression(&[], 5);
+        assert!(plan.all().is_empty());
+        assert!(line_safe(&[], &plan));
+    }
+}

@@ -1,0 +1,269 @@
+//! Tracker attacks (§7, \[DS80\]).
+//!
+//! The paper's "important negative result": query-set-size restriction can
+//! *always* be defeated by a combination of legal queries. Two attacks are
+//! implemented, both issuing only queries the
+//! [`crate::restrict::ProtectedDatabase`] actually
+//! answers:
+//!
+//! * the **individual tracker** of \[DS80\] — to learn about the unique
+//!   individual matching `C1 ∧ C2`, pad with `T = C1 ∧ ¬C2` and subtract;
+//! * the **difference attack** of the paper's 65-year-old example — "query
+//!   the average salary and count of all employees, then of all employees
+//!   under 65" and subtract.
+
+use crate::restrict::{Pred, PrivacyError, ProtectedDatabase};
+
+/// What a successful compromise learned about the target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Compromise {
+    /// The inferred number of individuals matching the target formula
+    /// (1 for a full individual compromise).
+    pub count: u64,
+    /// The inferred total of the measure over those individuals (equals
+    /// the individual's value when `count == 1`).
+    pub value: f64,
+    /// The legal queries that were issued, for the audit trail.
+    pub queries_used: Vec<String>,
+}
+
+/// The \[DS80\] individual tracker. `c1` is the broad part of the target's
+/// characteristic formula, `c2` the narrowing predicate such that
+/// `c1 ∧ c2` identifies the target. Every query issued passes the size
+/// restriction; the target's measure total falls out by subtraction:
+///
+/// `sum(C1 ∧ C2) = sum(C1) − sum(C1 ∧ ¬C2)`.
+pub fn individual_tracker(
+    db: &ProtectedDatabase,
+    c1: &[Pred],
+    c2: &Pred,
+    measure: &str,
+) -> Result<Compromise, PrivacyError> {
+    let mut queries_used = Vec::new();
+    let not_c2 = match c2.cmp {
+        crate::restrict::Cmp::Eq => Pred::ne(&c2.column, &c2.value),
+        crate::restrict::Cmp::Ne => Pred::eq(&c2.column, &c2.value),
+    };
+    let mut tracker = c1.to_vec();
+    tracker.push(not_c2);
+
+    let count_c1 = db.count(c1)?;
+    queries_used.push(format!("count({c1:?})"));
+    let count_t = db.count(&tracker)?;
+    queries_used.push(format!("count({tracker:?})"));
+    let sum_c1 = db.sum(c1, measure)?;
+    queries_used.push(format!("sum({c1:?}, {measure})"));
+    let sum_t = db.sum(&tracker, measure)?;
+    queries_used.push(format!("sum({tracker:?}, {measure})"));
+
+    Ok(Compromise {
+        count: count_c1 - count_t,
+        value: sum_c1 - sum_t,
+        queries_used,
+    })
+}
+
+/// The paper's difference attack: learn the measure of the unique
+/// individual matching `distinguishing` by querying the whole population
+/// and the population minus the target. `broad` may be empty (the whole
+/// database) or a coarse formula both queries share.
+pub fn difference_attack(
+    db: &ProtectedDatabase,
+    broad: &[Pred],
+    distinguishing: &Pred,
+    measure: &str,
+) -> Result<Compromise, PrivacyError> {
+    individual_tracker(db, broad, distinguishing, measure)
+}
+
+/// The \[DS80\] **general tracker**: once ANY formula `T` with
+/// `2k ≤ |T| ≤ n − 2k` is found, *every* characteristic formula `C` can be
+/// evaluated — even ones whose query set is far below the restriction —
+/// via
+///
+/// `q(C) = q(C ∨ T) + q(C ∨ ¬T) − q(T) − q(¬T)`,
+///
+/// where all four right-hand queries are legal. This is the paper's
+/// "always possible to compromise a database" negative result in its full
+/// strength: the tracker is found once and reused for any target.
+pub fn general_tracker(
+    db: &ProtectedDatabase,
+    target: &[Pred],
+    tracker: &[Pred],
+    measure: &str,
+) -> Result<Compromise, PrivacyError> {
+    use crate::restrict::negate_conjunction;
+    let not_tracker = negate_conjunction(tracker);
+    let mut queries_used = Vec::new();
+
+    // C ∨ T and C ∨ ¬T as DNF formulas.
+    let c_or_t: Vec<Vec<Pred>> = vec![target.to_vec(), tracker.to_vec()];
+    let mut c_or_not_t: Vec<Vec<Pred>> = vec![target.to_vec()];
+    c_or_not_t.extend(not_tracker.iter().cloned());
+    let t_only: Vec<Vec<Pred>> = vec![tracker.to_vec()];
+
+    let count_c_or_t = db.count_formula(&c_or_t)?;
+    queries_used.push(format!("count(C ∨ T) = {count_c_or_t}"));
+    let count_c_or_not_t = db.count_formula(&c_or_not_t)?;
+    queries_used.push(format!("count(C ∨ ¬T) = {count_c_or_not_t}"));
+    let count_t = db.count_formula(&t_only)?;
+    queries_used.push(format!("count(T) = {count_t}"));
+    let count_not_t = db.count_formula(&not_tracker)?;
+    queries_used.push(format!("count(¬T) = {count_not_t}"));
+
+    let sum_c_or_t = db.sum_formula(&c_or_t, measure)?;
+    let sum_c_or_not_t = db.sum_formula(&c_or_not_t, measure)?;
+    let sum_t = db.sum_formula(&t_only, measure)?;
+    let sum_not_t = db.sum_formula(&not_tracker, measure)?;
+    queries_used.push(format!("4 matching sum() queries over `{measure}`"));
+
+    Ok(Compromise {
+        count: (count_c_or_t + count_c_or_not_t)
+            .saturating_sub(count_t)
+            .saturating_sub(count_not_t),
+        value: sum_c_or_t + sum_c_or_not_t - sum_t - sum_not_t,
+        queries_used,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::restrict::demo_database;
+
+    #[test]
+    fn age_65_example_compromises_salary() {
+        // The paper's setting: only a lower bound on query-set size. The
+        // direct query for the unique 65-year-old is denied…
+        let db = ProtectedDatabase::new(demo_database(), 3).lower_bound_only();
+        assert!(db.sum(&[Pred::eq("age_group", "65")], "salary").is_err());
+        // …but "average salary and count of all employees, then of all
+        // employees under 65" recovers it exactly.
+        let c = difference_attack(&db, &[], &Pred::eq("age_group", "65"), "salary").unwrap();
+        assert_eq!(c.count, 1);
+        assert_eq!(c.value, 180_000.0);
+        assert_eq!(c.queries_used.len(), 4);
+    }
+
+    #[test]
+    fn two_sided_bound_blocks_whole_population_but_not_trackers() {
+        // With the [DS80] upper bound, the whole-population difference
+        // attack is denied…
+        let db = ProtectedDatabase::new(demo_database(), 3);
+        assert!(difference_attack(&db, &[], &Pred::eq("age_group", "65"), "salary").is_err());
+        // …but a tracker with a narrower C1 (dept ≠ hr: 9 = n−k members)
+        // still compromises the same individual — the negative result.
+        let c = individual_tracker(
+            &db,
+            &[Pred::ne("dept", "hr")],
+            &Pred::eq("age_group", "65"),
+            "salary",
+        )
+        .unwrap();
+        assert_eq!(c.count, 1);
+        assert_eq!(c.value, 180_000.0);
+    }
+
+    #[test]
+    fn individual_tracker_with_narrower_c1() {
+        let db = ProtectedDatabase::new(demo_database(), 3);
+        // Target: the engineer who is senior (dorothy). C1 = dept=eng
+        // (size 5, legal), T = eng ∧ ¬senior (size 4, legal).
+        let c = individual_tracker(
+            &db,
+            &[Pred::eq("dept", "eng")],
+            &Pred::eq("senior", "yes"),
+            "salary",
+        )
+        .unwrap();
+        assert_eq!(c.count, 1);
+        assert_eq!(c.value, 180_000.0);
+    }
+
+    #[test]
+    fn tracker_fails_when_padding_is_itself_too_small() {
+        // k = 5: C1 = hr has only 3 members, so even the padded queries are
+        // denied — the restriction holds against THIS tracker (but a
+        // broader C1 still works, which is the negative result).
+        let db = ProtectedDatabase::new(demo_database(), 5);
+        let narrow = individual_tracker(
+            &db,
+            &[Pred::eq("dept", "hr")],
+            &Pred::eq("age_group", "40-49"),
+            "salary",
+        );
+        assert!(narrow.is_err());
+        // Broad C1 = everyone: count() = 12 ≤ n−k = 7? No — 12 > 7, denied
+        // too. The whole-population query itself violates the upper bound,
+        // so with k=5 on n=12 this particular attack shape is blocked.
+        assert!(difference_attack(&db, &[], &Pred::eq("age_group", "65"), "salary").is_err());
+    }
+
+    #[test]
+    fn general_tracker_defeats_stronger_restriction() {
+        // k = 5 on n = 12 blocked both the whole-population difference
+        // attack AND the hr-padded individual tracker (see
+        // `tracker_fails_when_padding_is_itself_too_small`). The general
+        // tracker still wins: T = dept=eng has |T| = 5 ≥ k and |¬T| = 7,
+        // so all four of its queries are legal.
+        let db = ProtectedDatabase::new(demo_database(), 5).lower_bound_only();
+        assert!(db.sum(&[Pred::eq("age_group", "65")], "salary").is_err());
+        let c = general_tracker(
+            &db,
+            &[Pred::eq("age_group", "65")],
+            &[Pred::eq("dept", "eng")],
+            "salary",
+        )
+        .unwrap();
+        assert_eq!(c.count, 1);
+        assert_eq!(c.value, 180_000.0);
+        assert!(c.queries_used.len() >= 5);
+    }
+
+    #[test]
+    fn general_tracker_works_for_multi_member_targets_and_conjunction_trackers() {
+        let db = ProtectedDatabase::new(demo_database(), 4).lower_bound_only();
+        // Target: hr employees (3 people, below k=4 directly).
+        assert!(db.count(&[Pred::eq("dept", "hr")]).is_err());
+        // Tracker: a conjunction — non-senior sales (4 people).
+        let c = general_tracker(
+            &db,
+            &[Pred::eq("dept", "hr")],
+            &[Pred::eq("dept", "sales"), Pred::eq("senior", "no")],
+            "salary",
+        )
+        .unwrap();
+        assert_eq!(c.count, 3);
+        assert_eq!(c.value, 60_000.0 + 66_000.0 + 58_000.0);
+    }
+
+    #[test]
+    fn formula_queries_respect_restriction() {
+        let db = ProtectedDatabase::new(demo_database(), 3).lower_bound_only();
+        // A DNF formula with a tiny union still gets denied.
+        let tiny = vec![vec![Pred::eq("age_group", "65")]];
+        assert!(db.count_formula(&tiny).is_err());
+        // Overlapping conjunctions are deduplicated (union semantics).
+        let overlapping = vec![
+            vec![Pred::eq("dept", "eng")],
+            vec![Pred::eq("dept", "eng"), Pred::eq("senior", "no")],
+        ];
+        assert_eq!(db.count_formula(&overlapping).unwrap(), 5);
+    }
+
+    #[test]
+    fn tracker_count_can_exceed_one() {
+        let db = ProtectedDatabase::new(demo_database(), 3);
+        // Target: the 30-39 sales employees (erin + heidi). C1 = age 30-39
+        // (5 members, legal); T = 30-39 ∧ dept ≠ sales (3 members, legal).
+        let c = individual_tracker(
+            &db,
+            &[Pred::eq("age_group", "30-39")],
+            &Pred::eq("dept", "sales"),
+            "salary",
+        )
+        .unwrap();
+        assert_eq!(c.count, 2);
+        assert_eq!(c.value, 70_000.0 + 68_000.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Abstract syntax for the query dialect.
+
+use statcube_core::measure::SummaryFunction;
+
+/// An aggregate expression in the SELECT list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggExpr {
+    /// The aggregate function.
+    pub func: SummaryFunction,
+    /// The measure name, or `None` for `COUNT(*)`.
+    pub arg: Option<String>,
+}
+
+impl AggExpr {
+    /// Renders back to SQL text.
+    pub fn to_sql(&self) -> String {
+        let func = self.func.to_string().to_uppercase();
+        match &self.arg {
+            Some(m) => format!("{func}(\"{m}\")"),
+            None => format!("{func}(*)"),
+        }
+    }
+}
+
+/// One equality/inequality predicate of the WHERE conjunction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Predicate {
+    /// Dimension name.
+    pub column: String,
+    /// Compared member value.
+    pub value: String,
+    /// True for `<>`.
+    pub negated: bool,
+}
+
+impl Predicate {
+    /// Renders back to SQL text.
+    pub fn to_sql(&self) -> String {
+        format!(
+            "\"{}\" {} '{}'",
+            self.column,
+            if self.negated { "<>" } else { "=" },
+            self.value.replace('\'', "''")
+        )
+    }
+}
+
+/// The GROUP BY clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Grouping {
+    /// No GROUP BY: a single grand-total row.
+    None,
+    /// `GROUP BY a, b`.
+    Plain(Vec<String>),
+    /// `GROUP BY CUBE(a, b)` — all `2^n` groupings ([GB+96]).
+    Cube(Vec<String>),
+    /// `GROUP BY ROLLUP(a, b)` — the `n+1` prefix groupings.
+    Rollup(Vec<String>),
+}
+
+impl Grouping {
+    /// The dimensions mentioned, in order.
+    pub fn dims(&self) -> &[String] {
+        match self {
+            Grouping::None => &[],
+            Grouping::Plain(d) | Grouping::Cube(d) | Grouping::Rollup(d) => d,
+        }
+    }
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// The SELECT aggregates, in order.
+    pub select: Vec<AggExpr>,
+    /// The FROM table name (bound to a statistical object at execution).
+    pub from: String,
+    /// The WHERE conjunction.
+    pub filters: Vec<Predicate>,
+    /// The GROUP BY clause.
+    pub grouping: Grouping,
+}
+
+impl Query {
+    /// Renders back to (canonical) SQL text.
+    pub fn to_sql(&self) -> String {
+        let mut out = format!(
+            "SELECT {} FROM \"{}\"",
+            self.select.iter().map(AggExpr::to_sql).collect::<Vec<_>>().join(", "),
+            self.from
+        );
+        if !self.filters.is_empty() {
+            out.push_str(" WHERE ");
+            out.push_str(
+                &self.filters.iter().map(Predicate::to_sql).collect::<Vec<_>>().join(" AND "),
+            );
+        }
+        let quote = |ds: &[String]| {
+            ds.iter().map(|d| format!("\"{d}\"")).collect::<Vec<_>>().join(", ")
+        };
+        match &self.grouping {
+            Grouping::None => {}
+            Grouping::Plain(d) => out.push_str(&format!(" GROUP BY {}", quote(d))),
+            Grouping::Cube(d) => out.push_str(&format!(" GROUP BY CUBE({})", quote(d))),
+            Grouping::Rollup(d) => out.push_str(&format!(" GROUP BY ROLLUP({})", quote(d))),
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_rendering_round_trips_through_the_parser() {
+        let q = Query {
+            select: vec![
+                AggExpr { func: SummaryFunction::Sum, arg: Some("quantity sold".into()) },
+                AggExpr { func: SummaryFunction::Count, arg: None },
+            ],
+            from: "sales".into(),
+            filters: vec![Predicate {
+                column: "product".into(),
+                value: "o'brien's".into(),
+                negated: true,
+            }],
+            grouping: Grouping::Cube(vec!["store".into(), "day".into()]),
+        };
+        let sql = q.to_sql();
+        assert!(sql.contains("SUM(\"quantity sold\")"));
+        assert!(sql.contains("COUNT(*)"));
+        assert!(sql.contains("<> 'o''brien''s'"));
+        assert!(sql.contains("GROUP BY CUBE"));
+        let reparsed = crate::parser::parse(&sql).unwrap();
+        assert_eq!(reparsed, q);
+    }
+
+    #[test]
+    fn grouping_dims() {
+        assert!(Grouping::None.dims().is_empty());
+        let g = Grouping::Rollup(vec!["a".into(), "b".into()]);
+        assert_eq!(g.dims().len(), 2);
+    }
+}

@@ -1,0 +1,496 @@
+//! Query execution against a [`StatisticalObject`].
+//!
+//! The executor reuses the statistical algebra: WHERE is `S-selection`,
+//! GROUP BY is projection down to the grouping dimensions, and
+//! `CUBE`/`ROLLUP` emit the [GB+96] grouping sets with `ALL` markers.
+//! Summarizability is enforced **per requested aggregate**: `SELECT
+//! AVG(population) … GROUP BY state` over a time dimension is fine while
+//! `SUM(population)` is refused — finer-grained than the schema-level
+//! check, because SQL names its functions explicitly.
+
+use std::fmt::Write as _;
+
+use statcube_core::error::{Error, Result};
+use statcube_core::object::StatisticalObject;
+use statcube_core::ops;
+use statcube_core::summarizability::check_type;
+
+use crate::ast::{Grouping, Query};
+
+/// One output row: the grouping values (`None` = `ALL`) and the aggregate
+/// values (`None` = undefined, e.g. AVG of nothing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultRow {
+    /// Values of the grouping columns, in GROUP BY order.
+    pub group: Vec<Option<String>>,
+    /// Values of the SELECT aggregates, in SELECT order.
+    pub values: Vec<Option<f64>>,
+}
+
+/// An executed query's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// The grouping column names, in GROUP BY order.
+    pub group_columns: Vec<String>,
+    /// The aggregate column names (rendered SQL), in SELECT order.
+    pub agg_columns: Vec<String>,
+    /// The rows, sorted deterministically (finest groupings first, `ALL`
+    /// sorting after concrete members).
+    pub rows: Vec<ResultRow>,
+}
+
+impl ResultSet {
+    /// Renders as a fixed-width text table with literal `ALL` (Fig 15).
+    pub fn render(&self) -> String {
+        let headers: Vec<String> =
+            self.group_columns.iter().chain(&self.agg_columns).cloned().collect();
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(self.rows.len());
+        for row in &self.rows {
+            let mut line: Vec<String> =
+                row.group.iter().map(|g| g.clone().unwrap_or_else(|| "ALL".into())).collect();
+            line.extend(row.values.iter().map(|v| match v {
+                Some(v) => format!("{v:.2}"),
+                None => "NULL".into(),
+            }));
+            cells.push(line);
+        }
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        for line in &cells {
+            for (w, c) in widths.iter_mut().zip(line) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let render_line = |line: &[String], out: &mut String| {
+            for (c, w) in line.iter().zip(&widths) {
+                let _ = write!(out, "{c:>w$}  ", w = w);
+            }
+            let _ = writeln!(out);
+        };
+        render_line(&headers, &mut out);
+        for line in &cells {
+            render_line(line, &mut out);
+        }
+        out
+    }
+}
+
+fn apply_filters(obj: &StatisticalObject, query: &Query) -> Result<StatisticalObject> {
+    let mut cur = obj.clone();
+    for p in &query.filters {
+        let d = cur.schema().dim_index(&p.column)?;
+        let dim = &cur.schema().dimensions()[d];
+        let ids: Vec<u32> = dim
+            .members()
+            .iter()
+            .filter(|(_, v)| (*v == p.value) != p.negated)
+            .map(|(id, _)| id)
+            .collect();
+        cur = ops::s_select_ids(&cur, d, &ids)?;
+    }
+    Ok(cur)
+}
+
+fn check_aggregates(obj: &StatisticalObject, query: &Query) -> Result<Vec<usize>> {
+    // Resolve each aggregate to a measure index (COUNT(*) → measure 0's
+    // count, which is shared across measures).
+    let mut measure_idx = Vec::with_capacity(query.select.len());
+    for agg in &query.select {
+        match &agg.arg {
+            Some(m) => measure_idx.push(obj.schema().measure_index(m)?),
+            None => measure_idx.push(0),
+        }
+    }
+    // Dimensions pinned to a single member by an equality filter are not
+    // aggregated *over* — they are the paper's singleton context
+    // ("Employment in California", §2.1(iii)).
+    let pinned: Vec<usize> = query
+        .filters
+        .iter()
+        .filter(|p| !p.negated)
+        .map(|p| obj.schema().dim_index(&p.column))
+        .collect::<Result<_>>()?;
+    // Which dimensions get aggregated away in at least one emitted
+    // grouping? Plain: the complement of the grouping set. CUBE / ROLLUP /
+    // no grouping: every dimension (the apex aggregates them all).
+    let aggregated_dims: Vec<usize> = match &query.grouping {
+        Grouping::Plain(dims) => {
+            let keep: Vec<usize> =
+                dims.iter().map(|d| obj.schema().dim_index(d)).collect::<Result<_>>()?;
+            (0..obj.schema().dim_count())
+                .filter(|d| !keep.contains(d) && !pinned.contains(d))
+                .collect()
+        }
+        _ => {
+            for d in query.grouping.dims() {
+                obj.schema().dim_index(d)?;
+            }
+            (0..obj.schema().dim_count()).filter(|d| !pinned.contains(d)).collect()
+        }
+    };
+    let mut violations = Vec::new();
+    for (agg, &m) in query.select.iter().zip(&measure_idx) {
+        if agg.arg.is_none() {
+            continue; // COUNT(*) is always meaningful
+        }
+        let measure = &obj.schema().measures()[m];
+        for &d in &aggregated_dims {
+            let dim = &obj.schema().dimensions()[d];
+            if let Some(v) =
+                check_type(measure.name(), measure.kind(), agg.func, dim.name(), dim.role())
+            {
+                violations.push(v);
+            }
+        }
+    }
+    if violations.is_empty() {
+        Ok(measure_idx)
+    } else {
+        violations.dedup();
+        Err(Error::Summarizability(violations))
+    }
+}
+
+/// Resolves GROUP BY names that are *hierarchy levels* rather than
+/// dimensions (the statistical-object semantics SQL normally lacks):
+/// `GROUP BY city` over a `store` dimension whose default hierarchy has a
+/// `city` level first rolls the object up to that level, then the name
+/// refers to the (renamed) dimension. Returns the possibly rolled-up
+/// object and the query with level names rewritten to dimension names.
+fn resolve_level_groupings(
+    obj: &StatisticalObject,
+    query: &Query,
+) -> Result<(StatisticalObject, Query)> {
+    let mut cur = obj.clone();
+    let mut q = query.clone();
+    let dims: Vec<String> = q.grouping.dims().to_vec();
+    let mut rewritten = dims.clone();
+    for (i, name) in dims.iter().enumerate() {
+        if cur.schema().dim_index(name).is_ok() {
+            continue;
+        }
+        // Find a dimension whose default hierarchy has a level `name`.
+        let target = cur
+            .schema()
+            .dimensions()
+            .iter()
+            .find(|d| {
+                d.default_hierarchy()
+                    .map(|h| h.levels().iter().any(|l| l.name() == name.as_str()))
+                    .unwrap_or(false)
+            })
+            .map(|d| d.name().to_owned());
+        let Some(dim_name) = target else { continue }; // unknown: error later
+        cur = ops::s_aggregate(&cur, &dim_name, name)?;
+        rewritten[i] = dim_name;
+    }
+    match &mut q.grouping {
+        Grouping::Plain(d) | Grouping::Cube(d) | Grouping::Rollup(d) => *d = rewritten,
+        Grouping::None => {}
+    }
+    Ok((cur, q))
+}
+
+/// Executes a parsed query against a statistical object (the binding of
+/// the query's FROM name to `obj` is the caller's affair).
+pub fn execute(obj: &StatisticalObject, query: &Query) -> Result<ResultSet> {
+    if query.select.is_empty() {
+        return Err(Error::InvalidSchema("empty SELECT list".into()));
+    }
+    // Result columns keep the user's names (level names included).
+    let display_dims: Vec<String> = query.grouping.dims().to_vec();
+    // WHERE applies at the leaf level, before any level-name roll-up —
+    // `WHERE store = 's1' GROUP BY city` filters the store first.
+    let filtered_leaf = apply_filters(obj, query)?;
+    let (obj, query) = resolve_level_groupings(&filtered_leaf, query)?;
+    let obj = &obj;
+    let query = &query;
+    let measure_idx = check_aggregates(obj, query)?;
+    let filtered = obj.clone();
+
+    let group_dims = query.grouping.dims().to_vec();
+    // The grouping sets to emit, as boolean keep-masks over `group_dims`.
+    let sets: Vec<Vec<bool>> = match &query.grouping {
+        Grouping::None => vec![vec![]],
+        Grouping::Plain(d) => vec![vec![true; d.len()]],
+        Grouping::Cube(d) => {
+            let n = d.len();
+            (0..(1u32 << n))
+                .rev()
+                .map(|mask| (0..n).map(|i| mask & (1 << i) != 0).collect())
+                .collect()
+        }
+        Grouping::Rollup(d) => {
+            let n = d.len();
+            (0..=n)
+                .rev()
+                .map(|k| (0..n).map(|i| i < k).collect())
+                .collect()
+        }
+    };
+
+    // Reduce to the grouping dimensions once; derive each grouping set
+    // from that base.
+    let mut base = filtered;
+    let all_dims: Vec<String> =
+        base.schema().dimensions().iter().map(|d| d.name().to_owned()).collect();
+    for dim in &all_dims {
+        if !group_dims.contains(dim) {
+            base = ops::s_project_unchecked(&base, dim)?;
+        }
+    }
+
+    let mut rows = Vec::new();
+    for set in &sets {
+        let mut cur = base.clone();
+        for (i, keep) in set.iter().enumerate() {
+            if !keep {
+                cur = ops::s_project_unchecked(&cur, &group_dims[i])?;
+            }
+        }
+        for (coords, states) in cur.cells_sorted() {
+            let names = cur.schema().names_of(coords)?;
+            // Map kept-dim names back into GROUP BY order with ALL gaps.
+            let mut group = Vec::with_capacity(group_dims.len());
+            let mut cursor = 0;
+            for (i, keep) in set.iter().enumerate() {
+                if *keep {
+                    let pos = cur.schema().dim_index(&group_dims[i])?;
+                    let _ = pos;
+                    group.push(Some(names[cursor].to_owned()));
+                    cursor += 1;
+                } else {
+                    group.push(None);
+                }
+            }
+            let values: Vec<Option<f64>> = query
+                .select
+                .iter()
+                .zip(&measure_idx)
+                .map(|(agg, &m)| states[m].value(agg.func))
+                .collect();
+            rows.push(ResultRow { group, values });
+        }
+    }
+
+    Ok(ResultSet {
+        group_columns: display_dims,
+        agg_columns: query.select.iter().map(|a| a.to_sql()).collect(),
+        rows,
+    })
+}
+
+/// Parses and executes in one step.
+pub fn execute_str(obj: &StatisticalObject, sql: &str) -> Result<ResultSet> {
+    execute(obj, &crate::parser::parse(sql)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statcube_core::dimension::Dimension;
+    use statcube_core::measure::{MeasureKind, SummaryAttribute, SummaryFunction};
+    use statcube_core::schema::Schema;
+
+    fn census() -> StatisticalObject {
+        let schema = Schema::builder("census")
+            .dimension(Dimension::spatial("state", ["AL", "CA"]))
+            .dimension(Dimension::temporal("year", ["1990", "1991"]))
+            .dimension(Dimension::categorical("sex", ["male", "female"]))
+            .measure(SummaryAttribute::new("population", MeasureKind::Stock))
+            .measure(SummaryAttribute::new("births", MeasureKind::Flow))
+            .function(SummaryFunction::Sum)
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        let data: &[(&str, &str, &str, f64, f64)] = &[
+            ("AL", "1990", "male", 100.0, 3.0),
+            ("AL", "1990", "female", 110.0, 4.0),
+            ("AL", "1991", "male", 102.0, 5.0),
+            ("CA", "1990", "male", 400.0, 11.0),
+            ("CA", "1990", "female", 410.0, 12.0),
+            ("CA", "1991", "female", 420.0, 13.0),
+        ];
+        for (s, y, x, pop, births) in data {
+            o.insert_row(&[s, y, x], &[*pop, *births]).unwrap();
+        }
+        o
+    }
+
+    fn find<'a>(rs: &'a ResultSet, group: &[Option<&str>]) -> Option<&'a ResultRow> {
+        rs.rows.iter().find(|r| {
+            r.group.len() == group.len()
+                && r.group.iter().zip(group).all(|(a, b)| a.as_deref() == *b)
+        })
+    }
+
+    #[test]
+    fn plain_group_by() {
+        let rs = execute_str(
+            &census(),
+            "SELECT SUM(population) FROM census WHERE year = '1990' GROUP BY state",
+        )
+        .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(find(&rs, &[Some("AL")]).unwrap().values[0], Some(210.0));
+        assert_eq!(find(&rs, &[Some("CA")]).unwrap().values[0], Some(810.0));
+    }
+
+    #[test]
+    fn cube_emits_all_groupings_with_all() {
+        let rs = execute_str(
+            &census(),
+            "SELECT SUM(births) FROM census GROUP BY CUBE(state, sex)",
+        )
+        .unwrap();
+        // Groupings: (state,sex)=4 rows, (state)=2, (sex)=2, ()=1.
+        assert_eq!(rs.rows.len(), 9);
+        assert_eq!(find(&rs, &[None, None]).unwrap().values[0], Some(48.0));
+        assert_eq!(find(&rs, &[Some("CA"), None]).unwrap().values[0], Some(36.0));
+        assert_eq!(find(&rs, &[None, Some("male")]).unwrap().values[0], Some(19.0));
+        assert_eq!(
+            find(&rs, &[Some("AL"), Some("female")]).unwrap().values[0],
+            Some(4.0)
+        );
+    }
+
+    #[test]
+    fn rollup_emits_prefixes_only() {
+        let rs = execute_str(
+            &census(),
+            "SELECT SUM(births) FROM census GROUP BY ROLLUP(state, sex)",
+        )
+        .unwrap();
+        // (state,sex)=4, (state)=2, ()=1.
+        assert_eq!(rs.rows.len(), 7);
+        assert!(find(&rs, &[None, Some("male")]).is_none());
+        assert_eq!(find(&rs, &[Some("AL"), None]).unwrap().values[0], Some(12.0));
+    }
+
+    #[test]
+    fn multiple_aggregates_and_count_star() {
+        let rs = execute_str(
+            &census(),
+            "SELECT SUM(births), AVG(births), COUNT(*), MIN(births), MAX(births) \
+             FROM census GROUP BY state",
+        )
+        .unwrap();
+        let al = find(&rs, &[Some("AL")]).unwrap();
+        assert_eq!(al.values, vec![Some(12.0), Some(4.0), Some(3.0), Some(3.0), Some(5.0)]);
+    }
+
+    #[test]
+    fn negated_filter_and_unknown_member() {
+        let rs = execute_str(
+            &census(),
+            "SELECT SUM(births) FROM census WHERE sex <> 'male' GROUP BY state",
+        )
+        .unwrap();
+        assert_eq!(find(&rs, &[Some("CA")]).unwrap().values[0], Some(25.0));
+        // Unknown member: empty result, not an error (SQL semantics).
+        let rs = execute_str(
+            &census(),
+            "SELECT SUM(births) FROM census WHERE state = 'TX' GROUP BY state",
+        )
+        .unwrap();
+        assert!(rs.rows.is_empty());
+    }
+
+    #[test]
+    fn summarizability_is_per_aggregate() {
+        // SUM(population) over the temporal dimension: refused.
+        let err = execute_str(&census(), "SELECT SUM(population) FROM census GROUP BY state");
+        assert!(matches!(err, Err(Error::Summarizability(_))));
+        // AVG(population) over the same grouping: fine.
+        let rs = execute_str(&census(), "SELECT AVG(population) FROM census GROUP BY state")
+            .unwrap();
+        assert_eq!(find(&rs, &[Some("AL")]).unwrap().values[0], Some(104.0));
+        // SUM(population) grouped by year (time kept): fine.
+        let rs = execute_str(&census(), "SELECT SUM(population) FROM census GROUP BY year")
+            .unwrap();
+        assert_eq!(find(&rs, &[Some("1990")]).unwrap().values[0], Some(1020.0));
+        // SUM(births) — a flow — over time: fine.
+        assert!(execute_str(&census(), "SELECT SUM(births) FROM census").is_ok());
+        // CUBE including population sums must also be refused (the apex
+        // aggregates over time).
+        let err = execute_str(
+            &census(),
+            "SELECT SUM(population) FROM census GROUP BY CUBE(state, year)",
+        );
+        assert!(matches!(err, Err(Error::Summarizability(_))));
+    }
+
+    #[test]
+    fn errors_for_unknown_names() {
+        assert!(execute_str(&census(), "SELECT SUM(gdp) FROM census").is_err());
+        assert!(execute_str(&census(), "SELECT SUM(births) FROM census GROUP BY planet").is_err());
+        assert!(
+            execute_str(&census(), "SELECT SUM(births) FROM census WHERE planet = 'x'").is_err()
+        );
+    }
+
+    #[test]
+    fn render_contains_all_and_values() {
+        let rs = execute_str(
+            &census(),
+            "SELECT SUM(births) FROM census GROUP BY CUBE(state, sex)",
+        )
+        .unwrap();
+        let text = rs.render();
+        assert!(text.contains("ALL"));
+        assert!(text.contains("48.00"));
+        assert!(text.contains("state"));
+        assert!(text.contains("SUM(\"births\")"));
+    }
+
+    #[test]
+    fn group_by_hierarchy_level_rolls_up() {
+        use statcube_core::hierarchy::Hierarchy;
+        let location = Hierarchy::builder("loc")
+            .level("store")
+            .level("city")
+            .edge("s1", "seattle")
+            .edge("s2", "seattle")
+            .edge("s3", "portland")
+            .build()
+            .unwrap();
+        let schema = Schema::builder("sales")
+            .dimension(Dimension::classified("store", location))
+            .dimension(Dimension::categorical("product", ["a", "b"]))
+            .measure(SummaryAttribute::new("amount", MeasureKind::Flow))
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        o.insert(&["s1", "a"], 10.0).unwrap();
+        o.insert(&["s2", "a"], 5.0).unwrap();
+        o.insert(&["s3", "b"], 7.0).unwrap();
+        // GROUP BY the *city* level, not the store dimension.
+        let rs = execute_str(&o, "SELECT SUM(amount) FROM sales GROUP BY city").unwrap();
+        assert_eq!(rs.group_columns, vec!["city"]);
+        assert_eq!(find(&rs, &[Some("seattle")]).unwrap().values[0], Some(15.0));
+        assert_eq!(find(&rs, &[Some("portland")]).unwrap().values[0], Some(7.0));
+        // Works inside CUBE too.
+        let rs = execute_str(&o, "SELECT SUM(amount) FROM sales GROUP BY CUBE(city, product)")
+            .unwrap();
+        assert_eq!(find(&rs, &[Some("seattle"), None]).unwrap().values[0], Some(15.0));
+        assert_eq!(find(&rs, &[None, None]).unwrap().values[0], Some(22.0));
+        // Unknown names still error.
+        assert!(execute_str(&o, "SELECT SUM(amount) FROM sales GROUP BY galaxy").is_err());
+        // Leaf-level WHERE composes with level grouping: only s1 counts.
+        let rs = execute_str(
+            &o,
+            "SELECT SUM(amount) FROM sales WHERE store = 's1' GROUP BY city",
+        )
+        .unwrap();
+        assert_eq!(find(&rs, &[Some("seattle")]).unwrap().values[0], Some(10.0));
+        assert!(find(&rs, &[Some("portland")]).is_none());
+    }
+
+    #[test]
+    fn grand_total_without_group_by() {
+        let rs = execute_str(&census(), "SELECT COUNT(*) FROM census").unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert!(rs.rows[0].group.is_empty());
+        assert_eq!(rs.rows[0].values[0], Some(6.0));
+    }
+}

@@ -1,0 +1,60 @@
+//! # statcube-sql
+//!
+//! A small SQL dialect with the `GROUP BY CUBE` / `ROLLUP` extensions of
+//! \[GB+96\] (paper §5.4), executed against statistical objects.
+//!
+//! §5.4 makes two points this crate demonstrates in code:
+//!
+//! 1. Without CUBE, multidimensional summarization in SQL is "awkward and
+//!    verbose" — one `GROUP BY` per grouping plus a union.
+//!    [`parser::expand_cube_to_unions`] performs exactly that rewrite, so
+//!    the verbosity is measurable (see experiment E08).
+//! 2. The relational structure is "devoid of the semantics of statistical
+//!    objects". Here the executor *keeps* those semantics: summarizability
+//!    is enforced per requested aggregate, so `SUM(population) … GROUP BY
+//!    state` over a time dimension is refused while `AVG(population)` is
+//!    answered. And `GROUP BY` accepts *hierarchy level* names — `GROUP BY
+//!    city` over a `store` dimension rolls up through the classification
+//!    hierarchy first, the way a statistical object reads it.
+//!
+//! ```
+//! use statcube_core::prelude::*;
+//! use statcube_sql::execute_str;
+//!
+//! let schema = Schema::builder("sales")
+//!     .dimension(Dimension::categorical("product", ["apple", "pear"]))
+//!     .dimension(Dimension::categorical("store", ["s1", "s2"]))
+//!     .measure(SummaryAttribute::new("amount", MeasureKind::Flow))
+//!     .build()
+//!     .unwrap();
+//! let mut sales = StatisticalObject::empty(schema);
+//! sales.insert(&["apple", "s1"], 10.0).unwrap();
+//! sales.insert(&["pear", "s2"], 5.0).unwrap();
+//!
+//! let rs = execute_str(
+//!     &sales,
+//!     "SELECT SUM(amount), COUNT(*) FROM sales GROUP BY CUBE(product, store)",
+//! )
+//! .unwrap();
+//! assert_eq!(rs.rows.len(), 2 + 2 + 2 + 1); // base, by product, by store, apex
+//! println!("{}", rs.render());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod exec;
+pub mod parser;
+pub mod token;
+
+pub use exec::{execute, execute_str, ResultRow, ResultSet};
+pub use parser::{expand_cube_to_unions, parse};
+
+/// The most commonly used items, for glob import. `Query` is re-exported
+/// as `SqlQuery` to avoid clashing with
+/// `statcube_core::auto_agg::Query` in combined preludes.
+pub mod prelude {
+    pub use crate::ast::{AggExpr, Grouping, Predicate, Query as SqlQuery};
+    pub use crate::exec::{execute, execute_str, ResultRow, ResultSet};
+    pub use crate::parser::{expand_cube_to_unions, parse};
+}

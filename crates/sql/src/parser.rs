@@ -1,0 +1,293 @@
+//! Recursive-descent parser for the query dialect.
+//!
+//! ```text
+//! query    := SELECT agg (',' agg)* FROM ident
+//!             [WHERE pred (AND pred)*]
+//!             [GROUP BY grouping]
+//! agg      := (SUM|COUNT|AVG|MIN|MAX) '(' (ident | '*') ')'
+//! pred     := ident ('=' | '<>' | '!=') string
+//! grouping := CUBE '(' idents ')' | ROLLUP '(' idents ')' | idents
+//! ```
+
+use statcube_core::error::{Error, Result};
+use statcube_core::measure::SummaryFunction;
+
+use crate::ast::{AggExpr, Grouping, Predicate, Query};
+use crate::token::{tokenize, Token};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| Error::InvalidSchema("unexpected end of query".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        let t = self.next()?;
+        if t.is_kw(kw) {
+            Ok(())
+        } else {
+            Err(Error::InvalidSchema(format!("expected `{kw}`, found `{t}`")))
+        }
+    }
+
+    fn accept_kw(&mut self, kw: &str) -> bool {
+        if self.peek().map(|t| t.is_kw(kw)).unwrap_or(false) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        let got = self.next()?;
+        if got == *t {
+            Ok(())
+        } else {
+            Err(Error::InvalidSchema(format!("expected `{t}`, found `{got}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(Error::InvalidSchema(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn agg(&mut self) -> Result<AggExpr> {
+        let name = self.ident()?;
+        let func = match name.to_ascii_lowercase().as_str() {
+            "sum" => SummaryFunction::Sum,
+            "count" => SummaryFunction::Count,
+            "avg" => SummaryFunction::Avg,
+            "min" => SummaryFunction::Min,
+            "max" => SummaryFunction::Max,
+            other => {
+                return Err(Error::InvalidSchema(format!(
+                    "unknown aggregate function `{other}` (only count/sum/avg/min/max — \
+                     the paper's §5.6 point; see statcube_core::stats for more)"
+                )))
+            }
+        };
+        self.expect(&Token::LParen)?;
+        let arg = match self.peek() {
+            Some(Token::Star) => {
+                self.pos += 1;
+                if func != SummaryFunction::Count {
+                    return Err(Error::InvalidSchema(format!("`*` only valid in COUNT, not {func}")));
+                }
+                None
+            }
+            _ => Some(self.ident()?),
+        };
+        self.expect(&Token::RParen)?;
+        Ok(AggExpr { func, arg })
+    }
+
+    fn predicate(&mut self) -> Result<Predicate> {
+        let column = self.ident()?;
+        let negated = match self.next()? {
+            Token::Eq => false,
+            Token::Ne => true,
+            other => {
+                return Err(Error::InvalidSchema(format!(
+                    "expected `=` or `<>`, found `{other}`"
+                )))
+            }
+        };
+        let value = match self.next()? {
+            Token::Str(s) => s,
+            Token::Number(n) => n.to_string(),
+            other => {
+                return Err(Error::InvalidSchema(format!("expected literal, found `{other}`")))
+            }
+        };
+        Ok(Predicate { column, value, negated })
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>> {
+        let mut out = vec![self.ident()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            out.push(self.ident()?);
+        }
+        Ok(out)
+    }
+
+    fn grouping(&mut self) -> Result<Grouping> {
+        if self.accept_kw("cube") {
+            self.expect(&Token::LParen)?;
+            let dims = self.ident_list()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Grouping::Cube(dims));
+        }
+        if self.accept_kw("rollup") {
+            self.expect(&Token::LParen)?;
+            let dims = self.ident_list()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Grouping::Rollup(dims));
+        }
+        Ok(Grouping::Plain(self.ident_list()?))
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_kw("select")?;
+        let mut select = vec![self.agg()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            select.push(self.agg()?);
+        }
+        self.expect_kw("from")?;
+        let from = self.ident()?;
+        let mut filters = Vec::new();
+        if self.accept_kw("where") {
+            filters.push(self.predicate()?);
+            while self.accept_kw("and") {
+                filters.push(self.predicate()?);
+            }
+        }
+        let grouping = if self.accept_kw("group") {
+            self.expect_kw("by")?;
+            self.grouping()?
+        } else {
+            Grouping::None
+        };
+        if let Some(t) = self.peek() {
+            return Err(Error::InvalidSchema(format!("trailing input at `{t}`")));
+        }
+        // Reject duplicate grouping dimensions up front.
+        let dims = grouping.dims();
+        for (i, d) in dims.iter().enumerate() {
+            if dims[..i].contains(d) {
+                return Err(Error::InvalidSchema(format!("dimension `{d}` grouped twice")));
+            }
+        }
+        Ok(Query { select, from, filters, grouping })
+    }
+}
+
+/// Parses one query.
+pub fn parse(input: &str) -> Result<Query> {
+    Parser { tokens: tokenize(input)?, pos: 0 }.query()
+}
+
+/// Rewrites a `GROUP BY CUBE` query into the equivalent union of plain
+/// GROUP BY queries — the "awkward and verbose" SQL the CUBE operator
+/// replaces (§5.4). Returns one SQL string per grouping, finest first.
+pub fn expand_cube_to_unions(query: &Query) -> Result<Vec<String>> {
+    let dims = match &query.grouping {
+        Grouping::Cube(d) => d.clone(),
+        other => {
+            return Err(Error::InvalidSchema(format!(
+                "expand_cube_to_unions needs GROUP BY CUBE, found {other:?}"
+            )))
+        }
+    };
+    let n = dims.len();
+    let mut out = Vec::with_capacity(1 << n);
+    for mask in (0..(1u32 << n)).rev() {
+        let kept: Vec<String> = dims
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, d)| d.clone())
+            .collect();
+        let grouping = if kept.is_empty() { Grouping::None } else { Grouping::Plain(kept) };
+        let q = Query { grouping, ..query.clone() };
+        out.push(q.to_sql());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_gb96_example() {
+        // The paper's §5.4 example: GROUP BY CUBE (state, year, sex).
+        let q = parse(
+            "SELECT SUM(population) FROM census GROUP BY CUBE(state, year, sex)",
+        )
+        .unwrap();
+        assert_eq!(q.from, "census");
+        assert_eq!(q.grouping, Grouping::Cube(vec!["state".into(), "year".into(), "sex".into()]));
+        assert_eq!(q.select[0].arg.as_deref(), Some("population"));
+    }
+
+    #[test]
+    fn parses_filters_and_multiple_aggregates() {
+        let q = parse(
+            "SELECT AVG(income), COUNT(*) FROM census \
+             WHERE state = 'CA' AND sex <> 'male' GROUP BY race",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.filters.len(), 2);
+        assert!(q.filters[1].negated);
+        assert_eq!(q.grouping, Grouping::Plain(vec!["race".into()]));
+    }
+
+    #[test]
+    fn grand_total_and_rollup() {
+        let q = parse("SELECT SUM(x) FROM t").unwrap();
+        assert_eq!(q.grouping, Grouping::None);
+        let q = parse("SELECT SUM(x) FROM t GROUP BY ROLLUP(a, b)").unwrap();
+        assert_eq!(q.grouping, Grouping::Rollup(vec!["a".into(), "b".into()]));
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT SUM(x) FROM").is_err());
+        assert!(parse("SELECT MEDIAN(x) FROM t").is_err());
+        assert!(parse("SELECT SUM(*) FROM t").is_err());
+        assert!(parse("SELECT SUM(x) FROM t WHERE a = ").is_err());
+        assert!(parse("SELECT SUM(x) FROM t GROUP BY CUBE(a, a)").is_err());
+        assert!(parse("SELECT SUM(x) FROM t extra").is_err());
+        assert!(parse("SELECT SUM(x) FROM t WHERE a LIKE 'b'").is_err());
+    }
+
+    #[test]
+    fn expand_cube_produces_2n_queries() {
+        let q = parse("SELECT SUM(sales) FROM t WHERE region = 'west' GROUP BY CUBE(a, b)")
+            .unwrap();
+        let unions = expand_cube_to_unions(&q).unwrap();
+        assert_eq!(unions.len(), 4);
+        // Finest grouping first, grand total last; filter preserved in all.
+        assert!(unions[0].contains("GROUP BY \"a\", \"b\""));
+        assert!(!unions[3].contains("GROUP BY"));
+        assert!(unions.iter().all(|u| u.contains("WHERE \"region\" = 'west'")));
+        // Each expansion is itself parseable.
+        for u in &unions {
+            parse(u).unwrap();
+        }
+        // Non-CUBE queries are rejected.
+        let plain = parse("SELECT SUM(sales) FROM t GROUP BY a").unwrap();
+        assert!(expand_cube_to_unions(&plain).is_err());
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let q = parse("SELECT SUM(\"quantity sold\") FROM \"retail sales\" GROUP BY \"store location\"")
+            .unwrap();
+        assert_eq!(q.from, "retail sales");
+        assert_eq!(q.select[0].arg.as_deref(), Some("quantity sold"));
+        assert_eq!(q.grouping, Grouping::Plain(vec!["store location".into()]));
+    }
+}

@@ -1,0 +1,228 @@
+//! Tokenizer for the query dialect.
+
+use std::fmt;
+
+use statcube_core::error::{Error, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A keyword or bare identifier (case-preserved; keyword matching is
+    /// case-insensitive).
+    Ident(String),
+    /// A single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// A numeric literal.
+    Number(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `*`
+    Star,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Star => write!(f, "*"),
+        }
+    }
+}
+
+impl Token {
+    /// True if this is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes `input`. Identifiers may be bare (`sex`, `quantity_sold`) or
+/// double-quoted (`"quantity sold"`).
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::RParen);
+            }
+            ',' => {
+                chars.next();
+                out.push(Token::Comma);
+            }
+            '=' => {
+                chars.next();
+                out.push(Token::Eq);
+            }
+            '*' => {
+                chars.next();
+                out.push(Token::Star);
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    out.push(Token::Ne);
+                } else {
+                    return Err(Error::InvalidSchema("unsupported operator `<`".into()));
+                }
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push(Token::Ne);
+                } else {
+                    return Err(Error::InvalidSchema("unsupported operator `!`".into()));
+                }
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => {
+                            if chars.peek() == Some(&'\'') {
+                                chars.next();
+                                s.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => s.push(c),
+                        None => {
+                            return Err(Error::InvalidSchema(
+                                "unterminated string literal".into(),
+                            ))
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some(c) => s.push(c),
+                        None => {
+                            return Err(Error::InvalidSchema(
+                                "unterminated quoted identifier".into(),
+                            ))
+                        }
+                    }
+                }
+                out.push(Token::Ident(s));
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut s = String::new();
+                s.push(c);
+                chars.next();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() || d == '.' || d == '_' {
+                        if d != '_' {
+                            s.push(d);
+                        }
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let n: f64 = s
+                    .parse()
+                    .map_err(|_| Error::InvalidSchema(format!("bad number `{s}`")))?;
+                out.push(Token::Number(n));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(s));
+            }
+            other => {
+                return Err(Error::InvalidSchema(format!("unexpected character `{other}`")))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_cube_query() {
+        let toks = tokenize(
+            "SELECT SUM(\"quantity sold\") FROM sales WHERE product = 'banana' \
+             GROUP BY CUBE(store, day)",
+        )
+        .unwrap();
+        assert!(toks.iter().any(|t| t.is_kw("cube")));
+        assert!(toks.contains(&Token::Str("banana".into())));
+        assert!(toks.contains(&Token::Ident("quantity sold".into())));
+        assert_eq!(toks.iter().filter(|t| **t == Token::LParen).count(), 2);
+    }
+
+    #[test]
+    fn string_escaping_and_numbers() {
+        let toks = tokenize("'o''brien' 42 -3.5 1_000").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Str("o'brien".into()),
+                Token::Number(42.0),
+                Token::Number(-3.5),
+                Token::Number(1000.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(tokenize("a <> b").unwrap()[1], Token::Ne);
+        assert_eq!(tokenize("a != b").unwrap()[1], Token::Ne);
+        assert_eq!(tokenize("count(*)").unwrap()[2], Token::Star);
+        assert!(tokenize("a < b").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("'open").is_err());
+        assert!(tokenize("\"open").is_err());
+        assert!(tokenize("a ; b").is_err());
+    }
+
+    #[test]
+    fn keyword_matching_is_case_insensitive() {
+        let toks = tokenize("select Select SELECT").unwrap();
+        assert!(toks.iter().all(|t| t.is_kw("select")));
+    }
+}

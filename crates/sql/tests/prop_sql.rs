@@ -1,0 +1,92 @@
+//! Property tests for the SQL layer: AST → SQL → AST round-trips, and the
+//! CUBE union-expansion always parses and covers exactly `2^n` groupings.
+
+use proptest::prelude::*;
+
+use statcube_core::measure::SummaryFunction;
+use statcube_sql::ast::{AggExpr, Grouping, Predicate, Query};
+use statcube_sql::{expand_cube_to_unions, parse};
+
+fn ident() -> impl Strategy<Value = String> {
+    // Identifiers with spaces and mixed case, to exercise quoting.
+    "[a-zA-Z][a-zA-Z0-9_]{0,8}( [a-zA-Z0-9_]{1,6})?".prop_map(|s| s)
+}
+
+fn agg() -> impl Strategy<Value = AggExpr> {
+    let func = prop_oneof![
+        Just(SummaryFunction::Sum),
+        Just(SummaryFunction::Count),
+        Just(SummaryFunction::Avg),
+        Just(SummaryFunction::Min),
+        Just(SummaryFunction::Max),
+    ];
+    (func, proptest::option::of(ident())).prop_map(|(func, arg)| match arg {
+        Some(a) => AggExpr { func, arg: Some(a) },
+        // COUNT(*) is the only star form.
+        None => AggExpr { func: SummaryFunction::Count, arg: None },
+    })
+}
+
+fn predicate() -> impl Strategy<Value = Predicate> {
+    // Values may contain single quotes (escaped on rendering).
+    (ident(), "[a-z0-9' ]{1,10}", proptest::bool::ANY)
+        .prop_map(|(column, value, negated)| Predicate { column, value, negated })
+}
+
+fn distinct_dims(n: usize) -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::btree_set(ident(), 1..=n)
+        .prop_map(|set| set.into_iter().collect())
+}
+
+fn grouping() -> impl Strategy<Value = Grouping> {
+    prop_oneof![
+        Just(Grouping::None),
+        distinct_dims(3).prop_map(Grouping::Plain),
+        distinct_dims(3).prop_map(Grouping::Cube),
+        distinct_dims(3).prop_map(Grouping::Rollup),
+    ]
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    (
+        proptest::collection::vec(agg(), 1..4),
+        ident(),
+        proptest::collection::vec(predicate(), 0..3),
+        grouping(),
+    )
+        .prop_map(|(select, from, filters, grouping)| Query { select, from, filters, grouping })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn to_sql_parse_round_trips(q in query()) {
+        let sql = q.to_sql();
+        let reparsed = parse(&sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        prop_assert_eq!(reparsed, q);
+    }
+
+    #[test]
+    fn cube_expansion_is_complete_and_parseable(
+        select in proptest::collection::vec(agg(), 1..3),
+        from in ident(),
+        dims in distinct_dims(3),
+    ) {
+        let n = dims.len();
+        let q = Query { select, from, filters: vec![], grouping: Grouping::Cube(dims) };
+        let unions = expand_cube_to_unions(&q).unwrap();
+        prop_assert_eq!(unions.len(), 1 << n);
+        // Every expansion parses, none contains CUBE, and exactly one has
+        // no GROUP BY (the grand total).
+        let mut no_group = 0;
+        for u in &unions {
+            let parsed = parse(u).unwrap();
+            prop_assert!(!matches!(parsed.grouping, Grouping::Cube(_)));
+            if parsed.grouping == Grouping::None {
+                no_group += 1;
+            }
+        }
+        prop_assert_eq!(no_group, 1);
+    }
+}

@@ -1,0 +1,447 @@
+//! A B+tree over `u64` keys.
+//!
+//! Used where the paper's structures call for one: searching the
+//! accumulated run-length *header* of \[EOA81\] header compression
+//! ([`crate::header`]) and indexing the segments of \[RZ86\] extendible
+//! arrays ([`crate::extendible`]). Leaves are doubly linked for ordered
+//! scans; [`BPlusTree::height`] is the page-probe cost a disk-resident tree
+//! would pay per lookup.
+
+const MAX_KEYS: usize = 32;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        keys: Vec<u64>,
+        vals: Vec<u64>,
+        next: Option<usize>,
+        prev: Option<usize>,
+    },
+    Internal {
+        /// `keys[i]` separates `children[i]` (< key) from `children[i+1]`
+        /// (≥ key).
+        keys: Vec<u64>,
+        children: Vec<usize>,
+    },
+}
+
+/// An in-memory B+tree mapping `u64` → `u64`.
+#[derive(Debug, Clone)]
+pub struct BPlusTree {
+    nodes: Vec<Node>,
+    root: usize,
+    len: usize,
+    height: usize,
+}
+
+impl Default for BPlusTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BPlusTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self {
+            nodes: vec![Node::Leaf { keys: Vec::new(), vals: Vec::new(), next: None, prev: None }],
+            root: 0,
+            len: 0,
+            height: 1,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entry is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height in nodes (root to leaf) — the per-lookup page cost.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of nodes (the tree's page footprint).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn find_leaf(&self, key: u64) -> usize {
+        let mut idx = self.root;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { .. } => return idx,
+                Node::Internal { keys, children } => {
+                    let pos = keys.partition_point(|&k| k <= key);
+                    idx = children[pos];
+                }
+            }
+        }
+    }
+
+    /// Inserts or replaces `key → val`.
+    pub fn insert(&mut self, key: u64, val: u64) {
+        if let Some((sep, right)) = self.insert_rec(self.root, key, val) {
+            let new_root = self.nodes.len();
+            self.nodes.push(Node::Internal { keys: vec![sep], children: vec![self.root, right] });
+            self.root = new_root;
+            self.height += 1;
+        }
+    }
+
+    fn insert_rec(&mut self, idx: usize, key: u64, val: u64) -> Option<(u64, usize)> {
+        match &mut self.nodes[idx] {
+            Node::Leaf { keys, vals, .. } => {
+                match keys.binary_search(&key) {
+                    Ok(pos) => {
+                        vals[pos] = val;
+                        return None;
+                    }
+                    Err(pos) => {
+                        keys.insert(pos, key);
+                        vals.insert(pos, val);
+                        self.len += 1;
+                    }
+                }
+                if let Node::Leaf { keys, .. } = &self.nodes[idx] {
+                    if keys.len() <= MAX_KEYS {
+                        return None;
+                    }
+                }
+                Some(self.split_leaf(idx))
+            }
+            Node::Internal { keys, children } => {
+                let pos = keys.partition_point(|&k| k <= key);
+                let child = children[pos];
+                let split = self.insert_rec(child, key, val)?;
+                let (sep, right) = split;
+                if let Node::Internal { keys, children } = &mut self.nodes[idx] {
+                    let pos = keys.partition_point(|&k| k <= sep);
+                    keys.insert(pos, sep);
+                    children.insert(pos + 1, right);
+                    if keys.len() <= MAX_KEYS {
+                        return None;
+                    }
+                }
+                Some(self.split_internal(idx))
+            }
+        }
+    }
+
+    fn split_leaf(&mut self, idx: usize) -> (u64, usize) {
+        let right_idx = self.nodes.len();
+        let (sep, right_node, old_next) = {
+            let Node::Leaf { keys, vals, next, .. } = &mut self.nodes[idx] else {
+                unreachable!()
+            };
+            let mid = keys.len() / 2;
+            let rkeys: Vec<u64> = keys.split_off(mid);
+            let rvals: Vec<u64> = vals.split_off(mid);
+            let sep = rkeys[0];
+            let old_next = *next;
+            *next = Some(right_idx);
+            (
+                sep,
+                Node::Leaf { keys: rkeys, vals: rvals, next: old_next, prev: Some(idx) },
+                old_next,
+            )
+        };
+        self.nodes.push(right_node);
+        if let Some(n) = old_next {
+            if let Node::Leaf { prev, .. } = &mut self.nodes[n] {
+                *prev = Some(right_idx);
+            }
+        }
+        (sep, right_idx)
+    }
+
+    fn split_internal(&mut self, idx: usize) -> (u64, usize) {
+        let right_idx = self.nodes.len();
+        let (sep, right_node) = {
+            let Node::Internal { keys, children } = &mut self.nodes[idx] else { unreachable!() };
+            let mid = keys.len() / 2;
+            let rkeys: Vec<u64> = keys.split_off(mid + 1);
+            let sep = keys.pop().expect("non-empty");
+            let rchildren: Vec<usize> = children.split_off(mid + 1);
+            (sep, Node::Internal { keys: rkeys, children: rchildren })
+        };
+        self.nodes.push(right_node);
+        (sep, right_idx)
+    }
+
+    /// Exact lookup.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let leaf = self.find_leaf(key);
+        let Node::Leaf { keys, vals, .. } = &self.nodes[leaf] else { unreachable!() };
+        keys.binary_search(&key).ok().map(|pos| vals[pos])
+    }
+
+    /// The greatest entry with key ≤ `key` (predecessor-or-equal) — the
+    /// search the accumulated header sequence needs.
+    pub fn last_le(&self, key: u64) -> Option<(u64, u64)> {
+        let mut leaf = self.find_leaf(key);
+        loop {
+            let Node::Leaf { keys, vals, prev, .. } = &self.nodes[leaf] else { unreachable!() };
+            let pos = keys.partition_point(|&k| k <= key);
+            if pos > 0 {
+                return Some((keys[pos - 1], vals[pos - 1]));
+            }
+            leaf = (*prev)?;
+        }
+    }
+
+    /// The least entry with key ≥ `key` (successor-or-equal).
+    pub fn first_ge(&self, key: u64) -> Option<(u64, u64)> {
+        let mut leaf = self.find_leaf(key);
+        loop {
+            let Node::Leaf { keys, vals, next, .. } = &self.nodes[leaf] else { unreachable!() };
+            let pos = keys.partition_point(|&k| k < key);
+            if pos < keys.len() {
+                return Some((keys[pos], vals[pos]));
+            }
+            leaf = (*next)?;
+        }
+    }
+
+    /// Iterates entries with keys in `[lo, hi]`, ascending, via the leaf
+    /// chain.
+    pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        if lo > hi {
+            return out;
+        }
+        let mut leaf = Some(self.find_leaf(lo));
+        while let Some(l) = leaf {
+            let Node::Leaf { keys, vals, next, .. } = &self.nodes[l] else { unreachable!() };
+            for (k, v) in keys.iter().zip(vals) {
+                if *k > hi {
+                    return out;
+                }
+                if *k >= lo {
+                    out.push((*k, *v));
+                }
+            }
+            leaf = *next;
+        }
+        out
+    }
+
+    /// All entries in key order.
+    pub fn iter_all(&self) -> Vec<(u64, u64)> {
+        self.range(0, u64::MAX)
+    }
+
+    /// Draws `k` entries uniformly at random **with replacement** using
+    /// acceptance/rejection random descent — the B+tree sampling technique
+    /// surveyed in \[OR95\] (§5.6): descend by picking a uniform child at
+    /// each level, then accept the reached entry with probability
+    /// proportional to the product of fanouts along its path, so entries
+    /// under skinny subtrees are not oversampled. No full scan needed.
+    pub fn sample(&self, k: usize, seed: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(k);
+        if self.is_empty() || k == 0 {
+            return out;
+        }
+        // SplitMix64, to keep the crate dependency-free.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let max_fanout = (MAX_KEYS + 2) as f64;
+        while out.len() < k {
+            let mut idx = self.root;
+            let mut path_prob = 1.0f64;
+            loop {
+                match &self.nodes[idx] {
+                    Node::Internal { children, .. } => {
+                        let c = (next() % children.len() as u64) as usize;
+                        path_prob /= children.len() as f64;
+                        idx = children[c];
+                    }
+                    Node::Leaf { keys, vals, .. } => {
+                        if keys.is_empty() {
+                            break;
+                        }
+                        let c = (next() % keys.len() as u64) as usize;
+                        path_prob /= keys.len() as f64;
+                        // Accept with probability (1/maxf)^h / p_e so the
+                        // overall per-trial probability of every entry is
+                        // the same constant (1/maxf)^h — uniform.
+                        let accept = 1.0 / (path_prob * max_fanout.powi(self.height as i32));
+                        let u = (next() >> 11) as f64 / (1u64 << 53) as f64;
+                        if u < accept.min(1.0) {
+                            out.push((keys[c], vals[c]));
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_small() {
+        let mut t = BPlusTree::new();
+        assert!(t.is_empty());
+        t.insert(5, 50);
+        t.insert(1, 10);
+        t.insert(9, 90);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(5), Some(50));
+        assert_eq!(t.get(1), Some(10));
+        assert_eq!(t.get(2), None);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut t = BPlusTree::new();
+        t.insert(7, 1);
+        t.insert(7, 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(7), Some(2));
+    }
+
+    #[test]
+    fn large_sequential_and_random_agree_with_btreemap() {
+        let mut t = BPlusTree::new();
+        let mut m = BTreeMap::new();
+        // Sequential then pseudo-random interleave, forcing many splits.
+        for i in 0..5000u64 {
+            let k = (i * 2654435761) % 10_000;
+            t.insert(k, i);
+            m.insert(k, i);
+        }
+        for i in 0..2000u64 {
+            t.insert(i, i + 1);
+            m.insert(i, i + 1);
+        }
+        assert_eq!(t.len(), m.len());
+        for k in m.keys() {
+            assert_eq!(t.get(*k), m.get(k).copied());
+        }
+        assert!(t.height() >= 3, "tree should have split: height {}", t.height());
+        assert_eq!(t.iter_all(), m.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn last_le_and_first_ge() {
+        let mut t = BPlusTree::new();
+        for k in [10u64, 20, 30, 40, 50] {
+            t.insert(k, k * 2);
+        }
+        assert_eq!(t.last_le(35), Some((30, 60)));
+        assert_eq!(t.last_le(30), Some((30, 60)));
+        assert_eq!(t.last_le(9), None);
+        assert_eq!(t.last_le(1000), Some((50, 100)));
+        assert_eq!(t.first_ge(35), Some((40, 80)));
+        assert_eq!(t.first_ge(40), Some((40, 80)));
+        assert_eq!(t.first_ge(51), None);
+        assert_eq!(t.first_ge(0), Some((10, 20)));
+    }
+
+    #[test]
+    fn last_le_crosses_leaf_boundaries() {
+        // Dense keys force multi-leaf trees; query keys *between* leaves
+        // must walk the prev pointer.
+        let mut t = BPlusTree::new();
+        for k in (0..1000u64).map(|i| i * 10) {
+            t.insert(k, k);
+        }
+        for probe in [5u64, 995, 4321, 9999] {
+            let expected = (probe / 10) * 10;
+            assert_eq!(t.last_le(probe), Some((expected, expected)), "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn range_queries() {
+        let mut t = BPlusTree::new();
+        for k in 0..200u64 {
+            t.insert(k * 3, k);
+        }
+        let r = t.range(10, 40);
+        let expected: Vec<(u64, u64)> =
+            (0..200u64).map(|k| (k * 3, k)).filter(|&(k, _)| (10..=40).contains(&k)).collect();
+        assert_eq!(r, expected);
+        assert!(t.range(50, 10).is_empty());
+        assert_eq!(t.range(0, u64::MAX).len(), 200);
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t = BPlusTree::new();
+        assert_eq!(t.get(1), None);
+        assert_eq!(t.last_le(1), None);
+        assert_eq!(t.first_ge(1), None);
+        assert!(t.range(0, 100).is_empty());
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        // A deliberately lopsided tree: sequential inserts leave leaves
+        // half-full on one side; rejection sampling must still be uniform.
+        let mut t = BPlusTree::new();
+        for k in 0..500u64 {
+            t.insert(k, k);
+        }
+        let mut hits = vec![0u32; 500];
+        let sample = t.sample(50_000, 99);
+        assert_eq!(sample.len(), 50_000);
+        for (k, v) in sample {
+            assert_eq!(k, v);
+            hits[k as usize] += 1;
+        }
+        // Expected 100 hits each; allow generous statistical slack.
+        for (k, &h) in hits.iter().enumerate() {
+            assert!((30..=300).contains(&h), "key {k} sampled {h} times");
+        }
+    }
+
+    #[test]
+    fn sampling_edge_cases() {
+        let t = BPlusTree::new();
+        assert!(t.sample(10, 1).is_empty());
+        let mut one = BPlusTree::new();
+        one.insert(7, 70);
+        let s = one.sample(5, 1);
+        assert_eq!(s.len(), 5);
+        assert!(s.iter().all(|&e| e == (7, 70)));
+        assert!(one.sample(0, 1).is_empty());
+        // Determinism under a fixed seed.
+        let mut t = BPlusTree::new();
+        for k in 0..100u64 {
+            t.insert(k * 2, k);
+        }
+        assert_eq!(t.sample(20, 5), t.sample(20, 5));
+        assert_ne!(t.sample(20, 5), t.sample(20, 6));
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let mut t = BPlusTree::new();
+        for k in 0..100_000u64 {
+            t.insert(k, k);
+        }
+        // With 32 keys/node, 100k entries need height ≤ 5.
+        assert!(t.height() <= 5, "height {}", t.height());
+        assert!(t.node_count() > 3000);
+        assert_eq!(t.get(99_999), Some(99_999));
+    }
+}

@@ -1,0 +1,377 @@
+//! Subcube (chunk) partitioning of the data cube (§6.4, Fig 23, \[SS94\],
+//! \[CD+95\]).
+//!
+//! Range ("slice and dice") queries touch a contiguous region of the
+//! multidimensional space; pre-partitioning the cube into subcubes means
+//! only the subcubes overlapping the query region are read from secondary
+//! storage. With no workload knowledge, partitioning is *symmetric* (equal
+//! sub-dimensions); when typical query shapes are known, a *non-symmetric*
+//! shape aligned to them does better — \[CD+95\] showed choosing it optimally
+//! is NP-complete, so experiment E16 sweeps shapes instead.
+
+use statcube_core::error::{Error, Result};
+
+use crate::io_stats::IoStats;
+use crate::linear::LinearizedArray;
+
+/// A multidimensional array stored as a grid of dense chunks. Chunks are
+/// allocated lazily on first write; absent cells are `NaN`.
+#[derive(Debug)]
+pub struct ChunkedArray {
+    dims: Vec<usize>,
+    chunk_shape: Vec<usize>,
+    /// Chunks per dimension.
+    grid: Vec<usize>,
+    chunks: Vec<Option<Box<[f64]>>>,
+    io: IoStats,
+}
+
+impl ChunkedArray {
+    /// A chunked array of logical shape `dims`, chunk shape `chunk_shape`
+    /// (clamped per-dimension to `dims`), with the given page size.
+    pub fn new(dims: &[usize], chunk_shape: &[usize], page_size: usize) -> Result<Self> {
+        if dims.is_empty() || dims.contains(&0) {
+            return Err(Error::InvalidSchema("array needs non-zero dimensions".into()));
+        }
+        if chunk_shape.len() != dims.len() || chunk_shape.contains(&0) {
+            return Err(Error::InvalidSchema("chunk shape must match dims and be non-zero".into()));
+        }
+        let chunk_shape: Vec<usize> =
+            chunk_shape.iter().zip(dims).map(|(&c, &d)| c.min(d)).collect();
+        let grid: Vec<usize> =
+            dims.iter().zip(&chunk_shape).map(|(&d, &c)| d.div_ceil(c)).collect();
+        let n_chunks = grid.iter().product();
+        Ok(Self {
+            dims: dims.to_vec(),
+            chunk_shape,
+            grid,
+            chunks: vec![None; n_chunks],
+            io: IoStats::new(page_size),
+        })
+    }
+
+    /// Symmetric partitioning: the same chunk side in every dimension
+    /// (§6.4's no-workload-knowledge default).
+    pub fn symmetric(dims: &[usize], side: usize, page_size: usize) -> Result<Self> {
+        Self::new(dims, &vec![side; dims.len()], page_size)
+    }
+
+    /// Loads a dense linearized array into chunks of the given shape.
+    pub fn from_linearized(
+        arr: &LinearizedArray,
+        chunk_shape: &[usize],
+        page_size: usize,
+    ) -> Result<Self> {
+        let mut c = Self::new(arr.dims(), chunk_shape, page_size)?;
+        for off in 0..arr.len() {
+            let v = arr.dense_values()[off];
+            if !v.is_nan() {
+                let coords = arr.coords_of(off)?;
+                c.set(&coords, v)?;
+            }
+        }
+        c.io.reset(); // loading is not part of any measured query
+        Ok(c)
+    }
+
+    /// The logical shape.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The chunk shape actually in use.
+    pub fn chunk_shape(&self) -> &[usize] {
+        &self.chunk_shape
+    }
+
+    /// The I/O counters.
+    pub fn io(&self) -> &IoStats {
+        &self.io
+    }
+
+    /// Cells per chunk.
+    pub fn chunk_cells(&self) -> usize {
+        self.chunk_shape.iter().product()
+    }
+
+    /// Bytes per chunk.
+    pub fn chunk_bytes(&self) -> usize {
+        self.chunk_cells() * 8
+    }
+
+    /// Number of chunks that hold at least one value.
+    pub fn allocated_chunks(&self) -> usize {
+        self.chunks.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Stored bytes (allocated chunks only).
+    pub fn size_bytes(&self) -> usize {
+        self.allocated_chunks() * self.chunk_bytes()
+    }
+
+    #[allow(clippy::needless_range_loop)] // odometer over several parallel arrays
+    fn chunk_and_offset(&self, coords: &[usize]) -> Result<(usize, usize)> {
+        if coords.len() != self.dims.len() {
+            return Err(Error::ArityMismatch { expected: self.dims.len(), got: coords.len() });
+        }
+        let mut chunk = 0usize;
+        let mut offset = 0usize;
+        for d in 0..self.dims.len() {
+            if coords[d] >= self.dims[d] {
+                return Err(Error::InvalidSchema(format!(
+                    "coordinate {} out of range {}",
+                    coords[d], self.dims[d]
+                )));
+            }
+            chunk = chunk * self.grid[d] + coords[d] / self.chunk_shape[d];
+            offset = offset * self.chunk_shape[d] + coords[d] % self.chunk_shape[d];
+        }
+        Ok((chunk, offset))
+    }
+
+    /// Writes a cell, allocating its chunk if needed.
+    pub fn set(&mut self, coords: &[usize], v: f64) -> Result<()> {
+        let (chunk, offset) = self.chunk_and_offset(coords)?;
+        let cells = self.chunk_cells();
+        let slot = self.chunks[chunk]
+            .get_or_insert_with(|| vec![f64::NAN; cells].into_boxed_slice());
+        slot[offset] = v;
+        Ok(())
+    }
+
+    /// Reads a cell (no I/O charged; use range queries for measured access).
+    pub fn get(&self, coords: &[usize]) -> Result<Option<f64>> {
+        let (chunk, offset) = self.chunk_and_offset(coords)?;
+        Ok(self.chunks[chunk].as_ref().and_then(|c| {
+            let v = c[offset];
+            if v.is_nan() {
+                None
+            } else {
+                Some(v)
+            }
+        }))
+    }
+
+    /// Number of chunks overlapping the half-open region `[lo, hi)`
+    /// (allocated or not — the partitioning property, independent of data).
+    pub fn chunks_overlapping(&self, lo: &[usize], hi: &[usize]) -> usize {
+        let mut n = 1usize;
+        for d in 0..self.dims.len() {
+            if hi[d] <= lo[d] {
+                return 0;
+            }
+            let c0 = lo[d] / self.chunk_shape[d];
+            let c1 = (hi[d] - 1) / self.chunk_shape[d];
+            n *= c1 - c0 + 1;
+        }
+        n
+    }
+
+    /// Range query: sum and count over the half-open region `[lo, hi)`.
+    /// Charges one whole-chunk read per *allocated* chunk overlapping the
+    /// region — the access software must read and assemble whole subcubes
+    /// (§6.4).
+    #[allow(clippy::needless_range_loop)] // odometer over several parallel arrays
+    pub fn range_sum(&self, lo: &[usize], hi: &[usize]) -> Result<(f64, u64)> {
+        if lo.len() != self.dims.len() || hi.len() != self.dims.len() {
+            return Err(Error::ArityMismatch { expected: self.dims.len(), got: lo.len() });
+        }
+        for d in 0..self.dims.len() {
+            if hi[d] > self.dims[d] {
+                return Err(Error::InvalidSchema(format!(
+                    "range end {} out of range {}",
+                    hi[d], self.dims[d]
+                )));
+            }
+        }
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        // Enumerate overlapping chunk grid coordinates.
+        let mut chunk_lo = Vec::with_capacity(self.dims.len());
+        let mut chunk_hi = Vec::with_capacity(self.dims.len());
+        for d in 0..self.dims.len() {
+            if hi[d] <= lo[d] {
+                return Ok((0.0, 0));
+            }
+            chunk_lo.push(lo[d] / self.chunk_shape[d]);
+            chunk_hi.push((hi[d] - 1) / self.chunk_shape[d]);
+        }
+        let mut cursor = chunk_lo.clone();
+        loop {
+            let mut chunk_idx = 0usize;
+            for d in 0..self.dims.len() {
+                chunk_idx = chunk_idx * self.grid[d] + cursor[d];
+            }
+            if let Some(chunk) = &self.chunks[chunk_idx] {
+                self.io.charge_seq_read(self.chunk_bytes());
+                // Iterate the intersection of the query region and this
+                // chunk.
+                let mut cell_lo = Vec::with_capacity(self.dims.len());
+                let mut cell_hi = Vec::with_capacity(self.dims.len());
+                for d in 0..self.dims.len() {
+                    let base = cursor[d] * self.chunk_shape[d];
+                    cell_lo.push(lo[d].max(base) - base);
+                    cell_hi.push(hi[d].min(base + self.chunk_shape[d]) - base);
+                }
+                let mut cc = cell_lo.clone();
+                'cells: loop {
+                    let mut off = 0usize;
+                    for d in 0..self.dims.len() {
+                        off = off * self.chunk_shape[d] + cc[d];
+                    }
+                    let v = chunk[off];
+                    if !v.is_nan() {
+                        sum += v;
+                        count += 1;
+                    }
+                    for d in (0..self.dims.len()).rev() {
+                        cc[d] += 1;
+                        if cc[d] < cell_hi[d] {
+                            continue 'cells;
+                        }
+                        cc[d] = cell_lo[d];
+                        if d == 0 {
+                            break 'cells;
+                        }
+                    }
+                }
+            }
+            // Advance the chunk cursor.
+            let mut d = self.dims.len();
+            loop {
+                if d == 0 {
+                    return Ok((sum, count));
+                }
+                d -= 1;
+                cursor[d] += 1;
+                if cursor[d] <= chunk_hi[d] {
+                    break;
+                }
+                cursor[d] = chunk_lo[d];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(dims: &[usize], chunk: &[usize]) -> ChunkedArray {
+        let mut a = ChunkedArray::new(dims, chunk, 4096).unwrap();
+        let total: usize = dims.iter().product();
+        for off in 0..total {
+            let mut coords = Vec::with_capacity(dims.len());
+            let mut rem = off;
+            for d in (0..dims.len()).rev() {
+                coords.push(rem % dims[d]);
+                rem /= dims[d];
+            }
+            coords.reverse();
+            a.set(&coords, off as f64).unwrap();
+        }
+        a.io().reset();
+        a
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut a = ChunkedArray::new(&[10, 10], &[4, 4], 4096).unwrap();
+        assert_eq!(a.get(&[3, 7]).unwrap(), None);
+        a.set(&[3, 7], 5.0).unwrap();
+        a.set(&[9, 9], 6.0).unwrap();
+        assert_eq!(a.get(&[3, 7]).unwrap(), Some(5.0));
+        assert_eq!(a.get(&[9, 9]).unwrap(), Some(6.0));
+        assert_eq!(a.allocated_chunks(), 2);
+        assert!(a.get(&[10, 0]).is_err());
+        assert!(a.set(&[0], 1.0).is_err());
+    }
+
+    #[test]
+    fn range_sum_matches_naive() {
+        let a = filled(&[12, 9], &[5, 4]);
+        let (sum, count) = a.range_sum(&[2, 3], &[7, 8]).unwrap();
+        let mut expected = 0.0;
+        let mut n = 0;
+        for i in 2..7 {
+            for j in 3..8 {
+                expected += (i * 9 + j) as f64;
+                n += 1;
+            }
+        }
+        assert_eq!(sum, expected);
+        assert_eq!(count, n);
+    }
+
+    #[test]
+    fn io_charges_only_overlapping_chunks() {
+        let a = filled(&[100, 100], &[10, 10]);
+        // Query region [0,10)x[0,10): exactly 1 chunk.
+        a.range_sum(&[0, 0], &[10, 10]).unwrap();
+        let one_chunk_pages = a.io().pages_read();
+        assert_eq!(one_chunk_pages, a.io().pages_of(a.chunk_bytes()));
+        a.io().reset();
+        // Region straddling 4 chunks.
+        a.range_sum(&[5, 5], &[15, 15]).unwrap();
+        assert_eq!(a.io().pages_read(), 4 * one_chunk_pages);
+        assert_eq!(a.chunks_overlapping(&[5, 5], &[15, 15]), 4);
+    }
+
+    #[test]
+    fn non_symmetric_chunks_match_query_shape() {
+        // Row-shaped queries: [1 row] x [all columns].
+        let sym = filled(&[64, 64], &[8, 8]);
+        let tuned = filled(&[64, 64], &[1, 64]);
+        let (s1, _) = sym.range_sum(&[10, 0], &[11, 64]).unwrap();
+        let (s2, _) = tuned.range_sum(&[10, 0], &[11, 64]).unwrap();
+        assert_eq!(s1, s2);
+        // Symmetric touches 8 chunks of 64 cells; tuned touches 1 chunk of
+        // 64 cells.
+        assert_eq!(sym.chunks_overlapping(&[10, 0], &[11, 64]), 8);
+        assert_eq!(tuned.chunks_overlapping(&[10, 0], &[11, 64]), 1);
+        assert!(tuned.io().pages_read() < sym.io().pages_read());
+    }
+
+    #[test]
+    fn empty_and_degenerate_ranges() {
+        let a = filled(&[10, 10], &[4, 4]);
+        assert_eq!(a.range_sum(&[3, 3], &[3, 9]).unwrap(), (0.0, 0));
+        assert_eq!(a.chunks_overlapping(&[3, 3], &[3, 9]), 0);
+        assert!(a.range_sum(&[0, 0], &[11, 5]).is_err());
+        assert!(a.range_sum(&[0], &[1]).is_err());
+    }
+
+    #[test]
+    fn sparse_allocation_skips_empty_chunks() {
+        let mut a = ChunkedArray::symmetric(&[100, 100], 10, 4096).unwrap();
+        a.set(&[0, 0], 1.0).unwrap();
+        a.set(&[99, 99], 2.0).unwrap();
+        assert_eq!(a.allocated_chunks(), 2);
+        assert_eq!(a.size_bytes(), 2 * a.chunk_bytes());
+        a.io().reset();
+        // A full-cube range query charges only the 2 allocated chunks.
+        let (sum, count) = a.range_sum(&[0, 0], &[100, 100]).unwrap();
+        assert_eq!((sum, count), (3.0, 2));
+        assert_eq!(a.io().pages_read(), 2 * a.io().pages_of(a.chunk_bytes()));
+    }
+
+    #[test]
+    fn from_linearized_round_trips() {
+        let mut lin = LinearizedArray::new(&[6, 6]).unwrap();
+        lin.set(&[1, 2], 3.0).unwrap();
+        lin.set(&[5, 5], 4.0).unwrap();
+        let c = ChunkedArray::from_linearized(&lin, &[2, 2], 4096).unwrap();
+        assert_eq!(c.get(&[1, 2]).unwrap(), Some(3.0));
+        assert_eq!(c.get(&[5, 5]).unwrap(), Some(4.0));
+        assert_eq!(c.get(&[0, 0]).unwrap(), None);
+        assert_eq!(c.io().pages_read(), 0);
+    }
+
+    #[test]
+    fn chunk_shape_clamped_to_dims() {
+        let a = ChunkedArray::new(&[3, 3], &[10, 2], 4096).unwrap();
+        assert_eq!(a.chunk_shape(), &[3, 2]);
+        assert!(ChunkedArray::new(&[3], &[0], 4096).is_err());
+        assert!(ChunkedArray::new(&[3], &[1, 1], 4096).is_err());
+    }
+}

@@ -1,0 +1,412 @@
+//! Cubetree: a packed R-tree over cube cells with bulk updates (§6.5,
+//! \[RKR97\]: *"Cubetree: Organization of and Bulk Updates on the Data
+//! Cube"*).
+//!
+//! The cube's populated cells are points in the multidimensional
+//! coordinate space. Packing them in **Z-order** (Morton code) and cutting
+//! the sorted run into full pages yields an R-tree with no insertion
+//! overlap — every node is exactly full, range queries touch few nodes —
+//! and, crucially for warehouses, an append batch is absorbed by *merging*
+//! two sorted runs and re-packing, a sequential operation, instead of
+//! record-at-a-time inserts.
+
+use statcube_core::error::{Error, Result};
+
+use crate::io_stats::IoStats;
+
+/// Entries per leaf / children per internal node (a page's worth).
+const NODE_CAPACITY: usize = 64;
+
+/// Interleaves up to 4 dimensions of `u32` coordinates into a Morton code.
+fn morton(coords: &[u32]) -> u128 {
+    let mut code: u128 = 0;
+    for bit in 0..32 {
+        for (d, &c) in coords.iter().enumerate() {
+            if c & (1 << bit) != 0 {
+                code |= 1u128 << (bit * coords.len() + d);
+            }
+        }
+    }
+    code
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Node {
+    lo: Vec<u32>,
+    hi: Vec<u32>,
+    /// Child range: indices into the next level down (or the entry array
+    /// for leaves).
+    start: usize,
+    end: usize,
+}
+
+impl Node {
+    fn intersects(&self, lo: &[u32], hi: &[u32]) -> bool {
+        self.lo.iter().zip(hi).all(|(a, b)| a <= b)
+            && self.hi.iter().zip(lo).all(|(a, b)| a >= b)
+    }
+}
+
+/// A bulk-loaded, Z-order packed R-tree over `(coordinates, value)` points.
+#[derive(Debug)]
+pub struct CubeTree {
+    dims: usize,
+    /// Entries in Morton order.
+    entries: Vec<(Box<[u32]>, f64)>,
+    /// `levels[0]` = leaves (over entries); each higher level groups the
+    /// one below. The last level has a single root node.
+    levels: Vec<Vec<Node>>,
+    io: IoStats,
+}
+
+impl CubeTree {
+    /// Bulk-loads a tree from `(coordinates, value)` points. Duplicate
+    /// coordinates merge by summing values (cube cells are unique keys).
+    pub fn bulk_load(
+        points: impl IntoIterator<Item = (Vec<u32>, f64)>,
+        dims: usize,
+        page_size: usize,
+    ) -> Result<Self> {
+        if dims == 0 || dims > 4 {
+            return Err(Error::InvalidSchema("cubetree supports 1..=4 dimensions".into()));
+        }
+        let mut entries: Vec<(Box<[u32]>, f64)> = Vec::new();
+        for (coords, v) in points {
+            if coords.len() != dims {
+                return Err(Error::ArityMismatch { expected: dims, got: coords.len() });
+            }
+            entries.push((coords.into_boxed_slice(), v));
+        }
+        entries.sort_by_key(|(c, _)| morton(c));
+        entries.dedup_by(|b, a| {
+            if a.0 == b.0 {
+                a.1 += b.1;
+                true
+            } else {
+                false
+            }
+        });
+        let mut tree =
+            Self { dims, entries, levels: Vec::new(), io: IoStats::new(page_size) };
+        tree.pack();
+        // Loading writes every page once, sequentially.
+        tree.io.charge_page_writes(tree.page_count());
+        Ok(tree)
+    }
+
+    fn pack(&mut self) {
+        self.levels.clear();
+        if self.entries.is_empty() {
+            return;
+        }
+        // Leaves over entry ranges.
+        let mut level: Vec<Node> = self
+            .entries
+            .chunks(NODE_CAPACITY)
+            .enumerate()
+            .map(|(i, chunk)| {
+                let mut lo = vec![u32::MAX; self.dims];
+                let mut hi = vec![0u32; self.dims];
+                for (c, _) in chunk {
+                    for d in 0..self.dims {
+                        lo[d] = lo[d].min(c[d]);
+                        hi[d] = hi[d].max(c[d]);
+                    }
+                }
+                let start = i * NODE_CAPACITY;
+                Node { lo, hi, start, end: (start + chunk.len()).min(self.entries.len()) }
+            })
+            .collect();
+        self.levels.push(level.clone());
+        // Upper levels until a single root.
+        while level.len() > 1 {
+            let next: Vec<Node> = level
+                .chunks(NODE_CAPACITY)
+                .enumerate()
+                .map(|(i, chunk)| {
+                    let mut lo = vec![u32::MAX; self.dims];
+                    let mut hi = vec![0u32; self.dims];
+                    for n in chunk {
+                        for d in 0..self.dims {
+                            lo[d] = lo[d].min(n.lo[d]);
+                            hi[d] = hi[d].max(n.hi[d]);
+                        }
+                    }
+                    let start = i * NODE_CAPACITY;
+                    Node { lo, hi, start, end: (start + chunk.len()).min(level.len()) }
+                })
+                .collect();
+            self.levels.push(next.clone());
+            level = next;
+        }
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no point is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Tree height (levels of nodes above the entries).
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total pages (leaf + internal), the tree's disk footprint.
+    pub fn page_count(&self) -> u64 {
+        self.levels.iter().map(Vec::len).sum::<usize>() as u64
+    }
+
+    /// The I/O counters.
+    pub fn io(&self) -> &IoStats {
+        &self.io
+    }
+
+    /// Range query over the **closed** box `[lo, hi]`: returns
+    /// `(sum, count)` and charges one page read per node visited.
+    pub fn range_sum(&self, lo: &[u32], hi: &[u32]) -> Result<(f64, u64)> {
+        if lo.len() != self.dims || hi.len() != self.dims {
+            return Err(Error::ArityMismatch { expected: self.dims, got: lo.len() });
+        }
+        if self.levels.is_empty() {
+            return Ok((0.0, 0));
+        }
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        // Descend level by level. A node's page stores its children's
+        // MBRs, so only children whose MBR intersects the query are read —
+        // the frontier is pruned *before* charging child pages.
+        let root_level = self.levels.len() - 1;
+        let root = &self.levels[root_level][0];
+        self.io.charge_page_reads(1);
+        if !root.intersects(lo, hi) {
+            return Ok((0.0, 0));
+        }
+        let mut frontier: Vec<usize> = vec![0];
+        for lvl in (1..=root_level).rev() {
+            let mut next = Vec::new();
+            for &ni in &frontier {
+                let node = &self.levels[lvl][ni];
+                for ci in node.start..node.end {
+                    if self.levels[lvl - 1][ci].intersects(lo, hi) {
+                        next.push(ci);
+                    }
+                }
+            }
+            self.io.charge_page_reads(next.len() as u64);
+            frontier = next;
+        }
+        for &ni in &frontier {
+            let leaf = &self.levels[0][ni];
+            for (c, v) in &self.entries[leaf.start..leaf.end] {
+                if c.iter().zip(lo).all(|(a, b)| a >= b)
+                    && c.iter().zip(hi).all(|(a, b)| a <= b)
+                {
+                    sum += v;
+                    count += 1;
+                }
+            }
+        }
+        Ok((sum, count))
+    }
+
+    /// Point lookup.
+    pub fn get(&self, coords: &[u32]) -> Result<Option<f64>> {
+        let (sum, count) = self.range_sum(coords, coords)?;
+        Ok((count > 0).then_some(sum))
+    }
+
+    /// Bulk update (\[RKR97\]'s contribution): merges an append batch by
+    /// merging two Morton-sorted runs and re-packing — sequential I/O
+    /// proportional to the data size, no per-record R-tree inserts.
+    /// Coordinates already present merge by summing.
+    pub fn bulk_update(
+        &mut self,
+        points: impl IntoIterator<Item = (Vec<u32>, f64)>,
+    ) -> Result<()> {
+        let mut batch: Vec<(Box<[u32]>, f64)> = Vec::new();
+        for (coords, v) in points {
+            if coords.len() != self.dims {
+                return Err(Error::ArityMismatch { expected: self.dims, got: coords.len() });
+            }
+            batch.push((coords.into_boxed_slice(), v));
+        }
+        batch.sort_by_key(|(c, _)| morton(c));
+        batch.dedup_by(|b, a| {
+            if a.0 == b.0 {
+                a.1 += b.1;
+                true
+            } else {
+                false
+            }
+        });
+        // Merge the two sorted runs.
+        let old = std::mem::take(&mut self.entries);
+        let mut merged = Vec::with_capacity(old.len() + batch.len());
+        let (mut i, mut j) = (0, 0);
+        while i < old.len() && j < batch.len() {
+            match morton(&old[i].0).cmp(&morton(&batch[j].0)) {
+                std::cmp::Ordering::Less => {
+                    merged.push(old[i].clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(batch[j].clone());
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push((old[i].0.clone(), old[i].1 + batch[j].1));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&old[i..]);
+        merged.extend_from_slice(&batch[j..]);
+        // Sequential read of the old run + sequential write of the new.
+        self.io.charge_page_reads(self.page_count());
+        self.entries = merged;
+        self.pack();
+        self.io.charge_page_writes(self.page_count());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(n: usize) -> Vec<(Vec<u32>, f64)> {
+        let mut out = Vec::new();
+        let mut x = 1u64;
+        for _ in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            out.push((vec![(x % 100) as u32, ((x >> 8) % 100) as u32], (x % 50) as f64));
+        }
+        out
+    }
+
+    fn naive_range(points: &[(Vec<u32>, f64)], lo: &[u32], hi: &[u32]) -> (f64, u64) {
+        use std::collections::HashMap;
+        let mut cells: HashMap<Vec<u32>, f64> = HashMap::new();
+        for (c, v) in points {
+            *cells.entry(c.clone()).or_insert(0.0) += v;
+        }
+        let mut sum = 0.0;
+        let mut count = 0;
+        for (c, v) in cells {
+            if c.iter().zip(lo).all(|(a, b)| a >= b) && c.iter().zip(hi).all(|(a, b)| a <= b) {
+                sum += v;
+                count += 1;
+            }
+        }
+        (sum, count)
+    }
+
+    #[test]
+    fn morton_orders_locally() {
+        // Z-order keeps small boxes contiguous-ish: within a 2x2 block the
+        // codes are consecutive.
+        let codes: Vec<u128> =
+            [(0u32, 0u32), (1, 0), (0, 1), (1, 1)].iter().map(|&(x, y)| morton(&[x, y])).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn range_queries_match_naive() {
+        let points = grid_points(3000);
+        let tree = CubeTree::bulk_load(points.clone(), 2, 4096).unwrap();
+        for (lo, hi) in [([10u32, 10], [30u32, 30]), ([0, 0], [99, 99]), ([50, 0], [50, 99])] {
+            let (s, c) = tree.range_sum(&lo, &hi).unwrap();
+            let (ns, nc) = naive_range(&points, &lo, &hi);
+            assert!((s - ns).abs() < 1e-9, "{lo:?}..{hi:?}");
+            assert_eq!(c, nc);
+        }
+        // Empty box.
+        assert_eq!(tree.range_sum(&[200, 200], &[300, 300]).unwrap(), (0.0, 0));
+        assert!(tree.range_sum(&[0], &[1]).is_err());
+    }
+
+    #[test]
+    fn point_lookup_and_duplicate_merge() {
+        let tree = CubeTree::bulk_load(
+            vec![(vec![5, 5], 1.0), (vec![5, 5], 2.0), (vec![6, 6], 4.0)],
+            2,
+            4096,
+        )
+        .unwrap();
+        assert_eq!(tree.len(), 2);
+        assert_eq!(tree.get(&[5, 5]).unwrap(), Some(3.0));
+        assert_eq!(tree.get(&[6, 6]).unwrap(), Some(4.0));
+        assert_eq!(tree.get(&[7, 7]).unwrap(), None);
+    }
+
+    #[test]
+    fn small_queries_touch_few_pages() {
+        let points = grid_points(20_000);
+        let tree = CubeTree::bulk_load(points, 2, 4096).unwrap();
+        let total_pages = tree.page_count();
+        tree.io().reset();
+        tree.range_sum(&[40, 40], &[45, 45]).unwrap();
+        let touched = tree.io().pages_read();
+        assert!(
+            touched * 5 < total_pages,
+            "small query touched {touched} of {total_pages} pages"
+        );
+        assert!(tree.height() >= 2);
+    }
+
+    #[test]
+    fn bulk_update_equals_rebuild() {
+        let mut points = grid_points(2000);
+        let batch = grid_points(500)
+            .into_iter()
+            .map(|(mut c, v)| {
+                c[0] += 1; // shift so some coords are new, some collide
+                (c, v)
+            })
+            .collect::<Vec<_>>();
+        let mut tree = CubeTree::bulk_load(points.clone(), 2, 4096).unwrap();
+        tree.bulk_update(batch.clone()).unwrap();
+        points.extend(batch);
+        let rebuilt = CubeTree::bulk_load(points, 2, 4096).unwrap();
+        assert_eq!(tree.len(), rebuilt.len());
+        assert_eq!(tree.entries, rebuilt.entries);
+        let (a, ca) = tree.range_sum(&[0, 0], &[200, 200]).unwrap();
+        let (b, cb) = rebuilt.range_sum(&[0, 0], &[200, 200]).unwrap();
+        assert!((a - b).abs() < 1e-9);
+        assert_eq!(ca, cb);
+        // Arity checked.
+        assert!(tree.bulk_update(vec![(vec![1], 1.0)]).is_err());
+    }
+
+    #[test]
+    fn empty_tree_and_bounds() {
+        let tree = CubeTree::bulk_load(Vec::new(), 2, 4096).unwrap();
+        assert!(tree.is_empty());
+        assert_eq!(tree.range_sum(&[0, 0], &[10, 10]).unwrap(), (0.0, 0));
+        assert_eq!(tree.height(), 0);
+        assert!(CubeTree::bulk_load(Vec::new(), 0, 4096).is_err());
+        assert!(CubeTree::bulk_load(Vec::new(), 5, 4096).is_err());
+        assert!(CubeTree::bulk_load(vec![(vec![1], 1.0)], 2, 4096).is_err());
+    }
+
+    #[test]
+    fn packing_fills_nodes() {
+        // Packed trees have every node (except possibly the last per
+        // level) exactly full — the [RKR97] space advantage.
+        let tree = CubeTree::bulk_load(grid_points(10_000), 2, 4096).unwrap();
+        let leaves = &tree.levels[0];
+        for leaf in &leaves[..leaves.len() - 1] {
+            assert_eq!(leaf.end - leaf.start, NODE_CAPACITY);
+        }
+    }
+}

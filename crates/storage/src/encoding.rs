@@ -1,0 +1,151 @@
+//! Bit-packed dictionary encoding of category columns (§6.1, Fig 19,
+//! \[WL+85\]).
+//!
+//! Category attributes have few distinct values — sex needs 1 bit, race 3,
+//! the 50 states 6 — so instead of 4-byte codes a column stores
+//! fixed-width bit codes back to back. [`EncodedColumn`] is that layout;
+//! [`crate::bittransposed`] takes it to the extreme of one file per bit.
+
+use statcube_core::error::{Error, Result};
+
+/// A fixed-width bit-packed column of dictionary codes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedColumn {
+    bits: u32,
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl EncodedColumn {
+    /// Packs `codes` at `bits` bits per value. Every code must fit.
+    pub fn pack(codes: &[u32], bits: u32) -> Result<Self> {
+        if bits == 0 || bits > 32 {
+            return Err(Error::InvalidSchema(format!("code width {bits} out of range 1..=32")));
+        }
+        let limit = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        let total_bits = codes.len() as u64 * bits as u64;
+        let mut words = vec![0u64; (total_bits as usize).div_ceil(64)];
+        for (i, &code) in codes.iter().enumerate() {
+            if code > limit {
+                return Err(Error::InvalidSchema(format!(
+                    "code {code} does not fit in {bits} bits"
+                )));
+            }
+            let bit = i as u64 * bits as u64;
+            let word = (bit / 64) as usize;
+            let off = (bit % 64) as u32;
+            words[word] |= (code as u64) << off;
+            if off + bits > 64 {
+                words[word + 1] |= (code as u64) >> (64 - off);
+            }
+        }
+        Ok(Self { bits, len: codes.len(), words })
+    }
+
+    /// Code width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads the value at `i`.
+    pub fn get(&self, i: usize) -> Option<u32> {
+        if i >= self.len {
+            return None;
+        }
+        let bit = i as u64 * self.bits as u64;
+        let word = (bit / 64) as usize;
+        let off = (bit % 64) as u32;
+        let mask = if self.bits == 32 { u32::MAX as u64 } else { (1u64 << self.bits) - 1 };
+        let mut v = self.words[word] >> off;
+        if off + self.bits > 64 {
+            v |= self.words[word + 1] << (64 - off);
+        }
+        Some((v & mask) as u32)
+    }
+
+    /// Unpacks the whole column.
+    pub fn unpack(&self) -> Vec<u32> {
+        (0..self.len).map(|i| self.get(i).expect("in range")).collect()
+    }
+
+    /// Stored bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Iterates values in order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len).map(|i| self.get(i).expect("in range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let codes: Vec<u32> = (0..1000).map(|i| (i * 7) % 50).collect();
+        for bits in [6, 7, 13, 32] {
+            let col = EncodedColumn::pack(&codes, bits).unwrap();
+            assert_eq!(col.unpack(), codes, "width {bits}");
+            assert_eq!(col.len(), 1000);
+        }
+    }
+
+    #[test]
+    fn sizes_shrink_with_width() {
+        let codes: Vec<u32> = (0..8192).map(|i| i % 2).collect();
+        let one_bit = EncodedColumn::pack(&codes, 1).unwrap();
+        let six_bit = EncodedColumn::pack(&codes, 6).unwrap();
+        // 8192 × 1 bit = 1 KiB; raw u32 storage would be 32 KiB.
+        assert_eq!(one_bit.size_bytes(), 1024);
+        assert_eq!(six_bit.size_bytes(), 8192 * 6 / 8);
+        assert!(one_bit.size_bytes() * 30 < codes.len() * 4);
+    }
+
+    #[test]
+    fn values_spanning_word_boundaries() {
+        // Width 13 guarantees many values straddle u64 boundaries.
+        let codes: Vec<u32> = (0..500).map(|i| (i * 2654435761u64 % 8191) as u32).collect();
+        let col = EncodedColumn::pack(&codes, 13).unwrap();
+        for (i, &c) in codes.iter().enumerate() {
+            assert_eq!(col.get(i), Some(c));
+        }
+        assert_eq!(col.get(500), None);
+    }
+
+    #[test]
+    fn rejects_overflow_and_bad_width() {
+        assert!(EncodedColumn::pack(&[8], 3).is_err());
+        assert!(EncodedColumn::pack(&[0], 0).is_err());
+        assert!(EncodedColumn::pack(&[0], 33).is_err());
+        assert!(EncodedColumn::pack(&[7], 3).is_ok());
+    }
+
+    #[test]
+    fn empty_column() {
+        let col = EncodedColumn::pack(&[], 4).unwrap();
+        assert!(col.is_empty());
+        assert_eq!(col.size_bytes(), 0);
+        assert_eq!(col.get(0), None);
+    }
+
+    #[test]
+    fn iter_matches_get() {
+        let codes = vec![1, 2, 3, 4, 5];
+        let col = EncodedColumn::pack(&codes, 3).unwrap();
+        let collected: Vec<u32> = col.iter().collect();
+        assert_eq!(collected, codes);
+    }
+}

@@ -1,0 +1,291 @@
+//! Header compression (§6.2, Fig 21, \[EOA81\]).
+//!
+//! Nulls cluster in the linearized value sequence (whole counties that
+//! produce no oil), so: store only the non-null values, run-length encode
+//! the alternating value/null runs, **accumulate** the run lengths into a
+//! monotone sequence (the *header*), and put a B-tree over it so both
+//! mappings are `O(log)`:
+//!
+//! * logical position → stored value ([`HeaderCompressed::get`]), and
+//! * stored (physical) position → logical position
+//!   ([`HeaderCompressed::logical_of`]) — the inverse mapping the paper
+//!   points out the same structure supports.
+
+use statcube_core::error::{Error, Result};
+
+use crate::btree::BPlusTree;
+use crate::io_stats::IoStats;
+
+/// One maximal run of consecutive non-null values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Run {
+    logical_start: u64,
+    physical_start: u64,
+    len: u64,
+}
+
+/// A header-compressed sparse sequence.
+#[derive(Debug, Clone)]
+pub struct HeaderCompressed {
+    logical_len: usize,
+    values: Vec<f64>,
+    runs: Vec<Run>,
+    /// logical_start → run index.
+    by_logical: BPlusTree,
+    /// physical_start → run index.
+    by_physical: BPlusTree,
+}
+
+impl HeaderCompressed {
+    /// Compresses a dense sequence where `NaN` marks nulls (the
+    /// [`crate::linear::LinearizedArray::dense_values`] convention).
+    pub fn from_dense(dense: &[f64]) -> Self {
+        let mut values = Vec::new();
+        let mut runs: Vec<Run> = Vec::new();
+        for (i, &v) in dense.iter().enumerate() {
+            if v.is_nan() {
+                continue;
+            }
+            match runs.last_mut() {
+                Some(r) if r.logical_start + r.len == i as u64 => r.len += 1,
+                _ => runs.push(Run {
+                    logical_start: i as u64,
+                    physical_start: values.len() as u64,
+                    len: 1,
+                }),
+            }
+            values.push(v);
+        }
+        let mut by_logical = BPlusTree::new();
+        let mut by_physical = BPlusTree::new();
+        for (i, r) in runs.iter().enumerate() {
+            by_logical.insert(r.logical_start, i as u64);
+            by_physical.insert(r.physical_start, i as u64);
+        }
+        Self { logical_len: dense.len(), values, runs, by_logical, by_physical }
+    }
+
+    /// Logical (uncompressed) length.
+    pub fn logical_len(&self) -> usize {
+        self.logical_len
+    }
+
+    /// Number of stored (non-null) values.
+    pub fn value_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of value runs (the header's length).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Forward mapping: the value at logical position `i`, `None` when the
+    /// position is a null or out of range.
+    pub fn get(&self, i: usize) -> Option<f64> {
+        let (_, run_idx) = self.by_logical.last_le(i as u64)?;
+        let r = self.runs[run_idx as usize];
+        let i = i as u64;
+        if i < r.logical_start + r.len {
+            Some(self.values[(r.physical_start + (i - r.logical_start)) as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Like [`HeaderCompressed::get`], charging `io` for the B-tree probe
+    /// (height pages) plus one value page.
+    pub fn get_with_io(&self, i: usize, io: &IoStats) -> Option<f64> {
+        io.charge_page_reads(self.by_logical.height() as u64);
+        let v = self.get(i);
+        if v.is_some() {
+            io.charge_page_reads(1);
+        }
+        v
+    }
+
+    /// Inverse mapping: the logical position of stored value `p`.
+    pub fn logical_of(&self, p: usize) -> Result<usize> {
+        if p >= self.values.len() {
+            return Err(Error::InvalidSchema(format!("physical position {p} out of range")));
+        }
+        let (_, run_idx) =
+            self.by_physical.last_le(p as u64).expect("physical position 0 always covered");
+        let r = self.runs[run_idx as usize];
+        Ok((r.logical_start + (p as u64 - r.physical_start)) as usize)
+    }
+
+    /// Decompresses to the dense representation (NaN = null).
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![f64::NAN; self.logical_len];
+        for r in &self.runs {
+            for k in 0..r.len {
+                out[(r.logical_start + k) as usize] =
+                    self.values[(r.physical_start + k) as usize];
+            }
+        }
+        out
+    }
+
+    /// Stored bytes: values + header entries (two 8-byte accumulated
+    /// counters per run, as in Fig 21) + B-tree nodes (counted at one
+    /// 16-byte entry per run per tree; interior structure is a small
+    /// constant factor we fold into the entry cost).
+    pub fn size_bytes(&self) -> usize {
+        self.values.len() * 8 + self.runs.len() * 16 + self.runs.len() * 32
+    }
+
+    /// Compression ratio vs. the dense 8-byte-per-cell array (> 1 means
+    /// smaller).
+    pub fn compression_ratio(&self) -> f64 {
+        (self.logical_len * 8) as f64 / self.size_bytes().max(1) as f64
+    }
+
+    /// Sum over a logical range `[lo, hi)` touching only stored values —
+    /// the range-search use the accumulated header enables.
+    pub fn range_sum(&self, lo: usize, hi: usize) -> f64 {
+        let mut sum = 0.0;
+        for r in &self.runs {
+            let start = r.logical_start.max(lo as u64);
+            let end = (r.logical_start + r.len).min(hi as u64);
+            if start >= end {
+                continue;
+            }
+            let p0 = (r.physical_start + (start - r.logical_start)) as usize;
+            let p1 = p0 + (end - start) as usize;
+            sum += self.values[p0..p1].iter().sum::<f64>();
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_example() -> Vec<f64> {
+        // Fig 21's shape: values, nulls, value, long null stretch, values.
+        let mut d = vec![30_173.0, 13_457.0, f64::NAN, f64::NAN, 14_362.0, f64::NAN];
+        d.extend(std::iter::repeat_n(f64::NAN, 17));
+        d.extend([1.0, 2.0, 3.0]);
+        d
+    }
+
+    #[test]
+    fn round_trip() {
+        let d = dense_example();
+        let h = HeaderCompressed::from_dense(&d);
+        let back = h.to_dense();
+        assert_eq!(back.len(), d.len());
+        for (a, b) in d.iter().zip(&back) {
+            assert!(a.is_nan() == b.is_nan());
+            if !a.is_nan() {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_mapping() {
+        let d = dense_example();
+        let h = HeaderCompressed::from_dense(&d);
+        assert_eq!(h.run_count(), 3);
+        assert_eq!(h.value_count(), 6);
+        assert_eq!(h.get(0), Some(30_173.0));
+        assert_eq!(h.get(1), Some(13_457.0));
+        assert_eq!(h.get(2), None);
+        assert_eq!(h.get(4), Some(14_362.0));
+        assert_eq!(h.get(10), None);
+        assert_eq!(h.get(23), Some(1.0));
+        assert_eq!(h.get(25), Some(3.0));
+        assert_eq!(h.get(26), None);
+        assert_eq!(h.get(9999), None);
+    }
+
+    #[test]
+    fn inverse_mapping() {
+        let d = dense_example();
+        let h = HeaderCompressed::from_dense(&d);
+        // Physical positions 0..6 map back to logical 0,1,4,23,24,25.
+        let expected = [0usize, 1, 4, 23, 24, 25];
+        for (p, &l) in expected.iter().enumerate() {
+            assert_eq!(h.logical_of(p).unwrap(), l);
+            // And forward(inverse(p)) returns the stored value.
+            assert_eq!(h.get(l), Some(h.to_dense()[l]));
+        }
+        assert!(h.logical_of(6).is_err());
+    }
+
+    #[test]
+    fn all_null_and_all_value_edges() {
+        let h = HeaderCompressed::from_dense(&[f64::NAN; 100]);
+        assert_eq!(h.value_count(), 0);
+        assert_eq!(h.run_count(), 0);
+        assert_eq!(h.get(50), None);
+        assert!(h.compression_ratio() > 1.0);
+
+        let full: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = HeaderCompressed::from_dense(&full);
+        assert_eq!(h.run_count(), 1);
+        assert_eq!(h.value_count(), 100);
+        for i in 0..100 {
+            assert_eq!(h.get(i), Some(i as f64));
+            assert_eq!(h.logical_of(i).unwrap(), i);
+        }
+        // Fully dense: compression adds (small) overhead.
+        assert!(h.compression_ratio() < 1.1);
+
+        let empty = HeaderCompressed::from_dense(&[]);
+        assert_eq!(empty.logical_len(), 0);
+        assert_eq!(empty.get(0), None);
+    }
+
+    #[test]
+    fn compression_grows_with_null_clustering() {
+        // 1% density, clustered: huge ratio.
+        let mut clustered = vec![f64::NAN; 100_000];
+        for i in 0..1000 {
+            clustered[i] = 1.0;
+        }
+        let hc = HeaderCompressed::from_dense(&clustered);
+        assert_eq!(hc.run_count(), 1);
+        assert!(hc.compression_ratio() > 50.0);
+
+        // Same density, scattered: every value its own run, ratio shrinks.
+        let mut scattered = vec![f64::NAN; 100_000];
+        for i in 0..1000 {
+            scattered[i * 100] = 1.0;
+        }
+        let hs = HeaderCompressed::from_dense(&scattered);
+        assert_eq!(hs.run_count(), 1000);
+        assert!(hs.compression_ratio() < hc.compression_ratio());
+        assert!(hs.compression_ratio() > 10.0, "still far better than dense");
+    }
+
+    #[test]
+    fn range_sum_skips_nulls() {
+        let d = dense_example();
+        let h = HeaderCompressed::from_dense(&d);
+        assert_eq!(h.range_sum(0, 2), 30_173.0 + 13_457.0);
+        assert_eq!(h.range_sum(2, 4), 0.0);
+        assert_eq!(h.range_sum(0, d.len()), d.iter().filter(|v| !v.is_nan()).sum::<f64>());
+        assert_eq!(h.range_sum(24, 26), 5.0);
+    }
+
+    #[test]
+    fn io_charged_per_probe() {
+        let mut big = vec![f64::NAN; 1_000_000];
+        for i in (0..1_000_000).step_by(1000) {
+            big[i] = i as f64;
+        }
+        let h = HeaderCompressed::from_dense(&big);
+        let io = IoStats::new(4096);
+        assert_eq!(h.get_with_io(5000, &io), Some(5000.0));
+        // B-tree height + 1 value page.
+        let probe = io.pages_read();
+        assert!((2..=6).contains(&probe), "probe cost {probe}");
+        io.reset();
+        assert_eq!(h.get_with_io(5001, &io), None);
+        assert!(io.pages_read() < probe, "miss skips the value page");
+    }
+}

@@ -1,0 +1,200 @@
+//! Page-granular simulated I/O accounting.
+//!
+//! Every claim in §6 of the paper — transposition wins for summary queries,
+//! chunking reduces range-query I/O, compression shrinks what must be
+//! touched — is a claim about **how many blocks must be read from secondary
+//! storage**. The stores in this crate are in-memory, but each charges an
+//! [`IoStats`] counter with the pages a disk-resident layout would touch, so
+//! benches report the quantity the surveyed systems actually optimized.
+//! Absolute latencies of 1980s–90s testbeds are *not* modeled (see
+//! DESIGN.md, substitutions).
+
+use std::cell::Cell;
+use std::collections::HashSet;
+
+/// Default page size used across the crate (4 KiB).
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+/// Read/write page counters with a fixed page size.
+#[derive(Debug)]
+pub struct IoStats {
+    page_size: usize,
+    pages_read: Cell<u64>,
+    pages_written: Cell<u64>,
+}
+
+impl Default for IoStats {
+    fn default() -> Self {
+        Self::new(DEFAULT_PAGE_SIZE)
+    }
+}
+
+impl IoStats {
+    /// Creates counters with the given page size (bytes, ≥ 1).
+    pub fn new(page_size: usize) -> Self {
+        Self { page_size: page_size.max(1), pages_read: Cell::new(0), pages_written: Cell::new(0) }
+    }
+
+    /// The page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Pages read since the last reset.
+    pub fn pages_read(&self) -> u64 {
+        self.pages_read.get()
+    }
+
+    /// Pages written since the last reset.
+    pub fn pages_written(&self) -> u64 {
+        self.pages_written.get()
+    }
+
+    /// Zeroes both counters.
+    pub fn reset(&self) {
+        self.pages_read.set(0);
+        self.pages_written.set(0);
+    }
+
+    /// Number of pages an object of `bytes` bytes occupies (min 1 for a
+    /// non-empty object).
+    pub fn pages_of(&self, bytes: usize) -> u64 {
+        if bytes == 0 {
+            0
+        } else {
+            bytes.div_ceil(self.page_size) as u64
+        }
+    }
+
+    /// Charges a sequential read of `bytes` contiguous bytes.
+    pub fn charge_seq_read(&self, bytes: usize) {
+        self.pages_read.set(self.pages_read.get() + self.pages_of(bytes));
+    }
+
+    /// Charges a sequential write of `bytes` contiguous bytes.
+    pub fn charge_seq_write(&self, bytes: usize) {
+        self.pages_written.set(self.pages_written.get() + self.pages_of(bytes));
+    }
+
+    /// Charges `pages` distinct page reads (caller already deduplicated).
+    pub fn charge_page_reads(&self, pages: u64) {
+        self.pages_read.set(self.pages_read.get() + pages);
+    }
+
+    /// Charges `pages` distinct page writes.
+    pub fn charge_page_writes(&self, pages: u64) {
+        self.pages_written.set(self.pages_written.get() + pages);
+    }
+}
+
+/// Collects the *distinct* pages touched by a scattered access pattern
+/// across several logical files, then charges them at once — double
+/// touches of a (cached) page within one operation are free.
+#[derive(Debug, Default)]
+pub struct PageSet {
+    pages: HashSet<(u32, u64)>,
+}
+
+impl PageSet {
+    /// An empty page set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the byte range `[offset, offset + len)` of logical file `file`
+    /// as touched.
+    pub fn touch(&mut self, io: &IoStats, file: u32, offset: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = offset / io.page_size();
+        let last = (offset + len - 1) / io.page_size();
+        for p in first..=last {
+            self.pages.insert((file, p as u64));
+        }
+    }
+
+    /// Number of distinct pages touched so far.
+    pub fn page_count(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Charges the collected pages as reads and clears the set.
+    pub fn commit_reads(&mut self, io: &IoStats) {
+        io.charge_page_reads(self.pages.len() as u64);
+        self.pages.clear();
+    }
+
+    /// Charges the collected pages as writes and clears the set.
+    pub fn commit_writes(&mut self, io: &IoStats) {
+        io.charge_page_writes(self.pages.len() as u64);
+        self.pages.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_read_rounds_up_to_pages() {
+        let io = IoStats::new(4096);
+        io.charge_seq_read(1);
+        assert_eq!(io.pages_read(), 1);
+        io.charge_seq_read(4096);
+        assert_eq!(io.pages_read(), 2);
+        io.charge_seq_read(4097);
+        assert_eq!(io.pages_read(), 4);
+        io.charge_seq_read(0);
+        assert_eq!(io.pages_read(), 4);
+        assert_eq!(io.pages_written(), 0);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let io = IoStats::new(1024);
+        io.charge_seq_read(5000);
+        io.charge_seq_write(100);
+        assert!(io.pages_read() > 0 && io.pages_written() > 0);
+        io.reset();
+        assert_eq!(io.pages_read(), 0);
+        assert_eq!(io.pages_written(), 0);
+    }
+
+    #[test]
+    fn page_set_deduplicates_within_operation() {
+        let io = IoStats::new(100);
+        let mut ps = PageSet::new();
+        // Two accesses to the same page of the same file: one page.
+        ps.touch(&io, 0, 10, 8);
+        ps.touch(&io, 0, 50, 8);
+        // Same offsets in a different file: different pages.
+        ps.touch(&io, 1, 10, 8);
+        assert_eq!(ps.page_count(), 2);
+        ps.commit_reads(&io);
+        assert_eq!(io.pages_read(), 2);
+        assert_eq!(ps.page_count(), 0);
+    }
+
+    #[test]
+    fn page_set_spans_boundaries() {
+        let io = IoStats::new(100);
+        let mut ps = PageSet::new();
+        ps.touch(&io, 0, 95, 10); // crosses pages 0 and 1
+        assert_eq!(ps.page_count(), 2);
+        ps.touch(&io, 0, 0, 0); // zero-length touch is free
+        assert_eq!(ps.page_count(), 2);
+        ps.commit_writes(&io);
+        assert_eq!(io.pages_written(), 2);
+    }
+
+    #[test]
+    fn pages_of_matches_div_ceil() {
+        let io = IoStats::new(4096);
+        assert_eq!(io.pages_of(0), 0);
+        assert_eq!(io.pages_of(1), 1);
+        assert_eq!(io.pages_of(4096), 1);
+        assert_eq!(io.pages_of(8192), 2);
+        assert_eq!(io.pages_of(8193), 3);
+    }
+}

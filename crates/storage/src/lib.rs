@@ -1,0 +1,56 @@
+//! # statcube-storage
+//!
+//! Every physical organization surveyed in §6 of Shoshani (PODS 1997),
+//! implemented from scratch over a page-granular simulated I/O layer
+//! ([`io_stats`]) so benches report the block-access counts the surveyed
+//! systems optimized:
+//!
+//! * [`row`] — the flat relational baseline (Fig 10);
+//! * [`mod@column`] — transposed (vertically partitioned) files (\[THC79\]);
+//! * [`encoding`] + [`rle`] + [`bittransposed`] — encoded, run-length
+//!   compressed, and bit-sliced columns (\[WL+85\], Fig 19);
+//! * [`header`] — header compression of sparse linearized arrays
+//!   (\[EOA81\], Fig 21), searched through the [`btree`] B+tree, with the
+//!   [`lzw`] codec as the general-purpose alternative §6.2 mentions;
+//! * [`linear`] — array linearization, the MOLAP representation (Fig 20);
+//! * [`chunked`] — subcube partitioning for range queries (\[SS94\], Fig 23);
+//! * [`extendible`] — extendible arrays for incremental appends
+//!   (\[RZ86\], Fig 24), and the [`cubetree`] packed R-tree for bulk cube
+//!   updates (\[RKR97\]);
+//! * [`star`] — the ROLAP star schema (Fig 11).
+
+#![warn(missing_docs)]
+
+pub mod bittransposed;
+pub mod btree;
+pub mod chunked;
+pub mod column;
+pub mod cubetree;
+pub mod encoding;
+pub mod extendible;
+pub mod header;
+pub mod io_stats;
+pub mod linear;
+pub mod lzw;
+pub mod relation;
+pub mod rle;
+pub mod row;
+pub mod star;
+
+/// The most commonly used types, for glob import.
+pub mod prelude {
+    pub use crate::bittransposed::BitSlicedColumn;
+    pub use crate::btree::BPlusTree;
+    pub use crate::chunked::ChunkedArray;
+    pub use crate::column::TransposedStore;
+    pub use crate::cubetree::CubeTree;
+    pub use crate::encoding::EncodedColumn;
+    pub use crate::extendible::ExtendibleArray;
+    pub use crate::header::HeaderCompressed;
+    pub use crate::io_stats::{IoStats, PageSet, DEFAULT_PAGE_SIZE};
+    pub use crate::linear::LinearizedArray;
+    pub use crate::relation::Relation;
+    pub use crate::rle::Rle;
+    pub use crate::row::RowStore;
+    pub use crate::star::{DimensionTable, StarSchema};
+}

@@ -1,0 +1,260 @@
+//! Array linearization (§6.2, Fig 20) — the core of MOLAP storage.
+//!
+//! Instead of storing a row per cell with all its category values repeated,
+//! store the distinct values of each dimension **once** and compute each
+//! cell's position in a dense array from its coordinates. This is the
+//! "fairly simple well-known calculation" the paper shows for Essbase-style
+//! MOLAP products; it wins while the space is dense and loses to
+//! compression ([`crate::header`]) once nulls dominate.
+
+use statcube_core::error::{Error, Result};
+use statcube_core::measure::SummaryFunction;
+use statcube_core::object::StatisticalObject;
+
+/// A dense row-major multidimensional array of `f64` cells; absent cells
+/// are `NaN`.
+#[derive(Debug, Clone)]
+pub struct LinearizedArray {
+    dims: Vec<usize>,
+    strides: Vec<usize>,
+    data: Vec<f64>,
+    /// Distinct member labels per dimension, stored once (Fig 20's "+"
+    /// block).
+    labels: Vec<Vec<String>>,
+}
+
+impl LinearizedArray {
+    /// An empty (all-NaN) array of the given shape, with anonymous labels.
+    pub fn new(dims: &[usize]) -> Result<Self> {
+        if dims.is_empty() || dims.contains(&0) {
+            return Err(Error::InvalidSchema("array needs non-zero dimensions".into()));
+        }
+        let labels = dims
+            .iter()
+            .enumerate()
+            .map(|(d, &n)| (0..n).map(|i| format!("d{d}m{i}")).collect())
+            .collect();
+        Ok(Self::with_labels(dims, labels))
+    }
+
+    fn with_labels(dims: &[usize], labels: Vec<Vec<String>>) -> Self {
+        let mut strides = vec![1usize; dims.len()];
+        for d in (0..dims.len().saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * dims[d + 1];
+        }
+        let total: usize = dims.iter().product();
+        Self { dims: dims.to_vec(), strides, data: vec![f64::NAN; total], labels }
+    }
+
+    /// Materializes a statistical object's measure `m`, evaluated under
+    /// `function`, as a dense array.
+    pub fn from_object(
+        obj: &StatisticalObject,
+        m: usize,
+        function: SummaryFunction,
+    ) -> Result<Self> {
+        let dims: Vec<usize> = obj.schema().cardinalities();
+        if dims.is_empty() || dims.contains(&0) {
+            return Err(Error::InvalidSchema("object has an empty dimension".into()));
+        }
+        let labels: Vec<Vec<String>> = obj
+            .schema()
+            .dimensions()
+            .iter()
+            .map(|d| d.members().values().map(str::to_owned).collect())
+            .collect();
+        let mut arr = Self::with_labels(&dims, labels);
+        for (coords, states) in obj.cells() {
+            let idx: Vec<usize> = coords.iter().map(|&c| c as usize).collect();
+            if let Some(v) = states[m].value(function) {
+                arr.set(&idx, v)?;
+            }
+        }
+        Ok(arr)
+    }
+
+    /// The array shape.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of cells in the full cross product.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the array has no cells (never, post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The Fig 20 position calculation: coordinates → linear offset.
+    pub fn offset_of(&self, coords: &[usize]) -> Result<usize> {
+        if coords.len() != self.dims.len() {
+            return Err(Error::ArityMismatch { expected: self.dims.len(), got: coords.len() });
+        }
+        let mut off = 0;
+        for ((&c, &d), &s) in coords.iter().zip(&self.dims).zip(&self.strides) {
+            if c >= d {
+                return Err(Error::InvalidSchema(format!("coordinate {c} out of range {d}")));
+            }
+            off += c * s;
+        }
+        Ok(off)
+    }
+
+    /// The inverse calculation: linear offset → coordinates.
+    pub fn coords_of(&self, mut offset: usize) -> Result<Vec<usize>> {
+        if offset >= self.data.len() {
+            return Err(Error::InvalidSchema(format!("offset {offset} out of range")));
+        }
+        let mut coords = Vec::with_capacity(self.dims.len());
+        for &s in &self.strides {
+            coords.push(offset / s);
+            offset %= s;
+        }
+        Ok(coords)
+    }
+
+    /// Reads a cell (`None` when the cell holds no value).
+    pub fn get(&self, coords: &[usize]) -> Result<Option<f64>> {
+        let v = self.data[self.offset_of(coords)?];
+        Ok(if v.is_nan() { None } else { Some(v) })
+    }
+
+    /// Writes a cell.
+    pub fn set(&mut self, coords: &[usize], v: f64) -> Result<()> {
+        let off = self.offset_of(coords)?;
+        self.data[off] = v;
+        Ok(())
+    }
+
+    /// The raw dense cell sequence (NaN = absent) in linearization order —
+    /// the input to [`crate::header`] compression.
+    pub fn dense_values(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Fraction of cells holding a value.
+    pub fn density(&self) -> f64 {
+        let filled = self.data.iter().filter(|v| !v.is_nan()).count();
+        filled as f64 / self.data.len().max(1) as f64
+    }
+
+    /// Bytes of the dense cell array.
+    pub fn cell_bytes(&self) -> usize {
+        self.data.len() * 8
+    }
+
+    /// Bytes of the per-dimension label lists (each distinct value stored
+    /// once).
+    pub fn label_bytes(&self) -> usize {
+        self.labels.iter().flatten().map(String::len).sum()
+    }
+
+    /// Total stored bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.cell_bytes() + self.label_bytes()
+    }
+
+    /// Bytes the same data costs in the flat relational representation of
+    /// Fig 10: every populated cell repeats all its category values (4-byte
+    /// codes) plus the 8-byte measure.
+    pub fn relational_bytes(&self) -> usize {
+        let filled = self.data.iter().filter(|v| !v.is_nan()).count();
+        filled * (4 * self.dims.len() + 8) + self.label_bytes()
+    }
+
+    /// Member labels of dimension `d`.
+    pub fn labels_of(&self, d: usize) -> &[String] {
+        &self.labels[d]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statcube_core::dimension::Dimension;
+    use statcube_core::measure::{MeasureKind, SummaryAttribute};
+    use statcube_core::schema::Schema;
+
+    #[test]
+    fn offset_round_trips() {
+        let a = LinearizedArray::new(&[3, 4, 5]).unwrap();
+        assert_eq!(a.len(), 60);
+        let mut seen = [false; 60];
+        for i in 0..3 {
+            for j in 0..4 {
+                for k in 0..5 {
+                    let off = a.offset_of(&[i, j, k]).unwrap();
+                    assert!(!seen[off], "offset collision at {off}");
+                    seen[off] = true;
+                    assert_eq!(a.coords_of(off).unwrap(), vec![i, j, k]);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fig20_2d_example() {
+        // 2-D: 5 rows × 6 columns; cell (row r, col c) sits at r*6 + c,
+        // matching the numbering 1..30 shown in Fig 20 (0-based here).
+        let a = LinearizedArray::new(&[5, 6]).unwrap();
+        assert_eq!(a.offset_of(&[0, 0]).unwrap(), 0);
+        assert_eq!(a.offset_of(&[1, 0]).unwrap(), 6);
+        assert_eq!(a.offset_of(&[4, 5]).unwrap(), 29);
+    }
+
+    #[test]
+    fn get_set_and_bounds() {
+        let mut a = LinearizedArray::new(&[2, 2]).unwrap();
+        assert_eq!(a.get(&[1, 1]).unwrap(), None);
+        a.set(&[1, 1], 7.5).unwrap();
+        assert_eq!(a.get(&[1, 1]).unwrap(), Some(7.5));
+        assert!(a.get(&[2, 0]).is_err());
+        assert!(a.get(&[0]).is_err());
+        assert!(a.coords_of(4).is_err());
+        assert!(LinearizedArray::new(&[]).is_err());
+        assert!(LinearizedArray::new(&[3, 0]).is_err());
+    }
+
+    #[test]
+    fn from_object_materializes_cells() {
+        let schema = Schema::builder("t")
+            .dimension(Dimension::categorical("a", ["x", "y"]))
+            .dimension(Dimension::categorical("b", ["p", "q", "r"]))
+            .measure(SummaryAttribute::new("m", MeasureKind::Flow))
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        o.insert(&["x", "q"], 3.0).unwrap();
+        o.insert(&["y", "r"], 5.0).unwrap();
+        let a = LinearizedArray::from_object(&o, 0, SummaryFunction::Sum).unwrap();
+        assert_eq!(a.dims(), &[2, 3]);
+        assert_eq!(a.get(&[0, 1]).unwrap(), Some(3.0));
+        assert_eq!(a.get(&[1, 2]).unwrap(), Some(5.0));
+        assert_eq!(a.get(&[0, 0]).unwrap(), None);
+        assert!((a.density() - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(a.labels_of(1), &["p", "q", "r"]);
+    }
+
+    #[test]
+    fn dense_beats_relational_when_full_and_loses_when_sparse() {
+        let mut dense = LinearizedArray::new(&[10, 10, 10]).unwrap();
+        for i in 0..10 {
+            for j in 0..10 {
+                for k in 0..10 {
+                    dense.set(&[i, j, k], 1.0).unwrap();
+                }
+            }
+        }
+        // Full: 8 B/cell dense vs 20 B/cell relational.
+        assert!(dense.size_bytes() < dense.relational_bytes());
+
+        let mut sparse = LinearizedArray::new(&[10, 10, 10]).unwrap();
+        sparse.set(&[0, 0, 0], 1.0).unwrap();
+        // 0.1% density: relational stores 1 row, dense stores 1000 cells.
+        assert!(sparse.size_bytes() > sparse.relational_bytes());
+    }
+}

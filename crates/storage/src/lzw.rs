@@ -1,0 +1,266 @@
+//! LZW compression (§6.2: "Other compression methods can be used as well,
+//! such as the well known LZW method. The most effective method depends on
+//! the distribution of nulls.")
+//!
+//! A from-scratch byte-oriented LZW with 12-bit codes and dictionary reset,
+//! used as the alternative codec header compression is compared against in
+//! experiment E14: LZW exploits *any* repetition, while [EOA81]'s header
+//! compression exploits the specific null-run structure **and** keeps
+//! random access — the trade the paper points at.
+
+use statcube_core::error::{Error, Result};
+
+const MAX_CODE_BITS: u32 = 12;
+const MAX_DICT: usize = 1 << MAX_CODE_BITS;
+const RESET_CODE: u32 = 256;
+const FIRST_FREE: u32 = 257;
+
+struct BitWriter {
+    out: Vec<u8>,
+    acc: u64,
+    bits: u32,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        Self { out: Vec::new(), acc: 0, bits: 0 }
+    }
+
+    fn write(&mut self, code: u32, width: u32) {
+        self.acc |= (code as u64) << self.bits;
+        self.bits += width;
+        while self.bits >= 8 {
+            self.out.push((self.acc & 0xFF) as u8);
+            self.acc >>= 8;
+            self.bits -= 8;
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        if self.bits > 0 {
+            self.out.push((self.acc & 0xFF) as u8);
+        }
+        self.out
+    }
+}
+
+struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    acc: u64,
+    bits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0, acc: 0, bits: 0 }
+    }
+
+    fn read(&mut self, width: u32) -> Option<u32> {
+        while self.bits < width {
+            let byte = *self.data.get(self.pos)?;
+            self.pos += 1;
+            self.acc |= (byte as u64) << self.bits;
+            self.bits += 8;
+        }
+        let code = (self.acc & ((1u64 << width) - 1)) as u32;
+        self.acc >>= width;
+        self.bits -= width;
+        Some(code)
+    }
+}
+
+/// Compresses `input` with LZW (12-bit codes, dictionary reset on
+/// overflow).
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    use std::collections::HashMap;
+    let mut writer = BitWriter::new();
+    if input.is_empty() {
+        return writer.finish();
+    }
+    let mut dict: HashMap<Vec<u8>, u32> = HashMap::new();
+    let mut next_code = FIRST_FREE;
+    let mut width = 9u32;
+    let mut current: Vec<u8> = vec![input[0]];
+    for &b in &input[1..] {
+        let mut candidate = current.clone();
+        candidate.push(b);
+        let known = candidate.len() == 1 || dict.contains_key(&candidate);
+        if known {
+            current = candidate;
+        } else {
+            let code = if current.len() == 1 { current[0] as u32 } else { dict[&current] };
+            writer.write(code, width);
+            if next_code < MAX_DICT as u32 {
+                dict.insert(candidate, next_code);
+                next_code += 1;
+                if next_code.is_power_of_two() && width < MAX_CODE_BITS {
+                    width += 1;
+                }
+            } else {
+                writer.write(RESET_CODE, width);
+                dict.clear();
+                next_code = FIRST_FREE;
+                width = 9;
+            }
+            current = vec![b];
+        }
+    }
+    let code = if current.len() == 1 { current[0] as u32 } else { dict[&current] };
+    writer.write(code, width);
+    writer.finish()
+}
+
+/// Decompresses LZW output produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    let mut reader = BitReader::new(data);
+    let mut out = Vec::new();
+    'outer: loop {
+        // (Re)initialize the dictionary.
+        let mut dict: Vec<Vec<u8>> = (0..=255u8).map(|b| vec![b]).collect();
+        dict.push(Vec::new()); // 256 = reset placeholder
+        let mut width = 9u32;
+        let mut prev: Vec<u8> = match reader.read(width) {
+            None => break,
+            Some(RESET_CODE) => continue,
+            Some(code) if (code as usize) < 256 => vec![code as u8],
+            Some(code) => {
+                return Err(Error::InvalidSchema(format!("bad initial LZW code {code}")))
+            }
+        };
+        out.extend_from_slice(&prev);
+        loop {
+            // Width grows when the *encoder's* next_code crosses a power of
+            // two; the decoder's dictionary runs one entry behind.
+            if (dict.len() as u32 + 1).is_power_of_two() && width < MAX_CODE_BITS {
+                width += 1;
+            }
+            let code = match reader.read(width) {
+                None => break 'outer,
+                Some(c) => c,
+            };
+            if code == RESET_CODE {
+                continue 'outer;
+            }
+            let entry = if (code as usize) < dict.len() {
+                dict[code as usize].clone()
+            } else if code as usize == dict.len() {
+                // The cSc corner case.
+                let mut e = prev.clone();
+                e.push(prev[0]);
+                e
+            } else {
+                return Err(Error::InvalidSchema(format!("bad LZW code {code}")));
+            };
+            out.extend_from_slice(&entry);
+            let mut new_entry = prev.clone();
+            new_entry.push(entry[0]);
+            if dict.len() < MAX_DICT {
+                dict.push(new_entry);
+            }
+            prev = entry;
+        }
+    }
+    Ok(out)
+}
+
+/// Compression ratio of `input` under LZW (> 1 means smaller).
+pub fn compression_ratio(input: &[u8]) -> f64 {
+    if input.is_empty() {
+        return 1.0;
+    }
+    input.len() as f64 / compress(input).len().max(1) as f64
+}
+
+/// Serializes a dense `f64` sequence (NaN = null) to bytes for LZW — the
+/// E14 comparison path.
+pub fn dense_to_bytes(dense: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(dense.len() * 8);
+    for v in dense {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let compressed = compress(data);
+        let back = decompress(&compressed).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn round_trips_basic_patterns() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"TOBEORNOTTOBEORTOBEORNOT");
+        round_trip(b"aaaaaaaaaaaaaaaaaaaaaaaaaaaa");
+        round_trip(&[0u8; 10_000]);
+        let all: Vec<u8> = (0..=255u8).collect();
+        round_trip(&all);
+    }
+
+    #[test]
+    fn round_trips_the_csc_corner_case() {
+        // "ababab…" forces the code-equals-dict-len case.
+        let s: Vec<u8> = std::iter::repeat_n(*b"ab", 100).flatten().collect();
+        round_trip(&s);
+        round_trip(b"aaabbbaaabbbaaa");
+    }
+
+    #[test]
+    fn round_trips_long_skewed_data() {
+        // Pseudo-random but skewed bytes, long enough to force dictionary
+        // resets (> 4096 entries).
+        let mut x = 1u64;
+        let data: Vec<u8> = (0..200_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if x % 10 < 7 {
+                    0
+                } else {
+                    (x % 251) as u8
+                }
+            })
+            .collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn compresses_nulls_well_but_not_noise() {
+        let zeros = vec![0u8; 100_000];
+        assert!(compression_ratio(&zeros) > 20.0);
+        let mut x = 7u64;
+        let noise: Vec<u8> = (0..100_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 33) as u8
+            })
+            .collect();
+        assert!(compression_ratio(&noise) < 1.2);
+    }
+
+    #[test]
+    fn sparse_dense_sequences_compress() {
+        let mut dense = vec![f64::NAN; 10_000];
+        for i in (0..10_000).step_by(100) {
+            dense[i] = i as f64;
+        }
+        let bytes = dense_to_bytes(&dense);
+        assert_eq!(bytes.len(), 80_000);
+        assert!(compression_ratio(&bytes) > 3.0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        // A stream starting with a non-literal code is invalid.
+        let mut w = BitWriter::new();
+        w.write(300, 9);
+        assert!(decompress(&w.finish()).is_err());
+    }
+}

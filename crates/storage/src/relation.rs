@@ -1,0 +1,238 @@
+//! The shared logical relation behind the row and transposed stores.
+//!
+//! Fig 10's flat relational representation of a statistical object — six
+//! category columns followed by measure columns — is the logical input to
+//! both the row-oriented store ([`crate::row::RowStore`]) and the transposed
+//! store ([`crate::column::TransposedStore`]). [`Relation`] holds that data
+//! dictionary-encoded; the stores differ only in how they charge I/O.
+
+use statcube_core::dictionary::Dictionary;
+use statcube_core::error::{Error, Result};
+use statcube_core::microdata::MicroTable;
+
+/// A conjunction of equality predicates over category columns.
+pub type EqPredicates = Vec<(usize, u32)>;
+
+/// Dictionary-encoded relational data: category columns (`u32` codes) and
+/// measure columns (`f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    cat_names: Vec<String>,
+    dicts: Vec<Dictionary>,
+    cats: Vec<Vec<u32>>,
+    num_names: Vec<String>,
+    nums: Vec<Vec<f64>>,
+    n_rows: usize,
+}
+
+impl Relation {
+    /// An empty relation with the given column names.
+    pub fn new(categorical: &[&str], numeric: &[&str]) -> Self {
+        Self {
+            cat_names: categorical.iter().map(|s| (*s).to_owned()).collect(),
+            dicts: vec![Dictionary::new(); categorical.len()],
+            cats: vec![Vec::new(); categorical.len()],
+            num_names: numeric.iter().map(|s| (*s).to_owned()).collect(),
+            nums: vec![Vec::new(); numeric.len()],
+            n_rows: 0,
+        }
+    }
+
+    /// Imports a [`MicroTable`] wholesale.
+    pub fn from_micro(micro: &MicroTable) -> Result<Self> {
+        let cat_names: Vec<&str> = micro.categorical_names().iter().map(String::as_str).collect();
+        let num_names: Vec<&str> = micro.numeric_names().iter().map(String::as_str).collect();
+        let mut rel = Relation::new(&cat_names, &num_names);
+        let mut cats = Vec::with_capacity(cat_names.len());
+        let mut nums = Vec::with_capacity(num_names.len());
+        for row in 0..micro.len() {
+            cats.clear();
+            nums.clear();
+            for c in &cat_names {
+                cats.push(micro.cat_value(c, row)?);
+            }
+            for n in &num_names {
+                nums.push(micro.num_value(n, row)?);
+            }
+            rel.push(&cats, &nums)?;
+        }
+        Ok(rel)
+    }
+
+    /// Appends one row by value.
+    pub fn push(&mut self, cats: &[&str], nums: &[f64]) -> Result<()> {
+        if cats.len() != self.cat_names.len() || nums.len() != self.num_names.len() {
+            return Err(Error::ArityMismatch {
+                expected: self.cat_names.len() + self.num_names.len(),
+                got: cats.len() + nums.len(),
+            });
+        }
+        for (i, c) in cats.iter().enumerate() {
+            let id = self.dicts[i].intern(c);
+            self.cats[i].push(id);
+        }
+        for (i, &v) in nums.iter().enumerate() {
+            self.nums[i].push(v);
+        }
+        self.n_rows += 1;
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.n_rows
+    }
+
+    /// True if the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Number of category columns.
+    pub fn cat_count(&self) -> usize {
+        self.cat_names.len()
+    }
+
+    /// Number of measure columns.
+    pub fn num_count(&self) -> usize {
+        self.num_names.len()
+    }
+
+    /// Index of a category column.
+    pub fn cat_index(&self, name: &str) -> Result<usize> {
+        self.cat_names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| Error::ColumnError(format!("no categorical column `{name}`")))
+    }
+
+    /// Index of a measure column.
+    pub fn num_index(&self, name: &str) -> Result<usize> {
+        self.num_names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| Error::ColumnError(format!("no numeric column `{name}`")))
+    }
+
+    /// The dictionary of category column `i`.
+    pub fn dictionary(&self, i: usize) -> &Dictionary {
+        &self.dicts[i]
+    }
+
+    /// Raw codes of category column `i`.
+    pub fn cat_column(&self, i: usize) -> &[u32] {
+        &self.cats[i]
+    }
+
+    /// Raw values of measure column `i`.
+    pub fn num_column(&self, i: usize) -> &[f64] {
+        &self.nums[i]
+    }
+
+    /// Resolves `(column name, value)` pairs into an [`EqPredicates`] id
+    /// list. Unknown values resolve to a predicate that matches nothing.
+    pub fn predicates(&self, preds: &[(&str, &str)]) -> Result<EqPredicates> {
+        preds
+            .iter()
+            .map(|(col, val)| {
+                let c = self.cat_index(col)?;
+                // u32::MAX never matches a real code.
+                Ok((c, self.dicts[c].id_of(val).unwrap_or(u32::MAX)))
+            })
+            .collect()
+    }
+
+    /// True if row `row` satisfies all predicates.
+    pub fn matches(&self, row: usize, preds: &EqPredicates) -> bool {
+        preds.iter().all(|&(c, id)| self.cats[c][row] == id)
+    }
+
+    /// Evaluates `sum`/`count` of measure `m` over rows matching `preds`,
+    /// without any I/O accounting (the logical answer both stores must
+    /// produce).
+    pub fn sum_where(&self, preds: &EqPredicates, m: usize) -> (f64, u64) {
+        let mut sum = 0.0;
+        let mut count = 0;
+        for row in 0..self.n_rows {
+            if self.matches(row, preds) {
+                sum += self.nums[m][row];
+                count += 1;
+            }
+        }
+        (sum, count)
+    }
+
+    /// One full row by value: `(category codes, measure values)`.
+    pub fn row(&self, row: usize) -> (Vec<u32>, Vec<f64>) {
+        (
+            self.cats.iter().map(|c| c[row]).collect(),
+            self.nums.iter().map(|n| n[row]).collect(),
+        )
+    }
+
+    /// Bytes of one uncompressed row: 4 per category code, 8 per measure.
+    pub fn row_bytes(&self) -> usize {
+        4 * self.cat_names.len() + 8 * self.num_names.len()
+    }
+
+    /// Total uncompressed bytes of the relation.
+    pub fn total_bytes(&self) -> usize {
+        self.row_bytes() * self.n_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel() -> Relation {
+        let mut r = Relation::new(&["state", "sex"], &["pop", "income"]);
+        r.push(&["AL", "m"], &[10.0, 100.0]).unwrap();
+        r.push(&["AL", "f"], &[11.0, 110.0]).unwrap();
+        r.push(&["CA", "m"], &[20.0, 200.0]).unwrap();
+        r
+    }
+
+    #[test]
+    fn push_and_shape() {
+        let mut r = rel();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.cat_count(), 2);
+        assert_eq!(r.num_count(), 2);
+        assert_eq!(r.row_bytes(), 2 * 4 + 2 * 8);
+        assert_eq!(r.total_bytes(), 3 * 24);
+        assert!(r.push(&["AL"], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn predicates_and_sums() {
+        let r = rel();
+        let p = r.predicates(&[("state", "AL")]).unwrap();
+        assert_eq!(r.sum_where(&p, 0), (21.0, 2));
+        let p2 = r.predicates(&[("state", "AL"), ("sex", "f")]).unwrap();
+        assert_eq!(r.sum_where(&p2, 1), (110.0, 1));
+        // Unknown value matches nothing rather than erroring.
+        let p3 = r.predicates(&[("state", "TX")]).unwrap();
+        assert_eq!(r.sum_where(&p3, 0), (0.0, 0));
+        assert!(r.predicates(&[("planet", "earth")]).is_err());
+    }
+
+    #[test]
+    fn row_access() {
+        let r = rel();
+        let (cats, nums) = r.row(2);
+        assert_eq!(cats, vec![1, 0]); // CA is the 2nd state, m the 1st sex
+        assert_eq!(nums, vec![20.0, 200.0]);
+    }
+
+    #[test]
+    fn from_micro_round_trips() {
+        let mut m = MicroTable::new(&["a"], &["x"]);
+        m.push(&["p"], &[1.0]).unwrap();
+        m.push(&["q"], &[2.0]).unwrap();
+        let r = Relation::from_micro(&m).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.num_column(0), &[1.0, 2.0]);
+        assert_eq!(r.dictionary(0).value_of(1), Some("q"));
+    }
+}

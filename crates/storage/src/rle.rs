@@ -1,0 +1,149 @@
+//! Run-length encoding (§6.1–6.2, \[WL+85\], \[EOA81\]).
+//!
+//! Two uses in the paper: compressing the *least rapidly varying* sorted
+//! category columns of a transposed file (\[WL+85\]), and compressing the
+//! null/value run structure of a linearized array (\[EOA81\] — see
+//! [`crate::header`], which builds on the run representation here).
+
+/// A run-length encoded sequence of `T`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rle<T> {
+    runs: Vec<(T, u32)>,
+    len: usize,
+}
+
+impl<T: Copy + PartialEq> Rle<T> {
+    /// Encodes a sequence.
+    pub fn encode(values: &[T]) -> Self {
+        let mut runs: Vec<(T, u32)> = Vec::new();
+        for &v in values {
+            match runs.last_mut() {
+                Some((last, n)) if *last == v && *n < u32::MAX => *n += 1,
+                _ => runs.push((v, 1)),
+            }
+        }
+        Self { runs, len: values.len() }
+    }
+
+    /// Number of logical values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// The raw runs.
+    pub fn runs(&self) -> &[(T, u32)] {
+        &self.runs
+    }
+
+    /// Decodes back to the full sequence.
+    pub fn decode(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len);
+        for &(v, n) in &self.runs {
+            out.extend(std::iter::repeat_n(v, n as usize));
+        }
+        out
+    }
+
+    /// Random access by logical index (linear in runs; use
+    /// [`crate::header`] structures when log-time access matters).
+    pub fn get(&self, mut i: usize) -> Option<T> {
+        if i >= self.len {
+            return None;
+        }
+        for &(v, n) in &self.runs {
+            if i < n as usize {
+                return Some(v);
+            }
+            i -= n as usize;
+        }
+        None
+    }
+
+    /// Stored bytes, assuming `value_bytes` per value and 4 bytes per run
+    /// length.
+    pub fn size_bytes(&self, value_bytes: usize) -> usize {
+        self.runs.len() * (value_bytes + 4)
+    }
+
+    /// Compression ratio versus plain storage at `value_bytes` per value
+    /// (> 1 means RLE is smaller).
+    pub fn compression_ratio(&self, value_bytes: usize) -> f64 {
+        let plain = (self.len * value_bytes).max(1);
+        plain as f64 / self.size_bytes(value_bytes).max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let xs = vec![1u32, 1, 1, 2, 2, 3, 1, 1];
+        let r = Rle::encode(&xs);
+        assert_eq!(r.run_count(), 4);
+        assert_eq!(r.decode(), xs);
+        assert_eq!(r.len(), 8);
+    }
+
+    #[test]
+    fn get_by_logical_index() {
+        let xs = vec![5u32, 5, 7, 7, 7, 9];
+        let r = Rle::encode(&xs);
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(r.get(i), Some(x));
+        }
+        assert_eq!(r.get(6), None);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let r: Rle<u32> = Rle::encode(&[]);
+        assert!(r.is_empty());
+        assert_eq!(r.run_count(), 0);
+        assert!(r.decode().is_empty());
+        assert_eq!(r.get(0), None);
+    }
+
+    #[test]
+    fn least_rapidly_varying_column_compresses_hugely() {
+        // A sorted "state" column over the cross product: each value
+        // repeats for thousands of rows — the [WL+85] observation.
+        let mut xs = Vec::new();
+        for state in 0u32..50 {
+            xs.extend(std::iter::repeat_n(state, 1000));
+        }
+        let r = Rle::encode(&xs);
+        assert_eq!(r.run_count(), 50);
+        assert!(r.compression_ratio(4) > 100.0);
+        assert_eq!(r.decode().len(), 50_000);
+    }
+
+    #[test]
+    fn rapidly_varying_column_does_not_compress() {
+        let xs: Vec<u32> = (0..1000).map(|i| i % 2).collect();
+        let r = Rle::encode(&xs);
+        assert_eq!(r.run_count(), 1000);
+        assert!(r.compression_ratio(4) < 1.0);
+    }
+
+    #[test]
+    fn works_for_floats_and_bools() {
+        let f = vec![0.0f64, 0.0, 1.5, 1.5, 1.5];
+        assert_eq!(Rle::encode(&f).decode(), f);
+        let b = vec![true, true, false, true];
+        let rb = Rle::encode(&b);
+        assert_eq!(rb.run_count(), 3);
+        assert_eq!(rb.decode(), b);
+    }
+}

@@ -1,0 +1,109 @@
+//! Row-oriented storage of the flat relation (Fig 10).
+//!
+//! The baseline the transposed file (\[THC79\], §6.1) was invented to beat:
+//! rows are stored contiguously, so *any* query — even one touching two of
+//! eight columns — must read every page of the table, while fetching one
+//! whole row is a single (or two) page read.
+
+use statcube_core::error::Result;
+
+use crate::io_stats::IoStats;
+use crate::relation::{EqPredicates, Relation};
+
+/// A row store over a [`Relation`], charging page I/O row-wise.
+#[derive(Debug)]
+pub struct RowStore {
+    rel: Relation,
+    io: IoStats,
+}
+
+impl RowStore {
+    /// Wraps a relation with the given page size.
+    pub fn new(rel: Relation, page_size: usize) -> Self {
+        Self { rel, io: IoStats::new(page_size) }
+    }
+
+    /// The underlying relation.
+    pub fn relation(&self) -> &Relation {
+        &self.rel
+    }
+
+    /// The I/O counters.
+    pub fn io(&self) -> &IoStats {
+        &self.io
+    }
+
+    /// Stored bytes (uncompressed rows).
+    pub fn size_bytes(&self) -> usize {
+        self.rel.total_bytes()
+    }
+
+    /// Summary query: `sum`/`count` of measure `m` over rows matching
+    /// `preds`. A row store must scan the whole table regardless of how few
+    /// columns are involved.
+    pub fn sum_where(&self, preds: &EqPredicates, m: usize) -> (f64, u64) {
+        self.io.charge_seq_read(self.rel.total_bytes());
+        self.rel.sum_where(preds, m)
+    }
+
+    /// Fetches a full row: the row store's strength — the row occupies one
+    /// contiguous span, usually a single page.
+    pub fn fetch_row(&self, row: usize) -> (Vec<u32>, Vec<f64>) {
+        let rb = self.rel.row_bytes();
+        let offset = row * rb;
+        let first = offset / self.io.page_size();
+        let last = (offset + rb - 1) / self.io.page_size();
+        self.io.charge_page_reads((last - first + 1) as u64);
+        self.rel.row(row)
+    }
+
+    /// Name-based predicate resolution, forwarded to the relation.
+    pub fn predicates(&self, preds: &[(&str, &str)]) -> Result<EqPredicates> {
+        self.rel.predicates(preds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(rows: usize, page: usize) -> RowStore {
+        let mut rel = Relation::new(&["state", "sex"], &["pop"]);
+        for i in 0..rows {
+            let state = if i % 2 == 0 { "AL" } else { "CA" };
+            let sex = if i % 3 == 0 { "m" } else { "f" };
+            rel.push(&[state, sex], &[i as f64]).unwrap();
+        }
+        RowStore::new(rel, page)
+    }
+
+    #[test]
+    fn summary_query_scans_everything() {
+        let s = store(1000, 4096);
+        // 1000 rows × 16 bytes = 16000 bytes = 4 pages.
+        let p = s.predicates(&[("state", "AL")]).unwrap();
+        let (sum, count) = s.sum_where(&p, 0);
+        assert_eq!(count, 500);
+        assert_eq!(sum, (0..1000).step_by(2).sum::<usize>() as f64);
+        assert_eq!(s.io().pages_read(), 4);
+        // A second query scans again.
+        s.sum_where(&p, 0);
+        assert_eq!(s.io().pages_read(), 8);
+    }
+
+    #[test]
+    fn row_fetch_touches_one_or_two_pages() {
+        let s = store(1000, 4096);
+        let (cats, nums) = s.fetch_row(999);
+        assert_eq!(nums, vec![999.0]);
+        assert_eq!(cats.len(), 2);
+        // 16-byte row always fits in at most 2 pages; usually 1.
+        assert!(s.io().pages_read() <= 2);
+    }
+
+    #[test]
+    fn size_accounts_all_rows() {
+        let s = store(10, 4096);
+        assert_eq!(s.size_bytes(), 10 * 16);
+    }
+}

@@ -1,0 +1,321 @@
+//! Star schemas (§4.3, Fig 11, \[MicroStrategy\]).
+//!
+//! The ROLAP representation: a central **fact table** holding dimension
+//! foreign keys and measures, surrounded by **dimension tables** holding
+//! each dimension's descriptive and category attributes (e.g. the hospital
+//! table's `city`, `state` columns). Versus the flat Fig 10 relation, the
+//! fact table repeats only compact keys, and attribute predicates are
+//! resolved against the (small) dimension tables first.
+
+use statcube_core::error::{Error, Result};
+
+use crate::io_stats::IoStats;
+
+/// One dimension table: implicit integer primary key (row index) plus named
+/// string attribute columns.
+#[derive(Debug, Clone)]
+pub struct DimensionTable {
+    name: String,
+    attr_names: Vec<String>,
+    /// Column-major attribute values.
+    attrs: Vec<Vec<String>>,
+    rows: usize,
+}
+
+impl DimensionTable {
+    /// An empty dimension table with the given attribute columns.
+    pub fn new(name: impl Into<String>, attr_names: &[&str]) -> Self {
+        Self {
+            name: name.into(),
+            attr_names: attr_names.iter().map(|s| (*s).to_owned()).collect(),
+            attrs: vec![Vec::new(); attr_names.len()],
+            rows: 0,
+        }
+    }
+
+    /// The table's name (the dimension it describes).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a member row, returning its primary key.
+    pub fn push(&mut self, values: &[&str]) -> Result<u32> {
+        if values.len() != self.attr_names.len() {
+            return Err(Error::ArityMismatch {
+                expected: self.attr_names.len(),
+                got: values.len(),
+            });
+        }
+        for (col, v) in self.attrs.iter_mut().zip(values) {
+            col.push((*v).to_owned());
+        }
+        self.rows += 1;
+        Ok((self.rows - 1) as u32)
+    }
+
+    /// Number of member rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    fn attr_index(&self, attr: &str) -> Result<usize> {
+        self.attr_names
+            .iter()
+            .position(|a| a == attr)
+            .ok_or_else(|| Error::ColumnError(format!("no attribute `{attr}` in `{}`", self.name)))
+    }
+
+    /// The attribute value of member `pk`.
+    pub fn attr(&self, pk: u32, attr: &str) -> Result<&str> {
+        let a = self.attr_index(attr)?;
+        self.attrs[a]
+            .get(pk as usize)
+            .map(String::as_str)
+            .ok_or_else(|| Error::ColumnError(format!("pk {pk} out of range")))
+    }
+
+    /// Primary keys of members whose `attr == value`.
+    pub fn find(&self, attr: &str, value: &str) -> Result<Vec<u32>> {
+        let a = self.attr_index(attr)?;
+        Ok(self.attrs[a]
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.as_str() == value)
+            .map(|(pk, _)| pk as u32)
+            .collect())
+    }
+
+    /// Stored bytes: 4 per pk plus the attribute strings.
+    pub fn size_bytes(&self) -> usize {
+        4 * self.rows + self.attrs.iter().flatten().map(String::len).sum::<usize>()
+    }
+
+    /// Average bytes of one member's attribute strings (used for the
+    /// denormalized-size comparison).
+    pub fn row_attr_bytes(&self, pk: u32) -> usize {
+        self.attrs.iter().map(|col| col[pk as usize].len()).sum()
+    }
+}
+
+/// A star schema: fact table plus dimension tables.
+#[derive(Debug)]
+pub struct StarSchema {
+    dims: Vec<DimensionTable>,
+    /// Fact foreign keys, column-major per dimension.
+    fks: Vec<Vec<u32>>,
+    measure_names: Vec<String>,
+    measures: Vec<Vec<f64>>,
+    rows: usize,
+    io: IoStats,
+}
+
+impl StarSchema {
+    /// Builds the schema around prepared dimension tables.
+    pub fn new(dims: Vec<DimensionTable>, measures: &[&str], page_size: usize) -> Self {
+        let n = dims.len();
+        Self {
+            dims,
+            fks: vec![Vec::new(); n],
+            measure_names: measures.iter().map(|s| (*s).to_owned()).collect(),
+            measures: vec![Vec::new(); measures.len()],
+            rows: 0,
+            io: IoStats::new(page_size),
+        }
+    }
+
+    /// The I/O counters.
+    pub fn io(&self) -> &IoStats {
+        &self.io
+    }
+
+    /// The dimension tables.
+    pub fn dimensions(&self) -> &[DimensionTable] {
+        &self.dims
+    }
+
+    /// Appends one fact row.
+    pub fn push_fact(&mut self, fks: &[u32], measures: &[f64]) -> Result<()> {
+        if fks.len() != self.dims.len() || measures.len() != self.measure_names.len() {
+            return Err(Error::ArityMismatch {
+                expected: self.dims.len() + self.measure_names.len(),
+                got: fks.len() + measures.len(),
+            });
+        }
+        for (d, (&fk, table)) in fks.iter().zip(&self.dims).enumerate() {
+            if fk as usize >= table.len() {
+                return Err(Error::UnknownMember {
+                    dimension: table.name().to_owned(),
+                    member: format!("pk {fk}"),
+                });
+            }
+            self.fks[d].push(fk);
+        }
+        for (col, &m) in self.measures.iter_mut().zip(measures) {
+            col.push(m);
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Number of fact rows.
+    pub fn fact_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Bytes of the (row-oriented) fact table: 4 per foreign key, 8 per
+    /// measure.
+    pub fn fact_bytes(&self) -> usize {
+        self.rows * (4 * self.dims.len() + 8 * self.measure_names.len())
+    }
+
+    /// Total stored bytes: fact table plus dimension tables.
+    pub fn size_bytes(&self) -> usize {
+        self.fact_bytes() + self.dims.iter().map(DimensionTable::size_bytes).sum::<usize>()
+    }
+
+    /// Bytes the same data costs fully denormalized (Fig 10): every fact
+    /// row repeats all attribute strings of all its members.
+    pub fn denormalized_bytes(&self) -> usize {
+        let mut total = 0;
+        for row in 0..self.rows {
+            for (d, table) in self.dims.iter().enumerate() {
+                total += table.row_attr_bytes(self.fks[d][row]);
+            }
+            total += 8 * self.measure_names.len();
+        }
+        total
+    }
+
+    fn dim_index(&self, dim: &str) -> Result<usize> {
+        self.dims
+            .iter()
+            .position(|t| t.name() == dim)
+            .ok_or_else(|| Error::DimensionNotFound(dim.to_owned()))
+    }
+
+    fn measure_index(&self, m: &str) -> Result<usize> {
+        self.measure_names
+            .iter()
+            .position(|n| n == m)
+            .ok_or_else(|| Error::MeasureNotFound(m.to_owned()))
+    }
+
+    /// Star query: `sum`/`count` of `measure` over facts whose member in
+    /// `dim` satisfies `attr == value`. Charges a scan of the dimension
+    /// table (small) plus a scan of the fact table.
+    pub fn query_sum(
+        &self,
+        dim: &str,
+        attr: &str,
+        value: &str,
+        measure: &str,
+    ) -> Result<(f64, u64)> {
+        let d = self.dim_index(dim)?;
+        let m = self.measure_index(measure)?;
+        self.io.charge_seq_read(self.dims[d].size_bytes());
+        let pks = self.dims[d].find(attr, value)?;
+        let pk_set: std::collections::HashSet<u32> = pks.into_iter().collect();
+        self.io.charge_seq_read(self.fact_bytes());
+        let mut sum = 0.0;
+        let mut count = 0;
+        for row in 0..self.rows {
+            if pk_set.contains(&self.fks[d][row]) {
+                sum += self.measures[m][row];
+                count += 1;
+            }
+        }
+        Ok((sum, count))
+    }
+
+    /// Pages a denormalized flat relation would read for the same query
+    /// (full scan of the wide table).
+    pub fn denormalized_scan_pages(&self) -> u64 {
+        self.io.pages_of(self.denormalized_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig 11 schema: hospital × procedure × time → number.
+    fn hospital_star() -> StarSchema {
+        let mut hospital = DimensionTable::new("hospital", &["name", "size", "city", "state"]);
+        let h0 = hospital.push(&["st. mary", "large", "oakland", "CA"]).unwrap();
+        let h1 = hospital.push(&["county general", "small", "fresno", "CA"]).unwrap();
+        let h2 = hospital.push(&["mercy", "large", "reno", "NV"]).unwrap();
+
+        let mut procedure = DimensionTable::new("procedure", &["name", "type", "branch"]);
+        let p0 = procedure.push(&["appendectomy", "surgery", "general"]).unwrap();
+        let p1 = procedure.push(&["x-ray", "imaging", "radiology"]).unwrap();
+
+        let mut time = DimensionTable::new("time", &["day", "month", "year"]);
+        let t0 = time.push(&["13", "11", "1996"]).unwrap();
+        let t1 = time.push(&["14", "11", "1996"]).unwrap();
+
+        let mut star = StarSchema::new(vec![hospital, procedure, time], &["number"], 4096);
+        star.push_fact(&[h0, p0, t0], &[5.0]).unwrap();
+        star.push_fact(&[h0, p1, t0], &[20.0]).unwrap();
+        star.push_fact(&[h1, p0, t1], &[2.0]).unwrap();
+        star.push_fact(&[h2, p1, t1], &[7.0]).unwrap();
+        star
+    }
+
+    #[test]
+    fn dimension_table_basics() {
+        let mut t = DimensionTable::new("d", &["a", "b"]);
+        assert!(t.is_empty());
+        let pk = t.push(&["x", "y"]).unwrap();
+        assert_eq!(pk, 0);
+        assert_eq!(t.attr(0, "a").unwrap(), "x");
+        assert!(t.attr(0, "z").is_err());
+        assert!(t.attr(5, "a").is_err());
+        assert!(t.push(&["only one"]).is_err());
+        assert_eq!(t.size_bytes(), 4 + 2);
+    }
+
+    #[test]
+    fn query_filters_through_dimension_attribute() {
+        let star = hospital_star();
+        // All CA hospitals: facts for h0 and h1.
+        let (sum, count) = star.query_sum("hospital", "state", "CA", "number").unwrap();
+        assert_eq!((sum, count), (27.0, 3));
+        let (sum, count) = star.query_sum("procedure", "type", "imaging", "number").unwrap();
+        assert_eq!((sum, count), (27.0, 2));
+        let (sum, count) = star.query_sum("time", "month", "12", "number").unwrap();
+        assert_eq!((sum, count), (0.0, 0));
+        assert!(star.query_sum("planet", "x", "y", "number").is_err());
+        assert!(star.query_sum("hospital", "state", "CA", "cost").is_err());
+    }
+
+    #[test]
+    fn fact_table_is_far_narrower_than_denormalized() {
+        let star = hospital_star();
+        // 3 fks × 4 B + 1 measure × 8 B = 20 B/row.
+        assert_eq!(star.fact_bytes(), 4 * 20);
+        assert!(star.denormalized_bytes() > star.fact_bytes());
+        // With realistic data volumes the gap dominates total size too.
+        assert!(star.size_bytes() < star.denormalized_bytes() + 1000);
+    }
+
+    #[test]
+    fn query_charges_dimension_plus_fact_scan() {
+        let star = hospital_star();
+        star.query_sum("hospital", "state", "NV", "number").unwrap();
+        // Tiny tables: 1 page for the dim table + 1 page for the fact table.
+        assert_eq!(star.io().pages_read(), 2);
+    }
+
+    #[test]
+    fn push_fact_validates_foreign_keys() {
+        let mut star = hospital_star();
+        assert!(star.push_fact(&[99, 0, 0], &[1.0]).is_err());
+        assert!(star.push_fact(&[0, 0], &[1.0]).is_err());
+        assert!(star.push_fact(&[0, 0, 0], &[]).is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! Synthetic census micro-data (§3.1(i)).
+//!
+//! The paper's census sketch: individual records summarized upward through
+//! a voluminous geographic hierarchy, with a handful of low-cardinality
+//! socio-economic category attributes (race, sex, age group) and an income
+//! measure. County populations are Zipf-skewed; incomes are right-skewed.
+//! Everything is deterministic under the seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use statcube_core::hierarchy::Hierarchy;
+use statcube_core::microdata::MicroTable;
+
+use crate::zipf::Zipf;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct CensusConfig {
+    /// Number of states.
+    pub states: usize,
+    /// Counties per state.
+    pub counties_per_state: usize,
+    /// Number of individual records.
+    pub rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CensusConfig {
+    fn default() -> Self {
+        Self { states: 10, counties_per_state: 8, rows: 20_000, seed: 1997 }
+    }
+}
+
+/// Race category values.
+pub const RACES: [&str; 5] = ["white", "black", "asian", "native", "other"];
+/// Sex category values.
+pub const SEXES: [&str; 2] = ["male", "female"];
+/// Age-group category values (decades).
+pub const AGE_GROUPS: [&str; 9] =
+    ["1-10", "11-20", "21-30", "31-40", "41-50", "51-60", "61-70", "71-80", "81-90"];
+
+/// A generated census dataset.
+#[derive(Debug)]
+pub struct Census {
+    /// Micro records: `county, state, race, sex, age_group` × `income`.
+    pub micro: MicroTable,
+    /// The county → state classification hierarchy.
+    pub geography: Hierarchy,
+    /// County names, id-ordered (`"<state>/c<k>"`).
+    pub counties: Vec<String>,
+    /// State names, id-ordered (`"s<k>"`).
+    pub states: Vec<String>,
+}
+
+/// Generates a census dataset.
+pub fn generate(cfg: &CensusConfig) -> Census {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let states: Vec<String> = (0..cfg.states).map(|s| format!("s{s:02}")).collect();
+    let mut counties = Vec::with_capacity(cfg.states * cfg.counties_per_state);
+    let mut builder = Hierarchy::builder("geography").level("county").level("state");
+    for st in &states {
+        for c in 0..cfg.counties_per_state {
+            let county = format!("{st}/c{c:02}");
+            builder = builder.edge(&county, st);
+            counties.push(county);
+        }
+    }
+    let geography = builder.build().expect("valid geography");
+
+    let county_zipf = Zipf::new(counties.len(), 1.1);
+    let mut micro =
+        MicroTable::new(&["county", "state", "race", "sex", "age_group"], &["income"]);
+    for _ in 0..cfg.rows {
+        let county_id = county_zipf.sample(&mut rng);
+        let county = &counties[county_id];
+        let state = &county[..3];
+        let race = RACES[rng.random_range(0..RACES.len())];
+        let sex = SEXES[rng.random_range(0..SEXES.len())];
+        let age = AGE_GROUPS[rng.random_range(0..AGE_GROUPS.len())];
+        // Right-skewed income: product of uniforms, scaled.
+        let income: f64 = 20_000.0
+            + 120_000.0 * rng.random::<f64>() * rng.random::<f64>() * rng.random::<f64>();
+        micro
+            .push(&[county, state, race, sex, age], &[income])
+            .expect("schema matches");
+    }
+    Census { micro, geography, counties, states }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statcube_core::measure::{MeasureKind, SummaryFunction};
+
+    #[test]
+    fn shapes_and_determinism() {
+        let cfg = CensusConfig { states: 3, counties_per_state: 4, rows: 1000, seed: 7 };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.micro, b.micro);
+        assert_eq!(a.micro.len(), 1000);
+        assert_eq!(a.counties.len(), 12);
+        assert_eq!(a.geography.leaf().members().len(), 12);
+        assert_eq!(a.geography.level(1).members().len(), 3);
+        assert!(a.geography.is_strict());
+        let c = generate(&CensusConfig { seed: 8, ..cfg });
+        assert_ne!(a.micro, c.micro);
+    }
+
+    #[test]
+    fn county_populations_are_skewed() {
+        let census = generate(&CensusConfig::default());
+        let counts = census
+            .micro
+            .summarize(&["county"], None, SummaryFunction::Count, MeasureKind::Flow)
+            .unwrap();
+        let mut values: Vec<f64> = census
+            .counties
+            .iter()
+            .filter_map(|c| counts.get(&[c]).unwrap())
+            .collect();
+        values.sort_by(f64::total_cmp);
+        let max = values.last().copied().unwrap_or(0.0);
+        let median = values[values.len() / 2];
+        assert!(max > 5.0 * median, "Zipf skew expected: max {max}, median {median}");
+    }
+
+    #[test]
+    fn summarizes_through_geography() {
+        let census = generate(&CensusConfig { rows: 5000, ..CensusConfig::default() });
+        let by_county = census
+            .micro
+            .summarize(&["county"], Some("income"), SummaryFunction::Sum, MeasureKind::Flow)
+            .unwrap();
+        assert!(by_county.cell_count() > 0);
+        // Incomes are in the generated band.
+        for (_, states) in by_county.cells() {
+            let avg = states[0].sum / states[0].count as f64;
+            assert!((20_000.0..140_000.0).contains(&avg));
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Synthetic HMO (health maintenance organization) data (§3.2(iii)).
+//!
+//! "They use multi-level disease classifications which are quite complex …
+//! the classification structure is not a strict hierarchy: 'lung cancer'
+//! belongs under the 'cancer' disease category as well as under the
+//! 'respiratory' disease category." The generated disease hierarchy is
+//! deliberately **non-strict**, so any additive roll-up over it trips the
+//! summarizability checker — the paper's double-counting trap, on tap for
+//! tests and experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use statcube_core::dimension::Dimension;
+use statcube_core::hierarchy::Hierarchy;
+use statcube_core::measure::{MeasureKind, SummaryAttribute};
+use statcube_core::microdata::MicroTable;
+use statcube_core::object::StatisticalObject;
+use statcube_core::schema::Schema;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct HmoConfig {
+    /// Number of hospitals.
+    pub hospitals: usize,
+    /// Number of months.
+    pub months: usize,
+    /// Number of patient-visit records.
+    pub rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HmoConfig {
+    fn default() -> Self {
+        Self { hospitals: 8, months: 12, rows: 10_000, seed: 2001 }
+    }
+}
+
+/// Diseases with their categories; `lung cancer` is in two — the paper's
+/// example of a non-strict structure.
+pub const DISEASES: [(&str, &[&str]); 7] = [
+    ("lung cancer", &["cancer", "respiratory"]),
+    ("breast cancer", &["cancer"]),
+    ("skin cancer", &["cancer"]),
+    ("asthma", &["respiratory"]),
+    ("influenza", &["respiratory"]),
+    ("arthritis", &["musculoskeletal"]),
+    ("fracture", &["musculoskeletal"]),
+];
+
+/// A generated HMO dataset.
+#[derive(Debug)]
+pub struct Hmo {
+    /// Visit records: `disease, hospital, month` × `cost`.
+    pub micro: MicroTable,
+    /// `cost` by disease × hospital × month (Sum of visit costs).
+    pub object: StatisticalObject,
+    /// The (non-strict) disease → category hierarchy.
+    pub disease_hierarchy: Hierarchy,
+}
+
+/// Generates an HMO dataset.
+pub fn generate(cfg: &HmoConfig) -> Hmo {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut builder = Hierarchy::builder("disease classification")
+        .level("disease")
+        .level("category");
+    for (d, cats) in DISEASES {
+        for cat in cats {
+            builder = builder.edge(d, cat);
+        }
+    }
+    let disease_hierarchy = builder.build().expect("valid disease hierarchy");
+
+    let hospitals: Vec<String> = (0..cfg.hospitals).map(|h| format!("h{h:02}")).collect();
+    let months: Vec<String> = (0..cfg.months).map(|m| format!("m{m:02}")).collect();
+
+    let schema = Schema::builder("cost per visit")
+        .dimension(Dimension::classified("disease", disease_hierarchy.clone()))
+        .dimension(Dimension::categorical("hospital", hospitals.iter().map(String::as_str)))
+        .dimension(Dimension::temporal("month", months.iter().map(String::as_str)))
+        .measure(SummaryAttribute::new("cost", MeasureKind::Flow).with_unit("dollars"))
+        .build()
+        .expect("valid schema");
+
+    let mut micro = MicroTable::new(&["disease", "hospital", "month"], &["cost"]);
+    let mut object = StatisticalObject::empty(schema);
+    for _ in 0..cfg.rows {
+        let d = rng.random_range(0..DISEASES.len());
+        let h = rng.random_range(0..cfg.hospitals);
+        let m = rng.random_range(0..cfg.months);
+        let base: f64 = match DISEASES[d].1[0] {
+            "cancer" => 8_000.0,
+            "respiratory" => 900.0,
+            _ => 2_000.0,
+        };
+        let cost = (base * rng.random_range(0.5..2.0f64)).round();
+        micro
+            .push(&[DISEASES[d].0, &hospitals[h], &months[m]], &[cost])
+            .expect("schema matches");
+        object
+            .insert_ids(&[d as u32, h as u32, m as u32], &[cost])
+            .expect("coords in range");
+    }
+    Hmo { micro, object, disease_hierarchy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statcube_core::error::Error;
+    use statcube_core::ops;
+
+    fn small() -> HmoConfig {
+        HmoConfig { hospitals: 3, months: 4, rows: 500, seed: 11 }
+    }
+
+    #[test]
+    fn hierarchy_is_non_strict() {
+        let hmo = generate(&small());
+        assert!(!hmo.disease_hierarchy.is_strict());
+        let lung = hmo.disease_hierarchy.leaf().members().id_of("lung cancer").unwrap();
+        assert_eq!(hmo.disease_hierarchy.parents(0, lung).len(), 2);
+    }
+
+    #[test]
+    fn additive_rollup_is_rejected_and_forced_rollup_double_counts() {
+        let hmo = generate(&small());
+        assert!(matches!(
+            ops::s_aggregate(&hmo.object, "disease", "category"),
+            Err(Error::Summarizability(_))
+        ));
+        let forced =
+            ops::s_aggregate_in(&hmo.object, "disease", None, "category", false).unwrap();
+        let true_total = hmo.object.grand_total(0).unwrap();
+        let forced_total = forced.grand_total(0).unwrap();
+        // Lung-cancer costs are counted twice.
+        assert!(forced_total > true_total);
+    }
+
+    #[test]
+    fn micro_and_object_agree() {
+        let hmo = generate(&small());
+        assert_eq!(hmo.micro.len(), 500);
+        let micro_total: f64 = (0..hmo.micro.len())
+            .map(|r| hmo.micro.num_value("cost", r).unwrap())
+            .sum();
+        assert!((hmo.object.grand_total(0).unwrap() - micro_total).abs() < 1e-6);
+        assert_eq!(generate(&small()).object, hmo.object);
+    }
+
+    #[test]
+    fn costs_reflect_disease_severity() {
+        let hmo = generate(&HmoConfig::default());
+        let by_disease =
+            hmo.object.project("hospital").unwrap().project("month").unwrap();
+        let cancer_avg = {
+            let coords = by_disease.schema().coords_of(&["breast cancer"]).unwrap();
+            let s = by_disease.states_at(&coords).unwrap()[0];
+            s.sum / s.count as f64
+        };
+        let flu_avg = {
+            let coords = by_disease.schema().coords_of(&["influenza"]).unwrap();
+            let s = by_disease.states_at(&coords).unwrap()[0];
+            s.sum / s.count as f64
+        };
+        assert!(cancer_avg > 3.0 * flu_avg);
+    }
+}

@@ -1,0 +1,37 @@
+//! # statcube-workload
+//!
+//! Seeded synthetic datasets standing in for the proprietary data of the
+//! paper's application areas (§3; see DESIGN.md substitutions). Each
+//! generator reproduces the structural features §3 calls out:
+//!
+//! * [`census`] — deep geographic hierarchy, low-cardinality
+//!   socio-economic attributes, Zipf-skewed county populations (§3.1(i));
+//! * [`retail`] — sparse product × store × day cube with ID-dependent
+//!   store and calendar hierarchies and Zipf-skewed product sales
+//!   (§2.2, §3.2(i));
+//! * [`stocks`] — weekday time series, value-per-unit prices, multiple
+//!   classifications over the stock dimension (§3.2(ii));
+//! * [`hmo`] — a deliberately **non-strict** disease classification, the
+//!   paper's double-counting trap (§3.2(iii));
+//! * [`resources`] — river monitoring with a station → river → basin
+//!   spatial hierarchy and stock-vs-flow measures (§3.1(iii));
+//! * [`zipf`] — the skew engine under all of them.
+
+#![warn(missing_docs)]
+
+pub mod census;
+pub mod hmo;
+pub mod resources;
+pub mod retail;
+pub mod stocks;
+pub mod zipf;
+
+/// The most commonly used types, for glob import.
+pub mod prelude {
+    pub use crate::census::{Census, CensusConfig};
+    pub use crate::hmo::{Hmo, HmoConfig};
+    pub use crate::resources::{Resources, ResourcesConfig};
+    pub use crate::retail::{Retail, RetailConfig};
+    pub use crate::stocks::{Stocks, StocksConfig};
+    pub use crate::zipf::Zipf;
+}

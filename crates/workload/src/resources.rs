@@ -1,0 +1,164 @@
+//! Synthetic natural-resources monitoring data (§3.1(iii)).
+//!
+//! "This type of databases monitor such things as water levels in dams,
+//! logging in forests, floods and river flows … water level per month per
+//! measuring station of rivers, but the geographic dimension is where the
+//! complexity lies." The generated dataset carries a three-level spatial
+//! hierarchy (station → river → basin), monthly observations, and **two**
+//! measures with opposite temporal semantics: `water level` (a stock —
+//! never summed over time) and `flow volume` (a flow — summable), so the
+//! summarizability machinery has something real to guard.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use statcube_core::dimension::Dimension;
+use statcube_core::hierarchy::Hierarchy;
+use statcube_core::measure::{MeasureKind, SummaryAttribute, SummaryFunction};
+use statcube_core::object::StatisticalObject;
+use statcube_core::schema::Schema;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct ResourcesConfig {
+    /// Number of river basins.
+    pub basins: usize,
+    /// Rivers per basin.
+    pub rivers_per_basin: usize,
+    /// Measuring stations per river.
+    pub stations_per_river: usize,
+    /// Number of months observed.
+    pub months: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ResourcesConfig {
+    fn default() -> Self {
+        Self { basins: 3, rivers_per_basin: 4, stations_per_river: 5, months: 24, seed: 1979 }
+    }
+}
+
+/// A generated hydrology dataset.
+#[derive(Debug)]
+pub struct Resources {
+    /// `water level` (avg, stock) and `flow volume` (sum, flow) by
+    /// station × month.
+    pub object: StatisticalObject,
+    /// Station names (`"b0/r1/st2"`), id-ordered.
+    pub stations: Vec<String>,
+    /// The station → river → basin hierarchy.
+    pub geography: Hierarchy,
+}
+
+/// Generates a hydrology dataset.
+pub fn generate(cfg: &ResourcesConfig) -> Resources {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut stations = Vec::new();
+    let mut geo = Hierarchy::builder("hydrology").level("station").level("river");
+    let mut river_names = Vec::new();
+    for b in 0..cfg.basins {
+        for r in 0..cfg.rivers_per_basin {
+            let river = format!("b{b}/r{r}");
+            for s in 0..cfg.stations_per_river {
+                let station = format!("{river}/st{s}");
+                geo = geo.edge(&station, &river);
+                stations.push(station);
+            }
+            river_names.push((river, format!("b{b}")));
+        }
+    }
+    geo = geo.level("basin");
+    for (river, basin) in &river_names {
+        geo = geo.edge_at(1, river, basin);
+    }
+    let geography = geo.build().expect("valid hydrology hierarchy");
+
+    let months: Vec<String> = (0..cfg.months).map(|m| format!("m{m:02}")).collect();
+    let schema = Schema::builder("river monitoring")
+        .dimension(
+            Dimension::classified("station", geography.clone())
+                .with_role(statcube_core::dimension::DimensionRole::Spatial),
+        )
+        .dimension(Dimension::temporal("month", months.iter().map(String::as_str)))
+        .measure(SummaryAttribute::new("water level", MeasureKind::Stock).with_unit("meters"))
+        .function(SummaryFunction::Avg)
+        .measure(SummaryAttribute::new("flow volume", MeasureKind::Flow).with_unit("m^3"))
+        .function(SummaryFunction::Sum)
+        .build()
+        .expect("valid schema");
+
+    let mut object = StatisticalObject::empty(schema);
+    // Seasonal level + station-specific base; flow correlates with level.
+    let bases: Vec<f64> = (0..stations.len()).map(|_| rng.random_range(2.0..20.0)).collect();
+    for (s, base) in bases.iter().enumerate() {
+        for m in 0..cfg.months {
+            let season = 1.0 + 0.4 * (m as f64 / 12.0 * std::f64::consts::TAU).sin();
+            let level = base * season * rng.random_range(0.9..1.1);
+            let flow = level * rng.random_range(800.0..1200.0);
+            object
+                .insert_ids(&[s as u32, m as u32], &[level, flow.round()])
+                .expect("coords in range");
+        }
+    }
+    Resources { object, stations, geography }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statcube_core::error::Error;
+    use statcube_core::ops;
+
+    fn small() -> ResourcesConfig {
+        ResourcesConfig {
+            basins: 2,
+            rivers_per_basin: 2,
+            stations_per_river: 3,
+            months: 12,
+            seed: 8,
+        }
+    }
+
+    #[test]
+    fn three_level_geography() {
+        let r = generate(&small());
+        assert_eq!(r.geography.level_count(), 3);
+        assert_eq!(r.stations.len(), 12);
+        assert!(r.geography.is_strict());
+        assert_eq!(generate(&small()).object, r.object);
+        // Roll all the way up to basins in one step.
+        let by_basin = ops::s_aggregate(&r.object, "station", "basin").unwrap();
+        assert_eq!(by_basin.schema().dimension("station").unwrap().cardinality(), 2);
+        // Flow volume totals survive the roll-up.
+        assert!(
+            (by_basin.grand_total(1).unwrap() - r.object.grand_total(1).unwrap()).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn stock_vs_flow_semantics_over_time() {
+        let r = generate(&small());
+        // Summarizing over months: the level (stock, avg) and volume
+        // (flow, sum) are both fine under their declared functions…
+        assert!(ops::s_project(&r.object, "month").is_ok());
+        // …but a SUM-of-level variant must be refused.
+        let schema = Schema::builder("bad")
+            .dimension(Dimension::temporal("month", ["m0", "m1"]))
+            .measure(SummaryAttribute::new("water level", MeasureKind::Stock))
+            .build()
+            .unwrap();
+        let mut bad = StatisticalObject::empty(schema);
+        bad.insert(&["m0"], 3.0).unwrap();
+        assert!(matches!(ops::s_project(&bad, "month"), Err(Error::Summarizability(_))));
+    }
+
+    #[test]
+    fn levels_are_seasonal() {
+        let r = generate(&ResourcesConfig { months: 24, ..small() });
+        // The wet-season months should average higher than the dry ones.
+        let by_month = ops::s_project(&r.object, "station").unwrap();
+        let level = |m: &str| by_month.get_measure(&[m], 0).unwrap().unwrap();
+        assert!(level("m03") > level("m09"), "seasonality expected");
+    }
+}

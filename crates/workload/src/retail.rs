@@ -1,0 +1,182 @@
+//! Synthetic retail transactions (§2.2, §3.2(i)).
+//!
+//! The paper's data-cube example: `quantity sold` by product, store
+//! location (city → store, ID-dependent), and day (year → month → day,
+//! ID-dependent). Product popularity is Zipf-skewed, so the resulting cube
+//! is sparse with clustered structure — the regime every §6 technique
+//! targets. A configurable `density` knob drives the MOLAP/ROLAP crossover
+//! sweep (E18).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use statcube_core::dimension::Dimension;
+use statcube_core::hierarchy::Hierarchy;
+use statcube_core::measure::{MeasureKind, SummaryAttribute};
+use statcube_core::object::StatisticalObject;
+use statcube_core::schema::Schema;
+
+use crate::zipf::Zipf;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct RetailConfig {
+    /// Number of products.
+    pub products: usize,
+    /// Number of product categories (products hash into them).
+    pub categories: usize,
+    /// Number of cities.
+    pub cities: usize,
+    /// Stores per city.
+    pub stores_per_city: usize,
+    /// Number of days (grouped into 30-day months).
+    pub days: usize,
+    /// Number of sale transactions.
+    pub rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RetailConfig {
+    fn default() -> Self {
+        Self {
+            products: 200,
+            categories: 12,
+            cities: 5,
+            stores_per_city: 4,
+            days: 60,
+            rows: 30_000,
+            seed: 1996,
+        }
+    }
+}
+
+/// A generated retail dataset, already shaped as a statistical object.
+#[derive(Debug)]
+pub struct Retail {
+    /// `quantity sold` by product × store × day, function `Sum`.
+    pub object: StatisticalObject,
+    /// Product names, id-ordered.
+    pub products: Vec<String>,
+    /// Store names, id-ordered (`"<city>/s<k>"`).
+    pub stores: Vec<String>,
+    /// Day names, id-ordered (`"d<k>"`).
+    pub days: Vec<String>,
+}
+
+/// Generates a retail dataset.
+pub fn generate(cfg: &RetailConfig) -> Retail {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let products: Vec<String> = (0..cfg.products).map(|p| format!("p{p:04}")).collect();
+    let mut product_hier = Hierarchy::builder("product category").level("product").level("category");
+    for (p, name) in products.iter().enumerate() {
+        product_hier = product_hier.edge(name, &format!("cat{:02}", p % cfg.categories));
+    }
+    let product_hier = product_hier.build().expect("valid product hierarchy");
+
+    let mut stores = Vec::with_capacity(cfg.cities * cfg.stores_per_city);
+    let mut location = Hierarchy::builder("store location")
+        .level("store")
+        .id_dependent()
+        .level("city");
+    for city in 0..cfg.cities {
+        let city_name = format!("city{city:02}");
+        for s in 0..cfg.stores_per_city {
+            let store = format!("{city_name}/s{s}");
+            location = location.edge(&store, &city_name);
+            stores.push(store);
+        }
+    }
+    let location = location.build().expect("valid location hierarchy");
+
+    let days: Vec<String> = (0..cfg.days).map(|d| format!("d{d:03}")).collect();
+    let mut time = Hierarchy::builder("calendar").level("day").id_dependent().level("month");
+    for (d, name) in days.iter().enumerate() {
+        time = time.edge(name, &format!("m{:02}", d / 30));
+    }
+    let time = time.build().expect("valid calendar");
+
+    let schema = Schema::builder("Quantity Sold")
+        .dimension(Dimension::classified("product", product_hier))
+        .dimension(Dimension::classified("store", location))
+        .dimension(Dimension::classified_temporal("day", time))
+        .measure(SummaryAttribute::new("quantity sold", MeasureKind::Flow).with_unit("dollars"))
+        .build()
+        .expect("valid schema");
+
+    let product_zipf = Zipf::new(cfg.products, 1.0);
+    let mut object = StatisticalObject::empty(schema);
+    for _ in 0..cfg.rows {
+        let p = product_zipf.sample(&mut rng) as u32;
+        let s = rng.random_range(0..stores.len()) as u32;
+        let d = rng.random_range(0..cfg.days) as u32;
+        let amount = rng.random_range(1.0..200.0f64).round();
+        object.insert_ids(&[p, s, d], &[amount]).expect("coords in range");
+    }
+    Retail { object, products, stores, days }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RetailConfig {
+        RetailConfig {
+            products: 20,
+            categories: 4,
+            cities: 2,
+            stores_per_city: 2,
+            days: 35,
+            rows: 2_000,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn deterministic_and_shaped() {
+        let a = generate(&small());
+        let b = generate(&small());
+        assert_eq!(a.object, b.object);
+        assert_eq!(a.object.schema().cardinalities(), vec![20, 4, 35]);
+        assert_eq!(a.stores.len(), 4);
+        // 2000 transactions merged into ≤ 2800 cells.
+        assert!(a.object.cell_count() <= 2_000);
+        assert!(a.object.cell_count() > 100);
+    }
+
+    #[test]
+    fn rolls_up_all_three_hierarchies() {
+        let r = generate(&small());
+        let by_cat = r.object.roll_up("product", "category").unwrap();
+        assert_eq!(by_cat.schema().dimension("product").unwrap().cardinality(), 4);
+        let by_city = by_cat.roll_up("store", "city").unwrap();
+        assert_eq!(by_city.schema().dimension("store").unwrap().cardinality(), 2);
+        let by_month = by_city.roll_up("day", "month").unwrap();
+        assert_eq!(by_month.schema().dimension("day").unwrap().cardinality(), 2);
+        // Totals survive every roll-up.
+        assert_eq!(by_month.grand_total(0), r.object.grand_total(0));
+    }
+
+    #[test]
+    fn product_sales_are_skewed() {
+        let r = generate(&RetailConfig::default());
+        let by_product = r.object.project("store").unwrap().project("day").unwrap();
+        let mut sums: Vec<f64> = r
+            .products
+            .iter()
+            .filter_map(|p| by_product.get(&[p]).unwrap())
+            .collect();
+        sums.sort_by(f64::total_cmp);
+        let top = sums.last().copied().unwrap();
+        let median = sums[sums.len() / 2];
+        assert!(top > 3.0 * median, "top {top} vs median {median}");
+    }
+
+    #[test]
+    fn density_tracks_rows_vs_space() {
+        let sparse = generate(&RetailConfig { rows: 500, ..RetailConfig::default() });
+        let dense = generate(&RetailConfig { rows: 200_000, ..RetailConfig::default() });
+        assert!(sparse.object.density() < dense.object.density());
+    }
+}

@@ -1,0 +1,104 @@
+//! Zipf-distributed sampling for skewed category frequencies.
+//!
+//! Real category attributes are skewed — a few products dominate sales, a
+//! few counties hold most people — and several of the paper's claims
+//! (clustered nulls for header compression, small populated fractions of
+//! huge cross products) only show up under skew, so the generators draw
+//! category values from a Zipf law.
+
+use rand::Rng;
+
+/// A Zipf(`n`, `s`) sampler over ranks `0..n` using a precomputed CDF.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with exponent `s` (`s = 0` is
+    /// uniform; larger `s` is more skewed). Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// The probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skew_orders_ranks() {
+        let z = Zipf::new(100, 1.0);
+        for k in 1..100 {
+            assert!(z.pmf(k) <= z.pmf(k - 1));
+        }
+        assert!(z.pmf(0) > 10.0 * z.pmf(99));
+    }
+
+    #[test]
+    fn samples_match_pmf_roughly() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 10];
+        let trials = 100_000;
+        for _ in 0..trials {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            let expect = z.pmf(k) * trials as f64;
+            assert!(
+                (c as f64 - expect).abs() < 5.0 * expect.sqrt() + 20.0,
+                "rank {k}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert!((z.pmf(0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,112 @@
+//! Privacy audit (§7): play both sides — run the \[DS80\] tracker against a
+//! size-restricted database, then show each defense the paper surveys and
+//! what it costs.
+//!
+//! ```text
+//! cargo run --example privacy_audit
+//! ```
+
+use statcube::privacy::prelude::*;
+use statcube::privacy::restrict::demo_database;
+
+fn main() {
+    let k = 3;
+    println!("population: {} employees; query-set restriction k = {k}\n", demo_database().len());
+
+    // The snooper wants dorothy's salary (the unique 65-year-old).
+    let db = ProtectedDatabase::new(demo_database(), k).lower_bound_only();
+    let direct = db.sum(&[Pred::eq("age_group", "65")], "salary");
+    println!("direct query: {direct:?}");
+
+    // Attack 1: the difference attack the paper narrates.
+    let attack = difference_attack(&db, &[], &Pred::eq("age_group", "65"), "salary")
+        .expect("attack succeeds against bare restriction");
+    println!("\ntracker attack succeeded with {} legal queries:", attack.queries_used.len());
+    for q in &attack.queries_used {
+        println!("  {q}");
+    }
+    println!("inferred: exactly {} person earning ${}", attack.count, attack.value);
+
+    // Defense 1: overlap auditing.
+    let mut audited = OverlapAuditedDatabase::new(
+        ProtectedDatabase::new(demo_database(), k).lower_bound_only(),
+        2,
+    );
+    let broad = audited.sum(&[], "salary");
+    let padded = audited.sum(&[Pred::ne("age_group", "65")], "salary");
+    println!("\n[defense: overlap auditing] broad query: {:?}", broad.map(|v| v.round()));
+    println!("[defense: overlap auditing] padded tracker query: {padded:?}");
+
+    // Defense 2: random-sample answers.
+    let mut sampled = SampledDatabase::new(
+        ProtectedDatabase::new(demo_database(), k).lower_bound_only(),
+        6,
+        42,
+    );
+    let est1 = sampled.sum(&[], "salary").expect("sampled answer");
+    let est2 = sampled.sum(&[], "salary").expect("sampled answer");
+    println!("\n[defense: sampling] the same query answers differently each time: {est1:.0} vs {est2:.0}");
+
+    // Defense 3: perturbation.
+    let noised = input_perturb(&demo_database(), "salary", 5_000.0, 7).expect("perturb");
+    let pdb = ProtectedDatabase::new(noised, k).lower_bound_only();
+    let attack2 = difference_attack(&pdb, &[], &Pred::eq("age_group", "65"), "salary")
+        .expect("attack still runs");
+    println!(
+        "[defense: input perturbation ±$5k] tracker now recovers {:.0} (error {:.0})",
+        attack2.value,
+        (attack2.value - 180_000.0).abs()
+    );
+    let mut out = OutputPerturbedDatabase::new(
+        ProtectedDatabase::new(demo_database(), k).lower_bound_only(),
+        2_000.0,
+        11,
+    );
+    println!(
+        "[defense: output perturbation ±$2k] avg(sales salary) = {:.0} (truth {:.0})",
+        out.avg(&[Pred::eq("dept", "sales")], "salary").expect("answer"),
+        ProtectedDatabase::new(demo_database(), 0)
+            .avg(&[Pred::eq("dept", "sales")], "salary")
+            .expect("truth")
+    );
+
+    // Defense 4: cell suppression on the published dept × age table.
+    let micro = demo_database();
+    let depts = ["eng", "sales", "hr"];
+    let ages = ["30-39", "40-49", "50-59", "65"];
+    let mut table = vec![vec![0u64; ages.len()]; depts.len()];
+    for row in 0..micro.len() {
+        let d = depts
+            .iter()
+            .position(|x| *x == micro.cat_value("dept", row).expect("dept"))
+            .expect("known dept");
+        let a = ages
+            .iter()
+            .position(|x| *x == micro.cat_value("age_group", row).expect("age"))
+            .expect("known age");
+        table[d][a] += 1;
+    }
+    let plan = plan_suppression(&table, 2);
+    let (published, row_totals, _, grand) = apply_suppression(&table, &plan);
+    println!("\n[defense: cell suppression, threshold 2] published dept × age counts:");
+    print!("{:>8}", "");
+    for a in ages {
+        print!("{a:>8}");
+    }
+    println!("{:>8}", "total");
+    for (d, dept) in depts.iter().enumerate() {
+        print!("{dept:>8}");
+        for cell in &published[d] {
+            match cell {
+                Some(v) => print!("{v:>8}"),
+                None => print!("{:>8}", "*"),
+            }
+        }
+        println!("{:>8}", row_totals[d]);
+    }
+    println!(
+        "grand total {grand}; {} primary + {} complementary suppressions",
+        plan.primary.len(),
+        plan.complementary.len()
+    );
+}

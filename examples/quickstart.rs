@@ -1,0 +1,86 @@
+//! Quickstart: build the paper's Fig 1 statistical object and walk the
+//! whole vocabulary — slice, dice, roll up, drill down, marginals.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use statcube::core::prelude::*;
+use statcube::core::table2d::Table2D;
+
+fn main() -> Result<()> {
+    // "Employment in California" by sex by year by profession (Fig 1),
+    // with the professional-class classification hierarchy.
+    let profession = Hierarchy::builder("profession")
+        .level("profession")
+        .level("professional class")
+        .edge("chemical engineer", "engineer")
+        .edge("civil engineer", "engineer")
+        .edge("junior secretary", "secretary")
+        .edge("executive secretary", "secretary")
+        .edge("elementary teacher", "teacher")
+        .edge("high school teacher", "teacher")
+        .build()?;
+
+    let schema = Schema::builder("Employment in California")
+        .dimension(Dimension::categorical("sex", ["male", "female"]))
+        .dimension(Dimension::temporal("year", ["91", "92"]))
+        .dimension(Dimension::classified("profession", profession))
+        .measure(SummaryAttribute::new("employment", MeasureKind::Stock))
+        .function(SummaryFunction::Sum)
+        .context("state", "California")
+        .build()?;
+
+    let mut employment = StatisticalObject::empty(schema);
+    for (sex, year, profession, count) in [
+        ("male", "91", "chemical engineer", 197_700.0),
+        ("male", "91", "civil engineer", 241_100.0),
+        ("male", "92", "chemical engineer", 209_900.0),
+        ("male", "92", "civil engineer", 278_000.0),
+        ("female", "91", "junior secretary", 667_300.0),
+        ("female", "91", "executive secretary", 162_300.0),
+        ("female", "92", "junior secretary", 692_500.0),
+        ("female", "92", "executive secretary", 174_400.0),
+        ("male", "91", "elementary teacher", 212_943.0),
+        ("female", "92", "high school teacher", 299_344.0),
+    ] {
+        employment.insert(&[sex, year, profession], count)?;
+    }
+
+    // The traditional 2-D rendering with marginals (Fig 9).
+    let table = Table2D::layout(&employment, &["sex", "year"], &["profession"])?;
+    println!("{}", table.render());
+
+    // OLAP roll-up ≡ SDB S-aggregation: professions → professional classes.
+    let by_class = employment.roll_up("profession", "professional class")?;
+    println!(
+        "male engineers in '91 (rolled up): {:?}",
+        by_class.get(&["male", "91", "engineer"])?
+    );
+
+    // Slice: fix one member and drop the dimension (context is recorded).
+    let males = employment.slice("sex", "male")?;
+    println!(
+        "slice sex=male: {} cells, context {:?}",
+        males.cell_count(),
+        males.schema().context()
+    );
+
+    // Dice: sub-ranges on several dimensions.
+    let diced = employment.dice(&[("year", &["92"][..]), ("sex", &["female"][..])])?;
+    println!("dice year=92 & sex=female: total {:?}", diced.grand_total(0));
+
+    // Drill down via a navigator (the base data is retained).
+    let mut nav = Navigator::new(employment.clone());
+    nav.roll_up("profession")?;
+    println!("rolled-up view: {} cells", nav.view()?.cell_count());
+    nav.drill_down("profession")?;
+    println!("drilled back down: {} cells", nav.view()?.cell_count());
+
+    // Summarizability guard: summing a stock over time is refused.
+    match employment.project("year") {
+        Err(e) => println!("as expected, SUM(stock) over time is refused: {e}"),
+        Ok(_) => unreachable!("the engine must refuse this"),
+    }
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! Retail OLAP (§2.2, §3.2(i)): compute the CUBE over sales facts, pick
+//! materialized views with the HRU greedy algorithm, and answer ad-hoc
+//! group-bys from the cheapest view — the warehouse workflow of §6.3.
+//!
+//! ```text
+//! cargo run --release --example retail_olap
+//! ```
+
+use statcube::core::prelude::*;
+use statcube::cube::prelude::*;
+use statcube::cube::materialize;
+use statcube::workload::retail::{generate, RetailConfig};
+
+fn main() -> Result<()> {
+    let retail = generate(&RetailConfig {
+        products: 100,
+        categories: 10,
+        cities: 5,
+        stores_per_city: 4,
+        days: 60,
+        rows: 80_000,
+        seed: 77,
+    });
+    let obj = &retail.object;
+    println!(
+        "sales cube: {:?} dims, {} populated cells, density {:.3}",
+        obj.schema().cardinalities(),
+        obj.cell_count(),
+        obj.density()
+    );
+
+    // 1. Full CUBE with ALL (Fig 15): all 2^3 groupings at once.
+    let facts = FactInput::from_object(obj)?;
+    let cube = compute_shared(&facts);
+    println!("CUBE produced {} cuboids, {} cells total", cube.masks().len(), cube.total_cells());
+    let grand = cube.get_all(&[None, None, None]).expect("grand total");
+    println!("grand total (ALL, ALL, ALL): ${:.0} over {} transactions", grand.sum, grand.count);
+
+    // 2. View selection: which summaries to pre-compute (§6.3, [HUR96])?
+    let lattice = Lattice::new(facts.cards(), facts.len() as u64)?;
+    let greedy = materialize::greedy_select(&lattice, 3)?;
+    let dim_names = ["product", "store", "day"];
+    println!("\ngreedy view selection:");
+    for (mask, benefit) in greedy.selected.iter().zip(&greedy.benefits) {
+        let name: Vec<&str> =
+            (0..3).filter(|d| mask & (1 << d) != 0).map(|d| dim_names[d]).collect();
+        println!(
+            "  materialize {{{}}} (est. {} cells, benefit {benefit})",
+            if name.is_empty() { "apex".to_owned() } else { name.join(", ") },
+            lattice.size(*mask)
+        );
+    }
+
+    // 3. Answer queries from the cheapest materialized ancestor.
+    let store = ViewStore::build(&facts, &greedy.selected)?;
+    for (mask, label) in [(0b001u32, "by product"), (0b010, "by store"), (0b110, "by store, day")]
+    {
+        let ans = store.answer(mask)?;
+        println!(
+            "query {label}: answered from view {:03b}, scanning {} cells → {} groups",
+            ans.source,
+            ans.cells_scanned,
+            ans.cuboid.len()
+        );
+    }
+
+    // 4. The interactive drill-down story: start at category level, spot
+    //    the big category, drill into its products.
+    let by_cat = obj.roll_up("product", "category")?;
+    let mut cats: Vec<(String, f64)> = by_cat
+        .schema()
+        .dimension("product")?
+        .members()
+        .values()
+        .map(|c| {
+            let total = statcube::core::ops::s_select(&by_cat, "product", &[c]).map(|o| o.grand_total(0).unwrap_or(0.0))
+                .unwrap_or(0.0);
+            (c.to_owned(), total)
+        })
+        .collect();
+    cats.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let (top_cat, top_total) = &cats[0];
+    println!("\ntop category: {top_cat} (${top_total:.0}) — drilling down:");
+    let members: Vec<&str> = retail
+        .products
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| format!("cat{:02}", i % 10) == *top_cat)
+        .map(|(_, p)| p.as_str())
+        .collect();
+    let drill = statcube::core::ops::s_select(obj, "product", &members)?;
+    let by_product = drill.project("store")?.project("day")?;
+    let mut products: Vec<(&str, f64)> = members
+        .iter()
+        .filter_map(|p| by_product.get(&[p]).ok().flatten().map(|v| (*p, v)))
+        .collect();
+    products.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (p, v) in products.iter().take(3) {
+        println!("  {p}: ${v:.0}");
+    }
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! SQL over a statistical object (§5.4, \[GB+96\]): run `GROUP BY CUBE` /
+//! `ROLLUP` queries against retail data, show the union-of-group-bys they
+//! replace, and watch the engine refuse a statistically meaningless query.
+//!
+//! ```text
+//! cargo run --release --example sql_cube
+//! ```
+
+use statcube::sql::{execute_str, expand_cube_to_unions, parse};
+use statcube::workload::retail::{generate, RetailConfig};
+use statcube::workload::stocks::{self, StocksConfig};
+
+fn main() {
+    let retail = generate(&RetailConfig {
+        products: 12,
+        categories: 4,
+        cities: 2,
+        stores_per_city: 2,
+        days: 14,
+        rows: 4_000,
+        seed: 2,
+    });
+
+    // 1. A plain aggregate query.
+    let sql = "SELECT SUM(\"quantity sold\"), COUNT(*) FROM sales \
+               WHERE store = 'city00/s0' GROUP BY product";
+    println!("> {sql}\n");
+    let rs = execute_str(&retail.object, sql).expect("query runs");
+    print!("{}", rs.render());
+
+    // 2. The CUBE extension, with its ALL rows.
+    let sql = "SELECT SUM(\"quantity sold\") FROM sales GROUP BY CUBE(store, day)";
+    println!("\n> {sql}\n");
+    let rs = execute_str(&retail.object, sql).expect("cube runs");
+    // Print only the ALL-bearing rows to keep the output short.
+    for row in rs.rows.iter().filter(|r| r.group.iter().any(Option::is_none)).take(8) {
+        println!(
+            "  {:>10}  {:>6}  {:>10.0}",
+            row.group[0].as_deref().unwrap_or("ALL"),
+            row.group[1].as_deref().unwrap_or("ALL"),
+            row.values[0].unwrap_or(0.0)
+        );
+    }
+    println!("  … {} rows total across all groupings", rs.rows.len());
+
+    // 3. What that one query replaces (§5.4's "awkward and verbose").
+    let parsed = parse(sql).expect("parse");
+    let unions = expand_cube_to_unions(&parsed).expect("expand");
+    println!("\nwithout CUBE, the same answer needs {} queries unioned:", unions.len());
+    for u in &unions {
+        println!("  {u}");
+    }
+
+    // 4. GROUP BY a *hierarchy level*: grouping by city rolls the store
+    //    dimension up through its classification hierarchy first.
+    let sql = "SELECT SUM(\"quantity sold\") FROM sales GROUP BY city";
+    println!("\n> {sql}\n");
+    let rs = execute_str(&retail.object, sql).expect("level grouping");
+    for row in &rs.rows {
+        println!(
+            "  {:>8}  {:>10.0}",
+            row.group[0].as_deref().unwrap_or("ALL"),
+            row.values[0].unwrap_or(0.0)
+        );
+    }
+
+    // 5. Semantics retained: a meaningless query is refused.
+    let stocks = stocks::generate(&StocksConfig::default());
+    let bad = "SELECT SUM(price) FROM stocks GROUP BY stock";
+    println!("\n> {bad}");
+    match execute_str(&stocks.object, bad) {
+        Err(e) => println!("  refused: {e}"),
+        Ok(_) => println!("  (unexpectedly answered)"),
+    }
+    let good = "SELECT AVG(price), MAX(price) FROM stocks GROUP BY stock";
+    println!("> {good}");
+    let rs = execute_str(&stocks.object, good).expect("avg runs");
+    for row in rs.rows.iter().take(3) {
+        println!(
+            "  {:>6}  avg {:>7.2}  max {:>7.2}",
+            row.group[0].as_deref().unwrap_or("ALL"),
+            row.values[0].unwrap_or(0.0),
+            row.values[1].unwrap_or(0.0)
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Stock-market time series (§3.2(ii)): weekday calendars, weekly
+//! roll-ups of a value-per-unit measure, multiple classifications over the
+//! stock dimension, and the higher statistics of §5.6 — plus the engine
+//! refusing the one aggregation that would be financial nonsense.
+//!
+//! ```text
+//! cargo run --release --example stock_timeseries
+//! ```
+
+use statcube::core::measure::SummaryFunction;
+use statcube::core::ops;
+use statcube::core::stats::{percentile, Welford};
+use statcube::core::timeseries;
+use statcube::workload::stocks::{generate, StocksConfig};
+
+fn main() {
+    let market = generate(&StocksConfig { stocks: 30, industries: 5, weeks: 26, seed: 1997 });
+    let obj = &market.object;
+    println!(
+        "{} stocks × {} trading days (weekdays only); measures: price (avg), volume (sum)",
+        market.tickers.len(),
+        market.days.len()
+    );
+
+    // 1. Weekly consolidation: price averages, volume sums — each measure
+    //    under its own function, both correct under one roll-up.
+    let weekly = obj.roll_up("day", "week").expect("weekly roll-up");
+    let t = &market.tickers[0];
+    println!("\n{t} weekly series (first 5 weeks):");
+    for w in 0..5 {
+        let week = format!("w{w:02}");
+        let price = weekly.get_measure(&[t, &week], 0).expect("cell").unwrap_or(f64::NAN);
+        let volume = weekly.get_measure(&[t, &week], 1).expect("cell").unwrap_or(0.0);
+        println!("  {week}: avg price {price:>7.2}  volume {volume:>9.0}");
+    }
+
+    // 2. Two classifications over the same stocks (§3.2(ii)).
+    for (hier, level) in [("by industry", "industry"), ("by rating", "rating")] {
+        let rolled =
+            ops::s_aggregate_in(obj, "stock", Some(hier), level, true).expect("classification");
+        let groups = rolled.schema().dimension("stock").expect("dim").cardinality();
+        println!(
+            "\nclassified {hier}: {groups} groups, total volume {:.0}",
+            rolled.grand_total(1).unwrap_or(0.0)
+        );
+    }
+
+    // 3. Higher statistics on one stock's daily prices (§5.6).
+    let prices: Vec<f64> = market
+        .days
+        .iter()
+        .filter_map(|d| obj.get_measure(&[t, d], 0).ok().flatten())
+        .collect();
+    let mut w = Welford::new();
+    for &p in &prices {
+        w.push(p);
+    }
+    println!(
+        "\n{t} daily price stats: mean {:.2}, stddev {:.2}, median {:.2}, p95 {:.2}",
+        w.mean().unwrap(),
+        w.stddev_sample().unwrap(),
+        percentile(&prices, 50.0).unwrap(),
+        percentile(&prices, 95.0).unwrap()
+    );
+
+    // 4. Moving windows along the temporal axis (§3.2(ii)).
+    let s = timeseries::series(obj, "day", &[("stock", t)], 0, SummaryFunction::Avg)
+        .expect("series");
+    let ma20 = timeseries::moving_average(&s, 20).expect("ma");
+    let hi20 = timeseries::rolling_max(&s, 20).expect("high");
+    let lo20 = timeseries::rolling_min(&s, 20).expect("low");
+    let last = s.len() - 1;
+    println!(
+        "\n{t} 20-day window at day {last}: ma {:.2}, high {:.2}, low {:.2}",
+        ma20[last].unwrap_or(f64::NAN),
+        hi20[last].unwrap_or(f64::NAN),
+        lo20[last].unwrap_or(f64::NAN)
+    );
+    let rets = timeseries::returns(&s);
+    let best = rets
+        .iter()
+        .flatten()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!("best single-day return: {:.2}%", best * 100.0);
+
+    // 5. The guard: a price (value-per-unit) must never be summed.
+    let schema = statcube::core::schema::Schema::builder("bad idea")
+        .dimension(statcube::core::dimension::Dimension::temporal("day", ["d1", "d2"]))
+        .measure(statcube::core::measure::SummaryAttribute::new(
+            "price",
+            statcube::core::measure::MeasureKind::ValuePerUnit,
+        ))
+        .build()
+        .expect("schema");
+    let mut bad = statcube::core::object::StatisticalObject::empty(schema);
+    bad.insert(&["d1"], 100.0).expect("cell");
+    match ops::s_project(&bad, "day") {
+        Err(e) => println!("\nsumming prices over days is refused: {e}"),
+        Ok(_) => unreachable!("must refuse"),
+    }
+}

@@ -1,0 +1,83 @@
+//! # statcube
+//!
+//! A Statistical Object / OLAP engine reproducing Arie Shoshani,
+//! *"OLAP and Statistical Databases: Similarities and Differences"*
+//! (PODS 1997).
+//!
+//! The paper argues that Statistical Databases (SDBs) and OLAP systems share
+//! one conceptual structure — the **Statistical Object**: a summary measure,
+//! a summary function, a set of dimensions, and zero or more classification
+//! hierarchies — and surveys the modeling, operator, physical-organization,
+//! and privacy techniques of both areas. This workspace implements all of it:
+//!
+//! * [`core`] — the Statistical Object data type: STORM schema graphs,
+//!   classification hierarchies, summarizability checking, the statistical
+//!   operator algebra (S-select / S-project / S-aggregation / S-union) and
+//!   its OLAP aliases (slice / dice / roll-up / drill-down), automatic
+//!   aggregation, 2-D statistical tables with marginals, micro→macro
+//!   summarization, and classification matching.
+//! * [`storage`] — every physical organization the paper surveys: row
+//!   stores, transposed (columnar) files, bit-transposed files, header
+//!   compression, array linearization, chunked subcubes, extendible arrays,
+//!   and star schemas — over a page-granular simulated I/O layer.
+//! * [`cube`] — the CUBE operator with `ALL`, the cuboid lattice, greedy
+//!   view materialization (HRU), and MOLAP/ROLAP cube-computation engines.
+//! * [`privacy`] — statistical inference control: query-set-size
+//!   restriction, tracker attacks, overlap auditing, cell suppression,
+//!   random-sample queries, and perturbation.
+//! * [`sql`] — a small SQL dialect with the `GROUP BY CUBE` / `ROLLUP`
+//!   extensions of \[GB+96\], executed against statistical objects.
+//! * [`workload`] — seeded synthetic census / retail / stock / HMO data.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use statcube::core::prelude::*;
+//!
+//! // "Employment in California by sex by year by profession" (paper Fig. 1)
+//! let profession = Hierarchy::builder("profession")
+//!     .level("profession")
+//!     .level("professional class")
+//!     .edge("chemical engineer", "engineer")
+//!     .edge("civil engineer", "engineer")
+//!     .edge("junior secretary", "secretary")
+//!     .edge("executive secretary", "secretary")
+//!     .build()
+//!     .unwrap();
+//!
+//! let schema = Schema::builder("Employment in California")
+//!     .dimension(Dimension::categorical("sex", ["male", "female"]))
+//!     .dimension(Dimension::temporal("year", ["1991", "1992"]))
+//!     .dimension(Dimension::classified("profession", profession))
+//!     .measure(SummaryAttribute::new("employment", MeasureKind::Stock))
+//!     .function(SummaryFunction::Sum)
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut obj = StatisticalObject::empty(schema);
+//! obj.insert(&["male", "1991", "civil engineer"], 241_100.0).unwrap();
+//! obj.insert(&["male", "1991", "chemical engineer"], 197_700.0).unwrap();
+//!
+//! // Roll up professions to the professional-class level (OLAP: roll-up,
+//! // SDB: S-aggregation) and read the "engineer" total.
+//! let by_class = obj.roll_up("profession", "professional class").unwrap();
+//! let engineers = by_class.get(&["male", "1991", "engineer"]).unwrap();
+//! assert_eq!(engineers, Some(438_800.0));
+//! ```
+
+pub use statcube_core as core;
+pub use statcube_cube as cube;
+pub use statcube_privacy as privacy;
+pub use statcube_sql as sql;
+pub use statcube_storage as storage;
+pub use statcube_workload as workload;
+
+/// Convenience prelude re-exporting the most common types from all crates.
+pub mod prelude {
+    pub use statcube_core::prelude::*;
+    pub use statcube_cube::prelude::*;
+    pub use statcube_privacy::prelude::*;
+    pub use statcube_sql::prelude::*;
+    pub use statcube_storage::prelude::*;
+    pub use statcube_workload::prelude::*;
+}

@@ -1,0 +1,125 @@
+//! An end-to-end "analyst session" integration test: file datasets in the
+//! SUBJECT catalog, find one by category attribute, navigate it with
+//! roll-up/drill-down, pose an automatic-aggregation query, render a 2-D
+//! table with marginals, and realign a classification — the full
+//! conceptual-modeling surface of the paper in one flow.
+
+use statcube::core::auto_agg::{self, Query};
+use statcube::core::catalog::Catalog;
+use statcube::core::matching::{realign, IntervalClassification};
+use statcube::core::ops::navigator::Navigator;
+use statcube::core::prelude::*;
+use statcube::core::table2d::Table2D;
+use statcube::workload::hmo::{self, HmoConfig};
+use statcube::workload::resources::{self, ResourcesConfig};
+use statcube::workload::retail::{self, RetailConfig};
+
+fn small_retail() -> retail::Retail {
+    retail::generate(&RetailConfig {
+        products: 12,
+        categories: 3,
+        cities: 2,
+        stores_per_city: 2,
+        days: 10,
+        rows: 2_000,
+        seed: 17,
+    })
+}
+
+#[test]
+fn catalog_to_navigation_to_query() {
+    let retail = small_retail();
+    let hmo = hmo::generate(&HmoConfig { hospitals: 3, months: 4, rows: 400, seed: 2 });
+    let rivers = resources::generate(&ResourcesConfig::default());
+
+    let mut catalog = Catalog::new();
+    catalog.insert(&["business", "retail"], "sales", retail.object.clone()).unwrap();
+    catalog.insert(&["health"], "visit costs", hmo.object.clone()).unwrap();
+    catalog.insert(&["environment"], "river monitoring", rivers.object.clone()).unwrap();
+    assert_eq!(catalog.len(), 3);
+
+    // Find the dataset with a `product` breakdown, fetch it, navigate.
+    let hits = catalog.find_by_category("product");
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].to_path_string(), "business/retail/sales");
+    let sales = catalog.get(&["business", "retail"], "sales").unwrap();
+
+    let mut nav = Navigator::new(sales.clone());
+    nav.roll_up("product").unwrap();
+    nav.roll_up("store").unwrap();
+    let view = nav.view().unwrap();
+    assert_eq!(view.schema().dimension("product").unwrap().cardinality(), 3);
+    assert_eq!(view.schema().dimension("store").unwrap().cardinality(), 2);
+    assert_eq!(view.grand_total(0), sales.grand_total(0));
+    nav.drill_down("product").unwrap();
+    assert_eq!(
+        nav.view().unwrap().schema().dimension("product").unwrap().cardinality(),
+        12
+    );
+
+    // Automatic aggregation on the rolled-up view: one circled category.
+    let q = Query::new().at_level("product", "category", "cat00");
+    let r = auto_agg::execute(sales, &q).unwrap();
+    let scalar = r.scalar().unwrap();
+    // Cross-check against the algebra.
+    let by_cat = sales.roll_up("product", "category").unwrap();
+    let expected = statcube::core::ops::s_select(&by_cat, "product", &["cat00"])
+        .unwrap()
+        .grand_total(0)
+        .unwrap();
+    assert!((scalar - expected).abs() < 1e-6);
+
+    // Render the rolled-up view as a 2-D table with marginals.
+    let table = Table2D::layout(&view, &["store"], &["product", "day"]).unwrap();
+    assert!(table.marginals_consistent());
+    let text = table.render();
+    assert!(text.contains("cat00"));
+    assert!(text.contains("total"));
+}
+
+#[test]
+fn cross_source_merge_with_matching() {
+    // Two "agencies" report water quality in different depth bins; realign
+    // then union — the §5.7 workflow.
+    let coarse = IntervalClassification::from_boundaries("coarse", &[0.0, 10.0, 30.0]).unwrap();
+    let fine =
+        IntervalClassification::from_boundaries("fine", &[0.0, 5.0, 10.0, 20.0, 30.0]).unwrap();
+
+    let make = |classes: &IntervalClassification, values: &[f64], name: &str| {
+        let schema = Schema::builder(name)
+            .dimension(Dimension::categorical("depth", classes.labels()))
+            .measure(SummaryAttribute::new("samples", MeasureKind::Flow))
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        for (label, &v) in classes.labels().iter().zip(values) {
+            o.insert(&[label], v).unwrap();
+        }
+        o
+    };
+    let agency_a = make(&coarse, &[40.0, 60.0], "agency A");
+    let agency_b = make(&fine, &[10.0, 12.0, 20.0, 18.0], "agency B");
+
+    // Realign A onto B's bins, then S-union with state merging (disjoint
+    // sample populations).
+    let (a_on_fine, report) = realign(&agency_a, "depth", &coarse, &fine).unwrap();
+    assert_eq!(report.to_owned().provenance.len(), 4);
+    let merged = s_union(&a_on_fine, &agency_b, UnionPolicy::MergeStates).unwrap();
+    let total = merged.grand_total(0).unwrap();
+    assert!((total - (100.0 + 60.0)).abs() < 1e-9);
+    // The [0,5) bin: half of A's 40 (uniform within [0,10)) plus B's 10.
+    assert!((merged.get(&["0-5"]).unwrap().unwrap() - 30.0).abs() < 1e-9);
+}
+
+#[test]
+fn non_strict_data_is_caught_at_every_entry_point() {
+    // The HMO disease hierarchy must be refused by the algebra, the
+    // navigator view, AND automatic aggregation.
+    let hmo = hmo::generate(&HmoConfig { hospitals: 2, months: 2, rows: 200, seed: 5 });
+    assert!(hmo.object.roll_up("disease", "category").is_err());
+    let mut nav = Navigator::new(hmo.object.clone());
+    nav.roll_up("disease").unwrap(); // cursor moves…
+    assert!(nav.view().is_err()); // …but materializing the view refuses
+    let q = Query::new().at_level("disease", "category", "cancer");
+    assert!(auto_agg::execute(&hmo.object, &q).is_err());
+}

@@ -1,0 +1,147 @@
+//! End-to-end integration: workload → statistical-object algebra → cube
+//! engines → physical storage, checking that every layer reports the same
+//! numbers.
+
+use statcube::core::measure::SummaryFunction;
+use statcube::core::ops;
+use statcube::cube::cube_op::compute_shared;
+use statcube::cube::input::FactInput;
+use statcube::storage::chunked::ChunkedArray;
+use statcube::storage::header::HeaderCompressed;
+use statcube::storage::linear::LinearizedArray;
+use statcube::workload::retail::{generate, RetailConfig};
+
+fn retail_cfg() -> RetailConfig {
+    RetailConfig {
+        products: 30,
+        categories: 6,
+        cities: 3,
+        stores_per_city: 3,
+        days: 30,
+        rows: 8_000,
+        seed: 99,
+    }
+}
+
+#[test]
+fn every_layer_agrees_on_the_grand_total() {
+    let retail = generate(&retail_cfg());
+    let obj = &retail.object;
+    let expected = obj.grand_total(0).unwrap();
+
+    // Operator algebra: project everything away.
+    let algebra = ops::s_project(
+        &ops::s_project(&obj.clone(), "product").unwrap(),
+        "store",
+    )
+    .unwrap();
+    // `day` is temporal but quantity sold is a flow: summable.
+    let algebra = ops::s_project(&algebra, "day").unwrap();
+    let (_, states) = algebra.cells().next().unwrap();
+    assert!((states[0].sum - expected).abs() < 1e-6);
+
+    // CUBE apex.
+    let facts = FactInput::from_object(obj).unwrap();
+    let cube = compute_shared(&facts);
+    let apex = cube.get_all(&[None, None, None]).unwrap();
+    assert!((apex.sum - expected).abs() < 1e-6);
+
+    // Dense linearization.
+    let dense = LinearizedArray::from_object(obj, 0, SummaryFunction::Sum).unwrap();
+    let dense_total: f64 = dense.dense_values().iter().filter(|v| !v.is_nan()).sum();
+    assert!((dense_total - expected).abs() < 1e-6);
+
+    // Header compression of the linearization.
+    let compressed = HeaderCompressed::from_dense(dense.dense_values());
+    assert!((compressed.range_sum(0, dense.len()) - expected).abs() < 1e-6);
+
+    // Chunked storage, full-space range query.
+    let chunked = ChunkedArray::from_linearized(&dense, &[8, 4, 8], 4096).unwrap();
+    let dims = chunked.dims().to_vec();
+    let (chunk_total, _) = chunked.range_sum(&vec![0; dims.len()], &dims).unwrap();
+    assert!((chunk_total - expected).abs() < 1e-6);
+}
+
+#[test]
+fn rollup_matches_cube_cuboid() {
+    let retail = generate(&retail_cfg());
+    let obj = &retail.object;
+    // Roll up to (store) via algebra…
+    let by_store = ops::s_project(&ops::s_project(&obj.clone(), "product").unwrap(), "day").unwrap();
+    // …and via the CUBE's {store} cuboid.
+    let facts = FactInput::from_object(obj).unwrap();
+    let cube = compute_shared(&facts);
+    let cuboid = cube.cuboid(0b010).unwrap();
+    assert_eq!(by_store.cell_count(), cuboid.len());
+    // `FactInput::from_object` turns each populated cell into one fact, so
+    // cube counts are populated-cell counts, not transaction counts —
+    // compute the expected cell count per store from the base object.
+    let mut cells_per_store = std::collections::HashMap::new();
+    for (coords, _) in obj.cells() {
+        *cells_per_store.entry(coords[1]).or_insert(0u64) += 1;
+    }
+    for (coords, states) in by_store.cells() {
+        let key = vec![coords[0]];
+        let cell = &cuboid[&key.into_boxed_slice()];
+        assert!((cell.sum - states[0].sum).abs() < 1e-6);
+        assert_eq!(cell.count, cells_per_store[&coords[0]]);
+    }
+}
+
+#[test]
+fn storage_point_lookups_match_object_cells() {
+    let retail = generate(&retail_cfg());
+    let obj = &retail.object;
+    let dense = LinearizedArray::from_object(obj, 0, SummaryFunction::Sum).unwrap();
+    let compressed = HeaderCompressed::from_dense(dense.dense_values());
+    let chunked = ChunkedArray::from_linearized(&dense, &[7, 5, 9], 4096).unwrap();
+    let mut checked = 0;
+    for (coords, states) in obj.cells() {
+        let idx: Vec<usize> = coords.iter().map(|&c| c as usize).collect();
+        let expected = states[0].sum;
+        assert_eq!(dense.get(&idx).unwrap(), Some(expected));
+        assert_eq!(chunked.get(&idx).unwrap(), Some(expected));
+        let off = dense.offset_of(&idx).unwrap();
+        assert_eq!(compressed.get(off), Some(expected));
+        checked += 1;
+        if checked > 500 {
+            break;
+        }
+    }
+    assert!(checked > 100);
+}
+
+#[test]
+fn slices_and_rollups_compose_across_hierarchies() {
+    let retail = generate(&retail_cfg());
+    let obj = &retail.object;
+    // Roll up to (category, city, month), then slice one month and verify
+    // against a filtered recomputation from the base.
+    let coarse = obj
+        .roll_up("product", "category")
+        .unwrap()
+        .roll_up("store", "city")
+        .unwrap()
+        .roll_up("day", "month")
+        .unwrap();
+    let sliced = coarse.slice("day", "m00").unwrap();
+
+    // Recompute: select days of month 0 at the base, project day, roll up.
+    let first_month: Vec<&str> = retail.days[..30.min(retail.days.len())]
+        .iter()
+        .map(String::as_str)
+        .collect();
+    let base = ops::s_select(obj, "day", &first_month).unwrap();
+    let base = ops::s_project_unchecked(&base, "day").unwrap();
+    let base = base
+        .roll_up("product", "category")
+        .unwrap()
+        .roll_up("store", "city")
+        .unwrap();
+    assert_eq!(sliced.cell_count(), base.cell_count());
+    for (coords, states) in sliced.cells() {
+        let names = sliced.schema().names_of(coords).unwrap();
+        let v = base.get(&names).unwrap().unwrap();
+        assert!((states[0].sum - v).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests on the statistical operator algebra: commutation laws,
+//! roll-up path independence, union algebra, and summarizability
+//! enforcement over generated objects.
+
+use proptest::prelude::*;
+
+use statcube::core::dimension::Dimension;
+use statcube::core::hierarchy::Hierarchy;
+use statcube::core::measure::{MeasureKind, SummaryAttribute};
+use statcube::core::object::StatisticalObject;
+use statcube::core::ops::{self, UnionPolicy};
+use statcube::core::schema::Schema;
+
+const CITIES: [&str; 6] = ["sf", "la", "fresno", "reno", "vegas", "elko"];
+const PRODUCTS: [&str; 4] = ["a", "b", "c", "d"];
+
+fn geo() -> Hierarchy {
+    Hierarchy::builder("geo")
+        .level("city")
+        .level("state")
+        .edge("sf", "ca")
+        .edge("la", "ca")
+        .edge("fresno", "ca")
+        .edge("reno", "nv")
+        .edge("vegas", "nv")
+        .edge("elko", "nv")
+        .build()
+        .unwrap()
+}
+
+fn object_strategy() -> impl Strategy<Value = StatisticalObject> {
+    proptest::collection::vec((0u32..6, 0u32..4, -100i64..100), 0..120).prop_map(|cells| {
+        let schema = Schema::builder("sales")
+            .dimension(Dimension::classified("city", geo()))
+            .dimension(Dimension::categorical("product", PRODUCTS))
+            .measure(SummaryAttribute::new("sales", MeasureKind::Flow))
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        for (c, p, v) in cells {
+            o.insert_ids(&[c, p], &[v as f64]).unwrap();
+        }
+        o
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn select_is_idempotent_and_commutes(o in object_strategy(), keep in proptest::sample::subsequence(&CITIES[..], 0..6)) {
+        let keep: Vec<&str> = keep.to_vec();
+        let once = ops::s_select(&o, "city", &keep).unwrap();
+        let twice = ops::s_select(&once, "city", &keep).unwrap();
+        prop_assert_eq!(&once, &twice);
+        // Select on different dimensions commutes.
+        let ab = ops::s_select(&ops::s_select(&o, "city", &keep).unwrap(), "product", &["a", "b"]).unwrap();
+        let ba = ops::s_select(&ops::s_select(&o, "product", &["a", "b"]).unwrap(), "city", &keep).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn project_order_is_irrelevant(o in object_strategy()) {
+        let cp = ops::s_project(&ops::s_project(&o, "city").unwrap(), "product").unwrap();
+        let pc = ops::s_project(&ops::s_project(&o, "product").unwrap(), "city").unwrap();
+        let (_, a) = cp.cells().next().map(|(k, s)| (k.to_vec(), s.to_vec())).unzip();
+        let (_, b) = pc.cells().next().map(|(k, s)| (k.to_vec(), s.to_vec())).unzip();
+        match (a, b) {
+            (Some(a), Some(b)) => {
+                prop_assert!((a[0].sum - b[0].sum).abs() < 1e-9);
+                prop_assert_eq!(a[0].count, b[0].count);
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "one order produced cells, the other none"),
+        }
+    }
+
+    #[test]
+    fn rollup_then_project_equals_project(o in object_strategy()) {
+        // Summarizing over all cities directly, or first rolling up to
+        // states, must agree (strict complete hierarchy).
+        let direct = ops::s_project(&o, "city").unwrap();
+        let via_state = ops::s_project(&ops::s_aggregate(&o, "city", "state").unwrap(), "city").unwrap();
+        prop_assert_eq!(direct.cell_count(), via_state.cell_count());
+        for (coords, states) in direct.cells() {
+            let names = direct.schema().names_of(coords).unwrap();
+            let v = via_state.get(&names).unwrap();
+            prop_assert!((states[0].sum - v.unwrap_or(0.0)).abs() < 1e-9
+                || (v.is_none() && states[0].sum == 0.0));
+        }
+    }
+
+    #[test]
+    fn rollup_preserves_grand_total(o in object_strategy()) {
+        let rolled = ops::s_aggregate(&o, "city", "state").unwrap();
+        match (o.grand_total(0), rolled.grand_total(0)) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
+            (a, b) => prop_assert_eq!(a, b),
+        }
+    }
+
+    #[test]
+    fn union_with_self_prefer_first_is_identity_on_values(o in object_strategy()) {
+        let u = ops::s_union(&o, &o, UnionPolicy::PreferFirst).unwrap();
+        prop_assert_eq!(u.cell_count(), o.cell_count());
+        for (coords, states) in o.cells() {
+            let names = o.schema().names_of(coords).unwrap();
+            let coords2 = u.schema().coords_of(&names).unwrap();
+            let s2 = u.states_at(&coords2).unwrap();
+            prop_assert!((s2[0].sum - states[0].sum).abs() < 1e-12);
+        }
+        // ErrorOnConflict also accepts a self-union (everything agrees).
+        prop_assert!(ops::s_union(&o, &o, UnionPolicy::ErrorOnConflict).is_ok());
+        // MergeStates doubles sums.
+        let m = ops::s_union(&o, &o, UnionPolicy::MergeStates).unwrap();
+        match (o.grand_total(0), m.grand_total(0)) {
+            (Some(a), Some(b)) => prop_assert!((2.0 * a - b).abs() < 1e-9),
+            (a, b) => prop_assert_eq!(a.map(|x| 2.0 * x), b),
+        }
+    }
+
+    #[test]
+    fn union_is_commutative_up_to_domain_order(a in object_strategy(), b in object_strategy()) {
+        let ab = ops::s_union(&a, &b, UnionPolicy::MergeStates).unwrap();
+        let ba = ops::s_union(&b, &a, UnionPolicy::MergeStates).unwrap();
+        prop_assert_eq!(ab.cell_count(), ba.cell_count());
+        for (coords, states) in ab.cells() {
+            let names = ab.schema().names_of(coords).unwrap();
+            let v = ba.get(&names).unwrap();
+            prop_assert!((states[0].sum - v.unwrap_or(f64::NAN)).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn non_strict_rollup_always_refused() {
+    let h = Hierarchy::builder("h")
+        .level("leaf")
+        .level("top")
+        .edge("x", "p")
+        .edge("x", "q")
+        .build()
+        .unwrap();
+    let schema = Schema::builder("t")
+        .dimension(Dimension::classified("d", h))
+        .measure(SummaryAttribute::new("m", MeasureKind::Flow))
+        .build()
+        .unwrap();
+    let mut o = StatisticalObject::empty(schema);
+    o.insert(&["x"], 1.0).unwrap();
+    assert!(ops::s_aggregate(&o, "d", "top").is_err());
+}

@@ -1,0 +1,105 @@
+//! Property tests on the cube layer: all engines compute the same cube,
+//! materialized views answer exactly like direct computation, and the
+//! greedy selection never makes queries slower.
+
+use proptest::prelude::*;
+
+use statcube::cube::cube_op::{compute_naive, compute_shared};
+use statcube::cube::groupby;
+use statcube::cube::input::FactInput;
+use statcube::cube::lattice::Lattice;
+use statcube::cube::materialize::{greedy_select, total_cost};
+use statcube::cube::query::ViewStore;
+use statcube::cube::{molap, rolap};
+
+fn facts_strategy() -> impl Strategy<Value = FactInput> {
+    proptest::collection::vec((0u32..4, 0u32..3, 0u32..5, -100i64..100), 0..200).prop_map(
+        |rows| {
+            let mut f = FactInput::new(&[4, 3, 5]).unwrap();
+            for (a, b, c, v) in rows {
+                f.push(&[a, b, c], v as f64).unwrap();
+            }
+            f
+        },
+    )
+}
+
+fn cubes_equal(a: &statcube::cube::cube_op::CubeResult, b: &statcube::cube::cube_op::CubeResult) -> bool {
+    a.masks() == b.masks()
+        && a.masks().iter().all(|&m| {
+            let ca = a.cuboid(m).unwrap();
+            let cb = b.cuboid(m).unwrap();
+            ca.len() == cb.len()
+                && ca.iter().all(|(k, s)| {
+                    cb.get(k)
+                        .map(|x| (x.sum - s.sum).abs() < 1e-6 && x.count == s.count)
+                        .unwrap_or(false)
+                })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_four_engines_agree(f in facts_strategy()) {
+        let naive = compute_naive(&f);
+        let shared = compute_shared(&f);
+        let m = molap::compute_molap(&f).unwrap().to_cube_result();
+        let r = rolap::compute_rolap(&f).to_cube_result();
+        prop_assert!(cubes_equal(&naive, &shared));
+        prop_assert!(cubes_equal(&naive, &m));
+        prop_assert!(cubes_equal(&naive, &r));
+    }
+
+    #[test]
+    fn view_store_answers_match_direct(f in facts_strategy(), views in proptest::collection::vec(0u32..8, 0..3)) {
+        let store = ViewStore::build(&f, &views).unwrap();
+        for mask in 0..8u32 {
+            let ans = store.answer(mask).unwrap();
+            let direct = groupby::from_facts(&f, mask);
+            prop_assert_eq!(ans.cuboid.len(), direct.len());
+            for (k, s) in &direct {
+                let got = &ans.cuboid[k];
+                prop_assert!((got.sum - s.sum).abs() < 1e-6);
+                prop_assert_eq!(got.count, s.count);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_monotonically_improves(cards in proptest::collection::vec(2usize..30, 1..5), base_rows in 1u64..100_000) {
+        let lattice = Lattice::new(&cards, base_rows).unwrap();
+        let top = lattice.top();
+        let max_k = lattice.cuboid_count() - 1;
+        let mut prev = total_cost(&lattice, &[top]);
+        for k in 1..=max_k.min(6) {
+            let g = greedy_select(&lattice, k).unwrap();
+            let mut views = vec![top];
+            views.extend(g.selected);
+            let cost = total_cost(&lattice, &views);
+            prop_assert!(cost <= prev, "k={k}: {cost} > {prev}");
+            prev = cost;
+        }
+    }
+
+    #[test]
+    fn cuboid_totals_are_consistent(f in facts_strategy()) {
+        // Every cuboid's cells sum to the grand total (sum is preserved by
+        // any grouping).
+        let cube = compute_shared(&f);
+        let apex = cube.get_all(&[None, None, None]).map(|s| (s.sum, s.count));
+        for mask in cube.masks() {
+            let cuboid = cube.cuboid(mask).unwrap();
+            let sum: f64 = cuboid.values().map(|s| s.sum).sum();
+            let count: u64 = cuboid.values().map(|s| s.count).sum();
+            match apex {
+                Some((asum, acount)) => {
+                    prop_assert!((sum - asum).abs() < 1e-6);
+                    prop_assert_eq!(count, acount);
+                }
+                None => prop_assert!(cuboid.is_empty()),
+            }
+        }
+    }
+}

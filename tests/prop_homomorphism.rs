@@ -1,0 +1,114 @@
+//! Property tests for the Fig 16 completeness homomorphism: for *arbitrary*
+//! micro-data, relational algebra then summarization equals statistical
+//! algebra on the macro-data, for every summary function.
+
+use proptest::prelude::*;
+
+use statcube::core::hierarchy::Hierarchy;
+use statcube::core::measure::SummaryFunction;
+use statcube::core::microdata::{
+    homomorphism_aggregate, homomorphism_project, homomorphism_select, homomorphism_union,
+    MicroTable,
+};
+
+const STATES: [&str; 4] = ["s0", "s1", "s2", "s3"];
+const SEXES: [&str; 2] = ["m", "f"];
+const RACES: [&str; 3] = ["a", "b", "c"];
+
+fn micro_strategy(max_rows: usize) -> impl Strategy<Value = MicroTable> {
+    proptest::collection::vec(
+        (0usize..STATES.len(), 0usize..SEXES.len(), 0usize..RACES.len(), -1000i64..1000),
+        0..max_rows,
+    )
+    .prop_map(|rows| {
+        let mut t = MicroTable::new(&["state", "sex", "race"], &["v"]);
+        for (s, x, r, v) in rows {
+            t.push(&[STATES[s], SEXES[x], RACES[r]], &[v as f64]).unwrap();
+        }
+        t
+    })
+}
+
+fn function_strategy() -> impl Strategy<Value = SummaryFunction> {
+    prop_oneof![
+        Just(SummaryFunction::Sum),
+        Just(SummaryFunction::Count),
+        Just(SummaryFunction::Avg),
+        Just(SummaryFunction::Min),
+        Just(SummaryFunction::Max),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn select_square_commutes(
+        micro in micro_strategy(60),
+        f in function_strategy(),
+        state in 0usize..STATES.len(),
+    ) {
+        prop_assume!(!micro.is_empty());
+        prop_assert!(homomorphism_select(
+            &micro, &["state", "sex"], Some("v"), f, "state", STATES[state]
+        ).unwrap());
+    }
+
+    #[test]
+    fn project_square_commutes(
+        micro in micro_strategy(60),
+        f in function_strategy(),
+    ) {
+        prop_assume!(!micro.is_empty());
+        prop_assert!(homomorphism_project(
+            &micro, &["state", "sex", "race"], Some("v"), f, "race"
+        ).unwrap());
+        prop_assert!(homomorphism_project(
+            &micro, &["state", "sex", "race"], Some("v"), f, "state"
+        ).unwrap());
+    }
+
+    #[test]
+    fn union_square_commutes(
+        a in micro_strategy(40),
+        b in micro_strategy(40),
+        f in function_strategy(),
+    ) {
+        // summarize() needs at least one row to populate the dimension
+        // dictionaries, on both sides of the union.
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        prop_assert!(homomorphism_union(&a, &b, &["state", "race"], Some("v"), f).unwrap());
+    }
+
+    #[test]
+    fn aggregate_square_commutes(
+        micro in micro_strategy(60),
+        f in function_strategy(),
+        split in 1usize..STATES.len(),
+    ) {
+        prop_assume!(!micro.is_empty());
+        // Random two-region partition of the states.
+        let mut geo = Hierarchy::builder("geo").level("state").level("region");
+        for (i, s) in STATES.iter().enumerate() {
+            geo = geo.edge(s, if i < split { "east" } else { "west" });
+        }
+        let geo = geo.build().unwrap();
+        prop_assert!(homomorphism_aggregate(
+            &micro, &["state", "sex"], Some("v"), f, "state", &geo
+        ).unwrap());
+    }
+
+    #[test]
+    fn count_measure_squares_commute(
+        micro in micro_strategy(60),
+        f in function_strategy(),
+    ) {
+        prop_assume!(!micro.is_empty());
+        prop_assert!(homomorphism_select(
+            &micro, &["state", "sex"], None, f, "sex", "f"
+        ).unwrap());
+        prop_assert!(homomorphism_project(
+            &micro, &["state", "sex"], None, f, "sex"
+        ).unwrap());
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests on the storage substrates: every physical organization
+//! is a lossless view of the same logical data, and the B+tree behaves
+//! like the standard ordered map.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use statcube::storage::bittransposed::BitSlicedColumn;
+use statcube::storage::btree::BPlusTree;
+use statcube::storage::chunked::ChunkedArray;
+use statcube::storage::encoding::EncodedColumn;
+use statcube::storage::extendible::ExtendibleArray;
+use statcube::storage::header::HeaderCompressed;
+use statcube::storage::linear::LinearizedArray;
+use statcube::storage::rle::Rle;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn encoded_column_round_trips(codes in proptest::collection::vec(0u32..1000, 0..300)) {
+        let max = codes.iter().copied().max().unwrap_or(0).max(1) as u64;
+        let bits = (64 - (max).leading_zeros()).clamp(1, 32);
+        let col = EncodedColumn::pack(&codes, bits).unwrap();
+        prop_assert_eq!(col.unpack(), codes);
+    }
+
+    #[test]
+    fn rle_round_trips(values in proptest::collection::vec(0u32..5, 0..300)) {
+        let r = Rle::encode(&values);
+        prop_assert_eq!(r.decode(), &values[..]);
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(r.get(i), Some(v));
+        }
+    }
+
+    #[test]
+    fn bitsliced_matches_naive_eq(
+        codes in proptest::collection::vec(0u32..16, 1..300),
+        probe in 0u32..16,
+    ) {
+        let col = BitSlicedColumn::build(&codes, 4).unwrap();
+        let io = statcube::storage::io_stats::IoStats::new(4096);
+        let bm = col.eq_scan(probe, &io);
+        let got: Vec<usize> = BitSlicedColumn::iter_ones(&bm).collect();
+        let expected: Vec<usize> = codes
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == probe)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn header_compression_round_trips(
+        cells in proptest::collection::vec(proptest::option::weighted(0.3, -100i64..100), 0..500)
+    ) {
+        let dense: Vec<f64> = cells.iter().map(|c| c.map(|v| v as f64).unwrap_or(f64::NAN)).collect();
+        let h = HeaderCompressed::from_dense(&dense);
+        for (i, c) in cells.iter().enumerate() {
+            prop_assert_eq!(h.get(i), c.map(|v| v as f64));
+        }
+        // Inverse mapping is the left inverse of enumeration of non-nulls.
+        let mut p = 0;
+        for (i, c) in cells.iter().enumerate() {
+            if c.is_some() {
+                prop_assert_eq!(h.logical_of(p).unwrap(), i);
+                p += 1;
+            }
+        }
+        // Range sums match a naive filter.
+        let lo = cells.len() / 4;
+        let hi = cells.len() - cells.len() / 4;
+        let naive: f64 = dense[lo..hi].iter().filter(|v| !v.is_nan()).sum();
+        prop_assert!((h.range_sum(lo, hi) - naive).abs() < 1e-9);
+    }
+
+    #[test]
+    fn btree_matches_btreemap(ops in proptest::collection::vec((0u64..500, 0u64..1000), 0..400)) {
+        let mut tree = BPlusTree::new();
+        let mut map = BTreeMap::new();
+        for (k, v) in &ops {
+            tree.insert(*k, *v);
+            map.insert(*k, *v);
+        }
+        prop_assert_eq!(tree.len(), map.len());
+        for k in 0..500u64 {
+            prop_assert_eq!(tree.get(k), map.get(&k).copied());
+            let expected_le = map.range(..=k).next_back().map(|(&k, &v)| (k, v));
+            prop_assert_eq!(tree.last_le(k), expected_le);
+            let expected_ge = map.range(k..).next().map(|(&k, &v)| (k, v));
+            prop_assert_eq!(tree.first_ge(k), expected_ge);
+        }
+        let all: Vec<(u64, u64)> = map.into_iter().collect();
+        prop_assert_eq!(tree.iter_all(), all);
+    }
+
+    #[test]
+    fn chunked_equals_linearized(
+        writes in proptest::collection::vec((0usize..12, 0usize..9, -50i64..50), 0..150),
+        chunk in (1usize..13, 1usize..10),
+    ) {
+        let mut lin = LinearizedArray::new(&[12, 9]).unwrap();
+        let mut chunked = ChunkedArray::new(&[12, 9], &[chunk.0, chunk.1], 4096).unwrap();
+        for (i, j, v) in &writes {
+            lin.set(&[*i, *j], *v as f64).unwrap();
+            chunked.set(&[*i, *j], *v as f64).unwrap();
+        }
+        for i in 0..12 {
+            for j in 0..9 {
+                prop_assert_eq!(lin.get(&[i, j]).unwrap(), chunked.get(&[i, j]).unwrap());
+            }
+        }
+        // Random-rectangle range sums agree with a naive loop.
+        let (sum, count) = chunked.range_sum(&[2, 1], &[10, 8]).unwrap();
+        let mut nsum = 0.0;
+        let mut ncount = 0;
+        for i in 2..10 {
+            for j in 1..8 {
+                if let Some(v) = lin.get(&[i, j]).unwrap() {
+                    nsum += v;
+                    ncount += 1;
+                }
+            }
+        }
+        prop_assert!((sum - nsum).abs() < 1e-9);
+        prop_assert_eq!(count, ncount);
+    }
+
+    #[test]
+    fn extendible_equals_dense_reference(
+        extensions in proptest::collection::vec((0usize..2, 1usize..3), 0..6),
+        writes in proptest::collection::vec((0usize..64, -50i64..50), 0..100),
+    ) {
+        let mut arr = ExtendibleArray::new(&[3, 3], 4096).unwrap();
+        let mut shape = [3usize, 3];
+        for (d, k) in &extensions {
+            arr.extend(*d, *k).unwrap();
+            shape[*d] += *k;
+        }
+        let mut reference = std::collections::HashMap::new();
+        for (pos, v) in &writes {
+            let i = pos % shape[0];
+            let j = (pos / shape[0]) % shape[1];
+            arr.set(&[i, j], *v as f64).unwrap();
+            reference.insert((i, j), *v as f64);
+        }
+        for i in 0..shape[0] {
+            for j in 0..shape[1] {
+                prop_assert_eq!(arr.get(&[i, j]).unwrap(), reference.get(&(i, j)).copied());
+            }
+        }
+        let (sum, count) = arr.range_sum(&[0, 0], &[shape[0], shape[1]]).unwrap();
+        let nsum: f64 = reference.values().sum();
+        prop_assert!((sum - nsum).abs() < 1e-9);
+        prop_assert_eq!(count as usize, reference.len());
+    }
+}

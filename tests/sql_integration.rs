@@ -1,0 +1,117 @@
+//! Cross-crate integration: the SQL layer must agree with the cube
+//! engines and the operator algebra on the same data.
+
+use statcube::cube::cube_op::compute_shared;
+use statcube::cube::input::FactInput;
+use statcube::sql::{execute_str, expand_cube_to_unions, parse};
+use statcube::workload::retail::{generate, RetailConfig};
+
+fn retail() -> statcube::workload::retail::Retail {
+    generate(&RetailConfig {
+        products: 15,
+        categories: 5,
+        cities: 3,
+        stores_per_city: 2,
+        days: 20,
+        rows: 6_000,
+        seed: 31,
+    })
+}
+
+#[test]
+fn sql_cube_matches_cube_engine() {
+    let retail = retail();
+    let rs = execute_str(
+        &retail.object,
+        "SELECT SUM(\"quantity sold\") FROM sales GROUP BY CUBE(product, store, day)",
+    )
+    .unwrap();
+    let facts = FactInput::from_object(&retail.object).unwrap();
+    let cube = compute_shared(&facts);
+    assert_eq!(rs.rows.len(), cube.total_cells());
+    // Spot-check every row against the engine.
+    for row in &rs.rows {
+        let pattern: Vec<Option<u32>> = vec![
+            row.group[0].as_deref().map(|p| retail.object.schema().dimension("product").unwrap().member_id(p).unwrap()),
+            row.group[1].as_deref().map(|s| retail.object.schema().dimension("store").unwrap().member_id(s).unwrap()),
+            row.group[2].as_deref().map(|d| retail.object.schema().dimension("day").unwrap().member_id(d).unwrap()),
+        ];
+        let state = cube.get_all(&pattern).unwrap_or_else(|| panic!("missing {pattern:?}"));
+        let sql_value = row.values[0].unwrap();
+        assert!(
+            (state.sum - sql_value).abs() < 1e-6,
+            "engine {} vs sql {sql_value}",
+            state.sum
+        );
+    }
+}
+
+#[test]
+fn sql_where_matches_algebra_select() {
+    let retail = retail();
+    let store = retail.stores[0].clone();
+    let rs = execute_str(
+        &retail.object,
+        &format!("SELECT SUM(\"quantity sold\") FROM sales WHERE store = '{store}' GROUP BY product"),
+    )
+    .unwrap();
+    let filtered = retail.object.select("store", &[&store]).unwrap();
+    let by_product = filtered.project("store").unwrap().project("day").unwrap();
+    assert_eq!(rs.rows.len(), by_product.cell_count());
+    for row in &rs.rows {
+        let p = row.group[0].as_deref().unwrap();
+        let expected = by_product.get(&[p]).unwrap().unwrap();
+        assert!((row.values[0].unwrap() - expected).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn cube_query_equals_its_union_expansion() {
+    let retail = retail();
+    let sql = "SELECT SUM(\"quantity sold\"), COUNT(*) FROM sales GROUP BY CUBE(store, day)";
+    let cube_rs = execute_str(&retail.object, sql).unwrap();
+    let unions = expand_cube_to_unions(&parse(sql).unwrap()).unwrap();
+    let mut union_rows = Vec::new();
+    for u in &unions {
+        union_rows.extend(execute_str(&retail.object, u).unwrap().rows);
+    }
+    assert_eq!(cube_rs.rows.len(), union_rows.len());
+    // Compare as multisets of (group-with-ALL, values) — the expansions
+    // have shorter group vectors, so render them against the CUBE order.
+    let mut cube_keys: Vec<String> = cube_rs
+        .rows
+        .iter()
+        .map(|r| format!("{:?}{:?}", r.group, r.values))
+        .collect();
+    cube_keys.sort();
+    // Expansion groupings lack the ALL columns; rebuild them per grouping.
+    let mut expansion_keys: Vec<String> = Vec::new();
+    for (i, u) in unions.iter().enumerate() {
+        let part = execute_str(&retail.object, u).unwrap();
+        // unions are emitted finest-first over masks (rev order).
+        let mask = (unions.len() - 1 - i) as u32;
+        for row in &part.rows {
+            let mut group: Vec<Option<String>> = Vec::new();
+            let mut cursor = 0;
+            for bit in 0..2 {
+                if mask & (1 << bit) != 0 {
+                    group.push(row.group[cursor].clone());
+                    cursor += 1;
+                } else {
+                    group.push(None);
+                }
+            }
+            expansion_keys.push(format!("{:?}{:?}", group, row.values));
+        }
+    }
+    expansion_keys.sort();
+    assert_eq!(cube_keys, expansion_keys);
+}
+
+#[test]
+fn sql_count_star_equals_transaction_count() {
+    let retail = retail();
+    let rs = execute_str(&retail.object, "SELECT COUNT(*) FROM sales").unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.rows[0].values[0], Some(6_000.0));
+}
