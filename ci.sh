@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI gate: build, tests, lints, and the parallel-engine race smoke test.
+#
+#   ./ci.sh          full gate
+#   ./ci.sh quick    skip the release build (debug tests + clippy only)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+quick="${1:-}"
+
+echo "==> cargo build --release"
+if [ "$quick" != "quick" ]; then
+    cargo build --release --workspace
+fi
+
+echo "==> cargo test -q (tier-1: root package)"
+cargo test -q
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+# Race smoke test: the parallel property suite under a serialized test
+# harness (workers still spawn inside each test) and under the default
+# parallel harness. Catches scheduling-dependent flakiness without loom.
+echo "==> parallel suite, RUST_TEST_THREADS=1"
+RUST_TEST_THREADS=1 cargo test -q --test prop_parallel
+
+echo "==> parallel suite, default test threads"
+cargo test -q --test prop_parallel
+
+echo "CI gate passed."

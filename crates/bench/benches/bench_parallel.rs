@@ -1,0 +1,56 @@
+//! The acceptance workload of the partition-parallel CUBE engine: a
+//! 1M-row, 4-dimension fact table computed at thread counts 1, 2, 4 and
+//! whatever the hardware offers. On a 4+ core machine the hardware-thread
+//! run should finish in under half the 1-thread wall time; on fewer cores
+//! the curve flattens but correctness (and this bench) still holds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use statcube_cube::cube_op;
+use statcube_cube::input::FactInput;
+
+/// 1M facts over 4 dimensions (cards 100 × 50 × 20 × 10).
+fn facts() -> FactInput {
+    let cards = [100usize, 50, 20, 10];
+    let mut input = FactInput::new(&cards).expect("input");
+    let mut x = 0xD1CEu64;
+    for _ in 0..1_000_000 {
+        let coords: Vec<u32> = cards
+            .iter()
+            .map(|&c| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % c as u64) as u32
+            })
+            .collect();
+        input.push(&coords, (x % 1000) as f64).expect("push");
+    }
+    input
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let input = facts();
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut threads: Vec<usize> = vec![1, 2, 4];
+    if !threads.contains(&hw) {
+        threads.push(hw);
+    }
+    threads.sort_unstable();
+
+    let mut g = c.benchmark_group("parallel_cube_1m_4d");
+    g.sample_size(10);
+    for &k in &threads {
+        g.bench_with_input(BenchmarkId::new("compute_parallel", k), &input, |b, i| {
+            b.iter(|| black_box(cube_op::compute_parallel(i, k)))
+        });
+    }
+    g.bench_with_input(BenchmarkId::new("compute_shared", "seq"), &input, |b, i| {
+        b.iter(|| black_box(cube_op::compute_shared(i)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -40,6 +40,7 @@ pub mod exps {
     pub mod exp19;
     pub mod exp20;
     pub mod exp21;
+    pub mod exp22;
 }
 
 /// One experiment: `(id, title, runner)`.
@@ -69,5 +70,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("exp19", "privacy (§7)", exps::exp19::run),
         ("exp20", "sampling and higher statistics (§5.6)", exps::exp20::run),
         ("exp21", "SQL extensions for OLAP (§5.4)", exps::exp21::run),
+        ("exp22", "partition-parallel CUBE speedup curve", exps::exp22::run),
     ]
 }

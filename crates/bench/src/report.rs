@@ -105,7 +105,7 @@ mod tests {
     fn float_formats() {
         assert_eq!(f(0.0), "0");
         assert_eq!(f(1234.6), "1235");
-        assert_eq!(f(3.14159), "3.14");
+        assert_eq!(f(3.45678), "3.46");
         assert_eq!(f(0.01234), "0.0123");
         assert_eq!(ratio(2.0), "x2.00");
     }

@@ -176,6 +176,22 @@ impl AggState {
         self
     }
 
+    /// Folds any number of states into one, starting from [`Self::EMPTY`].
+    ///
+    /// Because `merge` is associative and commutative with `EMPTY` as
+    /// identity (the partial-aggregation monoid), the result is independent
+    /// of how the inputs were grouped — the property the partition-parallel
+    /// cube engine relies on to merge per-partition cuboids losslessly.
+    /// (For `sum`, floating-point addition is associative only up to
+    /// rounding; `count`/`min`/`max` are exact under any grouping.)
+    pub fn merge_many<'a>(states: impl IntoIterator<Item = &'a AggState>) -> AggState {
+        let mut out = AggState::EMPTY;
+        for s in states {
+            out.merge(s);
+        }
+        out
+    }
+
     /// True if no value has been merged.
     pub fn is_empty(&self) -> bool {
         self.count == 0 && self.sum == 0.0

@@ -2,37 +2,114 @@
 //!
 //! `GROUP BY CUBE(d1, …, dn)` produces all `2^n` groupings at once, with
 //! the reserved value `ALL` standing for "summarized over this dimension".
-//! Two computation strategies are provided:
+//! Three computation strategies are provided:
 //!
 //! * [`compute_naive`] — the SQL-without-CUBE baseline the paper calls
 //!   "awkward and verbose": one independent `GROUP BY` scan per grouping,
 //!   `2^n` scans of the base data;
-//! * [`compute_shared`] — each cuboid derived from its **smallest** already
-//!   computed ancestor in the lattice, the sharing that motivated the
-//!   operator.
+//! * [`compute_parallel`] — the partition-parallel engine: the base cuboid
+//!   is computed by scanning disjoint row partitions on worker threads and
+//!   merging the partial cuboids via [`AggState::merge`] (Gray et al.'s
+//!   observation that CUBE is embarrassingly parallel over partitions with
+//!   a final merge), then every coarser cuboid is derived from its
+//!   **smallest** already-computed ancestor by a lattice-aware pipeline
+//!   scheduler that fans the independent cuboids of each lattice level out
+//!   across the same workers;
+//! * [`compute_shared`] — the single-threaded special case of the same
+//!   scheduler (`compute_parallel` with one thread), kept as the canonical
+//!   sequential reference.
 //!
 //! `ROLLUP` (the classification-hierarchy prefix groupings) is
 //! [`compute_rollup`]. [`CubeResult::to_rows_with_all`] renders the Fig 15
-//! relation with literal `ALL` markers.
+//! relation with literal `ALL` markers. Every engine records a
+//! [`CuboidStats`] per cuboid — rows scanned, cells emitted, wall time and
+//! derivation source — surfaced through [`CubeResult::stats`] so the bench
+//! experiments can report derivation plans and speedup curves.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use statcube_core::error::{Error, Result};
 use statcube_core::measure::{AggState, SummaryFunction};
 
 use crate::groupby::{self, Cuboid};
 use crate::input::FactInput;
+use crate::lattice::Lattice;
+
+/// Where one cuboid's cells came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DerivationSource {
+    /// Scanned from the base facts, split into this many row partitions.
+    BaseFacts {
+        /// Number of row partitions scanned in parallel (1 = sequential).
+        partitions: usize,
+    },
+    /// Derived from an already-computed ancestor cuboid.
+    Ancestor {
+        /// The grouping mask of the ancestor it was derived from.
+        parent: u32,
+    },
+}
+
+/// Per-cuboid computation telemetry, recorded by every engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CuboidStats {
+    /// The cuboid's grouping mask.
+    pub mask: u32,
+    /// Input records consumed: fact rows for a base scan, ancestor cells
+    /// for a lattice derivation.
+    pub rows_scanned: u64,
+    /// Cells the cuboid holds.
+    pub cells: u64,
+    /// Wall-clock time spent computing this cuboid (on whichever worker
+    /// thread ran it).
+    pub wall: Duration,
+    /// Scan or derivation provenance.
+    pub source: DerivationSource,
+}
 
 /// All computed cuboids of one CUBE (or ROLLUP) invocation.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares dimensions and cells only; [`stats`](Self::stats) is
+/// observability metadata (timings differ run to run) and is deliberately
+/// excluded.
+#[derive(Debug, Clone)]
 pub struct CubeResult {
     n_dims: usize,
     cuboids: HashMap<u32, Cuboid>,
+    stats: Vec<CuboidStats>,
+}
+
+impl PartialEq for CubeResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.n_dims == other.n_dims && self.cuboids == other.cuboids
+    }
 }
 
 impl CubeResult {
-    pub(crate) fn from_parts(n_dims: usize, cuboids: HashMap<u32, Cuboid>) -> Self {
-        Self { n_dims, cuboids }
+    pub(crate) fn from_parts(
+        n_dims: usize,
+        cuboids: HashMap<u32, Cuboid>,
+        stats: Vec<CuboidStats>,
+    ) -> Self {
+        Self { n_dims, cuboids, stats }
+    }
+
+    /// Per-cuboid computation telemetry, sorted by mask.
+    pub fn stats(&self) -> &[CuboidStats] {
+        &self.stats
+    }
+
+    /// The telemetry of one cuboid.
+    pub fn stats_for(&self, mask: u32) -> Option<&CuboidStats> {
+        self.stats.iter().find(|s| s.mask == mask)
+    }
+
+    /// Total wall time across all cuboids (sum of per-cuboid walls; under
+    /// the parallel engine this exceeds elapsed time, which is the point).
+    pub fn total_work(&self) -> Duration {
+        self.stats.iter().map(|s| s.wall).sum()
     }
 
     /// Number of dimensions of the underlying facts.
@@ -119,48 +196,167 @@ impl CubeResult {
 pub fn compute_naive(input: &FactInput) -> CubeResult {
     let n = input.dim_count();
     let mut cuboids = HashMap::with_capacity(1 << n);
+    let mut stats = Vec::with_capacity(1 << n);
     for mask in 0..(1u32 << n) {
-        cuboids.insert(mask, groupby::from_facts(input, mask));
+        let t = Instant::now();
+        let cuboid = groupby::from_facts(input, mask);
+        stats.push(CuboidStats {
+            mask,
+            rows_scanned: input.len() as u64,
+            cells: cuboid.len() as u64,
+            wall: t.elapsed(),
+            source: DerivationSource::BaseFacts { partitions: 1 },
+        });
+        cuboids.insert(mask, cuboid);
     }
-    CubeResult { n_dims: n, cuboids }
+    CubeResult { n_dims: n, cuboids, stats }
 }
 
-/// The shared (lattice-derivation) CUBE: computes the finest cuboid from
-/// the facts, then derives each coarser cuboid from its smallest computed
-/// ancestor.
+/// The shared (lattice-derivation) CUBE: the sequential special case of
+/// [`compute_parallel`] — same base scan, same smallest-ancestor
+/// derivation plan, one thread.
 pub fn compute_shared(input: &FactInput) -> CubeResult {
+    compute_parallel(input, 1)
+}
+
+/// Picks the smallest already-computed direct parent of `mask` (ties break
+/// toward the lowest added dimension), the \[HUR96\] linear-cost heuristic.
+fn best_parent(cuboids: &HashMap<u32, Cuboid>, mask: u32, n: usize) -> u32 {
+    let mut best: Option<(u32, usize)> = None;
+    for d in 0..n {
+        let bit = 1u32 << d;
+        if mask & bit != 0 {
+            continue;
+        }
+        let parent = mask | bit;
+        if let Some(p) = cuboids.get(&parent) {
+            let size = p.len();
+            if best.map(|(_, s)| size < s).unwrap_or(true) {
+                best = Some((parent, size));
+            }
+        }
+    }
+    best.expect("ancestor exists by construction").0
+}
+
+/// Derives cuboid `mask` from its chosen `parent`, timing the work.
+fn derive_one(
+    cuboids: &HashMap<u32, Cuboid>,
+    mask: u32,
+    parent: u32,
+) -> (u32, u32, Cuboid, Duration) {
+    let t = Instant::now();
+    let cuboid = groupby::from_parent(&cuboids[&parent], parent, mask);
+    (mask, parent, cuboid, t.elapsed())
+}
+
+/// The partition-parallel CUBE engine.
+///
+/// **Phase 1 — partitioned base scan.** The fact rows are split into at
+/// most `threads` contiguous ranges ([`FactInput::partition_ranges`]);
+/// each range is group-by'd into a *partial* base cuboid on its own scoped
+/// thread, and the partials are merged key-wise in partition order via
+/// [`AggState::merge`]. Correctness rests on partial aggregation being a
+/// commutative monoid: `(sum, count, min, max)` states merge losslessly
+/// regardless of how the rows were split (`sum` is exact up to
+/// floating-point re-association; `count`/`min`/`max` are bit-exact).
+///
+/// **Phase 2 — lattice pipeline.** The remaining `2^n − 1` cuboids are
+/// scheduled level by level down the materialization lattice
+/// ([`Lattice::coarsening_levels`]): all masks with `k` kept dimensions
+/// depend only on masks with `k + 1`, so each level is a set of
+/// independent derivations fanned out across the worker pool (work-queue
+/// over a shared atomic index), each computed from its **smallest**
+/// already-computed ancestor exactly as the sequential engine would.
+///
+/// The result is cell-for-cell identical to [`compute_naive`] (bit-exact
+/// whenever measure sums don't lose float precision, e.g. integer-valued
+/// measures; within re-association rounding otherwise) for every `threads
+/// ≥ 1`. `threads` is clamped to at least 1; pass
+/// `std::thread::available_parallelism()` for the hardware limit.
+pub fn compute_parallel(input: &FactInput, threads: usize) -> CubeResult {
+    let threads = threads.max(1);
     let n = input.dim_count();
     let full = (1u32 << n) - 1;
     let mut cuboids: HashMap<u32, Cuboid> = HashMap::with_capacity(1 << n);
-    cuboids.insert(full, groupby::from_facts(input, full));
-    // Visit masks by decreasing popcount so every one-bit-larger ancestor
-    // exists when needed.
-    let mut masks: Vec<u32> = (0..full).collect();
-    masks.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
-    for mask in masks {
-        // Candidate parents: mask with one additional bit set.
-        let mut best: Option<(u32, usize)> = None;
-        for d in 0..n {
-            let bit = 1u32 << d;
-            if mask & bit != 0 {
-                continue;
-            }
-            let parent = mask | bit;
-            if let Some(p) = cuboids.get(&parent) {
-                let size = p.len();
-                if best.map(|(_, s)| size < s).unwrap_or(true) {
-                    best = Some((parent, size));
-                }
-            }
+    let mut stats: Vec<CuboidStats> = Vec::with_capacity(1 << n);
+
+    // Phase 1 — partition-parallel base scan.
+    let t0 = Instant::now();
+    let ranges = input.partition_ranges(threads);
+    let partitions = ranges.len().max(1);
+    let base = if partitions <= 1 {
+        groupby::from_facts(input, full)
+    } else {
+        let partials: Vec<Cuboid> = std::thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|r| s.spawn(move || groupby::from_facts_range(input, full, r)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("partition worker panicked")).collect()
+        });
+        let mut acc = Cuboid::new();
+        for partial in partials {
+            groupby::merge_into(&mut acc, partial);
         }
-        let (parent_mask, _) = best.expect("ancestor exists by construction");
-        let derived = {
-            let parent = &cuboids[&parent_mask];
-            groupby::from_parent(parent, parent_mask, mask)
+        acc
+    };
+    stats.push(CuboidStats {
+        mask: full,
+        rows_scanned: input.len() as u64,
+        cells: base.len() as u64,
+        wall: t0.elapsed(),
+        source: DerivationSource::BaseFacts { partitions },
+    });
+    cuboids.insert(full, base);
+
+    // Phase 2 — pipeline the lattice levels; fan each level's independent
+    // derivations out across the workers.
+    let lattice = Lattice::new(input.cards(), input.len() as u64)
+        .expect("FactInput invariants satisfy Lattice constraints");
+    for level in lattice.coarsening_levels() {
+        // Parent choice is sequential and deterministic (sizes of the
+        // previous level are final); only the derivations run concurrently.
+        let jobs: Vec<(u32, u32)> =
+            level.iter().map(|&mask| (mask, best_parent(&cuboids, mask, n))).collect();
+        let workers = threads.min(jobs.len());
+        let done: Vec<(u32, u32, Cuboid, Duration)> = if workers <= 1 {
+            jobs.iter().map(|&(mask, parent)| derive_one(&cuboids, mask, parent)).collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut out = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(&(mask, parent)) = jobs.get(i) else { break };
+                                out.push(derive_one(&cuboids, mask, parent));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("derive worker panicked"))
+                    .collect()
+            })
         };
-        cuboids.insert(mask, derived);
+        for (mask, parent, cuboid, wall) in done {
+            stats.push(CuboidStats {
+                mask,
+                rows_scanned: cuboids[&parent].len() as u64,
+                cells: cuboid.len() as u64,
+                wall,
+                source: DerivationSource::Ancestor { parent },
+            });
+            cuboids.insert(mask, cuboid);
+        }
     }
-    CubeResult { n_dims: n, cuboids }
+    stats.sort_by_key(|s| s.mask);
+    CubeResult { n_dims: n, cuboids, stats }
 }
 
 /// `ROLLUP(d0, d1, …)`: only the prefix groupings
@@ -175,13 +371,27 @@ pub fn compute_rollup(input: &FactInput, order: &[usize]) -> Result<CubeResult> 
         return Err(Error::InvalidSchema("rollup order must permute all dimensions".into()));
     }
     let mut cuboids = HashMap::with_capacity(n + 1);
+    let mut stats = Vec::with_capacity(n + 1);
+    let mut scan = |mask: u32, cuboids: &mut HashMap<u32, Cuboid>| {
+        let t = Instant::now();
+        let cuboid = groupby::from_facts(input, mask);
+        stats.push(CuboidStats {
+            mask,
+            rows_scanned: input.len() as u64,
+            cells: cuboid.len() as u64,
+            wall: t.elapsed(),
+            source: DerivationSource::BaseFacts { partitions: 1 },
+        });
+        cuboids.insert(mask, cuboid);
+    };
     let mut mask = 0u32;
-    cuboids.insert(0, groupby::from_facts(input, 0));
+    scan(0, &mut cuboids);
     for &d in order {
         mask |= 1 << d;
-        cuboids.insert(mask, groupby::from_facts(input, mask));
+        scan(mask, &mut cuboids);
     }
-    Ok(CubeResult { n_dims: n, cuboids })
+    stats.sort_by_key(|s| s.mask);
+    Ok(CubeResult { n_dims: n, cuboids, stats })
 }
 
 #[cfg(test)]
@@ -280,5 +490,134 @@ mod tests {
     fn total_cells() {
         let c = compute_shared(&input());
         assert_eq!(c.total_cells(), 8);
+    }
+
+    /// Deterministic pseudo-random input with integer-valued measures, so
+    /// sums are exact and cross-engine comparison can use `==`.
+    fn int_input(cards: &[usize], rows: usize, seed: u64) -> FactInput {
+        let mut f = FactInput::new(cards).unwrap();
+        let mut x = seed.max(1);
+        for _ in 0..rows {
+            let coords: Vec<u32> = cards
+                .iter()
+                .map(|&c| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    (x % c as u64) as u32
+                })
+                .collect();
+            f.push(&coords, (x % 1000) as f64).unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn parallel_equals_naive_across_thread_counts() {
+        let f = int_input(&[4, 3, 5], 500, 42);
+        let naive = compute_naive(&f);
+        for threads in [1, 2, 3, 4, 7, 16, 1000] {
+            let par = compute_parallel(&f, threads);
+            // Integer-valued measures: bit-identical cells, `==` via the
+            // stats-excluding PartialEq.
+            assert_eq!(par, naive, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_handles_degenerate_inputs() {
+        // Empty input: every cuboid empty, nothing to partition.
+        let empty = FactInput::new(&[2, 3]).unwrap();
+        for threads in [1, 4] {
+            let c = compute_parallel(&empty, threads);
+            assert_eq!(c.masks(), vec![0, 1, 2, 3]);
+            assert_eq!(c.total_cells(), 0);
+            assert_eq!(
+                c.stats_for(0b11).unwrap().source,
+                DerivationSource::BaseFacts { partitions: 1 }
+            );
+        }
+        // Single row: fewer rows than threads collapses to one partition.
+        let mut one = FactInput::new(&[2, 3]).unwrap();
+        one.push(&[1, 2], 7.0).unwrap();
+        let c = compute_parallel(&one, 8);
+        assert_eq!(c, compute_naive(&one));
+        assert_eq!(
+            c.stats_for(0b11).unwrap().source,
+            DerivationSource::BaseFacts { partitions: 1 }
+        );
+    }
+
+    #[test]
+    fn parallel_plan_is_thread_count_invariant() {
+        // The derivation plan (who derives from whom) must not depend on
+        // the thread count — parent selection happens before the fan-out.
+        let f = int_input(&[3, 4, 2, 2], 300, 9);
+        let plan = |c: &CubeResult| -> Vec<(u32, DerivationSource)> {
+            c.stats().iter().map(|s| (s.mask, s.source)).collect()
+        };
+        let seq = compute_parallel(&f, 1);
+        let par = compute_parallel(&f, 7);
+        let seq_plan = plan(&seq);
+        let par_plan = plan(&par);
+        for ((ma, sa), (mb, sb)) in seq_plan.iter().zip(&par_plan) {
+            assert_eq!(ma, mb);
+            match (sa, sb) {
+                // Base scan partition counts legitimately differ.
+                (
+                    DerivationSource::BaseFacts { .. },
+                    DerivationSource::BaseFacts { .. },
+                ) => {}
+                _ => assert_eq!(sa, sb, "mask {ma:b}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stats_cover_every_cuboid_with_consistent_counts() {
+        let f = int_input(&[4, 3, 2], 200, 5);
+        let c = compute_parallel(&f, 4);
+        let stat_masks: Vec<u32> = c.stats().iter().map(|s| s.mask).collect();
+        assert_eq!(stat_masks, c.masks(), "one stats entry per cuboid, sorted");
+        for s in c.stats() {
+            assert_eq!(
+                s.cells as usize,
+                c.cuboid(s.mask).unwrap().len(),
+                "mask {:b}",
+                s.mask
+            );
+            match s.source {
+                DerivationSource::BaseFacts { partitions } => {
+                    assert_eq!(s.mask, 0b111);
+                    assert_eq!(s.rows_scanned, f.len() as u64);
+                    assert!(partitions >= 1);
+                }
+                DerivationSource::Ancestor { parent } => {
+                    // Derived from a strict direct superset with one more bit.
+                    assert_eq!(s.mask & !parent, 0);
+                    assert_eq!((parent ^ s.mask).count_ones(), 1);
+                    assert_eq!(s.rows_scanned as usize, c.cuboid(parent).unwrap().len());
+                }
+            }
+        }
+        // Naive scans everything from base facts.
+        let naive = compute_naive(&f);
+        assert!(naive
+            .stats()
+            .iter()
+            .all(|s| s.source == DerivationSource::BaseFacts { partitions: 1 }));
+        assert_eq!(naive.total_work(), naive.stats().iter().map(|s| s.wall).sum());
+    }
+
+    #[test]
+    fn shared_derives_from_smallest_parent() {
+        // Dim 0 has 2 members, dim 1 has 50: the apex should be derived
+        // from the 2-member cuboid {d0}, not the 50-member {d1}.
+        let f = int_input(&[2, 50], 400, 17);
+        let c = compute_shared(&f);
+        assert_eq!(
+            c.stats_for(0).unwrap().source,
+            DerivationSource::Ancestor { parent: 0b01 }
+        );
     }
 }

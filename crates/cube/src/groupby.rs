@@ -28,11 +28,22 @@ pub fn project_key(coords: &[u32], mask: u32) -> Box<[u32]> {
 
 /// Computes cuboid `mask` directly from the base facts (one full scan).
 pub fn from_facts(input: &FactInput, mask: u32) -> Cuboid {
+    from_facts_range(input, mask, 0..input.len())
+}
+
+/// Computes the *partial* cuboid `mask` over the fact rows in `rows` only.
+///
+/// A partial cuboid over a row range is itself a well-formed cuboid; the
+/// cuboid over the union of disjoint ranges is the key-wise
+/// [`AggState::merge`] of the partials (see [`merge_into`]) — the identity
+/// the partition-parallel engine is built on.
+pub fn from_facts_range(input: &FactInput, mask: u32, rows: std::ops::Range<usize>) -> Cuboid {
+    debug_assert!(rows.end <= input.len(), "row range out of bounds");
     let kept: Vec<usize> =
         (0..input.dim_count()).filter(|d| mask & (1 << d) != 0).collect();
     let mut out: Cuboid = HashMap::new();
     let mut key = vec![0u32; kept.len()];
-    for row in 0..input.len() {
+    for row in rows {
         for (i, &d) in kept.iter().enumerate() {
             key[i] = input.dim(d)[row];
         }
@@ -41,6 +52,19 @@ pub fn from_facts(input: &FactInput, mask: u32) -> Cuboid {
             .merge(&AggState::from_value(input.measure()[row]));
     }
     out
+}
+
+/// Merges a partial cuboid into an accumulator, key-wise via
+/// [`AggState::merge`]. Consumes `src` so keys move rather than clone.
+pub fn merge_into(dst: &mut Cuboid, src: Cuboid) {
+    if dst.is_empty() {
+        *dst = src;
+        return;
+    }
+    dst.reserve(src.len());
+    for (key, state) in src {
+        dst.entry(key).or_insert(AggState::EMPTY).merge(&state);
+    }
 }
 
 /// Computes cuboid `child_mask` from its already-computed ancestor
@@ -124,6 +148,36 @@ mod tests {
         // Two-step derivation also agrees.
         let via_d0 = from_parent(&from_parent(&full, 0b11, 0b01), 0b01, 0b00);
         assert_eq!(via_d0, from_facts(&f, 0b00));
+    }
+
+    #[test]
+    fn range_partials_merge_to_full_scan() {
+        let f = input();
+        for mask in 0..4u32 {
+            let full = from_facts(&f, mask);
+            // Any split point yields partials that merge back to the whole.
+            for split in 0..=f.len() {
+                let mut merged = from_facts_range(&f, mask, 0..split);
+                merge_into(&mut merged, from_facts_range(&f, mask, split..f.len()));
+                assert_eq!(merged, full, "mask {mask:02b} split {split}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_into_empty_and_overlapping() {
+        let f = input();
+        let mut acc = Cuboid::new();
+        merge_into(&mut acc, from_facts(&f, 0b11));
+        assert_eq!(acc, from_facts(&f, 0b11));
+        // Merging the same cuboid again doubles sums and counts.
+        merge_into(&mut acc, from_facts(&f, 0b11));
+        for (key, state) in &from_facts(&f, 0b11) {
+            assert_eq!(acc[key].sum, 2.0 * state.sum);
+            assert_eq!(acc[key].count, 2 * state.count);
+            assert_eq!(acc[key].min, state.min);
+            assert_eq!(acc[key].max, state.max);
+        }
     }
 
     #[test]

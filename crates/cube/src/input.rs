@@ -97,6 +97,31 @@ impl FactInput {
         self.dims.iter().map(|c| c[row]).collect()
     }
 
+    /// Splits the row index space into at most `parts` contiguous,
+    /// non-empty, near-equal ranges covering `0..len` in order — the unit
+    /// of work of the partition-parallel cube engine
+    /// ([`crate::cube_op::compute_parallel`]). Returns fewer than `parts`
+    /// ranges when there are fewer rows than partitions, and no ranges for
+    /// an empty input.
+    pub fn partition_ranges(&self, parts: usize) -> Vec<std::ops::Range<usize>> {
+        let len = self.len();
+        if len == 0 {
+            return Vec::new();
+        }
+        let parts = parts.clamp(1, len);
+        let base = len / parts;
+        let extra = len % parts; // first `extra` ranges get one more row
+        let mut out = Vec::with_capacity(parts);
+        let mut start = 0;
+        for i in 0..parts {
+            let size = base + usize::from(i < extra);
+            out.push(start..start + size);
+            start += size;
+        }
+        debug_assert_eq!(start, len);
+        out
+    }
+
     /// Size of the full cross product.
     pub fn cross_product_size(&self) -> usize {
         self.cards.iter().product()
@@ -134,6 +159,30 @@ mod tests {
         assert!(FactInput::new(&[2, 0]).is_err());
         assert!(FactInput::new(&[2; 17]).is_err());
         assert!(FactInput::new(&[2; 16]).is_ok());
+    }
+
+    #[test]
+    fn partition_ranges_cover_exactly() {
+        let mut f = FactInput::new(&[2]).unwrap();
+        for i in 0..10 {
+            f.push(&[i % 2], 1.0).unwrap();
+        }
+        for parts in [1, 2, 3, 7, 10, 15, 100] {
+            let ranges = f.partition_ranges(parts);
+            assert!(ranges.len() <= parts.min(10));
+            assert!(ranges.iter().all(|r| !r.is_empty()));
+            // Contiguous cover of 0..10.
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, 10);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            // Near-equal: sizes differ by at most one.
+            let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+            assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        }
+        assert_eq!(f.partition_ranges(0), f.partition_ranges(1));
+        assert!(FactInput::new(&[2]).unwrap().partition_ranges(4).is_empty());
     }
 
     #[test]

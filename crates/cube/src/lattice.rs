@@ -117,6 +117,23 @@ impl Lattice {
             .collect()
     }
 
+    /// The coarsening schedule of the pipeline scheduler: all cuboid masks
+    /// grouped by level (number of kept dimensions), from `n − 1` kept
+    /// dimensions down to the apex. Every mask in a level has all of its
+    /// direct parents in earlier groups (or at the top), so the levels can
+    /// be computed as a pipeline of barriers with the masks *within* one
+    /// level derived independently — and therefore in parallel. The base
+    /// (full) mask is not listed; it is computed from the facts.
+    pub fn coarsening_levels(&self) -> Vec<Vec<u32>> {
+        let n = self.cards.len();
+        let mut levels: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for mask in 0..self.top() {
+            // Level index 0 holds popcount n−1, index n−1 holds the apex.
+            levels[n - 1 - mask.count_ones() as usize].push(mask);
+        }
+        levels
+    }
+
     /// All cuboids derivable from `mask` (its descendants, including
     /// itself).
     pub fn descendants(&self, mask: u32) -> Vec<u32> {
@@ -195,10 +212,69 @@ mod tests {
     }
 
     #[test]
+    fn coarsening_levels_are_a_valid_schedule() {
+        let l = fig22();
+        let levels = l.coarsening_levels();
+        assert_eq!(levels.len(), 3);
+        // Level populations follow binomial coefficients: C(3,2), C(3,1), C(3,0).
+        assert_eq!(levels.iter().map(Vec::len).collect::<Vec<_>>(), vec![3, 3, 1]);
+        // Every mask excludes the top and appears exactly once.
+        let mut all: Vec<u32> = levels.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..l.top()).collect::<Vec<_>>());
+        // Parents of every mask live strictly earlier in the schedule (or
+        // are the top itself).
+        for (i, level) in levels.iter().enumerate() {
+            for &mask in level {
+                for parent in l.parents(mask) {
+                    let parent_level = levels.iter().position(|lv| lv.contains(&parent));
+                    match parent_level {
+                        Some(pl) => assert!(pl < i, "parent {parent:b} of {mask:b} not earlier"),
+                        None => assert_eq!(parent, l.top()),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn measured_sizes_override() {
         let l = fig22().with_measured_sizes(&[(0b011, 42_123)]);
         assert_eq!(l.size(0b011), 42_123);
         assert_eq!(l.size(0b001), 1000);
+    }
+
+    #[test]
+    fn measured_sizes_ignore_out_of_range_masks() {
+        let before = fig22();
+        // 3 dimensions → valid masks are 0..8; everything above is ignored
+        // rather than panicking (measured sizes may come from a wider cube).
+        let l = fig22().with_measured_sizes(&[
+            (0b1000, 999),
+            (42, 999),
+            (u32::MAX, 999),
+            (8, 999), // first out-of-range value
+        ]);
+        for mask in 0..l.cuboid_count() as u32 {
+            assert_eq!(l.size(mask), before.size(mask), "mask {mask:b}");
+        }
+        // Mixing in-range and out-of-range applies only the in-range ones.
+        let l = fig22().with_measured_sizes(&[(0b111, 77), (0b1111, 999)]);
+        assert_eq!(l.size(0b111), 77);
+    }
+
+    #[test]
+    fn measured_sizes_clamp_zero_to_one() {
+        // A measured size of 0 (an empty cuboid) is clamped to 1 so the
+        // linear cost model never divides by or prefers a free view.
+        let l = fig22().with_measured_sizes(&[(0b010, 0)]);
+        assert_eq!(l.size(0b010), 1);
+    }
+
+    #[test]
+    fn measured_sizes_last_write_wins() {
+        let l = fig22().with_measured_sizes(&[(0b001, 5), (0b001, 9)]);
+        assert_eq!(l.size(0b001), 9);
     }
 
     #[test]

@@ -218,4 +218,80 @@ mod tests {
         // No base view in the set: the full-mask query has no ancestor.
         assert_eq!(query_cost(&l, 0b111, &[0b011]), u64::MAX);
     }
+
+    /// Builds a lattice with pseudo-random measured sizes (monotone down
+    /// the derivability order, as real cuboid sizes are).
+    fn random_lattice(n: usize, seed: u64) -> Lattice {
+        let cards = vec![64usize; n];
+        let base = Lattice::new(&cards, 1_000_000).unwrap();
+        let mut x = seed.max(1);
+        let mut sizes: Vec<(u32, u64)> = Vec::new();
+        for mask in 0..(1u32 << n) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Sizes grow with the popcount so children never out-size
+            // parents: [1, 10^popcount] scaled by a random factor.
+            let scale = 10u64.pow(mask.count_ones());
+            sizes.push((mask, 1 + x % scale.max(1)));
+        }
+        base.with_measured_sizes(&sizes)
+    }
+
+    /// The greedy invariants the selection must uphold on *any* lattice:
+    /// step benefits are non-increasing, total cost never increases as
+    /// views are added, and every query stays answerable because the base
+    /// cuboid is always in the view set.
+    #[test]
+    fn greedy_invariants_hold_on_random_lattices() {
+        for n in 2..=4usize {
+            for seed in [3u64, 17, 99, 1234] {
+                let l = random_lattice(n, seed);
+                let k_max = (1usize << n) - 1;
+                let g = greedy_select(&l, k_max).unwrap();
+                assert_eq!(g.selected.len(), k_max);
+                assert_eq!(g.benefits.len(), k_max);
+
+                // 1. Diminishing returns: benefits are non-increasing.
+                for w in g.benefits.windows(2) {
+                    assert!(w[0] >= w[1], "n={n} seed={seed} benefits {:?}", g.benefits);
+                }
+
+                // 2. Monotone cost: adding a view never makes queries
+                //    slower, and each step's cost drop equals its benefit.
+                let mut views = vec![l.top()];
+                let mut prev = total_cost(&l, &views);
+                for (&v, &b) in g.selected.iter().zip(&g.benefits) {
+                    views.push(v);
+                    let now = total_cost(&l, &views);
+                    assert!(now <= prev, "n={n} seed={seed} view {v:b}");
+                    assert_eq!(prev - now, b, "n={n} seed={seed} view {v:b}");
+                    prev = now;
+                }
+
+                // 3. The base cuboid answers everything: no query cost is
+                //    ever the unanswerable sentinel, at any prefix.
+                let mut views = vec![l.top()];
+                for step in 0..=k_max {
+                    for m in 0..(1u32 << n) {
+                        assert_ne!(
+                            query_cost(&l, m, &views),
+                            u64::MAX,
+                            "n={n} seed={seed} step={step} mask {m:b}"
+                        );
+                    }
+                    if step < k_max {
+                        views.push(g.selected[step]);
+                    }
+                }
+
+                // 4. No duplicates, base never re-selected.
+                let mut sel = g.selected.clone();
+                sel.sort_unstable();
+                sel.dedup();
+                assert_eq!(sel.len(), k_max);
+                assert!(!g.selected.contains(&l.top()));
+            }
+        }
+    }
 }

@@ -10,11 +10,12 @@
 //! E18 locates that crossover.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use statcube_core::error::{Error, Result};
 use statcube_core::measure::AggState;
 
-use crate::cube_op::CubeResult;
+use crate::cube_op::{CubeResult, CuboidStats, DerivationSource};
 use crate::groupby::Cuboid;
 use crate::input::FactInput;
 
@@ -77,16 +78,32 @@ impl DenseCuboid {
 }
 
 /// A fully computed MOLAP cube: one dense cuboid per mask.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares cardinalities and cuboids; `stats` is timing
+/// metadata and is excluded.
+#[derive(Debug, Clone)]
 pub struct MolapCube {
     cards: Vec<usize>,
     cuboids: HashMap<u32, DenseCuboid>,
+    stats: Vec<CuboidStats>,
+}
+
+impl PartialEq for MolapCube {
+    fn eq(&self, other: &Self) -> bool {
+        self.cards == other.cards && self.cuboids == other.cuboids
+    }
 }
 
 impl MolapCube {
     /// The cuboid for `mask`.
     pub fn cuboid(&self, mask: u32) -> Option<&DenseCuboid> {
         self.cuboids.get(&mask)
+    }
+
+    /// Per-cuboid computation telemetry (rows scanned = fact rows for the
+    /// base pass, parent *allocated* cells for an array sweep).
+    pub fn stats(&self) -> &[CuboidStats] {
+        &self.stats
     }
 
     /// `(sum, count)` lookup with full coordinates and `None` = `ALL`.
@@ -132,7 +149,7 @@ impl MolapCube {
             }
             cuboids.insert(mask, c);
         }
-        CubeResult::from_parts(self.cards.len(), cuboids)
+        CubeResult::from_parts(self.cards.len(), cuboids, self.stats.clone())
     }
 }
 
@@ -160,8 +177,10 @@ pub fn compute_molap(input: &FactInput) -> Result<MolapCube> {
 
     let full = (1u32 << n) - 1;
     let mut cuboids: HashMap<u32, DenseCuboid> = HashMap::with_capacity(1 << n);
+    let mut stats: Vec<CuboidStats> = Vec::with_capacity(1 << n);
 
     // Base pass: offset arithmetic, no hashing.
+    let t0 = Instant::now();
     let mut base = DenseCuboid::new(cards.clone());
     for row in 0..input.len() {
         let mut off = 0usize;
@@ -171,6 +190,13 @@ pub fn compute_molap(input: &FactInput) -> Result<MolapCube> {
         base.sum[off] += input.measure()[row];
         base.count[off] += 1;
     }
+    stats.push(CuboidStats {
+        mask: full,
+        rows_scanned: input.len() as u64,
+        cells: base.populated() as u64,
+        wall: t0.elapsed(),
+        source: DerivationSource::BaseFacts { partitions: 1 },
+    });
     cuboids.insert(full, base);
 
     // Derive each coarser cuboid from its smallest computed parent by a
@@ -193,6 +219,7 @@ pub fn compute_molap(input: &FactInput) -> Result<MolapCube> {
             }
         }
         let (pmask, _) = best.expect("ancestor exists");
+        let t = Instant::now();
         let child_dims: Vec<usize> = (0..n)
             .filter(|d| mask & (1 << d) != 0)
             .map(|d| cards[d])
@@ -230,9 +257,17 @@ pub fn compute_molap(input: &FactInput) -> Result<MolapCube> {
                 }
             }
         }
+        stats.push(CuboidStats {
+            mask,
+            rows_scanned: cuboids[&pmask].allocated() as u64,
+            cells: child.populated() as u64,
+            wall: t.elapsed(),
+            source: DerivationSource::Ancestor { parent: pmask },
+        });
         cuboids.insert(mask, child);
     }
-    Ok(MolapCube { cards, cuboids })
+    stats.sort_by_key(|s| s.mask);
+    Ok(MolapCube { cards, cuboids, stats })
 }
 
 #[cfg(test)]

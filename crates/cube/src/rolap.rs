@@ -8,10 +8,11 @@
 //! cubes and loses to [`crate::molap`] on dense ones.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use statcube_core::measure::AggState;
 
-use crate::cube_op::CubeResult;
+use crate::cube_op::{CubeResult, CuboidStats, DerivationSource};
 use crate::groupby::Cuboid;
 use crate::input::FactInput;
 
@@ -62,16 +63,32 @@ impl SortedCuboid {
 }
 
 /// A fully computed sort-based ROLAP cube.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares dimensions and cuboids; `stats` is timing metadata
+/// and is excluded.
+#[derive(Debug, Clone)]
 pub struct RolapCube {
     n_dims: usize,
     cuboids: HashMap<u32, SortedCuboid>,
+    stats: Vec<CuboidStats>,
+}
+
+impl PartialEq for RolapCube {
+    fn eq(&self, other: &Self) -> bool {
+        self.n_dims == other.n_dims && self.cuboids == other.cuboids
+    }
 }
 
 impl RolapCube {
     /// The cuboid for `mask`.
     pub fn cuboid(&self, mask: u32) -> Option<&SortedCuboid> {
         self.cuboids.get(&mask)
+    }
+
+    /// Per-cuboid computation telemetry (rows scanned = fact rows for the
+    /// base sort, parent populated cells for a projection).
+    pub fn stats(&self) -> &[CuboidStats] {
+        &self.stats
     }
 
     /// `(sum, count)` lookup with full coordinates and `None` = `ALL`.
@@ -103,7 +120,7 @@ impl RolapCube {
             }
             out.insert(mask, c);
         }
-        CubeResult::from_parts(self.n_dims, out)
+        CubeResult::from_parts(self.n_dims, out, self.stats.clone())
     }
 }
 
@@ -112,12 +129,22 @@ pub fn compute_rolap(input: &FactInput) -> RolapCube {
     let n = input.dim_count();
     let full = (1u32 << n) - 1;
     let mut cuboids: HashMap<u32, SortedCuboid> = HashMap::with_capacity(1 << n);
+    let mut stats: Vec<CuboidStats> = Vec::with_capacity(1 << n);
 
     // Base cuboid: sort the raw facts.
+    let t0 = Instant::now();
     let base_rows: Vec<(Box<[u32]>, f64, u64)> = (0..input.len())
         .map(|row| (input.coords(row).into_boxed_slice(), input.measure()[row], 1u64))
         .collect();
-    cuboids.insert(full, SortedCuboid::from_unsorted(base_rows));
+    let base = SortedCuboid::from_unsorted(base_rows);
+    stats.push(CuboidStats {
+        mask: full,
+        rows_scanned: input.len() as u64,
+        cells: base.len() as u64,
+        wall: t0.elapsed(),
+        source: DerivationSource::BaseFacts { partitions: 1 },
+    });
+    cuboids.insert(full, base);
 
     let mut masks: Vec<u32> = (0..full).collect();
     masks.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
@@ -136,6 +163,7 @@ pub fn compute_rolap(input: &FactInput) -> RolapCube {
             }
         }
         let (pmask, _) = best.expect("ancestor exists");
+        let t = Instant::now();
         let parent = &cuboids[&pmask];
         // Positions within the parent key that the child keeps.
         let mut keep = Vec::new();
@@ -156,9 +184,18 @@ pub fn compute_rolap(input: &FactInput) -> RolapCube {
                 (key, *s, *c)
             })
             .collect();
-        cuboids.insert(mask, SortedCuboid::from_unsorted(projected));
+        let child = SortedCuboid::from_unsorted(projected);
+        stats.push(CuboidStats {
+            mask,
+            rows_scanned: cuboids[&pmask].len() as u64,
+            cells: child.len() as u64,
+            wall: t.elapsed(),
+            source: DerivationSource::Ancestor { parent: pmask },
+        });
+        cuboids.insert(mask, child);
     }
-    RolapCube { n_dims: n, cuboids }
+    stats.sort_by_key(|s| s.mask);
+    RolapCube { n_dims: n, cuboids, stats }
 }
 
 #[cfg(test)]

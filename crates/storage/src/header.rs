@@ -244,9 +244,7 @@ mod tests {
     fn compression_grows_with_null_clustering() {
         // 1% density, clustered: huge ratio.
         let mut clustered = vec![f64::NAN; 100_000];
-        for i in 0..1000 {
-            clustered[i] = 1.0;
-        }
+        clustered[..1000].fill(1.0);
         let hc = HeaderCompressed::from_dense(&clustered);
         assert_eq!(hc.run_count(), 1);
         assert!(hc.compression_ratio() > 50.0);

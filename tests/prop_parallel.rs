@@ -1,0 +1,211 @@
+//! Property suite for the partition-parallel cube engine: every thread
+//! count computes the same cube as the sequential oracle, on arbitrary
+//! dimension counts and cardinalities, and the partial-aggregation state
+//! it merges on really is a commutative monoid.
+
+use proptest::prelude::*;
+
+use statcube::core::measure::AggState;
+use statcube::cube::cube_op::{compute_naive, compute_parallel, DerivationSource};
+use statcube::cube::input::FactInput;
+
+/// Thread counts every equivalence property is checked under: sequential,
+/// small, odd/larger-than-levels, and whatever the hardware offers.
+fn thread_counts() -> Vec<usize> {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut t = vec![1, 2, 7, hw];
+    t.sort_unstable();
+    t.dedup();
+    t
+}
+
+/// Facts with a random shape: 1–4 dimensions, cardinalities 1–6, up to 300
+/// rows, **integer-valued** measures so sums are exact in `f64` and
+/// equality can be `==` rather than tolerance-based.
+fn int_facts() -> impl Strategy<Value = FactInput> {
+    (proptest::collection::vec(1usize..=6, 1..=4), 0usize..300, 1u64..u64::MAX).prop_map(
+        |(cards, rows, seed)| {
+            let mut f = FactInput::new(&cards).unwrap();
+            let mut x = seed;
+            let mut next = || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            for _ in 0..rows {
+                let coords: Vec<u32> =
+                    cards.iter().map(|&c| (next() % c as u64) as u32).collect();
+                let v = (next() % 2001) as f64 - 1000.0; // integer in [-1000, 1000]
+                f.push(&coords, v).unwrap();
+            }
+            f
+        },
+    )
+}
+
+/// Like [`int_facts`] but with arbitrary float measures, for the
+/// tolerance-based check (merge order changes float sums by rounding only).
+fn float_facts() -> impl Strategy<Value = FactInput> {
+    int_facts().prop_map(|mut f| {
+        let cards = f.cards().to_vec();
+        let mut g = FactInput::new(&cards).unwrap();
+        for row in 0..f.len() {
+            let v = f.measure()[row];
+            g.push(&f.coords(row), v * 0.1 + 1.0 / 3.0).unwrap();
+        }
+        std::mem::swap(&mut f, &mut g);
+        f
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline oracle: `compute_parallel` is cell-for-cell identical
+    /// to `compute_naive` (2^n independent scans) at every thread count.
+    /// Integer measures make this bit-exact, so plain `==` applies
+    /// (`CubeResult` equality covers masks, keys and full `AggState`s).
+    #[test]
+    fn parallel_equals_naive_oracle(f in int_facts()) {
+        let oracle = compute_naive(&f);
+        for threads in thread_counts() {
+            let par = compute_parallel(&f, threads);
+            prop_assert_eq!(&par, &oracle, "threads={}", threads);
+        }
+    }
+
+    /// Float measures: counts/min/max stay bit-exact; sums agree up to
+    /// re-association rounding.
+    #[test]
+    fn parallel_float_sums_agree_within_rounding(f in float_facts()) {
+        let oracle = compute_naive(&f);
+        for threads in thread_counts() {
+            let par = compute_parallel(&f, threads);
+            prop_assert_eq!(par.masks(), oracle.masks());
+            for mask in oracle.masks() {
+                let a = oracle.cuboid(mask).unwrap();
+                let b = par.cuboid(mask).unwrap();
+                prop_assert_eq!(a.len(), b.len(), "mask {:b}", mask);
+                for (key, sa) in a {
+                    let sb = &b[key];
+                    prop_assert!((sa.sum - sb.sum).abs() <= 1e-9 * (1.0 + sa.sum.abs()));
+                    prop_assert_eq!(sa.count, sb.count);
+                    prop_assert_eq!(sa.min, sb.min);
+                    prop_assert_eq!(sa.max, sb.max);
+                }
+            }
+        }
+    }
+
+    /// Thread count is an implementation knob: the derivation plan (which
+    /// parent each cuboid is computed from) must not change with it.
+    #[test]
+    fn derivation_plan_is_thread_invariant(f in int_facts(), threads in 2usize..9) {
+        let seq = compute_parallel(&f, 1);
+        let par = compute_parallel(&f, threads);
+        for (a, b) in seq.stats().iter().zip(par.stats()) {
+            prop_assert_eq!(a.mask, b.mask);
+            prop_assert_eq!(a.rows_scanned, b.rows_scanned);
+            prop_assert_eq!(a.cells, b.cells);
+            match (a.source, b.source) {
+                (DerivationSource::BaseFacts { .. }, DerivationSource::BaseFacts { .. }) => {}
+                (sa, sb) => prop_assert_eq!(sa, sb, "mask {:b}", a.mask),
+            }
+        }
+    }
+
+    /// Merge is commutative: `a ⊕ b = b ⊕ a` — exactly, even for floats
+    /// (IEEE addition commutes; min/max/count trivially do).
+    #[test]
+    fn merge_commutes(a in agg_state(), b in agg_state()) {
+        prop_assert_eq!(a.merged(&b), b.merged(&a));
+    }
+
+    /// Merge is associative: `(a ⊕ b) ⊕ c = a ⊕ (b ⊕ c)`. Exact here
+    /// because the generated sums are integers (float addition only
+    /// re-associates up to rounding in general).
+    #[test]
+    fn merge_associates(a in agg_state(), b in agg_state(), c in agg_state()) {
+        prop_assert_eq!(a.merged(&b).merged(&c), a.merged(&b.merged(&c)));
+    }
+
+    /// `EMPTY` is a two-sided identity: `a ⊕ ε = ε ⊕ a = a`.
+    #[test]
+    fn merge_empty_is_identity(a in agg_state()) {
+        prop_assert_eq!(a.merged(&AggState::EMPTY), a);
+        prop_assert_eq!(AggState::EMPTY.merged(&a), a);
+    }
+
+    /// `merge_many` over any split of a sequence equals the whole-sequence
+    /// fold — the exact identity the per-partition merge uses.
+    #[test]
+    fn merge_many_is_split_invariant(
+        vals in proptest::collection::vec(-500i64..500, 0..40),
+        split in 0usize..41,
+    ) {
+        let states: Vec<AggState> =
+            vals.iter().map(|&v| AggState::from_value(v as f64)).collect();
+        let split = split.min(states.len());
+        let whole = AggState::merge_many(&states);
+        let left = AggState::merge_many(&states[..split]);
+        let right = AggState::merge_many(&states[split..]);
+        prop_assert_eq!(left.merged(&right), whole);
+    }
+}
+
+/// States built from small integer observations (sums stay exact), plus
+/// the occasional `EMPTY`.
+fn agg_state() -> impl Strategy<Value = AggState> {
+    proptest::collection::vec(-100i64..100, 0..8)
+        .prop_map(|vals| AggState::merge_many(&vals.iter().map(|&v| AggState::from_value(v as f64)).collect::<Vec<_>>()))
+}
+
+#[test]
+fn empty_input_all_thread_counts() {
+    let f = FactInput::new(&[3, 2, 4]).unwrap();
+    let oracle = compute_naive(&f);
+    for threads in thread_counts() {
+        let c = compute_parallel(&f, threads);
+        assert_eq!(c, oracle, "threads={threads}");
+        assert_eq!(c.total_cells(), 0);
+        assert_eq!(c.masks().len(), 8);
+    }
+}
+
+#[test]
+fn single_row_all_thread_counts() {
+    let mut f = FactInput::new(&[3, 2]).unwrap();
+    f.push(&[2, 1], 9.0).unwrap();
+    let oracle = compute_naive(&f);
+    for threads in thread_counts() {
+        let c = compute_parallel(&f, threads);
+        assert_eq!(c, oracle, "threads={threads}");
+        // One row can't be split: the base scan must report one partition.
+        let base = c.stats_for(0b11).unwrap();
+        assert_eq!(base.source, DerivationSource::BaseFacts { partitions: 1 });
+    }
+}
+
+#[test]
+fn zero_threads_clamps_to_one() {
+    let mut f = FactInput::new(&[2]).unwrap();
+    f.push(&[0], 1.0).unwrap();
+    f.push(&[1], 2.0).unwrap();
+    assert_eq!(compute_parallel(&f, 0), compute_naive(&f));
+}
+
+#[test]
+fn more_threads_than_rows_still_correct() {
+    let mut f = FactInput::new(&[4, 4]).unwrap();
+    for i in 0..5u32 {
+        f.push(&[i % 4, (i * 3) % 4], f64::from(i)).unwrap();
+    }
+    let c = compute_parallel(&f, 64);
+    assert_eq!(c, compute_naive(&f));
+    // Partitions are capped by the row count.
+    match c.stats_for(0b11).unwrap().source {
+        DerivationSource::BaseFacts { partitions } => assert!(partitions <= 5),
+        ref s => panic!("base cuboid not scanned from facts: {s:?}"),
+    }
+}

@@ -1,0 +1,670 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this in-tree crate
+//! re-implements the subset of proptest the workspace's property suites
+//! use: the [`Strategy`] trait with `prop_map`/`boxed`, numeric-range and
+//! char-class string strategies, tuple/vec/set/option/sample combinators,
+//! and the [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`]/
+//! [`prop_assume!`]/[`prop_oneof!`] macros.
+//!
+//! Differences from upstream, chosen for smallness:
+//!
+//! * **no shrinking** — a failing case reports its deterministic seed and
+//!   case number instead of a minimized input;
+//! * **deterministic runs** — the generator is seeded from the test's
+//!   module path and name, so failures always reproduce;
+//! * string strategies accept only the char-class regex subset
+//!   (`[...]`, `(...)`, `{m,n}`, `?`) the suites actually use.
+
+#![warn(missing_docs)]
+
+pub mod test_runner;
+
+use test_runner::TestRng;
+
+/// Outcome of one generated test case (public so the macros can match it).
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// A `prop_assert*` failed: the property does not hold.
+    Fail(String),
+    /// A `prop_assume!` rejected the input: skip, don't fail.
+    Reject(String),
+}
+
+/// Run configuration; only `cases` is supported.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of random values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Type-erases the strategy (needed by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).gen_value(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.gen_value(rng))
+    }
+}
+
+/// Uniform choice between type-erased alternatives ([`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; `arms` must be non-empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.usize_below(self.arms.len());
+        self.arms[i].gen_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.gen_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------------------
+// String strategies from a char-class regex subset.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum PatNode {
+    Literal(char),
+    Class(Vec<char>),
+    Group(Vec<(PatNode, usize, usize)>),
+}
+
+/// Parses the supported regex subset into (node, min-reps, max-reps) terms.
+fn parse_pattern(pat: &str) -> Vec<(PatNode, usize, usize)> {
+    let chars: Vec<char> = pat.chars().collect();
+    let (nodes, consumed) = parse_seq(&chars, 0, None);
+    assert_eq!(consumed, chars.len(), "unsupported regex pattern: {pat}");
+    nodes
+}
+
+fn parse_seq(
+    chars: &[char],
+    mut i: usize,
+    until: Option<char>,
+) -> (Vec<(PatNode, usize, usize)>, usize) {
+    let mut out = Vec::new();
+    while i < chars.len() {
+        if Some(chars[i]) == until {
+            return (out, i);
+        }
+        let node = match chars[i] {
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad char range {lo}-{hi}");
+                        set.extend((lo..=hi).collect::<Vec<char>>());
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                i += 1; // consume ']'
+                PatNode::Class(set)
+            }
+            '(' => {
+                let (inner, end) = parse_seq(chars, i + 1, Some(')'));
+                assert!(end < chars.len() && chars[end] == ')', "unclosed group");
+                i = end + 1;
+                PatNode::Group(inner)
+            }
+            c => {
+                i += 1;
+                PatNode::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..].iter().position(|&c| c == '}').expect("unclosed {") + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad {lo,hi}"),
+                    hi.trim().parse().expect("bad {lo,hi}"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad {n}");
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && chars[i] == '?' {
+            i += 1;
+            (0, 1)
+        } else if i < chars.len() && chars[i] == '+' {
+            i += 1;
+            (1, 8)
+        } else if i < chars.len() && chars[i] == '*' {
+            i += 1;
+            (0, 8)
+        } else {
+            (1, 1)
+        };
+        out.push((node, min, max));
+    }
+    (out, i)
+}
+
+fn gen_nodes(nodes: &[(PatNode, usize, usize)], rng: &mut TestRng, out: &mut String) {
+    for (node, min, max) in nodes {
+        let reps = if min == max { *min } else { rng.range(*min..=*max) };
+        for _ in 0..reps {
+            match node {
+                PatNode::Literal(c) => out.push(*c),
+                PatNode::Class(set) => out.push(set[rng.usize_below(set.len())]),
+                PatNode::Group(inner) => gen_nodes(inner, rng, out),
+            }
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let nodes = parse_pattern(self);
+        let mut out = String::new();
+        gen_nodes(&nodes, rng, &mut out);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Size ranges and collection strategies.
+// ---------------------------------------------------------------------------
+
+/// A collection-size range accepted by [`collection::vec`] and friends.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max_inclusive: usize,
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { min: r.start, max_inclusive: r.end - 1 }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self { min: *r.start(), max_inclusive: *r.end() }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max_inclusive: n }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.range(self.min..=self.max_inclusive)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// Generates `Vec<S::Value>` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// Generates `BTreeSet<S::Value>` with size in `size` (best effort: if
+    /// the element domain is too small to reach the target size, the set
+    /// is as large as repeated draws could make it).
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    /// The strategy returned by [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 20 + 50 {
+                out.insert(self.element.gen_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Sampling strategies over fixed item sets.
+pub mod sample {
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Generates an order-preserving subsequence of `items` whose length
+    /// falls in `size` (clamped to `items.len()`).
+    pub fn subsequence<T: Clone>(items: &[T], size: impl Into<SizeRange>) -> Subsequence<T> {
+        Subsequence { items: items.to_vec(), size: size.into() }
+    }
+
+    /// The strategy returned by [`subsequence`].
+    pub struct Subsequence<T> {
+        items: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<T> {
+            let k = self.size.pick(rng).min(self.items.len());
+            // Draw k distinct indices, then emit in item order.
+            let mut picked = vec![false; self.items.len()];
+            let mut chosen = 0;
+            while chosen < k {
+                let i = rng.usize_below(self.items.len());
+                if !picked[i] {
+                    picked[i] = true;
+                    chosen += 1;
+                }
+            }
+            self.items
+                .iter()
+                .zip(&picked)
+                .filter(|(_, &p)| p)
+                .map(|(v, _)| v.clone())
+                .collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// `Some` with probability ½, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner, some_probability: 0.5 }
+    }
+
+    /// `Some` with the given probability.
+    pub fn weighted<S: Strategy>(some_probability: f64, inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner, some_probability }
+    }
+
+    /// The strategy returned by [`of`] / [`weighted`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+        some_probability: f64,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.bool_with(self.some_probability) {
+                Some(self.inner.gen_value(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Bool strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Generates either bool uniformly.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform bool strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = ::core::primitive::bool;
+        fn gen_value(&self, rng: &mut TestRng) -> ::core::primitive::bool {
+            rng.bool_with(0.5)
+        }
+    }
+}
+
+/// Re-exports for `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros.
+// ---------------------------------------------------------------------------
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that runs `body` over `config.cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::gen_value(&($strat), &mut __rng);)+
+                let __outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(__msg)) => panic!(
+                        "property `{}` failed at case {} (deterministic; rerun reproduces): {}",
+                        stringify!($name),
+                        __case,
+                        __msg
+                    ),
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                __l, __r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its input doesn't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_owned(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..10, y in -5i64..=5, f in 0.0..1.0f64) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(0u8..4, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn mapped_tuples(p in (0u32..5, 0u32..5).prop_map(|(a, b)| a + b)) {
+            prop_assert!(p <= 8);
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(2), Just(3)]) {
+            prop_assert!((1..=3).contains(&v));
+        }
+
+        #[test]
+        fn string_patterns(s in "[a-c]{2,4}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 4, "bad len: {s}");
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn grouped_pattern(s in "[ab]( [cd]{1,2})?") {
+            let mut parts = s.split(' ');
+            let head = parts.next().unwrap();
+            prop_assert!(head == "a" || head == "b");
+        }
+
+        #[test]
+        fn subsequence_preserves_order(ss in crate::sample::subsequence(&[1, 2, 3, 4, 5][..], 0..5)) {
+            prop_assert!(ss.windows(2).all(|w| w[0] < w[1]));
+        }
+
+        #[test]
+        fn btree_set_sizes(s in crate::collection::btree_set(0u32..100, 1..=4)) {
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+        }
+
+        #[test]
+        fn assume_skips(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::for_test("seed-test");
+        let mut b = crate::test_runner::TestRng::for_test("seed-test");
+        let s = (0u32..1000, 0u32..1000);
+        for _ in 0..50 {
+            assert_eq!(s.gen_value(&mut a), s.gen_value(&mut b));
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! The deterministic generator behind the [`crate::proptest!`] macro.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng};
+
+/// The per-test random source. Seeded from the test's fully qualified name
+/// so every run of a property generates the identical case sequence —
+/// failures reproduce without recording a seed.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Builds the generator for the named test (FNV-1a over the name).
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { inner: StdRng::seed_from_u64(h) }
+    }
+
+    /// Uniform draw from any supported range type.
+    pub fn range<T, R: SampleRange<T>>(&mut self, r: R) -> T {
+        self.inner.random_range(r)
+    }
+
+    /// Uniform index in `[0, n)`.
+    pub fn usize_below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "usize_below(0)");
+        self.inner.random_range(0..n)
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        self.inner.random_bool(p)
+    }
+}
