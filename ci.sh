@@ -31,4 +31,27 @@ RUST_TEST_THREADS=1 cargo test -q --test prop_parallel
 echo "==> parallel suite, default test threads"
 cargo test -q --test prop_parallel
 
+# Chaos gate: the fault-injection property suite (bit-identical-or-typed-
+# error across 120 seeded fault plans) must pass on its own.
+echo "==> chaos suite"
+cargo test -q --test chaos_property
+
+# No-new-unwrap gate: user-reachable library code in the SQL and cube
+# crates must not grow new panic sites. Counts `.unwrap()`/`.expect(` in
+# non-test lib code (everything before the `#[cfg(test)]` module) against
+# a recorded baseline; lower the baseline when you remove one.
+unwrap_baseline=17
+unwrap_count=$(
+    for f in crates/sql/src/*.rs crates/cube/src/*.rs; do
+        awk '/#\[cfg\(test\)\]/{exit} {print}' "$f"
+    done | grep -c '\.unwrap()\|\.expect(' || true
+)
+echo "==> no-new-unwrap gate: $unwrap_count panic sites (baseline $unwrap_baseline)"
+if [ "$unwrap_count" -gt "$unwrap_baseline" ]; then
+    echo "ERROR: new .unwrap()/.expect() in crates/sql or crates/cube lib code" >&2
+    echo "       ($unwrap_count found, baseline $unwrap_baseline)." >&2
+    echo "       Return a typed Error instead, or justify and bump the baseline." >&2
+    exit 1
+fi
+
 echo "CI gate passed."

@@ -78,6 +78,9 @@ pub fn run() -> String {
                 format!("base facts, {partitions} partition(s)")
             }
             DerivationSource::Ancestor { parent } => format!("parent {parent:03b}"),
+            DerivationSource::FallbackAncestor { parent, failed } => {
+                format!("parent {parent:03b} (fallback, {failed:03b} corrupt)")
+            }
         };
         plan.row([
             format!("{:03b}", s.mask),

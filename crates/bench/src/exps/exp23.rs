@@ -1,0 +1,159 @@
+//! E23 — degradation cost under injected faults.
+//!
+//! The fault-injected page store (checksums + retry + lattice fallback)
+//! promises that queries stay *exact* under corruption, at a price paid in
+//! extra I/O: a failed source forces a detour to a larger healthy ancestor.
+//! This experiment sweeps the injected fault rate over a materialized-view
+//! workload and reports that price — extra pages read, retries, simulated
+//! backoff, degraded answers, and typed refusals — so the robustness bill
+//! is a measured curve rather than a claim.
+
+use std::time::Instant;
+
+use statcube_cube::input::FactInput;
+use statcube_cube::query::ViewStore;
+use statcube_storage::page_store::FaultPlan;
+
+use crate::report::Table;
+
+fn make_input(cards: &[usize], rows: usize, seed: u64) -> FactInput {
+    let mut input = FactInput::new(cards).expect("input");
+    let mut x = seed | 1;
+    for _ in 0..rows {
+        let coords: Vec<u32> = cards
+            .iter()
+            .map(|&c| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % c as u64) as u32
+            })
+            .collect();
+        input.push(&coords, (x % 1000) as f64).expect("push");
+    }
+    input
+}
+
+/// One sweep cell: answers every cuboid `repeat` times under `plan`,
+/// returning `(pages_read, degraded, errors, wall_ms, retries, backoff_us)`.
+fn sweep(input: &FactInput, selected: &[u32], plan: FaultPlan, repeat: usize) -> SweepRow {
+    let store = ViewStore::build(input, selected).expect("build");
+    store.arm_faults(plan);
+    let top = (1u32 << input.dim_count()) - 1;
+    let t0 = Instant::now();
+    let mut degraded = 0u64;
+    let mut errors = 0u64;
+    for _ in 0..repeat {
+        for mask in 0..=top {
+            match store.answer(mask) {
+                Ok(a) if a.degraded.is_some() => degraded += 1,
+                Ok(_) => {}
+                Err(_) => errors += 1,
+            }
+        }
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let stats = store.fault_stats();
+    SweepRow {
+        pages_read: store.page_store().io().pages_read(),
+        degraded,
+        errors,
+        wall_ms,
+        retries: stats.retries,
+        backoff_us: stats.backoff_us,
+    }
+}
+
+struct SweepRow {
+    pages_read: u64,
+    degraded: u64,
+    errors: u64,
+    wall_ms: f64,
+    retries: u64,
+    backoff_us: u64,
+}
+
+/// Sweeps the injected fault rate and reports the degradation cost curve.
+pub fn run() -> String {
+    let cards = [24usize, 12, 6, 4];
+    let rows = 40_000;
+    let input = make_input(&cards, rows, 23);
+    // The four 3-dim cuboids: every coarser mask has several covering
+    // ancestors, so a failed source has somewhere to fall back *to*.
+    let selected = [0b0111u32, 0b1011, 0b1101, 0b1110];
+    let repeat = 3;
+
+    let mut out = String::new();
+    out.push_str("=== E23: degradation cost under injected faults ===\n\n");
+    out.push_str(&format!(
+        "workload: {rows} facts over {cards:?}, views {selected:?} + base, \
+         {} queries per rate (uniform fault plan, seed = rate index)\n\n",
+        (1 << cards.len()) * repeat,
+    ));
+
+    let rates = [0.0, 0.005, 0.01, 0.02, 0.05];
+    let baseline = sweep(&input, &selected, FaultPlan::fault_free(0), repeat);
+    let mut t = Table::new(
+        "fault-rate sweep",
+        &[
+            "fault rate",
+            "pages read",
+            "extra pages",
+            "degraded answers",
+            "typed errors",
+            "retries",
+            "backoff (us)",
+            "wall (ms)",
+        ],
+    );
+    for (i, &rate) in rates.iter().enumerate() {
+        let r = sweep(&input, &selected, FaultPlan::uniform(i as u64, rate), repeat);
+        t.row([
+            format!("{:.1}%", rate * 100.0),
+            r.pages_read.to_string(),
+            format!("{:+}", r.pages_read as i64 - baseline.pages_read as i64),
+            r.degraded.to_string(),
+            r.errors.to_string(),
+            r.retries.to_string(),
+            r.backoff_us.to_string(),
+            format!("{:.1}", r.wall_ms),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nevery answered query is bit-identical to the fault-free oracle (the\n\
+         chaos suite asserts this across 120 seeds). Low fault rates buy\n\
+         retries and fallback detours to larger ancestors (positive extra\n\
+         pages, degraded answers); past the regime where even the fallbacks\n\
+         fault, queries refuse with typed errors instead — aborted reads,\n\
+         so pages read *drop* while refusals climb. Never a silently wrong\n\
+         aggregate at any rate.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fault_free_is_clean_and_faults_cost_io() {
+        let cards = [6usize, 4, 3];
+        let input = super::make_input(&cards, 2000, 9);
+        let selected = [0b011u32, 0b101];
+        let clean = super::sweep(&input, &selected, super::FaultPlan::fault_free(0), 2);
+        assert_eq!(clean.degraded, 0);
+        assert_eq!(clean.errors, 0);
+        assert_eq!(clean.retries, 0);
+        let faulty = super::sweep(&input, &selected, super::FaultPlan::uniform(1, 0.15), 2);
+        // A 15% uniform plan must visibly cost something: retries, detours,
+        // or refusals.
+        assert!(faulty.retries + faulty.degraded + faulty.errors > 0);
+        assert!(faulty.pages_read >= clean.pages_read);
+    }
+
+    #[test]
+    fn report_renders() {
+        let s = super::run();
+        assert!(s.contains("fault-rate sweep"));
+        assert!(s.contains("degraded answers"));
+    }
+}

@@ -41,6 +41,7 @@ pub mod exps {
     pub mod exp20;
     pub mod exp21;
     pub mod exp22;
+    pub mod exp23;
 }
 
 /// One experiment: `(id, title, runner)`.
@@ -71,5 +72,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("exp20", "sampling and higher statistics (§5.6)", exps::exp20::run),
         ("exp21", "SQL extensions for OLAP (§5.4)", exps::exp21::run),
         ("exp22", "partition-parallel CUBE speedup curve", exps::exp22::run),
+        ("exp23", "degradation cost under injected faults", exps::exp23::run),
     ]
 }

@@ -143,6 +143,32 @@ pub enum Error {
     InvalidProxy(String),
     /// A micro-data operation referenced a missing or mistyped column.
     ColumnError(String),
+    /// A stored page's CRC32 did not match the checksum recorded when the
+    /// page was written — the data is corrupt and must not be served.
+    ChecksumMismatch {
+        /// Name of the stored object (file, cuboid, store) that failed.
+        object: String,
+        /// Zero-based page index within the object.
+        page: u64,
+    },
+    /// A transient fault persisted through every allowed retry attempt.
+    RetriesExhausted {
+        /// Name of the stored object being read.
+        object: String,
+        /// Zero-based page index within the object.
+        page: u64,
+        /// Number of read attempts made (initial try + retries).
+        attempts: u32,
+    },
+    /// Every materialized source that could answer the query — down to and
+    /// including the base cuboid — failed verification, so not even a
+    /// degraded answer is possible.
+    NoHealthySource {
+        /// Bit mask of the cuboid that was requested.
+        requested: u32,
+        /// Number of candidate sources that were tried and failed.
+        tried: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -182,6 +208,18 @@ impl fmt::Display for Error {
             }
             Error::InvalidProxy(why) => write!(f, "invalid disaggregation proxy: {why}"),
             Error::ColumnError(why) => write!(f, "column error: {why}"),
+            Error::ChecksumMismatch { object, page } => {
+                write!(f, "checksum mismatch in `{object}` page {page}: stored data is corrupt")
+            }
+            Error::RetriesExhausted { object, page, attempts } => write!(
+                f,
+                "read of `{object}` page {page} still failing after {attempts} attempts"
+            ),
+            Error::NoHealthySource { requested, tried } => write!(
+                f,
+                "no healthy materialized source for cuboid mask {requested:#b} \
+                 ({tried} candidates failed verification, including the base cuboid)"
+            ),
         }
     }
 }
@@ -215,6 +253,21 @@ mod tests {
         assert!(s.contains("geo"));
         assert!(s.contains("population"));
         assert!(s.contains("; "));
+    }
+
+    #[test]
+    fn fault_variants_display() {
+        let e = Error::ChecksumMismatch { object: "cuboid:0b101".into(), page: 7 };
+        let s = e.to_string();
+        assert!(s.contains("cuboid:0b101") && s.contains("page 7") && s.contains("corrupt"));
+
+        let e = Error::RetriesExhausted { object: "facts".into(), page: 3, attempts: 4 };
+        let s = e.to_string();
+        assert!(s.contains("facts") && s.contains("4 attempts"));
+
+        let e = Error::NoHealthySource { requested: 0b011, tried: 5 };
+        let s = e.to_string();
+        assert!(s.contains("0b11") && s.contains("5 candidates"));
     }
 
     #[test]

@@ -50,7 +50,39 @@ pub enum DerivationSource {
         /// The grouping mask of the ancestor it was derived from.
         parent: u32,
     },
+    /// Derived from a healthy ancestor because the preferred source failed
+    /// checksum verification — a degraded (but still exact) answer.
+    FallbackAncestor {
+        /// The healthy ancestor actually used.
+        parent: u32,
+        /// The preferred source that failed verification.
+        failed: u32,
+    },
 }
+
+/// Record of a query served from a fallback source after one or more
+/// preferred materialized cuboids failed checksum verification.
+///
+/// A degraded answer is still *exact* — it is recomputed from intact data —
+/// but costs more I/O; the record makes that visible to callers and to the
+/// bench harness (exp23).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Degradation {
+    /// The cuboid mask that was queried.
+    pub requested: u32,
+    /// The healthy source that ultimately served the answer.
+    pub served_from: u32,
+    /// Sources that failed verification, in trial order, with the typed
+    /// error each produced.
+    pub failed: Vec<(u32, Error)>,
+    /// Cells scanned beyond what the first-choice source would have cost.
+    pub extra_cells: u64,
+}
+
+/// Result of a verified point lookup on a sealed engine cube: the cell's
+/// `(sum, count)` if populated, plus any [`Degradation`] incurred serving
+/// it from a fallback cuboid.
+pub type VerifiedCell = (Option<(f64, u64)>, Option<Degradation>);
 
 /// Per-cuboid computation telemetry, recorded by every engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +111,7 @@ pub struct CubeResult {
     n_dims: usize,
     cuboids: HashMap<u32, Cuboid>,
     stats: Vec<CuboidStats>,
+    degradations: Vec<Degradation>,
 }
 
 impl PartialEq for CubeResult {
@@ -93,12 +126,24 @@ impl CubeResult {
         cuboids: HashMap<u32, Cuboid>,
         stats: Vec<CuboidStats>,
     ) -> Self {
-        Self { n_dims, cuboids, stats }
+        Self { n_dims, cuboids, stats, degradations: Vec::new() }
+    }
+
+    pub(crate) fn push_degradation(&mut self, d: Degradation) {
+        self.degradations.push(d);
     }
 
     /// Per-cuboid computation telemetry, sorted by mask.
     pub fn stats(&self) -> &[CuboidStats] {
         &self.stats
+    }
+
+    /// Degraded-answer records: every cuboid in this result that had to be
+    /// recomputed from a fallback ancestor because its preferred source
+    /// failed verification. Empty for a fault-free computation. Like
+    /// [`stats`](Self::stats), excluded from equality.
+    pub fn degradations(&self) -> &[Degradation] {
+        &self.degradations
     }
 
     /// The telemetry of one cuboid.
@@ -209,7 +254,7 @@ pub fn compute_naive(input: &FactInput) -> CubeResult {
         });
         cuboids.insert(mask, cuboid);
     }
-    CubeResult { n_dims: n, cuboids, stats }
+    CubeResult::from_parts(n, cuboids, stats)
 }
 
 /// The shared (lattice-derivation) CUBE: the sequential special case of
@@ -356,7 +401,7 @@ pub fn compute_parallel(input: &FactInput, threads: usize) -> CubeResult {
         }
     }
     stats.sort_by_key(|s| s.mask);
-    CubeResult { n_dims: n, cuboids, stats }
+    CubeResult::from_parts(n, cuboids, stats)
 }
 
 /// `ROLLUP(d0, d1, …)`: only the prefix groupings
@@ -391,7 +436,7 @@ pub fn compute_rollup(input: &FactInput, order: &[usize]) -> Result<CubeResult> 
         scan(mask, &mut cuboids);
     }
     stats.sort_by_key(|s| s.mask);
-    Ok(CubeResult { n_dims: n, cuboids, stats })
+    Ok(CubeResult::from_parts(n, cuboids, stats))
 }
 
 #[cfg(test)]
@@ -597,6 +642,9 @@ mod tests {
                     assert_eq!(s.mask & !parent, 0);
                     assert_eq!((parent ^ s.mask).count_ones(), 1);
                     assert_eq!(s.rows_scanned as usize, c.cuboid(parent).unwrap().len());
+                }
+                DerivationSource::FallbackAncestor { .. } => {
+                    panic!("fault-free computation must not degrade")
                 }
             }
         }

@@ -14,8 +14,9 @@ use std::time::Instant;
 
 use statcube_core::error::{Error, Result};
 use statcube_core::measure::AggState;
+use statcube_storage::verify::{ChecksumManifest, ScrubReport, Scrubbable};
 
-use crate::cube_op::{CubeResult, CuboidStats, DerivationSource};
+use crate::cube_op::{CubeResult, CuboidStats, Degradation, DerivationSource, VerifiedCell};
 use crate::groupby::Cuboid;
 use crate::input::FactInput;
 
@@ -77,6 +78,76 @@ impl DenseCuboid {
     }
 }
 
+impl Scrubbable for DenseCuboid {
+    fn object_name(&self) -> String {
+        format!("DenseCuboid{:?}", self.dims)
+    }
+
+    fn content_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 * self.dims.len() + 16 * self.sum.len());
+        for &d in &self.dims {
+            out.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+        for &s in &self.sum {
+            out.extend_from_slice(&s.to_bits().to_le_bytes());
+        }
+        for &c in &self.count {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out
+    }
+
+    fn inject_bitflip(&mut self, bit: u64) {
+        if self.sum.is_empty() {
+            return;
+        }
+        let b = bit % (self.sum.len() as u64 * 64);
+        let v = &mut self.sum[(b / 64) as usize];
+        *v = f64::from_bits(v.to_bits() ^ (1u64 << (b % 64)));
+    }
+}
+
+/// Sums the one cell of cuboid `mask` at `key` out of a healthy ancestor —
+/// the single-cell form of the array sweep.
+fn cell_from_parent(
+    parent: &DenseCuboid,
+    pmask: u32,
+    mask: u32,
+    key: &[u32],
+) -> Option<(f64, u64)> {
+    // For each requested dimension: its position within the parent's
+    // coordinates and the wanted member.
+    let mut want: Vec<(usize, u32)> = Vec::new();
+    let mut ki = 0;
+    let mut pos = 0;
+    for d in 0..32 {
+        if pmask & (1 << d) != 0 {
+            if mask & (1 << d) != 0 {
+                want.push((pos, key[ki]));
+                ki += 1;
+            }
+            pos += 1;
+        }
+    }
+    let mut sum = 0.0;
+    let mut count = 0u64;
+    let mut pcoords = vec![0u32; parent.dims.len()];
+    for off in 0..parent.sum.len() {
+        if parent.count[off] > 0 && want.iter().all(|&(p, w)| pcoords[p] == w) {
+            sum += parent.sum[off];
+            count += parent.count[off];
+        }
+        for d in (0..parent.dims.len()).rev() {
+            pcoords[d] += 1;
+            if (pcoords[d] as usize) < parent.dims[d] {
+                break;
+            }
+            pcoords[d] = 0;
+        }
+    }
+    if count == 0 { None } else { Some((sum, count)) }
+}
+
 /// A fully computed MOLAP cube: one dense cuboid per mask.
 ///
 /// Equality compares cardinalities and cuboids; `stats` is timing
@@ -86,6 +157,8 @@ pub struct MolapCube {
     cards: Vec<usize>,
     cuboids: HashMap<u32, DenseCuboid>,
     stats: Vec<CuboidStats>,
+    /// Per-mask checksum manifests; empty until [`MolapCube::seal`].
+    seals: HashMap<u32, ChecksumManifest>,
 }
 
 impl PartialEq for MolapCube {
@@ -122,6 +195,117 @@ impl MolapCube {
     /// Total allocated cells across all cuboids (the MOLAP memory bill).
     pub fn allocated_cells(&self) -> usize {
         self.cuboids.values().map(DenseCuboid::allocated).sum()
+    }
+
+    /// Seals every cuboid under a per-mask checksum manifest; verified
+    /// lookups ([`MolapCube::get_all_verified`]) check against these.
+    pub fn seal(&mut self) {
+        self.seals =
+            self.cuboids.iter().map(|(&m, c)| (m, ChecksumManifest::seal(c))).collect();
+    }
+
+    /// Test/chaos hook: flips one stored bit of cuboid `mask`'s sum array.
+    pub fn corrupt(&mut self, mask: u32, bit: u64) -> Result<()> {
+        self.cuboids
+            .get_mut(&mask)
+            .ok_or_else(|| Error::InvalidSchema(format!("no cuboid for mask {mask:b}")))?
+            .inject_bitflip(bit);
+        Ok(())
+    }
+
+    /// Verifies cuboid `mask` against its seal. Unsealed cuboids pass (the
+    /// seal is opt-in); a sealed cuboid whose content changed fails with
+    /// [`Error::ChecksumMismatch`] naming the mask.
+    pub fn verify(&self, mask: u32) -> Result<()> {
+        let c = self
+            .cuboids
+            .get(&mask)
+            .ok_or_else(|| Error::InvalidSchema(format!("no cuboid for mask {mask:b}")))?;
+        if let Some(seal) = self.seals.get(&mask) {
+            seal.verify_all(c, None).map_err(|e| match e {
+                Error::ChecksumMismatch { page, .. } => {
+                    Error::ChecksumMismatch { object: format!("molap cuboid {mask:#b}"), page }
+                }
+                other => other,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Scrubs every sealed cuboid and reports all failing pages.
+    pub fn scrub(&self) -> ScrubReport {
+        let mut masks: Vec<u32> = self.seals.keys().copied().collect();
+        masks.sort_unstable();
+        let mut report = ScrubReport::default();
+        for m in masks {
+            report.merge(self.seals[&m].scrub(&self.cuboids[&m], None));
+        }
+        report
+    }
+
+    /// [`MolapCube::scrub`], converted to a typed error on first failure.
+    pub fn verify_all(&self) -> Result<ScrubReport> {
+        self.scrub().into_result()
+    }
+
+    /// [`MolapCube::get_all`] through verification: the preferred (exactly
+    /// matching or smallest covering) cuboid is checksum-verified before its
+    /// cells are trusted; on failure the cell is recomputed from the next
+    /// smallest healthy ancestor, with the detour recorded as a
+    /// [`Degradation`]. Every covering cuboid corrupt ⇒
+    /// [`Error::NoHealthySource`].
+    pub fn get_all_verified(
+        &self,
+        pattern: &[Option<u32>],
+    ) -> Result<VerifiedCell> {
+        if pattern.len() != self.cards.len() {
+            return Err(Error::ArityMismatch { expected: self.cards.len(), got: pattern.len() });
+        }
+        let mut mask = 0u32;
+        let mut key = Vec::new();
+        for (d, p) in pattern.iter().enumerate() {
+            if let Some(c) = p {
+                mask |= 1 << d;
+                key.push(*c);
+            }
+        }
+        // Covering cuboids in ascending sweep-cost (allocated cells) order.
+        let mut candidates: Vec<(u32, u64)> = self
+            .cuboids
+            .iter()
+            .filter(|(&v, _)| mask & !v == 0)
+            .map(|(&v, c)| (v, c.allocated() as u64))
+            .collect();
+        candidates.sort_unstable_by_key(|&(v, cost)| (cost, v));
+        if candidates.is_empty() {
+            return Err(Error::InvalidSchema(format!("no cuboid covers mask {mask:b}")));
+        }
+        let first_choice_cost = candidates[0].1;
+        let mut failed: Vec<(u32, Error)> = Vec::new();
+        for &(v, cost) in &candidates {
+            match self.verify(v) {
+                Ok(()) => {
+                    let cell = if v == mask {
+                        self.cuboids[&v].get(&key)
+                    } else {
+                        cell_from_parent(&self.cuboids[&v], v, mask, &key)
+                    };
+                    let degraded = if failed.is_empty() {
+                        None
+                    } else {
+                        Some(Degradation {
+                            requested: mask,
+                            served_from: v,
+                            failed,
+                            extra_cells: cost.saturating_sub(first_choice_cost),
+                        })
+                    };
+                    return Ok((cell, degraded));
+                }
+                Err(e) => failed.push((v, e)),
+            }
+        }
+        Err(Error::NoHealthySource { requested: mask, tried: failed.len() })
     }
 
     /// Converts to the hash-based [`CubeResult`] for cross-engine equality
@@ -267,7 +451,7 @@ pub fn compute_molap(input: &FactInput) -> Result<MolapCube> {
         cuboids.insert(mask, child);
     }
     stats.sort_by_key(|s| s.mask);
-    Ok(MolapCube { cards, cuboids, stats })
+    Ok(MolapCube { cards, cuboids, stats, seals: HashMap::new() })
 }
 
 #[cfg(test)]
@@ -347,5 +531,56 @@ mod tests {
         let m = compute_molap(&f).unwrap();
         assert_eq!(m.cuboid(0b11).unwrap().populated(), 0);
         assert_eq!(m.get_all(&[None, None]), None);
+    }
+
+    #[test]
+    fn verified_lookup_falls_back_across_the_lattice() {
+        let f = input(&[4, 5, 3], 200, 7);
+        let mut m = compute_molap(&f).unwrap();
+        m.seal();
+        assert!(m.verify_all().is_ok());
+        // Corrupt the {d0} cuboid — the preferred source for (Some(x), ALL,
+        // ALL) lookups.
+        m.corrupt(0b001, 13).unwrap();
+        assert!(m.verify(0b001).is_err());
+        assert!(m.verify(0b111).is_ok());
+        assert_eq!(m.scrub().failures.len(), 1);
+        for x in 0..4u32 {
+            let pattern = [Some(x), None, None];
+            let (cell, degraded) = m.get_all_verified(&pattern).unwrap();
+            // Exact despite the corruption: recomputed from a healthy
+            // ancestor (oracle = the untouched base cuboid).
+            let oracle = cell_from_parent(m.cuboid(0b111).unwrap(), 0b111, 0b001, &[x]);
+            assert_eq!(cell, oracle);
+            let d = degraded.expect("detour must be recorded");
+            assert_eq!(d.requested, 0b001);
+            assert_ne!(d.served_from, 0b001);
+            assert!(d.failed.iter().any(|(mask, _)| *mask == 0b001));
+            assert!(d.extra_cells > 0);
+        }
+        // A lookup not covered by the corrupt cuboid stays clean.
+        let (_, degraded) = m.get_all_verified(&[None, Some(1), None]).unwrap();
+        assert!(degraded.is_none());
+    }
+
+    #[test]
+    fn all_covering_cuboids_corrupt_is_typed() {
+        let f = input(&[3, 3], 50, 2);
+        let mut m = compute_molap(&f).unwrap();
+        m.seal();
+        for mask in [0b00, 0b01, 0b10, 0b11] {
+            m.corrupt(mask, 1).unwrap();
+        }
+        match m.get_all_verified(&[None, None]) {
+            Err(Error::NoHealthySource { requested, tried }) => {
+                assert_eq!(requested, 0);
+                assert_eq!(tried, 4);
+            }
+            other => panic!("expected NoHealthySource, got {other:?}"),
+        }
+        // Unsealed cubes skip verification entirely.
+        let mut unsealed = compute_molap(&f).unwrap();
+        unsealed.corrupt(0b11, 1).unwrap();
+        assert!(unsealed.get_all_verified(&[None, None]).is_ok());
     }
 }

@@ -1,29 +1,51 @@
-//! Answering group-by queries from a set of materialized views (§6.3).
+//! Answering group-by queries from a set of materialized views (§6.3),
+//! with verification and degraded fallback.
 //!
 //! Once [`crate::materialize::greedy_select`] has chosen which
 //! summarizations to pre-compute, a query for any cuboid is answered by
 //! aggregating down from the **smallest materialized ancestor** — the
 //! \[HUR96\] linear cost model, realized. [`ViewStore::answer`] reports the
 //! cells scanned so experiments can verify the model.
+//!
+//! Every materialized view is sealed into a checksummed
+//! [`PageStore`] file and **read back through it** on every query, so a
+//! corrupted view (bit rot, torn write — injectable via
+//! [`ViewStore::arm_faults`]) fails verification instead of yielding a
+//! silently wrong aggregate. On failure the query is re-routed through the
+//! lattice to the next-smallest *healthy* materialized ancestor — ultimately
+//! the base cuboid — and the detour is recorded as a
+//! [`Degradation`] in the [`Answer`]. Only when every
+//! covering source (base included) is corrupt does the query return
+//! [`Error::NoHealthySource`].
 
 use std::collections::HashMap;
 
 use statcube_core::error::{Error, Result};
+use statcube_core::measure::AggState;
+use statcube_storage::page_store::{FaultPlan, FaultStats, PageStore};
+use statcube_storage::verify::ScrubReport;
 
-use crate::cube_op::CubeResult;
+use crate::cube_op::{CubeResult, CuboidStats, Degradation, DerivationSource};
 use crate::groupby::{self, Cuboid};
 use crate::input::FactInput;
 use crate::lattice::Lattice;
 
 /// A set of materialized cuboids plus the lattice metadata to route
-/// queries.
+/// queries. Views live in a checksummed [`PageStore`]; queries deserialize
+/// from verified pages only.
 #[derive(Debug)]
 pub struct ViewStore {
     lattice: Lattice,
+    /// In-memory copies, used for sizing/routing and delta maintenance.
     views: HashMap<u32, Cuboid>,
+    /// The checksummed paged backing every query actually reads.
+    pages: PageStore,
+    /// mask → file id in `pages`.
+    files: HashMap<u32, usize>,
 }
 
-/// The answer to a cuboid query, with its measured cost.
+/// The answer to a cuboid query, with its measured cost and (when the
+/// preferred source failed verification) the degradation record.
 #[derive(Debug)]
 pub struct Answer {
     /// The cells of the requested cuboid.
@@ -32,11 +54,88 @@ pub struct Answer {
     pub source: u32,
     /// Cells scanned in the source view (the \[HUR96\] cost).
     pub cells_scanned: u64,
+    /// Present when one or more preferred sources failed verification and
+    /// the answer was recomputed from a healthy ancestor.
+    pub degraded: Option<Degradation>,
+}
+
+/// Deterministic serialization of a cuboid: row count, key width, then
+/// key-sorted `(key, sum, count, min, max)` tuples.
+fn serialize_cuboid(cuboid: &Cuboid, n_dims: usize) -> Vec<u8> {
+    let key_len = cuboid.keys().next().map_or(n_dims, |k| k.len());
+    let mut rows: Vec<_> = cuboid.iter().collect();
+    rows.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    let mut out = Vec::with_capacity(16 + rows.len() * (key_len * 4 + 32));
+    out.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(key_len as u64).to_le_bytes());
+    for (key, state) in rows {
+        for &k in key.iter() {
+            out.extend_from_slice(&k.to_le_bytes());
+        }
+        out.extend_from_slice(&state.sum.to_bits().to_le_bytes());
+        out.extend_from_slice(&state.count.to_le_bytes());
+        out.extend_from_slice(&state.min.to_bits().to_le_bytes());
+        out.extend_from_slice(&state.max.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Inverse of [`serialize_cuboid`]. Checksums catch corruption before this
+/// runs, so a malformed buffer indicates a logic error — still reported as
+/// a typed error, never a panic.
+fn deserialize_cuboid(bytes: &[u8], object: &str) -> Result<Cuboid> {
+    let malformed = || Error::InvalidSchema(format!("malformed cuboid file `{object}`"));
+    let take8 = |b: &[u8], at: usize| -> Result<[u8; 8]> {
+        b.get(at..at + 8).and_then(|s| s.try_into().ok()).ok_or_else(malformed)
+    };
+    let take4 = |b: &[u8], at: usize| -> Result<[u8; 4]> {
+        b.get(at..at + 4).and_then(|s| s.try_into().ok()).ok_or_else(malformed)
+    };
+    let n_rows = u64::from_le_bytes(take8(bytes, 0)?) as usize;
+    let key_len = u64::from_le_bytes(take8(bytes, 8)?) as usize;
+    let row_bytes = key_len * 4 + 32;
+    if bytes.len() != 16 + n_rows * row_bytes {
+        return Err(malformed());
+    }
+    let mut cuboid: Cuboid = HashMap::with_capacity(n_rows);
+    let mut at = 16;
+    for _ in 0..n_rows {
+        let mut key = Vec::with_capacity(key_len);
+        for _ in 0..key_len {
+            key.push(u32::from_le_bytes(take4(bytes, at)?));
+            at += 4;
+        }
+        let sum = f64::from_bits(u64::from_le_bytes(take8(bytes, at)?));
+        let count = u64::from_le_bytes(take8(bytes, at + 8)?);
+        let min = f64::from_bits(u64::from_le_bytes(take8(bytes, at + 16)?));
+        let max = f64::from_bits(u64::from_le_bytes(take8(bytes, at + 24)?));
+        at += 32;
+        cuboid.insert(key.into_boxed_slice(), AggState { sum, count, min, max });
+    }
+    Ok(cuboid)
+}
+
+fn view_file_name(mask: u32) -> String {
+    format!("cuboid:{mask:#b}")
+}
+
+/// Seals every view into a fresh [`PageStore`], one checksummed file per
+/// mask (in sorted order, so file ids are deterministic).
+fn seal_views(views: &HashMap<u32, Cuboid>, n_dims: usize) -> (PageStore, HashMap<u32, usize>) {
+    let pages = PageStore::default();
+    let mut masks: Vec<u32> = views.keys().copied().collect();
+    masks.sort_unstable();
+    let mut files = HashMap::with_capacity(masks.len());
+    for mask in masks {
+        let bytes = serialize_cuboid(&views[&mask], n_dims);
+        files.insert(mask, pages.create(&view_file_name(mask), &bytes));
+    }
+    (pages, files)
 }
 
 impl ViewStore {
     /// Materializes the selected masks (plus, always, the base cuboid) by
-    /// computing them from the facts.
+    /// computing them from the facts, sealing each into the page store.
     pub fn build(input: &FactInput, selected: &[u32]) -> Result<Self> {
         let lattice = Lattice::new(input.cards(), input.len() as u64)?;
         let top = lattice.top();
@@ -52,7 +151,8 @@ impl ViewStore {
         let measured: Vec<(u32, u64)> =
             views.iter().map(|(&m, c)| (m, c.len() as u64)).collect();
         let lattice = lattice.with_measured_sizes(&measured);
-        Ok(Self { lattice, views })
+        let (pages, files) = seal_views(&views, lattice.dim_count());
+        Ok(Self { lattice, views, pages, files })
     }
 
     /// Materializes views out of an already computed [`CubeResult`].
@@ -68,7 +168,8 @@ impl ViewStore {
         }
         let measured: Vec<(u32, u64)> =
             views.iter().map(|(&m, c)| (m, c.len() as u64)).collect();
-        Ok(Self { lattice: lattice.with_measured_sizes(&measured), views })
+        let (pages, files) = seal_views(&views, lattice.dim_count());
+        Ok(Self { lattice: lattice.with_measured_sizes(&measured), views, pages, files })
     }
 
     /// The materialized masks.
@@ -95,11 +196,15 @@ impl ViewStore {
                 got: delta.dim_count(),
             });
         }
+        let n_dims = self.lattice.dim_count();
         for (&mask, cuboid) in self.views.iter_mut() {
             let partial = groupby::from_facts(delta, mask);
             for (key, state) in partial {
                 cuboid.entry(key).or_insert(statcube_core::measure::AggState::EMPTY).merge(&state);
             }
+            // Rewrite the sealed file: a rewrite also heals any corruption
+            // the old copy had accumulated.
+            self.pages.overwrite(self.files[&mask], &serialize_cuboid(cuboid, n_dims));
         }
         // Sizes may have grown; refresh the routing lattice.
         let measured: Vec<(u32, u64)> =
@@ -113,26 +218,146 @@ impl ViewStore {
     }
 
     /// Answers the query for cuboid `mask` from the smallest materialized
-    /// ancestor.
+    /// ancestor whose sealed pages verify.
+    ///
+    /// Candidates are tried in ascending size order (the \[HUR96\] cost
+    /// heuristic). A candidate that fails verification — checksum mismatch
+    /// or retries exhausted — is recorded and the next-smallest ancestor is
+    /// tried, down to the base cuboid. A successful answer after failures
+    /// carries the [`Degradation`] record; if every candidate fails the
+    /// query returns [`Error::NoHealthySource`].
     pub fn answer(&self, mask: u32) -> Result<Answer> {
         if mask > self.lattice.top() {
             return Err(Error::InvalidSchema(format!("mask {mask:b} out of range")));
         }
-        let source = self
+        let mut candidates: Vec<(u32, u64)> = self
             .views
             .iter()
             .filter(|(&v, _)| self.lattice.derivable_from(mask, v))
-            .min_by_key(|(_, c)| c.len())
-            .map(|(&v, _)| v)
-            .ok_or_else(|| Error::InvalidSchema("no ancestor materialized".into()))?;
-        let src = &self.views[&source];
-        let cells_scanned = src.len() as u64;
-        let cuboid = if source == mask {
-            src.clone()
-        } else {
-            groupby::from_parent(src, source, mask)
-        };
-        Ok(Answer { cuboid, source, cells_scanned })
+            .map(|(&v, c)| (v, c.len() as u64))
+            .collect();
+        // Ascending size; mask breaks ties deterministically.
+        candidates.sort_unstable_by_key(|&(v, len)| (len, v));
+        if candidates.is_empty() {
+            return Err(Error::InvalidSchema("no ancestor materialized".into()));
+        }
+        let first_choice_cost = candidates[0].1;
+        let mut failed: Vec<(u32, Error)> = Vec::new();
+        for &(source, _) in &candidates {
+            let name = view_file_name(source);
+            let loaded = self
+                .pages
+                .read(self.files[&source])
+                .and_then(|bytes| deserialize_cuboid(&bytes, &name));
+            match loaded {
+                Ok(src) => {
+                    let cells_scanned = src.len() as u64;
+                    let cuboid =
+                        if source == mask { src } else { groupby::from_parent(&src, source, mask) };
+                    let degraded = if failed.is_empty() {
+                        None
+                    } else {
+                        Some(Degradation {
+                            requested: mask,
+                            served_from: source,
+                            failed,
+                            extra_cells: cells_scanned.saturating_sub(first_choice_cost),
+                        })
+                    };
+                    return Ok(Answer { cuboid, source, cells_scanned, degraded });
+                }
+                Err(e) => failed.push((source, e)),
+            }
+        }
+        Err(Error::NoHealthySource { requested: mask, tried: failed.len() })
+    }
+
+    /// Answers every cuboid of the lattice, assembling a [`CubeResult`]
+    /// whose per-cuboid [`CuboidStats`] carry fallback provenance
+    /// ([`DerivationSource::FallbackAncestor`]) and whose
+    /// [`CubeResult::degradations`] list every degraded answer.
+    ///
+    /// Fails with the first unanswerable cuboid's typed error.
+    pub fn answer_cube(&self) -> Result<CubeResult> {
+        let n = self.lattice.dim_count();
+        let mut cuboids = HashMap::with_capacity(1 << n);
+        let mut stats = Vec::with_capacity(1 << n);
+        let mut degradations = Vec::new();
+        for mask in 0..=self.lattice.top() {
+            let t = std::time::Instant::now();
+            let ans = self.answer(mask)?;
+            let source = match &ans.degraded {
+                Some(d) => DerivationSource::FallbackAncestor {
+                    parent: ans.source,
+                    failed: d.failed[0].0,
+                },
+                None => DerivationSource::Ancestor { parent: ans.source },
+            };
+            stats.push(CuboidStats {
+                mask,
+                rows_scanned: ans.cells_scanned,
+                cells: ans.cuboid.len() as u64,
+                wall: t.elapsed(),
+                source,
+            });
+            if let Some(d) = ans.degraded {
+                degradations.push(d);
+            }
+            cuboids.insert(mask, ans.cuboid);
+        }
+        let mut result = CubeResult::from_parts(n, cuboids, stats);
+        for d in degradations {
+            result.push_degradation(d);
+        }
+        Ok(result)
+    }
+
+    /// The checksummed page store backing the views (I/O + fault counters).
+    pub fn page_store(&self) -> &PageStore {
+        &self.pages
+    }
+
+    /// Arms fault injection on the backing store with `plan`.
+    pub fn arm_faults(&self, plan: FaultPlan) {
+        self.pages.arm(plan);
+    }
+
+    /// Disarms fault injection (persistent corruption, if any, remains).
+    pub fn disarm_faults(&self) {
+        self.pages.disarm();
+    }
+
+    /// Fault counters accumulated by the backing store.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.pages.stats()
+    }
+
+    /// Test/chaos hook: flips one stored bit of view `mask`'s sealed file
+    /// (`bit` addresses the whole file and wraps). No-op on an empty file.
+    pub fn corrupt_view(&self, mask: u32, bit: u64) -> Result<()> {
+        let &file = self
+            .files
+            .get(&mask)
+            .ok_or_else(|| Error::InvalidSchema(format!("mask {mask:b} not materialized")))?;
+        let n_pages = self.pages.page_count(file);
+        if n_pages == 0 {
+            return Ok(());
+        }
+        let page_bits = self.pages.io().page_size() as u64 * 8;
+        let page = (bit / page_bits.max(1)) % n_pages;
+        self.pages.corrupt_bit(file, page, bit % page_bits.max(1));
+        Ok(())
+    }
+
+    /// Maintenance scrub of every sealed view file (see
+    /// [`PageStore::scrub`]).
+    pub fn scrub(&self) -> ScrubReport {
+        self.pages.scrub()
+    }
+
+    /// [`ViewStore::scrub`], converted to a typed error on first failure.
+    pub fn verify_all(&self) -> Result<ScrubReport> {
+        self.pages.verify_all()
     }
 }
 
@@ -262,5 +487,114 @@ mod tests {
         let cube = cube_op::compute_rollup(&f, &[0, 1, 2]).unwrap();
         // A rollup result lacks most masks.
         assert!(ViewStore::from_cube(&cube, f.cards(), &[0b010]).is_err());
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let f = input();
+        let base = groupby::from_facts(&f, 0b111);
+        let bytes = serialize_cuboid(&base, 3);
+        assert_eq!(deserialize_cuboid(&bytes, "t").unwrap(), base);
+        // Empty cuboid round-trips too.
+        let empty = Cuboid::new();
+        let b2 = serialize_cuboid(&empty, 3);
+        assert_eq!(deserialize_cuboid(&b2, "t").unwrap(), empty);
+        // Truncated/garbage buffers are typed errors, not panics.
+        assert!(deserialize_cuboid(&bytes[..bytes.len() - 1], "t").is_err());
+        assert!(deserialize_cuboid(&[1, 2, 3], "t").is_err());
+    }
+
+    #[test]
+    fn corrupt_view_falls_back_to_healthy_ancestor() {
+        let f = input();
+        let store = ViewStore::build(&f, &[0b011]).unwrap();
+        assert!(store.verify_all().is_ok());
+        store.corrupt_view(0b011, 37).unwrap();
+        assert!(store.verify_all().is_err());
+        // The preferred source for {d0} is the corrupted 0b011; the answer
+        // must detour through the base and still be exact.
+        let ans = store.answer(0b001).unwrap();
+        assert_eq!(ans.source, 0b111);
+        assert_eq!(ans.cuboid, groupby::from_facts(&f, 0b001));
+        let d = ans.degraded.expect("detour must be recorded");
+        assert_eq!(d.requested, 0b001);
+        assert_eq!(d.served_from, 0b111);
+        assert_eq!(d.failed.len(), 1);
+        assert_eq!(d.failed[0].0, 0b011);
+        assert!(matches!(d.failed[0].1, Error::ChecksumMismatch { .. }));
+        assert!(d.extra_cells > 0, "base is larger than the preferred view");
+        // Fault counters observed the failure.
+        assert!(store.fault_stats().checksum_failures > 0);
+        // A healthy-source answer stays un-degraded.
+        assert!(store.answer(0b111).unwrap().degraded.is_none());
+    }
+
+    #[test]
+    fn all_sources_corrupt_is_a_typed_error() {
+        let f = input();
+        let store = ViewStore::build(&f, &[0b011]).unwrap();
+        store.corrupt_view(0b011, 0).unwrap();
+        store.corrupt_view(0b111, 0).unwrap();
+        match store.answer(0b001) {
+            Err(Error::NoHealthySource { requested, tried }) => {
+                assert_eq!(requested, 0b001);
+                assert_eq!(tried, 2);
+            }
+            other => panic!("expected NoHealthySource, got {other:?}"),
+        }
+        // Rewriting (delta maintenance) heals the store.
+        let mut store = store;
+        let delta = FactInput::new(f.cards()).unwrap();
+        store.apply_delta(&delta).unwrap();
+        assert!(store.verify_all().is_ok());
+        assert!(store.answer(0b001).unwrap().degraded.is_none());
+    }
+
+    #[test]
+    fn transient_faults_retry_and_stay_exact() {
+        let f = input();
+        let store = ViewStore::build(&f, &[0b011]).unwrap();
+        store.arm_faults(FaultPlan::transient_only(11, 0.1));
+        for mask in 0..8u32 {
+            let ans = store.answer(mask).unwrap();
+            // Answers stay exact; a burst that outlives the retry budget may
+            // force a fallback, but only ever as RetriesExhausted — never a
+            // checksum failure (nothing is corrupt).
+            assert_eq!(ans.cuboid, groupby::from_facts(&f, mask), "mask {mask:03b}");
+            if let Some(d) = &ans.degraded {
+                for (_, e) in &d.failed {
+                    assert!(matches!(e, Error::RetriesExhausted { .. }));
+                }
+            }
+        }
+        let s = store.fault_stats();
+        assert!(s.transient_faults + s.short_reads > 0, "plan should have fired");
+        assert!(s.retries > 0);
+        assert!(s.backoff_us > 0);
+        assert_eq!(s.checksum_failures, 0);
+        store.disarm_faults();
+        assert!(store.answer(0b001).unwrap().degraded.is_none());
+    }
+
+    #[test]
+    fn answer_cube_surfaces_degradations() {
+        let f = input();
+        let store = ViewStore::build(&f, &[0b011, 0b101]).unwrap();
+        store.corrupt_view(0b011, 5).unwrap();
+        let cube = store.answer_cube().unwrap();
+        assert_eq!(cube, cube_op::compute_shared(&f), "degraded answers stay exact");
+        assert!(!cube.degradations().is_empty());
+        // Every degraded cuboid's stats carry fallback provenance.
+        for d in cube.degradations() {
+            match cube.stats_for(d.requested).unwrap().source {
+                DerivationSource::FallbackAncestor { parent, failed } => {
+                    assert_eq!(parent, d.served_from);
+                    assert_eq!(failed, 0b011);
+                }
+                ref s => panic!("expected fallback provenance, got {s:?}"),
+            }
+        }
+        // 0b011 itself must be among the degraded masks (its own file is bad).
+        assert!(cube.degradations().iter().any(|d| d.requested == 0b011));
     }
 }

@@ -10,9 +10,11 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
+use statcube_core::error::{Error, Result};
 use statcube_core::measure::AggState;
+use statcube_storage::verify::{ChecksumManifest, ScrubReport, Scrubbable};
 
-use crate::cube_op::{CubeResult, CuboidStats, DerivationSource};
+use crate::cube_op::{CubeResult, CuboidStats, Degradation, DerivationSource, VerifiedCell};
 use crate::groupby::Cuboid;
 use crate::input::FactInput;
 
@@ -62,6 +64,69 @@ impl SortedCuboid {
     }
 }
 
+impl Scrubbable for SortedCuboid {
+    fn object_name(&self) -> String {
+        format!("SortedCuboid({} rows)", self.rows.len())
+    }
+
+    fn content_bytes(&self) -> Vec<u8> {
+        let key_len = self.rows.first().map_or(0, |(k, _, _)| k.len());
+        let mut out = Vec::with_capacity(16 + self.rows.len() * (key_len * 4 + 16));
+        out.extend_from_slice(&(self.rows.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(key_len as u64).to_le_bytes());
+        for (key, sum, count) in &self.rows {
+            for &k in key.iter() {
+                out.extend_from_slice(&k.to_le_bytes());
+            }
+            out.extend_from_slice(&sum.to_bits().to_le_bytes());
+            out.extend_from_slice(&count.to_le_bytes());
+        }
+        out
+    }
+
+    fn inject_bitflip(&mut self, bit: u64) {
+        if self.rows.is_empty() {
+            return;
+        }
+        let b = bit % (self.rows.len() as u64 * 64);
+        let row = &mut self.rows[(b / 64) as usize];
+        row.1 = f64::from_bits(row.1.to_bits() ^ (1u64 << (b % 64)));
+    }
+}
+
+/// Sums the one cell of cuboid `mask` at `key` out of a healthy ancestor —
+/// the single-cell form of the projection.
+fn cell_from_parent(
+    parent: &SortedCuboid,
+    pmask: u32,
+    mask: u32,
+    key: &[u32],
+) -> Option<(f64, u64)> {
+    // For each requested dimension: its position within the parent key and
+    // the wanted member.
+    let mut want: Vec<(usize, u32)> = Vec::new();
+    let mut ki = 0;
+    let mut pos = 0;
+    for d in 0..32 {
+        if pmask & (1 << d) != 0 {
+            if mask & (1 << d) != 0 {
+                want.push((pos, key[ki]));
+                ki += 1;
+            }
+            pos += 1;
+        }
+    }
+    let mut sum = 0.0;
+    let mut count = 0u64;
+    for (k, s, c) in &parent.rows {
+        if want.iter().all(|&(p, w)| k[p] == w) {
+            sum += s;
+            count += c;
+        }
+    }
+    if count == 0 { None } else { Some((sum, count)) }
+}
+
 /// A fully computed sort-based ROLAP cube.
 ///
 /// Equality compares dimensions and cuboids; `stats` is timing metadata
@@ -71,6 +136,8 @@ pub struct RolapCube {
     n_dims: usize,
     cuboids: HashMap<u32, SortedCuboid>,
     stats: Vec<CuboidStats>,
+    /// Per-mask checksum manifests; empty until [`RolapCube::seal`].
+    seals: HashMap<u32, ChecksumManifest>,
 }
 
 impl PartialEq for RolapCube {
@@ -107,6 +174,117 @@ impl RolapCube {
     /// Total populated cells across all cuboids.
     pub fn total_cells(&self) -> usize {
         self.cuboids.values().map(SortedCuboid::len).sum()
+    }
+
+    /// Seals every cuboid under a per-mask checksum manifest; verified
+    /// lookups ([`RolapCube::get_all_verified`]) check against these.
+    pub fn seal(&mut self) {
+        self.seals =
+            self.cuboids.iter().map(|(&m, c)| (m, ChecksumManifest::seal(c))).collect();
+    }
+
+    /// Test/chaos hook: flips one stored bit of cuboid `mask`'s sums.
+    pub fn corrupt(&mut self, mask: u32, bit: u64) -> Result<()> {
+        self.cuboids
+            .get_mut(&mask)
+            .ok_or_else(|| Error::InvalidSchema(format!("no cuboid for mask {mask:b}")))?
+            .inject_bitflip(bit);
+        Ok(())
+    }
+
+    /// Verifies cuboid `mask` against its seal. Unsealed cuboids pass (the
+    /// seal is opt-in); a sealed cuboid whose content changed fails with
+    /// [`Error::ChecksumMismatch`] naming the mask.
+    pub fn verify(&self, mask: u32) -> Result<()> {
+        let c = self
+            .cuboids
+            .get(&mask)
+            .ok_or_else(|| Error::InvalidSchema(format!("no cuboid for mask {mask:b}")))?;
+        if let Some(seal) = self.seals.get(&mask) {
+            seal.verify_all(c, None).map_err(|e| match e {
+                Error::ChecksumMismatch { page, .. } => {
+                    Error::ChecksumMismatch { object: format!("rolap cuboid {mask:#b}"), page }
+                }
+                other => other,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Scrubs every sealed cuboid and reports all failing pages.
+    pub fn scrub(&self) -> ScrubReport {
+        let mut masks: Vec<u32> = self.seals.keys().copied().collect();
+        masks.sort_unstable();
+        let mut report = ScrubReport::default();
+        for m in masks {
+            report.merge(self.seals[&m].scrub(&self.cuboids[&m], None));
+        }
+        report
+    }
+
+    /// [`RolapCube::scrub`], converted to a typed error on first failure.
+    pub fn verify_all(&self) -> Result<ScrubReport> {
+        self.scrub().into_result()
+    }
+
+    /// [`RolapCube::get_all`] through verification: the preferred (exactly
+    /// matching or smallest covering) cuboid is checksum-verified before its
+    /// tuples are trusted; on failure the cell is recomputed from the next
+    /// smallest healthy ancestor, with the detour recorded as a
+    /// [`Degradation`]. Every covering cuboid corrupt ⇒
+    /// [`Error::NoHealthySource`].
+    pub fn get_all_verified(
+        &self,
+        pattern: &[Option<u32>],
+    ) -> Result<VerifiedCell> {
+        if pattern.len() != self.n_dims {
+            return Err(Error::ArityMismatch { expected: self.n_dims, got: pattern.len() });
+        }
+        let mut mask = 0u32;
+        let mut key = Vec::new();
+        for (d, p) in pattern.iter().enumerate() {
+            if let Some(c) = p {
+                mask |= 1 << d;
+                key.push(*c);
+            }
+        }
+        // Covering cuboids in ascending scan-cost (populated cells) order.
+        let mut candidates: Vec<(u32, u64)> = self
+            .cuboids
+            .iter()
+            .filter(|(&v, _)| mask & !v == 0)
+            .map(|(&v, c)| (v, c.len() as u64))
+            .collect();
+        candidates.sort_unstable_by_key(|&(v, cost)| (cost, v));
+        if candidates.is_empty() {
+            return Err(Error::InvalidSchema(format!("no cuboid covers mask {mask:b}")));
+        }
+        let first_choice_cost = candidates[0].1;
+        let mut failed: Vec<(u32, Error)> = Vec::new();
+        for &(v, cost) in &candidates {
+            match self.verify(v) {
+                Ok(()) => {
+                    let cell = if v == mask {
+                        self.cuboids[&v].get(&key)
+                    } else {
+                        cell_from_parent(&self.cuboids[&v], v, mask, &key)
+                    };
+                    let degraded = if failed.is_empty() {
+                        None
+                    } else {
+                        Some(Degradation {
+                            requested: mask,
+                            served_from: v,
+                            failed,
+                            extra_cells: cost.saturating_sub(first_choice_cost),
+                        })
+                    };
+                    return Ok((cell, degraded));
+                }
+                Err(e) => failed.push((v, e)),
+            }
+        }
+        Err(Error::NoHealthySource { requested: mask, tried: failed.len() })
     }
 
     /// Converts to the hash-based [`CubeResult`] for cross-engine equality
@@ -195,7 +373,7 @@ pub fn compute_rolap(input: &FactInput) -> RolapCube {
         cuboids.insert(mask, child);
     }
     stats.sort_by_key(|s| s.mask);
-    RolapCube { n_dims: n, cuboids, stats }
+    RolapCube { n_dims: n, cuboids, stats, seals: HashMap::new() }
 }
 
 #[cfg(test)]
@@ -270,5 +448,50 @@ mod tests {
         let r = compute_rolap(&f);
         assert_eq!(r.total_cells(), 0);
         assert_eq!(r.get_all(&[None, None]), None);
+    }
+
+    #[test]
+    fn verified_lookup_falls_back_across_the_lattice() {
+        let f = input(&[5, 3, 4], 300, 11);
+        let mut r = compute_rolap(&f);
+        r.seal();
+        assert!(r.verify_all().is_ok());
+        // Corrupt the apex {} — the preferred source for the grand total.
+        r.corrupt(0b000, 3).unwrap();
+        assert!(r.verify(0b000).is_err());
+        assert_eq!(r.scrub().failures.len(), 1);
+        let (cell, degraded) = r.get_all_verified(&[None, None, None]).unwrap();
+        // Oracle from the untouched base cuboid.
+        let oracle = cell_from_parent(r.cuboid(0b111).unwrap(), 0b111, 0, &[]);
+        assert_eq!(cell, oracle);
+        let d = degraded.expect("detour must be recorded");
+        assert_eq!(d.requested, 0);
+        assert!(d.failed.iter().any(|(m, e)| {
+            *m == 0 && matches!(e, Error::ChecksumMismatch { .. })
+        }));
+        // A lookup served by a healthy cuboid stays clean.
+        let (_, clean) = r.get_all_verified(&[Some(1), None, None]).unwrap();
+        assert!(clean.is_none());
+    }
+
+    #[test]
+    fn all_covering_cuboids_corrupt_is_typed() {
+        let f = input(&[3, 3], 60, 4);
+        let mut r = compute_rolap(&f);
+        r.seal();
+        for mask in [0b00, 0b01, 0b10, 0b11] {
+            r.corrupt(mask, 0).unwrap();
+        }
+        match r.get_all_verified(&[None, None]) {
+            Err(Error::NoHealthySource { requested, tried }) => {
+                assert_eq!(requested, 0);
+                assert_eq!(tried, 4);
+            }
+            other => panic!("expected NoHealthySource, got {other:?}"),
+        }
+        // Re-sealing over the current (corrupt) state declares it the new
+        // truth — verification is relative to the seal.
+        r.seal();
+        assert!(r.get_all_verified(&[None, None]).is_ok());
     }
 }

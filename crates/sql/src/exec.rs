@@ -267,7 +267,10 @@ pub fn execute(obj: &StatisticalObject, query: &Query) -> Result<ResultSet> {
                 .select
                 .iter()
                 .zip(&measure_idx)
-                .map(|(agg, &m)| states[m].value(agg.func))
+                // Defensive `get`: `measure_idx` is validated against the
+                // schema, but a user query must never be able to panic the
+                // executor — a missing state reads as NULL.
+                .map(|(agg, &m)| states.get(m).and_then(|s| s.value(agg.func)))
                 .collect();
             rows.push(ResultRow { group, values });
         }

@@ -1,11 +1,17 @@
-//! Property tests for the SQL layer: AST → SQL → AST round-trips, and the
-//! CUBE union-expansion always parses and covers exactly `2^n` groupings.
+//! Property tests for the SQL layer: AST → SQL → AST round-trips, the
+//! CUBE union-expansion always parses and covers exactly `2^n` groupings,
+//! and the tokenizer/parser/executor never panic on arbitrary input —
+//! every malformed query is a typed error.
 
 use proptest::prelude::*;
 
-use statcube_core::measure::SummaryFunction;
+use statcube_core::dimension::Dimension;
+use statcube_core::measure::{MeasureKind, SummaryAttribute, SummaryFunction};
+use statcube_core::schema::Schema;
+use statcube_core::object::StatisticalObject;
 use statcube_sql::ast::{AggExpr, Grouping, Predicate, Query};
-use statcube_sql::{expand_cube_to_unions, parse};
+use statcube_sql::token::tokenize;
+use statcube_sql::{execute_str, expand_cube_to_unions, parse};
 
 fn ident() -> impl Strategy<Value = String> {
     // Identifiers with spaces and mixed case, to exercise quoting.
@@ -88,5 +94,65 @@ proptest! {
             }
         }
         prop_assert_eq!(no_group, 1);
+    }
+}
+
+/// A tiny object for executor fuzzing — what matters is that it has real
+/// dimensions/measures for queries to accidentally hit.
+fn fuzz_object() -> StatisticalObject {
+    let schema = Schema::builder("t")
+        .dimension(Dimension::categorical("a", ["x", "y"]))
+        .dimension(Dimension::categorical("b", ["u", "v"]))
+        .measure(SummaryAttribute::new("m", MeasureKind::Flow))
+        .build()
+        .expect("static schema is valid");
+    let mut o = StatisticalObject::empty(schema);
+    o.insert(&["x", "u"], 1.0).expect("static row is valid");
+    o.insert(&["y", "v"], 2.0).expect("static row is valid");
+    o
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // The whole pipeline on arbitrary printable garbage: tokenize, parse,
+    // and execute must return `Result`s, never panic. (The `let _ =` binds
+    // discard the value — only absence of a panic is asserted.)
+    #[test]
+    fn pipeline_never_panics_on_arbitrary_input(s in "[ -~]{0,60}") {
+        let _ = tokenize(&s);
+        let _ = parse(&s);
+        let _ = execute_str(&fuzz_object(), &s);
+    }
+
+    // Prefixed garbage reaches deeper into the parser than raw garbage
+    // (it survives the first keyword checks).
+    #[test]
+    fn pipeline_never_panics_on_select_prefixed_input(s in "[ -~]{0,50}") {
+        let q = format!("SELECT {s}");
+        let _ = parse(&q);
+        let _ = execute_str(&fuzz_object(), &q);
+    }
+
+    // Near-valid queries with fuzzed identifier/clause tails: the executor
+    // sees well-formed ASTs naming nonexistent tables/columns/levels and
+    // must answer with typed errors.
+    #[test]
+    fn executor_never_panics_on_near_valid_queries(
+        col in "[a-zA-Z*()]{0,8}",
+        tail in "[ -~]{0,30}",
+    ) {
+        let q = format!("SELECT SUM({col}) FROM t {tail}");
+        let _ = execute_str(&fuzz_object(), &q);
+        let q2 = format!("SELECT COUNT(*) FROM t GROUP BY CUBE({col}) {tail}");
+        let _ = execute_str(&fuzz_object(), &q2);
+    }
+
+    // Unicode (non-ASCII) input exercises the tokenizer's byte/char
+    // boundary handling.
+    #[test]
+    fn tokenizer_never_panics_on_unicode(s in "\\PC{0,24}") {
+        let _ = tokenize(&s);
+        let _ = parse(&s);
     }
 }

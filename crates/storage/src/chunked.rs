@@ -13,6 +13,7 @@ use statcube_core::error::{Error, Result};
 
 use crate::io_stats::IoStats;
 use crate::linear::LinearizedArray;
+use crate::verify::{ChecksumManifest, ScrubReport, Scrubbable};
 
 /// A multidimensional array stored as a grid of dense chunks. Chunks are
 /// allocated lazily on first write; absent cells are `NaN`.
@@ -250,6 +251,61 @@ impl ChunkedArray {
                 cursor[d] = chunk_lo[d];
             }
         }
+    }
+
+    /// Seals the allocated chunks into a checksum manifest.
+    pub fn seal(&self) -> ChecksumManifest {
+        ChecksumManifest::seal(self)
+    }
+
+    /// Re-checksums the allocated chunks against a seal, charging the
+    /// store's I/O counters, and reports failing pages.
+    pub fn scrub(&self, seal: &ChecksumManifest) -> ScrubReport {
+        seal.scrub(self, Some(&self.io))
+    }
+
+    /// [`ChunkedArray::scrub`], converted to a typed error on the first
+    /// failing page.
+    pub fn verify_all(&self, seal: &ChecksumManifest) -> Result<ScrubReport> {
+        seal.verify_all(self, Some(&self.io))
+    }
+}
+
+impl Scrubbable for ChunkedArray {
+    fn object_name(&self) -> String {
+        format!("ChunkedArray{:?}", self.dims)
+    }
+
+    fn content_bytes(&self) -> Vec<u8> {
+        // Allocated chunks only, each prefixed with its grid index so a
+        // chunk appearing or vanishing also changes the content.
+        let mut out = Vec::new();
+        for (i, chunk) in self.chunks.iter().enumerate() {
+            if let Some(cells) = chunk {
+                out.extend_from_slice(&(i as u64).to_le_bytes());
+                for v in cells.iter() {
+                    out.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    fn inject_bitflip(&mut self, bit: u64) {
+        let cells = self.chunk_cells() as u64 * 64;
+        let n_alloc = self.chunks.iter().filter(|c| c.is_some()).count() as u64;
+        if n_alloc == 0 || cells == 0 {
+            return;
+        }
+        let bit = bit % (n_alloc * cells);
+        let (target, within) = (bit / cells, bit % cells);
+        let chunk = self
+            .chunks
+            .iter_mut()
+            .filter_map(Option::as_mut)
+            .nth(target as usize)
+            .expect("target < allocated chunk count");
+        crate::verify::flip_f64_bit(chunk, within);
     }
 }
 

@@ -10,6 +10,7 @@ use statcube_core::error::Result;
 
 use crate::io_stats::{IoStats, PageSet};
 use crate::relation::{EqPredicates, Relation};
+use crate::verify::{ChecksumManifest, ScrubReport, Scrubbable};
 
 /// A transposed store over a [`Relation`], charging page I/O column-wise.
 #[derive(Debug)]
@@ -82,6 +83,40 @@ impl TransposedStore {
     /// Name-based predicate resolution, forwarded to the relation.
     pub fn predicates(&self, preds: &[(&str, &str)]) -> Result<EqPredicates> {
         self.rel.predicates(preds)
+    }
+
+    /// Seals the relation payload (all column files) into a checksum
+    /// manifest.
+    pub fn seal(&self) -> ChecksumManifest {
+        ChecksumManifest::seal(self)
+    }
+
+    /// Re-checksums the column files against a seal, charging the store's
+    /// I/O counters, and reports failing pages.
+    pub fn scrub(&self, seal: &ChecksumManifest) -> ScrubReport {
+        seal.scrub(self, Some(&self.io))
+    }
+
+    /// [`TransposedStore::scrub`], converted to a typed error on the first
+    /// failing page.
+    pub fn verify_all(&self, seal: &ChecksumManifest) -> Result<ScrubReport> {
+        seal.verify_all(self, Some(&self.io))
+    }
+}
+
+impl Scrubbable for TransposedStore {
+    fn object_name(&self) -> String {
+        format!("TransposedStore({} rows)", self.rel.len())
+    }
+
+    fn content_bytes(&self) -> Vec<u8> {
+        // The relation payload is already column-major — exactly the byte
+        // layout of the transposed files.
+        self.rel.payload_bytes()
+    }
+
+    fn inject_bitflip(&mut self, bit: u64) {
+        self.rel.flip_payload_bit(bit);
     }
 }
 

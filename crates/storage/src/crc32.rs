@@ -1,0 +1,80 @@
+//! In-tree CRC32 (IEEE 802.3 polynomial), the per-page checksum of the
+//! fault-tolerant page layer.
+//!
+//! Kept vendored-in-tree like everything else in this workspace (no external
+//! crates): a 256-entry table built at first use via `OnceLock`, the standard
+//! reflected algorithm with polynomial `0xEDB88320`, init `0xFFFF_FFFF`, and
+//! final XOR. Verified against the canonical `"123456789"` → `0xCBF43926`
+//! check value.
+
+use std::sync::OnceLock;
+
+static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+
+fn table() -> &'static [u32; 256] {
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    })
+}
+
+/// CRC32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Streaming form: feeds `data` into a running (pre-inverted) CRC state.
+///
+/// Start from `0xFFFF_FFFF`, feed chunks, XOR with `0xFFFF_FFFF` at the end;
+/// [`crc32`] is the one-shot wrapper.
+pub fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
+    let t = table();
+    for &b in data {
+        state = t[((state ^ u32::from(b)) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_value() {
+        // The canonical CRC-32/ISO-HDLC check vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut state = 0xFFFF_FFFF;
+        for chunk in data.chunks(7) {
+            state = crc32_update(state, chunk);
+        }
+        assert_eq!(state ^ 0xFFFF_FFFF, crc32(data));
+    }
+
+    #[test]
+    fn single_bit_flips_always_detected() {
+        // CRC32 detects every single-bit error; the fault injector's bit
+        // flips therefore can never slip through verification.
+        let base = vec![0xA5u8; 256];
+        let sum = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), sum, "flip at byte {byte} bit {bit} undetected");
+            }
+        }
+    }
+}

@@ -15,6 +15,7 @@ use statcube_core::error::{Error, Result};
 
 use crate::btree::BPlusTree;
 use crate::io_stats::IoStats;
+use crate::verify::{ChecksumManifest, ScrubReport, Scrubbable};
 
 /// One maximal run of consecutive non-null values.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,6 +157,48 @@ impl HeaderCompressed {
             sum += self.values[p0..p1].iter().sum::<f64>();
         }
         sum
+    }
+
+    /// Seals the stored values and header runs into a checksum manifest.
+    pub fn seal(&self) -> ChecksumManifest {
+        ChecksumManifest::seal(self)
+    }
+
+    /// Re-checksums values and runs against a seal, reporting failing pages.
+    pub fn scrub(&self, seal: &ChecksumManifest) -> ScrubReport {
+        seal.scrub(self, None)
+    }
+
+    /// [`HeaderCompressed::scrub`], converted to a typed error on the first
+    /// failing page.
+    pub fn verify_all(&self, seal: &ChecksumManifest) -> Result<ScrubReport> {
+        seal.verify_all(self, None)
+    }
+}
+
+impl Scrubbable for HeaderCompressed {
+    fn object_name(&self) -> String {
+        format!("HeaderCompressed(len={})", self.logical_len)
+    }
+
+    fn content_bytes(&self) -> Vec<u8> {
+        // Values plus the header runs: both are load-bearing for every
+        // lookup, so both are sealed. The B-trees are derived indexes.
+        let mut out = Vec::with_capacity(self.values.len() * 8 + self.runs.len() * 24 + 8);
+        out.extend_from_slice(&(self.logical_len as u64).to_le_bytes());
+        for v in &self.values {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        for r in &self.runs {
+            out.extend_from_slice(&r.logical_start.to_le_bytes());
+            out.extend_from_slice(&r.physical_start.to_le_bytes());
+            out.extend_from_slice(&r.len.to_le_bytes());
+        }
+        out
+    }
+
+    fn inject_bitflip(&mut self, bit: u64) {
+        crate::verify::flip_f64_bit(&mut self.values, bit);
     }
 }
 

@@ -11,11 +11,19 @@
 
 use std::cell::Cell;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default page size used across the crate (4 KiB).
 pub const DEFAULT_PAGE_SIZE: usize = 4096;
 
 /// Read/write page counters with a fixed page size.
+///
+/// The counters are `Cell`-based and therefore **single-threaded**: an
+/// `IoStats` is neither `Sync` nor safe to share across the scoped threads
+/// of the parallel cube engine. Within one thread the `Cell`s make charging
+/// possible through `&self`, which is what lets read paths stay `&self`
+/// throughout the crate. Code that must charge I/O from multiple threads
+/// uses [`AtomicIoStats`] instead and folds the totals back in.
 #[derive(Debug)]
 pub struct IoStats {
     page_size: usize,
@@ -85,6 +93,89 @@ impl IoStats {
     pub fn charge_page_writes(&self, pages: u64) {
         self.pages_written.set(self.pages_written.get() + pages);
     }
+
+    /// Folds counters accumulated elsewhere (typically an
+    /// [`AtomicIoStats`] charged from worker threads) into this one.
+    pub fn absorb(&self, reads: u64, writes: u64) {
+        self.charge_page_reads(reads);
+        self.charge_page_writes(writes);
+    }
+}
+
+/// Thread-safe variant of [`IoStats`] for charging I/O from scoped worker
+/// threads (the parallel cube engine's partition scans).
+///
+/// Counters are relaxed atomics — totals are exact once the threads join,
+/// but intermediate reads may interleave arbitrarily. Fold the result back
+/// into a session's `Cell`-based [`IoStats`] with [`IoStats::absorb`].
+#[derive(Debug)]
+pub struct AtomicIoStats {
+    page_size: usize,
+    pages_read: AtomicU64,
+    pages_written: AtomicU64,
+}
+
+impl Default for AtomicIoStats {
+    fn default() -> Self {
+        Self::new(DEFAULT_PAGE_SIZE)
+    }
+}
+
+impl AtomicIoStats {
+    /// Creates counters with the given page size (bytes, clamped to ≥ 1).
+    pub fn new(page_size: usize) -> Self {
+        Self {
+            page_size: page_size.max(1),
+            pages_read: AtomicU64::new(0),
+            pages_written: AtomicU64::new(0),
+        }
+    }
+
+    /// The page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Pages read since creation/reset.
+    pub fn pages_read(&self) -> u64 {
+        self.pages_read.load(Ordering::Relaxed)
+    }
+
+    /// Pages written since creation/reset.
+    pub fn pages_written(&self) -> u64 {
+        self.pages_written.load(Ordering::Relaxed)
+    }
+
+    /// Number of pages an object of `bytes` bytes occupies (0 for empty).
+    pub fn pages_of(&self, bytes: usize) -> u64 {
+        if bytes == 0 { 0 } else { bytes.div_ceil(self.page_size) as u64 }
+    }
+
+    /// Charges a sequential read of `bytes` contiguous bytes.
+    pub fn charge_seq_read(&self, bytes: usize) {
+        self.pages_read.fetch_add(self.pages_of(bytes), Ordering::Relaxed);
+    }
+
+    /// Charges a sequential write of `bytes` contiguous bytes.
+    pub fn charge_seq_write(&self, bytes: usize) {
+        self.pages_written.fetch_add(self.pages_of(bytes), Ordering::Relaxed);
+    }
+
+    /// Charges `pages` distinct page reads.
+    pub fn charge_page_reads(&self, pages: u64) {
+        self.pages_read.fetch_add(pages, Ordering::Relaxed);
+    }
+
+    /// Charges `pages` distinct page writes.
+    pub fn charge_page_writes(&self, pages: u64) {
+        self.pages_written.fetch_add(pages, Ordering::Relaxed);
+    }
+
+    /// Zeroes both counters.
+    pub fn reset(&self) {
+        self.pages_read.store(0, Ordering::Relaxed);
+        self.pages_written.store(0, Ordering::Relaxed);
+    }
 }
 
 /// Collects the *distinct* pages touched by a scattered access pattern
@@ -108,7 +199,9 @@ impl PageSet {
             return;
         }
         let first = offset / io.page_size();
-        let last = (offset + len - 1) / io.page_size();
+        // Saturate so a range ending at usize::MAX can't overflow the
+        // last-byte computation.
+        let last = offset.saturating_add(len - 1) / io.page_size();
         for p in first..=last {
             self.pages.insert((file, p as u64));
         }
@@ -196,5 +289,85 @@ mod tests {
         assert_eq!(io.pages_of(4096), 1);
         assert_eq!(io.pages_of(8192), 2);
         assert_eq!(io.pages_of(8193), 3);
+    }
+
+    #[test]
+    fn zero_byte_objects_cost_nothing() {
+        let io = IoStats::new(4096);
+        io.charge_seq_read(0);
+        io.charge_seq_write(0);
+        assert_eq!(io.pages_read(), 0);
+        assert_eq!(io.pages_written(), 0);
+        let mut ps = PageSet::new();
+        ps.touch(&io, 0, 123, 0);
+        assert_eq!(ps.page_count(), 0);
+    }
+
+    #[test]
+    fn exact_page_boundary_sizes() {
+        let io = IoStats::new(100);
+        // Objects that end exactly on a page boundary occupy exactly n pages.
+        for n in 1..=4usize {
+            assert_eq!(io.pages_of(n * 100), n as u64);
+            assert_eq!(io.pages_of(n * 100 + 1), n as u64 + 1);
+        }
+        // A touch of exactly one page starting at a boundary: one page.
+        let mut ps = PageSet::new();
+        ps.touch(&io, 0, 200, 100);
+        assert_eq!(ps.page_count(), 1);
+        // One byte past the boundary spills into the next page.
+        ps.touch(&io, 1, 200, 101);
+        assert_eq!(ps.page_count(), 3);
+    }
+
+    #[test]
+    fn page_size_one_degenerates_to_bytes() {
+        let io = IoStats::new(1);
+        assert_eq!(io.pages_of(0), 0);
+        assert_eq!(io.pages_of(7), 7);
+        io.charge_seq_read(5);
+        assert_eq!(io.pages_read(), 5);
+        let mut ps = PageSet::new();
+        ps.touch(&io, 0, 10, 3); // bytes 10,11,12 = three pages
+        assert_eq!(ps.page_count(), 3);
+        // page_size 0 clamps to 1 rather than dividing by zero.
+        let clamped = IoStats::new(0);
+        assert_eq!(clamped.page_size(), 1);
+        assert_eq!(clamped.pages_of(9), 9);
+    }
+
+    #[test]
+    fn touch_at_address_space_edge_saturates() {
+        let io = IoStats::new(4096);
+        let mut ps = PageSet::new();
+        // offset + len would overflow usize; the last-byte math saturates
+        // instead of panicking.
+        ps.touch(&io, 0, usize::MAX - 10, 100);
+        assert!(ps.page_count() >= 1);
+    }
+
+    #[test]
+    fn atomic_variant_charges_from_scoped_threads() {
+        let io = AtomicIoStats::new(4096);
+        assert_eq!(io.page_size(), 4096);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        io.charge_page_reads(1);
+                        io.charge_seq_write(4097);
+                    }
+                });
+            }
+        });
+        assert_eq!(io.pages_read(), 4000);
+        assert_eq!(io.pages_written(), 8000);
+        // Folding into a session-local IoStats.
+        let local = IoStats::new(4096);
+        local.absorb(io.pages_read(), io.pages_written());
+        assert_eq!(local.pages_read(), 4000);
+        io.reset();
+        assert_eq!(io.pages_read(), 0);
+        assert_eq!(AtomicIoStats::default().page_size(), DEFAULT_PAGE_SIZE);
     }
 }

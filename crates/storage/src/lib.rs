@@ -18,6 +18,12 @@
 //!   (\[RZ86\], Fig 24), and the [`cubetree`] packed R-tree for bulk cube
 //!   updates (\[RKR97\]);
 //! * [`star`] — the ROLAP star schema (Fig 11).
+//!
+//! The paper assumes secondary storage is reliable; this crate does not.
+//! [`page_store`] adds a checksummed paged store with deterministic fault
+//! injection and retry/backoff ([`crc32`] supplies the in-tree checksum),
+//! and [`verify`] gives every store above a seal/scrub pass that turns
+//! silent corruption into typed errors.
 
 #![warn(missing_docs)]
 
@@ -25,6 +31,7 @@ pub mod bittransposed;
 pub mod btree;
 pub mod chunked;
 pub mod column;
+pub mod crc32;
 pub mod cubetree;
 pub mod encoding;
 pub mod extendible;
@@ -32,10 +39,12 @@ pub mod header;
 pub mod io_stats;
 pub mod linear;
 pub mod lzw;
+pub mod page_store;
 pub mod relation;
 pub mod rle;
 pub mod row;
 pub mod star;
+pub mod verify;
 
 /// The most commonly used types, for glob import.
 pub mod prelude {
@@ -47,10 +56,12 @@ pub mod prelude {
     pub use crate::encoding::EncodedColumn;
     pub use crate::extendible::ExtendibleArray;
     pub use crate::header::HeaderCompressed;
-    pub use crate::io_stats::{IoStats, PageSet, DEFAULT_PAGE_SIZE};
+    pub use crate::io_stats::{AtomicIoStats, IoStats, PageSet, DEFAULT_PAGE_SIZE};
     pub use crate::linear::LinearizedArray;
+    pub use crate::page_store::{FaultInjector, FaultPlan, FaultStats, PageStore, RetryPolicy};
     pub use crate::relation::Relation;
     pub use crate::rle::Rle;
     pub use crate::row::RowStore;
     pub use crate::star::{DimensionTable, StarSchema};
+    pub use crate::verify::{ChecksumManifest, ScrubReport, Scrubbable};
 }

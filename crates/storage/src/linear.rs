@@ -11,6 +11,8 @@ use statcube_core::error::{Error, Result};
 use statcube_core::measure::SummaryFunction;
 use statcube_core::object::StatisticalObject;
 
+use crate::verify::{ChecksumManifest, ScrubReport, Scrubbable};
+
 /// A dense row-major multidimensional array of `f64` cells; absent cells
 /// are `NaN`.
 #[derive(Debug, Clone)]
@@ -168,6 +170,36 @@ impl LinearizedArray {
     /// Member labels of dimension `d`.
     pub fn labels_of(&self, d: usize) -> &[String] {
         &self.labels[d]
+    }
+
+    /// Seals the current cell contents into a checksum manifest.
+    pub fn seal(&self) -> ChecksumManifest {
+        ChecksumManifest::seal(self)
+    }
+
+    /// Re-checksums the cells against a seal, reporting failing pages.
+    pub fn scrub(&self, seal: &ChecksumManifest) -> ScrubReport {
+        seal.scrub(self, None)
+    }
+
+    /// [`LinearizedArray::scrub`], converted to a typed error on the first
+    /// failing page.
+    pub fn verify_all(&self, seal: &ChecksumManifest) -> Result<ScrubReport> {
+        seal.verify_all(self, None)
+    }
+}
+
+impl Scrubbable for LinearizedArray {
+    fn object_name(&self) -> String {
+        format!("LinearizedArray{:?}", self.dims)
+    }
+
+    fn content_bytes(&self) -> Vec<u8> {
+        self.data.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect()
+    }
+
+    fn inject_bitflip(&mut self, bit: u64) {
+        crate::verify::flip_f64_bit(&mut self.data, bit);
     }
 }
 

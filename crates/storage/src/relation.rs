@@ -175,6 +175,55 @@ impl Relation {
         4 * self.cat_names.len() + 8 * self.num_names.len()
     }
 
+    /// Deterministic serialization of the query-relevant payload (category
+    /// codes column-major, then measure columns): what the row/transposed
+    /// stores seal and scrub. Dictionary strings are metadata, not sealed.
+    pub(crate) fn payload_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_bytes() + 8);
+        out.extend_from_slice(&(self.n_rows as u64).to_le_bytes());
+        for col in &self.cats {
+            for &c in col {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        for col in &self.nums {
+            for &v in col {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Fault-injection hook: flips one stored bit of the payload (measures
+    /// first, then category codes; `bit` wraps).
+    pub(crate) fn flip_payload_bit(&mut self, bit: u64) {
+        let num_bits: u64 = self.nums.iter().map(|c| c.len() as u64 * 64).sum();
+        let cat_bits: u64 = self.cats.iter().map(|c| c.len() as u64 * 32).sum();
+        if num_bits + cat_bits == 0 {
+            return;
+        }
+        let mut bit = bit % (num_bits + cat_bits);
+        if bit < num_bits {
+            for col in &mut self.nums {
+                let span = col.len() as u64 * 64;
+                if bit < span {
+                    crate::verify::flip_f64_bit(col, bit);
+                    return;
+                }
+                bit -= span;
+            }
+        }
+        bit -= num_bits;
+        for col in &mut self.cats {
+            let span = col.len() as u64 * 32;
+            if bit < span {
+                crate::verify::flip_u32_bit(col, bit);
+                return;
+            }
+            bit -= span;
+        }
+    }
+
     /// Total uncompressed bytes of the relation.
     pub fn total_bytes(&self) -> usize {
         self.row_bytes() * self.n_rows

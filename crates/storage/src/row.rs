@@ -9,6 +9,7 @@ use statcube_core::error::Result;
 
 use crate::io_stats::IoStats;
 use crate::relation::{EqPredicates, Relation};
+use crate::verify::{ChecksumManifest, ScrubReport, Scrubbable};
 
 /// A row store over a [`Relation`], charging page I/O row-wise.
 #[derive(Debug)]
@@ -50,16 +51,51 @@ impl RowStore {
     /// contiguous span, usually a single page.
     pub fn fetch_row(&self, row: usize) -> (Vec<u32>, Vec<f64>) {
         let rb = self.rel.row_bytes();
-        let offset = row * rb;
-        let first = offset / self.io.page_size();
-        let last = (offset + rb - 1) / self.io.page_size();
-        self.io.charge_page_reads((last - first + 1) as u64);
+        if rb > 0 {
+            // A zero-width row (no columns) touches no pages; guarding here
+            // keeps the last-byte arithmetic from underflowing.
+            let offset = row * rb;
+            let first = offset / self.io.page_size();
+            let last = (offset + rb - 1) / self.io.page_size();
+            self.io.charge_page_reads((last - first + 1) as u64);
+        }
         self.rel.row(row)
     }
 
     /// Name-based predicate resolution, forwarded to the relation.
     pub fn predicates(&self, preds: &[(&str, &str)]) -> Result<EqPredicates> {
         self.rel.predicates(preds)
+    }
+
+    /// Seals the relation payload into a checksum manifest.
+    pub fn seal(&self) -> ChecksumManifest {
+        ChecksumManifest::seal(self)
+    }
+
+    /// Re-checksums the payload against a seal, charging the store's I/O
+    /// counters, and reports failing pages.
+    pub fn scrub(&self, seal: &ChecksumManifest) -> ScrubReport {
+        seal.scrub(self, Some(&self.io))
+    }
+
+    /// [`RowStore::scrub`], converted to a typed error on the first failing
+    /// page.
+    pub fn verify_all(&self, seal: &ChecksumManifest) -> Result<ScrubReport> {
+        seal.verify_all(self, Some(&self.io))
+    }
+}
+
+impl Scrubbable for RowStore {
+    fn object_name(&self) -> String {
+        format!("RowStore({} rows)", self.rel.len())
+    }
+
+    fn content_bytes(&self) -> Vec<u8> {
+        self.rel.payload_bytes()
+    }
+
+    fn inject_bitflip(&mut self, bit: u64) {
+        self.rel.flip_payload_bit(bit);
     }
 }
 

@@ -10,6 +10,7 @@
 use statcube_core::error::{Error, Result};
 
 use crate::io_stats::IoStats;
+use crate::verify::{ChecksumManifest, ScrubReport, Scrubbable};
 
 /// One dimension table: implicit integer primary key (row index) plus named
 /// string attribute columns.
@@ -236,6 +237,84 @@ impl StarSchema {
     /// (full scan of the wide table).
     pub fn denormalized_scan_pages(&self) -> u64 {
         self.io.pages_of(self.denormalized_bytes())
+    }
+
+    /// Seals the fact table (foreign keys + measures) and dimension-table
+    /// attributes into a checksum manifest.
+    pub fn seal(&self) -> ChecksumManifest {
+        ChecksumManifest::seal(self)
+    }
+
+    /// Re-checksums fact and dimension tables against a seal, charging the
+    /// store's I/O counters, and reports failing pages.
+    pub fn scrub(&self, seal: &ChecksumManifest) -> ScrubReport {
+        seal.scrub(self, Some(&self.io))
+    }
+
+    /// [`StarSchema::scrub`], converted to a typed error on the first
+    /// failing page.
+    pub fn verify_all(&self, seal: &ChecksumManifest) -> Result<ScrubReport> {
+        seal.verify_all(self, Some(&self.io))
+    }
+}
+
+impl Scrubbable for StarSchema {
+    fn object_name(&self) -> String {
+        format!("StarSchema({} facts)", self.rows)
+    }
+
+    fn content_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.fact_bytes() + 8);
+        out.extend_from_slice(&(self.rows as u64).to_le_bytes());
+        for col in &self.fks {
+            for &fk in col {
+                out.extend_from_slice(&fk.to_le_bytes());
+            }
+        }
+        for col in &self.measures {
+            for &v in col {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        // Dimension attributes are part of the answer path (predicates are
+        // resolved against them), so they are sealed too.
+        for table in &self.dims {
+            for col in &table.attrs {
+                for v in col {
+                    out.extend_from_slice(&(v.len() as u64).to_le_bytes());
+                    out.extend_from_slice(v.as_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    fn inject_bitflip(&mut self, bit: u64) {
+        let m_bits: u64 = self.measures.iter().map(|c| c.len() as u64 * 64).sum();
+        let fk_bits: u64 = self.fks.iter().map(|c| c.len() as u64 * 32).sum();
+        if m_bits + fk_bits == 0 {
+            return;
+        }
+        let mut bit = bit % (m_bits + fk_bits);
+        if bit < m_bits {
+            for col in &mut self.measures {
+                let span = col.len() as u64 * 64;
+                if bit < span {
+                    crate::verify::flip_f64_bit(col, bit);
+                    return;
+                }
+                bit -= span;
+            }
+        }
+        bit -= m_bits;
+        for col in &mut self.fks {
+            let span = col.len() as u64 * 32;
+            if bit < span {
+                crate::verify::flip_u32_bit(col, bit);
+                return;
+            }
+            bit -= span;
+        }
     }
 }
 

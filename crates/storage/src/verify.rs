@@ -1,0 +1,253 @@
+//! Checksum manifests and scrubbing for the physical stores.
+//!
+//! Every store in this crate ultimately serves aggregates computed from
+//! bytes it believes are intact. This module gives each store a way to
+//! *prove* that: [`Scrubbable`] exposes a deterministic serialization of the
+//! store's logical content, [`ChecksumManifest::seal`] records a per-page
+//! CRC32 over it (page size from the I/O layer, [`crate::crc32`]), and
+//! [`ChecksumManifest::scrub`] (alias [`ChecksumManifest::verify_all`])
+//! re-reads everything and reports any page whose checksum no longer
+//! matches. A failed scrub yields [`Error::ChecksumMismatch`] — never a
+//! silently wrong value.
+//!
+//! The `inject_bitflip` hook is the in-memory stand-in for media corruption:
+//! chaos tests flip one stored bit and assert the scrub pass catches it.
+
+use statcube_core::error::{Error, Result};
+
+use crate::crc32::crc32;
+use crate::io_stats::{DEFAULT_PAGE_SIZE, IoStats};
+
+/// One page that failed checksum verification during a scrub.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubFailure {
+    /// Name of the object the page belongs to.
+    pub object: String,
+    /// Zero-based page index within the object's serialized content.
+    pub page: u64,
+}
+
+/// Outcome of a scrub pass over one or more sealed objects.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Objects scanned.
+    pub objects: usize,
+    /// Pages whose checksum was recomputed.
+    pub pages_scanned: u64,
+    /// Pages that no longer match their sealed checksum.
+    pub failures: Vec<ScrubFailure>,
+}
+
+impl ScrubReport {
+    /// True when every scanned page matched its checksum.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Folds another report into this one.
+    pub fn merge(&mut self, other: ScrubReport) {
+        self.objects += other.objects;
+        self.pages_scanned += other.pages_scanned;
+        self.failures.extend(other.failures);
+    }
+
+    /// Converts the report into a typed error on the first failing page.
+    pub fn into_result(self) -> Result<ScrubReport> {
+        match self.failures.first() {
+            Some(f) => Err(Error::ChecksumMismatch { object: f.object.clone(), page: f.page }),
+            None => Ok(self),
+        }
+    }
+}
+
+/// A store whose logical content can be sealed and later re-verified.
+///
+/// `content_bytes` must be deterministic: the same logical state always
+/// serializes to the same bytes, so a checksum mismatch means the state
+/// changed underneath the seal (corruption), not an encoding artifact.
+pub trait Scrubbable {
+    /// Stable name used in error messages and scrub reports.
+    fn object_name(&self) -> String;
+
+    /// Deterministic serialization of the store's logical content.
+    fn content_bytes(&self) -> Vec<u8>;
+
+    /// Fault-injection hook: flips stored bit `bit` (modulo content size)
+    /// in the store's *native* representation, so a subsequent
+    /// [`Scrubbable::content_bytes`] reflects the corruption. No-op when
+    /// the store holds no bytes.
+    fn inject_bitflip(&mut self, bit: u64);
+}
+
+/// Per-page CRC32 checksums sealed over a [`Scrubbable`]'s content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChecksumManifest {
+    page_size: usize,
+    content_len: usize,
+    sums: Vec<u32>,
+}
+
+impl ChecksumManifest {
+    /// Seals `store`'s current content at the default 4 KiB page size.
+    pub fn seal<S: Scrubbable + ?Sized>(store: &S) -> Self {
+        Self::seal_with_page_size(store, DEFAULT_PAGE_SIZE)
+    }
+
+    /// Seals `store`'s current content at an explicit page size.
+    pub fn seal_with_page_size<S: Scrubbable + ?Sized>(store: &S, page_size: usize) -> Self {
+        let page_size = page_size.max(1);
+        let content = store.content_bytes();
+        let sums = content.chunks(page_size).map(crc32).collect();
+        Self { page_size, content_len: content.len(), sums }
+    }
+
+    /// The page size the manifest was sealed at.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of sealed pages.
+    pub fn page_count(&self) -> u64 {
+        self.sums.len() as u64
+    }
+
+    /// Re-reads the store and reports every page that fails its checksum,
+    /// charging `io` one read per page scanned.
+    pub fn scrub<S: Scrubbable + ?Sized>(&self, store: &S, io: Option<&IoStats>) -> ScrubReport {
+        let content = store.content_bytes();
+        let name = store.object_name();
+        let mut report =
+            ScrubReport { objects: 1, pages_scanned: 0, failures: Vec::new() };
+        if let Some(io) = io {
+            io.charge_page_reads(self.sums.len() as u64);
+        }
+        if content.len() != self.content_len {
+            // Truncated or grown content: every page is suspect; flag page 0.
+            report.pages_scanned = self.sums.len() as u64;
+            report.failures.push(ScrubFailure { object: name, page: 0 });
+            return report;
+        }
+        for (i, chunk) in content.chunks(self.page_size).enumerate() {
+            report.pages_scanned += 1;
+            if crc32(chunk) != self.sums[i] {
+                report.failures.push(ScrubFailure { object: name.clone(), page: i as u64 });
+            }
+        }
+        report
+    }
+
+    /// Scrubs and converts the first failure into a typed error.
+    pub fn verify_all<S: Scrubbable + ?Sized>(
+        &self,
+        store: &S,
+        io: Option<&IoStats>,
+    ) -> Result<ScrubReport> {
+        self.scrub(store, io).into_result()
+    }
+}
+
+/// Flips one bit inside a `f64` slice, the common native corruption used by
+/// the stores' `inject_bitflip` implementations. `bit` indexes the slice's
+/// raw bytes little-endian; out-of-range indices wrap.
+pub(crate) fn flip_f64_bit(data: &mut [f64], bit: u64) {
+    if data.is_empty() {
+        return;
+    }
+    let total_bits = data.len() as u64 * 64;
+    let bit = bit % total_bits;
+    let idx = (bit / 64) as usize;
+    let within = bit % 64;
+    data[idx] = f64::from_bits(data[idx].to_bits() ^ (1u64 << within));
+}
+
+/// Flips one bit inside a `u32` slice (category codes, foreign keys).
+pub(crate) fn flip_u32_bit(data: &mut [u32], bit: u64) {
+    if data.is_empty() {
+        return;
+    }
+    let total_bits = data.len() as u64 * 32;
+    let bit = bit % total_bits;
+    let idx = (bit / 32) as usize;
+    let within = bit % 32;
+    data[idx] ^= 1u32 << within;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Blob {
+        data: Vec<f64>,
+    }
+
+    impl Scrubbable for Blob {
+        fn object_name(&self) -> String {
+            "blob".into()
+        }
+        fn content_bytes(&self) -> Vec<u8> {
+            self.data.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect()
+        }
+        fn inject_bitflip(&mut self, bit: u64) {
+            flip_f64_bit(&mut self.data, bit);
+        }
+    }
+
+    #[test]
+    fn clean_scrub_passes() {
+        let b = Blob { data: (0..2000).map(f64::from).collect() };
+        let m = ChecksumManifest::seal(&b);
+        assert_eq!(m.page_count(), ((2000 * 8) as usize).div_ceil(4096) as u64);
+        let io = IoStats::new(4096);
+        let r = m.verify_all(&b, Some(&io)).unwrap();
+        assert!(r.is_clean());
+        assert_eq!(r.pages_scanned, m.page_count());
+        assert_eq!(io.pages_read(), m.page_count());
+    }
+
+    #[test]
+    fn bitflip_is_caught_and_localized() {
+        let mut b = Blob { data: (0..2000).map(f64::from).collect() };
+        let m = ChecksumManifest::seal(&b);
+        // Flip a bit in the second page (byte 5000 → bit 40_000).
+        b.inject_bitflip(40_000);
+        let r = m.scrub(&b, None);
+        assert_eq!(r.failures.len(), 1);
+        assert_eq!(r.failures[0], ScrubFailure { object: "blob".into(), page: 1 });
+        let err = m.verify_all(&b, None).unwrap_err();
+        assert_eq!(
+            err,
+            statcube_core::error::Error::ChecksumMismatch { object: "blob".into(), page: 1 }
+        );
+    }
+
+    #[test]
+    fn empty_content_seals_and_scrubs() {
+        let b = Blob { data: vec![] };
+        let m = ChecksumManifest::seal(&b);
+        assert_eq!(m.page_count(), 0);
+        assert!(m.scrub(&b, None).is_clean());
+    }
+
+    #[test]
+    fn length_change_flags_object() {
+        let mut b = Blob { data: vec![1.0, 2.0] };
+        let m = ChecksumManifest::seal(&b);
+        b.data.pop();
+        let r = m.scrub(&b, None);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn flip_helpers_wrap_and_roundtrip() {
+        let mut d = vec![0.0f64; 2];
+        flip_f64_bit(&mut d, 64); // first bit of second value
+        assert_eq!(d[1].to_bits(), 1);
+        flip_f64_bit(&mut d, 64 + 128); // wraps to the same bit
+        assert_eq!(d[1].to_bits(), 0);
+        let mut u = vec![0u32; 3];
+        flip_u32_bit(&mut u, 33);
+        assert_eq!(u[1], 2);
+        flip_f64_bit(&mut [], 5); // no-op on empty
+        flip_u32_bit(&mut [], 5);
+    }
+}

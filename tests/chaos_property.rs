@@ -1,0 +1,292 @@
+//! Chaos property suite: under any seeded fault plan, every query either
+//! equals the fault-free oracle **bit for bit** or returns a typed error —
+//! never a silently corrupted answer.
+//!
+//! The suite drives three query surfaces through injected faults:
+//!
+//! * [`ViewStore`] — materialized views sealed in a checksummed
+//!   [`PageStore`], queried under uniform fault plans (transient errors,
+//!   short reads, bit flips, torn writes) across 120 seeds;
+//! * [`molap`]/[`rolap`] — sealed engine cubes with targeted per-seed
+//!   corruption, answered through the verified lookup path;
+//! * the physical stores — every `Scrubbable` organization catches an
+//!   injected bit flip in a scrub pass.
+//!
+//! Measures are integer-valued throughout, so sums are exact in `f64`
+//! regardless of derivation order and "equals the oracle" can be asserted
+//! on raw bits. Reproducing any failure: every fault decision derives from
+//! the printed seed via `FaultPlan`'s `StdRng` stream (see DESIGN.md,
+//! "Fault model and degraded answers").
+
+use statcube::core::error::Error;
+use statcube::cube::cube_op::DerivationSource;
+use statcube::cube::groupby::{self, Cuboid};
+use statcube::cube::input::FactInput;
+use statcube::cube::query::ViewStore;
+use statcube::cube::{molap, rolap};
+use statcube::storage::page_store::FaultPlan;
+
+const SEEDS: u64 = 120;
+
+/// 3-dim workload with integer measures (exact f64 sums).
+fn facts(seed: u64) -> FactInput {
+    let mut f = FactInput::new(&[8, 4, 2]).unwrap();
+    let mut x = seed.wrapping_mul(0x9E37_79B9).max(1);
+    for _ in 0..300 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        f.push(
+            &[(x % 8) as u32, ((x >> 8) % 4) as u32, ((x >> 16) % 2) as u32],
+            (x % 100) as f64,
+        )
+        .unwrap();
+    }
+    f
+}
+
+/// Bit-exact cuboid comparison: every key present in both, every state
+/// field identical at the bit level.
+fn bit_identical(a: &Cuboid, b: &Cuboid) -> bool {
+    a.len() == b.len()
+        && a.iter().all(|(k, sa)| {
+            b.get(k).is_some_and(|sb| {
+                sa.sum.to_bits() == sb.sum.to_bits()
+                    && sa.count == sb.count
+                    && sa.min.to_bits() == sb.min.to_bits()
+                    && sa.max.to_bits() == sb.max.to_bits()
+            })
+        })
+}
+
+fn is_typed_fault(e: &Error) -> bool {
+    matches!(
+        e,
+        Error::ChecksumMismatch { .. }
+            | Error::RetriesExhausted { .. }
+            | Error::NoHealthySource { .. }
+    )
+}
+
+/// The headline property: across ≥100 seeded uniform fault plans, every
+/// ViewStore query is bit-identical to the fault-free oracle or a typed
+/// error. Torn writes are exercised via a rewrite (`apply_delta`) under an
+/// armed injector.
+#[test]
+fn viewstore_oracle_or_typed_error_across_seeds() {
+    let f = facts(1);
+    let oracle = ViewStore::build(&f, &[0b011, 0b101]).unwrap();
+    let oracle_answers: Vec<Cuboid> =
+        (0..8u32).map(|m| oracle.answer(m).unwrap().cuboid).collect();
+
+    let mut faulted_runs = 0u64;
+    let mut degraded_answers = 0u64;
+    let mut typed_errors = 0u64;
+    for seed in 0..SEEDS {
+        // Rates 0 %, 2 %, 4 %, 8 % — seed 0 doubles as a fault-free control.
+        let rate = [0.0, 0.02, 0.04, 0.08][(seed % 4) as usize];
+        let mut store = ViewStore::build(&f, &[0b011, 0b101]).unwrap();
+        store.arm_faults(FaultPlan::uniform(seed, rate));
+        // Rewrite under the armed injector so torn writes land too (the
+        // empty delta leaves the logical content unchanged).
+        store.apply_delta(&FactInput::new(f.cards()).unwrap()).unwrap();
+        for mask in 0..8u32 {
+            match store.answer(mask) {
+                Ok(ans) => {
+                    assert!(
+                        bit_identical(&ans.cuboid, &oracle_answers[mask as usize]),
+                        "seed {seed} rate {rate} mask {mask:03b}: answer differs from oracle"
+                    );
+                    if let Some(d) = &ans.degraded {
+                        degraded_answers += 1;
+                        assert_eq!(d.requested, mask);
+                        assert_eq!(d.served_from, ans.source);
+                        assert!(!d.failed.is_empty());
+                        assert!(d.failed.iter().all(|(_, e)| is_typed_fault(e)));
+                    }
+                }
+                Err(e) => {
+                    typed_errors += 1;
+                    assert!(is_typed_fault(&e), "seed {seed}: untyped error {e:?}");
+                }
+            }
+        }
+        let s = store.fault_stats();
+        if rate == 0.0 {
+            assert_eq!(s, Default::default(), "seed {seed}: faults under a zero-rate plan");
+        } else if s.transient_faults + s.short_reads + s.bit_flips + s.torn_writes > 0 {
+            faulted_runs += 1;
+        }
+    }
+    // The sweep must actually have exercised the fault paths.
+    assert!(faulted_runs > 50, "only {faulted_runs} runs saw faults");
+    assert!(degraded_answers > 0, "no degraded answer across {SEEDS} seeds");
+    assert!(typed_errors > 0, "no typed error across {SEEDS} seeds");
+}
+
+/// Determinism: the same seed over the same operation sequence yields the
+/// same answers, the same degradations, and the same fault counters.
+#[test]
+fn chaos_runs_reproduce_from_their_seed() {
+    let f = facts(7);
+    let run = |seed: u64| {
+        let store = ViewStore::build(&f, &[0b110]).unwrap();
+        store.arm_faults(FaultPlan::uniform(seed, 0.1));
+        let outcomes: Vec<String> = (0..8u32)
+            .map(|m| match store.answer(m) {
+                Ok(a) => format!("ok:{}:{}", a.source, a.degraded.is_some()),
+                Err(e) => format!("err:{e}"),
+            })
+            .collect();
+        (outcomes, store.fault_stats())
+    };
+    assert_eq!(run(42), run(42));
+    assert_eq!(run(1234), run(1234));
+}
+
+/// Targeted corruption: a cuboid with a bad page is answered via a healthy
+/// lattice ancestor, the degradation lands in the result stats, and the
+/// answer stays exact.
+#[test]
+fn corrupted_cuboid_answered_via_healthy_ancestor() {
+    let f = facts(3);
+    let store = ViewStore::build(&f, &[0b011]).unwrap();
+    store.corrupt_view(0b011, 123).unwrap();
+    let cube = store.answer_cube().unwrap();
+    // Exactness first: every cuboid still matches direct computation.
+    for mask in 0..8u32 {
+        assert!(bit_identical(
+            cube.cuboid(mask).unwrap(),
+            &groupby::from_facts(&f, mask)
+        ));
+    }
+    // Provenance: the degraded masks carry FallbackAncestor stats.
+    assert!(!cube.degradations().is_empty());
+    for d in cube.degradations() {
+        let stat = cube.stats_for(d.requested).unwrap();
+        assert!(matches!(
+            stat.source,
+            DerivationSource::FallbackAncestor { failed: 0b011, .. }
+        ));
+    }
+    assert!(cube.degradations().iter().any(|d| d.requested == 0b011));
+}
+
+/// The engine cubes under per-seed targeted corruption: verified lookups
+/// equal the fault-free oracle or fail typed; corrupting every covering
+/// cuboid yields `NoHealthySource`, never a silent wrong number.
+#[test]
+fn engine_cubes_oracle_or_typed_error_across_seeds() {
+    let f = facts(5);
+    let molap_oracle = molap::compute_molap(&f).unwrap();
+    let rolap_oracle = rolap::compute_rolap(&f);
+    let patterns: Vec<Vec<Option<u32>>> = vec![
+        vec![None, None, None],
+        vec![Some(2), None, None],
+        vec![None, Some(1), None],
+        vec![Some(3), Some(0), Some(1)],
+        vec![None, Some(2), Some(0)],
+    ];
+    for seed in 0..SEEDS {
+        let target = (seed % 8) as u32;
+        let bit = seed.wrapping_mul(2654435761);
+
+        let mut m = molap::compute_molap(&f).unwrap();
+        m.seal();
+        m.corrupt(target, bit).unwrap();
+        let mut r = rolap::compute_rolap(&f);
+        r.seal();
+        r.corrupt(target, bit).unwrap();
+
+        for p in &patterns {
+            match m.get_all_verified(p) {
+                Ok((cell, _)) => assert_eq!(
+                    cell,
+                    molap_oracle.get_all(p),
+                    "seed {seed} molap pattern {p:?}"
+                ),
+                Err(e) => assert!(is_typed_fault(&e)),
+            }
+            match r.get_all_verified(p) {
+                Ok((cell, _)) => assert_eq!(
+                    cell,
+                    rolap_oracle.get_all(p),
+                    "seed {seed} rolap pattern {p:?}"
+                ),
+                Err(e) => assert!(is_typed_fault(&e)),
+            }
+        }
+        // The scrub pass localizes the corruption to exactly one object.
+        assert_eq!(m.scrub().failures.len(), 1, "seed {seed}");
+        assert_eq!(r.scrub().failures.len(), 1, "seed {seed}");
+    }
+}
+
+/// Every `Scrubbable` physical organization: clean seal verifies, one
+/// injected bit flip is caught by the next scrub.
+#[test]
+fn every_store_scrub_catches_injected_bitflips() {
+    use statcube::storage::chunked::ChunkedArray;
+    use statcube::storage::column::TransposedStore;
+    use statcube::storage::header::HeaderCompressed;
+    use statcube::storage::linear::LinearizedArray;
+    use statcube::storage::relation::Relation;
+    use statcube::storage::row::RowStore;
+    use statcube::storage::star::{DimensionTable, StarSchema};
+
+    fn rel() -> Relation {
+        let mut rel = Relation::new(&["state", "sex"], &["pop"]);
+        for i in 0..200 {
+            rel.push(
+                &[if i % 2 == 0 { "AL" } else { "CA" }, if i % 3 == 0 { "m" } else { "f" }],
+                &[i as f64],
+            )
+            .unwrap();
+        }
+        rel
+    }
+
+    let mut linear = LinearizedArray::new(&[8, 9]).unwrap();
+    for i in 0..8 {
+        linear.set(&[i, i], (i * 3) as f64).unwrap();
+    }
+    let mut header = HeaderCompressed::from_dense(
+        &(0..500).map(|i| if i % 7 == 0 { f64::NAN } else { i as f64 }).collect::<Vec<_>>(),
+    );
+    let mut chunked = ChunkedArray::new(&[16, 16], &[4, 4], 4096).unwrap();
+    for i in 0..16 {
+        chunked.set(&[i, (i * 5) % 16], i as f64).unwrap();
+    }
+    let mut row = RowStore::new(rel(), 4096);
+    let mut col = TransposedStore::new(rel(), 4096);
+    let mut star = {
+        let mut d = DimensionTable::new("state", &["name"]);
+        d.push(&["AL"]).unwrap();
+        d.push(&["CA"]).unwrap();
+        let mut s = StarSchema::new(vec![d], &["pop"], 4096);
+        for i in 0..100 {
+            s.push_fact(&[(i % 2) as u32], &[i as f64]).unwrap();
+        }
+        s
+    };
+
+    // Each store: seal → clean verify → flip → scrub catches it. The seal,
+    // scrub and corruption hooks go through the same Scrubbable plumbing,
+    // so one loop per store suffices.
+    macro_rules! check {
+        ($store:ident, $bit:expr) => {{
+            let seal = $store.seal();
+            assert!($store.verify_all(&seal).is_ok(), "{} clean", stringify!($store));
+            statcube::storage::verify::Scrubbable::inject_bitflip(&mut $store, $bit);
+            let report = $store.scrub(&seal);
+            assert!(!report.is_clean(), "{} corrupted", stringify!($store));
+            assert!($store.verify_all(&seal).is_err());
+        }};
+    }
+    check!(linear, 777);
+    check!(header, 1234);
+    check!(chunked, 4321);
+    check!(row, 999);
+    check!(col, 555);
+    check!(star, 2468);
+}
