@@ -9,8 +9,8 @@ use statcube_core::auto_agg::{execute, Query};
 use statcube_core::ops;
 use statcube_core::stats::reservoir_sample;
 use statcube_cube::input::FactInput;
-use statcube_cube::materialize::greedy_select;
 use statcube_cube::lattice::Lattice;
+use statcube_cube::materialize::greedy_select;
 use statcube_cube::query::ViewStore;
 use statcube_workload::retail::{generate, Retail, RetailConfig};
 

@@ -59,11 +59,7 @@ fn bench_header(c: &mut Criterion) {
     });
     g.bench_function("range_sum_10k", |b| b.iter(|| black_box(h.range_sum(200_000, 210_000))));
     g.bench_function("dense_scan_10k", |b| {
-        b.iter(|| {
-            black_box(
-                dense[200_000..210_000].iter().filter(|v| !v.is_nan()).sum::<f64>(),
-            )
-        })
+        b.iter(|| black_box(dense[200_000..210_000].iter().filter(|v| !v.is_nan()).sum::<f64>()))
     });
     g.finish();
 }

@@ -45,11 +45,7 @@ pub fn run() -> String {
         ("product→category", &by_cat),
         ("day→month", &by_month),
     ] {
-        t2.row([
-            name.to_owned(),
-            o.cell_count().to_string(),
-            f(o.grand_total(0).unwrap_or(0.0)),
-        ]);
+        t2.row([name.to_owned(), o.cell_count().to_string(), f(o.grand_total(0).unwrap_or(0.0))]);
     }
     out.push('\n');
     out.push_str(&t2.render());

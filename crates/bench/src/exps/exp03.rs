@@ -35,21 +35,15 @@ pub fn run() -> String {
     out.push_str("--- Fig 4: schema graph derived from the statistical object ---\n");
     out.push_str(&g.render());
 
-    let grouped = g
-        .group("Socio-Economic Categories", &["Sex", "Race", "Age"])
-        .expect("grouping");
+    let grouped = g.group("Socio-Economic Categories", &["Sex", "Race", "Age"]).expect("grouping");
     out.push_str("\n--- Fig 5: X-node grouping for semantic clarity ---\n");
     out.push_str(&grouped.render());
-    out.push_str(&format!(
-        "\nFig 6 equivalence (grouped ≡ flat): {}\n",
-        g.equivalent(&grouped)
-    ));
+    out.push_str(&format!("\nFig 6 equivalence (grouped ≡ flat): {}\n", g.equivalent(&grouped)));
     let twice = grouped.group("Everything", &["Socio-Economic Categories"]).expect("regroup");
     out.push_str(&format!("iterated grouping still equivalent: {}\n", g.equivalent(&twice)));
 
-    let layout = g
-        .two_d_layout(&["Sex", "Year"], &["Profession", "Race", "Age"])
-        .expect("2-D layout");
+    let layout =
+        g.two_d_layout(&["Sex", "Year"], &["Profession", "Race", "Age"]).expect("2-D layout");
     out.push_str("\n--- Fig 7: ordered 2-D layout capture ---\n");
     out.push_str(&layout.render());
     out.push_str(&format!(

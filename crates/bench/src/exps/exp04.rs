@@ -32,10 +32,8 @@ fn verdict_str(v: &Verdict) -> String {
 pub fn run() -> String {
     let mut out = String::new();
     out.push_str("=== E04: summarizability verdicts (Fig 8, §3.3.2, [LS97]) ===\n\n");
-    let mut t = Table::new(
-        "scenario × function",
-        &["scenario", "sum", "count", "avg", "min", "max"],
-    );
+    let mut t =
+        Table::new("scenario × function", &["scenario", "sum", "count", "avg", "min", "max"]);
 
     // Scenario rows: (name, closure producing a verdict per function).
     type Case = (&'static str, Box<dyn Fn(SummaryFunction) -> Verdict>);
@@ -91,8 +89,14 @@ pub fn run() -> String {
     };
 
     let cases: Vec<Case> = vec![
-        ("strict complete hierarchy, flow", Box::new(agg_case(strict_geo.clone(), MeasureKind::Flow))),
-        ("incomplete hierarchy (cities⊂state)", Box::new(agg_case(incomplete_geo, MeasureKind::Stock))),
+        (
+            "strict complete hierarchy, flow",
+            Box::new(agg_case(strict_geo.clone(), MeasureKind::Flow)),
+        ),
+        (
+            "incomplete hierarchy (cities⊂state)",
+            Box::new(agg_case(incomplete_geo, MeasureKind::Stock)),
+        ),
         ("non-strict hierarchy (lung cancer)", Box::new(agg_case(nonstrict, MeasureKind::Flow))),
         ("flow over time (accident counts)", Box::new(proj_case(true, MeasureKind::Flow))),
         ("stock over time (population)", Box::new(proj_case(true, MeasureKind::Stock))),
@@ -124,7 +128,7 @@ mod tests {
         // Non-strict: sum/count/avg rejected, min/max OK.
         let ns = s.lines().find(|l| l.contains("non-strict hierarchy")).unwrap();
         assert_eq!(ns.matches("non-strict").count(), 4); // name + 3 rejections
-        // Strict complete flow: everything OK.
+                                                         // Strict complete flow: everything OK.
         let ok = s.lines().find(|l| l.contains("strict complete")).unwrap();
         assert!(!ok.contains("REJECTED"));
     }

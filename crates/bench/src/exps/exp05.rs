@@ -85,8 +85,18 @@ pub fn run() -> String {
         format!("query: SUM(income) WHERE state = {state}"),
         &["layout", "answer", "rows", "pages read"],
     );
-    t2.row(["star (dim scan + fact scan)", &format!("{ssum:.0}"), &scount.to_string(), &star_pages.to_string()]);
-    t2.row(["flat relation full scan", &format!("{fsum:.0}"), &fcount.to_string(), &flat_pages.to_string()]);
+    t2.row([
+        "star (dim scan + fact scan)",
+        &format!("{ssum:.0}"),
+        &scount.to_string(),
+        &star_pages.to_string(),
+    ]);
+    t2.row([
+        "flat relation full scan",
+        &format!("{fsum:.0}"),
+        &fcount.to_string(),
+        &flat_pages.to_string(),
+    ]);
     out.push('\n');
     out.push_str(&t2.render());
     out.push_str(&format!(
@@ -105,13 +115,7 @@ mod tests {
         assert!(s.contains("answers agree: true"));
         // Fact table smaller than the flat relation (2 fks vs 5 codes).
         let fact_line = s.lines().find(|l| l.contains("star: fact table")).unwrap();
-        let r: f64 = fact_line
-            .split('x')
-            .next_back()
-            .unwrap()
-            .trim()
-            .parse()
-            .unwrap();
+        let r: f64 = fact_line.split('x').next_back().unwrap().trim().parse().unwrap();
         assert!(r < 1.0, "fact/flat ratio {r}");
     }
 }

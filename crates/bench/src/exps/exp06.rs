@@ -68,7 +68,12 @@ pub fn run() -> String {
     t.row([
         "---".to_owned(),
         "S-union".to_owned(),
-        format!("(combines {} + {} = {} cells)", left.cell_count(), right.cell_count(), u.cell_count()),
+        format!(
+            "(combines {} + {} = {} cells)",
+            left.cell_count(),
+            right.cell_count(),
+            u.cell_count()
+        ),
     ]);
     out.push('\n');
     out.push_str(&t.render());

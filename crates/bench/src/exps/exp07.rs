@@ -46,9 +46,11 @@ pub fn run() -> String {
     out.push_str("=== E07: automatic aggregation (Fig 13, [S82]) ===\n\n");
     out.push_str("query as circled on the schema graph: {year = 80},\n");
     out.push_str("{professional class = engineer} — nothing else.\n\n");
-    let q = Query::new()
-        .members("year", ["80"])
-        .at_level("profession", "professional class", "engineer");
+    let q = Query::new().members("year", ["80"]).at_level(
+        "profession",
+        "professional class",
+        "engineer",
+    );
     let r = execute(&obj, &q).expect("query");
     out.push_str("inferred steps:\n");
     for (i, step) in r.inference.iter().enumerate() {

@@ -107,11 +107,7 @@ pub fn run() -> String {
     });
     out.push_str(&format!("strategies agree on every cuboid: {agree}\n\n"));
 
-    let labels = vec![
-        retail.products.clone(),
-        retail.stores.clone(),
-        retail.days.clone(),
-    ];
+    let labels = vec![retail.products.clone(), retail.stores.clone(), retail.days.clone()];
     let rows = shared.to_rows_with_all(&labels, SummaryFunction::Sum).expect("ALL rows");
     let mut sample = Table::new(
         "sample of the relation with ALL (Fig 15)",
@@ -121,7 +117,8 @@ pub fn run() -> String {
     for (row, v) in rows.iter().filter(|(r, _)| r.iter().filter(|c| *c == "ALL").count() == 3) {
         sample.row([row[0].clone(), row[1].clone(), row[2].clone(), format!("{v:.0}")]);
     }
-    for (row, v) in rows.iter().filter(|(r, _)| r.iter().filter(|c| *c == "ALL").count() == 2).take(3)
+    for (row, v) in
+        rows.iter().filter(|(r, _)| r.iter().filter(|c| *c == "ALL").count() == 2).take(3)
     {
         sample.row([row[0].clone(), row[1].clone(), row[2].clone(), format!("{v:.0}")]);
     }

@@ -21,10 +21,7 @@ pub fn run() -> String {
     let mut out = String::new();
     out.push_str("=== E09: completeness homomorphism (Fig 16, [MRS92]) ===\n\n");
     out.push_str("square checked: summarize(RA-op(micro)) == S-op(summarize(micro))\n\n");
-    let mut t = Table::new(
-        "commutes?",
-        &["RA op / S-op", "sum", "count", "avg", "min", "max"],
-    );
+    let mut t = Table::new("commutes?", &["RA op / S-op", "sum", "count", "avg", "min", "max"]);
     let group = ["state", "sex", "race"];
     let mut all_ok = true;
     {
@@ -50,8 +47,7 @@ pub fn run() -> String {
     {
         let mut row = vec!["union (s00 ∪ s01) / S-union".to_owned()];
         for f in SummaryFunction::ALL {
-            let ok = homomorphism_union(&a, &b, &group, Some("income"), f)
-                .expect("union square");
+            let ok = homomorphism_union(&a, &b, &group, Some("income"), f).expect("union square");
             all_ok &= ok;
             row.push(ok.to_string());
         }
@@ -61,8 +57,8 @@ pub fn run() -> String {
         // Count-measure variant (no numeric column).
         let mut row = vec!["select, COUNT(*) measure".to_owned()];
         for f in SummaryFunction::ALL {
-            let ok = homomorphism_select(micro, &group, None, f, "race", "asian")
-                .expect("count square");
+            let ok =
+                homomorphism_select(micro, &group, None, f, "race", "asian").expect("count square");
             all_ok &= ok;
             row.push(ok.to_string());
         }
@@ -77,19 +73,15 @@ pub fn run() -> String {
         let geo = geo.build().expect("geo hierarchy");
         let mut row = vec!["roll-up (states→regions) / S-aggregation".to_owned()];
         for f in SummaryFunction::ALL {
-            let ok =
-                homomorphism_aggregate(micro, &group, Some("income"), f, "state", &geo)
-                    .expect("aggregate square");
+            let ok = homomorphism_aggregate(micro, &group, Some("income"), f, "state", &geo)
+                .expect("aggregate square");
             all_ok &= ok;
             row.push(ok.to_string());
         }
         t.row(row);
     }
     out.push_str(&t.render());
-    out.push_str(&format!(
-        "\nall {} squares commute: {all_ok}\n",
-        5 * SummaryFunction::ALL.len()
-    ));
+    out.push_str(&format!("\nall {} squares commute: {all_ok}\n", 5 * SummaryFunction::ALL.len()));
     out
 }
 

@@ -20,9 +20,8 @@ pub fn run() -> String {
     let db1 =
         IntervalClassification::from_boundaries("db1 age groups", &[0.0, 6.0, 11.0, 16.0, 21.0])
             .expect("db1");
-    let db2 =
-        IntervalClassification::from_boundaries("db2 age groups", &[0.0, 2.0, 11.0, 21.0])
-            .expect("db2");
+    let db2 = IntervalClassification::from_boundaries("db2 age groups", &[0.0, 2.0, 11.0, 21.0])
+        .expect("db2");
     let combined = db1.combine(&db2).expect("combined");
     out.push_str(&format!(
         "combined classification (split at all boundaries): {:?}\n\n",
@@ -40,14 +39,14 @@ pub fn run() -> String {
         obj.insert(&[label], v).expect("cell");
     }
     let (aligned, report) = realign(&obj, "age group", &db1, &db2).expect("realign");
-    let mut t = Table::new("db1 population realigned onto db2 bins", &["db2 bin", "population", "from (db1 bin × fraction)"]);
+    let mut t = Table::new(
+        "db1 population realigned onto db2 bins",
+        &["db2 bin", "population", "from (db1 bin × fraction)"],
+    );
     for (label, sources) in &report.provenance {
         let v = aligned.get(&[label]).expect("cell").unwrap_or(0.0);
-        let prov = sources
-            .iter()
-            .map(|(s, w)| format!("{s}×{w:.2}"))
-            .collect::<Vec<_>>()
-            .join(" + ");
+        let prov =
+            sources.iter().map(|(s, w)| format!("{s}×{w:.2}")).collect::<Vec<_>>().join(" + ");
         t.row([label.clone(), f(v), prov]);
     }
     out.push_str(&t.render());
@@ -64,7 +63,10 @@ pub fn run() -> String {
     v.add_version("1991", ["agriculture", "automobiles", "internet"]);
     let d = v.diff("1990", "1991").expect("diff");
     out.push_str("\n--- time-varying industry classification ---\n");
-    out.push_str(&format!("retained: {:?}\nadded in 1991: {:?}\nremoved: {:?}\n", d.retained, d.added, d.removed));
+    out.push_str(&format!(
+        "retained: {:?}\nadded in 1991: {:?}\nremoved: {:?}\n",
+        d.retained, d.added, d.removed
+    ));
     out.push_str(&format!(
         "cross-year summary domain: {:?}; `internet` existed in 1990: {}\n",
         v.union_categories(),

@@ -45,10 +45,8 @@ pub fn run() -> String {
     let col = TransposedStore::new(rel, 4096);
     row.fetch_row(54_321);
     col.fetch_row(54_321);
-    let mut t2 = Table::new(
-        "full-row retrieval (the transposition penalty)",
-        &["layout", "pages read"],
-    );
+    let mut t2 =
+        Table::new("full-row retrieval (the transposition penalty)", &["layout", "pages read"]);
     t2.row(["row store", &row.io().pages_read().to_string()]);
     t2.row(["transposed (one page per column file)", &col.io().pages_read().to_string()]);
     out.push('\n');

@@ -36,7 +36,15 @@ pub fn run() -> String {
     out.push_str("=== E14: header compression (Fig 21, [EOA81]) ===\n\n");
     let mut t = Table::new(
         "compression vs density and clustering (1M logical cells)",
-        &["density", "cluster len", "runs", "stored bytes", "ratio vs dense", "LZW ratio", "probe pages"],
+        &[
+            "density",
+            "cluster len",
+            "runs",
+            "stored bytes",
+            "ratio vs dense",
+            "LZW ratio",
+            "probe pages",
+        ],
     );
     for &density in &[0.5f64, 0.1, 0.01, 0.001] {
         for &cluster in &[1000usize, 10] {
@@ -47,8 +55,7 @@ pub fn run() -> String {
             // §6.2's "other compression methods … such as the well known
             // LZW" as the general-purpose comparison (sampled prefix to
             // keep the harness quick; LZW ratio is length-stable here).
-            let lzw_ratio =
-                lzw::compression_ratio(&lzw::dense_to_bytes(&dense[..TOTAL / 10]));
+            let lzw_ratio = lzw::compression_ratio(&lzw::dense_to_bytes(&dense[..TOTAL / 10]));
             t.row([
                 f(density),
                 cluster.to_string(),
@@ -92,7 +99,10 @@ mod tests {
         assert!(s.contains("round-trips for sampled physical positions: true"));
         let ratios: Vec<f64> = s
             .lines()
-            .filter(|l| l.contains("x") && (l.trim_start().starts_with("0.") || l.trim_start().starts_with("0 ")))
+            .filter(|l| {
+                l.contains("x")
+                    && (l.trim_start().starts_with("0.") || l.trim_start().starts_with("0 "))
+            })
             .filter_map(|l| {
                 l.split_whitespace()
                     .find(|c| c.starts_with('x'))

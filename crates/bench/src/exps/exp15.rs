@@ -18,20 +18,11 @@ pub fn run() -> String {
     out.push_str(&lattice.render(&names));
 
     let greedy = greedy_select(&lattice, 6).expect("greedy");
-    let mut t = Table::new(
-        "greedy selection order",
-        &["step", "view", "size", "benefit"],
-    );
+    let mut t = Table::new("greedy selection order", &["step", "view", "size", "benefit"]);
     for (i, (&mask, &benefit)) in greedy.selected.iter().zip(&greedy.benefits).enumerate() {
-        let name: Vec<&str> =
-            (0..3).filter(|d| mask & (1 << d) != 0).map(|d| names[d]).collect();
+        let name: Vec<&str> = (0..3).filter(|d| mask & (1 << d) != 0).map(|d| names[d]).collect();
         let label = if name.is_empty() { "(apex)".to_owned() } else { name.join(",") };
-        t.row([
-            (i + 1).to_string(),
-            label,
-            lattice.size(mask).to_string(),
-            benefit.to_string(),
-        ]);
+        t.row([(i + 1).to_string(), label, lattice.size(mask).to_string(), benefit.to_string()]);
     }
     out.push('\n');
     out.push_str(&t.render());
@@ -52,12 +43,7 @@ pub fn run() -> String {
     rows.push(("full materialization".into(), (0..8).collect()));
     for (label, views) in rows {
         let cost = total_cost(&lattice, &views) as f64 / 8.0;
-        t2.row([
-            label,
-            space_used(&lattice, &views).to_string(),
-            f(cost),
-            ratio(base_cost / cost),
-        ]);
+        t2.row([label, space_used(&lattice, &views).to_string(), f(cost), ratio(base_cost / cost)]);
     }
     out.push('\n');
     out.push_str(&t2.render());

@@ -104,10 +104,7 @@ mod tests {
     fn chunking_reduces_pages_and_tuning_wins() {
         let s = super::run();
         // Chunk side 32 must beat unpartitioned by a large factor.
-        let line32 = s
-            .lines()
-            .find(|l| l.trim_start().starts_with("32 "))
-            .unwrap();
+        let line32 = s.lines().find(|l| l.trim_start().starts_with("32 ")).unwrap();
         let win: f64 = line32.rsplit('x').next().unwrap().trim().parse().unwrap();
         assert!(win > 10.0, "win {win}");
         // Tuned 2x256 touches exactly 1 chunk; 256x2 touches 128.

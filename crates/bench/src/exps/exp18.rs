@@ -100,16 +100,16 @@ pub fn run() -> String {
     let h = cube_op::compute_shared(&input);
     let agree = h.masks().iter().all(|&mask| {
         let hc = h.cuboid(mask).unwrap();
-        [m.cuboid(mask).unwrap(), r.cuboid(mask).unwrap(), p.cuboid(mask).unwrap()]
-            .iter()
-            .all(|c| {
-            c.len() == hc.len()
-                && hc.iter().all(|(k, s)| {
-                    c.get(k)
-                        .map(|x| (x.sum - s.sum).abs() < 1e-6 && x.count == s.count)
-                        .unwrap_or(false)
-                })
-        })
+        [m.cuboid(mask).unwrap(), r.cuboid(mask).unwrap(), p.cuboid(mask).unwrap()].iter().all(
+            |c| {
+                c.len() == hc.len()
+                    && hc.iter().all(|(k, s)| {
+                        c.get(k)
+                            .map(|x| (x.sum - s.sum).abs() < 1e-6 && x.count == s.count)
+                            .unwrap_or(false)
+                    })
+            },
+        )
     });
     out.push_str(&format!("\nall four engines agree on every cuboid: {agree}\n"));
     out.push_str(&format!(

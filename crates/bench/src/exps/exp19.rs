@@ -56,8 +56,10 @@ pub fn run() -> String {
     ));
 
     // 3. Overlap control blocks the same attack.
-    let mut audited =
-        OverlapAuditedDatabase::new(ProtectedDatabase::new(demo_database(), 3).lower_bound_only(), 2);
+    let mut audited = OverlapAuditedDatabase::new(
+        ProtectedDatabase::new(demo_database(), 3).lower_bound_only(),
+        2,
+    );
     let step1 = audited.sum(&[], "salary");
     let step2 = audited.sum(&[Pred::ne("age_group", "65")], "salary");
     out.push_str(&format!(
@@ -128,12 +130,7 @@ pub fn run() -> String {
         let pdb = ProtectedDatabase::new(perturbed, 3).lower_bound_only();
         let atk = difference_attack(&pdb, &[], &Pred::eq("age_group", "65"), "salary")
             .expect("attack runs");
-        t2.row([
-            "output + input".to_owned(),
-            f(mag),
-            f(rmse),
-            f((atk.value - 180_000.0).abs()),
-        ]);
+        t2.row(["output + input".to_owned(), f(mag), f(rmse), f((atk.value - 180_000.0).abs())]);
     }
     out.push_str(&t2.render());
     out.push_str(

@@ -14,8 +14,7 @@ pub fn run() -> String {
     let census = generate(&CensusConfig { rows: 200_000, ..CensusConfig::default() });
     let micro = &census.micro;
     let n = micro.len();
-    let incomes: Vec<f64> =
-        (0..n).map(|r| micro.num_value("income", r).expect("income")).collect();
+    let incomes: Vec<f64> = (0..n).map(|r| micro.num_value("income", r).expect("income")).collect();
 
     let mut out = String::new();
     out.push_str("=== E20: sampling and higher statistics (§5.6, [OR95]) ===\n\n");

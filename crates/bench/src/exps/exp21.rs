@@ -37,8 +37,8 @@ pub fn run() -> String {
         out.push_str(&format!("  {u}\n"));
     }
     let cube_chars = cube_sql.len();
-    let union_chars: usize = unions.iter().map(String::len).sum::<usize>()
-        + (unions.len() - 1) * " UNION ALL ".len();
+    let union_chars: usize =
+        unions.iter().map(String::len).sum::<usize>() + (unions.len() - 1) * " UNION ALL ".len();
     out.push_str(&format!(
         "\nquery-text size: {cube_chars} chars with CUBE vs {union_chars} expanded (x{:.1})\n",
         union_chars as f64 / cube_chars as f64
@@ -59,10 +59,7 @@ pub fn run() -> String {
     union_values.sort_by(f64::total_cmp);
     let agree = rs.rows.len() == union_rows
         && cube_values.len() == union_values.len()
-        && cube_values
-            .iter()
-            .zip(&union_values)
-            .all(|(a, b)| (a - b).abs() < 1e-9);
+        && cube_values.iter().zip(&union_values).all(|(a, b)| (a - b).abs() < 1e-9);
     out.push_str(&format!(
         "CUBE result ({} rows) equals the union of the {} expansions: {agree}\n",
         rs.rows.len(),

@@ -1,0 +1,337 @@
+//! E24 — query-profile observability across the physical organizations.
+//!
+//! The tracing layer (`statcube_core::trace`) exists so the experiments can
+//! *show their work*: an `EXPLAIN ANALYZE`-style span tree for one query and
+//! a metrics registry whose labeled I/O counters split page traffic by
+//! physical organization (§6 of the paper). This experiment demonstrates
+//! both:
+//!
+//! 1. one `GROUP BY CUBE` statement through the *physical* SQL path, with
+//!    the resulting [`QueryProfile`] covering all three layers — sql
+//!    (tokenize/parse/plan/eval), cube (one `cube.answer` per grouping
+//!    set), storage (checksummed page reads);
+//! 2. the same logical array stored in every §6 organization, each
+//!    load/query stage timed under spans and its page traffic captured by
+//!    the organization's labeled `IoStats`;
+//! 3. the cost of the observability itself: the identical query with
+//!    tracing disabled, where every probe is one relaxed atomic load.
+
+use std::time::Instant;
+
+use statcube_core::prelude::*;
+use statcube_core::trace;
+use statcube_sql::execute_physical_str;
+use statcube_storage::chunked::ChunkedArray;
+use statcube_storage::column::TransposedStore;
+use statcube_storage::cubetree::CubeTree;
+use statcube_storage::extendible::ExtendibleArray;
+use statcube_storage::relation::Relation;
+use statcube_storage::row::RowStore;
+use statcube_storage::star::{DimensionTable, StarSchema};
+
+use crate::report::Table;
+
+const CUBE_SQL: &str = "SELECT SUM(amount) FROM sales GROUP BY CUBE(product, store, month)";
+
+fn retail() -> StatisticalObject {
+    let schema = Schema::builder("sales")
+        .dimension(Dimension::categorical("product", ["apple", "pear", "plum", "quince"]))
+        .dimension(Dimension::categorical("store", ["s1", "s2", "s3"]))
+        .dimension(Dimension::categorical("month", ["jan", "feb", "mar"]))
+        .measure(SummaryAttribute::new("amount", MeasureKind::Flow))
+        .function(SummaryFunction::Sum)
+        .build()
+        .expect("schema");
+    let mut o = StatisticalObject::empty(schema);
+    let products = ["apple", "pear", "plum", "quince"];
+    let stores = ["s1", "s2", "s3"];
+    let months = ["jan", "feb", "mar"];
+    let mut x = 24u64 | 1;
+    for p in products {
+        for s in stores {
+            for m in months {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                // ~70% populated, skewed values.
+                if x % 10 < 7 {
+                    o.insert(&[p, s, m], (x % 97) as f64).expect("insert");
+                }
+            }
+        }
+    }
+    o
+}
+
+/// Deterministic populated cells of a `cards`-shaped array: ~40% fill.
+fn cells(cards: &[usize], seed: u64) -> Vec<(Vec<usize>, f64)> {
+    let mut out = Vec::new();
+    let mut x = seed | 1;
+    let total: usize = cards.iter().product();
+    for flat in 0..total {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        if x % 10 < 4 {
+            let mut rest = flat;
+            let mut coords = vec![0usize; cards.len()];
+            for (d, &c) in cards.iter().enumerate().rev() {
+                coords[d] = rest % c;
+                rest /= c;
+            }
+            out.push((coords, (x % 1000) as f64));
+        }
+    }
+    out
+}
+
+/// Times `f` under a completed span named `stage`, tagged with the org.
+fn staged<T>(stage: &'static str, f: impl FnOnce() -> T) -> T {
+    let t0 = Instant::now();
+    let out = f();
+    trace::record_complete(stage, t0.elapsed(), &[]);
+    out
+}
+
+/// Runs load + full-range query for one organization under tracing and
+/// returns `(load, query, pages_read, cells)` from the profile + registry.
+fn profile_org<T>(
+    label: &str,
+    load: impl FnOnce() -> T,
+    query: impl FnOnce(&T) -> u64,
+) -> (f64, f64, u64, u64) {
+    trace::reset_metrics();
+    let cells = {
+        let _root = trace::span("exp24.org");
+        let store = staged("exp24.load", load);
+        staged("exp24.query", || query(&store))
+    };
+    let profile = trace::take_profile();
+    let ms = |name: &str| profile.total_elapsed(name).as_secs_f64() * 1000.0;
+    let pages = trace::snapshot().counter(&format!("storage.{label}.pages_read"));
+    (ms("exp24.load"), ms("exp24.query"), pages, cells)
+}
+
+/// Prints the three-layer profile of a CUBE query, the per-organization
+/// per-stage breakdown with labeled page counters, and the disabled-mode
+/// cost of the probes themselves.
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("=== E24: query-profile observability (spans + metrics) ===\n\n");
+
+    // --- Part 1: one CUBE query, three layers of spans. -----------------
+    let obj = retail();
+    trace::enable();
+    trace::reset_metrics();
+    let ans = execute_physical_str(&obj, CUBE_SQL).expect("physical query");
+    let snap = trace::snapshot();
+    trace::disable();
+
+    out.push_str(&format!("query: {CUBE_SQL}\n"));
+    out.push_str(&format!(
+        "rows: {}; grouping sets answered: {}; degraded answers: {}\n\n",
+        ans.result.rows.len(),
+        ans.profile.as_ref().map_or(0, |p| {
+            let mut n = 0;
+            p.each(&mut |node| n += u32::from(node.name == "cube.answer"));
+            n
+        }),
+        ans.degraded_answers,
+    ));
+    let profile = ans.profile.as_ref().expect("tracing was enabled");
+    out.push_str(&profile.render());
+
+    let mut t = Table::new("registry counters for the query above", &["counter", "value"]);
+    for (name, v) in snap.counters_with_prefix("") {
+        t.row([name.to_owned(), v.to_string()]);
+    }
+    out.push('\n');
+    out.push_str(&t.render());
+
+    // --- Part 2: per-organization per-stage breakdown. -------------------
+    // The same ~40%-populated [16, 12, 8] logical array in every §6
+    // organization; each one loads then answers its full-range aggregate
+    // under spans, and the labeled IoStats splits the page traffic.
+    let cards = [16usize, 12, 8];
+    let data = cells(&cards, 24);
+    let page = 4096;
+    trace::enable();
+
+    let mut t2 = Table::new(
+        "per-organization stages, one full-range aggregate",
+        &["organization", "load (ms)", "query (ms)", "pages read", "cells"],
+    );
+    let mut add = |org: &str, (load, query, pages, n): (f64, f64, u64, u64)| {
+        t2.row([
+            org.to_owned(),
+            format!("{load:.2}"),
+            format!("{query:.2}"),
+            pages.to_string(),
+            n.to_string(),
+        ]);
+    };
+
+    {
+        let rel = {
+            let mut rel = Relation::new(&["d0", "d1", "d2"], &["v"]);
+            let names: Vec<Vec<String>> =
+                cards.iter().map(|&c| (0..c).map(|i| format!("m{i}")).collect()).collect();
+            for (coords, v) in &data {
+                let cats: Vec<&str> =
+                    coords.iter().enumerate().map(|(d, &i)| names[d][i].as_str()).collect();
+                rel.push(&cats, &[*v]).expect("push");
+            }
+            rel
+        };
+        add(
+            "row",
+            profile_org(
+                "row",
+                || RowStore::new(rel.clone(), page),
+                |r| {
+                    let preds = r.predicates(&[]).expect("preds");
+                    r.sum_where(&preds, 0).1
+                },
+            ),
+        );
+        add(
+            "transposed",
+            profile_org(
+                "transposed",
+                || TransposedStore::new(rel.clone(), page),
+                |c| {
+                    let preds = c.predicates(&[]).expect("preds");
+                    c.sum_where(&preds, 0).1
+                },
+            ),
+        );
+    }
+    add(
+        "chunked",
+        profile_org(
+            "chunked",
+            || {
+                let mut arr = ChunkedArray::symmetric(&cards, 8, page).expect("chunked");
+                for (coords, v) in &data {
+                    arr.set(coords, *v).expect("set");
+                }
+                arr
+            },
+            |a| a.range_sum(&[0, 0, 0], &cards).expect("range").1,
+        ),
+    );
+    add(
+        "extendible",
+        profile_org(
+            "extendible",
+            || {
+                let mut arr = ExtendibleArray::new(&cards, page).expect("extendible");
+                for (coords, v) in &data {
+                    arr.set(coords, *v).expect("set");
+                }
+                arr
+            },
+            |a| a.range_sum(&[0, 0, 0], &cards).expect("range").1,
+        ),
+    );
+    let hi: Vec<u32> = cards.iter().map(|&c| c as u32).collect();
+    add(
+        "cubetree",
+        profile_org(
+            "cubetree",
+            || {
+                let points = data
+                    .iter()
+                    .map(|(c, v)| (c.iter().map(|&i| i as u32).collect::<Vec<u32>>(), *v));
+                CubeTree::bulk_load(points, cards.len(), page).expect("cubetree")
+            },
+            |a| a.range_sum(&[0, 0, 0], &hi).expect("range").1,
+        ),
+    );
+    add(
+        "star",
+        profile_org(
+            "star",
+            || {
+                let mut dims = Vec::new();
+                for (d, &c) in cards.iter().enumerate() {
+                    let mut dt = DimensionTable::new(format!("d{d}"), &["name"]);
+                    for i in 0..c {
+                        dt.push(&[&format!("m{i}")]).expect("dim row");
+                    }
+                    dims.push(dt);
+                }
+                let mut s = StarSchema::new(dims, &["v"], page);
+                for (coords, v) in &data {
+                    let fks: Vec<u32> = coords.iter().map(|&i| i as u32).collect();
+                    s.push_fact(&fks, &[*v]).expect("fact");
+                }
+                s
+            },
+            |s| {
+                // One dimension-restricted star query per member of d0
+                // covers the full range.
+                (0..cards[0])
+                    .map(|i| s.query_sum("d0", "name", &format!("m{i}"), "v").expect("query").1)
+                    .sum()
+            },
+        ),
+    );
+    trace::disable();
+    out.push('\n');
+    out.push_str(&t2.render());
+
+    // --- Part 3: what the probes cost when tracing is off. ---------------
+    let iters = 40;
+    let timed = |enabled: bool| {
+        if enabled {
+            trace::enable();
+        } else {
+            trace::disable();
+        }
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let a = execute_physical_str(&obj, CUBE_SQL).expect("physical query");
+            assert!(!a.result.rows.is_empty());
+            if enabled {
+                let _ = trace::take_profile();
+            }
+        }
+        let ms = t0.elapsed().as_secs_f64() * 1000.0 / iters as f64;
+        trace::disable();
+        ms
+    };
+    // Warm up, then measure both modes.
+    timed(false);
+    let off = timed(false);
+    let on = timed(true);
+    trace::reset_metrics();
+    out.push_str(&format!(
+        "\ntracing cost on the query above ({iters} iters): disabled {off:.3} ms/query, \
+         enabled {on:.3} ms/query ({:+.1}%)\n\
+         disabled-mode probes are single relaxed atomic loads, charged per\n\
+         query stage (never per row), which keeps the disabled overhead on\n\
+         E22's hot loop inside its <2% budget.\n",
+        (on / off - 1.0) * 100.0,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn profile_covers_three_layers_and_all_organizations() {
+        let s = super::run();
+        // The span tree reaches every layer.
+        for span in ["sql.query", "sql.parse", "sql.execute", "cube.answer", "storage.read"] {
+            assert!(s.contains(span), "missing span {span}");
+        }
+        // Labeled page counters attribute I/O to the page store.
+        assert!(s.contains("storage.page_store.pages_read"));
+        // Every §6 organization reports a stage row.
+        for org in ["row", "transposed", "chunked", "extendible", "cubetree", "star"] {
+            assert!(s.lines().any(|l| l.trim_start().starts_with(org)), "missing org {org}");
+        }
+        assert!(s.contains("tracing cost"));
+    }
+}

@@ -42,6 +42,7 @@ pub mod exps {
     pub mod exp21;
     pub mod exp22;
     pub mod exp23;
+    pub mod exp24;
 }
 
 /// One experiment: `(id, title, runner)`.
@@ -73,5 +74,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("exp21", "SQL extensions for OLAP (§5.4)", exps::exp21::run),
         ("exp22", "partition-parallel CUBE speedup curve", exps::exp22::run),
         ("exp23", "degradation cost under injected faults", exps::exp23::run),
+        ("exp24", "query-profile observability (spans + metrics)", exps::exp24::run),
     ]
 }

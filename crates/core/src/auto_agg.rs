@@ -105,9 +105,7 @@ pub fn execute(obj: &StatisticalObject, query: &Query) -> Result<AutoAggResult> 
     for (i, (dim, _)) in query.selections.iter().enumerate() {
         obj.schema().dim_index(dim)?;
         if query.selections[..i].iter().any(|(d, _)| d == dim) {
-            return Err(Error::InvalidSchema(format!(
-                "dimension `{dim}` selected more than once"
-            )));
+            return Err(Error::InvalidSchema(format!("dimension `{dim}` selected more than once")));
         }
     }
 
@@ -149,16 +147,12 @@ pub fn execute(obj: &StatisticalObject, query: &Query) -> Result<AutoAggResult> 
         .iter()
         .map(|d| d.name().to_owned())
         .filter(|name| {
-            !query
-                .selections
-                .iter()
-                .any(|(dim, sel)| dim == name && !matches!(sel, Selection::All))
+            !query.selections.iter().any(|(dim, sel)| dim == name && !matches!(sel, Selection::All))
         })
         .collect();
     for dim in unmentioned {
-        inference.push(format!(
-            "`{dim}` not selected: summarize over all its elements (S-projection)"
-        ));
+        inference
+            .push(format!("`{dim}` not selected: summarize over all its elements (S-projection)"));
         cur = ops::s_project(&cur, &dim)?;
     }
 
@@ -210,9 +204,11 @@ mod tests {
     fn fig13_engineers_in_1980() {
         // Circle year=80 and professional class=engineer: the paper's
         // example query "find the average income of engineers in 1980".
-        let q = Query::new()
-            .members("year", ["80"])
-            .at_level("profession", "professional class", "engineer");
+        let q = Query::new().members("year", ["80"]).at_level(
+            "profession",
+            "professional class",
+            "engineer",
+        );
         let r = execute(&fig13(), &q).unwrap();
         // Engineers in 1980: 30k, 34k, 32k over both sexes → avg 32k.
         assert_eq!(r.scalar(), Some(32_000.0));
@@ -257,11 +253,9 @@ mod tests {
     fn unknown_dimension_or_member_rejected() {
         assert!(execute(&fig13(), &Query::new().members("planet", ["earth"])).is_err());
         assert!(execute(&fig13(), &Query::new().members("sex", ["X"])).is_err());
-        assert!(execute(
-            &fig13(),
-            &Query::new().at_level("profession", "galaxy", "engineer")
-        )
-        .is_err());
+        assert!(
+            execute(&fig13(), &Query::new().at_level("profession", "galaxy", "engineer")).is_err()
+        );
     }
 
     #[test]

@@ -165,8 +165,7 @@ impl Catalog {
         fn rec(node: &SubjectNode, depth: usize, out: &mut String) {
             let pad = "  ".repeat(depth);
             for (name, obj) in &node.datasets {
-                let dims: Vec<&str> =
-                    obj.schema().dimensions().iter().map(|d| d.name()).collect();
+                let dims: Vec<&str> = obj.schema().dimensions().iter().map(|d| d.name()).collect();
                 let _ = writeln!(out, "{pad}· {name} [{}]", dims.join(" × "));
             }
             for (name, child) in &node.children {
@@ -192,8 +191,7 @@ mod tests {
         for d in dims {
             b = b.dimension(Dimension::categorical(*d, ["a", "b"]));
         }
-        let schema =
-            b.measure(SummaryAttribute::new(measure, MeasureKind::Flow)).build().unwrap();
+        let schema = b.measure(SummaryAttribute::new(measure, MeasureKind::Flow)).build().unwrap();
         StatisticalObject::empty(schema)
     }
 

@@ -158,14 +158,9 @@ impl Dimension {
 
     /// Finds a hierarchy by name.
     pub fn hierarchy(&self, name: &str) -> Result<&Hierarchy> {
-        self.hierarchies
-            .iter()
-            .map(|(h, _)| h)
-            .find(|h| h.name() == name)
-            .ok_or_else(|| Error::HierarchyNotFound {
-                dimension: self.name.clone(),
-                hierarchy: name.to_owned(),
-            })
+        self.hierarchies.iter().map(|(h, _)| h).find(|h| h.name() == name).ok_or_else(|| {
+            Error::HierarchyNotFound { dimension: self.name.clone(), hierarchy: name.to_owned() }
+        })
     }
 
     /// Maps a dimension leaf id into hierarchy `h_idx`'s level-0 id space.
@@ -182,14 +177,9 @@ impl Dimension {
                 dimension: self.name.clone(),
                 hierarchy: "<default>".to_owned(),
             }),
-            Some(n) => self
-                .hierarchies
-                .iter()
-                .position(|(h, _)| h.name() == n)
-                .ok_or_else(|| Error::HierarchyNotFound {
-                    dimension: self.name.clone(),
-                    hierarchy: n.to_owned(),
-                }),
+            Some(n) => self.hierarchies.iter().position(|(h, _)| h.name() == n).ok_or_else(|| {
+                Error::HierarchyNotFound { dimension: self.name.clone(), hierarchy: n.to_owned() }
+            }),
         }
     }
 

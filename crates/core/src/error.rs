@@ -211,10 +211,9 @@ impl fmt::Display for Error {
             Error::ChecksumMismatch { object, page } => {
                 write!(f, "checksum mismatch in `{object}` page {page}: stored data is corrupt")
             }
-            Error::RetriesExhausted { object, page, attempts } => write!(
-                f,
-                "read of `{object}` page {page} still failing after {attempts} attempts"
-            ),
+            Error::RetriesExhausted { object, page, attempts } => {
+                write!(f, "read of `{object}` page {page} still failing after {attempts} attempts")
+            }
             Error::NoHealthySource { requested, tried } => write!(
                 f,
                 "no healthy materialized source for cuboid mask {requested:#b} \

@@ -303,7 +303,11 @@ impl HierarchyBuilder {
     /// Declares the next level, finest first (`day`, then `month`, then
     /// `year`).
     pub fn level(mut self, name: impl Into<String>) -> Self {
-        self.levels.push(Level { name: name.into(), members: Dictionary::new(), id_dependent: false });
+        self.levels.push(Level {
+            name: name.into(),
+            members: Dictionary::new(),
+            id_dependent: false,
+        });
         if self.levels.len() > 1 {
             self.edges.push(Vec::new());
             self.complete.push(true);
@@ -326,7 +330,9 @@ impl HierarchyBuilder {
     pub fn declare_incomplete(mut self) -> Self {
         match self.complete.last_mut() {
             Some(c) => *c = false,
-            None => self.record(Error::InvalidSchema("declare_incomplete before two levels".into())),
+            None => {
+                self.record(Error::InvalidSchema("declare_incomplete before two levels".into()))
+            }
         }
         self
     }

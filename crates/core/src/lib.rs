@@ -42,6 +42,7 @@ pub mod stats;
 pub mod summarizability;
 pub mod table2d;
 pub mod timeseries;
+pub mod trace;
 
 /// The most commonly used types, for glob import.
 pub mod prelude {
@@ -62,4 +63,5 @@ pub mod prelude {
     pub use crate::schema_graph::SchemaGraph;
     pub use crate::summarizability::Verdict;
     pub use crate::table2d::Table2D;
+    pub use crate::trace::{MetricsSnapshot, QueryProfile};
 }

@@ -244,8 +244,7 @@ impl VersionedClassification {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        self.versions
-            .insert(version.into(), categories.into_iter().map(Into::into).collect());
+        self.versions.insert(version.into(), categories.into_iter().map(Into::into).collect());
     }
 
     /// Version keys, ascending.

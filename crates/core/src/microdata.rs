@@ -212,11 +212,8 @@ impl MicroTable {
             Some(m) => Some(self.num_index(m)?),
             None => None,
         };
-        let mut builder = Schema::builder(format!(
-            "{} by {}",
-            measure.unwrap_or("count"),
-            group_by.join(" by ")
-        ));
+        let mut builder =
+            Schema::builder(format!("{} by {}", measure.unwrap_or("count"), group_by.join(" by ")));
         for (&gi, name) in group_idx.iter().zip(group_by) {
             let dict = &self.cat_dicts[gi];
             builder = builder.dimension(
@@ -363,8 +360,7 @@ pub fn homomorphism_aggregate(
     // dictionary value so an uncovered member is a clean error, not a
     // panic inside the mapping closure.
     let c_dict = micro.dictionary(column)?;
-    let parent_names: Vec<String> =
-        c_dict.values().map(parent_of).collect::<Result<_>>()?;
+    let parent_names: Vec<String> = c_dict.values().map(parent_of).collect::<Result<_>>()?;
     let mapped = micro.map_column(column, |v| {
         parent_names[c_dict.id_of(v).expect("dictionary value") as usize].clone()
     })?;
@@ -613,7 +609,8 @@ mod tests {
     #[test]
     fn objects_agree_detects_differences() {
         let t = census();
-        let a = t.summarize(&["state"], Some("income"), SummaryFunction::Sum, MeasureKind::Flow)
+        let a = t
+            .summarize(&["state"], Some("income"), SummaryFunction::Sum, MeasureKind::Flow)
             .unwrap();
         let mut b = a.clone();
         b.insert(&["AL"], 1.0).unwrap();

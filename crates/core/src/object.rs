@@ -72,10 +72,8 @@ impl StatisticalObject {
             });
         }
         self.check_coords(coords)?;
-        let states = self
-            .cells
-            .entry(coords.into())
-            .or_insert_with(|| vec![AggState::EMPTY; values.len()]);
+        let states =
+            self.cells.entry(coords.into()).or_insert_with(|| vec![AggState::EMPTY; values.len()]);
         for (s, &v) in states.iter_mut().zip(values) {
             s.merge(&AggState::from_value(v));
         }
@@ -92,10 +90,8 @@ impl StatisticalObject {
             });
         }
         self.check_coords(coords)?;
-        let slot = self
-            .cells
-            .entry(coords.into())
-            .or_insert_with(|| vec![AggState::EMPTY; states.len()]);
+        let slot =
+            self.cells.entry(coords.into()).or_insert_with(|| vec![AggState::EMPTY; states.len()]);
         for (dst, src) in slot.iter_mut().zip(states) {
             dst.merge(src);
         }
@@ -175,10 +171,7 @@ impl StatisticalObject {
         self.cells.get(coords).and_then(|s| s[m].value(f))
     }
 
-    pub(crate) fn from_parts(
-        schema: Schema,
-        cells: HashMap<Box<[u32]>, Vec<AggState>>,
-    ) -> Self {
+    pub(crate) fn from_parts(schema: Schema, cells: HashMap<Box<[u32]>, Vec<AggState>>) -> Self {
         Self { schema, cells }
     }
 

@@ -47,11 +47,7 @@ pub fn s_select_by(
 }
 
 /// `S-select` by member ids on dimension index `d`.
-pub fn s_select_ids(
-    obj: &StatisticalObject,
-    d: usize,
-    keep: &[u32],
-) -> Result<StatisticalObject> {
+pub fn s_select_ids(obj: &StatisticalObject, d: usize, keep: &[u32]) -> Result<StatisticalObject> {
     let mut out = StatisticalObject::empty(obj.schema().clone());
     for (coords, states) in obj.cells() {
         if keep.contains(&coords[d]) {
@@ -134,11 +130,7 @@ fn project_impl(obj: &StatisticalObject, d: usize) -> StatisticalObject {
 /// hierarchy. The dimension's members become the level's members; the
 /// hierarchy above the level is retained for further roll-ups. Cardinality
 /// of the space (number of dimensions) is unchanged (\[MRS92\]).
-pub fn s_aggregate(
-    obj: &StatisticalObject,
-    dim: &str,
-    level: &str,
-) -> Result<StatisticalObject> {
+pub fn s_aggregate(obj: &StatisticalObject, dim: &str, level: &str) -> Result<StatisticalObject> {
     s_aggregate_in(obj, dim, None, level, true)
 }
 
@@ -310,7 +302,9 @@ pub fn disaggregate_by_proxy(
         match proxy.get(name) {
             Some(&w) if w >= 0.0 && w.is_finite() => weights.push(w),
             Some(_) => {
-                return Err(Error::InvalidProxy(format!("negative or non-finite weight for `{name}`")))
+                return Err(Error::InvalidProxy(format!(
+                    "negative or non-finite weight for `{name}`"
+                )))
             }
             None => return Err(Error::InvalidProxy(format!("missing weight for `{name}`"))),
         }
@@ -412,10 +406,7 @@ mod tests {
         let o = employment();
         let by_year_prof = s_project(&o, "sex").unwrap();
         assert_eq!(by_year_prof.schema().dim_count(), 2);
-        assert_eq!(
-            by_year_prof.get(&["1991", "chemical engineer"]).unwrap(),
-            Some(197_700.0)
-        );
+        assert_eq!(by_year_prof.get(&["1991", "chemical engineer"]).unwrap(), Some(197_700.0));
     }
 
     #[test]
@@ -467,8 +458,8 @@ mod tests {
         o.insert(&["d2"], 2.0).unwrap();
         o.insert(&["d3"], 4.0).unwrap();
         let direct = s_aggregate(&o, "day", "year").unwrap();
-        let stepwise = s_aggregate(&s_aggregate(&o, "day", "month").unwrap(), "day", "year")
-            .unwrap();
+        let stepwise =
+            s_aggregate(&s_aggregate(&o, "day", "month").unwrap(), "day", "year").unwrap();
         assert_eq!(direct.get(&["1996"]).unwrap(), Some(7.0));
         assert_eq!(stepwise.get(&["1996"]).unwrap(), Some(7.0));
     }
@@ -491,10 +482,7 @@ mod tests {
         let mut o = StatisticalObject::empty(schema);
         o.insert(&["lung cancer"], 100.0).unwrap();
         o.insert(&["flu"], 10.0).unwrap();
-        assert!(matches!(
-            s_aggregate(&o, "disease", "category"),
-            Err(Error::Summarizability(_))
-        ));
+        assert!(matches!(s_aggregate(&o, "disease", "category"), Err(Error::Summarizability(_))));
         // Unchecked: lung cancer is counted under BOTH categories — the
         // erroneous result the paper warns about (total 210 ≠ 110).
         let forced = s_aggregate_in(&o, "disease", None, "category", false).unwrap();
@@ -571,12 +559,9 @@ mod tests {
         let mut o = StatisticalObject::empty(schema);
         o.insert(&["CA"], 3000.0).unwrap();
         o.insert(&["NV"], 100.0).unwrap();
-        let proxy: HashMap<String, f64> = [
-            ("alameda".to_owned(), 1.0),
-            ("fresno".to_owned(), 2.0),
-            ("washoe".to_owned(), 5.0),
-        ]
-        .into();
+        let proxy: HashMap<String, f64> =
+            [("alameda".to_owned(), 1.0), ("fresno".to_owned(), 2.0), ("washoe".to_owned(), 5.0)]
+                .into();
         let fine = disaggregate_by_proxy(&o, "state", &geo, &proxy).unwrap();
         assert_eq!(fine.get(&["alameda"]).unwrap(), Some(1000.0));
         assert_eq!(fine.get(&["fresno"]).unwrap(), Some(2000.0));

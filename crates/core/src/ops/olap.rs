@@ -34,10 +34,7 @@ pub fn slice_sum(obj: &StatisticalObject, dim: &str) -> Result<StatisticalObject
 
 /// *Dice*: selects ranges over several dimensions at once — repeated
 /// `S-selection`.
-pub fn dice(
-    obj: &StatisticalObject,
-    selections: &[(&str, &[&str])],
-) -> Result<StatisticalObject> {
+pub fn dice(obj: &StatisticalObject, selections: &[(&str, &[&str])]) -> Result<StatisticalObject> {
     let mut cur = obj.clone();
     for (dim, keep) in selections {
         cur = ops::s_select(&cur, dim, keep)?;
@@ -124,10 +121,7 @@ mod tests {
         let o = retail();
         let bananas = slice_at(&o, "product", "banana").unwrap();
         assert_eq!(bananas.schema().dim_count(), 2);
-        assert_eq!(
-            bananas.schema().context(),
-            &[("product".to_owned(), "banana".to_owned())]
-        );
+        assert_eq!(bananas.schema().context(), &[("product".to_owned(), "banana".to_owned())]);
         assert_eq!(bananas.get(&["seattle/s#1", "nov-13"]).unwrap(), Some(56.0));
         assert_eq!(bananas.grand_total(0), Some(100.0));
     }
@@ -143,11 +137,8 @@ mod tests {
     #[test]
     fn dice_selects_subranges() {
         let o = retail();
-        let d = dice(
-            &o,
-            &[("product", &["milk"][..]), ("day", &["nov-13", "nov-14"][..])],
-        )
-        .unwrap();
+        let d =
+            dice(&o, &[("product", &["milk"][..]), ("day", &["nov-13", "nov-14"][..])]).unwrap();
         assert_eq!(d.cell_count(), 2);
         assert_eq!(d.grand_total(0), Some(17.0));
     }

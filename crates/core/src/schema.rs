@@ -113,17 +113,16 @@ impl Schema {
                 got: members.len(),
             });
         }
-        members
-            .iter()
-            .zip(&self.dimensions)
-            .map(|(m, d)| d.member_id(m))
-            .collect()
+        members.iter().zip(&self.dimensions).map(|(m, d)| d.member_id(m)).collect()
     }
 
     /// Converts a coordinate id vector back to member names.
     pub fn names_of(&self, coords: &[u32]) -> Result<Vec<&str>> {
         if coords.len() != self.dimensions.len() {
-            return Err(Error::ArityMismatch { expected: self.dimensions.len(), got: coords.len() });
+            return Err(Error::ArityMismatch {
+                expected: self.dimensions.len(),
+                got: coords.len(),
+            });
         }
         coords
             .iter()
@@ -235,7 +234,10 @@ impl SchemaBuilder {
         }
         for d in &self.schema.dimensions {
             if d.cardinality() == 0 {
-                return Err(Error::InvalidSchema(format!("dimension `{}` has no members", d.name())));
+                return Err(Error::InvalidSchema(format!(
+                    "dimension `{}` has no members",
+                    d.name()
+                )));
             }
         }
         Ok(self.schema)
@@ -304,13 +306,11 @@ mod tests {
             .build();
         assert!(dup.is_err());
 
-        let nodim = Schema::builder("x")
-            .measure(SummaryAttribute::new("m", MeasureKind::Flow))
-            .build();
+        let nodim =
+            Schema::builder("x").measure(SummaryAttribute::new("m", MeasureKind::Flow)).build();
         assert!(nodim.is_err());
 
-        let nomeasure =
-            Schema::builder("x").dimension(Dimension::categorical("a", ["1"])).build();
+        let nomeasure = Schema::builder("x").dimension(Dimension::categorical("a", ["1"])).build();
         assert!(nomeasure.is_err());
 
         let empty = Schema::builder("x")
@@ -328,8 +328,7 @@ mod tests {
             .measure(SummaryAttribute::new("population", MeasureKind::Stock))
             .function(SummaryFunction::Sum)
             .measure(
-                SummaryAttribute::new("avg income", MeasureKind::ValuePerUnit)
-                    .with_unit("dollars"),
+                SummaryAttribute::new("avg income", MeasureKind::ValuePerUnit).with_unit("dollars"),
             )
             .function(SummaryFunction::Avg)
             .build()

@@ -93,9 +93,7 @@ impl SchemaGraph {
             Node::Summary { child, .. } if matches!(**child, Node::Cross { .. }) => {
                 Ok(Self { root })
             }
-            _ => Err(Error::InvalidSchema(
-                "schema graph root must be S(name, X(...))".into(),
-            )),
+            _ => Err(Error::InvalidSchema("schema graph root must be S(name, X(...))".into())),
         }
     }
 
@@ -106,20 +104,14 @@ impl SchemaGraph {
         for dim in schema.dimensions() {
             let node = match dim.default_hierarchy() {
                 Some(h) => {
-                    let names: Vec<&str> =
-                        h.levels().iter().rev().map(|l| l.name()).collect();
+                    let names: Vec<&str> = h.levels().iter().rev().map(|l| l.name()).collect();
                     Node::category_chain(&names)
                 }
                 None => Node::Category { name: dim.name().to_owned(), child: None },
             };
             children.push(node);
         }
-        let mut name = schema
-            .measures()
-            .iter()
-            .map(|m| m.name())
-            .collect::<Vec<_>>()
-            .join(", ");
+        let mut name = schema.measures().iter().map(|m| m.name()).collect::<Vec<_>>().join(", ");
         for (dim, member) in schema.context() {
             let _ = write!(name, " [{dim}={member}]");
         }
@@ -167,7 +159,11 @@ impl SchemaGraph {
         Ok(SchemaGraph {
             root: Node::Summary {
                 name: name.clone(),
-                child: Box::new(Node::Cross { label: xl.clone(), ordered: *ordered, children: rest }),
+                child: Box::new(Node::Cross {
+                    label: xl.clone(),
+                    ordered: *ordered,
+                    children: rest,
+                }),
             },
         })
     }
@@ -229,10 +225,9 @@ impl SchemaGraph {
     pub fn flatten(&self) -> SchemaGraph {
         fn flatten_node(n: &Node) -> Node {
             match n {
-                Node::Summary { name, child } => Node::Summary {
-                    name: name.clone(),
-                    child: Box::new(flatten_node(child)),
-                },
+                Node::Summary { name, child } => {
+                    Node::Summary { name: name.clone(), child: Box::new(flatten_node(child)) }
+                }
                 Node::Cross { label, ordered, children } => {
                     let mut out = Vec::new();
                     for c in children {
@@ -383,10 +378,7 @@ mod tests {
             child: Box::new(Node::Cross {
                 label: None,
                 ordered: false,
-                children: vec![
-                    Node::category_chain(&["a"]),
-                    Node::category_chain(&["b"]),
-                ],
+                children: vec![Node::category_chain(&["a"]), Node::category_chain(&["b"])],
             }),
         })
         .unwrap();
@@ -395,10 +387,7 @@ mod tests {
             child: Box::new(Node::Cross {
                 label: None,
                 ordered: false,
-                children: vec![
-                    Node::category_chain(&["b"]),
-                    Node::category_chain(&["a"]),
-                ],
+                children: vec![Node::category_chain(&["b"]), Node::category_chain(&["a"])],
             }),
         })
         .unwrap();

@@ -73,20 +73,14 @@ pub fn check_aggregate(
 ) -> Vec<Violation> {
     let dim = &schema.dimensions()[dim_idx];
     let mut out = check_project(schema, dim_idx);
-    let any_duplicate_sensitive =
-        schema.functions().iter().any(|f| f.is_duplicate_sensitive());
+    let any_duplicate_sensitive = schema.functions().iter().any(|f| f.is_duplicate_sensitive());
     for level in 0..to_level {
         if any_duplicate_sensitive {
             if let Some(w) = hierarchy.strictness_witness(level) {
                 out.push(Violation::NonStrictHierarchy {
                     dimension: dim.name().to_owned(),
                     level: hierarchy.level(level).name().to_owned(),
-                    member: hierarchy
-                        .level(level)
-                        .members()
-                        .value_of(w)
-                        .unwrap_or("?")
-                        .to_owned(),
+                    member: hierarchy.level(level).members().value_of(w).unwrap_or("?").to_owned(),
                 });
             }
         }

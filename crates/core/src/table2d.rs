@@ -220,11 +220,7 @@ impl Table2D {
     }
 
     fn label(&self, d: usize, id: u32) -> String {
-        self.obj.schema().dimensions()[d]
-            .members()
-            .value_of(id)
-            .unwrap_or("?")
-            .to_owned()
+        self.obj.schema().dimensions()[d].members().value_of(id).unwrap_or("?").to_owned()
     }
 
     /// Renders the table as fixed-width text: one header line per column
@@ -253,12 +249,9 @@ impl Table2D {
                             let hid = dim.leaf_to_hierarchy(0, ck[ci]);
                             let ancestors = h.ancestors_at(hid, level);
                             match ancestors.as_slice() {
-                                [a] => h
-                                    .level(level)
-                                    .members()
-                                    .value_of(*a)
-                                    .unwrap_or("?")
-                                    .to_owned(),
+                                [a] => {
+                                    h.level(level).members().value_of(*a).unwrap_or("?").to_owned()
+                                }
                                 [] => String::new(),
                                 _ => "(multiple)".to_owned(),
                             }
@@ -267,8 +260,7 @@ impl Table2D {
                     header_rows.push(row);
                 }
             }
-            header_rows
-                .push(col_keys.iter().map(|ck| self.label(d, ck[ci])).collect());
+            header_rows.push(col_keys.iter().map(|ck| self.label(d, ck[ci])).collect());
             for (hi, row) in header_rows.iter().enumerate() {
                 for _ in 0..label_cols {
                     let _ = write!(out, "{:>W$}", "", W = W);
@@ -473,7 +465,9 @@ mod tests {
         let s = t.render();
         // The class header row sits above the profession row, each parent
         // shown once per span.
-        let class_line = s.lines().find(|l| l.contains("engineer") && !l.contains("civil"))
+        let class_line = s
+            .lines()
+            .find(|l| l.contains("engineer") && !l.contains("civil"))
             .expect("class header row");
         assert!(class_line.contains("secretary"));
         assert_eq!(class_line.matches("engineer").count(), 1, "{class_line}");

@@ -1,0 +1,721 @@
+//! Query-profile observability: timed spans, a named metrics registry, and
+//! `EXPLAIN ANALYZE`-style profile trees.
+//!
+//! Every cost claim this reproduction makes — §6's "who scans fewer pages",
+//! §6.3's "who answers from a smaller ancestor" — is settled by *measuring
+//! per-stage work*, which is exactly how \[GB+96\] (MSR-TR-97-32) and the
+//! MOLAP/ROLAP literature frame the tradeoffs. This module is the shared
+//! instrumentation substrate the storage, cube, and sql layers thread their
+//! measurements through:
+//!
+//! * **Spans** ([`span`]) — monotonic-clock timed, named units of work that
+//!   nest into a tree via a thread-local stack. A finished tree is drained
+//!   with [`take_profile`] into a [`QueryProfile`] that renders like
+//!   `EXPLAIN ANALYZE` output. Work measured on a worker thread is grafted
+//!   in with [`record_complete`].
+//! * **Counters and histograms** ([`counter`], [`observe`]) — a global
+//!   registry of named monotonic counters and log₂-bucket histograms,
+//!   snapshotted with [`snapshot`] into a [`MetricsSnapshot`] the bench
+//!   harness prints.
+//!
+//! ## Overhead budget
+//!
+//! Tracing is **disabled by default** and every entry point checks one
+//! relaxed atomic load first. When disabled, [`span`] returns a no-op guard
+//! without allocating, [`counter`]/[`observe`] return immediately, and no
+//! lock is touched — the overhead on a hot loop is a predictable branch
+//! (< 2% on the exp22 speedup curve is the budget, met by charging probes
+//! per query stage, never per row; ci.sh prints a smoke profile so
+//! regressions are visible). When enabled, span records go
+//! to a *thread-local* buffer (no cross-thread contention; concurrent tests
+//! cannot steal each other's spans) and metric updates take one global
+//! mutex (experiments-grade, not production-contention-grade).
+//!
+//! ## Adding a counter
+//!
+//! Pick a dotted lowercase name rooted in the owning layer
+//! (`storage.pages_read`, `cube.cells_aggregated`, `sql.queries`) and call
+//! `trace::counter(name, delta)` at the charge site; nothing is declared up
+//! front. Histograms work the same way through `trace::observe`.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{LazyLock, Mutex};
+use std::time::{Duration, Instant};
+
+/// Global on/off switch. Relaxed loads are sufficient: the flag only gates
+/// *observability*, never correctness, and a racing enable/disable merely
+/// gains or loses a span at the boundary.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Monotonic span-id source, shared by every thread so ids are unique and
+/// creation-ordered across the whole process.
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Hard cap on buffered span records per thread: tracing left enabled
+/// without a consumer must not grow memory without bound. Overflow is
+/// counted and reported in the next drained profile.
+const MAX_RECORDS: usize = 1 << 16;
+
+thread_local! {
+    /// Innermost open span of this thread (0 = none).
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+    /// Finished spans awaiting [`take_profile`].
+    static RECORDS: RefCell<Vec<SpanRecord>> = const { RefCell::new(Vec::new()) };
+    /// Spans discarded because the buffer was full.
+    static DROPPED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Turns tracing on (spans recorded, counters charged).
+pub fn enable() {
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turns tracing off; open spans finish as no-ops worth keeping (they were
+/// started enabled, so they still record on drop) and new ones cost one
+/// branch.
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Whether tracing is currently enabled.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// One finished span, as buffered thread-locally before a profile drain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Process-unique creation-ordered id.
+    pub id: u64,
+    /// Id of the enclosing span at creation time (0 = root).
+    pub parent: u64,
+    /// Static span name (`layer.operation` convention).
+    pub name: &'static str,
+    /// Monotonic wall time between creation and drop.
+    pub elapsed: Duration,
+    /// Numeric annotations (`pages`, `cells`, `retries`, …).
+    pub fields: Vec<(&'static str, u64)>,
+    /// Free-form annotation (fallback provenance and the like).
+    pub note: Option<String>,
+}
+
+fn push_record(record: SpanRecord) {
+    RECORDS.with(|r| {
+        let mut r = r.borrow_mut();
+        if r.len() >= MAX_RECORDS {
+            DROPPED.with(|d| d.set(d.get() + 1));
+        } else {
+            r.push(record);
+        }
+    });
+}
+
+/// RAII guard for one timed unit of work. Created by [`span`]; records
+/// itself into the thread-local buffer on drop. When tracing is disabled
+/// the guard is inert and allocation-free.
+#[derive(Debug)]
+#[must_use = "a span measures the scope it is held for"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start: Instant,
+    fields: Vec<(&'static str, u64)>,
+    note: Option<String>,
+}
+
+/// Opens a span named `name` under the thread's current span (root if
+/// none). Returns an inert guard when tracing is disabled.
+pub fn span(name: &'static str) -> Span {
+    if !is_enabled() {
+        return Span { inner: None };
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = CURRENT.with(|c| {
+        let p = c.get();
+        c.set(id);
+        p
+    });
+    Span {
+        inner: Some(SpanInner {
+            id,
+            parent,
+            name,
+            start: Instant::now(),
+            fields: Vec::new(),
+            note: None,
+        }),
+    }
+}
+
+impl Span {
+    /// Whether this guard is live (tracing was enabled at creation).
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether this span has no enclosing span (it will be a profile root).
+    /// Always `false` for an inert guard.
+    pub fn is_root(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.parent == 0)
+    }
+
+    /// Sets field `key` to `value` (overwrites an existing key).
+    pub fn record(&mut self, key: &'static str, value: u64) {
+        if let Some(inner) = &mut self.inner {
+            match inner.fields.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, v)) => *v = value,
+                None => inner.fields.push((key, value)),
+            }
+        }
+    }
+
+    /// Adds `delta` to field `key` (starting from 0).
+    pub fn add(&mut self, key: &'static str, delta: u64) {
+        if let Some(inner) = &mut self.inner {
+            match inner.fields.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, v)) => *v += delta,
+                None => inner.fields.push((key, delta)),
+            }
+        }
+    }
+
+    /// Attaches a free-form note (e.g. degraded-fallback provenance).
+    pub fn note(&mut self, note: impl Into<String>) {
+        if let Some(inner) = &mut self.inner {
+            inner.note = Some(note.into());
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else { return };
+        let elapsed = inner.start.elapsed();
+        CURRENT.with(|c| c.set(inner.parent));
+        push_record(SpanRecord {
+            id: inner.id,
+            parent: inner.parent,
+            name: inner.name,
+            elapsed,
+            fields: inner.fields,
+            note: inner.note,
+        });
+    }
+}
+
+/// Grafts an already-measured unit of work (typically timed on a worker
+/// thread, like one cuboid derivation of the parallel engine) into the
+/// profile as a completed child of the current span.
+pub fn record_complete(name: &'static str, elapsed: Duration, fields: &[(&'static str, u64)]) {
+    if !is_enabled() {
+        return;
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = CURRENT.with(Cell::get);
+    push_record(SpanRecord { id, parent, name, elapsed, fields: fields.to_vec(), note: None });
+}
+
+// ---------------------------------------------------------------------------
+// Profiles
+// ---------------------------------------------------------------------------
+
+/// One node of a rendered profile tree.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileNode {
+    /// Span name.
+    pub name: String,
+    /// Wall time the span covered.
+    pub elapsed: Duration,
+    /// Numeric annotations in recording order.
+    pub fields: Vec<(String, u64)>,
+    /// Free-form annotation, if any.
+    pub note: Option<String>,
+    /// Child spans in creation order.
+    pub children: Vec<ProfileNode>,
+}
+
+impl ProfileNode {
+    /// The value of field `key`, if recorded.
+    pub fn field(&self, key: &str) -> Option<u64> {
+        self.fields.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    fn visit<'a>(&'a self, f: &mut impl FnMut(&'a ProfileNode)) {
+        f(self);
+        for c in &self.children {
+            c.visit(f);
+        }
+    }
+}
+
+/// An `EXPLAIN ANALYZE`-style span tree for one (or more) top-level units
+/// of work, drained from the calling thread by [`take_profile`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryProfile {
+    /// Top-level spans in creation order.
+    pub roots: Vec<ProfileNode>,
+    /// Spans lost to the per-thread buffer cap since the last drain.
+    pub spans_dropped: u64,
+}
+
+impl QueryProfile {
+    /// Total number of spans in the profile.
+    pub fn span_count(&self) -> usize {
+        let mut n = 0;
+        self.each(&mut |_| n += 1);
+        n
+    }
+
+    /// Depth-first search for the first span named `name`.
+    pub fn find(&self, name: &str) -> Option<&ProfileNode> {
+        let mut found = None;
+        self.each(&mut |n| {
+            if found.is_none() && n.name == name {
+                found = Some(n);
+            }
+        });
+        found
+    }
+
+    /// Sum of `elapsed` over every span named `name`.
+    pub fn total_elapsed(&self, name: &str) -> Duration {
+        let mut total = Duration::ZERO;
+        self.each(&mut |n| {
+            if n.name == name {
+                total += n.elapsed;
+            }
+        });
+        total
+    }
+
+    /// Sum of field `key` over every span in the tree.
+    pub fn field_total(&self, key: &str) -> u64 {
+        let mut total = 0;
+        self.each(&mut |n| total += n.field(key).unwrap_or(0));
+        total
+    }
+
+    /// Visits every node depth-first.
+    pub fn each<'a>(&'a self, f: &mut impl FnMut(&'a ProfileNode)) {
+        for r in &self.roots {
+            r.visit(f);
+        }
+    }
+
+    /// Renders the tree, `EXPLAIN ANALYZE` style.
+    pub fn render(&self) -> String {
+        fn fmt_dur(d: Duration) -> String {
+            let us = d.as_micros();
+            if us >= 1_000_000 {
+                format!("{:.2}s", d.as_secs_f64())
+            } else if us >= 1_000 {
+                format!("{:.2}ms", us as f64 / 1000.0)
+            } else {
+                format!("{us}µs")
+            }
+        }
+        fn line(node: &ProfileNode, prefix: &str, last: bool, top: bool, out: &mut String) {
+            let branch = if top {
+                String::new()
+            } else {
+                format!("{prefix}{}", if last { "└─ " } else { "├─ " })
+            };
+            let _ = write!(
+                out,
+                "{branch}{:<w$} {:>9}",
+                node.name,
+                fmt_dur(node.elapsed),
+                w = 46usize.saturating_sub(branch.chars().count())
+            );
+            for (k, v) in &node.fields {
+                let _ = write!(out, "  {k}={v}");
+            }
+            if let Some(n) = &node.note {
+                let _ = write!(out, "  [{n}]");
+            }
+            let _ = writeln!(out);
+            let child_prefix = if top {
+                String::new()
+            } else {
+                format!("{prefix}{}", if last { "   " } else { "│  " })
+            };
+            for (i, c) in node.children.iter().enumerate() {
+                line(c, &child_prefix, i + 1 == node.children.len(), false, out);
+            }
+        }
+        let mut out = String::new();
+        for r in &self.roots {
+            line(r, "", true, true, &mut out);
+        }
+        if self.spans_dropped > 0 {
+            let _ = writeln!(out, "({} spans dropped at the buffer cap)", self.spans_dropped);
+        }
+        out
+    }
+}
+
+/// Drains the calling thread's finished spans into a [`QueryProfile`].
+///
+/// Records whose parent is still open (or was drained earlier) become
+/// roots; children keep creation order. The typical pattern is: open a
+/// root span, do the work, drop the guard, then call `take_profile`.
+pub fn take_profile() -> QueryProfile {
+    let records = RECORDS.with(|r| std::mem::take(&mut *r.borrow_mut()));
+    let spans_dropped = DROPPED.with(|d| d.replace(0));
+    let mut by_id: BTreeMap<u64, ProfileNode> = BTreeMap::new();
+    let mut parent_of: BTreeMap<u64, u64> = BTreeMap::new();
+    for rec in &records {
+        parent_of.insert(rec.id, rec.parent);
+        by_id.insert(
+            rec.id,
+            ProfileNode {
+                name: rec.name.to_owned(),
+                elapsed: rec.elapsed,
+                fields: rec.fields.iter().map(|&(k, v)| (k.to_owned(), v)).collect(),
+                note: rec.note.clone(),
+                children: Vec::new(),
+            },
+        );
+    }
+    // Attach children to parents from the highest id down: a node's
+    // children always have larger ids than it, so each node is complete
+    // (subtree fully built) before it is attached to its own parent.
+    let ids: Vec<u64> = by_id.keys().copied().collect();
+    let mut roots = Vec::new();
+    for &id in ids.iter().rev() {
+        let parent = parent_of[&id];
+        if parent != 0 && by_id.contains_key(&parent) {
+            let node = by_id.remove(&id).expect("id present");
+            by_id.get_mut(&parent).expect("parent present").children.push(node);
+        }
+    }
+    // Children were pushed in descending id order; restore creation order.
+    for node in by_id.values_mut() {
+        fn reverse_children(n: &mut ProfileNode) {
+            n.children.reverse();
+            for c in &mut n.children {
+                reverse_children(c);
+            }
+        }
+        reverse_children(node);
+    }
+    for (_, node) in by_id {
+        roots.push(node);
+    }
+    QueryProfile { roots, spans_dropped }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+/// A log₂-bucket histogram of `u64` observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (meaningless when `count == 0`).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// `buckets[i]` counts observations with `bit_length(v) == i`
+    /// (bucket 0 holds zeros, bucket i holds `[2^(i-1), 2^i)`).
+    pub buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: [0; 65] }
+    }
+}
+
+impl Histogram {
+    fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[(64 - v.leading_zeros()) as usize] += 1;
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+static REGISTRY: LazyLock<Mutex<Registry>> = LazyLock::new(|| Mutex::new(Registry::default()));
+
+fn with_registry(f: impl FnOnce(&mut Registry)) {
+    // A poisoned registry (a panic while holding the lock) only ever holds
+    // counters; recover the data rather than propagating the poison.
+    let mut guard = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+    f(&mut guard);
+}
+
+/// Adds `delta` to counter `name`. No-op when tracing is disabled.
+pub fn counter(name: &str, delta: u64) {
+    if !is_enabled() || delta == 0 {
+        return;
+    }
+    with_registry(|r| match r.counters.get_mut(name) {
+        Some(v) => *v += delta,
+        None => {
+            r.counters.insert(name.to_owned(), delta);
+        }
+    });
+}
+
+/// Records `value` into histogram `name`. No-op when tracing is disabled.
+pub fn observe(name: &str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    with_registry(|r| r.histograms.entry(name.to_owned()).or_default().observe(value));
+}
+
+/// A point-in-time copy of the metrics registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// The value of counter `name` (0 if never charged).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Counter values whose name starts with `prefix`, name-sorted.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(&str, u64)> {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, &v)| (k.as_str(), v))
+            .collect()
+    }
+
+    /// Renders the snapshot as an aligned name/value listing.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = self.counters.keys().map(String::len).max().unwrap_or(0);
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "{name:<width$}  {value}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{name:<width$}  count={} mean={:.1} min={} max={}",
+                h.count,
+                h.mean(),
+                if h.count == 0 { 0 } else { h.min },
+                h.max,
+            );
+        }
+        out
+    }
+}
+
+/// Copies the current metrics registry.
+pub fn snapshot() -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    with_registry(|r| {
+        snap.counters = r.counters.clone();
+        snap.histograms = r.histograms.clone();
+    });
+    snap
+}
+
+/// Zeroes every counter and histogram (process-wide).
+pub fn reset_metrics() {
+    with_registry(|r| {
+        r.counters.clear();
+        r.histograms.clear();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes the enable/disable-manipulating tests in this module so
+    /// they don't flip the global flag under each other.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _l = locked();
+        disable();
+        let mut s = span("x");
+        assert!(!s.is_recording());
+        assert!(!s.is_root());
+        s.record("k", 1);
+        drop(s);
+        assert_eq!(take_profile().span_count(), 0);
+    }
+
+    #[test]
+    fn span_tree_nests_and_orders() {
+        let _l = locked();
+        enable();
+        let _ = take_profile(); // drain anything stale on this thread
+        {
+            let mut root = span("root");
+            root.record("cells", 7);
+            {
+                let _a = span("a");
+                record_complete("a1", Duration::from_micros(5), &[("w", 1)]);
+                record_complete("a2", Duration::from_micros(6), &[]);
+            }
+            let mut b = span("b");
+            b.note("fallback 0b11 -> 0b111");
+            drop(b);
+        }
+        disable();
+        let p = take_profile();
+        assert_eq!(p.roots.len(), 1);
+        let root = &p.roots[0];
+        assert_eq!(root.name, "root");
+        assert_eq!(root.field("cells"), Some(7));
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].name, "a");
+        assert_eq!(
+            root.children[0].children.iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+            vec!["a1", "a2"],
+        );
+        assert_eq!(root.children[1].note.as_deref(), Some("fallback 0b11 -> 0b111"));
+        assert_eq!(p.span_count(), 5);
+        assert_eq!(p.field_total("w"), 1);
+        let rendered = p.render();
+        assert!(rendered.contains("root"));
+        assert!(rendered.contains("└─ b"));
+        assert!(rendered.contains("[fallback 0b11 -> 0b111]"));
+    }
+
+    #[test]
+    fn profile_drain_is_per_thread() {
+        let _l = locked();
+        enable();
+        let _ = take_profile();
+        drop(span("mine"));
+        let other = std::thread::spawn(|| {
+            drop(span("theirs"));
+            take_profile().span_count()
+        })
+        .join()
+        .expect("worker");
+        disable();
+        assert_eq!(other, 1);
+        let p = take_profile();
+        assert_eq!(p.span_count(), 1);
+        assert_eq!(p.roots[0].name, "mine");
+    }
+
+    #[test]
+    fn counters_and_histograms_accumulate() {
+        let _l = locked();
+        enable();
+        let base = snapshot().counter("test.trace.counter");
+        counter("test.trace.counter", 3);
+        counter("test.trace.counter", 4);
+        observe("test.trace.hist", 0);
+        observe("test.trace.hist", 9);
+        let snap = snapshot();
+        disable();
+        assert_eq!(snap.counter("test.trace.counter") - base, 7);
+        let h = &snap.histograms["test.trace.hist"];
+        assert!(h.count >= 2);
+        assert!(h.buckets[0] >= 1, "zero lands in bucket 0");
+        assert!(h.buckets[4] >= 1, "9 lands in bucket 4 ([8,16))");
+        assert!(snap.render().contains("test.trace.counter"));
+        assert!(!snap.counters_with_prefix("test.trace.").is_empty());
+    }
+
+    #[test]
+    fn disabled_counters_do_not_charge() {
+        let _l = locked();
+        disable();
+        let before = snapshot().counter("test.trace.disabled");
+        counter("test.trace.disabled", 100);
+        assert_eq!(snapshot().counter("test.trace.disabled"), before);
+    }
+
+    #[test]
+    fn record_overwrites_add_accumulates() {
+        let _l = locked();
+        enable();
+        let _ = take_profile();
+        {
+            let mut s = span("fields");
+            s.record("k", 1);
+            s.record("k", 2);
+            s.add("d", 3);
+            s.add("d", 4);
+        }
+        disable();
+        let p = take_profile();
+        let n = p.find("fields").expect("span recorded");
+        assert_eq!(n.field("k"), Some(2));
+        assert_eq!(n.field("d"), Some(7));
+        assert!(p.find("missing").is_none());
+    }
+
+    #[test]
+    fn open_parent_makes_children_roots() {
+        let _l = locked();
+        enable();
+        let _ = take_profile();
+        let outer = span("still-open");
+        drop(span("closed-child"));
+        let p = take_profile();
+        disable();
+        assert_eq!(p.roots.len(), 1, "only the closed child was drained");
+        assert_eq!(p.roots[0].name, "closed-child");
+        drop(outer);
+        let _ = take_profile(); // clean up the outer record
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::default();
+        assert_eq!(h.mean(), 0.0);
+        h.observe(2);
+        h.observe(6);
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 8);
+        assert_eq!(h.min, 2);
+        assert_eq!(h.max, 6);
+        assert_eq!(h.mean(), 4.0);
+        assert_eq!(h.buckets[2], 1); // 2 in [2,4)
+        assert_eq!(h.buckets[3], 1); // 6 in [4,8)
+    }
+}

@@ -32,10 +32,10 @@ use std::time::{Duration, Instant};
 
 use statcube_core::error::{Error, Result};
 use statcube_core::measure::{AggState, SummaryFunction};
+use statcube_core::trace::{self, QueryProfile};
 
 use crate::groupby::{self, Cuboid};
 use crate::input::FactInput;
-use crate::lattice::Lattice;
 
 /// Where one cuboid's cells came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +112,7 @@ pub struct CubeResult {
     cuboids: HashMap<u32, Cuboid>,
     stats: Vec<CuboidStats>,
     degradations: Vec<Degradation>,
+    profile: Option<QueryProfile>,
 }
 
 impl PartialEq for CubeResult {
@@ -126,11 +127,24 @@ impl CubeResult {
         cuboids: HashMap<u32, Cuboid>,
         stats: Vec<CuboidStats>,
     ) -> Self {
-        Self { n_dims, cuboids, stats, degradations: Vec::new() }
+        Self { n_dims, cuboids, stats, degradations: Vec::new(), profile: None }
     }
 
     pub(crate) fn push_degradation(&mut self, d: Degradation) {
         self.degradations.push(d);
+    }
+
+    pub(crate) fn set_profile(&mut self, profile: QueryProfile) {
+        self.profile = Some(profile);
+    }
+
+    /// The `EXPLAIN ANALYZE`-style span tree of the computation that
+    /// produced this result. Present only when [`trace`] was enabled and
+    /// the computation was the calling thread's outermost traced unit of
+    /// work (a nested call leaves its spans to the enclosing profile).
+    /// Like [`stats`](Self::stats), excluded from equality.
+    pub fn profile(&self) -> Option<&QueryProfile> {
+        self.profile.as_ref()
     }
 
     /// Per-cuboid computation telemetry, sorted by mask.
@@ -266,6 +280,9 @@ pub fn compute_shared(input: &FactInput) -> CubeResult {
 
 /// Picks the smallest already-computed direct parent of `mask` (ties break
 /// toward the lowest added dimension), the \[HUR96\] linear-cost heuristic.
+/// Level-order scheduling guarantees a direct parent is present; should
+/// that invariant ever break, the base cuboid (always computed first) is a
+/// correct — if more expensive — derivation source, so this never panics.
 fn best_parent(cuboids: &HashMap<u32, Cuboid>, mask: u32, n: usize) -> u32 {
     let mut best: Option<(u32, usize)> = None;
     for d in 0..n {
@@ -281,7 +298,27 @@ fn best_parent(cuboids: &HashMap<u32, Cuboid>, mask: u32, n: usize) -> u32 {
             }
         }
     }
-    best.expect("ancestor exists by construction").0
+    best.map_or((1u32 << n) - 1, |(parent, _)| parent)
+}
+
+/// Joins a scoped worker, forwarding any panic payload to the caller's
+/// thread instead of aborting behind a generic message.
+fn join_worker<T>(h: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+}
+
+/// The masks below the base cuboid grouped by descending popcount: index 0
+/// holds the masks with `n − 1` kept dimensions, the last level is the
+/// apex `{}`. Same schedule [`Lattice::coarsening_levels`] produces, but
+/// derived straight from the dimension count (no fallible constructor).
+///
+/// [`Lattice::coarsening_levels`]: crate::lattice::Lattice::coarsening_levels
+fn coarsening_levels(n: usize) -> Vec<Vec<u32>> {
+    let mut levels: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for mask in 0..(1u32 << n) - 1 {
+        levels[n - 1 - mask.count_ones() as usize].push(mask);
+    }
+    levels
 }
 
 /// Derives cuboid `mask` from its chosen `parent`, timing the work.
@@ -325,8 +362,13 @@ pub fn compute_parallel(input: &FactInput, threads: usize) -> CubeResult {
     let full = (1u32 << n) - 1;
     let mut cuboids: HashMap<u32, Cuboid> = HashMap::with_capacity(1 << n);
     let mut stats: Vec<CuboidStats> = Vec::with_capacity(1 << n);
+    let mut root = trace::span("cube.compute");
+    root.record("threads", threads as u64);
+    root.record("rows", input.len() as u64);
+    let take_profile = root.is_root();
 
     // Phase 1 — partition-parallel base scan.
+    let mut scan_span = trace::span("cube.base_scan");
     let t0 = Instant::now();
     let ranges = input.partition_ranges(threads);
     let partitions = ranges.len().max(1);
@@ -338,14 +380,20 @@ pub fn compute_parallel(input: &FactInput, threads: usize) -> CubeResult {
                 .into_iter()
                 .map(|r| s.spawn(move || groupby::from_facts_range(input, full, r)))
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("partition worker panicked")).collect()
+            handles.into_iter().map(join_worker).collect()
         });
+        let tm = Instant::now();
         let mut acc = Cuboid::new();
         for partial in partials {
             groupby::merge_into(&mut acc, partial);
         }
+        trace::record_complete("cube.merge", tm.elapsed(), &[("partials", partitions as u64)]);
         acc
     };
+    scan_span.record("partitions", partitions as u64);
+    scan_span.record("rows", input.len() as u64);
+    scan_span.record("cells", base.len() as u64);
+    drop(scan_span);
     stats.push(CuboidStats {
         mask: full,
         rows_scanned: input.len() as u64,
@@ -357,9 +405,7 @@ pub fn compute_parallel(input: &FactInput, threads: usize) -> CubeResult {
 
     // Phase 2 — pipeline the lattice levels; fan each level's independent
     // derivations out across the workers.
-    let lattice = Lattice::new(input.cards(), input.len() as u64)
-        .expect("FactInput invariants satisfy Lattice constraints");
-    for level in lattice.coarsening_levels() {
+    for level in coarsening_levels(n) {
         // Parent choice is sequential and deterministic (sizes of the
         // previous level are final); only the derivations run concurrently.
         let jobs: Vec<(u32, u32)> =
@@ -383,13 +429,18 @@ pub fn compute_parallel(input: &FactInput, threads: usize) -> CubeResult {
                         })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("derive worker panicked"))
-                    .collect()
+                handles.into_iter().flat_map(join_worker).collect()
             })
         };
         for (mask, parent, cuboid, wall) in done {
+            // The derivation ran (and was timed) on a worker thread whose
+            // span buffer is gone; graft the measured work into this
+            // thread's profile instead.
+            trace::record_complete(
+                "cube.derive",
+                wall,
+                &[("mask", mask as u64), ("parent", parent as u64), ("cells", cuboid.len() as u64)],
+            );
             stats.push(CuboidStats {
                 mask,
                 rows_scanned: cuboids[&parent].len() as u64,
@@ -401,7 +452,16 @@ pub fn compute_parallel(input: &FactInput, threads: usize) -> CubeResult {
         }
     }
     stats.sort_by_key(|s| s.mask);
-    CubeResult::from_parts(n, cuboids, stats)
+    let total_cells: u64 = stats.iter().map(|s| s.cells).sum();
+    root.record("cells", total_cells);
+    trace::counter("cube.computations", 1);
+    trace::counter("cube.cells_aggregated", total_cells);
+    drop(root);
+    let mut result = CubeResult::from_parts(n, cuboids, stats);
+    if take_profile {
+        result.set_profile(trace::take_profile());
+    }
+    result
 }
 
 /// `ROLLUP(d0, d1, …)`: only the prefix groupings
@@ -609,10 +669,7 @@ mod tests {
             assert_eq!(ma, mb);
             match (sa, sb) {
                 // Base scan partition counts legitimately differ.
-                (
-                    DerivationSource::BaseFacts { .. },
-                    DerivationSource::BaseFacts { .. },
-                ) => {}
+                (DerivationSource::BaseFacts { .. }, DerivationSource::BaseFacts { .. }) => {}
                 _ => assert_eq!(sa, sb, "mask {ma:b}"),
             }
         }
@@ -625,12 +682,7 @@ mod tests {
         let stat_masks: Vec<u32> = c.stats().iter().map(|s| s.mask).collect();
         assert_eq!(stat_masks, c.masks(), "one stats entry per cuboid, sorted");
         for s in c.stats() {
-            assert_eq!(
-                s.cells as usize,
-                c.cuboid(s.mask).unwrap().len(),
-                "mask {:b}",
-                s.mask
-            );
+            assert_eq!(s.cells as usize, c.cuboid(s.mask).unwrap().len(), "mask {:b}", s.mask);
             match s.source {
                 DerivationSource::BaseFacts { partitions } => {
                     assert_eq!(s.mask, 0b111);
@@ -663,9 +715,6 @@ mod tests {
         // from the 2-member cuboid {d0}, not the 50-member {d1}.
         let f = int_input(&[2, 50], 400, 17);
         let c = compute_shared(&f);
-        assert_eq!(
-            c.stats_for(0).unwrap().source,
-            DerivationSource::Ancestor { parent: 0b01 }
-        );
+        assert_eq!(c.stats_for(0).unwrap().source, DerivationSource::Ancestor { parent: 0b01 });
     }
 }

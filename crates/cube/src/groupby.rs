@@ -18,12 +18,7 @@ pub type Cuboid = HashMap<Box<[u32]>, AggState>;
 
 /// Extracts the kept coordinates of `coords` under `mask`.
 pub fn project_key(coords: &[u32], mask: u32) -> Box<[u32]> {
-    coords
-        .iter()
-        .enumerate()
-        .filter(|(d, _)| mask & (1 << d) != 0)
-        .map(|(_, &c)| c)
-        .collect()
+    coords.iter().enumerate().filter(|(d, _)| mask & (1 << d) != 0).map(|(_, &c)| c).collect()
 }
 
 /// Computes cuboid `mask` directly from the base facts (one full scan).
@@ -39,8 +34,7 @@ pub fn from_facts(input: &FactInput, mask: u32) -> Cuboid {
 /// the partition-parallel engine is built on.
 pub fn from_facts_range(input: &FactInput, mask: u32, rows: std::ops::Range<usize>) -> Cuboid {
     debug_assert!(rows.end <= input.len(), "row range out of bounds");
-    let kept: Vec<usize> =
-        (0..input.dim_count()).filter(|d| mask & (1 << d) != 0).collect();
+    let kept: Vec<usize> = (0..input.dim_count()).filter(|d| mask & (1 << d) != 0).collect();
     let mut out: Cuboid = HashMap::new();
     let mut key = vec![0u32; kept.len()];
     for row in rows {

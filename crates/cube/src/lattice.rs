@@ -191,7 +191,7 @@ mod tests {
         assert_eq!(l.size(0b001), 1000); // product
         assert_eq!(l.size(0b010), 50); // location
         assert_eq!(l.size(0b011), 50_000); // product, location
-        // product × location × day = 18.25e6 > 1e6 base rows → clamped.
+                                           // product × location × day = 18.25e6 > 1e6 base rows → clamped.
         assert_eq!(l.size(l.top()), 1_000_000);
     }
 

@@ -87,7 +87,11 @@ pub fn greedy_select(lattice: &Lattice, k: usize) -> Result<GreedySelection> {
                 best = Some((c, b));
             }
         }
-        let (choice, b) = best.expect("k <= candidate count");
+        let Some((choice, b)) = best else {
+            // Unreachable given the k <= candidates.len() guard above, but
+            // a typed error beats a panic if the guard ever drifts.
+            return Err(Error::InvalidSchema("greedy selection ran out of candidates".into()));
+        };
         views.push(choice);
         selected.push(choice);
         benefits.push(b);
@@ -109,18 +113,16 @@ mod tests {
     fn lattice() -> Lattice {
         // dims a, b, c with cards 100, 50, 10 and 1M base rows, then
         // override with explicit sizes.
-        Lattice::new(&[100, 50, 10], 100_000_000)
-            .unwrap()
-            .with_measured_sizes(&[
-                (0b111, 100), // abc (base)
-                (0b011, 50),  // ab
-                (0b101, 75),  // ac
-                (0b110, 20),  // bc
-                (0b001, 30),  // a
-                (0b010, 1),   // b
-                (0b100, 10),  // c
-                (0b000, 1),   // apex
-            ])
+        Lattice::new(&[100, 50, 10], 100_000_000).unwrap().with_measured_sizes(&[
+            (0b111, 100), // abc (base)
+            (0b011, 50),  // ab
+            (0b101, 75),  // ac
+            (0b110, 20),  // bc
+            (0b001, 30),  // a
+            (0b010, 1),   // b
+            (0b100, 10),  // c
+            (0b000, 1),   // apex
+        ])
     }
 
     #[test]
@@ -189,11 +191,14 @@ mod tests {
         let achieved = base_cost - total_cost(&l, &v2);
         // Optimal 2-view benefit can't exceed total possible benefit.
         let possible = base_cost - full;
-        assert!(achieved as f64 >= 0.63 * possible as f64 * {
-            // The bound is vs. optimal-k, which ≤ possible; this check is
-            // conservative but should hold on this lattice.
-            1.0
-        } - 1.0);
+        assert!(
+            achieved as f64
+                >= 0.63 * possible as f64 * {
+                    // The bound is vs. optimal-k, which ≤ possible; this check is
+                    // conservative but should hold on this lattice.
+                    1.0
+                } - 1.0
+        );
     }
 
     #[test]

@@ -145,7 +145,11 @@ fn cell_from_parent(
             pcoords[d] = 0;
         }
     }
-    if count == 0 { None } else { Some((sum, count)) }
+    if count == 0 {
+        None
+    } else {
+        Some((sum, count))
+    }
 }
 
 /// A fully computed MOLAP cube: one dense cuboid per mask.
@@ -200,8 +204,7 @@ impl MolapCube {
     /// Seals every cuboid under a per-mask checksum manifest; verified
     /// lookups ([`MolapCube::get_all_verified`]) check against these.
     pub fn seal(&mut self) {
-        self.seals =
-            self.cuboids.iter().map(|(&m, c)| (m, ChecksumManifest::seal(c))).collect();
+        self.seals = self.cuboids.iter().map(|(&m, c)| (m, ChecksumManifest::seal(c))).collect();
     }
 
     /// Test/chaos hook: flips one stored bit of cuboid `mask`'s sum array.
@@ -254,10 +257,7 @@ impl MolapCube {
     /// smallest healthy ancestor, with the detour recorded as a
     /// [`Degradation`]. Every covering cuboid corrupt ⇒
     /// [`Error::NoHealthySource`].
-    pub fn get_all_verified(
-        &self,
-        pattern: &[Option<u32>],
-    ) -> Result<VerifiedCell> {
+    pub fn get_all_verified(&self, pattern: &[Option<u32>]) -> Result<VerifiedCell> {
         if pattern.len() != self.cards.len() {
             return Err(Error::ArityMismatch { expected: self.cards.len(), got: pattern.len() });
         }
@@ -402,20 +402,18 @@ pub fn compute_molap(input: &FactInput) -> Result<MolapCube> {
                 }
             }
         }
-        let (pmask, _) = best.expect("ancestor exists");
+        // A direct parent always exists in descending-popcount order; the
+        // base cuboid is a correct fallback if that invariant ever broke.
+        let pmask = best.map_or(full, |(p, _)| p);
         let t = Instant::now();
-        let child_dims: Vec<usize> = (0..n)
-            .filter(|d| mask & (1 << d) != 0)
-            .map(|d| cards[d])
-            .collect();
+        let child_dims: Vec<usize> =
+            (0..n).filter(|d| mask & (1 << d) != 0).map(|d| cards[d]).collect();
         let mut child = DenseCuboid::new(child_dims);
         {
             let parent = &cuboids[&pmask];
             // For each parent axis, whether the child keeps it.
-            let kept: Vec<bool> = (0..n)
-                .filter(|d| pmask & (1 << d) != 0)
-                .map(|d| mask & (1 << d) != 0)
-                .collect();
+            let kept: Vec<bool> =
+                (0..n).filter(|d| pmask & (1 << d) != 0).map(|d| mask & (1 << d) != 0).collect();
             let pdims = parent.dims.clone();
             let mut pcoords = vec![0usize; pdims.len()];
             for poff in 0..parent.sum.len() {

@@ -22,6 +22,7 @@ use std::collections::HashMap;
 
 use statcube_core::error::{Error, Result};
 use statcube_core::measure::AggState;
+use statcube_core::trace::{self, QueryProfile};
 use statcube_storage::page_store::{FaultPlan, FaultStats, PageStore};
 use statcube_storage::verify::ScrubReport;
 
@@ -57,6 +58,11 @@ pub struct Answer {
     /// Present when one or more preferred sources failed verification and
     /// the answer was recomputed from a healthy ancestor.
     pub degraded: Option<Degradation>,
+    /// The `EXPLAIN ANALYZE`-style span tree of this answer (storage reads,
+    /// retries, fallback provenance). Present only when
+    /// [`trace`] was enabled and this query was the calling thread's
+    /// outermost traced unit of work.
+    pub profile: Option<QueryProfile>,
 }
 
 /// Deterministic serialization of a cuboid: row count, key width, then
@@ -148,8 +154,7 @@ impl ViewStore {
             views.entry(mask).or_insert_with(|| groupby::from_facts(input, mask));
         }
         // Refresh the lattice with measured sizes for accurate routing.
-        let measured: Vec<(u32, u64)> =
-            views.iter().map(|(&m, c)| (m, c.len() as u64)).collect();
+        let measured: Vec<(u32, u64)> = views.iter().map(|(&m, c)| (m, c.len() as u64)).collect();
         let lattice = lattice.with_measured_sizes(&measured);
         let (pages, files) = seal_views(&views, lattice.dim_count());
         Ok(Self { lattice, views, pages, files })
@@ -166,8 +171,7 @@ impl ViewStore {
                 .ok_or_else(|| Error::InvalidSchema(format!("cube lacks mask {mask:b}")))?;
             views.insert(mask, cuboid.clone());
         }
-        let measured: Vec<(u32, u64)> =
-            views.iter().map(|(&m, c)| (m, c.len() as u64)).collect();
+        let measured: Vec<(u32, u64)> = views.iter().map(|(&m, c)| (m, c.len() as u64)).collect();
         let (pages, files) = seal_views(&views, lattice.dim_count());
         Ok(Self { lattice: lattice.with_measured_sizes(&measured), views, pages, files })
     }
@@ -227,6 +231,9 @@ impl ViewStore {
     /// carries the [`Degradation`] record; if every candidate fails the
     /// query returns [`Error::NoHealthySource`].
     pub fn answer(&self, mask: u32) -> Result<Answer> {
+        let mut sp = trace::span("cube.answer");
+        sp.record("mask", mask as u64);
+        let attach_profile = sp.is_root();
         if mask > self.lattice.top() {
             return Err(Error::InvalidSchema(format!("mask {mask:b} out of range")));
         }
@@ -243,6 +250,7 @@ impl ViewStore {
         }
         let first_choice_cost = candidates[0].1;
         let mut failed: Vec<(u32, Error)> = Vec::new();
+        let mut found = None;
         for &(source, _) in &candidates {
             let name = view_file_name(source);
             let loaded = self
@@ -260,16 +268,43 @@ impl ViewStore {
                         Some(Degradation {
                             requested: mask,
                             served_from: source,
-                            failed,
+                            failed: std::mem::take(&mut failed),
                             extra_cells: cells_scanned.saturating_sub(first_choice_cost),
                         })
                     };
-                    return Ok(Answer { cuboid, source, cells_scanned, degraded });
+                    found = Some(Answer { cuboid, source, cells_scanned, degraded, profile: None });
+                    break;
                 }
                 Err(e) => failed.push((source, e)),
             }
         }
-        Err(Error::NoHealthySource { requested: mask, tried: failed.len() })
+        trace::counter("cube.answers", 1);
+        match found {
+            Some(mut ans) => {
+                if sp.is_recording() {
+                    sp.record("source", ans.source as u64);
+                    sp.record("cells_scanned", ans.cells_scanned);
+                    sp.record("cells", ans.cuboid.len() as u64);
+                    if let Some(d) = &ans.degraded {
+                        // The lattice-fallback decision, with the chosen
+                        // healthy ancestor and what it detoured around.
+                        sp.note(format!(
+                            "fallback: served from {:#b} after {} failed source(s), first {:#b}",
+                            d.served_from,
+                            d.failed.len(),
+                            d.failed[0].0,
+                        ));
+                        trace::counter("cube.fallbacks", 1);
+                    }
+                    drop(sp);
+                    if attach_profile {
+                        ans.profile = Some(trace::take_profile());
+                    }
+                }
+                Ok(ans)
+            }
+            None => Err(Error::NoHealthySource { requested: mask, tried: failed.len() }),
+        }
     }
 
     /// Answers every cuboid of the lattice, assembling a [`CubeResult`]
@@ -279,6 +314,8 @@ impl ViewStore {
     ///
     /// Fails with the first unanswerable cuboid's typed error.
     pub fn answer_cube(&self) -> Result<CubeResult> {
+        let mut sp = trace::span("cube.answer_cube");
+        let attach_profile = sp.is_root();
         let n = self.lattice.dim_count();
         let mut cuboids = HashMap::with_capacity(1 << n);
         let mut stats = Vec::with_capacity(1 << n);
@@ -287,10 +324,9 @@ impl ViewStore {
             let t = std::time::Instant::now();
             let ans = self.answer(mask)?;
             let source = match &ans.degraded {
-                Some(d) => DerivationSource::FallbackAncestor {
-                    parent: ans.source,
-                    failed: d.failed[0].0,
-                },
+                Some(d) => {
+                    DerivationSource::FallbackAncestor { parent: ans.source, failed: d.failed[0].0 }
+                }
                 None => DerivationSource::Ancestor { parent: ans.source },
             };
             stats.push(CuboidStats {
@@ -308,6 +344,14 @@ impl ViewStore {
         let mut result = CubeResult::from_parts(n, cuboids, stats);
         for d in degradations {
             result.push_degradation(d);
+        }
+        if sp.is_recording() {
+            sp.record("cuboids", (self.lattice.top() as u64) + 1);
+            sp.record("cells", result.total_cells() as u64);
+            drop(sp);
+            if attach_profile {
+                result.set_profile(trace::take_profile());
+            }
         }
         Ok(result)
     }
@@ -417,9 +461,8 @@ mod tests {
         let greedy = materialize::greedy_select(&lattice, 3).unwrap();
         let with_views = ViewStore::build(&f, &greedy.selected).unwrap();
         let base_only = ViewStore::build(&f, &[]).unwrap();
-        let cost = |s: &ViewStore| -> u64 {
-            (0..8u32).map(|m| s.answer(m).unwrap().cells_scanned).sum()
-        };
+        let cost =
+            |s: &ViewStore| -> u64 { (0..8u32).map(|m| s.answer(m).unwrap().cells_scanned).sum() };
         assert!(cost(&with_views) < cost(&base_only));
     }
 

@@ -124,7 +124,11 @@ fn cell_from_parent(
             count += c;
         }
     }
-    if count == 0 { None } else { Some((sum, count)) }
+    if count == 0 {
+        None
+    } else {
+        Some((sum, count))
+    }
 }
 
 /// A fully computed sort-based ROLAP cube.
@@ -179,8 +183,7 @@ impl RolapCube {
     /// Seals every cuboid under a per-mask checksum manifest; verified
     /// lookups ([`RolapCube::get_all_verified`]) check against these.
     pub fn seal(&mut self) {
-        self.seals =
-            self.cuboids.iter().map(|(&m, c)| (m, ChecksumManifest::seal(c))).collect();
+        self.seals = self.cuboids.iter().map(|(&m, c)| (m, ChecksumManifest::seal(c))).collect();
     }
 
     /// Test/chaos hook: flips one stored bit of cuboid `mask`'s sums.
@@ -233,10 +236,7 @@ impl RolapCube {
     /// smallest healthy ancestor, with the detour recorded as a
     /// [`Degradation`]. Every covering cuboid corrupt ⇒
     /// [`Error::NoHealthySource`].
-    pub fn get_all_verified(
-        &self,
-        pattern: &[Option<u32>],
-    ) -> Result<VerifiedCell> {
+    pub fn get_all_verified(&self, pattern: &[Option<u32>]) -> Result<VerifiedCell> {
         if pattern.len() != self.n_dims {
             return Err(Error::ArityMismatch { expected: self.n_dims, got: pattern.len() });
         }
@@ -340,7 +340,9 @@ pub fn compute_rolap(input: &FactInput) -> RolapCube {
                 }
             }
         }
-        let (pmask, _) = best.expect("ancestor exists");
+        // A direct parent always exists in descending-popcount order; the
+        // base cuboid is a correct fallback if that invariant ever broke.
+        let pmask = best.map_or(full, |(p, _)| p);
         let t = Instant::now();
         let parent = &cuboids[&pmask];
         // Positions within the parent key that the child keeps.
@@ -466,9 +468,10 @@ mod tests {
         assert_eq!(cell, oracle);
         let d = degraded.expect("detour must be recorded");
         assert_eq!(d.requested, 0);
-        assert!(d.failed.iter().any(|(m, e)| {
-            *m == 0 && matches!(e, Error::ChecksumMismatch { .. })
-        }));
+        assert!(d
+            .failed
+            .iter()
+            .any(|(m, e)| { *m == 0 && matches!(e, Error::ChecksumMismatch { .. }) }));
         // A lookup served by a healthy cuboid stays clean.
         let (_, clean) = r.get_all_verified(&[Some(1), None, None]).unwrap();
         assert!(clean.is_none());

@@ -29,9 +29,9 @@ pub mod tracker;
 pub mod prelude {
     pub use crate::overlap::OverlapAuditedDatabase;
     pub use crate::perturb::{input_perturb, OutputPerturbedDatabase};
+    pub use crate::restrict::negate_conjunction;
     pub use crate::restrict::{Cmp, Pred, PrivacyError, ProtectedDatabase};
     pub use crate::sample::SampledDatabase;
     pub use crate::suppress::{apply_suppression, plan_suppression, SuppressionPlan};
-    pub use crate::restrict::negate_conjunction;
     pub use crate::tracker::{difference_attack, general_tracker, individual_tracker, Compromise};
 }

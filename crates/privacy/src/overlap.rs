@@ -38,10 +38,7 @@ impl OverlapAuditedDatabase {
         for prev in &self.answered {
             let overlap = prev.intersection(&set).count();
             if overlap > self.max_overlap {
-                return Err(PrivacyError::OverlapDenied {
-                    overlap,
-                    max_overlap: self.max_overlap,
-                });
+                return Err(PrivacyError::OverlapDenied { overlap, max_overlap: self.max_overlap });
             }
         }
         Ok(set)
@@ -112,7 +109,7 @@ mod tests {
         let db = ProtectedDatabase::new(demo_database(), 3).lower_bound_only();
         let mut audited = OverlapAuditedDatabase::new(db, 2);
         assert!(audited.count(&[Pred::eq("dept", "eng")]).is_ok()); // 5 members
-        // age 30-39 ∩ eng = {alice, carol}: overlap 2 ≤ 2, answered.
+                                                                    // age 30-39 ∩ eng = {alice, carol}: overlap 2 ≤ 2, answered.
         assert!(audited.count(&[Pred::eq("age_group", "30-39")]).is_ok());
     }
 }

@@ -88,8 +88,7 @@ pub fn accuracy_report(truth: &[f64], answers: &[f64]) -> (f64, f64) {
     }
     let n = truth.len() as f64;
     let bias = truth.iter().zip(answers).map(|(t, a)| a - t).sum::<f64>() / n;
-    let rmse =
-        (truth.iter().zip(answers).map(|(t, a)| (a - t) * (a - t)).sum::<f64>() / n).sqrt();
+    let rmse = (truth.iter().zip(answers).map(|(t, a)| (a - t) * (a - t)).sum::<f64>() / n).sqrt();
     (bias, rmse)
 }
 
@@ -122,13 +121,8 @@ mod tests {
         let micro = demo_database();
         let noised = input_perturb(&micro, "salary", 5_000.0, 7).unwrap();
         let db = ProtectedDatabase::new(noised, 3).lower_bound_only();
-        let c = crate::tracker::difference_attack(
-            &db,
-            &[],
-            &Pred::eq("age_group", "65"),
-            "salary",
-        )
-        .unwrap();
+        let c = crate::tracker::difference_attack(&db, &[], &Pred::eq("age_group", "65"), "salary")
+            .unwrap();
         // The attack still "works" mechanically, but the recovered value is
         // only an approximation of the true 180k.
         assert!(c.value != 180_000.0);

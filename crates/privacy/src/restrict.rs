@@ -290,9 +290,7 @@ mod tests {
     #[test]
     fn conjunction_and_negation_predicates() {
         let db = ProtectedDatabase::new(demo_database(), 1);
-        let set = db
-            .query_set(&[Pred::eq("dept", "eng"), Pred::ne("age_group", "65")])
-            .unwrap();
+        let set = db.query_set(&[Pred::eq("dept", "eng"), Pred::ne("age_group", "65")]).unwrap();
         assert_eq!(set.len(), 4);
         assert!(db.query_set(&[Pred::eq("planet", "mars")]).is_err());
     }

@@ -119,10 +119,7 @@ mod tests {
             total += s.sum(&[Pred::eq("group", "b")], "v").unwrap();
         }
         let mean = total / trials as f64;
-        assert!(
-            (mean - exact).abs() / exact < 0.05,
-            "mean of estimates {mean} vs exact {exact}"
-        );
+        assert!((mean - exact).abs() / exact < 0.05, "mean of estimates {mean} vs exact {exact}");
     }
 
     #[test]
@@ -144,7 +141,8 @@ mod tests {
         // broad − rest should be the "b" total, but sampling error is large
         // relative to any single individual's value (≤ 99).
         let inferred_b = broad - rest;
-        let exact_b = exact_total - (0..10_000).filter(|i| i % 2 == 0).map(|i| (i % 100) as f64).sum::<f64>();
+        let exact_b =
+            exact_total - (0..10_000).filter(|i| i % 2 == 0).map(|i| (i % 100) as f64).sum::<f64>();
         assert!((inferred_b - exact_b).abs() > 100.0, "sampling noise should swamp an individual");
     }
 }

@@ -53,8 +53,7 @@ pub fn plan_suppression(table: &[Vec<u64>], threshold: u64) -> SuppressionPlan {
     loop {
         let mut changed = false;
         for r in 0..rows {
-            let in_row: Vec<usize> =
-                (0..cols).filter(|&c| all.contains(&(r, c))).collect();
+            let in_row: Vec<usize> = (0..cols).filter(|&c| all.contains(&(r, c))).collect();
             if in_row.len() == 1 {
                 // Suppress the smallest other non-zero cell in the row;
                 // fall back to any other cell (zero cells reveal nothing,
@@ -69,8 +68,7 @@ pub fn plan_suppression(table: &[Vec<u64>], threshold: u64) -> SuppressionPlan {
             }
         }
         for c in 0..cols {
-            let in_col: Vec<usize> =
-                (0..rows).filter(|&r| all.contains(&(r, c))).collect();
+            let in_col: Vec<usize> = (0..rows).filter(|&r| all.contains(&(r, c))).collect();
             if in_col.len() == 1 {
                 let pick = (0..rows)
                     .filter(|&r| !all.contains(&(r, c)))
@@ -180,10 +178,7 @@ mod tests {
             let known: u64 = published[r].iter().flatten().sum();
             let residual = row_totals[r] - known;
             let unknown_cells = published[r].iter().filter(|v| v.is_none()).count();
-            assert!(
-                unknown_cells >= 2 || residual != t[r][c],
-                "cell ({r},{c}) recoverable"
-            );
+            assert!(unknown_cells >= 2 || residual != t[r][c], "cell ({r},{c}) recoverable");
         }
     }
 

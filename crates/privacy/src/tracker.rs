@@ -56,11 +56,7 @@ pub fn individual_tracker(
     let sum_t = db.sum(&tracker, measure)?;
     queries_used.push(format!("sum({tracker:?}, {measure})"));
 
-    Ok(Compromise {
-        count: count_c1 - count_t,
-        value: sum_c1 - sum_t,
-        queries_used,
-    })
+    Ok(Compromise { count: count_c1 - count_t, value: sum_c1 - sum_t, queries_used })
 }
 
 /// The paper's difference attack: learn the measure of the unique

@@ -95,9 +95,8 @@ impl Query {
                 &self.filters.iter().map(Predicate::to_sql).collect::<Vec<_>>().join(" AND "),
             );
         }
-        let quote = |ds: &[String]| {
-            ds.iter().map(|d| format!("\"{d}\"")).collect::<Vec<_>>().join(", ")
-        };
+        let quote =
+            |ds: &[String]| ds.iter().map(|d| format!("\"{d}\"")).collect::<Vec<_>>().join(", ");
         match &self.grouping {
             Grouping::None => {}
             Grouping::Plain(d) => out.push_str(&format!(" GROUP BY {}", quote(d))),

@@ -14,6 +14,7 @@ use statcube_core::error::{Error, Result};
 use statcube_core::object::StatisticalObject;
 use statcube_core::ops;
 use statcube_core::summarizability::check_type;
+use statcube_core::trace;
 
 use crate::ast::{Grouping, Query};
 
@@ -75,7 +76,7 @@ impl ResultSet {
     }
 }
 
-fn apply_filters(obj: &StatisticalObject, query: &Query) -> Result<StatisticalObject> {
+pub(crate) fn apply_filters(obj: &StatisticalObject, query: &Query) -> Result<StatisticalObject> {
     let mut cur = obj.clone();
     for p in &query.filters {
         let d = cur.schema().dim_index(&p.column)?;
@@ -91,7 +92,7 @@ fn apply_filters(obj: &StatisticalObject, query: &Query) -> Result<StatisticalOb
     Ok(cur)
 }
 
-fn check_aggregates(obj: &StatisticalObject, query: &Query) -> Result<Vec<usize>> {
+pub(crate) fn check_aggregates(obj: &StatisticalObject, query: &Query) -> Result<Vec<usize>> {
     // Resolve each aggregate to a measure index (COUNT(*) → measure 0's
     // count, which is shared across measures).
     let mut measure_idx = Vec::with_capacity(query.select.len());
@@ -157,7 +158,7 @@ fn check_aggregates(obj: &StatisticalObject, query: &Query) -> Result<Vec<usize>
 /// `city` level first rolls the object up to that level, then the name
 /// refers to the (renamed) dimension. Returns the possibly rolled-up
 /// object and the query with level names rewritten to dimension names.
-fn resolve_level_groupings(
+pub(crate) fn resolve_level_groupings(
     obj: &StatisticalObject,
     query: &Query,
 ) -> Result<(StatisticalObject, Query)> {
@@ -194,11 +195,14 @@ fn resolve_level_groupings(
 /// Executes a parsed query against a statistical object (the binding of
 /// the query's FROM name to `obj` is the caller's affair).
 pub fn execute(obj: &StatisticalObject, query: &Query) -> Result<ResultSet> {
+    let mut root = trace::span("sql.execute");
+    trace::counter("sql.queries", 1);
     if query.select.is_empty() {
         return Err(Error::InvalidSchema("empty SELECT list".into()));
     }
     // Result columns keep the user's names (level names included).
     let display_dims: Vec<String> = query.grouping.dims().to_vec();
+    let plan_span = trace::span("sql.plan");
     // WHERE applies at the leaf level, before any level-name roll-up —
     // `WHERE store = 's1' GROUP BY city` filters the store first.
     let filtered_leaf = apply_filters(obj, query)?;
@@ -206,6 +210,8 @@ pub fn execute(obj: &StatisticalObject, query: &Query) -> Result<ResultSet> {
     let obj = &obj;
     let query = &query;
     let measure_idx = check_aggregates(obj, query)?;
+    drop(plan_span);
+    let mut eval_span = trace::span("sql.eval");
     let filtered = obj.clone();
 
     let group_dims = query.grouping.dims().to_vec();
@@ -222,10 +228,7 @@ pub fn execute(obj: &StatisticalObject, query: &Query) -> Result<ResultSet> {
         }
         Grouping::Rollup(d) => {
             let n = d.len();
-            (0..=n)
-                .rev()
-                .map(|k| (0..n).map(|i| i < k).collect())
-                .collect()
+            (0..=n).rev().map(|k| (0..n).map(|i| i < k).collect()).collect()
         }
     };
 
@@ -275,6 +278,10 @@ pub fn execute(obj: &StatisticalObject, query: &Query) -> Result<ResultSet> {
             rows.push(ResultRow { group, values });
         }
     }
+    eval_span.record("grouping_sets", sets.len() as u64);
+    eval_span.record("rows", rows.len() as u64);
+    drop(eval_span);
+    root.record("rows", rows.len() as u64);
 
     Ok(ResultSet {
         group_columns: display_dims,
@@ -341,29 +348,21 @@ mod tests {
 
     #[test]
     fn cube_emits_all_groupings_with_all() {
-        let rs = execute_str(
-            &census(),
-            "SELECT SUM(births) FROM census GROUP BY CUBE(state, sex)",
-        )
-        .unwrap();
+        let rs = execute_str(&census(), "SELECT SUM(births) FROM census GROUP BY CUBE(state, sex)")
+            .unwrap();
         // Groupings: (state,sex)=4 rows, (state)=2, (sex)=2, ()=1.
         assert_eq!(rs.rows.len(), 9);
         assert_eq!(find(&rs, &[None, None]).unwrap().values[0], Some(48.0));
         assert_eq!(find(&rs, &[Some("CA"), None]).unwrap().values[0], Some(36.0));
         assert_eq!(find(&rs, &[None, Some("male")]).unwrap().values[0], Some(19.0));
-        assert_eq!(
-            find(&rs, &[Some("AL"), Some("female")]).unwrap().values[0],
-            Some(4.0)
-        );
+        assert_eq!(find(&rs, &[Some("AL"), Some("female")]).unwrap().values[0], Some(4.0));
     }
 
     #[test]
     fn rollup_emits_prefixes_only() {
-        let rs = execute_str(
-            &census(),
-            "SELECT SUM(births) FROM census GROUP BY ROLLUP(state, sex)",
-        )
-        .unwrap();
+        let rs =
+            execute_str(&census(), "SELECT SUM(births) FROM census GROUP BY ROLLUP(state, sex)")
+                .unwrap();
         // (state,sex)=4, (state)=2, ()=1.
         assert_eq!(rs.rows.len(), 7);
         assert!(find(&rs, &[None, Some("male")]).is_none());
@@ -405,21 +404,19 @@ mod tests {
         let err = execute_str(&census(), "SELECT SUM(population) FROM census GROUP BY state");
         assert!(matches!(err, Err(Error::Summarizability(_))));
         // AVG(population) over the same grouping: fine.
-        let rs = execute_str(&census(), "SELECT AVG(population) FROM census GROUP BY state")
-            .unwrap();
+        let rs =
+            execute_str(&census(), "SELECT AVG(population) FROM census GROUP BY state").unwrap();
         assert_eq!(find(&rs, &[Some("AL")]).unwrap().values[0], Some(104.0));
         // SUM(population) grouped by year (time kept): fine.
-        let rs = execute_str(&census(), "SELECT SUM(population) FROM census GROUP BY year")
-            .unwrap();
+        let rs =
+            execute_str(&census(), "SELECT SUM(population) FROM census GROUP BY year").unwrap();
         assert_eq!(find(&rs, &[Some("1990")]).unwrap().values[0], Some(1020.0));
         // SUM(births) — a flow — over time: fine.
         assert!(execute_str(&census(), "SELECT SUM(births) FROM census").is_ok());
         // CUBE including population sums must also be refused (the apex
         // aggregates over time).
-        let err = execute_str(
-            &census(),
-            "SELECT SUM(population) FROM census GROUP BY CUBE(state, year)",
-        );
+        let err =
+            execute_str(&census(), "SELECT SUM(population) FROM census GROUP BY CUBE(state, year)");
         assert!(matches!(err, Err(Error::Summarizability(_))));
     }
 
@@ -434,11 +431,8 @@ mod tests {
 
     #[test]
     fn render_contains_all_and_values() {
-        let rs = execute_str(
-            &census(),
-            "SELECT SUM(births) FROM census GROUP BY CUBE(state, sex)",
-        )
-        .unwrap();
+        let rs = execute_str(&census(), "SELECT SUM(births) FROM census GROUP BY CUBE(state, sex)")
+            .unwrap();
         let text = rs.render();
         assert!(text.contains("ALL"));
         assert!(text.contains("48.00"));
@@ -473,18 +467,15 @@ mod tests {
         assert_eq!(find(&rs, &[Some("seattle")]).unwrap().values[0], Some(15.0));
         assert_eq!(find(&rs, &[Some("portland")]).unwrap().values[0], Some(7.0));
         // Works inside CUBE too.
-        let rs = execute_str(&o, "SELECT SUM(amount) FROM sales GROUP BY CUBE(city, product)")
-            .unwrap();
+        let rs =
+            execute_str(&o, "SELECT SUM(amount) FROM sales GROUP BY CUBE(city, product)").unwrap();
         assert_eq!(find(&rs, &[Some("seattle"), None]).unwrap().values[0], Some(15.0));
         assert_eq!(find(&rs, &[None, None]).unwrap().values[0], Some(22.0));
         // Unknown names still error.
         assert!(execute_str(&o, "SELECT SUM(amount) FROM sales GROUP BY galaxy").is_err());
         // Leaf-level WHERE composes with level grouping: only s1 counts.
-        let rs = execute_str(
-            &o,
-            "SELECT SUM(amount) FROM sales WHERE store = 's1' GROUP BY city",
-        )
-        .unwrap();
+        let rs = execute_str(&o, "SELECT SUM(amount) FROM sales WHERE store = 's1' GROUP BY city")
+            .unwrap();
         assert_eq!(find(&rs, &[Some("seattle")]).unwrap().values[0], Some(10.0));
         assert!(find(&rs, &[Some("portland")]).is_none());
     }

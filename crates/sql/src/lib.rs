@@ -21,23 +21,24 @@
 //! use statcube_core::prelude::*;
 //! use statcube_sql::execute_str;
 //!
+//! # fn main() -> Result<()> {
 //! let schema = Schema::builder("sales")
 //!     .dimension(Dimension::categorical("product", ["apple", "pear"]))
 //!     .dimension(Dimension::categorical("store", ["s1", "s2"]))
 //!     .measure(SummaryAttribute::new("amount", MeasureKind::Flow))
-//!     .build()
-//!     .unwrap();
+//!     .build()?;
 //! let mut sales = StatisticalObject::empty(schema);
-//! sales.insert(&["apple", "s1"], 10.0).unwrap();
-//! sales.insert(&["pear", "s2"], 5.0).unwrap();
+//! sales.insert(&["apple", "s1"], 10.0)?;
+//! sales.insert(&["pear", "s2"], 5.0)?;
 //!
 //! let rs = execute_str(
 //!     &sales,
 //!     "SELECT SUM(amount), COUNT(*) FROM sales GROUP BY CUBE(product, store)",
-//! )
-//! .unwrap();
+//! )?;
 //! assert_eq!(rs.rows.len(), 2 + 2 + 2 + 1); // base, by product, by store, apex
 //! println!("{}", rs.render());
+//! # Ok(())
+//! # }
 //! ```
 
 #![warn(missing_docs)]
@@ -45,10 +46,12 @@
 pub mod ast;
 pub mod exec;
 pub mod parser;
+pub mod physical;
 pub mod token;
 
 pub use exec::{execute, execute_str, ResultRow, ResultSet};
 pub use parser::{expand_cube_to_unions, parse};
+pub use physical::{execute_physical, execute_physical_str, PhysicalAnswer};
 
 /// The most commonly used items, for glob import. `Query` is re-exported
 /// as `SqlQuery` to avoid clashing with
@@ -57,4 +60,5 @@ pub mod prelude {
     pub use crate::ast::{AggExpr, Grouping, Predicate, Query as SqlQuery};
     pub use crate::exec::{execute, execute_str, ResultRow, ResultSet};
     pub use crate::parser::{expand_cube_to_unions, parse};
+    pub use crate::physical::{execute_physical, execute_physical_str, PhysicalAnswer};
 }

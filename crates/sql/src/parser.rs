@@ -11,6 +11,7 @@
 
 use statcube_core::error::{Error, Result};
 use statcube_core::measure::SummaryFunction;
+use statcube_core::trace;
 
 use crate::ast::{AggExpr, Grouping, Predicate, Query};
 use crate::token::{tokenize, Token};
@@ -53,7 +54,7 @@ impl Parser {
         }
     }
 
-    fn expect(&mut self, t: &Token) -> Result<()> {
+    fn expect_tok(&mut self, t: &Token) -> Result<()> {
         let got = self.next()?;
         if got == *t {
             Ok(())
@@ -84,18 +85,20 @@ impl Parser {
                 )))
             }
         };
-        self.expect(&Token::LParen)?;
+        self.expect_tok(&Token::LParen)?;
         let arg = match self.peek() {
             Some(Token::Star) => {
                 self.pos += 1;
                 if func != SummaryFunction::Count {
-                    return Err(Error::InvalidSchema(format!("`*` only valid in COUNT, not {func}")));
+                    return Err(Error::InvalidSchema(format!(
+                        "`*` only valid in COUNT, not {func}"
+                    )));
                 }
                 None
             }
             _ => Some(self.ident()?),
         };
-        self.expect(&Token::RParen)?;
+        self.expect_tok(&Token::RParen)?;
         Ok(AggExpr { func, arg })
     }
 
@@ -105,9 +108,7 @@ impl Parser {
             Token::Eq => false,
             Token::Ne => true,
             other => {
-                return Err(Error::InvalidSchema(format!(
-                    "expected `=` or `<>`, found `{other}`"
-                )))
+                return Err(Error::InvalidSchema(format!("expected `=` or `<>`, found `{other}`")))
             }
         };
         let value = match self.next()? {
@@ -131,15 +132,15 @@ impl Parser {
 
     fn grouping(&mut self) -> Result<Grouping> {
         if self.accept_kw("cube") {
-            self.expect(&Token::LParen)?;
+            self.expect_tok(&Token::LParen)?;
             let dims = self.ident_list()?;
-            self.expect(&Token::RParen)?;
+            self.expect_tok(&Token::RParen)?;
             return Ok(Grouping::Cube(dims));
         }
         if self.accept_kw("rollup") {
-            self.expect(&Token::LParen)?;
+            self.expect_tok(&Token::LParen)?;
             let dims = self.ident_list()?;
-            self.expect(&Token::RParen)?;
+            self.expect_tok(&Token::RParen)?;
             return Ok(Grouping::Rollup(dims));
         }
         Ok(Grouping::Plain(self.ident_list()?))
@@ -183,7 +184,15 @@ impl Parser {
 
 /// Parses one query.
 pub fn parse(input: &str) -> Result<Query> {
-    Parser { tokens: tokenize(input)?, pos: 0 }.query()
+    let tokens = {
+        let mut sp = trace::span("sql.tokenize");
+        sp.record("bytes", input.len() as u64);
+        let tokens = tokenize(input)?;
+        sp.record("tokens", tokens.len() as u64);
+        tokens
+    };
+    let _sp = trace::span("sql.parse");
+    Parser { tokens, pos: 0 }.query()
 }
 
 /// Rewrites a `GROUP BY CUBE` query into the equivalent union of plain
@@ -221,10 +230,8 @@ mod tests {
     #[test]
     fn parses_the_gb96_example() {
         // The paper's §5.4 example: GROUP BY CUBE (state, year, sex).
-        let q = parse(
-            "SELECT SUM(population) FROM census GROUP BY CUBE(state, year, sex)",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT SUM(population) FROM census GROUP BY CUBE(state, year, sex)").unwrap();
         assert_eq!(q.from, "census");
         assert_eq!(q.grouping, Grouping::Cube(vec!["state".into(), "year".into(), "sex".into()]));
         assert_eq!(q.select[0].arg.as_deref(), Some("population"));
@@ -265,8 +272,8 @@ mod tests {
 
     #[test]
     fn expand_cube_produces_2n_queries() {
-        let q = parse("SELECT SUM(sales) FROM t WHERE region = 'west' GROUP BY CUBE(a, b)")
-            .unwrap();
+        let q =
+            parse("SELECT SUM(sales) FROM t WHERE region = 'west' GROUP BY CUBE(a, b)").unwrap();
         let unions = expand_cube_to_unions(&q).unwrap();
         assert_eq!(unions.len(), 4);
         // Finest grouping first, grand total last; filter preserved in all.
@@ -284,8 +291,10 @@ mod tests {
 
     #[test]
     fn quoted_identifiers() {
-        let q = parse("SELECT SUM(\"quantity sold\") FROM \"retail sales\" GROUP BY \"store location\"")
-            .unwrap();
+        let q = parse(
+            "SELECT SUM(\"quantity sold\") FROM \"retail sales\" GROUP BY \"store location\"",
+        )
+        .unwrap();
         assert_eq!(q.from, "retail sales");
         assert_eq!(q.select[0].arg.as_deref(), Some("quantity sold"));
         assert_eq!(q.grouping, Grouping::Plain(vec!["store location".into()]));

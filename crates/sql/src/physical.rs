@@ -1,0 +1,341 @@
+//! Physical execution: SQL queries routed through the cube engine and the
+//! checksummed page store, with an `EXPLAIN ANALYZE` profile.
+//!
+//! [`exec::execute`] evaluates queries directly over the in-memory
+//! statistical algebra — correct, but it exercises none of the machinery
+//! §6 of the paper is about: materialized cuboids, verified page I/O,
+//! lattice routing. This module is the *physical* counterpart: the
+//! object's populated cells become a fact table
+//! ([`FactInput::from_object`]), the grouping sets become cuboid masks
+//! answered by a [`ViewStore`] whose views live in a checksummed
+//! [`PageStore`](statcube_storage::page_store::PageStore), and the whole
+//! run is traced — so a single `GROUP BY CUBE` query yields a
+//! [`QueryProfile`] whose span tree crosses all three layers (sql parse
+//! and plan, cube answers with lattice-fallback provenance, storage page
+//! reads with retry counts).
+//!
+//! ## Semantics caveat (macro-data aggregates)
+//!
+//! The fact table holds one fact per populated *cell*, valued at the
+//! cell's `sum` — the object's macro-data grain. `SUM` therefore agrees
+//! exactly with the algebraic executor, but `COUNT(*)` counts populated
+//! cells (not the micro records a cell may summarize), and `MIN`/`MAX`/
+//! `AVG` range over cell sums. For objects built from one record per cell
+//! the two executors agree on everything.
+
+use std::collections::HashMap;
+
+use statcube_core::error::{Error, Result};
+use statcube_core::object::StatisticalObject;
+use statcube_core::trace::{self, QueryProfile};
+use statcube_cube::input::FactInput;
+use statcube_cube::query::ViewStore;
+
+use crate::ast::{Grouping, Query};
+use crate::exec::{self, ResultRow, ResultSet};
+
+/// A physically executed query: the result plus its profile and the
+/// degraded-answer count (non-zero when sealed views failed verification
+/// and answers detoured through healthy ancestors).
+#[derive(Debug)]
+pub struct PhysicalAnswer {
+    /// The query result, same shape as [`exec::execute`] produces.
+    pub result: ResultSet,
+    /// The cross-layer span tree. Present only when [`trace`] was enabled
+    /// and this query was the calling thread's outermost traced unit of
+    /// work.
+    pub profile: Option<QueryProfile>,
+    /// Grouping-set answers that were served from a fallback ancestor.
+    pub degraded_answers: u64,
+}
+
+/// The grouping-set keep-masks a query emits, over `group_dims`.
+fn grouping_sets(grouping: &Grouping) -> Vec<Vec<bool>> {
+    match grouping {
+        Grouping::None => vec![vec![]],
+        Grouping::Plain(d) => vec![vec![true; d.len()]],
+        Grouping::Cube(d) => {
+            let n = d.len();
+            (0..(1u32 << n))
+                .rev()
+                .map(|mask| (0..n).map(|i| mask & (1 << i) != 0).collect())
+                .collect()
+        }
+        Grouping::Rollup(d) => {
+            let n = d.len();
+            (0..=n).rev().map(|k| (0..n).map(|i| i < k).collect()).collect()
+        }
+    }
+}
+
+/// Executes a parsed query through the cube engine and page store.
+///
+/// The object must have exactly one measure (the [`FactInput`] contract);
+/// see the module docs for the macro-data aggregate semantics.
+pub fn execute_physical(obj: &StatisticalObject, query: &Query) -> Result<PhysicalAnswer> {
+    let mut root = trace::span("sql.execute");
+    root.note("physical");
+    trace::counter("sql.queries", 1);
+    trace::counter("sql.physical_queries", 1);
+    let attach_profile = root.is_root();
+    if query.select.is_empty() {
+        return Err(Error::InvalidSchema("empty SELECT list".into()));
+    }
+    let display_dims: Vec<String> = query.grouping.dims().to_vec();
+
+    // Plan: filter at the leaf grain, resolve hierarchy-level names,
+    // enforce summarizability, then bind grouping names to dimension bits.
+    let plan_span = trace::span("sql.plan");
+    let filtered = exec::apply_filters(obj, query)?;
+    let (obj, query) = exec::resolve_level_groupings(&filtered, query)?;
+    let measure_idx = exec::check_aggregates(&obj, &query)?;
+    // FactInput carries a single measure; every aggregate must target it.
+    if measure_idx.iter().any(|&m| m != 0) || obj.schema().measures().len() != 1 {
+        return Err(Error::MultipleMeasures(obj.schema().measures().len()));
+    }
+    let group_dims = query.grouping.dims().to_vec();
+    let dim_bits: Vec<usize> =
+        group_dims.iter().map(|d| obj.schema().dim_index(d)).collect::<Result<_>>()?;
+    drop(plan_span);
+
+    // Materialize: cells → facts, facts → sealed base cuboid. (Only the
+    // base view is materialized; every grouping set routes through it, the
+    // §6.3 one-view degenerate case. The point here is the *path*, not the
+    // view-selection policy — exp20/exp21 cover that.)
+    let facts = FactInput::from_object(&obj)?;
+    let store = ViewStore::build(&facts, &[])?;
+
+    // Answer each grouping set from the store and map cuboid cells back
+    // to labeled rows with ALL gaps, exactly like the algebraic executor.
+    let mut eval_span = trace::span("sql.eval");
+    let sets = grouping_sets(&query.grouping);
+    let mut degraded_answers = 0u64;
+    let mut rows = Vec::new();
+    for set in &sets {
+        let mask = set
+            .iter()
+            .zip(&dim_bits)
+            .filter(|(keep, _)| **keep)
+            .fold(0u32, |m, (_, &d)| m | (1 << d));
+        let ans = store.answer(mask)?;
+        if ans.degraded.is_some() {
+            degraded_answers += 1;
+        }
+        // Kept grouping columns ordered by dimension index — the cuboid
+        // key layout — then mapped back into GROUP BY order.
+        let mut kept: Vec<(usize, usize)> = set
+            .iter()
+            .enumerate()
+            .filter(|(_, keep)| **keep)
+            .map(|(i, _)| (dim_bits[i], i))
+            .collect();
+        kept.sort_unstable();
+        let key_slot: HashMap<usize, usize> =
+            kept.iter().enumerate().map(|(slot, &(_, i))| (i, slot)).collect();
+        let mut cells: Vec<_> = ans.cuboid.into_iter().collect();
+        cells.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for (key, state) in cells {
+            let mut group = Vec::with_capacity(group_dims.len());
+            for (i, keep) in set.iter().enumerate() {
+                if *keep {
+                    let coord = key[key_slot[&i]];
+                    let d = dim_bits[i];
+                    let member = obj.schema().dimensions()[d]
+                        .members()
+                        .value_of(coord)
+                        .ok_or_else(|| {
+                            Error::InvalidSchema(format!(
+                                "no member {coord} in dimension `{}`",
+                                group_dims[i]
+                            ))
+                        })?;
+                    group.push(Some(member.to_owned()));
+                } else {
+                    group.push(None);
+                }
+            }
+            let values: Vec<Option<f64>> =
+                query.select.iter().map(|agg| state.value(agg.func)).collect();
+            rows.push(ResultRow { group, values });
+        }
+    }
+    eval_span.record("grouping_sets", sets.len() as u64);
+    eval_span.record("rows", rows.len() as u64);
+    drop(eval_span);
+    root.record("rows", rows.len() as u64);
+    if degraded_answers > 0 {
+        root.note(format!("{degraded_answers} degraded answer(s)"));
+    }
+    drop(root);
+
+    let result = ResultSet {
+        group_columns: display_dims,
+        agg_columns: query.select.iter().map(|a| a.to_sql()).collect(),
+        rows,
+    };
+    let profile = if attach_profile { Some(trace::take_profile()) } else { None };
+    Ok(PhysicalAnswer { result, profile, degraded_answers })
+}
+
+/// Parses and physically executes in one step, keeping the tokenize and
+/// parse spans inside the query's profile.
+pub fn execute_physical_str(obj: &StatisticalObject, sql: &str) -> Result<PhysicalAnswer> {
+    let mut root = trace::span("sql.query");
+    let attach_profile = root.is_root();
+    let query = crate::parser::parse(sql)?;
+    let mut ans = execute_physical(obj, &query)?;
+    root.record("rows", ans.result.rows.len() as u64);
+    drop(root);
+    if attach_profile {
+        ans.profile = Some(trace::take_profile());
+    }
+    Ok(ans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statcube_core::dimension::Dimension;
+    use statcube_core::measure::{MeasureKind, SummaryAttribute, SummaryFunction};
+    use statcube_core::schema::Schema;
+    use std::sync::Mutex;
+
+    /// Serializes tests that flip the global trace flag.
+    static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+    fn retail() -> StatisticalObject {
+        let schema = Schema::builder("sales")
+            .dimension(Dimension::categorical("product", ["apple", "pear", "plum"]))
+            .dimension(Dimension::categorical("store", ["s1", "s2"]))
+            .dimension(Dimension::categorical("month", ["jan", "feb"]))
+            .measure(SummaryAttribute::new("amount", MeasureKind::Flow))
+            .function(SummaryFunction::Sum)
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        let data: &[(&str, &str, &str, f64)] = &[
+            ("apple", "s1", "jan", 10.0),
+            ("apple", "s2", "jan", 4.0),
+            ("pear", "s1", "feb", 7.0),
+            ("pear", "s2", "jan", 3.0),
+            ("plum", "s1", "feb", 9.0),
+            ("plum", "s2", "feb", 1.0),
+        ];
+        for (p, s, m, v) in data {
+            o.insert(&[p, s, m], *v).unwrap();
+        }
+        o
+    }
+
+    #[test]
+    fn physical_cube_matches_algebraic_executor() {
+        let o = retail();
+        let sql = "SELECT SUM(amount) FROM sales GROUP BY CUBE(product, store)";
+        let algebraic = crate::execute_str(&o, sql).unwrap();
+        let physical = execute_physical_str(&o, sql).unwrap();
+        assert_eq!(physical.result.group_columns, algebraic.group_columns);
+        assert_eq!(physical.result.agg_columns, algebraic.agg_columns);
+        assert_eq!(physical.degraded_answers, 0);
+        let key = |rs: &ResultSet| {
+            let mut v: Vec<(Vec<Option<String>>, String)> =
+                rs.rows.iter().map(|r| (r.group.clone(), format!("{:?}", r.values))).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(key(&physical.result), key(&algebraic));
+    }
+
+    #[test]
+    fn physical_rollup_where_and_plain_group_by() {
+        let o = retail();
+        for sql in [
+            "SELECT SUM(amount) FROM sales GROUP BY ROLLUP(product, month)",
+            "SELECT SUM(amount) FROM sales WHERE store = 's1' GROUP BY month",
+            "SELECT SUM(amount) FROM sales",
+        ] {
+            let algebraic = crate::execute_str(&o, sql).unwrap();
+            let physical = execute_physical_str(&o, sql).unwrap();
+            let sum = |rs: &ResultSet| rs.rows.iter().filter_map(|r| r.values[0]).sum::<f64>();
+            assert_eq!(physical.result.rows.len(), algebraic.rows.len(), "{sql}");
+            assert!((sum(&physical.result) - sum(&algebraic)).abs() < 1e-9, "{sql}");
+        }
+    }
+
+    #[test]
+    fn profile_spans_all_three_layers() {
+        let _l = TRACE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        trace::enable();
+        let _ = trace::take_profile();
+        let ans = execute_physical_str(
+            &retail(),
+            "SELECT SUM(amount) FROM sales GROUP BY CUBE(product, store, month)",
+        )
+        .unwrap();
+        trace::disable();
+        let profile = ans.profile.expect("tracing was enabled and this is the root");
+        // sql stages…
+        for name in
+            ["sql.query", "sql.tokenize", "sql.parse", "sql.execute", "sql.plan", "sql.eval"]
+        {
+            assert!(profile.find(name).is_some(), "missing span {name}");
+        }
+        // …cube stages with cost fields…
+        let answer = profile.find("cube.answer").expect("cube.answer span");
+        assert!(answer.field("cells_scanned").unwrap_or(0) > 0);
+        // one answer per grouping set of a 3-dim CUBE
+        assert_eq!(
+            profile.roots[0]
+                .children
+                .iter()
+                .flat_map(|c| {
+                    fn named<'a>(n: &'a statcube_core::trace::ProfileNode, out: &mut Vec<&'a str>) {
+                        out.push(n.name.as_str());
+                        for c in &n.children {
+                            named(c, out);
+                        }
+                    }
+                    let mut v = Vec::new();
+                    named(c, &mut v);
+                    v
+                })
+                .filter(|n| *n == "cube.answer")
+                .count(),
+            8
+        );
+        // …and storage reads with page counts underneath the cube answers.
+        let read = profile.find("storage.read").expect("storage.read span");
+        assert!(read.field("pages").unwrap_or(0) > 0);
+        assert_eq!(read.field("retries"), Some(0));
+        assert!(profile.field_total("pages") > 0);
+        // Rendering shows the tree and the counts.
+        let text = profile.render();
+        assert!(text.contains("sql.query"));
+        assert!(text.contains("cube.answer"));
+        assert!(text.contains("pages="));
+    }
+
+    #[test]
+    fn disabled_trace_yields_no_profile() {
+        let _l = TRACE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        trace::disable();
+        let ans = execute_physical_str(
+            &retail(),
+            "SELECT SUM(amount) FROM sales GROUP BY CUBE(product, store)",
+        )
+        .unwrap();
+        assert!(ans.profile.is_none());
+    }
+
+    #[test]
+    fn physical_rejects_multi_measure_objects() {
+        let schema = Schema::builder("census")
+            .dimension(Dimension::categorical("state", ["AL", "CA"]))
+            .measure(SummaryAttribute::new("population", MeasureKind::Stock))
+            .measure(SummaryAttribute::new("births", MeasureKind::Flow))
+            .build()
+            .unwrap();
+        let o = StatisticalObject::empty(schema);
+        let err = execute_physical_str(&o, "SELECT SUM(births) FROM census GROUP BY state");
+        assert!(matches!(err, Err(Error::MultipleMeasures(2))));
+    }
+}

@@ -114,9 +114,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         }
                         Some(c) => s.push(c),
                         None => {
-                            return Err(Error::InvalidSchema(
-                                "unterminated string literal".into(),
-                            ))
+                            return Err(Error::InvalidSchema("unterminated string literal".into()))
                         }
                     }
                 }
@@ -152,9 +150,8 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         break;
                     }
                 }
-                let n: f64 = s
-                    .parse()
-                    .map_err(|_| Error::InvalidSchema(format!("bad number `{s}`")))?;
+                let n: f64 =
+                    s.parse().map_err(|_| Error::InvalidSchema(format!("bad number `{s}`")))?;
                 out.push(Token::Number(n));
             }
             c if c.is_alphanumeric() || c == '_' => {
@@ -169,9 +166,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 }
                 out.push(Token::Ident(s));
             }
-            other => {
-                return Err(Error::InvalidSchema(format!("unexpected character `{other}`")))
-            }
+            other => return Err(Error::InvalidSchema(format!("unexpected character `{other}`"))),
         }
     }
     Ok(out)

@@ -7,8 +7,8 @@ use proptest::prelude::*;
 
 use statcube_core::dimension::Dimension;
 use statcube_core::measure::{MeasureKind, SummaryAttribute, SummaryFunction};
-use statcube_core::schema::Schema;
 use statcube_core::object::StatisticalObject;
+use statcube_core::schema::Schema;
 use statcube_sql::ast::{AggExpr, Grouping, Predicate, Query};
 use statcube_sql::token::tokenize;
 use statcube_sql::{execute_str, expand_cube_to_unions, parse};
@@ -40,8 +40,7 @@ fn predicate() -> impl Strategy<Value = Predicate> {
 }
 
 fn distinct_dims(n: usize) -> impl Strategy<Value = Vec<String>> {
-    proptest::collection::btree_set(ident(), 1..=n)
-        .prop_map(|set| set.into_iter().collect())
+    proptest::collection::btree_set(ident(), 1..=n).prop_map(|set| set.into_iter().collect())
 }
 
 fn grouping() -> impl Strategy<Value = Grouping> {
@@ -60,7 +59,12 @@ fn query() -> impl Strategy<Value = Query> {
         proptest::collection::vec(predicate(), 0..3),
         grouping(),
     )
-        .prop_map(|(select, from, filters, grouping)| Query { select, from, filters, grouping })
+        .prop_map(|(select, from, filters, grouping)| Query {
+            select,
+            from,
+            filters,
+            grouping,
+        })
 }
 
 proptest! {

@@ -136,9 +136,7 @@ impl BPlusTree {
     fn split_leaf(&mut self, idx: usize) -> (u64, usize) {
         let right_idx = self.nodes.len();
         let (sep, right_node, old_next) = {
-            let Node::Leaf { keys, vals, next, .. } = &mut self.nodes[idx] else {
-                unreachable!()
-            };
+            let Node::Leaf { keys, vals, next, .. } = &mut self.nodes[idx] else { unreachable!() };
             let mid = keys.len() / 2;
             let rkeys: Vec<u64> = keys.split_off(mid);
             let rvals: Vec<u64> = vals.split_off(mid);

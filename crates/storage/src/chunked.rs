@@ -47,7 +47,7 @@ impl ChunkedArray {
             chunk_shape,
             grid,
             chunks: vec![None; n_chunks],
-            io: IoStats::new(page_size),
+            io: IoStats::labeled(page_size, "chunked"),
         })
     }
 
@@ -134,8 +134,8 @@ impl ChunkedArray {
     pub fn set(&mut self, coords: &[usize], v: f64) -> Result<()> {
         let (chunk, offset) = self.chunk_and_offset(coords)?;
         let cells = self.chunk_cells();
-        let slot = self.chunks[chunk]
-            .get_or_insert_with(|| vec![f64::NAN; cells].into_boxed_slice());
+        let slot =
+            self.chunks[chunk].get_or_insert_with(|| vec![f64::NAN; cells].into_boxed_slice());
         slot[offset] = v;
         Ok(())
     }

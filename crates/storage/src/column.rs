@@ -22,7 +22,7 @@ pub struct TransposedStore {
 impl TransposedStore {
     /// Wraps a relation with the given page size.
     pub fn new(rel: Relation, page_size: usize) -> Self {
-        Self { rel, io: IoStats::new(page_size) }
+        Self { rel, io: IoStats::labeled(page_size, "transposed") }
     }
 
     /// The underlying relation.

@@ -42,8 +42,7 @@ struct Node {
 
 impl Node {
     fn intersects(&self, lo: &[u32], hi: &[u32]) -> bool {
-        self.lo.iter().zip(hi).all(|(a, b)| a <= b)
-            && self.hi.iter().zip(lo).all(|(a, b)| a >= b)
+        self.lo.iter().zip(hi).all(|(a, b)| a <= b) && self.hi.iter().zip(lo).all(|(a, b)| a >= b)
     }
 }
 
@@ -87,7 +86,7 @@ impl CubeTree {
             }
         });
         let mut tree =
-            Self { dims, entries, levels: Vec::new(), io: IoStats::new(page_size) };
+            Self { dims, entries, levels: Vec::new(), io: IoStats::labeled(page_size, "cubetree") };
         tree.pack();
         // Loading writes every page once, sequentially.
         tree.io.charge_page_writes(tree.page_count());
@@ -203,9 +202,7 @@ impl CubeTree {
         for &ni in &frontier {
             let leaf = &self.levels[0][ni];
             for (c, v) in &self.entries[leaf.start..leaf.end] {
-                if c.iter().zip(lo).all(|(a, b)| a >= b)
-                    && c.iter().zip(hi).all(|(a, b)| a <= b)
-                {
+                if c.iter().zip(lo).all(|(a, b)| a >= b) && c.iter().zip(hi).all(|(a, b)| a <= b) {
                     sum += v;
                     count += 1;
                 }
@@ -224,10 +221,7 @@ impl CubeTree {
     /// merging two Morton-sorted runs and re-packing — sequential I/O
     /// proportional to the data size, no per-record R-tree inserts.
     /// Coordinates already present merge by summing.
-    pub fn bulk_update(
-        &mut self,
-        points: impl IntoIterator<Item = (Vec<u32>, f64)>,
-    ) -> Result<()> {
+    pub fn bulk_update(&mut self, points: impl IntoIterator<Item = (Vec<u32>, f64)>) -> Result<()> {
         let mut batch: Vec<(Box<[u32]>, f64)> = Vec::new();
         for (coords, v) in points {
             if coords.len() != self.dims {
@@ -357,10 +351,7 @@ mod tests {
         tree.io().reset();
         tree.range_sum(&[40, 40], &[45, 45]).unwrap();
         let touched = tree.io().pages_read();
-        assert!(
-            touched * 5 < total_pages,
-            "small query touched {touched} of {total_pages} pages"
-        );
+        assert!(touched * 5 < total_pages, "small query touched {touched} of {total_pages} pages");
         assert!(tree.height() >= 2);
     }
 

@@ -75,7 +75,7 @@ impl ExtendibleArray {
             let _ = n;
             axis.push(t);
         }
-        let io = IoStats::new(page_size);
+        let io = IoStats::labeled(page_size, "extendible");
         io.charge_seq_write(seg.data.len() * 8);
         Ok(Self { dims: initial.to_vec(), segments: vec![seg], axis, io })
     }

@@ -121,8 +121,7 @@ impl HeaderCompressed {
         let mut out = vec![f64::NAN; self.logical_len];
         for r in &self.runs {
             for k in 0..r.len {
-                out[(r.logical_start + k) as usize] =
-                    self.values[(r.physical_start + k) as usize];
+                out[(r.logical_start + k) as usize] = self.values[(r.physical_start + k) as usize];
             }
         }
         out

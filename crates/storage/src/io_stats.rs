@@ -9,6 +9,7 @@
 //! Absolute latencies of 1980s–90s testbeds are *not* modeled (see
 //! DESIGN.md, substitutions).
 
+use statcube_core::trace;
 use std::cell::Cell;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -27,6 +28,7 @@ pub const DEFAULT_PAGE_SIZE: usize = 4096;
 #[derive(Debug)]
 pub struct IoStats {
     page_size: usize,
+    label: Option<&'static str>,
     pages_read: Cell<u64>,
     pages_written: Cell<u64>,
 }
@@ -40,7 +42,39 @@ impl Default for IoStats {
 impl IoStats {
     /// Creates counters with the given page size (bytes, ≥ 1).
     pub fn new(page_size: usize) -> Self {
-        Self { page_size: page_size.max(1), pages_read: Cell::new(0), pages_written: Cell::new(0) }
+        Self {
+            page_size: page_size.max(1),
+            label: None,
+            pages_read: Cell::new(0),
+            pages_written: Cell::new(0),
+        }
+    }
+
+    /// Creates counters that additionally mirror every charge into the
+    /// global [`trace`] registry under `storage.<label>.pages_{read,written}`
+    /// (plus the aggregate `storage.pages_{read,written}`) when tracing is
+    /// enabled. The label names the owning physical organization.
+    pub fn labeled(page_size: usize, label: &'static str) -> Self {
+        Self {
+            page_size: page_size.max(1),
+            label: Some(label),
+            pages_read: Cell::new(0),
+            pages_written: Cell::new(0),
+        }
+    }
+
+    /// Mirrors `pages` read (`write == false`) or written (`write == true`)
+    /// into the global metrics registry. One relaxed load when disabled.
+    fn mirror(&self, pages: u64, write: bool) {
+        if pages == 0 || !trace::is_enabled() {
+            return;
+        }
+        let global = if write { "storage.pages_written" } else { "storage.pages_read" };
+        trace::counter(global, pages);
+        if let Some(label) = self.label {
+            let suffix = if write { "pages_written" } else { "pages_read" };
+            trace::counter(&format!("storage.{label}.{suffix}"), pages);
+        }
     }
 
     /// The page size in bytes.
@@ -76,22 +110,24 @@ impl IoStats {
 
     /// Charges a sequential read of `bytes` contiguous bytes.
     pub fn charge_seq_read(&self, bytes: usize) {
-        self.pages_read.set(self.pages_read.get() + self.pages_of(bytes));
+        self.charge_page_reads(self.pages_of(bytes));
     }
 
     /// Charges a sequential write of `bytes` contiguous bytes.
     pub fn charge_seq_write(&self, bytes: usize) {
-        self.pages_written.set(self.pages_written.get() + self.pages_of(bytes));
+        self.charge_page_writes(self.pages_of(bytes));
     }
 
     /// Charges `pages` distinct page reads (caller already deduplicated).
     pub fn charge_page_reads(&self, pages: u64) {
         self.pages_read.set(self.pages_read.get() + pages);
+        self.mirror(pages, false);
     }
 
     /// Charges `pages` distinct page writes.
     pub fn charge_page_writes(&self, pages: u64) {
         self.pages_written.set(self.pages_written.get() + pages);
+        self.mirror(pages, true);
     }
 
     /// Folds counters accumulated elsewhere (typically an
@@ -148,7 +184,11 @@ impl AtomicIoStats {
 
     /// Number of pages an object of `bytes` bytes occupies (0 for empty).
     pub fn pages_of(&self, bytes: usize) -> u64 {
-        if bytes == 0 { 0 } else { bytes.div_ceil(self.page_size) as u64 }
+        if bytes == 0 {
+            0
+        } else {
+            bytes.div_ceil(self.page_size) as u64
+        }
     }
 
     /// Charges a sequential read of `bytes` contiguous bytes.

@@ -124,9 +124,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
             None => break,
             Some(RESET_CODE) => continue,
             Some(code) if (code as usize) < 256 => vec![code as u8],
-            Some(code) => {
-                return Err(Error::InvalidSchema(format!("bad initial LZW code {code}")))
-            }
+            Some(code) => return Err(Error::InvalidSchema(format!("bad initial LZW code {code}"))),
         };
         out.extend_from_slice(&prev);
         loop {

@@ -34,9 +34,10 @@ use std::cell::{Cell, RefCell};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use statcube_core::error::{Error, Result};
+use statcube_core::trace;
 
 use crate::crc32::crc32;
-use crate::io_stats::{DEFAULT_PAGE_SIZE, IoStats};
+use crate::io_stats::{IoStats, DEFAULT_PAGE_SIZE};
 use crate::verify::{ScrubFailure, ScrubReport};
 
 /// Probabilities (per page operation) of each injected fault, plus the seed
@@ -121,7 +122,11 @@ impl FaultInjector {
         }
         let flip = self.roll(self.plan.bit_flip);
         let bit = self.rng.random_range(0..page_bits.max(1));
-        if flip { ReadFault::Flip(bit) } else { ReadFault::None }
+        if flip {
+            ReadFault::Flip(bit)
+        } else {
+            ReadFault::None
+        }
     }
 
     fn on_write(&mut self) -> bool {
@@ -206,7 +211,7 @@ impl PageStore {
     /// An empty store with the given page size and the default retry policy.
     pub fn new(page_size: usize) -> Self {
         Self {
-            io: IoStats::new(page_size),
+            io: IoStats::labeled(page_size, "page_store"),
             retry: RetryPolicy::default(),
             files: RefCell::new(Vec::new()),
             injector: RefCell::new(None),
@@ -280,11 +285,7 @@ impl PageStore {
         for chunk in content.chunks(ps) {
             // The checksum always covers the *intended* bytes.
             file.sums.push(crc32(chunk));
-            let torn = self
-                .injector
-                .borrow_mut()
-                .as_mut()
-                .is_some_and(FaultInjector::on_write);
+            let torn = self.injector.borrow_mut().as_mut().is_some_and(FaultInjector::on_write);
             let mut page = chunk.to_vec();
             if torn && page.len() > 1 {
                 // Only a prefix reached the device; the tail reads back as
@@ -304,8 +305,12 @@ impl PageStore {
     /// Creates a new logical file holding `content`, returning its id.
     /// Charges one page write per page; torn-write faults apply.
     pub fn create(&self, name: &str, content: &[u8]) -> usize {
-        let mut file =
-            PagedFile { name: name.to_owned(), content_len: 0, pages: Vec::new(), sums: Vec::new() };
+        let mut file = PagedFile {
+            name: name.to_owned(),
+            content_len: 0,
+            pages: Vec::new(),
+            sums: Vec::new(),
+        };
         self.store_pages(&mut file, content);
         let mut files = self.files.borrow_mut();
         files.push(file);
@@ -400,21 +405,49 @@ impl PageStore {
     /// transient faults). Returns exactly the bytes passed to
     /// [`PageStore::create`]/[`PageStore::overwrite`] or a typed error.
     pub fn read(&self, id: usize) -> Result<Vec<u8>> {
+        let mut sp = trace::span("storage.read");
+        let (stats_before, reads_before) = (self.stats.get(), self.io.pages_read());
         let (n_pages, content_len) = {
             let files = self.files.borrow();
             (files[id].pages.len(), files[id].content_len)
         };
         let mut out = Vec::with_capacity(content_len);
+        let mut failure = None;
         for p in 0..n_pages {
-            out.extend_from_slice(&self.read_page(id, p)?);
+            match self.read_page(id, p) {
+                Ok(bytes) => out.extend_from_slice(&bytes),
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
         }
-        Ok(out)
+        if sp.is_recording() {
+            let (after, reads_after) = (self.stats.get(), self.io.pages_read());
+            sp.record("pages", reads_after - reads_before);
+            sp.record("retries", after.retries - stats_before.retries);
+            sp.record("backoff_us", after.backoff_us - stats_before.backoff_us);
+            if let Some(e) = &failure {
+                sp.note(format!("error: {e}"));
+            }
+            trace::counter("storage.reads", 1);
+            trace::counter("storage.read_retries", after.retries - stats_before.retries);
+            trace::counter(
+                "storage.checksum_failures",
+                after.checksum_failures - stats_before.checksum_failures,
+            );
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
     }
 
     /// Maintenance pass: re-checksums every page of every file directly
     /// (no fault injection, no retry — scrubbing inspects the medium as it
     /// is), charging one read per page. Reports all failing pages.
     pub fn scrub(&self) -> ScrubReport {
+        let mut sp = trace::span("storage.scrub");
         let files = self.files.borrow();
         let mut report = ScrubReport::default();
         for file in files.iter() {
@@ -428,6 +461,11 @@ impl PageStore {
                         .push(ScrubFailure { object: file.name.clone(), page: i as u64 });
                 }
             }
+        }
+        if sp.is_recording() {
+            sp.record("pages", report.pages_scanned);
+            sp.record("failures", report.failures.len() as u64);
+            trace::counter("storage.scrubs", 1);
         }
         report
     }
@@ -472,8 +510,11 @@ mod tests {
 
     #[test]
     fn transient_faults_retry_to_success() {
-        let ps = PageStore::new(64)
-            .with_retry(RetryPolicy { max_attempts: 8, base_backoff_us: 10, max_backoff_us: 1000 });
+        let ps = PageStore::new(64).with_retry(RetryPolicy {
+            max_attempts: 8,
+            base_backoff_us: 10,
+            max_backoff_us: 1000,
+        });
         let id = ps.create("f", &[1u8; 1000]);
         ps.arm(FaultPlan::transient_only(42, 0.3));
         let got = ps.read(id).expect("retry should recover a 30% transient rate");
@@ -487,10 +528,19 @@ mod tests {
 
     #[test]
     fn hard_transient_rate_exhausts_retries() {
-        let ps = PageStore::new(64)
-            .with_retry(RetryPolicy { max_attempts: 3, base_backoff_us: 10, max_backoff_us: 1000 });
+        let ps = PageStore::new(64).with_retry(RetryPolicy {
+            max_attempts: 3,
+            base_backoff_us: 10,
+            max_backoff_us: 1000,
+        });
         let id = ps.create("f", &[1u8; 64]);
-        ps.arm(FaultPlan { seed: 1, transient_read: 1.0, short_read: 0.0, bit_flip: 0.0, torn_write: 0.0 });
+        ps.arm(FaultPlan {
+            seed: 1,
+            transient_read: 1.0,
+            short_read: 0.0,
+            bit_flip: 0.0,
+            torn_write: 0.0,
+        });
         match ps.read(id) {
             Err(Error::RetriesExhausted { object, page, attempts }) => {
                 assert_eq!(object, "f");
@@ -506,7 +556,13 @@ mod tests {
     #[test]
     fn torn_write_breaks_later_read() {
         let ps = PageStore::new(64);
-        ps.arm(FaultPlan { seed: 9, transient_read: 0.0, short_read: 0.0, bit_flip: 0.0, torn_write: 1.0 });
+        ps.arm(FaultPlan {
+            seed: 9,
+            transient_read: 0.0,
+            short_read: 0.0,
+            bit_flip: 0.0,
+            torn_write: 1.0,
+        });
         let id = ps.create("f", &[3u8; 100]);
         assert!(ps.stats().torn_writes > 0);
         ps.disarm();

@@ -164,10 +164,7 @@ impl Relation {
 
     /// One full row by value: `(category codes, measure values)`.
     pub fn row(&self, row: usize) -> (Vec<u32>, Vec<f64>) {
-        (
-            self.cats.iter().map(|c| c[row]).collect(),
-            self.nums.iter().map(|n| n[row]).collect(),
-        )
+        (self.cats.iter().map(|c| c[row]).collect(), self.nums.iter().map(|n| n[row]).collect())
     }
 
     /// Bytes of one uncompressed row: 4 per category code, 8 per measure.

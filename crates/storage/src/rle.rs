@@ -4,6 +4,14 @@
 //! category columns of a transposed file (\[WL+85\]), and compressing the
 //! null/value run structure of a linearized array (\[EOA81\] — see
 //! [`crate::header`], which builds on the run representation here).
+//!
+//! `Rle<u32>` additionally has a byte serialization
+//! ([`Rle::to_bytes`]/[`Rle::from_bytes`]) so run-compressed columns can
+//! live in the checksummed [`crate::page_store`]; the decoder validates
+//! every structural invariant and returns typed errors on corrupt input —
+//! it never panics and never loops.
+
+use statcube_core::error::{Error, Result};
 
 /// A run-length encoded sequence of `T`.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,6 +91,73 @@ impl<T: Copy + PartialEq> Rle<T> {
     }
 }
 
+impl Rle<u32> {
+    /// Serializes as `run_count: u64 | len: u64 | (value: u32, n: u32)*`,
+    /// little-endian. Inverse of [`Rle::from_bytes`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.runs.len() * 8);
+        out.extend_from_slice(&(self.runs.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.len as u64).to_le_bytes());
+        for &(v, n) in &self.runs {
+            out.extend_from_slice(&v.to_le_bytes());
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a [`Rle::to_bytes`] buffer, validating every
+    /// invariant an encoder upholds: exact buffer length, no zero-length
+    /// runs, adjacent runs carrying distinct values, and run lengths
+    /// summing to the recorded logical length. Corrupt or truncated input
+    /// yields a typed error — never a panic, never an unbounded loop (the
+    /// single decode pass is bounded by the buffer length).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let malformed = |what: &str| Error::InvalidSchema(format!("malformed RLE buffer: {what}"));
+        let header: [u8; 8] = bytes
+            .get(0..8)
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(|| malformed("short header"))?;
+        let run_count = u64::from_le_bytes(header) as usize;
+        let len_bytes: [u8; 8] = bytes
+            .get(8..16)
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(|| malformed("short header"))?;
+        let len = u64::from_le_bytes(len_bytes) as usize;
+        if bytes.len()
+            != 16 + run_count.checked_mul(8).ok_or_else(|| malformed("run count overflow"))?
+        {
+            return Err(malformed("length does not match run count"));
+        }
+        let mut runs: Vec<(u32, u32)> = Vec::with_capacity(run_count);
+        let mut total: u64 = 0;
+        for i in 0..run_count {
+            let at = 16 + i * 8;
+            let v = u32::from_le_bytes(
+                bytes[at..at + 4].try_into().map_err(|_| malformed("truncated run"))?,
+            );
+            let n = u32::from_le_bytes(
+                bytes[at + 4..at + 8].try_into().map_err(|_| malformed("truncated run"))?,
+            );
+            if n == 0 {
+                return Err(malformed("zero-length run"));
+            }
+            if let Some(&(last, ln)) = runs.last() {
+                // An encoder only splits equal values across runs at the
+                // u32 length ceiling; anything else is corruption.
+                if last == v && ln < u32::MAX {
+                    return Err(malformed("adjacent runs share a value"));
+                }
+            }
+            total += n as u64;
+            runs.push((v, n));
+        }
+        if total != len as u64 {
+            return Err(malformed("run lengths do not sum to the logical length"));
+        }
+        Ok(Self { runs, len })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +210,45 @@ mod tests {
         let r = Rle::encode(&xs);
         assert_eq!(r.run_count(), 1000);
         assert!(r.compression_ratio(4) < 1.0);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        for xs in [vec![], vec![9u32], vec![1, 1, 1, 2, 2, 3, 1, 1]] {
+            let r = Rle::encode(&xs);
+            let back = Rle::<u32>::from_bytes(&r.to_bytes()).unwrap();
+            assert_eq!(back, r);
+            assert_eq!(back.decode(), xs);
+        }
+    }
+
+    #[test]
+    fn malformed_buffers_are_typed_errors() {
+        let good = Rle::encode(&[1u32, 1, 2, 2, 2, 7]).to_bytes();
+        // Truncations at every length fail cleanly.
+        for cut in 0..good.len() {
+            assert!(Rle::<u32>::from_bytes(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        // Oversized buffer.
+        let mut extended = good.clone();
+        extended.push(0);
+        assert!(Rle::<u32>::from_bytes(&extended).is_err());
+        // A zero-length run.
+        let mut zero_run = good.clone();
+        zero_run[20..24].copy_from_slice(&0u32.to_le_bytes());
+        assert!(Rle::<u32>::from_bytes(&zero_run).is_err());
+        // Run sum disagreeing with the recorded length.
+        let mut bad_len = good.clone();
+        bad_len[8..16].copy_from_slice(&999u64.to_le_bytes());
+        assert!(Rle::<u32>::from_bytes(&bad_len).is_err());
+        // Adjacent runs with the same value (a non-canonical encoding).
+        let mut merged = good;
+        merged[24..28].copy_from_slice(&1u32.to_le_bytes()); // second run's value -> first's
+        assert!(Rle::<u32>::from_bytes(&merged).is_err());
+        // A run count so large that 16 + count*8 overflows usize.
+        let mut huge = vec![0u8; 16];
+        huge[0..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Rle::<u32>::from_bytes(&huge).is_err());
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub struct RowStore {
 impl RowStore {
     /// Wraps a relation with the given page size.
     pub fn new(rel: Relation, page_size: usize) -> Self {
-        Self { rel, io: IoStats::new(page_size) }
+        Self { rel, io: IoStats::labeled(page_size, "row") }
     }
 
     /// The underlying relation.

@@ -125,7 +125,7 @@ impl StarSchema {
             measure_names: measures.iter().map(|s| (*s).to_owned()).collect(),
             measures: vec![Vec::new(); measures.len()],
             rows: 0,
-            io: IoStats::new(page_size),
+            io: IoStats::labeled(page_size, "star"),
         }
     }
 

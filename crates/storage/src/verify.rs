@@ -16,7 +16,7 @@
 use statcube_core::error::{Error, Result};
 
 use crate::crc32::crc32;
-use crate::io_stats::{DEFAULT_PAGE_SIZE, IoStats};
+use crate::io_stats::{IoStats, DEFAULT_PAGE_SIZE};
 
 /// One page that failed checksum verification during a scrub.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,8 +116,7 @@ impl ChecksumManifest {
     pub fn scrub<S: Scrubbable + ?Sized>(&self, store: &S, io: Option<&IoStats>) -> ScrubReport {
         let content = store.content_bytes();
         let name = store.object_name();
-        let mut report =
-            ScrubReport { objects: 1, pages_scanned: 0, failures: Vec::new() };
+        let mut report = ScrubReport { objects: 1, pages_scanned: 0, failures: Vec::new() };
         if let Some(io) = io {
             io.charge_page_reads(self.sums.len() as u64);
         }

@@ -70,8 +70,7 @@ pub fn generate(cfg: &CensusConfig) -> Census {
     let geography = builder.build().expect("valid geography");
 
     let county_zipf = Zipf::new(counties.len(), 1.1);
-    let mut micro =
-        MicroTable::new(&["county", "state", "race", "sex", "age_group"], &["income"]);
+    let mut micro = MicroTable::new(&["county", "state", "race", "sex", "age_group"], &["income"]);
     for _ in 0..cfg.rows {
         let county_id = county_zipf.sample(&mut rng);
         let county = &counties[county_id];
@@ -80,11 +79,9 @@ pub fn generate(cfg: &CensusConfig) -> Census {
         let sex = SEXES[rng.random_range(0..SEXES.len())];
         let age = AGE_GROUPS[rng.random_range(0..AGE_GROUPS.len())];
         // Right-skewed income: product of uniforms, scaled.
-        let income: f64 = 20_000.0
-            + 120_000.0 * rng.random::<f64>() * rng.random::<f64>() * rng.random::<f64>();
-        micro
-            .push(&[county, state, race, sex, age], &[income])
-            .expect("schema matches");
+        let income: f64 =
+            20_000.0 + 120_000.0 * rng.random::<f64>() * rng.random::<f64>() * rng.random::<f64>();
+        micro.push(&[county, state, race, sex, age], &[income]).expect("schema matches");
     }
     Census { micro, geography, counties, states }
 }
@@ -116,11 +113,8 @@ mod tests {
             .micro
             .summarize(&["county"], None, SummaryFunction::Count, MeasureKind::Flow)
             .unwrap();
-        let mut values: Vec<f64> = census
-            .counties
-            .iter()
-            .filter_map(|c| counts.get(&[c]).unwrap())
-            .collect();
+        let mut values: Vec<f64> =
+            census.counties.iter().filter_map(|c| counts.get(&[c]).unwrap()).collect();
         values.sort_by(f64::total_cmp);
         let max = values.last().copied().unwrap_or(0.0);
         let median = values[values.len() / 2];

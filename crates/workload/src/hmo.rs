@@ -63,9 +63,8 @@ pub struct Hmo {
 /// Generates an HMO dataset.
 pub fn generate(cfg: &HmoConfig) -> Hmo {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut builder = Hierarchy::builder("disease classification")
-        .level("disease")
-        .level("category");
+    let mut builder =
+        Hierarchy::builder("disease classification").level("disease").level("category");
     for (d, cats) in DISEASES {
         for cat in cats {
             builder = builder.edge(d, cat);
@@ -96,12 +95,8 @@ pub fn generate(cfg: &HmoConfig) -> Hmo {
             _ => 2_000.0,
         };
         let cost = (base * rng.random_range(0.5..2.0f64)).round();
-        micro
-            .push(&[DISEASES[d].0, &hospitals[h], &months[m]], &[cost])
-            .expect("schema matches");
-        object
-            .insert_ids(&[d as u32, h as u32, m as u32], &[cost])
-            .expect("coords in range");
+        micro.push(&[DISEASES[d].0, &hospitals[h], &months[m]], &[cost]).expect("schema matches");
+        object.insert_ids(&[d as u32, h as u32, m as u32], &[cost]).expect("coords in range");
     }
     Hmo { micro, object, disease_hierarchy }
 }
@@ -131,8 +126,7 @@ mod tests {
             ops::s_aggregate(&hmo.object, "disease", "category"),
             Err(Error::Summarizability(_))
         ));
-        let forced =
-            ops::s_aggregate_in(&hmo.object, "disease", None, "category", false).unwrap();
+        let forced = ops::s_aggregate_in(&hmo.object, "disease", None, "category", false).unwrap();
         let true_total = hmo.object.grand_total(0).unwrap();
         let forced_total = forced.grand_total(0).unwrap();
         // Lung-cancer costs are counted twice.
@@ -143,9 +137,8 @@ mod tests {
     fn micro_and_object_agree() {
         let hmo = generate(&small());
         assert_eq!(hmo.micro.len(), 500);
-        let micro_total: f64 = (0..hmo.micro.len())
-            .map(|r| hmo.micro.num_value("cost", r).unwrap())
-            .sum();
+        let micro_total: f64 =
+            (0..hmo.micro.len()).map(|r| hmo.micro.num_value("cost", r).unwrap()).sum();
         assert!((hmo.object.grand_total(0).unwrap() - micro_total).abs() < 1e-6);
         assert_eq!(generate(&small()).object, hmo.object);
     }
@@ -153,8 +146,7 @@ mod tests {
     #[test]
     fn costs_reflect_disease_severity() {
         let hmo = generate(&HmoConfig::default());
-        let by_disease =
-            hmo.object.project("hospital").unwrap().project("month").unwrap();
+        let by_disease = hmo.object.project("hospital").unwrap().project("month").unwrap();
         let cancer_avg = {
             let coords = by_disease.schema().coords_of(&["breast cancer"]).unwrap();
             let s = by_disease.states_at(&coords).unwrap()[0];

@@ -131,9 +131,7 @@ mod tests {
         let by_basin = ops::s_aggregate(&r.object, "station", "basin").unwrap();
         assert_eq!(by_basin.schema().dimension("station").unwrap().cardinality(), 2);
         // Flow volume totals survive the roll-up.
-        assert!(
-            (by_basin.grand_total(1).unwrap() - r.object.grand_total(1).unwrap()).abs() < 1e-6
-        );
+        assert!((by_basin.grand_total(1).unwrap() - r.object.grand_total(1).unwrap()).abs() < 1e-6);
     }
 
     #[test]

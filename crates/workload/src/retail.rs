@@ -69,17 +69,16 @@ pub fn generate(cfg: &RetailConfig) -> Retail {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     let products: Vec<String> = (0..cfg.products).map(|p| format!("p{p:04}")).collect();
-    let mut product_hier = Hierarchy::builder("product category").level("product").level("category");
+    let mut product_hier =
+        Hierarchy::builder("product category").level("product").level("category");
     for (p, name) in products.iter().enumerate() {
         product_hier = product_hier.edge(name, &format!("cat{:02}", p % cfg.categories));
     }
     let product_hier = product_hier.build().expect("valid product hierarchy");
 
     let mut stores = Vec::with_capacity(cfg.cities * cfg.stores_per_city);
-    let mut location = Hierarchy::builder("store location")
-        .level("store")
-        .id_dependent()
-        .level("city");
+    let mut location =
+        Hierarchy::builder("store location").level("store").id_dependent().level("city");
     for city in 0..cfg.cities {
         let city_name = format!("city{city:02}");
         for s in 0..cfg.stores_per_city {
@@ -162,11 +161,8 @@ mod tests {
     fn product_sales_are_skewed() {
         let r = generate(&RetailConfig::default());
         let by_product = r.object.project("store").unwrap().project("day").unwrap();
-        let mut sums: Vec<f64> = r
-            .products
-            .iter()
-            .filter_map(|p| by_product.get(&[p]).unwrap())
-            .collect();
+        let mut sums: Vec<f64> =
+            r.products.iter().filter_map(|p| by_product.get(&[p]).unwrap()).collect();
         sums.sort_by(f64::total_cmp);
         let top = sums.last().copied().unwrap();
         let median = sums[sums.len() / 2];

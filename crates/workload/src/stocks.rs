@@ -103,9 +103,7 @@ pub fn generate(cfg: &StocksConfig) -> Stocks {
             let step: f64 = rng.random_range(-0.03..0.03);
             prices[s] = (prices[s] * (1.0 + step)).max(0.5);
             let volume = rng.random_range(1_000.0..50_000.0f64).round();
-            object
-                .insert_ids(&[s as u32, d], &[prices[s], volume])
-                .expect("coords in range");
+            object.insert_ids(&[s as u32, d], &[prices[s], volume]).expect("coords in range");
         }
     }
     Stocks { object, tickers, days }
@@ -137,12 +135,7 @@ mod tests {
         assert_eq!(weekly.schema().dimension("day").unwrap().cardinality(), 4);
         // Price is Avg: the weekly price is the mean of 5 dailies.
         let daily: Vec<f64> = (0..5)
-            .map(|i| {
-                s.object
-                    .get_measure(&["tk000", &s.days[i]], 0)
-                    .unwrap()
-                    .unwrap()
-            })
+            .map(|i| s.object.get_measure(&["tk000", &s.days[i]], 0).unwrap().unwrap())
             .collect();
         let week = weekly.get_measure(&["tk000", "w00"], 0).unwrap().unwrap();
         let expected = daily.iter().sum::<f64>() / 5.0;
@@ -172,11 +165,11 @@ mod tests {
     #[test]
     fn multiple_classifications_work() {
         let s = generate(&small());
-        let by_ind = ops::s_aggregate_in(&s.object, "stock", Some("by industry"), "industry", true)
-            .unwrap();
+        let by_ind =
+            ops::s_aggregate_in(&s.object, "stock", Some("by industry"), "industry", true).unwrap();
         assert_eq!(by_ind.schema().dimension("stock").unwrap().cardinality(), 3);
-        let by_rating = ops::s_aggregate_in(&s.object, "stock", Some("by rating"), "rating", true)
-            .unwrap();
+        let by_rating =
+            ops::s_aggregate_in(&s.object, "stock", Some("by rating"), "rating", true).unwrap();
         assert!(by_rating.schema().dimension("stock").unwrap().cardinality() <= 4);
         // Volume totals agree regardless of classification used.
         let v1: f64 = by_ind.grand_total(1).unwrap();

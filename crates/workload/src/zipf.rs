@@ -43,9 +43,12 @@ impl Zipf {
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 
-    /// The probability mass of rank `k`.
+    /// The probability mass of rank `k`; `0.0` for ranks outside `0..n`
+    /// (the support), so callers can probe any rank without panicking.
     pub fn pmf(&self, k: usize) -> f64 {
-        if k == 0 {
+        if k >= self.cdf.len() {
+            0.0
+        } else if k == 0 {
             self.cdf[0]
         } else {
             self.cdf[k] - self.cdf[k - 1]
@@ -92,6 +95,19 @@ mod tests {
                 "rank {k}: {c} vs {expect}"
             );
         }
+    }
+
+    #[test]
+    fn pmf_out_of_range_is_zero() {
+        // Regression: `pmf(k)` indexed `cdf[k]` unchecked and panicked for
+        // `k >= n`; out-of-support ranks must read as zero mass instead.
+        let z = Zipf::new(4, 1.0);
+        assert_eq!(z.pmf(4), 0.0);
+        assert_eq!(z.pmf(5), 0.0);
+        assert_eq!(z.pmf(usize::MAX), 0.0);
+        // The in-range masses still sum to 1.
+        let total: f64 = (0..4).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
     }
 
     #[test]

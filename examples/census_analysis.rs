@@ -30,12 +30,8 @@ fn main() -> Result<()> {
     // 2. Count people by county, then roll up the geographic hierarchy to
     //    states — counts are flows of persons over space, so this is
     //    summarizable.
-    let head_count = census.micro.summarize(
-        &["county"],
-        None,
-        SummaryFunction::Count,
-        MeasureKind::Flow,
-    )?;
+    let head_count =
+        census.micro.summarize(&["county"], None, SummaryFunction::Count, MeasureKind::Flow)?;
     // Attach the geography hierarchy to the county dimension by rebuilding
     // the object over a classified dimension.
     let schema = Schema::builder("population by county")
@@ -86,11 +82,7 @@ fn main() -> Result<()> {
         println!(
             "  {label}: {:?} ← {}",
             aligned.get(&[label])?.unwrap_or(0.0),
-            sources
-                .iter()
-                .map(|(s, w)| format!("{s}×{w:.2}"))
-                .collect::<Vec<_>>()
-                .join(" + ")
+            sources.iter().map(|(s, w)| format!("{s}×{w:.2}")).collect::<Vec<_>>().join(" + ")
         );
     }
 

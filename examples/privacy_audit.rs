@@ -38,11 +38,8 @@ fn main() {
     println!("[defense: overlap auditing] padded tracker query: {padded:?}");
 
     // Defense 2: random-sample answers.
-    let mut sampled = SampledDatabase::new(
-        ProtectedDatabase::new(demo_database(), k).lower_bound_only(),
-        6,
-        42,
-    );
+    let mut sampled =
+        SampledDatabase::new(ProtectedDatabase::new(demo_database(), k).lower_bound_only(), 6, 42);
     let est1 = sampled.sum(&[], "salary").expect("sampled answer");
     let est2 = sampled.sum(&[], "salary").expect("sampled answer");
     println!("\n[defense: sampling] the same query answers differently each time: {est1:.0} vs {est2:.0}");

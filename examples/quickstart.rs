@@ -53,10 +53,7 @@ fn main() -> Result<()> {
 
     // OLAP roll-up ≡ SDB S-aggregation: professions → professional classes.
     let by_class = employment.roll_up("profession", "professional class")?;
-    println!(
-        "male engineers in '91 (rolled up): {:?}",
-        by_class.get(&["male", "91", "engineer"])?
-    );
+    println!("male engineers in '91 (rolled up): {:?}", by_class.get(&["male", "91", "engineer"])?);
 
     // Slice: fix one member and drop the dimension (context is recorded).
     let males = employment.slice("sex", "male")?;

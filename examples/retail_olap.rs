@@ -7,8 +7,8 @@
 //! ```
 
 use statcube::core::prelude::*;
-use statcube::cube::prelude::*;
 use statcube::cube::materialize;
+use statcube::cube::prelude::*;
 use statcube::workload::retail::{generate, RetailConfig};
 
 fn main() -> Result<()> {
@@ -53,8 +53,7 @@ fn main() -> Result<()> {
 
     // 3. Answer queries from the cheapest materialized ancestor.
     let store = ViewStore::build(&facts, &greedy.selected)?;
-    for (mask, label) in [(0b001u32, "by product"), (0b010, "by store"), (0b110, "by store, day")]
-    {
+    for (mask, label) in [(0b001u32, "by product"), (0b010, "by store"), (0b110, "by store, day")] {
         let ans = store.answer(mask)?;
         println!(
             "query {label}: answered from view {:03b}, scanning {} cells → {} groups",
@@ -73,7 +72,8 @@ fn main() -> Result<()> {
         .members()
         .values()
         .map(|c| {
-            let total = statcube::core::ops::s_select(&by_cat, "product", &[c]).map(|o| o.grand_total(0).unwrap_or(0.0))
+            let total = statcube::core::ops::s_select(&by_cat, "product", &[c])
+                .map(|o| o.grand_total(0).unwrap_or(0.0))
                 .unwrap_or(0.0);
             (c.to_owned(), total)
         })

@@ -46,11 +46,8 @@ fn main() {
     }
 
     // 3. Higher statistics on one stock's daily prices (§5.6).
-    let prices: Vec<f64> = market
-        .days
-        .iter()
-        .filter_map(|d| obj.get_measure(&[t, d], 0).ok().flatten())
-        .collect();
+    let prices: Vec<f64> =
+        market.days.iter().filter_map(|d| obj.get_measure(&[t, d], 0).ok().flatten()).collect();
     let mut w = Welford::new();
     for &p in &prices {
         w.push(p);
@@ -64,8 +61,8 @@ fn main() {
     );
 
     // 4. Moving windows along the temporal axis (§3.2(ii)).
-    let s = timeseries::series(obj, "day", &[("stock", t)], 0, SummaryFunction::Avg)
-        .expect("series");
+    let s =
+        timeseries::series(obj, "day", &[("stock", t)], 0, SummaryFunction::Avg).expect("series");
     let ma20 = timeseries::moving_average(&s, 20).expect("ma");
     let hi20 = timeseries::rolling_max(&s, 20).expect("high");
     let lo20 = timeseries::rolling_min(&s, 20).expect("low");
@@ -77,11 +74,7 @@ fn main() {
         lo20[last].unwrap_or(f64::NAN)
     );
     let rets = timeseries::returns(&s);
-    let best = rets
-        .iter()
-        .flatten()
-        .copied()
-        .fold(f64::NEG_INFINITY, f64::max);
+    let best = rets.iter().flatten().copied().fold(f64::NEG_INFINITY, f64::max);
     println!("best single-day return: {:.2}%", best * 100.0);
 
     // 5. The guard: a price (value-per-unit) must never be summed.

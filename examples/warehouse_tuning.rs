@@ -8,8 +8,8 @@
 //! ```
 
 use statcube::core::prelude::*;
-use statcube::storage::prelude::*;
 use statcube::storage::chunked::ChunkedArray;
+use statcube::storage::prelude::*;
 use statcube::workload::retail::{generate, RetailConfig};
 
 fn main() -> Result<()> {
@@ -58,10 +58,8 @@ fn main() -> Result<()> {
     // Candidate 4: extendible array for the nightly append ([RZ86]).
     let mut warehouse = ExtendibleArray::new(&[64, 16, 64], 4096)?;
     for (coords, states) in obj.cells() {
-        warehouse.set(
-            &[coords[0] as usize, coords[1] as usize, coords[2] as usize],
-            states[0].sum,
-        )?;
+        warehouse
+            .set(&[coords[0] as usize, coords[1] as usize, coords[2] as usize], states[0].sum)?;
     }
     let before = warehouse.io().pages_written();
     warehouse.extend(2, 1)?; // tomorrow's slice

@@ -52,10 +52,7 @@ fn catalog_to_navigation_to_query() {
     assert_eq!(view.schema().dimension("store").unwrap().cardinality(), 2);
     assert_eq!(view.grand_total(0), sales.grand_total(0));
     nav.drill_down("product").unwrap();
-    assert_eq!(
-        nav.view().unwrap().schema().dimension("product").unwrap().cardinality(),
-        12
-    );
+    assert_eq!(nav.view().unwrap().schema().dimension("product").unwrap().cardinality(), 12);
 
     // Automatic aggregation on the rolled-up view: one circled category.
     let q = Query::new().at_level("product", "category", "cat00");

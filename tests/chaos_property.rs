@@ -36,11 +36,8 @@ fn facts(seed: u64) -> FactInput {
         x ^= x << 13;
         x ^= x >> 7;
         x ^= x << 17;
-        f.push(
-            &[(x % 8) as u32, ((x >> 8) % 4) as u32, ((x >> 16) % 2) as u32],
-            (x % 100) as f64,
-        )
-        .unwrap();
+        f.push(&[(x % 8) as u32, ((x >> 8) % 4) as u32, ((x >> 16) % 2) as u32], (x % 100) as f64)
+            .unwrap();
     }
     f
 }
@@ -76,8 +73,7 @@ fn is_typed_fault(e: &Error) -> bool {
 fn viewstore_oracle_or_typed_error_across_seeds() {
     let f = facts(1);
     let oracle = ViewStore::build(&f, &[0b011, 0b101]).unwrap();
-    let oracle_answers: Vec<Cuboid> =
-        (0..8u32).map(|m| oracle.answer(m).unwrap().cuboid).collect();
+    let oracle_answers: Vec<Cuboid> = (0..8u32).map(|m| oracle.answer(m).unwrap().cuboid).collect();
 
     let mut faulted_runs = 0u64;
     let mut degraded_answers = 0u64;
@@ -155,19 +151,13 @@ fn corrupted_cuboid_answered_via_healthy_ancestor() {
     let cube = store.answer_cube().unwrap();
     // Exactness first: every cuboid still matches direct computation.
     for mask in 0..8u32 {
-        assert!(bit_identical(
-            cube.cuboid(mask).unwrap(),
-            &groupby::from_facts(&f, mask)
-        ));
+        assert!(bit_identical(cube.cuboid(mask).unwrap(), &groupby::from_facts(&f, mask)));
     }
     // Provenance: the degraded masks carry FallbackAncestor stats.
     assert!(!cube.degradations().is_empty());
     for d in cube.degradations() {
         let stat = cube.stats_for(d.requested).unwrap();
-        assert!(matches!(
-            stat.source,
-            DerivationSource::FallbackAncestor { failed: 0b011, .. }
-        ));
+        assert!(matches!(stat.source, DerivationSource::FallbackAncestor { failed: 0b011, .. }));
     }
     assert!(cube.degradations().iter().any(|d| d.requested == 0b011));
 }
@@ -200,19 +190,15 @@ fn engine_cubes_oracle_or_typed_error_across_seeds() {
 
         for p in &patterns {
             match m.get_all_verified(p) {
-                Ok((cell, _)) => assert_eq!(
-                    cell,
-                    molap_oracle.get_all(p),
-                    "seed {seed} molap pattern {p:?}"
-                ),
+                Ok((cell, _)) => {
+                    assert_eq!(cell, molap_oracle.get_all(p), "seed {seed} molap pattern {p:?}")
+                }
                 Err(e) => assert!(is_typed_fault(&e)),
             }
             match r.get_all_verified(p) {
-                Ok((cell, _)) => assert_eq!(
-                    cell,
-                    rolap_oracle.get_all(p),
-                    "seed {seed} rolap pattern {p:?}"
-                ),
+                Ok((cell, _)) => {
+                    assert_eq!(cell, rolap_oracle.get_all(p), "seed {seed} rolap pattern {p:?}")
+                }
                 Err(e) => assert!(is_typed_fault(&e)),
             }
         }

@@ -30,11 +30,8 @@ fn every_layer_agrees_on_the_grand_total() {
     let expected = obj.grand_total(0).unwrap();
 
     // Operator algebra: project everything away.
-    let algebra = ops::s_project(
-        &ops::s_project(&obj.clone(), "product").unwrap(),
-        "store",
-    )
-    .unwrap();
+    let algebra =
+        ops::s_project(&ops::s_project(&obj.clone(), "product").unwrap(), "store").unwrap();
     // `day` is temporal but quantity sold is a flow: summable.
     let algebra = ops::s_project(&algebra, "day").unwrap();
     let (_, states) = algebra.cells().next().unwrap();
@@ -67,7 +64,8 @@ fn rollup_matches_cube_cuboid() {
     let retail = generate(&retail_cfg());
     let obj = &retail.object;
     // Roll up to (store) via algebra…
-    let by_store = ops::s_project(&ops::s_project(&obj.clone(), "product").unwrap(), "day").unwrap();
+    let by_store =
+        ops::s_project(&ops::s_project(&obj.clone(), "product").unwrap(), "day").unwrap();
     // …and via the CUBE's {store} cuboid.
     let facts = FactInput::from_object(obj).unwrap();
     let cube = compute_shared(&facts);
@@ -127,17 +125,11 @@ fn slices_and_rollups_compose_across_hierarchies() {
     let sliced = coarse.slice("day", "m00").unwrap();
 
     // Recompute: select days of month 0 at the base, project day, roll up.
-    let first_month: Vec<&str> = retail.days[..30.min(retail.days.len())]
-        .iter()
-        .map(String::as_str)
-        .collect();
+    let first_month: Vec<&str> =
+        retail.days[..30.min(retail.days.len())].iter().map(String::as_str).collect();
     let base = ops::s_select(obj, "day", &first_month).unwrap();
     let base = ops::s_project_unchecked(&base, "day").unwrap();
-    let base = base
-        .roll_up("product", "category")
-        .unwrap()
-        .roll_up("store", "city")
-        .unwrap();
+    let base = base.roll_up("product", "category").unwrap().roll_up("store", "city").unwrap();
     assert_eq!(sliced.cell_count(), base.cell_count());
     for (coords, states) in sliced.cells() {
         let names = sliced.schema().names_of(coords).unwrap();

@@ -13,18 +13,19 @@ use statcube::cube::query::ViewStore;
 use statcube::cube::{molap, rolap};
 
 fn facts_strategy() -> impl Strategy<Value = FactInput> {
-    proptest::collection::vec((0u32..4, 0u32..3, 0u32..5, -100i64..100), 0..200).prop_map(
-        |rows| {
-            let mut f = FactInput::new(&[4, 3, 5]).unwrap();
-            for (a, b, c, v) in rows {
-                f.push(&[a, b, c], v as f64).unwrap();
-            }
-            f
-        },
-    )
+    proptest::collection::vec((0u32..4, 0u32..3, 0u32..5, -100i64..100), 0..200).prop_map(|rows| {
+        let mut f = FactInput::new(&[4, 3, 5]).unwrap();
+        for (a, b, c, v) in rows {
+            f.push(&[a, b, c], v as f64).unwrap();
+        }
+        f
+    })
 }
 
-fn cubes_equal(a: &statcube::cube::cube_op::CubeResult, b: &statcube::cube::cube_op::CubeResult) -> bool {
+fn cubes_equal(
+    a: &statcube::cube::cube_op::CubeResult,
+    b: &statcube::cube::cube_op::CubeResult,
+) -> bool {
     a.masks() == b.masks()
         && a.masks().iter().all(|&m| {
             let ca = a.cuboid(m).unwrap();

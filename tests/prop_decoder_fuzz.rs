@@ -1,0 +1,74 @@
+//! Corrupt-input fuzzing for the storage-layer decoders.
+//!
+//! The page store's checksum catches bit rot, but a decoder must also
+//! survive *structurally* valid pages carrying garbage payloads (a stale
+//! page whose checksum was recomputed, a buggy writer, a hostile file).
+//! These properties assert the contract the decoders document: on any
+//! byte input, [`statcube::storage::lzw::decompress`] and
+//! [`Rle::from_bytes`] either succeed or return a typed error — they
+//! never panic, index out of bounds, or loop unboundedly.
+
+use proptest::prelude::*;
+
+use statcube::storage::lzw;
+use statcube::storage::rle::Rle;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte garbage through the LZW decoder.
+    #[test]
+    fn lzw_decompress_never_panics_on_garbage(data in proptest::collection::vec(0u8..=255, 0..256)) {
+        // Returning is the property; both Ok and Err are acceptable.
+        let _ = lzw::decompress(&data);
+    }
+
+    /// Truncating a *valid* LZW stream mid-code must fail cleanly (or, for
+    /// prefixes that happen to stay well-formed, decode to a prefix — but
+    /// never panic).
+    #[test]
+    fn lzw_decompress_survives_truncation(
+        input in proptest::collection::vec(0u8..=255, 1..128),
+        cut_num in 0u32..=1000,
+    ) {
+        let full = lzw::compress(&input);
+        let cut = (cut_num as usize * full.len() / 1000).min(full.len());
+        let _ = lzw::decompress(&full[..cut]);
+        // The untruncated stream still round-trips.
+        prop_assert_eq!(lzw::decompress(&full).unwrap(), input);
+    }
+
+    /// Flipping bytes inside a valid LZW stream must not panic the decoder.
+    #[test]
+    fn lzw_decompress_survives_corruption(
+        input in proptest::collection::vec(0u8..=255, 1..128),
+        at_num in 0u32..1000,
+        xor in 1u8..=255,
+    ) {
+        let mut full = lzw::compress(&input);
+        let at = at_num as usize * full.len() / 1000;
+        full[at] ^= xor;
+        let _ = lzw::decompress(&full);
+    }
+
+    /// Arbitrary byte garbage through the RLE byte decoder.
+    #[test]
+    fn rle_from_bytes_never_panics_on_garbage(data in proptest::collection::vec(0u8..=255, 0..256)) {
+        if let Ok(rle) = Rle::<u32>::from_bytes(&data) {
+            // Anything accepted must be internally consistent: decoding
+            // yields exactly the recorded logical length.
+            prop_assert_eq!(rle.decode().len(), rle.len());
+        }
+    }
+
+    /// Truncating a valid RLE buffer is always a typed error: the header
+    /// records the run count, so every proper prefix is length-inconsistent.
+    #[test]
+    fn rle_from_bytes_rejects_truncation(values in proptest::collection::vec(0u32..4, 1..64)) {
+        let full = Rle::encode(&values).to_bytes();
+        for cut in 0..full.len() {
+            prop_assert!(Rle::<u32>::from_bytes(&full[..cut]).is_err(), "cut at {}", cut);
+        }
+        prop_assert_eq!(Rle::<u32>::from_bytes(&full).unwrap().decode(), values);
+    }
+}

@@ -34,8 +34,7 @@ fn int_facts() -> impl Strategy<Value = FactInput> {
                 x
             };
             for _ in 0..rows {
-                let coords: Vec<u32> =
-                    cards.iter().map(|&c| (next() % c as u64) as u32).collect();
+                let coords: Vec<u32> = cards.iter().map(|&c| (next() % c as u64) as u32).collect();
                 let v = (next() % 2001) as f64 - 1000.0; // integer in [-1000, 1000]
                 f.push(&coords, v).unwrap();
             }
@@ -157,8 +156,11 @@ proptest! {
 /// States built from small integer observations (sums stay exact), plus
 /// the occasional `EMPTY`.
 fn agg_state() -> impl Strategy<Value = AggState> {
-    proptest::collection::vec(-100i64..100, 0..8)
-        .prop_map(|vals| AggState::merge_many(&vals.iter().map(|&v| AggState::from_value(v as f64)).collect::<Vec<_>>()))
+    proptest::collection::vec(-100i64..100, 0..8).prop_map(|vals| {
+        AggState::merge_many(
+            &vals.iter().map(|&v| AggState::from_value(v as f64)).collect::<Vec<_>>(),
+        )
+    })
 }
 
 #[test]

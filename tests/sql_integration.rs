@@ -32,17 +32,19 @@ fn sql_cube_matches_cube_engine() {
     // Spot-check every row against the engine.
     for row in &rs.rows {
         let pattern: Vec<Option<u32>> = vec![
-            row.group[0].as_deref().map(|p| retail.object.schema().dimension("product").unwrap().member_id(p).unwrap()),
-            row.group[1].as_deref().map(|s| retail.object.schema().dimension("store").unwrap().member_id(s).unwrap()),
-            row.group[2].as_deref().map(|d| retail.object.schema().dimension("day").unwrap().member_id(d).unwrap()),
+            row.group[0].as_deref().map(|p| {
+                retail.object.schema().dimension("product").unwrap().member_id(p).unwrap()
+            }),
+            row.group[1]
+                .as_deref()
+                .map(|s| retail.object.schema().dimension("store").unwrap().member_id(s).unwrap()),
+            row.group[2]
+                .as_deref()
+                .map(|d| retail.object.schema().dimension("day").unwrap().member_id(d).unwrap()),
         ];
         let state = cube.get_all(&pattern).unwrap_or_else(|| panic!("missing {pattern:?}"));
         let sql_value = row.values[0].unwrap();
-        assert!(
-            (state.sum - sql_value).abs() < 1e-6,
-            "engine {} vs sql {sql_value}",
-            state.sum
-        );
+        assert!((state.sum - sql_value).abs() < 1e-6, "engine {} vs sql {sql_value}", state.sum);
     }
 }
 
@@ -52,7 +54,9 @@ fn sql_where_matches_algebra_select() {
     let store = retail.stores[0].clone();
     let rs = execute_str(
         &retail.object,
-        &format!("SELECT SUM(\"quantity sold\") FROM sales WHERE store = '{store}' GROUP BY product"),
+        &format!(
+            "SELECT SUM(\"quantity sold\") FROM sales WHERE store = '{store}' GROUP BY product"
+        ),
     )
     .unwrap();
     let filtered = retail.object.select("store", &[&store]).unwrap();
@@ -78,11 +82,8 @@ fn cube_query_equals_its_union_expansion() {
     assert_eq!(cube_rs.rows.len(), union_rows.len());
     // Compare as multisets of (group-with-ALL, values) — the expansions
     // have shorter group vectors, so render them against the CUBE order.
-    let mut cube_keys: Vec<String> = cube_rs
-        .rows
-        .iter()
-        .map(|r| format!("{:?}{:?}", r.group, r.values))
-        .collect();
+    let mut cube_keys: Vec<String> =
+        cube_rs.rows.iter().map(|r| format!("{:?}{:?}", r.group, r.values)).collect();
     cube_keys.sort();
     // Expansion groupings lack the ALL columns; rebuild them per grouping.
     let mut expansion_keys: Vec<String> = Vec::new();

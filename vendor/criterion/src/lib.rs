@@ -194,9 +194,7 @@ mod tests {
         let mut g = c.benchmark_group("grp");
         g.sample_size(3);
         let input = 7u64;
-        g.bench_with_input(BenchmarkId::new("square", input), &input, |b, &i| {
-            b.iter(|| i * i)
-        });
+        g.bench_with_input(BenchmarkId::new("square", input), &input, |b, &i| b.iter(|| i * i));
         g.bench_function("with_setup", |b| b.iter_with_setup(|| vec![1u8; 64], |v| v.len()));
         g.finish();
     }

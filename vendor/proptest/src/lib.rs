@@ -408,12 +408,7 @@ pub mod sample {
                     chosen += 1;
                 }
             }
-            self.items
-                .iter()
-                .zip(&picked)
-                .filter(|(_, &p)| p)
-                .map(|(v, _)| v.clone())
-                .collect()
+            self.items.iter().zip(&picked).filter(|(_, &p)| p).map(|(v, _)| v.clone()).collect()
         }
     }
 }
