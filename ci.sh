@@ -1,66 +1,102 @@
 #!/usr/bin/env bash
-# CI gate: build, tests, lints, and the parallel-engine race smoke test.
+# CI gate: build, tests, lints, race/chaos smoke, and the perf-regression
+# gate, with per-stage wall-clock timings.
 #
-#   ./ci.sh          full gate
-#   ./ci.sh quick    skip the release build (debug tests + clippy only)
+#   ./ci.sh          full gate (release build, chaos suite, perf gate, E24)
+#   ./ci.sh quick    quick gate: debug tests, clippy, one parallel-suite
+#                    run, unwrap gate — skips the release build, the chaos
+#                    suite, the perf gate, and the E24 smoke
 set -euo pipefail
 cd "$(dirname "$0")"
 
 quick="${1:-}"
+total_start=$SECONDS
 
-echo "==> cargo build --release"
+# stage <name> <command...> — runs the command, echoing the stage name
+# before and its wall-clock seconds after.
+stage() {
+    local name="$1"
+    shift
+    echo "==> $name"
+    local start=$SECONDS
+    "$@"
+    echo "    (${name}: $((SECONDS - start))s)"
+}
+
 if [ "$quick" != "quick" ]; then
-    cargo build --release --workspace
+    stage "cargo build --release" cargo build --release --workspace
 fi
 
-echo "==> cargo fmt --check"
-cargo fmt --all --check
+stage "cargo fmt --check" cargo fmt --all --check
 
-echo "==> cargo test -q (tier-1: root package)"
-cargo test -q
+stage "cargo test -q (tier-1: root package)" cargo test -q
 
-echo "==> cargo test -q --workspace"
-cargo test -q --workspace
+stage "cargo test -q --workspace" cargo test -q --workspace
 
-echo "==> cargo clippy -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+stage "cargo clippy -- -D warnings" \
+    cargo clippy --workspace --all-targets -- -D warnings
 
 # Race smoke test: the parallel property suite under a serialized test
-# harness (workers still spawn inside each test) and under the default
-# parallel harness. Catches scheduling-dependent flakiness without loom.
-echo "==> parallel suite, RUST_TEST_THREADS=1"
-RUST_TEST_THREADS=1 cargo test -q --test prop_parallel
-
-echo "==> parallel suite, default test threads"
-cargo test -q --test prop_parallel
-
-# Chaos gate: the fault-injection property suite (bit-identical-or-typed-
-# error across 120 seeded fault plans) must pass on its own.
-echo "==> chaos suite"
-cargo test -q --test chaos_property
-
-# No-new-unwrap gate: user-reachable library code in the SQL and cube
-# crates must not grow new panic sites. Counts `.unwrap()`/`.expect(` in
-# non-test lib code (everything before the `#[cfg(test)]` module) against
-# a recorded baseline. The 17 grandfathered sites were purged (typed
-# errors, infallible fallbacks, or panic-propagating joins); keep it at 0.
-unwrap_baseline=0
-unwrap_count=$(
-    for f in crates/sql/src/*.rs crates/cube/src/*.rs; do
-        awk '/#\[cfg\(test\)\]/{exit} {print}' "$f"
-    done | grep -c '\.unwrap()\|\.expect(' || true
-)
-echo "==> no-new-unwrap gate: $unwrap_count panic sites (baseline $unwrap_baseline)"
-if [ "$unwrap_count" -gt "$unwrap_baseline" ]; then
-    echo "ERROR: new .unwrap()/.expect() in crates/sql or crates/cube lib code" >&2
-    echo "       ($unwrap_count found, baseline $unwrap_baseline)." >&2
-    echo "       Return a typed Error instead, or justify and bump the baseline." >&2
-    exit 1
+# harness (workers still spawn inside each test) and — full mode only —
+# under the default parallel harness too. Catches scheduling-dependent
+# flakiness without loom.
+stage "parallel suite, RUST_TEST_THREADS=1" \
+    env RUST_TEST_THREADS=1 cargo test -q --test prop_parallel
+if [ "$quick" != "quick" ]; then
+    stage "parallel suite, default test threads" \
+        cargo test -q --test prop_parallel
 fi
 
-# Observability smoke: profile one CUBE query end to end and print the
-# span tree + metrics snapshot (E24). Fails if the trace layer breaks.
-echo "==> observability smoke (E24 metrics snapshot)"
-cargo run -q -p statcube-bench --bin experiments -- exp24
+# Chaos gate (full mode): the fault-injection property suite — cached and
+# uncached serving paths bit-identical to the oracle or typed errors across
+# 120 seeded fault plans — plus the shared-store concurrency suite.
+if [ "$quick" != "quick" ]; then
+    stage "chaos suite" cargo test -q --test chaos_property
+    stage "shared-store concurrency suite" cargo test -q --test shared_store
+fi
 
-echo "CI gate passed."
+# No-new-unwrap gate: user-reachable library code in the sql, cube,
+# storage, and privacy crates must not grow new panic sites. Counts
+# `.unwrap()`/`.expect(` in non-test lib code (everything before the
+# `#[cfg(test)]` module) against a recorded baseline. All grandfathered
+# sites were purged (typed errors, infallible fallbacks, or
+# panic-propagating joins); keep it at 0.
+unwrap_gate() {
+    local unwrap_baseline=0
+    local unwrap_count
+    unwrap_count=$(
+        for f in crates/sql/src/*.rs crates/cube/src/*.rs \
+            crates/storage/src/*.rs crates/privacy/src/*.rs; do
+            awk '/#\[cfg\(test\)\]/{exit} {print}' "$f"
+        done | grep -c '\.unwrap()\|\.expect(' || true
+    )
+    echo "    $unwrap_count panic sites (baseline $unwrap_baseline)"
+    if [ "$unwrap_count" -gt "$unwrap_baseline" ]; then
+        echo "ERROR: new .unwrap()/.expect() in sql/cube/storage/privacy lib code" >&2
+        echo "       ($unwrap_count found, baseline $unwrap_baseline)." >&2
+        echo "       Return a typed Error instead, or justify and bump the baseline." >&2
+        exit 1
+    fi
+}
+stage "no-new-unwrap gate" unwrap_gate
+
+# Perf-regression gate (full mode): measures the pinned E25/E22 subset in
+# release, writes BENCH_04.json, and fails if throughput regresses more
+# than 25% against the committed bench_baseline.json (or the deterministic
+# cache hit rate drops >0.05). Re-baseline after an intentional perf trade
+# or a hardware change:
+#   cargo run -p statcube-bench --release --bin perf_gate -- --write-baseline
+# then commit bench_baseline.json.
+if [ "$quick" != "quick" ]; then
+    stage "perf-regression gate (BENCH_04.json vs bench_baseline.json)" \
+        cargo run -q -p statcube-bench --release --bin perf_gate
+fi
+
+# Observability smoke (full mode): profile one CUBE query end to end and
+# print the span tree + metrics snapshot (E24). Fails if tracing breaks.
+if [ "$quick" != "quick" ]; then
+    stage "observability smoke (E24 metrics snapshot)" \
+        cargo run -q -p statcube-bench --bin experiments -- exp24
+fi
+
+echo "CI gate passed in $((SECONDS - total_start))s."

@@ -1,0 +1,221 @@
+//! CI perf-regression gate.
+//!
+//! Measures a pinned subset of E25 (serving-layer cache throughput) and
+//! E22 (partition-parallel CUBE throughput), writes the numbers to
+//! `BENCH_04.json`, and compares them against the committed
+//! `bench_baseline.json`:
+//!
+//! * any throughput metric below `baseline × (1 − tolerance)` fails the
+//!   gate (tolerance defaults to 0.25; override with `PERF_GATE_TOLERANCE`);
+//! * a hit-rate drop of more than 0.05 absolute fails the gate (hit rate is
+//!   deterministic for the pinned stream, so this catches admission-policy
+//!   regressions that throughput noise would hide).
+//!
+//! ```text
+//! cargo run -p statcube-bench --release --bin perf_gate                  # gate
+//! cargo run -p statcube-bench --release --bin perf_gate -- --write-baseline
+//! ```
+//!
+//! Throughput is taken as the best of three runs, which suppresses most
+//! scheduler noise; re-baseline (the second command, then commit the file)
+//! when hardware changes or an intentional perf trade lands. Paths default
+//! to the working directory and follow `PERF_GATE_BASELINE` /
+//! `PERF_GATE_OUT`.
+
+use std::time::Instant;
+
+use statcube_bench::serving::{
+    self, build_store, make_facts, run_stream, run_stream_threads, zipf_stream,
+};
+use statcube_cube::cube_op;
+use statcube_cube::input::FactInput;
+
+/// Rows of the pinned parallel-CUBE workload (E22's shape, sized for CI).
+const PAR_ROWS: usize = 100_000;
+const PAR_CARDS: [usize; 4] = [50, 20, 10, 8];
+/// Throughput measurements take the best of this many runs.
+const RUNS: usize = 3;
+
+struct Measured {
+    serving_ops_per_sec: f64,
+    serving_hit_rate: f64,
+    serving_p50_ns: u64,
+    serving_p95_ns: u64,
+    threaded_ops_per_sec: f64,
+    parallel_cube_rows_per_sec: f64,
+}
+
+fn measure() -> Measured {
+    // Serving: the E25 full-budget point, warm, best of RUNS.
+    let facts = make_facts(3);
+    let store = build_store(&facts, 16 << 20);
+    let stream = zipf_stream(store.top(), serving::STREAM_LEN, serving::ZIPF_S, 5);
+    run_stream(&store, &stream); // warm
+    let mut best = run_stream(&store, &stream);
+    for _ in 1..RUNS {
+        let s = run_stream(&store, &stream);
+        if s.ops_per_sec > best.ops_per_sec {
+            best = s;
+        }
+    }
+    let mut threaded = 0.0f64;
+    for _ in 0..RUNS {
+        threaded = threaded.max(run_stream_threads(&store, &stream, 4).ops_per_sec);
+    }
+
+    // Parallel CUBE: E22's workload shape at the hardware thread count.
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut input = FactInput::new(&PAR_CARDS).expect("input");
+    let mut x = 22u64 | 1;
+    for _ in 0..PAR_ROWS {
+        let coords: Vec<u32> = PAR_CARDS
+            .iter()
+            .map(|&c| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % c as u64) as u32
+            })
+            .collect();
+        input.push(&coords, (x % 1000) as f64).expect("push");
+    }
+    let mut cube_rows_per_sec = 0.0f64;
+    for _ in 0..RUNS {
+        let t = Instant::now();
+        let cube = cube_op::compute_parallel(&input, hw);
+        let secs = t.elapsed().as_secs_f64().max(1e-9);
+        assert!(cube.total_cells() > 0);
+        cube_rows_per_sec = cube_rows_per_sec.max(PAR_ROWS as f64 / secs);
+    }
+
+    Measured {
+        serving_ops_per_sec: best.ops_per_sec,
+        serving_hit_rate: best.hit_rate,
+        serving_p50_ns: best.p50_ns,
+        serving_p95_ns: best.p95_ns,
+        threaded_ops_per_sec: threaded,
+        parallel_cube_rows_per_sec: cube_rows_per_sec,
+    }
+}
+
+fn to_json(m: &Measured) -> String {
+    format!(
+        "{{\n  \"schema\": 1,\n  \"serving_ops_per_sec\": {:.1},\n  \
+         \"serving_hit_rate\": {:.4},\n  \"serving_p50_ns\": {},\n  \
+         \"serving_p95_ns\": {},\n  \"threaded_ops_per_sec\": {:.1},\n  \
+         \"parallel_cube_rows_per_sec\": {:.1}\n}}\n",
+        m.serving_ops_per_sec,
+        m.serving_hit_rate,
+        m.serving_p50_ns,
+        m.serving_p95_ns,
+        m.threaded_ops_per_sec,
+        m.parallel_cube_rows_per_sec,
+    )
+}
+
+/// Extracts `"key": <number>` from a flat JSON object. Sufficient for the
+/// gate's own files; not a general parser.
+fn json_num(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let at = json.find(&pat)? + pat.len();
+    let rest = json[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let write_baseline = std::env::args().any(|a| a == "--write-baseline");
+    let out_path = std::env::var("PERF_GATE_OUT").unwrap_or_else(|_| "BENCH_04.json".into());
+    let baseline_path =
+        std::env::var("PERF_GATE_BASELINE").unwrap_or_else(|_| "bench_baseline.json".into());
+    let tolerance: f64 =
+        std::env::var("PERF_GATE_TOLERANCE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.25);
+
+    eprintln!("perf_gate: measuring pinned E25/E22 subset...");
+    let m = measure();
+    let json = to_json(&m);
+    print!("{json}");
+
+    if write_baseline {
+        if let Err(e) = std::fs::write(&baseline_path, &json) {
+            eprintln!("perf_gate: cannot write {baseline_path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("perf_gate: baseline written to {baseline_path}");
+        return;
+    }
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("perf_gate: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("perf_gate: results written to {out_path}");
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "perf_gate: no baseline at {baseline_path} ({e}); run with \
+                 --write-baseline and commit the file"
+            );
+            std::process::exit(1);
+        }
+    };
+
+    let mut failures = Vec::new();
+    for (key, current) in [
+        ("serving_ops_per_sec", m.serving_ops_per_sec),
+        ("threaded_ops_per_sec", m.threaded_ops_per_sec),
+        ("parallel_cube_rows_per_sec", m.parallel_cube_rows_per_sec),
+    ] {
+        match json_num(&baseline, key) {
+            Some(base) if base > 0.0 => {
+                let floor = base * (1.0 - tolerance);
+                let verdict = if current < floor { "FAIL" } else { "ok" };
+                eprintln!(
+                    "perf_gate: {key:<28} current {current:>12.1}  baseline {base:>12.1}  \
+                     floor {floor:>12.1}  {verdict}"
+                );
+                if current < floor {
+                    failures.push(format!(
+                        "{key} regressed: {current:.1} < {floor:.1} \
+                         (baseline {base:.1}, tolerance {tolerance})"
+                    ));
+                }
+            }
+            _ => failures.push(format!("baseline {baseline_path} lacks {key}")),
+        }
+    }
+    match json_num(&baseline, "serving_hit_rate") {
+        Some(base_hit) => {
+            let verdict = if m.serving_hit_rate + 0.05 < base_hit { "FAIL" } else { "ok" };
+            eprintln!(
+                "perf_gate: {:<28} current {:>12.4}  baseline {base_hit:>12.4}  {verdict}",
+                "serving_hit_rate", m.serving_hit_rate
+            );
+            if m.serving_hit_rate + 0.05 < base_hit {
+                failures.push(format!(
+                    "serving_hit_rate dropped: {:.4} vs baseline {base_hit:.4}",
+                    m.serving_hit_rate
+                ));
+            }
+        }
+        None => failures.push(format!("baseline {baseline_path} lacks serving_hit_rate")),
+    }
+
+    if failures.is_empty() {
+        eprintln!("perf_gate: PASS (tolerance {tolerance})");
+    } else {
+        for f in &failures {
+            eprintln!("perf_gate: FAIL: {f}");
+        }
+        eprintln!(
+            "perf_gate: if this regression is intentional, re-baseline with\n  \
+             cargo run -p statcube-bench --release --bin perf_gate -- --write-baseline\n\
+             and commit {baseline_path}"
+        );
+        std::process::exit(1);
+    }
+}

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod serving;
 
 /// One module per experiment of DESIGN.md's per-experiment index.
 pub mod exps {
@@ -43,6 +44,7 @@ pub mod exps {
     pub mod exp22;
     pub mod exp23;
     pub mod exp24;
+    pub mod exp25;
 }
 
 /// One experiment: `(id, title, runner)`.
@@ -75,5 +77,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("exp22", "partition-parallel CUBE speedup curve", exps::exp22::run),
         ("exp23", "degradation cost under injected faults", exps::exp23::run),
         ("exp24", "query-profile observability (spans + metrics)", exps::exp24::run),
+        ("exp25", "serving-layer cache hit-rate and speedup curves", exps::exp25::run),
     ]
 }

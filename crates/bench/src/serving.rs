@@ -1,0 +1,239 @@
+//! Shared measurement harness for the serving-layer experiments (E25) and
+//! the CI perf-regression gate (`perf_gate`).
+//!
+//! Both consumers need the same thing — drive a Zipf-skewed query stream
+//! against a [`SharedViewStore`] and report hit rate, throughput, and the
+//! latency distribution — so the workload construction and the measurement
+//! loop live here, pinned: the gate compares numbers against a committed
+//! baseline, which only means something if every run measures the identical
+//! workload.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use statcube_core::trace::Histogram;
+use statcube_cube::cache::CacheConfig;
+use statcube_cube::input::FactInput;
+use statcube_cube::lattice::Lattice;
+use statcube_cube::materialize;
+use statcube_cube::shared::SharedViewStore;
+
+/// Pinned workload: dimension cardinalities.
+pub const CARDS: [usize; 4] = [10, 8, 5, 4];
+/// Pinned workload: fact rows.
+pub const ROWS: usize = 20_000;
+/// Pinned workload: queries per stream.
+pub const STREAM_LEN: usize = 400;
+/// Pinned workload: Zipf skew of the query stream.
+pub const ZIPF_S: f64 = 1.1;
+/// Pinned workload: materialized views besides the base.
+pub const GREEDY_VIEWS: usize = 4;
+
+/// Deterministic xorshift fact table over [`CARDS`].
+pub fn make_facts(seed: u64) -> FactInput {
+    let mut input = FactInput::new(&CARDS).expect("input");
+    let mut x = seed | 1;
+    for _ in 0..ROWS {
+        let coords: Vec<u32> = CARDS
+            .iter()
+            .map(|&c| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % c as u64) as u32
+            })
+            .collect();
+        input.push(&coords, (x % 1000) as f64).expect("push");
+    }
+    input
+}
+
+/// Builds the serving store: HRU-greedy views over the pinned lattice, a
+/// cache with `budget` bytes (0 = the uncached baseline).
+pub fn build_store(facts: &FactInput, budget: usize) -> SharedViewStore {
+    let lattice = Lattice::new(facts.cards(), facts.len() as u64).expect("lattice");
+    let greedy = materialize::greedy_select(&lattice, GREEDY_VIEWS).expect("greedy");
+    let config =
+        if budget == 0 { CacheConfig::disabled() } else { CacheConfig::with_budget(budget) };
+    SharedViewStore::build(facts, &greedy.selected, config).expect("store")
+}
+
+/// A Zipf-skewed cuboid-mask stream: masks ranked by a seeded shuffle, rank
+/// `r` drawn with probability ∝ `1/r^s`. Deterministic in `seed`.
+pub fn zipf_stream(top: u32, len: usize, s: f64, seed: u64) -> Vec<u32> {
+    let n = top as usize + 1;
+    // Seeded shuffle so popularity isn't correlated with mask arity.
+    let mut ranked: Vec<u32> = (0..=top).collect();
+    let mut x = seed | 1;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for i in (1..n).rev() {
+        ranked.swap(i, (next() % (i as u64 + 1)) as usize);
+    }
+    // Cumulative Zipf weights over ranks 1..=n.
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for r in 1..=n {
+        acc += 1.0 / (r as f64).powf(s);
+        cdf.push(acc);
+    }
+    let total = acc;
+    (0..len)
+        .map(|_| {
+            let u = (next() >> 11) as f64 / (1u64 << 53) as f64 * total;
+            let idx = cdf.partition_point(|&c| c < u).min(n - 1);
+            ranked[idx]
+        })
+        .collect()
+}
+
+/// What one measured stream produced.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamStats {
+    /// Queries answered.
+    pub queries: u64,
+    /// Total wall time for the stream, nanoseconds.
+    pub wall_ns: u64,
+    /// Cache hit rate over the stream's probes.
+    pub hit_rate: f64,
+    /// Aggregate throughput, queries per second.
+    pub ops_per_sec: f64,
+    /// Exact median per-query latency, nanoseconds.
+    pub median_ns: u64,
+    /// p50 from the log₂ latency histogram (2× resolution).
+    pub p50_ns: u64,
+    /// p95 from the log₂ latency histogram (2× resolution).
+    pub p95_ns: u64,
+}
+
+fn stats_of(latencies: &mut [u64], wall_ns: u64, hit_rate: f64) -> StreamStats {
+    let mut hist = Histogram::default();
+    for &l in latencies.iter() {
+        hist.record(l);
+    }
+    latencies.sort_unstable();
+    let queries = latencies.len() as u64;
+    StreamStats {
+        queries,
+        wall_ns,
+        hit_rate,
+        ops_per_sec: queries as f64 / (wall_ns as f64 / 1e9).max(1e-12),
+        median_ns: latencies.get(latencies.len() / 2).copied().unwrap_or(0),
+        p50_ns: hist.quantile(0.5),
+        p95_ns: hist.quantile(0.95),
+    }
+}
+
+/// Hit rate accumulated by `store` since the `(hits, misses)` snapshot.
+fn hit_rate_since(store: &SharedViewStore, before: (u64, u64)) -> f64 {
+    let s = store.cache_stats();
+    let probes = (s.hits - before.0) + (s.misses - before.1);
+    if probes == 0 {
+        0.0
+    } else {
+        (s.hits - before.0) as f64 / probes as f64
+    }
+}
+
+/// Answers the stream on the calling thread, one query at a time.
+pub fn run_stream(store: &SharedViewStore, stream: &[u32]) -> StreamStats {
+    let before = {
+        let s = store.cache_stats();
+        (s.hits, s.misses)
+    };
+    let mut latencies = Vec::with_capacity(stream.len());
+    let t0 = Instant::now();
+    for &mask in stream {
+        let t = Instant::now();
+        let ans = store.answer(mask).expect("answer");
+        latencies.push(t.elapsed().as_nanos() as u64);
+        assert!(!ans.cuboid.is_empty() || mask != store.top(), "base cuboid cannot be empty");
+    }
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    stats_of(&mut latencies, wall_ns, hit_rate_since(store, before))
+}
+
+/// Answers the stream from `threads` reader threads sharing one store;
+/// thread `t` starts at offset `t` into the stream (same multiset of
+/// queries, different interleaving). Wall time spans all threads.
+pub fn run_stream_threads(store: &SharedViewStore, stream: &[u32], threads: usize) -> StreamStats {
+    let before = {
+        let s = store.cache_stats();
+        (s.hits, s.misses)
+    };
+    let all = Mutex::new(Vec::with_capacity(stream.len() * threads));
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let store = store.clone();
+            let all = &all;
+            scope.spawn(move || {
+                let mut latencies = Vec::with_capacity(stream.len());
+                for i in 0..stream.len() {
+                    let mask = stream[(i + t) % stream.len()];
+                    let q = Instant::now();
+                    store.answer(mask).expect("answer");
+                    latencies.push(q.elapsed().as_nanos() as u64);
+                }
+                all.lock().unwrap_or_else(|p| p.into_inner()).extend(latencies);
+            });
+        }
+    });
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let mut latencies = all.into_inner().unwrap_or_else(|p| p.into_inner());
+    stats_of(&mut latencies, wall_ns, hit_rate_since(store, before))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_stream_is_deterministic_and_skewed() {
+        let a = zipf_stream(15, 1000, ZIPF_S, 7);
+        let b = zipf_stream(15, 1000, ZIPF_S, 7);
+        assert_eq!(a, b, "same seed, same stream");
+        assert_ne!(a, zipf_stream(15, 1000, ZIPF_S, 8), "seed matters");
+        assert!(a.iter().all(|&m| m <= 15));
+        // Skew: the most popular mask dominates a uniform share.
+        let mut counts = [0usize; 16];
+        for &m in &a {
+            counts[m as usize] += 1;
+        }
+        let max = counts.iter().max().copied().unwrap_or(0);
+        assert!(max > 1000 / 16 * 3, "hottest mask ({max}) should far exceed uniform");
+        // Every mask still appears somewhere in a long stream... not
+        // guaranteed for the coldest ranks; at least half must.
+        assert!(counts.iter().filter(|&&c| c > 0).count() >= 8);
+    }
+
+    #[test]
+    fn streams_measure_hits_and_throughput() {
+        let facts = make_facts(3);
+        let store = build_store(&facts, 16 << 20);
+        let stream = zipf_stream(store.top(), 120, ZIPF_S, 5);
+        let s = run_stream(&store, &stream);
+        assert_eq!(s.queries, 120);
+        assert!(s.hit_rate > 0.5, "warm cache should mostly hit: {}", s.hit_rate);
+        assert!(s.ops_per_sec > 0.0);
+        assert!(s.median_ns > 0);
+        assert!(s.p95_ns >= s.p50_ns);
+        let t = run_stream_threads(&store, &stream, 4);
+        assert_eq!(t.queries, 480);
+        assert!(t.hit_rate > 0.9, "fully warm shared cache: {}", t.hit_rate);
+    }
+
+    #[test]
+    fn uncached_baseline_never_hits() {
+        let facts = make_facts(3);
+        let store = build_store(&facts, 0);
+        let stream = zipf_stream(store.top(), 40, ZIPF_S, 5);
+        let s = run_stream(&store, &stream);
+        assert_eq!(s.hit_rate, 0.0);
+        assert_eq!(store.cache_stats().entries, 0);
+    }
+}

@@ -450,6 +450,13 @@ impl Histogram {
         self.buckets[(64 - v.leading_zeros()) as usize] += 1;
     }
 
+    /// Records one observation. Public counterpart of the registry's
+    /// internal path, for histograms assembled outside the registry (e.g.
+    /// per-run latency distributions in benchmarks).
+    pub fn record(&mut self, v: u64) {
+        self.observe(v);
+    }
+
     /// Mean of the observations (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -457,6 +464,32 @@ impl Histogram {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Approximate quantile `q` (clamped to `[0, 1]`): the upper bound of
+    /// the log₂ bucket holding the `⌈q·count⌉`-th smallest observation,
+    /// clamped to the observed `[min, max]`. Bucket resolution bounds the
+    /// error at 2× — adequate for the p50/p95 regression gating these
+    /// histograms exist for. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let hi = match i {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                };
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
     }
 }
 
@@ -717,5 +750,35 @@ mod tests {
         assert_eq!(h.mean(), 4.0);
         assert_eq!(h.buckets[2], 1); // 2 in [2,4)
         assert_eq!(h.buckets[3], 1); // 6 in [4,8)
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        // 95 observations near 100, 5 near 5000: p50 in the low bucket,
+        // p95+ in the high one, everything clamped to [min, max].
+        for _ in 0..95 {
+            h.record(100);
+        }
+        for _ in 0..5 {
+            h.record(5000);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((100..200).contains(&p50), "p50={p50} should sit in 100's bucket");
+        assert_eq!(h.quantile(0.99), 5000, "clamped to max");
+        assert_eq!(h.quantile(1.0), 5000);
+        let p0 = h.quantile(0.0);
+        assert!((100..200).contains(&p0), "rank floors at the first observation's bucket");
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0), "q clamps");
+        // Zeros land in bucket 0 and quantile 0 stays 0.
+        let mut z = Histogram::default();
+        z.record(0);
+        z.record(0);
+        assert_eq!(z.quantile(0.5), 0);
+        // The 2^63.. bucket caps at u64::MAX, clamped to the observed max.
+        let mut big = Histogram::default();
+        big.record(u64::MAX - 3);
+        assert_eq!(big.quantile(0.5), u64::MAX - 3);
     }
 }

@@ -1,0 +1,525 @@
+//! A cost-aware answer/cuboid cache for the serving path.
+//!
+//! [HRU96]'s greedy view selection decides which cuboids are worth
+//! *materializing*; this module decides which derived results are worth
+//! *keeping in memory*. The unit of value is the derivation cost the cache
+//! saves on a repeat hit — cells scanned in the source view times the
+//! lattice distance travelled — which is exactly the linear cost model the
+//! rest of the cube layer is built on (and the unit Szépkúti's
+//! compressed-cube serving work charges per answer).
+//!
+//! ## Structure
+//!
+//! The cache is **sharded**: each [`CacheKey`] hashes to one of N shards,
+//! each an independently locked LRU map with `byte_budget / N` bytes of
+//! capacity, so concurrent readers on different keys rarely contend.
+//!
+//! ## Admission and eviction
+//!
+//! Plain LRU evicts a months-of-scans cuboid to admit a point answer that
+//! costs two comparisons to recompute. Admission here is *cost-weighted*
+//! (GreedyDual-style): an incoming entry may only evict LRU victims whose
+//! recorded cost does not exceed its own. When the LRU victim is more
+//! expensive than the candidate, the candidate is rejected — but the
+//! victim's cost is halved (aging), so sustained pressure from cheap
+//! entries still turns the cache over eventually instead of fossilizing.
+//!
+//! ## Invalidation
+//!
+//! Every entry records the *source view* it was derived from and that
+//! view's [`PageStore`](statcube_storage::page_store::PageStore) file
+//! **epoch** at derivation time. The storage layer bumps a file's epoch on
+//! every mutation path — overwrite (delta maintenance), targeted
+//! corruption, a persisted injected fault — so a probe whose recorded epoch
+//! no longer matches the live one is treated as stale: the entry is evicted
+//! and the query recomputes. Scrub failures additionally evict eagerly via
+//! [`AnswerCache::invalidate_source`].
+//!
+//! ## Negative-cache policy
+//!
+//! Degraded answers (lattice-fallback detours around corrupt views) are
+//! **never admitted**: caching one would keep serving the detour after the
+//! store heals. The skip is counted in [`CacheStats::degraded_skips`].
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use statcube_core::measure::AggState;
+use statcube_core::trace;
+
+use crate::groupby::Cuboid;
+
+/// Sizing and sharding knobs for an [`AnswerCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total byte budget across all shards. A budget of 0 disables
+    /// admission entirely (every probe is a miss) — the uncached baseline.
+    pub byte_budget: usize,
+    /// Number of independently locked shards (clamped to ≥ 1).
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self { byte_budget: 16 << 20, shards: 8 }
+    }
+}
+
+impl CacheConfig {
+    /// A cache with the given total byte budget and default sharding.
+    pub fn with_budget(byte_budget: usize) -> Self {
+        Self { byte_budget, ..Self::default() }
+    }
+
+    /// The degenerate no-cache configuration (budget 0): every probe
+    /// misses, nothing is admitted. Used as the uncached baseline.
+    pub fn disabled() -> Self {
+        Self { byte_budget: 0, shards: 1 }
+    }
+}
+
+/// What a cache entry answers: a full cuboid materialization or one
+/// point/slice cell of a cuboid.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CacheKey {
+    /// The full cuboid for this mask.
+    Cuboid(u32),
+    /// One cell of the cuboid for this mask, keyed by its coordinates
+    /// (ascending dimension order, the cuboid key layout).
+    Cell(u32, Box<[u32]>),
+}
+
+/// A cached value, cheap to clone out of the cache.
+#[derive(Debug, Clone)]
+pub enum CachedValue {
+    /// A full cuboid, shared by reference count.
+    Cuboid(Arc<Cuboid>),
+    /// One cell's aggregate state; `None` records that the cell is absent
+    /// (an empty region of the cube — a valid, cacheable answer).
+    Cell(Option<AggState>),
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: CachedValue,
+    bytes: usize,
+    /// Derivation cost this entry saves per hit (cells scanned × lattice
+    /// distance); halved each time the entry survives an eviction attempt.
+    cost: u64,
+    /// LRU tick of the last touch.
+    tick: u64,
+    /// The materialized view the value was derived from.
+    source: u32,
+    /// `source`'s page-store epoch at derivation time.
+    epoch: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    /// tick → key, ordered: the first entry is the LRU victim.
+    order: BTreeMap<u64, CacheKey>,
+    tick: u64,
+    used: usize,
+}
+
+impl Shard {
+    fn touch(&mut self, key: &CacheKey) {
+        if let Some(e) = self.map.get_mut(key) {
+            self.order.remove(&e.tick);
+            self.tick += 1;
+            e.tick = self.tick;
+            self.order.insert(e.tick, key.clone());
+        }
+    }
+
+    fn remove(&mut self, key: &CacheKey) -> Option<Entry> {
+        let e = self.map.remove(key)?;
+        self.order.remove(&e.tick);
+        self.used -= e.bytes;
+        Some(e)
+    }
+}
+
+/// Point-in-time counters of one [`AnswerCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes that returned a live entry.
+    pub hits: u64,
+    /// Probes that found nothing (or only a stale entry).
+    pub misses: u64,
+    /// Entries admitted.
+    pub insertions: u64,
+    /// Entries evicted to make room for a costlier candidate.
+    pub evictions: u64,
+    /// Candidates rejected because the LRU victim cost more.
+    pub rejected: u64,
+    /// Entries evicted because their source epoch moved (stale) or their
+    /// source view failed a scrub.
+    pub invalidations: u64,
+    /// Degraded answers refused admission (negative-cache policy).
+    pub degraded_skips: u64,
+    /// Bytes currently resident.
+    pub bytes_used: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all probes (0 when never probed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The sharded, cost-aware answer cache. All methods take `&self`; the
+/// cache is `Sync` and meant to be shared across reader threads.
+#[derive(Debug)]
+pub struct AnswerCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    rejected: AtomicU64,
+    invalidations: AtomicU64,
+    degraded_skips: AtomicU64,
+}
+
+impl AnswerCache {
+    /// An empty cache sized by `config`.
+    pub fn new(config: CacheConfig) -> Self {
+        let n = config.shards.max(1);
+        Self {
+            shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: config.byte_budget / n,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            degraded_skips: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> MutexGuard<'_, Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        let i = (h.finish() as usize) % self.shards.len();
+        self.shards[i].lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Probes for `key`. `live_epoch` maps a source mask to its current
+    /// page-store epoch (`None` when the view no longer exists); an entry
+    /// whose recorded epoch differs is evicted as stale and the probe
+    /// misses. On a hit the entry's recency and the global hit counter are
+    /// updated and `(value, source_mask)` is returned.
+    pub fn get(
+        &self,
+        key: &CacheKey,
+        live_epoch: impl FnOnce(u32) -> Option<u64>,
+    ) -> Option<(CachedValue, u32)> {
+        let mut shard = self.shard(key);
+        let (stale, found) = match shard.map.get(key) {
+            Some(e) => (live_epoch(e.source) != Some(e.epoch), true),
+            None => (false, false),
+        };
+        if stale {
+            shard.remove(key);
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            trace::counter("cube.cache.invalidations", 1);
+        }
+        if !found || stale {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            trace::counter("cube.cache.misses", 1);
+            return None;
+        }
+        shard.touch(key);
+        let e = &shard.map[key];
+        let out = (e.value.clone(), e.source);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        trace::counter("cube.cache.hits", 1);
+        Some(out)
+    }
+
+    /// Offers an entry for admission; returns whether it was admitted.
+    ///
+    /// `cost` is the derivation cost a future hit saves; `source`/`epoch`
+    /// pin the entry to the state of the view it was derived from. See the
+    /// module docs for the admission policy.
+    pub fn insert(
+        &self,
+        key: CacheKey,
+        value: CachedValue,
+        bytes: usize,
+        cost: u64,
+        source: u32,
+        epoch: u64,
+    ) -> bool {
+        if bytes > self.shard_budget {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            trace::counter("cube.cache.rejected", 1);
+            return false;
+        }
+        let mut shard = self.shard(&key);
+        // Replace any previous entry for the key outright (the caller has a
+        // fresher derivation).
+        shard.remove(&key);
+        while shard.used + bytes > self.shard_budget {
+            let Some((&victim_tick, victim_key)) = shard.order.iter().next() else { break };
+            let victim_key = victim_key.clone();
+            let victim_cost = shard.map.get(&victim_key).map(|e| e.cost).unwrap_or(0);
+            if victim_cost <= cost {
+                shard.remove(&victim_key);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                trace::counter("cube.cache.evictions", 1);
+            } else {
+                // The resident entry is worth more than the candidate: age
+                // it so it cannot squat forever, and reject the candidate.
+                if let Some(e) = shard.map.get_mut(&victim_key) {
+                    e.cost /= 2;
+                }
+                let _ = victim_tick;
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                trace::counter("cube.cache.rejected", 1);
+                return false;
+            }
+        }
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.order.insert(tick, key.clone());
+        shard.used += bytes;
+        shard.map.insert(key, Entry { value, bytes, cost, tick, source, epoch });
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        trace::counter("cube.cache.insertions", 1);
+        true
+    }
+
+    /// Counts a degraded answer that was refused admission.
+    pub fn note_degraded_skip(&self) {
+        self.degraded_skips.fetch_add(1, Ordering::Relaxed);
+        trace::counter("cube.cache.degraded_skips", 1);
+    }
+
+    /// Evicts every entry derived from view `source` (eager invalidation,
+    /// driven by scrub failures and targeted corruption).
+    pub fn invalidate_source(&self, source: u32) -> u64 {
+        let mut n = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap_or_else(|p| p.into_inner());
+            let stale: Vec<CacheKey> = shard
+                .map
+                .iter()
+                .filter(|(_, e)| e.source == source)
+                .map(|(k, _)| k.clone())
+                .collect();
+            for k in stale {
+                shard.remove(&k);
+                n += 1;
+            }
+        }
+        self.invalidations.fetch_add(n, Ordering::Relaxed);
+        trace::counter("cube.cache.invalidations", n);
+        n
+    }
+
+    /// Drops every entry (bulk invalidation after delta maintenance).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap_or_else(|p| p.into_inner());
+            let n = shard.map.len() as u64;
+            *shard = Shard::default();
+            self.invalidations.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of the counters plus current residency.
+    pub fn stats(&self) -> CacheStats {
+        let (mut bytes_used, mut entries) = (0u64, 0u64);
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|p| p.into_inner());
+            bytes_used += shard.used as u64;
+            entries += shard.map.len() as u64;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            degraded_skips: self.degraded_skips.load(Ordering::Relaxed),
+            bytes_used,
+            entries,
+        }
+    }
+}
+
+/// Approximate resident size of a cuboid (matches the sealed serialization:
+/// 16-byte header plus `key_len*4 + 32` per row), used for budget charging.
+pub fn cuboid_bytes(cuboid: &Cuboid) -> usize {
+    let key_len = cuboid.keys().next().map_or(0, |k| k.len());
+    16 + cuboid.len() * (key_len * 4 + 32)
+}
+
+/// Resident size charged for one cached cell (state + key + bookkeeping).
+pub const CELL_BYTES: usize = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cuboid(rows: u32) -> Arc<Cuboid> {
+        let mut c = Cuboid::new();
+        for i in 0..rows {
+            c.insert(vec![i].into_boxed_slice(), AggState::EMPTY);
+        }
+        Arc::new(c)
+    }
+
+    fn insert_cuboid(cache: &AnswerCache, mask: u32, rows: u32, cost: u64) -> bool {
+        let c = cuboid(rows);
+        let bytes = cuboid_bytes(&c);
+        cache.insert(CacheKey::Cuboid(mask), CachedValue::Cuboid(c), bytes, cost, mask, 0)
+    }
+
+    #[test]
+    fn hit_miss_and_lru_order() {
+        let cache = AnswerCache::new(CacheConfig { byte_budget: 10_000, shards: 1 });
+        assert!(cache.get(&CacheKey::Cuboid(1), |_| Some(0)).is_none());
+        assert!(insert_cuboid(&cache, 1, 10, 100));
+        assert!(insert_cuboid(&cache, 2, 10, 100));
+        let (v, src) = cache.get(&CacheKey::Cuboid(1), |_| Some(0)).expect("hit");
+        assert_eq!(src, 1);
+        assert!(matches!(v, CachedValue::Cuboid(c) if c.len() == 10));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 2));
+        assert!(s.hit_rate() > 0.49 && s.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn byte_budget_caps_residency_via_lru_eviction() {
+        // Each 10-row cuboid is 16 + 10*36 = 376 bytes; budget fits two.
+        let cache = AnswerCache::new(CacheConfig { byte_budget: 800, shards: 1 });
+        assert!(insert_cuboid(&cache, 1, 10, 100));
+        assert!(insert_cuboid(&cache, 2, 10, 100));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(&CacheKey::Cuboid(1), |_| Some(0)).is_some());
+        assert!(insert_cuboid(&cache, 3, 10, 100));
+        let s = cache.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.evictions, 1);
+        assert!(s.bytes_used <= 800);
+        assert!(cache.get(&CacheKey::Cuboid(2), |_| Some(0)).is_none(), "LRU victim gone");
+        assert!(cache.get(&CacheKey::Cuboid(1), |_| Some(0)).is_some(), "recent entry kept");
+    }
+
+    #[test]
+    fn expensive_entries_resist_cheap_pressure_but_age_out() {
+        let cache = AnswerCache::new(CacheConfig { byte_budget: 400, shards: 1 });
+        assert!(insert_cuboid(&cache, 1, 10, 1 << 20));
+        // A cheap candidate cannot displace the expensive resident...
+        assert!(!insert_cuboid(&cache, 2, 10, 8));
+        assert_eq!(cache.stats().rejected, 1);
+        assert!(cache.get(&CacheKey::Cuboid(1), |_| Some(0)).is_some());
+        // ...but each rejection halves the resident's cost, so sustained
+        // pressure eventually turns the cache over.
+        for _ in 0..25 {
+            if insert_cuboid(&cache, 2, 10, 8) {
+                break;
+            }
+        }
+        assert!(cache.get(&CacheKey::Cuboid(2), |_| Some(0)).is_some(), "aging admitted it");
+    }
+
+    #[test]
+    fn oversized_and_zero_budget_reject() {
+        let cache = AnswerCache::new(CacheConfig { byte_budget: 100, shards: 1 });
+        assert!(!insert_cuboid(&cache, 1, 100, 1000), "bigger than the whole budget");
+        let off = AnswerCache::new(CacheConfig::disabled());
+        assert!(!insert_cuboid(&off, 1, 1, 1000));
+        assert_eq!(off.stats().entries, 0);
+    }
+
+    #[test]
+    fn epoch_mismatch_invalidates_on_probe() {
+        let cache = AnswerCache::new(CacheConfig { byte_budget: 10_000, shards: 2 });
+        assert!(insert_cuboid(&cache, 1, 10, 100));
+        // Same epoch: hit. Moved epoch: stale, evicted, miss.
+        assert!(cache.get(&CacheKey::Cuboid(1), |_| Some(0)).is_some());
+        assert!(cache.get(&CacheKey::Cuboid(1), |_| Some(7)).is_none());
+        let s = cache.stats();
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.entries, 0);
+        // And the entry is really gone even at the original epoch.
+        assert!(cache.get(&CacheKey::Cuboid(1), |_| Some(0)).is_none());
+    }
+
+    #[test]
+    fn invalidate_source_and_clear() {
+        let cache = AnswerCache::new(CacheConfig { byte_budget: 100_000, shards: 4 });
+        for mask in 0..8u32 {
+            let c = cuboid(4);
+            let bytes = cuboid_bytes(&c);
+            // Masks 0..4 derived from view 7, the rest from view 3.
+            let source = if mask < 4 { 7 } else { 3 };
+            assert!(cache.insert(
+                CacheKey::Cuboid(mask),
+                CachedValue::Cuboid(c),
+                bytes,
+                10,
+                source,
+                0
+            ));
+        }
+        assert_eq!(cache.invalidate_source(7), 4);
+        let s = cache.stats();
+        assert_eq!(s.entries, 4);
+        assert_eq!(s.invalidations, 4);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().bytes_used, 0);
+    }
+
+    #[test]
+    fn cell_entries_round_trip() {
+        let cache = AnswerCache::new(CacheConfig::default());
+        let key = CacheKey::Cell(0b101, vec![2, 0].into_boxed_slice());
+        let state = AggState { sum: 7.0, count: 2, min: 3.0, max: 4.0 };
+        assert!(cache.insert(key.clone(), CachedValue::Cell(Some(state)), CELL_BYTES, 5, 7, 0));
+        // Absent cells cache too (a valid answer, distinct from a miss).
+        let none_key = CacheKey::Cell(0b101, vec![9, 9].into_boxed_slice());
+        assert!(cache.insert(none_key.clone(), CachedValue::Cell(None), CELL_BYTES, 5, 7, 0));
+        match cache.get(&key, |_| Some(0)) {
+            Some((CachedValue::Cell(Some(s)), 7)) => {
+                assert_eq!(s.sum.to_bits(), state.sum.to_bits())
+            }
+            other => panic!("expected cell hit, got {other:?}"),
+        }
+        assert!(matches!(cache.get(&none_key, |_| Some(0)), Some((CachedValue::Cell(None), _))));
+    }
+
+    #[test]
+    fn shards_count_bytes_independently() {
+        let cache = AnswerCache::new(CacheConfig { byte_budget: 8000, shards: 8 });
+        let mut admitted = 0;
+        for mask in 0..16u32 {
+            if insert_cuboid(&cache, mask, 10, 100) {
+                admitted += 1;
+            }
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries as usize + s.evictions as usize + s.rejected as usize, 16);
+        assert!(admitted > 0);
+        assert!(s.bytes_used <= 8000);
+    }
+}

@@ -12,10 +12,13 @@
 //! * [`lattice`] — the `2^n` cuboid lattice with size estimation;
 //! * [`materialize`] — the HRU greedy view-selection algorithm;
 //! * [`query`] — smallest-materialized-ancestor query answering;
+//! * [`cache`] / [`shared`] — the serving layer: a cost-aware answer
+//!   cache fronting a concurrently shared view store;
 //! * [`molap`] / [`rolap`] — the §6.6 contestants.
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cube_op;
 pub mod groupby;
 pub mod input;
@@ -24,9 +27,11 @@ pub mod materialize;
 pub mod molap;
 pub mod query;
 pub mod rolap;
+pub mod shared;
 
 /// The most commonly used types, for glob import.
 pub mod prelude {
+    pub use crate::cache::{CacheConfig, CacheStats};
     pub use crate::cube_op::{compute_naive, compute_rollup, compute_shared, CubeResult};
     pub use crate::input::FactInput;
     pub use crate::lattice::Lattice;
@@ -34,4 +39,5 @@ pub mod prelude {
     pub use crate::molap::{compute_molap, MolapCube};
     pub use crate::query::ViewStore;
     pub use crate::rolap::{compute_rolap, RolapCube};
+    pub use crate::shared::SharedViewStore;
 }

@@ -125,6 +125,12 @@ fn view_file_name(mask: u32) -> String {
     format!("cuboid:{mask:#b}")
 }
 
+/// Inverse of [`view_file_name`]: the mask a sealed view file refers to.
+/// Used by the serving layer to map scrub failures back to cached entries.
+pub(crate) fn mask_of_view_file(name: &str) -> Option<u32> {
+    u32::from_str_radix(name.strip_prefix("cuboid:0b")?, 2).ok()
+}
+
 /// Seals every view into a fresh [`PageStore`], one checksummed file per
 /// mask (in sorted order, so file ids are deterministic).
 fn seal_views(views: &HashMap<u32, Cuboid>, n_dims: usize) -> (PageStore, HashMap<u32, usize>) {
@@ -174,6 +180,21 @@ impl ViewStore {
         let measured: Vec<(u32, u64)> = views.iter().map(|(&m, c)| (m, c.len() as u64)).collect();
         let (pages, files) = seal_views(&views, lattice.dim_count());
         Ok(Self { lattice: lattice.with_measured_sizes(&measured), views, pages, files })
+    }
+
+    /// The routing lattice (dimension count, sizes, derivability).
+    pub fn lattice(&self) -> &Lattice {
+        &self.lattice
+    }
+
+    /// The page-store invalidation epoch of materialized view `mask`
+    /// (`None` when the mask is not materialized). The epoch moves on every
+    /// mutation of the sealed file — delta rewrite, targeted corruption, a
+    /// persisted injected fault — so cached derivations can detect
+    /// staleness; see
+    /// [`PageStore::file_epoch`].
+    pub fn view_epoch(&self, mask: u32) -> Option<u64> {
+        self.files.get(&mask).map(|&id| self.pages.file_epoch(id))
     }
 
     /// The materialized masks.

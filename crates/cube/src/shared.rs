@@ -1,0 +1,437 @@
+//! The concurrent serving layer: one sealed [`ViewStore`] behind an
+//! `RwLock`, fronted by the cost-aware [`AnswerCache`], shared across
+//! reader threads by cheap clone.
+//!
+//! [`ViewStore`] turned the lattice into a *query* path; this module turns
+//! it into a *serving* path. A [`SharedViewStore`] is `Clone + Send +
+//! Sync`: hand one clone per reader thread and every `answer`/`answer_cell`
+//! call goes — under a shared read lock — first to the cache, then (on a
+//! miss) through the verified page-store path, admitting the result for
+//! the next caller. Writers (`apply_delta`) take the write lock, so readers
+//! always observe a store that is entirely before or entirely after a
+//! maintenance batch, never a half-applied one.
+//!
+//! Consistency with the fault model:
+//!
+//! * **degraded answers are never cached** — a lattice-fallback detour is
+//!   served but not admitted, so the detour is retried (and the preferred
+//!   source used again) as soon as the store heals;
+//! * **cache entries pin their source's epoch** — any mutation of a sealed
+//!   view (delta rewrite, corruption, a persisted injected fault) moves the
+//!   file's epoch and orphans dependent entries at the next probe;
+//! * **scrub failures evict eagerly** — [`SharedViewStore::scrub`] maps
+//!   failing files back to view masks and drops dependent entries at once.
+
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use statcube_core::error::{Error, Result};
+use statcube_core::measure::AggState;
+use statcube_core::trace;
+use statcube_storage::page_store::{FaultPlan, FaultStats};
+use statcube_storage::verify::ScrubReport;
+
+use crate::cache::{
+    cuboid_bytes, AnswerCache, CacheConfig, CacheKey, CacheStats, CachedValue, CELL_BYTES,
+};
+use crate::cube_op::Degradation;
+use crate::groupby::Cuboid;
+use crate::input::FactInput;
+use crate::query::{mask_of_view_file, ViewStore};
+
+/// A cuboid answer from the serving path. On a cache hit the cuboid is the
+/// shared resident copy and `cells_scanned` is 0 — nothing was scanned.
+#[derive(Debug)]
+pub struct SharedAnswer {
+    /// The cells of the requested cuboid (shared, do not mutate).
+    pub cuboid: Arc<Cuboid>,
+    /// The materialized view the answer was (originally) derived from.
+    pub source: u32,
+    /// Cells scanned to produce this answer; 0 on a cache hit.
+    pub cells_scanned: u64,
+    /// Whether the answer came from the cache.
+    pub cache_hit: bool,
+    /// Present when the store had to detour around failed sources; such
+    /// answers are never admitted to the cache.
+    pub degraded: Option<Degradation>,
+}
+
+/// A point/slice answer: one cell's aggregate state (`None` when the cell
+/// is empty — itself a cacheable answer).
+#[derive(Debug, Clone, Copy)]
+pub struct CellAnswer {
+    /// The cell's aggregate state, if the cell is populated.
+    pub state: Option<AggState>,
+    /// Whether the answer came from the cache.
+    pub cache_hit: bool,
+    /// Whether the backing cuboid answer was degraded (not cached if so).
+    pub degraded: bool,
+}
+
+#[derive(Debug)]
+struct Inner {
+    store: RwLock<ViewStore>,
+    cache: AnswerCache,
+}
+
+/// A sealed view store shared across reader threads, fronted by the
+/// cost-aware answer cache. Clones are cheap (`Arc`) and all address the
+/// same store and cache.
+#[derive(Debug, Clone)]
+pub struct SharedViewStore {
+    inner: Arc<Inner>,
+}
+
+impl SharedViewStore {
+    /// Wraps an already built [`ViewStore`] with a cache sized by `config`.
+    pub fn new(store: ViewStore, config: CacheConfig) -> Self {
+        Self {
+            inner: Arc::new(Inner { store: RwLock::new(store), cache: AnswerCache::new(config) }),
+        }
+    }
+
+    /// Materializes `selected` (plus the base cuboid) from `input` and
+    /// wraps the sealed store; see [`ViewStore::build`].
+    pub fn build(input: &FactInput, selected: &[u32], config: CacheConfig) -> Result<Self> {
+        Ok(Self::new(ViewStore::build(input, selected)?, config))
+    }
+
+    fn read_store(&self) -> RwLockReadGuard<'_, ViewStore> {
+        // The store behind the lock holds no lock-relevant invariants a
+        // panic could break mid-flight; recover poison rather than spread it.
+        self.inner.store.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn write_store(&self) -> RwLockWriteGuard<'_, ViewStore> {
+        self.inner.store.write().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Answers the query for cuboid `mask`: cache first, then the verified
+    /// page-store path, admitting non-degraded results (cost-weighted; see
+    /// [`crate::cache`]). Many threads may call this concurrently.
+    pub fn answer(&self, mask: u32) -> Result<SharedAnswer> {
+        let store = self.read_store();
+        self.answer_locked(&store, mask)
+    }
+
+    fn answer_locked(&self, store: &ViewStore, mask: u32) -> Result<SharedAnswer> {
+        let mut sp = trace::span("cube.cache");
+        sp.record("mask", mask as u64);
+        let key = CacheKey::Cuboid(mask);
+        if let Some((CachedValue::Cuboid(cuboid), source)) =
+            self.inner.cache.get(&key, |s| store.view_epoch(s))
+        {
+            sp.record("hit", 1);
+            return Ok(SharedAnswer {
+                cuboid,
+                source,
+                cells_scanned: 0,
+                cache_hit: true,
+                degraded: None,
+            });
+        }
+        sp.record("hit", 0);
+        let ans = store.answer(mask)?;
+        let cuboid = Arc::new(ans.cuboid);
+        match (&ans.degraded, store.view_epoch(ans.source)) {
+            (None, Some(epoch)) => {
+                // Cost = cells scanned × lattice distance travelled: what a
+                // repeat derivation would pay, the HRU linear model's unit.
+                let distance = u64::from(ans.source.count_ones() - mask.count_ones());
+                let cost = ans.cells_scanned.saturating_mul(distance + 1).max(1);
+                self.inner.cache.insert(
+                    key,
+                    CachedValue::Cuboid(Arc::clone(&cuboid)),
+                    cuboid_bytes(&cuboid),
+                    cost,
+                    ans.source,
+                    epoch,
+                );
+            }
+            (Some(_), _) => self.inner.cache.note_degraded_skip(),
+            (None, None) => {}
+        }
+        Ok(SharedAnswer {
+            cuboid,
+            source: ans.source,
+            cells_scanned: ans.cells_scanned,
+            cache_hit: false,
+            degraded: ans.degraded,
+        })
+    }
+
+    /// Answers a point/slice query: `pattern` has one entry per dimension,
+    /// `Some(coord)` fixing a dimension and `None` aggregating it away (the
+    /// [`crate::cube_op::CubeResult::get_all`] convention). The cell is
+    /// served from the cell cache, the cached cuboid, or the store, in that
+    /// order of preference.
+    pub fn answer_cell(&self, pattern: &[Option<u32>]) -> Result<CellAnswer> {
+        let store = self.read_store();
+        let n = store.lattice().dim_count();
+        if pattern.len() != n {
+            return Err(Error::ArityMismatch { expected: n, got: pattern.len() });
+        }
+        let mask =
+            pattern
+                .iter()
+                .enumerate()
+                .fold(0u32, |m, (i, c)| if c.is_some() { m | (1 << i) } else { m });
+        let coords: Box<[u32]> = pattern.iter().flatten().copied().collect();
+        let mut sp = trace::span("cube.cache.cell");
+        sp.record("mask", mask as u64);
+        let key = CacheKey::Cell(mask, coords.clone());
+        if let Some((CachedValue::Cell(state), _)) =
+            self.inner.cache.get(&key, |s| store.view_epoch(s))
+        {
+            sp.record("hit", 1);
+            return Ok(CellAnswer { state, cache_hit: true, degraded: false });
+        }
+        sp.record("hit", 0);
+        let ans = self.answer_locked(&store, mask)?;
+        let state = ans.cuboid.get(&coords).copied();
+        if ans.degraded.is_none() {
+            if let Some(epoch) = store.view_epoch(ans.source) {
+                // A cell from a resident cuboid is nearly free to rederive;
+                // one computed through the store carries that scan cost.
+                let cost = ans.cells_scanned.max(1);
+                self.inner.cache.insert(
+                    key,
+                    CachedValue::Cell(state),
+                    CELL_BYTES + coords.len() * 4,
+                    cost,
+                    ans.source,
+                    epoch,
+                );
+            }
+        } else {
+            self.inner.cache.note_degraded_skip();
+        }
+        Ok(CellAnswer { state, cache_hit: false, degraded: ans.degraded.is_some() })
+    }
+
+    /// Applies an append batch under the write lock (readers see the store
+    /// before or after, never mid-batch) and drops the whole cache — every
+    /// sealed file was rewritten, so every entry is stale by epoch anyway.
+    pub fn apply_delta(&self, delta: &FactInput) -> Result<()> {
+        let mut store = self.write_store();
+        store.apply_delta(delta)?;
+        self.inner.cache.clear();
+        Ok(())
+    }
+
+    /// Chaos hook: corrupts view `mask`'s sealed file and eagerly evicts
+    /// every cache entry derived from it (the epoch bump would catch them
+    /// lazily; scrub/corrupt paths evict at once).
+    pub fn corrupt_view(&self, mask: u32, bit: u64) -> Result<()> {
+        let store = self.read_store();
+        store.corrupt_view(mask, bit)?;
+        self.inner.cache.invalidate_source(mask);
+        Ok(())
+    }
+
+    /// Maintenance scrub: verifies every sealed page and evicts cache
+    /// entries whose source view failed, so later probes re-derive (and
+    /// detour) instead of serving results pinned to a corrupt file.
+    pub fn scrub(&self) -> ScrubReport {
+        let store = self.read_store();
+        let report = store.scrub();
+        for failure in &report.failures {
+            if let Some(mask) = mask_of_view_file(&failure.object) {
+                self.inner.cache.invalidate_source(mask);
+            }
+        }
+        report
+    }
+
+    /// [`SharedViewStore::scrub`], converted to a typed error on first
+    /// failure (dependent cache entries are still evicted).
+    pub fn verify_all(&self) -> Result<ScrubReport> {
+        self.scrub().into_result()
+    }
+
+    /// Arms fault injection on the backing store.
+    pub fn arm_faults(&self, plan: FaultPlan) {
+        self.read_store().arm_faults(plan);
+    }
+
+    /// Disarms fault injection (persistent corruption, if any, remains).
+    pub fn disarm_faults(&self) {
+        self.read_store().disarm_faults();
+    }
+
+    /// Fault counters accumulated by the backing store.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.read_store().fault_stats()
+    }
+
+    /// Cache counters plus current residency.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.stats()
+    }
+
+    /// The materialized masks of the backing store.
+    pub fn materialized(&self) -> Vec<u32> {
+        self.read_store().materialized()
+    }
+
+    /// Dimension count of the backing lattice.
+    pub fn dim_count(&self) -> usize {
+        self.read_store().lattice().dim_count()
+    }
+
+    /// Top (base-cuboid) mask of the backing lattice.
+    pub fn top(&self) -> u32 {
+        self.read_store().lattice().top()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groupby;
+
+    fn input() -> FactInput {
+        let mut f = FactInput::new(&[8, 4, 2]).unwrap();
+        let mut x = 7u64;
+        for _ in 0..400 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            f.push(
+                &[(x % 8) as u32, ((x >> 8) % 4) as u32, ((x >> 16) % 2) as u32],
+                (x % 10) as f64,
+            )
+            .unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn repeat_answers_hit_and_stay_exact() {
+        let f = input();
+        let store = SharedViewStore::build(&f, &[0b011], CacheConfig::default()).unwrap();
+        for mask in 0..8u32 {
+            let first = store.answer(mask).unwrap();
+            assert!(!first.cache_hit);
+            assert!(first.cells_scanned > 0);
+            let second = store.answer(mask).unwrap();
+            assert!(second.cache_hit, "mask {mask:03b} should hit");
+            assert_eq!(second.cells_scanned, 0);
+            assert_eq!(second.source, first.source);
+            assert_eq!(*second.cuboid, groupby::from_facts(&f, mask), "mask {mask:03b}");
+        }
+        let s = store.cache_stats();
+        assert_eq!(s.hits, 8);
+        assert_eq!(s.misses, 8);
+        assert_eq!(s.insertions, 8);
+    }
+
+    #[test]
+    fn cell_answers_cache_and_match_cuboids() {
+        let f = input();
+        let store = SharedViewStore::build(&f, &[], CacheConfig::default()).unwrap();
+        let cell = store.answer_cell(&[Some(2), None, None]).unwrap();
+        assert!(!cell.cache_hit);
+        let again = store.answer_cell(&[Some(2), None, None]).unwrap();
+        assert!(again.cache_hit);
+        let direct = groupby::from_facts(&f, 0b001);
+        let key: Box<[u32]> = vec![2u32].into_boxed_slice();
+        match (cell.state, direct.get(&key)) {
+            (Some(a), Some(b)) => assert_eq!(a.sum.to_bits(), b.sum.to_bits()),
+            (None, None) => {}
+            other => panic!("cell/direct disagree: {other:?}"),
+        }
+        // An absent cell is a cacheable answer too.
+        let empty = store.answer_cell(&[Some(7), Some(3), Some(1)]);
+        if let Ok(ans) = empty {
+            let again = store.answer_cell(&[Some(7), Some(3), Some(1)]).unwrap();
+            assert_eq!(ans.state.is_none(), again.state.is_none());
+        }
+        // Wrong arity is a typed error.
+        assert!(store.answer_cell(&[None, None]).is_err());
+    }
+
+    #[test]
+    fn delta_invalidates_and_serves_fresh_totals() {
+        let f = input();
+        let store = SharedViewStore::build(&f, &[0b011], CacheConfig::default()).unwrap();
+        let before = store.answer(0b000).unwrap();
+        assert!(store.answer(0b000).unwrap().cache_hit);
+        let mut delta = FactInput::new(f.cards()).unwrap();
+        delta.push(&[1, 1, 1], 1000.0).unwrap();
+        store.apply_delta(&delta).unwrap();
+        let after = store.answer(0b000).unwrap();
+        assert!(!after.cache_hit, "delta must invalidate the cached total");
+        let key: Box<[u32]> = Vec::new().into_boxed_slice();
+        let (a, b) = (before.cuboid[&key].sum, after.cuboid[&key].sum);
+        assert!((b - a - 1000.0).abs() < 1e-9, "total must include the delta");
+    }
+
+    #[test]
+    fn corruption_evicts_and_degraded_answers_are_not_cached() {
+        let f = input();
+        let store = SharedViewStore::build(&f, &[0b011], CacheConfig::default()).unwrap();
+        // Prime the cache from the small view.
+        let primed = store.answer(0b001).unwrap();
+        assert_eq!(primed.source, 0b011);
+        // Corrupt the view: the dependent entry is eagerly evicted.
+        store.corrupt_view(0b011, 37).unwrap();
+        let detour = store.answer(0b001).unwrap();
+        assert!(!detour.cache_hit, "stale entry must not serve");
+        assert_eq!(detour.source, 0b111);
+        assert!(detour.degraded.is_some());
+        assert_eq!(*detour.cuboid, groupby::from_facts(&f, 0b001), "detour stays exact");
+        // The degraded answer was not admitted: the next probe recomputes.
+        let again = store.answer(0b001).unwrap();
+        assert!(!again.cache_hit);
+        assert!(store.cache_stats().degraded_skips >= 2);
+        // Healing (delta rewrite) restores the preferred source.
+        store.apply_delta(&FactInput::new(f.cards()).unwrap()).unwrap();
+        let healed = store.answer(0b001).unwrap();
+        assert_eq!(healed.source, 0b011);
+        assert!(healed.degraded.is_none());
+        assert!(store.answer(0b001).unwrap().cache_hit, "healthy answers cache again");
+    }
+
+    #[test]
+    fn scrub_maps_failures_back_to_cached_entries() {
+        let f = input();
+        let store = SharedViewStore::build(&f, &[0b011, 0b101], CacheConfig::default()).unwrap();
+        for mask in 0..8u32 {
+            store.answer(mask).unwrap();
+        }
+        let resident = store.cache_stats().entries;
+        assert!(resident > 0);
+        // Corrupt through the *inner* store so the shared layer only learns
+        // about it from the scrub.
+        store.read_store().corrupt_view(0b011, 9).unwrap();
+        let report = store.scrub();
+        assert!(!report.is_clean());
+        assert!(store.cache_stats().invalidations > 0, "scrub must evict dependents");
+        // Entries derived from 0b011 are gone; the rest remain.
+        assert!(store.cache_stats().entries < resident);
+        assert!(store.verify_all().is_err());
+    }
+
+    #[test]
+    fn eight_reader_threads_share_one_store() {
+        let f = input();
+        let store = SharedViewStore::build(&f, &[0b011, 0b110], CacheConfig::default()).unwrap();
+        let oracle: Vec<Cuboid> = (0..8u32).map(|m| groupby::from_facts(&f, m)).collect();
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let store = store.clone();
+                let oracle = &oracle;
+                s.spawn(move || {
+                    for i in 0..64usize {
+                        let mask = ((i + t) % 8) as u32;
+                        let ans = store.answer(mask).unwrap();
+                        assert_eq!(*ans.cuboid, oracle[mask as usize], "thread {t} mask {mask}");
+                    }
+                });
+            }
+        });
+        let s = store.cache_stats();
+        assert_eq!(s.hits + s.misses, 8 * 64);
+        assert!(s.hits > 8 * 32, "most probes should hit a warm cache");
+    }
+}

@@ -51,7 +51,7 @@ pub mod token;
 
 pub use exec::{execute, execute_str, ResultRow, ResultSet};
 pub use parser::{expand_cube_to_unions, parse};
-pub use physical::{execute_physical, execute_physical_str, PhysicalAnswer};
+pub use physical::{execute_physical, execute_physical_str, CachedSession, PhysicalAnswer};
 
 /// The most commonly used items, for glob import. `Query` is re-exported
 /// as `SqlQuery` to avoid clashing with
@@ -60,5 +60,7 @@ pub mod prelude {
     pub use crate::ast::{AggExpr, Grouping, Predicate, Query as SqlQuery};
     pub use crate::exec::{execute, execute_str, ResultRow, ResultSet};
     pub use crate::parser::{expand_cube_to_unions, parse};
-    pub use crate::physical::{execute_physical, execute_physical_str, PhysicalAnswer};
+    pub use crate::physical::{
+        execute_physical, execute_physical_str, CachedSession, PhysicalAnswer,
+    };
 }

@@ -22,21 +22,37 @@
 //! cells (not the micro records a cell may summarize), and `MIN`/`MAX`/
 //! `AVG` range over cell sums. For objects built from one record per cell
 //! the two executors agree on everything.
+//!
+//! ## Cached execution
+//!
+//! [`execute_physical`] rebuilds the fact table and seals a fresh store
+//! per query — the right shape for one-shot queries, wasteful for a
+//! serving workload that asks many queries of one object.
+//! [`CachedSession`] builds the [`SharedViewStore`] **once** and answers
+//! every subsequent query through its cost-aware cache, so repeated
+//! grouping sets hit instead of rescanning sealed pages. Queries whose
+//! plan rewrites the object — `WHERE` filters, hierarchy-level groupings —
+//! bypass the session store and take the uncached path (the cache keys on
+//! the session's base object; a rewritten object is a different cube).
 
 use std::collections::HashMap;
 
 use statcube_core::error::{Error, Result};
 use statcube_core::object::StatisticalObject;
 use statcube_core::trace::{self, QueryProfile};
+use statcube_cube::cache::{CacheConfig, CacheStats};
+use statcube_cube::groupby::Cuboid;
 use statcube_cube::input::FactInput;
 use statcube_cube::query::ViewStore;
+use statcube_cube::shared::SharedViewStore;
 
-use crate::ast::{Grouping, Query};
+use crate::ast::{AggExpr, Grouping, Query};
 use crate::exec::{self, ResultRow, ResultSet};
 
-/// A physically executed query: the result plus its profile and the
+/// A physically executed query: the result plus its profile, the
 /// degraded-answer count (non-zero when sealed views failed verification
-/// and answers detoured through healthy ancestors).
+/// and answers detoured through healthy ancestors), and — for
+/// [`CachedSession`] execution — where the grouping-set answers came from.
 #[derive(Debug)]
 pub struct PhysicalAnswer {
     /// The query result, same shape as [`exec::execute`] produces.
@@ -47,6 +63,15 @@ pub struct PhysicalAnswer {
     pub profile: Option<QueryProfile>,
     /// Grouping-set answers that were served from a fallback ancestor.
     pub degraded_answers: u64,
+    /// Grouping-set answers served from the session cache (always 0 on the
+    /// uncached [`execute_physical`] path).
+    pub cache_hits: u64,
+    /// Grouping-set answers that missed the session cache and were derived
+    /// from sealed pages (always 0 on the uncached path).
+    pub cache_misses: u64,
+    /// True when a [`CachedSession`] query bypassed the session store
+    /// because its plan rewrites the object (filters, level groupings).
+    pub bypassed_cache: bool,
 }
 
 /// The grouping-set keep-masks a query emits, over `group_dims`.
@@ -66,6 +91,55 @@ fn grouping_sets(grouping: &Grouping) -> Vec<Vec<bool>> {
             (0..=n).rev().map(|k| (0..n).map(|i| i < k).collect()).collect()
         }
     }
+}
+
+/// The cuboid mask a grouping-set keep-vector selects, over `dim_bits`.
+fn mask_of_set(set: &[bool], dim_bits: &[usize]) -> u32 {
+    set.iter().zip(dim_bits).filter(|(keep, _)| **keep).fold(0u32, |m, (_, &d)| m | (1 << d))
+}
+
+/// Maps one grouping set's cuboid cells back to labeled [`ResultRow`]s with
+/// `ALL` gaps (`None` group values), appending to `rows`. Kept grouping
+/// columns are ordered by dimension index — the cuboid key layout — then
+/// mapped back into GROUP BY order.
+fn rows_for_set(
+    obj: &StatisticalObject,
+    group_dims: &[String],
+    dim_bits: &[usize],
+    set: &[bool],
+    cuboid: &Cuboid,
+    select: &[AggExpr],
+    rows: &mut Vec<ResultRow>,
+) -> Result<()> {
+    let mut kept: Vec<(usize, usize)> =
+        set.iter().enumerate().filter(|(_, keep)| **keep).map(|(i, _)| (dim_bits[i], i)).collect();
+    kept.sort_unstable();
+    let key_slot: HashMap<usize, usize> =
+        kept.iter().enumerate().map(|(slot, &(_, i))| (i, slot)).collect();
+    let mut cells: Vec<_> = cuboid.iter().collect();
+    cells.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    for (key, state) in cells {
+        let mut group = Vec::with_capacity(group_dims.len());
+        for (i, keep) in set.iter().enumerate() {
+            if *keep {
+                let coord = key[key_slot[&i]];
+                let d = dim_bits[i];
+                let member =
+                    obj.schema().dimensions()[d].members().value_of(coord).ok_or_else(|| {
+                        Error::InvalidSchema(format!(
+                            "no member {coord} in dimension `{}`",
+                            group_dims[i]
+                        ))
+                    })?;
+                group.push(Some(member.to_owned()));
+            } else {
+                group.push(None);
+            }
+        }
+        let values: Vec<Option<f64>> = select.iter().map(|agg| state.value(agg.func)).collect();
+        rows.push(ResultRow { group, values });
+    }
+    Ok(())
 }
 
 /// Executes a parsed query through the cube engine and page store.
@@ -112,52 +186,12 @@ pub fn execute_physical(obj: &StatisticalObject, query: &Query) -> Result<Physic
     let mut degraded_answers = 0u64;
     let mut rows = Vec::new();
     for set in &sets {
-        let mask = set
-            .iter()
-            .zip(&dim_bits)
-            .filter(|(keep, _)| **keep)
-            .fold(0u32, |m, (_, &d)| m | (1 << d));
+        let mask = mask_of_set(set, &dim_bits);
         let ans = store.answer(mask)?;
         if ans.degraded.is_some() {
             degraded_answers += 1;
         }
-        // Kept grouping columns ordered by dimension index — the cuboid
-        // key layout — then mapped back into GROUP BY order.
-        let mut kept: Vec<(usize, usize)> = set
-            .iter()
-            .enumerate()
-            .filter(|(_, keep)| **keep)
-            .map(|(i, _)| (dim_bits[i], i))
-            .collect();
-        kept.sort_unstable();
-        let key_slot: HashMap<usize, usize> =
-            kept.iter().enumerate().map(|(slot, &(_, i))| (i, slot)).collect();
-        let mut cells: Vec<_> = ans.cuboid.into_iter().collect();
-        cells.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-        for (key, state) in cells {
-            let mut group = Vec::with_capacity(group_dims.len());
-            for (i, keep) in set.iter().enumerate() {
-                if *keep {
-                    let coord = key[key_slot[&i]];
-                    let d = dim_bits[i];
-                    let member = obj.schema().dimensions()[d]
-                        .members()
-                        .value_of(coord)
-                        .ok_or_else(|| {
-                            Error::InvalidSchema(format!(
-                                "no member {coord} in dimension `{}`",
-                                group_dims[i]
-                            ))
-                        })?;
-                    group.push(Some(member.to_owned()));
-                } else {
-                    group.push(None);
-                }
-            }
-            let values: Vec<Option<f64>> =
-                query.select.iter().map(|agg| state.value(agg.func)).collect();
-            rows.push(ResultRow { group, values });
-        }
+        rows_for_set(&obj, &group_dims, &dim_bits, set, &ans.cuboid, &query.select, &mut rows)?;
     }
     eval_span.record("grouping_sets", sets.len() as u64);
     eval_span.record("rows", rows.len() as u64);
@@ -174,7 +208,14 @@ pub fn execute_physical(obj: &StatisticalObject, query: &Query) -> Result<Physic
         rows,
     };
     let profile = if attach_profile { Some(trace::take_profile()) } else { None };
-    Ok(PhysicalAnswer { result, profile, degraded_answers })
+    Ok(PhysicalAnswer {
+        result,
+        profile,
+        degraded_answers,
+        cache_hits: 0,
+        cache_misses: 0,
+        bypassed_cache: false,
+    })
 }
 
 /// Parses and physically executes in one step, keeping the tokenize and
@@ -190,6 +231,164 @@ pub fn execute_physical_str(obj: &StatisticalObject, sql: &str) -> Result<Physic
         ans.profile = Some(trace::take_profile());
     }
     Ok(ans)
+}
+
+/// A serving-layer SQL session: one object, one [`SharedViewStore`], many
+/// queries. The store (base cuboid plus any `selected` views) is built and
+/// sealed once at construction; each [`CachedSession::execute`] answers its
+/// grouping sets through the store's cost-aware cache, so repeated queries
+/// hit instead of rebuilding and rescanning.
+///
+/// The session is `Sync`: clones of the inner store are cheap and the
+/// session itself can be shared across reader threads by reference.
+///
+/// Queries that rewrite the object before evaluation — `WHERE` filters,
+/// hierarchy-level groupings — bypass the session store and run the
+/// uncached [`execute_physical`] path against the session's object
+/// ([`PhysicalAnswer::bypassed_cache`] is set); their plans aggregate a
+/// *different* cube than the sealed one, so caching them under the
+/// session's keys would be wrong.
+#[derive(Debug)]
+pub struct CachedSession {
+    obj: StatisticalObject,
+    store: SharedViewStore,
+}
+
+impl CachedSession {
+    /// Builds a session over `obj` (single measure required) with the base
+    /// cuboid materialized, fronted by a cache sized by `config`.
+    pub fn new(obj: &StatisticalObject, config: CacheConfig) -> Result<Self> {
+        Self::with_views(obj, &[], config)
+    }
+
+    /// [`CachedSession::new`], additionally materializing `selected` view
+    /// masks (over the object's dimension order) for lattice routing.
+    pub fn with_views(
+        obj: &StatisticalObject,
+        selected: &[u32],
+        config: CacheConfig,
+    ) -> Result<Self> {
+        if obj.schema().measures().len() != 1 {
+            return Err(Error::MultipleMeasures(obj.schema().measures().len()));
+        }
+        let facts = FactInput::from_object(obj)?;
+        let store = SharedViewStore::build(&facts, selected, config)?;
+        Ok(Self { obj: obj.clone(), store })
+    }
+
+    /// The object the session serves.
+    pub fn object(&self) -> &StatisticalObject {
+        &self.obj
+    }
+
+    /// The shared store behind the session (for fault injection, scrubbing,
+    /// or handing clones to other threads).
+    pub fn store(&self) -> &SharedViewStore {
+        &self.store
+    }
+
+    /// Cache counters accumulated by the session store.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.store.cache_stats()
+    }
+
+    /// Executes a parsed query through the session store's cache.
+    pub fn execute(&self, query: &Query) -> Result<PhysicalAnswer> {
+        // Plans that rewrite the object evaluate a different cube than the
+        // sealed one: route them to the uncached path.
+        let rewrites = !query.filters.is_empty()
+            || query.grouping.dims().iter().any(|d| self.obj.schema().dim_index(d).is_err());
+        if rewrites {
+            trace::counter("sql.cache_bypass", 1);
+            let mut ans = execute_physical(&self.obj, query)?;
+            ans.bypassed_cache = true;
+            return Ok(ans);
+        }
+
+        let mut root = trace::span("sql.execute");
+        root.note("cached");
+        trace::counter("sql.queries", 1);
+        trace::counter("sql.cached_queries", 1);
+        let attach_profile = root.is_root();
+        if query.select.is_empty() {
+            return Err(Error::InvalidSchema("empty SELECT list".into()));
+        }
+        let display_dims: Vec<String> = query.grouping.dims().to_vec();
+
+        let plan_span = trace::span("sql.plan");
+        let measure_idx = exec::check_aggregates(&self.obj, query)?;
+        if measure_idx.iter().any(|&m| m != 0) || self.obj.schema().measures().len() != 1 {
+            return Err(Error::MultipleMeasures(self.obj.schema().measures().len()));
+        }
+        let group_dims = query.grouping.dims().to_vec();
+        let dim_bits: Vec<usize> =
+            group_dims.iter().map(|d| self.obj.schema().dim_index(d)).collect::<Result<_>>()?;
+        drop(plan_span);
+
+        let mut eval_span = trace::span("sql.eval");
+        let sets = grouping_sets(&query.grouping);
+        let (mut degraded_answers, mut cache_hits, mut cache_misses) = (0u64, 0u64, 0u64);
+        let mut rows = Vec::new();
+        for set in &sets {
+            let mask = mask_of_set(set, &dim_bits);
+            let ans = self.store.answer(mask)?;
+            if ans.cache_hit {
+                cache_hits += 1;
+            } else {
+                cache_misses += 1;
+            }
+            if ans.degraded.is_some() {
+                degraded_answers += 1;
+            }
+            rows_for_set(
+                &self.obj,
+                &group_dims,
+                &dim_bits,
+                set,
+                &ans.cuboid,
+                &query.select,
+                &mut rows,
+            )?;
+        }
+        eval_span.record("grouping_sets", sets.len() as u64);
+        eval_span.record("rows", rows.len() as u64);
+        eval_span.record("cache_hits", cache_hits);
+        drop(eval_span);
+        root.record("rows", rows.len() as u64);
+        if degraded_answers > 0 {
+            root.note(format!("{degraded_answers} degraded answer(s)"));
+        }
+        drop(root);
+
+        let result = ResultSet {
+            group_columns: display_dims,
+            agg_columns: query.select.iter().map(|a| a.to_sql()).collect(),
+            rows,
+        };
+        let profile = if attach_profile { Some(trace::take_profile()) } else { None };
+        Ok(PhysicalAnswer {
+            result,
+            profile,
+            degraded_answers,
+            cache_hits,
+            cache_misses,
+            bypassed_cache: false,
+        })
+    }
+
+    /// Parses and executes in one step (see [`CachedSession::execute`]).
+    pub fn execute_str(&self, sql: &str) -> Result<PhysicalAnswer> {
+        let mut root = trace::span("sql.query");
+        let attach_profile = root.is_root();
+        let query = crate::parser::parse(sql)?;
+        let mut ans = self.execute(&query)?;
+        root.record("rows", ans.result.rows.len() as u64);
+        drop(root);
+        if attach_profile {
+            ans.profile = Some(trace::take_profile());
+        }
+        Ok(ans)
+    }
 }
 
 #[cfg(test)]
@@ -324,6 +523,119 @@ mod tests {
         )
         .unwrap();
         assert!(ans.profile.is_none());
+    }
+
+    #[test]
+    fn cached_session_hits_on_repeat_queries_and_stays_exact() {
+        let o = retail();
+        let session = CachedSession::new(&o, CacheConfig::default()).unwrap();
+        let sql = "SELECT SUM(amount) FROM sales GROUP BY CUBE(product, store)";
+        let cold = session.execute_str(sql).unwrap();
+        assert!(!cold.bypassed_cache);
+        assert_eq!(cold.cache_hits, 0);
+        assert_eq!(cold.cache_misses, 4, "one miss per grouping set of CUBE(a, b)");
+        let warm = session.execute_str(sql).unwrap();
+        assert_eq!(warm.cache_hits, 4);
+        assert_eq!(warm.cache_misses, 0);
+        // Both runs agree with the one-shot physical executor row for row.
+        let oneshot = execute_physical_str(&o, sql).unwrap();
+        let key = |rs: &ResultSet| {
+            let mut v: Vec<(Vec<Option<String>>, String)> =
+                rs.rows.iter().map(|r| (r.group.clone(), format!("{:?}", r.values))).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(key(&cold.result), key(&oneshot.result));
+        assert_eq!(key(&warm.result), key(&oneshot.result));
+        // A different grouping over the same dims reuses cached cuboids:
+        // ROLLUP(product, store)'s sets are a subset of the CUBE's.
+        let rollup = session
+            .execute_str("SELECT SUM(amount) FROM sales GROUP BY ROLLUP(product, store)")
+            .unwrap();
+        assert_eq!(rollup.cache_hits, 3);
+        assert_eq!(rollup.cache_misses, 0);
+        assert!(session.cache_stats().hits >= 7);
+    }
+
+    #[test]
+    fn cached_session_bypasses_rewriting_plans() {
+        let o = retail();
+        let session = CachedSession::new(&o, CacheConfig::default()).unwrap();
+        // A WHERE filter rewrites the object: bypass, nothing cached.
+        let filtered = session
+            .execute_str("SELECT SUM(amount) FROM sales WHERE store = 's1' GROUP BY month")
+            .unwrap();
+        assert!(filtered.bypassed_cache);
+        assert_eq!((filtered.cache_hits, filtered.cache_misses), (0, 0));
+        assert_eq!(session.cache_stats().entries, 0, "bypassed plans must not pollute the cache");
+        let algebraic = crate::execute_str(
+            &o,
+            "SELECT SUM(amount) FROM sales WHERE store = 's1' GROUP BY month",
+        )
+        .unwrap();
+        let sum = |rs: &ResultSet| rs.rows.iter().filter_map(|r| r.values[0]).sum::<f64>();
+        assert!((sum(&filtered.result) - sum(&algebraic)).abs() < 1e-9);
+        // An unfiltered query afterwards uses the store as usual.
+        let plain = session.execute_str("SELECT SUM(amount) FROM sales GROUP BY product").unwrap();
+        assert!(!plain.bypassed_cache);
+        assert_eq!(plain.cache_misses, 1);
+    }
+
+    #[test]
+    fn cached_session_with_views_routes_and_serves_concurrently() {
+        let o = retail();
+        // Materialize the {product, store} view: plain GROUP BY product
+        // routes through it instead of the base.
+        let session = CachedSession::with_views(&o, &[0b011], CacheConfig::default()).unwrap();
+        assert_eq!(session.store().materialized(), vec![0b011, 0b111]);
+        let sql = "SELECT SUM(amount) FROM sales GROUP BY CUBE(product, store, month)";
+        let expected = {
+            let mut v: Vec<(Vec<Option<String>>, String)> = session
+                .execute_str(sql)
+                .unwrap()
+                .result
+                .rows
+                .iter()
+                .map(|r| (r.group.clone(), format!("{:?}", r.values)))
+                .collect();
+            v.sort();
+            v
+        };
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let session = &session;
+                let expected = &expected;
+                s.spawn(move || {
+                    for _ in 0..8 {
+                        let ans = session.execute_str(sql).unwrap();
+                        let mut got: Vec<(Vec<Option<String>>, String)> = ans
+                            .result
+                            .rows
+                            .iter()
+                            .map(|r| (r.group.clone(), format!("{:?}", r.values)))
+                            .collect();
+                        got.sort();
+                        assert_eq!(&got, expected);
+                    }
+                });
+            }
+        });
+        assert!(session.cache_stats().hit_rate() > 0.9, "warm session should mostly hit");
+    }
+
+    #[test]
+    fn cached_session_rejects_multi_measure_objects() {
+        let schema = Schema::builder("census")
+            .dimension(Dimension::categorical("state", ["AL", "CA"]))
+            .measure(SummaryAttribute::new("population", MeasureKind::Stock))
+            .measure(SummaryAttribute::new("births", MeasureKind::Flow))
+            .build()
+            .unwrap();
+        let o = StatisticalObject::empty(schema);
+        assert!(matches!(
+            CachedSession::new(&o, CacheConfig::default()),
+            Err(Error::MultipleMeasures(2))
+        ));
     }
 
     #[test]

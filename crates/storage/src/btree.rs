@@ -164,7 +164,9 @@ impl BPlusTree {
             let Node::Internal { keys, children } = &mut self.nodes[idx] else { unreachable!() };
             let mid = keys.len() / 2;
             let rkeys: Vec<u64> = keys.split_off(mid + 1);
-            let sep = keys.pop().expect("non-empty");
+            // Splits only run on overflowing nodes, so `mid ≥ 1` and a
+            // separator always remains after the split-off.
+            let Some(sep) = keys.pop() else { unreachable!("split of an underfull internal node") };
             let rchildren: Vec<usize> = children.split_off(mid + 1);
             (sep, Node::Internal { keys: rkeys, children: rchildren })
         };

@@ -75,7 +75,9 @@ impl EncodedColumn {
 
     /// Unpacks the whole column.
     pub fn unpack(&self) -> Vec<u32> {
-        (0..self.len).map(|i| self.get(i).expect("in range")).collect()
+        // `get` is `Some` for every `i < len`, so this is the identity
+        // range; `filter_map` keeps the bound panic-free.
+        (0..self.len).filter_map(|i| self.get(i)).collect()
     }
 
     /// Stored bytes.
@@ -85,7 +87,7 @@ impl EncodedColumn {
 
     /// Iterates values in order.
     pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
-        (0..self.len).map(|i| self.get(i).expect("in range"))
+        (0..self.len).filter_map(|i| self.get(i))
     }
 }
 

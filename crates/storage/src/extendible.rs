@@ -153,7 +153,9 @@ impl ExtendibleArray {
                     self.dims[d]
                 )));
             }
-            let (_, s) = self.axis[d].last_le(c as u64).expect("index 0 always present");
+            // Every axis tree is seeded with key 0 at construction, so
+            // `last_le` cannot miss; fall back to segment 0 regardless.
+            let s = self.axis[d].last_le(c as u64).map_or(0, |(_, s)| s);
             seg = seg.max(s);
         }
         Ok(seg as usize)

@@ -110,8 +110,9 @@ impl HeaderCompressed {
         if p >= self.values.len() {
             return Err(Error::InvalidSchema(format!("physical position {p} out of range")));
         }
-        let (_, run_idx) =
-            self.by_physical.last_le(p as u64).expect("physical position 0 always covered");
+        let (_, run_idx) = self.by_physical.last_le(p as u64).ok_or_else(|| {
+            Error::InvalidSchema(format!("physical position {p} not covered by any run"))
+        })?;
         let r = self.runs[run_idx as usize];
         Ok((r.logical_start + (p as u64 - r.physical_start)) as usize)
     }

@@ -10,7 +10,6 @@
 //! DESIGN.md, substitutions).
 
 use statcube_core::trace;
-use std::cell::Cell;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -19,18 +18,20 @@ pub const DEFAULT_PAGE_SIZE: usize = 4096;
 
 /// Read/write page counters with a fixed page size.
 ///
-/// The counters are `Cell`-based and therefore **single-threaded**: an
-/// `IoStats` is neither `Sync` nor safe to share across the scoped threads
-/// of the parallel cube engine. Within one thread the `Cell`s make charging
-/// possible through `&self`, which is what lets read paths stay `&self`
-/// throughout the crate. Code that must charge I/O from multiple threads
-/// uses [`AtomicIoStats`] instead and folds the totals back in.
+/// The counters are relaxed atomics, so an `IoStats` is `Sync` and charging
+/// stays possible through `&self` — which is what lets read paths keep
+/// shared references throughout the crate *and* lets the serving layer
+/// ([`statcube-cube`]'s `SharedViewStore`) charge I/O from many concurrent
+/// reader threads against one store. Relaxed ordering is sufficient:
+/// the counters are monotone tallies, never synchronization points.
+/// [`AtomicIoStats`] remains for worker-thread accumulators that are folded
+/// back in after a join.
 #[derive(Debug)]
 pub struct IoStats {
     page_size: usize,
     label: Option<&'static str>,
-    pages_read: Cell<u64>,
-    pages_written: Cell<u64>,
+    pages_read: AtomicU64,
+    pages_written: AtomicU64,
 }
 
 impl Default for IoStats {
@@ -45,8 +46,8 @@ impl IoStats {
         Self {
             page_size: page_size.max(1),
             label: None,
-            pages_read: Cell::new(0),
-            pages_written: Cell::new(0),
+            pages_read: AtomicU64::new(0),
+            pages_written: AtomicU64::new(0),
         }
     }
 
@@ -58,8 +59,8 @@ impl IoStats {
         Self {
             page_size: page_size.max(1),
             label: Some(label),
-            pages_read: Cell::new(0),
-            pages_written: Cell::new(0),
+            pages_read: AtomicU64::new(0),
+            pages_written: AtomicU64::new(0),
         }
     }
 
@@ -84,18 +85,18 @@ impl IoStats {
 
     /// Pages read since the last reset.
     pub fn pages_read(&self) -> u64 {
-        self.pages_read.get()
+        self.pages_read.load(Ordering::Relaxed)
     }
 
     /// Pages written since the last reset.
     pub fn pages_written(&self) -> u64 {
-        self.pages_written.get()
+        self.pages_written.load(Ordering::Relaxed)
     }
 
     /// Zeroes both counters.
     pub fn reset(&self) {
-        self.pages_read.set(0);
-        self.pages_written.set(0);
+        self.pages_read.store(0, Ordering::Relaxed);
+        self.pages_written.store(0, Ordering::Relaxed);
     }
 
     /// Number of pages an object of `bytes` bytes occupies (min 1 for a
@@ -120,13 +121,13 @@ impl IoStats {
 
     /// Charges `pages` distinct page reads (caller already deduplicated).
     pub fn charge_page_reads(&self, pages: u64) {
-        self.pages_read.set(self.pages_read.get() + pages);
+        self.pages_read.fetch_add(pages, Ordering::Relaxed);
         self.mirror(pages, false);
     }
 
     /// Charges `pages` distinct page writes.
     pub fn charge_page_writes(&self, pages: u64) {
-        self.pages_written.set(self.pages_written.get() + pages);
+        self.pages_written.fetch_add(pages, Ordering::Relaxed);
         self.mirror(pages, true);
     }
 
@@ -138,12 +139,14 @@ impl IoStats {
     }
 }
 
-/// Thread-safe variant of [`IoStats`] for charging I/O from scoped worker
-/// threads (the parallel cube engine's partition scans).
+/// Label-free accumulator variant of [`IoStats`] for scoped worker threads
+/// (the parallel cube engine's partition scans).
 ///
 /// Counters are relaxed atomics — totals are exact once the threads join,
-/// but intermediate reads may interleave arbitrarily. Fold the result back
-/// into a session's `Cell`-based [`IoStats`] with [`IoStats::absorb`].
+/// but intermediate reads may interleave arbitrarily. Unlike [`IoStats`] it
+/// never mirrors into the trace registry, so workers charge without touching
+/// the global metrics mutex; fold the result back into a session's
+/// [`IoStats`] with [`IoStats::absorb`].
 #[derive(Debug)]
 pub struct AtomicIoStats {
     page_size: usize,

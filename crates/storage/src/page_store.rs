@@ -29,7 +29,8 @@
 //! `StdRng::seed_from_u64(plan.seed)` stream, so the same plan armed over
 //! the same operation sequence yields byte-identical faults.
 
-use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -185,20 +186,32 @@ struct PagedFile {
     content_len: usize,
     pages: Vec<Vec<u8>>,
     sums: Vec<u32>,
+    /// Invalidation epoch: bumped whenever the stored bytes change under a
+    /// caller — overwrite, targeted corruption, a persisted injected bit
+    /// flip, or a torn write. Derived results (the cube layer's answer
+    /// cache) record the epoch they were computed at and treat a mismatch
+    /// as staleness.
+    epoch: u64,
 }
 
 /// A checksummed, fault-injectable paged store over [`IoStats`] accounting.
 ///
-/// All mutability is interior (single-threaded, like the `Cell`-based
-/// [`IoStats`] counters) so reads — which may persist injected bit flips —
-/// still take `&self` and compose with the query paths' shared references.
+/// All mutability is interior **and thread-safe**: files live behind an
+/// `RwLock` so many reader threads verify pages concurrently (the serving
+/// path), while writes — overwrite, corruption, a persisting injected bit
+/// flip — take the write lock briefly. Fault counters and the injector sit
+/// behind `Mutex`es that the fault-free fast path never touches (one
+/// relaxed atomic load checks whether an injector is armed at all).
 #[derive(Debug)]
 pub struct PageStore {
     io: IoStats,
     retry: RetryPolicy,
-    files: RefCell<Vec<PagedFile>>,
-    injector: RefCell<Option<FaultInjector>>,
-    stats: Cell<FaultStats>,
+    files: RwLock<Vec<PagedFile>>,
+    injector: Mutex<Option<FaultInjector>>,
+    /// Mirrors `injector.is_some()`; read with one relaxed load per page so
+    /// the unarmed hot path skips the injector mutex entirely.
+    armed: AtomicBool,
+    stats: Mutex<FaultStats>,
 }
 
 impl Default for PageStore {
@@ -213,10 +226,25 @@ impl PageStore {
         Self {
             io: IoStats::labeled(page_size, "page_store"),
             retry: RetryPolicy::default(),
-            files: RefCell::new(Vec::new()),
-            injector: RefCell::new(None),
-            stats: Cell::new(FaultStats::default()),
+            files: RwLock::new(Vec::new()),
+            injector: Mutex::new(None),
+            armed: AtomicBool::new(false),
+            stats: Mutex::new(FaultStats::default()),
         }
+    }
+
+    /// Read access to the file table; a poisoned lock (a panic elsewhere
+    /// while holding it) only ever guards plain data, so recover it.
+    fn files_read(&self) -> RwLockReadGuard<'_, Vec<PagedFile>> {
+        self.files.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn files_write(&self) -> RwLockWriteGuard<'_, Vec<PagedFile>> {
+        self.files.write().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn injector_lock(&self) -> MutexGuard<'_, Option<FaultInjector>> {
+        self.injector.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// Replaces the retry policy (builder style).
@@ -237,44 +265,52 @@ impl PageStore {
 
     /// Fault counters accumulated so far.
     pub fn stats(&self) -> FaultStats {
-        self.stats.get()
+        *self.stats.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// Zeroes the fault counters (the I/O counters reset via [`IoStats`]).
     pub fn reset_stats(&self) {
-        self.stats.set(FaultStats::default());
+        *self.stats.lock().unwrap_or_else(|p| p.into_inner()) = FaultStats::default();
     }
 
     /// Arms fault injection with `plan`; replaces any previous injector.
     pub fn arm(&self, plan: FaultPlan) {
-        *self.injector.borrow_mut() = Some(FaultInjector::new(plan));
+        *self.injector_lock() = Some(FaultInjector::new(plan));
+        self.armed.store(true, Ordering::Release);
     }
 
     /// Disarms fault injection; subsequent I/O is fault-free (existing
     /// persistent corruption remains).
     pub fn disarm(&self) {
-        *self.injector.borrow_mut() = None;
+        *self.injector_lock() = None;
+        self.armed.store(false, Ordering::Release);
     }
 
     /// Number of logical files.
     pub fn file_count(&self) -> usize {
-        self.files.borrow().len()
+        self.files_read().len()
     }
 
     /// Content length of file `id` in bytes.
     pub fn file_len(&self, id: usize) -> usize {
-        self.files.borrow()[id].content_len
+        self.files_read()[id].content_len
     }
 
     /// Number of pages of file `id`.
     pub fn page_count(&self, id: usize) -> u64 {
-        self.files.borrow()[id].pages.len() as u64
+        self.files_read()[id].pages.len() as u64
+    }
+
+    /// The invalidation epoch of file `id` (see [`PagedFile::epoch`]):
+    /// changes whenever the stored bytes do — overwrite, targeted
+    /// corruption, a persisted injected fault. Cached derivations compare
+    /// the epoch they were computed at against this to detect staleness.
+    pub fn file_epoch(&self, id: usize) -> u64 {
+        self.files_read()[id].epoch
     }
 
     fn update_stats(&self, f: impl FnOnce(&mut FaultStats)) {
-        let mut s = self.stats.get();
-        f(&mut s);
-        self.stats.set(s);
+        f(&mut self.stats.lock().unwrap_or_else(|p| p.into_inner()));
     }
 
     fn store_pages(&self, file: &mut PagedFile, content: &[u8]) {
@@ -285,7 +321,8 @@ impl PageStore {
         for chunk in content.chunks(ps) {
             // The checksum always covers the *intended* bytes.
             file.sums.push(crc32(chunk));
-            let torn = self.injector.borrow_mut().as_mut().is_some_and(FaultInjector::on_write);
+            let torn = self.armed.load(Ordering::Acquire)
+                && self.injector_lock().as_mut().is_some_and(FaultInjector::on_write);
             let mut page = chunk.to_vec();
             if torn && page.len() > 1 {
                 // Only a prefix reached the device; the tail reads back as
@@ -310,55 +347,65 @@ impl PageStore {
             content_len: 0,
             pages: Vec::new(),
             sums: Vec::new(),
+            epoch: 0,
         };
         self.store_pages(&mut file, content);
-        let mut files = self.files.borrow_mut();
+        let mut files = self.files_write();
         files.push(file);
         files.len() - 1
     }
 
     /// Rewrites file `id` with fresh content (clears prior corruption;
-    /// torn-write faults apply anew).
+    /// torn-write faults apply anew). Bumps the file's invalidation epoch.
     pub fn overwrite(&self, id: usize, content: &[u8]) {
-        let mut files = self.files.borrow_mut();
+        // Page the content outside the file lock (store_pages only touches
+        // the injector), then swap it in while holding the write lock.
+        let mut staged = PagedFile {
+            name: String::new(),
+            content_len: 0,
+            pages: Vec::new(),
+            sums: Vec::new(),
+            epoch: 0,
+        };
+        self.store_pages(&mut staged, content);
+        let mut files = self.files_write();
         let file = &mut files[id];
-        // `store_pages` re-borrows the injector only, never `files`.
-        let mut taken = std::mem::replace(
-            file,
-            PagedFile { name: String::new(), content_len: 0, pages: Vec::new(), sums: Vec::new() },
-        );
-        drop(files);
-        self.store_pages(&mut taken, content);
-        self.files.borrow_mut()[id] = taken;
+        staged.name = std::mem::take(&mut file.name);
+        staged.epoch = file.epoch + 1;
+        *file = staged;
     }
 
     /// Test/chaos hook: deterministically flips one stored bit of file
     /// `id`'s page `page` — the targeted form of the injector's random
-    /// bit flips.
+    /// bit flips. Bumps the file's invalidation epoch.
     pub fn corrupt_bit(&self, id: usize, page: u64, bit: u64) {
-        let mut files = self.files.borrow_mut();
-        let p = &mut files[id].pages[page as usize];
+        let mut files = self.files_write();
+        let file = &mut files[id];
+        let p = &mut file.pages[page as usize];
         if p.is_empty() {
             return;
         }
         let bit = bit % (p.len() as u64 * 8);
         p[(bit / 8) as usize] ^= 1 << (bit % 8);
+        file.epoch += 1;
+        drop(files);
         self.update_stats(|s| s.bit_flips += 1);
     }
 
     /// Reads one page with verification and retry; the building block of
     /// [`PageStore::read`].
     fn read_page(&self, id: usize, page: usize) -> Result<Vec<u8>> {
-        let object = self.files.borrow()[id].name.clone();
+        let object = self.files_read()[id].name.clone();
         for attempt in 1..=self.retry.max_attempts {
             self.io.charge_page_reads(1);
-            let fault = {
-                let files = self.files.borrow();
-                let len_bits = (files[id].pages[page].len() as u64 * 8).max(1);
-                self.injector
-                    .borrow_mut()
-                    .as_mut()
-                    .map_or(ReadFault::None, |inj| inj.on_read(len_bits))
+            let fault = if self.armed.load(Ordering::Acquire) {
+                let len_bits = {
+                    let files = self.files_read();
+                    (files[id].pages[page].len() as u64 * 8).max(1)
+                };
+                self.injector_lock().as_mut().map_or(ReadFault::None, |inj| inj.on_read(len_bits))
+            } else {
+                ReadFault::None
             };
             match fault {
                 ReadFault::Transient | ReadFault::Short => {
@@ -375,20 +422,25 @@ impl PageStore {
                     continue;
                 }
                 ReadFault::Flip(bit) => {
-                    // Media decay: the flip persists in the stored page.
-                    let mut files = self.files.borrow_mut();
-                    let p = &mut files[id].pages[page];
+                    // Media decay: the flip persists in the stored page, so
+                    // the file's invalidation epoch moves too.
+                    let mut files = self.files_write();
+                    let file = &mut files[id];
+                    let p = &mut file.pages[page];
                     if !p.is_empty() {
                         let bit = bit % (p.len() as u64 * 8);
                         p[(bit / 8) as usize] ^= 1 << (bit % 8);
+                        file.epoch += 1;
                     }
+                    drop(files);
                     self.update_stats(|s| s.bit_flips += 1);
                 }
                 ReadFault::None => {}
             }
-            let files = self.files.borrow();
+            let files = self.files_read();
             let bytes = &files[id].pages[page];
             if crc32(bytes) != files[id].sums[page] {
+                drop(files);
                 self.update_stats(|s| s.checksum_failures += 1);
                 return Err(Error::ChecksumMismatch { object, page: page as u64 });
             }
@@ -406,9 +458,9 @@ impl PageStore {
     /// [`PageStore::create`]/[`PageStore::overwrite`] or a typed error.
     pub fn read(&self, id: usize) -> Result<Vec<u8>> {
         let mut sp = trace::span("storage.read");
-        let (stats_before, reads_before) = (self.stats.get(), self.io.pages_read());
+        let (stats_before, reads_before) = (self.stats(), self.io.pages_read());
         let (n_pages, content_len) = {
-            let files = self.files.borrow();
+            let files = self.files_read();
             (files[id].pages.len(), files[id].content_len)
         };
         let mut out = Vec::with_capacity(content_len);
@@ -423,7 +475,7 @@ impl PageStore {
             }
         }
         if sp.is_recording() {
-            let (after, reads_after) = (self.stats.get(), self.io.pages_read());
+            let (after, reads_after) = (self.stats(), self.io.pages_read());
             sp.record("pages", reads_after - reads_before);
             sp.record("retries", after.retries - stats_before.retries);
             sp.record("backoff_us", after.backoff_us - stats_before.backoff_us);
@@ -448,7 +500,7 @@ impl PageStore {
     /// is), charging one read per page. Reports all failing pages.
     pub fn scrub(&self) -> ScrubReport {
         let mut sp = trace::span("storage.scrub");
-        let files = self.files.borrow();
+        let files = self.files_read();
         let mut report = ScrubReport::default();
         for file in files.iter() {
             report.objects += 1;
@@ -605,6 +657,55 @@ mod tests {
         assert_eq!(p.backoff_us(3), 400);
         assert_eq!(p.backoff_us(5), 1500); // capped
         assert_eq!(p.backoff_us(63), 1500); // shift saturates, still capped
+    }
+
+    #[test]
+    fn epochs_track_every_mutation_path() {
+        let ps = PageStore::new(64);
+        let id = ps.create("f", &[9u8; 200]);
+        assert_eq!(ps.file_epoch(id), 0);
+        // Overwrite bumps.
+        ps.overwrite(id, &[1u8; 200]);
+        assert_eq!(ps.file_epoch(id), 1);
+        // Targeted corruption bumps.
+        ps.corrupt_bit(id, 0, 3);
+        assert_eq!(ps.file_epoch(id), 2);
+        // A persisted injected bit flip bumps (read fails, epoch moves).
+        ps.overwrite(id, &[2u8; 200]);
+        assert_eq!(ps.file_epoch(id), 3);
+        ps.arm(FaultPlan::bit_flips_only(3, 1.0));
+        assert!(ps.read(id).is_err());
+        ps.disarm();
+        assert!(ps.file_epoch(id) > 3);
+        // Clean reads never bump.
+        ps.overwrite(id, &[4u8; 200]);
+        let e = ps.file_epoch(id);
+        let _ = ps.read(id);
+        let _ = ps.scrub();
+        assert_eq!(ps.file_epoch(id), e);
+    }
+
+    #[test]
+    fn concurrent_readers_verify_against_one_store() {
+        // The store is Sync: many threads read (and fail on corruption)
+        // concurrently with consistent counters.
+        let ps = PageStore::new(64);
+        let good = ps.create("good", &[7u8; 500]);
+        let bad = ps.create("bad", &[8u8; 500]);
+        ps.corrupt_bit(bad, 3, 11);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        assert_eq!(ps.read(good).unwrap(), vec![7u8; 500]);
+                        assert!(matches!(ps.read(bad), Err(Error::ChecksumMismatch { .. })));
+                    }
+                });
+            }
+        });
+        assert_eq!(ps.stats().checksum_failures, 8 * 50);
+        // 8 pages per clean read, 4 pages before the bad one fails.
+        assert_eq!(ps.io().pages_read(), 8 * 50 * (8 + 4));
     }
 
     #[test]

@@ -19,10 +19,12 @@
 //! "Fault model and degraded answers").
 
 use statcube::core::error::Error;
+use statcube::cube::cache::CacheConfig;
 use statcube::cube::cube_op::DerivationSource;
 use statcube::cube::groupby::{self, Cuboid};
 use statcube::cube::input::FactInput;
 use statcube::cube::query::ViewStore;
+use statcube::cube::shared::SharedViewStore;
 use statcube::cube::{molap, rolap};
 use statcube::storage::page_store::FaultPlan;
 
@@ -160,6 +162,108 @@ fn corrupted_cuboid_answered_via_healthy_ancestor() {
         assert!(matches!(stat.source, DerivationSource::FallbackAncestor { failed: 0b011, .. }));
     }
     assert!(cube.degradations().iter().any(|d| d.requested == 0b011));
+}
+
+/// The serving layer under chaos: across the same 120 seeded fault plans,
+/// a cache-enabled [`SharedViewStore`] and the uncached baseline (budget 0)
+/// agree — every successful answer, hit or miss, is bit-identical to the
+/// fault-free oracle, and failures are typed. Each store is queried in two
+/// passes so the second pass exercises cache hits *while faults fire*.
+#[test]
+fn cached_store_matches_uncached_path_across_seeds() {
+    let f = facts(1);
+    let oracle = ViewStore::build(&f, &[0b011, 0b101]).unwrap();
+    let oracle_answers: Vec<Cuboid> = (0..8u32).map(|m| oracle.answer(m).unwrap().cuboid).collect();
+
+    let mut cache_hits = 0u64;
+    let mut faulted_runs = 0u64;
+    for seed in 0..SEEDS {
+        let rate = [0.0, 0.02, 0.04, 0.08][(seed % 4) as usize];
+        let cached = SharedViewStore::build(&f, &[0b011, 0b101], CacheConfig::default()).unwrap();
+        let uncached =
+            SharedViewStore::build(&f, &[0b011, 0b101], CacheConfig::disabled()).unwrap();
+        cached.arm_faults(FaultPlan::uniform(seed, rate));
+        uncached.arm_faults(FaultPlan::uniform(seed, rate));
+        for pass in 0..2 {
+            for mask in 0..8u32 {
+                let a = cached.answer(mask);
+                let b = uncached.answer(mask);
+                for (who, ans) in [("cached", &a), ("uncached", &b)] {
+                    match ans {
+                        Ok(ans) => assert!(
+                            bit_identical(&ans.cuboid, &oracle_answers[mask as usize]),
+                            "seed {seed} pass {pass} mask {mask:03b}: {who} differs from oracle"
+                        ),
+                        Err(e) => {
+                            assert!(is_typed_fault(e), "seed {seed}: untyped {who} error {e:?}")
+                        }
+                    }
+                }
+                if let Ok(ans) = &a {
+                    cache_hits += u64::from(ans.cache_hit);
+                }
+            }
+        }
+        assert_eq!(uncached.cache_stats().entries, 0, "budget 0 must admit nothing");
+        let s = cached.fault_stats();
+        if s.transient_faults + s.short_reads + s.bit_flips > 0 {
+            faulted_runs += 1;
+        }
+    }
+    assert!(cache_hits > SEEDS * 4, "cache should hit on second passes: {cache_hits}");
+    assert!(faulted_runs > 30, "only {faulted_runs} cached runs saw faults");
+}
+
+/// The stale-read property: corruption evicts dependent cache entries
+/// (directly and via scrub), and after a healing delta the cache serves the
+/// *new* totals — never a value cached before the store changed.
+#[test]
+fn no_stale_reads_after_corrupt_scrub_and_heal() {
+    let f = facts(9);
+    let store = SharedViewStore::build(&f, &[0b011, 0b101], CacheConfig::default()).unwrap();
+    // Prime every cuboid, then prime again so everything is a known hit.
+    for mask in 0..8u32 {
+        store.answer(mask).unwrap();
+    }
+    let primed = store.answer(0b001).unwrap();
+    assert!(primed.cache_hit);
+
+    // Corrupt the view {d0} was actually served from: its entries are
+    // evicted at once; the detour answer is exact, degraded, not cached.
+    store.corrupt_view(primed.source, 41).unwrap();
+    let detour = store.answer(0b001).unwrap();
+    assert!(!detour.cache_hit, "stale entry served after corruption");
+    assert!(detour.degraded.is_some());
+    assert!(bit_identical(&detour.cuboid, &groupby::from_facts(&f, 0b001)));
+
+    // The scrub localizes the failure and reports eviction work done.
+    let report = store.scrub();
+    assert!(!report.is_clean());
+    assert!(store.cache_stats().invalidations > 0);
+
+    // Heal with a real (non-empty) delta: every subsequent answer must
+    // reflect the delta, including answers that were cached pre-delta.
+    let mut delta = FactInput::new(f.cards()).unwrap();
+    delta.push(&[7, 3, 1], 5000.0).unwrap();
+    store.apply_delta(&delta).unwrap();
+    let mut combined = FactInput::new(f.cards()).unwrap();
+    for row in 0..f.len() {
+        combined.push(&f.coords(row), f.measure()[row]).unwrap();
+    }
+    combined.push(&[7, 3, 1], 5000.0).unwrap();
+    for mask in 0..8u32 {
+        let fresh = store.answer(mask).unwrap();
+        assert!(!fresh.cache_hit, "mask {mask:03b}: pre-delta entry survived apply_delta");
+        assert!(fresh.degraded.is_none(), "rewrite heals corruption");
+        assert!(
+            bit_identical(&fresh.cuboid, &groupby::from_facts(&combined, mask)),
+            "mask {mask:03b}: answer does not include the delta"
+        );
+        // And the re-admitted entry serves the same fresh value.
+        let warm = store.answer(mask).unwrap();
+        assert!(warm.cache_hit);
+        assert!(bit_identical(&warm.cuboid, &fresh.cuboid));
+    }
 }
 
 /// The engine cubes under per-seed targeted corruption: verified lookups

@@ -1,0 +1,178 @@
+//! Concurrency suite for the serving layer: one [`SharedViewStore`]
+//! hammered from many reader threads, with and without faults, and with a
+//! writer applying deltas mid-flight.
+//!
+//! The invariants:
+//!
+//! * readers never see a torn or silently wrong answer — every successful
+//!   answer equals *some* consistent snapshot of the store (before or after
+//!   an in-flight delta), bit for bit;
+//! * failures are typed storage faults, never panics;
+//! * the cache never serves a value from a snapshot other than the one the
+//!   lock-protected store currently holds.
+
+use statcube::core::error::Error;
+use statcube::cube::cache::CacheConfig;
+use statcube::cube::groupby::{self, Cuboid};
+use statcube::cube::input::FactInput;
+use statcube::cube::shared::SharedViewStore;
+use statcube::storage::page_store::FaultPlan;
+
+fn facts(seed: u64, rows: usize) -> FactInput {
+    let mut f = FactInput::new(&[8, 4, 2]).unwrap();
+    let mut x = seed.wrapping_mul(0x9E37_79B9).max(1);
+    for _ in 0..rows {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        f.push(&[(x % 8) as u32, ((x >> 8) % 4) as u32, ((x >> 16) % 2) as u32], (x % 100) as f64)
+            .unwrap();
+    }
+    f
+}
+
+fn bit_identical(a: &Cuboid, b: &Cuboid) -> bool {
+    a.len() == b.len()
+        && a.iter().all(|(k, sa)| {
+            b.get(k).is_some_and(|sb| {
+                sa.sum.to_bits() == sb.sum.to_bits()
+                    && sa.count == sb.count
+                    && sa.min.to_bits() == sb.min.to_bits()
+                    && sa.max.to_bits() == sb.max.to_bits()
+            })
+        })
+}
+
+/// Eight reader threads, one store, mixed cuboid and cell queries, faults
+/// armed for part of the run: every answer is oracle-exact or a typed
+/// error, and the run ends with a healthy cache.
+#[test]
+fn eight_threads_hammer_one_store_under_faults() {
+    let f = facts(11, 400);
+    let store = SharedViewStore::build(&f, &[0b011, 0b110], CacheConfig::default()).unwrap();
+    let oracle: Vec<Cuboid> = (0..8u32).map(|m| groupby::from_facts(&f, m)).collect();
+
+    store.arm_faults(FaultPlan::uniform(99, 0.05));
+    std::thread::scope(|s| {
+        for t in 0..8usize {
+            let store = store.clone();
+            let oracle = &oracle;
+            s.spawn(move || {
+                for i in 0..200usize {
+                    let mask = ((i * 5 + t) % 8) as u32;
+                    match store.answer(mask) {
+                        Ok(ans) => assert!(
+                            bit_identical(&ans.cuboid, &oracle[mask as usize]),
+                            "thread {t} iter {i} mask {mask:03b}: wrong answer"
+                        ),
+                        Err(
+                            Error::ChecksumMismatch { .. }
+                            | Error::RetriesExhausted { .. }
+                            | Error::NoHealthySource { .. },
+                        ) => {}
+                        Err(e) => panic!("thread {t}: untyped error {e:?}"),
+                    }
+                    // Every 8th probe goes through the cell path.
+                    if i % 8 == 0 {
+                        let d0 = (i % 8) as u32;
+                        if let Ok(cell) = store.answer_cell(&[Some(d0), None, None]) {
+                            let key: Box<[u32]> = vec![d0].into_boxed_slice();
+                            let want = oracle[0b001].get(&key);
+                            match (cell.state, want) {
+                                (Some(got), Some(want)) => {
+                                    assert_eq!(got.sum.to_bits(), want.sum.to_bits());
+                                    assert_eq!(got.count, want.count);
+                                }
+                                (None, None) => {}
+                                other => panic!("thread {t}: cell mismatch {other:?}"),
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    store.disarm_faults();
+
+    let s = store.cache_stats();
+    assert!(s.hits + s.misses >= 8 * 200, "every cuboid query probes the cache");
+    assert!(s.hits > 0, "a hammered store must produce hits");
+    // After disarming, the store settles back to clean cached serving.
+    let a = store.answer(0b000).unwrap();
+    assert!(bit_identical(&a.cuboid, &oracle[0]));
+    assert!(store.answer(0b000).unwrap().cache_hit);
+}
+
+/// Readers race a writer applying deltas: every read answer must be
+/// bit-identical to one of the store's committed snapshots (0, 1, or 2
+/// deltas applied) — the `RwLock` + epoch invalidation make anything else
+/// impossible — and after the writer finishes, reads serve the final total.
+#[test]
+fn readers_race_a_delta_writer_and_see_only_committed_snapshots() {
+    let f = facts(21, 300);
+    let store = SharedViewStore::build(&f, &[0b011], CacheConfig::default()).unwrap();
+
+    // Snapshots: oracle cuboids with 0, 1, and 2 deltas folded in.
+    let mut snapshots: Vec<Vec<Cuboid>> = Vec::new();
+    let mut combined = FactInput::new(f.cards()).unwrap();
+    for row in 0..f.len() {
+        combined.push(&f.coords(row), f.measure()[row]).unwrap();
+    }
+    snapshots.push((0..8u32).map(|m| groupby::from_facts(&combined, m)).collect());
+    let deltas: Vec<(Vec<u32>, f64)> = vec![(vec![1, 1, 1], 10_000.0), (vec![2, 3, 0], 20_000.0)];
+    for (coords, v) in &deltas {
+        combined.push(coords, *v).unwrap();
+        snapshots.push((0..8u32).map(|m| groupby::from_facts(&combined, m)).collect());
+    }
+
+    // Prime the cache so the first delta demonstrably clears live entries.
+    for mask in 0..8u32 {
+        store.answer(mask).unwrap();
+    }
+
+    std::thread::scope(|s| {
+        // Writer: applies the two deltas with a little work in between.
+        {
+            let store = store.clone();
+            let deltas = deltas.clone();
+            s.spawn(move || {
+                for (coords, v) in &deltas {
+                    for _ in 0..50 {
+                        std::hint::spin_loop();
+                    }
+                    let mut d = FactInput::new(&[8, 4, 2]).unwrap();
+                    d.push(coords, *v).unwrap();
+                    store.apply_delta(&d).unwrap();
+                }
+            });
+        }
+        // Readers: every answer must match one committed snapshot exactly.
+        for t in 0..7usize {
+            let store = store.clone();
+            let snapshots = &snapshots;
+            s.spawn(move || {
+                for i in 0..300usize {
+                    let mask = ((i + t) % 8) as u32;
+                    let ans = store.answer(mask).unwrap();
+                    let matched = snapshots
+                        .iter()
+                        .any(|snap| bit_identical(&ans.cuboid, &snap[mask as usize]));
+                    assert!(
+                        matched,
+                        "thread {t} iter {i} mask {mask:03b}: answer matches no committed snapshot"
+                    );
+                }
+            });
+        }
+    });
+
+    // Quiesced: reads serve the final snapshot, from cache on repeat.
+    let last = snapshots.last().unwrap();
+    for mask in 0..8u32 {
+        let a = store.answer(mask).unwrap();
+        assert!(bit_identical(&a.cuboid, &last[mask as usize]), "mask {mask:03b} final total");
+    }
+    assert!(store.answer(0b000).unwrap().cache_hit);
+    let stats = store.cache_stats();
+    assert!(stats.invalidations > 0, "deltas must have cleared the cache");
+}
