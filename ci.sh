@@ -2,10 +2,12 @@
 # CI gate: build, tests, lints, race/chaos smoke, and the perf-regression
 # gate, with per-stage wall-clock timings.
 #
-#   ./ci.sh          full gate (release build, chaos suite, perf gate, E24)
-#   ./ci.sh quick    quick gate: debug tests, clippy, one parallel-suite
-#                    run, unwrap gate — skips the release build, the chaos
-#                    suite, the perf gate, and the E24 smoke
+#   ./ci.sh          full gate (release build, chaos suite, perf gate,
+#                    E24 + E26 smokes)
+#   ./ci.sh quick    quick gate: debug tests, clippy, golden EXPLAIN
+#                    snapshots, one parallel-suite run, unwrap gate —
+#                    skips the release build, the chaos suite, the perf
+#                    gate, and the E24/E26 smokes
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -35,6 +37,12 @@ stage "cargo test -q --workspace" cargo test -q --workspace
 
 stage "cargo clippy -- -D warnings" \
     cargo clippy --workspace --all-targets -- -D warnings
+
+# Golden EXPLAIN snapshots: the planner's rendered plans (logical plan,
+# rewrite passes, physical grouping sets) for ~10 pinned queries must not
+# drift. Runs in quick mode too — it is fast and catches unintended
+# planner changes early.
+stage "golden EXPLAIN snapshots" cargo test -q --test explain_golden
 
 # Race smoke test: the parallel property suite under a serialized test
 # harness (workers still spawn inside each test) and — full mode only —
@@ -97,6 +105,14 @@ fi
 if [ "$quick" != "quick" ]; then
     stage "observability smoke (E24 metrics snapshot)" \
         cargo run -q -p statcube-bench --bin experiments -- exp24
+fi
+
+# Planner-ablation smoke (full mode): E26 re-measures what each rewrite
+# pass buys on retail and asserts in-line that every ablation returns
+# identical rows. Fails if a rewrite changes answers or stops paying off.
+if [ "$quick" != "quick" ]; then
+    stage "planner rewrite ablation smoke (E26)" \
+        cargo run -q -p statcube-bench --bin experiments -- exp26
 fi
 
 echo "CI gate passed in $((SECONDS - total_start))s."

@@ -1,7 +1,8 @@
 //! CI perf-regression gate.
 //!
-//! Measures a pinned subset of E25 (serving-layer cache throughput) and
-//! E22 (partition-parallel CUBE throughput), writes the numbers to
+//! Measures a pinned subset of E25 (serving-layer cache throughput), E22
+//! (partition-parallel CUBE throughput), and E26 (planner-path query
+//! throughput through a warm [`CachedSession`]), writes the numbers to
 //! `BENCH_04.json`, and compares them against the committed
 //! `bench_baseline.json`:
 //!
@@ -27,14 +28,21 @@ use std::time::Instant;
 use statcube_bench::serving::{
     self, build_store, make_facts, run_stream, run_stream_threads, zipf_stream,
 };
+use statcube_core::measure::SummaryFunction;
+use statcube_cube::cache::CacheConfig;
 use statcube_cube::cube_op;
 use statcube_cube::input::FactInput;
+use statcube_sql::ast::{AggExpr, Grouping, Predicate, Query};
+use statcube_sql::CachedSession;
+use statcube_workload::retail::{generate, RetailConfig};
 
 /// Rows of the pinned parallel-CUBE workload (E22's shape, sized for CI).
 const PAR_ROWS: usize = 100_000;
 const PAR_CARDS: [usize; 4] = [50, 20, 10, 8];
 /// Throughput measurements take the best of this many runs.
 const RUNS: usize = 3;
+/// Passes over the pinned planner-path query list per measurement.
+const PLANNER_PASSES: usize = 40;
 
 struct Measured {
     serving_ops_per_sec: f64,
@@ -43,6 +51,59 @@ struct Measured {
     serving_p95_ns: u64,
     threaded_ops_per_sec: f64,
     parallel_cube_rows_per_sec: f64,
+    planner_ops_per_sec: f64,
+}
+
+/// Planner-path throughput: a pinned SQL mix (plain groupings, a CUBE, a
+/// pushed-down filter) served warm through a [`CachedSession`], so every
+/// query runs the full plan → rewrite → execute pipeline the unified
+/// front-ends share.
+fn measure_planner_path() -> f64 {
+    let retail = generate(&RetailConfig {
+        products: 60,
+        categories: 6,
+        cities: 4,
+        stores_per_city: 3,
+        days: 30,
+        rows: 20_000,
+        seed: 26,
+    });
+    let obj = &retail.object;
+    let from = obj.schema().name().to_owned();
+    let product = obj.schema().dimensions()[0].members().values().next().expect("a product");
+    let sum = AggExpr { func: SummaryFunction::Sum, arg: Some("quantity sold".into()) };
+    let q = |grouping: Grouping, filters: Vec<Predicate>| Query {
+        select: vec![sum.clone()],
+        from: from.clone(),
+        filters,
+        grouping,
+    };
+    let queries = [
+        q(Grouping::Plain(vec!["product".into()]), vec![]),
+        q(Grouping::Plain(vec!["store".into()]), vec![]),
+        q(Grouping::Cube(vec!["product".into(), "store".into()]), vec![]),
+        q(
+            Grouping::Plain(vec!["store".into()]),
+            vec![Predicate { column: "product".into(), value: product.to_owned(), negated: false }],
+        ),
+    ];
+    let session =
+        CachedSession::with_views(obj, &[0b011], CacheConfig::default()).expect("session");
+    for query in &queries {
+        session.execute(query).expect("warm-up"); // warm the answer cache
+    }
+    let mut best = 0.0f64;
+    for _ in 0..RUNS {
+        let t = Instant::now();
+        for _ in 0..PLANNER_PASSES {
+            for query in &queries {
+                assert!(!session.execute(query).expect("query").result.rows.is_empty());
+            }
+        }
+        let secs = t.elapsed().as_secs_f64().max(1e-9);
+        best = best.max((PLANNER_PASSES * queries.len()) as f64 / secs);
+    }
+    best
 }
 
 fn measure() -> Measured {
@@ -95,21 +156,24 @@ fn measure() -> Measured {
         serving_p95_ns: best.p95_ns,
         threaded_ops_per_sec: threaded,
         parallel_cube_rows_per_sec: cube_rows_per_sec,
+        planner_ops_per_sec: measure_planner_path(),
     }
 }
 
 fn to_json(m: &Measured) -> String {
     format!(
-        "{{\n  \"schema\": 1,\n  \"serving_ops_per_sec\": {:.1},\n  \
+        "{{\n  \"schema\": 2,\n  \"serving_ops_per_sec\": {:.1},\n  \
          \"serving_hit_rate\": {:.4},\n  \"serving_p50_ns\": {},\n  \
          \"serving_p95_ns\": {},\n  \"threaded_ops_per_sec\": {:.1},\n  \
-         \"parallel_cube_rows_per_sec\": {:.1}\n}}\n",
+         \"parallel_cube_rows_per_sec\": {:.1},\n  \
+         \"planner_ops_per_sec\": {:.1}\n}}\n",
         m.serving_ops_per_sec,
         m.serving_hit_rate,
         m.serving_p50_ns,
         m.serving_p95_ns,
         m.threaded_ops_per_sec,
         m.parallel_cube_rows_per_sec,
+        m.planner_ops_per_sec,
     )
 }
 
@@ -133,7 +197,7 @@ fn main() {
     let tolerance: f64 =
         std::env::var("PERF_GATE_TOLERANCE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.25);
 
-    eprintln!("perf_gate: measuring pinned E25/E22 subset...");
+    eprintln!("perf_gate: measuring pinned E25/E22/E26 subset...");
     let m = measure();
     let json = to_json(&m);
     print!("{json}");
@@ -169,6 +233,7 @@ fn main() {
         ("serving_ops_per_sec", m.serving_ops_per_sec),
         ("threaded_ops_per_sec", m.threaded_ops_per_sec),
         ("parallel_cube_rows_per_sec", m.parallel_cube_rows_per_sec),
+        ("planner_ops_per_sec", m.planner_ops_per_sec),
     ] {
         match json_num(&baseline, key) {
             Some(base) if base > 0.0 => {

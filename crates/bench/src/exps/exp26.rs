@@ -1,0 +1,309 @@
+//! E26 — planner rewrite ablation: what each pass buys on retail.
+//!
+//! The tentpole question: the summary-algebra planner runs two
+//! cost-relevant rewrites (lattice-aware source selection, predicate
+//! pushdown) plus one validation pass (summarizability). Disabling each
+//! one ([`PlannerConfig`]) must leave every answer bit-identical — the
+//! safety half is pinned in `tests/plan_rewrites.rs` — but changes what
+//! the executor does. This experiment measures each pass where it acts,
+//! on the retail workload (Fig 2's cube) served by a [`CachedSession`]
+//! with the coarse `product × store` view materialized:
+//!
+//! * **lattice** — unfiltered grouping queries. With the pass on, coarse
+//!   grouping sets derive from the small view; off, every set falls back
+//!   to the largest ancestor (the base cuboid), multiplying cells
+//!   scanned.
+//! * **pushdown** — filtered queries. With the pass on, WHERE predicates
+//!   move into the sealed store's scan and the session serves the query
+//!   in place; off, the predicates stay at the leaf, which a sealed
+//!   store cannot apply, so the session must bypass the cache and
+//!   rebuild a cube from the object per query.
+//! * **summarizability** — validation only: identical execution by
+//!   design (its column never moves).
+//!
+//! The run asserts in-line that every config returns the same rows, then
+//! reports cells scanned and routing per (query, config). A `json:` line
+//! carries the numbers machine-readably for the CI smoke test.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use statcube_core::measure::SummaryFunction;
+use statcube_core::object::StatisticalObject;
+use statcube_core::plan::PlannerConfig;
+use statcube_cube::cache::CacheConfig;
+use statcube_sql::ast::{AggExpr, Grouping, Predicate, Query};
+use statcube_sql::{CachedSession, PhysicalAnswer};
+use statcube_workload::retail::{generate, RetailConfig};
+
+use crate::report::{ratio, Table};
+
+/// Retail workload shape (sized for CI; the defaults would also work).
+const CONFIG: RetailConfig = RetailConfig {
+    products: 60,
+    categories: 6,
+    cities: 4,
+    stores_per_city: 3,
+    days: 30,
+    rows: 20_000,
+    seed: 26,
+};
+
+/// The coarse view the lattice pass can route to: `product × store`.
+const VIEW: u32 = 0b011;
+
+/// Every config variant: all passes on, then each rewrite disabled.
+fn configs() -> Vec<(&'static str, PlannerConfig)> {
+    let on = PlannerConfig::default();
+    vec![
+        ("default", on),
+        ("no-summarizability", PlannerConfig { summarizability: false, ..on }),
+        ("no-lattice", PlannerConfig { lattice: false, ..on }),
+        ("no-pushdown", PlannerConfig { pushdown: false, ..on }),
+    ]
+}
+
+fn query(grouping: Grouping, filters: Vec<Predicate>, from: &str) -> Query {
+    Query {
+        select: vec![AggExpr { func: SummaryFunction::Sum, arg: Some("quantity sold".into()) }],
+        from: from.to_owned(),
+        filters,
+        grouping,
+    }
+}
+
+/// Runs one query under one config on a fresh (cold) session, so cells
+/// scanned measures the scan rather than a cache hit.
+fn run_one(obj: &StatisticalObject, q: &Query, config: PlannerConfig) -> (PhysicalAnswer, u128) {
+    let session = CachedSession::with_views(obj, &[VIEW], CacheConfig::default())
+        .expect("session")
+        .with_planner_config(config);
+    let t = Instant::now();
+    let ans = session.execute(q).expect("cached path");
+    (ans, t.elapsed().as_micros())
+}
+
+/// Sorted printable rows (sums rounded to 9 significant digits — merge
+/// order follows `HashMap` iteration).
+fn row_key(ans: &PhysicalAnswer) -> Vec<String> {
+    let mut v: Vec<String> = ans
+        .result
+        .rows
+        .iter()
+        .map(|r| {
+            let vals: Vec<String> = r
+                .values
+                .iter()
+                .map(|v| v.map_or("NULL".to_owned(), |x| format!("{x:.8e}")))
+                .collect();
+            format!("{:?} {:?}", r.group, vals)
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+/// Measures the planner's rewrite passes on retail.
+pub fn run() -> String {
+    let retail = generate(&CONFIG);
+    let obj = &retail.object;
+    let from = obj.schema().name().to_owned();
+    let dims = obj.schema().dimensions();
+    let a_product = dims[0].members().values().next().expect("a product").to_owned();
+    let a_store = dims[1].members().values().next().expect("a store").to_owned();
+
+    let mut out = String::new();
+    out.push_str("=== E26: planner rewrite ablation — what each pass buys on retail ===\n\n");
+    let _ = writeln!(
+        out,
+        "workload: retail, {} products x {} stores x {} days, {} rows;\n\
+         every session materializes the product x store view ({:#b}) plus the base\n",
+        CONFIG.products,
+        CONFIG.cities * CONFIG.stores_per_city,
+        CONFIG.days,
+        CONFIG.rows,
+        VIEW,
+    );
+
+    // --- lattice: cells scanned on unfiltered groupings ------------------
+    let lattice_queries = [
+        ("GROUP BY product", query(Grouping::Plain(vec!["product".into()]), vec![], &from)),
+        ("GROUP BY store", query(Grouping::Plain(vec!["store".into()]), vec![], &from)),
+        (
+            "CUBE(product, store)",
+            query(Grouping::Cube(vec!["product".into(), "store".into()]), vec![], &from),
+        ),
+    ];
+    let mut t = Table::new(
+        "lattice pass: cells scanned per config (answers verified identical)",
+        &["query", "default", "no-summarizability", "no-lattice", "lattice win"],
+    );
+    let mut json_lattice = String::new();
+    for (label, q) in &lattice_queries {
+        let mut cells = Vec::new();
+        let mut reference: Option<Vec<String>> = None;
+        for (name, config) in configs() {
+            let (ans, _) = run_one(obj, q, config);
+            let rows = row_key(&ans);
+            match &reference {
+                None => reference = Some(rows),
+                Some(r) => assert_eq!(&rows, r, "{label}: answers diverged under {name}"),
+            }
+            cells.push(ans.cells_scanned);
+        }
+        t.row([
+            (*label).to_owned(),
+            cells[0].to_string(),
+            cells[1].to_string(),
+            cells[2].to_string(),
+            ratio(cells[2] as f64 / cells[0].max(1) as f64),
+        ]);
+        let _ = write!(
+            json_lattice,
+            "{}{{\"query\":\"{label}\",\"default\":{},\"no_summarizability\":{},\
+             \"no_lattice\":{}}}",
+            if json_lattice.is_empty() { "" } else { "," },
+            cells[0],
+            cells[1],
+            cells[2],
+        );
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // --- pushdown: store serviceability of filtered queries ---------------
+    let pushdown_queries = [
+        (
+            "WHERE product=.. GROUP BY store",
+            query(
+                Grouping::Plain(vec!["store".into()]),
+                vec![Predicate { column: "product".into(), value: a_product, negated: false }],
+                &from,
+            ),
+        ),
+        (
+            "WHERE store=.. CUBE(product, day)",
+            query(
+                Grouping::Cube(vec!["product".into(), "day".into()]),
+                vec![Predicate { column: "store".into(), value: a_store, negated: false }],
+                &from,
+            ),
+        ),
+    ];
+    let mut tp = Table::new(
+        "pushdown pass: WHERE placement on the sealed store",
+        &["query", "config", "route", "cells scanned", "wall (µs)"],
+    );
+    let mut json_pushdown = String::new();
+    for (label, q) in &pushdown_queries {
+        let mut reference: Option<Vec<String>> = None;
+        let mut bypassed = Vec::new();
+        for (name, config) in
+            [("default", PlannerConfig::default()), ("no-pushdown", configs()[3].1)]
+        {
+            let (ans, micros) = run_one(obj, q, config);
+            let rows = row_key(&ans);
+            match &reference {
+                None => reference = Some(rows),
+                Some(r) => assert_eq!(&rows, r, "{label}: answers diverged under {name}"),
+            }
+            tp.row([
+                (*label).to_owned(),
+                name.to_owned(),
+                if ans.bypassed_cache {
+                    "bypass: rebuild cube from object".to_owned()
+                } else {
+                    "served by sealed store".to_owned()
+                },
+                ans.cells_scanned.to_string(),
+                micros.to_string(),
+            ]);
+            bypassed.push(ans.bypassed_cache);
+        }
+        let _ = write!(
+            json_pushdown,
+            "{}{{\"query\":\"{label}\",\"default_bypassed\":{},\"no_pushdown_bypassed\":{}}}",
+            if json_pushdown.is_empty() { "" } else { "," },
+            bypassed[0],
+            bypassed[1],
+        );
+    }
+    out.push_str(&tp.render());
+
+    out.push_str(
+        "\nthe lattice pass routes coarse grouping sets to the materialized view\n\
+         instead of the base cuboid — an order-of-magnitude fewer cells scanned\n\
+         at identical answers; summarizability is validation-only, so its column\n\
+         never moves. pushdown decides *where* a WHERE predicate runs: pushed\n\
+         into the sealed store's scan the session answers in place (and wins\n\
+         clearly on selective queries); left at the leaf the store cannot\n\
+         apply it, so every such query rebuilds a cube from the object — a\n\
+         rebuild that only amortizes on wide filtered CUBEs, where the\n\
+         filtered cube is much smaller than the sealed base.\n",
+    );
+    let _ =
+        writeln!(out, "\njson: {{\"lattice\":[{json_lattice}],\"pushdown\":[{json_pushdown}]}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn rewrites_deliver_measurable_wins() {
+        let s = super::run();
+        assert!(s.contains("lattice pass: cells scanned"));
+        assert!(s.contains("pushdown pass: WHERE placement"));
+        let json = s.lines().find(|l| l.starts_with("json: ")).expect("json line");
+        let num = |seg: &str, key: &str| -> u64 {
+            let at = seg.find(key).expect(key) + key.len();
+            seg[at..]
+                .trim_start_matches(':')
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .expect("number")
+        };
+        // The acceptance claim: the lattice pass shows a measurable
+        // cells-scanned reduction on every pinned retail grouping, and the
+        // validation pass never changes the scan.
+        let lattice: Vec<(u64, u64, u64)> = json
+            .split('{')
+            .filter(|seg| seg.contains("\"no_lattice\""))
+            .map(|seg| {
+                (
+                    num(seg, "\"default\""),
+                    num(seg, "\"no_summarizability\""),
+                    num(seg, "\"no_lattice\""),
+                )
+            })
+            .collect();
+        assert_eq!(lattice.len(), 3);
+        for &(d, summ, l) in &lattice {
+            assert!(l > d, "lattice pass shows no scan reduction ({l} vs {d})\n{s}");
+            assert_eq!(d, summ, "summarizability ablation changed the scan\n{s}");
+        }
+        // Pushdown keeps filtered queries on the sealed store; the ablation
+        // forces a per-query rebuild.
+        let pushdown: Vec<(&str, &str)> = json
+            .split('{')
+            .filter(|seg| seg.contains("\"default_bypassed\""))
+            .map(|seg| {
+                let flag = |key: &str| {
+                    let at = seg.find(key).expect(key) + key.len();
+                    if seg[at..].trim_start_matches(':').starts_with("true") {
+                        "true"
+                    } else {
+                        "false"
+                    }
+                };
+                (flag("\"default_bypassed\""), flag("\"no_pushdown_bypassed\""))
+            })
+            .collect();
+        assert_eq!(pushdown.len(), 2);
+        for &(d, n) in &pushdown {
+            assert_eq!(d, "false", "default config bypassed the store\n{s}");
+            assert_eq!(n, "true", "no-pushdown still served from the store\n{s}");
+        }
+    }
+}

@@ -45,6 +45,7 @@ pub mod exps {
     pub mod exp23;
     pub mod exp24;
     pub mod exp25;
+    pub mod exp26;
 }
 
 /// One experiment: `(id, title, runner)`.
@@ -78,5 +79,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("exp23", "degradation cost under injected faults", exps::exp23::run),
         ("exp24", "query-profile observability (spans + metrics)", exps::exp24::run),
         ("exp25", "serving-layer cache hit-rate and speedup curves", exps::exp25::run),
+        ("exp26", "planner rewrite ablation — cells scanned on retail", exps::exp26::run),
     ]
 }

@@ -36,6 +36,7 @@ pub mod measure;
 pub mod microdata;
 pub mod object;
 pub mod ops;
+pub mod plan;
 pub mod schema;
 pub mod schema_graph;
 pub mod stats;
@@ -58,6 +59,9 @@ pub mod prelude {
     pub use crate::ops::navigator::Navigator;
     pub use crate::ops::{
         disaggregate_by_proxy, s_aggregate, s_project, s_select, s_union, UnionPolicy,
+    };
+    pub use crate::plan::{
+        Plan, PlanPredicate, PlannedQuery, Planner, PlannerConfig, PrivacyPolicy,
     };
     pub use crate::schema::{Schema, SchemaBuilder};
     pub use crate::schema_graph::SchemaGraph;

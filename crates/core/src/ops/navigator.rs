@@ -6,24 +6,46 @@
 //! (finest-level) object and recomputes views as the per-dimension level
 //! cursor moves. (When the finer data is gone, estimate it with
 //! [`crate::ops::disaggregate_by_proxy`] instead.)
+//!
+//! The navigator is a thin front-end over the shared plan layer: every
+//! gesture is recorded as a [`crate::plan::Plan`] node, [`Navigator::plan`]
+//! exposes the logical plan, and [`Navigator::view`] runs it through the
+//! workspace planner and executor — the planner's navigation-cancellation
+//! pass reduces the roll-up/drill-down history to the net level per
+//! dimension, and the privacy pass runs in-path
+//! ([`Navigator::view_with_policy`]).
 
 use crate::error::{Error, Result};
 use crate::object::StatisticalObject;
 use crate::ops;
+use crate::plan::{self, Plan, Planner, PrivacyPolicy};
+
+/// One recorded navigation gesture.
+#[derive(Debug, Clone)]
+enum NavStep {
+    /// Rolled `dim` up to the named hierarchy level.
+    RollUp(String, String),
+    /// Drilled `dim` down one level.
+    DrillDown(String),
+}
 
 /// An interactive roll-up / drill-down cursor over a statistical object.
 #[derive(Debug, Clone)]
 pub struct Navigator {
     base: StatisticalObject,
-    /// Current hierarchy level per dimension (0 = leaf).
+    /// Current hierarchy level per dimension (0 = leaf). Kept alongside the
+    /// history for eager bounds checks, so the recorded plan is always
+    /// valid.
     levels: Vec<usize>,
+    /// The gesture log, replayed as a logical plan by [`Navigator::plan`].
+    history: Vec<NavStep>,
 }
 
 impl Navigator {
     /// Starts navigation at the finest level of every dimension.
     pub fn new(base: StatisticalObject) -> Self {
         let levels = vec![0; base.schema().dim_count()];
-        Self { base, levels }
+        Self { base, levels, history: Vec::new() }
     }
 
     /// The base object.
@@ -51,6 +73,8 @@ impl Navigator {
             });
         }
         self.levels[d] += 1;
+        self.history
+            .push(NavStep::RollUp(dim.to_owned(), h.level(self.levels[d]).name().to_owned()));
         Ok(())
     }
 
@@ -65,24 +89,54 @@ impl Navigator {
             });
         }
         self.levels[d] -= 1;
+        self.history.push(NavStep::DrillDown(dim.to_owned()));
         Ok(())
     }
 
-    /// Materializes the current view by re-aggregating the base object to
-    /// the cursor levels.
-    pub fn view(&self) -> Result<StatisticalObject> {
-        let mut cur = self.base.clone();
-        for (d, &lvl) in self.levels.iter().enumerate() {
-            if lvl == 0 {
-                continue;
-            }
-            let dim = &self.base.schema().dimensions()[d];
-            let name = dim.name().to_owned();
-            let h = dim.default_hierarchy().expect("level > 0 implies hierarchy");
-            let level_name = h.level(lvl).name().to_owned();
-            cur = ops::s_aggregate(&cur, &name, &level_name)?;
+    /// The logical plan for the current view: the full gesture history over
+    /// a scan of the base. The planner's cancellation pass folds it to the
+    /// net roll-up per dimension.
+    pub fn plan(&self) -> Plan {
+        let mut p = Plan::scan(self.base.schema().name());
+        for step in &self.history {
+            p = match step {
+                NavStep::RollUp(dim, level) => p.roll_up(dim, level),
+                NavStep::DrillDown(dim) => p.drill_down(dim),
+            };
         }
-        Ok(cur)
+        p
+    }
+
+    /// Materializes the current view through the shared planner and
+    /// executor, with no privacy restriction.
+    pub fn view(&self) -> Result<StatisticalObject> {
+        self.view_with_policy(&PrivacyPolicy::none())
+    }
+
+    /// [`Navigator::view`] under a privacy policy: the plan's mandatory
+    /// privacy pass enforces `policy` before the view is rebuilt, so
+    /// suppressed cells are simply absent from the returned object.
+    pub fn view_with_policy(&self, policy: &PrivacyPolicy) -> Result<StatisticalObject> {
+        let planned = Planner::for_object(self.base.schema())
+            .with_policy(policy.clone())
+            .plan(&self.plan())?;
+        // Leaf program: the net roll-ups rewrite the object's grain.
+        let mut cur = self.base.clone();
+        for r in &planned.leaf_rollups {
+            cur = ops::s_aggregate(&cur, &r.dim_name, &r.level)?;
+        }
+        let src = plan::ObjectSource::new(&cur, planned.base_mask())?;
+        let executed = plan::execute(&planned, &src)?;
+        let mut out = StatisticalObject::empty(cur.schema().clone());
+        for set in &executed.sets {
+            for (coords, cell) in &set.cells {
+                if cell.suppressed {
+                    continue;
+                }
+                out.merge_states(coords, &cell.states)?;
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -142,5 +196,33 @@ mod tests {
     fn view_at_leaf_is_base() {
         let nav = Navigator::new(base());
         assert_eq!(nav.view().unwrap(), *nav.base());
+    }
+
+    #[test]
+    fn history_becomes_a_plan_the_planner_cancels() {
+        let mut nav = Navigator::new(base());
+        nav.roll_up("disease").unwrap();
+        let rolled = nav.plan().render();
+        assert!(rolled.contains("RollUp{disease → category}"), "{rolled}");
+        assert!(rolled.contains("Scan{hmo costs}"), "{rolled}");
+        nav.drill_down("disease").unwrap();
+        // The history keeps both gestures…
+        let cancelled = nav.plan().render();
+        assert!(cancelled.contains("DrillDown{disease}"), "{cancelled}");
+        // …but the planner folds them to no net roll-up.
+        let planned = Planner::for_object(nav.base().schema()).plan(&nav.plan()).unwrap();
+        assert!(planned.leaf_rollups.is_empty());
+    }
+
+    #[test]
+    fn view_under_a_suppression_policy_withholds_small_cells() {
+        let mut nav = Navigator::new(base());
+        nav.roll_up("disease").unwrap();
+        let open = nav.view().unwrap();
+        assert_eq!(open.get(&["respiratory", "h2"]).unwrap(), Some(1.0));
+        // (cancer, h1) merges two base cells; (respiratory, h2) holds one.
+        let guarded = nav.view_with_policy(&PrivacyPolicy::suppress(2)).unwrap();
+        assert_eq!(guarded.get(&["cancer", "h1"]).unwrap(), Some(15.0));
+        assert_eq!(guarded.get(&["respiratory", "h2"]).unwrap(), None);
     }
 }

@@ -1,0 +1,363 @@
+//! In-path privacy enforcement (paper §6): the operators the mandatory
+//! `Restrict` pass inserts. The executor calls [`enforce`] on every
+//! answered grouping set *before* any row leaves the plan layer, so no
+//! front-end — cached or not — can publish an unenforced cell.
+//!
+//! Three operators, composed per policy:
+//!
+//! * [`suppress`] — small-count cell suppression: a cell built from fewer
+//!   than `k` micro units is withheld.
+//! * [`tracker`] — the tracker-attack guard: a cell within `k` of its
+//!   set's total is also withheld, since `total − cell` would disclose a
+//!   small complement.
+//! * [`complementary`] — complementary suppression across published
+//!   marginals: no "line" (the cells of a finer set sharing a projection
+//!   onto a coarser set, plus that coarser marginal) may contain exactly
+//!   one suppressed member, or subtraction recovers it.
+//! * [`perturb`] — deterministic noise on published sums; the same cell
+//!   always gets the same noise, so averaging repeated queries gains
+//!   nothing.
+
+use std::collections::BTreeMap;
+
+use crate::plan::exec::SetAnswer;
+use crate::plan::policy::{Perturbation, PrivacyPolicy};
+
+/// What one enforcement pass did, for span fields and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnforcementStats {
+    /// Cells withheld by primary (small-count + tracker) suppression.
+    pub suppressed: u64,
+    /// Cells additionally withheld by complementary suppression.
+    pub complementary: u64,
+    /// Cells whose published sum was perturbed.
+    pub perturbed: u64,
+}
+
+/// Runs the policy's operators over the answered sets. Called by the
+/// executor on every plan — the permissive policy is a no-op.
+pub fn enforce(policy: &PrivacyPolicy, sets: &mut [SetAnswer]) -> EnforcementStats {
+    let mut stats = EnforcementStats::default();
+    if policy.is_none() {
+        return stats;
+    }
+    if let Some(k) = policy.suppress_k {
+        stats.suppressed += suppress(k, sets);
+        if policy.tracker_guard {
+            stats.suppressed += tracker(k, sets);
+        }
+        stats.complementary = complementary(sets);
+    } else if policy.tracker_guard {
+        stats.suppressed += tracker(1, sets);
+    }
+    if let Some(p) = &policy.perturb {
+        stats.perturbed = perturb(p, sets);
+    }
+    stats
+}
+
+fn cell_count(states: &[crate::measure::AggState]) -> u64 {
+    states.first().map_or(0, |s| s.count)
+}
+
+/// Primary small-count suppression: withholds cells with `0 < count < k`.
+/// Returns the number of cells newly withheld.
+pub fn suppress(k: u64, sets: &mut [SetAnswer]) -> u64 {
+    let mut n = 0;
+    for set in sets {
+        for cell in set.cells.values_mut() {
+            let c = cell_count(&cell.states);
+            if !cell.suppressed && c > 0 && c < k {
+                cell.suppressed = true;
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Tracker-attack guard: within one grouping set of total count `N`,
+/// withholds cells with `count > N − k` (their complement is a small
+/// count). Returns the number of cells newly withheld.
+pub fn tracker(k: u64, sets: &mut [SetAnswer]) -> u64 {
+    let mut n = 0;
+    for set in sets {
+        let total: u64 = set.cells.values().map(|c| cell_count(&c.states)).sum();
+        // The set's own total row (a single cell holding everything) is
+        // the query answer itself, not a complement attack.
+        if set.cells.len() < 2 {
+            continue;
+        }
+        for cell in set.cells.values_mut() {
+            let c = cell_count(&cell.states);
+            if !cell.suppressed && c > total.saturating_sub(k) {
+                cell.suppressed = true;
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Complementary suppression across the published grouping sets. For every
+/// pair (coarse set `i`, finer set `j` with `target_i ⊂ target_j`) and
+/// every projection group of `j` onto `i`: the "line" is the group's cells
+/// plus the matching marginal in `i`. A line with exactly one suppressed
+/// member leaks it by subtraction, so the smallest-count unsuppressed
+/// member is withheld too; repeated to a fixpoint. Deterministic: ties
+/// break on (count, interior-before-marginal, key).
+pub fn complementary(sets: &mut [SetAnswer]) -> u64 {
+    /// A line's interior members keyed by their projection: (key, count,
+    /// suppressed).
+    type Lines = BTreeMap<Vec<u32>, Vec<(Box<[u32]>, u64, bool)>>;
+    let targets: Vec<u32> = sets.iter().map(|s| s.target).collect();
+    let mut n = 0u64;
+    loop {
+        let mut changed = false;
+        for j in 0..sets.len() {
+            for i in 0..sets.len() {
+                let (ti, tj) = (targets[i], targets[j]);
+                if i == j || ti == tj || ti & !tj != 0 {
+                    continue; // need target_i ⊊ target_j
+                }
+                let pos = bit_positions(tj, ti);
+                // Snapshot set j's cells grouped by their projection onto i.
+                let mut groups: Lines = BTreeMap::new();
+                for (key, cell) in &sets[j].cells {
+                    let g: Vec<u32> = pos.iter().filter_map(|&p| key.get(p).copied()).collect();
+                    groups.entry(g).or_default().push((
+                        key.clone(),
+                        cell_count(&cell.states),
+                        cell.suppressed,
+                    ));
+                }
+                for (g, mut members) in groups {
+                    members.sort();
+                    let gkey: Box<[u32]> = g.clone().into();
+                    let marginal =
+                        sets[i].cells.get(&gkey).map(|c| (cell_count(&c.states), c.suppressed));
+                    let hidden = members.iter().filter(|(_, _, s)| *s).count()
+                        + usize::from(marginal.is_some_and(|(_, s)| s));
+                    let line_len = members.len() + usize::from(marginal.is_some());
+                    if hidden != 1 || line_len < 2 {
+                        continue;
+                    }
+                    // Candidates: (count, marginal?, key) — pick the least.
+                    let mut best: Option<(u64, bool, Box<[u32]>)> = None;
+                    for (key, count, supp) in &members {
+                        if !supp {
+                            let cand = (*count, false, key.clone());
+                            if best.as_ref().is_none_or(|b| cand < *b) {
+                                best = Some(cand);
+                            }
+                        }
+                    }
+                    if let Some((count, supp)) = marginal {
+                        if !supp {
+                            let cand = (count, true, gkey.clone());
+                            if best.as_ref().is_none_or(|b| cand < *b) {
+                                best = Some(cand);
+                            }
+                        }
+                    }
+                    let Some((_, is_marginal, key)) = best else { continue };
+                    let set = if is_marginal { i } else { j };
+                    if let Some(cell) = sets[set].cells.get_mut(&key) {
+                        if !cell.suppressed {
+                            cell.suppressed = true;
+                            n += 1;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            return n;
+        }
+    }
+}
+
+/// Deterministic output perturbation: adds seeded noise in
+/// `[−magnitude, magnitude)` to every published (unsuppressed) sum.
+/// Returns the number of cells perturbed.
+pub fn perturb(p: &Perturbation, sets: &mut [SetAnswer]) -> u64 {
+    let mut n = 0;
+    for set in sets {
+        for (key, cell) in set.cells.iter_mut() {
+            if cell.suppressed {
+                continue;
+            }
+            for (m, state) in cell.states.iter_mut().enumerate() {
+                if state.count == 0 {
+                    continue;
+                }
+                let h = noise_hash(p.seed, set.target, key, m as u64);
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+                state.sum += (u * 2.0 - 1.0) * p.magnitude;
+            }
+            n += 1;
+        }
+    }
+    n
+}
+
+fn noise_hash(seed: u64, target: u32, key: &[u32], measure: u64) -> u64 {
+    fn mix(mut h: u64, v: u64) -> u64 {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed.rotate_left(17);
+    h = mix(h, u64::from(target));
+    h = mix(h, key.len() as u64);
+    for &c in key {
+        h = mix(h, u64::from(c));
+    }
+    mix(h, measure)
+}
+
+/// Positions of `of`'s bits within the kept-coordinate order of `within`.
+fn bit_positions(within: u32, of: u32) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    for b in 0..32 {
+        if within >> b & 1 == 1 {
+            if of >> b & 1 == 1 {
+                out.push(pos);
+            }
+            pos += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::AggState;
+    use crate::plan::exec::{PlanCell, PlanCells};
+
+    fn cell(count: u64, sum: f64) -> PlanCell {
+        PlanCell { states: vec![AggState { sum, count, min: sum, max: sum }], suppressed: false }
+    }
+
+    fn set(target: u32, keep: Vec<bool>, cells: Vec<(Vec<u32>, PlanCell)>) -> SetAnswer {
+        let mut map = PlanCells::new();
+        for (k, c) in cells {
+            map.insert(k.into_boxed_slice(), c);
+        }
+        SetAnswer {
+            keep,
+            target,
+            source: target,
+            cells: map,
+            cells_scanned: 0,
+            cache_hit: false,
+            degraded: None,
+        }
+    }
+
+    #[test]
+    fn suppress_withholds_small_counts_only() {
+        let mut sets = vec![set(
+            0b1,
+            vec![true],
+            vec![(vec![0], cell(1, 5.0)), (vec![1], cell(3, 9.0)), (vec![2], cell(0, 0.0))],
+        )];
+        assert_eq!(suppress(2, &mut sets), 1);
+        assert!(sets[0].cells[&vec![0u32].into_boxed_slice()].suppressed);
+        assert!(!sets[0].cells[&vec![1u32].into_boxed_slice()].suppressed);
+        assert!(!sets[0].cells[&vec![2u32].into_boxed_slice()].suppressed, "empty cells publish");
+    }
+
+    #[test]
+    fn tracker_withholds_near_total_cells() {
+        // total = 10; k = 3 ⇒ any cell with count > 7 leaks a complement
+        // smaller than 3 via `total − cell`.
+        let mut sets =
+            vec![set(0b1, vec![true], vec![(vec![0], cell(8, 80.0)), (vec![1], cell(2, 2.0))])];
+        assert_eq!(tracker(3, &mut sets), 1);
+        assert!(sets[0].cells[&vec![0u32].into_boxed_slice()].suppressed);
+    }
+
+    #[test]
+    fn complementary_protects_a_lone_suppressed_cell() {
+        // Finer set by (dim0): two cells, one suppressed. Coarser apex
+        // publishes the total ⇒ the suppressed cell is total − other, so
+        // the other must also be withheld.
+        let mut fine =
+            set(0b1, vec![true], vec![(vec![0], cell(1, 5.0)), (vec![1], cell(9, 90.0))]);
+        fine.cells.get_mut(&vec![0u32].into_boxed_slice()).unwrap().suppressed = true;
+        let apex = set(0, vec![false], vec![(vec![], cell(10, 95.0))]);
+        let mut sets = vec![fine, apex];
+        let n = complementary(&mut sets);
+        assert!(n >= 1, "complementary suppression must fire");
+        let published: usize =
+            sets.iter().flat_map(|s| s.cells.values()).filter(|c| !c.suppressed).count();
+        // The lone sibling or the marginal must have been withheld too.
+        assert!(published < 2, "published {published} of 3 cells");
+    }
+
+    #[test]
+    fn complementary_reaches_a_fixpoint_with_no_leaky_line() {
+        let mut fine = set(
+            0b1,
+            vec![true],
+            vec![(vec![0], cell(1, 1.0)), (vec![1], cell(4, 4.0)), (vec![2], cell(7, 7.0))],
+        );
+        fine.cells.get_mut(&vec![0u32].into_boxed_slice()).unwrap().suppressed = true;
+        let apex = set(0, vec![false], vec![(vec![], cell(12, 12.0))]);
+        let mut sets = vec![fine, apex];
+        complementary(&mut sets);
+        // Invariant: no line has exactly one suppressed member.
+        let suppressed: usize = sets[0].cells.values().filter(|c| c.suppressed).count()
+            + usize::from(sets[1].cells.values().any(|c| c.suppressed));
+        assert_ne!(suppressed, 1);
+    }
+
+    #[test]
+    fn perturbation_is_deterministic_and_bounded() {
+        let p = Perturbation { magnitude: 2.0, seed: 42 };
+        let make = || {
+            vec![set(0b1, vec![true], vec![(vec![0], cell(5, 100.0)), (vec![1], cell(5, 200.0))])]
+        };
+        let mut a = make();
+        let mut b = make();
+        assert_eq!(perturb(&p, &mut a), 2);
+        perturb(&p, &mut b);
+        // Collect by sorted key: HashMap iteration order differs per map.
+        let sums = |s: &[crate::plan::SetAnswer]| {
+            let mut v: Vec<(Box<[u32]>, f64)> =
+                s[0].cells.iter().map(|(k, c)| (k.clone(), c.states[0].sum)).collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+        let sum_a = sums(&a);
+        let sum_b = sums(&b);
+        assert_eq!(sum_a, sum_b, "same seed, same noise");
+        for (key, c) in a[0].cells.iter() {
+            let orig = if key[..] == [0] { 100.0 } else { 200.0 };
+            assert!((c.states[0].sum - orig).abs() <= 2.0, "bounded noise");
+            assert_ne!(c.states[0].sum, orig, "noise actually applied");
+        }
+        let mut c = make();
+        perturb(&Perturbation { magnitude: 2.0, seed: 43 }, &mut c);
+        let sum_c = sums(&c);
+        assert_ne!(sum_a, sum_c, "seed matters");
+    }
+
+    #[test]
+    fn enforce_composes_per_policy_and_permissive_is_noop() {
+        let mut sets =
+            vec![set(0b1, vec![true], vec![(vec![0], cell(1, 5.0)), (vec![1], cell(9, 9.0))])];
+        let before = sets.clone();
+        let stats = enforce(&PrivacyPolicy::none(), &mut sets);
+        assert_eq!(stats, EnforcementStats::default());
+        assert_eq!(sets[0].cells, before[0].cells);
+        let stats = enforce(&PrivacyPolicy::suppress(2), &mut sets);
+        assert_eq!(stats.suppressed, 1);
+    }
+}

@@ -1,0 +1,547 @@
+//! The one executor every front-end shares.
+//!
+//! A [`PlannedQuery`] names, per grouping set, a *target* cuboid and an
+//! ordered candidate list of materialized sources. The executor walks that
+//! list (later candidates are the degraded-fallback chain), derives the
+//! target by merging source cells upward, optionally probes/feeds a cache
+//! through the [`PlanSource`] hooks, and finally runs the mandatory
+//! privacy pass over the whole answer. Per-set work is traced as the
+//! `cube.answer` span (and `cube.cache` around a live probe), so profiles
+//! look the same no matter which front-end built the plan.
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+use crate::measure::AggState;
+use crate::object::StatisticalObject;
+use crate::plan::enforce::{self, EnforcementStats};
+use crate::plan::planner::PlannedQuery;
+use crate::schema::Schema;
+use crate::trace;
+
+/// One derived cell: per-measure aggregation states plus the privacy
+/// verdict. A suppressed cell stays in the map (complementary suppression
+/// and row rendering need to see it) but publishes no values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanCell {
+    /// Aggregation state per measure slot.
+    pub states: Vec<AggState>,
+    /// Withheld by the privacy pass.
+    pub suppressed: bool,
+}
+
+/// Cells of one cuboid, keyed by kept coordinates (schema-dimension
+/// order).
+pub type PlanCells = HashMap<Box<[u32]>, PlanCell>;
+
+/// A loaded source cuboid and what reading it cost.
+#[derive(Debug, Clone)]
+pub struct SourceCells {
+    /// The source's cells at its own granularity.
+    pub cells: PlanCells,
+    /// Cells scanned to produce them (the degradation cost basis).
+    pub scanned: u64,
+}
+
+/// What the executor needs from a physical backend: load source cuboids,
+/// and optionally front a cache.
+pub trait PlanSource {
+    /// Loads the materialized cuboid `source` (verified I/O; an `Err` here
+    /// sends the executor down the fallback chain).
+    fn load(&self, source: u32) -> Result<SourceCells>;
+
+    /// Whether [`probe`](PlanSource::probe)/[`admit`](PlanSource::admit)
+    /// are live. Probing is skipped for plans with pushed-down scan
+    /// filters — filtered derivations must never be admitted under (or
+    /// served from) an unfiltered cuboid's key.
+    fn probes(&self) -> bool {
+        false
+    }
+
+    /// Cache lookup: a fully derived target and its original source mask.
+    fn probe(&self, _target: u32) -> Option<(PlanCells, u32)> {
+        None
+    }
+
+    /// Offers a freshly derived, *pre-enforcement* result for admission.
+    fn admit(
+        &self,
+        _target: u32,
+        _source: u32,
+        _cells_scanned: u64,
+        _cells: &PlanCells,
+        _degraded: bool,
+    ) {
+    }
+}
+
+/// Why an answer is degraded: the preferred source(s) failed and a larger
+/// ancestor served the set.
+#[derive(Debug, Clone)]
+pub struct PlanDegradation {
+    /// The requested target mask.
+    pub requested: u32,
+    /// The source that finally served it.
+    pub served_from: u32,
+    /// The failed candidates, in attempt order.
+    pub failed: Vec<(u32, Error)>,
+    /// Extra cells scanned versus the first-choice source.
+    pub extra_cells: u64,
+}
+
+/// One answered grouping set.
+#[derive(Debug, Clone)]
+pub struct SetAnswer {
+    /// Keep-mask over the plan's group columns.
+    pub keep: Vec<bool>,
+    /// Target cuboid mask.
+    pub target: u32,
+    /// Source mask that served it.
+    pub source: u32,
+    /// The derived (and privacy-enforced) cells.
+    pub cells: PlanCells,
+    /// Cells scanned in the source (0 on a cache hit).
+    pub cells_scanned: u64,
+    /// Served straight from the cache.
+    pub cache_hit: bool,
+    /// Present when the preferred source(s) failed.
+    pub degraded: Option<PlanDegradation>,
+}
+
+/// A fully executed plan.
+#[derive(Debug, Clone)]
+pub struct PlanExecution {
+    /// Per-set answers, in plan order.
+    pub sets: Vec<SetAnswer>,
+    /// What the privacy pass did.
+    pub enforcement: EnforcementStats,
+}
+
+impl PlanExecution {
+    /// Total cells scanned across all sets.
+    pub fn cells_scanned(&self) -> u64 {
+        self.sets.iter().map(|s| s.cells_scanned).sum()
+    }
+
+    /// How many sets were served from the cache.
+    pub fn cache_hits(&self) -> usize {
+        self.sets.iter().filter(|s| s.cache_hit).count()
+    }
+
+    /// How many sets were served degraded.
+    pub fn degraded_answers(&self) -> usize {
+        self.sets.iter().filter(|s| s.degraded.is_some()).count()
+    }
+}
+
+/// Executes a planned query against a physical source. This is the only
+/// evaluation loop in the workspace: SQL (algebraic and physical), the
+/// view store, and the navigator all end up here.
+pub fn execute<S: PlanSource>(q: &PlannedQuery, src: &S) -> Result<PlanExecution> {
+    let mut sets_out: Vec<SetAnswer> = Vec::with_capacity(q.sets.len());
+    for set in &q.sets {
+        let probing = src.probes() && q.scan_filters.is_empty();
+        let mut cache_span = if probing {
+            let mut sp = trace::span("cube.cache");
+            sp.record("mask", u64::from(set.target));
+            Some(sp)
+        } else {
+            None
+        };
+        if probing {
+            if let Some((cells, source)) = src.probe(set.target) {
+                if let Some(sp) = cache_span.as_mut() {
+                    sp.record("hit", 1);
+                }
+                sets_out.push(SetAnswer {
+                    keep: set.keep.clone(),
+                    target: set.target,
+                    source,
+                    cells,
+                    cells_scanned: 0,
+                    cache_hit: true,
+                    degraded: None,
+                });
+                continue;
+            }
+            if let Some(sp) = cache_span.as_mut() {
+                sp.record("hit", 0);
+            }
+        }
+        let mut sp = trace::span("cube.answer");
+        sp.record("mask", u64::from(set.target));
+        let first_choice_cost = set.candidates.first().map(|&(_, c)| c).unwrap_or(0);
+        let mut failed: Vec<(u32, Error)> = Vec::new();
+        let mut found: Option<SetAnswer> = None;
+        for &(source, _) in &set.candidates {
+            match src.load(source) {
+                Ok(sc) => {
+                    let cells_scanned = sc.scanned;
+                    let cells = derive(sc.cells, source, set.target, &q.scan_filters);
+                    let degraded = if failed.is_empty() {
+                        None
+                    } else {
+                        Some(PlanDegradation {
+                            requested: set.target,
+                            served_from: source,
+                            failed: std::mem::take(&mut failed),
+                            extra_cells: cells_scanned.saturating_sub(first_choice_cost),
+                        })
+                    };
+                    found = Some(SetAnswer {
+                        keep: set.keep.clone(),
+                        target: set.target,
+                        source,
+                        cells,
+                        cells_scanned,
+                        cache_hit: false,
+                        degraded,
+                    });
+                    break;
+                }
+                Err(e) => failed.push((source, e)),
+            }
+        }
+        trace::counter("cube.answers", 1);
+        let Some(ans) = found else {
+            if set.candidates.is_empty() {
+                return Err(Error::InvalidSchema("no ancestor materialized".into()));
+            }
+            return Err(Error::NoHealthySource { requested: set.target, tried: failed.len() });
+        };
+        if sp.is_recording() {
+            sp.record("source", u64::from(ans.source));
+            sp.record("cells_scanned", ans.cells_scanned);
+            sp.record("cells", ans.cells.len() as u64);
+            if let Some(d) = &ans.degraded {
+                if let Some(first) = d.failed.first() {
+                    sp.note(format!(
+                        "fallback: served from {:#b} after {} failed source(s), first {:#b}",
+                        d.served_from,
+                        d.failed.len(),
+                        first.0
+                    ));
+                }
+                trace::counter("cube.fallbacks", 1);
+            }
+        }
+        drop(sp);
+        // Admission mirrors probing: a filtered derivation must never be
+        // cached under (or later served from) an unfiltered cuboid's key.
+        if probing {
+            src.admit(
+                ans.target,
+                ans.source,
+                ans.cells_scanned,
+                &ans.cells,
+                ans.degraded.is_some(),
+            );
+        }
+        drop(cache_span);
+        sets_out.push(ans);
+    }
+
+    // Mandatory privacy pass: every answer — cached or derived — crosses
+    // this barrier before anything renders it.
+    let mut esp = trace::span("privacy.enforce");
+    let enforcement = enforce::enforce(&q.policy, &mut sets_out);
+    if esp.is_recording() {
+        esp.record("suppressed", enforcement.suppressed);
+        esp.record("complementary", enforcement.complementary);
+        esp.record("perturbed", enforcement.perturbed);
+        esp.note(q.policy.describe());
+    }
+    drop(esp);
+    Ok(PlanExecution { sets: sets_out, enforcement })
+}
+
+/// Derives `target` cells from a loaded `source` cuboid, applying
+/// pushed-down scan filters on the way. `target ⊆ source` by construction;
+/// unknown coordinates are skipped rather than panicking (the source may
+/// come from storage).
+fn derive(src: PlanCells, source: u32, target: u32, filters: &[(usize, Vec<u32>)]) -> PlanCells {
+    if source == target && filters.is_empty() {
+        return src;
+    }
+    let tpos = bit_positions(source, target);
+    let fpos: Vec<(usize, &[u32])> = filters
+        .iter()
+        .filter_map(|(d, allowed)| {
+            bit_positions(source, 1u32 << d).first().map(|&p| (p, allowed.as_slice()))
+        })
+        .collect();
+    let mut out = PlanCells::with_capacity(src.len());
+    'cells: for (key, cell) in src {
+        for (p, allowed) in &fpos {
+            match key.get(*p) {
+                Some(c) if allowed.binary_search(c).is_ok() => {}
+                _ => continue 'cells,
+            }
+        }
+        let mut tkey: Vec<u32> = Vec::with_capacity(tpos.len());
+        for &p in &tpos {
+            let Some(&c) = key.get(p) else { continue 'cells };
+            tkey.push(c);
+        }
+        match out.entry(tkey.into_boxed_slice()) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let slot = e.get_mut();
+                for (dst, s) in slot.states.iter_mut().zip(&cell.states) {
+                    dst.merge(s);
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(cell);
+            }
+        }
+    }
+    out
+}
+
+/// Positions of `of`'s bits within the kept-coordinate order of `within`.
+fn bit_positions(within: u32, of: u32) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    for b in 0..32 {
+        if within >> b & 1 == 1 {
+            if of >> b & 1 == 1 {
+                out.push(pos);
+            }
+            pos += 1;
+        }
+    }
+    out
+}
+
+/// A [`PlanSource`] over one statistical object, pre-projected to the
+/// plan's base mask: the object's dimensions must be exactly the bits of
+/// `mask`, in schema order. Loading clones the converted cells — the same
+/// per-set cost shape the historical interpreter had.
+pub struct ObjectSource {
+    mask: u32,
+    scanned: u64,
+    cells: PlanCells,
+}
+
+impl ObjectSource {
+    /// Converts `obj` (already reduced to the dimensions of `mask`) into a
+    /// loadable source.
+    pub fn new(obj: &StatisticalObject, mask: u32) -> Result<Self> {
+        let dims = mask.count_ones() as usize;
+        if obj.schema().dim_count() != dims {
+            return Err(Error::InvalidSchema(format!(
+                "object has {} dimensions but base mask {mask:#b} needs {dims}",
+                obj.schema().dim_count()
+            )));
+        }
+        let mut cells = PlanCells::with_capacity(obj.cell_count());
+        for (coords, states) in obj.cells() {
+            cells.insert(coords.into(), PlanCell { states: states.to_vec(), suppressed: false });
+        }
+        Ok(Self { mask, scanned: obj.cell_count() as u64, cells })
+    }
+}
+
+impl PlanSource for ObjectSource {
+    fn load(&self, source: u32) -> Result<SourceCells> {
+        if source != self.mask {
+            return Err(Error::InvalidSchema(format!(
+                "object source holds mask {:#b}, not {source:#b}",
+                self.mask
+            )));
+        }
+        Ok(SourceCells { cells: self.cells.clone(), scanned: self.scanned })
+    }
+}
+
+/// One output row of a plan: grouping values in GROUP BY order (`None` =
+/// `ALL`), aggregate values in SELECT order (`None` = undefined or
+/// suppressed), and the privacy verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanRow {
+    /// Group column values (`None` = `ALL`).
+    pub group: Vec<Option<String>>,
+    /// Aggregate values (`None` = undefined or suppressed).
+    pub values: Vec<Option<f64>>,
+    /// The whole row was withheld by the privacy pass.
+    pub suppressed: bool,
+}
+
+/// Renders an execution as labeled rows: per set, cells sort by
+/// coordinates; group labels resolve through `schema`'s member
+/// dictionaries (which must still describe the planned dimension indices —
+/// pass the post-roll-up, pre-projection schema).
+pub fn result_rows(
+    q: &PlannedQuery,
+    exec: &PlanExecution,
+    schema: &Schema,
+) -> Result<Vec<PlanRow>> {
+    let mut rows = Vec::new();
+    for sa in &exec.sets {
+        let mut kept: Vec<usize> =
+            q.dim_bits.iter().zip(&sa.keep).filter(|(_, k)| **k).map(|(&d, _)| d).collect();
+        kept.sort_unstable();
+        kept.dedup();
+        let mut cells: Vec<(&Box<[u32]>, &PlanCell)> = sa.cells.iter().collect();
+        cells.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        for (key, cell) in cells {
+            let mut group = Vec::with_capacity(sa.keep.len());
+            for (j, keep) in sa.keep.iter().enumerate() {
+                if !keep {
+                    group.push(None);
+                    continue;
+                }
+                let d = q.dim_bits.get(j).copied().ok_or_else(|| {
+                    Error::InvalidSchema("grouping position without a dimension".into())
+                })?;
+                let coord = kept
+                    .binary_search(&d)
+                    .ok()
+                    .and_then(|slot| key.get(slot))
+                    .copied()
+                    .ok_or_else(|| {
+                        Error::InvalidSchema(format!(
+                            "no coordinate for dimension `{}`",
+                            q.group_display.get(j).map(String::as_str).unwrap_or("?")
+                        ))
+                    })?;
+                let member = schema
+                    .dimensions()
+                    .get(d)
+                    .and_then(|dim| dim.members().value_of(coord))
+                    .ok_or_else(|| {
+                        Error::InvalidSchema(format!(
+                            "no member {coord} in dimension `{}`",
+                            q.group_display.get(j).map(String::as_str).unwrap_or("?")
+                        ))
+                    })?;
+                group.push(Some(member.to_owned()));
+            }
+            let values: Vec<Option<f64>> = q
+                .aggs
+                .iter()
+                .map(|a| {
+                    if cell.suppressed {
+                        None
+                    } else {
+                        cell.states.get(a.measure).and_then(|s| s.value(a.func))
+                    }
+                })
+                .collect();
+            rows.push(PlanRow { group, values, suppressed: cell.suppressed });
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::Dimension;
+    use crate::measure::{MeasureKind, SummaryAttribute, SummaryFunction};
+    use crate::plan::planner::Planner;
+    use crate::plan::policy::PrivacyPolicy;
+    use crate::plan::{AggRequest, GroupingSpec, Plan};
+
+    fn sales() -> StatisticalObject {
+        let schema = Schema::builder("sales")
+            .dimension(Dimension::categorical("product", ["apple", "pear"]))
+            .dimension(Dimension::categorical("store", ["s1", "s2"]))
+            .measure(SummaryAttribute::new("amount", MeasureKind::Flow))
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        o.insert(&["apple", "s1"], 10.0).unwrap();
+        o.insert(&["apple", "s2"], 4.0).unwrap();
+        o.insert(&["pear", "s2"], 5.0).unwrap();
+        o
+    }
+
+    fn sum_amount() -> AggRequest {
+        AggRequest {
+            func: SummaryFunction::Sum,
+            measure: Some("amount".into()),
+            label: "SUM(\"amount\")".into(),
+        }
+    }
+
+    #[test]
+    fn executes_a_cube_plan_end_to_end_over_an_object() {
+        let obj = sales();
+        let plan = Plan::scan("sales").grouping_sets(
+            vec!["product".into(), "store".into()],
+            GroupingSpec::Cube,
+            vec![sum_amount()],
+        );
+        let q = Planner::for_object(obj.schema()).plan(&plan).unwrap();
+        let src = ObjectSource::new(&obj, q.base_mask()).unwrap();
+        let out = execute(&q, &src).unwrap();
+        assert_eq!(out.sets.len(), 4);
+        let rows = result_rows(&q, &out, obj.schema()).unwrap();
+        assert_eq!(rows.len(), 3 + 2 + 2 + 1);
+        let apex = rows.last().unwrap();
+        assert_eq!(apex.group, vec![None, None]);
+        assert_eq!(apex.values, vec![Some(19.0)]);
+        let by_store: Vec<&PlanRow> =
+            rows.iter().filter(|r| r.group[0].is_none() && r.group[1].is_some()).collect();
+        assert_eq!(by_store.len(), 2);
+        assert_eq!(by_store[0].values, vec![Some(10.0)]);
+        assert_eq!(by_store[1].values, vec![Some(9.0)]);
+    }
+
+    #[test]
+    fn suppression_crosses_the_executor_barrier() {
+        let obj = sales();
+        let plan = Plan::scan("sales").grouping_sets(
+            vec!["product".into()],
+            GroupingSpec::Single,
+            vec![sum_amount()],
+        );
+        let q = Planner::for_object(obj.schema())
+            .with_policy(PrivacyPolicy::suppress(2))
+            .plan(&plan)
+            .unwrap();
+        let base = crate::ops::s_project_unchecked(&obj, "store").unwrap();
+        let src = ObjectSource::new(&base, q.base_mask()).unwrap();
+        let out = execute(&q, &src).unwrap();
+        assert_eq!(out.enforcement.suppressed, 1, "pear has a single micro unit");
+        let rows = result_rows(&q, &out, obj.schema()).unwrap();
+        let pear = rows.iter().find(|r| r.group[0].as_deref() == Some("pear")).unwrap();
+        assert!(pear.suppressed);
+        assert_eq!(pear.values, vec![None]);
+        let apple = rows.iter().find(|r| r.group[0].as_deref() == Some("apple")).unwrap();
+        assert_eq!(apple.values, vec![Some(14.0)]);
+    }
+
+    #[test]
+    fn derive_applies_scan_filters_before_merging() {
+        let mut cells = PlanCells::new();
+        for (k, v) in [([0u32, 0u32], 10.0), ([0, 1], 4.0), ([1, 1], 5.0)] {
+            cells.insert(
+                k.to_vec().into_boxed_slice(),
+                PlanCell { states: vec![AggState::from_value(v)], suppressed: false },
+            );
+        }
+        // Source holds dims {0, 1}; filter dim 1 to member 1; target dim 0.
+        let out = derive(cells, 0b11, 0b01, &[(1, vec![1])]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[&vec![0u32].into_boxed_slice()].states[0].sum, 4.0);
+        assert_eq!(out[&vec![1u32].into_boxed_slice()].states[0].sum, 5.0);
+    }
+
+    #[test]
+    fn empty_candidate_list_is_the_unmaterialized_error() {
+        let obj = sales();
+        let plan = Plan::scan("sales").grouping_sets(
+            vec!["product".into()],
+            GroupingSpec::Single,
+            vec![sum_amount()],
+        );
+        let mut q = Planner::for_object(obj.schema()).plan(&plan).unwrap();
+        q.sets[0].candidates.clear();
+        let base = crate::ops::s_project_unchecked(&obj, "store").unwrap();
+        let src = ObjectSource::new(&base, 0b01).unwrap();
+        let err = execute(&q, &src).unwrap_err();
+        assert_eq!(err, Error::InvalidSchema("no ancestor materialized".into()));
+    }
+}

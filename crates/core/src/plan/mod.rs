@@ -1,0 +1,375 @@
+//! The summary-algebra plan layer: one logical IR, one planner, one
+//! executor for every query front-end.
+//!
+//! Shoshani's central claim is that SDB and OLAP operations are a single
+//! algebra over statistical objects (§4–5). This module makes that claim
+//! operational: the SQL interpreter, the SQL physical path, the
+//! [`ViewStore`](../../statcube_cube/query/struct.ViewStore.html) cuboid
+//! server, and the interactive navigator all *compile* to the same logical
+//! [`Plan`] IR, run it through one rule-based [`planner`], and execute the
+//! result on one [`executor`](exec::execute).
+//!
+//! The IR is deliberately small — the closed operator set of the paper's
+//! summary algebra plus one privacy operator:
+//!
+//! | Node            | Algebra operation (paper §)                        |
+//! |-----------------|----------------------------------------------------|
+//! | `Scan`          | a statistical object / base cuboid (§3)            |
+//! | `Select`        | S-selection on category values (§4.1)              |
+//! | `RollUp`        | S-aggregation to a hierarchy level (§4.1, §5.2)    |
+//! | `DrillDown`     | inverse navigation; cancels a prior `RollUp` (§5.2)|
+//! | `Project`       | S-projection / summarize-over-all (§4.1)           |
+//! | `Aggregate`     | cuboid request by dimension bit mask (§5.4)        |
+//! | `GroupingSets`  | CUBE / ROLLUP grouping-set family \[GB+96\] (§5.4) |
+//! | `Restrict`      | privacy enforcement barrier (§6)                   |
+//!
+//! The planner ([`planner::Planner`]) normalizes a plan and applies four
+//! rewrite passes — summarizability validation, lattice-aware source
+//! selection, predicate/roll-up pushdown, and mandatory privacy — each
+//! logged as a [`planner::Rewrite`] so `EXPLAIN` can show the logical plan,
+//! the rewrites applied, and the physical spans side by side.
+
+pub mod enforce;
+pub mod exec;
+pub mod planner;
+pub mod policy;
+
+pub use enforce::EnforcementStats;
+pub use exec::{
+    execute, result_rows, ObjectSource, PlanCell, PlanCells, PlanDegradation, PlanExecution,
+    PlanRow, PlanSource, SetAnswer, SourceCells,
+};
+pub use planner::{
+    CatalogEntry, CodedPredicate, LeafRollup, PlannedAgg, PlannedQuery, PlannedSet, Planner,
+    PlannerConfig, Rewrite,
+};
+pub use policy::{Perturbation, PrivacyPolicy};
+
+use crate::error::{Error, Result};
+use crate::measure::SummaryFunction;
+
+/// One equality/inequality predicate over a dimension's category values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanPredicate {
+    /// Dimension name.
+    pub column: String,
+    /// Compared member value.
+    pub value: String,
+    /// True for `<>` (keep everything but `value`).
+    pub negated: bool,
+}
+
+impl PlanPredicate {
+    /// An equality predicate `column = value`.
+    pub fn eq(column: impl Into<String>, value: impl Into<String>) -> Self {
+        Self { column: column.into(), value: value.into(), negated: false }
+    }
+
+    /// An inequality predicate `column <> value`.
+    pub fn ne(column: impl Into<String>, value: impl Into<String>) -> Self {
+        Self { column: column.into(), value: value.into(), negated: true }
+    }
+}
+
+/// One requested aggregate of the output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggRequest {
+    /// The summary function.
+    pub func: SummaryFunction,
+    /// The measure name, or `None` for `COUNT(*)`.
+    pub measure: Option<String>,
+    /// Display label for the output column (e.g. `SUM("births")`).
+    pub label: String,
+}
+
+/// How a `GroupingSets` node expands into grouping sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupingSpec {
+    /// One grouping set keeping every listed dimension (`GROUP BY a, b`,
+    /// or the grand total when the list is empty).
+    Single,
+    /// All `2^n` subsets, full grouping first, apex last (\[GB+96\]).
+    Cube,
+    /// The `n + 1` prefix groupings, longest first.
+    Rollup,
+}
+
+impl GroupingSpec {
+    fn name(self) -> &'static str {
+        match self {
+            GroupingSpec::Single => "single",
+            GroupingSpec::Cube => "cube",
+            GroupingSpec::Rollup => "rollup",
+        }
+    }
+}
+
+/// Expands a grouping spec over `n` listed dimensions into keep-masks, one
+/// per grouping set, in the pinned output order every front-end shares:
+/// CUBE counts down from the full grouping to the apex, ROLLUP walks
+/// prefixes longest-first, and a single grouping is itself.
+pub fn grouping_sets(spec: GroupingSpec, n: usize) -> Result<Vec<Vec<bool>>> {
+    if n > 20 {
+        return Err(Error::InvalidSchema(format!(
+            "grouping over {n} dimensions would expand past 2^20 grouping sets"
+        )));
+    }
+    Ok(match spec {
+        GroupingSpec::Single => vec![vec![true; n]],
+        GroupingSpec::Cube => (0..(1u32 << n))
+            .rev()
+            .map(|bits| (0..n).map(|i| bits >> i & 1 == 1).collect())
+            .collect(),
+        GroupingSpec::Rollup => {
+            (0..=n).rev().map(|keep| (0..n).map(|i| i < keep).collect()).collect()
+        }
+    })
+}
+
+/// A logical summary-algebra plan. Built leaf-first with the builder
+/// methods; the outermost node is the last operation applied.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// The base statistical object (or base cuboid) named `source`.
+    Scan {
+        /// Bound object name (the SQL `FROM` table).
+        source: String,
+    },
+    /// S-selection: keep cells whose category values satisfy every
+    /// predicate.
+    Select {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Conjunction of predicates, applied in order.
+        predicates: Vec<PlanPredicate>,
+    },
+    /// S-aggregation: roll `dim` up to hierarchy level `level`.
+    RollUp {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Dimension name.
+        dim: String,
+        /// Target level name in the dimension's default hierarchy.
+        level: String,
+    },
+    /// Inverse navigation: undo the most recent `RollUp` of `dim`.
+    DrillDown {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Dimension name.
+        dim: String,
+    },
+    /// S-projection: keep only the named dimensions, summarizing over the
+    /// rest.
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Dimension names to keep.
+        keep: Vec<String>,
+    },
+    /// A cuboid request by dimension bit mask (bit `i` = keep dimension
+    /// `i`), the coded form used by the view store.
+    Aggregate {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Cuboid bit mask.
+        mask: u32,
+    },
+    /// A family of grouping sets over the listed group columns, each
+    /// evaluated with the requested aggregates (\[GB+96\]).
+    GroupingSets {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Group column names — dimension names or hierarchy level names.
+        group: Vec<String>,
+        /// How the listed columns expand into grouping sets.
+        spec: GroupingSpec,
+        /// Requested output aggregates.
+        aggs: Vec<AggRequest>,
+    },
+    /// The privacy barrier (§6): every answer below this node is subject to
+    /// `policy` before publication. The planner inserts one on every plan;
+    /// front-ends may also place one explicitly.
+    Restrict {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Enforced policy.
+        policy: PrivacyPolicy,
+    },
+}
+
+impl Plan {
+    /// A base scan of the named object.
+    pub fn scan(source: impl Into<String>) -> Self {
+        Plan::Scan { source: source.into() }
+    }
+
+    /// Wraps `self` in an S-selection.
+    #[must_use]
+    pub fn select(self, predicates: Vec<PlanPredicate>) -> Self {
+        Plan::Select { input: Box::new(self), predicates }
+    }
+
+    /// Wraps `self` in an S-aggregation to `level` of `dim`.
+    #[must_use]
+    pub fn roll_up(self, dim: impl Into<String>, level: impl Into<String>) -> Self {
+        Plan::RollUp { input: Box::new(self), dim: dim.into(), level: level.into() }
+    }
+
+    /// Wraps `self` in a drill-down of `dim`.
+    #[must_use]
+    pub fn drill_down(self, dim: impl Into<String>) -> Self {
+        Plan::DrillDown { input: Box::new(self), dim: dim.into() }
+    }
+
+    /// Wraps `self` in an S-projection keeping `keep`.
+    #[must_use]
+    pub fn project(self, keep: Vec<String>) -> Self {
+        Plan::Project { input: Box::new(self), keep }
+    }
+
+    /// Wraps `self` in a coded cuboid request.
+    #[must_use]
+    pub fn aggregate_mask(self, mask: u32) -> Self {
+        Plan::Aggregate { input: Box::new(self), mask }
+    }
+
+    /// Wraps `self` in a grouping-set family.
+    #[must_use]
+    pub fn grouping_sets(
+        self,
+        group: Vec<String>,
+        spec: GroupingSpec,
+        aggs: Vec<AggRequest>,
+    ) -> Self {
+        Plan::GroupingSets { input: Box::new(self), group, spec, aggs }
+    }
+
+    /// Wraps `self` in a privacy barrier.
+    #[must_use]
+    pub fn restrict(self, policy: PrivacyPolicy) -> Self {
+        Plan::Restrict { input: Box::new(self), policy }
+    }
+
+    /// The input plan, if this node has one.
+    pub fn input(&self) -> Option<&Plan> {
+        match self {
+            Plan::Scan { .. } => None,
+            Plan::Select { input, .. }
+            | Plan::RollUp { input, .. }
+            | Plan::DrillDown { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::GroupingSets { input, .. }
+            | Plan::Restrict { input, .. } => Some(input),
+        }
+    }
+
+    /// Renders the plan as an indented tree, outermost operator first —
+    /// the "logical plan" section of EXPLAIN output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut node = Some(self);
+        let mut depth = 0usize;
+        while let Some(n) = node {
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+            out.push_str(&n.describe_node());
+            out.push('\n');
+            node = n.input();
+            depth += 1;
+        }
+        out.pop();
+        out
+    }
+
+    fn describe_node(&self) -> String {
+        match self {
+            Plan::Scan { source } => format!("Scan{{{source}}}"),
+            Plan::Select { predicates, .. } => {
+                let preds: Vec<String> = predicates
+                    .iter()
+                    .map(|p| {
+                        format!("{} {} '{}'", p.column, if p.negated { "<>" } else { "=" }, p.value)
+                    })
+                    .collect();
+                format!("Select{{{}}}", preds.join(", "))
+            }
+            Plan::RollUp { dim, level, .. } => format!("RollUp{{{dim} → {level}}}"),
+            Plan::DrillDown { dim, .. } => format!("DrillDown{{{dim}}}"),
+            Plan::Project { keep, .. } => format!("Project{{{}}}", keep.join(", ")),
+            Plan::Aggregate { mask, .. } => format!("Aggregate{{mask={mask:#b}}}"),
+            Plan::GroupingSets { group, spec, aggs, .. } => {
+                let aggs: Vec<&str> = aggs.iter().map(|a| a.label.as_str()).collect();
+                format!(
+                    "GroupingSets{{spec={}, group=[{}], aggs=[{}]}}",
+                    spec.name(),
+                    group.join(", "),
+                    aggs.join(", ")
+                )
+            }
+            Plan::Restrict { policy, .. } => format!("Restrict{{policy={}}}", policy.describe()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouping_sets_single_is_identity_even_when_empty() {
+        assert_eq!(grouping_sets(GroupingSpec::Single, 0).unwrap(), vec![Vec::<bool>::new()]);
+        assert_eq!(grouping_sets(GroupingSpec::Single, 2).unwrap(), vec![vec![true, true]]);
+    }
+
+    #[test]
+    fn grouping_sets_cube_counts_down_from_full_to_apex() {
+        let sets = grouping_sets(GroupingSpec::Cube, 2).unwrap();
+        assert_eq!(
+            sets,
+            vec![vec![true, true], vec![false, true], vec![true, false], vec![false, false]]
+        );
+        assert_eq!(grouping_sets(GroupingSpec::Cube, 3).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn grouping_sets_rollup_walks_prefixes_longest_first() {
+        let sets = grouping_sets(GroupingSpec::Rollup, 3).unwrap();
+        assert_eq!(sets.len(), 4);
+        assert_eq!(sets[0], vec![true, true, true]);
+        assert_eq!(sets[1], vec![true, true, false]);
+        assert_eq!(sets[3], vec![false, false, false]);
+    }
+
+    #[test]
+    fn grouping_sets_refuses_untenable_widths() {
+        assert!(grouping_sets(GroupingSpec::Cube, 21).is_err());
+        assert!(grouping_sets(GroupingSpec::Cube, 20).is_ok());
+    }
+
+    #[test]
+    fn plan_renders_outermost_first() {
+        let plan = Plan::scan("census")
+            .select(vec![PlanPredicate::ne("state", "AL")])
+            .grouping_sets(
+                vec!["state".into()],
+                GroupingSpec::Cube,
+                vec![AggRequest {
+                    func: SummaryFunction::Sum,
+                    measure: Some("births".into()),
+                    label: "SUM(\"births\")".into(),
+                }],
+            )
+            .restrict(PrivacyPolicy::suppress(2));
+        let r = plan.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Restrict{policy=suppress(k=2)}"));
+        assert!(lines[1].trim_start().starts_with("GroupingSets{spec=cube"));
+        assert!(lines[2].trim_start().starts_with("Select{state <> 'AL'}"));
+        assert!(lines[3].trim_start().starts_with("Scan{census}"));
+        assert!(lines[1].starts_with("  "), "children indent");
+    }
+}

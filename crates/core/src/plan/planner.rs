@@ -1,0 +1,975 @@
+//! The rule-based planner: normalizes a logical [`Plan`] and applies the
+//! four rewrite passes, producing a [`PlannedQuery`] any front-end can hand
+//! to the shared executor ([`crate::plan::exec::execute`]).
+//!
+//! The passes, in the order EXPLAIN reports them:
+//!
+//! 1. **summarizability** — every requested aggregate is validated with
+//!    [`crate::summarizability`] *before* planning proceeds: type checks
+//!    per (measure, collapsed dimension) pair, and the structural
+//!    hierarchy conditions for every roll-up the plan performs.
+//! 2. **lattice** — an `Aggregate`/grouping set over base facts is
+//!    rewritten into derivation from the smallest materialized ancestor in
+//!    the catalog (the \[HRU96\]/\[GB+96\] lattice argument). Fallback
+//!    order on source failure is the same candidate list, so degraded
+//!    service reuses the planner's cost order.
+//! 3. **pushdown** — drill-downs cancel pending roll-ups, surviving
+//!    roll-ups move to the leaf scan, and predicates move into the store
+//!    scan when a catalog target can filter while deriving.
+//! 4. **privacy** — a `Restrict` barrier is attached *unconditionally*;
+//!    the executor runs its enforcement pass on every grouping set, so no
+//!    front-end can return an answer that skipped it.
+
+use std::cmp::Reverse;
+
+use crate::error::{Error, Result};
+use crate::plan::policy::PrivacyPolicy;
+use crate::plan::{grouping_sets, AggRequest, GroupingSpec, Plan, PlanPredicate};
+use crate::schema::Schema;
+use crate::summarizability::{self, check_type};
+
+/// One materialized cuboid the lattice pass may derive from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// Cuboid bit mask.
+    pub mask: u32,
+    /// Materialized cell count (the derivation cost estimate).
+    pub cells: u64,
+}
+
+/// Which rewrite passes run. Disabling a pass is for ablation experiments
+/// (E26) — production paths keep the default. The privacy pass has no
+/// switch on purpose: it is mandatory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannerConfig {
+    /// Pass 1: summarizability validation.
+    pub summarizability: bool,
+    /// Pass 2: lattice-aware source selection (off = scan the largest
+    /// ancestor, i.e. the base cuboid).
+    pub lattice: bool,
+    /// Pass 3: predicate/roll-up pushdown toward the scan.
+    pub pushdown: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self { summarizability: true, lattice: true, pushdown: true }
+    }
+}
+
+/// A dimension-coded predicate: keep cells whose coordinate on `dim` is in
+/// `allowed` (sorted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodedPredicate {
+    /// Dimension index.
+    pub dim: usize,
+    /// Allowed member ids, ascending.
+    pub allowed: Vec<u32>,
+}
+
+/// A roll-up the leaf scan performs before aggregation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafRollup {
+    /// Dimension index.
+    pub dim: usize,
+    /// Dimension name (for `ops::s_aggregate`).
+    pub dim_name: String,
+    /// Target level name.
+    pub level: String,
+}
+
+/// One requested aggregate, resolved to a measure slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedAgg {
+    /// Output column label.
+    pub label: String,
+    /// Summary function.
+    pub func: crate::measure::SummaryFunction,
+    /// Measure slot (`COUNT(*)` reads slot 0's count).
+    pub measure: usize,
+}
+
+/// One physical grouping set to answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedSet {
+    /// Keep-mask over the plan's group columns, in GROUP BY order.
+    pub keep: Vec<bool>,
+    /// Target cuboid mask (bit `i` = schema dimension `i`).
+    pub target: u32,
+    /// Mask the source scan must cover (target plus pushed-down filter
+    /// dimensions).
+    pub scan: u32,
+    /// Source candidates in derivation-preference order, with estimated
+    /// cell counts; later entries are the degraded-fallback chain.
+    pub candidates: Vec<(u32, u64)>,
+}
+
+/// One rewrite-pass log entry, for EXPLAIN.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rewrite {
+    /// Pass name (`summarizability`, `lattice`, `pushdown`, `privacy`).
+    pub pass: &'static str,
+    /// What the pass did to this plan.
+    pub note: String,
+}
+
+/// The planner's output: a physical query description shared by every
+/// front-end and consumed by [`crate::plan::exec::execute`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedQuery {
+    /// The scanned object/table name.
+    pub scan: String,
+    /// Group column labels in GROUP BY order (user spelling, level names
+    /// included).
+    pub group_display: Vec<String>,
+    /// Schema dimension index of each group column.
+    pub dim_bits: Vec<usize>,
+    /// The grouping sets to answer, in output order.
+    pub sets: Vec<PlannedSet>,
+    /// Output aggregates in SELECT order.
+    pub aggs: Vec<PlannedAgg>,
+    /// Predicates the leaf scan applies (empty when pushed to the store).
+    pub leaf_predicates: Vec<CodedPredicate>,
+    /// Roll-ups the leaf scan applies before aggregation.
+    pub leaf_rollups: Vec<LeafRollup>,
+    /// Predicates pushed into the store scan, merged per dimension.
+    pub scan_filters: Vec<(usize, Vec<u32>)>,
+    /// The privacy policy every answer passes through.
+    pub policy: PrivacyPolicy,
+    /// Rewrite-pass log, in pass order.
+    pub rewrites: Vec<Rewrite>,
+    /// Dimension count of the planning space.
+    pub dims: usize,
+    logical: String,
+}
+
+impl PlannedQuery {
+    /// The union of all set targets — the one base projection an
+    /// object-backed execution scans.
+    pub fn base_mask(&self) -> u32 {
+        self.sets.iter().fold(0, |m, s| m | s.target)
+    }
+
+    /// Re-runs the lattice pass against a materialized catalog — used when
+    /// a front-end plans against an object and then builds a view store to
+    /// serve the sets.
+    pub fn retarget(&mut self, dims: usize, catalog: &[CatalogEntry], lattice: bool) {
+        self.dims = dims;
+        for set in &mut self.sets {
+            set.scan = set.target | filter_mask(&self.scan_filters);
+            set.candidates = candidates_for(set.scan, catalog, lattice);
+        }
+        self.rewrites.push(Rewrite {
+            pass: "lattice",
+            note: format!(
+                "retargeted {} set(s) onto a {}-view materialized catalog",
+                self.sets.len(),
+                catalog.len()
+            ),
+        });
+    }
+
+    /// Renders the EXPLAIN text: logical plan, rewrites applied, physical
+    /// grouping sets. Physical *spans* come from [`crate::trace`] when the
+    /// plan actually runs.
+    pub fn explain(&self) -> String {
+        let mut out = String::from("logical plan\n");
+        for line in self.logical.lines() {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str("rewrites\n");
+        for (i, r) in self.rewrites.iter().enumerate() {
+            out.push_str(&format!("  {}. {}: {}\n", i + 1, r.pass, r.note));
+        }
+        out.push_str("physical grouping sets\n");
+        for set in &self.sets {
+            let cands: Vec<String> =
+                set.candidates
+                    .iter()
+                    .map(|(m, c)| {
+                        if *c == 0 {
+                            format!("{m:#b} (base)")
+                        } else {
+                            format!("{m:#b} ({c} cells)")
+                        }
+                    })
+                    .collect();
+            out.push_str(&format!(
+                "  target {:#b} ← scan {:#b}; candidates: {}\n",
+                set.target,
+                set.scan,
+                if cands.is_empty() { "∅".to_owned() } else { cands.join(", ") }
+            ));
+        }
+        out.pop();
+        out
+    }
+}
+
+fn filter_mask(filters: &[(usize, Vec<u32>)]) -> u32 {
+    filters.iter().fold(0, |m, (d, _)| m | (1u32 << d))
+}
+
+fn candidates_for(scan: u32, catalog: &[CatalogEntry], lattice: bool) -> Vec<(u32, u64)> {
+    let mut c: Vec<(u32, u64)> =
+        catalog.iter().filter(|e| scan & !e.mask == 0).map(|e| (e.mask, e.cells)).collect();
+    if lattice {
+        c.sort_unstable_by_key(|&(m, n)| (n, m));
+    } else {
+        // Ablation: cost-unaware routing always scans the largest
+        // (base-most) ancestor first; the rest stay as fallbacks.
+        c.sort_unstable_by_key(|&(m, n)| (Reverse(n), m));
+    }
+    c
+}
+
+/// The rule-based planner. Construct with [`Planner::for_object`] (answers
+/// derive from one statistical object) or [`Planner::for_store`] (answers
+/// derive from a materialized-view catalog), then [`Planner::plan`].
+#[derive(Debug, Clone)]
+pub struct Planner<'a> {
+    schema: Option<&'a Schema>,
+    dims: usize,
+    catalog: Option<&'a [CatalogEntry]>,
+    policy: PrivacyPolicy,
+    config: PlannerConfig,
+}
+
+impl<'a> Planner<'a> {
+    /// Plans against a statistical object: names resolve in `schema`, and
+    /// every set derives from one base projection of the object.
+    pub fn for_object(schema: &'a Schema) -> Self {
+        Self {
+            schema: Some(schema),
+            dims: schema.dim_count(),
+            catalog: None,
+            policy: PrivacyPolicy::none(),
+            config: PlannerConfig::default(),
+        }
+    }
+
+    /// Plans against a materialized catalog of `dims` dimensions (the view
+    /// store); name resolution needs [`Planner::with_schema`].
+    pub fn for_store(dims: usize, catalog: &'a [CatalogEntry]) -> Self {
+        Self {
+            schema: None,
+            dims,
+            catalog: Some(catalog),
+            policy: PrivacyPolicy::none(),
+            config: PlannerConfig::default(),
+        }
+    }
+
+    /// Attaches a schema for name resolution (store-backed planning of
+    /// named queries).
+    #[must_use]
+    pub fn with_schema(mut self, schema: &'a Schema) -> Self {
+        self.schema = Some(schema);
+        self
+    }
+
+    /// Sets the privacy policy the mandatory pass attaches.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PrivacyPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides which optional passes run (ablation only).
+    #[must_use]
+    pub fn with_config(mut self, config: PlannerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Normalizes `plan` and applies the rewrite passes.
+    pub fn plan(&self, plan: &Plan) -> Result<PlannedQuery> {
+        let norm = normalize(plan)?;
+        let policy = norm.policy.cloned().unwrap_or_else(|| self.policy.clone());
+        let mut rewrites = Vec::new();
+
+        // ---- Pass 3 groundwork: drill-downs cancel pending roll-ups.
+        // (Cancellation must precede validation: a cancelled roll-up is
+        // never performed, so it must not be able to fail the plan.)
+        let mut cancelled = 0usize;
+        let mut nav_rollups: Vec<(&str, &str)> = Vec::new();
+        for nav in &norm.nav {
+            match nav {
+                Nav::RollUp(dim, level) => nav_rollups.push((dim, level)),
+                Nav::DrillDown(dim) => {
+                    let Some(pos) = nav_rollups.iter().rposition(|(d, _)| d == dim) else {
+                        return Err(Error::InvalidSchema(format!(
+                            "drill-down of `{dim}` below the leaf level"
+                        )));
+                    };
+                    nav_rollups.remove(pos);
+                    cancelled += 1;
+                }
+            }
+        }
+
+        // ---- Pass 1: name resolution + summarizability validation.
+        let mut resolved_preds: Vec<(usize, bool, Vec<u32>)> = Vec::new();
+        for p in &norm.predicates {
+            let schema = self.named_schema()?;
+            let d = schema.dim_index(&p.column)?;
+            let dim = &schema.dimensions()[d];
+            let mut allowed: Vec<u32> = dim
+                .members()
+                .iter()
+                .filter(|(_, v)| (*v == p.value) != p.negated)
+                .map(|(id, _)| id)
+                .collect();
+            allowed.sort_unstable();
+            resolved_preds.push((d, p.negated, allowed));
+        }
+
+        let mut leaf_rollups: Vec<LeafRollup> = Vec::new();
+        let mut checked_rollups = 0usize;
+        // Surviving navigation roll-ups: the *last* roll-up of a dimension
+        // is its net level (hierarchy levels map leaf → level directly).
+        for (dim, level) in &nav_rollups {
+            let schema = self.named_schema()?;
+            let d = schema.dim_index(dim)?;
+            self.check_rollup(schema, d, level, &mut checked_rollups)?;
+            leaf_rollups.retain(|r| r.dim != d);
+            leaf_rollups.push(LeafRollup {
+                dim: d,
+                dim_name: (*dim).to_owned(),
+                level: (*level).to_owned(),
+            });
+        }
+
+        // Group columns: dimension names resolve now; hierarchy-level
+        // names resolve to a leaf roll-up; unknown names are deferred so
+        // measure-resolution errors keep precedence (matching the
+        // historical interpreter).
+        let mut group_display: Vec<String> = Vec::new();
+        let mut resolved_group: Vec<Option<usize>> = Vec::new();
+        let (spec, aggs): (GroupingSpec, &[AggRequest]) = match &norm.shape {
+            Shape::Sets { group, spec, aggs } => {
+                group_display = group.to_vec();
+                let schema = self.named_schema()?;
+                for name in *group {
+                    if let Ok(d) = schema.dim_index(name) {
+                        resolved_group.push(Some(d));
+                        continue;
+                    }
+                    let found = schema.dimensions().iter().enumerate().find(|(_, dm)| {
+                        dm.default_hierarchy()
+                            .map(|h| h.levels().iter().any(|l| l.name() == name.as_str()))
+                            .unwrap_or(false)
+                    });
+                    let Some((d, dm)) = found else {
+                        resolved_group.push(None); // unknown: error later
+                        continue;
+                    };
+                    if let Some(h) = dm.default_hierarchy() {
+                        if self.config.summarizability {
+                            let to_level = h.level_index(name)?;
+                            let vs = summarizability::check_aggregate(schema, d, h, to_level);
+                            if !vs.is_empty() {
+                                return Err(Error::Summarizability(vs));
+                            }
+                            checked_rollups += 1;
+                        }
+                    }
+                    if !leaf_rollups.iter().any(|r| r.dim == d && r.level == *name) {
+                        leaf_rollups.push(LeafRollup {
+                            dim: d,
+                            dim_name: dm.name().to_owned(),
+                            level: name.clone(),
+                        });
+                    }
+                    resolved_group.push(Some(d));
+                }
+                (*spec, *aggs)
+            }
+            Shape::Keep(keep) => {
+                group_display = keep.to_vec();
+                let schema = self.named_schema()?;
+                for name in *keep {
+                    resolved_group.push(Some(schema.dim_index(name)?));
+                }
+                (GroupingSpec::Single, &[][..])
+            }
+            Shape::Mask(mask) => {
+                if self.dims < 32 && *mask >= 1u32 << self.dims {
+                    return Err(Error::InvalidSchema(format!("mask {mask:b} out of range")));
+                }
+                for d in 0..self.dims {
+                    if mask >> d & 1 == 1 {
+                        resolved_group.push(Some(d));
+                        group_display.push(format!("dim{d}"));
+                    }
+                }
+                (GroupingSpec::Single, &[][..])
+            }
+            Shape::All => {
+                for d in 0..self.dims {
+                    resolved_group.push(Some(d));
+                }
+                if let Some(schema) = self.schema {
+                    group_display =
+                        schema.dimensions().iter().map(|dm| dm.name().to_owned()).collect();
+                } else {
+                    group_display = (0..self.dims).map(|d| format!("dim{d}")).collect();
+                }
+                (GroupingSpec::Single, &[][..])
+            }
+        };
+
+        // Aggregate validation, in the historical order: measures first,
+        // then pinned dimensions, then any still-unresolved group name.
+        let mut planned_aggs = Vec::with_capacity(aggs.len());
+        for a in aggs {
+            let measure = match &a.measure {
+                Some(m) => self.named_schema()?.measure_index(m)?,
+                None => 0,
+            };
+            planned_aggs.push(PlannedAgg { label: a.label.clone(), func: a.func, measure });
+        }
+        let pinned: Vec<usize> =
+            resolved_preds.iter().filter(|(_, neg, _)| !neg).map(|(d, _, _)| *d).collect();
+        let mut dim_bits = Vec::with_capacity(resolved_group.len());
+        for (slot, name) in resolved_group.iter().zip(group_display.iter()) {
+            match slot {
+                Some(d) => dim_bits.push(*d),
+                None => return Err(Error::DimensionNotFound(name.clone())),
+            }
+        }
+        let aggregated: Vec<usize> = match spec {
+            GroupingSpec::Single if matches!(norm.shape, Shape::Sets { .. }) => {
+                (0..self.dims).filter(|d| !dim_bits.contains(d) && !pinned.contains(d)).collect()
+            }
+            _ if matches!(norm.shape, Shape::Sets { .. }) => {
+                (0..self.dims).filter(|d| !pinned.contains(d)).collect()
+            }
+            _ => Vec::new(), // coded shapes carry no aggregate requests
+        };
+        if self.config.summarizability && !aggs.is_empty() {
+            let schema = self.named_schema()?;
+            let mut violations = Vec::new();
+            for (a, pa) in aggs.iter().zip(&planned_aggs) {
+                if a.measure.is_none() {
+                    continue; // COUNT(*) is always meaningful
+                }
+                let measure = &schema.measures()[pa.measure];
+                for &d in &aggregated {
+                    let dim = &schema.dimensions()[d];
+                    if let Some(v) =
+                        check_type(measure.name(), measure.kind(), a.func, dim.name(), dim.role())
+                    {
+                        violations.push(v);
+                    }
+                }
+            }
+            if !violations.is_empty() {
+                violations.dedup();
+                return Err(Error::Summarizability(violations));
+            }
+        }
+        rewrites.push(Rewrite {
+            pass: "summarizability",
+            note: if !self.config.summarizability {
+                "skipped (disabled)".to_owned()
+            } else if aggs.is_empty() && checked_rollups == 0 {
+                "nothing to validate (coded cuboid request)".to_owned()
+            } else {
+                format!(
+                    "validated {} aggregate(s) over {} collapsed dimension(s); {} roll-up(s) \
+                     structurally checked",
+                    aggs.len(),
+                    aggregated.len(),
+                    checked_rollups
+                )
+            },
+        });
+
+        // ---- Pass 3: predicate placement (roll-up movement happened
+        // above; here predicates pick their scan).
+        let merged = merge_predicates(&resolved_preds);
+        let push_to_store = self.catalog.is_some() && self.config.pushdown && !merged.is_empty();
+        let (leaf_predicates, scan_filters) = if push_to_store {
+            (Vec::new(), merged.iter().map(|p| (p.dim, p.allowed.clone())).collect())
+        } else {
+            (merged, Vec::new())
+        };
+
+        // ---- Pass 2: lattice-aware source selection.
+        let keeps = grouping_sets(spec, dim_bits.len())?;
+        let fmask = filter_mask(&scan_filters);
+        let mut sets: Vec<PlannedSet> = keeps
+            .into_iter()
+            .map(|keep| {
+                let target = keep
+                    .iter()
+                    .zip(&dim_bits)
+                    .filter(|(k, _)| **k)
+                    .fold(0u32, |m, (_, &d)| m | (1u32 << d));
+                PlannedSet { keep, target, scan: target | fmask, candidates: Vec::new() }
+            })
+            .collect();
+        let lattice_note = match self.catalog {
+            Some(catalog) => {
+                let mut routed = 0u64;
+                let base = catalog.iter().map(|e| e.cells).max().unwrap_or(0);
+                let mut first_choice = 0u64;
+                for set in &mut sets {
+                    set.candidates = candidates_for(set.scan, catalog, self.config.lattice);
+                    if let Some(&(_, c)) = set.candidates.first() {
+                        first_choice += c;
+                        if c < base {
+                            routed += 1;
+                        }
+                    }
+                }
+                if self.config.lattice {
+                    format!(
+                        "routed {routed} of {} set(s) to sub-base ancestors; est {first_choice} \
+                         cells scanned vs {} from base",
+                        sets.len(),
+                        base.saturating_mul(sets.len() as u64)
+                    )
+                } else {
+                    "disabled (every set scans its largest ancestor)".to_owned()
+                }
+            }
+            None => {
+                let base_mask = sets.iter().fold(0u32, |m, s| m | s.target);
+                for set in &mut sets {
+                    set.candidates = vec![(base_mask, 0)];
+                    set.scan = set.target;
+                }
+                format!(
+                    "one base projection at mask {base_mask:#b} serves {} grouping set(s)",
+                    sets.len()
+                )
+            }
+        };
+        rewrites.push(Rewrite { pass: "lattice", note: lattice_note });
+
+        rewrites.push(Rewrite {
+            pass: "pushdown",
+            note: {
+                let mut parts = Vec::new();
+                if cancelled > 0 {
+                    parts.push(format!("{cancelled} roll-up(s) cancelled by drill-down"));
+                }
+                if !leaf_rollups.is_empty() {
+                    parts.push(format!("{} roll-up(s) at the leaf scan", leaf_rollups.len()));
+                }
+                if !scan_filters.is_empty() {
+                    parts.push(format!(
+                        "{} predicate(s) pushed into the store scan",
+                        scan_filters.len()
+                    ));
+                } else if !leaf_predicates.is_empty() {
+                    parts.push(format!(
+                        "{} predicate(s) at the leaf scan{}",
+                        leaf_predicates.len(),
+                        if self.config.pushdown { "" } else { " (pushdown disabled)" }
+                    ));
+                }
+                if parts.is_empty() {
+                    "nothing to move".to_owned()
+                } else {
+                    parts.join("; ")
+                }
+            },
+        });
+
+        // ---- Pass 4: mandatory privacy barrier.
+        rewrites.push(Rewrite {
+            pass: "privacy",
+            note: format!("policy {} enforced on every grouping set", policy.describe()),
+        });
+        let logical = match plan {
+            Plan::Restrict { .. } => plan.render(),
+            _ => plan.clone().restrict(policy.clone()).render(),
+        };
+
+        Ok(PlannedQuery {
+            scan: norm.scan.to_owned(),
+            group_display,
+            dim_bits,
+            sets,
+            aggs: planned_aggs,
+            leaf_predicates,
+            leaf_rollups,
+            scan_filters,
+            policy,
+            rewrites,
+            dims: self.dims,
+            logical,
+        })
+    }
+
+    fn named_schema(&self) -> Result<&'a Schema> {
+        self.schema.ok_or_else(|| Error::InvalidSchema("named plan nodes require a schema".into()))
+    }
+
+    fn check_rollup(
+        &self,
+        schema: &Schema,
+        d: usize,
+        level: &str,
+        checked: &mut usize,
+    ) -> Result<()> {
+        let dim = &schema.dimensions()[d];
+        let Some(h) = dim.default_hierarchy() else {
+            return Err(Error::HierarchyNotFound {
+                dimension: dim.name().to_owned(),
+                hierarchy: "default".to_owned(),
+            });
+        };
+        let to_level = h.level_index(level)?;
+        if self.config.summarizability {
+            let vs = summarizability::check_aggregate(schema, d, h, to_level);
+            if !vs.is_empty() {
+                return Err(Error::Summarizability(vs));
+            }
+            *checked += 1;
+        }
+        Ok(())
+    }
+}
+
+fn merge_predicates(resolved: &[(usize, bool, Vec<u32>)]) -> Vec<CodedPredicate> {
+    let mut merged: Vec<CodedPredicate> = Vec::new();
+    for (d, _, allowed) in resolved {
+        if let Some(existing) = merged.iter_mut().find(|p| p.dim == *d) {
+            existing.allowed.retain(|id| allowed.binary_search(id).is_ok());
+        } else {
+            merged.push(CodedPredicate { dim: *d, allowed: allowed.clone() });
+        }
+    }
+    merged
+}
+
+enum Nav<'p> {
+    RollUp(&'p str, &'p str),
+    DrillDown(&'p str),
+}
+
+enum Shape<'p> {
+    /// A coded cuboid request.
+    Mask(u32),
+    /// A grouping-set family with aggregates.
+    Sets { group: &'p [String], spec: GroupingSpec, aggs: &'p [AggRequest] },
+    /// An S-projection onto named dimensions.
+    Keep(&'p [String]),
+    /// No aggregation node: the full space at leaf granularity.
+    All,
+}
+
+struct Normalized<'p> {
+    scan: &'p str,
+    predicates: Vec<&'p PlanPredicate>,
+    nav: Vec<Nav<'p>>,
+    shape: Shape<'p>,
+    policy: Option<&'p PrivacyPolicy>,
+}
+
+fn normalize(plan: &Plan) -> Result<Normalized<'_>> {
+    let mut cur = plan;
+    let mut order = 0usize;
+    let mut policy = None;
+    let mut shape = Shape::All;
+    let mut shape_pos: Option<usize> = None;
+    let mut pred_nodes: Vec<(usize, &[PlanPredicate])> = Vec::new();
+    let mut nav_nodes: Vec<(usize, Nav<'_>)> = Vec::new();
+    let scan = loop {
+        match cur {
+            Plan::Scan { source } => break source.as_str(),
+            Plan::Restrict { input, policy: p } => {
+                if order > 0 {
+                    return Err(Error::InvalidSchema(
+                        "Restrict must be the outermost plan operator".into(),
+                    ));
+                }
+                policy = Some(p);
+                cur = input;
+            }
+            Plan::Select { input, predicates } => {
+                pred_nodes.push((order, predicates));
+                cur = input;
+            }
+            Plan::RollUp { input, dim, level } => {
+                nav_nodes.push((order, Nav::RollUp(dim, level)));
+                cur = input;
+            }
+            Plan::DrillDown { input, dim } => {
+                nav_nodes.push((order, Nav::DrillDown(dim)));
+                cur = input;
+            }
+            Plan::Project { input, keep } => {
+                set_shape(&mut shape, &mut shape_pos, Shape::Keep(keep), order)?;
+                cur = input;
+            }
+            Plan::Aggregate { input, mask } => {
+                set_shape(&mut shape, &mut shape_pos, Shape::Mask(*mask), order)?;
+                cur = input;
+            }
+            Plan::GroupingSets { input, group, spec, aggs } => {
+                set_shape(
+                    &mut shape,
+                    &mut shape_pos,
+                    Shape::Sets { group, spec: *spec, aggs },
+                    order,
+                )?;
+                cur = input;
+            }
+        }
+        order += 1;
+    };
+    if let Some(sp) = shape_pos {
+        let above_shape =
+            pred_nodes.iter().map(|(o, _)| *o).chain(nav_nodes.iter().map(|(o, _)| *o));
+        for o in above_shape {
+            if o < sp {
+                return Err(Error::InvalidSchema(
+                    "selection or navigation above an aggregation node is not supported".into(),
+                ));
+            }
+        }
+    }
+    // Walk order is outermost-first; application order is innermost-first.
+    pred_nodes.reverse();
+    nav_nodes.reverse();
+    Ok(Normalized {
+        scan,
+        predicates: pred_nodes.into_iter().flat_map(|(_, ps)| ps.iter()).collect(),
+        nav: nav_nodes.into_iter().map(|(_, n)| n).collect(),
+        shape,
+        policy,
+    })
+}
+
+fn set_shape<'p>(
+    shape: &mut Shape<'p>,
+    pos: &mut Option<usize>,
+    new: Shape<'p>,
+    order: usize,
+) -> Result<()> {
+    if pos.is_some() {
+        return Err(Error::InvalidSchema("a plan may contain at most one aggregation node".into()));
+    }
+    *shape = new;
+    *pos = Some(order);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::Dimension;
+    use crate::measure::{MeasureKind, SummaryAttribute, SummaryFunction};
+
+    fn schema() -> Schema {
+        Schema::builder("census")
+            .dimension(Dimension::spatial("state", ["AL", "CA"]))
+            .dimension(Dimension::temporal("year", ["1990", "1991"]))
+            .dimension(Dimension::categorical("sex", ["male", "female"]))
+            .measure(SummaryAttribute::new("population", MeasureKind::Stock))
+            .measure(SummaryAttribute::new("births", MeasureKind::Flow))
+            .function(SummaryFunction::Sum)
+            .build()
+            .unwrap()
+    }
+
+    fn sum_births() -> AggRequest {
+        AggRequest {
+            func: SummaryFunction::Sum,
+            measure: Some("births".into()),
+            label: "SUM(\"births\")".into(),
+        }
+    }
+
+    #[test]
+    fn cube_plan_expands_sets_full_first_apex_last() {
+        let s = schema();
+        let plan = Plan::scan("census").grouping_sets(
+            vec!["state".into(), "sex".into()],
+            GroupingSpec::Cube,
+            vec![sum_births()],
+        );
+        let q = Planner::for_object(&s).plan(&plan).unwrap();
+        assert_eq!(q.sets.len(), 4);
+        assert_eq!(q.dim_bits, vec![0, 2]);
+        assert_eq!(q.sets[0].target, 0b101, "full grouping first");
+        assert_eq!(q.sets[3].target, 0, "apex last");
+        assert_eq!(q.base_mask(), 0b101);
+        assert_eq!(q.sets[0].candidates, vec![(0b101, 0)], "object path derives from one base");
+        assert_eq!(q.rewrites.len(), 4);
+        assert_eq!(
+            q.rewrites.iter().map(|r| r.pass).collect::<Vec<_>>(),
+            vec!["summarizability", "lattice", "pushdown", "privacy"]
+        );
+    }
+
+    #[test]
+    fn summarizability_pass_refuses_stock_over_time_and_ablation_admits_it() {
+        let s = schema();
+        let plan = Plan::scan("census").grouping_sets(
+            vec!["state".into()],
+            GroupingSpec::Single,
+            vec![AggRequest {
+                func: SummaryFunction::Sum,
+                measure: Some("population".into()),
+                label: "SUM(\"population\")".into(),
+            }],
+        );
+        let err = Planner::for_object(&s).plan(&plan).unwrap_err();
+        assert!(matches!(err, Error::Summarizability(_)), "{err}");
+        let off = PlannerConfig { summarizability: false, ..PlannerConfig::default() };
+        assert!(Planner::for_object(&s).with_config(off).plan(&plan).is_ok());
+    }
+
+    #[test]
+    fn equality_predicate_pins_its_dimension_for_validation() {
+        let s = schema();
+        // population over a pinned year is the paper's singleton context —
+        // allowed, because year is not aggregated over.
+        let plan =
+            Plan::scan("census").select(vec![PlanPredicate::eq("year", "1990")]).grouping_sets(
+                vec!["state".into(), "year".into(), "sex".into()],
+                GroupingSpec::Single,
+                vec![AggRequest {
+                    func: SummaryFunction::Sum,
+                    measure: Some("population".into()),
+                    label: "SUM(\"population\")".into(),
+                }],
+            );
+        assert!(Planner::for_object(&s).plan(&plan).is_ok());
+    }
+
+    #[test]
+    fn lattice_pass_picks_smallest_ancestor_and_keeps_fallback_chain() {
+        let catalog =
+            [CatalogEntry { mask: 0b111, cells: 100 }, CatalogEntry { mask: 0b011, cells: 10 }];
+        let plan = Plan::scan("cube").aggregate_mask(0b001);
+        let q = Planner::for_store(3, &catalog).plan(&plan).unwrap();
+        assert_eq!(q.sets.len(), 1);
+        assert_eq!(q.sets[0].candidates, vec![(0b011, 10), (0b111, 100)]);
+        // Ablation: lattice off scans the base first but keeps fallbacks.
+        let off = PlannerConfig { lattice: false, ..PlannerConfig::default() };
+        let q = Planner::for_store(3, &catalog).with_config(off).plan(&plan).unwrap();
+        assert_eq!(q.sets[0].candidates, vec![(0b111, 100), (0b011, 10)]);
+    }
+
+    #[test]
+    fn mask_out_of_range_is_refused_with_the_store_message() {
+        let catalog = [CatalogEntry { mask: 0b111, cells: 100 }];
+        let plan = Plan::scan("cube").aggregate_mask(0b1000);
+        let err = Planner::for_store(3, &catalog).plan(&plan).unwrap_err();
+        assert_eq!(err, Error::InvalidSchema("mask 1000 out of range".into()));
+    }
+
+    #[test]
+    fn pushdown_moves_predicates_into_store_scans_only() {
+        let s = schema();
+        let catalog = [CatalogEntry { mask: 0b111, cells: 100 }];
+        let plan = Plan::scan("census")
+            .select(vec![PlanPredicate::eq("sex", "male")])
+            .grouping_sets(vec!["state".into()], GroupingSpec::Single, vec![sum_births()]);
+        let q = Planner::for_store(3, &catalog).with_schema(&s).plan(&plan).unwrap();
+        assert!(q.leaf_predicates.is_empty());
+        assert_eq!(q.scan_filters, vec![(2, vec![0])]);
+        assert_eq!(q.sets[0].target, 0b001);
+        assert_eq!(q.sets[0].scan, 0b101, "scan must cover the filter dimension");
+        // Object targets keep predicates at the leaf.
+        let q = Planner::for_object(&s).plan(&plan).unwrap();
+        assert_eq!(q.leaf_predicates, vec![CodedPredicate { dim: 2, allowed: vec![0] }]);
+        assert!(q.scan_filters.is_empty());
+        // Ablation: pushdown off keeps them at the leaf even for stores.
+        let off = PlannerConfig { pushdown: false, ..PlannerConfig::default() };
+        let q =
+            Planner::for_store(3, &catalog).with_schema(&s).with_config(off).plan(&plan).unwrap();
+        assert!(q.scan_filters.is_empty());
+        assert_eq!(q.leaf_predicates.len(), 1);
+    }
+
+    #[test]
+    fn repeated_predicates_on_one_dimension_intersect() {
+        let s = schema();
+        let plan = Plan::scan("census")
+            .select(vec![PlanPredicate::ne("state", "AL"), PlanPredicate::ne("state", "CA")])
+            .grouping_sets(vec!["sex".into()], GroupingSpec::Single, vec![sum_births()]);
+        let q = Planner::for_object(&s).plan(&plan).unwrap();
+        assert_eq!(q.leaf_predicates, vec![CodedPredicate { dim: 0, allowed: vec![] }]);
+    }
+
+    #[test]
+    fn drill_down_cancels_the_matching_roll_up() {
+        let s = Schema::builder("retailish")
+            .dimension(Dimension::classified(
+                "store",
+                crate::hierarchy::Hierarchy::builder("geo")
+                    .level("store")
+                    .level("city")
+                    .edge("s1", "c1")
+                    .edge("s2", "c1")
+                    .build()
+                    .unwrap(),
+            ))
+            .measure(SummaryAttribute::new("amount", MeasureKind::Flow))
+            .function(SummaryFunction::Sum)
+            .build()
+            .unwrap();
+        let plan = Plan::scan("sales").roll_up("store", "city").drill_down("store");
+        let q = Planner::for_object(&s).plan(&plan).unwrap();
+        assert!(q.leaf_rollups.is_empty(), "cancelled pair leaves no roll-up");
+        assert!(q.rewrites.iter().any(|r| r.pass == "pushdown" && r.note.contains("cancelled")));
+        let plan = Plan::scan("sales").roll_up("store", "city");
+        let q = Planner::for_object(&s).plan(&plan).unwrap();
+        assert_eq!(q.leaf_rollups.len(), 1);
+        assert_eq!(q.leaf_rollups[0].level, "city");
+        let plan = Plan::scan("sales").drill_down("store");
+        assert!(Planner::for_object(&s).plan(&plan).is_err(), "below leaf");
+    }
+
+    #[test]
+    fn privacy_pass_is_always_present_and_renders_in_explain() {
+        let s = schema();
+        let plan = Plan::scan("census").grouping_sets(
+            vec!["state".into()],
+            GroupingSpec::Single,
+            vec![sum_births()],
+        );
+        let q =
+            Planner::for_object(&s).with_policy(PrivacyPolicy::suppress(3)).plan(&plan).unwrap();
+        assert_eq!(q.policy, PrivacyPolicy::suppress(3));
+        let text = q.explain();
+        assert!(text.contains("logical plan"), "{text}");
+        assert!(text.contains("Restrict{policy=suppress(k=3)}"), "{text}");
+        assert!(text.contains("4. privacy: policy suppress(k=3) enforced"), "{text}");
+        assert!(text.contains("physical grouping sets"), "{text}");
+        // The permissive default still logs the pass: it is mandatory.
+        let q = Planner::for_object(&s).plan(&plan).unwrap();
+        assert!(q.explain().contains("4. privacy: policy none enforced"));
+    }
+
+    #[test]
+    fn malformed_plans_are_refused() {
+        let s = schema();
+        let double = Plan::scan("census").aggregate_mask(1).grouping_sets(
+            vec![],
+            GroupingSpec::Single,
+            vec![],
+        );
+        assert!(Planner::for_object(&s).plan(&double).is_err());
+        let nested_restrict = Plan::scan("census").restrict(PrivacyPolicy::none()).grouping_sets(
+            vec![],
+            GroupingSpec::Single,
+            vec![sum_births()],
+        );
+        assert!(Planner::for_object(&s).plan(&nested_restrict).is_err());
+        let select_above = Plan::scan("census")
+            .grouping_sets(vec![], GroupingSpec::Single, vec![sum_births()])
+            .select(vec![PlanPredicate::eq("state", "AL")]);
+        assert!(Planner::for_object(&s).plan(&select_above).is_err());
+    }
+}

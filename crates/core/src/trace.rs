@@ -86,6 +86,15 @@ pub fn is_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// Whether the calling thread currently has no open span — i.e. a span
+/// created now would be a root. Callers that attach a [`QueryProfile`] to
+/// their result use this to decide *before* delegating to a layer that
+/// opens its own spans.
+#[inline]
+pub fn at_root() -> bool {
+    CURRENT.with(Cell::get) == 0
+}
+
 /// One finished span, as buffered thread-locally before a profile drain.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanRecord {

@@ -82,13 +82,22 @@ impl CacheConfig {
 
 /// What a cache entry answers: a full cuboid materialization or one
 /// point/slice cell of a cuboid.
+///
+/// Every variant carries the **privacy-policy fingerprint**
+/// ([`statcube_core::plan::PrivacyPolicy::fingerprint`]) the entry was
+/// produced under. Fingerprint 0 marks *pre-enforcement* (raw) entries,
+/// which are safe to share because the executor's mandatory privacy pass
+/// runs after every probe; any non-zero fingerprint partitions the key
+/// space so an answer enforced under one policy can never serve a query
+/// running under another.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum CacheKey {
-    /// The full cuboid for this mask.
-    Cuboid(u32),
-    /// One cell of the cuboid for this mask, keyed by its coordinates
-    /// (ascending dimension order, the cuboid key layout).
-    Cell(u32, Box<[u32]>),
+    /// The full cuboid for this mask, under this policy fingerprint.
+    Cuboid(u32, u64),
+    /// One cell of the cuboid for this mask, keyed by the policy
+    /// fingerprint and its coordinates (ascending dimension order, the
+    /// cuboid key layout).
+    Cell(u32, u64, Box<[u32]>),
 }
 
 /// A cached value, cheap to clone out of the cache.
@@ -389,16 +398,16 @@ mod tests {
     fn insert_cuboid(cache: &AnswerCache, mask: u32, rows: u32, cost: u64) -> bool {
         let c = cuboid(rows);
         let bytes = cuboid_bytes(&c);
-        cache.insert(CacheKey::Cuboid(mask), CachedValue::Cuboid(c), bytes, cost, mask, 0)
+        cache.insert(CacheKey::Cuboid(mask, 0), CachedValue::Cuboid(c), bytes, cost, mask, 0)
     }
 
     #[test]
     fn hit_miss_and_lru_order() {
         let cache = AnswerCache::new(CacheConfig { byte_budget: 10_000, shards: 1 });
-        assert!(cache.get(&CacheKey::Cuboid(1), |_| Some(0)).is_none());
+        assert!(cache.get(&CacheKey::Cuboid(1, 0), |_| Some(0)).is_none());
         assert!(insert_cuboid(&cache, 1, 10, 100));
         assert!(insert_cuboid(&cache, 2, 10, 100));
-        let (v, src) = cache.get(&CacheKey::Cuboid(1), |_| Some(0)).expect("hit");
+        let (v, src) = cache.get(&CacheKey::Cuboid(1, 0), |_| Some(0)).expect("hit");
         assert_eq!(src, 1);
         assert!(matches!(v, CachedValue::Cuboid(c) if c.len() == 10));
         let s = cache.stats();
@@ -413,14 +422,14 @@ mod tests {
         assert!(insert_cuboid(&cache, 1, 10, 100));
         assert!(insert_cuboid(&cache, 2, 10, 100));
         // Touch 1 so 2 becomes the LRU victim.
-        assert!(cache.get(&CacheKey::Cuboid(1), |_| Some(0)).is_some());
+        assert!(cache.get(&CacheKey::Cuboid(1, 0), |_| Some(0)).is_some());
         assert!(insert_cuboid(&cache, 3, 10, 100));
         let s = cache.stats();
         assert_eq!(s.entries, 2);
         assert_eq!(s.evictions, 1);
         assert!(s.bytes_used <= 800);
-        assert!(cache.get(&CacheKey::Cuboid(2), |_| Some(0)).is_none(), "LRU victim gone");
-        assert!(cache.get(&CacheKey::Cuboid(1), |_| Some(0)).is_some(), "recent entry kept");
+        assert!(cache.get(&CacheKey::Cuboid(2, 0), |_| Some(0)).is_none(), "LRU victim gone");
+        assert!(cache.get(&CacheKey::Cuboid(1, 0), |_| Some(0)).is_some(), "recent entry kept");
     }
 
     #[test]
@@ -430,7 +439,7 @@ mod tests {
         // A cheap candidate cannot displace the expensive resident...
         assert!(!insert_cuboid(&cache, 2, 10, 8));
         assert_eq!(cache.stats().rejected, 1);
-        assert!(cache.get(&CacheKey::Cuboid(1), |_| Some(0)).is_some());
+        assert!(cache.get(&CacheKey::Cuboid(1, 0), |_| Some(0)).is_some());
         // ...but each rejection halves the resident's cost, so sustained
         // pressure eventually turns the cache over.
         for _ in 0..25 {
@@ -438,7 +447,7 @@ mod tests {
                 break;
             }
         }
-        assert!(cache.get(&CacheKey::Cuboid(2), |_| Some(0)).is_some(), "aging admitted it");
+        assert!(cache.get(&CacheKey::Cuboid(2, 0), |_| Some(0)).is_some(), "aging admitted it");
     }
 
     #[test]
@@ -455,13 +464,13 @@ mod tests {
         let cache = AnswerCache::new(CacheConfig { byte_budget: 10_000, shards: 2 });
         assert!(insert_cuboid(&cache, 1, 10, 100));
         // Same epoch: hit. Moved epoch: stale, evicted, miss.
-        assert!(cache.get(&CacheKey::Cuboid(1), |_| Some(0)).is_some());
-        assert!(cache.get(&CacheKey::Cuboid(1), |_| Some(7)).is_none());
+        assert!(cache.get(&CacheKey::Cuboid(1, 0), |_| Some(0)).is_some());
+        assert!(cache.get(&CacheKey::Cuboid(1, 0), |_| Some(7)).is_none());
         let s = cache.stats();
         assert_eq!(s.invalidations, 1);
         assert_eq!(s.entries, 0);
         // And the entry is really gone even at the original epoch.
-        assert!(cache.get(&CacheKey::Cuboid(1), |_| Some(0)).is_none());
+        assert!(cache.get(&CacheKey::Cuboid(1, 0), |_| Some(0)).is_none());
     }
 
     #[test]
@@ -473,7 +482,7 @@ mod tests {
             // Masks 0..4 derived from view 7, the rest from view 3.
             let source = if mask < 4 { 7 } else { 3 };
             assert!(cache.insert(
-                CacheKey::Cuboid(mask),
+                CacheKey::Cuboid(mask, 0),
                 CachedValue::Cuboid(c),
                 bytes,
                 10,
@@ -493,11 +502,11 @@ mod tests {
     #[test]
     fn cell_entries_round_trip() {
         let cache = AnswerCache::new(CacheConfig::default());
-        let key = CacheKey::Cell(0b101, vec![2, 0].into_boxed_slice());
+        let key = CacheKey::Cell(0b101, 0, vec![2, 0].into_boxed_slice());
         let state = AggState { sum: 7.0, count: 2, min: 3.0, max: 4.0 };
         assert!(cache.insert(key.clone(), CachedValue::Cell(Some(state)), CELL_BYTES, 5, 7, 0));
         // Absent cells cache too (a valid answer, distinct from a miss).
-        let none_key = CacheKey::Cell(0b101, vec![9, 9].into_boxed_slice());
+        let none_key = CacheKey::Cell(0b101, 0, vec![9, 9].into_boxed_slice());
         assert!(cache.insert(none_key.clone(), CachedValue::Cell(None), CELL_BYTES, 5, 7, 0));
         match cache.get(&key, |_| Some(0)) {
             Some((CachedValue::Cell(Some(s)), 7)) => {
@@ -506,6 +515,40 @@ mod tests {
             other => panic!("expected cell hit, got {other:?}"),
         }
         assert!(matches!(cache.get(&none_key, |_| Some(0)), Some((CachedValue::Cell(None), _))));
+    }
+
+    #[test]
+    fn policy_fingerprints_partition_the_key_space() {
+        let cache = AnswerCache::new(CacheConfig { byte_budget: 100_000, shards: 1 });
+        let c = cuboid(4);
+        let bytes = cuboid_bytes(&c);
+        let strict_fp = 0xDEAD_BEEFu64;
+        assert!(cache.insert(
+            CacheKey::Cuboid(5, 0),
+            CachedValue::Cuboid(Arc::clone(&c)),
+            bytes,
+            10,
+            7,
+            0
+        ));
+        // The permissive entry must never answer a probe made under a
+        // suppressing policy (the historical privacy/cache bypass).
+        assert!(cache.get(&CacheKey::Cuboid(5, strict_fp), |_| Some(0)).is_none());
+        assert!(cache.get(&CacheKey::Cuboid(5, 0), |_| Some(0)).is_some());
+        // Each policy caches independently under its own fingerprint...
+        assert!(cache.insert(
+            CacheKey::Cuboid(5, strict_fp),
+            CachedValue::Cuboid(Arc::clone(&c)),
+            bytes,
+            10,
+            7,
+            0
+        ));
+        assert!(cache.get(&CacheKey::Cuboid(5, strict_fp), |_| Some(0)).is_some());
+        assert_eq!(cache.stats().entries, 2);
+        // ...and source invalidation still sweeps every policy's entries.
+        assert_eq!(cache.invalidate_source(7), 2);
+        assert_eq!(cache.stats().entries, 0);
     }
 
     #[test]

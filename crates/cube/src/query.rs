@@ -22,6 +22,10 @@ use std::collections::HashMap;
 
 use statcube_core::error::{Error, Result};
 use statcube_core::measure::AggState;
+use statcube_core::plan::{
+    self, CatalogEntry, Plan, PlanCell, PlanSource, Planner, PlannerConfig, PrivacyPolicy,
+    SourceCells,
+};
 use statcube_core::trace::{self, QueryProfile};
 use statcube_storage::page_store::{FaultPlan, FaultStats, PageStore};
 use statcube_storage::verify::ScrubReport;
@@ -242,90 +246,71 @@ impl ViewStore {
         Ok(())
     }
 
+    /// The materialized catalog the planner's lattice pass routes against:
+    /// one [`CatalogEntry`] per sealed view, masks ascending.
+    pub fn catalog(&self) -> Vec<CatalogEntry> {
+        let mut c: Vec<CatalogEntry> = self
+            .views
+            .iter()
+            .map(|(&mask, cuboid)| CatalogEntry { mask, cells: cuboid.len() as u64 })
+            .collect();
+        c.sort_unstable_by_key(|e| e.mask);
+        c
+    }
+
     /// Answers the query for cuboid `mask` from the smallest materialized
     /// ancestor whose sealed pages verify.
     ///
-    /// Candidates are tried in ascending size order (the \[HUR96\] cost
-    /// heuristic). A candidate that fails verification — checksum mismatch
-    /// or retries exhausted — is recorded and the next-smallest ancestor is
+    /// The query compiles to a summary-algebra [`Plan`] (a coded
+    /// `Aggregate` over the store's catalog), runs through the shared
+    /// planner — whose lattice pass orders candidates ascending by size,
+    /// the \[HUR96\] cost heuristic — and executes on the one shared
+    /// executor. A candidate that fails verification — checksum mismatch or
+    /// retries exhausted — is recorded and the next-smallest ancestor is
     /// tried, down to the base cuboid. A successful answer after failures
     /// carries the [`Degradation`] record; if every candidate fails the
     /// query returns [`Error::NoHealthySource`].
     pub fn answer(&self, mask: u32) -> Result<Answer> {
-        let mut sp = trace::span("cube.answer");
-        sp.record("mask", mask as u64);
-        let attach_profile = sp.is_root();
-        if mask > self.lattice.top() {
-            return Err(Error::InvalidSchema(format!("mask {mask:b} out of range")));
-        }
-        let mut candidates: Vec<(u32, u64)> = self
-            .views
-            .iter()
-            .filter(|(&v, _)| self.lattice.derivable_from(mask, v))
-            .map(|(&v, c)| (v, c.len() as u64))
+        self.answer_with_policy(mask, &PrivacyPolicy::none(), PlannerConfig::default())
+    }
+
+    /// [`ViewStore::answer`] under an explicit privacy policy and planner
+    /// configuration. Cells the policy suppresses are withheld from the
+    /// returned cuboid entirely — the same verdicts the SQL front-ends
+    /// publish as suppressed rows.
+    pub fn answer_with_policy(
+        &self,
+        mask: u32,
+        policy: &PrivacyPolicy,
+        config: PlannerConfig,
+    ) -> Result<Answer> {
+        // Decide profile ownership before the executor opens its spans.
+        let attach_profile = trace::is_enabled() && trace::at_root();
+        let catalog = self.catalog();
+        let planned = Planner::for_store(self.lattice.dim_count(), &catalog)
+            .with_policy(policy.clone())
+            .with_config(config)
+            .plan(&Plan::scan("cube").aggregate_mask(mask))?;
+        let exec = plan::execute(&planned, self)?;
+        let sa = exec
+            .sets
+            .into_iter()
+            .next()
+            .ok_or_else(|| Error::InvalidSchema("planner produced no grouping set".into()))?;
+        let cuboid: Cuboid = sa
+            .cells
+            .into_iter()
+            .filter(|(_, c)| !c.suppressed)
+            .map(|(k, c)| (k, c.states.first().copied().unwrap_or(AggState::EMPTY)))
             .collect();
-        // Ascending size; mask breaks ties deterministically.
-        candidates.sort_unstable_by_key(|&(v, len)| (len, v));
-        if candidates.is_empty() {
-            return Err(Error::InvalidSchema("no ancestor materialized".into()));
-        }
-        let first_choice_cost = candidates[0].1;
-        let mut failed: Vec<(u32, Error)> = Vec::new();
-        let mut found = None;
-        for &(source, _) in &candidates {
-            let name = view_file_name(source);
-            let loaded = self
-                .pages
-                .read(self.files[&source])
-                .and_then(|bytes| deserialize_cuboid(&bytes, &name));
-            match loaded {
-                Ok(src) => {
-                    let cells_scanned = src.len() as u64;
-                    let cuboid =
-                        if source == mask { src } else { groupby::from_parent(&src, source, mask) };
-                    let degraded = if failed.is_empty() {
-                        None
-                    } else {
-                        Some(Degradation {
-                            requested: mask,
-                            served_from: source,
-                            failed: std::mem::take(&mut failed),
-                            extra_cells: cells_scanned.saturating_sub(first_choice_cost),
-                        })
-                    };
-                    found = Some(Answer { cuboid, source, cells_scanned, degraded, profile: None });
-                    break;
-                }
-                Err(e) => failed.push((source, e)),
-            }
-        }
-        trace::counter("cube.answers", 1);
-        match found {
-            Some(mut ans) => {
-                if sp.is_recording() {
-                    sp.record("source", ans.source as u64);
-                    sp.record("cells_scanned", ans.cells_scanned);
-                    sp.record("cells", ans.cuboid.len() as u64);
-                    if let Some(d) = &ans.degraded {
-                        // The lattice-fallback decision, with the chosen
-                        // healthy ancestor and what it detoured around.
-                        sp.note(format!(
-                            "fallback: served from {:#b} after {} failed source(s), first {:#b}",
-                            d.served_from,
-                            d.failed.len(),
-                            d.failed[0].0,
-                        ));
-                        trace::counter("cube.fallbacks", 1);
-                    }
-                    drop(sp);
-                    if attach_profile {
-                        ans.profile = Some(trace::take_profile());
-                    }
-                }
-                Ok(ans)
-            }
-            None => Err(Error::NoHealthySource { requested: mask, tried: failed.len() }),
-        }
+        let degraded = sa.degraded.map(|d| Degradation {
+            requested: d.requested,
+            served_from: d.served_from,
+            failed: d.failed,
+            extra_cells: d.extra_cells,
+        });
+        let profile = if attach_profile { Some(trace::take_profile()) } else { None };
+        Ok(Answer { cuboid, source: sa.source, cells_scanned: sa.cells_scanned, degraded, profile })
     }
 
     /// Answers every cuboid of the lattice, assembling a [`CubeResult`]
@@ -423,6 +408,27 @@ impl ViewStore {
     /// [`ViewStore::scrub`], converted to a typed error on first failure.
     pub fn verify_all(&self) -> Result<ScrubReport> {
         self.pages.verify_all()
+    }
+}
+
+impl PlanSource for ViewStore {
+    /// Loads a materialized view through the checksummed page store: a
+    /// verification failure is returned as the typed error the executor's
+    /// fallback chain expects.
+    fn load(&self, source: u32) -> Result<SourceCells> {
+        let &file = self
+            .files
+            .get(&source)
+            .ok_or_else(|| Error::InvalidSchema(format!("mask {source:b} not materialized")))?;
+        let name = view_file_name(source);
+        let bytes = self.pages.read(file)?;
+        let cuboid = deserialize_cuboid(&bytes, &name)?;
+        let scanned = cuboid.len() as u64;
+        let cells = cuboid
+            .into_iter()
+            .map(|(k, s)| (k, PlanCell { states: vec![s], suppressed: false }))
+            .collect();
+        Ok(SourceCells { cells, scanned })
     }
 }
 

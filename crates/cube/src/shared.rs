@@ -26,6 +26,9 @@ use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use statcube_core::error::{Error, Result};
 use statcube_core::measure::AggState;
+use statcube_core::plan::{
+    PlanCell, PlanCells, PlanSource, PlannerConfig, PrivacyPolicy, SourceCells,
+};
 use statcube_core::trace;
 use statcube_storage::page_store::{FaultPlan, FaultStats};
 use statcube_storage::verify::ScrubReport;
@@ -110,13 +113,34 @@ impl SharedViewStore {
     /// [`crate::cache`]). Many threads may call this concurrently.
     pub fn answer(&self, mask: u32) -> Result<SharedAnswer> {
         let store = self.read_store();
-        self.answer_locked(&store, mask)
+        self.answer_locked(&store, mask, &PrivacyPolicy::none(), PlannerConfig::default())
     }
 
-    fn answer_locked(&self, store: &ViewStore, mask: u32) -> Result<SharedAnswer> {
+    /// [`SharedViewStore::answer`] under an explicit privacy policy and
+    /// planner configuration. Cache entries are keyed by the policy's
+    /// fingerprint, so an answer enforced under one policy can never be
+    /// served to a query running under another — and the same mask cached
+    /// under two policies yields two independent entries.
+    pub fn answer_with_policy(
+        &self,
+        mask: u32,
+        policy: &PrivacyPolicy,
+        config: PlannerConfig,
+    ) -> Result<SharedAnswer> {
+        let store = self.read_store();
+        self.answer_locked(&store, mask, policy, config)
+    }
+
+    fn answer_locked(
+        &self,
+        store: &ViewStore,
+        mask: u32,
+        policy: &PrivacyPolicy,
+        config: PlannerConfig,
+    ) -> Result<SharedAnswer> {
         let mut sp = trace::span("cube.cache");
         sp.record("mask", mask as u64);
-        let key = CacheKey::Cuboid(mask);
+        let key = CacheKey::Cuboid(mask, policy.fingerprint());
         if let Some((CachedValue::Cuboid(cuboid), source)) =
             self.inner.cache.get(&key, |s| store.view_epoch(s))
         {
@@ -130,7 +154,7 @@ impl SharedViewStore {
             });
         }
         sp.record("hit", 0);
-        let ans = store.answer(mask)?;
+        let ans = store.answer_with_policy(mask, policy, config)?;
         let cuboid = Arc::new(ans.cuboid);
         match (&ans.degraded, store.view_epoch(ans.source)) {
             (None, Some(epoch)) => {
@@ -178,7 +202,7 @@ impl SharedViewStore {
         let coords: Box<[u32]> = pattern.iter().flatten().copied().collect();
         let mut sp = trace::span("cube.cache.cell");
         sp.record("mask", mask as u64);
-        let key = CacheKey::Cell(mask, coords.clone());
+        let key = CacheKey::Cell(mask, 0, coords.clone());
         if let Some((CachedValue::Cell(state), _)) =
             self.inner.cache.get(&key, |s| store.view_epoch(s))
         {
@@ -186,7 +210,8 @@ impl SharedViewStore {
             return Ok(CellAnswer { state, cache_hit: true, degraded: false });
         }
         sp.record("hit", 0);
-        let ans = self.answer_locked(&store, mask)?;
+        let ans =
+            self.answer_locked(&store, mask, &PrivacyPolicy::none(), PlannerConfig::default())?;
         let state = ans.cuboid.get(&coords).copied();
         if ans.degraded.is_none() {
             if let Some(epoch) = store.view_epoch(ans.source) {
@@ -281,6 +306,90 @@ impl SharedViewStore {
     /// Top (base-cuboid) mask of the backing lattice.
     pub fn top(&self) -> u32 {
         self.read_store().lattice().top()
+    }
+
+    /// A [`PlanSource`] over this store for the shared executor: holds the
+    /// read lock for its lifetime (one consistent store per query), loads
+    /// through the verified pages, and fronts the answer cache with
+    /// **pre-enforcement** entries under fingerprint 0. Raw entries are
+    /// safe to share across policies because the executor's mandatory
+    /// privacy pass runs *after* every probe — cached and freshly derived
+    /// answers cross the same enforcement barrier.
+    pub fn plan_source(&self) -> SharedPlanSource<'_> {
+        SharedPlanSource { store: self.read_store(), cache: &self.inner.cache }
+    }
+}
+
+/// See [`SharedViewStore::plan_source`].
+pub struct SharedPlanSource<'a> {
+    store: RwLockReadGuard<'a, ViewStore>,
+    cache: &'a AnswerCache,
+}
+
+impl SharedPlanSource<'_> {
+    /// Dimension count of the locked store's lattice.
+    pub fn dim_count(&self) -> usize {
+        self.store.lattice().dim_count()
+    }
+
+    /// The locked store's materialized catalog (for
+    /// [`statcube_core::plan::PlannedQuery::retarget`]).
+    pub fn catalog(&self) -> Vec<statcube_core::plan::CatalogEntry> {
+        self.store.catalog()
+    }
+}
+
+impl PlanSource for SharedPlanSource<'_> {
+    fn load(&self, source: u32) -> Result<SourceCells> {
+        PlanSource::load(&*self.store, source)
+    }
+
+    fn probes(&self) -> bool {
+        true
+    }
+
+    fn probe(&self, target: u32) -> Option<(PlanCells, u32)> {
+        let key = CacheKey::Cuboid(target, 0);
+        match self.cache.get(&key, |s| self.store.view_epoch(s)) {
+            Some((CachedValue::Cuboid(cuboid), source)) => {
+                let cells = cuboid
+                    .iter()
+                    .map(|(k, s)| (k.clone(), PlanCell { states: vec![*s], suppressed: false }))
+                    .collect();
+                Some((cells, source))
+            }
+            _ => None,
+        }
+    }
+
+    fn admit(
+        &self,
+        target: u32,
+        source: u32,
+        cells_scanned: u64,
+        cells: &PlanCells,
+        degraded: bool,
+    ) {
+        if degraded {
+            self.cache.note_degraded_skip();
+            return;
+        }
+        let Some(epoch) = self.store.view_epoch(source) else { return };
+        let cuboid: Cuboid = cells
+            .iter()
+            .map(|(k, c)| (k.clone(), c.states.first().copied().unwrap_or(AggState::EMPTY)))
+            .collect();
+        let distance = u64::from(source.count_ones().saturating_sub(target.count_ones()));
+        let cost = cells_scanned.saturating_mul(distance + 1).max(1);
+        let bytes = cuboid_bytes(&cuboid);
+        self.cache.insert(
+            CacheKey::Cuboid(target, 0),
+            CachedValue::Cuboid(Arc::new(cuboid)),
+            bytes,
+            cost,
+            source,
+            epoch,
+        );
     }
 }
 
@@ -410,6 +519,33 @@ mod tests {
         // Entries derived from 0b011 are gone; the rest remain.
         assert!(store.cache_stats().entries < resident);
         assert!(store.verify_all().is_err());
+    }
+
+    #[test]
+    fn cache_is_keyed_on_the_active_privacy_policy() {
+        let f = input();
+        let store = SharedViewStore::build(&f, &[0b011], CacheConfig::default()).unwrap();
+        // Warm the cache under the permissive policy.
+        let permissive = store.answer(0b011).unwrap();
+        assert!(!permissive.cuboid.is_empty());
+        assert!(store.answer(0b011).unwrap().cache_hit);
+        // Every cell has 0 < count < 10_000, so this policy suppresses all
+        // of them — a maximally visible policy difference.
+        let strict = PrivacyPolicy::suppress(10_000);
+        let first = store.answer_with_policy(0b011, &strict, PlannerConfig::default()).unwrap();
+        assert!(
+            !first.cache_hit,
+            "the permissive entry must not serve a suppressing policy (the old bypass)"
+        );
+        assert!(first.cuboid.is_empty(), "all cells suppressed under k=10000");
+        // The strict answer caches under its own fingerprint...
+        let again = store.answer_with_policy(0b011, &strict, PlannerConfig::default()).unwrap();
+        assert!(again.cache_hit);
+        assert!(again.cuboid.is_empty(), "cached == uncached under the same policy");
+        // ...and the permissive entry is still intact and unsuppressed.
+        let back = store.answer(0b011).unwrap();
+        assert!(back.cache_hit);
+        assert_eq!(*back.cuboid, *permissive.cuboid);
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Bridge to the in-path enforcement the workspace planner applies.
+//!
+//! The modules of this crate implement §7's mechanisms over *microdata*
+//! tables, attacks included — the study side. The query engine enforces
+//! the same mechanisms *in-path*: every plan carries a mandatory privacy
+//! pass ([`statcube_core::plan::PrivacyPolicy`]), and the one workspace
+//! executor runs suppression, the tracker guard, complementary
+//! suppression, and output perturbation on every answered grouping set
+//! before any row leaves the plan layer — SQL, the cube store, cached
+//! sessions, and the navigator all go through it.
+//!
+//! This module provides the presets connecting the two sides, and its
+//! tests cross-validate the plan-layer operators against this crate's
+//! reference implementations ([`crate::suppress`], [`crate::tracker`],
+//! [`crate::perturb`]): same primary-suppression rule, same no-invertible-
+//! line invariant, same bounded-deterministic-noise contract.
+
+use statcube_core::plan::PrivacyPolicy;
+
+/// Census-style cell suppression: withhold cells built from fewer than
+/// `k` micro units, plus complementary cells so no published line can be
+/// inverted (the in-path analogue of [`crate::suppress::plan_suppression`]).
+pub fn cell_suppression(k: u64) -> PrivacyPolicy {
+    PrivacyPolicy::suppress(k)
+}
+
+/// [`cell_suppression`] hardened against the \[DS80\] difference attack:
+/// a cell within `k` of its grouping set's total is also withheld, since
+/// `total − cell` would disclose a small complement (the in-path analogue
+/// of the attacks in [`crate::tracker`]).
+pub fn tracker_guarded(k: u64) -> PrivacyPolicy {
+    PrivacyPolicy::suppress(k).with_tracker_guard()
+}
+
+/// Output perturbation: seeded noise in `[−magnitude, magnitude)` on every
+/// published sum. Deterministic per cell, so averaging repeated queries
+/// gains nothing (the in-path analogue of
+/// [`crate::perturb::OutputPerturbedDatabase`]).
+pub fn output_perturbed(magnitude: f64, seed: u64) -> PrivacyPolicy {
+    PrivacyPolicy::none().with_perturbation(magnitude, seed)
+}
+
+/// The full §7 stack: suppression, tracker guard, and output perturbation
+/// composed in one policy.
+pub fn full(k: u64, magnitude: f64, seed: u64) -> PrivacyPolicy {
+    PrivacyPolicy::suppress(k).with_tracker_guard().with_perturbation(magnitude, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suppress::plan_suppression;
+    use statcube_core::dimension::Dimension;
+    use statcube_core::measure::{MeasureKind, SummaryAttribute, SummaryFunction};
+    use statcube_core::object::StatisticalObject;
+    use statcube_core::plan::{
+        self, AggRequest, GroupingSpec, ObjectSource, Plan, PlanExecution, Planner,
+    };
+    use statcube_core::schema::Schema;
+
+    /// A 3×3 count table as a statistical object: `t[r][c]` micro units in
+    /// cell (product r, store c).
+    fn object_of(t: &[Vec<u64>]) -> StatisticalObject {
+        let products = ["p0", "p1", "p2"];
+        let stores = ["s0", "s1", "s2"];
+        let schema = Schema::builder("t")
+            .dimension(Dimension::categorical("product", products))
+            .dimension(Dimension::categorical("store", stores))
+            .measure(SummaryAttribute::new("v", MeasureKind::Flow))
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        for (r, row) in t.iter().enumerate() {
+            for (c, &n) in row.iter().enumerate() {
+                for _ in 0..n {
+                    o.insert(&[products[r], stores[c]], 1.0).unwrap();
+                }
+            }
+        }
+        o
+    }
+
+    fn run(o: &StatisticalObject, plan: &Plan, policy: PrivacyPolicy) -> PlanExecution {
+        let planned = Planner::for_object(o.schema()).with_policy(policy).plan(plan).unwrap();
+        // Project the object down to the plan's base mask (the source
+        // contract: the object holds exactly the scanned dimensions).
+        let mut base = o.clone();
+        for (d, dim) in o.schema().dimensions().iter().enumerate() {
+            if planned.base_mask() >> d & 1 == 0 {
+                base = statcube_core::ops::s_project_unchecked(&base, dim.name()).unwrap();
+            }
+        }
+        let src = ObjectSource::new(&base, planned.base_mask()).unwrap();
+        plan::execute(&planned, &src).unwrap()
+    }
+
+    fn count_agg() -> AggRequest {
+        AggRequest { func: SummaryFunction::Count, measure: None, label: "COUNT(*)".into() }
+    }
+
+    #[test]
+    fn plan_layer_suppression_matches_the_reference_planner() {
+        let t = vec![vec![2, 20, 30], vec![15, 25, 35], vec![40, 45, 50]];
+        let reference = plan_suppression(&t, 5);
+        assert_eq!(reference.primary.len(), 1);
+
+        let o = object_of(&t);
+        let cube = Plan::scan("t").grouping_sets(
+            vec!["product".into(), "store".into()],
+            GroupingSpec::Cube,
+            vec![count_agg()],
+        );
+        let exec = run(&o, &cube, cell_suppression(5));
+
+        let fine = exec.sets.iter().find(|s| s.target == 0b11).unwrap();
+        let by_product = exec.sets.iter().find(|s| s.target == 0b01).unwrap();
+        let by_store = exec.sets.iter().find(|s| s.target == 0b10).unwrap();
+        let hidden = |r: usize, c: usize| {
+            fine.cells[&vec![r as u32, c as u32].into_boxed_slice()].suppressed
+        };
+
+        // Same primary rule: every reference-primary cell is withheld.
+        for &(r, c) in &reference.primary {
+            assert!(hidden(r, c), "primary cell ({r},{c}) published");
+        }
+        // Complementary suppression fired in-path too.
+        let total_hidden: usize = (0..3).map(|r| (0..3).filter(|&c| hidden(r, c)).count()).sum();
+        assert!(total_hidden >= 2, "no complementary partner was withheld");
+        // Same invariant as `suppress::line_safe`: a published marginal
+        // line never contains exactly one suppressed interior cell.
+        for r in 0..3 {
+            let marginal = &by_product.cells[&vec![r as u32].into_boxed_slice()];
+            let in_row = (0..3).filter(|&c| hidden(r, c)).count();
+            assert!(
+                marginal.suppressed || in_row != 1,
+                "row {r} invertible from its published marginal"
+            );
+        }
+        for c in 0..3 {
+            let marginal = &by_store.cells[&vec![c as u32].into_boxed_slice()];
+            let in_col = (0..3).filter(|&r| hidden(r, c)).count();
+            assert!(
+                marginal.suppressed || in_col != 1,
+                "column {c} invertible from its published marginal"
+            );
+        }
+        // Published cells carry the exact counts.
+        for (r, row) in t.iter().enumerate() {
+            for (c, &expected) in row.iter().enumerate() {
+                let cell = &fine.cells[&vec![r as u32, c as u32].into_boxed_slice()];
+                if !cell.suppressed {
+                    assert_eq!(cell.states[0].count, expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tracker_guard_withholds_the_difference_attack_cell() {
+        // One dominant cell: `total − dominant` is a small count, the
+        // exact disclosure the [DS80] tracker exploits.
+        let t = vec![vec![96, 0, 0], vec![2, 0, 0], vec![2, 0, 0]];
+        let o = object_of(&t);
+        let by_product = Plan::scan("t").grouping_sets(
+            vec!["product".into()],
+            GroupingSpec::Single,
+            vec![count_agg()],
+        );
+        let dominant: Box<[u32]> = vec![0u32].into();
+
+        // Plain suppression withholds the two small cells but publishes
+        // the dominant one…
+        let open = run(&o, &by_product, cell_suppression(5));
+        assert!(!open.sets[0].cells[&dominant].suppressed);
+        // …which the tracker guard recognizes as a difference attack.
+        let guarded = run(&o, &by_product, tracker_guarded(5));
+        assert!(guarded.sets[0].cells[&dominant].suppressed);
+        assert!(guarded.sets[0].cells.values().all(|c| c.suppressed));
+    }
+
+    #[test]
+    fn output_perturbation_is_bounded_and_deterministic() {
+        let t = vec![vec![10, 20, 30], vec![40, 50, 60], vec![70, 80, 90]];
+        let o = object_of(&t);
+        let by_product = Plan::scan("t").grouping_sets(
+            vec!["product".into()],
+            GroupingSpec::Single,
+            vec![count_agg()],
+        );
+        let sums = |exec: &PlanExecution| {
+            let mut v: Vec<(Box<[u32]>, f64)> =
+                exec.sets[0].cells.iter().map(|(k, c)| (k.clone(), c.states[0].sum)).collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+        let a = sums(&run(&o, &by_product, output_perturbed(0.5, 7)));
+        let b = sums(&run(&o, &by_product, output_perturbed(0.5, 7)));
+        assert_eq!(a, b, "same seed must give identical noise");
+        let clean = sums(&run(&o, &by_product, PrivacyPolicy::none()));
+        for ((key, noisy), (_, exact)) in a.iter().zip(&clean) {
+            assert!((noisy - exact).abs() <= 0.5, "noise out of bounds for {key:?}");
+            assert_ne!(noisy, exact, "noise missing for {key:?}");
+        }
+        let other = sums(&run(&o, &by_product, output_perturbed(0.5, 8)));
+        assert_ne!(a, other, "seed must matter");
+    }
+
+    #[test]
+    fn full_stack_composes() {
+        let p = full(3, 1.0, 42);
+        assert_eq!(p.suppress_k, Some(3));
+        assert!(p.tracker_guard);
+        assert!(p.perturb.is_some());
+        assert!(!p.is_none());
+        assert_ne!(p.fingerprint(), 0);
+        assert_ne!(p.fingerprint(), cell_suppression(3).fingerprint());
+    }
+}

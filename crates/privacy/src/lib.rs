@@ -15,9 +15,14 @@
 //!   census practice);
 //! * [`sample`] — random-sample answers (\[OR95\]);
 //! * [`perturb`] — input and output perturbation.
+//!
+//! [`enforcement`] bridges to the query engine: presets for the
+//! plan-layer privacy pass every query path runs through, cross-validated
+//! here against the reference implementations above.
 
 #![warn(missing_docs)]
 
+pub mod enforcement;
 pub mod overlap;
 pub mod perturb;
 pub mod restrict;
@@ -27,6 +32,7 @@ pub mod tracker;
 
 /// The most commonly used types, for glob import.
 pub mod prelude {
+    pub use crate::enforcement::{cell_suppression, full, output_perturbed, tracker_guarded};
     pub use crate::overlap::OverlapAuditedDatabase;
     pub use crate::perturb::{input_perturb, OutputPerturbedDatabase};
     pub use crate::restrict::negate_conjunction;

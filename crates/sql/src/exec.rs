@@ -1,31 +1,41 @@
 //! Query execution against a [`StatisticalObject`].
 //!
-//! The executor reuses the statistical algebra: WHERE is `S-selection`,
-//! GROUP BY is projection down to the grouping dimensions, and
-//! `CUBE`/`ROLLUP` emit the [GB+96] grouping sets with `ALL` markers.
-//! Summarizability is enforced **per requested aggregate**: `SELECT
-//! AVG(population) … GROUP BY state` over a time dimension is fine while
-//! `SUM(population)` is refused — finer-grained than the schema-level
-//! check, because SQL names its functions explicitly.
+//! The interpreter is a thin front-end over the shared plan layer: a parsed
+//! [`Query`] compiles to a logical [`Plan`] ([`plan_of_query`]), the
+//! rule-based planner validates and rewrites it (summarizability per
+//! requested aggregate, predicate placement, the mandatory privacy
+//! barrier), and the one workspace executor evaluates the grouping sets.
+//! WHERE is `S-selection`, GROUP BY is projection down to the grouping
+//! dimensions, and `CUBE`/`ROLLUP` emit the \[GB+96\] grouping sets with
+//! `ALL` markers. `SELECT AVG(population) … GROUP BY state` over a time
+//! dimension is fine while `SUM(population)` is refused — finer-grained
+//! than the schema-level check, because SQL names its functions explicitly.
 
 use std::fmt::Write as _;
 
 use statcube_core::error::{Error, Result};
 use statcube_core::object::StatisticalObject;
 use statcube_core::ops;
-use statcube_core::summarizability::check_type;
+use statcube_core::plan::{
+    self, AggRequest, GroupingSpec, ObjectSource, Plan, PlanExecution, PlanPredicate, PlannedQuery,
+    Planner, PrivacyPolicy,
+};
+use statcube_core::schema::Schema;
 use statcube_core::trace;
 
 use crate::ast::{Grouping, Query};
 
 /// One output row: the grouping values (`None` = `ALL`) and the aggregate
-/// values (`None` = undefined, e.g. AVG of nothing).
+/// values (`None` = undefined, e.g. AVG of nothing, or withheld by the
+/// privacy policy).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResultRow {
     /// Values of the grouping columns, in GROUP BY order.
     pub group: Vec<Option<String>>,
     /// Values of the SELECT aggregates, in SELECT order.
     pub values: Vec<Option<f64>>,
+    /// The row was withheld by the privacy pass (its values read `NULL`).
+    pub suppressed: bool,
 }
 
 /// An executed query's result.
@@ -76,125 +86,84 @@ impl ResultSet {
     }
 }
 
-pub(crate) fn apply_filters(obj: &StatisticalObject, query: &Query) -> Result<StatisticalObject> {
+/// Compiles a parsed query to the logical summary-algebra [`Plan`] every
+/// front-end shares: WHERE becomes a `Select` node, GROUP BY (plain /
+/// CUBE / ROLLUP / absent) becomes a `GroupingSets` node whose group names
+/// are passed through verbatim — dimension names and hierarchy-level names
+/// alike; the planner resolves them.
+pub fn plan_of_query(query: &Query) -> Plan {
+    let mut plan = Plan::scan(&query.from);
+    if !query.filters.is_empty() {
+        plan = plan.select(
+            query
+                .filters
+                .iter()
+                .map(|p| PlanPredicate {
+                    column: p.column.clone(),
+                    value: p.value.clone(),
+                    negated: p.negated,
+                })
+                .collect(),
+        );
+    }
+    let (group, spec) = match &query.grouping {
+        Grouping::None => (Vec::new(), GroupingSpec::Single),
+        Grouping::Plain(d) => (d.clone(), GroupingSpec::Single),
+        Grouping::Cube(d) => (d.clone(), GroupingSpec::Cube),
+        Grouping::Rollup(d) => (d.clone(), GroupingSpec::Rollup),
+    };
+    let aggs = query
+        .select
+        .iter()
+        .map(|a| AggRequest { func: a.func, measure: a.arg.clone(), label: a.to_sql() })
+        .collect();
+    plan.grouping_sets(group, spec, aggs)
+}
+
+/// Applies the planner's leaf program to an object: leaf predicates
+/// (S-selection by member id), then leaf roll-ups (S-aggregation to a
+/// hierarchy level). Shared by the algebraic and physical front-ends.
+pub(crate) fn apply_leaf_program(
+    obj: &StatisticalObject,
+    planned: &PlannedQuery,
+) -> Result<StatisticalObject> {
     let mut cur = obj.clone();
-    for p in &query.filters {
-        let d = cur.schema().dim_index(&p.column)?;
-        let dim = &cur.schema().dimensions()[d];
-        let ids: Vec<u32> = dim
-            .members()
-            .iter()
-            .filter(|(_, v)| (*v == p.value) != p.negated)
-            .map(|(id, _)| id)
-            .collect();
-        cur = ops::s_select_ids(&cur, d, &ids)?;
+    for p in &planned.leaf_predicates {
+        cur = ops::s_select_ids(&cur, p.dim, &p.allowed)?;
+    }
+    for r in &planned.leaf_rollups {
+        cur = ops::s_aggregate(&cur, &r.dim_name, &r.level)?;
     }
     Ok(cur)
 }
 
-pub(crate) fn check_aggregates(obj: &StatisticalObject, query: &Query) -> Result<Vec<usize>> {
-    // Resolve each aggregate to a measure index (COUNT(*) → measure 0's
-    // count, which is shared across measures).
-    let mut measure_idx = Vec::with_capacity(query.select.len());
-    for agg in &query.select {
-        match &agg.arg {
-            Some(m) => measure_idx.push(obj.schema().measure_index(m)?),
-            None => measure_idx.push(0),
-        }
-    }
-    // Dimensions pinned to a single member by an equality filter are not
-    // aggregated *over* — they are the paper's singleton context
-    // ("Employment in California", §2.1(iii)).
-    let pinned: Vec<usize> = query
-        .filters
-        .iter()
-        .filter(|p| !p.negated)
-        .map(|p| obj.schema().dim_index(&p.column))
-        .collect::<Result<_>>()?;
-    // Which dimensions get aggregated away in at least one emitted
-    // grouping? Plain: the complement of the grouping set. CUBE / ROLLUP /
-    // no grouping: every dimension (the apex aggregates them all).
-    let aggregated_dims: Vec<usize> = match &query.grouping {
-        Grouping::Plain(dims) => {
-            let keep: Vec<usize> =
-                dims.iter().map(|d| obj.schema().dim_index(d)).collect::<Result<_>>()?;
-            (0..obj.schema().dim_count())
-                .filter(|d| !keep.contains(d) && !pinned.contains(d))
-                .collect()
-        }
-        _ => {
-            for d in query.grouping.dims() {
-                obj.schema().dim_index(d)?;
-            }
-            (0..obj.schema().dim_count()).filter(|d| !pinned.contains(d)).collect()
-        }
-    };
-    let mut violations = Vec::new();
-    for (agg, &m) in query.select.iter().zip(&measure_idx) {
-        if agg.arg.is_none() {
-            continue; // COUNT(*) is always meaningful
-        }
-        let measure = &obj.schema().measures()[m];
-        for &d in &aggregated_dims {
-            let dim = &obj.schema().dimensions()[d];
-            if let Some(v) =
-                check_type(measure.name(), measure.kind(), agg.func, dim.name(), dim.role())
-            {
-                violations.push(v);
-            }
-        }
-    }
-    if violations.is_empty() {
-        Ok(measure_idx)
-    } else {
-        violations.dedup();
-        Err(Error::Summarizability(violations))
-    }
-}
-
-/// Resolves GROUP BY names that are *hierarchy levels* rather than
-/// dimensions (the statistical-object semantics SQL normally lacks):
-/// `GROUP BY city` over a `store` dimension whose default hierarchy has a
-/// `city` level first rolls the object up to that level, then the name
-/// refers to the (renamed) dimension. Returns the possibly rolled-up
-/// object and the query with level names rewritten to dimension names.
-pub(crate) fn resolve_level_groupings(
-    obj: &StatisticalObject,
-    query: &Query,
-) -> Result<(StatisticalObject, Query)> {
-    let mut cur = obj.clone();
-    let mut q = query.clone();
-    let dims: Vec<String> = q.grouping.dims().to_vec();
-    let mut rewritten = dims.clone();
-    for (i, name) in dims.iter().enumerate() {
-        if cur.schema().dim_index(name).is_ok() {
-            continue;
-        }
-        // Find a dimension whose default hierarchy has a level `name`.
-        let target = cur
-            .schema()
-            .dimensions()
-            .iter()
-            .find(|d| {
-                d.default_hierarchy()
-                    .map(|h| h.levels().iter().any(|l| l.name() == name.as_str()))
-                    .unwrap_or(false)
-            })
-            .map(|d| d.name().to_owned());
-        let Some(dim_name) = target else { continue }; // unknown: error later
-        cur = ops::s_aggregate(&cur, &dim_name, name)?;
-        rewritten[i] = dim_name;
-    }
-    match &mut q.grouping {
-        Grouping::Plain(d) | Grouping::Cube(d) | Grouping::Rollup(d) => *d = rewritten,
-        Grouping::None => {}
-    }
-    Ok((cur, q))
+/// Converts executor rows into SQL result rows.
+pub(crate) fn rows_from_plan(
+    planned: &PlannedQuery,
+    exec: &PlanExecution,
+    schema: &Schema,
+) -> Result<Vec<ResultRow>> {
+    Ok(plan::result_rows(planned, exec, schema)?
+        .into_iter()
+        .map(|r| ResultRow { group: r.group, values: r.values, suppressed: r.suppressed })
+        .collect())
 }
 
 /// Executes a parsed query against a statistical object (the binding of
 /// the query's FROM name to `obj` is the caller's affair).
 pub fn execute(obj: &StatisticalObject, query: &Query) -> Result<ResultSet> {
+    execute_with_policy(obj, query, &PrivacyPolicy::none())
+}
+
+/// Executes a parsed query with a privacy policy in the path: the planner
+/// attaches the mandatory `Restrict` barrier and the executor enforces it
+/// on every grouping set before rows render. Suppressed rows stay in the
+/// result with `NULL` values and `suppressed = true`.
+pub fn execute_with_policy(
+    obj: &StatisticalObject,
+    query: &Query,
+    policy: &PrivacyPolicy,
+) -> Result<ResultSet> {
     let mut root = trace::span("sql.execute");
     trace::counter("sql.queries", 1);
     if query.select.is_empty() {
@@ -203,82 +172,30 @@ pub fn execute(obj: &StatisticalObject, query: &Query) -> Result<ResultSet> {
     // Result columns keep the user's names (level names included).
     let display_dims: Vec<String> = query.grouping.dims().to_vec();
     let plan_span = trace::span("sql.plan");
-    // WHERE applies at the leaf level, before any level-name roll-up —
-    // `WHERE store = 's1' GROUP BY city` filters the store first.
-    let filtered_leaf = apply_filters(obj, query)?;
-    let (obj, query) = resolve_level_groupings(&filtered_leaf, query)?;
-    let obj = &obj;
-    let query = &query;
-    let measure_idx = check_aggregates(obj, query)?;
+    let planned = Planner::for_object(obj.schema())
+        .with_policy(policy.clone())
+        .plan(&plan_of_query(query))?;
+    // Leaf program: WHERE applies at the leaf level, before any level-name
+    // roll-up — `WHERE store = 's1' GROUP BY city` filters the store first.
+    let leaf = apply_leaf_program(obj, &planned)?;
+    // Group labels resolve in the post-roll-up, pre-projection schema.
+    let label_schema = leaf.schema().clone();
+    // Reduce to the one base projection all grouping sets derive from.
+    let base_mask = planned.base_mask();
+    let names: Vec<String> =
+        leaf.schema().dimensions().iter().map(|d| d.name().to_owned()).collect();
+    let mut base = leaf;
+    for (d, name) in names.iter().enumerate() {
+        if base_mask >> d & 1 == 0 {
+            base = ops::s_project_unchecked(&base, name)?;
+        }
+    }
     drop(plan_span);
     let mut eval_span = trace::span("sql.eval");
-    let filtered = obj.clone();
-
-    let group_dims = query.grouping.dims().to_vec();
-    // The grouping sets to emit, as boolean keep-masks over `group_dims`.
-    let sets: Vec<Vec<bool>> = match &query.grouping {
-        Grouping::None => vec![vec![]],
-        Grouping::Plain(d) => vec![vec![true; d.len()]],
-        Grouping::Cube(d) => {
-            let n = d.len();
-            (0..(1u32 << n))
-                .rev()
-                .map(|mask| (0..n).map(|i| mask & (1 << i) != 0).collect())
-                .collect()
-        }
-        Grouping::Rollup(d) => {
-            let n = d.len();
-            (0..=n).rev().map(|k| (0..n).map(|i| i < k).collect()).collect()
-        }
-    };
-
-    // Reduce to the grouping dimensions once; derive each grouping set
-    // from that base.
-    let mut base = filtered;
-    let all_dims: Vec<String> =
-        base.schema().dimensions().iter().map(|d| d.name().to_owned()).collect();
-    for dim in &all_dims {
-        if !group_dims.contains(dim) {
-            base = ops::s_project_unchecked(&base, dim)?;
-        }
-    }
-
-    let mut rows = Vec::new();
-    for set in &sets {
-        let mut cur = base.clone();
-        for (i, keep) in set.iter().enumerate() {
-            if !keep {
-                cur = ops::s_project_unchecked(&cur, &group_dims[i])?;
-            }
-        }
-        for (coords, states) in cur.cells_sorted() {
-            let names = cur.schema().names_of(coords)?;
-            // Map kept-dim names back into GROUP BY order with ALL gaps.
-            let mut group = Vec::with_capacity(group_dims.len());
-            let mut cursor = 0;
-            for (i, keep) in set.iter().enumerate() {
-                if *keep {
-                    let pos = cur.schema().dim_index(&group_dims[i])?;
-                    let _ = pos;
-                    group.push(Some(names[cursor].to_owned()));
-                    cursor += 1;
-                } else {
-                    group.push(None);
-                }
-            }
-            let values: Vec<Option<f64>> = query
-                .select
-                .iter()
-                .zip(&measure_idx)
-                // Defensive `get`: `measure_idx` is validated against the
-                // schema, but a user query must never be able to panic the
-                // executor — a missing state reads as NULL.
-                .map(|(agg, &m)| states.get(m).and_then(|s| s.value(agg.func)))
-                .collect();
-            rows.push(ResultRow { group, values });
-        }
-    }
-    eval_span.record("grouping_sets", sets.len() as u64);
+    let src = ObjectSource::new(&base, base_mask)?;
+    let executed = plan::execute(&planned, &src)?;
+    let rows = rows_from_plan(&planned, &executed, &label_schema)?;
+    eval_span.record("grouping_sets", planned.sets.len() as u64);
     eval_span.record("rows", rows.len() as u64);
     drop(eval_span);
     root.record("rows", rows.len() as u64);
@@ -293,6 +210,217 @@ pub fn execute(obj: &StatisticalObject, query: &Query) -> Result<ResultSet> {
 /// Parses and executes in one step.
 pub fn execute_str(obj: &StatisticalObject, sql: &str) -> Result<ResultSet> {
     execute(obj, &crate::parser::parse(sql)?)
+}
+
+/// Renders the EXPLAIN text for a query — the logical plan, the rewrite
+/// passes applied, and the physical grouping sets — without executing it.
+pub fn explain(obj: &StatisticalObject, query: &Query) -> Result<String> {
+    explain_with_policy(obj, query, &PrivacyPolicy::none())
+}
+
+/// [`explain`] with an explicit privacy policy (the `Restrict` barrier and
+/// the privacy pass note render with the given policy).
+pub fn explain_with_policy(
+    obj: &StatisticalObject,
+    query: &Query,
+    policy: &PrivacyPolicy,
+) -> Result<String> {
+    Ok(Planner::for_object(obj.schema())
+        .with_policy(policy.clone())
+        .plan(&plan_of_query(query))?
+        .explain())
+}
+
+/// Parses and explains in one step.
+pub fn explain_str(obj: &StatisticalObject, sql: &str) -> Result<String> {
+    explain(obj, &crate::parser::parse(sql)?)
+}
+
+/// The pre-planner interpreter, frozen verbatim as a differential-testing
+/// oracle: the property tests below check that the planner + shared
+/// executor agree with it on randomized queries. Not compiled into the
+/// library.
+#[cfg(test)]
+pub(crate) mod frozen {
+    use statcube_core::summarizability::check_type;
+
+    use super::*;
+
+    fn apply_filters(obj: &StatisticalObject, query: &Query) -> Result<StatisticalObject> {
+        let mut cur = obj.clone();
+        for p in &query.filters {
+            let d = cur.schema().dim_index(&p.column)?;
+            let dim = &cur.schema().dimensions()[d];
+            let ids: Vec<u32> = dim
+                .members()
+                .iter()
+                .filter(|(_, v)| (*v == p.value) != p.negated)
+                .map(|(id, _)| id)
+                .collect();
+            cur = ops::s_select_ids(&cur, d, &ids)?;
+        }
+        Ok(cur)
+    }
+
+    fn check_aggregates(obj: &StatisticalObject, query: &Query) -> Result<Vec<usize>> {
+        let mut measure_idx = Vec::with_capacity(query.select.len());
+        for agg in &query.select {
+            match &agg.arg {
+                Some(m) => measure_idx.push(obj.schema().measure_index(m)?),
+                None => measure_idx.push(0),
+            }
+        }
+        let pinned: Vec<usize> = query
+            .filters
+            .iter()
+            .filter(|p| !p.negated)
+            .map(|p| obj.schema().dim_index(&p.column))
+            .collect::<Result<_>>()?;
+        let aggregated_dims: Vec<usize> = match &query.grouping {
+            Grouping::Plain(dims) => {
+                let keep: Vec<usize> =
+                    dims.iter().map(|d| obj.schema().dim_index(d)).collect::<Result<_>>()?;
+                (0..obj.schema().dim_count())
+                    .filter(|d| !keep.contains(d) && !pinned.contains(d))
+                    .collect()
+            }
+            _ => {
+                for d in query.grouping.dims() {
+                    obj.schema().dim_index(d)?;
+                }
+                (0..obj.schema().dim_count()).filter(|d| !pinned.contains(d)).collect()
+            }
+        };
+        let mut violations = Vec::new();
+        for (agg, &m) in query.select.iter().zip(&measure_idx) {
+            if agg.arg.is_none() {
+                continue;
+            }
+            let measure = &obj.schema().measures()[m];
+            for &d in &aggregated_dims {
+                let dim = &obj.schema().dimensions()[d];
+                if let Some(v) =
+                    check_type(measure.name(), measure.kind(), agg.func, dim.name(), dim.role())
+                {
+                    violations.push(v);
+                }
+            }
+        }
+        if violations.is_empty() {
+            Ok(measure_idx)
+        } else {
+            violations.dedup();
+            Err(Error::Summarizability(violations))
+        }
+    }
+
+    fn resolve_level_groupings(
+        obj: &StatisticalObject,
+        query: &Query,
+    ) -> Result<(StatisticalObject, Query)> {
+        let mut cur = obj.clone();
+        let mut q = query.clone();
+        let dims: Vec<String> = q.grouping.dims().to_vec();
+        let mut rewritten = dims.clone();
+        for (i, name) in dims.iter().enumerate() {
+            if cur.schema().dim_index(name).is_ok() {
+                continue;
+            }
+            let target = cur
+                .schema()
+                .dimensions()
+                .iter()
+                .find(|d| {
+                    d.default_hierarchy()
+                        .map(|h| h.levels().iter().any(|l| l.name() == name.as_str()))
+                        .unwrap_or(false)
+                })
+                .map(|d| d.name().to_owned());
+            let Some(dim_name) = target else { continue };
+            cur = ops::s_aggregate(&cur, &dim_name, name)?;
+            rewritten[i] = dim_name;
+        }
+        match &mut q.grouping {
+            Grouping::Plain(d) | Grouping::Cube(d) | Grouping::Rollup(d) => *d = rewritten,
+            Grouping::None => {}
+        }
+        Ok((cur, q))
+    }
+
+    pub(crate) fn execute(obj: &StatisticalObject, query: &Query) -> Result<ResultSet> {
+        if query.select.is_empty() {
+            return Err(Error::InvalidSchema("empty SELECT list".into()));
+        }
+        let display_dims: Vec<String> = query.grouping.dims().to_vec();
+        let filtered_leaf = apply_filters(obj, query)?;
+        let (obj, query) = resolve_level_groupings(&filtered_leaf, query)?;
+        let obj = &obj;
+        let query = &query;
+        let measure_idx = check_aggregates(obj, query)?;
+        let filtered = obj.clone();
+
+        let group_dims = query.grouping.dims().to_vec();
+        let sets: Vec<Vec<bool>> = match &query.grouping {
+            Grouping::None => vec![vec![]],
+            Grouping::Plain(d) => vec![vec![true; d.len()]],
+            Grouping::Cube(d) => {
+                let n = d.len();
+                (0..(1u32 << n))
+                    .rev()
+                    .map(|mask| (0..n).map(|i| mask & (1 << i) != 0).collect())
+                    .collect()
+            }
+            Grouping::Rollup(d) => {
+                let n = d.len();
+                (0..=n).rev().map(|k| (0..n).map(|i| i < k).collect()).collect()
+            }
+        };
+
+        let mut base = filtered;
+        let all_dims: Vec<String> =
+            base.schema().dimensions().iter().map(|d| d.name().to_owned()).collect();
+        for dim in &all_dims {
+            if !group_dims.contains(dim) {
+                base = ops::s_project_unchecked(&base, dim)?;
+            }
+        }
+
+        let mut rows = Vec::new();
+        for set in &sets {
+            let mut cur = base.clone();
+            for (i, keep) in set.iter().enumerate() {
+                if !keep {
+                    cur = ops::s_project_unchecked(&cur, &group_dims[i])?;
+                }
+            }
+            for (coords, states) in cur.cells_sorted() {
+                let names = cur.schema().names_of(coords)?;
+                let mut group = Vec::with_capacity(group_dims.len());
+                let mut cursor = 0;
+                for keep in set {
+                    if *keep {
+                        group.push(Some(names[cursor].to_owned()));
+                        cursor += 1;
+                    } else {
+                        group.push(None);
+                    }
+                }
+                let values: Vec<Option<f64>> = query
+                    .select
+                    .iter()
+                    .zip(&measure_idx)
+                    .map(|(agg, &m)| states.get(m).and_then(|s| s.value(agg.func)))
+                    .collect();
+                rows.push(ResultRow { group, values, suppressed: false });
+            }
+        }
+
+        Ok(ResultSet {
+            group_columns: display_dims,
+            agg_columns: query.select.iter().map(|a| a.to_sql()).collect(),
+            rows,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -486,5 +614,157 @@ mod tests {
         assert_eq!(rs.rows.len(), 1);
         assert!(rs.rows[0].group.is_empty());
         assert_eq!(rs.rows[0].values[0], Some(6.0));
+    }
+
+    #[test]
+    fn suppression_policy_withholds_small_rows() {
+        let rs = execute_with_policy(
+            &census(),
+            &crate::parser::parse("SELECT COUNT(*) FROM census GROUP BY state, year").unwrap(),
+            &PrivacyPolicy::suppress(2),
+        )
+        .unwrap();
+        // (CA, 1991) holds a single micro unit → suppressed; (AL, 1990)
+        // holds two → published.
+        let ca91 = find(&rs, &[Some("CA"), Some("1991")]).unwrap();
+        assert!(ca91.suppressed);
+        assert_eq!(ca91.values, vec![None]);
+        let al90 = find(&rs, &[Some("AL"), Some("1990")]).unwrap();
+        assert!(!al90.suppressed);
+        assert_eq!(al90.values, vec![Some(2.0)]);
+    }
+
+    #[test]
+    fn explain_shows_plan_rewrites_and_sets() {
+        let text = explain_str(
+            &census(),
+            "SELECT SUM(births) FROM census WHERE sex = 'male' GROUP BY CUBE(state, year)",
+        )
+        .unwrap();
+        assert!(text.contains("logical plan"), "{text}");
+        assert!(text.contains("GroupingSets{spec=cube"), "{text}");
+        assert!(text.contains("Select{sex = 'male'}"), "{text}");
+        assert!(text.contains("Scan{census}"), "{text}");
+        assert!(text.contains("1. summarizability:"), "{text}");
+        assert!(text.contains("4. privacy: policy none enforced"), "{text}");
+        assert!(text.contains("physical grouping sets"), "{text}");
+        // Four CUBE sets, each deriving from the one base projection.
+        assert_eq!(text.matches("target ").count(), 4, "{text}");
+    }
+}
+
+#[cfg(test)]
+mod prop {
+    use proptest::prelude::*;
+    use statcube_core::dimension::Dimension;
+    use statcube_core::measure::{MeasureKind, SummaryAttribute, SummaryFunction};
+    use statcube_core::schema::Schema;
+
+    use super::*;
+    use crate::ast::AggExpr;
+
+    const STATES: [&str; 3] = ["AL", "CA", "NV"];
+    const YEARS: [&str; 2] = ["1990", "1991"];
+    const SEXES: [&str; 2] = ["male", "female"];
+
+    fn schema() -> Schema {
+        Schema::builder("census")
+            .dimension(Dimension::spatial("state", STATES))
+            .dimension(Dimension::temporal("year", YEARS))
+            .dimension(Dimension::categorical("sex", SEXES))
+            .measure(SummaryAttribute::new("population", MeasureKind::Stock))
+            .measure(SummaryAttribute::new("births", MeasureKind::Flow))
+            .function(SummaryFunction::Sum)
+            .build()
+            .unwrap()
+    }
+
+    fn object_strategy() -> impl Strategy<Value = StatisticalObject> {
+        proptest::collection::vec((0u32..3, 0u32..2, 0u32..2, 0i64..1000, 0i64..50), 0..40)
+            .prop_map(|cells| {
+                let mut o = StatisticalObject::empty(schema());
+                for (s, y, x, pop, births) in cells {
+                    o.insert_ids(&[s, y, x], &[pop as f64, births as f64]).unwrap();
+                }
+                o
+            })
+    }
+
+    fn query_strategy() -> impl Strategy<Value = Query> {
+        let agg = (0usize..5).prop_map(|i| match i {
+            0 => AggExpr { func: SummaryFunction::Sum, arg: Some("births".into()) },
+            1 => AggExpr { func: SummaryFunction::Avg, arg: Some("population".into()) },
+            2 => AggExpr { func: SummaryFunction::Min, arg: Some("births".into()) },
+            3 => AggExpr { func: SummaryFunction::Max, arg: Some("population".into()) },
+            _ => AggExpr { func: SummaryFunction::Count, arg: None },
+        });
+        let filter = (0usize..3, 0usize..3, proptest::bool::ANY).prop_map(|(d, m, negated)| {
+            let (column, value) = match d {
+                0 => ("state", STATES[m]),
+                1 => ("year", YEARS[m % 2]),
+                _ => ("sex", SEXES[m % 2]),
+            };
+            crate::ast::Predicate { column: column.to_owned(), value: value.to_owned(), negated }
+        });
+        // Group columns stay in schema order (the frozen interpreter's
+        // label cursor assumed it; the planner handles any order).
+        let groups = proptest::sample::subsequence(&["state", "year", "sex"][..], 0..=3usize);
+        (
+            proptest::collection::vec(agg, 1..4),
+            proptest::collection::vec(filter, 0..3),
+            groups,
+            0u8..4,
+        )
+            .prop_map(|(select, filters, dims, kind)| {
+                let dims: Vec<String> = dims.into_iter().map(str::to_owned).collect();
+                Query {
+                    select,
+                    from: "census".into(),
+                    filters,
+                    grouping: match kind {
+                        0 => Grouping::None,
+                        1 => Grouping::Plain(dims),
+                        2 => Grouping::Cube(dims),
+                        _ => Grouping::Rollup(dims),
+                    },
+                }
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        /// The planner + shared executor agree with the frozen pre-planner
+        /// interpreter on randomized queries — both answers and refusals.
+        #[test]
+        fn planner_matches_the_frozen_interpreter(
+            o in object_strategy(),
+            q in query_strategy(),
+        ) {
+            let new = execute(&o, &q);
+            let old = frozen::execute(&o, &q);
+            match (new, old) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(
+                    false,
+                    "planner and frozen interpreter disagree: {a:?} vs {b:?} on {}",
+                    q.to_sql()
+                ),
+            }
+        }
+
+        /// A permissive policy run through the full privacy path changes
+        /// nothing: the barrier is mandatory but `none` withholds nothing.
+        #[test]
+        fn permissive_policy_is_identity(o in object_strategy(), q in query_strategy()) {
+            let plain = execute(&o, &q);
+            let policied = execute_with_policy(&o, &q, &PrivacyPolicy::none());
+            match (plain, policied) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(false, "permissive policy changed the outcome"),
+            }
+        }
     }
 }

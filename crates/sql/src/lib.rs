@@ -49,18 +49,28 @@ pub mod parser;
 pub mod physical;
 pub mod token;
 
-pub use exec::{execute, execute_str, ResultRow, ResultSet};
+pub use exec::{
+    execute, execute_str, execute_with_policy, explain, explain_str, explain_with_policy,
+    plan_of_query, ResultRow, ResultSet,
+};
 pub use parser::{expand_cube_to_unions, parse};
-pub use physical::{execute_physical, execute_physical_str, CachedSession, PhysicalAnswer};
+pub use physical::{
+    execute_physical, execute_physical_str, execute_physical_with_options, CachedSession,
+    PhysicalAnswer,
+};
 
 /// The most commonly used items, for glob import. `Query` is re-exported
 /// as `SqlQuery` to avoid clashing with
 /// `statcube_core::auto_agg::Query` in combined preludes.
 pub mod prelude {
     pub use crate::ast::{AggExpr, Grouping, Predicate, Query as SqlQuery};
-    pub use crate::exec::{execute, execute_str, ResultRow, ResultSet};
+    pub use crate::exec::{
+        execute, execute_str, execute_with_policy, explain, explain_str, explain_with_policy,
+        plan_of_query, ResultRow, ResultSet,
+    };
     pub use crate::parser::{expand_cube_to_unions, parse};
     pub use crate::physical::{
-        execute_physical, execute_physical_str, CachedSession, PhysicalAnswer,
+        execute_physical, execute_physical_str, execute_physical_with_options, CachedSession,
+        PhysicalAnswer,
     };
 }

@@ -4,15 +4,16 @@
 //! [`exec::execute`] evaluates queries directly over the in-memory
 //! statistical algebra — correct, but it exercises none of the machinery
 //! §6 of the paper is about: materialized cuboids, verified page I/O,
-//! lattice routing. This module is the *physical* counterpart: the
-//! object's populated cells become a fact table
-//! ([`FactInput::from_object`]), the grouping sets become cuboid masks
-//! answered by a [`ViewStore`] whose views live in a checksummed
-//! [`PageStore`](statcube_storage::page_store::PageStore), and the whole
-//! run is traced — so a single `GROUP BY CUBE` query yields a
-//! [`QueryProfile`] whose span tree crosses all three layers (sql parse
-//! and plan, cube answers with lattice-fallback provenance, storage page
-//! reads with retry counts).
+//! lattice routing. This module is the *physical* counterpart, built on
+//! the same plan layer: the query compiles to the shared logical plan
+//! ([`exec::plan_of_query`]), the planner validates it, the object's
+//! populated cells become a fact table ([`FactInput::from_object`]), the
+//! plan is **retargeted** onto the sealed [`ViewStore`]'s catalog (the
+//! lattice pass re-runs against real materialized views), and the one
+//! workspace executor answers every grouping set — so a single `GROUP BY
+//! CUBE` query yields a [`QueryProfile`] whose span tree crosses all three
+//! layers (sql parse and plan, cube answers with lattice-fallback
+//! provenance, storage page reads with retry counts).
 //!
 //! ## Semantics caveat (macro-data aggregates)
 //!
@@ -30,24 +31,24 @@
 //! serving workload that asks many queries of one object.
 //! [`CachedSession`] builds the [`SharedViewStore`] **once** and answers
 //! every subsequent query through its cost-aware cache, so repeated
-//! grouping sets hit instead of rescanning sealed pages. Queries whose
-//! plan rewrites the object — `WHERE` filters, hierarchy-level groupings —
-//! bypass the session store and take the uncached path (the cache keys on
-//! the session's base object; a rewritten object is a different cube).
-
-use std::collections::HashMap;
+//! grouping sets hit instead of rescanning sealed pages. `WHERE` filters
+//! are pushed into the store scan by the planner (the executor derives
+//! while filtering, and skips the cache so filtered derivations never
+//! pollute unfiltered keys). Only plans that *rewrite the object itself* —
+//! hierarchy-level groupings, or leaf predicates when pushdown is disabled
+//! — bypass the session store and take the uncached path.
 
 use statcube_core::error::{Error, Result};
 use statcube_core::object::StatisticalObject;
+use statcube_core::plan::{self, Planner, PlannerConfig, PrivacyPolicy};
 use statcube_core::trace::{self, QueryProfile};
 use statcube_cube::cache::{CacheConfig, CacheStats};
-use statcube_cube::groupby::Cuboid;
 use statcube_cube::input::FactInput;
 use statcube_cube::query::ViewStore;
 use statcube_cube::shared::SharedViewStore;
 
-use crate::ast::{AggExpr, Grouping, Query};
-use crate::exec::{self, ResultRow, ResultSet};
+use crate::ast::Query;
+use crate::exec::{self, ResultSet};
 
 /// A physically executed query: the result plus its profile, the
 /// degraded-answer count (non-zero when sealed views failed verification
@@ -70,76 +71,12 @@ pub struct PhysicalAnswer {
     /// from sealed pages (always 0 on the uncached path).
     pub cache_misses: u64,
     /// True when a [`CachedSession`] query bypassed the session store
-    /// because its plan rewrites the object (filters, level groupings).
+    /// because its plan rewrites the object (level groupings, or leaf
+    /// predicates under disabled pushdown).
     pub bypassed_cache: bool,
-}
-
-/// The grouping-set keep-masks a query emits, over `group_dims`.
-fn grouping_sets(grouping: &Grouping) -> Vec<Vec<bool>> {
-    match grouping {
-        Grouping::None => vec![vec![]],
-        Grouping::Plain(d) => vec![vec![true; d.len()]],
-        Grouping::Cube(d) => {
-            let n = d.len();
-            (0..(1u32 << n))
-                .rev()
-                .map(|mask| (0..n).map(|i| mask & (1 << i) != 0).collect())
-                .collect()
-        }
-        Grouping::Rollup(d) => {
-            let n = d.len();
-            (0..=n).rev().map(|k| (0..n).map(|i| i < k).collect()).collect()
-        }
-    }
-}
-
-/// The cuboid mask a grouping-set keep-vector selects, over `dim_bits`.
-fn mask_of_set(set: &[bool], dim_bits: &[usize]) -> u32 {
-    set.iter().zip(dim_bits).filter(|(keep, _)| **keep).fold(0u32, |m, (_, &d)| m | (1 << d))
-}
-
-/// Maps one grouping set's cuboid cells back to labeled [`ResultRow`]s with
-/// `ALL` gaps (`None` group values), appending to `rows`. Kept grouping
-/// columns are ordered by dimension index — the cuboid key layout — then
-/// mapped back into GROUP BY order.
-fn rows_for_set(
-    obj: &StatisticalObject,
-    group_dims: &[String],
-    dim_bits: &[usize],
-    set: &[bool],
-    cuboid: &Cuboid,
-    select: &[AggExpr],
-    rows: &mut Vec<ResultRow>,
-) -> Result<()> {
-    let mut kept: Vec<(usize, usize)> =
-        set.iter().enumerate().filter(|(_, keep)| **keep).map(|(i, _)| (dim_bits[i], i)).collect();
-    kept.sort_unstable();
-    let key_slot: HashMap<usize, usize> =
-        kept.iter().enumerate().map(|(slot, &(_, i))| (i, slot)).collect();
-    let mut cells: Vec<_> = cuboid.iter().collect();
-    cells.sort_unstable_by(|a, b| a.0.cmp(b.0));
-    for (key, state) in cells {
-        let mut group = Vec::with_capacity(group_dims.len());
-        for (i, keep) in set.iter().enumerate() {
-            if *keep {
-                let coord = key[key_slot[&i]];
-                let d = dim_bits[i];
-                let member =
-                    obj.schema().dimensions()[d].members().value_of(coord).ok_or_else(|| {
-                        Error::InvalidSchema(format!(
-                            "no member {coord} in dimension `{}`",
-                            group_dims[i]
-                        ))
-                    })?;
-                group.push(Some(member.to_owned()));
-            } else {
-                group.push(None);
-            }
-        }
-        let values: Vec<Option<f64>> = select.iter().map(|agg| state.value(agg.func)).collect();
-        rows.push(ResultRow { group, values });
-    }
-    Ok(())
+    /// Source cells scanned to derive the grouping sets (0 for sets served
+    /// from the cache) — the lattice pass's cost metric.
+    pub cells_scanned: u64,
 }
 
 /// Executes a parsed query through the cube engine and page store.
@@ -147,6 +84,18 @@ fn rows_for_set(
 /// The object must have exactly one measure (the [`FactInput`] contract);
 /// see the module docs for the macro-data aggregate semantics.
 pub fn execute_physical(obj: &StatisticalObject, query: &Query) -> Result<PhysicalAnswer> {
+    execute_physical_with_options(obj, query, &PrivacyPolicy::none(), PlannerConfig::default())
+}
+
+/// [`execute_physical`] with an explicit privacy policy and planner
+/// configuration (the config switches exist for the E26 rewrite-ablation
+/// experiment; production callers keep the default).
+pub fn execute_physical_with_options(
+    obj: &StatisticalObject,
+    query: &Query,
+    policy: &PrivacyPolicy,
+    config: PlannerConfig,
+) -> Result<PhysicalAnswer> {
     let mut root = trace::span("sql.execute");
     root.note("physical");
     trace::counter("sql.queries", 1);
@@ -157,43 +106,39 @@ pub fn execute_physical(obj: &StatisticalObject, query: &Query) -> Result<Physic
     }
     let display_dims: Vec<String> = query.grouping.dims().to_vec();
 
-    // Plan: filter at the leaf grain, resolve hierarchy-level names,
-    // enforce summarizability, then bind grouping names to dimension bits.
+    // Plan against the object's schema: name resolution, summarizability,
+    // predicate placement, the mandatory privacy barrier.
     let plan_span = trace::span("sql.plan");
-    let filtered = exec::apply_filters(obj, query)?;
-    let (obj, query) = exec::resolve_level_groupings(&filtered, query)?;
-    let measure_idx = exec::check_aggregates(&obj, &query)?;
+    let mut planned = Planner::for_object(obj.schema())
+        .with_policy(policy.clone())
+        .with_config(config)
+        .plan(&exec::plan_of_query(query))?;
     // FactInput carries a single measure; every aggregate must target it.
-    if measure_idx.iter().any(|&m| m != 0) || obj.schema().measures().len() != 1 {
+    if planned.aggs.iter().any(|a| a.measure != 0) || obj.schema().measures().len() != 1 {
         return Err(Error::MultipleMeasures(obj.schema().measures().len()));
     }
-    let group_dims = query.grouping.dims().to_vec();
-    let dim_bits: Vec<usize> =
-        group_dims.iter().map(|d| obj.schema().dim_index(d)).collect::<Result<_>>()?;
+    // Leaf program: filters and level roll-ups apply before the facts are
+    // extracted — the sealed store then holds the rewritten object.
+    let leaf = exec::apply_leaf_program(obj, &planned)?;
+    let label_schema = leaf.schema().clone();
     drop(plan_span);
 
     // Materialize: cells → facts, facts → sealed base cuboid. (Only the
     // base view is materialized; every grouping set routes through it, the
     // §6.3 one-view degenerate case. The point here is the *path*, not the
-    // view-selection policy — exp20/exp21 cover that.)
-    let facts = FactInput::from_object(&obj)?;
+    // view-selection policy — exp20/exp21 cover that.) The lattice pass
+    // re-runs against the store's real catalog.
+    let facts = FactInput::from_object(&leaf)?;
     let store = ViewStore::build(&facts, &[])?;
+    planned.retarget(store.lattice().dim_count(), &store.catalog(), config.lattice);
 
-    // Answer each grouping set from the store and map cuboid cells back
-    // to labeled rows with ALL gaps, exactly like the algebraic executor.
+    // One executor answers every grouping set from the sealed store.
     let mut eval_span = trace::span("sql.eval");
-    let sets = grouping_sets(&query.grouping);
-    let mut degraded_answers = 0u64;
-    let mut rows = Vec::new();
-    for set in &sets {
-        let mask = mask_of_set(set, &dim_bits);
-        let ans = store.answer(mask)?;
-        if ans.degraded.is_some() {
-            degraded_answers += 1;
-        }
-        rows_for_set(&obj, &group_dims, &dim_bits, set, &ans.cuboid, &query.select, &mut rows)?;
-    }
-    eval_span.record("grouping_sets", sets.len() as u64);
+    let executed = plan::execute(&planned, &store)?;
+    let degraded_answers = executed.degraded_answers() as u64;
+    let cells_scanned = executed.cells_scanned();
+    let rows = exec::rows_from_plan(&planned, &executed, &label_schema)?;
+    eval_span.record("grouping_sets", planned.sets.len() as u64);
     eval_span.record("rows", rows.len() as u64);
     drop(eval_span);
     root.record("rows", rows.len() as u64);
@@ -215,6 +160,7 @@ pub fn execute_physical(obj: &StatisticalObject, query: &Query) -> Result<Physic
         cache_hits: 0,
         cache_misses: 0,
         bypassed_cache: false,
+        cells_scanned,
     })
 }
 
@@ -235,23 +181,28 @@ pub fn execute_physical_str(obj: &StatisticalObject, sql: &str) -> Result<Physic
 
 /// A serving-layer SQL session: one object, one [`SharedViewStore`], many
 /// queries. The store (base cuboid plus any `selected` views) is built and
-/// sealed once at construction; each [`CachedSession::execute`] answers its
-/// grouping sets through the store's cost-aware cache, so repeated queries
-/// hit instead of rebuilding and rescanning.
+/// sealed once at construction; each [`CachedSession::execute`] plans
+/// against the store's catalog and answers its grouping sets through the
+/// store's cost-aware cache, so repeated queries hit instead of rebuilding
+/// and rescanning.
 ///
 /// The session is `Sync`: clones of the inner store are cheap and the
 /// session itself can be shared across reader threads by reference.
 ///
-/// Queries that rewrite the object before evaluation — `WHERE` filters,
-/// hierarchy-level groupings — bypass the session store and run the
-/// uncached [`execute_physical`] path against the session's object
-/// ([`PhysicalAnswer::bypassed_cache`] is set); their plans aggregate a
-/// *different* cube than the sealed one, so caching them under the
-/// session's keys would be wrong.
+/// `WHERE` filters are pushed into the store scan by the planner: the
+/// executor derives the grouping sets while filtering, skipping the cache
+/// for those sets (a filtered derivation cached under an unfiltered key
+/// would corrupt later answers). Only queries that rewrite the object
+/// itself — hierarchy-level groupings, or leaf predicates when pushdown is
+/// disabled — bypass the session store and run the uncached
+/// [`execute_physical`] path against the session's object
+/// ([`PhysicalAnswer::bypassed_cache`] is set).
 #[derive(Debug)]
 pub struct CachedSession {
     obj: StatisticalObject,
     store: SharedViewStore,
+    policy: PrivacyPolicy,
+    config: PlannerConfig,
 }
 
 impl CachedSession {
@@ -273,7 +224,28 @@ impl CachedSession {
         }
         let facts = FactInput::from_object(obj)?;
         let store = SharedViewStore::build(&facts, selected, config)?;
-        Ok(Self { obj: obj.clone(), store })
+        Ok(Self {
+            obj: obj.clone(),
+            store,
+            policy: PrivacyPolicy::none(),
+            config: PlannerConfig::default(),
+        })
+    }
+
+    /// Sets the privacy policy every session query is planned with. The
+    /// session cache partitions on the policy fingerprint, so answers
+    /// enforced under one policy are never replayed under another.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PrivacyPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the planner's rewrite-pass switches (E26 ablations only).
+    #[must_use]
+    pub fn with_planner_config(mut self, config: PlannerConfig) -> Self {
+        self.config = config;
+        self
     }
 
     /// The object the session serves.
@@ -294,13 +266,17 @@ impl CachedSession {
 
     /// Executes a parsed query through the session store's cache.
     pub fn execute(&self, query: &Query) -> Result<PhysicalAnswer> {
-        // Plans that rewrite the object evaluate a different cube than the
-        // sealed one: route them to the uncached path.
-        let rewrites = !query.filters.is_empty()
-            || query.grouping.dims().iter().any(|d| self.obj.schema().dim_index(d).is_err());
+        // Plans that rewrite the object itself evaluate a different cube
+        // than the sealed one: route them to the uncached path. (Pushed-
+        // down WHERE filters are served by the store; level groupings — a
+        // group name that is no schema dimension — are not.)
+        let rewrites =
+            query.grouping.dims().iter().any(|d| self.obj.schema().dim_index(d).is_err())
+                || (!self.config.pushdown && !query.filters.is_empty());
         if rewrites {
             trace::counter("sql.cache_bypass", 1);
-            let mut ans = execute_physical(&self.obj, query)?;
+            let mut ans =
+                execute_physical_with_options(&self.obj, query, &self.policy, self.config)?;
             ans.bypassed_cache = true;
             return Ok(ans);
         }
@@ -315,42 +291,31 @@ impl CachedSession {
         }
         let display_dims: Vec<String> = query.grouping.dims().to_vec();
 
+        // Plan against the store's materialized catalog: the lattice pass
+        // routes each set to its cheapest ancestor, pushdown moves WHERE
+        // into the store scan. The source holds the store's read lock for
+        // the whole query, so the catalog and the pages stay consistent.
+        let src = self.store.plan_source();
         let plan_span = trace::span("sql.plan");
-        let measure_idx = exec::check_aggregates(&self.obj, query)?;
-        if measure_idx.iter().any(|&m| m != 0) || self.obj.schema().measures().len() != 1 {
+        let catalog = src.catalog();
+        let planned = Planner::for_store(src.dim_count(), &catalog)
+            .with_schema(self.obj.schema())
+            .with_policy(self.policy.clone())
+            .with_config(self.config)
+            .plan(&exec::plan_of_query(query))?;
+        if planned.aggs.iter().any(|a| a.measure != 0) || self.obj.schema().measures().len() != 1 {
             return Err(Error::MultipleMeasures(self.obj.schema().measures().len()));
         }
-        let group_dims = query.grouping.dims().to_vec();
-        let dim_bits: Vec<usize> =
-            group_dims.iter().map(|d| self.obj.schema().dim_index(d)).collect::<Result<_>>()?;
         drop(plan_span);
 
         let mut eval_span = trace::span("sql.eval");
-        let sets = grouping_sets(&query.grouping);
-        let (mut degraded_answers, mut cache_hits, mut cache_misses) = (0u64, 0u64, 0u64);
-        let mut rows = Vec::new();
-        for set in &sets {
-            let mask = mask_of_set(set, &dim_bits);
-            let ans = self.store.answer(mask)?;
-            if ans.cache_hit {
-                cache_hits += 1;
-            } else {
-                cache_misses += 1;
-            }
-            if ans.degraded.is_some() {
-                degraded_answers += 1;
-            }
-            rows_for_set(
-                &self.obj,
-                &group_dims,
-                &dim_bits,
-                set,
-                &ans.cuboid,
-                &query.select,
-                &mut rows,
-            )?;
-        }
-        eval_span.record("grouping_sets", sets.len() as u64);
+        let executed = plan::execute(&planned, &src)?;
+        let cache_hits = executed.cache_hits() as u64;
+        let cache_misses = planned.sets.len() as u64 - cache_hits;
+        let degraded_answers = executed.degraded_answers() as u64;
+        let cells_scanned = executed.cells_scanned();
+        let rows = exec::rows_from_plan(&planned, &executed, self.obj.schema())?;
+        eval_span.record("grouping_sets", planned.sets.len() as u64);
         eval_span.record("rows", rows.len() as u64);
         eval_span.record("cache_hits", cache_hits);
         drop(eval_span);
@@ -373,6 +338,7 @@ impl CachedSession {
             cache_hits,
             cache_misses,
             bypassed_cache: false,
+            cells_scanned,
         })
     }
 
@@ -426,6 +392,38 @@ mod tests {
         o
     }
 
+    /// A single-measure object with a store → city hierarchy, for
+    /// level-grouping (object-rewriting) queries.
+    fn shops() -> StatisticalObject {
+        use statcube_core::hierarchy::Hierarchy;
+        let location = Hierarchy::builder("loc")
+            .level("store")
+            .level("city")
+            .edge("s1", "seattle")
+            .edge("s2", "seattle")
+            .edge("s3", "portland")
+            .build()
+            .unwrap();
+        let schema = Schema::builder("sales")
+            .dimension(Dimension::classified("store", location))
+            .dimension(Dimension::categorical("product", ["a", "b"]))
+            .measure(SummaryAttribute::new("amount", MeasureKind::Flow))
+            .build()
+            .unwrap();
+        let mut o = StatisticalObject::empty(schema);
+        o.insert(&["s1", "a"], 10.0).unwrap();
+        o.insert(&["s2", "a"], 5.0).unwrap();
+        o.insert(&["s3", "b"], 7.0).unwrap();
+        o
+    }
+
+    fn row_key(rs: &ResultSet) -> Vec<(Vec<Option<String>>, String)> {
+        let mut v: Vec<(Vec<Option<String>>, String)> =
+            rs.rows.iter().map(|r| (r.group.clone(), format!("{:?}", r.values))).collect();
+        v.sort();
+        v
+    }
+
     #[test]
     fn physical_cube_matches_algebraic_executor() {
         let o = retail();
@@ -435,13 +433,8 @@ mod tests {
         assert_eq!(physical.result.group_columns, algebraic.group_columns);
         assert_eq!(physical.result.agg_columns, algebraic.agg_columns);
         assert_eq!(physical.degraded_answers, 0);
-        let key = |rs: &ResultSet| {
-            let mut v: Vec<(Vec<Option<String>>, String)> =
-                rs.rows.iter().map(|r| (r.group.clone(), format!("{:?}", r.values))).collect();
-            v.sort();
-            v
-        };
-        assert_eq!(key(&physical.result), key(&algebraic));
+        assert!(physical.cells_scanned > 0, "derivation scans the sealed base");
+        assert_eq!(row_key(&physical.result), row_key(&algebraic));
     }
 
     #[test]
@@ -539,14 +532,8 @@ mod tests {
         assert_eq!(warm.cache_misses, 0);
         // Both runs agree with the one-shot physical executor row for row.
         let oneshot = execute_physical_str(&o, sql).unwrap();
-        let key = |rs: &ResultSet| {
-            let mut v: Vec<(Vec<Option<String>>, String)> =
-                rs.rows.iter().map(|r| (r.group.clone(), format!("{:?}", r.values))).collect();
-            v.sort();
-            v
-        };
-        assert_eq!(key(&cold.result), key(&oneshot.result));
-        assert_eq!(key(&warm.result), key(&oneshot.result));
+        assert_eq!(row_key(&cold.result), row_key(&oneshot.result));
+        assert_eq!(row_key(&warm.result), row_key(&oneshot.result));
         // A different grouping over the same dims reuses cached cuboids:
         // ROLLUP(product, store)'s sets are a subset of the CUBE's.
         let rollup = session
@@ -558,24 +545,43 @@ mod tests {
     }
 
     #[test]
-    fn cached_session_bypasses_rewriting_plans() {
+    fn cached_session_pushes_filters_down_without_polluting_the_cache() {
         let o = retail();
         let session = CachedSession::new(&o, CacheConfig::default()).unwrap();
-        // A WHERE filter rewrites the object: bypass, nothing cached.
-        let filtered = session
-            .execute_str("SELECT SUM(amount) FROM sales WHERE store = 's1' GROUP BY month")
-            .unwrap();
-        assert!(filtered.bypassed_cache);
-        assert_eq!((filtered.cache_hits, filtered.cache_misses), (0, 0));
+        // A WHERE filter is pushed into the store scan: served by the
+        // session store (no bypass), but never cached — a filtered cuboid
+        // under an unfiltered key would corrupt later answers.
+        let sql = "SELECT SUM(amount) FROM sales WHERE store = 's1' GROUP BY month";
+        let filtered = session.execute_str(sql).unwrap();
+        assert!(!filtered.bypassed_cache, "pushdown serves filters from the store");
+        assert_eq!((filtered.cache_hits, filtered.cache_misses), (0, 1));
+        assert_eq!(session.cache_stats().entries, 0, "filtered plans must not pollute the cache");
+        let algebraic = crate::execute_str(&o, sql).unwrap();
+        assert_eq!(row_key(&filtered.result), row_key(&algebraic));
+        // …and the filter skips the cache on the read side too: a cached
+        // unfiltered cuboid must not answer a filtered query.
+        let unfiltered =
+            session.execute_str("SELECT SUM(amount) FROM sales GROUP BY month").unwrap();
+        assert_eq!(unfiltered.cache_misses, 1);
+        let refiltered = session.execute_str(sql).unwrap();
+        assert_eq!(refiltered.cache_hits, 0, "filtered sets never read the cache");
+        assert_eq!(row_key(&refiltered.result), row_key(&algebraic));
+    }
+
+    #[test]
+    fn cached_session_bypasses_object_rewriting_plans() {
+        let o = shops();
+        let session = CachedSession::new(&o, CacheConfig::default()).unwrap();
+        // A hierarchy-level grouping rolls the object up before the facts
+        // exist: bypass, nothing cached.
+        let leveled = session.execute_str("SELECT SUM(amount) FROM sales GROUP BY city").unwrap();
+        assert!(leveled.bypassed_cache);
+        assert_eq!((leveled.cache_hits, leveled.cache_misses), (0, 0));
         assert_eq!(session.cache_stats().entries, 0, "bypassed plans must not pollute the cache");
-        let algebraic = crate::execute_str(
-            &o,
-            "SELECT SUM(amount) FROM sales WHERE store = 's1' GROUP BY month",
-        )
-        .unwrap();
-        let sum = |rs: &ResultSet| rs.rows.iter().filter_map(|r| r.values[0]).sum::<f64>();
-        assert!((sum(&filtered.result) - sum(&algebraic)).abs() < 1e-9);
-        // An unfiltered query afterwards uses the store as usual.
+        let algebraic =
+            crate::execute_str(&o, "SELECT SUM(amount) FROM sales GROUP BY city").unwrap();
+        assert_eq!(row_key(&leveled.result), row_key(&algebraic));
+        // An ordinary query afterwards uses the store as usual.
         let plain = session.execute_str("SELECT SUM(amount) FROM sales GROUP BY product").unwrap();
         assert!(!plain.bypassed_cache);
         assert_eq!(plain.cache_misses, 1);
@@ -589,18 +595,7 @@ mod tests {
         let session = CachedSession::with_views(&o, &[0b011], CacheConfig::default()).unwrap();
         assert_eq!(session.store().materialized(), vec![0b011, 0b111]);
         let sql = "SELECT SUM(amount) FROM sales GROUP BY CUBE(product, store, month)";
-        let expected = {
-            let mut v: Vec<(Vec<Option<String>>, String)> = session
-                .execute_str(sql)
-                .unwrap()
-                .result
-                .rows
-                .iter()
-                .map(|r| (r.group.clone(), format!("{:?}", r.values)))
-                .collect();
-            v.sort();
-            v
-        };
+        let expected = row_key(&session.execute_str(sql).unwrap().result);
         std::thread::scope(|s| {
             for _ in 0..4 {
                 let session = &session;
@@ -608,19 +603,29 @@ mod tests {
                 s.spawn(move || {
                     for _ in 0..8 {
                         let ans = session.execute_str(sql).unwrap();
-                        let mut got: Vec<(Vec<Option<String>>, String)> = ans
-                            .result
-                            .rows
-                            .iter()
-                            .map(|r| (r.group.clone(), format!("{:?}", r.values)))
-                            .collect();
-                        got.sort();
-                        assert_eq!(&got, expected);
+                        assert_eq!(&row_key(&ans.result), expected);
                     }
                 });
             }
         });
         assert!(session.cache_stats().hit_rate() > 0.9, "warm session should mostly hit");
+    }
+
+    #[test]
+    fn cached_session_policy_partitions_answers() {
+        let o = retail();
+        let plain = CachedSession::new(&o, CacheConfig::default()).unwrap();
+        let strict = CachedSession::new(&o, CacheConfig::default())
+            .unwrap()
+            .with_policy(PrivacyPolicy::suppress(10));
+        let sql = "SELECT SUM(amount) FROM sales GROUP BY product";
+        let open = plain.execute_str(sql).unwrap();
+        assert!(open.result.rows.iter().all(|r| !r.suppressed));
+        // Every product cell merges < 10 micro units → all suppressed.
+        let closed = strict.execute_str(sql).unwrap();
+        assert_eq!(closed.result.rows.len(), open.result.rows.len());
+        assert!(closed.result.rows.iter().all(|r| r.suppressed));
+        assert!(closed.result.rows.iter().all(|r| r.values.iter().all(Option::is_none)));
     }
 
     #[test]

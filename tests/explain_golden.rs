@@ -1,0 +1,219 @@
+//! Golden EXPLAIN snapshots (wired into `ci.sh` quick mode).
+//!
+//! Every query path plans through `statcube-core::plan`, so the EXPLAIN
+//! rendering — logical plan, the four rewrite passes, and the physical
+//! grouping sets — is a contract. These snapshots fail on *unintended*
+//! plan changes; when a planner change is intentional, update the golden
+//! strings to the new output (print `sql::explain_str` for the queries
+//! below and paste).
+
+use statcube::core::dimension::Dimension;
+use statcube::core::measure::{MeasureKind, SummaryAttribute, SummaryFunction};
+use statcube::core::object::StatisticalObject;
+use statcube::core::plan::PrivacyPolicy;
+use statcube::core::schema::Schema;
+use statcube::sql;
+
+/// The snapshot fixture: plans depend only on the schema, so the object
+/// stays empty.
+fn census() -> StatisticalObject {
+    let schema = Schema::builder("census")
+        .dimension(Dimension::spatial("state", ["AL", "CA"]))
+        .dimension(Dimension::temporal("year", ["1990", "1991"]))
+        .dimension(Dimension::categorical("sex", ["male", "female"]))
+        .measure(SummaryAttribute::new("population", MeasureKind::Stock))
+        .measure(SummaryAttribute::new("births", MeasureKind::Flow))
+        .function(SummaryFunction::Sum)
+        .build()
+        .unwrap();
+    StatisticalObject::empty(schema)
+}
+
+const GOLDEN: &[(&str, &str)] = &[
+    (
+        "SELECT SUM(births) FROM census",
+        r#"logical plan
+  Restrict{policy=none}
+    GroupingSets{spec=single, group=[], aggs=[SUM("births")]}
+      Scan{census}
+rewrites
+  1. summarizability: validated 1 aggregate(s) over 3 collapsed dimension(s); 0 roll-up(s) structurally checked
+  2. lattice: one base projection at mask 0b0 serves 1 grouping set(s)
+  3. pushdown: nothing to move
+  4. privacy: policy none enforced on every grouping set
+physical grouping sets
+  target 0b0 ← scan 0b0; candidates: 0b0 (base)"#,
+    ),
+    (
+        "SELECT SUM(births) FROM census GROUP BY state",
+        r#"logical plan
+  Restrict{policy=none}
+    GroupingSets{spec=single, group=[state], aggs=[SUM("births")]}
+      Scan{census}
+rewrites
+  1. summarizability: validated 1 aggregate(s) over 2 collapsed dimension(s); 0 roll-up(s) structurally checked
+  2. lattice: one base projection at mask 0b1 serves 1 grouping set(s)
+  3. pushdown: nothing to move
+  4. privacy: policy none enforced on every grouping set
+physical grouping sets
+  target 0b1 ← scan 0b1; candidates: 0b1 (base)"#,
+    ),
+    (
+        "SELECT SUM(births), COUNT(*) FROM census GROUP BY state, year",
+        r#"logical plan
+  Restrict{policy=none}
+    GroupingSets{spec=single, group=[state, year], aggs=[SUM("births"), COUNT(*)]}
+      Scan{census}
+rewrites
+  1. summarizability: validated 2 aggregate(s) over 1 collapsed dimension(s); 0 roll-up(s) structurally checked
+  2. lattice: one base projection at mask 0b11 serves 1 grouping set(s)
+  3. pushdown: nothing to move
+  4. privacy: policy none enforced on every grouping set
+physical grouping sets
+  target 0b11 ← scan 0b11; candidates: 0b11 (base)"#,
+    ),
+    (
+        "SELECT SUM(births) FROM census WHERE sex = 'male' GROUP BY state",
+        r#"logical plan
+  Restrict{policy=none}
+    GroupingSets{spec=single, group=[state], aggs=[SUM("births")]}
+      Select{sex = 'male'}
+        Scan{census}
+rewrites
+  1. summarizability: validated 1 aggregate(s) over 1 collapsed dimension(s); 0 roll-up(s) structurally checked
+  2. lattice: one base projection at mask 0b1 serves 1 grouping set(s)
+  3. pushdown: 1 predicate(s) at the leaf scan
+  4. privacy: policy none enforced on every grouping set
+physical grouping sets
+  target 0b1 ← scan 0b1; candidates: 0b1 (base)"#,
+    ),
+    (
+        "SELECT SUM(births) FROM census WHERE sex <> 'male' GROUP BY year",
+        r#"logical plan
+  Restrict{policy=none}
+    GroupingSets{spec=single, group=[year], aggs=[SUM("births")]}
+      Select{sex <> 'male'}
+        Scan{census}
+rewrites
+  1. summarizability: validated 1 aggregate(s) over 2 collapsed dimension(s); 0 roll-up(s) structurally checked
+  2. lattice: one base projection at mask 0b10 serves 1 grouping set(s)
+  3. pushdown: 1 predicate(s) at the leaf scan
+  4. privacy: policy none enforced on every grouping set
+physical grouping sets
+  target 0b10 ← scan 0b10; candidates: 0b10 (base)"#,
+    ),
+    (
+        "SELECT SUM(births) FROM census GROUP BY CUBE(state, year)",
+        r#"logical plan
+  Restrict{policy=none}
+    GroupingSets{spec=cube, group=[state, year], aggs=[SUM("births")]}
+      Scan{census}
+rewrites
+  1. summarizability: validated 1 aggregate(s) over 3 collapsed dimension(s); 0 roll-up(s) structurally checked
+  2. lattice: one base projection at mask 0b11 serves 4 grouping set(s)
+  3. pushdown: nothing to move
+  4. privacy: policy none enforced on every grouping set
+physical grouping sets
+  target 0b11 ← scan 0b11; candidates: 0b11 (base)
+  target 0b10 ← scan 0b10; candidates: 0b11 (base)
+  target 0b1 ← scan 0b1; candidates: 0b11 (base)
+  target 0b0 ← scan 0b0; candidates: 0b11 (base)"#,
+    ),
+    (
+        "SELECT SUM(births) FROM census GROUP BY ROLLUP(state, year, sex)",
+        r#"logical plan
+  Restrict{policy=none}
+    GroupingSets{spec=rollup, group=[state, year, sex], aggs=[SUM("births")]}
+      Scan{census}
+rewrites
+  1. summarizability: validated 1 aggregate(s) over 3 collapsed dimension(s); 0 roll-up(s) structurally checked
+  2. lattice: one base projection at mask 0b111 serves 4 grouping set(s)
+  3. pushdown: nothing to move
+  4. privacy: policy none enforced on every grouping set
+physical grouping sets
+  target 0b111 ← scan 0b111; candidates: 0b111 (base)
+  target 0b11 ← scan 0b11; candidates: 0b111 (base)
+  target 0b1 ← scan 0b1; candidates: 0b111 (base)
+  target 0b0 ← scan 0b0; candidates: 0b111 (base)"#,
+    ),
+    (
+        "SELECT SUM(births) FROM census WHERE sex = 'male' GROUP BY CUBE(state, year)",
+        r#"logical plan
+  Restrict{policy=none}
+    GroupingSets{spec=cube, group=[state, year], aggs=[SUM("births")]}
+      Select{sex = 'male'}
+        Scan{census}
+rewrites
+  1. summarizability: validated 1 aggregate(s) over 2 collapsed dimension(s); 0 roll-up(s) structurally checked
+  2. lattice: one base projection at mask 0b11 serves 4 grouping set(s)
+  3. pushdown: 1 predicate(s) at the leaf scan
+  4. privacy: policy none enforced on every grouping set
+physical grouping sets
+  target 0b11 ← scan 0b11; candidates: 0b11 (base)
+  target 0b10 ← scan 0b10; candidates: 0b11 (base)
+  target 0b1 ← scan 0b1; candidates: 0b11 (base)
+  target 0b0 ← scan 0b0; candidates: 0b11 (base)"#,
+    ),
+    (
+        "SELECT AVG(population) FROM census GROUP BY sex",
+        r#"logical plan
+  Restrict{policy=none}
+    GroupingSets{spec=single, group=[sex], aggs=[AVG("population")]}
+      Scan{census}
+rewrites
+  1. summarizability: validated 1 aggregate(s) over 2 collapsed dimension(s); 0 roll-up(s) structurally checked
+  2. lattice: one base projection at mask 0b100 serves 1 grouping set(s)
+  3. pushdown: nothing to move
+  4. privacy: policy none enforced on every grouping set
+physical grouping sets
+  target 0b100 ← scan 0b100; candidates: 0b100 (base)"#,
+    ),
+    (
+        "SELECT COUNT(*) FROM census GROUP BY year, sex",
+        r#"logical plan
+  Restrict{policy=none}
+    GroupingSets{spec=single, group=[year, sex], aggs=[COUNT(*)]}
+      Scan{census}
+rewrites
+  1. summarizability: validated 1 aggregate(s) over 1 collapsed dimension(s); 0 roll-up(s) structurally checked
+  2. lattice: one base projection at mask 0b110 serves 1 grouping set(s)
+  3. pushdown: nothing to move
+  4. privacy: policy none enforced on every grouping set
+physical grouping sets
+  target 0b110 ← scan 0b110; candidates: 0b110 (base)"#,
+    ),
+];
+
+#[test]
+fn explain_matches_the_golden_snapshots() {
+    let o = census();
+    for (sql_text, golden) in GOLDEN {
+        let actual = sql::explain_str(&o, sql_text).unwrap();
+        assert_eq!(
+            actual.trim_end(),
+            golden.trim_end(),
+            "\nEXPLAIN drifted for:\n  {sql_text}\n\n--- expected ---\n{golden}\n--- actual ---\n{actual}\n"
+        );
+    }
+}
+
+#[test]
+fn explain_renders_the_privacy_policy_in_the_restrict_barrier() {
+    let o = census();
+    let parsed = sql::parse("SELECT SUM(births) FROM census GROUP BY state").unwrap();
+    let actual =
+        sql::explain_with_policy(&o, &parsed, &PrivacyPolicy::suppress(2).with_tracker_guard())
+            .unwrap();
+    let golden = r#"logical plan
+  Restrict{policy=suppress(k=2), tracker-guard}
+    GroupingSets{spec=single, group=[state], aggs=[SUM("births")]}
+      Scan{census}
+rewrites
+  1. summarizability: validated 1 aggregate(s) over 2 collapsed dimension(s); 0 roll-up(s) structurally checked
+  2. lattice: one base projection at mask 0b1 serves 1 grouping set(s)
+  3. pushdown: nothing to move
+  4. privacy: policy suppress(k=2), tracker-guard enforced on every grouping set
+physical grouping sets
+  target 0b1 ← scan 0b1; candidates: 0b1 (base)"#;
+    assert_eq!(actual.trim_end(), golden.trim_end());
+}

@@ -1,0 +1,259 @@
+//! Rewrite-pass safety: the planner's rewrites must never change answers.
+//!
+//! Two angles, both over all five workload generators (census, retail,
+//! stocks, HMO, resources):
+//!
+//! 1. **Config ablations on the core plan layer** — planning the same
+//!    logical plan with each rewrite pass disabled
+//!    ([`PlannerConfig`]) yields cell-identical executions.
+//! 2. **Cross-path identity on the SQL front-ends** (single-measure
+//!    objects) — the algebraic interpreter, the physical path (default
+//!    and ablated), and the cached session all return the same rows.
+
+use statcube::core::object::StatisticalObject;
+use statcube::core::ops;
+use statcube::core::plan::{
+    self, AggRequest, GroupingSpec, ObjectSource, Plan, PlanPredicate, Planner, PlannerConfig,
+};
+use statcube::cube::cache::CacheConfig;
+use statcube::sql::prelude::*;
+use statcube::sql::{execute_physical_with_options, CachedSession};
+use statcube::workload::prelude::*;
+use statcube::workload::{census, hmo, resources, retail, stocks};
+
+/// Every config variant: all passes on, then each rewrite disabled.
+fn configs() -> Vec<(&'static str, PlannerConfig)> {
+    let on = PlannerConfig::default();
+    vec![
+        ("default", on),
+        ("no-summarizability", PlannerConfig { summarizability: false, ..on }),
+        ("no-lattice", PlannerConfig { lattice: false, ..on }),
+        ("no-pushdown", PlannerConfig { pushdown: false, ..on }),
+    ]
+}
+
+/// Plans and executes `plan` over `obj` under `config`, returning a
+/// printable fingerprint of every grouping set's cells (sorted, with full
+/// aggregation state), so ablations can be compared exactly.
+fn fingerprint(obj: &StatisticalObject, plan: &Plan, config: PlannerConfig) -> String {
+    let planned = Planner::for_object(obj.schema())
+        .with_config(config)
+        .plan(plan)
+        .expect("plan must be valid under every config");
+    // Leaf program: predicates apply before the scan.
+    let mut base = obj.clone();
+    for p in &planned.leaf_predicates {
+        base = ops::s_select_ids(&base, p.dim, &p.allowed).unwrap();
+    }
+    for r in &planned.leaf_rollups {
+        base = ops::s_aggregate(&base, &r.dim_name, &r.level).unwrap();
+    }
+    for (d, dim) in obj.schema().dimensions().iter().enumerate() {
+        if planned.base_mask() >> d & 1 == 0 {
+            base = ops::s_project_unchecked(&base, dim.name()).unwrap();
+        }
+    }
+    let src = ObjectSource::new(&base, planned.base_mask()).unwrap();
+    let exec = plan::execute(&planned, &src).unwrap();
+    let mut out = String::new();
+    for set in &exec.sets {
+        // Sums are rounded to 9 significant digits: cell merge order
+        // follows HashMap iteration, so the last few ulps of a float sum
+        // are not stable between executions.
+        let mut cells: Vec<String> = set
+            .cells
+            .iter()
+            .map(|(k, c)| {
+                let states: Vec<String> = c
+                    .states
+                    .iter()
+                    .map(|s| {
+                        format!("(n={} sum={:.8e} min={} max={})", s.count, s.sum, s.min, s.max)
+                    })
+                    .collect();
+                format!("{:?}:{:?}:{}", k, states, c.suppressed)
+            })
+            .collect();
+        cells.sort();
+        out.push_str(&format!("target {:#b}\n{}\n", set.target, cells.join("\n")));
+    }
+    out
+}
+
+/// Asserts every ablation matches the default-config execution for a CUBE
+/// with a predicate and a plain ROLLUP over the first two dimensions.
+fn ablations_preserve_answers(obj: &StatisticalObject, label: &str) {
+    let dims: Vec<String> = obj.schema().dimensions().iter().map(|d| d.name().to_owned()).collect();
+    let aggs: Vec<AggRequest> = obj
+        .schema()
+        .measures()
+        .iter()
+        .enumerate()
+        .map(|(i, m)| AggRequest {
+            func: obj.schema().function(i),
+            measure: Some(m.name().to_owned()),
+            label: m.name().to_owned(),
+        })
+        .collect();
+    let member = obj.schema().dimensions()[0].members().values().next().unwrap().to_owned();
+    let plans = [
+        Plan::scan(obj.schema().name())
+            .select(vec![PlanPredicate::eq(dims[0].clone(), member)])
+            .grouping_sets(dims[..2].to_vec(), GroupingSpec::Cube, aggs.clone()),
+        Plan::scan(obj.schema().name()).grouping_sets(
+            dims[..2].to_vec(),
+            GroupingSpec::Rollup,
+            aggs.clone(),
+        ),
+    ];
+    for (pi, p) in plans.iter().enumerate() {
+        let reference = fingerprint(obj, p, PlannerConfig::default());
+        assert!(!reference.is_empty());
+        for (name, config) in configs() {
+            assert_eq!(
+                fingerprint(obj, p, config),
+                reference,
+                "{label}: plan {pi} diverged under {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ablations_preserve_answers_on_all_five_workloads() {
+    let retail = retail::generate(&RetailConfig {
+        products: 8,
+        categories: 3,
+        cities: 2,
+        stores_per_city: 2,
+        days: 15,
+        rows: 600,
+        seed: 11,
+    });
+    ablations_preserve_answers(&retail.object, "retail");
+
+    let census =
+        census::generate(&CensusConfig { states: 3, counties_per_state: 3, rows: 800, seed: 12 });
+    let census_obj = census
+        .micro
+        .summarize(
+            &["state", "sex", "race"],
+            Some("income"),
+            statcube::core::measure::SummaryFunction::Sum,
+            statcube::core::measure::MeasureKind::Flow,
+        )
+        .unwrap();
+    ablations_preserve_answers(&census_obj, "census");
+
+    let stocks = stocks::generate(&StocksConfig { stocks: 6, industries: 2, weeks: 3, seed: 13 });
+    ablations_preserve_answers(&stocks.object, "stocks");
+
+    let hmo = hmo::generate(&HmoConfig { hospitals: 3, months: 4, rows: 500, seed: 14 });
+    ablations_preserve_answers(&hmo.object, "hmo");
+
+    let resources = resources::generate(&ResourcesConfig {
+        basins: 2,
+        rivers_per_basin: 2,
+        stations_per_river: 2,
+        months: 6,
+        seed: 15,
+    });
+    ablations_preserve_answers(&resources.object, "resources");
+}
+
+/// Sorted, printable rows for cross-path comparison.
+fn row_key(rs: &statcube::sql::ResultSet) -> Vec<String> {
+    // Values rounded to 9 significant digits: float sums accumulate in
+    // HashMap order, which differs between paths.
+    let mut v: Vec<String> = rs
+        .rows
+        .iter()
+        .map(|r| {
+            let vals: Vec<String> = r
+                .values
+                .iter()
+                .map(|v| v.map_or("NULL".to_owned(), |x| format!("{x:.8e}")))
+                .collect();
+            format!("{:?} {:?} {}", r.group, vals, r.suppressed)
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+/// The algebraic interpreter is the reference; the physical path (per
+/// ablation) and the cached session (cold + warm) must match it.
+fn cross_path_identity(obj: &StatisticalObject, label: &str) {
+    let dims: Vec<String> = obj.schema().dimensions().iter().map(|d| d.name().to_owned()).collect();
+    let measure = obj.schema().measures()[0].name().to_owned();
+    let from = obj.schema().name().to_owned();
+    let member = obj.schema().dimensions()[1].members().values().next().unwrap().to_owned();
+    // SUM only: the physical fact table is at the macro-data grain, so
+    // COUNT/AVG/MIN/MAX intentionally read cells rather than micro records
+    // (see the statcube-sql physical module docs).
+    let sum = AggExpr { func: statcube::core::measure::SummaryFunction::Sum, arg: Some(measure) };
+    let queries = [
+        SqlQuery {
+            select: vec![sum.clone()],
+            from: from.clone(),
+            filters: vec![],
+            grouping: Grouping::Cube(dims[..2].to_vec()),
+        },
+        SqlQuery {
+            select: vec![sum.clone()],
+            from: from.clone(),
+            filters: vec![],
+            grouping: Grouping::Rollup(dims[..2].to_vec()),
+        },
+        SqlQuery {
+            select: vec![sum.clone()],
+            from: from.clone(),
+            filters: vec![Predicate { column: dims[1].clone(), value: member, negated: false }],
+            grouping: Grouping::Plain(vec![dims[0].clone()]),
+        },
+        SqlQuery { select: vec![sum], from, filters: vec![], grouping: Grouping::None },
+    ];
+    let policy = statcube::core::plan::PrivacyPolicy::none();
+    let session = CachedSession::new(obj, CacheConfig::default()).unwrap();
+    for (qi, q) in queries.iter().enumerate() {
+        let reference = row_key(&execute(obj, q).unwrap());
+        for (name, config) in configs() {
+            let phys = execute_physical_with_options(obj, q, &policy, config).unwrap();
+            assert_eq!(row_key(&phys.result), reference, "{label}: q{qi} physical/{name}");
+        }
+        let cold = session.execute(q).unwrap();
+        assert_eq!(row_key(&cold.result), reference, "{label}: q{qi} cached cold");
+        let warm = session.execute(q).unwrap();
+        assert_eq!(row_key(&warm.result), reference, "{label}: q{qi} cached warm");
+    }
+}
+
+#[test]
+fn all_query_paths_agree_on_single_measure_workloads() {
+    let retail = retail::generate(&RetailConfig {
+        products: 6,
+        categories: 2,
+        cities: 2,
+        stores_per_city: 2,
+        days: 12,
+        rows: 400,
+        seed: 21,
+    });
+    cross_path_identity(&retail.object, "retail");
+
+    let hmo = hmo::generate(&HmoConfig { hospitals: 3, months: 3, rows: 300, seed: 22 });
+    cross_path_identity(&hmo.object, "hmo");
+
+    let census =
+        census::generate(&CensusConfig { states: 3, counties_per_state: 2, rows: 500, seed: 23 });
+    let census_obj = census
+        .micro
+        .summarize(
+            &["state", "sex", "race"],
+            Some("income"),
+            statcube::core::measure::SummaryFunction::Sum,
+            statcube::core::measure::MeasureKind::Flow,
+        )
+        .unwrap();
+    cross_path_identity(&census_obj, "census");
+}

@@ -1,0 +1,159 @@
+//! In-path privacy enforcement across every front-end (paper §7).
+//!
+//! The planner inserts a mandatory privacy pass, so a suppression policy
+//! must change the answers of *all* query paths identically: the SQL
+//! interpreter, the `ViewStore` cube path, and the cached serving session.
+//! These tests pin that invariant — including on warm cache hits, where a
+//! pre-planner engine could leak cells admitted under a laxer policy.
+//!
+//! The fixture holds one record per populated cell (the macro-data grain
+//! `FactInput` preserves), so unit counts agree between the interpreter
+//! and the cube paths at every grouping level.
+
+use std::collections::BTreeSet;
+
+use statcube::core::dimension::Dimension;
+use statcube::core::measure::{MeasureKind, SummaryAttribute, SummaryFunction};
+use statcube::core::object::StatisticalObject;
+use statcube::core::plan::{PlannerConfig, PrivacyPolicy};
+use statcube::core::schema::Schema;
+use statcube::cube::cache::CacheConfig;
+use statcube::cube::input::FactInput;
+use statcube::cube::query::ViewStore;
+use statcube::sql::{self, CachedSession, ResultSet};
+
+/// product × store sales, one record per cell. `pear` is sold in one store
+/// only, so `GROUP BY product` under `suppress(2)` withholds exactly it.
+fn sales() -> StatisticalObject {
+    let schema = Schema::builder("sales")
+        .dimension(Dimension::categorical("product", ["apple", "pear", "plum"]))
+        .dimension(Dimension::categorical("store", ["s1", "s2"]))
+        .measure(SummaryAttribute::new("amount", MeasureKind::Flow))
+        .function(SummaryFunction::Sum)
+        .build()
+        .unwrap();
+    let mut o = StatisticalObject::empty(schema);
+    let cells: &[(&str, &str, f64)] = &[
+        ("apple", "s1", 10.0),
+        ("apple", "s2", 4.0),
+        ("pear", "s1", 7.0),
+        ("plum", "s1", 9.0),
+        ("plum", "s2", 1.0),
+    ];
+    for &(p, s, v) in cells {
+        o.insert(&[p, s], v).unwrap();
+    }
+    o
+}
+
+/// The group labels of suppressed rows (every value reads `NULL`).
+fn suppressed_groups(rs: &ResultSet) -> BTreeSet<Vec<String>> {
+    rs.rows
+        .iter()
+        .filter(|r| r.suppressed)
+        .map(|r| r.group.iter().map(|g| g.clone().unwrap_or_else(|| "ALL".into())).collect())
+        .collect()
+}
+
+/// The group labels of published rows.
+fn published_groups(rs: &ResultSet) -> BTreeSet<Vec<String>> {
+    rs.rows
+        .iter()
+        .filter(|r| !r.suppressed)
+        .map(|r| r.group.iter().map(|g| g.clone().unwrap_or_else(|| "ALL".into())).collect())
+        .collect()
+}
+
+#[test]
+fn one_policy_changes_sql_viewstore_and_cached_answers_identically() {
+    let o = sales();
+    let policy = PrivacyPolicy::suppress(2);
+    let query = sql::parse("SELECT SUM(amount) FROM sales GROUP BY product").unwrap();
+    let expected_suppressed: BTreeSet<Vec<String>> = [vec!["pear".to_owned()]].into();
+
+    // 1. The SQL interpreter withholds exactly the single-cell group.
+    let interpreted = sql::execute_with_policy(&o, &query, &policy).unwrap();
+    assert_eq!(suppressed_groups(&interpreted), expected_suppressed);
+    assert_eq!(interpreted.rows.len(), 3, "suppressed rows are published as NULL, not dropped");
+
+    // 2. The ViewStore cube path withholds the same group (absent from the
+    //    returned cuboid entirely). Mask 0b01 keeps only `product`.
+    let facts = FactInput::from_object(&o).unwrap();
+    let store = ViewStore::build(&facts, &[]).unwrap();
+    let answer = store.answer_with_policy(0b01, &policy, PlannerConfig::default()).unwrap();
+    let product = o.schema().dimensions()[0].members();
+    let store_published: BTreeSet<Vec<String>> =
+        answer.cuboid.keys().map(|k| vec![product.value_of(k[0]).unwrap().to_owned()]).collect();
+    assert_eq!(store_published, published_groups(&interpreted));
+    assert!(!store_published.contains(&vec!["pear".to_owned()]), "pear leaked from the store");
+
+    // 3. The cached session withholds the same group — cold and warm, so a
+    //    cache hit can never resurrect a suppressed cell.
+    let session =
+        CachedSession::new(&o, CacheConfig::default()).unwrap().with_policy(policy.clone());
+    let cold = session.execute(&query).unwrap();
+    assert_eq!(suppressed_groups(&cold.result), expected_suppressed);
+    let warm = session.execute(&query).unwrap();
+    assert!(warm.cache_hits > 0, "second run must be served from the cache");
+    assert_eq!(suppressed_groups(&warm.result), expected_suppressed);
+    assert_eq!(published_groups(&warm.result), published_groups(&interpreted));
+
+    // The published values agree across all three paths.
+    for row in interpreted.rows.iter().filter(|r| !r.suppressed) {
+        let id = product.id_of(row.group[0].as_deref().unwrap()).unwrap();
+        let state = answer.cuboid.get(&vec![id].into_boxed_slice()).unwrap();
+        assert_eq!(Some(state.sum), row.values[0]);
+        let cached_row = warm
+            .result
+            .rows
+            .iter()
+            .find(|r| r.group == row.group)
+            .expect("cached path returns the same groups");
+        assert_eq!(cached_row.values, row.values);
+    }
+}
+
+#[test]
+fn permissive_policy_publishes_everything_on_every_path() {
+    let o = sales();
+    let query = sql::parse("SELECT SUM(amount) FROM sales GROUP BY product, store").unwrap();
+    let interpreted = sql::execute(&o, &query).unwrap();
+    assert!(interpreted.rows.iter().all(|r| !r.suppressed));
+    assert_eq!(interpreted.rows.len(), 5);
+
+    let facts = FactInput::from_object(&o).unwrap();
+    let store = ViewStore::build(&facts, &[]).unwrap();
+    assert_eq!(store.answer(0b11).unwrap().cuboid.len(), 5);
+
+    let session = CachedSession::new(&o, CacheConfig::default()).unwrap();
+    let ans = session.execute(&query).unwrap();
+    assert!(ans.result.rows.iter().all(|r| !r.suppressed));
+    assert_eq!(ans.result.rows.len(), 5);
+}
+
+#[test]
+fn cube_marginals_get_complementary_protection_on_both_sql_paths() {
+    let o = sales();
+    let policy = PrivacyPolicy::suppress(2);
+    let query = sql::parse("SELECT SUM(amount) FROM sales GROUP BY CUBE(product, store)").unwrap();
+
+    let interpreted = sql::execute_with_policy(&o, &query, &policy).unwrap();
+    let session =
+        CachedSession::new(&o, CacheConfig::default()).unwrap().with_policy(policy.clone());
+    let cached = session.execute(&query).unwrap();
+    assert_eq!(suppressed_groups(&cached.result), suppressed_groups(&interpreted));
+    assert_eq!(published_groups(&cached.result), published_groups(&interpreted));
+
+    let hidden = suppressed_groups(&interpreted);
+    // Primary suppression: every base cell holds one record, and the pear
+    // marginal covers a single cell.
+    assert!(hidden.contains(&vec!["apple".to_owned(), "s1".to_owned()]));
+    assert!(hidden.contains(&vec!["pear".to_owned(), "ALL".to_owned()]));
+    // Complementary suppression withheld more than the primary victims, so
+    // no published marginal line can be inverted.
+    assert!(hidden.len() > 6, "complementary suppression must fire on CUBE marginals");
+
+    // Warm repetition of the cube answers is identical.
+    let warm = session.execute(&query).unwrap();
+    assert_eq!(suppressed_groups(&warm.result), suppressed_groups(&interpreted));
+}
