@@ -55,9 +55,17 @@ if [ "$quick" != "quick" ]; then
         cargo test -q --test prop_parallel
 fi
 
+# Differential maintenance gate: incremental apply_delta must equal a full
+# rebuild bit-for-bit across all five workload generators, growth deltas,
+# and rejected batches. Runs in quick mode too — it is the correctness
+# proof of the incremental maintenance path.
+stage "differential maintenance suite" cargo test -q --test delta_maintenance
+
 # Chaos gate (full mode): the fault-injection property suite — cached and
 # uncached serving paths bit-identical to the oracle or typed errors across
-# 120 seeded fault plans — plus the shared-store concurrency suite.
+# 120 seeded fault plans, including delta publication atomicity under
+# armed injectors — plus the shared-store concurrency suite (snapshot
+# isolation, targeted invalidation, N-reader/1-writer generation checks).
 if [ "$quick" != "quick" ]; then
     stage "chaos suite" cargo test -q --test chaos_property
     stage "shared-store concurrency suite" cargo test -q --test shared_store

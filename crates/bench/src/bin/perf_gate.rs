@@ -1,16 +1,21 @@
 //! CI perf-regression gate.
 //!
 //! Measures a pinned subset of E25 (serving-layer cache throughput), E22
-//! (partition-parallel CUBE throughput), and E26 (planner-path query
-//! throughput through a warm [`CachedSession`]), writes the numbers to
-//! `BENCH_04.json`, and compares them against the committed
-//! `bench_baseline.json`:
+//! (partition-parallel CUBE throughput), E26 (planner-path query
+//! throughput through a warm [`CachedSession`]), and E27 (incremental
+//! delta-maintenance throughput and reader tail latency under a delta
+//! writer), writes the numbers to `BENCH_04.json`, and compares them
+//! against the committed `bench_baseline.json`:
 //!
 //! * any throughput metric below `baseline × (1 − tolerance)` fails the
 //!   gate (tolerance defaults to 0.25; override with `PERF_GATE_TOLERANCE`);
 //! * a hit-rate drop of more than 0.05 absolute fails the gate (hit rate is
 //!   deterministic for the pinned stream, so this catches admission-policy
-//!   regressions that throughput noise would hide).
+//!   regressions that throughput noise would hide);
+//! * `reader_p99_under_writes_ns` is lower-is-better and tail latencies are
+//!   noisy, so it fails only above `baseline × (1 + 8 × tolerance)` — a 3×
+//!   ceiling at the default tolerance, which still catches a reader
+//!   blocking on delta publication (that costs orders of magnitude).
 //!
 //! ```text
 //! cargo run -p statcube-bench --release --bin perf_gate                  # gate
@@ -26,7 +31,8 @@
 use std::time::Instant;
 
 use statcube_bench::serving::{
-    self, build_store, make_facts, run_stream, run_stream_threads, zipf_stream,
+    self, build_store, delta_batches, make_facts, run_stream, run_stream_threads,
+    run_stream_threads_with_writer, zipf_stream, DELTA_ROWS,
 };
 use statcube_core::measure::SummaryFunction;
 use statcube_cube::cache::CacheConfig;
@@ -44,6 +50,9 @@ const RUNS: usize = 3;
 /// Passes over the pinned planner-path query list per measurement.
 const PLANNER_PASSES: usize = 40;
 
+/// Delta batches per maintenance-throughput measurement run.
+const DELTA_BATCHES: usize = 30;
+
 struct Measured {
     serving_ops_per_sec: f64,
     serving_hit_rate: f64,
@@ -52,6 +61,39 @@ struct Measured {
     threaded_ops_per_sec: f64,
     parallel_cube_rows_per_sec: f64,
     planner_ops_per_sec: f64,
+    delta_rows_per_sec: f64,
+    reader_p99_under_writes_ns: u64,
+}
+
+/// E27's pinned subset: incremental apply throughput (rows folded per
+/// second over fresh stores, best of [`RUNS`]) and reader p99 while one
+/// writer streams delta folds (best of [`RUNS`], uncached readers).
+fn measure_maintenance() -> (f64, u64) {
+    let facts = make_facts(3);
+    let batches = delta_batches(28, DELTA_BATCHES);
+    let mut delta_rows_per_sec = 0.0f64;
+    for _ in 0..RUNS {
+        let store = build_store(&facts, 0);
+        let t = Instant::now();
+        for b in &batches {
+            store.apply_delta(b).expect("delta");
+        }
+        let secs = t.elapsed().as_secs_f64().max(1e-9);
+        delta_rows_per_sec = delta_rows_per_sec.max((DELTA_BATCHES * DELTA_ROWS) as f64 / secs);
+    }
+
+    let mut p99 = u64::MAX;
+    for run in 0..RUNS {
+        let store = build_store(&facts, 0);
+        let stream = zipf_stream(store.top(), serving::STREAM_LEN, serving::ZIPF_S, 5);
+        let writer_batches = delta_batches(29 + run as u64, 64);
+        let (s, published) = run_stream_threads_with_writer(&store, &stream, 4, |k| {
+            store.apply_delta(&writer_batches[(k as usize) % writer_batches.len()]).expect("delta");
+        });
+        assert!(published > 0, "writer published nothing");
+        p99 = p99.min(s.p99_ns);
+    }
+    (delta_rows_per_sec, p99)
 }
 
 /// Planner-path throughput: a pinned SQL mix (plain groupings, a CUBE, a
@@ -149,6 +191,7 @@ fn measure() -> Measured {
         cube_rows_per_sec = cube_rows_per_sec.max(PAR_ROWS as f64 / secs);
     }
 
+    let (delta_rows_per_sec, reader_p99_under_writes_ns) = measure_maintenance();
     Measured {
         serving_ops_per_sec: best.ops_per_sec,
         serving_hit_rate: best.hit_rate,
@@ -157,16 +200,20 @@ fn measure() -> Measured {
         threaded_ops_per_sec: threaded,
         parallel_cube_rows_per_sec: cube_rows_per_sec,
         planner_ops_per_sec: measure_planner_path(),
+        delta_rows_per_sec,
+        reader_p99_under_writes_ns,
     }
 }
 
 fn to_json(m: &Measured) -> String {
     format!(
-        "{{\n  \"schema\": 2,\n  \"serving_ops_per_sec\": {:.1},\n  \
+        "{{\n  \"schema\": 3,\n  \"serving_ops_per_sec\": {:.1},\n  \
          \"serving_hit_rate\": {:.4},\n  \"serving_p50_ns\": {},\n  \
          \"serving_p95_ns\": {},\n  \"threaded_ops_per_sec\": {:.1},\n  \
          \"parallel_cube_rows_per_sec\": {:.1},\n  \
-         \"planner_ops_per_sec\": {:.1}\n}}\n",
+         \"planner_ops_per_sec\": {:.1},\n  \
+         \"delta_rows_per_sec\": {:.1},\n  \
+         \"reader_p99_under_writes_ns\": {}\n}}\n",
         m.serving_ops_per_sec,
         m.serving_hit_rate,
         m.serving_p50_ns,
@@ -174,6 +221,8 @@ fn to_json(m: &Measured) -> String {
         m.threaded_ops_per_sec,
         m.parallel_cube_rows_per_sec,
         m.planner_ops_per_sec,
+        m.delta_rows_per_sec,
+        m.reader_p99_under_writes_ns,
     )
 }
 
@@ -197,7 +246,7 @@ fn main() {
     let tolerance: f64 =
         std::env::var("PERF_GATE_TOLERANCE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.25);
 
-    eprintln!("perf_gate: measuring pinned E25/E22/E26 subset...");
+    eprintln!("perf_gate: measuring pinned E25/E22/E26/E27 subset...");
     let m = measure();
     let json = to_json(&m);
     print!("{json}");
@@ -234,6 +283,7 @@ fn main() {
         ("threaded_ops_per_sec", m.threaded_ops_per_sec),
         ("parallel_cube_rows_per_sec", m.parallel_cube_rows_per_sec),
         ("planner_ops_per_sec", m.planner_ops_per_sec),
+        ("delta_rows_per_sec", m.delta_rows_per_sec),
     ] {
         match json_num(&baseline, key) {
             Some(base) if base > 0.0 => {
@@ -268,6 +318,27 @@ fn main() {
             }
         }
         None => failures.push(format!("baseline {baseline_path} lacks serving_hit_rate")),
+    }
+    // Lower-is-better tail latency: generous ceiling (see module docs) —
+    // the target is "reader blocked on a writer", not scheduler noise.
+    match json_num(&baseline, "reader_p99_under_writes_ns") {
+        Some(base_p99) if base_p99 > 0.0 => {
+            let ceiling = base_p99 * (1.0 + 8.0 * tolerance);
+            let current = m.reader_p99_under_writes_ns as f64;
+            let verdict = if current > ceiling { "FAIL" } else { "ok" };
+            eprintln!(
+                "perf_gate: {:<28} current {current:>12.1}  baseline {base_p99:>12.1}  \
+                 ceiling {ceiling:>12.1}  {verdict}",
+                "reader_p99_under_writes_ns"
+            );
+            if current > ceiling {
+                failures.push(format!(
+                    "reader_p99_under_writes_ns regressed: {current:.1} > {ceiling:.1} \
+                     (baseline {base_p99:.1})"
+                ));
+            }
+        }
+        _ => failures.push(format!("baseline {baseline_path} lacks reader_p99_under_writes_ns")),
     }
 
     if failures.is_empty() {

@@ -1,0 +1,279 @@
+//! E27 — incremental maintenance under concurrent reads.
+//!
+//! The tentpole questions of the delta-maintenance layer, measured on the
+//! pinned serving workload ([`serving`]):
+//!
+//! 1. **Do writers stall readers?** Reader throughput and tail latency for
+//!    4 threads on a read-only store vs the same stream while one writer
+//!    continuously publishes 20-row delta folds, vs while it runs full
+//!    rebuilds. Uncached stores, so cache effects don't confound the
+//!    blocking question — every query walks the verified page path.
+//! 2. **What does the incremental fold save?** Sequentially applying the
+//!    same batches via `apply_delta` vs rebuilding every view from the
+//!    accumulated facts per batch (the pre-incremental maintenance path).
+//! 3. **What does targeted invalidation keep?** Cell entries for slices a
+//!    delta didn't touch must keep hitting across many deltas.
+//! 4. **What does the extendible base avoid?** Bytes appended by \[RZ86\]
+//!    increment segments on a growth delta vs a dense restructure.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use statcube_cube::input::FactInput;
+
+use crate::report::{ratio, Table};
+use crate::serving::{
+    self, build_store, delta_batches, make_facts, run_stream_threads,
+    run_stream_threads_with_writer, zipf_stream, DELTA_ROWS, STREAM_LEN, ZIPF_S,
+};
+
+/// Reader threads in the mixed runs.
+const READERS: usize = 4;
+/// Inter-batch arrival interval of the paced delta stream, milliseconds.
+/// A maintenance stream has an arrival rate (§6.5 daily appends); the
+/// saturated writer row stresses the no-blocking property instead.
+const PACE_MS: u64 = 10;
+/// Batches for the sequential apply-cost comparison.
+const APPLY_BATCHES: usize = 30;
+/// Rebuild-baseline batches (full rebuilds are slow; a few suffice).
+const REBUILD_BATCHES: usize = 6;
+
+fn extend_with(acc: &mut FactInput, batch: &FactInput) {
+    for row in 0..batch.len() {
+        acc.push(&batch.coords(row), batch.measure()[row]).expect("push");
+    }
+}
+
+/// Runs the four measurements and renders the tables + `json:` line.
+pub fn run() -> String {
+    let facts = make_facts(3);
+    let mut out = String::new();
+    out.push_str("=== E27: incremental maintenance under concurrent reads ===\n\n");
+    let _ = writeln!(
+        out,
+        "workload: {} facts over {:?}, {} greedy views + base, {} Zipf(s={}) queries,\n\
+         {READERS} reader threads, {DELTA_ROWS}-row delta batches\n",
+        serving::ROWS,
+        serving::CARDS,
+        serving::GREEDY_VIEWS,
+        STREAM_LEN,
+        ZIPF_S,
+    );
+
+    // --- 1: reader throughput, read-only vs under a writer ---------------
+    let stream = {
+        let probe = build_store(&facts, 0);
+        zipf_stream(probe.top(), STREAM_LEN, ZIPF_S, 5)
+    };
+    let read_only = {
+        let store = build_store(&facts, 0);
+        run_stream_threads(&store, &stream, READERS)
+    };
+    let (mixed_inc, inc_published) = {
+        let store = build_store(&facts, 0);
+        let batches = delta_batches(27, 64);
+        run_stream_threads_with_writer(&store, &stream, READERS, |k| {
+            std::thread::sleep(std::time::Duration::from_millis(PACE_MS));
+            store.apply_delta(&batches[(k as usize) % batches.len()]).expect("delta");
+        })
+    };
+    let (saturated_inc, sat_published) = {
+        let store = build_store(&facts, 0);
+        let batches = delta_batches(27, 64);
+        run_stream_threads_with_writer(&store, &stream, READERS, |k| {
+            store.apply_delta(&batches[(k as usize) % batches.len()]).expect("delta");
+        })
+    };
+    let (mixed_reb, reb_published) = {
+        let store = build_store(&facts, 0);
+        let writer_store = store.clone();
+        let batches = delta_batches(27, 64);
+        let mut acc = facts.clone();
+        run_stream_threads_with_writer(&store, &stream, READERS, move |k| {
+            extend_with(&mut acc, &batches[(k as usize) % batches.len()]);
+            writer_store.rebuild(&acc).expect("rebuild");
+        })
+    };
+    let retention = mixed_inc.ops_per_sec / read_only.ops_per_sec.max(1e-9);
+    let mut t = Table::new(
+        "reader throughput while a writer streams maintenance (uncached)",
+        &["writer", "queries/s", "p50 (µs)", "p99 (µs)", "vs read-only", "batches published"],
+    );
+    for (label, s, published) in [
+        ("none (read-only)", &read_only, None),
+        ("incremental deltas, paced", &mixed_inc, Some(inc_published)),
+        ("incremental deltas, saturated", &saturated_inc, Some(sat_published)),
+        ("full rebuilds, saturated", &mixed_reb, Some(reb_published)),
+    ] {
+        t.row([
+            label.to_string(),
+            format!("{:.0}", s.ops_per_sec),
+            format!("{:.1}", s.p50_ns as f64 / 1e3),
+            format!("{:.1}", s.p99_ns as f64 / 1e3),
+            ratio(s.ops_per_sec / read_only.ops_per_sec.max(1e-9)),
+            published.map_or("-".into(), |p| p.to_string()),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nreaders never wait on a publication (the fold runs off-lock, the swap is\n\
+         one pointer store); any shortfall vs read-only is CPU time the writer\n\
+         itself burns, so the paced stream — batches arriving every 10 ms — is the\n\
+         realistic row and the saturated rows are the stress bound.\n\n",
+    );
+
+    // --- 2: apply cost, incremental fold vs full rebuild ------------------
+    let batches = delta_batches(28, APPLY_BATCHES);
+    let inc_ns = {
+        let store = build_store(&facts, 0);
+        let t0 = Instant::now();
+        for b in &batches {
+            store.apply_delta(b).expect("delta");
+        }
+        t0.elapsed().as_nanos() as u64
+    };
+    let reb_ns = {
+        let store = build_store(&facts, 0);
+        let mut acc = facts.clone();
+        let t0 = Instant::now();
+        for b in &batches[..REBUILD_BATCHES] {
+            extend_with(&mut acc, b);
+            store.rebuild(&acc).expect("rebuild");
+        }
+        t0.elapsed().as_nanos() as u64
+    };
+    let inc_per_batch = inc_ns as f64 / APPLY_BATCHES as f64;
+    let reb_per_batch = reb_ns as f64 / REBUILD_BATCHES as f64;
+    let apply_speedup = reb_per_batch / inc_per_batch.max(1.0);
+    let delta_rows_per_sec = (APPLY_BATCHES * DELTA_ROWS) as f64 / (inc_ns as f64 / 1e9).max(1e-12);
+    let mut t = Table::new(
+        "maintenance cost per batch (sequential, no readers)",
+        &["path", "batches", "ms/batch", "speedup"],
+    );
+    t.row([
+        "full rebuild".into(),
+        REBUILD_BATCHES.to_string(),
+        format!("{:.2}", reb_per_batch / 1e6),
+        "1.0x (baseline)".into(),
+    ]);
+    t.row([
+        "incremental fold".into(),
+        APPLY_BATCHES.to_string(),
+        format!("{:.2}", inc_per_batch / 1e6),
+        ratio(apply_speedup),
+    ]);
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // --- 3: targeted invalidation keeps untouched cell entries ------------
+    // Prime one cell entry per d0 slice, then stream deltas confined to
+    // slice 0; the other slices' entries must keep hitting throughout.
+    let untouched_hit_rate = {
+        let store = build_store(&facts, 16 << 20);
+        let d0_card = serving::CARDS[0] as u32;
+        for d0 in 0..d0_card {
+            store.answer_cell(&[Some(d0), None, None, None]).expect("prime");
+        }
+        let mut probes = 0u64;
+        let mut hits = 0u64;
+        for round in 0..20u64 {
+            let mut d = FactInput::new(&serving::CARDS).expect("delta");
+            d.push(&[0, (round % 8) as u32, (round % 5) as u32, (round % 4) as u32], 1.0)
+                .expect("push");
+            store.apply_delta(&d).expect("delta");
+            for d0 in 1..d0_card {
+                let cell = store.answer_cell(&[Some(d0), None, None, None]).expect("probe");
+                probes += 1;
+                hits += u64::from(cell.cache_hit);
+            }
+        }
+        hits as f64 / probes as f64
+    };
+    let _ = writeln!(
+        out,
+        "targeted invalidation: cell entries for slices a delta never touched kept\n\
+         hitting across 20 deltas confined to slice 0 — survivor hit rate {untouched_hit_rate:.2}\n\
+         (a clear-the-cache policy would score 0.00)\n",
+    );
+
+    // --- 4: extendible growth vs restructure ------------------------------
+    let (appended_bytes, restructure_bytes) = {
+        let store = build_store(&facts, 0);
+        let mut grown_cards = serving::CARDS.to_vec();
+        grown_cards[0] += 2;
+        let mut d = FactInput::new(&grown_cards).expect("grown delta");
+        d.push(&[serving::CARDS[0] as u32, 0, 0, 0], 7.0).expect("push");
+        d.push(&[serving::CARDS[0] as u32 + 1, 1, 1, 1], 9.0).expect("push");
+        let before_cells: usize = serving::CARDS.iter().product();
+        let report = store.apply_delta(&d).expect("growth delta");
+        assert_eq!(report.extended_dims, vec![(0, 2)]);
+        let snap = store.snapshot();
+        let dense = snap.store().dense_base().expect("dense base");
+        ((dense.len() - before_cells) * 8, dense.restructure_bytes())
+    };
+    let _ = writeln!(
+        out,
+        "extendible base growth: a delta with 2 unseen dim-0 values appended\n\
+         {appended_bytes} bytes of increment segments; a dense restructure would have\n\
+         rewritten {restructure_bytes} bytes ({}).",
+        ratio(restructure_bytes as f64 / appended_bytes.max(1) as f64),
+    );
+
+    let _ = writeln!(
+        out,
+        "\njson: {{\"reader_only_ops\":{:.1},\"mixed_incremental_ops\":{:.1},\
+         \"mixed_incremental_p99_ns\":{},\"saturated_incremental_ops\":{:.1},\
+         \"mixed_rebuild_ops\":{:.1},\
+         \"reader_retention\":{:.3},\"writer_batches_incremental\":{inc_published},\
+         \"writer_batches_saturated\":{sat_published},\
+         \"writer_batches_rebuild\":{reb_published},\"apply_speedup\":{apply_speedup:.2},\
+         \"delta_rows_per_sec\":{delta_rows_per_sec:.1},\
+         \"untouched_hit_rate\":{untouched_hit_rate:.4},\
+         \"growth_appended_bytes\":{appended_bytes},\
+         \"growth_restructure_bytes\":{restructure_bytes}}}",
+        read_only.ops_per_sec,
+        mixed_inc.ops_per_sec,
+        mixed_inc.p99_ns,
+        saturated_inc.ops_per_sec,
+        mixed_reb.ops_per_sec,
+        retention,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn incremental_maintenance_delivers_the_claimed_wins() {
+        let s = super::run();
+        assert!(s.contains("reader throughput while a writer streams maintenance"));
+        assert!(s.contains("maintenance cost per batch"));
+        let json = s.lines().find(|l| l.starts_with("json: ")).expect("json line");
+        let num = |key: &str| -> f64 {
+            let at = json.find(key).expect(key) + key.len();
+            json[at..]
+                .trim_start_matches(':')
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                .collect::<String>()
+                .parse()
+                .expect("number")
+        };
+        // The acceptance claims: a small-delta fold beats a full rebuild by
+        // ≥5×, and targeted invalidation keeps every untouched cell entry.
+        let speedup = num("\"apply_speedup\"");
+        assert!(speedup >= 5.0, "incremental apply only {speedup}x over rebuild\n{s}");
+        let untouched = num("\"untouched_hit_rate\"");
+        assert!(untouched >= 1.0, "untouched cell entries were invalidated\n{s}");
+        // Readers must not collapse while the paced writer streams deltas.
+        // The headline claim is ~parity (within 10%); the assertion leaves
+        // headroom for loaded single-core CI machines, where even the paced
+        // writer's CPU share is taken out of the readers' hide.
+        let retention = num("\"reader_retention\"");
+        assert!(retention >= 0.6, "reader throughput collapsed under writes: {retention}\n{s}");
+        assert!(num("\"writer_batches_incremental\"") >= 1.0);
+        assert!(num("\"writer_batches_saturated\"") >= 1.0);
+        // Increment segments append strictly less than a restructure writes.
+        assert!(num("\"growth_appended_bytes\"") < num("\"growth_restructure_bytes\""));
+    }
+}

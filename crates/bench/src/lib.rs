@@ -46,6 +46,7 @@ pub mod exps {
     pub mod exp24;
     pub mod exp25;
     pub mod exp26;
+    pub mod exp27;
 }
 
 /// One experiment: `(id, title, runner)`.
@@ -80,5 +81,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("exp24", "query-profile observability (spans + metrics)", exps::exp24::run),
         ("exp25", "serving-layer cache hit-rate and speedup curves", exps::exp25::run),
         ("exp26", "planner rewrite ablation — cells scanned on retail", exps::exp26::run),
+        ("exp27", "incremental maintenance under concurrent reads", exps::exp27::run),
     ]
 }

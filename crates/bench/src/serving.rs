@@ -28,6 +28,8 @@ pub const STREAM_LEN: usize = 400;
 pub const ZIPF_S: f64 = 1.1;
 /// Pinned workload: materialized views besides the base.
 pub const GREEDY_VIEWS: usize = 4;
+/// Pinned maintenance workload: rows per delta batch (E27, perf gate).
+pub const DELTA_ROWS: usize = 20;
 
 /// Deterministic xorshift fact table over [`CARDS`].
 pub fn make_facts(seed: u64) -> FactInput {
@@ -56,6 +58,30 @@ pub fn build_store(facts: &FactInput, budget: usize) -> SharedViewStore {
     let config =
         if budget == 0 { CacheConfig::disabled() } else { CacheConfig::with_budget(budget) };
     SharedViewStore::build(facts, &greedy.selected, config).expect("store")
+}
+
+/// Deterministic delta batches over [`CARDS`], [`DELTA_ROWS`] rows each —
+/// the pinned maintenance stream E27 and the perf gate replay.
+pub fn delta_batches(seed: u64, batches: usize) -> Vec<FactInput> {
+    let mut x = seed | 1;
+    (0..batches)
+        .map(|_| {
+            let mut d = FactInput::new(&CARDS).expect("delta");
+            for _ in 0..DELTA_ROWS {
+                let coords: Vec<u32> = CARDS
+                    .iter()
+                    .map(|&c| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        (x % c as u64) as u32
+                    })
+                    .collect();
+                d.push(&coords, (x % 1000) as f64).expect("push");
+            }
+            d
+        })
+        .collect()
 }
 
 /// A Zipf-skewed cuboid-mask stream: masks ranked by a seeded shuffle, rank
@@ -108,6 +134,9 @@ pub struct StreamStats {
     pub p50_ns: u64,
     /// p95 from the log₂ latency histogram (2× resolution).
     pub p95_ns: u64,
+    /// p99 from the log₂ latency histogram (2× resolution) — the tail the
+    /// mixed read/write experiments watch for reader stalls.
+    pub p99_ns: u64,
 }
 
 fn stats_of(latencies: &mut [u64], wall_ns: u64, hit_rate: f64) -> StreamStats {
@@ -125,6 +154,7 @@ fn stats_of(latencies: &mut [u64], wall_ns: u64, hit_rate: f64) -> StreamStats {
         median_ns: latencies.get(latencies.len() / 2).copied().unwrap_or(0),
         p50_ns: hist.quantile(0.5),
         p95_ns: hist.quantile(0.95),
+        p99_ns: hist.quantile(0.99),
     }
 }
 
@@ -188,6 +218,71 @@ pub fn run_stream_threads(store: &SharedViewStore, stream: &[u32], threads: usiz
     stats_of(&mut latencies, wall_ns, hit_rate_since(store, before))
 }
 
+/// Answers the stream from `threads` reader threads while one writer thread
+/// repeatedly calls `write_batch(k)` (k = 0, 1, 2, …) until every reader is
+/// done. Readers are measured exactly as in [`run_stream_threads`]; the
+/// second return value is how many batches the writer published. The
+/// epoch-snapshot design promises the writer never stalls a reader, so the
+/// reader stats here are directly comparable to a read-only run.
+pub fn run_stream_threads_with_writer(
+    store: &SharedViewStore,
+    stream: &[u32],
+    threads: usize,
+    mut write_batch: impl FnMut(u64) + Send,
+) -> (StreamStats, u64) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let before = {
+        let s = store.cache_stats();
+        (s.hits, s.misses)
+    };
+    let stop = AtomicBool::new(false);
+    let all = Mutex::new(Vec::with_capacity(stream.len() * threads));
+    let mut batches = 0u64;
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        let stop = &stop;
+        let writer = scope.spawn(move || {
+            let mut k = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                write_batch(k);
+                k += 1;
+            }
+            k
+        });
+        let readers: Vec<_> = (0..threads)
+            .map(|t| {
+                let store = store.clone();
+                let all = &all;
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(stream.len());
+                    for i in 0..stream.len() {
+                        let mask = stream[(i + t) % stream.len()];
+                        let q = Instant::now();
+                        store.answer(mask).expect("answer");
+                        latencies.push(q.elapsed().as_nanos() as u64);
+                    }
+                    all.lock().unwrap_or_else(|p| p.into_inner()).extend(latencies);
+                })
+            })
+            .collect();
+        for r in readers {
+            if let Err(p) = r.join() {
+                stop.store(true, Ordering::Release);
+                std::panic::resume_unwind(p);
+            }
+        }
+        stop.store(true, Ordering::Release);
+        batches = match writer.join() {
+            Ok(k) => k,
+            Err(p) => std::panic::resume_unwind(p),
+        };
+    });
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let mut latencies = all.into_inner().unwrap_or_else(|p| p.into_inner());
+    (stats_of(&mut latencies, wall_ns, hit_rate_since(store, before)), batches)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +320,29 @@ mod tests {
         let t = run_stream_threads(&store, &stream, 4);
         assert_eq!(t.queries, 480);
         assert!(t.hit_rate > 0.9, "fully warm shared cache: {}", t.hit_rate);
+    }
+
+    #[test]
+    fn writer_harness_publishes_batches_while_readers_run() {
+        let facts = make_facts(3);
+        let store = build_store(&facts, 16 << 20);
+        let stream = zipf_stream(store.top(), 60, ZIPF_S, 5);
+        let batches = delta_batches(9, 8);
+        let (s, published) = run_stream_threads_with_writer(&store, &stream, 2, |k| {
+            store.apply_delta(&batches[(k as usize) % batches.len()]).expect("delta");
+        });
+        assert_eq!(s.queries, 120);
+        assert!(s.p99_ns >= s.p95_ns);
+        assert!(published > 0, "writer must publish at least one batch");
+        assert_eq!(store.generation(), published, "every batch is one publication");
+    }
+
+    #[test]
+    fn delta_batches_are_deterministic() {
+        let a = delta_batches(4, 3);
+        let b = delta_batches(4, 3);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|d| d.len() == DELTA_ROWS));
     }
 
     #[test]

@@ -41,7 +41,7 @@
 //! **never admitted**: caching one would keep serving the detour after the
 //! store heals. The skip is counted in [`CacheStats::degraded_skips`].
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -339,6 +339,75 @@ impl AnswerCache {
         self.invalidations.fetch_add(n, Ordering::Relaxed);
         trace::counter("cube.cache.invalidations", n);
         n
+    }
+
+    /// Targeted invalidation after an incremental delta fold: drops exactly
+    /// the entries the batch could have changed and **re-pins** the
+    /// survivors to their source's post-fold epoch (the fold reseals every
+    /// file, so every epoch moved even where no value did).
+    ///
+    /// The keep rules, for a non-empty batch:
+    ///
+    /// * every `Cuboid` entry drops — any batch moves its grand total, so
+    ///   full-cuboid entries always intersect;
+    /// * policy-enforced (`fingerprint != 0`) cell entries drop — a delta
+    ///   to one cell can flip *another* cell's suppression verdict
+    ///   (complementary suppression), so only pre-enforcement values are
+    ///   provably untouched;
+    /// * a raw (`fingerprint == 0`) `Cell` entry survives iff its
+    ///   coordinates are outside the batch's projection onto its mask.
+    ///
+    /// An empty batch (a pure reseal/heal) changes no logical content:
+    /// everything survives, re-pinned. A survivor whose source vanished
+    /// from the store drops regardless. Returns the number dropped.
+    pub fn invalidate_delta(
+        &self,
+        touched_base: &[Box<[u32]>],
+        live_epoch: impl Fn(u32) -> Option<u64>,
+    ) -> u64 {
+        // Projection sets are per-mask and shared across shards; computed
+        // lazily since most masks never appear as cell keys.
+        let mut projected: HashMap<u32, HashSet<Box<[u32]>>> = HashMap::new();
+        let mut dropped = 0u64;
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap_or_else(|p| p.into_inner());
+            let keys: Vec<CacheKey> = shard.map.keys().cloned().collect();
+            for key in keys {
+                let keep = match &key {
+                    CacheKey::Cuboid(..) => touched_base.is_empty(),
+                    CacheKey::Cell(_, fp, _) if *fp != 0 => touched_base.is_empty(),
+                    CacheKey::Cell(mask, _, coords) => {
+                        let touched = projected.entry(*mask).or_insert_with(|| {
+                            touched_base
+                                .iter()
+                                .map(|k| crate::groupby::project_key(k, *mask))
+                                .collect()
+                        });
+                        !touched.contains(coords)
+                    }
+                };
+                if !keep {
+                    shard.remove(&key);
+                    dropped += 1;
+                    continue;
+                }
+                let source = shard.map.get(&key).map(|e| e.source);
+                match source.and_then(&live_epoch) {
+                    Some(epoch) => {
+                        if let Some(e) = shard.map.get_mut(&key) {
+                            e.epoch = epoch;
+                        }
+                    }
+                    None => {
+                        shard.remove(&key);
+                        dropped += 1;
+                    }
+                }
+            }
+        }
+        self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+        trace::counter("cube.cache.invalidations", dropped);
+        dropped
     }
 
     /// Drops every entry (bulk invalidation after delta maintenance).

@@ -27,6 +27,8 @@ use statcube_core::plan::{
     SourceCells,
 };
 use statcube_core::trace::{self, QueryProfile};
+use statcube_storage::extendible::ExtendibleArray;
+use statcube_storage::io_stats::DEFAULT_PAGE_SIZE;
 use statcube_storage::page_store::{FaultPlan, FaultStats, PageStore};
 use statcube_storage::verify::ScrubReport;
 
@@ -47,6 +49,61 @@ pub struct ViewStore {
     pages: PageStore,
     /// mask → file id in `pages`.
     files: HashMap<u32, usize>,
+    /// The dense \[RZ86\] base organization, maintained by the append path
+    /// when the cross product fits [`DENSE_BASE_CELL_LIMIT`]: a delta
+    /// introducing unseen dimension values grows it by increment segments
+    /// (O(increment) appends, no relocation) instead of restructuring.
+    base_dense: Option<ExtendibleArray>,
+}
+
+/// What one incremental maintenance fold did (see
+/// [`ViewStore::apply_delta`]). The serving layer uses `touched_base` to
+/// invalidate only the cache entries the batch could have changed.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaReport {
+    /// Fact rows in the batch.
+    pub rows: u64,
+    /// Distinct base-cuboid keys the batch touched, sorted. Projecting
+    /// these onto any mask gives exactly the cells of that cuboid the
+    /// batch changed.
+    pub touched_base: Vec<Box<[u32]>>,
+    /// Cells merged across all materialized views (the incremental work,
+    /// versus a rebuild's full recomputation).
+    pub cells_touched: u64,
+    /// Extendible-array growth for previously-unseen dimension values:
+    /// `(dimension, indices added)` per grown dimension.
+    pub extended_dims: Vec<(usize, usize)>,
+}
+
+/// Ceiling on dense base cells: past this the extendible-array base
+/// organization is not maintained and the sparse sealed views remain the
+/// only base representation (8 MiB of f64 cells at the limit).
+const DENSE_BASE_CELL_LIMIT: usize = 1 << 20;
+
+/// The cross-product cell count, if it is computable and within
+/// [`DENSE_BASE_CELL_LIMIT`].
+fn dense_cell_count(cards: &[usize]) -> Option<usize> {
+    cards
+        .iter()
+        .try_fold(1usize, |acc, &c| acc.checked_mul(c))
+        .filter(|&n| n <= DENSE_BASE_CELL_LIMIT)
+}
+
+/// Builds the dense extendible-array image of the base cuboid (cell = sum),
+/// or `None` when the cross product is too large.
+fn dense_base_of(base: &Cuboid, cards: &[usize]) -> Option<ExtendibleArray> {
+    dense_cell_count(cards)?;
+    let mut arr = ExtendibleArray::new(cards, DEFAULT_PAGE_SIZE).ok()?;
+    let mut coords = vec![0usize; cards.len()];
+    for (key, state) in base {
+        for (c, &k) in coords.iter_mut().zip(key.iter()) {
+            *c = k as usize;
+        }
+        if arr.set(&coords, state.sum).is_err() {
+            return None;
+        }
+    }
+    Some(arr)
 }
 
 /// The answer to a cuboid query, with its measured cost and (when the
@@ -167,7 +224,8 @@ impl ViewStore {
         let measured: Vec<(u32, u64)> = views.iter().map(|(&m, c)| (m, c.len() as u64)).collect();
         let lattice = lattice.with_measured_sizes(&measured);
         let (pages, files) = seal_views(&views, lattice.dim_count());
-        Ok(Self { lattice, views, pages, files })
+        let base_dense = views.get(&top).and_then(|b| dense_base_of(b, input.cards()));
+        Ok(Self { lattice, views, pages, files, base_dense })
     }
 
     /// Materializes views out of an already computed [`CubeResult`].
@@ -183,7 +241,14 @@ impl ViewStore {
         }
         let measured: Vec<(u32, u64)> = views.iter().map(|(&m, c)| (m, c.len() as u64)).collect();
         let (pages, files) = seal_views(&views, lattice.dim_count());
-        Ok(Self { lattice: lattice.with_measured_sizes(&measured), views, pages, files })
+        let base_dense = views.get(&top).and_then(|b| dense_base_of(b, cards));
+        Ok(Self {
+            lattice: lattice.with_measured_sizes(&measured),
+            views,
+            pages,
+            files,
+            base_dense,
+        })
     }
 
     /// The routing lattice (dimension count, sizes, derivability).
@@ -215,35 +280,169 @@ impl ViewStore {
 
     /// Incrementally maintains the materialized views against an append
     /// batch (§6.5: "it is very common to append to the data cube over
-    /// time … daily appends"): each view absorbs the delta's aggregation at
-    /// its own mask, so no view is recomputed from scratch. The delta's
-    /// dimension cardinalities must match the store's.
-    pub fn apply_delta(&mut self, delta: &FactInput) -> Result<()> {
+    /// time … daily appends"): builds the successor store with
+    /// [`ViewStore::fold_delta`] and swaps it in. A rejected batch returns
+    /// before the swap, so it provably mutates nothing.
+    pub fn apply_delta(&mut self, delta: &FactInput) -> Result<DeltaReport> {
+        let (next, report) = self.fold_delta(delta)?;
+        *self = next;
+        Ok(report)
+    }
+
+    /// The incremental maintenance fold: aggregates the batch **once** at
+    /// the base cuboid, propagates that partial down the lattice to every
+    /// materialized descendant (each derived from its smallest
+    /// already-derived ancestor partial — the AggState monoid makes
+    /// `view ⊕ partial` equal a rebuild), and seals the result into a fresh
+    /// page store whose file epochs continue this store's sequence. `self`
+    /// is not mutated; the caller publishes the returned successor.
+    ///
+    /// Validation is fully up-front — arity, finite measures (a NaN measure
+    /// would silently poison every aggregate *and* collide with the dense
+    /// base array's empty-cell sentinel), and the grown lattice — so a
+    /// rejected batch cannot leave a half-applied store behind.
+    ///
+    /// A batch may carry coordinates beyond the store's current
+    /// cardinalities (declared via the delta's own `cards`): the lattice
+    /// grows to the element-wise maximum and the dense base organization
+    /// absorbs the growth as \[RZ86\] increment segments.
+    pub fn fold_delta(&self, delta: &FactInput) -> Result<(ViewStore, DeltaReport)> {
         if delta.dim_count() != self.lattice.dim_count() {
             return Err(Error::ArityMismatch {
                 expected: self.lattice.dim_count(),
                 got: delta.dim_count(),
             });
         }
-        let n_dims = self.lattice.dim_count();
-        for (&mask, cuboid) in self.views.iter_mut() {
-            let partial = groupby::from_facts(delta, mask);
-            for (key, state) in partial {
-                cuboid.entry(key).or_insert(statcube_core::measure::AggState::EMPTY).merge(&state);
-            }
-            // Rewrite the sealed file: a rewrite also heals any corruption
-            // the old copy had accumulated.
-            self.pages.overwrite(self.files[&mask], &serialize_cuboid(cuboid, n_dims));
+        if let Some(row) = delta.measure().iter().position(|m| !m.is_finite()) {
+            return Err(Error::InvalidSchema(format!("delta row {row} has a non-finite measure")));
         }
-        // Sizes may have grown; refresh the routing lattice.
-        let measured: Vec<(u32, u64)> =
-            self.views.iter().map(|(&m, c)| (m, c.len() as u64)).collect();
-        self.lattice = Lattice::new(
-            &self.lattice.cards(),
-            self.lattice.base_rows().saturating_add(delta.len() as u64),
-        )?
-        .with_measured_sizes(&measured);
-        Ok(())
+        let old_cards = self.lattice.cards();
+        let new_cards: Vec<usize> =
+            old_cards.iter().zip(delta.cards()).map(|(&a, &b)| a.max(b)).collect();
+        let lattice =
+            Lattice::new(&new_cards, self.lattice.base_rows().saturating_add(delta.len() as u64))?;
+        let top = lattice.top();
+
+        // One aggregation of the batch, at the base; every coarser partial
+        // is derived from the smallest partial already computed, never from
+        // the facts again.
+        let delta_base = groupby::from_facts(delta, top);
+        let mut touched_base: Vec<Box<[u32]>> = delta_base.keys().cloned().collect();
+        touched_base.sort_unstable();
+        let mut order: Vec<u32> = self.views.keys().copied().collect();
+        order.sort_unstable_by_key(|m| std::cmp::Reverse(m.count_ones()));
+        let mut partials: HashMap<u32, Cuboid> = HashMap::with_capacity(order.len() + 1);
+        partials.insert(top, delta_base);
+        for &mask in &order {
+            if partials.contains_key(&mask) {
+                continue;
+            }
+            let ancestor = partials
+                .iter()
+                .filter(|&(&a, _)| mask & !a == 0)
+                .min_by_key(|&(_, c)| c.len())
+                .map_or(top, |(&a, _)| a);
+            let partial = groupby::from_parent(&partials[&ancestor], ancestor, mask);
+            partials.insert(mask, partial);
+        }
+
+        let mut views = self.views.clone();
+        let mut cells_touched = 0u64;
+        for (mask, cuboid) in views.iter_mut() {
+            if let Some(partial) = partials.remove(mask) {
+                cells_touched += partial.len() as u64;
+                for (key, state) in partial {
+                    cuboid.entry(key).or_insert(AggState::EMPTY).merge(&state);
+                }
+            }
+        }
+
+        // Grow the dense base organization by increment segments for any
+        // dimension that saw new values, then write the touched cells'
+        // post-fold sums. (Dropped, not restructured, if growth pushed the
+        // cross product past the dense limit.)
+        let mut extended_dims = Vec::new();
+        let mut base_dense = match &self.base_dense {
+            Some(arr) if dense_cell_count(&new_cards).is_some() => Some(arr.clone()),
+            _ => None,
+        };
+        if let Some(arr) = base_dense.as_mut() {
+            for (d, (&old, &new)) in old_cards.iter().zip(&new_cards).enumerate() {
+                if new > old {
+                    arr.extend(d, new - old)?;
+                    extended_dims.push((d, new - old));
+                }
+            }
+            if let Some(base) = views.get(&top) {
+                let mut coords = vec![0usize; new_cards.len()];
+                for key in &touched_base {
+                    for (c, &k) in coords.iter_mut().zip(key.iter()) {
+                        *c = k as usize;
+                    }
+                    if let Some(state) = base.get(key) {
+                        arr.set(&coords, state.sum)?;
+                    }
+                }
+            }
+        }
+
+        let measured: Vec<(u32, u64)> = views.iter().map(|(&m, c)| (m, c.len() as u64)).collect();
+        let lattice = lattice.with_measured_sizes(&measured);
+        let (pages, files) = self.seal_successor(&views, lattice.dim_count());
+        let report =
+            DeltaReport { rows: delta.len() as u64, touched_base, cells_touched, extended_dims };
+        Ok((ViewStore { lattice, views, pages, files, base_dense }, report))
+    }
+
+    /// Seals `views` into a fresh page store that *succeeds* this store's:
+    /// the armed fault injector and counters move over first (so injected
+    /// faults land on the successor's seals) and every file's epoch
+    /// continues the predecessor's sequence (so cached derivations pinned
+    /// pre-swap can never falsely match the successor).
+    fn seal_successor(
+        &self,
+        views: &HashMap<u32, Cuboid>,
+        n_dims: usize,
+    ) -> (PageStore, HashMap<u32, usize>) {
+        let pages = PageStore::new(self.pages.io().page_size()).with_retry(self.pages.retry());
+        pages.transplant_runtime_from(&self.pages);
+        let mut masks: Vec<u32> = views.keys().copied().collect();
+        masks.sort_unstable();
+        let mut files = HashMap::with_capacity(masks.len());
+        for mask in masks {
+            let bytes = serialize_cuboid(&views[&mask], n_dims);
+            let id = pages.create(&view_file_name(mask), &bytes);
+            pages.set_epoch(id, self.view_epoch(mask).map_or(0, |e| e + 1));
+            files.insert(mask, id);
+        }
+        (pages, files)
+    }
+
+    /// Carries the runtime identity of the store this one replaces
+    /// wholesale: file epochs continue `old`'s sequence and the armed fault
+    /// injector + counters move over. The serving layer's full `rebuild`
+    /// path calls this before publishing; the incremental fold does the
+    /// same inline (and earlier, so its seals see injected faults).
+    pub fn succeed(&self, old: &ViewStore) {
+        self.pages.transplant_runtime_from(old.page_store());
+        for (&mask, &id) in &self.files {
+            if let Some(epoch) = old.view_epoch(mask) {
+                self.pages.set_epoch(id, epoch + 1);
+            }
+        }
+    }
+
+    /// The materialized cells of view `mask` (the in-memory copy the fold
+    /// maintains), or `None` when the mask is not materialized. Exposed for
+    /// differential maintenance tests and sizing.
+    pub fn view(&self, mask: u32) -> Option<&Cuboid> {
+        self.views.get(&mask)
+    }
+
+    /// The dense extendible-array base organization, if the cross product
+    /// fits the dense limit. Deltas grow it by increment segments.
+    pub fn dense_base(&self) -> Option<&ExtendibleArray> {
+        self.base_dense.as_ref()
     }
 
     /// The materialized catalog the planner's lattice pass routes against:

@@ -1,15 +1,26 @@
-//! The concurrent serving layer: one sealed [`ViewStore`] behind an
-//! `RwLock`, fronted by the cost-aware [`AnswerCache`], shared across
-//! reader threads by cheap clone.
+//! The concurrent serving layer: epoch-published [`ViewStore`] snapshots,
+//! fronted by the cost-aware [`AnswerCache`], shared across reader threads
+//! by cheap clone.
 //!
 //! [`ViewStore`] turned the lattice into a *query* path; this module turns
 //! it into a *serving* path. A [`SharedViewStore`] is `Clone + Send +
 //! Sync`: hand one clone per reader thread and every `answer`/`answer_cell`
-//! call goes — under a shared read lock — first to the cache, then (on a
-//! miss) through the verified page-store path, admitting the result for
-//! the next caller. Writers (`apply_delta`) take the write lock, so readers
-//! always observe a store that is entirely before or entirely after a
-//! maintenance batch, never a half-applied one.
+//! call pins a [`StoreSnapshot`] — an `Arc` to the currently published
+//! store, cloned out under a read lock held only for the clone itself —
+//! and runs entirely on that snapshot: cache first, then (on a miss) the
+//! verified page-store path, admitting the result for the next caller.
+//!
+//! **Writers never block readers.** [`SharedViewStore::apply_delta`] folds
+//! the batch into a *successor* store off-lock ([`ViewStore::fold_delta`]:
+//! one base aggregation, propagated down the lattice by the AggState
+//! monoid) while readers keep serving the current snapshot, then publishes
+//! with one pointer swap under the write lock — the "short epoch bump".
+//! Readers mid-query keep their pinned snapshot; the store they see is
+//! always entirely before or entirely after a maintenance batch, never
+//! half-applied. Afterwards only cache entries whose (cuboid, cell)
+//! intersects the batch's touched keys drop
+//! ([`AnswerCache::invalidate_delta`]); the rest are re-pinned and keep
+//! hitting.
 //!
 //! Consistency with the fault model:
 //!
@@ -17,12 +28,16 @@
 //!   served but not admitted, so the detour is retried (and the preferred
 //!   source used again) as soon as the store heals;
 //! * **cache entries pin their source's epoch** — any mutation of a sealed
-//!   view (delta rewrite, corruption, a persisted injected fault) moves the
-//!   file's epoch and orphans dependent entries at the next probe;
+//!   view (delta reseal, corruption, a persisted injected fault) moves the
+//!   file's epoch and orphans dependent entries at the next probe. A
+//!   successor store's epochs *continue* its predecessor's sequence, so an
+//!   entry admitted by a reader still on the old snapshot can never
+//!   falsely match the new store;
 //! * **scrub failures evict eagerly** — [`SharedViewStore::scrub`] maps
 //!   failing files back to view masks and drops dependent entries at once.
 
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use statcube_core::error::{Error, Result};
 use statcube_core::measure::AggState;
@@ -39,7 +54,7 @@ use crate::cache::{
 use crate::cube_op::Degradation;
 use crate::groupby::Cuboid;
 use crate::input::FactInput;
-use crate::query::{mask_of_view_file, ViewStore};
+use crate::query::{mask_of_view_file, DeltaReport, ViewStore};
 
 /// A cuboid answer from the serving path. On a cache hit the cuboid is the
 /// shared resident copy and `cells_scanned` is 0 — nothing was scanned.
@@ -72,8 +87,39 @@ pub struct CellAnswer {
 
 #[derive(Debug)]
 struct Inner {
-    store: RwLock<ViewStore>,
+    /// The published store. Readers clone the `Arc` out (the read lock is
+    /// held for the clone only) and run whole queries on the pinned
+    /// snapshot; a writer swaps in a successor under the write lock.
+    current: RwLock<Arc<ViewStore>>,
+    /// Publication counter, bumped inside the write lock so a snapshot's
+    /// `(store, generation)` pair is always consistent.
+    generation: AtomicU64,
+    /// Serializes writers (delta folds, rebuilds). Readers never touch it.
+    writer: Mutex<()>,
     cache: AnswerCache,
+}
+
+/// A pinned, immutable view of the store at one publication generation,
+/// from [`SharedViewStore::snapshot`]. Holding one blocks nothing: a
+/// concurrent delta publishes a *successor* store and this snapshot simply
+/// keeps answering from the generation it pinned.
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
+    store: Arc<ViewStore>,
+    generation: u64,
+}
+
+impl StoreSnapshot {
+    /// The publication generation this snapshot pinned (0 before any
+    /// delta/rebuild has published).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The pinned store, with the full read-only [`ViewStore`] API.
+    pub fn store(&self) -> &ViewStore {
+        &self.store
+    }
 }
 
 /// A sealed view store shared across reader threads, fronted by the
@@ -88,7 +134,12 @@ impl SharedViewStore {
     /// Wraps an already built [`ViewStore`] with a cache sized by `config`.
     pub fn new(store: ViewStore, config: CacheConfig) -> Self {
         Self {
-            inner: Arc::new(Inner { store: RwLock::new(store), cache: AnswerCache::new(config) }),
+            inner: Arc::new(Inner {
+                current: RwLock::new(Arc::new(store)),
+                generation: AtomicU64::new(0),
+                writer: Mutex::new(()),
+                cache: AnswerCache::new(config),
+            }),
         }
     }
 
@@ -98,22 +149,38 @@ impl SharedViewStore {
         Ok(Self::new(ViewStore::build(input, selected)?, config))
     }
 
-    fn read_store(&self) -> RwLockReadGuard<'_, ViewStore> {
-        // The store behind the lock holds no lock-relevant invariants a
-        // panic could break mid-flight; recover poison rather than spread it.
-        self.inner.store.read().unwrap_or_else(|p| p.into_inner())
+    /// Pins the currently published store. The read lock is held only for
+    /// the `Arc` clone — microseconds — so readers never wait on a fold in
+    /// progress, and holding the snapshot never blocks the next publish.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        // The lock guards a plain pointer; recover poison rather than
+        // spread it.
+        let guard = self.inner.current.read().unwrap_or_else(|p| p.into_inner());
+        let store = Arc::clone(&guard);
+        // Read inside the lock: the writer bumps it while holding the write
+        // lock, so (store, generation) is consistent here.
+        let generation = self.inner.generation.load(Ordering::Acquire);
+        StoreSnapshot { store, generation }
     }
 
-    fn write_store(&self) -> RwLockWriteGuard<'_, ViewStore> {
-        self.inner.store.write().unwrap_or_else(|p| p.into_inner())
+    /// How many maintenance publications (delta folds, rebuilds) have
+    /// happened since construction.
+    pub fn generation(&self) -> u64 {
+        self.inner.generation.load(Ordering::Acquire)
+    }
+
+    fn publish(&self, store: ViewStore) {
+        let mut guard = self.inner.current.write().unwrap_or_else(|p| p.into_inner());
+        *guard = Arc::new(store);
+        self.inner.generation.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Answers the query for cuboid `mask`: cache first, then the verified
     /// page-store path, admitting non-degraded results (cost-weighted; see
     /// [`crate::cache`]). Many threads may call this concurrently.
     pub fn answer(&self, mask: u32) -> Result<SharedAnswer> {
-        let store = self.read_store();
-        self.answer_locked(&store, mask, &PrivacyPolicy::none(), PlannerConfig::default())
+        let snap = self.snapshot();
+        self.answer_on(snap.store(), mask, &PrivacyPolicy::none(), PlannerConfig::default())
     }
 
     /// [`SharedViewStore::answer`] under an explicit privacy policy and
@@ -127,11 +194,11 @@ impl SharedViewStore {
         policy: &PrivacyPolicy,
         config: PlannerConfig,
     ) -> Result<SharedAnswer> {
-        let store = self.read_store();
-        self.answer_locked(&store, mask, policy, config)
+        let snap = self.snapshot();
+        self.answer_on(snap.store(), mask, policy, config)
     }
 
-    fn answer_locked(
+    fn answer_on(
         &self,
         store: &ViewStore,
         mask: u32,
@@ -189,7 +256,8 @@ impl SharedViewStore {
     /// served from the cell cache, the cached cuboid, or the store, in that
     /// order of preference.
     pub fn answer_cell(&self, pattern: &[Option<u32>]) -> Result<CellAnswer> {
-        let store = self.read_store();
+        let snap = self.snapshot();
+        let store = snap.store();
         let n = store.lattice().dim_count();
         if pattern.len() != n {
             return Err(Error::ArityMismatch { expected: n, got: pattern.len() });
@@ -210,8 +278,7 @@ impl SharedViewStore {
             return Ok(CellAnswer { state, cache_hit: true, degraded: false });
         }
         sp.record("hit", 0);
-        let ans =
-            self.answer_locked(&store, mask, &PrivacyPolicy::none(), PlannerConfig::default())?;
+        let ans = self.answer_on(store, mask, &PrivacyPolicy::none(), PlannerConfig::default())?;
         let state = ans.cuboid.get(&coords).copied();
         if ans.degraded.is_none() {
             if let Some(epoch) = store.view_epoch(ans.source) {
@@ -233,12 +300,36 @@ impl SharedViewStore {
         Ok(CellAnswer { state, cache_hit: false, degraded: ans.degraded.is_some() })
     }
 
-    /// Applies an append batch under the write lock (readers see the store
-    /// before or after, never mid-batch) and drops the whole cache — every
-    /// sealed file was rewritten, so every entry is stale by epoch anyway.
-    pub fn apply_delta(&self, delta: &FactInput) -> Result<()> {
-        let mut store = self.write_store();
-        store.apply_delta(delta)?;
+    /// Applies an append batch **incrementally and without blocking
+    /// readers**: the fold — one base aggregation, lattice propagation,
+    /// epoch-continuous resealing — runs entirely off-lock on a pinned
+    /// snapshot ([`ViewStore::fold_delta`]) while readers keep serving;
+    /// publication is a single pointer swap under the write lock. Then only
+    /// cache entries the batch touched are dropped; survivors are re-pinned
+    /// to the resealed files' epochs and keep hitting. A batch that fails
+    /// validation publishes nothing and drops nothing.
+    pub fn apply_delta(&self, delta: &FactInput) -> Result<DeltaReport> {
+        let _writer = self.inner.writer.lock().unwrap_or_else(|p| p.into_inner());
+        let snap = self.snapshot();
+        let (next, report) = snap.store().fold_delta(delta)?;
+        self.publish(next);
+        let fresh = self.snapshot();
+        self.inner.cache.invalidate_delta(&report.touched_base, |s| fresh.store().view_epoch(s));
+        Ok(report)
+    }
+
+    /// Recomputes every materialized view from `facts` and swaps the result
+    /// in wholesale, dropping the whole cache — the pre-incremental
+    /// maintenance path, kept for full re-materializations and as the
+    /// baseline exp27 measures [`SharedViewStore::apply_delta`] against.
+    /// The successor's file epochs continue the current store's, so entries
+    /// admitted by readers mid-swap can never falsely match it.
+    pub fn rebuild(&self, facts: &FactInput) -> Result<()> {
+        let _writer = self.inner.writer.lock().unwrap_or_else(|p| p.into_inner());
+        let snap = self.snapshot();
+        let next = ViewStore::build(facts, &snap.store().materialized())?;
+        next.succeed(snap.store());
+        self.publish(next);
         self.inner.cache.clear();
         Ok(())
     }
@@ -247,8 +338,7 @@ impl SharedViewStore {
     /// every cache entry derived from it (the epoch bump would catch them
     /// lazily; scrub/corrupt paths evict at once).
     pub fn corrupt_view(&self, mask: u32, bit: u64) -> Result<()> {
-        let store = self.read_store();
-        store.corrupt_view(mask, bit)?;
+        self.snapshot().store().corrupt_view(mask, bit)?;
         self.inner.cache.invalidate_source(mask);
         Ok(())
     }
@@ -257,8 +347,8 @@ impl SharedViewStore {
     /// entries whose source view failed, so later probes re-derive (and
     /// detour) instead of serving results pinned to a corrupt file.
     pub fn scrub(&self) -> ScrubReport {
-        let store = self.read_store();
-        let report = store.scrub();
+        let snap = self.snapshot();
+        let report = snap.store().scrub();
         for failure in &report.failures {
             if let Some(mask) = mask_of_view_file(&failure.object) {
                 self.inner.cache.invalidate_source(mask);
@@ -273,19 +363,22 @@ impl SharedViewStore {
         self.scrub().into_result()
     }
 
-    /// Arms fault injection on the backing store.
+    /// Arms fault injection on the published store. A later delta fold
+    /// transplants the armed injector (and its RNG position) into the
+    /// successor, so the plan survives publications.
     pub fn arm_faults(&self, plan: FaultPlan) {
-        self.read_store().arm_faults(plan);
+        self.snapshot().store().arm_faults(plan);
     }
 
     /// Disarms fault injection (persistent corruption, if any, remains).
     pub fn disarm_faults(&self) {
-        self.read_store().disarm_faults();
+        self.snapshot().store().disarm_faults();
     }
 
-    /// Fault counters accumulated by the backing store.
+    /// Fault counters accumulated by the published store (carried across
+    /// publications by the transplant).
     pub fn fault_stats(&self) -> FaultStats {
-        self.read_store().fault_stats()
+        self.snapshot().store().fault_stats()
     }
 
     /// Cache counters plus current residency.
@@ -293,36 +386,37 @@ impl SharedViewStore {
         self.inner.cache.stats()
     }
 
-    /// The materialized masks of the backing store.
+    /// The materialized masks of the published store.
     pub fn materialized(&self) -> Vec<u32> {
-        self.read_store().materialized()
+        self.snapshot().store().materialized()
     }
 
-    /// Dimension count of the backing lattice.
+    /// Dimension count of the published lattice.
     pub fn dim_count(&self) -> usize {
-        self.read_store().lattice().dim_count()
+        self.snapshot().store().lattice().dim_count()
     }
 
-    /// Top (base-cuboid) mask of the backing lattice.
+    /// Top (base-cuboid) mask of the published lattice.
     pub fn top(&self) -> u32 {
-        self.read_store().lattice().top()
+        self.snapshot().store().lattice().top()
     }
 
-    /// A [`PlanSource`] over this store for the shared executor: holds the
-    /// read lock for its lifetime (one consistent store per query), loads
-    /// through the verified pages, and fronts the answer cache with
-    /// **pre-enforcement** entries under fingerprint 0. Raw entries are
-    /// safe to share across policies because the executor's mandatory
-    /// privacy pass runs *after* every probe — cached and freshly derived
-    /// answers cross the same enforcement barrier.
+    /// A [`PlanSource`] over this store for the shared executor: pins a
+    /// snapshot for its lifetime (one consistent store per query — and no
+    /// lock held, so a concurrent delta neither blocks it nor is blocked
+    /// by it), loads through the verified pages, and fronts the answer
+    /// cache with **pre-enforcement** entries under fingerprint 0. Raw
+    /// entries are safe to share across policies because the executor's
+    /// mandatory privacy pass runs *after* every probe — cached and freshly
+    /// derived answers cross the same enforcement barrier.
     pub fn plan_source(&self) -> SharedPlanSource<'_> {
-        SharedPlanSource { store: self.read_store(), cache: &self.inner.cache }
+        SharedPlanSource { store: self.snapshot().store, cache: &self.inner.cache }
     }
 }
 
 /// See [`SharedViewStore::plan_source`].
 pub struct SharedPlanSource<'a> {
-    store: RwLockReadGuard<'a, ViewStore>,
+    store: Arc<ViewStore>,
     cache: &'a AnswerCache,
 }
 
@@ -512,7 +606,7 @@ mod tests {
         assert!(resident > 0);
         // Corrupt through the *inner* store so the shared layer only learns
         // about it from the scrub.
-        store.read_store().corrupt_view(0b011, 9).unwrap();
+        store.snapshot().store().corrupt_view(0b011, 9).unwrap();
         let report = store.scrub();
         assert!(!report.is_clean());
         assert!(store.cache_stats().invalidations > 0, "scrub must evict dependents");

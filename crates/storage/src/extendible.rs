@@ -54,6 +54,20 @@ pub struct ExtendibleArray {
     io: IoStats,
 }
 
+impl Clone for ExtendibleArray {
+    /// Clones the cells, segments and increment index. [`IoStats`] counters
+    /// are atomics with no `Clone`; the copy starts with fresh (zeroed)
+    /// counters at the same page size, since the clone has done no I/O yet.
+    fn clone(&self) -> Self {
+        Self {
+            dims: self.dims.clone(),
+            segments: self.segments.clone(),
+            axis: self.axis.clone(),
+            io: IoStats::labeled(self.io.page_size(), "extendible"),
+        }
+    }
+}
+
 impl ExtendibleArray {
     /// Allocates the initial array.
     pub fn new(initial: &[usize], page_size: usize) -> Result<Self> {

@@ -375,6 +375,30 @@ impl PageStore {
         *file = staged;
     }
 
+    /// Sets file `id`'s invalidation epoch directly. Used when a rebuilt
+    /// store replaces another wholesale (incremental delta fold, full
+    /// rebuild): the successor's files must *continue* the predecessor's
+    /// epoch sequence, or a fresh store restarting at epoch 0 could collide
+    /// with cached derivations pinned to the old store's epoch 0 and serve
+    /// them stale.
+    pub fn set_epoch(&self, id: usize, epoch: u64) {
+        self.files_write()[id].epoch = epoch;
+    }
+
+    /// Moves the armed fault injector (keeping its RNG stream position) and
+    /// copies the accumulated fault counters from `other` into this store,
+    /// disarming `other`. Used when a rebuilt store replaces `other`: a
+    /// chaos plan armed before the swap keeps injecting — and its counters
+    /// keep accumulating — across it, so torn writes land on the
+    /// successor's very first seal.
+    pub fn transplant_runtime_from(&self, other: &PageStore) {
+        let injector = other.injector_lock().take();
+        other.armed.store(false, Ordering::Release);
+        self.armed.store(injector.is_some(), Ordering::Release);
+        *self.injector_lock() = injector;
+        *self.stats.lock().unwrap_or_else(|p| p.into_inner()) = other.stats();
+    }
+
     /// Test/chaos hook: deterministically flips one stored bit of file
     /// `id`'s page `page` — the targeted form of the injector's random
     /// bit flips. Bumps the file's invalidation epoch.

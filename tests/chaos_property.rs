@@ -266,6 +266,57 @@ fn no_stale_reads_after_corrupt_scrub_and_heal() {
     }
 }
 
+/// Delta atomicity under chaos: across the 120 seeded fault plans, a
+/// non-empty delta applied with faults armed publishes **fully** — the
+/// generation bumps exactly once and every answer is bit-identical to the
+/// combined oracle or a typed error (torn writes may corrupt the resealed
+/// files, never the folded values) — and a batch that fails validation
+/// publishes **nothing**: generation unchanged, answers still the oracle.
+#[test]
+fn fault_injected_deltas_publish_fully_or_not_at_all() {
+    let f = facts(13);
+    let mut combined = FactInput::new(f.cards()).unwrap();
+    for row in 0..f.len() {
+        combined.push(&f.coords(row), f.measure()[row]).unwrap();
+    }
+    combined.push(&[7, 3, 1], 5000.0).unwrap();
+    let oracle: Vec<Cuboid> = (0..8u32).map(|m| groupby::from_facts(&combined, m)).collect();
+
+    for seed in 0..SEEDS {
+        let rate = [0.0, 0.02, 0.04, 0.08][(seed % 4) as usize];
+        let store = SharedViewStore::build(&f, &[0b011, 0b101], CacheConfig::default()).unwrap();
+        store.arm_faults(FaultPlan::uniform(seed, rate));
+
+        // The fold runs on in-memory views, so it succeeds even under an
+        // armed injector; the injected faults land on the successor's
+        // seals instead.
+        let mut d = FactInput::new(f.cards()).unwrap();
+        d.push(&[7, 3, 1], 5000.0).unwrap();
+        store.apply_delta(&d).unwrap();
+        assert_eq!(store.generation(), 1, "seed {seed}: delta must publish exactly once");
+
+        let check = |when: &str| {
+            for mask in 0..8u32 {
+                match store.answer(mask) {
+                    Ok(ans) => assert!(
+                        bit_identical(&ans.cuboid, &oracle[mask as usize]),
+                        "seed {seed} {when} mask {mask:03b}: answer differs from combined oracle"
+                    ),
+                    Err(e) => assert!(is_typed_fault(&e), "seed {seed} {when}: untyped {e:?}"),
+                }
+            }
+        };
+        check("after delta");
+
+        // A poison batch must change nothing, faults or no faults.
+        let mut bad = FactInput::new(f.cards()).unwrap();
+        bad.push(&[1, 1, 1], f64::NAN).unwrap();
+        assert!(store.apply_delta(&bad).is_err(), "seed {seed}: NaN delta accepted");
+        assert_eq!(store.generation(), 1, "seed {seed}: rejected delta published");
+        check("after rejected delta");
+    }
+}
+
 /// The engine cubes under per-seed targeted corruption: verified lookups
 /// equal the fault-free oracle or fail typed; corrupting every covering
 /// cuboid yields `NoHealthySource`, never a silent wrong number.

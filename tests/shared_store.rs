@@ -12,6 +12,7 @@
 //!   lock-protected store currently holds.
 
 use statcube::core::error::Error;
+use statcube::core::plan::{PlannerConfig, PrivacyPolicy};
 use statcube::cube::cache::CacheConfig;
 use statcube::cube::groupby::{self, Cuboid};
 use statcube::cube::input::FactInput;
@@ -175,4 +176,159 @@ fn readers_race_a_delta_writer_and_see_only_committed_snapshots() {
     assert!(store.answer(0b000).unwrap().cache_hit);
     let stats = store.cache_stats();
     assert!(stats.invalidations > 0, "deltas must have cleared the cache");
+}
+
+/// Snapshot isolation, structurally: a pinned [`StoreSnapshot`] (and a
+/// plan source holding one) kept open across `apply_delta` blocks nothing —
+/// under the old reader-lock design the writer would deadlock right here —
+/// and afterwards the pinned snapshot still serves its own epoch's totals
+/// while the store serves the new ones.
+#[test]
+fn pinned_snapshots_serve_their_epoch_and_never_block_the_writer() {
+    let f = facts(31, 300);
+    let store = SharedViewStore::build(&f, &[0b011], CacheConfig::default()).unwrap();
+    let before = groupby::from_facts(&f, 0b000);
+
+    let snap = store.snapshot();
+    assert_eq!(snap.generation(), 0);
+    // A plan source pins a snapshot too; holding it across the delta is the
+    // no-blocking property in its most direct form.
+    let src = store.plan_source();
+
+    let mut d = FactInput::new(f.cards()).unwrap();
+    d.push(&[7, 3, 1], 10_000.0).unwrap();
+    store.apply_delta(&d).unwrap();
+    assert_eq!(store.generation(), 1);
+    drop(src);
+
+    // The pinned snapshot answers from the pre-delta epoch, bit for bit.
+    let old = snap.store().answer(0b000).unwrap();
+    assert!(bit_identical(&old.cuboid, &before), "pinned snapshot must keep its epoch");
+    assert_eq!(snap.generation(), 0);
+
+    // A fresh read sees the post-delta world.
+    let mut combined = FactInput::new(f.cards()).unwrap();
+    for row in 0..f.len() {
+        combined.push(&f.coords(row), f.measure()[row]).unwrap();
+    }
+    combined.push(&[7, 3, 1], 10_000.0).unwrap();
+    let new = store.answer(0b000).unwrap();
+    assert!(bit_identical(&new.cuboid, &groupby::from_facts(&combined, 0b000)));
+}
+
+/// Targeted invalidation: after a delta, cell entries whose coordinates
+/// don't intersect the batch survive and still hit with unchanged values;
+/// touched cells and whole-cuboid entries miss and recompute to post-delta
+/// values; policy-fingerprinted entries drop and re-key correctly.
+#[test]
+fn untouched_cache_entries_survive_a_delta_and_still_hit() {
+    let f = facts(41, 400);
+    let store = SharedViewStore::build(&f, &[0b011, 0b101], CacheConfig::default()).unwrap();
+
+    // Prime a cell entry per d0 slice, every cuboid, and one strict-policy
+    // answer under its own fingerprint.
+    for d0 in 0..8u32 {
+        store.answer_cell(&[Some(d0), None, None]).unwrap();
+    }
+    for mask in 0..8u32 {
+        store.answer(mask).unwrap();
+    }
+    let policy = PrivacyPolicy::suppress(2);
+    store.answer_with_policy(0b011, &policy, PlannerConfig::default()).unwrap();
+    assert!(store.answer_cell(&[Some(0), None, None]).unwrap().cache_hit);
+    assert!(store.answer_with_policy(0b011, &policy, PlannerConfig::default()).unwrap().cache_hit);
+    let before_untouched =
+        store.answer_cell(&[Some(0), None, None]).unwrap().state.expect("slice 0 is populated");
+
+    // The delta touches only base cells with d0 == 5.
+    let mut d = FactInput::new(f.cards()).unwrap();
+    d.push(&[5, 2, 1], 40_000.0).unwrap();
+    store.apply_delta(&d).unwrap();
+
+    // Untouched slice: survived the delta, still hits, value unchanged.
+    let untouched = store.answer_cell(&[Some(0), None, None]).unwrap();
+    assert!(untouched.cache_hit, "untouched cell entry must survive the delta");
+    let after = untouched.state.unwrap();
+    assert_eq!(after.sum.to_bits(), before_untouched.sum.to_bits());
+    assert_eq!(after.count, before_untouched.count);
+
+    // Touched slice: dropped, recomputed to the post-delta value.
+    let mut combined = FactInput::new(f.cards()).unwrap();
+    for row in 0..f.len() {
+        combined.push(&f.coords(row), f.measure()[row]).unwrap();
+    }
+    combined.push(&[5, 2, 1], 40_000.0).unwrap();
+    let touched = store.answer_cell(&[Some(5), None, None]).unwrap();
+    assert!(!touched.cache_hit, "touched cell entry must be invalidated");
+    let want = groupby::from_facts(&combined, 0b001);
+    let key: Box<[u32]> = vec![5].into_boxed_slice();
+    assert_eq!(touched.state.unwrap().sum.to_bits(), want[&key].sum.to_bits());
+
+    // Whole-cuboid entries (their grand totals moved): all recomputed.
+    let total = store.answer(0b000).unwrap();
+    assert!(!total.cache_hit, "cuboid entries must drop on a non-empty delta");
+    assert!(bit_identical(&total.cuboid, &groupby::from_facts(&combined, 0b000)));
+
+    // The strict-policy entry dropped with them and re-keys under the same
+    // fingerprint on the next enforcement.
+    let p = store.answer_with_policy(0b011, &policy, PlannerConfig::default()).unwrap();
+    assert!(!p.cache_hit, "policy-keyed entry must drop after the delta");
+    assert!(store.answer_with_policy(0b011, &policy, PlannerConfig::default()).unwrap().cache_hit);
+}
+
+/// N readers, one writer, generation arithmetic: each of 20 published
+/// deltas adds exactly 10 000 to the grand total, so a reader's pinned
+/// `(store, generation)` pair must satisfy
+/// `total == base + generation × 10 000` *exactly* — a half-applied fold,
+/// a torn publication, or an inconsistent snapshot pair would break the
+/// equality — and the d0 marginal of the same snapshot must sum to the
+/// same total (cross-cuboid consistency within one epoch).
+#[test]
+fn readers_observe_whole_generations_while_a_writer_streams_deltas() {
+    let f = facts(51, 300);
+    let store = SharedViewStore::build(&f, &[0b011], CacheConfig::default()).unwrap();
+    let base_total: f64 = f.measure().iter().sum();
+    const DELTAS: u64 = 20;
+    const PER_DELTA: f64 = 10_000.0;
+
+    std::thread::scope(|s| {
+        {
+            let store = store.clone();
+            s.spawn(move || {
+                for k in 0..DELTAS {
+                    let mut d = FactInput::new(&[8, 4, 2]).unwrap();
+                    d.push(&[(k % 8) as u32, (k % 4) as u32, (k % 2) as u32], PER_DELTA).unwrap();
+                    store.apply_delta(&d).unwrap();
+                }
+            });
+        }
+        for t in 0..8usize {
+            let store = store.clone();
+            s.spawn(move || {
+                let mut last_gen = 0u64;
+                for i in 0..150usize {
+                    let snap = store.snapshot();
+                    let g = snap.generation();
+                    assert!(g >= last_gen, "thread {t} iter {i}: generation went backwards");
+                    last_gen = g;
+                    let total = snap.store().answer(0b000).unwrap();
+                    let got = total.cuboid.values().next().map_or(0.0, |s| s.sum);
+                    let want = base_total + g as f64 * PER_DELTA;
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "thread {t} iter {i}: generation {g} snapshot serves a torn total"
+                    );
+                    let marginal = snap.store().answer(0b001).unwrap();
+                    let m: f64 = marginal.cuboid.values().map(|s| s.sum).sum();
+                    assert_eq!(
+                        m.to_bits(),
+                        want.to_bits(),
+                        "thread {t} iter {i}: marginal disagrees with its own snapshot's total"
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(store.generation(), DELTAS);
 }
