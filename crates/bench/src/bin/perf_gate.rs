@@ -27,6 +27,14 @@
 //! when hardware changes or an intentional perf trade lands. Paths default
 //! to the working directory and follow `PERF_GATE_BASELINE` /
 //! `PERF_GATE_OUT`.
+//!
+//! **Re-baselining policy:** when a schema bump adds metrics in the same
+//! change that is being gated, only the *new* metrics take freshly
+//! measured values; every previously-gated metric keeps its committed
+//! baseline (take the max of old and newly measured). Re-pinning an old
+//! metric from the same run would let that change absorb its own
+//! regression — a lower value for an existing metric may only land as a
+//! separate, explicitly justified change.
 
 use std::time::Instant;
 

@@ -358,11 +358,22 @@ impl AnswerCache {
     ///   coordinates are outside the batch's projection onto its mask.
     ///
     /// An empty batch (a pure reseal/heal) changes no logical content:
-    /// everything survives, re-pinned. A survivor whose source vanished
-    /// from the store drops regardless. Returns the number dropped.
+    /// everything *current* survives, re-pinned.
+    ///
+    /// Surviving the key rules is not enough: a survivor is only re-pinned
+    /// when its recorded epoch equals `pre_epoch(source)` — the source's
+    /// epoch in the snapshot the fold consumed. A reader pinned to an even
+    /// older snapshot can race this pass and admit an entry *after* the
+    /// fold that folded its value away; that entry carries an earlier
+    /// epoch, and blindly re-pinning it would launder a pre-delta value
+    /// into a fresh-looking hit the next time a batch misses its cell.
+    /// Such entries drop as stale, as do survivors whose source vanished
+    /// from the store (`live_epoch` returns `None`). Returns the number
+    /// dropped.
     pub fn invalidate_delta(
         &self,
         touched_base: &[Box<[u32]>],
+        pre_epoch: impl Fn(u32) -> Option<u64>,
         live_epoch: impl Fn(u32) -> Option<u64>,
     ) -> u64 {
         // Projection sets are per-mask and shared across shards; computed
@@ -391,8 +402,18 @@ impl AnswerCache {
                     dropped += 1;
                     continue;
                 }
-                let source = shard.map.get(&key).map(|e| e.source);
-                match source.and_then(&live_epoch) {
+                let recorded = shard.map.get(&key).map(|e| (e.source, e.epoch));
+                let fresh = recorded.and_then(|(source, epoch)| {
+                    // Only an entry derived from the exact pre-fold snapshot
+                    // may be re-pinned; any other epoch is a racing admit
+                    // from an older snapshot and its value may predate an
+                    // already-applied batch.
+                    if pre_epoch(source) != Some(epoch) {
+                        return None;
+                    }
+                    live_epoch(source)
+                });
+                match fresh {
                     Some(epoch) => {
                         if let Some(e) = shard.map.get_mut(&key) {
                             e.epoch = epoch;
@@ -618,6 +639,30 @@ mod tests {
         // ...and source invalidation still sweeps every policy's entries.
         assert_eq!(cache.invalidate_source(7), 2);
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn invalidate_delta_drops_entries_admitted_from_older_snapshots() {
+        let cache = AnswerCache::new(CacheConfig { byte_budget: 100_000, shards: 1 });
+        // Two raw cell entries on source 7: one derived from the pre-fold
+        // snapshot (epoch 4), one raced in by a reader still pinned to an
+        // older snapshot (epoch 2) — its value may predate a batch that has
+        // already folded its cell away.
+        let current = CacheKey::Cell(0b11, 0, vec![0, 0].into_boxed_slice());
+        let stale = CacheKey::Cell(0b11, 0, vec![1, 1].into_boxed_slice());
+        assert!(cache.insert(current.clone(), CachedValue::Cell(None), CELL_BYTES, 5, 7, 4));
+        assert!(cache.insert(stale.clone(), CachedValue::Cell(None), CELL_BYTES, 5, 7, 2));
+        // A batch touching neither cell: the key rules keep both, but only
+        // the pre-fold-epoch entry may be re-pinned to the post-fold epoch.
+        let touched = vec![vec![9u32, 9].into_boxed_slice()];
+        assert_eq!(cache.invalidate_delta(&touched, |_| Some(4), |_| Some(5)), 1);
+        assert!(cache.get(&stale, |_| Some(5)).is_none(), "older-snapshot admit must drop");
+        assert!(cache.get(&current, |_| Some(5)).is_some(), "pre-fold entry is re-pinned");
+        // An empty batch (pure heal) applies the same epoch discipline.
+        assert!(cache.insert(stale.clone(), CachedValue::Cell(None), CELL_BYTES, 5, 7, 2));
+        assert_eq!(cache.invalidate_delta(&[], |_| Some(5), |_| Some(6)), 1);
+        assert!(cache.get(&stale, |_| Some(6)).is_none());
+        assert!(cache.get(&current, |_| Some(6)).is_some());
     }
 
     #[test]

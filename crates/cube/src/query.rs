@@ -294,8 +294,27 @@ impl ViewStore {
     /// materialized descendant (each derived from its smallest
     /// already-derived ancestor partial — the AggState monoid makes
     /// `view ⊕ partial` equal a rebuild), and seals the result into a fresh
-    /// page store whose file epochs continue this store's sequence. `self`
-    /// is not mutated; the caller publishes the returned successor.
+    /// page store whose file epochs continue this store's sequence. `self`'s
+    /// views, lattice, and sealed bytes are not mutated; the caller
+    /// publishes the returned successor.
+    ///
+    /// **Runtime side effect:** sealing the successor *moves* `self`'s
+    /// armed fault injector (RNG position included) and fault counters into
+    /// it ([`PageStore::transplant_runtime_from`]), disarming `self` — so a
+    /// chaos plan armed before the fold injects into the successor's very
+    /// first seals, which is what the delta-publication atomicity property
+    /// exercises. A caller that drops the returned store without publishing
+    /// it loses the armed plan, and readers still on `self` stop seeing
+    /// injected faults once the fold begins.
+    ///
+    /// Cost: the aggregation work is O(delta × materialized masks), but
+    /// every view is cloned and resealed, so the per-batch floor is
+    /// O(total store size). This is not incidental: any non-empty batch
+    /// projects onto *every* materialized mask (a projection of a non-empty
+    /// key set is non-empty), so no view's content survives unchanged, and
+    /// the empty-batch full reseal is the documented heal path. Per-view
+    /// copy-on-write would only ever help batches that change nothing; see
+    /// ROADMAP for the partial-reseal idea that could lift the floor.
     ///
     /// Validation is fully up-front — arity, finite measures (a NaN measure
     /// would silently poison every aggregate *and* collide with the dense

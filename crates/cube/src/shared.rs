@@ -19,8 +19,9 @@
 //! always entirely before or entirely after a maintenance batch, never
 //! half-applied. Afterwards only cache entries whose (cuboid, cell)
 //! intersects the batch's touched keys drop
-//! ([`AnswerCache::invalidate_delta`]); the rest are re-pinned and keep
-//! hitting.
+//! ([`AnswerCache::invalidate_delta`]); the rest — provided their epoch
+//! shows they came from the snapshot the fold consumed, not a reader racing
+//! in from an even older one — are re-pinned and keep hitting.
 //!
 //! Consistency with the fault model:
 //!
@@ -305,16 +306,23 @@ impl SharedViewStore {
     /// epoch-continuous resealing — runs entirely off-lock on a pinned
     /// snapshot ([`ViewStore::fold_delta`]) while readers keep serving;
     /// publication is a single pointer swap under the write lock. Then only
-    /// cache entries the batch touched are dropped; survivors are re-pinned
-    /// to the resealed files' epochs and keep hitting. A batch that fails
-    /// validation publishes nothing and drops nothing.
+    /// cache entries the batch touched are dropped; survivors whose epoch
+    /// proves they were derived from the pre-fold snapshot are re-pinned to
+    /// the resealed files' epochs and keep hitting (entries raced in from
+    /// an older snapshot drop as stale — see
+    /// [`AnswerCache::invalidate_delta`]). A batch that fails validation
+    /// publishes nothing and drops nothing.
     pub fn apply_delta(&self, delta: &FactInput) -> Result<DeltaReport> {
         let _writer = self.inner.writer.lock().unwrap_or_else(|p| p.into_inner());
         let snap = self.snapshot();
         let (next, report) = snap.store().fold_delta(delta)?;
         self.publish(next);
         let fresh = self.snapshot();
-        self.inner.cache.invalidate_delta(&report.touched_base, |s| fresh.store().view_epoch(s));
+        self.inner.cache.invalidate_delta(
+            &report.touched_base,
+            |s| snap.store().view_epoch(s),
+            |s| fresh.store().view_epoch(s),
+        );
         Ok(report)
     }
 

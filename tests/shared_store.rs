@@ -12,7 +12,7 @@
 //!   lock-protected store currently holds.
 
 use statcube::core::error::Error;
-use statcube::core::plan::{PlannerConfig, PrivacyPolicy};
+use statcube::core::plan::{PlanSource, PlannerConfig, PrivacyPolicy};
 use statcube::cube::cache::CacheConfig;
 use statcube::cube::groupby::{self, Cuboid};
 use statcube::cube::input::FactInput;
@@ -331,4 +331,49 @@ fn readers_observe_whole_generations_while_a_writer_streams_deltas() {
         }
     });
     assert_eq!(store.generation(), DELTAS);
+}
+
+/// Regression (epoch laundering): a reader still pinned to a *pre-delta*
+/// snapshot can admit an answer after that delta's invalidation pass has
+/// already run. The entry carries the old epoch, so lazy probing catches it
+/// — but a later fold whose batch misses the entry's cells (here: an empty
+/// heal batch, which keeps everything) used to blindly re-pin the entry to
+/// the live epoch, laundering the pre-delta value into a fresh-looking hit
+/// served indefinitely. `invalidate_delta` must drop any survivor whose
+/// epoch is not the immediate pre-fold one instead.
+#[test]
+fn stale_snapshot_admits_are_dropped_not_laundered_by_later_deltas() {
+    let f = facts(61, 300);
+    let store = SharedViewStore::build(&f, &[0b011], CacheConfig::default()).unwrap();
+
+    // A late reader pins the pre-delta snapshot and computes its answer.
+    let late_reader = store.plan_source();
+    let pre = PlanSource::load(&late_reader, 0b011).unwrap();
+
+    // The delta lands; its targeted invalidation pass completes.
+    let mut d = FactInput::new(f.cards()).unwrap();
+    d.push(&[1, 1, 1], 10_000.0).unwrap();
+    store.apply_delta(&d).unwrap();
+
+    // Only now does the late reader admit what it computed: a pre-delta
+    // value pinned to the pre-delta epoch, replacing any fresher entry.
+    late_reader.admit(0b011, 0b011, pre.scanned, &pre.cells, false);
+    drop(late_reader);
+
+    // A fold that keeps every entry must not re-pin the stale admit.
+    store.apply_delta(&FactInput::new(f.cards()).unwrap()).unwrap();
+
+    let mut combined = FactInput::new(f.cards()).unwrap();
+    for row in 0..f.len() {
+        combined.push(&f.coords(row), f.measure()[row]).unwrap();
+    }
+    combined.push(&[1, 1, 1], 10_000.0).unwrap();
+    let ans = store.answer(0b011).unwrap();
+    assert!(!ans.cache_hit, "the stale admit must have been dropped, not re-pinned");
+    assert!(
+        bit_identical(&ans.cuboid, &groupby::from_facts(&combined, 0b011)),
+        "a pre-delta value must never be served after the delta"
+    );
+    // The recomputed (fresh) answer caches and hits normally again.
+    assert!(store.answer(0b011).unwrap().cache_hit);
 }
