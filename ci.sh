@@ -2,12 +2,12 @@
 # CI gate: build, tests, lints, race/chaos smoke, and the perf-regression
 # gate, with per-stage wall-clock timings.
 #
-#   ./ci.sh          full gate (release build, chaos suite, perf gate,
-#                    E24 + E26 smokes)
+#   ./ci.sh          full gate (release build, chaos + recovery-chaos
+#                    suites, WAL fuzz, perf gate, E24 + E26 + E28 smokes)
 #   ./ci.sh quick    quick gate: debug tests, clippy, golden EXPLAIN
-#                    snapshots, one parallel-suite run, unwrap gate —
-#                    skips the release build, the chaos suite, the perf
-#                    gate, and the E24/E26 smokes
+#                    snapshots, one parallel-suite run, the kill-point
+#                    quick slice, unwrap gate — skips the release build,
+#                    the full chaos suites, the perf gate, and the smokes
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -71,6 +71,20 @@ if [ "$quick" != "quick" ]; then
     stage "shared-store concurrency suite" cargo test -q --test shared_store
 fi
 
+# Recovery-chaos gate: kill the durable writer at every protocol step and
+# prove recovery lands bit-for-bit pre- or post-delta, never hybrid, with
+# every commit-stamped batch present. Full mode runs the 120-seed sweep
+# across all five generators plus the WAL fuzz properties; quick mode runs
+# one seed through all five kill points and the torn-append mode.
+if [ "$quick" != "quick" ]; then
+    stage "recovery-chaos suite (120-seed kill-point sweep)" \
+        cargo test -q --test recovery_chaos
+    stage "WAL decoder fuzz suite" cargo test -q --test prop_wal_fuzz
+else
+    stage "recovery-chaos quick (all kill points, one seed)" \
+        cargo test -q --test recovery_chaos kill_points_quick
+fi
+
 # No-new-unwrap gate: user-reachable library code in the sql, cube,
 # storage, and privacy crates must not grow new panic sites. Counts
 # `.unwrap()`/`.expect(` in non-test lib code (everything before the
@@ -121,6 +135,14 @@ fi
 if [ "$quick" != "quick" ]; then
     stage "planner rewrite ablation smoke (E26)" \
         cargo run -q -p statcube-bench --bin experiments -- exp26
+fi
+
+# Durability smoke (full mode): E28 measures the journal-append overhead on
+# the fold path and recovery replay time vs journal tail length, asserting
+# in-line that journaling stays cheap and checkpoints bound replay.
+if [ "$quick" != "quick" ]; then
+    stage "durability cost + recovery replay smoke (E28)" \
+        cargo run -q -p statcube-bench --bin experiments -- exp28
 fi
 
 echo "CI gate passed in $((SECONDS - total_start))s."

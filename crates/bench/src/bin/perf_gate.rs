@@ -2,10 +2,13 @@
 //!
 //! Measures a pinned subset of E25 (serving-layer cache throughput), E22
 //! (partition-parallel CUBE throughput), E26 (planner-path query
-//! throughput through a warm [`CachedSession`]), and E27 (incremental
+//! throughput through a warm [`CachedSession`]), E27 (incremental
 //! delta-maintenance throughput and reader tail latency under a delta
-//! writer), writes the numbers to `BENCH_04.json`, and compares them
-//! against the committed `bench_baseline.json`:
+//! writer — since schema 4, measured on a **durable** store so the gated
+//! number carries the write-ahead journaling cost), and E28 (recovery
+//! replay throughput over the journal those folds wrote), writes the
+//! numbers to `BENCH_04.json`, and compares them against the committed
+//! `bench_baseline.json`:
 //!
 //! * any throughput metric below `baseline × (1 − tolerance)` fails the
 //!   gate (tolerance defaults to 0.25; override with `PERF_GATE_TOLERANCE`);
@@ -39,13 +42,14 @@
 use std::time::Instant;
 
 use statcube_bench::serving::{
-    self, build_store, delta_batches, make_facts, run_stream, run_stream_threads,
-    run_stream_threads_with_writer, zipf_stream, DELTA_ROWS,
+    self, build_durable_store, build_store, delta_batches, make_facts, run_stream,
+    run_stream_threads, run_stream_threads_with_writer, zipf_stream, DELTA_ROWS,
 };
 use statcube_core::measure::SummaryFunction;
 use statcube_cube::cache::CacheConfig;
 use statcube_cube::cube_op;
 use statcube_cube::input::FactInput;
+use statcube_cube::shared::{DurableParts, SharedViewStore};
 use statcube_sql::ast::{AggExpr, Grouping, Predicate, Query};
 use statcube_sql::CachedSession;
 use statcube_workload::retail::{generate, RetailConfig};
@@ -70,24 +74,41 @@ struct Measured {
     parallel_cube_rows_per_sec: f64,
     planner_ops_per_sec: f64,
     delta_rows_per_sec: f64,
+    recovery_replay_rows_per_sec: f64,
     reader_p99_under_writes_ns: u64,
 }
 
-/// E27's pinned subset: incremental apply throughput (rows folded per
-/// second over fresh stores, best of [`RUNS`]) and reader p99 while one
-/// writer streams delta folds (best of [`RUNS`], uncached readers).
-fn measure_maintenance() -> (f64, u64) {
+/// E27/E28's pinned subset: incremental apply throughput (rows folded per
+/// second over fresh **durable** stores — since schema 4 the gated write
+/// path journals every batch, so this metric carries the full
+/// append+sync+fold+commit cost), recovery replay throughput over the
+/// resulting journal, and reader p99 while one writer streams delta folds
+/// (best of [`RUNS`], uncached readers).
+fn measure_maintenance() -> (f64, f64, u64) {
     let facts = make_facts(3);
     let batches = delta_batches(28, DELTA_BATCHES);
     let mut delta_rows_per_sec = 0.0f64;
+    let mut recovery_replay_rows_per_sec = 0.0f64;
     for _ in 0..RUNS {
-        let store = build_store(&facts, 0);
+        let parts = DurableParts::new();
+        let store = build_durable_store(&facts, 0, parts.clone());
         let t = Instant::now();
         for b in &batches {
             store.apply_delta(b).expect("delta");
         }
         let secs = t.elapsed().as_secs_f64().max(1e-9);
         delta_rows_per_sec = delta_rows_per_sec.max((DELTA_BATCHES * DELTA_ROWS) as f64 / secs);
+
+        // Recovery replay over the journal this run just wrote ("the
+        // process dies" — only the devices survive the drop).
+        drop(store);
+        let t = Instant::now();
+        let (_, report) =
+            SharedViewStore::recover(&parts, CacheConfig::disabled()).expect("recover");
+        let secs = t.elapsed().as_secs_f64().max(1e-9);
+        assert_eq!(report.replayed_deltas as usize, DELTA_BATCHES);
+        recovery_replay_rows_per_sec =
+            recovery_replay_rows_per_sec.max(report.replayed_rows as f64 / secs);
     }
 
     let mut p99 = u64::MAX;
@@ -101,7 +122,7 @@ fn measure_maintenance() -> (f64, u64) {
         assert!(published > 0, "writer published nothing");
         p99 = p99.min(s.p99_ns);
     }
-    (delta_rows_per_sec, p99)
+    (delta_rows_per_sec, recovery_replay_rows_per_sec, p99)
 }
 
 /// Planner-path throughput: a pinned SQL mix (plain groupings, a CUBE, a
@@ -199,7 +220,8 @@ fn measure() -> Measured {
         cube_rows_per_sec = cube_rows_per_sec.max(PAR_ROWS as f64 / secs);
     }
 
-    let (delta_rows_per_sec, reader_p99_under_writes_ns) = measure_maintenance();
+    let (delta_rows_per_sec, recovery_replay_rows_per_sec, reader_p99_under_writes_ns) =
+        measure_maintenance();
     Measured {
         serving_ops_per_sec: best.ops_per_sec,
         serving_hit_rate: best.hit_rate,
@@ -209,18 +231,20 @@ fn measure() -> Measured {
         parallel_cube_rows_per_sec: cube_rows_per_sec,
         planner_ops_per_sec: measure_planner_path(),
         delta_rows_per_sec,
+        recovery_replay_rows_per_sec,
         reader_p99_under_writes_ns,
     }
 }
 
 fn to_json(m: &Measured) -> String {
     format!(
-        "{{\n  \"schema\": 3,\n  \"serving_ops_per_sec\": {:.1},\n  \
+        "{{\n  \"schema\": 4,\n  \"serving_ops_per_sec\": {:.1},\n  \
          \"serving_hit_rate\": {:.4},\n  \"serving_p50_ns\": {},\n  \
          \"serving_p95_ns\": {},\n  \"threaded_ops_per_sec\": {:.1},\n  \
          \"parallel_cube_rows_per_sec\": {:.1},\n  \
          \"planner_ops_per_sec\": {:.1},\n  \
          \"delta_rows_per_sec\": {:.1},\n  \
+         \"recovery_replay_rows_per_sec\": {:.1},\n  \
          \"reader_p99_under_writes_ns\": {}\n}}\n",
         m.serving_ops_per_sec,
         m.serving_hit_rate,
@@ -230,6 +254,7 @@ fn to_json(m: &Measured) -> String {
         m.parallel_cube_rows_per_sec,
         m.planner_ops_per_sec,
         m.delta_rows_per_sec,
+        m.recovery_replay_rows_per_sec,
         m.reader_p99_under_writes_ns,
     )
 }
@@ -292,6 +317,7 @@ fn main() {
         ("parallel_cube_rows_per_sec", m.parallel_cube_rows_per_sec),
         ("planner_ops_per_sec", m.planner_ops_per_sec),
         ("delta_rows_per_sec", m.delta_rows_per_sec),
+        ("recovery_replay_rows_per_sec", m.recovery_replay_rows_per_sec),
     ] {
         match json_num(&baseline, key) {
             Some(base) if base > 0.0 => {

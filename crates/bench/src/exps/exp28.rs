@@ -1,0 +1,212 @@
+//! E28 — durability cost and recovery replay.
+//!
+//! The crash-consistency layer's two bills, measured on the pinned serving
+//! workload ([`serving`]):
+//!
+//! 1. **What does journaling cost the write path?** Sequentially applying
+//!    the same pinned delta batches on an in-memory store vs a durable one
+//!    (append + sync + commit stamp per batch). The fold dominates; the
+//!    journal appends a few hundred bytes per 20-row batch.
+//! 2. **What does recovery cost, as a function of the journal tail?**
+//!    Replay time after a "crash" with 5, 20, and 80 un-checkpointed
+//!    batches in the journal — recovery is linear in the tail, which is
+//!    exactly what [`SharedViewStore::checkpoint`] bounds: after a
+//!    checkpoint, the same journal replays zero deltas.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use statcube_cube::shared::{DurableParts, SharedViewStore};
+
+use crate::report::{ratio, Table};
+use crate::serving::{
+    self, build_durable_store, build_store, delta_batches, make_facts, DELTA_ROWS,
+};
+
+/// Batches for the overhead comparison (same count as the perf gate).
+const APPLY_BATCHES: usize = 30;
+/// Journal tail lengths (batches) for the recovery sweep.
+const TAILS: [usize; 3] = [5, 20, 80];
+/// Best-of runs for the timed paths.
+const RUNS: usize = 3;
+
+/// Runs the measurements and renders the tables + `json:` line.
+pub fn run() -> String {
+    let facts = make_facts(3);
+    let mut out = String::new();
+    out.push_str("=== E28: durability cost and recovery replay ===\n\n");
+    let _ = writeln!(
+        out,
+        "workload: {} facts over {:?}, {} greedy views + base, {}-row delta batches\n",
+        serving::ROWS,
+        serving::CARDS,
+        serving::GREEDY_VIEWS,
+        DELTA_ROWS,
+    );
+
+    // --- 1: journal append overhead on the fold path ----------------------
+    let batches = delta_batches(28, APPLY_BATCHES);
+    let mut mem_rows_per_sec = 0.0f64;
+    for _ in 0..RUNS {
+        let store = build_store(&facts, 0);
+        let t = Instant::now();
+        for b in &batches {
+            store.apply_delta(b).expect("delta");
+        }
+        let secs = t.elapsed().as_secs_f64().max(1e-9);
+        mem_rows_per_sec = mem_rows_per_sec.max((APPLY_BATCHES * DELTA_ROWS) as f64 / secs);
+    }
+    let mut durable_rows_per_sec = 0.0f64;
+    let mut journal_bytes_per_batch = 0u64;
+    for _ in 0..RUNS {
+        let parts = DurableParts::new();
+        let store = build_durable_store(&facts, 0, parts.clone());
+        let before = parts.journal().len();
+        let t = Instant::now();
+        for b in &batches {
+            store.apply_delta(b).expect("delta");
+        }
+        let secs = t.elapsed().as_secs_f64().max(1e-9);
+        durable_rows_per_sec = durable_rows_per_sec.max((APPLY_BATCHES * DELTA_ROWS) as f64 / secs);
+        journal_bytes_per_batch = (parts.journal().len() - before) / APPLY_BATCHES as u64;
+    }
+    let overhead_pct = (mem_rows_per_sec / durable_rows_per_sec.max(1e-9) - 1.0) * 100.0;
+    let mut t = Table::new(
+        "incremental apply throughput, in-memory vs journaled (sequential)",
+        &["write path", "rows/s", "vs in-memory"],
+    );
+    t.row(["in-memory fold".into(), format!("{mem_rows_per_sec:.0}"), "1.0x (baseline)".into()]);
+    t.row([
+        "journaled fold (append+sync+commit)".into(),
+        format!("{durable_rows_per_sec:.0}"),
+        ratio(durable_rows_per_sec / mem_rows_per_sec.max(1e-9)),
+    ]);
+    out.push_str(&t.render());
+    let _ = writeln!(
+        out,
+        "\njournal footprint: {journal_bytes_per_batch} bytes per {DELTA_ROWS}-row batch \
+         (delta record + commit record); overhead {overhead_pct:.1}% on the fold path.\n",
+    );
+
+    // --- 2: recovery time vs journal tail length --------------------------
+    let mut t = Table::new(
+        "recovery replay vs un-checkpointed journal tail",
+        &["tail (batches)", "replayed rows", "recovery (ms)", "replay rows/s"],
+    );
+    let mut recovery_replay_rows_per_sec = 0.0f64;
+    let mut tail80_ms = 0.0f64;
+    let mut tail80_rows = 0u64;
+    for tail in TAILS {
+        let parts = DurableParts::new();
+        {
+            let store = build_durable_store(&facts, 0, parts.clone());
+            for b in delta_batches(31, tail) {
+                store.apply_delta(&b).expect("delta");
+            }
+            // The store drops here: the simulated process death. Only the
+            // journal + manifest (the `parts`) survive.
+        }
+        let mut best_secs = f64::MAX;
+        let mut replayed_rows = 0u64;
+        for _ in 0..RUNS {
+            let fresh = DurableParts::from_journal_image(parts.journal().image());
+            let t0 = Instant::now();
+            let (_, report) =
+                SharedViewStore::recover(&fresh, Default::default()).expect("recover");
+            best_secs = best_secs.min(t0.elapsed().as_secs_f64().max(1e-9));
+            assert_eq!(report.replayed_deltas as usize, tail, "tail {tail}");
+            replayed_rows = report.replayed_rows;
+        }
+        let rows_per_sec = replayed_rows as f64 / best_secs;
+        if tail == TAILS[TAILS.len() - 1] {
+            recovery_replay_rows_per_sec = rows_per_sec;
+            tail80_ms = best_secs * 1e3;
+            tail80_rows = replayed_rows;
+        }
+        t.row([
+            tail.to_string(),
+            replayed_rows.to_string(),
+            format!("{:.2}", best_secs * 1e3),
+            format!("{rows_per_sec:.0}"),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // --- 3: a checkpoint bounds the tail ----------------------------------
+    let (checkpoint_replayed, checkpoint_ms) = {
+        let parts = DurableParts::new();
+        {
+            let store = build_durable_store(&facts, 0, parts.clone());
+            for b in delta_batches(31, TAILS[2]) {
+                store.apply_delta(&b).expect("delta");
+            }
+            store.checkpoint().expect("checkpoint");
+            for b in delta_batches(37, 5) {
+                store.apply_delta(&b).expect("delta");
+            }
+        }
+        let t0 = Instant::now();
+        let (_, report) = SharedViewStore::recover(&parts, Default::default()).expect("recover");
+        (report.replayed_deltas, t0.elapsed().as_secs_f64() * 1e3)
+    };
+    let _ = writeln!(
+        out,
+        "checkpoint bound: after checkpointing the {}-batch tail, the same journal\n\
+         recovers replaying only the {checkpoint_replayed} post-checkpoint batches \
+         ({checkpoint_ms:.2} ms) —\nreplay work is bounded by the checkpoint interval, \
+         not the journal's age.",
+        TAILS[2],
+    );
+
+    let _ = writeln!(
+        out,
+        "\njson: {{\"delta_rows_per_sec_memory\":{mem_rows_per_sec:.1},\
+         \"delta_rows_per_sec_durable\":{durable_rows_per_sec:.1},\
+         \"journal_overhead_pct\":{overhead_pct:.2},\
+         \"journal_bytes_per_batch\":{journal_bytes_per_batch},\
+         \"recovery_tail_batches\":{},\
+         \"recovery_replayed_rows\":{tail80_rows},\
+         \"recovery_ms\":{tail80_ms:.2},\
+         \"recovery_replay_rows_per_sec\":{recovery_replay_rows_per_sec:.1},\
+         \"checkpoint_replayed_deltas\":{checkpoint_replayed}}}",
+        TAILS[2],
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn durability_costs_are_bounded_and_checkpoints_bound_replay() {
+        let s = super::run();
+        assert!(s.contains("incremental apply throughput"));
+        assert!(s.contains("recovery replay vs un-checkpointed journal tail"));
+        let json = s.lines().find(|l| l.starts_with("json: ")).expect("json line");
+        let num = |key: &str| -> f64 {
+            let at = json.find(key).expect(key) + key.len();
+            json[at..]
+                .trim_start_matches(':')
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                .collect::<String>()
+                .parse()
+                .expect("number")
+        };
+        // Journaling must not dominate the fold: the durable path keeps at
+        // least a fifth of the in-memory throughput (in practice ~parity;
+        // the loose bound absorbs loaded CI machines).
+        let mem = num("\"delta_rows_per_sec_memory\"");
+        let dur = num("\"delta_rows_per_sec_durable\"");
+        assert!(dur > mem * 0.2, "journaling overhead too high: {dur} vs {mem}\n{s}");
+        // Recovery replays the full tail and reports real throughput.
+        assert_eq!(num("\"recovery_replayed_rows\"") as u64, 80 * 20);
+        assert!(num("\"recovery_replay_rows_per_sec\"") > 0.0);
+        // The checkpoint bounds replay to the post-checkpoint batches.
+        assert_eq!(num("\"checkpoint_replayed_deltas\"") as u64, 5);
+        // A 20-row batch journals as delta + commit records: more than the
+        // raw fact bytes, far less than a page.
+        let per_batch = num("\"journal_bytes_per_batch\"");
+        assert!((100.0..4096.0).contains(&per_batch), "journal bytes/batch: {per_batch}");
+    }
+}

@@ -47,6 +47,7 @@ pub mod exps {
     pub mod exp25;
     pub mod exp26;
     pub mod exp27;
+    pub mod exp28;
 }
 
 /// One experiment: `(id, title, runner)`.
@@ -82,5 +83,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("exp25", "serving-layer cache hit-rate and speedup curves", exps::exp25::run),
         ("exp26", "planner rewrite ablation — cells scanned on retail", exps::exp26::run),
         ("exp27", "incremental maintenance under concurrent reads", exps::exp27::run),
+        ("exp28", "durability cost and recovery replay", exps::exp28::run),
     ]
 }

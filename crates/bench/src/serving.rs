@@ -16,7 +16,7 @@ use statcube_cube::cache::CacheConfig;
 use statcube_cube::input::FactInput;
 use statcube_cube::lattice::Lattice;
 use statcube_cube::materialize;
-use statcube_cube::shared::SharedViewStore;
+use statcube_cube::shared::{DurableParts, SharedViewStore};
 
 /// Pinned workload: dimension cardinalities.
 pub const CARDS: [usize; 4] = [10, 8, 5, 4];
@@ -58,6 +58,23 @@ pub fn build_store(facts: &FactInput, budget: usize) -> SharedViewStore {
     let config =
         if budget == 0 { CacheConfig::disabled() } else { CacheConfig::with_budget(budget) };
     SharedViewStore::build(facts, &greedy.selected, config).expect("store")
+}
+
+/// [`build_store`] with the crash-consistent durability layer underneath:
+/// the same greedy views over the same pinned workload, but every
+/// `apply_delta` journals the batch (append + sync + commit stamp) on the
+/// caller-supplied devices. E28 and the perf gate measure the journaling
+/// overhead and recovery replay against this store.
+pub fn build_durable_store(
+    facts: &FactInput,
+    budget: usize,
+    parts: DurableParts,
+) -> SharedViewStore {
+    let lattice = Lattice::new(facts.cards(), facts.len() as u64).expect("lattice");
+    let greedy = materialize::greedy_select(&lattice, GREEDY_VIEWS).expect("greedy");
+    let config =
+        if budget == 0 { CacheConfig::disabled() } else { CacheConfig::with_budget(budget) };
+    SharedViewStore::build_durable_on(facts, &greedy.selected, config, parts).expect("store")
 }
 
 /// Deterministic delta batches over [`CARDS`], [`DELTA_ROWS`] rows each —

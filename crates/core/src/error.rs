@@ -169,6 +169,14 @@ pub enum Error {
         /// Number of candidate sources that were tried and failed.
         tried: usize,
     },
+    /// A write-ahead journal append flushed only a prefix of the record
+    /// (torn write on the log device). The batch was **not** acknowledged
+    /// and was not applied; the torn tail is truncated before the journal
+    /// is used again.
+    JournalTornAppend {
+        /// Sequence number the torn record would have taken.
+        seq: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -218,6 +226,11 @@ impl fmt::Display for Error {
                 f,
                 "no healthy materialized source for cuboid mask {requested:#b} \
                  ({tried} candidates failed verification, including the base cuboid)"
+            ),
+            Error::JournalTornAppend { seq } => write!(
+                f,
+                "journal append of record {seq} tore on the log device: \
+                 the batch was not acknowledged and was not applied"
             ),
         }
     }

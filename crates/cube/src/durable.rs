@@ -1,0 +1,488 @@
+//! Payload codecs and the recovery state machine of the durable write
+//! path.
+//!
+//! The storage layer's [`DeltaJournal`] is deliberately payload-agnostic:
+//! it frames, checksums, sequences, and truncates byte records. This module
+//! owns what the bytes *mean* for cube maintenance:
+//!
+//! * a **delta payload** is a serialized [`FactInput`] — the validated
+//!   batch, journaled before [`crate::query::ViewStore::fold_delta`] runs;
+//! * a **snapshot payload** is a full sealed-store image (cards, base row
+//!   count, every materialized view in the deterministic
+//!   `serialize_cuboid` format the page files already use);
+//! * [`recover_replay`] is the recovery state machine: find the newest
+//!   intact snapshot (the manifest's pointer is the fast path, a full
+//!   journal scan the fallback when the manifest is missing or corrupt),
+//!   reconstitute the store with [`ViewStore::from_views`], then replay
+//!   every intact delta record with a *higher sequence number* through the
+//!   ordinary fold path. The differential maintenance suite proves
+//!   fold ≡ rebuild bit-for-bit, so replay correctness composes; sequence
+//!   numbers make replay idempotent (a duplicated tail re-presents old
+//!   sequence numbers and is skipped, never applied twice).
+//!
+//! Both decoders treat every declared count as untrusted — checked
+//! arithmetic, length validation before allocation — because the fuzz
+//! suite (and a real torn disk) can hand them arbitrary bytes. A record
+//! whose CRC verifies but whose payload does not decode marks the end of
+//! the usable journal: replay stops there (reported, never a panic) rather
+//! than guessing at what the writer meant.
+
+use std::collections::HashMap;
+
+use statcube_core::error::{Error, Result};
+use statcube_storage::wal::{DeltaJournal, ManifestCell, RecordKind};
+
+use crate::groupby::Cuboid;
+use crate::input::FactInput;
+use crate::query::{deserialize_cuboid, serialize_cuboid, ViewStore};
+
+/// What one [`recover_replay`] pass did, for observability and the chaos
+/// suite's acknowledgement oracle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Store epoch (publication generation) recorded on the snapshot
+    /// record replay started from.
+    pub snapshot_epoch: u64,
+    /// Sequence number of the snapshot record replay started from.
+    pub snapshot_seq: u64,
+    /// Intact delta records replayed through the fold path.
+    pub replayed_deltas: u64,
+    /// Fact rows re-applied across all replayed deltas.
+    pub replayed_rows: u64,
+    /// Records skipped because their sequence number was already applied
+    /// (duplicated tails; the idempotence counter).
+    pub skipped_duplicates: u64,
+    /// Torn bytes truncated off the journal tail.
+    pub truncated_bytes: u64,
+    /// Highest commit-stamped sequence number observed (commit records plus
+    /// the manifest), if any.
+    pub committed_seq: Option<u64>,
+    /// Highest delta sequence number actually applied (`snapshot_seq` when
+    /// no delta replayed).
+    pub applied_seq: u64,
+    /// Whether an intact manifest guided recovery (`false`: full journal
+    /// scan fallback).
+    pub manifest_used: bool,
+    /// Set when a CRC-intact record carried an undecodable payload; replay
+    /// stopped at that record's sequence number.
+    pub stopped_at_undecodable: Option<u64>,
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> Result<u64> {
+    bytes
+        .get(at..at + 8)
+        .and_then(|s| s.try_into().ok())
+        .map(u64::from_le_bytes)
+        .ok_or_else(|| Error::InvalidSchema("truncated durable payload".into()))
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> Result<u32> {
+    bytes
+        .get(at..at + 4)
+        .and_then(|s| s.try_into().ok())
+        .map(u32::from_le_bytes)
+        .ok_or_else(|| Error::InvalidSchema("truncated durable payload".into()))
+}
+
+/// Serializes a delta batch for journaling: dimension count, cardinalities,
+/// row count, the dimension columns, then the measure column (bit-exact
+/// f64).
+pub fn encode_fact_input(input: &FactInput) -> Vec<u8> {
+    let dims = input.dim_count();
+    let rows = input.len();
+    let mut out = Vec::with_capacity(16 + dims * 8 + rows * (dims * 4 + 8));
+    out.extend_from_slice(&(dims as u64).to_le_bytes());
+    for &card in input.cards() {
+        out.extend_from_slice(&(card as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&(rows as u64).to_le_bytes());
+    for d in 0..dims {
+        for &code in input.dim(d) {
+            out.extend_from_slice(&code.to_le_bytes());
+        }
+    }
+    for &m in input.measure() {
+        out.extend_from_slice(&m.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Inverse of [`encode_fact_input`]. Every count is validated against the
+/// actual byte length (checked arithmetic — declared sizes cannot
+/// over-allocate or overflow) and every row goes through
+/// [`FactInput::push`]'s own range validation, so a crafted payload yields
+/// a typed error, never a panic and never an out-of-range fact.
+pub fn decode_fact_input(bytes: &[u8]) -> Result<FactInput> {
+    let malformed = || Error::InvalidSchema("malformed delta payload".into());
+    let dims = read_u64(bytes, 0)? as usize;
+    if dims == 0 || dims > 16 {
+        return Err(malformed());
+    }
+    let mut cards = Vec::with_capacity(dims);
+    for d in 0..dims {
+        cards.push(read_u64(bytes, 8 + d * 8)? as usize);
+    }
+    let rows_at = 8 + dims * 8;
+    let rows = read_u64(bytes, rows_at)? as usize;
+    let expected = (rows as u64)
+        .checked_mul(dims as u64 * 4 + 8)
+        .and_then(|b| b.checked_add(rows_at as u64 + 8));
+    if expected != Some(bytes.len() as u64) {
+        return Err(malformed());
+    }
+    let mut input = FactInput::new(&cards)?;
+    let cols_at = rows_at + 8;
+    let measures_at = cols_at + rows * dims * 4;
+    let mut coords = vec![0u32; dims];
+    for row in 0..rows {
+        for (d, c) in coords.iter_mut().enumerate() {
+            *c = read_u32(bytes, cols_at + (d * rows + row) * 4)?;
+        }
+        let measure = f64::from_bits(read_u64(bytes, measures_at + row * 8)?);
+        input.push(&coords, measure)?;
+    }
+    Ok(input)
+}
+
+/// Serializes a full sealed-store image for a snapshot record: cards, base
+/// row count, then every materialized view (mask, byte length, the same
+/// deterministic cuboid serialization the page files hold).
+pub fn encode_snapshot(store: &ViewStore) -> Vec<u8> {
+    let lattice = store.lattice();
+    let cards = lattice.cards();
+    let masks = store.materialized();
+    let mut out = Vec::new();
+    out.extend_from_slice(&(cards.len() as u64).to_le_bytes());
+    for card in cards {
+        out.extend_from_slice(&(card as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&lattice.base_rows().to_le_bytes());
+    out.extend_from_slice(&(masks.len() as u64).to_le_bytes());
+    for mask in masks {
+        // `materialized()` lists exactly the keys of the view map.
+        let Some(view) = store.view(mask) else { continue };
+        let bytes = serialize_cuboid(view, lattice.dim_count());
+        out.extend_from_slice(&mask.to_le_bytes());
+        out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+        out.extend_from_slice(&bytes);
+    }
+    out
+}
+
+/// Inverse of [`encode_snapshot`]: reconstitutes the exact store the
+/// snapshot captured via [`ViewStore::from_views`]. Untrusted-input rules
+/// as [`decode_fact_input`].
+pub fn decode_snapshot(bytes: &[u8]) -> Result<ViewStore> {
+    let malformed = || Error::InvalidSchema("malformed snapshot payload".into());
+    let dims = read_u64(bytes, 0)? as usize;
+    if dims == 0 || dims > 16 {
+        return Err(malformed());
+    }
+    let mut cards = Vec::with_capacity(dims);
+    for d in 0..dims {
+        cards.push(read_u64(bytes, 8 + d * 8)? as usize);
+    }
+    let mut at = 8 + dims * 8;
+    let base_rows = read_u64(bytes, at)?;
+    let n_views = read_u64(bytes, at + 8)? as usize;
+    at += 16;
+    if n_views > bytes.len() {
+        // Each view costs ≥ 12 header bytes; a count past the byte length
+        // is garbage (guards the loop, not an allocation — the map grows
+        // per decoded view).
+        return Err(malformed());
+    }
+    let mut views: HashMap<u32, Cuboid> = HashMap::new();
+    for _ in 0..n_views {
+        let mask = read_u32(bytes, at)?;
+        let len = read_u64(bytes, at + 4)? as usize;
+        let start = at + 12;
+        let view_bytes = bytes
+            .get(start..start.checked_add(len).ok_or_else(malformed)?)
+            .ok_or_else(malformed)?;
+        views.insert(mask, deserialize_cuboid(view_bytes, "snapshot")?);
+        at = start + len;
+    }
+    if at != bytes.len() {
+        return Err(malformed());
+    }
+    ViewStore::from_views(&cards, base_rows, views)
+}
+
+/// The recovery state machine: rebuilds a [`ViewStore`] from the journal
+/// and manifest a crashed (or cleanly stopped) process left behind.
+///
+/// 1. Decode every intact record, truncating the torn tail in place
+///    (truncate-and-continue — the journal is immediately appendable).
+/// 2. Locate the snapshot to restart from: the manifest's
+///    `snapshot_offset` when the manifest is intact and points at an
+///    intact snapshot record, else the journal is scanned and the *last*
+///    intact snapshot wins. No snapshot at all is a typed error.
+/// 3. Replay forward: each intact delta record with `seq` greater than the
+///    last applied sequence number goes through
+///    [`ViewStore::apply_delta`] — the ordinary fold path. Lower or equal
+///    sequence numbers (duplicated tails) are counted and skipped. A later
+///    snapshot record (a checkpoint whose manifest swap never happened)
+///    supersedes the store wholesale.
+///
+/// The outcome contract the chaos suite pins: the returned store is
+/// bit-for-bit the pre-delta or the post-delta image for whichever batch
+/// the crash interrupted, and every commit-stamped batch is in the
+/// post-delta image (its delta record was durable before its commit record
+/// existed).
+pub fn recover_replay(
+    journal: &DeltaJournal,
+    manifest: &ManifestCell,
+) -> Result<(ViewStore, RecoveryReport)> {
+    let (records, tail) = journal.recover_records();
+    let mut report = RecoveryReport { truncated_bytes: tail.torn_bytes, ..Default::default() };
+    let loaded = manifest.load().ok().flatten();
+    report.manifest_used = loaded.is_some();
+    if let Some(m) = &loaded {
+        report.committed_seq = Some(m.committed_seq);
+    }
+    // The manifest's snapshot pointer is a fast path: start scanning there.
+    // When it is missing, corrupt, or points at torn bytes, scan from 0 —
+    // dead reckoning over the whole journal.
+    let start = loaded
+        .and_then(|m| {
+            records
+                .iter()
+                .position(|r| r.offset == m.snapshot_offset && r.kind == RecordKind::Snapshot)
+        })
+        .unwrap_or(0);
+    let mut store: Option<ViewStore> = None;
+    let mut applied = 0u64;
+    for rec in &records[start..] {
+        match rec.kind {
+            RecordKind::Snapshot => match decode_snapshot(&rec.payload) {
+                Ok(s) => {
+                    store = Some(s);
+                    applied = rec.seq;
+                    report.snapshot_epoch = rec.epoch;
+                    report.snapshot_seq = rec.seq;
+                    report.replayed_deltas = 0;
+                    report.replayed_rows = 0;
+                }
+                Err(_) => {
+                    report.stopped_at_undecodable = Some(rec.seq);
+                    break;
+                }
+            },
+            RecordKind::Delta => {
+                let Some(current) = store.as_mut() else { continue };
+                if rec.seq <= applied {
+                    report.skipped_duplicates += 1;
+                    continue;
+                }
+                let Ok(delta) = decode_fact_input(&rec.payload) else {
+                    report.stopped_at_undecodable = Some(rec.seq);
+                    break;
+                };
+                match current.apply_delta(&delta) {
+                    Ok(r) => {
+                        applied = rec.seq;
+                        report.replayed_deltas += 1;
+                        report.replayed_rows += r.rows;
+                    }
+                    Err(_) => {
+                        // A batch the fold refuses could only have been
+                        // journaled by a foreign writer (validation runs
+                        // pre-append); stop cleanly rather than skip —
+                        // later records may depend on it.
+                        report.stopped_at_undecodable = Some(rec.seq);
+                        break;
+                    }
+                }
+            }
+            RecordKind::Commit => {
+                if rec.payload.len() == 8 {
+                    let seq = u64::from_le_bytes(rec.payload[..8].try_into().unwrap_or([0u8; 8]));
+                    report.committed_seq = Some(report.committed_seq.map_or(seq, |c| c.max(seq)));
+                }
+            }
+        }
+    }
+    report.applied_seq = applied;
+    let store = store.ok_or_else(|| {
+        Error::InvalidSchema("journal holds no intact snapshot record to recover from".into())
+    })?;
+    Ok((store, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statcube_storage::wal::Manifest;
+
+    fn facts(rows: u64, seed: u64) -> FactInput {
+        let mut f = FactInput::new(&[6, 4, 3]).unwrap();
+        let mut x = seed | 1;
+        for _ in 0..rows {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            f.push(
+                &[(x % 6) as u32, ((x >> 8) % 4) as u32, ((x >> 16) % 3) as u32],
+                ((x % 100) as f64) / 4.0,
+            )
+            .unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn fact_input_codec_round_trips_bit_exact() {
+        let f = facts(150, 9);
+        let decoded = decode_fact_input(&encode_fact_input(&f)).unwrap();
+        assert_eq!(decoded.cards(), f.cards());
+        assert_eq!(decoded.len(), f.len());
+        for row in 0..f.len() {
+            assert_eq!(decoded.coords(row), f.coords(row));
+            assert_eq!(decoded.measure()[row].to_bits(), f.measure()[row].to_bits());
+        }
+        // Empty batch round-trips too.
+        let empty = FactInput::new(&[2, 2]).unwrap();
+        let d = decode_fact_input(&encode_fact_input(&empty)).unwrap();
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.cards(), &[2, 2]);
+    }
+
+    #[test]
+    fn fact_input_decoder_rejects_garbage_without_panicking() {
+        assert!(decode_fact_input(&[]).is_err());
+        assert!(decode_fact_input(&[0xFF; 7]).is_err());
+        assert!(decode_fact_input(&[0xFF; 64]).is_err());
+        // A huge declared row count must fail the length check, not
+        // allocate or overflow.
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&2u64.to_le_bytes());
+        evil.extend_from_slice(&4u64.to_le_bytes());
+        evil.extend_from_slice(&4u64.to_le_bytes());
+        evil.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_fact_input(&evil).is_err());
+        // Truncated real payload.
+        let good = encode_fact_input(&facts(20, 3));
+        assert!(decode_fact_input(&good[..good.len() - 3]).is_err());
+        // Out-of-range coordinate: flip a dimension code past its card.
+        let f = facts(5, 3);
+        let mut bytes = encode_fact_input(&f);
+        let cols_at = 8 + 3 * 8 + 8;
+        bytes[cols_at..cols_at + 4].copy_from_slice(&999u32.to_le_bytes());
+        assert!(decode_fact_input(&bytes).is_err());
+    }
+
+    #[test]
+    fn snapshot_codec_round_trips_the_store() {
+        let f = facts(300, 5);
+        let store = ViewStore::build(&f, &[0b011, 0b100]).unwrap();
+        let restored = decode_snapshot(&encode_snapshot(&store)).unwrap();
+        assert_eq!(restored.materialized(), store.materialized());
+        assert_eq!(restored.lattice().cards(), store.lattice().cards());
+        assert_eq!(restored.lattice().base_rows(), store.lattice().base_rows());
+        for mask in restored.materialized() {
+            assert_eq!(restored.view(mask), store.view(mask), "mask {mask:b}");
+        }
+        // The restored store answers queries through fresh seals.
+        for mask in 0..8u32 {
+            let a = restored.answer(mask).unwrap();
+            let b = store.answer(mask).unwrap();
+            assert_eq!(a.cuboid, b.cuboid);
+        }
+        assert!(decode_snapshot(&[]).is_err());
+        assert!(decode_snapshot(&[9u8; 40]).is_err());
+    }
+
+    #[test]
+    fn recover_replays_the_journal_tail() {
+        let f = facts(200, 1);
+        let store = ViewStore::build(&f, &[0b011]).unwrap();
+        let journal = DeltaJournal::new();
+        let manifest = ManifestCell::new();
+        let snap = journal.append(RecordKind::Snapshot, 0, &encode_snapshot(&store)).unwrap();
+        manifest.install(&Manifest {
+            snapshot_epoch: 0,
+            snapshot_offset: snap.offset,
+            committed_seq: snap.seq,
+            committed_offset: snap.end_offset,
+        });
+        // Journal two deltas; commit-stamp only the first.
+        let d1 = facts(30, 2);
+        let d2 = facts(30, 4);
+        let a1 = journal.append(RecordKind::Delta, 1, &encode_fact_input(&d1)).unwrap();
+        journal.append(RecordKind::Commit, 1, &a1.seq.to_le_bytes()).unwrap();
+        journal.append(RecordKind::Delta, 2, &encode_fact_input(&d2)).unwrap();
+        let (recovered, report) = recover_replay(&journal, &manifest).unwrap();
+        assert_eq!(report.replayed_deltas, 2, "uncommitted-but-intact deltas replay too");
+        assert_eq!(report.replayed_rows, 60);
+        assert_eq!(report.committed_seq, Some(a1.seq));
+        assert!(report.manifest_used);
+        assert_eq!(report.skipped_duplicates, 0);
+        // Oracle: fold both deltas onto a fresh copy of the same store.
+        let mut oracle = ViewStore::build(&f, &[0b011]).unwrap();
+        oracle.apply_delta(&d1).unwrap();
+        oracle.apply_delta(&d2).unwrap();
+        for mask in recovered.materialized() {
+            let a = recovered.view(mask).unwrap();
+            let b = oracle.view(mask).unwrap();
+            assert_eq!(a.len(), b.len());
+            for (k, s) in b {
+                assert_eq!(a[k].sum.to_bits(), s.sum.to_bits(), "mask {mask:b}");
+                assert_eq!(a[k].count, s.count);
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_without_manifest_scans_and_later_snapshot_supersedes() {
+        let f = facts(120, 7);
+        let store = ViewStore::build(&f, &[]).unwrap();
+        let journal = DeltaJournal::new();
+        journal.append(RecordKind::Snapshot, 0, &encode_snapshot(&store)).unwrap();
+        let d1 = facts(25, 11);
+        journal.append(RecordKind::Delta, 1, &encode_fact_input(&d1)).unwrap();
+        // A checkpoint whose manifest swap never happened.
+        let mut advanced = ViewStore::build(&f, &[]).unwrap();
+        advanced.apply_delta(&d1).unwrap();
+        journal.append(RecordKind::Snapshot, 1, &encode_snapshot(&advanced)).unwrap();
+        let d2 = facts(25, 13);
+        journal.append(RecordKind::Delta, 2, &encode_fact_input(&d2)).unwrap();
+        let manifest = ManifestCell::new(); // never installed
+        let (recovered, report) = recover_replay(&journal, &manifest).unwrap();
+        assert!(!report.manifest_used);
+        assert_eq!(report.snapshot_seq, 2, "the later snapshot wins");
+        assert_eq!(report.replayed_deltas, 1, "only the post-checkpoint delta replays");
+        let mut oracle = advanced;
+        oracle.apply_delta(&d2).unwrap();
+        let top = recovered.lattice().top();
+        assert_eq!(recovered.view(top), oracle.view(top));
+        // An empty journal is a typed error.
+        let empty = DeltaJournal::new();
+        assert!(recover_replay(&empty, &manifest).is_err());
+    }
+
+    #[test]
+    fn duplicated_tail_is_skipped_not_replayed_twice() {
+        let f = facts(100, 21);
+        let store = ViewStore::build(&f, &[]).unwrap();
+        let journal = DeltaJournal::new();
+        let manifest = ManifestCell::new();
+        journal.append(RecordKind::Snapshot, 0, &encode_snapshot(&store)).unwrap();
+        let d = facts(40, 23);
+        let before = journal.len();
+        journal.append(RecordKind::Delta, 1, &encode_fact_input(&d)).unwrap();
+        // Duplicate the delta record's bytes (a retried write landing
+        // twice).
+        let image = journal.image();
+        let mut doubled = image.clone();
+        doubled.extend_from_slice(&image[before as usize..]);
+        let resumed = DeltaJournal::from_bytes(doubled);
+        let (recovered, report) = recover_replay(&resumed, &manifest).unwrap();
+        assert_eq!(report.replayed_deltas, 1, "idempotence: the duplicate must not re-apply");
+        assert_eq!(report.skipped_duplicates, 1);
+        let mut oracle = ViewStore::build(&f, &[]).unwrap();
+        oracle.apply_delta(&d).unwrap();
+        let top = recovered.lattice().top();
+        assert_eq!(recovered.view(top), oracle.view(top));
+    }
+}

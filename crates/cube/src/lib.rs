@@ -20,6 +20,7 @@
 
 pub mod cache;
 pub mod cube_op;
+pub mod durable;
 pub mod groupby;
 pub mod input;
 pub mod lattice;
@@ -33,11 +34,12 @@ pub mod shared;
 pub mod prelude {
     pub use crate::cache::{CacheConfig, CacheStats};
     pub use crate::cube_op::{compute_naive, compute_rollup, compute_shared, CubeResult};
+    pub use crate::durable::RecoveryReport;
     pub use crate::input::FactInput;
     pub use crate::lattice::Lattice;
     pub use crate::materialize::{greedy_select, GreedySelection};
     pub use crate::molap::{compute_molap, MolapCube};
     pub use crate::query::ViewStore;
     pub use crate::rolap::{compute_rolap, RolapCube};
-    pub use crate::shared::SharedViewStore;
+    pub use crate::shared::{DurableParts, SharedViewStore};
 }

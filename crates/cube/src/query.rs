@@ -127,8 +127,10 @@ pub struct Answer {
 }
 
 /// Deterministic serialization of a cuboid: row count, key width, then
-/// key-sorted `(key, sum, count, min, max)` tuples.
-fn serialize_cuboid(cuboid: &Cuboid, n_dims: usize) -> Vec<u8> {
+/// key-sorted `(key, sum, count, min, max)` tuples. Shared with the
+/// durability layer, whose snapshot records embed one serialized cuboid per
+/// materialized view.
+pub(crate) fn serialize_cuboid(cuboid: &Cuboid, n_dims: usize) -> Vec<u8> {
     let key_len = cuboid.keys().next().map_or(n_dims, |k| k.len());
     let mut rows: Vec<_> = cuboid.iter().collect();
     rows.sort_unstable_by(|a, b| a.0.cmp(b.0));
@@ -150,7 +152,7 @@ fn serialize_cuboid(cuboid: &Cuboid, n_dims: usize) -> Vec<u8> {
 /// Inverse of [`serialize_cuboid`]. Checksums catch corruption before this
 /// runs, so a malformed buffer indicates a logic error — still reported as
 /// a typed error, never a panic.
-fn deserialize_cuboid(bytes: &[u8], object: &str) -> Result<Cuboid> {
+pub(crate) fn deserialize_cuboid(bytes: &[u8], object: &str) -> Result<Cuboid> {
     let malformed = || Error::InvalidSchema(format!("malformed cuboid file `{object}`"));
     let take8 = |b: &[u8], at: usize| -> Result<[u8; 8]> {
         b.get(at..at + 8).and_then(|s| s.try_into().ok()).ok_or_else(malformed)
@@ -160,8 +162,13 @@ fn deserialize_cuboid(bytes: &[u8], object: &str) -> Result<Cuboid> {
     };
     let n_rows = u64::from_le_bytes(take8(bytes, 0)?) as usize;
     let key_len = u64::from_le_bytes(take8(bytes, 8)?) as usize;
-    let row_bytes = key_len * 4 + 32;
-    if bytes.len() != 16 + n_rows * row_bytes {
+    // Checked arithmetic throughout: the durability layer feeds this decoder
+    // with journal payloads, so declared counts are untrusted and must not
+    // be able to overflow (or over-allocate) before the length check.
+    let row_bytes = (key_len as u64).checked_mul(4).and_then(|b| b.checked_add(32));
+    let expected =
+        row_bytes.and_then(|rb| (n_rows as u64).checked_mul(rb)).and_then(|b| b.checked_add(16));
+    if expected != Some(bytes.len() as u64) {
         return Err(malformed());
     }
     let mut cuboid: Cuboid = HashMap::with_capacity(n_rows);
@@ -251,6 +258,32 @@ impl ViewStore {
         })
     }
 
+    /// Rebuilds a store directly from already-materialized views — the
+    /// recovery path: a durable snapshot record carries `cards`, the base
+    /// row count, and every sealed view's cells, and this reconstitutes the
+    /// exact store they were captured from (same lattice, same measured
+    /// sizes, fresh seals, dense base re-derived). The base cuboid
+    /// (`top` mask) must be among `views`.
+    pub fn from_views(
+        cards: &[usize],
+        base_rows: u64,
+        views: HashMap<u32, Cuboid>,
+    ) -> Result<Self> {
+        let lattice = Lattice::new(cards, base_rows)?;
+        let top = lattice.top();
+        if !views.contains_key(&top) {
+            return Err(Error::InvalidSchema("snapshot lacks the base cuboid".into()));
+        }
+        if let Some(&mask) = views.keys().find(|&&m| m > top) {
+            return Err(Error::InvalidSchema(format!("mask {mask:b} out of range")));
+        }
+        let measured: Vec<(u32, u64)> = views.iter().map(|(&m, c)| (m, c.len() as u64)).collect();
+        let lattice = lattice.with_measured_sizes(&measured);
+        let (pages, files) = seal_views(&views, lattice.dim_count());
+        let base_dense = views.get(&top).and_then(|b| dense_base_of(b, cards));
+        Ok(Self { lattice, views, pages, files, base_dense })
+    }
+
     /// The routing lattice (dimension count, sizes, derivability).
     pub fn lattice(&self) -> &Lattice {
         &self.lattice
@@ -326,6 +359,16 @@ impl ViewStore {
     /// grows to the element-wise maximum and the dense base organization
     /// absorbs the growth as \[RZ86\] increment segments.
     pub fn fold_delta(&self, delta: &FactInput) -> Result<(ViewStore, DeltaReport)> {
+        self.fold_delta_observed(delta, &mut || {})
+    }
+
+    /// Everything [`ViewStore::fold_delta`] rejects, checked without
+    /// mutating or building anything: arity, finite measures, and a
+    /// constructible grown lattice. The durable write path runs this
+    /// *before* journaling the batch, so a batch the fold would refuse is
+    /// never written to the log (replaying it would refuse it again — a
+    /// wedged journal).
+    pub fn validate_delta(&self, delta: &FactInput) -> Result<()> {
         if delta.dim_count() != self.lattice.dim_count() {
             return Err(Error::ArityMismatch {
                 expected: self.lattice.dim_count(),
@@ -335,6 +378,23 @@ impl ViewStore {
         if let Some(row) = delta.measure().iter().position(|m| !m.is_finite()) {
             return Err(Error::InvalidSchema(format!("delta row {row} has a non-finite measure")));
         }
+        let new_cards: Vec<usize> =
+            self.lattice.cards().iter().zip(delta.cards()).map(|(&a, &b)| a.max(b)).collect();
+        Lattice::new(&new_cards, self.lattice.base_rows().saturating_add(delta.len() as u64))?;
+        Ok(())
+    }
+
+    /// [`ViewStore::fold_delta`] with seal-progress observation:
+    /// `on_view_sealed` runs after each successor view file is sealed. The
+    /// crash-injection harness uses it to kill the writer *mid-seal* — one
+    /// view written, the rest absent, nothing published — the state the
+    /// recovery chaos suite proves invisible after replay.
+    pub fn fold_delta_observed(
+        &self,
+        delta: &FactInput,
+        on_view_sealed: &mut dyn FnMut(),
+    ) -> Result<(ViewStore, DeltaReport)> {
+        self.validate_delta(delta)?;
         let old_cards = self.lattice.cards();
         let new_cards: Vec<usize> =
             old_cards.iter().zip(delta.cards()).map(|(&a, &b)| a.max(b)).collect();
@@ -407,7 +467,7 @@ impl ViewStore {
 
         let measured: Vec<(u32, u64)> = views.iter().map(|(&m, c)| (m, c.len() as u64)).collect();
         let lattice = lattice.with_measured_sizes(&measured);
-        let (pages, files) = self.seal_successor(&views, lattice.dim_count());
+        let (pages, files) = self.seal_successor(&views, lattice.dim_count(), on_view_sealed);
         let report =
             DeltaReport { rows: delta.len() as u64, touched_base, cells_touched, extended_dims };
         Ok((ViewStore { lattice, views, pages, files, base_dense }, report))
@@ -422,6 +482,7 @@ impl ViewStore {
         &self,
         views: &HashMap<u32, Cuboid>,
         n_dims: usize,
+        on_view_sealed: &mut dyn FnMut(),
     ) -> (PageStore, HashMap<u32, usize>) {
         let pages = PageStore::new(self.pages.io().page_size()).with_retry(self.pages.retry());
         pages.transplant_runtime_from(&self.pages);
@@ -433,6 +494,7 @@ impl ViewStore {
             let id = pages.create(&view_file_name(mask), &bytes);
             pages.set_epoch(id, self.view_epoch(mask).map_or(0, |e| e + 1));
             files.insert(mask, id);
+            on_view_sealed();
         }
         (pages, files)
     }

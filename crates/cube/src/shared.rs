@@ -38,7 +38,7 @@
 //!   failing files back to view masks and drops dependent entries at once.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 use statcube_core::error::{Error, Result};
 use statcube_core::measure::AggState;
@@ -48,11 +48,15 @@ use statcube_core::plan::{
 use statcube_core::trace;
 use statcube_storage::page_store::{FaultPlan, FaultStats};
 use statcube_storage::verify::ScrubReport;
+use statcube_storage::wal::{
+    CrashInjector, CrashPoint, DeltaJournal, Manifest, ManifestCell, RecordKind,
+};
 
 use crate::cache::{
     cuboid_bytes, AnswerCache, CacheConfig, CacheKey, CacheStats, CachedValue, CELL_BYTES,
 };
 use crate::cube_op::Degradation;
+use crate::durable::{self, RecoveryReport};
 use crate::groupby::Cuboid;
 use crate::input::FactInput;
 use crate::query::{mask_of_view_file, DeltaReport, ViewStore};
@@ -86,6 +90,78 @@ pub struct CellAnswer {
     pub degraded: bool,
 }
 
+/// The simulated durable devices of one durable store: the write-ahead
+/// delta journal, the commit-point manifest, and the crash injector that
+/// can kill the writer between any two protocol steps.
+///
+/// The parts are `Arc`-shared handles — clone them out before "killing the
+/// process" (dropping the [`SharedViewStore`]) and hand them to
+/// [`SharedViewStore::recover`], exactly as a restarted process re-opens
+/// the journal and manifest files its predecessor left on disk.
+#[derive(Debug, Clone, Default)]
+pub struct DurableParts {
+    journal: Arc<DeltaJournal>,
+    manifest: Arc<ManifestCell>,
+    crash: Arc<CrashInjector>,
+}
+
+impl DurableParts {
+    /// Fresh, empty devices (a new database directory).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Devices over an existing journal image (what recovery found on
+    /// "disk"); the manifest starts empty — recovery falls back to a full
+    /// journal scan.
+    pub fn from_journal_image(bytes: Vec<u8>) -> Self {
+        Self { journal: Arc::new(DeltaJournal::from_bytes(bytes)), ..Self::default() }
+    }
+
+    /// The write-ahead delta journal.
+    pub fn journal(&self) -> &DeltaJournal {
+        &self.journal
+    }
+
+    /// The atomically-swapped commit-point manifest.
+    pub fn manifest(&self) -> &ManifestCell {
+        &self.manifest
+    }
+
+    /// The kill-point injector ([`CrashPoint`]); arming one makes the next
+    /// write path panic at that step, exactly once.
+    pub fn crash(&self) -> &CrashInjector {
+        &self.crash
+    }
+}
+
+/// Holds the writer mutex and *heals* it on the way out: if the fold
+/// panics (an injected crash, or a genuine bug) the guard's drop during
+/// unwind poisons the mutex, and without clearing it every future writer
+/// would find the lock poisoned forever. The lock guards no data — it only
+/// serializes writers — so clearing the poison is sound: the published
+/// snapshot is untouched by a failed fold (publication is the last step).
+struct WriterLease<'a> {
+    lock: &'a Mutex<()>,
+    guard: Option<MutexGuard<'a, ()>>,
+}
+
+impl<'a> WriterLease<'a> {
+    fn acquire(lock: &'a Mutex<()>) -> Self {
+        let guard = lock.lock().unwrap_or_else(|p| p.into_inner());
+        Self { lock, guard: Some(guard) }
+    }
+}
+
+impl Drop for WriterLease<'_> {
+    fn drop(&mut self) {
+        // Drop the inner guard first (this is what poisons the mutex when
+        // unwinding), then clear the poison it may have just set.
+        self.guard.take();
+        self.lock.clear_poison();
+    }
+}
+
 #[derive(Debug)]
 struct Inner {
     /// The published store. Readers clone the `Arc` out (the read lock is
@@ -98,6 +174,10 @@ struct Inner {
     /// Serializes writers (delta folds, rebuilds). Readers never touch it.
     writer: Mutex<()>,
     cache: AnswerCache,
+    /// The durable devices, when this store was built with
+    /// [`SharedViewStore::build_durable`] / recovered. `None` keeps the
+    /// purely in-memory PR 6 behavior.
+    durability: Option<DurableParts>,
 }
 
 /// A pinned, immutable view of the store at one publication generation,
@@ -134,12 +214,17 @@ pub struct SharedViewStore {
 impl SharedViewStore {
     /// Wraps an already built [`ViewStore`] with a cache sized by `config`.
     pub fn new(store: ViewStore, config: CacheConfig) -> Self {
+        Self::assemble(store, config, None)
+    }
+
+    fn assemble(store: ViewStore, config: CacheConfig, durability: Option<DurableParts>) -> Self {
         Self {
             inner: Arc::new(Inner {
                 current: RwLock::new(Arc::new(store)),
                 generation: AtomicU64::new(0),
                 writer: Mutex::new(()),
                 cache: AnswerCache::new(config),
+                durability,
             }),
         }
     }
@@ -148,6 +233,77 @@ impl SharedViewStore {
     /// wraps the sealed store; see [`ViewStore::build`].
     pub fn build(input: &FactInput, selected: &[u32], config: CacheConfig) -> Result<Self> {
         Ok(Self::new(ViewStore::build(input, selected)?, config))
+    }
+
+    /// [`SharedViewStore::build`] with the crash-consistent durability
+    /// layer underneath: fresh devices are created, the built store is
+    /// written to the journal as the initial snapshot record, and the
+    /// manifest's commit point is installed. Every later
+    /// [`SharedViewStore::apply_delta`] journals the batch before folding
+    /// it; [`SharedViewStore::recover`] rebuilds the store after a crash.
+    pub fn build_durable(input: &FactInput, selected: &[u32], config: CacheConfig) -> Result<Self> {
+        Self::build_durable_on(input, selected, config, DurableParts::new())
+    }
+
+    /// [`SharedViewStore::build_durable`] over caller-supplied devices
+    /// (tests keep the parts to simulate process death and recovery).
+    pub fn build_durable_on(
+        input: &FactInput,
+        selected: &[u32],
+        config: CacheConfig,
+        parts: DurableParts,
+    ) -> Result<Self> {
+        let store = ViewStore::build(input, selected)?;
+        Self::write_snapshot_record(&parts, &store, 0)?;
+        Ok(Self::assemble(store, config, Some(parts)))
+    }
+
+    /// Rebuilds a durable store from the journal + manifest a dead process
+    /// left behind: restart from the newest intact snapshot, replay the
+    /// intact journal tail through the ordinary fold path (idempotent via
+    /// record sequence numbers), truncate the torn tail, and resume over
+    /// the same devices. See [`crate::durable::recover_replay`] for the
+    /// state machine and [`RecoveryReport`] for what happened.
+    pub fn recover(parts: &DurableParts, config: CacheConfig) -> Result<(Self, RecoveryReport)> {
+        let (store, report) = durable::recover_replay(parts.journal(), parts.manifest())?;
+        Ok((Self::assemble(store, config, Some(parts.clone())), report))
+    }
+
+    /// The durable devices, when this store has them (`Arc`-shared handles;
+    /// cloning is how a test keeps the "disk" across a simulated crash).
+    pub fn durable_parts(&self) -> Option<DurableParts> {
+        self.inner.durability.clone()
+    }
+
+    /// Appends a fresh snapshot record of the currently published store and
+    /// moves the manifest's commit point past it, so recovery replays from
+    /// here instead of the journal's origin. Errors when the store has no
+    /// durability layer.
+    pub fn checkpoint(&self) -> Result<()> {
+        let _writer = WriterLease::acquire(&self.inner.writer);
+        let d = self
+            .inner
+            .durability
+            .as_ref()
+            .ok_or_else(|| Error::InvalidSchema("store has no durability layer".into()))?;
+        let snap = self.snapshot();
+        Self::write_snapshot_record(d, snap.store(), snap.generation())
+    }
+
+    fn write_snapshot_record(
+        parts: &DurableParts,
+        store: &ViewStore,
+        generation: u64,
+    ) -> Result<()> {
+        let payload = durable::encode_snapshot(store);
+        let info = parts.journal.append(RecordKind::Snapshot, generation, &payload)?;
+        parts.manifest.install(&Manifest {
+            snapshot_epoch: generation,
+            snapshot_offset: info.offset,
+            committed_seq: info.seq,
+            committed_offset: info.end_offset,
+        });
+        Ok(())
     }
 
     /// Pins the currently published store. The read lock is held only for
@@ -312,10 +468,52 @@ impl SharedViewStore {
     /// an older snapshot drop as stale — see
     /// [`AnswerCache::invalidate_delta`]). A batch that fails validation
     /// publishes nothing and drops nothing.
+    ///
+    /// **Durable stores** run the crash-consistent protocol around the same
+    /// fold: validate (so a rejected batch never reaches the log), append
+    /// the serialized batch to the write-ahead journal and sync it, fold,
+    /// publish, then stamp a commit record and swap the manifest's commit
+    /// point. A crash at *any* step — the armed [`CrashPoint`]s bracket all
+    /// of them, and a torn journal append surfaces as a typed error with
+    /// the batch unacknowledged — leaves a journal from which
+    /// [`SharedViewStore::recover`] rebuilds bit-for-bit the pre-delta or
+    /// post-delta store, never a hybrid: the batch is acknowledged only
+    /// once it is durably replayable.
     pub fn apply_delta(&self, delta: &FactInput) -> Result<DeltaReport> {
-        let _writer = self.inner.writer.lock().unwrap_or_else(|p| p.into_inner());
+        let _writer = WriterLease::acquire(&self.inner.writer);
         let snap = self.snapshot();
-        let (next, report) = snap.store().fold_delta(delta)?;
+        let durable = self.inner.durability.as_ref();
+        let mut appended = None;
+        if let Some(d) = durable {
+            d.crash.hit(CrashPoint::PreAppend);
+            snap.store().validate_delta(delta)?;
+            let payload = durable::encode_fact_input(delta);
+            let info = d.journal.append(RecordKind::Delta, snap.generation() + 1, &payload)?;
+            appended = Some(info);
+            d.crash.hit(CrashPoint::PostAppend);
+        }
+        let folded = match durable {
+            Some(d) => {
+                snap.store().fold_delta_observed(delta, &mut || d.crash.hit(CrashPoint::MidSeal))
+            }
+            None => snap.store().fold_delta(delta),
+        };
+        let (next, report) = match folded {
+            Ok(ok) => ok,
+            Err(e) => {
+                // The fold refused a batch that was already journaled
+                // (validation covers every refusal in practice, so this is
+                // belt-and-braces): rewind the log so recovery can never
+                // replay a batch this store rejected.
+                if let (Some(d), Some(info)) = (durable, appended) {
+                    d.journal.truncate_image(info.offset);
+                }
+                return Err(e);
+            }
+        };
+        if let Some(d) = durable {
+            d.crash.hit(CrashPoint::PrePublish);
+        }
         self.publish(next);
         let fresh = self.snapshot();
         self.inner.cache.invalidate_delta(
@@ -323,6 +521,20 @@ impl SharedViewStore {
             |s| snap.store().view_epoch(s),
             |s| fresh.store().view_epoch(s),
         );
+        if let (Some(d), Some(info)) = (durable, appended) {
+            d.crash.hit(CrashPoint::PreCommitRecord);
+            let end = d.journal.append(
+                RecordKind::Commit,
+                fresh.generation(),
+                &info.seq.to_le_bytes(),
+            )?;
+            let prev = d.manifest.load().ok().flatten().unwrap_or_default();
+            d.manifest.install(&Manifest {
+                committed_seq: info.seq,
+                committed_offset: end.end_offset,
+                ..prev
+            });
+        }
         Ok(report)
     }
 
@@ -331,14 +543,20 @@ impl SharedViewStore {
     /// maintenance path, kept for full re-materializations and as the
     /// baseline exp27 measures [`SharedViewStore::apply_delta`] against.
     /// The successor's file epochs continue the current store's, so entries
-    /// admitted by readers mid-swap can never falsely match it.
+    /// admitted by readers mid-swap can never falsely match it. On a durable
+    /// store the rebuilt content is checkpointed — a fresh snapshot record
+    /// and manifest — since no journaled delta could re-derive it.
     pub fn rebuild(&self, facts: &FactInput) -> Result<()> {
-        let _writer = self.inner.writer.lock().unwrap_or_else(|p| p.into_inner());
+        let _writer = WriterLease::acquire(&self.inner.writer);
         let snap = self.snapshot();
         let next = ViewStore::build(facts, &snap.store().materialized())?;
         next.succeed(snap.store());
         self.publish(next);
         self.inner.cache.clear();
+        if let Some(d) = self.inner.durability.as_ref() {
+            let fresh = self.snapshot();
+            Self::write_snapshot_record(d, fresh.store(), fresh.generation())?;
+        }
         Ok(())
     }
 

@@ -23,7 +23,10 @@
 //! [`page_store`] adds a checksummed paged store with deterministic fault
 //! injection and retry/backoff ([`crc32`] supplies the in-tree checksum),
 //! and [`verify`] gives every store above a seal/scrub pass that turns
-//! silent corruption into typed errors.
+//! silent corruption into typed errors. [`wal`] adds the write-ahead delta
+//! journal and crash-point instrumentation that make incremental cube
+//! maintenance crash-consistent (torn-tail detection, atomically-swapped
+//! commit manifest, kill-testable write path).
 
 #![warn(missing_docs)]
 
@@ -45,6 +48,7 @@ pub mod rle;
 pub mod row;
 pub mod star;
 pub mod verify;
+pub mod wal;
 
 /// The most commonly used types, for glob import.
 pub mod prelude {
@@ -64,4 +68,7 @@ pub mod prelude {
     pub use crate::row::RowStore;
     pub use crate::star::{DimensionTable, StarSchema};
     pub use crate::verify::{ChecksumManifest, ScrubReport, Scrubbable};
+    pub use crate::wal::{
+        CrashInjector, CrashPoint, DeltaJournal, Manifest, ManifestCell, RecordKind,
+    };
 }

@@ -133,6 +133,14 @@ impl FaultInjector {
     fn on_write(&mut self) -> bool {
         self.roll(self.plan.torn_write)
     }
+
+    /// Decides whether a journal append tears, drawing from the same seeded
+    /// stream and the same `torn_write` probability as page writes — one
+    /// [`FaultPlan`] governs both devices, so the recovery chaos suite
+    /// reuses the page-fault plans unchanged.
+    pub(crate) fn on_journal_append(&mut self) -> bool {
+        self.roll(self.plan.torn_write)
+    }
 }
 
 /// Bounded exponential backoff for transient read faults.
@@ -178,6 +186,12 @@ pub struct FaultStats {
     pub checksum_failures: u64,
     /// Total simulated backoff, microseconds (accumulated, never slept).
     pub backoff_us: u64,
+    /// Write-ahead journal appends that tore (partial record flushed; see
+    /// [`crate::wal::DeltaJournal::append`]).
+    pub journal_torn_appends: u64,
+    /// Torn journal tails truncated away — by the writer rewinding before
+    /// its next append or by recovery's truncate-and-continue pass.
+    pub journal_truncations: u64,
 }
 
 #[derive(Debug, Clone)]

@@ -1,0 +1,729 @@
+//! The write-ahead delta journal: crash-consistent durability under
+//! incremental cube maintenance.
+//!
+//! PR 6's fold pipeline is purely in-memory — a process crash between the
+//! writer's `snapshot()` and the publish pointer-swap silently drops every
+//! batch since the last seal. This module supplies the missing durability
+//! contract: *every acknowledged delta is either fully recoverable or was
+//! never acknowledged*. Three pieces:
+//!
+//! * [`DeltaJournal`] — an append-only, length-prefixed, CRC32-checksummed
+//!   record log ([`crate::crc32`] supplies the checksum, the same one the
+//!   page store uses). Every record carries a monotonic sequence number and
+//!   the store epoch (publication generation) it belongs to, so replay is
+//!   idempotent: a duplicated tail re-presents already-applied sequence
+//!   numbers and recovery skips them.
+//! * **Torn-tail detection.** A record is only accepted by the decoder when
+//!   its header CRC, payload length, *and* payload CRC all verify; the first
+//!   byte that fails any of these marks the torn tail, and recovery
+//!   truncates there and continues ([`DeltaJournal::recover_records`]).
+//!   Torn *appends* are injectable under the same seeded [`FaultPlan`]s as
+//!   page I/O: an armed injector's `torn_write` probability governs journal
+//!   appends too, flushing only a prefix of the record and surfacing
+//!   [`Error::JournalTornAppend`] — the writer must treat that delta as
+//!   never acknowledged.
+//! * [`ManifestCell`] — the atomically-swapped commit-point manifest. A
+//!   [`Manifest`] records the last durable (sealed snapshot epoch, journal
+//!   offset) pair plus the last commit-stamped sequence number. The cell
+//!   models the write-temp-file-then-rename idiom: an installation replaces
+//!   the whole CRC-stamped image or none of it — there is no observable
+//!   intermediate state, by construction.
+//!
+//! **What is and is not fsync'd here.** This is a reproduction over a
+//! simulated device: an "append-and-sync" is a byte extension of the
+//! in-memory journal image, and crash = the writer thread panicking at an
+//! armed [`CrashPoint`] (or a torn append). The *protocol* — append before
+//! fold, commit-stamp after publish, manifest swap last, truncate-and-replay
+//! on recovery — is the real one; the missing piece on real hardware is an
+//! `fsync` barrier after the delta append and after the manifest rename.
+//!
+//! [`CrashInjector`] extends the seeded-fault-plan pattern to process
+//! death: arm one [`CrashPoint`] and the write path panics exactly once at
+//! that step, which the recovery chaos suite catches, then recovers from
+//! the surviving journal + manifest and checks the store is bit-for-bit
+//! pre-delta or post-delta — never a hybrid.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use statcube_core::error::{Error, Result};
+
+use crate::crc32::crc32;
+use crate::io_stats::{IoStats, DEFAULT_PAGE_SIZE};
+use crate::page_store::{FaultInjector, FaultPlan, FaultStats};
+
+/// Fixed-size record header: `len(u32) | kind(u8) | seq(u64) | epoch(u64) |
+/// payload_crc(u32) | header_crc(u32)`.
+pub const RECORD_HEADER_BYTES: usize = 4 + 1 + 8 + 8 + 4 + 4;
+
+/// Panic message prefix of an injected crash; the chaos suite uses it to
+/// tell injected process death apart from genuine bugs.
+pub const CRASH_PANIC_PREFIX: &str = "crash injected at ";
+
+/// What a journal record carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A full sealed-store image (cards, base rows, every materialized
+    /// view); replay restarts from the latest one.
+    Snapshot,
+    /// One validated delta batch, appended *before* the fold runs.
+    Delta,
+    /// The commit stamp for an already-applied delta (payload = the delta
+    /// record's sequence number); written *after* publication.
+    Commit,
+}
+
+impl RecordKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            RecordKind::Snapshot => 1,
+            RecordKind::Delta => 2,
+            RecordKind::Commit => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(RecordKind::Snapshot),
+            2 => Some(RecordKind::Delta),
+            3 => Some(RecordKind::Commit),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Record type.
+    pub kind: RecordKind,
+    /// Monotonic sequence number (unique per journal; replay idempotence
+    /// key).
+    pub seq: u64,
+    /// The store epoch (publication generation) the record is tied to: for
+    /// a `Delta`, the generation its fold will publish; for `Snapshot` /
+    /// `Commit`, the generation already published.
+    pub epoch: u64,
+    /// Opaque payload (the cube layer owns the codecs).
+    pub payload: Vec<u8>,
+    /// Byte offset of this record's header in the journal.
+    pub offset: u64,
+}
+
+/// Where an append landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendInfo {
+    /// Sequence number assigned to the record.
+    pub seq: u64,
+    /// Byte offset of the record's header.
+    pub offset: u64,
+    /// Byte offset just past the record (the journal length after the
+    /// append).
+    pub end_offset: u64,
+}
+
+/// What the decoder found past the last intact record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TailReport {
+    /// Journal length that decodes cleanly; everything past it is torn.
+    pub valid_len: u64,
+    /// Bytes past `valid_len` (0 on a clean journal).
+    pub torn_bytes: u64,
+}
+
+fn encode_record(kind: RecordKind, seq: u64, epoch: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.push(kind.to_byte());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    let header_crc = crc32(&out);
+    out.extend_from_slice(&header_crc.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    bytes.get(at..at + 4).and_then(|s| s.try_into().ok()).map(u32::from_le_bytes)
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    bytes.get(at..at + 8).and_then(|s| s.try_into().ok()).map(u64::from_le_bytes)
+}
+
+/// Decodes one record starting at `at`, or `None` if the bytes there are
+/// torn (insufficient, header CRC mismatch, unknown kind, truncated or
+/// corrupt payload).
+fn decode_record(bytes: &[u8], at: usize) -> Option<JournalRecord> {
+    if bytes.len() < at + RECORD_HEADER_BYTES {
+        return None;
+    }
+    let header = &bytes[at..at + RECORD_HEADER_BYTES];
+    let stored_header_crc = read_u32(header, RECORD_HEADER_BYTES - 4)?;
+    if crc32(&header[..RECORD_HEADER_BYTES - 4]) != stored_header_crc {
+        return None;
+    }
+    let len = read_u32(header, 0)? as usize;
+    let kind = RecordKind::from_byte(header[4])?;
+    let seq = read_u64(header, 5)?;
+    let epoch = read_u64(header, 13)?;
+    let payload_crc = read_u32(header, 21)?;
+    let payload = bytes.get(at + RECORD_HEADER_BYTES..at + RECORD_HEADER_BYTES + len)?;
+    if crc32(payload) != payload_crc {
+        return None;
+    }
+    Some(JournalRecord { kind, seq, epoch, payload: payload.to_vec(), offset: at as u64 })
+}
+
+/// Decodes every intact record from the front of `bytes`, stopping at the
+/// first torn byte. Pure function of the image — the WAL fuzz suite drives
+/// it with garbage, truncations, bit flips, and duplicated tails.
+pub fn decode_records(bytes: &[u8]) -> (Vec<JournalRecord>, TailReport) {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    while at < bytes.len() {
+        match decode_record(bytes, at) {
+            Some(rec) => {
+                at += RECORD_HEADER_BYTES + rec.payload.len();
+                records.push(rec);
+            }
+            None => break,
+        }
+    }
+    let report = TailReport { valid_len: at as u64, torn_bytes: (bytes.len() - at) as u64 };
+    (records, report)
+}
+
+#[derive(Debug, Default)]
+struct JournalState {
+    bytes: Vec<u8>,
+    next_seq: u64,
+    /// Set when the last append tore: offset where the torn record began.
+    /// The next append (or recovery) truncates back to it first.
+    torn_at: Option<usize>,
+}
+
+/// The append-only delta journal over a simulated durable device.
+///
+/// Thread-safe by interior mutability (one writer at a time holds the cube
+/// layer's writer lease, but recovery and stats readers may race). The
+/// journal keeps its *own* [`FaultInjector`] and [`FaultStats`], separate
+/// from any page store's: a delta fold transplants the page-store injector
+/// into the successor store, and the journal — which must outlive every
+/// store generation — cannot be subject to that move.
+#[derive(Debug)]
+pub struct DeltaJournal {
+    state: Mutex<JournalState>,
+    io: IoStats,
+    injector: Mutex<Option<FaultInjector>>,
+    armed: AtomicBool,
+    stats: Mutex<FaultStats>,
+}
+
+impl Default for DeltaJournal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeltaJournal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(JournalState::default()),
+            io: IoStats::labeled(DEFAULT_PAGE_SIZE, "wal"),
+            injector: Mutex::new(None),
+            armed: AtomicBool::new(false),
+            stats: Mutex::new(FaultStats::default()),
+        }
+    }
+
+    /// A journal over an existing device image (recovery from found bytes;
+    /// the fuzz suite also enters here). The next sequence number is
+    /// recomputed from the intact records — the in-memory counter is not
+    /// trusted across a crash.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        let (records, _) = decode_records(&bytes);
+        let next_seq = records.iter().map(|r| r.seq + 1).max().unwrap_or(0);
+        let journal = Self::new();
+        {
+            let mut state = journal.state_lock();
+            state.bytes = bytes;
+            state.next_seq = next_seq;
+        }
+        journal
+    }
+
+    fn state_lock(&self) -> MutexGuard<'_, JournalState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn injector_lock(&self) -> MutexGuard<'_, Option<FaultInjector>> {
+        self.injector.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn update_stats(&self, f: impl FnOnce(&mut FaultStats)) {
+        f(&mut self.stats.lock().unwrap_or_else(|p| p.into_inner()));
+    }
+
+    /// Arms fault injection (only `torn_write` applies to an append-only
+    /// log); replaces any previous injector.
+    pub fn arm(&self, plan: FaultPlan) {
+        *self.injector_lock() = Some(FaultInjector::new(plan));
+        self.armed.store(true, Ordering::Release);
+    }
+
+    /// Disarms fault injection (a torn tail already on the device remains).
+    pub fn disarm(&self) {
+        *self.injector_lock() = None;
+        self.armed.store(false, Ordering::Release);
+    }
+
+    /// Fault counters (torn appends, truncations) accumulated so far.
+    pub fn stats(&self) -> FaultStats {
+        *self.stats.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The journal's I/O counters (sequential append/replay traffic,
+    /// labeled `wal`).
+    pub fn io(&self) -> &IoStats {
+        &self.io
+    }
+
+    /// Current device image length in bytes (torn tail included).
+    pub fn len(&self) -> u64 {
+        self.state_lock().bytes.len() as u64
+    }
+
+    /// True when nothing has ever been appended.
+    pub fn is_empty(&self) -> bool {
+        self.state_lock().bytes.is_empty()
+    }
+
+    /// A copy of the device image (what a recovery process would read).
+    pub fn image(&self) -> Vec<u8> {
+        let state = self.state_lock();
+        self.io.charge_seq_read(state.bytes.len());
+        state.bytes.clone()
+    }
+
+    /// The sequence number the next append will take.
+    pub fn next_seq(&self) -> u64 {
+        self.state_lock().next_seq
+    }
+
+    /// Appends one record and "syncs" it (byte extension of the simulated
+    /// device — see the module docs for the fsync caveat). If a previous
+    /// append tore, the torn prefix is first truncated away (the writer
+    /// rewinds to the last clean offset — the write-side half of
+    /// truncate-and-continue).
+    ///
+    /// Under an armed injector, the plan's `torn_write` probability applies
+    /// per append: a torn append flushes only a prefix of the record and
+    /// returns [`Error::JournalTornAppend`] — the caller must treat the
+    /// batch as not acknowledged.
+    pub fn append(&self, kind: RecordKind, epoch: u64, payload: &[u8]) -> Result<AppendInfo> {
+        let mut state = self.state_lock();
+        if let Some(at) = state.torn_at.take() {
+            state.bytes.truncate(at);
+            self.update_stats(|s| s.journal_truncations += 1);
+        }
+        let seq = state.next_seq;
+        let record = encode_record(kind, seq, epoch, payload);
+        let offset = state.bytes.len() as u64;
+        let torn = self.armed.load(Ordering::Acquire)
+            && self.injector_lock().as_mut().is_some_and(FaultInjector::on_journal_append);
+        if torn && record.len() > 1 {
+            // Only a prefix reached the device before the "crash"; the
+            // record's header or payload CRC cannot verify, so recovery
+            // truncates here.
+            let keep = record.len() / 2;
+            state.bytes.extend_from_slice(&record[..keep]);
+            state.torn_at = Some(offset as usize);
+            self.io.charge_seq_write(keep);
+            drop(state);
+            self.update_stats(|s| s.journal_torn_appends += 1);
+            return Err(Error::JournalTornAppend { seq });
+        }
+        state.next_seq = seq + 1;
+        state.bytes.extend_from_slice(&record);
+        let end_offset = state.bytes.len() as u64;
+        self.io.charge_seq_write(record.len());
+        Ok(AppendInfo { seq, offset, end_offset })
+    }
+
+    /// Decodes every intact record and truncates the torn tail in place
+    /// (counted in [`FaultStats::journal_truncations`]), so the journal is
+    /// immediately appendable again — truncate-and-continue. Also re-derives
+    /// `next_seq` from the surviving records.
+    pub fn recover_records(&self) -> (Vec<JournalRecord>, TailReport) {
+        let mut state = self.state_lock();
+        self.io.charge_seq_read(state.bytes.len());
+        let (records, report) = decode_records(&state.bytes);
+        if report.torn_bytes > 0 {
+            state.bytes.truncate(report.valid_len as usize);
+            state.torn_at = None;
+            self.update_stats(|s| s.journal_truncations += 1);
+        }
+        state.next_seq = records.iter().map(|r| r.seq + 1).max().unwrap_or(0);
+        (records, report)
+    }
+
+    /// Test/chaos hook: flips one stored bit of the device image (bit
+    /// offsets wrap). Models media decay on the journal device itself.
+    pub fn corrupt_bit(&self, bit: u64) {
+        let mut state = self.state_lock();
+        if state.bytes.is_empty() {
+            return;
+        }
+        let bit = bit % (state.bytes.len() as u64 * 8);
+        state.bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+    }
+
+    /// Test/chaos hook: truncates the device image to `len` bytes (no-op if
+    /// already shorter). Models a crash that lost the un-synced tail.
+    pub fn truncate_image(&self, len: u64) {
+        let mut state = self.state_lock();
+        let len = (len as usize).min(state.bytes.len());
+        state.bytes.truncate(len);
+        state.torn_at = None;
+    }
+}
+
+/// The durable commit point: which snapshot to restart from and how far the
+/// journal was acknowledged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Store epoch (publication generation) of the snapshot record.
+    pub snapshot_epoch: u64,
+    /// Journal offset of the snapshot record's header.
+    pub snapshot_offset: u64,
+    /// Sequence number of the last commit-stamped record (delta or
+    /// snapshot).
+    pub committed_seq: u64,
+    /// Journal offset just past the last committed record.
+    pub committed_offset: u64,
+}
+
+const MANIFEST_BYTES: usize = 8 * 4 + 4;
+
+impl Manifest {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(MANIFEST_BYTES);
+        out.extend_from_slice(&self.snapshot_epoch.to_le_bytes());
+        out.extend_from_slice(&self.snapshot_offset.to_le_bytes());
+        out.extend_from_slice(&self.committed_seq.to_le_bytes());
+        out.extend_from_slice(&self.committed_offset.to_le_bytes());
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        let corrupt = || Error::ChecksumMismatch { object: "manifest".into(), page: 0 };
+        if bytes.len() != MANIFEST_BYTES {
+            return Err(corrupt());
+        }
+        let stored = read_u32(bytes, MANIFEST_BYTES - 4).ok_or_else(corrupt)?;
+        if crc32(&bytes[..MANIFEST_BYTES - 4]) != stored {
+            return Err(corrupt());
+        }
+        Ok(Self {
+            snapshot_epoch: read_u64(bytes, 0).ok_or_else(corrupt)?,
+            snapshot_offset: read_u64(bytes, 8).ok_or_else(corrupt)?,
+            committed_seq: read_u64(bytes, 16).ok_or_else(corrupt)?,
+            committed_offset: read_u64(bytes, 24).ok_or_else(corrupt)?,
+        })
+    }
+}
+
+/// The atomically-swapped manifest slot.
+///
+/// Models the write-temp-then-rename idiom of real systems: `install`
+/// replaces the whole CRC-stamped image in one swap, so a reader observes
+/// either the previous manifest or the new one, never a half-written mix.
+/// A crash *before* the swap leaves the old manifest; recovery then replays
+/// further through the journal than strictly acknowledged, which is safe —
+/// replay is idempotent and only ever moves the store toward the post-delta
+/// image.
+#[derive(Debug, Default)]
+pub struct ManifestCell {
+    slot: Mutex<Vec<u8>>,
+}
+
+impl ManifestCell {
+    /// An empty cell (no manifest installed yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Atomically installs `manifest` (whole-image swap).
+    pub fn install(&self, manifest: &Manifest) {
+        *self.slot.lock().unwrap_or_else(|p| p.into_inner()) = manifest.encode();
+    }
+
+    /// Loads the installed manifest. `Ok(None)` when none was ever
+    /// installed; a corrupt image (see [`ManifestCell::corrupt_bit`]) is a
+    /// typed checksum error — recovery falls back to scanning the journal.
+    pub fn load(&self) -> Result<Option<Manifest>> {
+        let slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.is_empty() {
+            return Ok(None);
+        }
+        Manifest::decode(&slot).map(Some)
+    }
+
+    /// Test/chaos hook: flips one bit of the stored image (wraps; no-op
+    /// when empty).
+    pub fn corrupt_bit(&self, bit: u64) {
+        let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.is_empty() {
+            return;
+        }
+        let bit = bit % (slot.len() as u64 * 8);
+        slot[(bit / 8) as usize] ^= 1 << (bit % 8);
+    }
+}
+
+/// Where the durable write path can be killed. The five points bracket
+/// every protocol step: journal append, fold, seal, publish, commit stamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Before anything durable happens (the trivial pre-delta outcome).
+    PreAppend,
+    /// After the delta record is durable, before the fold runs.
+    PostAppend,
+    /// Mid-seal: after the first view of the successor store is sealed,
+    /// with the rest unsealed and nothing published.
+    MidSeal,
+    /// Fold complete, successor built, publish pointer-swap not yet done.
+    PrePublish,
+    /// Published (readers see the post-delta store), commit record and
+    /// manifest swap not yet written.
+    PreCommitRecord,
+}
+
+impl CrashPoint {
+    /// All five kill points, in pipeline order.
+    pub const ALL: [CrashPoint; 5] = [
+        CrashPoint::PreAppend,
+        CrashPoint::PostAppend,
+        CrashPoint::MidSeal,
+        CrashPoint::PrePublish,
+        CrashPoint::PreCommitRecord,
+    ];
+}
+
+/// One-shot, seed-reproducible process-death instrumentation: arm a
+/// [`CrashPoint`] and the next write path that reaches it panics (the
+/// simulated `kill -9`), exactly once. The chaos suite catches the unwind,
+/// then recovers from the journal + manifest the "dead process" left
+/// behind.
+#[derive(Debug, Default)]
+pub struct CrashInjector {
+    armed: Mutex<Option<CrashPoint>>,
+}
+
+impl CrashInjector {
+    /// An injector with nothing armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms `point`; replaces any previously armed point.
+    pub fn arm(&self, point: CrashPoint) {
+        *self.armed.lock().unwrap_or_else(|p| p.into_inner()) = Some(point);
+    }
+
+    /// Disarms without firing.
+    pub fn disarm(&self) {
+        *self.armed.lock().unwrap_or_else(|p| p.into_inner()) = None;
+    }
+
+    /// The armed point, if any.
+    pub fn armed(&self) -> Option<CrashPoint> {
+        *self.armed.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Called by the write path at each step: panics (simulated process
+    /// death) iff `point` is armed, disarming first so recovery in the same
+    /// process does not re-fire.
+    pub fn hit(&self, point: CrashPoint) {
+        let mut armed = self.armed.lock().unwrap_or_else(|p| p.into_inner());
+        if *armed == Some(point) {
+            *armed = None;
+            drop(armed);
+            panic!("{CRASH_PANIC_PREFIX}{point:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_decode_round_trip() {
+        let j = DeltaJournal::new();
+        let a = j.append(RecordKind::Snapshot, 0, b"snap").unwrap();
+        let b = j.append(RecordKind::Delta, 1, b"delta payload").unwrap();
+        let c = j.append(RecordKind::Commit, 1, &a.seq.to_le_bytes()).unwrap();
+        assert_eq!((a.seq, b.seq, c.seq), (0, 1, 2));
+        assert_eq!(b.offset, a.end_offset);
+        let (records, tail) = j.recover_records();
+        assert_eq!(tail.torn_bytes, 0);
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].kind, RecordKind::Snapshot);
+        assert_eq!(records[1].payload, b"delta payload");
+        assert_eq!(records[1].epoch, 1);
+        assert_eq!(records[2].kind, RecordKind::Commit);
+        assert_eq!(records[1].offset, b.offset);
+        assert!(j.io().pages_written() > 0, "appends must charge I/O");
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_truncated() {
+        let j = DeltaJournal::new();
+        j.append(RecordKind::Delta, 1, b"first").unwrap();
+        let good_len = j.len();
+        j.append(RecordKind::Delta, 2, b"second").unwrap();
+        // Chop mid-record: the decoder must stop at the first record.
+        j.truncate_image(good_len + 10);
+        let (records, tail) = j.recover_records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(tail.valid_len, good_len);
+        assert_eq!(tail.torn_bytes, 10);
+        assert_eq!(j.len(), good_len, "recovery truncates the torn tail");
+        assert_eq!(j.stats().journal_truncations, 1);
+        // The journal continues: the next append reuses seq 1.
+        let info = j.append(RecordKind::Delta, 2, b"retry").unwrap();
+        assert_eq!(info.seq, 1);
+        let (records, tail) = j.recover_records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(tail.torn_bytes, 0);
+    }
+
+    #[test]
+    fn bit_flip_anywhere_stops_decode_at_that_record() {
+        let j = DeltaJournal::new();
+        j.append(RecordKind::Delta, 1, b"aaaa").unwrap();
+        let first_end = j.len();
+        j.append(RecordKind::Delta, 2, b"bbbb").unwrap();
+        // Flip a bit inside the second record's payload.
+        j.corrupt_bit((first_end + RECORD_HEADER_BYTES as u64) * 8 + 3);
+        let (records, tail) = j.recover_records();
+        assert_eq!(records.len(), 1, "corrupt record must not decode");
+        assert!(tail.torn_bytes > 0);
+    }
+
+    #[test]
+    fn injected_torn_append_is_a_typed_error_and_heals() {
+        let j = DeltaJournal::new();
+        j.append(RecordKind::Delta, 1, b"good").unwrap();
+        j.arm(FaultPlan {
+            seed: 3,
+            transient_read: 0.0,
+            short_read: 0.0,
+            bit_flip: 0.0,
+            torn_write: 1.0,
+        });
+        let err = j.append(RecordKind::Delta, 2, b"doomed to tear").unwrap_err();
+        assert!(matches!(err, Error::JournalTornAppend { seq: 1 }));
+        assert_eq!(j.stats().journal_torn_appends, 1);
+        j.disarm();
+        // The device holds a torn prefix; decode stops before it...
+        let (records, tail) = decode_records(&j.image());
+        assert_eq!(records.len(), 1);
+        assert!(tail.torn_bytes > 0);
+        // ...and the next append rewinds over it (truncate-and-continue on
+        // the write side), reusing the failed sequence number.
+        let info = j.append(RecordKind::Delta, 2, b"after heal").unwrap();
+        assert_eq!(info.seq, 1);
+        assert_eq!(j.stats().journal_truncations, 1);
+        let (records, tail) = j.recover_records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(tail.torn_bytes, 0);
+        assert_eq!(records[1].payload, b"after heal");
+    }
+
+    #[test]
+    fn same_seed_tears_the_same_appends() {
+        let run = |seed: u64| {
+            let j = DeltaJournal::new();
+            j.arm(FaultPlan {
+                seed,
+                transient_read: 0.0,
+                short_read: 0.0,
+                bit_flip: 0.0,
+                torn_write: 0.3,
+            });
+            (0..20).map(|i| j.append(RecordKind::Delta, i, b"xyz").is_err()).collect::<Vec<bool>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert!(run(7).iter().any(|&t| t), "30% over 20 appends should tear at least once");
+        assert!((0..8).any(|s| run(s) != run(7)), "seeds must differ");
+    }
+
+    #[test]
+    fn from_bytes_recomputes_next_seq() {
+        let j = DeltaJournal::new();
+        j.append(RecordKind::Delta, 1, b"a").unwrap();
+        j.append(RecordKind::Delta, 2, b"b").unwrap();
+        let resumed = DeltaJournal::from_bytes(j.image());
+        assert_eq!(resumed.next_seq(), 2);
+        assert_eq!(resumed.append(RecordKind::Delta, 3, b"c").unwrap().seq, 2);
+        // Garbage image: next_seq restarts at 0, nothing decodes.
+        let garbage = DeltaJournal::from_bytes(vec![0xFF; 57]);
+        assert_eq!(garbage.next_seq(), 0);
+        let (records, tail) = garbage.recover_records();
+        assert!(records.is_empty());
+        assert_eq!(tail.torn_bytes, 57, "the whole image is torn");
+        assert_eq!(garbage.len(), 0, "recovery truncated the garbage");
+    }
+
+    #[test]
+    fn manifest_round_trips_and_detects_corruption() {
+        let cell = ManifestCell::new();
+        assert_eq!(cell.load().unwrap(), None);
+        let m = Manifest {
+            snapshot_epoch: 4,
+            snapshot_offset: 1234,
+            committed_seq: 17,
+            committed_offset: 9876,
+        };
+        cell.install(&m);
+        assert_eq!(cell.load().unwrap(), Some(m));
+        cell.corrupt_bit(41);
+        assert!(matches!(cell.load(), Err(Error::ChecksumMismatch { .. })));
+        // Re-install heals (the swap replaces the whole image).
+        cell.install(&m);
+        assert_eq!(cell.load().unwrap(), Some(m));
+    }
+
+    #[test]
+    fn crash_injector_fires_exactly_once_at_the_armed_point() {
+        let c = CrashInjector::new();
+        c.arm(CrashPoint::PrePublish);
+        c.hit(CrashPoint::PreAppend); // different point: no fire
+        assert_eq!(c.armed(), Some(CrashPoint::PrePublish));
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.hit(CrashPoint::PrePublish);
+        }));
+        let msg = *unwound.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.starts_with(CRASH_PANIC_PREFIX));
+        // One-shot: disarmed after firing.
+        assert_eq!(c.armed(), None);
+        c.hit(CrashPoint::PrePublish); // no second fire
+    }
+
+    #[test]
+    fn empty_and_tiny_images_never_panic() {
+        for image in [vec![], vec![0u8], vec![7u8; RECORD_HEADER_BYTES - 1], vec![9u8; 200]] {
+            let (records, tail) = decode_records(&image);
+            assert!(records.is_empty());
+            assert_eq!(tail.valid_len, 0);
+            assert_eq!(tail.torn_bytes, image.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! Recovery chaos suite: kill the durable writer at every protocol step
+//! and prove recovery lands on a **bit-for-bit** pre-delta or post-delta
+//! store — never a hybrid — across 120 seeds and all five workload
+//! generators.
+//!
+//! Each seed builds a durable store over a generator workload (generator
+//! chosen by `seed % 5`), then runs six crash cycles: one per armed
+//! [`CrashPoint`] (the injected panic is the simulated `kill -9`; only the
+//! journal + manifest survive the `drop`), plus one torn-append cycle where
+//! the journal device itself tears mid-record under the seeded fault plan.
+//! After every crash the store is rebuilt with [`SharedViewStore::recover`]
+//! and compared — every materialized view, at the bit level — against
+//! from-scratch oracles of the pre-delta and post-delta fact sets.
+//!
+//! The pinned contract:
+//!
+//! * the recovered store equals exactly one of the two oracles (pre XOR
+//!   post — integer measures make bit equality meaningful, as in the
+//!   differential maintenance suite);
+//! * a crash **before** the delta record is durable (`PreAppend`, torn
+//!   append) recovers pre-delta; once the record is durable
+//!   (`PostAppend` onward) recovery replays to post-delta;
+//! * **commit-stamped ⇒ applied**: every commit-stamped sequence number is
+//!   in the recovered image (`committed_seq ≤ applied_seq`) — an
+//!   acknowledged batch can never be lost;
+//! * the crash injector disarms on firing, torn appends surface as typed
+//!   [`Error::JournalTornAppend`] with the store untouched, and the
+//!   journal's fault counters record every tear and truncation.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use statcube::core::error::Error;
+use statcube::core::measure::{MeasureKind, SummaryFunction};
+use statcube::core::object::StatisticalObject;
+use statcube::cube::cache::CacheConfig;
+use statcube::cube::groupby::Cuboid;
+use statcube::cube::input::FactInput;
+use statcube::cube::query::ViewStore;
+use statcube::cube::shared::{DurableParts, SharedViewStore};
+use statcube::storage::page_store::FaultPlan;
+use statcube::storage::wal::{CrashPoint, CRASH_PANIC_PREFIX};
+use statcube::workload::prelude::*;
+use statcube::workload::{census, hmo, resources, retail, stocks};
+
+const SEEDS: u64 = 120;
+
+/// Facts from any statistical object, first measure only, integerized to
+/// cents so `f64` summation is exact (same rationale as the differential
+/// maintenance suite: bit-for-bit comparison is meaningful).
+fn integer_facts(obj: &StatisticalObject) -> FactInput {
+    let mut f = FactInput::new(&obj.schema().cardinalities()).unwrap();
+    for (coords, states) in obj.cells() {
+        f.push(coords, (states[0].sum * 100.0).round()).unwrap();
+    }
+    f
+}
+
+/// The base workload for one seed: generator chosen by `seed % 5`, sized
+/// small enough that 120 seeds stay fast.
+fn generator_facts(seed: u64) -> FactInput {
+    match seed % 5 {
+        0 => {
+            let w = retail::generate(&RetailConfig {
+                products: 6,
+                categories: 2,
+                cities: 2,
+                stores_per_city: 2,
+                days: 10,
+                rows: 300,
+                seed,
+            });
+            integer_facts(&w.object)
+        }
+        1 => {
+            let c = census::generate(&CensusConfig {
+                states: 3,
+                counties_per_state: 2,
+                rows: 300,
+                seed,
+            });
+            let obj = c
+                .micro
+                .summarize(
+                    &["state", "sex", "race"],
+                    Some("income"),
+                    SummaryFunction::Sum,
+                    MeasureKind::Flow,
+                )
+                .unwrap();
+            integer_facts(&obj)
+        }
+        2 => {
+            let w = stocks::generate(&StocksConfig { stocks: 5, industries: 2, weeks: 3, seed });
+            integer_facts(&w.object)
+        }
+        3 => {
+            let w = hmo::generate(&HmoConfig { hospitals: 3, months: 3, rows: 250, seed });
+            integer_facts(&w.object)
+        }
+        _ => {
+            let w = resources::generate(&ResourcesConfig {
+                basins: 2,
+                rivers_per_basin: 2,
+                stations_per_river: 2,
+                months: 5,
+                seed,
+            });
+            integer_facts(&w.object)
+        }
+    }
+}
+
+/// A seeded delta batch within the store's existing cardinalities, with
+/// strictly positive integer measures — so the post-delta image always
+/// differs from the pre-delta image (the base cuboid's total strictly
+/// grows) and "pre XOR post" is decidable.
+fn synth_delta(cards: &[usize], seed: u64, rows: usize) -> FactInput {
+    let mut f = FactInput::new(cards).unwrap();
+    let mut x = seed.wrapping_mul(0x9E37_79B9).max(1);
+    let mut coords = vec![0u32; cards.len()];
+    for _ in 0..rows {
+        for (d, c) in coords.iter_mut().enumerate() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *c = (x % cards[d] as u64) as u32;
+        }
+        f.push(&coords, (1 + x % 97) as f64).unwrap();
+    }
+    f
+}
+
+fn append_facts(into: &mut FactInput, from: &FactInput) {
+    for row in 0..from.len() {
+        into.push(&from.coords(row), from.measure()[row]).unwrap();
+    }
+}
+
+fn bit_identical(a: &Cuboid, b: &Cuboid) -> bool {
+    a.len() == b.len()
+        && a.iter().all(|(k, sa)| {
+            b.get(k).is_some_and(|sb| {
+                sa.sum.to_bits() == sb.sum.to_bits()
+                    && sa.count == sb.count
+                    && sa.min.to_bits() == sb.min.to_bits()
+                    && sa.max.to_bits() == sb.max.to_bits()
+            })
+        })
+}
+
+/// Bit-for-bit logical equality of two stores: same lattice shape, same
+/// materialized set, every materialized view identical at the bit level.
+fn equivalent(a: &ViewStore, oracle: &ViewStore) -> bool {
+    a.materialized() == oracle.materialized()
+        && a.lattice().cards() == oracle.lattice().cards()
+        && a.materialized()
+            .into_iter()
+            .all(|m| bit_identical(a.view(m).unwrap(), oracle.view(m).unwrap()))
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&'static str>().copied())
+        .unwrap_or("<non-string panic payload>")
+}
+
+/// One kill cycle: arm `point`, catch the injected death mid-`apply_delta`,
+/// drop the store (the process is gone; the [`DurableParts`] are the disk),
+/// recover, and pin the outcome contract. Returns the recovered store;
+/// `loaded` is advanced iff the delta survived.
+fn crash_and_recover_cycle(
+    store: SharedViewStore,
+    parts: &DurableParts,
+    loaded: &mut FactInput,
+    delta: &FactInput,
+    point: CrashPoint,
+    selected: &[u32],
+    label: &str,
+) -> SharedViewStore {
+    parts.crash().arm(point);
+    let outcome = catch_unwind(AssertUnwindSafe(|| store.apply_delta(delta)));
+    let payload = match outcome {
+        Err(p) => p,
+        Ok(r) => panic!("{label}: armed {point:?} did not fire (apply returned {r:?})"),
+    };
+    let msg = panic_message(payload.as_ref());
+    assert!(
+        msg.starts_with(CRASH_PANIC_PREFIX),
+        "{label}: expected an injected crash, got a genuine panic: {msg}"
+    );
+    assert!(parts.crash().armed().is_none(), "{label}: injector must disarm on firing");
+    drop(store);
+
+    let (recovered, report) = SharedViewStore::recover(parts, CacheConfig::default()).expect(label);
+    let snap = recovered.snapshot();
+    let pre = ViewStore::build(loaded, selected).unwrap();
+    let mut with_delta = loaded.clone();
+    append_facts(&mut with_delta, delta);
+    let post = ViewStore::build(&with_delta, selected).unwrap();
+    let matches_pre = equivalent(snap.store(), &pre);
+    let matches_post = equivalent(snap.store(), &post);
+    assert!(
+        matches_pre != matches_post,
+        "{label}: recovered store is {} the pre- and post-delta oracles (hybrid state?)",
+        if matches_pre { "both" } else { "neither" }
+    );
+    // Acknowledgement oracle: every commit-stamped sequence number must be
+    // in the recovered image.
+    if let Some(committed) = report.committed_seq {
+        assert!(
+            committed <= report.applied_seq,
+            "{label}: commit-stamped record {committed} lost (applied through {})",
+            report.applied_seq
+        );
+    }
+    // Durability boundary: before the delta record is durable the crash
+    // loses the batch; from PostAppend onward recovery replays it.
+    let expect_post = point != CrashPoint::PreAppend;
+    assert_eq!(
+        matches_post, expect_post,
+        "{label}: crash at {point:?} recovered to the wrong side of the delta \
+         (replayed {} deltas, {} rows)",
+        report.replayed_deltas, report.replayed_rows
+    );
+    if matches_post {
+        *loaded = with_delta;
+    }
+    recovered
+}
+
+/// One torn-append cycle: the journal device tears the delta record itself
+/// under the seeded fault plan. The append is a typed error (batch not
+/// acknowledged), the living store is untouched, and a process death right
+/// there recovers pre-delta after truncating the torn tail.
+fn torn_append_cycle(
+    store: SharedViewStore,
+    parts: &DurableParts,
+    loaded: &FactInput,
+    seed: u64,
+    selected: &[u32],
+) {
+    let label = format!("seed {seed} torn append");
+    let delta = synth_delta(loaded.cards(), seed ^ 0xDEAD_BEEF, 10);
+    parts.journal().arm(FaultPlan { torn_write: 1.0, ..FaultPlan::fault_free(seed) });
+    let err = store.apply_delta(&delta).unwrap_err();
+    assert!(
+        matches!(err, Error::JournalTornAppend { .. }),
+        "{label}: expected JournalTornAppend, got {err:?}"
+    );
+    parts.journal().disarm();
+    let pre = ViewStore::build(loaded, selected).unwrap();
+    assert!(
+        equivalent(store.snapshot().store(), &pre),
+        "{label}: a torn (unacknowledged) append must leave the living store untouched"
+    );
+    drop(store);
+    let (recovered, report) =
+        SharedViewStore::recover(parts, CacheConfig::default()).expect(&label);
+    assert!(report.truncated_bytes > 0, "{label}: recovery must truncate the torn tail");
+    assert!(
+        equivalent(recovered.snapshot().store(), &pre),
+        "{label}: recovery after a torn append must land pre-delta"
+    );
+    let stats = parts.journal().stats();
+    assert!(stats.journal_torn_appends >= 1, "{label}: tear not counted");
+    assert!(stats.journal_truncations >= 1, "{label}: truncation not counted");
+}
+
+/// Runs the full six-cycle gauntlet for one seed: all five kill points in
+/// pipeline order (the recovered store of each cycle is the writer of the
+/// next — recovery after recovery, over one growing journal), then the
+/// torn-append mode.
+fn run_seed(seed: u64) {
+    let facts = generator_facts(seed + 1);
+    let n = facts.dim_count();
+    let selected: Vec<u32> = (0..n).map(|d| 1u32 << d).collect();
+    let parts = DurableParts::new();
+    let mut store =
+        SharedViewStore::build_durable_on(&facts, &selected, CacheConfig::default(), parts.clone())
+            .unwrap();
+    let mut loaded = facts;
+    for (i, point) in CrashPoint::ALL.into_iter().enumerate() {
+        let delta = synth_delta(loaded.cards(), seed * 31 + i as u64 + 1, 10);
+        let label = format!("seed {seed} cycle {i}");
+        store =
+            crash_and_recover_cycle(store, &parts, &mut loaded, &delta, point, &selected, &label);
+    }
+    torn_append_cycle(store, &parts, &loaded, seed, &selected);
+}
+
+/// The headline sweep: 120 seeds, generator chosen by seed, all five kill
+/// points plus the torn-append mode per seed.
+#[test]
+fn recovery_is_pre_or_post_delta_across_seeds_and_generators() {
+    for seed in 0..SEEDS {
+        run_seed(seed);
+    }
+}
+
+/// One seed through every kill point — the ci.sh quick-mode slice of the
+/// sweep above (full mode runs the whole file).
+#[test]
+fn kill_points_quick() {
+    run_seed(7);
+}
+
+/// Satellite: the writer mutex heals after an injected mid-fold panic. The
+/// same living store — no recovery — accepts and correctly applies the next
+/// delta, because [`SharedViewStore::apply_delta`]'s writer lease clears
+/// the poison its unwind left behind.
+///
+/// Also pins the acknowledgement semantics of the *caught*-panic case: the
+/// first delta was journaled but never acknowledged (the caller saw a
+/// panic, not `Ok`), so its outcome is indeterminate — the living store
+/// continues without it, while a later recovery replays it from the
+/// journal. Both images are legitimate; what is forbidden is losing an
+/// acknowledged batch, and the commit-stamp oracle still holds.
+#[test]
+fn midseal_panic_heals_the_writer_lock_and_the_next_delta_applies() {
+    let base = synth_delta(&[6, 4, 3], 91, 240);
+    let selected = [0b001u32, 0b010, 0b100];
+    let parts = DurableParts::new();
+    let store =
+        SharedViewStore::build_durable_on(&base, &selected, CacheConfig::default(), parts.clone())
+            .unwrap();
+    let d1 = synth_delta(base.cards(), 92, 15);
+    let d2 = synth_delta(base.cards(), 93, 15);
+
+    parts.crash().arm(CrashPoint::MidSeal);
+    let died = catch_unwind(AssertUnwindSafe(|| store.apply_delta(&d1)));
+    assert!(died.is_err(), "armed MidSeal must fire");
+
+    // The lock healed: the very next writer proceeds instead of finding a
+    // poisoned mutex, and the published store is still the pre-d1 image.
+    let report = store.apply_delta(&d2).expect("writer must survive a mid-fold panic");
+    assert_eq!(report.rows as usize, d2.len());
+    let mut base_d2 = base.clone();
+    append_facts(&mut base_d2, &d2);
+    let oracle = ViewStore::build(&base_d2, &selected).unwrap();
+    assert!(
+        equivalent(store.snapshot().store(), &oracle),
+        "the living store must be base + d2 exactly (d1 died unacknowledged mid-fold)"
+    );
+
+    // Recovery replays the journal: the unacknowledged d1 record is intact
+    // and durable, so the recovered image holds base + d1 + d2 — the other
+    // legitimate resolution of d1's indeterminate outcome.
+    drop(store);
+    let (recovered, rec) = SharedViewStore::recover(&parts, CacheConfig::default()).unwrap();
+    assert_eq!(rec.replayed_deltas, 2);
+    if let Some(committed) = rec.committed_seq {
+        assert!(committed <= rec.applied_seq, "commit-stamped record lost in recovery");
+    }
+    let mut all = base;
+    append_facts(&mut all, &d1);
+    append_facts(&mut all, &d2);
+    let oracle_all = ViewStore::build(&all, &selected).unwrap();
+    assert!(equivalent(recovered.snapshot().store(), &oracle_all));
+}
+
+/// A checkpoint bounds replay: recovery restarts from the checkpoint's
+/// snapshot record and replays only the deltas past it, landing on the
+/// same bit-for-bit image.
+#[test]
+fn checkpoint_bounds_recovery_replay() {
+    let base = synth_delta(&[5, 4, 2], 71, 200);
+    let selected = [0b011u32, 0b101];
+    let parts = DurableParts::new();
+    let store =
+        SharedViewStore::build_durable_on(&base, &selected, CacheConfig::default(), parts.clone())
+            .unwrap();
+    let mut loaded = base.clone();
+    for s in 0..3u64 {
+        let d = synth_delta(base.cards(), 72 + s, 12);
+        store.apply_delta(&d).unwrap();
+        append_facts(&mut loaded, &d);
+    }
+    store.checkpoint().unwrap();
+    let d_tail = synth_delta(base.cards(), 79, 12);
+    store.apply_delta(&d_tail).unwrap();
+    append_facts(&mut loaded, &d_tail);
+
+    drop(store);
+    let (recovered, report) = SharedViewStore::recover(&parts, CacheConfig::default()).unwrap();
+    assert!(report.manifest_used, "an intact manifest must guide recovery");
+    assert_eq!(report.replayed_deltas, 1, "only the post-checkpoint delta replays");
+    let oracle = ViewStore::build(&loaded, &selected).unwrap();
+    assert!(equivalent(recovered.snapshot().store(), &oracle));
+
+    // A non-durable store refuses to checkpoint (typed error, no panic).
+    let plain = SharedViewStore::build(&base, &selected, CacheConfig::default()).unwrap();
+    assert!(plain.checkpoint().is_err());
+}
+
+/// A durable rebuild (full re-materialization) checkpoints its result: the
+/// journaled deltas before it can no longer matter, and recovery restarts
+/// from the rebuilt image.
+#[test]
+fn durable_rebuild_checkpoints_the_new_content() {
+    let base = synth_delta(&[4, 3, 2], 51, 150);
+    let selected = [0b001u32, 0b110];
+    let parts = DurableParts::new();
+    let store =
+        SharedViewStore::build_durable_on(&base, &selected, CacheConfig::default(), parts.clone())
+            .unwrap();
+    store.apply_delta(&synth_delta(base.cards(), 52, 10)).unwrap();
+
+    // Out-of-band content change: rebuild from a different fact set.
+    let replacement = synth_delta(&[4, 3, 2], 53, 180);
+    store.rebuild(&replacement).unwrap();
+
+    drop(store);
+    let (recovered, report) = SharedViewStore::recover(&parts, CacheConfig::default()).unwrap();
+    assert_eq!(report.replayed_deltas, 0, "the rebuild's snapshot supersedes all prior deltas");
+    let oracle = ViewStore::build(&replacement, &selected).unwrap();
+    assert!(equivalent(recovered.snapshot().store(), &oracle));
+}
+
+/// A corrupt manifest must not derail recovery: the loader returns a typed
+/// checksum error, recovery falls back to the full journal scan, and the
+/// recovered image is unchanged.
+#[test]
+fn corrupt_manifest_falls_back_to_journal_scan() {
+    let base = synth_delta(&[5, 3, 2], 61, 180);
+    let selected = [0b010u32, 0b101];
+    let parts = DurableParts::new();
+    let store =
+        SharedViewStore::build_durable_on(&base, &selected, CacheConfig::default(), parts.clone())
+            .unwrap();
+    let d = synth_delta(base.cards(), 62, 12);
+    store.apply_delta(&d).unwrap();
+    drop(store);
+
+    parts.manifest().corrupt_bit(13);
+    assert!(parts.manifest().load().is_err(), "a corrupt manifest must be a typed error");
+    let (recovered, report) = SharedViewStore::recover(&parts, CacheConfig::default()).unwrap();
+    assert!(!report.manifest_used, "recovery must fall back to scanning");
+    let mut loaded = base.clone();
+    append_facts(&mut loaded, &d);
+    let oracle = ViewStore::build(&loaded, &selected).unwrap();
+    assert!(equivalent(recovered.snapshot().store(), &oracle));
+}
