@@ -2,16 +2,35 @@
 # CI gate: build, tests, lints, race/chaos smoke, and the perf-regression
 # gate, with per-stage wall-clock timings.
 #
-#   ./ci.sh          full gate (release build, chaos + recovery-chaos
-#                    suites, WAL fuzz, perf gate, E24 + E26 + E28 smokes)
+#   ./ci.sh          full gate — everything below (chaos + perf)
 #   ./ci.sh quick    quick gate: debug tests, clippy, golden EXPLAIN
-#                    snapshots, one parallel-suite run, the kill-point
-#                    quick slice, unwrap gate — skips the release build,
-#                    the full chaos suites, the perf gate, and the smokes
+#                    snapshots, the kernel-differential suite, one
+#                    parallel-suite run, the kill-point quick slice,
+#                    unwrap gate — skips the release build, the full
+#                    chaos suites, the perf gate, and the smokes
+#   ./ci.sh chaos    common stages + the fault/concurrency suites:
+#                    default-thread parallel run, chaos property suite,
+#                    shared-store suite, 120-seed recovery sweep, WAL fuzz
+#   ./ci.sh perf     common stages + release build, the perf-regression
+#                    gate (BENCH_09.json), and the E24/E26/E28/E29 smokes
+#
+# `chaos` and `perf` partition the full gate's slow tail so CI can run
+# them as parallel jobs; `full` remains their union for local use.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-quick="${1:-}"
+mode="${1:-full}"
+case "$mode" in
+quick | chaos | perf | full) ;;
+*)
+    echo "usage: $0 [quick|chaos|perf|full]" >&2
+    exit 2
+    ;;
+esac
+run_chaos=false
+run_perf=false
+if [ "$mode" = chaos ] || [ "$mode" = full ]; then run_chaos=true; fi
+if [ "$mode" = perf ] || [ "$mode" = full ]; then run_perf=true; fi
 total_start=$SECONDS
 
 # stage <name> <command...> — runs the command, echoing the stage name
@@ -25,7 +44,7 @@ stage() {
     echo "    (${name}: $((SECONDS - start))s)"
 }
 
-if [ "$quick" != "quick" ]; then
+if $run_perf; then
     stage "cargo build --release" cargo build --release --workspace
 fi
 
@@ -44,13 +63,26 @@ stage "cargo clippy -- -D warnings" \
 # planner changes early.
 stage "golden EXPLAIN snapshots" cargo test -q --test explain_golden
 
+# Kernel-differential gate: the batched executor must be bit-identical to
+# the frozen tuple-at-a-time interpreter across all five workload
+# generators, every privacy policy, and every summary function — and the
+# storage chunk kernels must match their scalar oracles. Runs in every
+# mode: it is the correctness proof of the vectorized execution path.
+stage "kernel-differential suite (batched vs interpreter)" \
+    cargo test -q --test kernel_differential
+
+# Kernel-law property suite: merge monoid (associative, commutative,
+# identity), selection-vector masking, and derive/merge commutation over
+# generated blocks — bit-exact, 128 cases each.
+stage "kernel property suite" cargo test -q --test prop_kernels
+
 # Race smoke test: the parallel property suite under a serialized test
-# harness (workers still spawn inside each test) and — full mode only —
-# under the default parallel harness too. Catches scheduling-dependent
+# harness (workers still spawn inside each test) and — chaos mode — under
+# the default parallel harness too. Catches scheduling-dependent
 # flakiness without loom.
 stage "parallel suite, RUST_TEST_THREADS=1" \
     env RUST_TEST_THREADS=1 cargo test -q --test prop_parallel
-if [ "$quick" != "quick" ]; then
+if $run_chaos; then
     stage "parallel suite, default test threads" \
         cargo test -q --test prop_parallel
 fi
@@ -61,22 +93,22 @@ fi
 # proof of the incremental maintenance path.
 stage "differential maintenance suite" cargo test -q --test delta_maintenance
 
-# Chaos gate (full mode): the fault-injection property suite — cached and
-# uncached serving paths bit-identical to the oracle or typed errors across
-# 120 seeded fault plans, including delta publication atomicity under
-# armed injectors — plus the shared-store concurrency suite (snapshot
+# Chaos gate: the fault-injection property suite — cached and uncached
+# serving paths bit-identical to the oracle or typed errors across 120
+# seeded fault plans, including delta publication atomicity under armed
+# injectors — plus the shared-store concurrency suite (snapshot
 # isolation, targeted invalidation, N-reader/1-writer generation checks).
-if [ "$quick" != "quick" ]; then
+if $run_chaos; then
     stage "chaos suite" cargo test -q --test chaos_property
     stage "shared-store concurrency suite" cargo test -q --test shared_store
 fi
 
 # Recovery-chaos gate: kill the durable writer at every protocol step and
 # prove recovery lands bit-for-bit pre- or post-delta, never hybrid, with
-# every commit-stamped batch present. Full mode runs the 120-seed sweep
-# across all five generators plus the WAL fuzz properties; quick mode runs
-# one seed through all five kill points and the torn-append mode.
-if [ "$quick" != "quick" ]; then
+# every commit-stamped batch present. Chaos mode runs the 120-seed sweep
+# across all five generators plus the WAL fuzz properties; other modes
+# run one seed through all five kill points and the torn-append mode.
+if $run_chaos; then
     stage "recovery-chaos suite (120-seed kill-point sweep)" \
         cargo test -q --test recovery_chaos
     stage "WAL decoder fuzz suite" cargo test -q --test prop_wal_fuzz
@@ -86,23 +118,25 @@ else
 fi
 
 # No-new-unwrap gate: user-reachable library code in the sql, cube,
-# storage, and privacy crates must not grow new panic sites. Counts
-# `.unwrap()`/`.expect(` in non-test lib code (everything before the
-# `#[cfg(test)]` module) against a recorded baseline. All grandfathered
-# sites were purged (typed errors, infallible fallbacks, or
-# panic-propagating joins); keep it at 0.
+# storage, and privacy crates — and the core planner/executor and
+# operator-algebra modules under it — must not grow new panic sites.
+# Counts `.unwrap()`/`.expect(` in non-test lib code (everything before
+# the `#[cfg(test)]` module) against a recorded baseline. All
+# grandfathered sites were purged (typed errors, infallible fallbacks,
+# or panic-propagating joins); keep it at 0.
 unwrap_gate() {
     local unwrap_baseline=0
     local unwrap_count
     unwrap_count=$(
         for f in crates/sql/src/*.rs crates/cube/src/*.rs \
-            crates/storage/src/*.rs crates/privacy/src/*.rs; do
+            crates/storage/src/*.rs crates/privacy/src/*.rs \
+            crates/core/src/plan/*.rs crates/core/src/ops/*.rs; do
             awk '/#\[cfg\(test\)\]/{exit} {print}' "$f"
         done | grep -c '\.unwrap()\|\.expect(' || true
     )
     echo "    $unwrap_count panic sites (baseline $unwrap_baseline)"
     if [ "$unwrap_count" -gt "$unwrap_baseline" ]; then
-        echo "ERROR: new .unwrap()/.expect() in sql/cube/storage/privacy lib code" >&2
+        echo "ERROR: new .unwrap()/.expect() in gated lib code" >&2
         echo "       ($unwrap_count found, baseline $unwrap_baseline)." >&2
         echo "       Return a typed Error instead, or justify and bump the baseline." >&2
         exit 1
@@ -110,39 +144,50 @@ unwrap_gate() {
 }
 stage "no-new-unwrap gate" unwrap_gate
 
-# Perf-regression gate (full mode): measures the pinned E25/E22 subset in
-# release, writes BENCH_04.json, and fails if throughput regresses more
-# than 25% against the committed bench_baseline.json (or the deterministic
-# cache hit rate drops >0.05). Re-baseline after an intentional perf trade
-# or a hardware change:
+# Perf-regression gate (perf mode): measures the pinned E25/E22/E27/E28
+# subset plus the batched-planner throughput in release, writes
+# BENCH_09.json, and fails (exit 1) if throughput regresses more than 25%
+# against the committed bench_baseline.json (or the deterministic cache
+# hit rate drops >0.05); environment problems exit 2. Re-baseline after
+# an intentional perf trade or a hardware change:
 #   cargo run -p statcube-bench --release --bin perf_gate -- --write-baseline
 # then commit bench_baseline.json.
-if [ "$quick" != "quick" ]; then
-    stage "perf-regression gate (BENCH_04.json vs bench_baseline.json)" \
+if $run_perf; then
+    stage "perf-regression gate (BENCH_09.json vs bench_baseline.json)" \
         cargo run -q -p statcube-bench --release --bin perf_gate
 fi
 
-# Observability smoke (full mode): profile one CUBE query end to end and
+# Observability smoke (perf mode): profile one CUBE query end to end and
 # print the span tree + metrics snapshot (E24). Fails if tracing breaks.
-if [ "$quick" != "quick" ]; then
+if $run_perf; then
     stage "observability smoke (E24 metrics snapshot)" \
         cargo run -q -p statcube-bench --bin experiments -- exp24
 fi
 
-# Planner-ablation smoke (full mode): E26 re-measures what each rewrite
+# Planner-ablation smoke (perf mode): E26 re-measures what each rewrite
 # pass buys on retail and asserts in-line that every ablation returns
 # identical rows. Fails if a rewrite changes answers or stops paying off.
-if [ "$quick" != "quick" ]; then
+if $run_perf; then
     stage "planner rewrite ablation smoke (E26)" \
         cargo run -q -p statcube-bench --bin experiments -- exp26
 fi
 
-# Durability smoke (full mode): E28 measures the journal-append overhead on
-# the fold path and recovery replay time vs journal tail length, asserting
-# in-line that journaling stays cheap and checkpoints bound replay.
-if [ "$quick" != "quick" ]; then
+# Durability smoke (perf mode): E28 measures the journal-append overhead
+# on the fold path and recovery replay time vs journal tail length,
+# asserting in-line that journaling stays cheap and checkpoints bound
+# replay.
+if $run_perf; then
     stage "durability cost + recovery replay smoke (E28)" \
         cargo run -q -p statcube-bench --bin experiments -- exp28
 fi
 
-echo "CI gate passed in $((SECONDS - total_start))s."
+# Vectorized-execution smoke (perf mode): E29 re-measures the batched
+# kernels against the tuple interpreter (answers asserted identical
+# in-line), the chunk-size sweep, and the run-aware RLE kernel. Fails if
+# the kernels stop winning or diverge.
+if $run_perf; then
+    stage "vectorized execution smoke (E29 kernels vs interpreter)" \
+        cargo run -q -p statcube-bench --bin experiments -- exp29
+fi
+
+echo "CI gate ($mode) passed in $((SECONDS - total_start))s."

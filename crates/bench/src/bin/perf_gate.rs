@@ -5,10 +5,11 @@
 //! throughput through a warm [`CachedSession`]), E27 (incremental
 //! delta-maintenance throughput and reader tail latency under a delta
 //! writer — since schema 4, measured on a **durable** store so the gated
-//! number carries the write-ahead journaling cost), and E28 (recovery
-//! replay throughput over the journal those folds wrote), writes the
-//! numbers to `BENCH_04.json`, and compares them against the committed
-//! `bench_baseline.json`:
+//! number carries the write-ahead journaling cost), E28 (recovery
+//! replay throughput over the journal those folds wrote), and — since
+//! schema 5 — E29's planner path through the batched kernel executor,
+//! writes the numbers to `BENCH_09.json`, and compares them against the
+//! committed `bench_baseline.json`:
 //!
 //! * any throughput metric below `baseline × (1 − tolerance)` fails the
 //!   gate (tolerance defaults to 0.25; override with `PERF_GATE_TOLERANCE`);
@@ -23,7 +24,17 @@
 //! ```text
 //! cargo run -p statcube-bench --release --bin perf_gate                  # gate
 //! cargo run -p statcube-bench --release --bin perf_gate -- --write-baseline
+//! cargo run -p statcube-bench --release --bin perf_gate -- --json-only  # measure, no gate
 //! ```
+//!
+//! **Exit codes are stable** (CI scripts may branch on them): `0` — gate
+//! passed (or `--write-baseline`/`--json-only` completed); `1` — a gated
+//! metric regressed past its floor/ceiling; `2` — environment error
+//! (missing/unwritable baseline or output file). `--json-only` prints the
+//! measured JSON to stdout and skips both the comparison and all file
+//! writes — the mode the CI workflow uses to collect numbers from jobs
+//! that must not gate. When `GITHUB_STEP_SUMMARY` is set, the gate
+//! appends a per-metric delta table to the job summary.
 //!
 //! Throughput is taken as the best of three runs, which suppresses most
 //! scheduler noise; re-baseline (the second command, then commit the file)
@@ -238,7 +249,7 @@ fn measure() -> Measured {
 
 fn to_json(m: &Measured) -> String {
     format!(
-        "{{\n  \"schema\": 4,\n  \"serving_ops_per_sec\": {:.1},\n  \
+        "{{\n  \"schema\": 5,\n  \"serving_ops_per_sec\": {:.1},\n  \
          \"serving_hit_rate\": {:.4},\n  \"serving_p50_ns\": {},\n  \
          \"serving_p95_ns\": {},\n  \"threaded_ops_per_sec\": {:.1},\n  \
          \"parallel_cube_rows_per_sec\": {:.1},\n  \
@@ -271,23 +282,58 @@ fn json_num(json: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Appends a per-metric delta table to `GITHUB_STEP_SUMMARY` when CI
+/// provides one; silently does nothing otherwise.
+fn write_step_summary(rows: &[(String, f64, Option<f64>, &'static str)], tolerance: f64) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let mut md = String::from(
+        "### perf gate\n\n| metric | current | baseline | delta | verdict |\n|---|---:|---:|---:|---|\n",
+    );
+    for (key, current, base, verdict) in rows {
+        match base {
+            Some(b) if *b != 0.0 => {
+                let delta = (current - b) / b * 100.0;
+                md.push_str(&format!(
+                    "| {key} | {current:.1} | {b:.1} | {delta:+.1}% | {verdict} |\n"
+                ));
+            }
+            _ => {
+                md.push_str(&format!("| {key} | {current:.1} | — | — | {verdict} |\n"));
+            }
+        }
+    }
+    md.push_str(&format!("\ntolerance: {tolerance}\n"));
+    use std::io::Write as _;
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        let _ = f.write_all(md.as_bytes());
+    }
+}
+
 fn main() {
     let write_baseline = std::env::args().any(|a| a == "--write-baseline");
-    let out_path = std::env::var("PERF_GATE_OUT").unwrap_or_else(|_| "BENCH_04.json".into());
+    let json_only = std::env::args().any(|a| a == "--json-only");
+    let out_path = std::env::var("PERF_GATE_OUT").unwrap_or_else(|_| "BENCH_09.json".into());
     let baseline_path =
         std::env::var("PERF_GATE_BASELINE").unwrap_or_else(|_| "bench_baseline.json".into());
     let tolerance: f64 =
         std::env::var("PERF_GATE_TOLERANCE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.25);
 
-    eprintln!("perf_gate: measuring pinned E25/E22/E26/E27 subset...");
+    eprintln!("perf_gate: measuring pinned E25/E22/E26/E27/E29 subset...");
     let m = measure();
     let json = to_json(&m);
     print!("{json}");
 
+    if json_only {
+        return; // measurement only: no files, no gate — exit 0.
+    }
+
     if write_baseline {
         if let Err(e) = std::fs::write(&baseline_path, &json) {
             eprintln!("perf_gate: cannot write {baseline_path}: {e}");
-            std::process::exit(1);
+            std::process::exit(2);
         }
         eprintln!("perf_gate: baseline written to {baseline_path}");
         return;
@@ -295,7 +341,7 @@ fn main() {
 
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("perf_gate: cannot write {out_path}: {e}");
-        std::process::exit(1);
+        std::process::exit(2);
     }
     eprintln!("perf_gate: results written to {out_path}");
 
@@ -306,9 +352,10 @@ fn main() {
                 "perf_gate: no baseline at {baseline_path} ({e}); run with \
                  --write-baseline and commit the file"
             );
-            std::process::exit(1);
+            std::process::exit(2);
         }
     };
+    let mut summary_rows: Vec<(String, f64, Option<f64>, &'static str)> = Vec::new();
 
     let mut failures = Vec::new();
     for (key, current) in [
@@ -323,6 +370,7 @@ fn main() {
             Some(base) if base > 0.0 => {
                 let floor = base * (1.0 - tolerance);
                 let verdict = if current < floor { "FAIL" } else { "ok" };
+                summary_rows.push((key.to_owned(), current, Some(base), verdict));
                 eprintln!(
                     "perf_gate: {key:<28} current {current:>12.1}  baseline {base:>12.1}  \
                      floor {floor:>12.1}  {verdict}"
@@ -334,12 +382,21 @@ fn main() {
                     ));
                 }
             }
-            _ => failures.push(format!("baseline {baseline_path} lacks {key}")),
+            _ => {
+                summary_rows.push((key.to_owned(), current, None, "no baseline"));
+                failures.push(format!("baseline {baseline_path} lacks {key}"));
+            }
         }
     }
     match json_num(&baseline, "serving_hit_rate") {
         Some(base_hit) => {
             let verdict = if m.serving_hit_rate + 0.05 < base_hit { "FAIL" } else { "ok" };
+            summary_rows.push((
+                "serving_hit_rate".to_owned(),
+                m.serving_hit_rate,
+                Some(base_hit),
+                verdict,
+            ));
             eprintln!(
                 "perf_gate: {:<28} current {:>12.4}  baseline {base_hit:>12.4}  {verdict}",
                 "serving_hit_rate", m.serving_hit_rate
@@ -360,6 +417,12 @@ fn main() {
             let ceiling = base_p99 * (1.0 + 8.0 * tolerance);
             let current = m.reader_p99_under_writes_ns as f64;
             let verdict = if current > ceiling { "FAIL" } else { "ok" };
+            summary_rows.push((
+                "reader_p99_under_writes_ns".to_owned(),
+                current,
+                Some(base_p99),
+                verdict,
+            ));
             eprintln!(
                 "perf_gate: {:<28} current {current:>12.1}  baseline {base_p99:>12.1}  \
                  ceiling {ceiling:>12.1}  {verdict}",
@@ -375,6 +438,7 @@ fn main() {
         _ => failures.push(format!("baseline {baseline_path} lacks reader_p99_under_writes_ns")),
     }
 
+    write_step_summary(&summary_rows, tolerance);
     if failures.is_empty() {
         eprintln!("perf_gate: PASS (tolerance {tolerance})");
     } else {

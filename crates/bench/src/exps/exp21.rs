@@ -70,8 +70,8 @@ pub fn run() -> String {
     let mut t = Table::new("first rows of the CUBE result", &["store", "day", "SUM"]);
     for row in rs.rows.iter().rev().take(4) {
         t.row([
-            row.group[0].clone().unwrap_or_else(|| "ALL".into()),
-            row.group[1].clone().unwrap_or_else(|| "ALL".into()),
+            row.group[0].as_deref().unwrap_or("ALL").to_owned(),
+            row.group[1].as_deref().unwrap_or("ALL").to_owned(),
             format!("{:.0}", row.values[0].unwrap_or(0.0)),
         ]);
     }

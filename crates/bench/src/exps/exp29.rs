@@ -1,0 +1,295 @@
+//! E29 — vectorized execution: batch kernels vs the tuple interpreter.
+//!
+//! The tentpole measurement for the batched executor. Three questions,
+//! each answered on retail-shaped data:
+//!
+//! * **kernels vs interpreter** — the same [`PlannedQuery`](statcube_core::plan)
+//!   executed by the batched kernels ([`plan::execute`]) and by the frozen
+//!   tuple-at-a-time oracle ([`plan::execute_interpreter`]), answers
+//!   verified identical, throughput compared. The kernel path fuses scan +
+//!   filter + aggregate over sorted blocks; the oracle re-hashes every
+//!   tuple.
+//! * **batch-size sweep** — storage-side chunked aggregation
+//!   ([`statcube_storage::chunks`]) at chunk sizes from 64 to 16k rows,
+//!   locating the cache-residency plateau the kernel's `BATCH` constant
+//!   sits on.
+//! * **RLE-aware vs decompress-then-aggregate** — the run-aware kernel
+//!   (one `merge_run` per run) against decoding the column and scanning
+//!   dense, on a sorted (run-friendly) column; cost scales with runs, not
+//!   cells.
+//!
+//! A `json:` line carries the numbers machine-readably; the unit test pins
+//! the qualitative claims (identical answers, run-aware wins, sweep is
+//! answer-invariant).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use statcube_core::measure::AggState;
+use statcube_core::plan::{
+    self, AggRequest, GroupingSpec, ObjectSource, Plan, PlanExecution, Planner,
+};
+use statcube_storage::chunks::{aggregate_chunks, aggregate_dense, aggregate_runs, dense_chunks};
+use statcube_storage::rle::Rle;
+use statcube_workload::retail::{generate, RetailConfig};
+
+use crate::report::{ratio, Table};
+
+/// Retail workload shape (sized for CI).
+const CONFIG: RetailConfig = RetailConfig {
+    products: 40,
+    categories: 5,
+    cities: 3,
+    stores_per_city: 3,
+    days: 30,
+    rows: 30_000,
+    seed: 29,
+};
+
+/// Executor-comparison passes per measurement (best-of-3 runs).
+const EXEC_PASSES: usize = 5;
+const RUNS: usize = 3;
+
+/// Fingerprint for answer identity: per-set cell count plus count-sum
+/// totals (order-free and exact; float sums are checked rounded).
+fn fingerprint(exec: &PlanExecution) -> Vec<String> {
+    exec.sets
+        .iter()
+        .map(|s| {
+            let b = &s.cells;
+            let counts: u64 = (0..b.len()).map(|i| b.cell_count(i)).sum();
+            let sums: f64 = (0..b.len()).map(|i| b.state(0, i).sum).sum();
+            format!("{:#b}:{}:{}:{:.8e}", s.target, b.len(), counts, sums)
+        })
+        .collect()
+}
+
+/// Measures one executor's passes/sec, best of [`RUNS`].
+fn throughput(mut f: impl FnMut()) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..RUNS {
+        let t = Instant::now();
+        for _ in 0..EXEC_PASSES {
+            f();
+        }
+        best = best.max(EXEC_PASSES as f64 / t.elapsed().as_secs_f64().max(1e-9));
+    }
+    best
+}
+
+/// Runs E29 and renders its tables.
+pub fn run() -> String {
+    let retail = generate(&CONFIG);
+    let obj = &retail.object;
+    let mut out = String::new();
+    out.push_str("=== E29: vectorized execution — batch kernels vs tuple interpreter ===\n\n");
+    let _ = writeln!(
+        out,
+        "workload: retail, {} products x {} stores x {} days, {} rows ({} base cells)\n",
+        CONFIG.products,
+        CONFIG.cities * CONFIG.stores_per_city,
+        CONFIG.days,
+        CONFIG.rows,
+        obj.cell_count(),
+    );
+
+    // --- kernels vs interpreter ------------------------------------------
+    let dims: Vec<String> = obj.schema().dimensions().iter().map(|d| d.name().to_owned()).collect();
+    let aggs = vec![AggRequest {
+        func: obj.schema().function(0),
+        measure: Some(obj.schema().measures()[0].name().to_owned()),
+        label: "sum".into(),
+    }];
+    let plans = [
+        (
+            "CUBE(product, store, day)",
+            Plan::scan(obj.schema().name()).grouping_sets(
+                dims.clone(),
+                GroupingSpec::Cube,
+                aggs.clone(),
+            ),
+        ),
+        (
+            "ROLLUP(product, store)",
+            Plan::scan(obj.schema().name()).grouping_sets(
+                dims[..2].to_vec(),
+                GroupingSpec::Rollup,
+                aggs,
+            ),
+        ),
+    ];
+    let mut t = Table::new(
+        "executor throughput (plan executions/sec, answers verified identical)",
+        &["plan", "interpreter", "batched kernels", "speedup"],
+    );
+    let mut json_exec = String::new();
+    for (label, p) in &plans {
+        let planned = Planner::for_object(obj.schema()).plan(p).expect("plan");
+        let mut base = obj.clone();
+        for (d, dim) in obj.schema().dimensions().iter().enumerate() {
+            if planned.base_mask() >> d & 1 == 0 {
+                base = statcube_core::ops::s_project_unchecked(&base, dim.name()).expect("project");
+            }
+        }
+        let src = ObjectSource::new(&base, planned.base_mask()).expect("source");
+        let batched = plan::execute(&planned, &src).expect("batched");
+        let oracle = plan::execute_interpreter(&planned, &src).expect("oracle");
+        assert_eq!(fingerprint(&batched), fingerprint(&oracle), "{label}: answers diverged");
+        let kernel_ops = throughput(|| {
+            assert!(!plan::execute(&planned, &src).expect("batched").sets.is_empty());
+        });
+        let interp_ops = throughput(|| {
+            assert!(!plan::execute_interpreter(&planned, &src).expect("oracle").sets.is_empty());
+        });
+        let speedup = kernel_ops / interp_ops.max(1e-9);
+        t.row([
+            (*label).to_owned(),
+            format!("{interp_ops:.1}"),
+            format!("{kernel_ops:.1}"),
+            ratio(speedup),
+        ]);
+        let _ = write!(
+            json_exec,
+            "{}{{\"plan\":\"{label}\",\"interpreter\":{interp_ops:.1},\
+             \"kernels\":{kernel_ops:.1},\"speedup\":{speedup:.2}}}",
+            if json_exec.is_empty() { "" } else { "," },
+        );
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // --- batch-size sweep -------------------------------------------------
+    let mut rows: Vec<(Vec<u32>, f64)> = obj.cells().map(|(k, s)| (k.to_vec(), s[0].sum)).collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    let values: Vec<f64> = rows.iter().map(|&(_, v)| v).collect();
+    let reference = aggregate_dense(&values);
+    let mut ts = Table::new(
+        "batch-size sweep: chunked dense aggregation (same answer at every size)",
+        &["chunk rows", "Mcells/sec"],
+    );
+    let mut json_sweep = String::new();
+    for chunk in [64usize, 256, 1024, 2048, 8192, 16384] {
+        let mut best = 0.0f64;
+        for _ in 0..RUNS {
+            let t = Instant::now();
+            let s = aggregate_chunks(dense_chunks(&values, chunk));
+            let secs = t.elapsed().as_secs_f64().max(1e-9);
+            assert_eq!(s, reference, "chunk size {chunk} changed the answer");
+            best = best.max(values.len() as f64 / secs / 1e6);
+        }
+        ts.row([chunk.to_string(), format!("{best:.1}")]);
+        let _ = write!(
+            json_sweep,
+            "{}{{\"chunk\":{chunk},\"mcells_per_sec\":{best:.1}}}",
+            if json_sweep.is_empty() { "" } else { "," },
+        );
+    }
+    out.push_str(&ts.render());
+    out.push('\n');
+
+    // --- RLE-aware vs decompress-then-aggregate ---------------------------
+    // Sort by store then day: quantities repeat, runs form.
+    let mut sorted_vals: Vec<f64> = values.clone();
+    sorted_vals.sort_by(f64::total_cmp);
+    let rle = Rle::encode(&sorted_vals);
+    let run_aware = aggregate_runs(rle.runs());
+    let decoded = aggregate_dense(&rle.decode());
+    assert_eq!(run_aware, decoded, "RLE-aware kernel diverged from decode-then-scan");
+    let mut aware_ops = 0.0f64;
+    let mut decode_ops = 0.0f64;
+    for _ in 0..RUNS {
+        let t = Instant::now();
+        let mut acc = AggState::EMPTY;
+        for _ in 0..EXEC_PASSES * 10 {
+            acc.merge(&aggregate_runs(rle.runs()));
+        }
+        let secs = t.elapsed().as_secs_f64().max(1e-9);
+        std::hint::black_box(&acc);
+        aware_ops = aware_ops.max((EXEC_PASSES * 10) as f64 / secs);
+        let t = Instant::now();
+        let mut acc = AggState::EMPTY;
+        for _ in 0..EXEC_PASSES * 10 {
+            acc.merge(&aggregate_dense(&rle.decode()));
+        }
+        let secs = t.elapsed().as_secs_f64().max(1e-9);
+        std::hint::black_box(&acc);
+        decode_ops = decode_ops.max((EXEC_PASSES * 10) as f64 / secs);
+    }
+    let mut tr = Table::new(
+        "RLE: run-aware kernel vs decompress-then-aggregate",
+        &["path", "scans/sec", "units touched"],
+    );
+    tr.row(["run-aware".into(), format!("{aware_ops:.1}"), format!("{} runs", rle.run_count())]);
+    tr.row(["decode+scan".into(), format!("{decode_ops:.1}"), format!("{} cells", rle.len())]);
+    out.push_str(&tr.render());
+    let _ = writeln!(
+        out,
+        "\nruns/cells = {}/{} ({}); run-aware speedup {}\n",
+        rle.run_count(),
+        rle.len(),
+        ratio(rle.run_count() as f64 / rle.len().max(1) as f64),
+        ratio(aware_ops / decode_ops.max(1e-9)),
+    );
+
+    out.push_str(
+        "the batched executor amortizes per-tuple dispatch into per-batch\n\
+         kernels: one selection vector, one hash per selected key, sorted-run\n\
+         accumulation when the target is a key prefix. the RLE kernel shows\n\
+         the same idea one layer down — cost follows the compressed shape\n\
+         (runs), not the logical cell count.\n",
+    );
+    let _ = writeln!(
+        out,
+        "\njson: {{\"executor\":[{json_exec}],\"sweep\":[{json_sweep}],\
+         \"rle\":{{\"runs\":{},\"cells\":{},\"aware_per_sec\":{aware_ops:.1},\
+         \"decode_per_sec\":{decode_ops:.1}}}}}",
+        rle.run_count(),
+        rle.len(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn kernels_match_oracle_and_rle_scales_with_runs() {
+        let s = super::run();
+        // Identity assertions live in run() itself; here pin the shape and
+        // the qualitative claims.
+        assert!(s.contains("executor throughput"));
+        assert!(s.contains("batch-size sweep"));
+        let json = s.lines().find(|l| l.starts_with("json: ")).expect("json line");
+        let num = |key: &str| -> f64 {
+            let at = json.find(key).expect(key) + key.len();
+            json[at..]
+                .trim_start_matches(':')
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.')
+                .collect::<String>()
+                .parse()
+                .expect("number")
+        };
+        // The tentpole claim: batched kernels outrun the tuple interpreter
+        // on every pinned plan.
+        for seg in json.split('{').filter(|seg| seg.contains("\"speedup\"")) {
+            let sp: f64 = {
+                let at = seg.find("\"speedup\"").expect("speedup") + "\"speedup\"".len();
+                seg[at..]
+                    .trim_start_matches(':')
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit() || *c == '.')
+                    .collect::<String>()
+                    .parse()
+                    .expect("number")
+            };
+            assert!(sp > 1.0, "batched executor slower than the interpreter\n{s}");
+        }
+        // RLE-aware aggregation touches runs, not cells, and a sorted
+        // column compresses well — so it must win.
+        assert!(num("\"runs\"") < num("\"cells\""), "column did not compress\n{s}");
+        assert!(
+            num("\"aware_per_sec\"") > num("\"decode_per_sec\""),
+            "run-aware kernel lost to decode-then-scan\n{s}"
+        );
+    }
+}

@@ -48,6 +48,7 @@ pub mod exps {
     pub mod exp26;
     pub mod exp27;
     pub mod exp28;
+    pub mod exp29;
 }
 
 /// One experiment: `(id, title, runner)`.
@@ -84,5 +85,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("exp26", "planner rewrite ablation — cells scanned on retail", exps::exp26::run),
         ("exp27", "incremental maintenance under concurrent reads", exps::exp27::run),
         ("exp28", "durability cost and recovery replay", exps::exp28::run),
+        ("exp29", "vectorized execution: batch kernels vs tuple interpreter", exps::exp29::run),
     ]
 }

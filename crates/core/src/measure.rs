@@ -176,6 +176,20 @@ impl AggState {
         self
     }
 
+    /// Merges a run of `n` identical observed values `v` in O(1) — the
+    /// RLE-aware kernel primitive: `run_length × value` feeds `sum` and
+    /// `count`, the run's single value feeds `min`/`max`, without ever
+    /// decompressing the run. Merging a run of zero values is a no-op.
+    pub fn merge_run(&mut self, v: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.sum += v * n as f64;
+        self.count += n;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
     /// Folds any number of states into one, starting from [`Self::EMPTY`].
     ///
     /// Because `merge` is associative and commutative with `EMPTY` as
@@ -270,6 +284,20 @@ mod tests {
         assert_eq!(e.value(SummaryFunction::Avg), None);
         assert_eq!(e.value(SummaryFunction::Min), None);
         assert_eq!(e.value(SummaryFunction::Max), None);
+    }
+
+    #[test]
+    fn merge_run_equals_repeated_merges() {
+        let mut run = AggState::EMPTY;
+        run.merge_run(2.5, 4);
+        let mut loop_state = AggState::EMPTY;
+        for _ in 0..4 {
+            loop_state.merge(&AggState::from_value(2.5));
+        }
+        assert_eq!(run, loop_state);
+        let before = run;
+        run.merge_run(99.0, 0);
+        assert_eq!(run, before, "zero-length run is identity");
     }
 
     #[test]

@@ -70,7 +70,12 @@ pub fn s_select_property(
     let d = obj.schema().dim_index(dim)?;
     let dim_ref = &obj.schema().dimensions()[d];
     let h_idx = dim_ref.hierarchy_index(hierarchy)?;
-    let h = dim_ref.hierarchies().nth(h_idx).expect("index from hierarchy_index");
+    let Some(h) = dim_ref.hierarchies().nth(h_idx) else {
+        return Err(Error::HierarchyNotFound {
+            dimension: dim.to_owned(),
+            hierarchy: hierarchy.unwrap_or("<default>").to_owned(),
+        });
+    };
     let ids: Vec<u32> = dim_ref
         .members()
         .iter()
@@ -146,7 +151,12 @@ pub fn s_aggregate_in(
     let d = obj.schema().dim_index(dim)?;
     let dim_ref = &obj.schema().dimensions()[d];
     let h_idx = dim_ref.hierarchy_index(hierarchy)?;
-    let h = dim_ref.hierarchies().nth(h_idx).expect("index from hierarchy_index").clone();
+    let Some(h) = dim_ref.hierarchies().nth(h_idx).cloned() else {
+        return Err(Error::HierarchyNotFound {
+            dimension: dim.to_owned(),
+            hierarchy: hierarchy.unwrap_or("<default>").to_owned(),
+        });
+    };
     let to_level = h.level_index(level)?;
     if checked {
         let violations = summarizability::check_aggregate(obj.schema(), d, &h, to_level);
@@ -247,9 +257,10 @@ pub fn s_union(
                 out.cells_mut().insert(key.into_boxed_slice(), states.to_vec());
             }
             (true, UnionPolicy::ErrorOnConflict) => {
-                let existing = out.states_at(&key).expect("checked present");
-                let agrees = existing.iter().zip(states).all(|(x, y)| {
-                    (x.sum - y.sum).abs() <= 1e-9 * x.sum.abs().max(1.0) && x.count == y.count
+                let agrees = out.states_at(&key).is_some_and(|existing| {
+                    existing.iter().zip(states).all(|(x, y)| {
+                        (x.sum - y.sum).abs() <= 1e-9 * x.sum.abs().max(1.0) && x.count == y.count
+                    })
                 });
                 if !agrees {
                     let names = out.schema().names_of(&key)?.join(", ");

@@ -129,11 +129,12 @@ impl Navigator {
         let executed = plan::execute(&planned, &src)?;
         let mut out = StatisticalObject::empty(cur.schema().clone());
         for set in &executed.sets {
-            for (coords, cell) in &set.cells {
-                if cell.suppressed {
+            let block = &set.cells;
+            for i in 0..block.len() {
+                if block.is_suppressed(i) {
                     continue;
                 }
-                out.merge_states(coords, &cell.states)?;
+                out.merge_states(block.key(i), &block.states_row(i))?;
             }
         }
         Ok(out)

@@ -17,8 +17,14 @@
 //! * [`perturb`] — deterministic noise on published sums; the same cell
 //!   always gets the same noise, so averaging repeated queries gains
 //!   nothing.
+//!
+//! Answers arrive as shared [`CellBlock`]s (cache hits alias the cached
+//! block), so every operator is copy-on-write: it first scans read-only
+//! for work to do and only `Arc::make_mut`s a block it actually changes.
+//! A no-op pass — the permissive policy above all — never copies.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::plan::exec::SetAnswer;
 use crate::plan::policy::{Perturbation, PrivacyPolicy};
@@ -56,21 +62,24 @@ pub fn enforce(policy: &PrivacyPolicy, sets: &mut [SetAnswer]) -> EnforcementSta
     stats
 }
 
-fn cell_count(states: &[crate::measure::AggState]) -> u64 {
-    states.first().map_or(0, |s| s.count)
-}
-
 /// Primary small-count suppression: withholds cells with `0 < count < k`.
 /// Returns the number of cells newly withheld.
 pub fn suppress(k: u64, sets: &mut [SetAnswer]) -> u64 {
     let mut n = 0;
     for set in sets {
-        for cell in set.cells.values_mut() {
-            let c = cell_count(&cell.states);
-            if !cell.suppressed && c > 0 && c < k {
-                cell.suppressed = true;
-                n += 1;
-            }
+        let hits: Vec<usize> = (0..set.cells.len())
+            .filter(|&i| {
+                let c = set.cells.cell_count(i);
+                !set.cells.is_suppressed(i) && c > 0 && c < k
+            })
+            .collect();
+        if hits.is_empty() {
+            continue;
+        }
+        let block = Arc::make_mut(&mut set.cells);
+        for i in hits {
+            block.set_suppressed(i, true);
+            n += 1;
         }
     }
     n
@@ -82,18 +91,25 @@ pub fn suppress(k: u64, sets: &mut [SetAnswer]) -> u64 {
 pub fn tracker(k: u64, sets: &mut [SetAnswer]) -> u64 {
     let mut n = 0;
     for set in sets {
-        let total: u64 = set.cells.values().map(|c| cell_count(&c.states)).sum();
         // The set's own total row (a single cell holding everything) is
         // the query answer itself, not a complement attack.
         if set.cells.len() < 2 {
             continue;
         }
-        for cell in set.cells.values_mut() {
-            let c = cell_count(&cell.states);
-            if !cell.suppressed && c > total.saturating_sub(k) {
-                cell.suppressed = true;
-                n += 1;
-            }
+        let total: u64 = (0..set.cells.len()).map(|i| set.cells.cell_count(i)).sum();
+        let hits: Vec<usize> = (0..set.cells.len())
+            .filter(|&i| {
+                let c = set.cells.cell_count(i);
+                !set.cells.is_suppressed(i) && c > total.saturating_sub(k)
+            })
+            .collect();
+        if hits.is_empty() {
+            continue;
+        }
+        let block = Arc::make_mut(&mut set.cells);
+        for i in hits {
+            block.set_suppressed(i, true);
+            n += 1;
         }
     }
     n
@@ -109,7 +125,7 @@ pub fn tracker(k: u64, sets: &mut [SetAnswer]) -> u64 {
 pub fn complementary(sets: &mut [SetAnswer]) -> u64 {
     /// A line's interior members keyed by their projection: (key, count,
     /// suppressed).
-    type Lines = BTreeMap<Vec<u32>, Vec<(Box<[u32]>, u64, bool)>>;
+    type Lines = BTreeMap<Vec<u32>, Vec<(Vec<u32>, u64, bool)>>;
     let targets: Vec<u32> = sets.iter().map(|s| s.target).collect();
     let mut n = 0u64;
     loop {
@@ -123,19 +139,21 @@ pub fn complementary(sets: &mut [SetAnswer]) -> u64 {
                 let pos = bit_positions(tj, ti);
                 // Snapshot set j's cells grouped by their projection onto i.
                 let mut groups: Lines = BTreeMap::new();
-                for (key, cell) in &sets[j].cells {
+                for r in 0..sets[j].cells.len() {
+                    let key = sets[j].cells.key(r);
                     let g: Vec<u32> = pos.iter().filter_map(|&p| key.get(p).copied()).collect();
                     groups.entry(g).or_default().push((
-                        key.clone(),
-                        cell_count(&cell.states),
-                        cell.suppressed,
+                        key.to_vec(),
+                        sets[j].cells.cell_count(r),
+                        sets[j].cells.is_suppressed(r),
                     ));
                 }
                 for (g, mut members) in groups {
                     members.sort();
-                    let gkey: Box<[u32]> = g.clone().into();
-                    let marginal =
-                        sets[i].cells.get(&gkey).map(|c| (cell_count(&c.states), c.suppressed));
+                    let marginal = sets[i]
+                        .cells
+                        .find(&g)
+                        .map(|r| (sets[i].cells.cell_count(r), sets[i].cells.is_suppressed(r)));
                     let hidden = members.iter().filter(|(_, _, s)| *s).count()
                         + usize::from(marginal.is_some_and(|(_, s)| s));
                     let line_len = members.len() + usize::from(marginal.is_some());
@@ -143,7 +161,7 @@ pub fn complementary(sets: &mut [SetAnswer]) -> u64 {
                         continue;
                     }
                     // Candidates: (count, marginal?, key) — pick the least.
-                    let mut best: Option<(u64, bool, Box<[u32]>)> = None;
+                    let mut best: Option<(u64, bool, Vec<u32>)> = None;
                     for (key, count, supp) in &members {
                         if !supp {
                             let cand = (*count, false, key.clone());
@@ -154,7 +172,7 @@ pub fn complementary(sets: &mut [SetAnswer]) -> u64 {
                     }
                     if let Some((count, supp)) = marginal {
                         if !supp {
-                            let cand = (count, true, gkey.clone());
+                            let cand = (count, true, g.clone());
                             if best.as_ref().is_none_or(|b| cand < *b) {
                                 best = Some(cand);
                             }
@@ -162,9 +180,9 @@ pub fn complementary(sets: &mut [SetAnswer]) -> u64 {
                     }
                     let Some((_, is_marginal, key)) = best else { continue };
                     let set = if is_marginal { i } else { j };
-                    if let Some(cell) = sets[set].cells.get_mut(&key) {
-                        if !cell.suppressed {
-                            cell.suppressed = true;
+                    if let Some(r) = sets[set].cells.find(&key) {
+                        if !sets[set].cells.is_suppressed(r) {
+                            Arc::make_mut(&mut sets[set].cells).set_suppressed(r, true);
                             n += 1;
                             changed = true;
                         }
@@ -184,17 +202,22 @@ pub fn complementary(sets: &mut [SetAnswer]) -> u64 {
 pub fn perturb(p: &Perturbation, sets: &mut [SetAnswer]) -> u64 {
     let mut n = 0;
     for set in sets {
-        for (key, cell) in set.cells.iter_mut() {
-            if cell.suppressed {
+        if (0..set.cells.len()).all(|i| set.cells.is_suppressed(i)) {
+            continue;
+        }
+        let target = set.target;
+        let block = Arc::make_mut(&mut set.cells);
+        for i in 0..block.len() {
+            if block.is_suppressed(i) {
                 continue;
             }
-            for (m, state) in cell.states.iter_mut().enumerate() {
-                if state.count == 0 {
+            for m in 0..block.measure_count() {
+                if block.measure(m).count(i) == 0 {
                     continue;
                 }
-                let h = noise_hash(p.seed, set.target, key, m as u64);
+                let h = noise_hash(p.seed, target, block.key(i), m as u64);
                 let u = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
-                state.sum += (u * 2.0 - 1.0) * p.magnitude;
+                block.add_sum(m, i, (u * 2.0 - 1.0) * p.magnitude);
             }
             n += 1;
         }
@@ -238,26 +261,38 @@ fn bit_positions(within: u32, of: u32) -> Vec<usize> {
 mod tests {
     use super::*;
     use crate::measure::AggState;
-    use crate::plan::exec::{PlanCell, PlanCells};
+    use crate::plan::kernels::CellBlock;
 
-    fn cell(count: u64, sum: f64) -> PlanCell {
-        PlanCell { states: vec![AggState { sum, count, min: sum, max: sum }], suppressed: false }
+    fn cell(count: u64, sum: f64) -> AggState {
+        AggState { sum, count, min: sum, max: sum }
     }
 
-    fn set(target: u32, keep: Vec<bool>, cells: Vec<(Vec<u32>, PlanCell)>) -> SetAnswer {
-        let mut map = PlanCells::new();
-        for (k, c) in cells {
-            map.insert(k.into_boxed_slice(), c);
+    fn set(target: u32, keep: Vec<bool>, cells: Vec<(Vec<u32>, AggState)>) -> SetAnswer {
+        let width = cells.first().map_or(0, |(k, _)| k.len());
+        let mut block = CellBlock::new(width, 1);
+        for (k, s) in &cells {
+            block.push_row(k, &[*s], false);
         }
+        block.sort_rows();
         SetAnswer {
             keep,
             target,
             source: target,
-            cells: map,
+            cells: Arc::new(block),
             cells_scanned: 0,
             cache_hit: false,
             degraded: None,
         }
+    }
+
+    fn suppressed_at(sa: &SetAnswer, key: &[u32]) -> bool {
+        let i = sa.cells.find(key).unwrap();
+        sa.cells.is_suppressed(i)
+    }
+
+    fn mark_suppressed(sa: &mut SetAnswer, key: &[u32]) {
+        let i = sa.cells.find(key).unwrap();
+        Arc::make_mut(&mut sa.cells).set_suppressed(i, true);
     }
 
     #[test]
@@ -268,9 +303,9 @@ mod tests {
             vec![(vec![0], cell(1, 5.0)), (vec![1], cell(3, 9.0)), (vec![2], cell(0, 0.0))],
         )];
         assert_eq!(suppress(2, &mut sets), 1);
-        assert!(sets[0].cells[&vec![0u32].into_boxed_slice()].suppressed);
-        assert!(!sets[0].cells[&vec![1u32].into_boxed_slice()].suppressed);
-        assert!(!sets[0].cells[&vec![2u32].into_boxed_slice()].suppressed, "empty cells publish");
+        assert!(suppressed_at(&sets[0], &[0]));
+        assert!(!suppressed_at(&sets[0], &[1]));
+        assert!(!suppressed_at(&sets[0], &[2]), "empty cells publish");
     }
 
     #[test]
@@ -280,7 +315,7 @@ mod tests {
         let mut sets =
             vec![set(0b1, vec![true], vec![(vec![0], cell(8, 80.0)), (vec![1], cell(2, 2.0))])];
         assert_eq!(tracker(3, &mut sets), 1);
-        assert!(sets[0].cells[&vec![0u32].into_boxed_slice()].suppressed);
+        assert!(suppressed_at(&sets[0], &[0]));
     }
 
     #[test]
@@ -290,13 +325,15 @@ mod tests {
         // the other must also be withheld.
         let mut fine =
             set(0b1, vec![true], vec![(vec![0], cell(1, 5.0)), (vec![1], cell(9, 90.0))]);
-        fine.cells.get_mut(&vec![0u32].into_boxed_slice()).unwrap().suppressed = true;
+        mark_suppressed(&mut fine, &[0]);
         let apex = set(0, vec![false], vec![(vec![], cell(10, 95.0))]);
         let mut sets = vec![fine, apex];
         let n = complementary(&mut sets);
         assert!(n >= 1, "complementary suppression must fire");
-        let published: usize =
-            sets.iter().flat_map(|s| s.cells.values()).filter(|c| !c.suppressed).count();
+        let published: usize = sets
+            .iter()
+            .map(|s| (0..s.cells.len()).filter(|&i| !s.cells.is_suppressed(i)).count())
+            .sum();
         // The lone sibling or the marginal must have been withheld too.
         assert!(published < 2, "published {published} of 3 cells");
     }
@@ -308,13 +345,14 @@ mod tests {
             vec![true],
             vec![(vec![0], cell(1, 1.0)), (vec![1], cell(4, 4.0)), (vec![2], cell(7, 7.0))],
         );
-        fine.cells.get_mut(&vec![0u32].into_boxed_slice()).unwrap().suppressed = true;
+        mark_suppressed(&mut fine, &[0]);
         let apex = set(0, vec![false], vec![(vec![], cell(12, 12.0))]);
         let mut sets = vec![fine, apex];
         complementary(&mut sets);
         // Invariant: no line has exactly one suppressed member.
-        let suppressed: usize = sets[0].cells.values().filter(|c| c.suppressed).count()
-            + usize::from(sets[1].cells.values().any(|c| c.suppressed));
+        let suppressed: usize =
+            (0..sets[0].cells.len()).filter(|&i| sets[0].cells.is_suppressed(i)).count()
+                + usize::from((0..sets[1].cells.len()).any(|i| sets[1].cells.is_suppressed(i)));
         assert_ne!(suppressed, 1);
     }
 
@@ -328,20 +366,18 @@ mod tests {
         let mut b = make();
         assert_eq!(perturb(&p, &mut a), 2);
         perturb(&p, &mut b);
-        // Collect by sorted key: HashMap iteration order differs per map.
-        let sums = |s: &[crate::plan::SetAnswer]| {
-            let mut v: Vec<(Box<[u32]>, f64)> =
-                s[0].cells.iter().map(|(k, c)| (k.clone(), c.states[0].sum)).collect();
-            v.sort_by(|a, b| a.0.cmp(&b.0));
-            v
+        let sums = |s: &[SetAnswer]| {
+            (0..s[0].cells.len())
+                .map(|i| (s[0].cells.key(i).to_vec(), s[0].cells.state(0, i).sum))
+                .collect::<Vec<_>>()
         };
         let sum_a = sums(&a);
         let sum_b = sums(&b);
         assert_eq!(sum_a, sum_b, "same seed, same noise");
-        for (key, c) in a[0].cells.iter() {
+        for (key, sum) in &sum_a {
             let orig = if key[..] == [0] { 100.0 } else { 200.0 };
-            assert!((c.states[0].sum - orig).abs() <= 2.0, "bounded noise");
-            assert_ne!(c.states[0].sum, orig, "noise actually applied");
+            assert!((sum - orig).abs() <= 2.0, "bounded noise");
+            assert_ne!(*sum, orig, "noise actually applied");
         }
         let mut c = make();
         perturb(&Perturbation { magnitude: 2.0, seed: 43 }, &mut c);
@@ -357,7 +393,16 @@ mod tests {
         let stats = enforce(&PrivacyPolicy::none(), &mut sets);
         assert_eq!(stats, EnforcementStats::default());
         assert_eq!(sets[0].cells, before[0].cells);
+        assert!(
+            Arc::ptr_eq(&sets[0].cells, &before[0].cells),
+            "permissive pass must not copy the block"
+        );
         let stats = enforce(&PrivacyPolicy::suppress(2), &mut sets);
         assert_eq!(stats.suppressed, 1);
+        assert!(!Arc::ptr_eq(&sets[0].cells, &before[0].cells), "suppression copied on write");
+        assert!(
+            (0..before[0].cells.len()).all(|i| !before[0].cells.is_suppressed(i)),
+            "the shared snapshot stayed untouched"
+        );
     }
 }

@@ -3,25 +3,33 @@
 //! A [`PlannedQuery`] names, per grouping set, a *target* cuboid and an
 //! ordered candidate list of materialized sources. The executor walks that
 //! list (later candidates are the degraded-fallback chain), derives the
-//! target by merging source cells upward, optionally probes/feeds a cache
-//! through the [`PlanSource`] hooks, and finally runs the mandatory
-//! privacy pass over the whole answer. Per-set work is traced as the
-//! `cube.answer` span (and `cube.cache` around a live probe), so profiles
-//! look the same no matter which front-end built the plan.
+//! target with the batch-at-a-time kernels of [`crate::plan::kernels`]
+//! (fused scan + filter + aggregate over sorted [`CellBlock`]s), optionally
+//! probes/feeds a cache through the [`PlanSource`] hooks, and finally runs
+//! the mandatory privacy pass over the whole answer. Per-set work is traced
+//! as the `cube.answer` span (and `cube.cache` around a live probe), so
+//! profiles look the same no matter which front-end built the plan.
+//!
+//! The historical tuple-at-a-time interpreter is frozen here as
+//! [`execute_interpreter`] — the differential oracle the kernel CI gate
+//! replays every batched answer against, bit for bit. It is not on any
+//! production path.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::error::{Error, Result};
 use crate::measure::AggState;
 use crate::object::StatisticalObject;
 use crate::plan::enforce::{self, EnforcementStats};
+use crate::plan::kernels::{bit_positions, derive_block, CellBlock};
 use crate::plan::planner::PlannedQuery;
 use crate::schema::Schema;
 use crate::trace;
 
-/// One derived cell: per-measure aggregation states plus the privacy
-/// verdict. A suppressed cell stays in the map (complementary suppression
-/// and row rendering need to see it) but publishes no values.
+/// One derived cell of the *oracle* representation: per-measure aggregation
+/// states plus the privacy verdict. The batched executor's equivalent is a
+/// row of a [`CellBlock`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanCell {
     /// Aggregation state per measure slot.
@@ -30,15 +38,16 @@ pub struct PlanCell {
     pub suppressed: bool,
 }
 
-/// Cells of one cuboid, keyed by kept coordinates (schema-dimension
-/// order).
+/// Cells of one cuboid in the oracle's tuple-at-a-time representation,
+/// keyed by kept coordinates (schema-dimension order).
 pub type PlanCells = HashMap<Box<[u32]>, PlanCell>;
 
-/// A loaded source cuboid and what reading it cost.
+/// A loaded source cuboid and what reading it cost. The block is shared —
+/// repeated loads of the same source hand out the same allocation.
 #[derive(Debug, Clone)]
-pub struct SourceCells {
-    /// The source's cells at its own granularity.
-    pub cells: PlanCells,
+pub struct SourceBlock {
+    /// The source's cells at its own granularity, sorted by key.
+    pub cells: Arc<CellBlock>,
     /// Cells scanned to produce them (the degradation cost basis).
     pub scanned: u64,
 }
@@ -48,7 +57,7 @@ pub struct SourceCells {
 pub trait PlanSource {
     /// Loads the materialized cuboid `source` (verified I/O; an `Err` here
     /// sends the executor down the fallback chain).
-    fn load(&self, source: u32) -> Result<SourceCells>;
+    fn load(&self, source: u32) -> Result<SourceBlock>;
 
     /// Whether [`probe`](PlanSource::probe)/[`admit`](PlanSource::admit)
     /// are live. Probing is skipped for plans with pushed-down scan
@@ -59,7 +68,7 @@ pub trait PlanSource {
     }
 
     /// Cache lookup: a fully derived target and its original source mask.
-    fn probe(&self, _target: u32) -> Option<(PlanCells, u32)> {
+    fn probe(&self, _target: u32) -> Option<(Arc<CellBlock>, u32)> {
         None
     }
 
@@ -69,7 +78,7 @@ pub trait PlanSource {
         _target: u32,
         _source: u32,
         _cells_scanned: u64,
-        _cells: &PlanCells,
+        _cells: &Arc<CellBlock>,
         _degraded: bool,
     ) {
     }
@@ -98,8 +107,9 @@ pub struct SetAnswer {
     pub target: u32,
     /// Source mask that served it.
     pub source: u32,
-    /// The derived (and privacy-enforced) cells.
-    pub cells: PlanCells,
+    /// The derived (and privacy-enforced) cells, sorted by key. Shared:
+    /// cache hits alias the cached block; the privacy pass copies on write.
+    pub cells: Arc<CellBlock>,
     /// Cells scanned in the source (0 on a cache hit).
     pub cells_scanned: u64,
     /// Served straight from the cache.
@@ -136,7 +146,9 @@ impl PlanExecution {
 
 /// Executes a planned query against a physical source. This is the only
 /// evaluation loop in the workspace: SQL (algebraic and physical), the
-/// view store, and the navigator all end up here.
+/// view store, and the navigator all end up here. Derivation runs the
+/// batched kernels; an identity set (source == target, no filters) is an
+/// `Arc` clone of the loaded block.
 pub fn execute<S: PlanSource>(q: &PlannedQuery, src: &S) -> Result<PlanExecution> {
     let mut sets_out: Vec<SetAnswer> = Vec::with_capacity(q.sets.len());
     for set in &q.sets {
@@ -177,7 +189,11 @@ pub fn execute<S: PlanSource>(q: &PlannedQuery, src: &S) -> Result<PlanExecution
             match src.load(source) {
                 Ok(sc) => {
                     let cells_scanned = sc.scanned;
-                    let cells = derive(sc.cells, source, set.target, &q.scan_filters);
+                    let cells = if source == set.target && q.scan_filters.is_empty() {
+                        sc.cells
+                    } else {
+                        Arc::new(derive_block(&sc.cells, source, set.target, &q.scan_filters))
+                    };
                     let degraded = if failed.is_empty() {
                         None
                     } else {
@@ -255,10 +271,91 @@ pub fn execute<S: PlanSource>(q: &PlannedQuery, src: &S) -> Result<PlanExecution
     Ok(PlanExecution { sets: sets_out, enforcement })
 }
 
-/// Derives `target` cells from a loaded `source` cuboid, applying
-/// pushed-down scan filters on the way. `target ⊆ source` by construction;
-/// unknown coordinates are skipped rather than panicking (the source may
-/// come from storage).
+/// The frozen tuple-at-a-time interpreter, kept verbatim as the
+/// differential oracle for the batched executor (same discipline as the
+/// rebuild oracle of the delta-maintenance gate). It never probes a cache
+/// and exists only so tests can assert `execute` ≡ interpreter bit for
+/// bit; production paths always go through [`execute`].
+pub fn execute_interpreter<S: PlanSource>(q: &PlannedQuery, src: &S) -> Result<PlanExecution> {
+    let mut sets_out: Vec<SetAnswer> = Vec::with_capacity(q.sets.len());
+    for set in &q.sets {
+        let first_choice_cost = set.candidates.first().map(|&(_, c)| c).unwrap_or(0);
+        let mut failed: Vec<(u32, Error)> = Vec::new();
+        let mut found: Option<SetAnswer> = None;
+        for &(source, _) in &set.candidates {
+            match src.load(source) {
+                Ok(sc) => {
+                    let cells_scanned = sc.scanned;
+                    let measure_count = sc.cells.measure_count();
+                    let cells =
+                        derive(block_to_cells(&sc.cells), source, set.target, &q.scan_filters);
+                    let width = if source == set.target && q.scan_filters.is_empty() {
+                        sc.cells.key_width()
+                    } else {
+                        bit_positions(source, set.target).len()
+                    };
+                    let degraded = if failed.is_empty() {
+                        None
+                    } else {
+                        Some(PlanDegradation {
+                            requested: set.target,
+                            served_from: source,
+                            failed: std::mem::take(&mut failed),
+                            extra_cells: cells_scanned.saturating_sub(first_choice_cost),
+                        })
+                    };
+                    found = Some(SetAnswer {
+                        keep: set.keep.clone(),
+                        target: set.target,
+                        source,
+                        cells: Arc::new(cells_to_block(width, measure_count, &cells)),
+                        cells_scanned,
+                        cache_hit: false,
+                        degraded,
+                    });
+                    break;
+                }
+                Err(e) => failed.push((source, e)),
+            }
+        }
+        let Some(ans) = found else {
+            if set.candidates.is_empty() {
+                return Err(Error::InvalidSchema("no ancestor materialized".into()));
+            }
+            return Err(Error::NoHealthySource { requested: set.target, tried: failed.len() });
+        };
+        sets_out.push(ans);
+    }
+    let enforcement = enforce::enforce(&q.policy, &mut sets_out);
+    Ok(PlanExecution { sets: sets_out, enforcement })
+}
+
+/// Converts a block to the oracle's hash-map representation.
+pub fn block_to_cells(block: &CellBlock) -> PlanCells {
+    let mut out = PlanCells::with_capacity(block.len());
+    for i in 0..block.len() {
+        out.insert(
+            block.key(i).into(),
+            PlanCell { states: block.states_row(i), suppressed: block.is_suppressed(i) },
+        );
+    }
+    out
+}
+
+/// Converts the oracle's hash-map representation back to a sorted block.
+pub fn cells_to_block(key_width: usize, measure_count: usize, cells: &PlanCells) -> CellBlock {
+    let mut block = CellBlock::new(key_width, measure_count);
+    for (key, cell) in cells {
+        block.push_row(key, &cell.states, cell.suppressed);
+    }
+    block.sort_rows();
+    block
+}
+
+/// The oracle's derivation: one tuple at a time through a `HashMap`,
+/// applying pushed-down scan filters on the way. `target ⊆ source` by
+/// construction; unknown coordinates are skipped rather than panicking
+/// (the source may come from storage).
 fn derive(src: PlanCells, source: u32, target: u32, filters: &[(usize, Vec<u32>)]) -> PlanCells {
     if source == target && filters.is_empty() {
         return src;
@@ -298,29 +395,14 @@ fn derive(src: PlanCells, source: u32, target: u32, filters: &[(usize, Vec<u32>)
     out
 }
 
-/// Positions of `of`'s bits within the kept-coordinate order of `within`.
-fn bit_positions(within: u32, of: u32) -> Vec<usize> {
-    let mut out = Vec::new();
-    let mut pos = 0usize;
-    for b in 0..32 {
-        if within >> b & 1 == 1 {
-            if of >> b & 1 == 1 {
-                out.push(pos);
-            }
-            pos += 1;
-        }
-    }
-    out
-}
-
 /// A [`PlanSource`] over one statistical object, pre-projected to the
 /// plan's base mask: the object's dimensions must be exactly the bits of
-/// `mask`, in schema order. Loading clones the converted cells — the same
-/// per-set cost shape the historical interpreter had.
+/// `mask`, in schema order. The block is built (and sorted) once; loads
+/// hand out a shared handle.
 pub struct ObjectSource {
     mask: u32,
     scanned: u64,
-    cells: PlanCells,
+    cells: Arc<CellBlock>,
 }
 
 impl ObjectSource {
@@ -334,47 +416,86 @@ impl ObjectSource {
                 obj.schema().dim_count()
             )));
         }
-        let mut cells = PlanCells::with_capacity(obj.cell_count());
+        let measures = obj.schema().measures().len();
+        let mut cells = CellBlock::new(dims, measures);
         for (coords, states) in obj.cells() {
-            cells.insert(coords.into(), PlanCell { states: states.to_vec(), suppressed: false });
+            cells.push_row(coords, states, false);
         }
-        Ok(Self { mask, scanned: obj.cell_count() as u64, cells })
+        cells.sort_rows();
+        Ok(Self { mask, scanned: obj.cell_count() as u64, cells: Arc::new(cells) })
     }
 }
 
 impl PlanSource for ObjectSource {
-    fn load(&self, source: u32) -> Result<SourceCells> {
+    fn load(&self, source: u32) -> Result<SourceBlock> {
         if source != self.mask {
             return Err(Error::InvalidSchema(format!(
                 "object source holds mask {:#b}, not {source:#b}",
                 self.mask
             )));
         }
-        Ok(SourceCells { cells: self.cells.clone(), scanned: self.scanned })
+        Ok(SourceBlock { cells: self.cells.clone(), scanned: self.scanned })
     }
 }
 
 /// One output row of a plan: grouping values in GROUP BY order (`None` =
 /// `ALL`), aggregate values in SELECT order (`None` = undefined or
-/// suppressed), and the privacy verdict.
+/// suppressed), and the privacy verdict. Labels are shared `Arc<str>`
+/// handles into the schema's member dictionaries — rendering a row never
+/// copies label bytes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanRow {
     /// Group column values (`None` = `ALL`).
-    pub group: Vec<Option<String>>,
+    pub group: Vec<Option<Arc<str>>>,
     /// Aggregate values (`None` = undefined or suppressed).
     pub values: Vec<Option<f64>>,
     /// The whole row was withheld by the privacy pass.
     pub suppressed: bool,
 }
 
-/// Renders an execution as labeled rows: per set, cells sort by
-/// coordinates; group labels resolve through `schema`'s member
-/// dictionaries (which must still describe the planned dimension indices —
-/// pass the post-roll-up, pre-projection schema).
+/// Per-group-position member label tables (index = group position, inner
+/// index = dictionary coordinate), resolved once per planned query so row
+/// rendering is a pair of indexed lookups per cell.
+pub type GroupLabels = Vec<Vec<Arc<str>>>;
+
+/// Resolves the member label table of every group position of `q` through
+/// `schema`'s dictionaries (which must still describe the planned
+/// dimension indices — pass the post-roll-up, pre-projection schema).
+/// Positions whose dimension is unknown to the schema get an empty table,
+/// so rendering reports the same "no member" error the row path always
+/// raised.
+pub fn group_labels(q: &PlannedQuery, schema: &Schema) -> Result<GroupLabels> {
+    let mut out = Vec::with_capacity(q.dim_bits.len());
+    for &d in &q.dim_bits {
+        let labels = schema
+            .dimensions()
+            .get(d)
+            .map(|dim| dim.members().values().map(Arc::from).collect())
+            .unwrap_or_default();
+        out.push(labels);
+    }
+    Ok(out)
+}
+
+/// Renders an execution as labeled rows: per set, cells come out in key
+/// order (blocks are sorted); group labels resolve through `schema`'s
+/// member dictionaries.
 pub fn result_rows(
     q: &PlannedQuery,
     exec: &PlanExecution,
     schema: &Schema,
+) -> Result<Vec<PlanRow>> {
+    let labels = group_labels(q, schema)?;
+    result_rows_with_labels(q, exec, &labels)
+}
+
+/// Renders an execution as labeled rows against pre-resolved label tables
+/// (the hot path for plan-caching front-ends: labels are resolved once per
+/// plan, not once per query).
+pub fn result_rows_with_labels(
+    q: &PlannedQuery,
+    exec: &PlanExecution,
+    labels: &GroupLabels,
 ) -> Result<Vec<PlanRow>> {
     let mut rows = Vec::new();
     for sa in &exec.sets {
@@ -382,53 +503,58 @@ pub fn result_rows(
             q.dim_bits.iter().zip(&sa.keep).filter(|(_, k)| **k).map(|(&d, _)| d).collect();
         kept.sort_unstable();
         kept.dedup();
-        let mut cells: Vec<(&Box<[u32]>, &PlanCell)> = sa.cells.iter().collect();
-        cells.sort_unstable_by(|a, b| a.0.cmp(b.0));
-        for (key, cell) in cells {
-            let mut group = Vec::with_capacity(sa.keep.len());
-            for (j, keep) in sa.keep.iter().enumerate() {
-                if !keep {
+        // Hoist the per-position plan out of the row loop: group position
+        // `j` reads key slot `slot` and labels table `j`.
+        let mut cols: Vec<Option<(usize, usize)>> = Vec::with_capacity(sa.keep.len());
+        for (j, keep) in sa.keep.iter().enumerate() {
+            if !*keep {
+                cols.push(None);
+                continue;
+            }
+            if q.dim_bits.get(j).is_none() {
+                return Err(Error::InvalidSchema("grouping position without a dimension".into()));
+            }
+            let d = q.dim_bits[j];
+            // `kept` was built from these same positions, so the search
+            // only misses on a malformed plan; usize::MAX then fails the
+            // per-row key lookup with the historical error.
+            let slot = kept.binary_search(&d).unwrap_or(usize::MAX);
+            cols.push(Some((j, slot)));
+        }
+        let block = &sa.cells;
+        rows.reserve(block.len());
+        for i in 0..block.len() {
+            let key = block.key(i);
+            let suppressed = block.is_suppressed(i);
+            let mut group = Vec::with_capacity(cols.len());
+            for col in &cols {
+                let Some((j, slot)) = *col else {
                     group.push(None);
                     continue;
-                }
-                let d = q.dim_bits.get(j).copied().ok_or_else(|| {
-                    Error::InvalidSchema("grouping position without a dimension".into())
+                };
+                let coord = key.get(slot).copied().ok_or_else(|| {
+                    Error::InvalidSchema(format!(
+                        "no coordinate for dimension `{}`",
+                        q.group_display.get(j).map(String::as_str).unwrap_or("?")
+                    ))
                 })?;
-                let coord = kept
-                    .binary_search(&d)
-                    .ok()
-                    .and_then(|slot| key.get(slot))
-                    .copied()
-                    .ok_or_else(|| {
-                        Error::InvalidSchema(format!(
-                            "no coordinate for dimension `{}`",
-                            q.group_display.get(j).map(String::as_str).unwrap_or("?")
-                        ))
-                    })?;
-                let member = schema
-                    .dimensions()
-                    .get(d)
-                    .and_then(|dim| dim.members().value_of(coord))
-                    .ok_or_else(|| {
-                        Error::InvalidSchema(format!(
-                            "no member {coord} in dimension `{}`",
-                            q.group_display.get(j).map(String::as_str).unwrap_or("?")
-                        ))
-                    })?;
-                group.push(Some(member.to_owned()));
+                let member =
+                    labels.get(j).and_then(|table| table.get(coord as usize)).cloned().ok_or_else(
+                        || {
+                            Error::InvalidSchema(format!(
+                                "no member {coord} in dimension `{}`",
+                                q.group_display.get(j).map(String::as_str).unwrap_or("?")
+                            ))
+                        },
+                    )?;
+                group.push(Some(member));
             }
             let values: Vec<Option<f64>> = q
                 .aggs
                 .iter()
-                .map(|a| {
-                    if cell.suppressed {
-                        None
-                    } else {
-                        cell.states.get(a.measure).and_then(|s| s.value(a.func))
-                    }
-                })
+                .map(|a| if suppressed { None } else { block.value(a.measure, i, a.func) })
                 .collect();
-            rows.push(PlanRow { group, values, suppressed: cell.suppressed });
+            rows.push(PlanRow { group, values, suppressed });
         }
     }
     Ok(rows)
@@ -490,6 +616,30 @@ mod tests {
     }
 
     #[test]
+    fn batched_executor_matches_the_interpreter_oracle() {
+        let obj = sales();
+        let plan = Plan::scan("sales").grouping_sets(
+            vec!["product".into(), "store".into()],
+            GroupingSpec::Cube,
+            vec![sum_amount()],
+        );
+        let q = Planner::for_object(obj.schema()).plan(&plan).unwrap();
+        let src = ObjectSource::new(&obj, q.base_mask()).unwrap();
+        let fast = execute(&q, &src).unwrap();
+        let slow = execute_interpreter(&q, &src).unwrap();
+        assert_eq!(fast.enforcement, slow.enforcement);
+        assert_eq!(fast.sets.len(), slow.sets.len());
+        for (f, s) in fast.sets.iter().zip(&slow.sets) {
+            assert_eq!(*f.cells, *s.cells, "target {:#b}", f.target);
+        }
+        let schema = obj.schema();
+        assert_eq!(
+            result_rows(&q, &fast, schema).unwrap(),
+            result_rows(&q, &slow, schema).unwrap()
+        );
+    }
+
+    #[test]
     fn suppression_crosses_the_executor_barrier() {
         let obj = sales();
         let plan = Plan::scan("sales").grouping_sets(
@@ -514,19 +664,20 @@ mod tests {
     }
 
     #[test]
-    fn derive_applies_scan_filters_before_merging() {
-        let mut cells = PlanCells::new();
+    fn derive_block_applies_scan_filters_before_merging() {
+        let mut src = CellBlock::new(2, 1);
         for (k, v) in [([0u32, 0u32], 10.0), ([0, 1], 4.0), ([1, 1], 5.0)] {
-            cells.insert(
-                k.to_vec().into_boxed_slice(),
-                PlanCell { states: vec![AggState::from_value(v)], suppressed: false },
-            );
+            src.push_row(&k, &[AggState::from_value(v)], false);
         }
+        src.sort_rows();
         // Source holds dims {0, 1}; filter dim 1 to member 1; target dim 0.
-        let out = derive(cells, 0b11, 0b01, &[(1, vec![1])]);
+        let out = derive_block(&src, 0b11, 0b01, &[(1, vec![1])]);
         assert_eq!(out.len(), 2);
-        assert_eq!(out[&vec![0u32].into_boxed_slice()].states[0].sum, 4.0);
-        assert_eq!(out[&vec![1u32].into_boxed_slice()].states[0].sum, 5.0);
+        assert_eq!(out.find(&[0]).map(|i| out.state(0, i).sum), Some(4.0));
+        assert_eq!(out.find(&[1]).map(|i| out.state(0, i).sum), Some(5.0));
+        // And the oracle derivation agrees.
+        let oracle = derive(block_to_cells(&src), 0b11, 0b01, &[(1, vec![1])]);
+        assert_eq!(cells_to_block(1, 1, &oracle), out);
     }
 
     #[test]

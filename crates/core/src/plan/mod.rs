@@ -31,14 +31,17 @@
 
 pub mod enforce;
 pub mod exec;
+pub mod kernels;
 pub mod planner;
 pub mod policy;
 
 pub use enforce::EnforcementStats;
 pub use exec::{
-    execute, result_rows, ObjectSource, PlanCell, PlanCells, PlanDegradation, PlanExecution,
-    PlanRow, PlanSource, SetAnswer, SourceCells,
+    execute, execute_interpreter, group_labels, result_rows, result_rows_with_labels, GroupLabels,
+    ObjectSource, PlanCell, PlanCells, PlanDegradation, PlanExecution, PlanRow, PlanSource,
+    SetAnswer, SourceBlock,
 };
+pub use kernels::{derive_block, merge_blocks, CellBlock, StateColumns};
 pub use planner::{
     CatalogEntry, CodedPredicate, LeafRollup, PlannedAgg, PlannedQuery, PlannedSet, Planner,
     PlannerConfig, Rewrite,

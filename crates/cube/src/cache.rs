@@ -47,6 +47,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use statcube_core::measure::AggState;
+use statcube_core::plan::CellBlock;
 use statcube_core::trace;
 
 use crate::groupby::Cuboid;
@@ -98,6 +99,11 @@ pub enum CacheKey {
     /// fingerprint and its coordinates (ascending dimension order, the
     /// cuboid key layout).
     Cell(u32, u64, Box<[u32]>),
+    /// The sorted columnar block for this mask, **pre-enforcement only**
+    /// (the executor's mandatory privacy pass runs after every probe, so
+    /// block entries carry no policy fingerprint). This is the vectorized
+    /// executor's probe/admit unit.
+    Block(u32),
 }
 
 /// A cached value, cheap to clone out of the cache.
@@ -108,6 +114,9 @@ pub enum CachedValue {
     /// One cell's aggregate state; `None` records that the cell is absent
     /// (an empty region of the cube — a valid, cacheable answer).
     Cell(Option<AggState>),
+    /// A full sorted columnar block, shared by reference count; the
+    /// batched executor consumes it without conversion.
+    Block(Arc<CellBlock>),
 }
 
 #[derive(Debug)]
@@ -348,8 +357,8 @@ impl AnswerCache {
     ///
     /// The keep rules, for a non-empty batch:
     ///
-    /// * every `Cuboid` entry drops — any batch moves its grand total, so
-    ///   full-cuboid entries always intersect;
+    /// * every `Cuboid` and `Block` entry drops — any batch moves its
+    ///   grand total, so full-view entries always intersect;
     /// * policy-enforced (`fingerprint != 0`) cell entries drop — a delta
     ///   to one cell can flip *another* cell's suppression verdict
     ///   (complementary suppression), so only pre-enforcement values are
@@ -385,7 +394,7 @@ impl AnswerCache {
             let keys: Vec<CacheKey> = shard.map.keys().cloned().collect();
             for key in keys {
                 let keep = match &key {
-                    CacheKey::Cuboid(..) => touched_base.is_empty(),
+                    CacheKey::Cuboid(..) | CacheKey::Block(..) => touched_base.is_empty(),
                     CacheKey::Cell(_, fp, _) if *fp != 0 => touched_base.is_empty(),
                     CacheKey::Cell(mask, _, coords) => {
                         let touched = projected.entry(*mask).or_insert_with(|| {
@@ -472,6 +481,12 @@ pub fn cuboid_bytes(cuboid: &Cuboid) -> usize {
 
 /// Resident size charged for one cached cell (state + key + bookkeeping).
 pub const CELL_BYTES: usize = 64;
+
+/// Resident size charged for a cached columnar block (its own heap
+/// accounting — same per-row footprint as the sealed serialization).
+pub fn block_bytes(block: &CellBlock) -> usize {
+    block.heap_bytes()
+}
 
 #[cfg(test)]
 mod tests {
@@ -605,6 +620,32 @@ mod tests {
             other => panic!("expected cell hit, got {other:?}"),
         }
         assert!(matches!(cache.get(&none_key, |_| Some(0)), Some((CachedValue::Cell(None), _))));
+    }
+
+    #[test]
+    fn block_entries_round_trip_and_drop_on_any_delta() {
+        let cache = AnswerCache::new(CacheConfig::default());
+        let mut b = CellBlock::new(2, 1);
+        b.push_row(&[1, 2], &[AggState { sum: 3.0, count: 1, min: 3.0, max: 3.0 }], false);
+        let block = Arc::new(b);
+        let key = CacheKey::Block(0b11);
+        let bytes = block_bytes(&block);
+        assert!(cache.insert(
+            key.clone(),
+            CachedValue::Block(Arc::clone(&block)),
+            bytes,
+            5,
+            0b11,
+            0
+        ));
+        match cache.get(&key, |_| Some(0)) {
+            Some((CachedValue::Block(b), _)) => assert_eq!(b.len(), 1),
+            other => panic!("expected block hit, got {other:?}"),
+        }
+        // Like a full cuboid, a block always intersects a non-empty batch.
+        let touched = vec![vec![9u32, 9].into_boxed_slice()];
+        assert_eq!(cache.invalidate_delta(&touched, |_| Some(0), |_| Some(1)), 1);
+        assert!(cache.get(&key, |_| Some(1)).is_none());
     }
 
     #[test]

@@ -42,9 +42,7 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 use statcube_core::error::{Error, Result};
 use statcube_core::measure::AggState;
-use statcube_core::plan::{
-    PlanCell, PlanCells, PlanSource, PlannerConfig, PrivacyPolicy, SourceCells,
-};
+use statcube_core::plan::{CellBlock, PlanSource, PlannerConfig, PrivacyPolicy, SourceBlock};
 use statcube_core::trace;
 use statcube_storage::page_store::{FaultPlan, FaultStats};
 use statcube_storage::verify::ScrubReport;
@@ -53,7 +51,8 @@ use statcube_storage::wal::{
 };
 
 use crate::cache::{
-    cuboid_bytes, AnswerCache, CacheConfig, CacheKey, CacheStats, CachedValue, CELL_BYTES,
+    block_bytes, cuboid_bytes, AnswerCache, CacheConfig, CacheKey, CacheStats, CachedValue,
+    CELL_BYTES,
 };
 use crate::cube_op::Degradation;
 use crate::durable::{self, RecoveryReport};
@@ -660,7 +659,7 @@ impl SharedPlanSource<'_> {
 }
 
 impl PlanSource for SharedPlanSource<'_> {
-    fn load(&self, source: u32) -> Result<SourceCells> {
+    fn load(&self, source: u32) -> Result<SourceBlock> {
         PlanSource::load(&*self.store, source)
     }
 
@@ -668,16 +667,14 @@ impl PlanSource for SharedPlanSource<'_> {
         true
     }
 
-    fn probe(&self, target: u32) -> Option<(PlanCells, u32)> {
-        let key = CacheKey::Cuboid(target, 0);
+    /// Probe for a derived target block. Block entries are shared by `Arc`,
+    /// so a hit hands the executor the cached columnar block with no
+    /// per-cell conversion at all — the enforcement pass copies on write
+    /// only if the policy actually suppresses something.
+    fn probe(&self, target: u32) -> Option<(Arc<CellBlock>, u32)> {
+        let key = CacheKey::Block(target);
         match self.cache.get(&key, |s| self.store.view_epoch(s)) {
-            Some((CachedValue::Cuboid(cuboid), source)) => {
-                let cells = cuboid
-                    .iter()
-                    .map(|(k, s)| (k.clone(), PlanCell { states: vec![*s], suppressed: false }))
-                    .collect();
-                Some((cells, source))
-            }
+            Some((CachedValue::Block(block), source)) => Some((block, source)),
             _ => None,
         }
     }
@@ -687,7 +684,7 @@ impl PlanSource for SharedPlanSource<'_> {
         target: u32,
         source: u32,
         cells_scanned: u64,
-        cells: &PlanCells,
+        cells: &Arc<CellBlock>,
         degraded: bool,
     ) {
         if degraded {
@@ -695,16 +692,12 @@ impl PlanSource for SharedPlanSource<'_> {
             return;
         }
         let Some(epoch) = self.store.view_epoch(source) else { return };
-        let cuboid: Cuboid = cells
-            .iter()
-            .map(|(k, c)| (k.clone(), c.states.first().copied().unwrap_or(AggState::EMPTY)))
-            .collect();
         let distance = u64::from(source.count_ones().saturating_sub(target.count_ones()));
         let cost = cells_scanned.saturating_mul(distance + 1).max(1);
-        let bytes = cuboid_bytes(&cuboid);
+        let bytes = block_bytes(cells);
         self.cache.insert(
-            CacheKey::Cuboid(target, 0),
-            CachedValue::Cuboid(Arc::new(cuboid)),
+            CacheKey::Block(target),
+            CachedValue::Block(Arc::clone(cells)),
             bytes,
             cost,
             source,

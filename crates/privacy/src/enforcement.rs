@@ -115,9 +115,10 @@ mod tests {
         let fine = exec.sets.iter().find(|s| s.target == 0b11).unwrap();
         let by_product = exec.sets.iter().find(|s| s.target == 0b01).unwrap();
         let by_store = exec.sets.iter().find(|s| s.target == 0b10).unwrap();
-        let hidden = |r: usize, c: usize| {
-            fine.cells[&vec![r as u32, c as u32].into_boxed_slice()].suppressed
+        let suppressed_at = |block: &statcube_core::plan::CellBlock, key: &[u32]| {
+            block.is_suppressed(block.find(key).unwrap())
         };
+        let hidden = |r: usize, c: usize| suppressed_at(&fine.cells, &[r as u32, c as u32]);
 
         // Same primary rule: every reference-primary cell is withheld.
         for &(r, c) in &reference.primary {
@@ -129,27 +130,25 @@ mod tests {
         // Same invariant as `suppress::line_safe`: a published marginal
         // line never contains exactly one suppressed interior cell.
         for r in 0..3 {
-            let marginal = &by_product.cells[&vec![r as u32].into_boxed_slice()];
             let in_row = (0..3).filter(|&c| hidden(r, c)).count();
             assert!(
-                marginal.suppressed || in_row != 1,
+                suppressed_at(&by_product.cells, &[r as u32]) || in_row != 1,
                 "row {r} invertible from its published marginal"
             );
         }
         for c in 0..3 {
-            let marginal = &by_store.cells[&vec![c as u32].into_boxed_slice()];
             let in_col = (0..3).filter(|&r| hidden(r, c)).count();
             assert!(
-                marginal.suppressed || in_col != 1,
+                suppressed_at(&by_store.cells, &[c as u32]) || in_col != 1,
                 "column {c} invertible from its published marginal"
             );
         }
         // Published cells carry the exact counts.
         for (r, row) in t.iter().enumerate() {
             for (c, &expected) in row.iter().enumerate() {
-                let cell = &fine.cells[&vec![r as u32, c as u32].into_boxed_slice()];
-                if !cell.suppressed {
-                    assert_eq!(cell.states[0].count, expected);
+                let i = fine.cells.find(&[r as u32, c as u32]).unwrap();
+                if !fine.cells.is_suppressed(i) {
+                    assert_eq!(fine.cells.state(0, i).count, expected);
                 }
             }
         }
@@ -166,16 +165,16 @@ mod tests {
             GroupingSpec::Single,
             vec![count_agg()],
         );
-        let dominant: Box<[u32]> = vec![0u32].into();
+        let dominant = [0u32];
 
         // Plain suppression withholds the two small cells but publishes
         // the dominant one…
-        let open = run(&o, &by_product, cell_suppression(5));
-        assert!(!open.sets[0].cells[&dominant].suppressed);
+        let open = &run(&o, &by_product, cell_suppression(5)).sets[0].cells;
+        assert!(!open.is_suppressed(open.find(&dominant).unwrap()));
         // …which the tracker guard recognizes as a difference attack.
-        let guarded = run(&o, &by_product, tracker_guarded(5));
-        assert!(guarded.sets[0].cells[&dominant].suppressed);
-        assert!(guarded.sets[0].cells.values().all(|c| c.suppressed));
+        let guarded = &run(&o, &by_product, tracker_guarded(5)).sets[0].cells;
+        assert!(guarded.is_suppressed(guarded.find(&dominant).unwrap()));
+        assert!((0..guarded.len()).all(|i| guarded.is_suppressed(i)));
     }
 
     #[test]
@@ -188,9 +187,10 @@ mod tests {
             vec![count_agg()],
         );
         let sums = |exec: &PlanExecution| {
-            let mut v: Vec<(Box<[u32]>, f64)> =
-                exec.sets[0].cells.iter().map(|(k, c)| (k.clone(), c.states[0].sum)).collect();
-            v.sort_by(|a, b| a.0.cmp(&b.0));
+            let block = &exec.sets[0].cells;
+            let v: Vec<(Box<[u32]>, f64)> = (0..block.len())
+                .map(|i| (block.key(i).to_vec().into_boxed_slice(), block.state(0, i).sum))
+                .collect();
             v
         };
         let a = sums(&run(&o, &by_product, output_perturbed(0.5, 7)));

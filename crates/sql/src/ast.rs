@@ -3,7 +3,7 @@
 use statcube_core::measure::SummaryFunction;
 
 /// An aggregate expression in the SELECT list.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AggExpr {
     /// The aggregate function.
     pub func: SummaryFunction,
@@ -23,7 +23,7 @@ impl AggExpr {
 }
 
 /// One equality/inequality predicate of the WHERE conjunction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Predicate {
     /// Dimension name.
     pub column: String,
@@ -46,7 +46,7 @@ impl Predicate {
 }
 
 /// The GROUP BY clause.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Grouping {
     /// No GROUP BY: a single grand-total row.
     None,
@@ -69,7 +69,7 @@ impl Grouping {
 }
 
 /// A parsed query.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Query {
     /// The SELECT aggregates, in order.
     pub select: Vec<AggExpr>,

@@ -12,6 +12,7 @@
 //! than the schema-level check, because SQL names its functions explicitly.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use statcube_core::error::{Error, Result};
 use statcube_core::object::StatisticalObject;
@@ -30,8 +31,11 @@ use crate::ast::{Grouping, Query};
 /// privacy policy).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResultRow {
-    /// Values of the grouping columns, in GROUP BY order.
-    pub group: Vec<Option<String>>,
+    /// Values of the grouping columns, in GROUP BY order. Labels are
+    /// `Arc<str>` shared with the executor's per-dimension label tables, so
+    /// a row costs a refcount bump per group column instead of a string
+    /// allocation.
+    pub group: Vec<Option<Arc<str>>>,
     /// Values of the SELECT aggregates, in SELECT order.
     pub values: Vec<Option<f64>>,
     /// The row was withheld by the privacy pass (its values read `NULL`).
@@ -58,7 +62,7 @@ impl ResultSet {
         let mut cells: Vec<Vec<String>> = Vec::with_capacity(self.rows.len());
         for row in &self.rows {
             let mut line: Vec<String> =
-                row.group.iter().map(|g| g.clone().unwrap_or_else(|| "ALL".into())).collect();
+                row.group.iter().map(|g| g.as_deref().unwrap_or("ALL").to_owned()).collect();
             line.extend(row.values.iter().map(|v| match v {
                 Some(v) => format!("{v:.2}"),
                 None => "NULL".into(),
@@ -143,7 +147,19 @@ pub(crate) fn rows_from_plan(
     exec: &PlanExecution,
     schema: &Schema,
 ) -> Result<Vec<ResultRow>> {
-    Ok(plan::result_rows(planned, exec, schema)?
+    let labels = plan::group_labels(planned, schema)?;
+    rows_from_plan_with_labels(planned, exec, &labels)
+}
+
+/// [`rows_from_plan`] against pre-resolved label tables — the cached
+/// session resolves a query's labels once at plan time and replays them on
+/// every execution.
+pub(crate) fn rows_from_plan_with_labels(
+    planned: &PlannedQuery,
+    exec: &PlanExecution,
+    labels: &plan::GroupLabels,
+) -> Result<Vec<ResultRow>> {
+    Ok(plan::result_rows_with_labels(planned, exec, labels)?
         .into_iter()
         .map(|r| ResultRow { group: r.group, values: r.values, suppressed: r.suppressed })
         .collect())
@@ -399,7 +415,7 @@ pub(crate) mod frozen {
                 let mut cursor = 0;
                 for keep in set {
                     if *keep {
-                        group.push(Some(names[cursor].to_owned()));
+                        group.push(Some(Arc::from(names[cursor])));
                         cursor += 1;
                     } else {
                         group.push(None);

@@ -38,9 +38,12 @@
 //! hierarchy-level groupings, or leaf predicates when pushdown is disabled
 //! — bypass the session store and take the uncached path.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use statcube_core::error::{Error, Result};
 use statcube_core::object::StatisticalObject;
-use statcube_core::plan::{self, Planner, PlannerConfig, PrivacyPolicy};
+use statcube_core::plan::{self, GroupLabels, PlannedQuery, Planner, PlannerConfig, PrivacyPolicy};
 use statcube_core::trace::{self, QueryProfile};
 use statcube_cube::cache::{CacheConfig, CacheStats};
 use statcube_cube::input::FactInput;
@@ -56,8 +59,10 @@ use crate::exec::{self, ResultSet};
 /// [`CachedSession`] execution — where the grouping-set answers came from.
 #[derive(Debug)]
 pub struct PhysicalAnswer {
-    /// The query result, same shape as [`exec::execute`] produces.
-    pub result: ResultSet,
+    /// The query result, same shape as [`exec::execute`] produces. Shared:
+    /// a [`CachedSession`] replaying memoized rows hands out another handle
+    /// to the same rendering instead of re-materializing it.
+    pub result: Arc<ResultSet>,
     /// The cross-layer span tree. Present only when [`trace`] was enabled
     /// and this query was the calling thread's outermost traced unit of
     /// work.
@@ -147,11 +152,11 @@ pub fn execute_physical_with_options(
     }
     drop(root);
 
-    let result = ResultSet {
+    let result = Arc::new(ResultSet {
         group_columns: display_dims,
         agg_columns: query.select.iter().map(|a| a.to_sql()).collect(),
         rows,
-    };
+    });
     let profile = if attach_profile { Some(trace::take_profile()) } else { None };
     Ok(PhysicalAnswer {
         result,
@@ -203,6 +208,51 @@ pub struct CachedSession {
     store: SharedViewStore,
     policy: PrivacyPolicy,
     config: PlannerConfig,
+    /// Plan cache, keyed by the parsed query. Entries are generation-pinned
+    /// (see [`CachedPlan`]) and the builder methods that change plan
+    /// semantics ([`CachedSession::with_policy`],
+    /// [`CachedSession::with_planner_config`]) clear it.
+    plans: Mutex<HashMap<Query, Arc<CachedPlan>>>,
+}
+
+/// One planned query, pinned to the store publication generation it was
+/// planned against. Replaying it skips the planner (name resolution,
+/// summarizability, rewrite passes) and the label-table resolution on every
+/// repeat of the same SQL text.
+#[derive(Debug)]
+struct CachedPlan {
+    /// [`SharedViewStore::generation`] at plan time; a published delta
+    /// bumps it and orphans the entry (the catalog's view sizes moved, so
+    /// routing must re-run).
+    generation: u64,
+    planned: Arc<PlannedQuery>,
+    labels: Arc<GroupLabels>,
+    agg_columns: Vec<String>,
+    /// Memoized row rendering from the last execution of this plan (see
+    /// [`RenderedRows`]); replayed when every grouping-set answer is the
+    /// same block by identity.
+    rendered: Mutex<Option<RenderedRows>>,
+}
+
+/// The rendered rows of one plan execution, keyed by the identity of the
+/// post-enforcement answer blocks they were rendered from. Rows are a pure
+/// function of (plan, label tables, blocks), and the session's answer
+/// cache serves repeats as handles to the *same* immutable blocks — so
+/// pointer equality on every set proves the rendering is still exact, and
+/// holding the `Arc`s pins the allocations against address reuse. Any
+/// fresh derivation (filtered sets, evicted entries, a policy that copied
+/// on write) fails the identity check and re-renders.
+#[derive(Debug)]
+struct RenderedRows {
+    blocks: Vec<Arc<plan::CellBlock>>,
+    result: Arc<ResultSet>,
+}
+
+/// Poison-proof lock on a plan's memoized rendering.
+fn rendered_lock(
+    m: &Mutex<Option<RenderedRows>>,
+) -> std::sync::MutexGuard<'_, Option<RenderedRows>> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 impl CachedSession {
@@ -229,7 +279,12 @@ impl CachedSession {
             store,
             policy: PrivacyPolicy::none(),
             config: PlannerConfig::default(),
+            plans: Mutex::new(HashMap::new()),
         })
+    }
+
+    fn plans_lock(&self) -> std::sync::MutexGuard<'_, HashMap<Query, Arc<CachedPlan>>> {
+        self.plans.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// Sets the privacy policy every session query is planned with. The
@@ -238,6 +293,7 @@ impl CachedSession {
     #[must_use]
     pub fn with_policy(mut self, policy: PrivacyPolicy) -> Self {
         self.policy = policy;
+        self.plans_lock().clear();
         self
     }
 
@@ -245,6 +301,7 @@ impl CachedSession {
     #[must_use]
     pub fn with_planner_config(mut self, config: PlannerConfig) -> Self {
         self.config = config;
+        self.plans_lock().clear();
         self
     }
 
@@ -293,43 +350,94 @@ impl CachedSession {
 
         // Plan against the store's materialized catalog: the lattice pass
         // routes each set to its cheapest ancestor, pushdown moves WHERE
-        // into the store scan. The source holds the store's read lock for
-        // the whole query, so the catalog and the pages stay consistent.
+        // into the store scan. A generation-pinned plan cache replays the
+        // planned query (and its resolved label tables) on repeats; a
+        // published delta bumps the generation and forces a re-plan, since
+        // the catalog's measured view sizes — the routing input — moved.
         let src = self.store.plan_source();
         let plan_span = trace::span("sql.plan");
-        let catalog = src.catalog();
-        let planned = Planner::for_store(src.dim_count(), &catalog)
-            .with_schema(self.obj.schema())
-            .with_policy(self.policy.clone())
-            .with_config(self.config)
-            .plan(&exec::plan_of_query(query))?;
-        if planned.aggs.iter().any(|a| a.measure != 0) || self.obj.schema().measures().len() != 1 {
-            return Err(Error::MultipleMeasures(self.obj.schema().measures().len()));
-        }
+        let generation = self.store.generation();
+        let cached =
+            self.plans_lock().get(query).filter(|e| e.generation == generation).map(Arc::clone);
+        let entry = match cached {
+            Some(entry) => entry,
+            None => {
+                let catalog = src.catalog();
+                let planned = Planner::for_store(src.dim_count(), &catalog)
+                    .with_schema(self.obj.schema())
+                    .with_policy(self.policy.clone())
+                    .with_config(self.config)
+                    .plan(&exec::plan_of_query(query))?;
+                if planned.aggs.iter().any(|a| a.measure != 0)
+                    || self.obj.schema().measures().len() != 1
+                {
+                    return Err(Error::MultipleMeasures(self.obj.schema().measures().len()));
+                }
+                let labels = Arc::new(plan::group_labels(&planned, self.obj.schema())?);
+                let entry = Arc::new(CachedPlan {
+                    generation,
+                    planned: Arc::new(planned),
+                    labels,
+                    agg_columns: query.select.iter().map(|a| a.to_sql()).collect(),
+                    rendered: Mutex::new(None),
+                });
+                self.plans_lock().insert(query.clone(), Arc::clone(&entry));
+                entry
+            }
+        };
+        let planned = &*entry.planned;
         drop(plan_span);
 
         let mut eval_span = trace::span("sql.eval");
-        let executed = plan::execute(&planned, &src)?;
+        let executed = plan::execute(planned, &src)?;
         let cache_hits = executed.cache_hits() as u64;
         let cache_misses = planned.sets.len() as u64 - cache_hits;
         let degraded_answers = executed.degraded_answers() as u64;
         let cells_scanned = executed.cells_scanned();
-        let rows = exec::rows_from_plan(&planned, &executed, self.obj.schema())?;
+        // Replay the memoized rendering when every answer is the same block
+        // by identity (see [`RenderedRows`]); otherwise render and memoize.
+        let memo = {
+            let guard = rendered_lock(&entry.rendered);
+            guard
+                .as_ref()
+                .filter(|r| {
+                    r.blocks.len() == executed.sets.len()
+                        && r.blocks
+                            .iter()
+                            .zip(&executed.sets)
+                            .all(|(b, s)| Arc::ptr_eq(b, &s.cells))
+                })
+                .map(|r| Arc::clone(&r.result))
+        };
+        let replayed = memo.is_some();
+        let result = match memo {
+            Some(result) => result,
+            None => {
+                let rows = exec::rows_from_plan_with_labels(planned, &executed, &entry.labels)?;
+                let result = Arc::new(ResultSet {
+                    group_columns: display_dims,
+                    agg_columns: entry.agg_columns.clone(),
+                    rows,
+                });
+                *rendered_lock(&entry.rendered) = Some(RenderedRows {
+                    blocks: executed.sets.iter().map(|s| Arc::clone(&s.cells)).collect(),
+                    result: Arc::clone(&result),
+                });
+                result
+            }
+        };
+        if replayed {
+            trace::counter("sql.rendered_replays", 1);
+        }
         eval_span.record("grouping_sets", planned.sets.len() as u64);
-        eval_span.record("rows", rows.len() as u64);
+        eval_span.record("rows", result.rows.len() as u64);
         eval_span.record("cache_hits", cache_hits);
         drop(eval_span);
-        root.record("rows", rows.len() as u64);
+        root.record("rows", result.rows.len() as u64);
         if degraded_answers > 0 {
             root.note(format!("{degraded_answers} degraded answer(s)"));
         }
         drop(root);
-
-        let result = ResultSet {
-            group_columns: display_dims,
-            agg_columns: query.select.iter().map(|a| a.to_sql()).collect(),
-            rows,
-        };
         let profile = if attach_profile { Some(trace::take_profile()) } else { None };
         Ok(PhysicalAnswer {
             result,
@@ -418,8 +526,14 @@ mod tests {
     }
 
     fn row_key(rs: &ResultSet) -> Vec<(Vec<Option<String>>, String)> {
-        let mut v: Vec<(Vec<Option<String>>, String)> =
-            rs.rows.iter().map(|r| (r.group.clone(), format!("{:?}", r.values))).collect();
+        let mut v: Vec<(Vec<Option<String>>, String)> = rs
+            .rows
+            .iter()
+            .map(|r| {
+                let group = r.group.iter().map(|g| g.as_deref().map(str::to_owned)).collect();
+                (group, format!("{:?}", r.values))
+            })
+            .collect();
         v.sort();
         v
     }

@@ -8,7 +8,9 @@
 //! * [`row`] — the flat relational baseline (Fig 10);
 //! * [`mod@column`] — transposed (vertically partitioned) files (\[THC79\]);
 //! * [`encoding`] + [`rle`] + [`bittransposed`] — encoded, run-length
-//!   compressed, and bit-sliced columns (\[WL+85\], Fig 19);
+//!   compressed, and bit-sliced columns (\[WL+85\], Fig 19), with
+//!   [`chunks`] supplying the batch-at-a-time aggregation kernels those
+//!   layouts were designed for (run-aware, bitmap-filtered, grouped);
 //! * [`header`] — header compression of sparse linearized arrays
 //!   (\[EOA81\], Fig 21), searched through the [`btree`] B+tree, with the
 //!   [`lzw`] codec as the general-purpose alternative §6.2 mentions;
@@ -33,6 +35,7 @@
 pub mod bittransposed;
 pub mod btree;
 pub mod chunked;
+pub mod chunks;
 pub mod column;
 pub mod crc32;
 pub mod cubetree;
@@ -55,6 +58,10 @@ pub mod prelude {
     pub use crate::bittransposed::BitSlicedColumn;
     pub use crate::btree::BPlusTree;
     pub use crate::chunked::ChunkedArray;
+    pub use crate::chunks::{
+        aggregate_chunks, aggregate_dense, aggregate_runs, dense_chunks, filtered_aggregate,
+        group_aggregate, run_chunks, MeasureChunk,
+    };
     pub use crate::column::TransposedStore;
     pub use crate::cubetree::CubeTree;
     pub use crate::encoding::EncodedColumn;

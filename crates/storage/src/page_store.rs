@@ -300,6 +300,13 @@ impl PageStore {
         self.armed.store(false, Ordering::Release);
     }
 
+    /// Whether a fault injector is currently armed. Callers that cache
+    /// decoded pages use this to bypass their caches while faults are live,
+    /// so every injected fault actually exercises the I/O path.
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::Acquire)
+    }
+
     /// Number of logical files.
     pub fn file_count(&self) -> usize {
         self.files_read().len()

@@ -60,18 +60,17 @@ fn fingerprint(obj: &StatisticalObject, plan: &Plan, config: PlannerConfig) -> S
         // Sums are rounded to 9 significant digits: cell merge order
         // follows HashMap iteration, so the last few ulps of a float sum
         // are not stable between executions.
-        let mut cells: Vec<String> = set
-            .cells
-            .iter()
-            .map(|(k, c)| {
-                let states: Vec<String> = c
-                    .states
+        let block = &set.cells;
+        let mut cells: Vec<String> = (0..block.len())
+            .map(|i| {
+                let states: Vec<String> = block
+                    .states_row(i)
                     .iter()
                     .map(|s| {
                         format!("(n={} sum={:.8e} min={} max={})", s.count, s.sum, s.min, s.max)
                     })
                     .collect();
-                format!("{:?}:{:?}:{}", k, states, c.suppressed)
+                format!("{:?}:{:?}:{}", block.key(i), states, block.is_suppressed(i))
             })
             .collect();
         cells.sort();

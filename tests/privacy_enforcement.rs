@@ -51,7 +51,7 @@ fn suppressed_groups(rs: &ResultSet) -> BTreeSet<Vec<String>> {
     rs.rows
         .iter()
         .filter(|r| r.suppressed)
-        .map(|r| r.group.iter().map(|g| g.clone().unwrap_or_else(|| "ALL".into())).collect())
+        .map(|r| r.group.iter().map(|g| g.as_deref().unwrap_or("ALL").to_owned()).collect())
         .collect()
 }
 
@@ -60,7 +60,7 @@ fn published_groups(rs: &ResultSet) -> BTreeSet<Vec<String>> {
     rs.rows
         .iter()
         .filter(|r| !r.suppressed)
-        .map(|r| r.group.iter().map(|g| g.clone().unwrap_or_else(|| "ALL".into())).collect())
+        .map(|r| r.group.iter().map(|g| g.as_deref().unwrap_or("ALL").to_owned()).collect())
         .collect()
 }
 

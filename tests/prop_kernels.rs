@@ -1,0 +1,127 @@
+//! Property tests on the batched executor's kernel laws: the block-merge
+//! monoid, selection-vector masking, and empty-batch identities.
+//!
+//! Generated blocks carry integer-valued doubles, so float addition is
+//! exact and the monoid laws hold bit-for-bit (not merely approximately) —
+//! the same discipline the kernel-differential gate uses.
+
+use proptest::prelude::*;
+
+use statcube::core::measure::AggState;
+use statcube::core::plan::{derive_block, merge_blocks, CellBlock};
+
+/// Key domain: two coordinates in 0..5 — small enough to force collisions
+/// (the merge paths), wide enough to exercise both derivation paths.
+const KEY_SPACE: u32 = 5;
+
+/// A generated cell: two coordinates and an integer measure value.
+type Cell = (u32, u32, i64);
+
+fn cells_strategy(max: usize) -> impl Strategy<Value = Vec<Cell>> {
+    proptest::collection::vec((0..KEY_SPACE, 0..KEY_SPACE, -1000i64..1000), 0..max)
+}
+
+/// Builds a sorted single-measure block, merging duplicate keys the same
+/// way repeated inserts would.
+fn block_of(cells: &[Cell]) -> CellBlock {
+    let mut map: std::collections::BTreeMap<[u32; 2], AggState> = Default::default();
+    for &(a, b, v) in cells {
+        map.entry([a, b]).or_insert(AggState::EMPTY).merge(&AggState::from_value(v as f64));
+    }
+    let mut block = CellBlock::new(2, 1);
+    for (key, state) in &map {
+        block.push_row(key, &[*state], false);
+    }
+    block
+}
+
+/// Bit-exact block equality with a labelled failure.
+fn assert_blocks_eq(a: &CellBlock, b: &CellBlock) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.key_width(), b.key_width());
+    prop_assert_eq!(a.len(), b.len());
+    for i in 0..a.len() {
+        prop_assert_eq!(a.key(i), b.key(i), "row {} key", i);
+        prop_assert_eq!(a.is_suppressed(i), b.is_suppressed(i), "row {} flag", i);
+        for m in 0..a.measure_count() {
+            let (x, y) = (a.state(m, i), b.state(m, i));
+            prop_assert_eq!(x.count, y.count, "row {} count", i);
+            prop_assert_eq!(x.sum.to_bits(), y.sum.to_bits(), "row {} sum", i);
+            prop_assert_eq!(x.min.to_bits(), y.min.to_bits(), "row {} min", i);
+            prop_assert_eq!(x.max.to_bits(), y.max.to_bits(), "row {} max", i);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `merge_blocks` is associative and commutative — the block-level
+    /// image of the `AggState` partial-aggregation monoid.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in cells_strategy(40), b in cells_strategy(40), c in cells_strategy(40)
+    ) {
+        let (a, b, c) = (block_of(&a), block_of(&b), block_of(&c));
+        let left = merge_blocks(&merge_blocks(&a, &b), &c);
+        let right = merge_blocks(&a, &merge_blocks(&b, &c));
+        assert_blocks_eq(&left, &right)?;
+        assert_blocks_eq(&merge_blocks(&a, &b), &merge_blocks(&b, &a))?;
+    }
+
+    /// The empty block is the merge identity, and deriving from an empty
+    /// batch yields an empty result for every target.
+    #[test]
+    fn empty_batch_is_the_identity(a in cells_strategy(40)) {
+        let a = block_of(&a);
+        let empty = CellBlock::new(2, 1);
+        assert_blocks_eq(&merge_blocks(&a, &empty), &a)?;
+        assert_blocks_eq(&merge_blocks(&empty, &a), &a)?;
+        for target in [0b11u32, 0b01, 0b10, 0] {
+            prop_assert!(derive_block(&empty, 0b11, target, &[]).is_empty());
+        }
+    }
+
+    /// Selection-vector masking law: deriving with pushed-down filters
+    /// equals deriving the pre-filtered source with no filters — the
+    /// selection vector must be exactly a filter, never a re-aggregation.
+    #[test]
+    fn selection_vector_equals_prefiltered_input(
+        cells in cells_strategy(80),
+        allowed0 in proptest::collection::btree_set(0..KEY_SPACE, 0..5),
+        allowed1 in proptest::collection::btree_set(0..KEY_SPACE, 0..5),
+        target in 0u32..4,
+    ) {
+        let allowed0: Vec<u32> = allowed0.into_iter().collect();
+        let allowed1: Vec<u32> = allowed1.into_iter().collect();
+        let src = block_of(&cells);
+        let filters = vec![(0usize, allowed0.clone()), (1usize, allowed1.clone())];
+        let masked = derive_block(&src, 0b11, target, &filters);
+        let kept: Vec<Cell> = cells
+            .iter()
+            .filter(|(a, b, _)| {
+                allowed0.binary_search(a).is_ok() && allowed1.binary_search(b).is_ok()
+            })
+            .copied()
+            .collect();
+        let prefiltered = derive_block(&block_of(&kept), 0b11, target, &[]);
+        assert_blocks_eq(&masked, &prefiltered)?;
+    }
+
+    /// Derivation then merge commutes with merge then derivation: deriving
+    /// each part and merging equals deriving the merged source (partial
+    /// aggregation correctness, the property partition-parallel CUBE and
+    /// delta folds rely on).
+    #[test]
+    fn derive_commutes_with_merge(
+        a in cells_strategy(60), b in cells_strategy(60), target in 0u32..4
+    ) {
+        let whole = block_of(&[a.clone(), b.clone()].concat());
+        let merged_then_derived = derive_block(&whole, 0b11, target, &[]);
+        let derived_then_merged = merge_blocks(
+            &derive_block(&block_of(&a), 0b11, target, &[]),
+            &derive_block(&block_of(&b), 0b11, target, &[]),
+        );
+        assert_blocks_eq(&merged_then_derived, &derived_then_merged)?;
+    }
+}

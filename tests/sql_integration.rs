@@ -92,7 +92,7 @@ fn cube_query_equals_its_union_expansion() {
         // unions are emitted finest-first over masks (rev order).
         let mask = (unions.len() - 1 - i) as u32;
         for row in &part.rows {
-            let mut group: Vec<Option<String>> = Vec::new();
+            let mut group: Vec<Option<std::sync::Arc<str>>> = Vec::new();
             let mut cursor = 0;
             for bit in 0..2 {
                 if mask & (1 << bit) != 0 {
