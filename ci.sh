@@ -6,13 +6,16 @@
 #   ./ci.sh quick    quick gate: debug tests, clippy, golden EXPLAIN
 #                    snapshots, the kernel-differential suite, one
 #                    parallel-suite run, the kill-point quick slice,
-#                    unwrap gate — skips the release build, the full
-#                    chaos suites, the perf gate, and the smokes
+#                    the quick shard-differential slice, unwrap gate —
+#                    skips the release build, the full chaos suites,
+#                    the perf gate, and the smokes
 #   ./ci.sh chaos    common stages + the fault/concurrency suites:
 #                    default-thread parallel run, chaos property suite,
-#                    shared-store suite, 120-seed recovery sweep, WAL fuzz
+#                    shared-store suite, 120-seed recovery sweep, WAL
+#                    fuzz, full shard differential + dead-shard chaos
 #   ./ci.sh perf     common stages + release build, the perf-regression
-#                    gate (BENCH_09.json), and the E24/E26/E28/E29 smokes
+#                    gate (BENCH_10.json), and the E24/E26/E28/E29/E30
+#                    smokes
 #
 # `chaos` and `perf` partition the full gate's slow tail so CI can run
 # them as parallel jobs; `full` remains their union for local use.
@@ -93,6 +96,19 @@ fi
 # proof of the incremental maintenance path.
 stage "differential maintenance suite" cargo test -q --test delta_maintenance
 
+# Scatter-gather differential gate: the sharded store must answer bit-for
+# bit like the unsharded store it partitions — all generators, policies,
+# routers, shard counts, filtered/pruned slices, routed deltas. Quick and
+# perf modes run the quick_ slice; chaos/full run the whole suite
+# including the 120-seed dead-shard chaos sweep.
+if $run_chaos; then
+    stage "shard differential suite (full + dead-shard chaos)" \
+        cargo test -q --test shard_differential
+else
+    stage "shard differential quick slice" \
+        cargo test -q --test shard_differential quick_
+fi
+
 # Chaos gate: the fault-injection property suite — cached and uncached
 # serving paths bit-identical to the oracle or typed errors across 120
 # seeded fault plans, including delta publication atomicity under armed
@@ -145,15 +161,16 @@ unwrap_gate() {
 stage "no-new-unwrap gate" unwrap_gate
 
 # Perf-regression gate (perf mode): measures the pinned E25/E22/E27/E28
-# subset plus the batched-planner throughput in release, writes
-# BENCH_09.json, and fails (exit 1) if throughput regresses more than 25%
+# subset plus the batched-planner throughput and the sharded slice
+# serving point (N=4 throughput and N=4/N=1 pruning scaling) in release,
+# writes BENCH_10.json, and fails (exit 1) if throughput regresses more than 25%
 # against the committed bench_baseline.json (or the deterministic cache
 # hit rate drops >0.05); environment problems exit 2. Re-baseline after
 # an intentional perf trade or a hardware change:
 #   cargo run -p statcube-bench --release --bin perf_gate -- --write-baseline
 # then commit bench_baseline.json.
 if $run_perf; then
-    stage "perf-regression gate (BENCH_09.json vs bench_baseline.json)" \
+    stage "perf-regression gate (BENCH_10.json vs bench_baseline.json)" \
         cargo run -q -p statcube-bench --release --bin perf_gate
 fi
 
@@ -188,6 +205,17 @@ fi
 if $run_perf; then
     stage "vectorized execution smoke (E29 kernels vs interpreter)" \
         cargo run -q -p statcube-bench --bin experiments -- exp29
+fi
+
+# Sharded-execution smoke (perf mode): E30 sweeps shard counts on the
+# pinned sharded serving workload and asserts in-line (release builds)
+# that shard-key slice pruning delivers >=2.5x throughput at N=4, that a
+# healthy scatter is complete, and that a dead shard degrades to typed
+# partial answers. Release: the binary is already built by this mode's
+# first stage, and the scaling assertion only arms under optimization.
+if $run_perf; then
+    stage "sharded execution smoke (E30 pruning + degradation)" \
+        cargo run -q --release -p statcube-bench --bin experiments -- exp30
 fi
 
 echo "CI gate ($mode) passed in $((SECONDS - total_start))s."

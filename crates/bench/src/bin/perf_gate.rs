@@ -6,9 +6,11 @@
 //! delta-maintenance throughput and reader tail latency under a delta
 //! writer — since schema 4, measured on a **durable** store so the gated
 //! number carries the write-ahead journaling cost), E28 (recovery
-//! replay throughput over the journal those folds wrote), and — since
-//! schema 5 — E29's planner path through the batched kernel executor,
-//! writes the numbers to `BENCH_09.json`, and compares them against the
+//! replay throughput over the journal those folds wrote), since
+//! schema 5 E29's planner path through the batched kernel executor, and —
+//! since schema 6 — E30's sharded slice serving (block-level scatter with
+//! shard pruning at the pinned N=4, plus the N=4/N=1 scaling ratio),
+//! writes the numbers to `BENCH_10.json`, and compares them against the
 //! committed `bench_baseline.json`:
 //!
 //! * any throughput metric below `baseline × (1 − tolerance)` fails the
@@ -53,8 +55,9 @@
 use std::time::Instant;
 
 use statcube_bench::serving::{
-    self, build_durable_store, build_store, delta_batches, make_facts, run_stream,
-    run_stream_threads, run_stream_threads_with_writer, zipf_stream, DELTA_ROWS,
+    self, build_durable_store, build_sharded_store, build_store, delta_batches, make_facts,
+    make_shard_facts, run_shard_stream, run_stream, run_stream_threads,
+    run_stream_threads_with_writer, shard_slice_stream, zipf_stream, DELTA_ROWS,
 };
 use statcube_core::measure::SummaryFunction;
 use statcube_cube::cache::CacheConfig;
@@ -87,6 +90,30 @@ struct Measured {
     delta_rows_per_sec: f64,
     recovery_replay_rows_per_sec: f64,
     reader_p99_under_writes_ns: u64,
+    sharded_ops_per_sec: f64,
+    shard_scaling_n4: f64,
+}
+
+/// E30's pinned subset: block-level sharded slice serving at the gate's
+/// N=4 (`sharded_ops_per_sec`) and the same stream over an N=1 store for
+/// the pruning-scaling ratio (`shard_scaling_n4`). Each store is paged in
+/// with a stream prefix before measuring; both take the best of [`RUNS`].
+fn measure_sharded() -> (f64, f64) {
+    let facts = make_shard_facts(3);
+    let stream = shard_slice_stream(serving::SHARD_STREAM_LEN, 7);
+    let warm = stream.len().min(40);
+    let best_at = |n: usize| {
+        let store = build_sharded_store(&facts, n);
+        run_shard_stream(&store, &stream[..warm]);
+        let mut best = 0.0f64;
+        for _ in 0..RUNS {
+            best = best.max(run_shard_stream(&store, &stream).ops_per_sec);
+        }
+        best
+    };
+    let n1 = best_at(1);
+    let n4 = best_at(serving::SHARD_N);
+    (n4, n4 / n1.max(1e-9))
 }
 
 /// E27/E28's pinned subset: incremental apply throughput (rows folded per
@@ -233,6 +260,7 @@ fn measure() -> Measured {
 
     let (delta_rows_per_sec, recovery_replay_rows_per_sec, reader_p99_under_writes_ns) =
         measure_maintenance();
+    let (sharded_ops_per_sec, shard_scaling_n4) = measure_sharded();
     Measured {
         serving_ops_per_sec: best.ops_per_sec,
         serving_hit_rate: best.hit_rate,
@@ -244,19 +272,23 @@ fn measure() -> Measured {
         delta_rows_per_sec,
         recovery_replay_rows_per_sec,
         reader_p99_under_writes_ns,
+        sharded_ops_per_sec,
+        shard_scaling_n4,
     }
 }
 
 fn to_json(m: &Measured) -> String {
     format!(
-        "{{\n  \"schema\": 5,\n  \"serving_ops_per_sec\": {:.1},\n  \
+        "{{\n  \"schema\": 6,\n  \"serving_ops_per_sec\": {:.1},\n  \
          \"serving_hit_rate\": {:.4},\n  \"serving_p50_ns\": {},\n  \
          \"serving_p95_ns\": {},\n  \"threaded_ops_per_sec\": {:.1},\n  \
          \"parallel_cube_rows_per_sec\": {:.1},\n  \
          \"planner_ops_per_sec\": {:.1},\n  \
          \"delta_rows_per_sec\": {:.1},\n  \
          \"recovery_replay_rows_per_sec\": {:.1},\n  \
-         \"reader_p99_under_writes_ns\": {}\n}}\n",
+         \"reader_p99_under_writes_ns\": {},\n  \
+         \"sharded_ops_per_sec\": {:.1},\n  \
+         \"shard_scaling_n4\": {:.2}\n}}\n",
         m.serving_ops_per_sec,
         m.serving_hit_rate,
         m.serving_p50_ns,
@@ -267,6 +299,8 @@ fn to_json(m: &Measured) -> String {
         m.delta_rows_per_sec,
         m.recovery_replay_rows_per_sec,
         m.reader_p99_under_writes_ns,
+        m.sharded_ops_per_sec,
+        m.shard_scaling_n4,
     )
 }
 
@@ -315,13 +349,13 @@ fn write_step_summary(rows: &[(String, f64, Option<f64>, &'static str)], toleran
 fn main() {
     let write_baseline = std::env::args().any(|a| a == "--write-baseline");
     let json_only = std::env::args().any(|a| a == "--json-only");
-    let out_path = std::env::var("PERF_GATE_OUT").unwrap_or_else(|_| "BENCH_09.json".into());
+    let out_path = std::env::var("PERF_GATE_OUT").unwrap_or_else(|_| "BENCH_10.json".into());
     let baseline_path =
         std::env::var("PERF_GATE_BASELINE").unwrap_or_else(|_| "bench_baseline.json".into());
     let tolerance: f64 =
         std::env::var("PERF_GATE_TOLERANCE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.25);
 
-    eprintln!("perf_gate: measuring pinned E25/E22/E26/E27/E29 subset...");
+    eprintln!("perf_gate: measuring pinned E25/E22/E26/E27/E29/E30 subset...");
     let m = measure();
     let json = to_json(&m);
     print!("{json}");
@@ -365,6 +399,10 @@ fn main() {
         ("planner_ops_per_sec", m.planner_ops_per_sec),
         ("delta_rows_per_sec", m.delta_rows_per_sec),
         ("recovery_replay_rows_per_sec", m.recovery_replay_rows_per_sec),
+        ("sharded_ops_per_sec", m.sharded_ops_per_sec),
+        // A ratio, not a rate, but gated the same way: scaling collapsing
+        // toward 1 means shard pruning stopped pruning.
+        ("shard_scaling_n4", m.shard_scaling_n4),
     ] {
         match json_num(&baseline, key) {
             Some(base) if base > 0.0 => {

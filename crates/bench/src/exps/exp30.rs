@@ -1,0 +1,271 @@
+//! E30 — scatter-gather sharding: pruning payoff, scatter overhead, and
+//! dead-shard degradation.
+//!
+//! The tentpole measurement for the sharded execution layer. Four
+//! questions, each on the pinned sharded serving workload
+//! ([`serving::SHARD_CARDS`], hash-routed on dimension 0, base view only,
+//! cache disabled so every query pays its scan):
+//!
+//! * **slice pruning** — a shard-key slice stream through
+//!   [`serving::run_shard_stream`] at N ∈ {1, 2, 4, 8}: a filter on the
+//!   router dimension proves non-owning shards empty, so only the owning
+//!   shard scans. Cost falls to ~1/N of the cells — the
+//!   subcube-partitioning payoff of §6.4, and the machine this repo runs
+//!   on has **one core**, so this is a work-reduction win, not a
+//!   parallelism win.
+//! * **unfiltered scatter** — the same masks with no filter: every shard
+//!   scans its partition and the merge folds N partial blocks. On one
+//!   core the total work is unchanged, so throughput holds near the
+//!   unsharded reference minus scatter/merge overhead — reported
+//!   honestly, not hidden.
+//! * **delta ingest** — the pinned maintenance stream routed and folded
+//!   per shard, rows/sec against shard count.
+//! * **dead-shard degradation** — kill one of four shards: every
+//!   unfiltered answer degrades to a typed partial (`missing_shards`
+//!   names exactly the dead shard), throughput over the survivors, then
+//!   `heal()` restores complete answers.
+//!
+//! A `json:` line carries the numbers machine-readably; the release build
+//! asserts the headline claim (≥2.5× slice throughput at N=4), and the
+//! unit test pins the qualitative claims on a scaled-down run.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use statcube_core::plan::{self, Plan, Planner, PlannerConfig, PrivacyPolicy};
+use statcube_cube::cache::CacheConfig;
+use statcube_cube::input::FactInput;
+use statcube_cube::sharded::{ShardNode, ShardRouter, ShardedViewStore};
+use statcube_cube::shared::SharedViewStore;
+
+use crate::report::{ratio, Table};
+use crate::serving::{
+    self, shard_delta_batches, shard_slice_stream, zipf_stream, DELTA_ROWS, SHARD_CARDS, SHARD_N,
+    ZIPF_S,
+};
+
+/// Shard counts under test.
+const SWEEP: [usize; 4] = [1, 2, 4, 8];
+/// Delta batches folded per shard count.
+const DELTA_BATCHES: usize = 20;
+
+/// The sharded serving fact table at an arbitrary row count — the same
+/// xorshift recurrence as [`serving::make_shard_facts`], so the scaled
+/// unit-test run measures the same distribution the release run does.
+fn facts_of(rows: usize, seed: u64) -> FactInput {
+    let mut input = FactInput::new(&SHARD_CARDS).expect("input");
+    let mut x = seed | 1;
+    for _ in 0..rows {
+        let coords: Vec<u32> = SHARD_CARDS
+            .iter()
+            .map(|&c| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % c as u64) as u32
+            })
+            .collect();
+        input.push(&coords, (x % 1000) as f64).expect("push");
+    }
+    input
+}
+
+/// Unfiltered scatter throughput at the block level (the same layer
+/// [`serving::run_shard_stream`] measures): answers every mask in
+/// `stream` through the sharded path, requiring complete answers.
+fn scatter_ops(store: &ShardedViewStore, stream: &[u32]) -> f64 {
+    let t = Instant::now();
+    for &mask in stream {
+        let (exec, _) = store
+            .execute_filtered(mask, &[], &PrivacyPolicy::none(), PlannerConfig::default())
+            .expect("answer");
+        assert_eq!(exec.missing_shards, 0, "healthy scatter must be complete");
+    }
+    stream.len() as f64 / t.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Runs E30 at the pinned release sizes.
+pub fn run() -> String {
+    run_with(serving::SHARD_ROWS, serving::SHARD_STREAM_LEN)
+}
+
+/// The measurement body, parameterized so the debug unit test can run a
+/// scaled-down copy of the identical procedure.
+fn run_with(rows: usize, stream_len: usize) -> String {
+    let facts = facts_of(rows, 3);
+    let slices = shard_slice_stream(stream_len, 7);
+    let masks = zipf_stream((1u32 << SHARD_CARDS.len()) - 1, stream_len, ZIPF_S, 7);
+    let mut out = String::new();
+    out.push_str("=== E30: scatter-gather sharding — pruning, overhead, degradation ===\n\n");
+    let _ = writeln!(
+        out,
+        "workload: {:?} cards, {} rows, {} slice + {} scatter queries, hash router on dim 0\n",
+        SHARD_CARDS, rows, stream_len, stream_len,
+    );
+
+    let warm = slices.len().min(40);
+
+    // Unsharded block-level reference for the scatter columns: plan and
+    // execute per query, same as the sharded path does per shard.
+    let unsharded = SharedViewStore::build(&facts, &[], CacheConfig::disabled()).expect("store");
+    let reference = {
+        let catalog = ShardNode::catalog(&unsharded);
+        let src = unsharded.plan_source();
+        let run = || {
+            let t = Instant::now();
+            for &mask in &masks {
+                let logical = Plan::scan("cube").aggregate_mask(mask);
+                let planned =
+                    Planner::for_store(SHARD_CARDS.len(), &catalog).plan(&logical).expect("plan");
+                std::hint::black_box(plan::execute(&planned, &src).expect("execute"));
+            }
+            masks.len() as f64 / t.elapsed().as_secs_f64().max(1e-9)
+        };
+        run();
+        run()
+    };
+
+    // --- shard-count sweep ------------------------------------------------
+    let mut t = Table::new(
+        "shard-count sweep (single core: pruning is a work win, scatter is overhead)",
+        &["shards", "slice ops/sec", "slice speedup", "scatter ops/sec", "delta rows/sec"],
+    );
+    let mut json_sweep = String::new();
+    let mut slice_at = [0.0f64; SWEEP.len()];
+    for (i, &n) in SWEEP.iter().enumerate() {
+        let store = ShardedViewStore::build(
+            &facts,
+            &[],
+            ShardRouter::Hash { dim: 0 },
+            n,
+            CacheConfig::disabled(),
+        )
+        .expect("sharded store");
+        // Page the store in before measuring (cold first-touch decode
+        // would otherwise be charged to the first queries), then take the
+        // better of two passes — this box has one noisy shared core.
+        serving::run_shard_stream(&store, &slices[..warm]);
+        let slice_a = serving::run_shard_stream(&store, &slices);
+        let slice_b = serving::run_shard_stream(&store, &slices);
+        let slice = if slice_a.ops_per_sec >= slice_b.ops_per_sec { slice_a } else { slice_b };
+        slice_at[i] = slice.ops_per_sec;
+        let scatter = scatter_ops(&store, &masks);
+        let batches = shard_delta_batches(11, DELTA_BATCHES);
+        let dt = Instant::now();
+        for b in &batches {
+            store.apply_delta(b).expect("delta");
+        }
+        let delta_rows = (DELTA_BATCHES * DELTA_ROWS) as f64 / dt.elapsed().as_secs_f64().max(1e-9);
+        t.row([
+            n.to_string(),
+            format!("{:.1}", slice.ops_per_sec),
+            ratio(slice.ops_per_sec / slice_at[0].max(1e-9)),
+            format!("{scatter:.1}"),
+            format!("{delta_rows:.0}"),
+        ]);
+        let _ = write!(
+            json_sweep,
+            "{}{{\"n\":{n},\"slice_ops\":{:.1},\"scatter_ops\":{scatter:.1},\
+             \"delta_rows_per_sec\":{delta_rows:.0}}}",
+            if json_sweep.is_empty() { "" } else { "," },
+            slice.ops_per_sec,
+        );
+    }
+    out.push_str(&t.render());
+    let _ = writeln!(out, "\nunsharded scatter reference: {reference:.1} ops/sec\n");
+    let scaling_n4 = slice_at[2] / slice_at[0].max(1e-9);
+
+    // --- dead-shard degradation ------------------------------------------
+    let store = ShardedViewStore::build(
+        &facts,
+        &[],
+        ShardRouter::Hash { dim: 0 },
+        SHARD_N,
+        CacheConfig::disabled(),
+    )
+    .expect("sharded store");
+    serving::run_shard_stream(&store, &slices[..warm]);
+    let healthy = scatter_ops(&store, &masks);
+    store.kill_shard(2).expect("kill");
+    let td = Instant::now();
+    for &mask in &masks {
+        let (exec, failed) = store
+            .execute_filtered(mask, &[], &PrivacyPolicy::none(), PlannerConfig::default())
+            .expect("partial answer, never an error");
+        assert_eq!(exec.missing_shards, 1 << 2, "the mask names exactly the dead shard");
+        assert_eq!(failed.len(), 1, "one typed error for the one dead shard");
+    }
+    let degraded = masks.len() as f64 / td.elapsed().as_secs_f64().max(1e-9);
+    store.heal().expect("heal");
+    let healed = store.answer(store.top()).expect("answer");
+    assert!(!healed.is_partial(), "heal must restore complete answers");
+    let mut td_table = Table::new(
+        "dead-shard degradation (N=4, shard 2 killed, unfiltered scatter)",
+        &["state", "ops/sec", "answers"],
+    );
+    td_table.row(["healthy".into(), format!("{healthy:.1}"), "complete".into()]);
+    td_table.row([
+        "one shard dead".into(),
+        format!("{degraded:.1}"),
+        "partial, missing_shards=0b0100".into(),
+    ]);
+    td_table.row(["healed".to_owned(), "-".to_owned(), "complete".to_owned()]);
+    out.push_str(&td_table.render());
+
+    let _ = writeln!(
+        out,
+        "\nslice scaling at N=4: {} — a shard-key filter proves three of four\n\
+         shards empty before they are planned, so the slice costs one shard's\n\
+         scan (~1/N of the cells). the unfiltered scatter pays the same total\n\
+         scan on this one-core machine plus merge overhead, and a dead shard\n\
+         degrades answers to typed partials instead of failing.\n",
+        ratio(scaling_n4),
+    );
+    // The headline acceptance claim, asserted only under optimization —
+    // debug-build constant factors would make it meaningless.
+    #[cfg(not(debug_assertions))]
+    assert!(
+        scaling_n4 >= 2.5,
+        "slice pruning must deliver >=2.5x at N=4, measured {scaling_n4:.2}x"
+    );
+    let _ = writeln!(
+        out,
+        "\njson: {{\"sweep\":[{json_sweep}],\"scaling_n4\":{scaling_n4:.2},\
+         \"unsharded_scatter_ops\":{reference:.1},\"dead\":{{\"healthy_ops\":{healthy:.1},\
+         \"degraded_ops\":{degraded:.1},\"missing_mask\":4}}}}",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pruned_slices_outrun_full_scatter_and_dead_shards_degrade() {
+        // Scaled-down copy of the release procedure (debug builds are slow;
+        // the shape of the claims is size-invariant).
+        let s = super::run_with(6_000, 48);
+        assert!(s.contains("shard-count sweep"));
+        assert!(s.contains("dead-shard degradation"));
+        assert!(s.contains("missing_shards=0b0100"));
+        let json = s.lines().find(|l| l.starts_with("json: ")).expect("json line");
+        let num = |key: &str| -> f64 {
+            let at = json.find(key).expect(key) + key.len();
+            json[at..]
+                .trim_start_matches(':')
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.')
+                .collect::<String>()
+                .parse()
+                .expect("number")
+        };
+        // Pruning reduces work even without optimization: N=4 slices must
+        // beat N=1 (the release run asserts the full >=2.5x claim).
+        assert!(
+            num("\"scaling_n4\"") > 1.2,
+            "shard-key slices did not get cheaper with pruning\n{s}"
+        );
+        // Degradation answered every query (throughput is finite and
+        // positive), and the partial/heal assertions in run_with passed.
+        assert!(num("\"degraded_ops\"") > 0.0);
+    }
+}

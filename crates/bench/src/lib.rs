@@ -49,6 +49,7 @@ pub mod exps {
     pub mod exp27;
     pub mod exp28;
     pub mod exp29;
+    pub mod exp30;
 }
 
 /// One experiment: `(id, title, runner)`.
@@ -86,5 +87,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("exp27", "incremental maintenance under concurrent reads", exps::exp27::run),
         ("exp28", "durability cost and recovery replay", exps::exp28::run),
         ("exp29", "vectorized execution: batch kernels vs tuple interpreter", exps::exp29::run),
+        ("exp30", "scatter-gather sharding: pruning, overhead, degradation", exps::exp30::run),
     ]
 }

@@ -11,11 +11,13 @@
 use std::sync::Mutex;
 use std::time::Instant;
 
+use statcube_core::plan::{CodedPredicate, PlannerConfig, PrivacyPolicy};
 use statcube_core::trace::Histogram;
 use statcube_cube::cache::CacheConfig;
 use statcube_cube::input::FactInput;
 use statcube_cube::lattice::Lattice;
 use statcube_cube::materialize;
+use statcube_cube::sharded::{ShardRouter, ShardedViewStore};
 use statcube_cube::shared::{DurableParts, SharedViewStore};
 
 /// Pinned workload: dimension cardinalities.
@@ -30,6 +32,19 @@ pub const ZIPF_S: f64 = 1.1;
 pub const GREEDY_VIEWS: usize = 4;
 /// Pinned maintenance workload: rows per delta batch (E27, perf gate).
 pub const DELTA_ROWS: usize = 20;
+
+/// Pinned sharded workload: dimension cardinalities. Dimension 0 is the
+/// shard key — wide (256 members) so a single-value slice is selective
+/// and hash-routes evenly across any shard count up to 8.
+pub const SHARD_CARDS: [usize; 4] = [256, 12, 8, 6];
+/// Pinned sharded workload: fact rows. Dense enough that the base cuboid
+/// fills most of its ~147k-cell ceiling, so scan cost tracks cell count
+/// and dwarfs the per-query plan/merge constant.
+pub const SHARD_ROWS: usize = 200_000;
+/// Pinned sharded workload: slice queries per stream.
+pub const SHARD_STREAM_LEN: usize = 400;
+/// Pinned sharded workload: the perf gate's shard count.
+pub const SHARD_N: usize = 4;
 
 /// Deterministic xorshift fact table over [`CARDS`].
 pub fn make_facts(seed: u64) -> FactInput {
@@ -86,6 +101,99 @@ pub fn delta_batches(seed: u64, batches: usize) -> Vec<FactInput> {
             let mut d = FactInput::new(&CARDS).expect("delta");
             for _ in 0..DELTA_ROWS {
                 let coords: Vec<u32> = CARDS
+                    .iter()
+                    .map(|&c| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        (x % c as u64) as u32
+                    })
+                    .collect();
+                d.push(&coords, (x % 1000) as f64).expect("push");
+            }
+            d
+        })
+        .collect()
+}
+
+/// Deterministic xorshift fact table over [`SHARD_CARDS`] — the pinned
+/// sharded serving workload (E30, perf gate).
+pub fn make_shard_facts(seed: u64) -> FactInput {
+    let mut input = FactInput::new(&SHARD_CARDS).expect("input");
+    let mut x = seed | 1;
+    for _ in 0..SHARD_ROWS {
+        let coords: Vec<u32> = SHARD_CARDS
+            .iter()
+            .map(|&c| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % c as u64) as u32
+            })
+            .collect();
+        input.push(&coords, (x % 1000) as f64).expect("push");
+    }
+    input
+}
+
+/// Builds the sharded serving store: hash-routed on dimension 0, base
+/// view only, cache disabled — every query pays its scan, so throughput
+/// measures the scatter/prune/merge machinery and nothing else.
+pub fn build_sharded_store(facts: &FactInput, n: usize) -> ShardedViewStore {
+    ShardedViewStore::build(facts, &[], ShardRouter::Hash { dim: 0 }, n, CacheConfig::disabled())
+        .expect("sharded store")
+}
+
+/// A slice-query stream over the sharded workload: each entry is a
+/// `(mask, value)` pair — answer cuboid `mask` restricted to rows whose
+/// shard-key coordinate equals `value`. Masks are Zipf-ranked like
+/// [`zipf_stream`]; values sweep the shard-key domain uniformly, so every
+/// shard takes its share of the stream. Deterministic in `seed`.
+pub fn shard_slice_stream(len: usize, seed: u64) -> Vec<(u32, u32)> {
+    let masks = zipf_stream((1u32 << SHARD_CARDS.len()) - 1, len, ZIPF_S, seed);
+    let mut x = seed.wrapping_mul(0x9E37_79B9) | 1;
+    masks
+        .into_iter()
+        .map(|mask| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (mask, (x % SHARD_CARDS[0] as u64) as u32)
+        })
+        .collect()
+}
+
+/// Answers a slice-query stream through the sharded scatter at the
+/// block level ([`ShardedViewStore::execute_filtered`] — the layer a SQL
+/// session consumes, with no cuboid-map projection on top), one query at
+/// a time. Every answer must be complete — a dead shard would invalidate
+/// the measurement, not degrade it. Hit rate is reported as 0: the
+/// sharded serving store runs cache-disabled by construction.
+pub fn run_shard_stream(store: &ShardedViewStore, stream: &[(u32, u32)]) -> StreamStats {
+    let mut latencies = Vec::with_capacity(stream.len());
+    let t0 = Instant::now();
+    for &(mask, value) in stream {
+        let filter = [CodedPredicate { dim: 0, allowed: vec![value] }];
+        let t = Instant::now();
+        let (exec, _) = store
+            .execute_filtered(mask, &filter, &PrivacyPolicy::none(), PlannerConfig::default())
+            .expect("answer");
+        latencies.push(t.elapsed().as_nanos() as u64);
+        assert_eq!(exec.missing_shards, 0, "serving stream must see only complete answers");
+    }
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    stats_of(&mut latencies, wall_ns, 0.0)
+}
+
+/// Deterministic delta batches over [`SHARD_CARDS`], [`DELTA_ROWS`] rows
+/// each — the sharded maintenance stream (E30).
+pub fn shard_delta_batches(seed: u64, batches: usize) -> Vec<FactInput> {
+    let mut x = seed | 1;
+    (0..batches)
+        .map(|_| {
+            let mut d = FactInput::new(&SHARD_CARDS).expect("delta");
+            for _ in 0..DELTA_ROWS {
+                let coords: Vec<u32> = SHARD_CARDS
                     .iter()
                     .map(|&c| {
                         x ^= x << 13;
@@ -360,6 +468,37 @@ mod tests {
         let b = delta_batches(4, 3);
         assert_eq!(a, b);
         assert!(a.iter().all(|d| d.len() == DELTA_ROWS));
+    }
+
+    #[test]
+    fn shard_stream_is_deterministic_and_in_domain() {
+        let a = shard_slice_stream(200, 11);
+        let b = shard_slice_stream(200, 11);
+        assert_eq!(a, b, "same seed, same stream");
+        assert_ne!(a, shard_slice_stream(200, 12), "seed matters");
+        assert!(a.iter().all(|&(m, v)| m < 16 && (v as usize) < SHARD_CARDS[0]));
+        // The value sweep must touch most of the shard-key domain, so a
+        // hash router sees traffic on every shard.
+        let distinct: std::collections::HashSet<u32> = a.iter().map(|&(_, v)| v).collect();
+        assert!(distinct.len() > SHARD_CARDS[0] / 2, "values too clustered: {}", distinct.len());
+    }
+
+    #[test]
+    fn sharded_serving_answers_slices_completely() {
+        let facts = make_shard_facts(3);
+        let sharded = build_sharded_store(&facts, SHARD_N);
+        assert_eq!(sharded.shard_count(), SHARD_N);
+        let stream = shard_slice_stream(24, 7);
+        let s = run_shard_stream(&sharded, &stream);
+        assert_eq!(s.queries, 24);
+        assert_eq!(s.hit_rate, 0.0, "sharded serving store runs uncached");
+        assert!(s.ops_per_sec > 0.0);
+        // The pinned maintenance stream folds cleanly into every shard.
+        for batch in shard_delta_batches(5, 2) {
+            let r = sharded.apply_delta(&batch).expect("delta");
+            assert_eq!(r.rows, DELTA_ROWS as u64);
+            assert_eq!(r.per_shard.len(), SHARD_N);
+        }
     }
 
     #[test]

@@ -22,8 +22,9 @@ use crate::error::{Error, Result};
 use crate::measure::AggState;
 use crate::object::StatisticalObject;
 use crate::plan::enforce::{self, EnforcementStats};
-use crate::plan::kernels::{bit_positions, derive_block, CellBlock};
-use crate::plan::planner::PlannedQuery;
+use crate::plan::kernels::{bit_positions, derive_block, merge_blocks, CellBlock};
+use crate::plan::planner::{PlannedQuery, PlannedSet};
+use crate::plan::policy::PrivacyPolicy;
 use crate::schema::Schema;
 use crate::trace;
 
@@ -69,6 +70,24 @@ pub trait PlanSource {
 
     /// Cache lookup: a fully derived target and its original source mask.
     fn probe(&self, _target: u32) -> Option<(Arc<CellBlock>, u32)> {
+        None
+    }
+
+    /// Derives `target` from `source` inside the backend — e.g. a chunked
+    /// scan over sealed pages that never materializes the dense source
+    /// block — returning cells already at *target* granularity with the
+    /// pushed-down `filters` applied. `None` means "no shortcut": the
+    /// executor falls back to [`load`](PlanSource::load) + the dense
+    /// derivation kernel. `Some(Err(_))` counts as a failed candidate and
+    /// sends the executor down the fallback chain, exactly like a failed
+    /// load. Implementations must be bit-for-bit equivalent to the dense
+    /// path (the differential suites replay both).
+    fn load_derived(
+        &self,
+        _source: u32,
+        _target: u32,
+        _filters: &[(usize, Vec<u32>)],
+    ) -> Option<Result<SourceBlock>> {
         None
     }
 
@@ -144,6 +163,131 @@ impl PlanExecution {
     }
 }
 
+/// Answers one grouping set: probe the cache (when live), walk the
+/// candidate chain — preferring a backend-side derived scan
+/// ([`PlanSource::load_derived`]) over load + dense kernel — and offer the
+/// result for admission. Shared verbatim by [`execute`] and
+/// [`execute_partial`], so a shard answers a set exactly the way the
+/// single-store path does.
+fn answer_set<S: PlanSource>(q: &PlannedQuery, set: &PlannedSet, src: &S) -> Result<SetAnswer> {
+    let probing = src.probes() && q.scan_filters.is_empty();
+    let mut cache_span = if probing {
+        let mut sp = trace::span("cube.cache");
+        sp.record("mask", u64::from(set.target));
+        Some(sp)
+    } else {
+        None
+    };
+    if probing {
+        if let Some((cells, source)) = src.probe(set.target) {
+            if let Some(sp) = cache_span.as_mut() {
+                sp.record("hit", 1);
+            }
+            return Ok(SetAnswer {
+                keep: set.keep.clone(),
+                target: set.target,
+                source,
+                cells,
+                cells_scanned: 0,
+                cache_hit: true,
+                degraded: None,
+            });
+        }
+        if let Some(sp) = cache_span.as_mut() {
+            sp.record("hit", 0);
+        }
+    }
+    let mut sp = trace::span("cube.answer");
+    sp.record("mask", u64::from(set.target));
+    let first_choice_cost = set.candidates.first().map(|&(_, c)| c).unwrap_or(0);
+    let mut failed: Vec<(u32, Error)> = Vec::new();
+    let mut found: Option<SetAnswer> = None;
+    for &(source, _) in &set.candidates {
+        // A backend-side derived scan short-circuits the dense path; its
+        // cells are already at target granularity with filters applied.
+        let loaded = match src.load_derived(source, set.target, &q.scan_filters) {
+            Some(res) => res.map(|sb| (sb, true)),
+            None => src.load(source).map(|sb| (sb, false)),
+        };
+        match loaded {
+            Ok((sc, derived)) => {
+                let cells_scanned = sc.scanned;
+                let cells = if derived || (source == set.target && q.scan_filters.is_empty()) {
+                    sc.cells
+                } else {
+                    Arc::new(derive_block(&sc.cells, source, set.target, &q.scan_filters))
+                };
+                let degraded = if failed.is_empty() {
+                    None
+                } else {
+                    Some(PlanDegradation {
+                        requested: set.target,
+                        served_from: source,
+                        failed: std::mem::take(&mut failed),
+                        extra_cells: cells_scanned.saturating_sub(first_choice_cost),
+                    })
+                };
+                found = Some(SetAnswer {
+                    keep: set.keep.clone(),
+                    target: set.target,
+                    source,
+                    cells,
+                    cells_scanned,
+                    cache_hit: false,
+                    degraded,
+                });
+                break;
+            }
+            Err(e) => failed.push((source, e)),
+        }
+    }
+    trace::counter("cube.answers", 1);
+    let Some(ans) = found else {
+        if set.candidates.is_empty() {
+            return Err(Error::InvalidSchema("no ancestor materialized".into()));
+        }
+        return Err(Error::NoHealthySource { requested: set.target, tried: failed.len() });
+    };
+    if sp.is_recording() {
+        sp.record("source", u64::from(ans.source));
+        sp.record("cells_scanned", ans.cells_scanned);
+        sp.record("cells", ans.cells.len() as u64);
+        if let Some(d) = &ans.degraded {
+            if let Some(first) = d.failed.first() {
+                sp.note(format!(
+                    "fallback: served from {:#b} after {} failed source(s), first {:#b}",
+                    d.served_from,
+                    d.failed.len(),
+                    first.0
+                ));
+            }
+            trace::counter("cube.fallbacks", 1);
+        }
+    }
+    drop(sp);
+    // Admission mirrors probing: a filtered derivation must never be
+    // cached under (or later served from) an unfiltered cuboid's key.
+    if probing {
+        src.admit(ans.target, ans.source, ans.cells_scanned, &ans.cells, ans.degraded.is_some());
+    }
+    drop(cache_span);
+    Ok(ans)
+}
+
+/// Runs the privacy pass over answered sets under its trace span — the one
+/// enforcement barrier both [`execute`] and [`merge_partials`] cross.
+fn enforce_answered(policy: &PrivacyPolicy, sets: &mut [SetAnswer]) -> EnforcementStats {
+    let mut esp = trace::span("privacy.enforce");
+    let enforcement = enforce::enforce(policy, sets);
+    if esp.is_recording() {
+        esp.record("suppressed", enforcement.suppressed);
+        esp.record("complementary", enforcement.complementary);
+        esp.record("perturbed", enforcement.perturbed);
+        esp.note(policy.describe());
+    }
+    enforcement
+}
+
 /// Executes a planned query against a physical source. This is the only
 /// evaluation loop in the workspace: SQL (algebraic and physical), the
 /// view store, and the navigator all end up here. Derivation runs the
@@ -152,123 +296,150 @@ impl PlanExecution {
 pub fn execute<S: PlanSource>(q: &PlannedQuery, src: &S) -> Result<PlanExecution> {
     let mut sets_out: Vec<SetAnswer> = Vec::with_capacity(q.sets.len());
     for set in &q.sets {
-        let probing = src.probes() && q.scan_filters.is_empty();
-        let mut cache_span = if probing {
-            let mut sp = trace::span("cube.cache");
-            sp.record("mask", u64::from(set.target));
-            Some(sp)
-        } else {
-            None
-        };
-        if probing {
-            if let Some((cells, source)) = src.probe(set.target) {
-                if let Some(sp) = cache_span.as_mut() {
-                    sp.record("hit", 1);
-                }
-                sets_out.push(SetAnswer {
-                    keep: set.keep.clone(),
-                    target: set.target,
-                    source,
-                    cells,
-                    cells_scanned: 0,
-                    cache_hit: true,
-                    degraded: None,
-                });
-                continue;
-            }
-            if let Some(sp) = cache_span.as_mut() {
-                sp.record("hit", 0);
-            }
-        }
-        let mut sp = trace::span("cube.answer");
-        sp.record("mask", u64::from(set.target));
-        let first_choice_cost = set.candidates.first().map(|&(_, c)| c).unwrap_or(0);
-        let mut failed: Vec<(u32, Error)> = Vec::new();
-        let mut found: Option<SetAnswer> = None;
-        for &(source, _) in &set.candidates {
-            match src.load(source) {
-                Ok(sc) => {
-                    let cells_scanned = sc.scanned;
-                    let cells = if source == set.target && q.scan_filters.is_empty() {
-                        sc.cells
-                    } else {
-                        Arc::new(derive_block(&sc.cells, source, set.target, &q.scan_filters))
-                    };
-                    let degraded = if failed.is_empty() {
-                        None
-                    } else {
-                        Some(PlanDegradation {
-                            requested: set.target,
-                            served_from: source,
-                            failed: std::mem::take(&mut failed),
-                            extra_cells: cells_scanned.saturating_sub(first_choice_cost),
-                        })
-                    };
-                    found = Some(SetAnswer {
-                        keep: set.keep.clone(),
-                        target: set.target,
-                        source,
-                        cells,
-                        cells_scanned,
-                        cache_hit: false,
-                        degraded,
-                    });
-                    break;
-                }
-                Err(e) => failed.push((source, e)),
-            }
-        }
-        trace::counter("cube.answers", 1);
-        let Some(ans) = found else {
-            if set.candidates.is_empty() {
-                return Err(Error::InvalidSchema("no ancestor materialized".into()));
-            }
-            return Err(Error::NoHealthySource { requested: set.target, tried: failed.len() });
-        };
-        if sp.is_recording() {
-            sp.record("source", u64::from(ans.source));
-            sp.record("cells_scanned", ans.cells_scanned);
-            sp.record("cells", ans.cells.len() as u64);
-            if let Some(d) = &ans.degraded {
-                if let Some(first) = d.failed.first() {
-                    sp.note(format!(
-                        "fallback: served from {:#b} after {} failed source(s), first {:#b}",
-                        d.served_from,
-                        d.failed.len(),
-                        first.0
-                    ));
-                }
-                trace::counter("cube.fallbacks", 1);
-            }
-        }
-        drop(sp);
-        // Admission mirrors probing: a filtered derivation must never be
-        // cached under (or later served from) an unfiltered cuboid's key.
-        if probing {
-            src.admit(
-                ans.target,
-                ans.source,
-                ans.cells_scanned,
-                &ans.cells,
-                ans.degraded.is_some(),
-            );
-        }
-        drop(cache_span);
-        sets_out.push(ans);
+        sets_out.push(answer_set(q, set, src)?);
     }
-
     // Mandatory privacy pass: every answer — cached or derived — crosses
     // this barrier before anything renders it.
-    let mut esp = trace::span("privacy.enforce");
-    let enforcement = enforce::enforce(&q.policy, &mut sets_out);
-    if esp.is_recording() {
-        esp.record("suppressed", enforcement.suppressed);
-        esp.record("complementary", enforcement.complementary);
-        esp.record("perturbed", enforcement.perturbed);
-        esp.note(q.policy.describe());
-    }
-    drop(esp);
+    let enforcement = enforce_answered(&q.policy, &mut sets_out);
     Ok(PlanExecution { sets: sets_out, enforcement })
+}
+
+/// The scatter half of a sharded execution: answers every grouping set of
+/// `q` against one shard's source and stops **before** the privacy pass.
+/// Suppression thresholds are only meaningful on global counts, so
+/// enforcement must run once on the merged result ([`merge_partials`]),
+/// never per shard — a cell with 2 units on each of 3 shards is a 6-unit
+/// cell, not three suppressible ones.
+pub fn execute_partial<S: PlanSource>(q: &PlannedQuery, src: &S) -> Result<PartialExecution> {
+    let mut sets_out: Vec<SetAnswer> = Vec::with_capacity(q.sets.len());
+    for set in &q.sets {
+        sets_out.push(answer_set(q, set, src)?);
+    }
+    Ok(PartialExecution { sets: sets_out })
+}
+
+/// Pre-enforcement per-set answers from one shard: what [`execute_partial`]
+/// scatters and [`merge_partials`] gathers. Cell blocks here carry raw
+/// (unenforced) aggregation states.
+#[derive(Debug, Clone)]
+pub struct PartialExecution {
+    /// Per-set pre-enforcement answers, in plan order.
+    pub sets: Vec<SetAnswer>,
+}
+
+impl PartialExecution {
+    /// Total cells scanned across all sets.
+    pub fn cells_scanned(&self) -> u64 {
+        self.sets.iter().map(|s| s.cells_scanned).sum()
+    }
+}
+
+/// A merged scatter-gather execution: [`PlanExecution`]-shaped (render it
+/// with [`result_rows`] like any other execution) plus the shard mask
+/// bookkeeping a partial answer must carry.
+#[derive(Debug, Clone)]
+pub struct ShardedExecution {
+    /// The merged, privacy-enforced execution.
+    pub execution: PlanExecution,
+    /// How many shards the plan was scattered to.
+    pub shard_count: usize,
+    /// Bit `i` set ⇔ shard `i` produced no partial answer (dead or
+    /// corrupt): the answer is *partial* and totals cover only the shards
+    /// with cleared bits — never a silently wrong global total.
+    pub missing_shards: u32,
+    /// Bit `i` set ⇔ shard `i` was skipped *by proof*, not by failure: a
+    /// scan filter on the routing dimension showed it can own no matching
+    /// row, so the coordinator never scattered to it. Pruned shards are
+    /// not missing — the answer over the remaining shards is complete.
+    pub pruned_shards: u32,
+}
+
+impl ShardedExecution {
+    /// True when at least one shard is missing from the merged answer.
+    pub fn is_partial(&self) -> bool {
+        self.missing_shards != 0
+    }
+
+    /// The indices of the missing shards, ascending.
+    pub fn missing_indices(&self) -> Vec<usize> {
+        (0..self.shard_count).filter(|i| self.missing_shards >> i & 1 == 1).collect()
+    }
+}
+
+/// The gather + merge physical stage of a sharded execution: folds shards'
+/// partials set-by-set through the [`merge_blocks`] monoid **in shard-index
+/// order** (deterministic float association, so sharded runs are
+/// reproducible), records absent shards in the `missing_shards` mask, and
+/// only then runs the privacy pass once over the merged sets.
+///
+/// All present partials must agree on the grouping-set structure (same
+/// targets, same keep-masks — they were compiled from one logical plan);
+/// a mismatch is a typed plan error, never a silent mis-merge. Per merged
+/// set: `cells_scanned` sums, `cache_hit` holds only if every shard hit,
+/// and the first present shard's `source`/`degraded` are kept as the
+/// representative provenance.
+pub fn merge_partials(
+    policy: &PrivacyPolicy,
+    parts: &[Option<PartialExecution>],
+) -> Result<ShardedExecution> {
+    if parts.len() > 32 {
+        return Err(Error::InvalidSchema(format!(
+            "{} shards exceed the 32-shard mask width",
+            parts.len()
+        )));
+    }
+    let mut sp = trace::span("cube.merge");
+    let mut missing: u32 = 0;
+    let mut merged: Option<Vec<SetAnswer>> = None;
+    for (i, part) in parts.iter().enumerate() {
+        let Some(p) = part else {
+            missing |= 1 << i;
+            continue;
+        };
+        match merged.as_mut() {
+            None => merged = Some(p.sets.clone()),
+            Some(acc) => {
+                if acc.len() != p.sets.len() {
+                    return Err(Error::InvalidSchema(format!(
+                        "shard partials disagree: {} grouping sets vs {}",
+                        acc.len(),
+                        p.sets.len()
+                    )));
+                }
+                for (a, b) in acc.iter_mut().zip(&p.sets) {
+                    if a.target != b.target || a.keep != b.keep {
+                        return Err(Error::InvalidSchema(format!(
+                            "shard partials disagree on grouping set {:#b} vs {:#b}",
+                            a.target, b.target
+                        )));
+                    }
+                    a.cells = Arc::new(merge_blocks(&a.cells, &b.cells));
+                    a.cells_scanned += b.cells_scanned;
+                    a.cache_hit &= b.cache_hit;
+                    if a.degraded.is_none() {
+                        a.degraded = b.degraded.clone();
+                    }
+                }
+            }
+        }
+    }
+    let Some(mut sets) = merged else {
+        return Err(Error::InvalidSchema("scatter produced no partial answers".into()));
+    };
+    if sp.is_recording() {
+        sp.record("shards", parts.len() as u64);
+        sp.record("missing", u64::from(missing));
+        sp.record("sets", sets.len() as u64);
+    }
+    drop(sp);
+    // The one global enforcement barrier: thresholds see merged counts.
+    let enforcement = enforce_answered(policy, &mut sets);
+    Ok(ShardedExecution {
+        execution: PlanExecution { sets, enforcement },
+        shard_count: parts.len(),
+        missing_shards: missing,
+        pruned_shards: 0,
+    })
 }
 
 /// The frozen tuple-at-a-time interpreter, kept verbatim as the

@@ -262,7 +262,10 @@ impl CellBlock {
 }
 
 /// Positions of `of`'s bits within the kept-coordinate order of `within`.
-pub(crate) fn bit_positions(within: u32, of: u32) -> Vec<usize> {
+/// Public because storage-side chunked scans (which derive a target cuboid
+/// straight from sealed pages) need the same slot arithmetic the dense
+/// kernels use.
+pub fn bit_positions(within: u32, of: u32) -> Vec<usize> {
     let mut out = Vec::new();
     let mut pos = 0usize;
     for b in 0..32 {
@@ -468,6 +471,15 @@ fn hash_coords(key: &[u32]) -> u64 {
 /// block-level image of [`AggState::merge`], associative and commutative
 /// with the empty block as identity (up to float rounding on sums).
 pub fn merge_blocks(a: &CellBlock, b: &CellBlock) -> CellBlock {
+    // The identity element first: an empty block merges to a copy of the
+    // other side whatever key width it declares, so an empty partial from
+    // one source can never poison a merge with a mismatched width.
+    if a.len == 0 {
+        return b.clone();
+    }
+    if b.len == 0 {
+        return a.clone();
+    }
     debug_assert_eq!(a.key_width, b.key_width, "key width mismatch");
     debug_assert_eq!(a.measures.len(), b.measures.len(), "measure count mismatch");
     let m = a.measures.len();

@@ -37,11 +37,11 @@ pub mod policy;
 
 pub use enforce::EnforcementStats;
 pub use exec::{
-    execute, execute_interpreter, group_labels, result_rows, result_rows_with_labels, GroupLabels,
-    ObjectSource, PlanCell, PlanCells, PlanDegradation, PlanExecution, PlanRow, PlanSource,
-    SetAnswer, SourceBlock,
+    execute, execute_interpreter, execute_partial, group_labels, merge_partials, result_rows,
+    result_rows_with_labels, GroupLabels, ObjectSource, PartialExecution, PlanCell, PlanCells,
+    PlanDegradation, PlanExecution, PlanRow, PlanSource, SetAnswer, ShardedExecution, SourceBlock,
 };
-pub use kernels::{derive_block, merge_blocks, CellBlock, StateColumns};
+pub use kernels::{bit_positions, derive_block, merge_blocks, CellBlock, StateColumns};
 pub use planner::{
     CatalogEntry, CodedPredicate, LeafRollup, PlannedAgg, PlannedQuery, PlannedSet, Planner,
     PlannerConfig, Rewrite,

@@ -235,6 +235,7 @@ pub struct Planner<'a> {
     catalog: Option<&'a [CatalogEntry]>,
     policy: PrivacyPolicy,
     config: PlannerConfig,
+    coded_filters: Vec<CodedPredicate>,
 }
 
 impl<'a> Planner<'a> {
@@ -247,6 +248,7 @@ impl<'a> Planner<'a> {
             catalog: None,
             policy: PrivacyPolicy::none(),
             config: PlannerConfig::default(),
+            coded_filters: Vec::new(),
         }
     }
 
@@ -259,6 +261,7 @@ impl<'a> Planner<'a> {
             catalog: Some(catalog),
             policy: PrivacyPolicy::none(),
             config: PlannerConfig::default(),
+            coded_filters: Vec::new(),
         }
     }
 
@@ -281,6 +284,17 @@ impl<'a> Planner<'a> {
     #[must_use]
     pub fn with_config(mut self, config: PlannerConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Attaches dimension-coded selection predicates that need no name
+    /// resolution — the view-store front end's slice filters. They join
+    /// the named `Select` predicates in the predicate-placement pass, so
+    /// they push into the store scan (or the leaf scan) exactly like a
+    /// resolved `Select`.
+    #[must_use]
+    pub fn with_coded_filters(mut self, filters: Vec<CodedPredicate>) -> Self {
+        self.coded_filters = filters;
         self
     }
 
@@ -324,6 +338,18 @@ impl<'a> Planner<'a> {
                 .collect();
             allowed.sort_unstable();
             resolved_preds.push((d, p.negated, allowed));
+        }
+        for f in &self.coded_filters {
+            if f.dim >= self.dims {
+                return Err(Error::InvalidSchema(format!(
+                    "coded filter dimension {} out of range for {} dimensions",
+                    f.dim, self.dims
+                )));
+            }
+            let mut allowed = f.allowed.clone();
+            allowed.sort_unstable();
+            allowed.dedup();
+            resolved_preds.push((f.dim, false, allowed));
         }
 
         let mut leaf_rollups: Vec<LeafRollup> = Vec::new();

@@ -161,7 +161,7 @@ pub fn encode_snapshot(store: &ViewStore) -> Vec<u8> {
     for mask in masks {
         // `materialized()` lists exactly the keys of the view map.
         let Some(view) = store.view(mask) else { continue };
-        let bytes = serialize_cuboid(view, lattice.dim_count());
+        let bytes = serialize_cuboid(view, mask.count_ones() as usize);
         out.extend_from_slice(&mask.to_le_bytes());
         out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
         out.extend_from_slice(&bytes);

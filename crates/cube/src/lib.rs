@@ -28,6 +28,7 @@ pub mod materialize;
 pub mod molap;
 pub mod query;
 pub mod rolap;
+pub mod sharded;
 pub mod shared;
 
 /// The most commonly used types, for glob import.
@@ -41,5 +42,8 @@ pub mod prelude {
     pub use crate::molap::{compute_molap, MolapCube};
     pub use crate::query::ViewStore;
     pub use crate::rolap::{compute_rolap, RolapCube};
+    pub use crate::sharded::{
+        ShardAnswer, ShardNode, ShardRouter, ShardedDeltaReport, ShardedViewStore,
+    };
     pub use crate::shared::{DurableParts, SharedViewStore};
 }

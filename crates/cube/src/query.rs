@@ -24,10 +24,11 @@ use std::sync::{Arc, RwLock};
 use statcube_core::error::{Error, Result};
 use statcube_core::measure::AggState;
 use statcube_core::plan::{
-    self, CatalogEntry, CellBlock, Plan, PlanSource, Planner, PlannerConfig, PrivacyPolicy,
-    SourceBlock,
+    self, bit_positions, CatalogEntry, CellBlock, Plan, PlanSource, Planner, PlannerConfig,
+    PrivacyPolicy, SourceBlock,
 };
 use statcube_core::trace::{self, QueryProfile};
+use statcube_storage::chunks::group_merge_states_into;
 use statcube_storage::extendible::ExtendibleArray;
 use statcube_storage::io_stats::DEFAULT_PAGE_SIZE;
 use statcube_storage::page_store::{FaultPlan, FaultStats, PageStore};
@@ -62,6 +63,15 @@ pub struct ViewStore {
     /// checksummed I/O path, and never across an epoch bump (delta reseal,
     /// targeted corruption), which forces a verified re-read.
     decoded: RwLock<HashMap<u32, (u64, Arc<CellBlock>)>>,
+    /// Masks whose sealed file was already served once by the chunked
+    /// streaming scan at a given epoch (see
+    /// [`PlanSource::load_derived`]): the first cold, non-identity read of
+    /// a view streams its target straight off the sealed pages through the
+    /// `storage::chunks` state kernels (no dense source block is ever
+    /// built); the *second* cold read falls back to
+    /// [`PlanSource::load`], which decodes once and warms [`Self::decoded`]
+    /// — so steady-state repeat derivations keep their in-memory path.
+    streamed: RwLock<HashMap<u32, u64>>,
 }
 
 /// What one incremental maintenance fold did (see
@@ -138,8 +148,13 @@ pub struct Answer {
 /// key-sorted `(key, sum, count, min, max)` tuples. Shared with the
 /// durability layer, whose snapshot records embed one serialized cuboid per
 /// materialized view.
-pub(crate) fn serialize_cuboid(cuboid: &Cuboid, n_dims: usize) -> Vec<u8> {
-    let key_len = cuboid.keys().next().map_or(n_dims, |k| k.len());
+///
+/// `key_width` is the view's own key width (the popcount of its mask) and is
+/// what an empty cuboid seals with — a sealed empty view must still declare
+/// the width its mask implies, or a cross-store merge of its block against a
+/// populated sibling would mix widths.
+pub(crate) fn serialize_cuboid(cuboid: &Cuboid, key_width: usize) -> Vec<u8> {
+    let key_len = cuboid.keys().next().map_or(key_width, |k| k.len());
     let mut rows: Vec<_> = cuboid.iter().collect();
     rows.sort_unstable_by(|a, b| a.0.cmp(b.0));
     let mut out = Vec::with_capacity(16 + rows.len() * (key_len * 4 + 32));
@@ -250,13 +265,13 @@ pub(crate) fn mask_of_view_file(name: &str) -> Option<u32> {
 
 /// Seals every view into a fresh [`PageStore`], one checksummed file per
 /// mask (in sorted order, so file ids are deterministic).
-fn seal_views(views: &HashMap<u32, Cuboid>, n_dims: usize) -> (PageStore, HashMap<u32, usize>) {
+fn seal_views(views: &HashMap<u32, Cuboid>) -> (PageStore, HashMap<u32, usize>) {
     let pages = PageStore::default();
     let mut masks: Vec<u32> = views.keys().copied().collect();
     masks.sort_unstable();
     let mut files = HashMap::with_capacity(masks.len());
     for mask in masks {
-        let bytes = serialize_cuboid(&views[&mask], n_dims);
+        let bytes = serialize_cuboid(&views[&mask], mask.count_ones() as usize);
         files.insert(mask, pages.create(&view_file_name(mask), &bytes));
     }
     (pages, files)
@@ -279,9 +294,17 @@ impl ViewStore {
         // Refresh the lattice with measured sizes for accurate routing.
         let measured: Vec<(u32, u64)> = views.iter().map(|(&m, c)| (m, c.len() as u64)).collect();
         let lattice = lattice.with_measured_sizes(&measured);
-        let (pages, files) = seal_views(&views, lattice.dim_count());
+        let (pages, files) = seal_views(&views);
         let base_dense = views.get(&top).and_then(|b| dense_base_of(b, input.cards()));
-        Ok(Self { lattice, views, pages, files, base_dense, decoded: RwLock::default() })
+        Ok(Self {
+            lattice,
+            views,
+            pages,
+            files,
+            base_dense,
+            decoded: RwLock::default(),
+            streamed: RwLock::default(),
+        })
     }
 
     /// Materializes views out of an already computed [`CubeResult`].
@@ -296,7 +319,7 @@ impl ViewStore {
             views.insert(mask, cuboid.clone());
         }
         let measured: Vec<(u32, u64)> = views.iter().map(|(&m, c)| (m, c.len() as u64)).collect();
-        let (pages, files) = seal_views(&views, lattice.dim_count());
+        let (pages, files) = seal_views(&views);
         let base_dense = views.get(&top).and_then(|b| dense_base_of(b, cards));
         Ok(Self {
             lattice: lattice.with_measured_sizes(&measured),
@@ -305,6 +328,7 @@ impl ViewStore {
             files,
             base_dense,
             decoded: RwLock::default(),
+            streamed: RwLock::default(),
         })
     }
 
@@ -329,9 +353,17 @@ impl ViewStore {
         }
         let measured: Vec<(u32, u64)> = views.iter().map(|(&m, c)| (m, c.len() as u64)).collect();
         let lattice = lattice.with_measured_sizes(&measured);
-        let (pages, files) = seal_views(&views, lattice.dim_count());
+        let (pages, files) = seal_views(&views);
         let base_dense = views.get(&top).and_then(|b| dense_base_of(b, cards));
-        Ok(Self { lattice, views, pages, files, base_dense, decoded: RwLock::default() })
+        Ok(Self {
+            lattice,
+            views,
+            pages,
+            files,
+            base_dense,
+            decoded: RwLock::default(),
+            streamed: RwLock::default(),
+        })
     }
 
     /// The routing lattice (dimension count, sizes, derivability).
@@ -517,11 +549,18 @@ impl ViewStore {
 
         let measured: Vec<(u32, u64)> = views.iter().map(|(&m, c)| (m, c.len() as u64)).collect();
         let lattice = lattice.with_measured_sizes(&measured);
-        let (pages, files) = self.seal_successor(&views, lattice.dim_count(), on_view_sealed);
+        let (pages, files) = self.seal_successor(&views, on_view_sealed);
         let report =
             DeltaReport { rows: delta.len() as u64, touched_base, cells_touched, extended_dims };
-        let next =
-            ViewStore { lattice, views, pages, files, base_dense, decoded: RwLock::default() };
+        let next = ViewStore {
+            lattice,
+            views,
+            pages,
+            files,
+            base_dense,
+            decoded: RwLock::default(),
+            streamed: RwLock::default(),
+        };
         Ok((next, report))
     }
 
@@ -533,7 +572,6 @@ impl ViewStore {
     fn seal_successor(
         &self,
         views: &HashMap<u32, Cuboid>,
-        n_dims: usize,
         on_view_sealed: &mut dyn FnMut(),
     ) -> (PageStore, HashMap<u32, usize>) {
         let pages = PageStore::new(self.pages.io().page_size()).with_retry(self.pages.retry());
@@ -542,7 +580,7 @@ impl ViewStore {
         masks.sort_unstable();
         let mut files = HashMap::with_capacity(masks.len());
         for mask in masks {
-            let bytes = serialize_cuboid(&views[&mask], n_dims);
+            let bytes = serialize_cuboid(&views[&mask], mask.count_ones() as usize);
             let id = pages.create(&view_file_name(mask), &bytes);
             pages.set_epoch(id, self.view_epoch(mask).map_or(0, |e| e + 1));
             files.insert(mask, id);
@@ -720,11 +758,16 @@ impl ViewStore {
 
     /// Test/chaos hook: flips one stored bit of view `mask`'s sealed file
     /// (`bit` addresses the whole file and wraps). No-op on an empty file.
+    /// The decoded and streamed caches for the view are dropped so the
+    /// corruption is observable on the very next read — a "dead" view must
+    /// not keep serving from a block decoded before the damage.
     pub fn corrupt_view(&self, mask: u32, bit: u64) -> Result<()> {
         let &file = self
             .files
             .get(&mask)
             .ok_or_else(|| Error::InvalidSchema(format!("mask {mask:b} not materialized")))?;
+        self.decoded.write().unwrap_or_else(|p| p.into_inner()).remove(&mask);
+        self.streamed.write().unwrap_or_else(|p| p.into_inner()).remove(&mask);
         let n_pages = self.pages.page_count(file);
         if n_pages == 0 {
             return Ok(());
@@ -745,7 +788,144 @@ impl ViewStore {
     pub fn verify_all(&self) -> Result<ScrubReport> {
         self.pages.verify_all()
     }
+
+    /// The mixed-radix shape of deriving `target` from `source`: per target
+    /// key slot, its position in the source key and its radix (the
+    /// lattice's cardinality), plus the composite group count. `None` when
+    /// the cross product exceeds [`STREAM_GROUP_LIMIT`] — the dense path
+    /// handles those.
+    fn stream_shape(&self, source: u32, target: u32) -> Option<(Vec<usize>, Vec<u32>, usize)> {
+        let tpos = bit_positions(source, target);
+        let cards = self.lattice.cards();
+        let mut radices = Vec::with_capacity(tpos.len());
+        let mut group_count = 1usize;
+        for d in (0..32).filter(|b| target >> b & 1 == 1) {
+            let c = *cards.get(d)?;
+            group_count = group_count.checked_mul(c).filter(|&n| n <= STREAM_GROUP_LIMIT)?;
+            radices.push(c as u32);
+        }
+        (tpos.len() == radices.len()).then_some((tpos, radices, group_count))
+    }
+
+    /// Derives `target` straight off `source`'s sealed bytes, one
+    /// [`STREAM_CHUNK_ROWS`]-row chunk at a time, scatter-merging each
+    /// chunk's states into per-group accumulators with
+    /// [`group_merge_states_into`] — the dense source block is never
+    /// materialized. Per-group merge order is sealed (key-sorted) row
+    /// order, the same order the dense kernel accumulates in, so the
+    /// result is bit-identical to load + `derive_block` (the differential
+    /// suites replay both paths).
+    fn stream_derive(
+        &self,
+        file: usize,
+        source: u32,
+        filters: &[(usize, Vec<u32>)],
+        tpos: &[usize],
+        radices: &[u32],
+        group_count: usize,
+    ) -> Result<SourceBlock> {
+        let name = view_file_name(source);
+        let malformed = || Error::InvalidSchema(format!("malformed cuboid file `{name}`"));
+        let bytes = self.pages.read(file)?;
+        let take8 = |b: &[u8], at: usize| -> Result<[u8; 8]> {
+            b.get(at..at + 8).and_then(|s| s.try_into().ok()).ok_or_else(malformed)
+        };
+        let take4 = |b: &[u8], at: usize| -> Result<[u8; 4]> {
+            b.get(at..at + 4).and_then(|s| s.try_into().ok()).ok_or_else(malformed)
+        };
+        let n_rows = u64::from_le_bytes(take8(&bytes, 0)?) as usize;
+        let key_len = u64::from_le_bytes(take8(&bytes, 8)?) as usize;
+        let row_bytes = (key_len as u64).checked_mul(4).and_then(|b| b.checked_add(32));
+        let expected = row_bytes
+            .and_then(|rb| (n_rows as u64).checked_mul(rb))
+            .and_then(|b| b.checked_add(16));
+        if expected != Some(bytes.len() as u64) {
+            return Err(malformed());
+        }
+        // Filter slots, mirroring the dense kernel: a filter on a dimension
+        // the source does not carry is silently inapplicable.
+        let fpos: Vec<(usize, &[u32])> = filters
+            .iter()
+            .filter_map(|(d, allowed)| {
+                bit_positions(source, 1u32 << d).first().map(|&p| (p, allowed.as_slice()))
+            })
+            .collect();
+        let mut groups = vec![AggState::EMPTY; group_count];
+        let mut present = vec![false; group_count];
+        let mut codes: Vec<u32> = Vec::with_capacity(STREAM_CHUNK_ROWS);
+        let mut states: Vec<AggState> = Vec::with_capacity(STREAM_CHUNK_ROWS);
+        let mut key = vec![0u32; key_len];
+        let mut at = 16;
+        for row in 0..n_rows {
+            for k in key.iter_mut() {
+                *k = u32::from_le_bytes(take4(&bytes, at)?);
+                at += 4;
+            }
+            let sum = f64::from_bits(u64::from_le_bytes(take8(&bytes, at)?));
+            let count = u64::from_le_bytes(take8(&bytes, at + 8)?);
+            let min = f64::from_bits(u64::from_le_bytes(take8(&bytes, at + 16)?));
+            let max = f64::from_bits(u64::from_le_bytes(take8(&bytes, at + 24)?));
+            at += 32;
+            // The skip-unknown contract doubles as the filter reject path:
+            // a rejected row is coded past the group range.
+            let mut code = 0usize;
+            let mut keep = fpos
+                .iter()
+                .all(|(p, allowed)| key.get(*p).is_some_and(|c| allowed.binary_search(c).is_ok()));
+            if keep {
+                for (&p, &r) in tpos.iter().zip(radices) {
+                    match key.get(p) {
+                        // A coordinate past the lattice's cardinality can
+                        // only mean malformed-but-checksummed bytes; the
+                        // mixed-radix code would alias, so refuse loudly
+                        // rather than mis-group.
+                        Some(&c) if c < r => code = code * r as usize + c as usize,
+                        _ => return Err(malformed()),
+                    }
+                }
+            }
+            if keep && code >= group_count {
+                keep = false;
+            }
+            if keep {
+                present[code] = true;
+            }
+            codes.push(if keep { code as u32 } else { group_count as u32 });
+            states.push(AggState { sum, count, min, max });
+            if codes.len() == STREAM_CHUNK_ROWS || row + 1 == n_rows {
+                group_merge_states_into(&codes, &states, &mut groups);
+                codes.clear();
+                states.clear();
+            }
+        }
+        // Ascending composite code is ascending lexicographic target key,
+        // so rows land born-sorted; the trailing sort is the same no-op
+        // sortedness check the dense decoder runs.
+        let mut block = CellBlock::new(tpos.len(), 1);
+        let mut tkey = vec![0u32; tpos.len()];
+        for (code, state) in groups.iter().enumerate() {
+            if !present[code] {
+                continue;
+            }
+            let mut rest = code;
+            for (slot, &r) in tkey.iter_mut().zip(radices).rev() {
+                *slot = (rest % r as usize) as u32;
+                rest /= r as usize;
+            }
+            block.push_row(&tkey, &[*state], false);
+        }
+        block.sort_rows();
+        Ok(SourceBlock { cells: Arc::new(block), scanned: n_rows as u64 })
+    }
 }
+
+/// Rows per chunk of the sealed-page streaming scan.
+const STREAM_CHUNK_ROWS: usize = 2048;
+
+/// Ceiling on the composite group count the streaming scan will
+/// accumulate into (64 KiB groups ≈ 2 MiB of states): a coarser target
+/// over a huge cross product falls back to the dense derivation.
+const STREAM_GROUP_LIMIT: usize = 1 << 16;
 
 impl PlanSource for ViewStore {
     /// Loads a materialized view through the checksummed page store: a
@@ -780,6 +960,43 @@ impl PlanSource for ViewStore {
             decoded.insert(source, (epoch, Arc::clone(&cells)));
         }
         Ok(SourceBlock { scanned: cells.len() as u64, cells })
+    }
+
+    /// The chunked cold-scan shortcut: on the *first* cold, non-identity
+    /// read of a sealed view per epoch, the target is derived straight off
+    /// the sealed pages through the `storage::chunks` state kernels —
+    /// bit-identical to load + dense derivation, without materializing the
+    /// dense source block. Declines (`None`) on identity loads, while a
+    /// fault injector is armed (so chaos plans keep exercising the exact
+    /// historical load path), when the decoded cache is already warm, on a
+    /// repeat cold read (letting [`PlanSource::load`] warm the cache), and
+    /// when the target's cross product exceeds the stream group limit.
+    fn load_derived(
+        &self,
+        source: u32,
+        target: u32,
+        filters: &[(usize, Vec<u32>)],
+    ) -> Option<Result<SourceBlock>> {
+        if (source == target && filters.is_empty()) || self.pages.is_armed() {
+            return None;
+        }
+        // An unmaterialized mask falls through to `load`'s typed error.
+        let &file = self.files.get(&source)?;
+        let epoch = self.pages.file_epoch(file);
+        {
+            let decoded = self.decoded.read().unwrap_or_else(|p| p.into_inner());
+            if decoded.get(&source).is_some_and(|(e, _)| *e == epoch) {
+                return None;
+            }
+        }
+        let (tpos, radices, group_count) = self.stream_shape(source, target)?;
+        {
+            let mut streamed = self.streamed.write().unwrap_or_else(|p| p.into_inner());
+            if streamed.insert(source, epoch) == Some(epoch) {
+                return None;
+            }
+        }
+        Some(self.stream_derive(file, source, filters, &tpos, &radices, group_count))
     }
 }
 

@@ -663,6 +663,17 @@ impl PlanSource for SharedPlanSource<'_> {
         PlanSource::load(&*self.store, source)
     }
 
+    fn load_derived(
+        &self,
+        source: u32,
+        target: u32,
+        filters: &[(usize, Vec<u32>)],
+    ) -> Option<Result<SourceBlock>> {
+        // Delegate so cold sealed-page scans stream through the chunked
+        // kernels here too, not just on the bare-store path.
+        PlanSource::load_derived(&*self.store, source, target, filters)
+    }
+
     fn probes(&self) -> bool {
         true
     }

@@ -48,6 +48,7 @@ use statcube_core::trace::{self, QueryProfile};
 use statcube_cube::cache::{CacheConfig, CacheStats};
 use statcube_cube::input::FactInput;
 use statcube_cube::query::ViewStore;
+use statcube_cube::sharded::{ShardRouter, ShardedViewStore};
 use statcube_cube::shared::SharedViewStore;
 
 use crate::ast::Query;
@@ -465,6 +466,220 @@ impl CachedSession {
     }
 }
 
+/// A sharded SQL answer: the ordinary [`PhysicalAnswer`] plus the shard
+/// bookkeeping — when [`ShardedPhysicalAnswer::is_partial`], the rows
+/// cover only the surviving shards and `missing_shards` names the rest.
+#[derive(Debug)]
+pub struct ShardedPhysicalAnswer {
+    /// The merged result and its counters.
+    pub answer: PhysicalAnswer,
+    /// How many shards the query was scattered to.
+    pub shard_count: usize,
+    /// Bit `i` set ⇔ shard `i` contributed nothing to the rows.
+    pub missing_shards: u32,
+}
+
+impl ShardedPhysicalAnswer {
+    /// True when at least one shard is missing from the rows.
+    pub fn is_partial(&self) -> bool {
+        self.missing_shards != 0
+    }
+}
+
+/// [`CachedSession`]'s scatter-gather sibling: one object partitioned
+/// across a [`ShardedViewStore`], many queries. Each query compiles once
+/// per shard (the per-shard catalogs differ in measured view sizes, so
+/// routing runs per shard), scatters as pre-enforcement partials, merges
+/// through the plan-layer monoid, and enforces the session policy once on
+/// the merged cells — never per shard. The per-shard plan vector is
+/// cached keyed by the summed shard generation, exactly as
+/// [`CachedSession`] pins plans to one store's generation.
+///
+/// A dead shard surfaces as a *partial* result
+/// ([`ShardedPhysicalAnswer::missing_shards`]), not an error — the SQL
+/// face of the cube layer's degraded-answer contract.
+#[derive(Debug)]
+pub struct ShardedSession {
+    obj: StatisticalObject,
+    store: ShardedViewStore,
+    policy: PrivacyPolicy,
+    config: PlannerConfig,
+    plans: Mutex<HashMap<Query, Arc<ShardedPlan>>>,
+}
+
+/// One query's per-shard physical plans, pinned to the summed shard
+/// generation they were planned against (any shard's delta orphans the
+/// entry). No rendered-row memoization here: merged blocks are fresh
+/// allocations per gather, so the identity replay check can never pass.
+#[derive(Debug)]
+struct ShardedPlan {
+    generation: u64,
+    plans: Vec<Arc<PlannedQuery>>,
+    labels: Arc<GroupLabels>,
+    agg_columns: Vec<String>,
+}
+
+impl ShardedSession {
+    /// Builds a session partitioning `obj`'s facts by `router` into
+    /// `shards` stores, each materializing the base cuboid plus
+    /// `selected` views over its own rows.
+    pub fn with_views(
+        obj: &StatisticalObject,
+        selected: &[u32],
+        router: ShardRouter,
+        shards: usize,
+        config: CacheConfig,
+    ) -> Result<Self> {
+        if obj.schema().measures().len() != 1 {
+            return Err(Error::MultipleMeasures(obj.schema().measures().len()));
+        }
+        let facts = FactInput::from_object(obj)?;
+        let store = ShardedViewStore::build(&facts, selected, router, shards, config)?;
+        Ok(Self {
+            obj: obj.clone(),
+            store,
+            policy: PrivacyPolicy::none(),
+            config: PlannerConfig::default(),
+            plans: Mutex::new(HashMap::new()),
+        })
+    }
+
+    fn plans_lock(&self) -> std::sync::MutexGuard<'_, HashMap<Query, Arc<ShardedPlan>>> {
+        self.plans.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Sets the privacy policy — enforced once on merged cells, see the
+    /// type docs. Clears the plan cache.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PrivacyPolicy) -> Self {
+        self.policy = policy;
+        self.plans_lock().clear();
+        self
+    }
+
+    /// The sharded store behind the session (chaos hooks, deltas).
+    pub fn store(&self) -> &ShardedViewStore {
+        &self.store
+    }
+
+    /// Executes a parsed query scatter-gather across the shards.
+    pub fn execute(&self, query: &Query) -> Result<ShardedPhysicalAnswer> {
+        // Plans that rewrite the object evaluate a different cube than the
+        // sealed shards: run the uncached single-store path, which is
+        // whole-object and therefore never partial.
+        let rewrites =
+            query.grouping.dims().iter().any(|d| self.obj.schema().dim_index(d).is_err())
+                || (!self.config.pushdown && !query.filters.is_empty());
+        if rewrites {
+            trace::counter("sql.cache_bypass", 1);
+            let mut ans =
+                execute_physical_with_options(&self.obj, query, &self.policy, self.config)?;
+            ans.bypassed_cache = true;
+            return Ok(ShardedPhysicalAnswer {
+                answer: ans,
+                shard_count: self.store.shard_count(),
+                missing_shards: 0,
+            });
+        }
+
+        let mut root = trace::span("sql.execute");
+        root.note("sharded");
+        trace::counter("sql.queries", 1);
+        trace::counter("sql.sharded_queries", 1);
+        let attach_profile = root.is_root();
+        if query.select.is_empty() {
+            return Err(Error::InvalidSchema("empty SELECT list".into()));
+        }
+        let display_dims: Vec<String> = query.grouping.dims().to_vec();
+
+        let plan_span = trace::span("sql.plan");
+        let generation = self.store.generation();
+        let cached =
+            self.plans_lock().get(query).filter(|e| e.generation == generation).map(Arc::clone);
+        let entry = match cached {
+            Some(entry) => entry,
+            None => {
+                let logical = exec::plan_of_query(query);
+                let plans = self.store.plan_each(|node| {
+                    Planner::for_store(node.dim_count(), &node.catalog())
+                        .with_schema(self.obj.schema())
+                        .with_policy(self.policy.clone())
+                        .with_config(self.config)
+                        .plan(&logical)
+                })?;
+                let first = plans
+                    .first()
+                    .ok_or_else(|| Error::InvalidSchema("session has no shards".into()))?;
+                if first.aggs.iter().any(|a| a.measure != 0)
+                    || self.obj.schema().measures().len() != 1
+                {
+                    return Err(Error::MultipleMeasures(self.obj.schema().measures().len()));
+                }
+                let labels = Arc::new(plan::group_labels(first, self.obj.schema())?);
+                let entry = Arc::new(ShardedPlan {
+                    generation,
+                    plans,
+                    labels,
+                    agg_columns: query.select.iter().map(|a| a.to_sql()).collect(),
+                });
+                self.plans_lock().insert(query.clone(), Arc::clone(&entry));
+                entry
+            }
+        };
+        drop(plan_span);
+
+        let mut eval_span = trace::span("sql.eval");
+        let (gathered, _failed) = self.store.execute_planned(&entry.plans, &self.policy)?;
+        let executed = &gathered.execution;
+        let cache_hits = executed.cache_hits() as u64;
+        let set_count = entry.plans.first().map_or(0, |p| p.sets.len()) as u64;
+        let degraded_answers = executed.degraded_answers() as u64;
+        let cells_scanned = executed.cells_scanned();
+        // Shard targets and keeps agree by construction, so shard 0's plan
+        // renders the merged execution.
+        let first = entry
+            .plans
+            .first()
+            .ok_or_else(|| Error::InvalidSchema("session has no shards".into()))?;
+        let rows = exec::rows_from_plan_with_labels(first, executed, &entry.labels)?;
+        eval_span.record("grouping_sets", set_count);
+        eval_span.record("rows", rows.len() as u64);
+        eval_span.record("missing_shards", u64::from(gathered.missing_shards));
+        drop(eval_span);
+        root.record("rows", rows.len() as u64);
+        if gathered.is_partial() {
+            root.note(format!("partial: missing shards {:?}", gathered.missing_indices()));
+        }
+        drop(root);
+
+        let result = Arc::new(ResultSet {
+            group_columns: display_dims,
+            agg_columns: entry.agg_columns.clone(),
+            rows,
+        });
+        let profile = if attach_profile { Some(trace::take_profile()) } else { None };
+        Ok(ShardedPhysicalAnswer {
+            answer: PhysicalAnswer {
+                result,
+                profile,
+                degraded_answers,
+                cache_hits,
+                cache_misses: set_count.saturating_sub(cache_hits),
+                bypassed_cache: false,
+                cells_scanned,
+            },
+            shard_count: gathered.shard_count,
+            missing_shards: gathered.missing_shards,
+        })
+    }
+
+    /// Parses and executes in one step (see [`ShardedSession::execute`]).
+    pub fn execute_str(&self, sql: &str) -> Result<ShardedPhysicalAnswer> {
+        let query = crate::parser::parse(sql)?;
+        self.execute(&query)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -740,6 +955,73 @@ mod tests {
         assert_eq!(closed.result.rows.len(), open.result.rows.len());
         assert!(closed.result.rows.iter().all(|r| r.suppressed));
         assert!(closed.result.rows.iter().all(|r| r.values.iter().all(Option::is_none)));
+    }
+
+    #[test]
+    fn sharded_session_matches_cached_session_row_for_row() {
+        let o = retail();
+        let cached = CachedSession::new(&o, CacheConfig::default()).unwrap();
+        for router in [ShardRouter::Hash { dim: 0 }, ShardRouter::Range { dim: 0, bounds: vec![1] }]
+        {
+            let sharded =
+                ShardedSession::with_views(&o, &[], router, 2, CacheConfig::default()).unwrap();
+            for sql in [
+                "SELECT SUM(amount) FROM sales GROUP BY CUBE(product, store)",
+                "SELECT SUM(amount) FROM sales GROUP BY ROLLUP(product, month)",
+                "SELECT SUM(amount) FROM sales WHERE store = 's1' GROUP BY month",
+                "SELECT SUM(amount) FROM sales",
+            ] {
+                let a = cached.execute_str(sql).unwrap();
+                let b = sharded.execute_str(sql).unwrap();
+                assert!(!b.is_partial(), "{sql}");
+                assert_eq!(row_key(&a.result), row_key(&b.answer.result), "{sql}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_session_replans_after_delta_and_stays_exact() {
+        let o = retail();
+        let session = ShardedSession::with_views(
+            &o,
+            &[],
+            ShardRouter::Hash { dim: 0 },
+            2,
+            CacheConfig::default(),
+        )
+        .unwrap();
+        let sql = "SELECT SUM(amount) FROM sales GROUP BY product";
+        let before = session.execute_str(sql).unwrap();
+        let sum = |rs: &ResultSet| rs.rows.iter().filter_map(|r| r.values[0]).sum::<f64>();
+        // Route one more apple sale through the sharded delta path; the
+        // plan cache is generation-keyed, so the next query re-plans.
+        let mut delta = FactInput::new(&[3, 2, 2]).unwrap();
+        delta.push(&[0, 0, 0], 5.0).unwrap();
+        session.store().apply_delta(&delta).unwrap();
+        let after = session.execute_str(sql).unwrap();
+        assert!((sum(&after.answer.result) - sum(&before.answer.result) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_session_surfaces_dead_shards_as_partial_rows() {
+        let o = retail();
+        let session = ShardedSession::with_views(
+            &o,
+            &[],
+            ShardRouter::Hash { dim: 0 },
+            3,
+            CacheConfig::disabled(),
+        )
+        .unwrap();
+        let sql = "SELECT SUM(amount) FROM sales GROUP BY product";
+        let whole = session.execute_str(sql).unwrap();
+        assert!(!whole.is_partial());
+        session.store().kill_shard(1).unwrap();
+        let partial = session.execute_str(sql).unwrap();
+        assert!(partial.is_partial());
+        assert_eq!(partial.missing_shards, 1 << 1);
+        let sum = |rs: &ResultSet| rs.rows.iter().filter_map(|r| r.values[0]).sum::<f64>();
+        assert!(sum(&partial.answer.result) <= sum(&whole.answer.result));
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //!   produces, and [`group_aggregate`] — a single gather pass that
 //!   scatter-merges values into per-group accumulators keyed by a
 //!   dictionary-coded column.
+//!
+//! Plus the state-granular pair the sealed-page scans stream through:
+//! [`merge_states`] and [`group_merge_states_into`], which consume rows
+//! that already carry full [`AggState`]s (the sealed cuboid row format)
+//! so a cold view scan derives its target chunk-at-a-time instead of
+//! materializing the dense source block first.
 
 use statcube_core::measure::AggState;
 
@@ -131,6 +137,35 @@ pub fn group_aggregate(codes: &[u32], group_count: usize, values: &[f64]) -> Vec
     out
 }
 
+/// Folds a slice of already-aggregated states into one — the
+/// state-granular sibling of [`aggregate_dense`], for storage shapes whose
+/// rows carry full [`AggState`]s (sealed cuboid files) rather than raw
+/// values. Merge order is slice order, so chunked consumption is
+/// bit-identical to a single pass.
+pub fn merge_states(states: &[AggState]) -> AggState {
+    let mut s = AggState::EMPTY;
+    for st in states {
+        s.merge(st);
+    }
+    s
+}
+
+/// One-pass grouped *state* merge: scatter-merges `states[i]` into
+/// `out[codes[i]]`. The state-granular sibling of [`group_aggregate`],
+/// consumed chunk-at-a-time by the sealed-page scans — callers stream a
+/// sealed cuboid file in row chunks, code each row's target key, and fold
+/// every chunk into the same `out` slice without ever materializing the
+/// dense source block. Codes at or above `out.len()` are skipped (the
+/// skip-unknown contract doubles as the filter reject path: callers code
+/// filtered-out rows as `out.len()`).
+pub fn group_merge_states_into(codes: &[u32], states: &[AggState], out: &mut [AggState]) {
+    for (&c, s) in codes.iter().zip(states) {
+        if let Some(dst) = out.get_mut(c as usize) {
+            dst.merge(s);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +224,33 @@ mod tests {
         let mut long = bitmap.clone();
         long.push(u64::MAX);
         assert_eq!(filtered_aggregate(&values, &long), expected);
+    }
+
+    #[test]
+    fn state_merge_kernels_match_value_kernels() {
+        // States built from single values must merge to the same result the
+        // value kernels aggregate to, chunked or not.
+        let values: Vec<f64> = (0..500).map(|i| f64::from(i % 23) - 7.0).collect();
+        let states: Vec<AggState> = values
+            .iter()
+            .map(|&v| {
+                let mut s = AggState::EMPTY;
+                s.merge_run(v, 1);
+                s
+            })
+            .collect();
+        assert_eq!(merge_states(&states), aggregate_dense(&values));
+        let codes: Vec<u32> = (0..500).map(|i| (i * 13) % 6).collect();
+        let grouped = group_aggregate(&codes, 6, &values);
+        let mut out = vec![AggState::EMPTY; 6];
+        for (cc, cs) in codes.chunks(64).zip(states.chunks(64)) {
+            group_merge_states_into(cc, cs, &mut out);
+        }
+        assert_eq!(out, grouped);
+        // Skip-unknown: an out-of-range code leaves `out` untouched.
+        let mut small = vec![AggState::EMPTY; 1];
+        group_merge_states_into(&[0, 9], &states[..2], &mut small);
+        assert_eq!(small[0], states[0]);
     }
 
     #[test]

@@ -1,0 +1,460 @@
+//! Scatter-gather differential suite: a [`ShardedViewStore`] must answer
+//! **bit for bit** like the unsharded [`SharedViewStore`] it partitions,
+//! across
+//!
+//! * all five workload generators (census, retail, stocks, HMO,
+//!   resources),
+//! * every privacy-policy shape (open, suppression, tracker guard,
+//!   seeded perturbation),
+//! * shard counts N ∈ {1, 2, 4, 7} under both hash and range routers,
+//! * delta maintenance (routed sub-batches folded per shard),
+//!
+//! plus a 120-seed dead-shard chaos property: killing a random subset of
+//! shards yields a typed *partial* answer whose `missing_shards` mask
+//! names exactly the killed shards, and whose cells equal — bit for bit —
+//! an unsharded store built over only the surviving shards' rows. Never
+//! an error while any shard lives, never a silently wrong total.
+//!
+//! Bit-for-bit is meaningful for the same reason as the maintenance
+//! suite: measures are integerized (cents), and integer-valued `f64` sums
+//! are exact under any association — so the shard merge's different
+//! float grouping cannot shift an ulp. Perturbed policies stay
+//! bit-identical because the merged pre-enforcement block equals the
+//! unsharded derived block, and the seeded perturbation is a pure
+//! function of that block.
+//!
+//! `quick_`-prefixed tests are the ci.sh quick-mode slice.
+
+use statcube::core::measure::{AggState, MeasureKind, SummaryFunction};
+use statcube::core::object::StatisticalObject;
+use statcube::core::plan::{PlannerConfig, PrivacyPolicy};
+use statcube::cube::cache::CacheConfig;
+use statcube::cube::groupby::Cuboid;
+use statcube::cube::input::FactInput;
+use statcube::cube::sharded::{ShardRouter, ShardedViewStore};
+use statcube::cube::shared::SharedViewStore;
+use statcube::workload::prelude::*;
+use statcube::workload::{census, hmo, resources, retail, stocks};
+
+/// Facts from any statistical object, first measure only, integerized to
+/// cents so `f64` summation is exact under any association.
+fn integer_facts(obj: &StatisticalObject) -> FactInput {
+    let mut f = FactInput::new(&obj.schema().cardinalities()).unwrap();
+    for (coords, states) in obj.cells() {
+        f.push(coords, (states[0].sum * 100.0).round()).unwrap();
+    }
+    f
+}
+
+fn bit_identical_state(a: &AggState, b: &AggState) -> bool {
+    a.sum.to_bits() == b.sum.to_bits()
+        && a.count == b.count
+        && a.min.to_bits() == b.min.to_bits()
+        && a.max.to_bits() == b.max.to_bits()
+}
+
+fn bit_identical(a: &Cuboid, b: &Cuboid) -> bool {
+    a.len() == b.len()
+        && a.iter().all(|(k, sa)| b.get(k).is_some_and(|sb| bit_identical_state(sa, sb)))
+}
+
+/// The policy shapes under test: open, plain suppression, suppression
+/// with the tracker guard, and seeded perturbation over suppression.
+fn policies() -> Vec<PrivacyPolicy> {
+    vec![
+        PrivacyPolicy::none(),
+        PrivacyPolicy::suppress(2),
+        PrivacyPolicy::suppress(3).with_tracker_guard(),
+        PrivacyPolicy::suppress(2).with_perturbation(1.5, 97),
+    ]
+}
+
+/// The router pool for a store shape: hash on every dimension is always
+/// valid; a range router needs at least `n` distinct coordinates on its
+/// dimension, so it partitions the widest one when that fits.
+fn routers(cards: &[usize], n: usize) -> Vec<ShardRouter> {
+    let mut out = vec![ShardRouter::Hash { dim: 0 }, ShardRouter::Hash { dim: cards.len() - 1 }];
+    let (dim, &card) =
+        cards.iter().enumerate().max_by_key(|&(_, &c)| c).expect("at least one dimension");
+    if card >= n {
+        let bounds: Vec<u32> = (1..n).map(|i| (i * card / n) as u32).collect();
+        if n == 1 || bounds.windows(2).all(|w| w[0] < w[1]) {
+            out.push(ShardRouter::Range { dim, bounds });
+        }
+    }
+    out
+}
+
+/// The differential assertion: for every mask of the lattice and every
+/// policy, the sharded answer is complete (no missing shards) and
+/// bit-identical to the unsharded one.
+fn assert_equivalent(unsharded: &SharedViewStore, sharded: &ShardedViewStore, label: &str) {
+    assert_eq!(unsharded.top(), sharded.top(), "{label}: lattice tops differ");
+    for policy in policies() {
+        for mask in 0..=unsharded.top() {
+            let a = unsharded.answer_with_policy(mask, &policy, PlannerConfig::default()).unwrap();
+            let b = sharded.answer_with_policy(mask, &policy, PlannerConfig::default()).unwrap();
+            assert!(!b.is_partial(), "{label}: healthy store answered mask {mask:#b} partially");
+            assert!(
+                bit_identical(&a.cuboid, &b.cuboid),
+                "{label}: mask {mask:#b} differs under {}",
+                policy.describe()
+            );
+        }
+    }
+}
+
+/// Builds both stores over `facts` (singleton views materialized, like the
+/// maintenance suite) and runs the differential for one router/N pair.
+fn differential(label: &str, facts: &FactInput, n: usize, router: ShardRouter) {
+    let selected: Vec<u32> = (0..facts.dim_count()).map(|d| 1u32 << d).collect();
+    let unsharded = SharedViewStore::build(facts, &selected, CacheConfig::default()).unwrap();
+    let sharded =
+        ShardedViewStore::build(facts, &selected, router.clone(), n, CacheConfig::default())
+            .unwrap();
+    assert_eq!(sharded.shard_count(), n, "{label}");
+    assert_equivalent(&unsharded, &sharded, &format!("{label} n={n} router={router:?}"));
+}
+
+fn all_generators() -> Vec<(&'static str, FactInput)> {
+    let retail = retail::generate(&RetailConfig {
+        products: 8,
+        categories: 3,
+        cities: 2,
+        stores_per_city: 2,
+        days: 15,
+        rows: 600,
+        seed: 11,
+    });
+    let census =
+        census::generate(&CensusConfig { states: 3, counties_per_state: 3, rows: 800, seed: 12 });
+    let census_obj = census
+        .micro
+        .summarize(
+            &["state", "sex", "race"],
+            Some("income"),
+            SummaryFunction::Sum,
+            MeasureKind::Flow,
+        )
+        .unwrap();
+    let stocks = stocks::generate(&StocksConfig { stocks: 6, industries: 2, weeks: 3, seed: 13 });
+    let hmo = hmo::generate(&HmoConfig { hospitals: 3, months: 4, rows: 500, seed: 14 });
+    let resources = resources::generate(&ResourcesConfig {
+        basins: 2,
+        rivers_per_basin: 2,
+        stations_per_river: 2,
+        months: 6,
+        seed: 15,
+    });
+    vec![
+        ("retail", integer_facts(&retail.object)),
+        ("census", integer_facts(&census_obj)),
+        ("stocks", integer_facts(&stocks.object)),
+        ("hmo", integer_facts(&hmo.object)),
+        ("resources", integer_facts(&resources.object)),
+    ]
+}
+
+/// Deterministic integer workload for the chaos and delta properties.
+fn synthetic(seed: u64, rows: usize, cards: &[usize]) -> FactInput {
+    let mut f = FactInput::new(cards).unwrap();
+    let mut x = seed.wrapping_mul(0x9E37_79B9).max(1);
+    for _ in 0..rows {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let coords: Vec<u32> =
+            cards.iter().enumerate().map(|(d, &c)| ((x >> (8 * d)) % c as u64) as u32).collect();
+        f.push(&coords, (x % 100) as f64).unwrap();
+    }
+    f
+}
+
+/// Quick-mode slice: one generator, N=2, both router families.
+#[test]
+fn quick_sharded_equals_unsharded_n2() {
+    let retail = retail::generate(&RetailConfig {
+        products: 8,
+        categories: 3,
+        cities: 2,
+        stores_per_city: 2,
+        days: 15,
+        rows: 600,
+        seed: 11,
+    });
+    let facts = integer_facts(&retail.object);
+    for router in routers(facts.cards(), 2) {
+        differential("retail-quick", &facts, 2, router);
+    }
+}
+
+/// The headline property: every generator, every policy, N ∈ {1,2,4,7},
+/// hash and range routers — sharded is bit-identical to unsharded.
+#[test]
+fn sharded_equals_unsharded_across_generators_policies_and_routers() {
+    for (label, facts) in all_generators() {
+        for n in [1usize, 2, 4, 7] {
+            for router in routers(facts.cards(), n) {
+                differential(label, &facts, n, router);
+            }
+        }
+    }
+}
+
+/// Routed delta maintenance: applying batches through the sharded path
+/// equals an unsharded store over the same rows, after every batch —
+/// including batches introducing previously-unseen coordinates (lattice
+/// growth must stay in lockstep across shards).
+#[test]
+fn sharded_delta_maintenance_matches_unsharded() {
+    let cards = [12usize, 6, 4];
+    let grown = [14usize, 6, 4];
+    let facts = synthetic(5, 400, &cards);
+    let selected = [0b011u32, 0b101];
+    let unsharded = SharedViewStore::build(&facts, &selected, CacheConfig::default()).unwrap();
+    let sharded = ShardedViewStore::build(
+        &facts,
+        &selected,
+        ShardRouter::Hash { dim: 0 },
+        4,
+        CacheConfig::default(),
+    )
+    .unwrap();
+    for batch in 0..3u64 {
+        // The last batch redeclares a wider card on dim 0: growth path.
+        let delta_cards = if batch == 2 { &grown[..] } else { &cards[..] };
+        let delta = synthetic(100 + batch, 50, delta_cards);
+        let ra = unsharded.apply_delta(&delta).unwrap();
+        let rb = sharded.apply_delta(&delta).unwrap();
+        assert_eq!(rb.rows, 50, "batch {batch}");
+        assert_eq!(rb.per_shard.len(), 4, "batch {batch}");
+        assert_eq!(ra.rows, rb.rows, "batch {batch}: row accounting diverged from unsharded");
+        assert_equivalent(&unsharded, &sharded, &format!("delta batch {batch}"));
+    }
+}
+
+/// A rejected batch (wrong arity) must reach no shard: the sharded store
+/// keeps answering exactly as before.
+#[test]
+fn rejected_sharded_delta_mutates_nothing() {
+    let facts = synthetic(9, 300, &[10, 5, 3]);
+    let sharded = ShardedViewStore::build(
+        &facts,
+        &[],
+        ShardRouter::Hash { dim: 1 },
+        3,
+        CacheConfig::default(),
+    )
+    .unwrap();
+    let before = sharded.answer(0b011).unwrap();
+    let g0 = sharded.generation();
+    let bad = synthetic(10, 20, &[10, 5]);
+    assert!(sharded.apply_delta(&bad).is_err());
+    assert_eq!(sharded.generation(), g0, "a rejected batch must publish nothing");
+    let after = sharded.answer(0b011).unwrap();
+    assert!(bit_identical(&before.cuboid, &after.cuboid));
+}
+
+/// 120-seed dead-shard chaos: kill a random proper subset of shards; the
+/// answer must be partial with *exactly* the killed shards' bits, and its
+/// cells must be bit-identical to an unsharded store holding only the
+/// surviving shards' rows — the "never silently wrong" oracle.
+#[test]
+fn quick_dead_shard_chaos_masks_are_exact() {
+    dead_shard_chaos(0..12);
+}
+
+#[test]
+fn dead_shard_chaos_masks_are_exact_120_seeds() {
+    dead_shard_chaos(0..120);
+}
+
+fn dead_shard_chaos(seeds: std::ops::Range<u64>) {
+    for seed in seeds {
+        let mut x = seed.wrapping_mul(0x2545_F491_4F6C_DD1D).max(1);
+        let mut next = |m: u64| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % m
+        };
+        let n = 2 + next(6) as usize; // 2..=7 shards
+        let facts = synthetic(seed.wrapping_add(1000), 150 + next(150) as usize, &[16, 5, 3]);
+        let router = if next(2) == 0 {
+            ShardRouter::Hash { dim: next(3) as usize }
+        } else {
+            let bounds: Vec<u32> = (1..n).map(|i| (i * 16 / n) as u32).collect();
+            ShardRouter::Range { dim: 0, bounds }
+        };
+        let sharded =
+            ShardedViewStore::build(&facts, &[0b011], router.clone(), n, CacheConfig::default())
+                .unwrap();
+        // Kill a random proper, non-empty subset.
+        let kill_count = 1 + next(n as u64 - 1) as usize;
+        let mut killed = vec![false; n];
+        let mut remaining = kill_count;
+        while remaining > 0 {
+            let i = next(n as u64) as usize;
+            if !killed[i] {
+                killed[i] = true;
+                remaining -= 1;
+            }
+        }
+        let mut expected_mask = 0u32;
+        for (i, &k) in killed.iter().enumerate() {
+            if k {
+                sharded.kill_shard(i).unwrap();
+                expected_mask |= 1 << i;
+            }
+        }
+        // The survivors-only oracle: an unsharded store over rows the
+        // router assigns to surviving shards.
+        let mut alive = FactInput::new(facts.cards()).unwrap();
+        for row in 0..facts.len() {
+            let coords = facts.coords(row);
+            if !killed[router.route(&coords, n)] {
+                alive.push(&coords, facts.measure()[row]).unwrap();
+            }
+        }
+        let oracle = SharedViewStore::build(&alive, &[0b011], CacheConfig::default()).unwrap();
+        for mask in [0b000u32, 0b001, 0b011, 0b111] {
+            let ans = sharded.answer(mask).unwrap();
+            assert!(ans.is_partial(), "seed {seed}: dead shards must mark the answer partial");
+            assert_eq!(
+                ans.missing_shards, expected_mask,
+                "seed {seed} mask {mask:#b}: wrong missing-shard mask"
+            );
+            assert_eq!(ans.failed.len(), kill_count, "seed {seed}: typed error per dead shard");
+            let want = oracle.answer(mask).unwrap();
+            assert!(
+                bit_identical(&want.cuboid, &ans.cuboid),
+                "seed {seed} mask {mask:#b}: partial answer differs from survivors-only oracle"
+            );
+        }
+        // Healing restores the complete answer.
+        sharded.heal().unwrap();
+        let healed = sharded.answer(0b011).unwrap();
+        assert!(!healed.is_partial(), "seed {seed}: heal must revive every shard");
+    }
+}
+
+/// Filtered-scatter differential: `answer_filtered` under every policy
+/// must match an unsharded store built over only the rows the filters
+/// admit — and a filter on the routing dimension must prune the scatter
+/// to exactly the owning shards, without changing a single bit of the
+/// answer. Pruned shards are proven empty, not missing: the answer stays
+/// complete.
+#[test]
+fn quick_filtered_scatter_prunes_and_stays_exact() {
+    use statcube::core::plan::CodedPredicate;
+    let cards = [16usize, 5, 3];
+    let facts = synthetic(21, 500, &cards);
+    let n = 4usize;
+    let routers =
+        [ShardRouter::Hash { dim: 0 }, ShardRouter::Range { dim: 0, bounds: vec![4, 8, 12] }];
+    let filter_sets: Vec<Vec<CodedPredicate>> = vec![
+        // A point slice on the router dimension: prunes to one shard.
+        vec![CodedPredicate { dim: 0, allowed: vec![6] }],
+        // A two-value slice on the router dimension.
+        vec![CodedPredicate { dim: 0, allowed: vec![2, 13] }],
+        // A slice on a non-router dimension: no pruning, still exact.
+        vec![CodedPredicate { dim: 2, allowed: vec![1] }],
+        // A conjunction across both.
+        vec![
+            CodedPredicate { dim: 0, allowed: vec![3, 9, 11] },
+            CodedPredicate { dim: 1, allowed: vec![0, 4] },
+        ],
+    ];
+    for router in routers {
+        let selected: Vec<u32> = (0..facts.dim_count()).map(|d| 1u32 << d).collect();
+        let sharded =
+            ShardedViewStore::build(&facts, &selected, router.clone(), n, CacheConfig::default())
+                .unwrap();
+        for filters in &filter_sets {
+            // Oracle: an unsharded store over only the admitted rows.
+            let mut admitted = FactInput::new(facts.cards()).unwrap();
+            for row in 0..facts.len() {
+                let coords = facts.coords(row);
+                if filters.iter().all(|f| f.allowed.contains(&coords[f.dim])) {
+                    admitted.push(&coords, facts.measure()[row]).unwrap();
+                }
+            }
+            let oracle =
+                SharedViewStore::build(&admitted, &selected, CacheConfig::default()).unwrap();
+            // The shards a router-dimension filter leaves live.
+            let expected_pruned: u32 = filters
+                .iter()
+                .find(|f| f.dim == router.dim())
+                .map(|f| {
+                    let mut live = 0u32;
+                    for &v in &f.allowed {
+                        live |= 1 << router.route_coord(v, n);
+                    }
+                    ((1u32 << n) - 1) & !live
+                })
+                .unwrap_or(0);
+            for policy in policies() {
+                for mask in [0b000u32, 0b010, 0b101, 0b111] {
+                    let want =
+                        oracle.answer_with_policy(mask, &policy, PlannerConfig::default()).unwrap();
+                    let got = sharded
+                        .answer_filtered(mask, filters, &policy, PlannerConfig::default())
+                        .unwrap();
+                    assert!(
+                        !got.is_partial(),
+                        "router={router:?} mask={mask:#b}: pruned shards must not read as missing"
+                    );
+                    assert_eq!(
+                        got.pruned_shards, expected_pruned,
+                        "router={router:?} mask={mask:#b}: wrong pruned-shard mask"
+                    );
+                    assert!(
+                        bit_identical(&want.cuboid, &got.cuboid),
+                        "router={router:?} mask={mask:#b} filters={filters:?}: filtered answer \
+                         differs from admitted-rows oracle under {}",
+                        policy.describe()
+                    );
+                }
+            }
+        }
+        // An empty allowed set is a valid (vacuous) slice, not an error.
+        let empty = sharded
+            .answer_filtered(
+                0b111,
+                &[CodedPredicate { dim: 0, allowed: vec![] }],
+                &PrivacyPolicy::none(),
+                PlannerConfig::default(),
+            )
+            .unwrap();
+        assert!(empty.cuboid.is_empty(), "router={router:?}: empty slice must yield no cells");
+        assert!(!empty.is_partial(), "router={router:?}: empty slice is complete, not partial");
+    }
+}
+
+/// Satellite differential for the chunked cold scan: a store whose first
+/// (cold) reads stream sealed pages through the `storage::chunks` state
+/// kernels must agree bit-for-bit with one whose decoded cache was warmed
+/// first (the dense derive path), on every mask and under suppression.
+#[test]
+fn quick_chunked_cold_scan_matches_dense_derivation() {
+    use statcube::cube::query::ViewStore;
+    for (label, facts) in all_generators() {
+        let selected: Vec<u32> = (0..facts.dim_count()).map(|d| 1u32 << d).collect();
+        let cold = ViewStore::build(&facts, &selected).unwrap();
+        let warm = ViewStore::build(&facts, &selected).unwrap();
+        for mask in warm.materialized() {
+            // Identity loads decode and warm the dense cache.
+            warm.answer(mask).unwrap();
+        }
+        for policy in [PrivacyPolicy::none(), PrivacyPolicy::suppress(3)] {
+            for mask in 0..=cold.lattice().top() {
+                let a = cold.answer_with_policy(mask, &policy, PlannerConfig::default()).unwrap();
+                let b = warm.answer_with_policy(mask, &policy, PlannerConfig::default()).unwrap();
+                assert!(
+                    bit_identical(&a.cuboid, &b.cuboid),
+                    "{label}: cold streamed answer for {mask:#b} differs from dense path"
+                );
+            }
+        }
+    }
+}
